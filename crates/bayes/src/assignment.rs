@@ -1,0 +1,170 @@
+//! Joint assignments over scopes of discrete variables.
+
+use crate::variable::Variable;
+
+/// Iterates over every joint assignment of a scope in row-major order
+/// (the **last** variable in the scope varies fastest, matching
+/// [`crate::factor::Factor`]'s value layout).
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::assignment::AssignmentIter;
+/// use slj_bayes::variable::Variable;
+///
+/// let a = Variable::new(0, 2);
+/// let b = Variable::new(1, 3);
+/// let all: Vec<Vec<usize>> = AssignmentIter::new(&[a, b]).collect();
+/// assert_eq!(all.len(), 6);
+/// assert_eq!(all[0], vec![0, 0]);
+/// assert_eq!(all[1], vec![0, 1]);
+/// assert_eq!(all[5], vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssignmentIter {
+    cards: Vec<usize>,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl AssignmentIter {
+    /// Creates an iterator over the scope's assignments.
+    pub fn new(scope: &[Variable]) -> Self {
+        let cards: Vec<usize> = scope.iter().map(|v| v.cardinality()).collect();
+        let done = false;
+        let current = vec![0; cards.len()];
+        AssignmentIter {
+            cards,
+            current,
+            done,
+        }
+    }
+
+    /// Total number of assignments (the product of cardinalities).
+    pub fn total(&self) -> usize {
+        self.cards.iter().product()
+    }
+}
+
+impl Iterator for AssignmentIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        // Advance like an odometer, last position fastest.
+        let mut i = self.cards.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.current[i] += 1;
+            if self.current[i] < self.cards[i] {
+                break;
+            }
+            self.current[i] = 0;
+        }
+        Some(out)
+    }
+}
+
+/// Converts a joint assignment (aligned with `scope`) to its row-major
+/// linear index.
+///
+/// # Panics
+///
+/// Panics if lengths differ or a state is out of range.
+pub fn assignment_to_index(scope: &[Variable], assignment: &[usize]) -> usize {
+    assert_eq!(
+        scope.len(),
+        assignment.len(),
+        "assignment length must match scope"
+    );
+    let mut index = 0usize;
+    for (v, &s) in scope.iter().zip(assignment) {
+        assert!(
+            s < v.cardinality(),
+            "state {s} out of range for variable with cardinality {}",
+            v.cardinality()
+        );
+        index = index * v.cardinality() + s;
+    }
+    index
+}
+
+/// Converts a row-major linear index back into a joint assignment.
+///
+/// # Panics
+///
+/// Panics if `index` exceeds the scope's assignment count.
+pub fn index_to_assignment(scope: &[Variable], index: usize) -> Vec<usize> {
+    let total: usize = scope.iter().map(|v| v.cardinality()).product();
+    assert!(index < total.max(1), "index {index} out of range");
+    let mut out = vec![0; scope.len()];
+    let mut rem = index;
+    for i in (0..scope.len()).rev() {
+        let c = scope[i].cardinality();
+        out[i] = rem % c;
+        rem /= c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope() -> Vec<Variable> {
+        vec![Variable::new(0, 2), Variable::new(1, 3), Variable::new(2, 2)]
+    }
+
+    #[test]
+    fn iterates_all_assignments_in_order() {
+        let s = scope();
+        let all: Vec<_> = AssignmentIter::new(&s).collect();
+        assert_eq!(all.len(), 12);
+        assert_eq!(all[0], vec![0, 0, 0]);
+        assert_eq!(all[1], vec![0, 0, 1]);
+        assert_eq!(all[2], vec![0, 1, 0]);
+        assert_eq!(all[11], vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_scope_has_one_assignment() {
+        let all: Vec<_> = AssignmentIter::new(&[]).collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let s = scope();
+        for (i, a) in AssignmentIter::new(&s).enumerate() {
+            assert_eq!(assignment_to_index(&s, &a), i);
+            assert_eq!(index_to_assignment(&s, i), a);
+        }
+    }
+
+    #[test]
+    fn total_counts() {
+        assert_eq!(AssignmentIter::new(&scope()).total(), 12);
+        assert_eq!(AssignmentIter::new(&[]).total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_state_panics() {
+        let s = scope();
+        assignment_to_index(&s, &[0, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match scope")]
+    fn bad_length_panics() {
+        let s = scope();
+        assignment_to_index(&s, &[0, 0]);
+    }
+}

@@ -1,0 +1,492 @@
+//! Conditional probability distributions.
+
+use crate::assignment::{assignment_to_index, AssignmentIter};
+use crate::error::BayesError;
+use crate::factor::Factor;
+use crate::variable::Variable;
+
+/// A conditional probability distribution `P(child | parents)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cpd {
+    /// Fully tabulated CPD.
+    Table(TableCpd),
+    /// Noisy-OR CPD over a binary child.
+    NoisyOr(NoisyOrCpd),
+}
+
+impl Cpd {
+    /// The child variable.
+    pub fn child(&self) -> Variable {
+        match self {
+            Cpd::Table(t) => t.child(),
+            Cpd::NoisyOr(n) => n.child(),
+        }
+    }
+
+    /// The parent variables.
+    pub fn parents(&self) -> &[Variable] {
+        match self {
+            Cpd::Table(t) => t.parents(),
+            Cpd::NoisyOr(n) => n.parents(),
+        }
+    }
+
+    /// Converts to a factor over `parents ∪ {child}`.
+    pub fn to_factor(&self) -> Factor {
+        match self {
+            Cpd::Table(t) => t.to_factor(),
+            Cpd::NoisyOr(n) => n.to_factor(),
+        }
+    }
+}
+
+impl From<TableCpd> for Cpd {
+    fn from(t: TableCpd) -> Self {
+        Cpd::Table(t)
+    }
+}
+
+impl From<NoisyOrCpd> for Cpd {
+    fn from(n: NoisyOrCpd) -> Self {
+        Cpd::NoisyOr(n)
+    }
+}
+
+/// A fully tabulated CPD: one probability row per parent configuration.
+///
+/// Rows are laid out row-major over the parents (last parent fastest) and
+/// each row lists the child's states in order.
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::cpd::TableCpd;
+/// use slj_bayes::variable::Variable;
+///
+/// let rain = Variable::new(0, 2);
+/// let wet = Variable::new(1, 2);
+/// // P(wet | rain): dry day mostly dry, rainy day mostly wet.
+/// let cpd = TableCpd::new(wet, vec![rain], vec![0.9, 0.1, 0.2, 0.8])?;
+/// assert!((cpd.prob(&[1], 1)? - 0.8).abs() < 1e-12);
+/// # Ok::<(), slj_bayes::BayesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableCpd {
+    child: Variable,
+    parents: Vec<Variable>,
+    /// Row-major over parents, child fastest within a row.
+    table: Vec<f64>,
+}
+
+/// Tolerance for CPD row sums.
+const ROW_SUM_TOLERANCE: f64 = 1e-6;
+
+impl TableCpd {
+    /// Creates a table CPD.
+    ///
+    /// # Errors
+    ///
+    /// - [`BayesError::WrongTableSize`] when the table length is not
+    ///   `child_card × Π parent_card`.
+    /// - [`BayesError::InvalidProbability`] on negative/non-finite values.
+    /// - [`BayesError::UnnormalizedRow`] when a row does not sum to 1.
+    pub fn new(
+        child: Variable,
+        parents: Vec<Variable>,
+        table: Vec<f64>,
+    ) -> Result<Self, BayesError> {
+        let rows: usize = parents.iter().map(|p| p.cardinality()).product();
+        let expected = rows * child.cardinality();
+        if table.len() != expected {
+            return Err(BayesError::WrongTableSize {
+                expected,
+                found: table.len(),
+            });
+        }
+        for &x in &table {
+            if !x.is_finite() || x < 0.0 {
+                return Err(BayesError::InvalidProbability(x));
+            }
+        }
+        for row in 0..rows {
+            let sum: f64 = table[row * child.cardinality()..(row + 1) * child.cardinality()]
+                .iter()
+                .sum();
+            if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+                return Err(BayesError::UnnormalizedRow { row, sum });
+            }
+        }
+        Ok(TableCpd {
+            child,
+            parents,
+            table,
+        })
+    }
+
+    /// A uniform CPD (every row uniform over the child).
+    pub fn uniform(child: Variable, parents: Vec<Variable>) -> Self {
+        let rows: usize = parents.iter().map(|p| p.cardinality()).product();
+        let c = child.cardinality();
+        TableCpd {
+            child,
+            parents,
+            table: vec![1.0 / c as f64; rows * c],
+        }
+    }
+
+    /// The child variable.
+    pub fn child(&self) -> Variable {
+        self.child
+    }
+
+    /// The parent variables.
+    pub fn parents(&self) -> &[Variable] {
+        &self.parents
+    }
+
+    /// The raw table (rows over parent configurations, child fastest).
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// `P(child = state | parents = parent_states)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::StateOutOfRange`] on bad indices.
+    pub fn prob(&self, parent_states: &[usize], state: usize) -> Result<f64, BayesError> {
+        if !self.child.contains_state(state) {
+            return Err(BayesError::StateOutOfRange {
+                variable: self.child.id(),
+                state,
+                cardinality: self.child.cardinality(),
+            });
+        }
+        if parent_states.len() != self.parents.len() {
+            return Err(BayesError::WrongTableSize {
+                expected: self.parents.len(),
+                found: parent_states.len(),
+            });
+        }
+        for (p, &s) in self.parents.iter().zip(parent_states) {
+            if !p.contains_state(s) {
+                return Err(BayesError::StateOutOfRange {
+                    variable: p.id(),
+                    state: s,
+                    cardinality: p.cardinality(),
+                });
+            }
+        }
+        let row = assignment_to_index(&self.parents, parent_states);
+        Ok(self.table[row * self.child.cardinality() + state])
+    }
+
+    /// Converts to a factor over `parents ++ [child]`.
+    pub fn to_factor(&self) -> Factor {
+        let mut scope = self.parents.clone();
+        scope.push(self.child);
+        // The table layout (parents row-major, child fastest) is exactly
+        // the factor layout for this scope order.
+        Factor::new(scope, self.table.clone()).expect("validated CPD is a valid factor")
+    }
+}
+
+/// A noisy-OR CPD for a binary child with discrete parents.
+///
+/// Each parent state contributes an independent activation probability;
+/// the child fires unless every contribution (and the leak) fails:
+///
+/// `P(child = 0 | s₁..sₙ) = (1 − leak) · Π (1 − activation[i][sᵢ])`.
+///
+/// The paper's Area nodes fit this exactly: five body-part parents, each
+/// of whose states either lands in the area (high activation) or does not
+/// (zero activation). A full table would need `2 · 9⁵` entries per area.
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::cpd::NoisyOrCpd;
+/// use slj_bayes::variable::Variable;
+///
+/// let part = Variable::new(0, 3);
+/// let area = Variable::new(1, 2);
+/// // The part activates the area only from state 1.
+/// let cpd = NoisyOrCpd::new(area, vec![part], vec![vec![0.0, 0.95, 0.0]], 0.01)?;
+/// let f = cpd.to_factor();
+/// let p_fire = f.value_at(&[(part, 1), (area, 1)])?;
+/// assert!(p_fire > 0.95);
+/// # Ok::<(), slj_bayes::BayesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyOrCpd {
+    child: Variable,
+    parents: Vec<Variable>,
+    /// `activation[i][s]` = probability that parent `i` in state `s`
+    /// activates the child.
+    activation: Vec<Vec<f64>>,
+    leak: f64,
+}
+
+impl NoisyOrCpd {
+    /// Creates a noisy-OR CPD.
+    ///
+    /// # Errors
+    ///
+    /// - [`BayesError::InvalidProbability`] when `leak` or any activation
+    ///   falls outside `[0, 1]`.
+    /// - [`BayesError::WrongTableSize`] when `activation` does not match
+    ///   the parents' shapes.
+    /// - [`BayesError::CardinalityMismatch`] when the child is not binary.
+    pub fn new(
+        child: Variable,
+        parents: Vec<Variable>,
+        activation: Vec<Vec<f64>>,
+        leak: f64,
+    ) -> Result<Self, BayesError> {
+        if child.cardinality() != 2 {
+            return Err(BayesError::CardinalityMismatch {
+                variable: child.id(),
+                expected: 2,
+                found: child.cardinality(),
+            });
+        }
+        if !(0.0..=1.0).contains(&leak) || !leak.is_finite() {
+            return Err(BayesError::InvalidProbability(leak));
+        }
+        if activation.len() != parents.len() {
+            return Err(BayesError::WrongTableSize {
+                expected: parents.len(),
+                found: activation.len(),
+            });
+        }
+        for (p, acts) in parents.iter().zip(&activation) {
+            if acts.len() != p.cardinality() {
+                return Err(BayesError::WrongTableSize {
+                    expected: p.cardinality(),
+                    found: acts.len(),
+                });
+            }
+            for &a in acts {
+                if !(0.0..=1.0).contains(&a) || !a.is_finite() {
+                    return Err(BayesError::InvalidProbability(a));
+                }
+            }
+        }
+        Ok(NoisyOrCpd {
+            child,
+            parents,
+            activation,
+            leak,
+        })
+    }
+
+    /// The child variable.
+    pub fn child(&self) -> Variable {
+        self.child
+    }
+
+    /// The parent variables.
+    pub fn parents(&self) -> &[Variable] {
+        &self.parents
+    }
+
+    /// The activation table `activation[parent][state]`.
+    pub fn activation(&self) -> &[Vec<f64>] {
+        &self.activation
+    }
+
+    /// The leak probability.
+    pub fn leak(&self) -> f64 {
+        self.leak
+    }
+
+    /// `P(child = 0 | parent states)` in closed form.
+    pub fn prob_off(&self, parent_states: &[usize]) -> f64 {
+        let mut off = 1.0 - self.leak;
+        for (acts, &s) in self.activation.iter().zip(parent_states) {
+            off *= 1.0 - acts[s];
+        }
+        off
+    }
+
+    /// Expands to a dense factor over `parents ++ [child]`.
+    pub fn to_factor(&self) -> Factor {
+        let mut scope = self.parents.clone();
+        scope.push(self.child);
+        let mut values = Vec::new();
+        for parent_states in AssignmentIter::new(&self.parents) {
+            let off = self.prob_off(&parent_states);
+            values.push(off);
+            values.push(1.0 - off);
+        }
+        Factor::new(scope, values).expect("noisy-OR expansion is a valid factor")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(id: usize) -> Variable {
+        Variable::new(id, 2)
+    }
+
+    #[test]
+    fn table_cpd_validates_row_sums() {
+        let a = binary(0);
+        let c = binary(1);
+        assert!(TableCpd::new(c, vec![a], vec![0.9, 0.2, 0.2, 0.8]).is_err());
+        assert!(TableCpd::new(c, vec![a], vec![0.9, 0.1, 0.2, 0.8]).is_ok());
+    }
+
+    #[test]
+    fn table_cpd_validates_size() {
+        let a = binary(0);
+        let c = binary(1);
+        assert!(matches!(
+            TableCpd::new(c, vec![a], vec![0.5, 0.5]),
+            Err(BayesError::WrongTableSize { expected: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn table_cpd_prob_lookup() {
+        let a = Variable::new(0, 3);
+        let c = binary(1);
+        let t = TableCpd::new(
+            c,
+            vec![a],
+            vec![0.9, 0.1, 0.5, 0.5, 0.2, 0.8],
+        )
+        .unwrap();
+        assert!((t.prob(&[0], 1).unwrap() - 0.1).abs() < 1e-12);
+        assert!((t.prob(&[2], 0).unwrap() - 0.2).abs() < 1e-12);
+        assert!(t.prob(&[3], 0).is_err());
+        assert!(t.prob(&[0], 2).is_err());
+        assert!(t.prob(&[0, 0], 0).is_err());
+    }
+
+    #[test]
+    fn table_cpd_to_factor_rows_sum_to_one_per_parent_config() {
+        let a = Variable::new(0, 3);
+        let c = binary(1);
+        let t = TableCpd::new(c, vec![a], vec![0.9, 0.1, 0.5, 0.5, 0.2, 0.8]).unwrap();
+        let f = t.to_factor();
+        for s in 0..3 {
+            let sum: f64 = (0..2)
+                .map(|cs| f.value_at(&[(a, s), (c, cs)]).unwrap())
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_cpd() {
+        let a = binary(0);
+        let c = Variable::new(1, 4);
+        let u = TableCpd::uniform(c, vec![a]);
+        assert!(u.table().iter().all(|&x| (x - 0.25).abs() < 1e-12));
+        assert_eq!(u.table().len(), 8);
+    }
+
+    #[test]
+    fn root_cpd_without_parents() {
+        let c = Variable::new(0, 3);
+        let t = TableCpd::new(c, vec![], vec![0.2, 0.3, 0.5]).unwrap();
+        assert!((t.prob(&[], 2).unwrap() - 0.5).abs() < 1e-12);
+        let f = t.to_factor();
+        assert_eq!(f.scope(), &[c]);
+    }
+
+    #[test]
+    fn noisy_or_rejects_non_binary_child() {
+        let c = Variable::new(0, 3);
+        assert!(NoisyOrCpd::new(c, vec![], vec![], 0.0).is_err());
+    }
+
+    #[test]
+    fn noisy_or_rejects_bad_activation() {
+        let c = binary(0);
+        let p = Variable::new(1, 2);
+        assert!(NoisyOrCpd::new(c, vec![p], vec![vec![0.5, 1.5]], 0.0).is_err());
+        assert!(NoisyOrCpd::new(c, vec![p], vec![vec![0.5]], 0.0).is_err());
+        assert!(NoisyOrCpd::new(c, vec![p], vec![vec![0.5, 0.5]], -0.1).is_err());
+    }
+
+    #[test]
+    fn noisy_or_closed_form_matches_semantics() {
+        let c = binary(0);
+        let p1 = Variable::new(1, 2);
+        let p2 = Variable::new(2, 2);
+        let n = NoisyOrCpd::new(
+            c,
+            vec![p1, p2],
+            vec![vec![0.0, 0.8], vec![0.0, 0.5]],
+            0.1,
+        )
+        .unwrap();
+        // Neither active: only the leak can fire.
+        assert!((n.prob_off(&[0, 0]) - 0.9).abs() < 1e-12);
+        // Both active.
+        let expected_off = 0.9 * 0.2 * 0.5;
+        assert!((n.prob_off(&[1, 1]) - expected_off).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_or_factor_is_normalized_per_row() {
+        let c = binary(0);
+        let p1 = Variable::new(1, 3);
+        let p2 = Variable::new(2, 2);
+        let n = NoisyOrCpd::new(
+            c,
+            vec![p1, p2],
+            vec![vec![0.1, 0.9, 0.0], vec![0.3, 0.6]],
+            0.05,
+        )
+        .unwrap();
+        let f = n.to_factor();
+        for s1 in 0..3 {
+            for s2 in 0..2 {
+                let sum: f64 = (0..2)
+                    .map(|cs| f.value_at(&[(p1, s1), (p2, s2), (c, cs)]).unwrap())
+                    .sum();
+                assert!((sum - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_or_monotone_in_activations() {
+        // More active parents can only raise the firing probability.
+        let c = binary(0);
+        let p1 = binary(1);
+        let p2 = binary(2);
+        let n = NoisyOrCpd::new(
+            c,
+            vec![p1, p2],
+            vec![vec![0.0, 0.7], vec![0.0, 0.4]],
+            0.0,
+        )
+        .unwrap();
+        let none = 1.0 - n.prob_off(&[0, 0]);
+        let one = 1.0 - n.prob_off(&[1, 0]);
+        let both = 1.0 - n.prob_off(&[1, 1]);
+        assert!(none <= one && one <= both);
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn cpd_enum_dispatch() {
+        let c = binary(0);
+        let p = binary(1);
+        let table: Cpd = TableCpd::new(c, vec![p], vec![0.9, 0.1, 0.2, 0.8])
+            .unwrap()
+            .into();
+        assert_eq!(table.child(), c);
+        assert_eq!(table.parents(), &[p]);
+        let nor: Cpd = NoisyOrCpd::new(c, vec![p], vec![vec![0.0, 0.9]], 0.0)
+            .unwrap()
+            .into();
+        assert_eq!(nor.to_factor().scope().len(), 2);
+    }
+}

@@ -1,0 +1,1052 @@
+//! Dynamic Bayesian networks: two-slice temporal models, unrolling, and
+//! forward filtering.
+//!
+//! The paper's classifier (Figure 7(b)) is a 2-slice temporal Bayesian
+//! network: the current pose depends on the previous pose and the current
+//! jumping stage; the stage depends on the previous stage; the per-pose
+//! observation network hangs off the current pose. [`TwoSliceDbn`]
+//! captures that structure generically: *interface* variables persist
+//! across slices, *slice* variables (hidden parts, observed areas) live
+//! within one slice, and [`ForwardFilter`] maintains the filtered belief
+//! over the interface — the paper's "pose information of previous frame is
+//! input into the DBN".
+
+use crate::cpd::{Cpd, NoisyOrCpd, TableCpd};
+use crate::error::BayesError;
+use crate::factor::Factor;
+use crate::inference::Evidence;
+use crate::network::{BayesNetBuilder, DiscreteBayesNet};
+use crate::variable::{Variable, VariablePool};
+use std::collections::{HashMap, HashSet};
+
+/// Builder for [`TwoSliceDbn`].
+///
+/// Declare interface variables (persistent across time) and slice
+/// variables (per-frame), then attach *prior* CPDs (slice 0) and
+/// *transition* CPDs (slice t, may reference previous-slice interface
+/// variables as parents).
+#[derive(Debug, Default)]
+pub struct TwoSliceDbnBuilder {
+    pool: VariablePool,
+    interface: Vec<InterfacePair>,
+    slice_vars: Vec<Variable>,
+    prior: Vec<Cpd>,
+    transition: Vec<Cpd>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InterfacePair {
+    cur: Variable,
+    prev: Variable,
+}
+
+impl TwoSliceDbnBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TwoSliceDbnBuilder::default()
+    }
+
+    /// Declares a persistent variable; returns `(current, previous)`
+    /// handles. Use `previous` only as a parent in transition CPDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinality` is zero.
+    pub fn interface_variable(
+        &mut self,
+        name: impl Into<String>,
+        cardinality: usize,
+    ) -> (Variable, Variable) {
+        let name = name.into();
+        let cur = self.pool.variable(name.clone(), cardinality);
+        let prev = self.pool.variable(format!("{name}[t-1]"), cardinality);
+        self.interface.push(InterfacePair { cur, prev });
+        (cur, prev)
+    }
+
+    /// Declares a per-slice variable (hidden or observed within a frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinality` is zero.
+    pub fn slice_variable(&mut self, name: impl Into<String>, cardinality: usize) -> Variable {
+        let v = self.pool.variable(name, cardinality);
+        self.slice_vars.push(v);
+        v
+    }
+
+    /// Attaches a CPD used in slice 0 only.
+    pub fn prior_cpd(&mut self, cpd: impl Into<Cpd>) -> &mut Self {
+        self.prior.push(cpd.into());
+        self
+    }
+
+    /// Attaches a CPD used in slices t ≥ 1 (parents may include
+    /// previous-slice interface variables).
+    pub fn transition_cpd(&mut self, cpd: impl Into<Cpd>) -> &mut Self {
+        self.transition.push(cpd.into());
+        self
+    }
+
+    /// Attaches a CPD used identically in every slice (no previous-slice
+    /// parents), e.g. observation models.
+    pub fn shared_cpd(&mut self, cpd: impl Into<Cpd>) -> &mut Self {
+        let cpd = cpd.into();
+        self.prior.push(cpd.clone());
+        self.transition.push(cpd);
+        self
+    }
+
+    /// Validates and finalises the DBN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidTemporalStructure`] when a current
+    /// variable lacks a prior or transition CPD, a previous-slice handle
+    /// is used as a child, or a prior CPD references previous-slice
+    /// variables; structural errors from the underlying networks
+    /// propagate as-is.
+    pub fn build(self) -> Result<TwoSliceDbn, BayesError> {
+        let prev_ids: HashSet<usize> = self.interface.iter().map(|p| p.prev.id()).collect();
+        let cur_ids: HashSet<usize> = self
+            .interface
+            .iter()
+            .map(|p| p.cur.id())
+            .chain(self.slice_vars.iter().map(|v| v.id()))
+            .collect();
+        // Every current variable needs both CPDs; previous handles need
+        // none and may not be children.
+        for (cpds, label) in [(&self.prior, "prior"), (&self.transition, "transition")] {
+            let mut seen: HashSet<usize> = HashSet::new();
+            for cpd in cpds {
+                let child = cpd.child();
+                if prev_ids.contains(&child.id()) {
+                    return Err(BayesError::InvalidTemporalStructure(format!(
+                        "previous-slice variable {} used as a {label} child",
+                        child.id()
+                    )));
+                }
+                if !cur_ids.contains(&child.id()) {
+                    return Err(BayesError::UnknownVariable(child.id()));
+                }
+                if !seen.insert(child.id()) {
+                    return Err(BayesError::DuplicateCpd(child.id()));
+                }
+                for p in cpd.parents() {
+                    let known = cur_ids.contains(&p.id()) || prev_ids.contains(&p.id());
+                    if !known {
+                        return Err(BayesError::UnknownVariable(p.id()));
+                    }
+                    if label == "prior" && prev_ids.contains(&p.id()) {
+                        return Err(BayesError::InvalidTemporalStructure(format!(
+                            "prior CPD for variable {} references previous slice",
+                            child.id()
+                        )));
+                    }
+                }
+            }
+            for &id in &cur_ids {
+                if !cpds.iter().any(|c| c.child().id() == id) {
+                    return Err(BayesError::InvalidTemporalStructure(format!(
+                        "variable {id} lacks a {label} CPD"
+                    )));
+                }
+            }
+        }
+        Ok(TwoSliceDbn {
+            pool: self.pool,
+            interface: self.interface,
+            slice_vars: self.slice_vars,
+            prior: self.prior,
+            transition: self.transition,
+        })
+    }
+}
+
+/// A validated two-slice temporal Bayesian network.
+#[derive(Debug, Clone)]
+pub struct TwoSliceDbn {
+    pool: VariablePool,
+    interface: Vec<InterfacePair>,
+    slice_vars: Vec<Variable>,
+    prior: Vec<Cpd>,
+    transition: Vec<Cpd>,
+}
+
+impl TwoSliceDbn {
+    /// Current-slice interface variables (the persistent state).
+    pub fn interface_vars(&self) -> Vec<Variable> {
+        self.interface.iter().map(|p| p.cur).collect()
+    }
+
+    /// Previous-slice handle for a current interface variable.
+    pub fn previous_of(&self, cur: Variable) -> Option<Variable> {
+        self.interface
+            .iter()
+            .find(|p| p.cur.id() == cur.id())
+            .map(|p| p.prev)
+    }
+
+    /// Per-slice (non-persistent) variables.
+    pub fn slice_vars(&self) -> &[Variable] {
+        &self.slice_vars
+    }
+
+    /// A variable's name.
+    pub fn name(&self, var: Variable) -> Option<&str> {
+        self.pool.name(var)
+    }
+
+    /// Unrolls the DBN into a static network over `steps` slices
+    /// (`steps ≥ 1`). Returns the network plus, per step, the mapping
+    /// from template variables to that step's instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidTemporalStructure`] for `steps == 0`;
+    /// construction errors propagate from the static builder.
+    pub fn unroll(
+        &self,
+        steps: usize,
+    ) -> Result<(DiscreteBayesNet, Vec<HashMap<usize, Variable>>), BayesError> {
+        if steps == 0 {
+            return Err(BayesError::InvalidTemporalStructure(
+                "cannot unroll zero steps".into(),
+            ));
+        }
+        let mut b = BayesNetBuilder::new();
+        let mut step_maps: Vec<HashMap<usize, Variable>> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let mut map: HashMap<usize, Variable> = HashMap::new();
+            for pair in &self.interface {
+                let name = format!("{}@{t}", self.pool.name(pair.cur).unwrap_or("iface"));
+                map.insert(pair.cur.id(), b.variable(name, pair.cur.cardinality()));
+            }
+            for v in &self.slice_vars {
+                let name = format!("{}@{t}", self.pool.name(*v).unwrap_or("slice"));
+                map.insert(v.id(), b.variable(name, v.cardinality()));
+            }
+            // Previous-slice handles map to the previous step's instances.
+            if t > 0 {
+                for pair in &self.interface {
+                    let prev_instance = step_maps[t - 1][&pair.cur.id()];
+                    map.insert(pair.prev.id(), prev_instance);
+                }
+            }
+            let cpds = if t == 0 { &self.prior } else { &self.transition };
+            for cpd in cpds {
+                b.attach(remap_cpd(cpd, &map))?;
+            }
+            step_maps.push(map);
+        }
+        Ok((b.build()?, step_maps))
+    }
+}
+
+/// Rewrites a CPD onto new variable handles with identical cardinalities.
+fn remap_cpd(cpd: &Cpd, map: &HashMap<usize, Variable>) -> Cpd {
+    let remap = |v: Variable| -> Variable {
+        map.get(&v.id()).copied().unwrap_or(v)
+    };
+    match cpd {
+        Cpd::Table(t) => {
+            let child = remap(t.child());
+            let parents: Vec<Variable> = t.parents().iter().map(|&p| remap(p)).collect();
+            Cpd::Table(
+                TableCpd::new(child, parents, t.table().to_vec())
+                    .expect("remapped CPD preserves shape"),
+            )
+        }
+        Cpd::NoisyOr(n) => {
+            let child = remap(n.child());
+            let parents: Vec<Variable> = n.parents().iter().map(|&p| remap(p)).collect();
+            Cpd::NoisyOr(
+                NoisyOrCpd::new(child, parents, n.activation().to_vec(), n.leak())
+                    .expect("remapped CPD preserves shape"),
+            )
+        }
+    }
+}
+
+/// Recursive (filtering) state estimation over a [`TwoSliceDbn`].
+///
+/// Maintains `P(interface_t | evidence_{0..t})`. Each [`ForwardFilter::step`]
+/// absorbs one frame of evidence; [`ForwardFilter::step_with_likelihood`]
+/// additionally multiplies an externally computed likelihood factor over
+/// current-slice variables (the pose classifier injects the closed-form
+/// noisy-OR area likelihood this way).
+#[derive(Debug, Clone)]
+pub struct ForwardFilter<'a> {
+    dbn: &'a TwoSliceDbn,
+    belief: Option<Factor>,
+    steps: usize,
+}
+
+impl<'a> ForwardFilter<'a> {
+    /// Creates a filter before any evidence (belief undefined until the
+    /// first step).
+    pub fn new(dbn: &'a TwoSliceDbn) -> Self {
+        ForwardFilter {
+            dbn,
+            belief: None,
+            steps: 0,
+        }
+    }
+
+    /// Number of steps absorbed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The current belief over the interface variables, if at least one
+    /// step has run.
+    pub fn belief(&self) -> Option<&Factor> {
+        self.belief.as_ref()
+    }
+
+    /// Replaces the belief (e.g. the paper's carry-forward rule after an
+    /// unknown pose). The factor must cover exactly the interface scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::VariableNotInScope`] when the scope does not
+    /// match the interface and propagates normalisation errors.
+    pub fn set_belief(&mut self, belief: Factor) -> Result<(), BayesError> {
+        let iface: HashSet<usize> = self.dbn.interface_vars().iter().map(|v| v.id()).collect();
+        let scope: HashSet<usize> = belief.scope().iter().map(|v| v.id()).collect();
+        if iface != scope {
+            let missing = iface.symmetric_difference(&scope).next().copied().unwrap_or(0);
+            return Err(BayesError::VariableNotInScope(missing));
+        }
+        self.belief = Some(belief.normalized()?);
+        if self.steps == 0 {
+            // A seeded belief counts as the slice-0 state, so the next
+            // step uses transition CPDs.
+            self.steps = 1;
+        }
+        Ok(())
+    }
+
+    /// Absorbs one slice of evidence and returns the updated belief.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::ZeroProbabilityEvidence`] for impossible
+    /// evidence (the belief is left unchanged) and propagates factor
+    /// errors on malformed evidence.
+    pub fn step(&mut self, evidence: &Evidence) -> Result<Factor, BayesError> {
+        self.step_with_likelihood(evidence, None)
+    }
+
+    /// Absorbs one slice of evidence plus an optional external likelihood
+    /// factor over current-slice variables.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ForwardFilter::step`].
+    pub fn step_with_likelihood(
+        &mut self,
+        evidence: &Evidence,
+        likelihood: Option<&Factor>,
+    ) -> Result<Factor, BayesError> {
+        let first = self.steps == 0;
+        let template = if first {
+            &self.dbn.prior
+        } else {
+            &self.dbn.transition
+        };
+        let mut factors: Vec<Factor> = template.iter().map(|c| c.to_factor()).collect();
+        if !first {
+            // Attach the previous belief on the prev-slice handles.
+            let mut prior = self
+                .belief
+                .clone()
+                .expect("steps > 0 implies belief is set");
+            for pair in &self.dbn.interface {
+                prior = prior.rename(pair.cur, pair.prev)?;
+            }
+            factors.push(prior);
+        }
+        if let Some(lik) = likelihood {
+            factors.push(lik.clone());
+        }
+        let keep: HashSet<usize> = self.dbn.interface_vars().iter().map(|v| v.id()).collect();
+        let result = crate::inference::elimination_internal::eliminate_all(
+            factors, evidence, &keep,
+        )?;
+        let belief = result.normalized()?;
+        self.belief = Some(belief.clone());
+        self.steps += 1;
+        Ok(belief)
+    }
+
+    /// Filtered marginal of one interface variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::VariableNotInScope`] before the first step
+    /// or for non-interface variables.
+    pub fn marginal(&self, var: Variable) -> Result<Vec<f64>, BayesError> {
+        self.belief
+            .as_ref()
+            .ok_or(BayesError::VariableNotInScope(var.id()))?
+            .marginal(var)
+    }
+}
+
+/// One time step's inputs for [`ViterbiDecoder`]: observed slice
+/// variables plus an optional externally computed likelihood factor over
+/// current-slice variables (same contract as
+/// [`ForwardFilter::step_with_likelihood`]).
+#[derive(Debug, Clone, Default)]
+pub struct StepInput {
+    /// Observed `(variable, state)` pairs for the slice.
+    pub evidence: Vec<(Variable, usize)>,
+    /// Optional external likelihood factor over current-slice variables.
+    pub likelihood: Option<Factor>,
+}
+
+impl StepInput {
+    /// A step with no evidence at all.
+    pub fn empty() -> Self {
+        StepInput::default()
+    }
+
+    /// A step carrying only an external likelihood factor.
+    pub fn likelihood(factor: Factor) -> Self {
+        StepInput {
+            evidence: Vec::new(),
+            likelihood: Some(factor),
+        }
+    }
+}
+
+/// Offline smoothing over a [`TwoSliceDbn`]: posterior marginals of the
+/// interface variables at every step given the *whole* evidence
+/// sequence, by the forward–backward algorithm over the joint interface
+/// state space.
+///
+/// Complements [`ForwardFilter`] (online, causal) and [`ViterbiDecoder`]
+/// (offline, jointly most probable sequence): smoothing gives per-step
+/// posteriors with hindsight.
+#[derive(Debug, Clone)]
+pub struct SmoothingPass<'a> {
+    dbn: &'a TwoSliceDbn,
+}
+
+impl<'a> SmoothingPass<'a> {
+    /// Creates a smoother over `dbn`.
+    pub fn new(dbn: &'a TwoSliceDbn) -> Self {
+        SmoothingPass { dbn }
+    }
+
+    /// Computes `P(interface_t | evidence_{0..T})` for every `t`,
+    /// returned as normalised factors over the interface scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidTemporalStructure`] for an empty
+    /// input and [`BayesError::ZeroProbabilityEvidence`] for impossible
+    /// evidence; factor errors propagate.
+    pub fn smooth(&self, steps: &[StepInput]) -> Result<Vec<Factor>, BayesError> {
+        if steps.is_empty() {
+            return Err(BayesError::InvalidTemporalStructure(
+                "cannot smooth an empty sequence".into(),
+            ));
+        }
+        let iface: Vec<Variable> = self.dbn.interface_vars();
+        let keep_cur: HashSet<usize> = iface.iter().map(|v| v.id()).collect();
+        let prev_vars: Vec<Variable> = iface
+            .iter()
+            .map(|&v| self.dbn.previous_of(v).expect("interface var has prev"))
+            .collect();
+        let mut keep_both = keep_cur.clone();
+        keep_both.extend(prev_vars.iter().map(|v| v.id()));
+        let decoder = ViterbiDecoder::new(self.dbn);
+
+        // Forward messages α_t over the interface (unnormalised but
+        // rescaled per step for stability).
+        let mut alphas: Vec<Factor> = Vec::with_capacity(steps.len());
+        let alpha0 = decoder
+            .slice_potential(&self.dbn.prior, &steps[0], &keep_cur, None)?
+            .normalized()?;
+        alphas.push(alpha0);
+        // Transition kernels per step (cached for the backward pass).
+        let mut kernels: Vec<Factor> = Vec::with_capacity(steps.len().saturating_sub(1));
+        for step in &steps[1..] {
+            let kernel = decoder.slice_potential(&self.dbn.transition, step, &keep_both, None)?;
+            let mut prior = alphas.last().expect("non-empty").clone();
+            for (cur, prev) in iface.iter().zip(&prev_vars) {
+                prior = prior.rename(*cur, *prev)?;
+            }
+            let mut joint = kernel.product(&prior)?;
+            for prev in &prev_vars {
+                joint = joint.sum_out(*prev)?;
+            }
+            alphas.push(joint.normalized()?);
+            kernels.push(kernel);
+        }
+
+        // Backward messages β_t over the interface.
+        let mut betas: Vec<Factor> = vec![Factor::unit(); steps.len()];
+        // β_T = 1 over the interface scope.
+        let unit_iface = {
+            let size: usize = iface.iter().map(|v| v.cardinality()).product();
+            Factor::new(iface.clone(), vec![1.0; size])?
+        };
+        betas[steps.len() - 1] = unit_iface;
+        for t in (0..steps.len() - 1).rev() {
+            // β_t(x') = Σ_x K_{t+1}(x', x) β_{t+1}(x), rescaled.
+            let mut joint = kernels[t].product(&betas[t + 1])?;
+            for cur in &iface {
+                joint = joint.sum_out(*cur)?;
+            }
+            // joint is over prev vars; rename back to cur handles.
+            for (cur, prev) in iface.iter().zip(&prev_vars) {
+                joint = joint.rename(*prev, *cur)?;
+            }
+            betas[t] = joint.normalized()?;
+        }
+
+        // γ_t ∝ α_t · β_t.
+        alphas
+            .into_iter()
+            .zip(betas)
+            .map(|(a, b)| a.product(&b)?.normalized())
+            .collect()
+    }
+}
+
+/// Offline most-likely-sequence decoding over a [`TwoSliceDbn`]: finds
+/// `argmax P(interface_0..T | evidence_0..T)` with per-slice nuisance
+/// variables marginalised out — the batch counterpart of
+/// [`ForwardFilter`] (which is constrained to online, per-frame
+/// decisions like the paper's classifier).
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder<'a> {
+    dbn: &'a TwoSliceDbn,
+}
+
+impl<'a> ViterbiDecoder<'a> {
+    /// Creates a decoder over `dbn`.
+    pub fn new(dbn: &'a TwoSliceDbn) -> Self {
+        ViterbiDecoder { dbn }
+    }
+
+    /// Decodes the most probable interface-state sequence. Each returned
+    /// entry maps interface-variable ID → state for one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidTemporalStructure`] for an empty
+    /// input and [`BayesError::ZeroProbabilityEvidence`] when no
+    /// sequence has positive probability; factor errors propagate.
+    pub fn decode(&self, steps: &[StepInput]) -> Result<Vec<HashMap<usize, usize>>, BayesError> {
+        if steps.is_empty() {
+            return Err(BayesError::InvalidTemporalStructure(
+                "cannot decode an empty sequence".into(),
+            ));
+        }
+        let iface: Vec<Variable> = self.dbn.interface_vars();
+        let keep_cur: HashSet<usize> = iface.iter().map(|v| v.id()).collect();
+        let joint_states: usize = iface.iter().map(|v| v.cardinality()).product();
+
+        // δ-table in log space to dodge underflow over long clips;
+        // backpointers per step.
+        let mut delta = vec![f64::NEG_INFINITY; joint_states];
+        let mut backpointers: Vec<Vec<usize>> = Vec::with_capacity(steps.len());
+
+        // Step 0: prior network reduced by evidence, nuisance summed out.
+        let alpha0 = self.slice_potential(&self.dbn.prior, &steps[0], &keep_cur, None)?;
+        for (x, slot) in delta.iter_mut().enumerate() {
+            let asn = crate::assignment::index_to_assignment(&iface, x);
+            let pairs: Vec<(Variable, usize)> =
+                iface.iter().copied().zip(asn.iter().copied()).collect();
+            let v = alpha0.value_at(&pairs)?;
+            *slot = v.ln();
+        }
+        backpointers.push(vec![usize::MAX; joint_states]);
+
+        // Steps 1..T: transition kernel over prev ∪ cur interface.
+        let prev_vars: Vec<Variable> = iface
+            .iter()
+            .map(|&v| self.dbn.previous_of(v).expect("interface var has prev"))
+            .collect();
+        let mut keep_both = keep_cur.clone();
+        keep_both.extend(prev_vars.iter().map(|v| v.id()));
+        for step in &steps[1..] {
+            let kernel =
+                self.slice_potential(&self.dbn.transition, step, &keep_both, None)?;
+            let mut next = vec![f64::NEG_INFINITY; joint_states];
+            let mut back = vec![usize::MAX; joint_states];
+            for x in 0..joint_states {
+                let cur_asn = crate::assignment::index_to_assignment(&iface, x);
+                for (xp, &prev_score) in delta.iter().enumerate() {
+                    if prev_score == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let prev_asn = crate::assignment::index_to_assignment(&iface, xp);
+                    let mut pairs: Vec<(Variable, usize)> = iface
+                        .iter()
+                        .copied()
+                        .zip(cur_asn.iter().copied())
+                        .collect();
+                    pairs.extend(
+                        prev_vars
+                            .iter()
+                            .copied()
+                            .zip(prev_asn.iter().copied()),
+                    );
+                    let w = kernel.value_at(&pairs)?;
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let score = prev_score + w.ln();
+                    if score > next[x] {
+                        next[x] = score;
+                        back[x] = xp;
+                    }
+                }
+            }
+            delta = next;
+            backpointers.push(back);
+        }
+
+        // Backtrack from the best terminal state.
+        let (mut best, best_score) = delta
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            });
+        if best_score == f64::NEG_INFINITY {
+            return Err(BayesError::ZeroProbabilityEvidence);
+        }
+        let mut path = vec![0usize; steps.len()];
+        for t in (0..steps.len()).rev() {
+            path[t] = best;
+            if t > 0 {
+                best = backpointers[t][best];
+            }
+        }
+        Ok(path
+            .into_iter()
+            .map(|x| {
+                let asn = crate::assignment::index_to_assignment(&iface, x);
+                iface
+                    .iter()
+                    .zip(asn)
+                    .map(|(v, s)| (v.id(), s))
+                    .collect::<HashMap<usize, usize>>()
+            })
+            .collect())
+    }
+
+    /// Product of a slice's CPD factors with evidence absorbed and every
+    /// variable outside `keep` summed out.
+    fn slice_potential(
+        &self,
+        template: &[Cpd],
+        step: &StepInput,
+        keep: &HashSet<usize>,
+        extra: Option<&Factor>,
+    ) -> Result<Factor, BayesError> {
+        let mut factors: Vec<Factor> = template.iter().map(|c| c.to_factor()).collect();
+        if let Some(lik) = &step.likelihood {
+            factors.push(lik.clone());
+        }
+        if let Some(f) = extra {
+            factors.push(f.clone());
+        }
+        crate::inference::elimination_internal::eliminate_all(factors, &step.evidence, keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::VariableElimination;
+
+    /// The Russell–Norvig umbrella world, with slice 0 being day 1.
+    fn umbrella_dbn() -> (TwoSliceDbn, Variable, Variable, Variable) {
+        let mut b = TwoSliceDbnBuilder::new();
+        let (rain, rain_prev) = b.interface_variable("rain", 2);
+        let umbrella = b.slice_variable("umbrella", 2);
+        // Day-1 prior: P(rain) = Σ_r0 P(rain|r0) P(r0) = 0.5.
+        b.prior_cpd(TableCpd::new(rain, vec![], vec![0.5, 0.5]).unwrap());
+        b.transition_cpd(
+            TableCpd::new(rain, vec![rain_prev], vec![0.7, 0.3, 0.3, 0.7]).unwrap(),
+        );
+        b.shared_cpd(
+            TableCpd::new(umbrella, vec![rain], vec![0.8, 0.2, 0.1, 0.9]).unwrap(),
+        );
+        let dbn = b.build().unwrap();
+        (dbn, rain, rain_prev, umbrella)
+    }
+
+    #[test]
+    fn umbrella_filtering_matches_textbook() {
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        let mut filter = ForwardFilter::new(&dbn);
+        filter.step(&[(umbrella, 1)]).unwrap();
+        let p1 = filter.marginal(rain).unwrap();
+        assert!((p1[1] - 0.818).abs() < 1e-3, "day 1: {p1:?}");
+        filter.step(&[(umbrella, 1)]).unwrap();
+        let p2 = filter.marginal(rain).unwrap();
+        assert!((p2[1] - 0.883).abs() < 1e-3, "day 2: {p2:?}");
+    }
+
+    #[test]
+    fn filter_matches_unrolled_network() {
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        let observations = [1usize, 1, 0, 1, 0];
+        // Filtered via the forward filter.
+        let mut filter = ForwardFilter::new(&dbn);
+        let mut filtered = Vec::new();
+        for &o in &observations {
+            filter.step(&[(umbrella, o)]).unwrap();
+            filtered.push(filter.marginal(rain).unwrap());
+        }
+        // Filtered via VE on the unrolled network.
+        let (net, maps) = dbn.unroll(observations.len()).unwrap();
+        let ve = VariableElimination::new(&net);
+        for t in 0..observations.len() {
+            let evidence: Vec<(Variable, usize)> = (0..=t)
+                .map(|s| (maps[s][&umbrella.id()], observations[s]))
+                .collect();
+            let exact = ve.posterior(maps[t][&rain.id()], &evidence).unwrap();
+            assert!(
+                (exact[1] - filtered[t][1]).abs() < 1e-9,
+                "t={t}: unrolled {exact:?} vs filtered {:?}",
+                filtered[t]
+            );
+        }
+    }
+
+    #[test]
+    fn no_evidence_steps_follow_the_markov_chain() {
+        let (dbn, rain, ..) = umbrella_dbn();
+        let mut filter = ForwardFilter::new(&dbn);
+        filter.step(&[]).unwrap();
+        let p = filter.marginal(rain).unwrap();
+        assert!((p[1] - 0.5).abs() < 1e-12);
+        // With a symmetric chain and uniform belief it stays uniform.
+        filter.step(&[]).unwrap();
+        let p2 = filter.marginal(rain).unwrap();
+        assert!((p2[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_belief_overrides_state() {
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        let mut filter = ForwardFilter::new(&dbn);
+        filter
+            .set_belief(Factor::indicator(rain, 1).unwrap())
+            .unwrap();
+        // Next step must use the transition from certain rain.
+        filter.step(&[]).unwrap();
+        let p = filter.marginal(rain).unwrap();
+        assert!((p[1] - 0.7).abs() < 1e-12, "{p:?}");
+        // Scope mismatch is rejected.
+        let mut f2 = ForwardFilter::new(&dbn);
+        assert!(f2.set_belief(Factor::indicator(umbrella, 1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn step_with_likelihood_equals_evidence() {
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        // Observing umbrella=1 must equal injecting the likelihood column
+        // P(umbrella=1 | rain) as an external factor.
+        let mut f_ev = ForwardFilter::new(&dbn);
+        f_ev.step(&[(umbrella, 1)]).unwrap();
+        let mut f_lik = ForwardFilter::new(&dbn);
+        let lik = Factor::new(vec![rain], vec![0.2, 0.9]).unwrap();
+        f_lik.step_with_likelihood(&[], Some(&lik)).unwrap();
+        let a = f_ev.marginal(rain).unwrap();
+        let b = f_lik.marginal(rain).unwrap();
+        // Note: the umbrella variable also gets marginalised in the
+        // likelihood variant, contributing a constant 1 per state.
+        assert!((a[1] - b[1]).abs() < 1e-12, "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn impossible_evidence_leaves_belief_unchanged() {
+        let mut b = TwoSliceDbnBuilder::new();
+        let (x, x_prev) = b.interface_variable("x", 2);
+        let y = b.slice_variable("y", 2);
+        b.prior_cpd(TableCpd::new(x, vec![], vec![1.0, 0.0]).unwrap());
+        b.transition_cpd(TableCpd::new(x, vec![x_prev], vec![1.0, 0.0, 0.0, 1.0]).unwrap());
+        b.shared_cpd(TableCpd::new(y, vec![x], vec![1.0, 0.0, 0.0, 1.0]).unwrap());
+        let dbn = b.build().unwrap();
+        let mut filter = ForwardFilter::new(&dbn);
+        filter.step(&[(y, 0)]).unwrap();
+        let before = filter.belief().unwrap().clone();
+        // y=1 is impossible when x is locked to 0.
+        assert!(matches!(
+            filter.step(&[(y, 1)]),
+            Err(BayesError::ZeroProbabilityEvidence)
+        ));
+        assert_eq!(filter.belief().unwrap(), &before);
+        assert_eq!(filter.steps(), 1);
+    }
+
+    #[test]
+    fn builder_validates_structure() {
+        // Missing transition CPD.
+        let mut b = TwoSliceDbnBuilder::new();
+        let (x, _) = b.interface_variable("x", 2);
+        b.prior_cpd(TableCpd::new(x, vec![], vec![0.5, 0.5]).unwrap());
+        assert!(matches!(
+            b.build(),
+            Err(BayesError::InvalidTemporalStructure(_))
+        ));
+
+        // Previous handle as a child.
+        let mut b = TwoSliceDbnBuilder::new();
+        let (x, x_prev) = b.interface_variable("x", 2);
+        b.prior_cpd(TableCpd::new(x, vec![], vec![0.5, 0.5]).unwrap());
+        b.transition_cpd(TableCpd::new(x_prev, vec![], vec![0.5, 0.5]).unwrap());
+        assert!(b.build().is_err());
+
+        // Prior referencing the previous slice.
+        let mut b = TwoSliceDbnBuilder::new();
+        let (x, x_prev) = b.interface_variable("x", 2);
+        b.prior_cpd(TableCpd::new(x, vec![x_prev], vec![0.5, 0.5, 0.5, 0.5]).unwrap());
+        b.transition_cpd(TableCpd::new(x, vec![x_prev], vec![0.5, 0.5, 0.5, 0.5]).unwrap());
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn unroll_zero_steps_rejected() {
+        let (dbn, ..) = umbrella_dbn();
+        assert!(dbn.unroll(0).is_err());
+    }
+
+    #[test]
+    fn unroll_names_and_shapes() {
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        let (net, maps) = dbn.unroll(3).unwrap();
+        assert_eq!(net.len(), 6);
+        assert_eq!(maps.len(), 3);
+        let r2 = maps[2][&rain.id()];
+        assert_eq!(net.name(r2), Some("rain@2"));
+        assert_eq!(r2.cardinality(), 2);
+        let u0 = maps[0][&umbrella.id()];
+        assert_eq!(net.name(u0), Some("umbrella@0"));
+    }
+
+    /// Brute-force most-likely sequence: unroll, absorb evidence, sum
+    /// out the slice variables, argmax over the joint interface states.
+    fn brute_force_viterbi(
+        dbn: &TwoSliceDbn,
+        observations: &[usize],
+        obs_var: Variable,
+        rain: Variable,
+    ) -> Vec<usize> {
+        let (net, maps) = dbn.unroll(observations.len()).unwrap();
+        let mut joint = net.joint().unwrap();
+        for (t, &o) in observations.iter().enumerate() {
+            joint = joint.reduce(maps[t][&obs_var.id()], o).unwrap();
+        }
+        let (asn, _) = joint.argmax();
+        // Scope order equals construction order; find each step's rain.
+        let scope = joint.scope().to_vec();
+        observations
+            .iter()
+            .enumerate()
+            .map(|(t, _)| {
+                let v = maps[t][&rain.id()];
+                let pos = scope.iter().position(|u| u.id() == v.id()).unwrap();
+                asn[pos]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn smoothing_matches_unrolled_network() {
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        let observations = [1usize, 1, 0, 1];
+        let steps: Vec<StepInput> = observations
+            .iter()
+            .map(|&o| StepInput {
+                evidence: vec![(umbrella, o)],
+                likelihood: None,
+            })
+            .collect();
+        let smoothed = SmoothingPass::new(&dbn).smooth(&steps).unwrap();
+        // Oracle: VE on the unrolled network with all evidence.
+        let (net, maps) = dbn.unroll(observations.len()).unwrap();
+        let evidence: Vec<(Variable, usize)> = observations
+            .iter()
+            .enumerate()
+            .map(|(t, &o)| (maps[t][&umbrella.id()], o))
+            .collect();
+        let ve = VariableElimination::new(&net);
+        for (t, gamma) in smoothed.iter().enumerate() {
+            let exact = ve.posterior(maps[t][&rain.id()], &evidence).unwrap();
+            let mine = gamma.marginal(rain).unwrap();
+            for (x, y) in mine.iter().zip(&exact) {
+                assert!(
+                    (x - y).abs() < 1e-9,
+                    "t={t}: smoothed {mine:?} vs exact {exact:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smoothing_matches_textbook_umbrella_value() {
+        // Russell & Norvig: P(rain_1 | u_1, u_2) = 0.883 when smoothing
+        // over two umbrella days.
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        let steps = vec![
+            StepInput {
+                evidence: vec![(umbrella, 1)],
+                likelihood: None,
+            },
+            StepInput {
+                evidence: vec![(umbrella, 1)],
+                likelihood: None,
+            },
+        ];
+        let smoothed = SmoothingPass::new(&dbn).smooth(&steps).unwrap();
+        let p1 = smoothed[0].marginal(rain).unwrap();
+        assert!((p1[1] - 0.883).abs() < 1e-3, "day 1 smoothed: {p1:?}");
+    }
+
+    #[test]
+    fn smoothing_last_step_equals_filtering() {
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        let observations = [1usize, 0, 1, 1, 0];
+        let steps: Vec<StepInput> = observations
+            .iter()
+            .map(|&o| StepInput {
+                evidence: vec![(umbrella, o)],
+                likelihood: None,
+            })
+            .collect();
+        let smoothed = SmoothingPass::new(&dbn).smooth(&steps).unwrap();
+        let mut filter = ForwardFilter::new(&dbn);
+        for &o in &observations {
+            filter.step(&[(umbrella, o)]).unwrap();
+        }
+        let filtered = filter.marginal(rain).unwrap();
+        let last = smoothed.last().unwrap().marginal(rain).unwrap();
+        for (x, y) in last.iter().zip(&filtered) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn smoothing_rejects_empty() {
+        let (dbn, ..) = umbrella_dbn();
+        assert!(SmoothingPass::new(&dbn).smooth(&[]).is_err());
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force_on_umbrella() {
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        for observations in [
+            vec![1usize, 1, 0],
+            vec![0, 0, 1, 1],
+            vec![1, 0, 1, 0, 1],
+            vec![0, 0, 0],
+        ] {
+            let steps: Vec<StepInput> = observations
+                .iter()
+                .map(|&o| StepInput {
+                    evidence: vec![(umbrella, o)],
+                    likelihood: None,
+                })
+                .collect();
+            let decoded = ViterbiDecoder::new(&dbn).decode(&steps).unwrap();
+            let mine: Vec<usize> = decoded.iter().map(|m| m[&rain.id()]).collect();
+            let brute = brute_force_viterbi(&dbn, &observations, umbrella, rain);
+            assert_eq!(mine, brute, "observations {observations:?}");
+        }
+    }
+
+    #[test]
+    fn viterbi_with_likelihood_equals_evidence() {
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        let obs = [1usize, 0, 1];
+        let ev_steps: Vec<StepInput> = obs
+            .iter()
+            .map(|&o| StepInput {
+                evidence: vec![(umbrella, o)],
+                likelihood: None,
+            })
+            .collect();
+        let lik_steps: Vec<StepInput> = obs
+            .iter()
+            .map(|&o| {
+                // P(umbrella = o | rain) as an external factor.
+                let col = if o == 1 { [0.2, 0.9] } else { [0.8, 0.1] };
+                StepInput::likelihood(Factor::new(vec![rain], col.to_vec()).unwrap())
+            })
+            .collect();
+        let a = ViterbiDecoder::new(&dbn).decode(&ev_steps).unwrap();
+        let b = ViterbiDecoder::new(&dbn).decode(&lik_steps).unwrap();
+        let pa: Vec<usize> = a.iter().map(|m| m[&rain.id()]).collect();
+        let pb: Vec<usize> = b.iter().map(|m| m[&rain.id()]).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn viterbi_rejects_empty_and_impossible() {
+        let (dbn, _, _, umbrella) = umbrella_dbn();
+        assert!(matches!(
+            ViterbiDecoder::new(&dbn).decode(&[]),
+            Err(BayesError::InvalidTemporalStructure(_))
+        ));
+        // Deterministic world where the evidence is impossible.
+        let mut b = TwoSliceDbnBuilder::new();
+        let (x, x_prev) = b.interface_variable("x", 2);
+        let y = b.slice_variable("y", 2);
+        b.prior_cpd(TableCpd::new(x, vec![], vec![1.0, 0.0]).unwrap());
+        b.transition_cpd(TableCpd::new(x, vec![x_prev], vec![1.0, 0.0, 0.0, 1.0]).unwrap());
+        b.shared_cpd(TableCpd::new(y, vec![x], vec![1.0, 0.0, 0.0, 1.0]).unwrap());
+        let det = b.build().unwrap();
+        let steps = vec![StepInput {
+            evidence: vec![(y, 1)],
+            likelihood: None,
+        }];
+        assert!(matches!(
+            ViterbiDecoder::new(&det).decode(&steps),
+            Err(BayesError::ZeroProbabilityEvidence)
+        ));
+        let _ = umbrella; // silence unused in some cfgs
+    }
+
+    #[test]
+    fn viterbi_long_sequence_is_stable() {
+        // 60 steps of alternating evidence must not underflow (log
+        // space) and must produce a plausible alternating-ish path.
+        let (dbn, rain, _, umbrella) = umbrella_dbn();
+        let steps: Vec<StepInput> = (0..60)
+            .map(|t| StepInput {
+                evidence: vec![(umbrella, usize::from(t % 6 < 3))],
+                likelihood: None,
+            })
+            .collect();
+        let decoded = ViterbiDecoder::new(&dbn).decode(&steps).unwrap();
+        assert_eq!(decoded.len(), 60);
+        let rains: Vec<usize> = decoded.iter().map(|m| m[&rain.id()]).collect();
+        assert!(rains.iter().any(|&r| r == 1));
+        assert!(rains.iter().any(|&r| r == 0));
+    }
+
+    #[test]
+    fn accessors() {
+        let (dbn, rain, rain_prev, umbrella) = umbrella_dbn();
+        assert_eq!(dbn.interface_vars(), vec![rain]);
+        assert_eq!(dbn.previous_of(rain), Some(rain_prev));
+        assert_eq!(dbn.previous_of(umbrella), None);
+        assert_eq!(dbn.slice_vars(), &[umbrella]);
+        assert_eq!(dbn.name(rain), Some("rain"));
+    }
+}

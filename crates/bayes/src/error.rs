@@ -1,0 +1,129 @@
+//! Error type shared by the Bayesian-network crate.
+
+use std::fmt;
+
+/// Errors returned by network construction, factor algebra and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BayesError {
+    /// Two uses of the same variable ID disagree on cardinality.
+    CardinalityMismatch {
+        /// Offending variable ID.
+        variable: usize,
+        /// Cardinality seen first.
+        expected: usize,
+        /// Conflicting cardinality.
+        found: usize,
+    },
+    /// A CPD table has the wrong number of entries.
+    WrongTableSize {
+        /// Entries expected (`child_card × Π parent_card`).
+        expected: usize,
+        /// Entries supplied.
+        found: usize,
+    },
+    /// A CPD row does not sum to 1 (within tolerance).
+    UnnormalizedRow {
+        /// Index of the parent configuration.
+        row: usize,
+        /// The row's sum.
+        sum: f64,
+    },
+    /// A probability is negative or non-finite.
+    InvalidProbability(f64),
+    /// A variable was referenced but never declared, or has no CPD.
+    UnknownVariable(usize),
+    /// A variable received two CPDs.
+    DuplicateCpd(usize),
+    /// The parent structure contains a directed cycle.
+    CyclicStructure,
+    /// A state index is outside a variable's domain.
+    StateOutOfRange {
+        /// Offending variable ID.
+        variable: usize,
+        /// Offending state.
+        state: usize,
+        /// The variable's cardinality.
+        cardinality: usize,
+    },
+    /// An operation received a variable absent from the factor's scope.
+    VariableNotInScope(usize),
+    /// Evidence or structure left nothing to normalise (all-zero factor).
+    ZeroProbabilityEvidence,
+    /// A data set passed to learning is unusable (e.g. empty).
+    InvalidTrainingData(String),
+    /// DBN construction error.
+    InvalidTemporalStructure(String),
+}
+
+impl fmt::Display for BayesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesError::CardinalityMismatch {
+                variable,
+                expected,
+                found,
+            } => write!(
+                f,
+                "variable {variable} used with cardinality {found}, expected {expected}"
+            ),
+            BayesError::WrongTableSize { expected, found } => {
+                write!(f, "CPD table has {found} entries, expected {expected}")
+            }
+            BayesError::UnnormalizedRow { row, sum } => {
+                write!(f, "CPD row {row} sums to {sum}, expected 1")
+            }
+            BayesError::InvalidProbability(p) => write!(f, "invalid probability {p}"),
+            BayesError::UnknownVariable(v) => write!(f, "unknown variable {v}"),
+            BayesError::DuplicateCpd(v) => write!(f, "variable {v} already has a CPD"),
+            BayesError::CyclicStructure => write!(f, "network structure contains a cycle"),
+            BayesError::StateOutOfRange {
+                variable,
+                state,
+                cardinality,
+            } => write!(
+                f,
+                "state {state} out of range for variable {variable} with cardinality {cardinality}"
+            ),
+            BayesError::VariableNotInScope(v) => {
+                write!(f, "variable {v} is not in the factor's scope")
+            }
+            BayesError::ZeroProbabilityEvidence => {
+                write!(f, "evidence has zero probability under the model")
+            }
+            BayesError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            BayesError::InvalidTemporalStructure(msg) => {
+                write!(f, "invalid temporal structure: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BayesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            BayesError::UnknownVariable(3).to_string(),
+            "unknown variable 3"
+        );
+        assert_eq!(
+            BayesError::WrongTableSize {
+                expected: 8,
+                found: 6
+            }
+            .to_string(),
+            "CPD table has 6 entries, expected 8"
+        );
+        assert!(BayesError::CyclicStructure.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BayesError>();
+    }
+}

@@ -1,0 +1,611 @@
+//! Dense table factors over discrete variables.
+
+use crate::assignment::{assignment_to_index, index_to_assignment, AssignmentIter};
+use crate::error::BayesError;
+use crate::variable::Variable;
+use std::collections::HashMap;
+
+/// A non-negative function over the joint states of a variable scope,
+/// stored as a dense row-major table (last scope variable fastest).
+///
+/// Factors are the workhorse of exact inference: CPDs convert to factors,
+/// evidence reduces them, elimination multiplies and marginalises them.
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::factor::Factor;
+/// use slj_bayes::variable::Variable;
+///
+/// let a = Variable::new(0, 2);
+/// let b = Variable::new(1, 2);
+/// let f = Factor::new(vec![a, b], vec![0.1, 0.2, 0.3, 0.4])?;
+/// let marginal = f.sum_out(a)?;
+/// assert!((marginal.values()[0] - 0.4).abs() < 1e-12);
+/// assert!((marginal.values()[1] - 0.6).abs() < 1e-12);
+/// # Ok::<(), slj_bayes::BayesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    scope: Vec<Variable>,
+    values: Vec<f64>,
+}
+
+impl Factor {
+    /// Creates a factor from a scope and its row-major value table.
+    ///
+    /// # Errors
+    ///
+    /// - [`BayesError::WrongTableSize`] when `values.len()` differs from
+    ///   the product of cardinalities.
+    /// - [`BayesError::InvalidProbability`] on negative or non-finite
+    ///   entries.
+    /// - [`BayesError::CardinalityMismatch`] when the same variable ID
+    ///   appears twice in the scope.
+    pub fn new(scope: Vec<Variable>, values: Vec<f64>) -> Result<Self, BayesError> {
+        let expected: usize = scope.iter().map(|v| v.cardinality()).product();
+        if values.len() != expected {
+            return Err(BayesError::WrongTableSize {
+                expected,
+                found: values.len(),
+            });
+        }
+        let mut seen = HashMap::new();
+        for v in &scope {
+            if let Some(prev) = seen.insert(v.id(), v.cardinality()) {
+                return Err(BayesError::CardinalityMismatch {
+                    variable: v.id(),
+                    expected: prev,
+                    found: v.cardinality(),
+                });
+            }
+        }
+        for &x in &values {
+            if !x.is_finite() || x < 0.0 {
+                return Err(BayesError::InvalidProbability(x));
+            }
+        }
+        Ok(Factor { scope, values })
+    }
+
+    /// The constant factor 1 over the empty scope.
+    pub fn unit() -> Self {
+        Factor {
+            scope: Vec::new(),
+            values: vec![1.0],
+        }
+    }
+
+    /// A uniform distribution over one variable.
+    pub fn uniform(var: Variable) -> Self {
+        let c = var.cardinality();
+        Factor {
+            scope: vec![var],
+            values: vec![1.0 / c as f64; c],
+        }
+    }
+
+    /// A point-mass distribution on `state` of `var`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::StateOutOfRange`] for a bad state.
+    pub fn indicator(var: Variable, state: usize) -> Result<Self, BayesError> {
+        if !var.contains_state(state) {
+            return Err(BayesError::StateOutOfRange {
+                variable: var.id(),
+                state,
+                cardinality: var.cardinality(),
+            });
+        }
+        let mut values = vec![0.0; var.cardinality()];
+        values[state] = 1.0;
+        Ok(Factor {
+            scope: vec![var],
+            values,
+        })
+    }
+
+    /// The factor's scope, in table order.
+    pub fn scope(&self) -> &[Variable] {
+        &self.scope
+    }
+
+    /// The raw value table, row-major over [`Self::scope`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Whether `var` is in the scope.
+    pub fn contains(&self, var: Variable) -> bool {
+        self.scope.iter().any(|v| v.id() == var.id())
+    }
+
+    /// Value at a joint assignment given as `(variable, state)` pairs
+    /// covering at least the scope. Extra pairs are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::VariableNotInScope`] if a scope variable has
+    /// no pair, [`BayesError::StateOutOfRange`] on a bad state.
+    pub fn value_at(&self, assignment: &[(Variable, usize)]) -> Result<f64, BayesError> {
+        let lookup: HashMap<usize, usize> =
+            assignment.iter().map(|&(v, s)| (v.id(), s)).collect();
+        let mut idx = Vec::with_capacity(self.scope.len());
+        for v in &self.scope {
+            let s = *lookup
+                .get(&v.id())
+                .ok_or(BayesError::VariableNotInScope(v.id()))?;
+            if !v.contains_state(s) {
+                return Err(BayesError::StateOutOfRange {
+                    variable: v.id(),
+                    state: s,
+                    cardinality: v.cardinality(),
+                });
+            }
+            idx.push(s);
+        }
+        Ok(self.values[assignment_to_index(&self.scope, &idx)])
+    }
+
+    /// Pointwise product. The result's scope is the union of the operand
+    /// scopes (this factor's variables first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::CardinalityMismatch`] when a shared variable
+    /// ID carries different cardinalities.
+    pub fn product(&self, other: &Factor) -> Result<Factor, BayesError> {
+        // Verify shared variables agree.
+        for v in &self.scope {
+            for w in &other.scope {
+                if v.id() == w.id() && v.cardinality() != w.cardinality() {
+                    return Err(BayesError::CardinalityMismatch {
+                        variable: v.id(),
+                        expected: v.cardinality(),
+                        found: w.cardinality(),
+                    });
+                }
+            }
+        }
+        let mut scope = self.scope.clone();
+        for w in &other.scope {
+            if !scope.iter().any(|v| v.id() == w.id()) {
+                scope.push(*w);
+            }
+        }
+        let size: usize = scope.iter().map(|v| v.cardinality()).product();
+        let mut values = Vec::with_capacity(size);
+        // Positions of each operand's scope within the union scope.
+        let pos_self: Vec<usize> = self
+            .scope
+            .iter()
+            .map(|v| scope.iter().position(|u| u.id() == v.id()).unwrap())
+            .collect();
+        let pos_other: Vec<usize> = other
+            .scope
+            .iter()
+            .map(|v| scope.iter().position(|u| u.id() == v.id()).unwrap())
+            .collect();
+        for joint in AssignmentIter::new(&scope) {
+            let idx_self: Vec<usize> = pos_self.iter().map(|&p| joint[p]).collect();
+            let idx_other: Vec<usize> = pos_other.iter().map(|&p| joint[p]).collect();
+            let a = self.values[assignment_to_index(&self.scope, &idx_self)];
+            let b = other.values[assignment_to_index(&other.scope, &idx_other)];
+            values.push(a * b);
+        }
+        Ok(Factor { scope, values })
+    }
+
+    /// Marginalises `var` out by summation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::VariableNotInScope`] when absent.
+    pub fn sum_out(&self, var: Variable) -> Result<Factor, BayesError> {
+        let pos = self
+            .scope
+            .iter()
+            .position(|v| v.id() == var.id())
+            .ok_or(BayesError::VariableNotInScope(var.id()))?;
+        let new_scope: Vec<Variable> = self
+            .scope
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pos)
+            .map(|(_, &v)| v)
+            .collect();
+        let size: usize = new_scope.iter().map(|v| v.cardinality()).product();
+        let mut values = vec![0.0; size.max(1)];
+        for (i, &x) in self.values.iter().enumerate() {
+            let joint = index_to_assignment(&self.scope, i);
+            let reduced: Vec<usize> = joint
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != pos)
+                .map(|(_, &s)| s)
+                .collect();
+            values[assignment_to_index(&new_scope, &reduced)] += x;
+        }
+        Ok(Factor {
+            scope: new_scope,
+            values,
+        })
+    }
+
+    /// Restricts the factor to `var = state`, removing `var` from the
+    /// scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::VariableNotInScope`] or
+    /// [`BayesError::StateOutOfRange`].
+    pub fn reduce(&self, var: Variable, state: usize) -> Result<Factor, BayesError> {
+        let pos = self
+            .scope
+            .iter()
+            .position(|v| v.id() == var.id())
+            .ok_or(BayesError::VariableNotInScope(var.id()))?;
+        if !var.contains_state(state) {
+            return Err(BayesError::StateOutOfRange {
+                variable: var.id(),
+                state,
+                cardinality: var.cardinality(),
+            });
+        }
+        let new_scope: Vec<Variable> = self
+            .scope
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pos)
+            .map(|(_, &v)| v)
+            .collect();
+        let size: usize = new_scope.iter().map(|v| v.cardinality()).product();
+        let mut values = Vec::with_capacity(size.max(1));
+        for reduced in AssignmentIter::new(&new_scope) {
+            let mut joint = reduced.clone();
+            joint.insert(pos, state);
+            values.push(self.values[assignment_to_index(&self.scope, &joint)]);
+        }
+        Ok(Factor {
+            scope: new_scope,
+            values,
+        })
+    }
+
+    /// Replaces `old` with `new` in the scope (same cardinality), keeping
+    /// the table untouched. Used to retarget a belief factor onto the
+    /// previous-slice variables of a DBN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::VariableNotInScope`] when `old` is absent or
+    /// [`BayesError::CardinalityMismatch`] when shapes differ.
+    pub fn rename(&self, old: Variable, new: Variable) -> Result<Factor, BayesError> {
+        let pos = self
+            .scope
+            .iter()
+            .position(|v| v.id() == old.id())
+            .ok_or(BayesError::VariableNotInScope(old.id()))?;
+        if old.cardinality() != new.cardinality() {
+            return Err(BayesError::CardinalityMismatch {
+                variable: new.id(),
+                expected: old.cardinality(),
+                found: new.cardinality(),
+            });
+        }
+        let mut scope = self.scope.clone();
+        scope[pos] = new;
+        Ok(Factor {
+            scope,
+            values: self.values.clone(),
+        })
+    }
+
+    /// Eliminates `var` by maximisation instead of summation (the
+    /// max-product operation of Viterbi-style decoding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::VariableNotInScope`] when absent.
+    pub fn max_out(&self, var: Variable) -> Result<Factor, BayesError> {
+        let pos = self
+            .scope
+            .iter()
+            .position(|v| v.id() == var.id())
+            .ok_or(BayesError::VariableNotInScope(var.id()))?;
+        let new_scope: Vec<Variable> = self
+            .scope
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pos)
+            .map(|(_, &v)| v)
+            .collect();
+        let size: usize = new_scope.iter().map(|v| v.cardinality()).product();
+        let mut values = vec![f64::NEG_INFINITY; size.max(1)];
+        for (i, &x) in self.values.iter().enumerate() {
+            let joint = index_to_assignment(&self.scope, i);
+            let reduced: Vec<usize> = joint
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != pos)
+                .map(|(_, &s)| s)
+                .collect();
+            let slot = &mut values[assignment_to_index(&new_scope, &reduced)];
+            if x > *slot {
+                *slot = x;
+            }
+        }
+        Ok(Factor {
+            scope: new_scope,
+            values,
+        })
+    }
+
+    /// Sum of all entries.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Normalises the factor to sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::ZeroProbabilityEvidence`] when the factor is
+    /// all zero.
+    pub fn normalized(&self) -> Result<Factor, BayesError> {
+        let z = self.total();
+        if z <= 0.0 {
+            return Err(BayesError::ZeroProbabilityEvidence);
+        }
+        Ok(Factor {
+            scope: self.scope.clone(),
+            values: self.values.iter().map(|&x| x / z).collect(),
+        })
+    }
+
+    /// The joint assignment with the highest value (ties to the lowest
+    /// index) and that value.
+    pub fn argmax(&self) -> (Vec<usize>, f64) {
+        let (best, &val) = self
+            .values
+            .iter()
+            .enumerate()
+            .fold((0, &self.values[0]), |(bi, bv), (i, v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            });
+        (index_to_assignment(&self.scope, best), val)
+    }
+
+    /// Marginal distribution of a single variable (normalised).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scope and normalisation errors.
+    pub fn marginal(&self, var: Variable) -> Result<Vec<f64>, BayesError> {
+        let mut f = self.clone();
+        let others: Vec<Variable> = self
+            .scope
+            .iter()
+            .copied()
+            .filter(|v| v.id() != var.id())
+            .collect();
+        if !self.contains(var) {
+            return Err(BayesError::VariableNotInScope(var.id()));
+        }
+        for v in others {
+            f = f.sum_out(v)?;
+        }
+        Ok(f.normalized()?.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> (Variable, Variable, Variable) {
+        (
+            Variable::new(0, 2),
+            Variable::new(1, 3),
+            Variable::new(2, 2),
+        )
+    }
+
+    #[test]
+    fn new_validates_size() {
+        let (a, b, _) = vars();
+        assert!(Factor::new(vec![a, b], vec![0.0; 5]).is_err());
+        assert!(Factor::new(vec![a, b], vec![0.0; 6]).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_negative_and_nan() {
+        let (a, _, _) = vars();
+        assert!(Factor::new(vec![a], vec![-0.1, 1.1]).is_err());
+        assert!(Factor::new(vec![a], vec![f64::NAN, 0.5]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_duplicate_variable() {
+        let a = Variable::new(0, 2);
+        let a2 = Variable::new(0, 2);
+        assert!(Factor::new(vec![a, a2], vec![0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn product_of_independent_factors() {
+        let (a, b, _) = vars();
+        let fa = Factor::new(vec![a], vec![0.3, 0.7]).unwrap();
+        let fb = Factor::new(vec![b], vec![0.2, 0.3, 0.5]).unwrap();
+        let p = fa.product(&fb).unwrap();
+        assert_eq!(p.scope().len(), 2);
+        assert!((p.value_at(&[(a, 1), (b, 2)]).unwrap() - 0.35).abs() < 1e-12);
+        assert!((p.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_with_shared_variable() {
+        let (a, b, _) = vars();
+        let f1 = Factor::new(vec![a, b], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let f2 = Factor::new(vec![b], vec![10.0, 0.0, 1.0]).unwrap();
+        let p = f1.product(&f2).unwrap();
+        assert_eq!(p.scope().len(), 2);
+        assert_eq!(p.value_at(&[(a, 0), (b, 0)]).unwrap(), 10.0);
+        assert_eq!(p.value_at(&[(a, 0), (b, 1)]).unwrap(), 0.0);
+        assert_eq!(p.value_at(&[(a, 1), (b, 2)]).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn product_is_commutative_up_to_scope_order() {
+        let (a, b, c) = vars();
+        let f1 = Factor::new(vec![a, b], (1..=6).map(|x| x as f64).collect()).unwrap();
+        let f2 = Factor::new(vec![b, c], (1..=6).map(|x| x as f64 / 10.0).collect()).unwrap();
+        let p12 = f1.product(&f2).unwrap();
+        let p21 = f2.product(&f1).unwrap();
+        for s_a in 0..2 {
+            for s_b in 0..3 {
+                for s_c in 0..2 {
+                    let asn = [(a, s_a), (b, s_b), (c, s_c)];
+                    assert!(
+                        (p12.value_at(&asn).unwrap() - p21.value_at(&asn).unwrap()).abs() < 1e-12
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_rejects_cardinality_conflict() {
+        let a = Variable::new(0, 2);
+        let a3 = Variable::new(0, 3);
+        let f1 = Factor::new(vec![a], vec![0.5, 0.5]).unwrap();
+        let f2 = Factor::new(vec![a3], vec![0.2, 0.3, 0.5]).unwrap();
+        assert!(matches!(
+            f1.product(&f2),
+            Err(BayesError::CardinalityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sum_out_collapses_correctly() {
+        let (a, b, _) = vars();
+        let f = Factor::new(vec![a, b], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let fb = f.sum_out(a).unwrap();
+        assert_eq!(fb.scope(), &[b]);
+        assert_eq!(fb.values(), &[5.0, 7.0, 9.0]);
+        let fa = f.sum_out(b).unwrap();
+        assert_eq!(fa.values(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn sum_out_to_empty_scope() {
+        let (a, _, _) = vars();
+        let f = Factor::new(vec![a], vec![0.4, 0.6]).unwrap();
+        let s = f.sum_out(a).unwrap();
+        assert!(s.scope().is_empty());
+        assert!((s.values()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_selects_slice() {
+        let (a, b, _) = vars();
+        let f = Factor::new(vec![a, b], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let r = f.reduce(b, 1).unwrap();
+        assert_eq!(r.scope(), &[a]);
+        assert_eq!(r.values(), &[2.0, 5.0]);
+        let r2 = f.reduce(a, 0).unwrap();
+        assert_eq!(r2.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reduce_then_sum_equals_sum_of_slice() {
+        let (a, b, c) = vars();
+        let vals: Vec<f64> = (1..=12).map(|x| x as f64).collect();
+        let f = Factor::new(vec![a, b, c], vals).unwrap();
+        let r = f.reduce(b, 2).unwrap().sum_out(c).unwrap();
+        // Slice b=2: entries for (a,c) = (0,0):5 (0,1):6 (1,0):11 (1,1):12
+        assert_eq!(r.values(), &[11.0, 23.0]);
+    }
+
+    #[test]
+    fn rename_preserves_table() {
+        let (a, b, _) = vars();
+        let f = Factor::new(vec![a], vec![0.25, 0.75]).unwrap();
+        let g = f.rename(a, Variable::new(9, 2)).unwrap();
+        assert_eq!(g.values(), f.values());
+        assert_eq!(g.scope()[0].id(), 9);
+        assert!(f.rename(b, a).is_err());
+        assert!(f.rename(a, Variable::new(9, 3)).is_err());
+    }
+
+    #[test]
+    fn normalize_and_zero_rejection() {
+        let (a, _, _) = vars();
+        let f = Factor::new(vec![a], vec![2.0, 6.0]).unwrap();
+        let n = f.normalized().unwrap();
+        assert_eq!(n.values(), &[0.25, 0.75]);
+        let z = Factor::new(vec![a], vec![0.0, 0.0]).unwrap();
+        assert!(matches!(
+            z.normalized(),
+            Err(BayesError::ZeroProbabilityEvidence)
+        ));
+    }
+
+    #[test]
+    fn argmax_finds_mode() {
+        let (a, b, _) = vars();
+        let f = Factor::new(vec![a, b], vec![1.0, 2.0, 9.0, 4.0, 5.0, 6.0]).unwrap();
+        let (asn, val) = f.argmax();
+        assert_eq!(asn, vec![0, 2]);
+        assert_eq!(val, 9.0);
+    }
+
+    #[test]
+    fn max_out_takes_maxima() {
+        let (a, b, _) = vars();
+        let f = Factor::new(vec![a, b], vec![1.0, 7.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let mb = f.max_out(a).unwrap();
+        assert_eq!(mb.scope(), &[b]);
+        assert_eq!(mb.values(), &[4.0, 7.0, 6.0]);
+        let ma = f.max_out(b).unwrap();
+        assert_eq!(ma.values(), &[7.0, 6.0]);
+        assert!(f.max_out(Variable::new(9, 2)).is_err());
+    }
+
+    #[test]
+    fn max_out_to_empty_scope_gives_global_max() {
+        let (a, _, _) = vars();
+        let f = Factor::new(vec![a], vec![0.2, 0.9]).unwrap();
+        let m = f.max_out(a).unwrap();
+        assert!(m.scope().is_empty());
+        assert_eq!(m.values(), &[0.9]);
+    }
+
+    #[test]
+    fn marginal_of_joint() {
+        let (a, b, _) = vars();
+        let f = Factor::new(vec![a, b], vec![0.1, 0.1, 0.2, 0.2, 0.2, 0.2]).unwrap();
+        let ma = f.marginal(a).unwrap();
+        assert!((ma[0] - 0.4).abs() < 1e-12);
+        assert!((ma[1] - 0.6).abs() < 1e-12);
+        assert!(f.marginal(Variable::new(5, 2)).is_err());
+    }
+
+    #[test]
+    fn indicator_and_uniform() {
+        let (a, _, _) = vars();
+        let i = Factor::indicator(a, 1).unwrap();
+        assert_eq!(i.values(), &[0.0, 1.0]);
+        assert!(Factor::indicator(a, 2).is_err());
+        let u = Factor::uniform(a);
+        assert_eq!(u.values(), &[0.5, 0.5]);
+        let unit = Factor::unit();
+        assert_eq!(unit.values(), &[1.0]);
+        assert!(unit.scope().is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Exact inference by variable elimination.
+
+use crate::error::BayesError;
+use crate::factor::Factor;
+use crate::inference::Evidence;
+use crate::network::DiscreteBayesNet;
+use crate::variable::Variable;
+use std::collections::HashSet;
+
+/// Variable elimination with a min-fill/min-degree style greedy ordering.
+///
+/// The production inference engine: polynomial for the tree-like networks
+/// the paper uses (pose → parts → areas plus the temporal chain).
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct VariableElimination<'a> {
+    net: &'a DiscreteBayesNet,
+}
+
+impl<'a> VariableElimination<'a> {
+    /// Creates an engine over `net`.
+    pub fn new(net: &'a DiscreteBayesNet) -> Self {
+        VariableElimination { net }
+    }
+
+    /// Posterior `P(query | evidence)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::ZeroProbabilityEvidence`] for impossible
+    /// evidence; propagates factor-algebra errors on malformed inputs.
+    pub fn posterior(
+        &self,
+        query: Variable,
+        evidence: &Evidence,
+    ) -> Result<Vec<f64>, BayesError> {
+        let f = self.joint_posterior(&[query], evidence)?;
+        f.marginal(query)
+    }
+
+    /// Joint posterior factor over the query variables (normalised).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VariableElimination::posterior`].
+    pub fn joint_posterior(
+        &self,
+        query: &[Variable],
+        evidence: &Evidence,
+    ) -> Result<Factor, BayesError> {
+        let factors = self.net.factors();
+        let keep: HashSet<usize> = query.iter().map(|v| v.id()).collect();
+        let result = eliminate_all(factors, evidence, &keep)?;
+        result.normalized()
+    }
+
+    /// Probability of the evidence `P(evidence)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-algebra errors on malformed evidence.
+    pub fn evidence_probability(&self, evidence: &Evidence) -> Result<f64, BayesError> {
+        let factors = self.net.factors();
+        let keep = HashSet::new();
+        let result = eliminate_all(factors, evidence, &keep)?;
+        Ok(result.total())
+    }
+}
+
+/// Reduces evidence into `factors`, then greedily eliminates every
+/// variable not in `keep`, returning the product of what remains
+/// (unnormalised).
+pub(crate) fn eliminate_all(
+    mut factors: Vec<Factor>,
+    evidence: &Evidence,
+    keep: &HashSet<usize>,
+) -> Result<Factor, BayesError> {
+    // 1. Absorb evidence.
+    for &(var, state) in evidence {
+        for f in &mut factors {
+            if f.contains(var) {
+                *f = f.reduce(var, state)?;
+            }
+        }
+    }
+    // 2. Collect the variables still present that must be eliminated.
+    let mut to_eliminate: Vec<Variable> = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    for f in &factors {
+        for &v in f.scope() {
+            if !keep.contains(&v.id()) && seen.insert(v.id()) {
+                to_eliminate.push(v);
+            }
+        }
+    }
+    // 3. Greedy elimination: repeatedly pick the variable whose
+    //    elimination produces the smallest intermediate factor.
+    while !to_eliminate.is_empty() {
+        let (pick_idx, _) = to_eliminate
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut size = 1usize;
+                let mut scope_ids: HashSet<usize> = HashSet::new();
+                for f in &factors {
+                    if f.contains(v) {
+                        for &u in f.scope() {
+                            if scope_ids.insert(u.id()) {
+                                size = size.saturating_mul(u.cardinality());
+                            }
+                        }
+                    }
+                }
+                (i, size)
+            })
+            .min_by_key(|&(i, size)| (size, i))
+            .expect("non-empty elimination set");
+        let var = to_eliminate.swap_remove(pick_idx);
+        // Multiply all factors mentioning `var`, then sum it out.
+        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.contains(var));
+        let mut product = Factor::unit();
+        for f in &mentioning {
+            product = product.product(f)?;
+        }
+        let summed = product.sum_out(var)?;
+        factors = rest;
+        factors.push(summed);
+    }
+    // 4. Multiply the survivors.
+    let mut result = Factor::unit();
+    for f in &factors {
+        result = result.product(f)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::Enumeration;
+    use crate::network::BayesNetBuilder;
+
+    fn sprinkler() -> (DiscreteBayesNet, Variable, Variable, Variable) {
+        let mut b = BayesNetBuilder::new();
+        let rain = b.variable("rain", 2);
+        let sprinkler = b.variable("sprinkler", 2);
+        let wet = b.variable("wet", 2);
+        b.table_cpd(rain, &[], &[0.8, 0.2]).unwrap();
+        b.table_cpd(sprinkler, &[rain], &[0.6, 0.4, 0.99, 0.01])
+            .unwrap();
+        b.table_cpd(
+            wet,
+            &[rain, sprinkler],
+            &[1.0, 0.0, 0.1, 0.9, 0.2, 0.8, 0.01, 0.99],
+        )
+        .unwrap();
+        (b.build().unwrap(), rain, sprinkler, wet)
+    }
+
+    #[test]
+    fn matches_enumeration_on_sprinkler() {
+        let (net, rain, sprinkler, wet) = sprinkler();
+        let ve = VariableElimination::new(&net);
+        let en = Enumeration::new(&net);
+        for evidence in [
+            vec![],
+            vec![(wet, 1)],
+            vec![(wet, 0)],
+            vec![(wet, 1), (sprinkler, 0)],
+        ] {
+            let a = ve.posterior(rain, &evidence).unwrap();
+            let b = en.posterior(rain, &evidence).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-10, "evidence {evidence:?}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_enumeration_on_chain() {
+        // A 5-node chain with asymmetric CPDs.
+        let mut b = BayesNetBuilder::new();
+        let vars: Vec<Variable> = (0..5).map(|i| b.variable(format!("x{i}"), 2)).collect();
+        b.table_cpd(vars[0], &[], &[0.3, 0.7]).unwrap();
+        for i in 1..5 {
+            let p = 0.1 + 0.15 * i as f64;
+            b.table_cpd(vars[i], &[vars[i - 1]], &[1.0 - p, p, p, 1.0 - p])
+                .unwrap();
+        }
+        let net = b.build().unwrap();
+        let ve = VariableElimination::new(&net);
+        let en = Enumeration::new(&net);
+        let ev = vec![(vars[4], 1)];
+        for &q in &vars[..4] {
+            let a = ve.posterior(q, &ev).unwrap();
+            let b2 = en.posterior(q, &ev).unwrap();
+            assert!((a[0] - b2[0]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_enumeration_with_noisy_or() {
+        let mut b = BayesNetBuilder::new();
+        let p1 = b.variable("p1", 3);
+        let p2 = b.variable("p2", 3);
+        let area = b.variable("area", 2);
+        b.table_cpd(p1, &[], &[0.5, 0.3, 0.2]).unwrap();
+        b.table_cpd(p2, &[], &[0.1, 0.6, 0.3]).unwrap();
+        b.noisy_or_cpd(
+            area,
+            &[p1, p2],
+            vec![vec![0.0, 0.9, 0.1], vec![0.2, 0.0, 0.7]],
+            0.05,
+        )
+        .unwrap();
+        let net = b.build().unwrap();
+        let ve = VariableElimination::new(&net);
+        let en = Enumeration::new(&net);
+        let a = ve.posterior(p1, &[(area, 1)]).unwrap();
+        let b2 = en.posterior(p1, &[(area, 1)]).unwrap();
+        for (x, y) in a.iter().zip(&b2) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn evidence_probability_matches_enumeration() {
+        let (net, _, sprinkler, wet) = sprinkler();
+        let ve = VariableElimination::new(&net);
+        let en = Enumeration::new(&net);
+        let p_ve = ve.evidence_probability(&[(wet, 1), (sprinkler, 1)]).unwrap();
+        let p_en = en.evidence_probability(&[(wet, 1), (sprinkler, 1)]).unwrap();
+        assert!((p_ve - p_en).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_posterior_normalised() {
+        let (net, rain, sprinkler, wet) = sprinkler();
+        let ve = VariableElimination::new(&net);
+        let f = ve.joint_posterior(&[rain, sprinkler], &[(wet, 1)]).unwrap();
+        assert!((f.total() - 1.0).abs() < 1e-9);
+        assert_eq!(f.scope().len(), 2);
+    }
+
+    #[test]
+    fn impossible_evidence_detected() {
+        let mut b = BayesNetBuilder::new();
+        let a = b.variable("a", 2);
+        let c = b.variable("c", 2);
+        b.table_cpd(a, &[], &[1.0, 0.0]).unwrap();
+        b.table_cpd(c, &[a], &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            VariableElimination::new(&net).posterior(a, &[(c, 1)]),
+            Err(BayesError::ZeroProbabilityEvidence)
+        ));
+    }
+
+    #[test]
+    fn query_variable_observed_elsewhere_still_works() {
+        let (net, rain, _, wet) = sprinkler();
+        let ve = VariableElimination::new(&net);
+        // Query a variable with no evidence at all on a diamond-free net.
+        let p = ve.posterior(wet, &[(rain, 0)]).unwrap();
+        // P(wet=1 | rain=0) = 0.6*0 + 0.4*0.9
+        assert!((p[1] - 0.36).abs() < 1e-12);
+    }
+}

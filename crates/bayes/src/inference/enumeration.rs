@@ -1,0 +1,187 @@
+//! Exact inference by full joint enumeration.
+//!
+//! Exponential in the number of variables; exists as the trusted oracle
+//! that the variable-elimination engine and the sampler are tested
+//! against.
+
+use crate::error::BayesError;
+use crate::factor::Factor;
+use crate::inference::Evidence;
+use crate::network::DiscreteBayesNet;
+use crate::variable::Variable;
+
+/// Exact posterior queries by materialising the full joint distribution.
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::network::BayesNetBuilder;
+/// use slj_bayes::inference::Enumeration;
+///
+/// let mut b = BayesNetBuilder::new();
+/// let coin = b.variable("coin", 2);
+/// b.table_cpd(coin, &[], &[0.5, 0.5])?;
+/// let net = b.build()?;
+/// let p = Enumeration::new(&net).posterior(coin, &[])?;
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// # Ok::<(), slj_bayes::BayesError>(())
+/// ```
+#[derive(Debug)]
+pub struct Enumeration<'a> {
+    net: &'a DiscreteBayesNet,
+}
+
+impl<'a> Enumeration<'a> {
+    /// Creates an engine over `net`.
+    pub fn new(net: &'a DiscreteBayesNet) -> Self {
+        Enumeration { net }
+    }
+
+    /// Posterior `P(query | evidence)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::ZeroProbabilityEvidence`] for impossible
+    /// evidence and propagates factor-algebra errors on malformed
+    /// queries.
+    pub fn posterior(
+        &self,
+        query: Variable,
+        evidence: &Evidence,
+    ) -> Result<Vec<f64>, BayesError> {
+        let mut joint = self.net.joint()?;
+        for &(var, state) in evidence {
+            joint = joint.reduce(var, state)?;
+        }
+        joint.marginal(query)
+    }
+
+    /// Joint posterior factor over several query variables (normalised).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Enumeration::posterior`].
+    pub fn joint_posterior(
+        &self,
+        query: &[Variable],
+        evidence: &Evidence,
+    ) -> Result<Factor, BayesError> {
+        let mut joint = self.net.joint()?;
+        for &(var, state) in evidence {
+            joint = joint.reduce(var, state)?;
+        }
+        for v in self.net.variables() {
+            let in_query = query.iter().any(|q| q.id() == v.id());
+            let in_evidence = evidence.iter().any(|&(e, _)| e.id() == v.id());
+            if !in_query && !in_evidence && joint.contains(v) {
+                joint = joint.sum_out(v)?;
+            }
+        }
+        joint.normalized()
+    }
+
+    /// Probability of the evidence `P(evidence)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-algebra errors on malformed evidence.
+    pub fn evidence_probability(&self, evidence: &Evidence) -> Result<f64, BayesError> {
+        let mut joint = self.net.joint()?;
+        for &(var, state) in evidence {
+            joint = joint.reduce(var, state)?;
+        }
+        Ok(joint.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::BayesNetBuilder;
+
+    fn sprinkler() -> (DiscreteBayesNet, Variable, Variable, Variable) {
+        let mut b = BayesNetBuilder::new();
+        let rain = b.variable("rain", 2);
+        let sprinkler = b.variable("sprinkler", 2);
+        let wet = b.variable("wet", 2);
+        b.table_cpd(rain, &[], &[0.8, 0.2]).unwrap();
+        b.table_cpd(sprinkler, &[rain], &[0.6, 0.4, 0.99, 0.01])
+            .unwrap();
+        b.table_cpd(
+            wet,
+            &[rain, sprinkler],
+            &[1.0, 0.0, 0.1, 0.9, 0.2, 0.8, 0.01, 0.99],
+        )
+        .unwrap();
+        (b.build().unwrap(), rain, sprinkler, wet)
+    }
+
+    #[test]
+    fn prior_matches_cpd() {
+        let (net, rain, ..) = sprinkler();
+        let p = Enumeration::new(&net).posterior(rain, &[]).unwrap();
+        assert!((p[0] - 0.8).abs() < 1e-12);
+        assert!((p[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_explaining_away() {
+        let (net, rain, sprinkler, wet) = sprinkler();
+        let eng = Enumeration::new(&net);
+        let p_rain_given_wet = eng.posterior(rain, &[(wet, 1)]).unwrap()[1];
+        // Hand-computed: P(rain=1, wet=1) / P(wet=1).
+        // P(wet=1) = Σ P(r)P(s|r)P(w=1|r,s)
+        let p_wet: f64 = 0.8 * 0.6 * 0.0
+            + 0.8 * 0.4 * 0.9
+            + 0.2 * 0.99 * 0.8
+            + 0.2 * 0.01 * 0.99;
+        let p_rain_wet: f64 = 0.2 * 0.99 * 0.8 + 0.2 * 0.01 * 0.99;
+        assert!((p_rain_given_wet - p_rain_wet / p_wet).abs() < 1e-12);
+        // Knowing the sprinkler ran explains the wetness away.
+        let p_rain_given_wet_sprinkler =
+            eng.posterior(rain, &[(wet, 1), (sprinkler, 1)]).unwrap()[1];
+        assert!(p_rain_given_wet_sprinkler < p_rain_given_wet);
+    }
+
+    #[test]
+    fn evidence_probability() {
+        let (net, _, _, wet) = sprinkler();
+        let eng = Enumeration::new(&net);
+        let p_wet = eng.evidence_probability(&[(wet, 1)]).unwrap();
+        let expected: f64 = 0.8 * 0.6 * 0.0
+            + 0.8 * 0.4 * 0.9
+            + 0.2 * 0.99 * 0.8
+            + 0.2 * 0.01 * 0.99;
+        assert!((p_wet - expected).abs() < 1e-12);
+        assert!((eng.evidence_probability(&[]).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_posterior_over_two_variables() {
+        let (net, rain, sprinkler, wet) = sprinkler();
+        let eng = Enumeration::new(&net);
+        let f = eng.joint_posterior(&[rain, sprinkler], &[(wet, 1)]).unwrap();
+        assert_eq!(f.scope().len(), 2);
+        assert!((f.total() - 1.0).abs() < 1e-9);
+        // Consistency with the single-variable posterior.
+        let p_rain = eng.posterior(rain, &[(wet, 1)]).unwrap();
+        let m = f.marginal(rain).unwrap();
+        assert!((m[0] - p_rain[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_evidence_detected() {
+        let mut b = BayesNetBuilder::new();
+        let a = b.variable("a", 2);
+        let c = b.variable("c", 2);
+        b.table_cpd(a, &[], &[1.0, 0.0]).unwrap();
+        b.table_cpd(c, &[a], &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        let net = b.build().unwrap();
+        let eng = Enumeration::new(&net);
+        // c=1 requires a=1 which has prior 0.
+        assert!(matches!(
+            eng.posterior(a, &[(c, 1)]),
+            Err(BayesError::ZeroProbabilityEvidence)
+        ));
+    }
+}

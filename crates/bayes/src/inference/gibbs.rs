@@ -1,0 +1,291 @@
+//! Approximate inference by Gibbs sampling.
+
+use crate::cpd::Cpd;
+use crate::error::BayesError;
+use crate::inference::Evidence;
+use crate::network::DiscreteBayesNet;
+use crate::variable::Variable;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Gibbs sampler: resamples each non-evidence variable from its full
+/// conditional (Markov blanket) in turn, collecting state counts after a
+/// burn-in period.
+///
+/// Complements [`crate::inference::LikelihoodWeighting`]: likelihood
+/// weighting degrades when evidence sits at the bottom of a deep network
+/// (weights collapse), while Gibbs conditions on the evidence at every
+/// step.
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::network::BayesNetBuilder;
+/// use slj_bayes::inference::GibbsSampler;
+/// use rand::SeedableRng;
+///
+/// let mut b = BayesNetBuilder::new();
+/// let coin = b.variable("coin", 2);
+/// b.table_cpd(coin, &[], &[0.25, 0.75])?;
+/// let net = b.build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let p = GibbsSampler::new(&net).posterior(coin, &[], 20_000, 1_000, &mut rng)?;
+/// assert!((p[1] - 0.75).abs() < 0.03);
+/// # Ok::<(), slj_bayes::BayesError>(())
+/// ```
+#[derive(Debug)]
+pub struct GibbsSampler<'a> {
+    net: &'a DiscreteBayesNet,
+}
+
+impl<'a> GibbsSampler<'a> {
+    /// Creates a sampler over `net`.
+    pub fn new(net: &'a DiscreteBayesNet) -> Self {
+        GibbsSampler { net }
+    }
+
+    /// Estimates `P(query | evidence)` from `sweeps` full Gibbs sweeps
+    /// after discarding `burn_in` sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidTrainingData`] when `sweeps` is zero
+    /// and [`BayesError::StateOutOfRange`] for malformed evidence.
+    pub fn posterior<R: Rng>(
+        &self,
+        query: Variable,
+        evidence: &Evidence,
+        sweeps: usize,
+        burn_in: usize,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, BayesError> {
+        if sweeps == 0 {
+            return Err(BayesError::InvalidTrainingData(
+                "sweep count must be non-zero".into(),
+            ));
+        }
+        for &(v, s) in evidence {
+            if !v.contains_state(s) {
+                return Err(BayesError::StateOutOfRange {
+                    variable: v.id(),
+                    state: s,
+                    cardinality: v.cardinality(),
+                });
+            }
+        }
+        let ev: HashMap<usize, usize> = evidence.iter().map(|&(v, s)| (v.id(), s)).collect();
+        let order = self.net.topological_order();
+        // Children index: for each variable, the CPDs it appears in as a
+        // parent (needed for the Markov-blanket conditional).
+        let mut children: HashMap<usize, Vec<Variable>> = HashMap::new();
+        for var in &order {
+            let cpd = self.net.cpd(*var).expect("validated network");
+            for p in cpd.parents() {
+                children.entry(p.id()).or_default().push(*var);
+            }
+        }
+        // Initialise by forward sampling (respecting evidence).
+        let mut state: HashMap<usize, usize> = HashMap::new();
+        for var in &order {
+            let cpd = self.net.cpd(*var).expect("validated network");
+            let parent_states: Vec<usize> =
+                cpd.parents().iter().map(|p| state[&p.id()]).collect();
+            let s = if let Some(&observed) = ev.get(&var.id()) {
+                observed
+            } else {
+                sample_from(cpd, &parent_states, rng)
+            };
+            state.insert(var.id(), s);
+        }
+
+        let free: Vec<Variable> = order
+            .iter()
+            .copied()
+            .filter(|v| !ev.contains_key(&v.id()))
+            .collect();
+        let mut counts = vec![0u64; query.cardinality()];
+        for sweep in 0..burn_in + sweeps {
+            for &var in &free {
+                // Full conditional ∝ P(var | parents) Π_c P(c | parents(c)).
+                let cpd = self.net.cpd(var).expect("validated network");
+                let parent_states: Vec<usize> =
+                    cpd.parents().iter().map(|p| state[&p.id()]).collect();
+                let card = var.cardinality();
+                let mut weights = Vec::with_capacity(card);
+                for s in 0..card {
+                    let mut w = conditional(cpd, &parent_states, s);
+                    if w > 0.0 {
+                        if let Some(kids) = children.get(&var.id()) {
+                            for &child in kids {
+                                let child_cpd =
+                                    self.net.cpd(child).expect("validated network");
+                                let child_parents: Vec<usize> = child_cpd
+                                    .parents()
+                                    .iter()
+                                    .map(|p| if p.id() == var.id() { s } else { state[&p.id()] })
+                                    .collect();
+                                w *= conditional(child_cpd, &child_parents, state[&child.id()]);
+                                if w == 0.0 {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    weights.push(w);
+                }
+                let total: f64 = weights.iter().sum();
+                let s = if total <= 0.0 {
+                    // The current configuration has zero support; keep
+                    // the old state rather than dividing by zero.
+                    state[&var.id()]
+                } else {
+                    let u: f64 = rng.gen::<f64>() * total;
+                    let mut acc = 0.0;
+                    let mut pick = card - 1;
+                    for (i, &w) in weights.iter().enumerate() {
+                        acc += w;
+                        if u < acc {
+                            pick = i;
+                            break;
+                        }
+                    }
+                    pick
+                };
+                state.insert(var.id(), s);
+            }
+            if sweep >= burn_in {
+                counts[state[&query.id()]] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        Ok(counts.into_iter().map(|c| c as f64 / total as f64).collect())
+    }
+}
+
+fn conditional(cpd: &Cpd, parent_states: &[usize], state: usize) -> f64 {
+    match cpd {
+        Cpd::Table(t) => t
+            .prob(parent_states, state)
+            .expect("states from a validated network are in range"),
+        Cpd::NoisyOr(n) => {
+            let off = n.prob_off(parent_states);
+            if state == 0 {
+                off
+            } else {
+                1.0 - off
+            }
+        }
+    }
+}
+
+fn sample_from<R: Rng>(cpd: &Cpd, parent_states: &[usize], rng: &mut R) -> usize {
+    let card = cpd.child().cardinality();
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for s in 0..card {
+        acc += conditional(cpd, parent_states, s);
+        if u < acc {
+            return s;
+        }
+    }
+    card - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::Enumeration;
+    use crate::network::BayesNetBuilder;
+    use rand::SeedableRng;
+
+    fn sprinkler() -> (DiscreteBayesNet, Variable, Variable, Variable) {
+        let mut b = BayesNetBuilder::new();
+        let rain = b.variable("rain", 2);
+        let sprinkler = b.variable("sprinkler", 2);
+        let wet = b.variable("wet", 2);
+        b.table_cpd(rain, &[], &[0.8, 0.2]).unwrap();
+        b.table_cpd(sprinkler, &[rain], &[0.6, 0.4, 0.99, 0.01])
+            .unwrap();
+        b.table_cpd(
+            wet,
+            &[rain, sprinkler],
+            &[0.99, 0.01, 0.1, 0.9, 0.2, 0.8, 0.01, 0.99],
+        )
+        .unwrap();
+        (b.build().unwrap(), rain, sprinkler, wet)
+    }
+
+    #[test]
+    fn converges_to_exact_posterior() {
+        let (net, rain, _, wet) = sprinkler();
+        let exact = Enumeration::new(&net).posterior(rain, &[(wet, 1)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let approx = GibbsSampler::new(&net)
+            .posterior(rain, &[(wet, 1)], 120_000, 4_000, &mut rng)
+            .unwrap();
+        assert!(
+            (exact[1] - approx[1]).abs() < 0.02,
+            "exact {exact:?} vs gibbs {approx:?}"
+        );
+    }
+
+    #[test]
+    fn prior_sampling_without_evidence() {
+        let (net, rain, ..) = sprinkler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let p = GibbsSampler::new(&net)
+            .posterior(rain, &[], 30_000, 1_000, &mut rng)
+            .unwrap();
+        assert!((p[1] - 0.2).abs() < 0.02, "{p:?}");
+    }
+
+    #[test]
+    fn works_with_noisy_or() {
+        let mut b = BayesNetBuilder::new();
+        let p1 = b.variable("p1", 3);
+        let area = b.variable("area", 2);
+        b.table_cpd(p1, &[], &[0.5, 0.3, 0.2]).unwrap();
+        b.noisy_or_cpd(area, &[p1], vec![vec![0.05, 0.9, 0.1]], 0.05)
+            .unwrap();
+        let net = b.build().unwrap();
+        let exact = Enumeration::new(&net).posterior(p1, &[(area, 1)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let approx = GibbsSampler::new(&net)
+            .posterior(p1, &[(area, 1)], 60_000, 2_000, &mut rng)
+            .unwrap();
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!((e - a).abs() < 0.02, "exact {exact:?} vs gibbs {approx:?}");
+        }
+    }
+
+    #[test]
+    fn zero_sweeps_rejected() {
+        let (net, rain, ..) = sprinkler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert!(GibbsSampler::new(&net)
+            .posterior(rain, &[], 0, 10, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn bad_evidence_rejected() {
+        let (net, rain, _, wet) = sprinkler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        assert!(matches!(
+            GibbsSampler::new(&net).posterior(rain, &[(wet, 7)], 100, 10, &mut rng),
+            Err(BayesError::StateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_with_fixed_seed() {
+        let (net, rain, _, wet) = sprinkler();
+        let run = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            GibbsSampler::new(&net)
+                .posterior(rain, &[(wet, 1)], 2_000, 100, &mut rng)
+                .unwrap()
+        };
+        assert_eq!(run(8), run(8));
+    }
+}

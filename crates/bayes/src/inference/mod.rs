@@ -1,0 +1,21 @@
+//! Inference engines: exact enumeration (test oracle), variable
+//! elimination (the production engine) and likelihood-weighting sampling.
+
+mod elimination;
+mod enumeration;
+mod gibbs;
+mod sampling;
+
+pub use elimination::VariableElimination;
+pub use enumeration::Enumeration;
+pub use gibbs::GibbsSampler;
+pub use sampling::LikelihoodWeighting;
+
+pub(crate) mod elimination_internal {
+    pub(crate) use super::elimination::eliminate_all;
+}
+
+use crate::variable::Variable;
+
+/// Evidence: observed `(variable, state)` pairs.
+pub type Evidence = [(Variable, usize)];

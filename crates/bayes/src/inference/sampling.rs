@@ -1,0 +1,230 @@
+//! Approximate inference by likelihood weighting.
+
+use crate::cpd::Cpd;
+use crate::error::BayesError;
+use crate::inference::Evidence;
+use crate::network::DiscreteBayesNet;
+use crate::variable::Variable;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Likelihood-weighting sampler: forward-samples non-evidence variables
+/// in topological order and weights each sample by the likelihood of the
+/// evidence variables.
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::network::BayesNetBuilder;
+/// use slj_bayes::inference::LikelihoodWeighting;
+/// use rand::SeedableRng;
+///
+/// let mut b = BayesNetBuilder::new();
+/// let coin = b.variable("coin", 2);
+/// b.table_cpd(coin, &[], &[0.25, 0.75])?;
+/// let net = b.build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let p = LikelihoodWeighting::new(&net).posterior(coin, &[], 20_000, &mut rng)?;
+/// assert!((p[1] - 0.75).abs() < 0.02);
+/// # Ok::<(), slj_bayes::BayesError>(())
+/// ```
+#[derive(Debug)]
+pub struct LikelihoodWeighting<'a> {
+    net: &'a DiscreteBayesNet,
+}
+
+impl<'a> LikelihoodWeighting<'a> {
+    /// Creates a sampler over `net`.
+    pub fn new(net: &'a DiscreteBayesNet) -> Self {
+        LikelihoodWeighting { net }
+    }
+
+    /// Estimates `P(query | evidence)` from `samples` weighted samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidTrainingData`] when `samples` is zero
+    /// and [`BayesError::ZeroProbabilityEvidence`] when every sample had
+    /// zero weight.
+    pub fn posterior<R: Rng>(
+        &self,
+        query: Variable,
+        evidence: &Evidence,
+        samples: usize,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, BayesError> {
+        if samples == 0 {
+            return Err(BayesError::InvalidTrainingData(
+                "sample count must be non-zero".into(),
+            ));
+        }
+        let ev: HashMap<usize, usize> = evidence.iter().map(|&(v, s)| (v.id(), s)).collect();
+        let order = self.net.topological_order();
+        let mut totals = vec![0.0f64; query.cardinality()];
+        let mut weight_sum = 0.0f64;
+        let mut assignment: HashMap<usize, usize> = HashMap::new();
+        for _ in 0..samples {
+            assignment.clear();
+            let mut weight = 1.0f64;
+            for &var in &order {
+                let cpd = self.net.cpd(var).expect("validated network");
+                let parent_states: Vec<usize> = cpd
+                    .parents()
+                    .iter()
+                    .map(|p| assignment[&p.id()])
+                    .collect();
+                if let Some(&observed) = ev.get(&var.id()) {
+                    weight *= conditional_prob(cpd, &parent_states, observed);
+                    assignment.insert(var.id(), observed);
+                } else {
+                    let state = sample_state(cpd, &parent_states, rng);
+                    assignment.insert(var.id(), state);
+                }
+                if weight == 0.0 {
+                    break;
+                }
+            }
+            if weight > 0.0 {
+                weight_sum += weight;
+                totals[assignment[&query.id()]] += weight;
+            }
+        }
+        if weight_sum <= 0.0 {
+            return Err(BayesError::ZeroProbabilityEvidence);
+        }
+        Ok(totals.into_iter().map(|t| t / weight_sum).collect())
+    }
+}
+
+fn conditional_prob(cpd: &Cpd, parent_states: &[usize], state: usize) -> f64 {
+    match cpd {
+        Cpd::Table(t) => t
+            .prob(parent_states, state)
+            .expect("states from a validated network are in range"),
+        Cpd::NoisyOr(n) => {
+            let off = n.prob_off(parent_states);
+            if state == 0 {
+                off
+            } else {
+                1.0 - off
+            }
+        }
+    }
+}
+
+fn sample_state<R: Rng>(cpd: &Cpd, parent_states: &[usize], rng: &mut R) -> usize {
+    let card = cpd.child().cardinality();
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for s in 0..card {
+        acc += conditional_prob(cpd, parent_states, s);
+        if u < acc {
+            return s;
+        }
+    }
+    card - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::Enumeration;
+    use crate::network::BayesNetBuilder;
+    use rand::SeedableRng;
+
+    fn sprinkler() -> (DiscreteBayesNet, Variable, Variable, Variable) {
+        let mut b = BayesNetBuilder::new();
+        let rain = b.variable("rain", 2);
+        let sprinkler = b.variable("sprinkler", 2);
+        let wet = b.variable("wet", 2);
+        b.table_cpd(rain, &[], &[0.8, 0.2]).unwrap();
+        b.table_cpd(sprinkler, &[rain], &[0.6, 0.4, 0.99, 0.01])
+            .unwrap();
+        b.table_cpd(
+            wet,
+            &[rain, sprinkler],
+            &[1.0, 0.0, 0.1, 0.9, 0.2, 0.8, 0.01, 0.99],
+        )
+        .unwrap();
+        (b.build().unwrap(), rain, sprinkler, wet)
+    }
+
+    #[test]
+    fn converges_to_exact_posterior() {
+        let (net, rain, _, wet) = sprinkler();
+        let exact = Enumeration::new(&net).posterior(rain, &[(wet, 1)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let approx = LikelihoodWeighting::new(&net)
+            .posterior(rain, &[(wet, 1)], 50_000, &mut rng)
+            .unwrap();
+        assert!(
+            (exact[1] - approx[1]).abs() < 0.02,
+            "exact {exact:?} vs approx {approx:?}"
+        );
+    }
+
+    #[test]
+    fn prior_sampling_without_evidence() {
+        let (net, rain, ..) = sprinkler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = LikelihoodWeighting::new(&net)
+            .posterior(rain, &[], 30_000, &mut rng)
+            .unwrap();
+        assert!((p[1] - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn works_with_noisy_or() {
+        let mut b = BayesNetBuilder::new();
+        let p1 = b.variable("p1", 3);
+        let area = b.variable("area", 2);
+        b.table_cpd(p1, &[], &[0.5, 0.3, 0.2]).unwrap();
+        b.noisy_or_cpd(area, &[p1], vec![vec![0.0, 0.9, 0.1]], 0.05)
+            .unwrap();
+        let net = b.build().unwrap();
+        let exact = Enumeration::new(&net).posterior(p1, &[(area, 1)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let approx = LikelihoodWeighting::new(&net)
+            .posterior(p1, &[(area, 1)], 60_000, &mut rng)
+            .unwrap();
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!((e - a).abs() < 0.02, "exact {exact:?} vs approx {approx:?}");
+        }
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let (net, rain, ..) = sprinkler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(LikelihoodWeighting::new(&net)
+            .posterior(rain, &[], 0, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn impossible_evidence_detected() {
+        let mut b = BayesNetBuilder::new();
+        let a = b.variable("a", 2);
+        let c = b.variable("c", 2);
+        b.table_cpd(a, &[], &[1.0, 0.0]).unwrap();
+        b.table_cpd(c, &[a], &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        let net = b.build().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(matches!(
+            LikelihoodWeighting::new(&net).posterior(a, &[(c, 1)], 1000, &mut rng),
+            Err(BayesError::ZeroProbabilityEvidence)
+        ));
+    }
+
+    #[test]
+    fn deterministic_with_fixed_seed() {
+        let (net, rain, _, wet) = sprinkler();
+        let run = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            LikelihoodWeighting::new(&net)
+                .posterior(rain, &[(wet, 1)], 5_000, &mut rng)
+                .unwrap()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

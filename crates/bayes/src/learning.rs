@@ -1,0 +1,345 @@
+//! Parameter learning from complete data (the paper's "quantitative
+//! training").
+//!
+//! The paper fixes the network structure (qualitative training) and learns
+//! the conditional probabilities from labelled frames. With complete data
+//! that is count-and-normalise; Laplace smoothing keeps rare poses — the
+//! class-imbalance problem Section 4.2 discusses — from collapsing to
+//! zero probability.
+
+use crate::cpd::TableCpd;
+use crate::error::BayesError;
+use crate::variable::Variable;
+use std::collections::HashMap;
+
+/// Accumulates child-given-parents counts and converts them into a
+/// smoothed [`TableCpd`].
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::learning::CpdEstimator;
+/// use slj_bayes::variable::Variable;
+///
+/// let parent = Variable::new(0, 2);
+/// let child = Variable::new(1, 2);
+/// let mut est = CpdEstimator::new(child, vec![parent]);
+/// est.observe(&[0], 0)?;
+/// est.observe(&[0], 0)?;
+/// est.observe(&[0], 1)?;
+/// est.observe(&[1], 1)?;
+/// let cpd = est.estimate(0.0)?;
+/// assert!((cpd.prob(&[0], 0)? - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((cpd.prob(&[1], 1)? - 1.0).abs() < 1e-12);
+/// # Ok::<(), slj_bayes::BayesError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpdEstimator {
+    child: Variable,
+    parents: Vec<Variable>,
+    /// counts[row][state]
+    counts: Vec<Vec<f64>>,
+}
+
+impl CpdEstimator {
+    /// Creates an estimator for `P(child | parents)` with zero counts.
+    pub fn new(child: Variable, parents: Vec<Variable>) -> Self {
+        let rows: usize = parents.iter().map(|p| p.cardinality()).product();
+        CpdEstimator {
+            child,
+            parents,
+            counts: vec![vec![0.0; child.cardinality()]; rows],
+        }
+    }
+
+    /// The child variable.
+    pub fn child(&self) -> Variable {
+        self.child
+    }
+
+    /// The parent variables.
+    pub fn parents(&self) -> &[Variable] {
+        &self.parents
+    }
+
+    /// Records one observation of `child = state` under the given parent
+    /// states, with unit weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::StateOutOfRange`] /
+    /// [`BayesError::WrongTableSize`] on malformed observations.
+    pub fn observe(&mut self, parent_states: &[usize], state: usize) -> Result<(), BayesError> {
+        self.observe_weighted(parent_states, state, 1.0)
+    }
+
+    /// Records a fractionally weighted observation (for EM-style soft
+    /// counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidProbability`] on a negative or
+    /// non-finite weight plus the errors of [`CpdEstimator::observe`].
+    pub fn observe_weighted(
+        &mut self,
+        parent_states: &[usize],
+        state: usize,
+        weight: f64,
+    ) -> Result<(), BayesError> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(BayesError::InvalidProbability(weight));
+        }
+        if parent_states.len() != self.parents.len() {
+            return Err(BayesError::WrongTableSize {
+                expected: self.parents.len(),
+                found: parent_states.len(),
+            });
+        }
+        if !self.child.contains_state(state) {
+            return Err(BayesError::StateOutOfRange {
+                variable: self.child.id(),
+                state,
+                cardinality: self.child.cardinality(),
+            });
+        }
+        let row = self.row_index(parent_states)?;
+        self.counts[row][state] += weight;
+        Ok(())
+    }
+
+    fn row_index(&self, parent_states: &[usize]) -> Result<usize, BayesError> {
+        let mut row = 0usize;
+        for (p, &s) in self.parents.iter().zip(parent_states) {
+            if !p.contains_state(s) {
+                return Err(BayesError::StateOutOfRange {
+                    variable: p.id(),
+                    state: s,
+                    cardinality: p.cardinality(),
+                });
+            }
+            row = row * p.cardinality() + s;
+        }
+        Ok(row)
+    }
+
+    /// Total observation weight in a parent-configuration row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::StateOutOfRange`] on bad parent states.
+    pub fn row_total(&self, parent_states: &[usize]) -> Result<f64, BayesError> {
+        Ok(self.counts[self.row_index(parent_states)?].iter().sum())
+    }
+
+    /// Produces the smoothed CPD: each row is
+    /// `(count + alpha) / (row_total + alpha·child_card)`.
+    ///
+    /// Rows with zero total and `alpha == 0` fall back to uniform (no
+    /// evidence means no preference).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidProbability`] on a negative or
+    /// non-finite `alpha`.
+    pub fn estimate(&self, alpha: f64) -> Result<TableCpd, BayesError> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(BayesError::InvalidProbability(alpha));
+        }
+        let c = self.child.cardinality();
+        let mut table = Vec::with_capacity(self.counts.len() * c);
+        for row in &self.counts {
+            let total: f64 = row.iter().sum();
+            if total + alpha * c as f64 <= 0.0 {
+                table.extend(std::iter::repeat(1.0 / c as f64).take(c));
+            } else {
+                let denom = total + alpha * c as f64;
+                table.extend(row.iter().map(|&n| (n + alpha) / denom));
+            }
+        }
+        TableCpd::new(self.child, self.parents.clone(), table)
+    }
+}
+
+/// Learns a full set of table CPDs from complete data.
+///
+/// `data` holds one row per observation; `columns` names the variable of
+/// each column. For every `(child, parents)` pair in `structure` the
+/// estimator counts co-occurrences and emits a smoothed CPD.
+///
+/// # Errors
+///
+/// Returns [`BayesError::InvalidTrainingData`] when the data are empty or
+/// rows have the wrong width, plus per-observation errors.
+pub fn learn_table_cpds(
+    columns: &[Variable],
+    data: &[Vec<usize>],
+    structure: &[(Variable, Vec<Variable>)],
+    alpha: f64,
+) -> Result<Vec<TableCpd>, BayesError> {
+    if data.is_empty() {
+        return Err(BayesError::InvalidTrainingData("empty data set".into()));
+    }
+    let col_of: HashMap<usize, usize> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.id(), i))
+        .collect();
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != columns.len() {
+            return Err(BayesError::InvalidTrainingData(format!(
+                "row {i} has {} columns, expected {}",
+                row.len(),
+                columns.len()
+            )));
+        }
+    }
+    let mut out = Vec::with_capacity(structure.len());
+    for (child, parents) in structure {
+        let child_col = *col_of
+            .get(&child.id())
+            .ok_or(BayesError::UnknownVariable(child.id()))?;
+        let parent_cols: Vec<usize> = parents
+            .iter()
+            .map(|p| {
+                col_of
+                    .get(&p.id())
+                    .copied()
+                    .ok_or(BayesError::UnknownVariable(p.id()))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut est = CpdEstimator::new(*child, parents.clone());
+        for row in data {
+            let parent_states: Vec<usize> = parent_cols.iter().map(|&c| row[c]).collect();
+            est.observe(&parent_states, row[child_col])?;
+        }
+        out.push(est.estimate(alpha)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mle_recovers_frequencies() {
+        let child = Variable::new(0, 3);
+        let mut est = CpdEstimator::new(child, vec![]);
+        for _ in 0..6 {
+            est.observe(&[], 0).unwrap();
+        }
+        for _ in 0..3 {
+            est.observe(&[], 1).unwrap();
+        }
+        est.observe(&[], 2).unwrap();
+        let cpd = est.estimate(0.0).unwrap();
+        assert!((cpd.prob(&[], 0).unwrap() - 0.6).abs() < 1e-12);
+        assert!((cpd.prob(&[], 1).unwrap() - 0.3).abs() < 1e-12);
+        assert!((cpd.prob(&[], 2).unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_smoothing_avoids_zeros() {
+        let parent = Variable::new(0, 2);
+        let child = Variable::new(1, 2);
+        let mut est = CpdEstimator::new(child, vec![parent]);
+        est.observe(&[0], 0).unwrap();
+        est.observe(&[0], 0).unwrap();
+        let cpd = est.estimate(1.0).unwrap();
+        // (0 + 1) / (2 + 2) for the unseen state.
+        assert!((cpd.prob(&[0], 1).unwrap() - 0.25).abs() < 1e-12);
+        // Unseen parent row: uniform via pure smoothing.
+        assert!((cpd.prob(&[1], 0).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_row_without_smoothing_is_uniform() {
+        let child = Variable::new(0, 4);
+        let est = CpdEstimator::new(child, vec![]);
+        let cpd = est.estimate(0.0).unwrap();
+        for s in 0..4 {
+            assert!((cpd.prob(&[], s).unwrap() - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_observations() {
+        let child = Variable::new(0, 2);
+        let mut est = CpdEstimator::new(child, vec![]);
+        est.observe_weighted(&[], 0, 3.0).unwrap();
+        est.observe_weighted(&[], 1, 1.0).unwrap();
+        let cpd = est.estimate(0.0).unwrap();
+        assert!((cpd.prob(&[], 0).unwrap() - 0.75).abs() < 1e-12);
+        assert!(est.observe_weighted(&[], 0, -1.0).is_err());
+        assert!((est.row_total(&[]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_observations() {
+        let parent = Variable::new(0, 2);
+        let child = Variable::new(1, 2);
+        let mut est = CpdEstimator::new(child, vec![parent]);
+        assert!(est.observe(&[2], 0).is_err());
+        assert!(est.observe(&[0], 2).is_err());
+        assert!(est.observe(&[], 0).is_err());
+        assert!(est.estimate(-1.0).is_err());
+    }
+
+    #[test]
+    fn learn_full_structure_from_data() {
+        let a = Variable::new(0, 2);
+        let b = Variable::new(1, 2);
+        // b follows a 80% of the time in this data set.
+        let data = vec![
+            vec![0, 0],
+            vec![0, 0],
+            vec![0, 0],
+            vec![0, 0],
+            vec![0, 1],
+            vec![1, 1],
+            vec![1, 1],
+            vec![1, 1],
+            vec![1, 1],
+            vec![1, 0],
+        ];
+        let cpds = learn_table_cpds(
+            &[a, b],
+            &data,
+            &[(a, vec![]), (b, vec![a])],
+            0.0,
+        )
+        .unwrap();
+        assert!((cpds[0].prob(&[], 0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((cpds[1].prob(&[0], 0).unwrap() - 0.8).abs() < 1e-12);
+        assert!((cpds[1].prob(&[1], 1).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learn_rejects_bad_data() {
+        let a = Variable::new(0, 2);
+        assert!(learn_table_cpds(&[a], &[], &[(a, vec![])], 0.0).is_err());
+        assert!(learn_table_cpds(&[a], &[vec![0, 1]], &[(a, vec![])], 0.0).is_err());
+        let ghost = Variable::new(9, 2);
+        assert!(learn_table_cpds(&[a], &[vec![0]], &[(ghost, vec![])], 0.0).is_err());
+    }
+
+    #[test]
+    fn learned_cpd_converges_with_more_data() {
+        // Draw from a known conditional and verify the estimate tightens.
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Variable::new(0, 2);
+        let b = Variable::new(1, 2);
+        let p_b_given_a = [0.9, 0.3]; // P(b=1 | a)
+        let mut data = Vec::new();
+        for _ in 0..20_000 {
+            let s_a = usize::from(rng.gen::<f64>() < 0.4);
+            let s_b = usize::from(rng.gen::<f64>() < p_b_given_a[s_a]);
+            data.push(vec![s_a, s_b]);
+        }
+        let cpds = learn_table_cpds(&[a, b], &data, &[(b, vec![a])], 1.0).unwrap();
+        assert!((cpds[0].prob(&[0], 1).unwrap() - 0.9).abs() < 0.02);
+        assert!((cpds[0].prob(&[1], 1).unwrap() - 0.3).abs() < 0.02);
+    }
+}

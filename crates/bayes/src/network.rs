@@ -1,0 +1,333 @@
+//! Discrete Bayesian networks: a DAG of variables with one CPD each.
+
+use crate::cpd::{Cpd, NoisyOrCpd, TableCpd};
+use crate::error::BayesError;
+use crate::factor::Factor;
+use crate::variable::{Variable, VariablePool};
+use std::collections::HashMap;
+
+/// Builder for [`DiscreteBayesNet`].
+///
+/// Declare variables first, then attach exactly one CPD per variable, then
+/// [`BayesNetBuilder::build`], which validates acyclicity and completeness.
+#[derive(Debug, Default)]
+pub struct BayesNetBuilder {
+    pool: VariablePool,
+    cpds: HashMap<usize, Cpd>,
+}
+
+impl BayesNetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        BayesNetBuilder::default()
+    }
+
+    /// Declares a fresh variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinality` is zero.
+    pub fn variable(&mut self, name: impl Into<String>, cardinality: usize) -> Variable {
+        self.pool.variable(name, cardinality)
+    }
+
+    /// Attaches a table CPD to `child`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPD validation errors, [`BayesError::UnknownVariable`]
+    /// for undeclared variables and [`BayesError::DuplicateCpd`] when the
+    /// child already has one.
+    pub fn table_cpd(
+        &mut self,
+        child: Variable,
+        parents: &[Variable],
+        table: &[f64],
+    ) -> Result<&mut Self, BayesError> {
+        let cpd = TableCpd::new(child, parents.to_vec(), table.to_vec())?;
+        self.attach(cpd.into())
+    }
+
+    /// Attaches a noisy-OR CPD to `child`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPD validation errors and the same structural errors as
+    /// [`BayesNetBuilder::table_cpd`].
+    pub fn noisy_or_cpd(
+        &mut self,
+        child: Variable,
+        parents: &[Variable],
+        activation: Vec<Vec<f64>>,
+        leak: f64,
+    ) -> Result<&mut Self, BayesError> {
+        let cpd = NoisyOrCpd::new(child, parents.to_vec(), activation, leak)?;
+        self.attach(cpd.into())
+    }
+
+    /// Attaches an already-constructed CPD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::UnknownVariable`] for undeclared variables
+    /// and [`BayesError::DuplicateCpd`] for a second CPD on one child.
+    pub fn attach(&mut self, cpd: Cpd) -> Result<&mut Self, BayesError> {
+        let child = cpd.child();
+        self.check_declared(child)?;
+        for p in cpd.parents() {
+            self.check_declared(*p)?;
+        }
+        if self.cpds.contains_key(&child.id()) {
+            return Err(BayesError::DuplicateCpd(child.id()));
+        }
+        self.cpds.insert(child.id(), cpd);
+        Ok(self)
+    }
+
+    fn check_declared(&self, var: Variable) -> Result<(), BayesError> {
+        match self.pool.get(var.id()) {
+            Some(declared) if declared.cardinality() == var.cardinality() => Ok(()),
+            Some(declared) => Err(BayesError::CardinalityMismatch {
+                variable: var.id(),
+                expected: declared.cardinality(),
+                found: var.cardinality(),
+            }),
+            None => Err(BayesError::UnknownVariable(var.id())),
+        }
+    }
+
+    /// Validates and finalises the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::UnknownVariable`] when a declared variable
+    /// lacks a CPD and [`BayesError::CyclicStructure`] when the parent
+    /// relation has a cycle.
+    pub fn build(self) -> Result<DiscreteBayesNet, BayesError> {
+        let n = self.pool.len();
+        for id in 0..n {
+            if !self.cpds.contains_key(&id) {
+                return Err(BayesError::UnknownVariable(id));
+            }
+        }
+        // Kahn's algorithm for the topological order.
+        let mut indegree = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, cpd) in &self.cpds {
+            indegree[*id] = cpd.parents().len();
+            for p in cpd.parents() {
+                children[p.id()].push(*id);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        queue.sort_unstable();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            topo.push(v);
+            for &c in &children[v] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(BayesError::CyclicStructure);
+        }
+        Ok(DiscreteBayesNet {
+            pool: self.pool,
+            cpds: self.cpds,
+            topo_order: topo,
+        })
+    }
+}
+
+/// A validated discrete Bayesian network.
+///
+/// See the crate-level example for construction and querying.
+#[derive(Debug, Clone)]
+pub struct DiscreteBayesNet {
+    pool: VariablePool,
+    cpds: HashMap<usize, Cpd>,
+    topo_order: Vec<usize>,
+}
+
+impl DiscreteBayesNet {
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// All variables in declaration order.
+    pub fn variables(&self) -> Vec<Variable> {
+        (0..self.pool.len())
+            .map(|id| self.pool.get(id).expect("pool ids are dense"))
+            .collect()
+    }
+
+    /// The variable with the given ID.
+    pub fn variable(&self, id: usize) -> Option<Variable> {
+        self.pool.get(id)
+    }
+
+    /// A variable's name.
+    pub fn name(&self, var: Variable) -> Option<&str> {
+        self.pool.name(var)
+    }
+
+    /// The CPD of `var`.
+    pub fn cpd(&self, var: Variable) -> Option<&Cpd> {
+        self.cpds.get(&var.id())
+    }
+
+    /// Variables in a topological order (parents before children).
+    pub fn topological_order(&self) -> Vec<Variable> {
+        self.topo_order
+            .iter()
+            .map(|&id| self.pool.get(id).expect("pool ids are dense"))
+            .collect()
+    }
+
+    /// All CPDs converted to factors.
+    pub fn factors(&self) -> Vec<Factor> {
+        self.topo_order
+            .iter()
+            .map(|id| self.cpds[id].to_factor())
+            .collect()
+    }
+
+    /// The full joint distribution as a single factor. Exponential in the
+    /// number of variables — intended for tests and small models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-product errors (none expected on a validated
+    /// network).
+    pub fn joint(&self) -> Result<Factor, BayesError> {
+        let mut joint = Factor::unit();
+        for f in self.factors() {
+            joint = joint.product(&f)?;
+        }
+        Ok(joint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sprinkler() -> (DiscreteBayesNet, Variable, Variable, Variable) {
+        let mut b = BayesNetBuilder::new();
+        let rain = b.variable("rain", 2);
+        let sprinkler = b.variable("sprinkler", 2);
+        let wet = b.variable("wet", 2);
+        b.table_cpd(rain, &[], &[0.8, 0.2]).unwrap();
+        b.table_cpd(sprinkler, &[rain], &[0.6, 0.4, 0.99, 0.01])
+            .unwrap();
+        b.table_cpd(
+            wet,
+            &[rain, sprinkler],
+            &[1.0, 0.0, 0.1, 0.9, 0.2, 0.8, 0.01, 0.99],
+        )
+        .unwrap();
+        (b.build().unwrap(), rain, sprinkler, wet)
+    }
+
+    #[test]
+    fn build_validates_missing_cpd() {
+        let mut b = BayesNetBuilder::new();
+        let a = b.variable("a", 2);
+        let _b2 = b.variable("b", 2);
+        b.table_cpd(a, &[], &[0.5, 0.5]).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(BayesError::UnknownVariable(1))
+        ));
+    }
+
+    #[test]
+    fn build_rejects_cycle() {
+        let mut b = BayesNetBuilder::new();
+        let a = b.variable("a", 2);
+        let c = b.variable("c", 2);
+        b.table_cpd(a, &[c], &[0.5, 0.5, 0.5, 0.5]).unwrap();
+        b.table_cpd(c, &[a], &[0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert!(matches!(b.build(), Err(BayesError::CyclicStructure)));
+    }
+
+    #[test]
+    fn attach_rejects_duplicate_and_unknown() {
+        let mut b = BayesNetBuilder::new();
+        let a = b.variable("a", 2);
+        b.table_cpd(a, &[], &[0.5, 0.5]).unwrap();
+        assert!(matches!(
+            b.table_cpd(a, &[], &[0.4, 0.6]),
+            Err(BayesError::DuplicateCpd(_))
+        ));
+        let ghost = Variable::new(42, 2);
+        assert!(matches!(
+            b.table_cpd(ghost, &[], &[0.5, 0.5]),
+            Err(BayesError::UnknownVariable(42))
+        ));
+    }
+
+    #[test]
+    fn attach_rejects_cardinality_lie() {
+        let mut b = BayesNetBuilder::new();
+        let _a = b.variable("a", 2);
+        let lie = Variable::new(0, 3);
+        assert!(matches!(
+            b.table_cpd(lie, &[], &[0.2, 0.3, 0.5]),
+            Err(BayesError::CardinalityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn topological_order_respects_parents() {
+        let (net, rain, sprinkler, wet) = sprinkler();
+        let topo = net.topological_order();
+        let pos = |v: Variable| topo.iter().position(|u| u.id() == v.id()).unwrap();
+        assert!(pos(rain) < pos(sprinkler));
+        assert!(pos(rain) < pos(wet));
+        assert!(pos(sprinkler) < pos(wet));
+    }
+
+    #[test]
+    fn joint_sums_to_one() {
+        let (net, ..) = sprinkler();
+        let joint = net.joint().unwrap();
+        assert_eq!(joint.values().len(), 8);
+        assert!((joint.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_matches_chain_rule() {
+        let (net, rain, sprinkler, wet) = sprinkler();
+        let joint = net.joint().unwrap();
+        // P(rain=1, sprinkler=0, wet=1) = 0.2 * 0.99 * 0.8
+        let p = joint
+            .value_at(&[(rain, 1), (sprinkler, 0), (wet, 1)])
+            .unwrap();
+        assert!((p - 0.2 * 0.99 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let (net, rain, ..) = sprinkler();
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+        assert_eq!(net.name(rain), Some("rain"));
+        assert!(net.cpd(rain).is_some());
+        assert_eq!(net.variables().len(), 3);
+        assert_eq!(net.variable(0), Some(rain));
+        assert_eq!(net.variable(9), None);
+    }
+}

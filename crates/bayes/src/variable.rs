@@ -1,0 +1,161 @@
+//! Discrete random variables.
+
+use std::fmt;
+
+/// A handle to a discrete random variable: an identifier plus its
+/// cardinality (number of states, `0..cardinality`).
+///
+/// Variables are lightweight and `Copy`; the owning
+/// [`crate::network::BayesNetBuilder`] keeps names and allocates unique
+/// IDs. Carrying the cardinality in the handle lets factor algebra verify
+/// shape agreement without a registry lookup.
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::variable::Variable;
+///
+/// let pose = Variable::new(0, 22);
+/// assert_eq!(pose.cardinality(), 22);
+/// assert!(pose.contains_state(21));
+/// assert!(!pose.contains_state(22));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable {
+    id: usize,
+    cardinality: usize,
+}
+
+impl Variable {
+    /// Creates a variable handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinality` is zero.
+    pub fn new(id: usize, cardinality: usize) -> Self {
+        assert!(cardinality > 0, "variable cardinality must be non-zero");
+        Variable { id, cardinality }
+    }
+
+    /// The variable's unique identifier.
+    pub fn id(self) -> usize {
+        self.id
+    }
+
+    /// Number of states.
+    pub fn cardinality(self) -> usize {
+        self.cardinality
+    }
+
+    /// Whether `state` lies in the variable's domain.
+    pub fn contains_state(self, state: usize) -> bool {
+        state < self.cardinality
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}(|{}|)", self.id, self.cardinality)
+    }
+}
+
+/// Allocates variables with unique IDs and remembers their names.
+///
+/// # Examples
+///
+/// ```
+/// use slj_bayes::variable::VariablePool;
+///
+/// let mut pool = VariablePool::new();
+/// let a = pool.variable("stage", 4);
+/// let b = pool.variable("pose", 22);
+/// assert_ne!(a.id(), b.id());
+/// assert_eq!(pool.name(a), Some("stage"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VariablePool {
+    names: Vec<String>,
+    cardinalities: Vec<usize>,
+}
+
+impl VariablePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        VariablePool::default()
+    }
+
+    /// Allocates a fresh variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinality` is zero.
+    pub fn variable(&mut self, name: impl Into<String>, cardinality: usize) -> Variable {
+        assert!(cardinality > 0, "variable cardinality must be non-zero");
+        let id = self.names.len();
+        self.names.push(name.into());
+        self.cardinalities.push(cardinality);
+        Variable { id, cardinality }
+    }
+
+    /// Name of a variable allocated from this pool.
+    pub fn name(&self, var: Variable) -> Option<&str> {
+        self.names.get(var.id()).map(String::as_str)
+    }
+
+    /// Number of variables allocated.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variable has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Re-creates the handle for a previously allocated ID.
+    pub fn get(&self, id: usize) -> Option<Variable> {
+        self.cardinalities.get(id).map(|&c| Variable {
+            id,
+            cardinality: c,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_accessors() {
+        let v = Variable::new(7, 3);
+        assert_eq!(v.id(), 7);
+        assert_eq!(v.cardinality(), 3);
+        assert!(v.contains_state(0));
+        assert!(v.contains_state(2));
+        assert!(!v.contains_state(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_cardinality_panics() {
+        Variable::new(0, 0);
+    }
+
+    #[test]
+    fn pool_allocates_sequential_ids() {
+        let mut pool = VariablePool::new();
+        let a = pool.variable("a", 2);
+        let b = pool.variable("b", 5);
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.name(b), Some("b"));
+        assert_eq!(pool.get(1), Some(b));
+        assert_eq!(pool.get(2), None);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Variable::new(4, 22).to_string(), "X4(|22|)");
+    }
+}

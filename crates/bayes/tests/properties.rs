@@ -1,0 +1,199 @@
+//! Property-based tests of the factor algebra, inference equivalence and
+//! learning consistency.
+
+use proptest::prelude::*;
+use slj_bayes::factor::Factor;
+use slj_bayes::inference::{Enumeration, VariableElimination};
+use slj_bayes::learning::CpdEstimator;
+use slj_bayes::network::BayesNetBuilder;
+use slj_bayes::variable::Variable;
+
+/// Strategy: a scope of 1..=3 variables with cardinalities 2..=4 and a
+/// matching non-negative value table.
+fn factor_strategy(id_base: usize) -> impl Strategy<Value = Factor> {
+    proptest::collection::vec(2usize..=4, 1..=3).prop_flat_map(move |cards| {
+        let size: usize = cards.iter().product();
+        let scope: Vec<Variable> = cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Variable::new(id_base + i, c))
+            .collect();
+        proptest::collection::vec(0.0f64..10.0, size)
+            .prop_map(move |values| Factor::new(scope.clone(), values).unwrap())
+    })
+}
+
+/// Strategy: a random 3-node chain network a -> b -> c with random CPDs.
+fn chain_network_strategy(
+) -> impl Strategy<Value = (slj_bayes::network::DiscreteBayesNet, Vec<Variable>)> {
+    let prob = 0.05f64..0.95;
+    (
+        prob.clone(),
+        proptest::collection::vec(0.05f64..0.95, 4),
+        proptest::collection::vec(0.05f64..0.95, 4),
+    )
+        .prop_map(|(pa, pb, pc)| {
+            let mut b = BayesNetBuilder::new();
+            let a = b.variable("a", 2);
+            let bb = b.variable("b", 2);
+            let c = b.variable("c", 2);
+            b.table_cpd(a, &[], &[pa, 1.0 - pa]).unwrap();
+            b.table_cpd(bb, &[a], &[pb[0], 1.0 - pb[0], pb[1], 1.0 - pb[1]])
+                .unwrap();
+            b.table_cpd(c, &[bb], &[pc[0], 1.0 - pc[0], pc[1], 1.0 - pc[1]])
+                .unwrap();
+            (b.build().unwrap(), vec![a, bb, c])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Factor product commutes (as a function of assignments).
+    #[test]
+    fn product_commutes(f in factor_strategy(0), g in factor_strategy(10)) {
+        let fg = f.product(&g).unwrap();
+        let gf = g.product(&f).unwrap();
+        // Compare at every joint assignment of the union scope.
+        let scope = fg.scope().to_vec();
+        let assignments =
+            slj_bayes::assignment::AssignmentIter::new(&scope);
+        for a in assignments {
+            let pairs: Vec<(Variable, usize)> =
+                scope.iter().copied().zip(a.iter().copied()).collect();
+            let x = fg.value_at(&pairs).unwrap();
+            let y = gf.value_at(&pairs).unwrap();
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Summing out all variables preserves the factor's total mass.
+    #[test]
+    fn sum_out_preserves_total(f in factor_strategy(0)) {
+        let total = f.total();
+        let mut g = f.clone();
+        for v in f.scope().to_vec() {
+            g = g.sum_out(v).unwrap();
+        }
+        prop_assert!((g.values()[0] - total).abs() < 1e-9 * total.max(1.0));
+    }
+
+    /// Elimination order does not matter.
+    #[test]
+    fn sum_out_order_independent(f in factor_strategy(0)) {
+        let scope = f.scope().to_vec();
+        if scope.len() >= 2 {
+            let ab = f.sum_out(scope[0]).unwrap().sum_out(scope[1]).unwrap();
+            let ba = f.sum_out(scope[1]).unwrap().sum_out(scope[0]).unwrap();
+            for (x, y) in ab.values().iter().zip(ba.values()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Reduce then sum equals selecting the slice of the summed factor.
+    #[test]
+    fn reduce_is_a_slice(f in factor_strategy(0), state in 0usize..2) {
+        let scope = f.scope().to_vec();
+        let v = scope[0];
+        let state = state.min(v.cardinality() - 1);
+        let reduced_total = f.reduce(v, state).unwrap().total();
+        // Summing all values where v == state must give the same mass.
+        let mut manual = 0.0;
+        for a in slj_bayes::assignment::AssignmentIter::new(&scope) {
+            if a[0] == state {
+                let pairs: Vec<(Variable, usize)> =
+                    scope.iter().copied().zip(a.iter().copied()).collect();
+                manual += f.value_at(&pairs).unwrap();
+            }
+        }
+        prop_assert!((reduced_total - manual).abs() < 1e-9);
+    }
+
+    /// Normalised factors sum to one (when not all-zero).
+    #[test]
+    fn normalized_sums_to_one(f in factor_strategy(0)) {
+        if f.total() > 0.0 {
+            let n = f.normalized().unwrap();
+            prop_assert!((n.total() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Variable elimination agrees with brute-force enumeration on
+    /// random chain networks and random evidence.
+    #[test]
+    fn ve_equals_enumeration(
+        (net, vars) in chain_network_strategy(),
+        query_idx in 0usize..3,
+        evidence_mask in 0u32..8,
+        evidence_vals in proptest::collection::vec(0usize..2, 3),
+    ) {
+        let query = vars[query_idx];
+        let evidence: Vec<(Variable, usize)> = (0..3)
+            .filter(|&i| evidence_mask >> i & 1 == 1 && i != query_idx)
+            .map(|i| (vars[i], evidence_vals[i]))
+            .collect();
+        let ve = VariableElimination::new(&net).posterior(query, &evidence);
+        let en = Enumeration::new(&net).posterior(query, &evidence);
+        match (ve, en) {
+            (Ok(a), Ok(b)) => {
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The joint distribution of any chain network sums to one.
+    #[test]
+    fn joint_is_normalized((net, _) in chain_network_strategy()) {
+        prop_assert!((net.joint().unwrap().total() - 1.0).abs() < 1e-9);
+    }
+
+    /// MLE with zero smoothing reproduces empirical frequencies.
+    #[test]
+    fn mle_matches_empirical(counts in proptest::collection::vec(1usize..30, 3)) {
+        let child = Variable::new(0, 3);
+        let mut est = CpdEstimator::new(child, vec![]);
+        for (state, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                est.observe(&[], state).unwrap();
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let cpd = est.estimate(0.0).unwrap();
+        for (state, &n) in counts.iter().enumerate() {
+            let p = cpd.prob(&[], state).unwrap();
+            prop_assert!((p - n as f64 / total as f64).abs() < 1e-12);
+        }
+    }
+
+    /// Laplace smoothing keeps every probability strictly positive and
+    /// rows normalised.
+    #[test]
+    fn smoothing_keeps_rows_stochastic(
+        counts in proptest::collection::vec(0usize..20, 4),
+        alpha in 0.01f64..5.0,
+    ) {
+        let parent = Variable::new(0, 2);
+        let child = Variable::new(1, 2);
+        let mut est = CpdEstimator::new(child, vec![parent]);
+        for (i, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                est.observe(&[i / 2], i % 2).unwrap();
+            }
+        }
+        let cpd = est.estimate(alpha).unwrap();
+        for p_state in 0..2 {
+            let mut row = 0.0;
+            for c_state in 0..2 {
+                let p = cpd.prob(&[p_state], c_state).unwrap();
+                prop_assert!(p > 0.0);
+                row += p;
+            }
+            prop_assert!((row - 1.0).abs() < 1e-9);
+        }
+    }
+}

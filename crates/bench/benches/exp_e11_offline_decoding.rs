@@ -1,0 +1,117 @@
+//! E11 — online filtering vs offline Viterbi decoding (extension).
+//!
+//! The paper's classifier is strictly online: each frame is decided
+//! immediately and the decision is handed to the next frame, which is
+//! why "a misclassified frame will still affect the classification of
+//! its subsequent frames" (Section 5). A teacher reviewing a recorded
+//! clip has hindsight: Viterbi decoding finds the jointly most probable
+//! (stage, pose) sequence given *all* frames. This experiment measures
+//! what that hindsight is worth — an ablation of the paper's online
+//! constraint, not a paper result.
+
+use slj_bench::{pct, print_table, MASTER_SEED};
+use slj_core::config::PipelineConfig;
+use slj_core::pipeline::FrameProcessor;
+use slj_core::training::Trainer;
+use slj_sim::{JumpSimulator, NoiseConfig};
+
+fn main() {
+    let sim = JumpSimulator::new(MASTER_SEED);
+    let noise = NoiseConfig::default();
+    let data = sim.paper_dataset(&noise);
+    let model = Trainer::new(PipelineConfig::default())
+        .train(&data.train)
+        .expect("train");
+
+    let mut rows = Vec::new();
+    let mut online_total = (0usize, 0usize);
+    let mut offline_total = (0usize, 0usize);
+    let mut smoothed_total = (0usize, 0usize);
+    let mut online_bursts: Vec<usize> = Vec::new();
+    let mut offline_bursts: Vec<usize> = Vec::new();
+
+    for (i, clip) in data.test.iter().enumerate() {
+        let processor =
+            FrameProcessor::new(clip.background.clone(), model.config()).expect("processor");
+        let features: Vec<_> = clip
+            .frames
+            .iter()
+            .map(|f| processor.process(f).expect("process").features)
+            .collect();
+
+        // Online (the paper's classifier).
+        let mut clf = model.start_clip();
+        let online: Vec<_> = features
+            .iter()
+            .map(|fv| clf.step(fv).expect("step").pose)
+            .collect();
+        // Offline (Viterbi with hindsight) and smoothed marginals.
+        let offline = model.decode_clip(&features).expect("decode");
+        let smoothed = model.smooth_clip(&features).expect("smooth");
+
+        let mut on_correct = 0usize;
+        let mut off_correct = 0usize;
+        let mut sm_correct = 0usize;
+        let mut on_run = 0usize;
+        let mut off_run = 0usize;
+        for (t, truth) in clip.truth.iter().enumerate() {
+            if online[t] == Some(truth.pose) {
+                if on_run > 0 {
+                    online_bursts.push(on_run);
+                }
+                on_run = 0;
+                on_correct += 1;
+            } else {
+                on_run += 1;
+            }
+            if offline[t].1 == truth.pose {
+                if off_run > 0 {
+                    offline_bursts.push(off_run);
+                }
+                off_run = 0;
+                off_correct += 1;
+            } else {
+                off_run += 1;
+            }
+            if smoothed[t].1 == truth.pose {
+                sm_correct += 1;
+            }
+        }
+        if on_run > 0 {
+            online_bursts.push(on_run);
+        }
+        if off_run > 0 {
+            offline_bursts.push(off_run);
+        }
+        online_total.0 += on_correct;
+        online_total.1 += clip.len();
+        offline_total.0 += off_correct;
+        offline_total.1 += clip.len();
+        smoothed_total.0 += sm_correct;
+        smoothed_total.1 += clip.len();
+        rows.push(vec![
+            format!("test clip {}", i + 1),
+            pct(on_correct as f64 / clip.len() as f64),
+            pct(sm_correct as f64 / clip.len() as f64),
+            pct(off_correct as f64 / clip.len() as f64),
+        ]);
+    }
+    rows.push(vec![
+        "overall".into(),
+        pct(online_total.0 as f64 / online_total.1 as f64),
+        pct(smoothed_total.0 as f64 / smoothed_total.1 as f64),
+        pct(offline_total.0 as f64 / offline_total.1 as f64),
+    ]);
+    print_table(
+        "E11: online filtering (the paper) vs offline decoding (extension)",
+        &["clip", "online (per-frame commit)", "smoothed marginals", "Viterbi sequence"],
+        &rows,
+    );
+    let longest = |b: &[usize]| b.iter().copied().max().unwrap_or(0);
+    println!(
+        "longest error burst: online {} frames, offline {} frames",
+        longest(&online_bursts),
+        longest(&offline_bursts)
+    );
+    println!("expected shape: hindsight shortens the consecutive-error bursts the paper reports");
+}

@@ -1,0 +1,84 @@
+//! E12 — thinning-algorithm ablation (extension).
+//!
+//! The paper motivates the Z-S algorithm as "fast" and free of the
+//! break-line problem but never compares alternatives. This experiment
+//! swaps in Guo-Hall (the other classical two-sub-iteration parallel
+//! thinning) and measures skeleton shape, centredness (mean chamfer
+//! depth inside the silhouette), per-frame cost and end-to-end headline
+//! accuracy.
+
+use slj_bench::{pct, print_table, run_headline, MASTER_SEED};
+use slj_core::config::PipelineConfig;
+use slj_core::pipeline::FrameProcessor;
+use slj_imaging::distance::mean_interior_depth;
+use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+use slj_skeleton::pipeline::SkeletonConfig;
+use slj_skeleton::thinning::ThinningAlgorithm;
+use std::time::Instant;
+
+fn main() {
+    let sim = JumpSimulator::new(MASTER_SEED);
+    let noise = NoiseConfig::default();
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 44,
+        seed: 17,
+        noise,
+        ..ClipSpec::default()
+    });
+
+    let mut rows = Vec::new();
+    for (label, algorithm) in [
+        ("Zhang-Suen (the paper)", ThinningAlgorithm::ZhangSuen),
+        ("Guo-Hall", ThinningAlgorithm::GuoHall),
+    ] {
+        let config = PipelineConfig {
+            skeleton: SkeletonConfig {
+                algorithm,
+                ..SkeletonConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let processor =
+            FrameProcessor::new(clip.background.clone(), &config).expect("processor");
+        let mut px = 0usize;
+        let mut passes = 0usize;
+        let mut depth = 0.0f64;
+        let mut depth_n = 0usize;
+        let t0 = Instant::now();
+        for frame in &clip.frames {
+            let silhouette = processor.extract_silhouette(frame).expect("extract");
+            let result = slj_skeleton::pipeline::SkeletonPipeline::new(config.skeleton)
+                .run(&silhouette);
+            px += result.skeleton.count_ones();
+            passes += result.stats.thinning_passes;
+            if let Some(d) = mean_interior_depth(&silhouette, &result.skeleton) {
+                depth += d;
+                depth_n += 1;
+            }
+        }
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0 / clip.len() as f64;
+        let headline = run_headline(MASTER_SEED, &noise, &config).expect("headline");
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", px as f64 / clip.len() as f64),
+            format!("{:.1}", passes as f64 / clip.len() as f64),
+            format!("{:.2} px", depth / depth_n.max(1) as f64),
+            format!("{elapsed_ms:.2} ms"),
+            pct(headline.overall),
+        ]);
+    }
+    print_table(
+        "E12: thinning-algorithm ablation (Zhang-Suen vs Guo-Hall)",
+        &[
+            "algorithm",
+            "skeleton px/frame",
+            "passes/frame",
+            "mean interior depth",
+            "front-end time/frame",
+            "headline accuracy",
+        ],
+        &rows,
+    );
+    println!("expected shape: both algorithms support the pipeline; the paper's Z-S choice is");
+    println!("not load-bearing (any connectivity-preserving parallel thinning works)");
+}

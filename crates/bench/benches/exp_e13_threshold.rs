@@ -1,0 +1,77 @@
+//! E13 — the `Th_Object` constant (extension).
+//!
+//! Section 2 fixes "The value of Th_Object is 20 here" with no
+//! justification. This experiment sweeps the constant and compares
+//! against per-frame Otsu threshold selection: how sensitive is the
+//! system to the magic number, and does removing it cost anything?
+
+use slj_bench::{pct, print_table, run_headline, MASTER_SEED};
+use slj_core::config::PipelineConfig;
+use slj_imaging::background::{BackgroundSubtractor, ExtractionConfig};
+use slj_imaging::metrics::MaskMetrics;
+use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+fn main() {
+    let sim = JumpSimulator::new(MASTER_SEED);
+    let noise = NoiseConfig::default();
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 44,
+        seed: 23,
+        noise,
+        ..ClipSpec::default()
+    });
+
+    let mut rows = Vec::new();
+    let cases: Vec<(String, ExtractionConfig)> = [5u8, 10, 20, 40, 80, 140]
+        .into_iter()
+        .map(|th| {
+            (
+                format!("fixed Th_Object = {th}{}", if th == 20 { " (paper)" } else { "" }),
+                ExtractionConfig {
+                    th_object: th,
+                    ..ExtractionConfig::default()
+                },
+            )
+        })
+        .chain(std::iter::once((
+            "Otsu per frame (automatic)".to_string(),
+            ExtractionConfig {
+                auto_threshold: true,
+                ..ExtractionConfig::default()
+            },
+        )))
+        .collect();
+
+    for (label, extraction) in cases {
+        let sub = BackgroundSubtractor::new(clip.background.clone(), extraction)
+            .expect("extractor");
+        let mut iou = 0.0;
+        for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
+            let mask = sub.extract(frame).expect("extract");
+            iou += MaskMetrics::compare(&mask, &truth.silhouette)
+                .expect("metrics")
+                .iou();
+        }
+        let config = PipelineConfig {
+            extraction,
+            ..PipelineConfig::default()
+        };
+        let headline = run_headline(MASTER_SEED, &noise, &config).expect("headline");
+        rows.push(vec![
+            label,
+            format!("{:.3}", iou / clip.len() as f64),
+            pct(headline.overall),
+        ]);
+    }
+    print_table(
+        "E13: Th_Object sensitivity and automatic (Otsu) thresholding",
+        &["threshold", "raw silhouette IoU", "headline accuracy"],
+        &rows,
+    );
+    println!("expected shape: a broad plateau around the paper's 20 — the normalisation step");
+    println!("makes the exact constant uncritical, and accuracy only collapses when the");
+    println!("threshold starts eating the body itself. Otsu splits mid-gradient on the");
+    println!("window-averaged soft borders (lower silhouette IoU), but the angular encoding");
+    println!("is robust to the thinner silhouette, so end-to-end accuracy stays on the");
+    println!("plateau: the magic constant buys nothing over automatic selection");
+}

@@ -1,0 +1,65 @@
+//! E14 — jumper-size invariance (extension).
+//!
+//! The paper's feature encoding is purely angular: key points are coded
+//! by which area of the waist-centred plane they occupy, so the features
+//! should be invariant to the jumper's size. This experiment verifies
+//! that design property end-to-end: train on medium-sized jumpers, test
+//! on smaller and larger ones.
+
+use slj_bench::{pct, print_table, MASTER_SEED};
+use slj_core::config::PipelineConfig;
+use slj_core::evaluation::evaluate;
+use slj_core::training::Trainer;
+use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+fn main() {
+    let sim = JumpSimulator::new(MASTER_SEED);
+    let noise = NoiseConfig::default();
+    // Train on the paper's dataset (body scales 0.92–1.04).
+    let data = sim.paper_dataset(&noise);
+    let model = Trainer::new(PipelineConfig::default())
+        .train(&data.train)
+        .expect("train");
+
+    let mut rows = Vec::new();
+    for (label, scale) in [
+        ("smaller child (0.80x)", 0.80f64),
+        ("small child (0.90x)", 0.90),
+        ("training range (1.00x)", 1.00),
+        ("larger child (1.12x)", 1.12),
+        ("out of range (1.25x)", 1.25),
+    ] {
+        let clips: Vec<_> = (0..3)
+            .map(|i| {
+                sim.generate_clip(&ClipSpec {
+                    total_frames: 45,
+                    seed: 7000 + i,
+                    body_scale: scale,
+                    noise,
+                    rare_poses: i == 1,
+                    ..ClipSpec::default()
+                })
+            })
+            .collect();
+        let report = evaluate(&model, &clips).expect("evaluate");
+        rows.push(vec![
+            label.to_string(),
+            report
+                .per_clip_accuracy()
+                .iter()
+                .map(|&a| pct(a))
+                .collect::<Vec<_>>()
+                .join(" / "),
+            pct(report.overall_accuracy()),
+        ]);
+    }
+    print_table(
+        "E14: accuracy vs jumper size (trained on 0.92x-1.04x bodies)",
+        &["test jumper size", "per-clip accuracy", "overall"],
+        &rows,
+    );
+    println!("expected shape: the angular area encoding is scale-invariant, so accuracy");
+    println!("stays within a few points of the in-range value across the whole size sweep;");
+    println!("mild degradation at the extremes comes from the pipeline's absolute-pixel");
+    println!("constants (the 10-px branch prune threshold, limb thickness vs thinning)");
+}

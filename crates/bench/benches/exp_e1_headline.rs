@@ -1,0 +1,53 @@
+//! E1 — the paper's headline evaluation (Section 5).
+//!
+//! "Twelve video clips are used as the training set and three others are
+//! used as the test set [...] 522 frames in the training set and 135
+//! frames in the test set. [...] The overall accuracy is from 81% to 87%
+//! for the three test video clips."
+
+use slj_bench::{default_setup, pct, print_table, run_headline, MASTER_SEED};
+
+fn main() {
+    let (noise, config) = default_setup();
+    let result = run_headline(MASTER_SEED, &noise, &config).expect("headline run");
+    let mut rows: Vec<Vec<String>> = result
+        .per_clip
+        .iter()
+        .enumerate()
+        .map(|(i, &acc)| {
+            vec![
+                format!("test clip {}", i + 1),
+                result.report.clips[i].total.to_string(),
+                pct(acc),
+                "81%-87%".to_string(),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "overall".into(),
+        result
+            .report
+            .clips
+            .iter()
+            .map(|c| c.total)
+            .sum::<usize>()
+            .to_string(),
+        pct(result.overall),
+        "81%-87%".into(),
+    ]);
+    print_table(
+        "E1: per-clip pose-estimation accuracy (paper Section 5)",
+        &["clip", "frames", "measured", "paper"],
+        &rows,
+    );
+    println!(
+        "unknown frames: {}   (12 train clips / 522 frames, 3 test clips / 135 frames)",
+        result.unknown
+    );
+    let in_band = result
+        .per_clip
+        .iter()
+        .filter(|&&a| (0.78..=0.92).contains(&a))
+        .count();
+    println!("clips within +/-3pp of the paper's band: {in_band}/3");
+}

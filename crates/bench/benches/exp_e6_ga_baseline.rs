@@ -1,0 +1,125 @@
+//! E6 — the genetic-algorithm baseline the thinning approach replaces
+//! (paper Section 1).
+//!
+//! "The search process of the genetic algorithm is very time-consuming.
+//! Therefore, the thinning algorithm is utilized instead [...] Although
+//! the generated skeleton is somewhat rough and not as precise as the
+//! predefined stick model, the result still can provide meaningful
+//! information about the pose."
+//!
+//! Measured: per-frame wall time and key-point error for the GA
+//! stick-model fit vs the full thinning pipeline, on the same extracted
+//! silhouettes.
+
+use rand::SeedableRng;
+use slj_bench::{print_table, MASTER_SEED};
+use slj_core::config::PipelineConfig;
+use slj_core::pipeline::FrameProcessor;
+use slj_ga::{GaConfig, GaFitter};
+use slj_sim::body::BodyModel;
+use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+use std::time::Instant;
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+fn main() {
+    let sim = JumpSimulator::new(MASTER_SEED);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 44,
+        seed: 11,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    let config = PipelineConfig::default();
+    let processor =
+        FrameProcessor::new(clip.background.clone(), &config).expect("processor");
+
+    // Sample every 4th frame to keep the GA runtime reasonable.
+    let sample: Vec<usize> = (0..clip.len()).step_by(4).collect();
+    let body = BodyModel::default().scaled(1.0);
+    let fitter = GaFitter::new(body, GaConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(MASTER_SEED);
+
+    let mut ga_time = 0.0f64;
+    let mut ga_err = 0.0f64;
+    let mut ga_points = 0usize;
+    let mut thin_time = 0.0f64;
+    let mut thin_err = 0.0f64;
+    let mut thin_points = 0usize;
+
+    for &i in &sample {
+        let truth = &clip.truth[i];
+        let gt = &truth.skeleton;
+        let gt_foot = if gt.foot_front.1 >= gt.foot_back.1 {
+            gt.foot_front
+        } else {
+            gt.foot_back
+        };
+        let silhouette = processor
+            .extract_silhouette(&clip.frames[i])
+            .expect("extract");
+
+        // GA baseline.
+        let t0 = Instant::now();
+        let fit = fitter.fit(&silhouette, &mut rng);
+        ga_time += t0.elapsed().as_secs_f64();
+        let s = fit.skeleton(&body);
+        for (found, truth_pt) in [
+            (s.head, gt.head),
+            (s.hand, gt.hand),
+            (s.knee_front, gt.knee_front),
+            (s.foot_front, gt_foot),
+        ] {
+            ga_err += dist(found, truth_pt);
+            ga_points += 1;
+        }
+
+        // Thinning pipeline (extraction excluded from both timings).
+        let t1 = Instant::now();
+        let processed = processor.process_silhouette(&silhouette);
+        thin_time += t1.elapsed().as_secs_f64();
+        let kp = processed.keypoints;
+        for (found, truth_pt) in [
+            (kp.head, gt.head),
+            (kp.hand, gt.hand),
+            (kp.knee, gt.knee_front),
+            (kp.foot, gt_foot),
+        ] {
+            if let Some(p) = found {
+                thin_err += dist(p, truth_pt);
+                thin_points += 1;
+            }
+        }
+    }
+
+    let n = sample.len() as f64;
+    let rows = vec![
+        vec![
+            "GA stick-model fit [1]".to_string(),
+            format!("{:.1} ms", 1000.0 * ga_time / n),
+            format!("{:.1} px", ga_err / ga_points as f64),
+            "yes (stick sizes)".to_string(),
+        ],
+        vec![
+            "Z-S thinning pipeline (this paper)".to_string(),
+            format!("{:.1} ms", 1000.0 * thin_time / n),
+            format!("{:.1} px", thin_err / thin_points.max(1) as f64),
+            "no".to_string(),
+        ],
+    ];
+    print_table(
+        "E6: GA baseline vs thinning pipeline (paper Section 1 motivation)",
+        &["method", "per-frame time", "mean key-point error", "needs user input"],
+        &rows,
+    );
+    println!(
+        "speedup: {:.0}x   ({} frames sampled; GA: pop {}, {} generations)",
+        ga_time / thin_time.max(1e-9),
+        sample.len(),
+        GaConfig::default().population,
+        GaConfig::default().generations,
+    );
+    println!("expected shape: thinning orders of magnitude faster at comparable error");
+}

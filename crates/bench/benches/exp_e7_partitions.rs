@@ -1,0 +1,40 @@
+//! E7 — feature-encoding granularity (paper Section 6, future work).
+//!
+//! "Also, more partitions instead of just eight as shown in Figure 6 can
+//! be used for feature encoding. More information would further improve
+//! the classification results." This experiment sweeps the partition
+//! count.
+
+use slj_bench::{pct, print_table, run_headline, MASTER_SEED};
+use slj_core::config::PipelineConfig;
+use slj_sim::NoiseConfig;
+
+fn main() {
+    let noise = NoiseConfig::default();
+    let mut rows = Vec::new();
+    for partitions in [4u8, 6, 8, 12, 16] {
+        let config = PipelineConfig {
+            partitions,
+            ..PipelineConfig::default()
+        };
+        let result = run_headline(MASTER_SEED, &noise, &config).expect("run");
+        let marker = if partitions == 8 { " (paper)" } else { "" };
+        rows.push(vec![
+            format!("{partitions}{marker}"),
+            result
+                .per_clip
+                .iter()
+                .map(|&a| pct(a))
+                .collect::<Vec<_>>()
+                .join(" / "),
+            pct(result.overall),
+            result.unknown.to_string(),
+        ]);
+    }
+    print_table(
+        "E7: accuracy vs number of angular areas (paper Section 6 future work)",
+        &["partitions", "per-clip accuracy", "overall", "unknown"],
+        &rows,
+    );
+    println!("expected shape: finer encodings help up to a point, then data sparsity (522 training frames) bites");
+}

@@ -1,0 +1,69 @@
+//! E8 — error locality and the carry-forward rule (paper Section 5).
+//!
+//! "When an 'Unknown' or a misclassification appears, it will affect the
+//! inference of the subsequent frame. So the previous pose for the next
+//! frame should be set to the pose that is recognized most recently
+//! instead of 'Unknown' [...] But a misclassified frame will still
+//! affect the classification of its subsequent frames. Most errors in
+//! our experiments occurred in consecutive frames."
+
+use slj_bench::{pct, print_table, run_headline, MASTER_SEED};
+use slj_core::config::PipelineConfig;
+use slj_sim::NoiseConfig;
+
+fn main() {
+    let noise = NoiseConfig::default();
+
+    // Part 1: burst-length histogram at the default threshold.
+    let result =
+        run_headline(MASTER_SEED, &noise, &PipelineConfig::default()).expect("run");
+    let bursts = result.report.error_bursts();
+    let max_len = bursts.iter().copied().max().unwrap_or(0);
+    let mut rows = Vec::new();
+    for len in 1..=max_len {
+        let count = bursts.iter().filter(|&&b| b == len).count();
+        if count > 0 {
+            rows.push(vec![
+                len.to_string(),
+                count.to_string(),
+                (len * count).to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "E8a: error-burst length histogram (paper: 'most errors occurred in consecutive frames')",
+        &["burst length", "bursts", "error frames"],
+        &rows,
+    );
+    println!(
+        "fraction of error frames inside bursts of >=2 consecutive errors: {}",
+        pct(result.report.burst_error_fraction(2))
+    );
+
+    // Part 2: carry-forward ablation at a stricter threshold (which
+    // produces Unknown frames for the rule to act on).
+    let mut rows2 = Vec::new();
+    for th in [0.25f64, 0.5, 0.7] {
+        for carry in [true, false] {
+            let config = PipelineConfig {
+                th_pose: th,
+                carry_forward: carry,
+                ..PipelineConfig::default()
+            };
+            let r = run_headline(MASTER_SEED, &noise, &config).expect("run");
+            rows2.push(vec![
+                format!("{th:.2}"),
+                if carry { "carry last recognised" } else { "commit rejected argmax" }
+                    .to_string(),
+                pct(r.overall),
+                r.unknown.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "E8b: Th_Pose and the carry-forward rule for Unknown frames",
+        &["Th_Pose", "unknown handling", "overall accuracy", "unknown frames"],
+        &rows2,
+    );
+    println!("expected shape: errors cluster in bursts; higher thresholds create Unknowns and carry-forward limits the damage");
+}

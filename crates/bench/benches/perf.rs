@@ -1,0 +1,177 @@
+//! Criterion micro-benchmarks for the pipeline's building blocks.
+//!
+//! These back the performance claims: the paper picked Zhang-Suen
+//! thinning for being "fast", the Section 2 extractor for being "simple
+//! and fast", and replaced the GA because it was "very time-consuming".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use slj_bayes::inference::VariableElimination;
+use slj_bayes::network::BayesNetBuilder;
+use slj_core::config::PipelineConfig;
+use slj_core::pipeline::FrameProcessor;
+use slj_core::training::Trainer;
+use slj_ga::{GaConfig, GaFitter};
+use slj_imaging::background::BackgroundSubtractor;
+use slj_imaging::filter::median_filter_binary;
+use slj_sim::body::BodyModel;
+use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+use slj_skeleton::thinning::{guo_hall, zhang_suen};
+
+fn fixtures() -> (slj_sim::LabeledClip, PipelineConfig) {
+    let sim = JumpSimulator::new(slj_bench::MASTER_SEED);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 44,
+        seed: 1,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    (clip, PipelineConfig::default())
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let (clip, config) = fixtures();
+    let sub = BackgroundSubtractor::new(clip.background.clone(), config.extraction).unwrap();
+    let frame = clip.frames[20].clone();
+    c.bench_function("background_subtraction_160x120", |b| {
+        b.iter(|| sub.extract(&frame).unwrap())
+    });
+}
+
+fn bench_median(c: &mut Criterion) {
+    let (clip, _) = fixtures();
+    let mask = clip.truth[20].silhouette.clone();
+    c.bench_function("median_filter_binary_3x3", |b| {
+        b.iter(|| median_filter_binary(&mask, 3).unwrap())
+    });
+}
+
+fn bench_thinning(c: &mut Criterion) {
+    let (clip, _) = fixtures();
+    let mask = clip.truth[20].silhouette.clone();
+    c.bench_function("zhang_suen_thinning", |b| b.iter(|| zhang_suen(&mask)));
+    c.bench_function("guo_hall_thinning", |b| b.iter(|| guo_hall(&mask)));
+    c.bench_function("chamfer_distance_transform", |b| {
+        b.iter(|| slj_imaging::distance::chamfer_distance(&mask))
+    });
+}
+
+fn bench_offline_decoding(c: &mut Criterion) {
+    let (clip, config) = fixtures();
+    let sim = JumpSimulator::new(slj_bench::MASTER_SEED);
+    let data = sim.paper_dataset(&NoiseConfig::default());
+    let model = Trainer::new(config.clone()).train(&data.train[..4]).unwrap();
+    let processor = FrameProcessor::new(clip.background.clone(), &config).unwrap();
+    let features: Vec<_> = clip
+        .frames
+        .iter()
+        .map(|f| processor.process(f).unwrap().features)
+        .collect();
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(20);
+    group.bench_function("viterbi_decode_44_frames", |b| {
+        b.iter(|| model.decode_clip(&features).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_model_io(c: &mut Criterion) {
+    let (_, config) = fixtures();
+    let sim = JumpSimulator::new(slj_bench::MASTER_SEED);
+    let data = sim.paper_dataset(&NoiseConfig::default());
+    let model = Trainer::new(config).train(&data.train[..4]).unwrap();
+    let text = slj_core::model_io::to_string(&model);
+    c.bench_function("model_serialize", |b| {
+        b.iter(|| slj_core::model_io::to_string(&model))
+    });
+    c.bench_function("model_parse", |b| {
+        b.iter(|| slj_core::model_io::from_str(&text).unwrap())
+    });
+}
+
+fn bench_full_frame(c: &mut Criterion) {
+    let (clip, config) = fixtures();
+    let processor = FrameProcessor::new(clip.background.clone(), &config).unwrap();
+    let frame = clip.frames[20].clone();
+    c.bench_function("frame_to_features_full_front_end", |b| {
+        b.iter(|| processor.process(&frame).unwrap())
+    });
+}
+
+fn bench_classifier_step(c: &mut Criterion) {
+    let (clip, config) = fixtures();
+    let sim = JumpSimulator::new(slj_bench::MASTER_SEED);
+    let data = sim.paper_dataset(&NoiseConfig::default());
+    let model = Trainer::new(config.clone()).train(&data.train[..4]).unwrap();
+    let processor = FrameProcessor::new(clip.background.clone(), &config).unwrap();
+    let features = processor.process(&clip.frames[20]).unwrap().features;
+    c.bench_function("dbn_filter_step_per_frame", |b| {
+        b.iter_batched(
+            || model.start_clip(),
+            |mut clf| clf.step(&features).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_variable_elimination(c: &mut Criterion) {
+    let mut builder = BayesNetBuilder::new();
+    let vars: Vec<_> = (0..8).map(|i| builder.variable(format!("x{i}"), 3)).collect();
+    builder
+        .table_cpd(vars[0], &[], &[0.2, 0.3, 0.5])
+        .unwrap();
+    for i in 1..8 {
+        let mut table = Vec::new();
+        for p in 0..3 {
+            let w = 0.2 + 0.2 * p as f64;
+            table.extend([w, 1.0 - w - 0.1, 0.1]);
+        }
+        builder.table_cpd(vars[i], &[vars[i - 1]], &table).unwrap();
+    }
+    let net = builder.build().unwrap();
+    let last = vars[7];
+    let first = vars[0];
+    c.bench_function("variable_elimination_chain8", |b| {
+        b.iter(|| {
+            VariableElimination::new(&net)
+                .posterior(first, &[(last, 2)])
+                .unwrap()
+        })
+    });
+}
+
+fn bench_ga_fit(c: &mut Criterion) {
+    let (clip, _) = fixtures();
+    let mask = clip.truth[20].silhouette.clone();
+    let fitter = GaFitter::new(
+        BodyModel::default(),
+        GaConfig {
+            population: 30,
+            generations: 10,
+            ..GaConfig::default()
+        },
+    );
+    let mut group = c.benchmark_group("ga");
+    group.sample_size(10);
+    group.bench_function("ga_fit_30pop_10gen", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            fitter.fit(&mask, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extraction,
+    bench_median,
+    bench_thinning,
+    bench_full_frame,
+    bench_classifier_step,
+    bench_offline_decoding,
+    bench_model_io,
+    bench_variable_elimination,
+    bench_ga_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Calibration utility: sweeps the noise scale and `Th_Pose` to see
+//! where the headline accuracy lands relative to the paper's 81–87%
+//! band. Not part of the reproduction itself — a tool for choosing the
+//! defaults recorded in EXPERIMENTS.md.
+
+use slj_bench::{pct, print_table, run_headline, MASTER_SEED};
+use slj_core::config::PipelineConfig;
+use slj_sim::NoiseConfig;
+
+fn main() {
+    let scales: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let scales = if scales.is_empty() {
+        vec![0.5, 1.0, 1.5]
+    } else {
+        scales
+    };
+    let mut rows = Vec::new();
+    for &scale in &scales {
+        let noise = NoiseConfig::default().scaled(scale);
+        let config = PipelineConfig::default();
+        let start = std::time::Instant::now();
+        match run_headline(MASTER_SEED, &noise, &config) {
+            Ok(result) => {
+                rows.push(vec![
+                    format!("{scale:.2}"),
+                    result
+                        .per_clip
+                        .iter()
+                        .map(|&a| pct(a))
+                        .collect::<Vec<_>>()
+                        .join(" / "),
+                    pct(result.overall),
+                    result.unknown.to_string(),
+                    format!("{:.1}s", start.elapsed().as_secs_f64()),
+                ]);
+            }
+            Err(e) => rows.push(vec![
+                format!("{scale:.2}"),
+                format!("error: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    print_table(
+        "calibration: noise scale vs headline accuracy (paper band: 81-87%)",
+        &["noise", "per-clip", "overall", "unknown", "time"],
+        &rows,
+    );
+
+    // Diagnostic: top confusions at the default noise.
+    if std::env::var("CONFUSION").is_ok() {
+        let result = run_headline(MASTER_SEED, &NoiseConfig::default(), &PipelineConfig::default())
+            .expect("headline run");
+        let mut confusions: Vec<(u32, usize, usize)> = Vec::new();
+        for (t, row) in result.report.confusion.iter().enumerate() {
+            for (p, &c) in row.iter().enumerate() {
+                if t != p && c > 0 {
+                    confusions.push((c, t, p));
+                }
+            }
+        }
+        confusions.sort_unstable_by(|a, b| b.cmp(a));
+        use slj_sim::PoseClass;
+        println!("\ntop confusions (truth -> predicted):");
+        for &(c, t, p) in confusions.iter().take(15) {
+            let pred = if p == PoseClass::COUNT {
+                "UNKNOWN".to_string()
+            } else {
+                PoseClass::from_index(p).to_string()
+            };
+            println!("  {c:3}  {} -> {}", PoseClass::from_index(t), pred);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Multi-seed headline check used during calibration.
+use slj_bench::run_headline;
+use slj_core::config::PipelineConfig;
+use slj_sim::NoiseConfig;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1.0);
+    let noise = NoiseConfig::default().scaled(scale);
+    let mut accs = Vec::new();
+    for seed in [20080617u64, 1, 2, 3, 4, 5] {
+        let r = run_headline(seed, &noise, &PipelineConfig::default()).unwrap();
+        println!(
+            "seed {seed}: per-clip {:?} overall {:.3}",
+            r.per_clip
+                .iter()
+                .map(|a| (a * 1000.0).round() / 10.0)
+                .collect::<Vec<_>>(),
+            r.overall
+        );
+        accs.push(r.overall);
+    }
+    println!("mean {:.3}", accs.iter().sum::<f64>() / accs.len() as f64);
+}

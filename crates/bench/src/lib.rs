@@ -1,0 +1,129 @@
+//! Shared experiment harness for the paper-reproduction benches.
+//!
+//! Every figure and the Section 5 evaluation of the paper map to an
+//! `exp_*` bench target (see `DESIGN.md` §4); the heavy lifting lives
+//! here so the bench mains stay thin and the calibration binary can
+//! reuse the same code paths.
+
+use slj_core::config::{PipelineConfig, TemporalMode};
+use slj_core::evaluation::{evaluate, EvalReport};
+use slj_core::training::Trainer;
+use slj_core::SljError;
+use slj_sim::{JumpSimulator, NoiseConfig};
+
+/// Canonical master seed for all experiments (reported in
+/// EXPERIMENTS.md).
+pub const MASTER_SEED: u64 = 20080617;
+
+/// Result of the headline experiment (paper Section 5).
+#[derive(Debug, Clone)]
+pub struct HeadlineResult {
+    /// Accuracy per test clip.
+    pub per_clip: Vec<f64>,
+    /// Overall accuracy over all test frames.
+    pub overall: f64,
+    /// Number of Unknown frames on the test set.
+    pub unknown: usize,
+    /// The full evaluation report.
+    pub report: EvalReport,
+}
+
+/// Trains on the paper's 12-clip set and evaluates on its 3-clip test
+/// set, with the given configuration and noise.
+///
+/// # Errors
+///
+/// Propagates training/evaluation failures.
+pub fn run_headline(
+    seed: u64,
+    noise: &NoiseConfig,
+    config: &PipelineConfig,
+) -> Result<HeadlineResult, SljError> {
+    let sim = JumpSimulator::new(seed);
+    let data = sim.paper_dataset(noise);
+    let model = Trainer::new(config.clone()).train(&data.train)?;
+    let report = evaluate(&model, &data.test)?;
+    Ok(HeadlineResult {
+        per_clip: report.per_clip_accuracy(),
+        overall: report.overall_accuracy(),
+        unknown: report.unknown_frames(),
+        report,
+    })
+}
+
+/// Convenience: the paper's default configuration and noise.
+pub fn default_setup() -> (NoiseConfig, PipelineConfig) {
+    (NoiseConfig::default(), PipelineConfig::default())
+}
+
+/// Runs the headline experiment under a specific temporal mode (E5).
+///
+/// # Errors
+///
+/// Propagates training/evaluation failures.
+pub fn run_with_temporal_mode(
+    seed: u64,
+    noise: &NoiseConfig,
+    mode: TemporalMode,
+) -> Result<HeadlineResult, SljError> {
+    let config = PipelineConfig {
+        temporal: mode,
+        ..PipelineConfig::default()
+    };
+    run_headline(seed, noise, &config)
+}
+
+/// Prints a fixed-width table with a title, headers and rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.815), "81.5%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

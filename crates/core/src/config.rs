@@ -1,0 +1,166 @@
+//! System configuration.
+
+use slj_imaging::background::ExtractionConfig;
+use slj_skeleton::pipeline::SkeletonConfig;
+
+/// Which temporal information the classifier uses — the ablation axis of
+/// Experiment E5 (Figure 7(a) vs 7(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TemporalMode {
+    /// Static per-frame BN: no previous pose, no stage flag
+    /// (Figure 7(a)).
+    Static,
+    /// Previous pose only, no jumping-stage flag.
+    PrevPose,
+    /// The full DBN: previous pose + jumping-stage flag (Figure 7(b)).
+    #[default]
+    Full,
+}
+
+/// How frame evidence enters the per-pose network.
+///
+/// Section 4.2 of the paper describes the testing phase as assigning
+/// body parts to the key points and combining them as the feature
+/// vector; the network diagram (Figure 7) shows binary Area nodes as the
+/// observed layer. Both readings are implemented:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ObservationMode {
+    /// Evidence is the per-part area assignment: the likelihood is
+    /// `Π_p P(part_p = area_p | pose)` (the testing-phase reading;
+    /// default).
+    #[default]
+    PartAssignment,
+    /// Evidence is only which areas are occupied: the likelihood
+    /// marginalises the hidden parts through the noisy-OR area nodes
+    /// (the literal Figure 7 reading).
+    AreaOccupancy,
+}
+
+/// All knobs of the end-to-end system, with the paper's values as
+/// defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Section 2 extraction parameters (`Th_Object = 20`).
+    pub extraction: ExtractionConfig,
+    /// Median-filter window for silhouette smoothing (Figure 1(c)).
+    pub median_window: usize,
+    /// Section 3 skeleton clean-up parameters (branch threshold 10).
+    pub skeleton: SkeletonConfig,
+    /// Number of angular areas around the waist (8 in the paper;
+    /// Section 6 suggests more).
+    pub partitions: u8,
+    /// `Th_Pose`: minimum posterior for a non-majority pose to be
+    /// accepted; below it the frame is Unknown.
+    pub th_pose: f64,
+    /// Laplace smoothing strength for all learned tables.
+    pub laplace_alpha: f64,
+    /// Noisy-OR activation strength: probability that a body part lying
+    /// in an area turns that area node on.
+    pub part_activation: f64,
+    /// Noisy-OR leak: probability an area node fires with no part in it.
+    pub area_leak: f64,
+    /// Temporal structure (Experiment E5 ablation).
+    pub temporal: TemporalMode,
+    /// Evidence pathway into the per-pose network.
+    pub observation: ObservationMode,
+    /// Commit the decided pose as a hard point-mass for the next frame
+    /// (the paper's "the current pose will be input to the next frame as
+    /// the previous pose"). When `false`, the full posterior is carried
+    /// instead (classical soft filtering). Hard commitment reproduces
+    /// the paper's consecutive-error behaviour.
+    pub hard_commit: bool,
+    /// Carry the most recently recognised pose forward over Unknown
+    /// frames (Section 5's fix; Experiment E8 ablates it).
+    pub carry_forward: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            extraction: ExtractionConfig::default(),
+            median_window: 3,
+            skeleton: SkeletonConfig::default(),
+            partitions: 8,
+            th_pose: 0.25,
+            laplace_alpha: 0.5,
+            part_activation: 0.92,
+            area_leak: 0.02,
+            temporal: TemporalMode::Full,
+            observation: ObservationMode::PartAssignment,
+            hard_commit: true,
+            carry_forward: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when probabilities fall outside `[0, 1]`, the partition
+    /// count is zero, or the median window is even.
+    pub fn validate(&self) {
+        assert!(self.partitions > 0, "partitions must be non-zero");
+        assert!(
+            self.median_window % 2 == 1,
+            "median window must be odd, got {}",
+            self.median_window
+        );
+        for (name, p) in [
+            ("th_pose", self.th_pose),
+            ("part_activation", self.part_activation),
+            ("area_leak", self.area_leak),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p) && p.is_finite(),
+                "{name} must be a probability, got {p}"
+            );
+        }
+        assert!(
+            self.laplace_alpha.is_finite() && self.laplace_alpha >= 0.0,
+            "laplace_alpha must be non-negative"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_values() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.extraction.th_object, 20, "Th_Object = 20");
+        assert_eq!(c.skeleton.min_branch_len, 10, "branch threshold = 10");
+        assert_eq!(c.partitions, 8, "eight areas");
+        assert_eq!(c.temporal, TemporalMode::Full);
+        assert!(c.carry_forward);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "median window")]
+    fn even_median_window_rejected() {
+        PipelineConfig {
+            median_window: 4,
+            ..PipelineConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_threshold_rejected() {
+        PipelineConfig {
+            th_pose: 1.5,
+            ..PipelineConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn temporal_mode_default_is_full() {
+        assert_eq!(TemporalMode::default(), TemporalMode::Full);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the end-to-end system.
+
+use slj_bayes::BayesError;
+use slj_imaging::ImagingError;
+use std::fmt;
+
+/// Errors surfaced by the pose-estimation system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SljError {
+    /// An imaging-stage failure (extraction, filtering).
+    Imaging(ImagingError),
+    /// A probabilistic-model failure (learning, inference).
+    Bayes(BayesError),
+    /// The training set is unusable.
+    InvalidTrainingSet(String),
+    /// A clip/model mismatch (e.g. different partition counts).
+    ConfigMismatch(String),
+}
+
+impl fmt::Display for SljError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SljError::Imaging(e) => write!(f, "imaging error: {e}"),
+            SljError::Bayes(e) => write!(f, "model error: {e}"),
+            SljError::InvalidTrainingSet(msg) => write!(f, "invalid training set: {msg}"),
+            SljError::ConfigMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SljError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SljError::Imaging(e) => Some(e),
+            SljError::Bayes(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImagingError> for SljError {
+    fn from(e: ImagingError) -> Self {
+        SljError::Imaging(e)
+    }
+}
+
+impl From<BayesError> for SljError {
+    fn from(e: BayesError) -> Self {
+        SljError::Bayes(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SljError::from(ImagingError::InvalidDimensions {
+            width: 0,
+            height: 3,
+        });
+        assert!(e.to_string().contains("imaging error"));
+        assert!(e.source().is_some());
+        let e2 = SljError::InvalidTrainingSet("empty".into());
+        assert!(e2.source().is_none());
+        assert!(e2.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SljError>();
+    }
+}

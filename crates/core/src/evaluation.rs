@@ -1,0 +1,383 @@
+//! Evaluation: per-clip accuracy (the Section 5 headline), confusion
+//! matrices, and the consecutive-error burst analysis.
+
+use crate::error::SljError;
+use crate::model::{PoseEstimate, PoseModel};
+use crate::pipeline::FrameProcessor;
+use slj_sim::dataset::LabeledClip;
+use slj_sim::pose::PoseClass;
+
+const P: usize = PoseClass::COUNT;
+
+/// Results on one clip.
+#[derive(Debug, Clone)]
+pub struct ClipReport {
+    /// Clip identifier.
+    pub clip_id: usize,
+    /// Frames classified correctly.
+    pub correct: usize,
+    /// Total frames.
+    pub total: usize,
+    /// Frames rejected as Unknown.
+    pub unknown: usize,
+    /// Per-frame estimates.
+    pub estimates: Vec<PoseEstimate>,
+    /// Ground-truth poses, aligned with `estimates`.
+    pub truth: Vec<PoseClass>,
+}
+
+impl ClipReport {
+    /// Frame accuracy (Unknown counts as incorrect).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Lengths of maximal runs of consecutive misclassified frames.
+    pub fn error_bursts(&self) -> Vec<usize> {
+        let mut bursts = Vec::new();
+        let mut run = 0usize;
+        for (est, &truth) in self.estimates.iter().zip(&self.truth) {
+            if est.pose == Some(truth) {
+                if run > 0 {
+                    bursts.push(run);
+                    run = 0;
+                }
+            } else {
+                run += 1;
+            }
+        }
+        if run > 0 {
+            bursts.push(run);
+        }
+        bursts
+    }
+}
+
+/// Results over a clip set.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Per-clip reports.
+    pub clips: Vec<ClipReport>,
+    /// Confusion matrix: `confusion[truth][predicted]`, with column `22`
+    /// for Unknown.
+    pub confusion: Vec<Vec<u32>>,
+}
+
+impl EvalReport {
+    /// Overall frame accuracy across all clips.
+    pub fn overall_accuracy(&self) -> f64 {
+        let correct: usize = self.clips.iter().map(|c| c.correct).sum();
+        let total: usize = self.clips.iter().map(|c| c.total).sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Per-clip accuracies (the paper reports "81% to 87% for the three
+    /// test video clips").
+    pub fn per_clip_accuracy(&self) -> Vec<f64> {
+        self.clips.iter().map(ClipReport::accuracy).collect()
+    }
+
+    /// All error-burst lengths pooled over clips.
+    pub fn error_bursts(&self) -> Vec<usize> {
+        self.clips.iter().flat_map(|c| c.error_bursts()).collect()
+    }
+
+    /// Fraction of erroneous frames that sit in a burst of at least
+    /// `min_len` consecutive errors (the paper: "Most errors in our
+    /// experiments occurred in consecutive frames").
+    pub fn burst_error_fraction(&self, min_len: usize) -> f64 {
+        let bursts = self.error_bursts();
+        let total_errors: usize = bursts.iter().sum();
+        if total_errors == 0 {
+            return 0.0;
+        }
+        let in_bursts: usize = bursts.iter().filter(|&&b| b >= min_len).sum();
+        in_bursts as f64 / total_errors as f64
+    }
+
+    /// Total Unknown frames.
+    pub fn unknown_frames(&self) -> usize {
+        self.clips.iter().map(|c| c.unknown).sum()
+    }
+
+    /// Frame accuracy per ground-truth jump stage, in stage order.
+    /// Stages with no frames report `None`.
+    pub fn per_stage_accuracy(&self) -> [Option<f64>; 4] {
+        let mut correct = [0usize; 4];
+        let mut total = [0usize; 4];
+        for clip in &self.clips {
+            for (est, &truth) in clip.estimates.iter().zip(&clip.truth) {
+                let s = truth.stage().index();
+                total[s] += 1;
+                if est.pose == Some(truth) {
+                    correct[s] += 1;
+                }
+            }
+        }
+        std::array::from_fn(|s| {
+            if total[s] == 0 {
+                None
+            } else {
+                Some(correct[s] as f64 / total[s] as f64)
+            }
+        })
+    }
+
+    /// Renders the non-trivial confusion-matrix entries as a text table:
+    /// one line per `(truth, predicted)` pair with at least `min_count`
+    /// occurrences, most frequent first. Diagonal (correct) entries are
+    /// omitted — the table answers "what gets confused with what".
+    pub fn format_confusions(&self, min_count: u32) -> String {
+        let mut entries: Vec<(u32, usize, usize)> = Vec::new();
+        for (t, row) in self.confusion.iter().enumerate() {
+            for (p, &c) in row.iter().enumerate() {
+                if t != p && c >= min_count.max(1) {
+                    entries.push((c, t, p));
+                }
+            }
+        }
+        entries.sort_unstable_by(|a, b| b.cmp(a));
+        let mut out = String::new();
+        out.push_str("count  truth -> predicted\n");
+        for (c, t, p) in entries {
+            let predicted = if p == P {
+                "UNKNOWN".to_string()
+            } else {
+                PoseClass::from_index(p).to_string()
+            };
+            out.push_str(&format!(
+                "{c:5}  {} -> {}\n",
+                PoseClass::from_index(t),
+                predicted
+            ));
+        }
+        out
+    }
+
+    /// One-paragraph text summary of the evaluation.
+    pub fn format_summary(&self) -> String {
+        let per_clip = self
+            .per_clip_accuracy()
+            .iter()
+            .map(|a| format!("{:.1}%", 100.0 * a))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{} clips, {} frames: overall accuracy {:.1}% (per clip: {per_clip}); \
+             {} unknown frames; {:.0}% of errors in bursts of >=2 consecutive frames",
+            self.clips.len(),
+            self.clips.iter().map(|c| c.total).sum::<usize>(),
+            100.0 * self.overall_accuracy(),
+            self.unknown_frames(),
+            100.0 * self.burst_error_fraction(2),
+        )
+    }
+}
+
+/// Classifies one clip with a trained model.
+///
+/// # Errors
+///
+/// Propagates pipeline and inference errors.
+pub fn evaluate_clip(model: &PoseModel, clip: &LabeledClip) -> Result<ClipReport, SljError> {
+    let processor = FrameProcessor::new(clip.background.clone(), model.config())?;
+    let mut clf = model.start_clip();
+    let mut estimates = Vec::with_capacity(clip.len());
+    let mut correct = 0usize;
+    let mut unknown = 0usize;
+    for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
+        let processed = processor.process(frame)?;
+        let est = clf.step(&processed.features)?;
+        match est.pose {
+            Some(p) if p == truth.pose => correct += 1,
+            None => unknown += 1,
+            _ => {}
+        }
+        estimates.push(est);
+    }
+    Ok(ClipReport {
+        clip_id: clip.id,
+        correct,
+        total: clip.len(),
+        unknown,
+        estimates,
+        truth: clip.pose_sequence(),
+    })
+}
+
+/// Classifies a set of clips and aggregates the statistics.
+///
+/// # Errors
+///
+/// Propagates pipeline and inference errors.
+pub fn evaluate(model: &PoseModel, clips: &[LabeledClip]) -> Result<EvalReport, SljError> {
+    let mut reports = Vec::with_capacity(clips.len());
+    let mut confusion = vec![vec![0u32; P + 1]; P];
+    for clip in clips {
+        let report = evaluate_clip(model, clip)?;
+        for (est, &truth) in report.estimates.iter().zip(&report.truth) {
+            let col = est.pose.map(|p| p.index()).unwrap_or(P);
+            confusion[truth.index()][col] += 1;
+        }
+        reports.push(report);
+    }
+    Ok(EvalReport {
+        clips: reports,
+        confusion,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::training::Trainer;
+    use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+    fn tiny_world() -> (PoseModel, Vec<LabeledClip>) {
+        let sim = JumpSimulator::new(55);
+        let noise = NoiseConfig::default().scaled(0.5);
+        let train: Vec<LabeledClip> = (0..3)
+            .map(|i| {
+                sim.generate_clip(&ClipSpec {
+                    total_frames: 30,
+                    seed: i,
+                    noise,
+                    rare_poses: i == 2,
+                    ..ClipSpec::default()
+                })
+            })
+            .collect();
+        let test = vec![sim.generate_clip(&ClipSpec {
+            total_frames: 30,
+            seed: 99,
+            noise,
+            ..ClipSpec::default()
+        })];
+        let model = Trainer::new(PipelineConfig::default()).train(&train).unwrap();
+        (model, test)
+    }
+
+    #[test]
+    fn evaluation_aggregates_consistently() {
+        let (model, test) = tiny_world();
+        let report = evaluate(&model, &test).unwrap();
+        assert_eq!(report.clips.len(), 1);
+        let clip = &report.clips[0];
+        assert_eq!(clip.total, 30);
+        assert_eq!(clip.estimates.len(), 30);
+        assert!(clip.correct <= clip.total);
+        // Confusion matrix total equals frame total.
+        let conf_total: u32 = report.confusion.iter().flatten().sum();
+        assert_eq!(conf_total as usize, 30);
+        // Overall accuracy equals the one clip's accuracy.
+        assert!((report.overall_accuracy() - clip.accuracy()).abs() < 1e-12);
+        // Better than chance (1/22 ≈ 4.5%).
+        assert!(
+            report.overall_accuracy() > 0.2,
+            "accuracy {}",
+            report.overall_accuracy()
+        );
+    }
+
+    #[test]
+    fn error_bursts_partition_all_errors() {
+        let (model, test) = tiny_world();
+        let report = evaluate(&model, &test).unwrap();
+        let clip = &report.clips[0];
+        let errors = clip.total - clip.correct;
+        let burst_sum: usize = clip.error_bursts().iter().sum();
+        assert_eq!(burst_sum, errors);
+        let frac = report.burst_error_fraction(1);
+        if errors > 0 {
+            assert!((frac - 1.0).abs() < 1e-12, "every error is in a burst of >=1");
+        }
+    }
+
+    #[test]
+    fn per_stage_accuracy_partitions_frames() {
+        let (model, test) = tiny_world();
+        let report = evaluate(&model, &test).unwrap();
+        let per_stage = report.per_stage_accuracy();
+        // Every stage occurs in a full jump clip.
+        assert!(per_stage.iter().all(|a| a.is_some()));
+        // Weighted average over stages equals the overall accuracy.
+        let mut correct = 0.0;
+        let mut total = 0.0;
+        for (s, acc) in per_stage.iter().enumerate() {
+            let frames: usize = report.clips[0]
+                .truth
+                .iter()
+                .filter(|p| p.stage().index() == s)
+                .count();
+            correct += acc.unwrap() * frames as f64;
+            total += frames as f64;
+        }
+        assert!((correct / total - report.overall_accuracy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_formatting() {
+        let (model, test) = tiny_world();
+        let report = evaluate(&model, &test).unwrap();
+        let summary = report.format_summary();
+        assert!(summary.contains("1 clips, 30 frames"));
+        assert!(summary.contains("overall accuracy"));
+        let confusions = report.format_confusions(1);
+        assert!(confusions.starts_with("count  truth -> predicted"));
+        // Every listed confusion is off-diagonal by construction: no
+        // line may map a pose to itself.
+        for line in confusions.lines().skip(1) {
+            if let Some((lhs, rhs)) = line.split_once(" -> ") {
+                let truth = lhs.split_whitespace().skip(1).collect::<Vec<_>>().join(" ");
+                assert_ne!(truth, rhs.trim(), "diagonal entry listed: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_fraction_on_synthetic_report() {
+        // Hand-build a report to pin the burst maths.
+        let mk_est = |pose: Option<PoseClass>| PoseEstimate {
+            pose,
+            posterior: vec![0.0; P],
+            stage: slj_sim::stage::JumpStage::BeforeJumping,
+            stage_posterior: vec![0.25; 4],
+            committed_pose: PoseClass::initial(),
+        };
+        let truth = vec![PoseClass::initial(); 6];
+        // Pattern: wrong, wrong, right, wrong, right, right.
+        let estimates = vec![
+            mk_est(None),
+            mk_est(Some(PoseClass::majority())),
+            mk_est(Some(PoseClass::initial())),
+            mk_est(None),
+            mk_est(Some(PoseClass::initial())),
+            mk_est(Some(PoseClass::initial())),
+        ];
+        let clip = ClipReport {
+            clip_id: 0,
+            correct: 3,
+            total: 6,
+            unknown: 2,
+            estimates,
+            truth,
+        };
+        assert_eq!(clip.error_bursts(), vec![2, 1]);
+        let report = EvalReport {
+            clips: vec![clip],
+            confusion: vec![vec![0; P + 1]; P],
+        };
+        // 2 of 3 errors sit in a burst >= 2.
+        assert!((report.burst_error_fraction(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.unknown_frames(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! End-to-end pose estimation for standing long jumps — the paper's
+//! primary contribution.
+//!
+//! The crate wires the substrates together into the system of Sections
+//! 2–5 plus the scoring end use the introduction motivates:
+//!
+//! 1. [`pipeline`] — frame → silhouette (background subtraction, median
+//!    filter, largest component) → Zhang-Suen skeleton → graph clean-up →
+//!    key points → area feature vector.
+//! 2. [`model`] — the DBN classifier of Figure 7: a stage/pose temporal
+//!    chain filtered forward per frame, with the per-pose observation
+//!    network (hidden body parts, noisy-OR area nodes) evaluated in
+//!    closed form; `Th_Pose` thresholds with the majority-pose exemption
+//!    and the carry-forward rule for Unknown frames.
+//! 3. [`training`] — quantitative training: maximum-likelihood counts
+//!    with Laplace smoothing from labelled clips (Section 4.1).
+//! 4. [`evaluation`] — per-clip accuracy, confusion matrices and the
+//!    consecutive-error burst analysis of Section 5.
+//! 5. [`scoring`] — rule-based detection of movements violating the
+//!    standing-long-jump standard (the system's purpose per Sections 1
+//!    and 6).
+//!
+//! # Examples
+//!
+//! Train on a small synthetic set and classify a clip:
+//!
+//! ```no_run
+//! use slj_core::config::PipelineConfig;
+//! use slj_core::training::Trainer;
+//! use slj_core::evaluation::evaluate;
+//! use slj_sim::{JumpSimulator, NoiseConfig};
+//!
+//! let sim = JumpSimulator::new(7);
+//! let data = sim.paper_dataset(&NoiseConfig::default());
+//! let config = PipelineConfig::default();
+//! let model = Trainer::new(config.clone()).train(&data.train)?;
+//! let report = evaluate(&model, &data.test)?;
+//! println!("overall accuracy: {:.1}%", 100.0 * report.overall_accuracy());
+//! # Ok::<(), slj_core::SljError>(())
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod evaluation;
+pub mod model;
+pub mod model_io;
+pub mod pipeline;
+pub mod scoring;
+pub mod training;
+
+pub use config::{PipelineConfig, TemporalMode};
+pub use error::SljError;
+pub use evaluation::{evaluate, ClipReport, EvalReport};
+pub use model::{PoseEstimate, PoseModel, SequenceClassifier};
+pub use pipeline::{FrameProcessor, ProcessedFrame};
+pub use scoring::{assess_pose_sequence, DetectedFault};
+pub use training::Trainer;

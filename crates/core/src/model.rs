@@ -1,0 +1,809 @@
+//! The DBN pose classifier (Section 4, Figure 7).
+//!
+//! Structure, exactly as the paper draws it:
+//!
+//! - a root **Pose** node (22 states) whose parents are the **previous
+//!   pose** and the current **jumping stage** (4 states, a left-to-right
+//!   chain on its own previous value);
+//! - five hidden **body-part** nodes (Head, Chest, Hand, Knee, Foot),
+//!   each `P(part-location | pose)` with domain {area 1..N, absent};
+//! - N observed binary **Area** nodes with noisy-OR CPDs over the five
+//!   parts.
+//!
+//! Per frame the classifier computes the area-evidence likelihood per
+//! pose in closed form ([`slj_bayes::noisy_or::NoisyOrBank`]), folds it
+//! into the temporal chain with a [`slj_bayes::dbn::ForwardFilter`], and
+//! then applies the paper's decision rule: the winning pose must clear
+//! its `Th_Pose` threshold unless it is the majority pose
+//! ("standing & hand swung forward"); otherwise the frame is **Unknown**
+//! and the most recently recognised pose is carried forward. The decided
+//! pose is committed as the next frame's "previous pose" — the hard
+//! hand-off the paper describes, which is also why "a misclassified
+//! frame will still affect the classification of its subsequent frames".
+
+use crate::config::{ObservationMode, PipelineConfig, TemporalMode};
+use crate::error::SljError;
+use slj_bayes::cpd::{NoisyOrCpd, TableCpd};
+use slj_bayes::dbn::{ForwardFilter, TwoSliceDbn, TwoSliceDbnBuilder};
+use slj_bayes::factor::Factor;
+use slj_bayes::noisy_or::NoisyOrBank;
+use slj_bayes::variable::Variable;
+use slj_sim::pose::PoseClass;
+use slj_sim::stage::JumpStage;
+use slj_skeleton::features::FeatureVector;
+
+/// Number of poses.
+const P: usize = PoseClass::COUNT;
+/// Number of stages.
+const S: usize = JumpStage::COUNT;
+/// Number of body parts.
+const PARTS: usize = 5;
+
+/// The learned conditional tables, before model assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedTables {
+    /// `stage_transition[i][j] = P(stage_t = j | stage_{t-1} = i)`.
+    pub stage_transition: Vec<Vec<f64>>,
+    /// `pose_transition[prev][stage][pose]`.
+    pub pose_transition: Vec<Vec<Vec<f64>>>,
+    /// `pose_transition_nostage[prev][pose]` (for [`TemporalMode::PrevPose`]).
+    pub pose_transition_nostage: Vec<Vec<f64>>,
+    /// `pose_marginal[pose]` (for [`TemporalMode::Static`]).
+    pub pose_marginal: Vec<f64>,
+    /// `part_given_pose[part][pose][state]` with `state ∈ {0..N areas,
+    /// N = absent}`.
+    pub part_given_pose: Vec<Vec<Vec<f64>>>,
+}
+
+/// A trained pose classifier.
+#[derive(Debug, Clone)]
+pub struct PoseModel {
+    config: PipelineConfig,
+    tables: LearnedTables,
+    dbn: TwoSliceDbn,
+    stage_var: Variable,
+    pose_var: Variable,
+    bank: NoisyOrBank,
+}
+
+/// The classifier's verdict on one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoseEstimate {
+    /// The decided pose, or `None` for an Unknown frame.
+    pub pose: Option<PoseClass>,
+    /// Posterior over all 22 poses (after temporal filtering).
+    pub posterior: Vec<f64>,
+    /// Most probable jumping stage.
+    pub stage: JumpStage,
+    /// Posterior over the four stages.
+    pub stage_posterior: Vec<f64>,
+    /// The pose used as "previous pose" for the next frame (the decided
+    /// pose, or the most recently recognised one on Unknown frames).
+    pub committed_pose: PoseClass,
+}
+
+impl PoseModel {
+    /// Assembles a model from learned tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPD/DBN validation errors (e.g. rows not summing to 1)
+    /// and [`SljError::ConfigMismatch`] on shape problems.
+    pub fn from_tables(config: PipelineConfig, tables: LearnedTables) -> Result<Self, SljError> {
+        config.validate();
+        let n = config.partitions as usize;
+        // Shape checks.
+        if tables.stage_transition.len() != S
+            || tables.pose_transition.len() != P
+            || tables.pose_transition_nostage.len() != P
+            || tables.pose_marginal.len() != P
+            || tables.part_given_pose.len() != PARTS
+        {
+            return Err(SljError::ConfigMismatch(
+                "learned tables have wrong outer dimensions".into(),
+            ));
+        }
+        for per_pose in &tables.part_given_pose {
+            if per_pose.len() != P || per_pose.iter().any(|row| row.len() != n + 1) {
+                return Err(SljError::ConfigMismatch(format!(
+                    "part tables must be {P} poses x {} states",
+                    n + 1
+                )));
+            }
+        }
+
+        // Temporal chain (interface: stage, pose).
+        let mut b = TwoSliceDbnBuilder::new();
+        let (stage_var, stage_prev) = b.interface_variable("stage", S);
+        let (pose_var, pose_prev) = b.interface_variable("pose", P);
+        match config.temporal {
+            TemporalMode::Full => {
+                // Slice 0: the paper's reset — previous stage is "before
+                // jumping", previous pose is "standing & hand overlap".
+                let init_stage_row = tables.stage_transition[JumpStage::BeforeJumping.index()]
+                    .clone();
+                b.prior_cpd(TableCpd::new(stage_var, vec![], init_stage_row).map_err(SljError::from)?);
+                let init_pose = PoseClass::initial().index();
+                let mut pose0 = Vec::with_capacity(S * P);
+                for s in 0..S {
+                    pose0.extend(&tables.pose_transition[init_pose][s]);
+                }
+                b.prior_cpd(
+                    TableCpd::new(pose_var, vec![stage_var], pose0).map_err(SljError::from)?,
+                );
+                // Transitions.
+                let mut stage_t = Vec::with_capacity(S * S);
+                for row in &tables.stage_transition {
+                    stage_t.extend(row);
+                }
+                b.transition_cpd(
+                    TableCpd::new(stage_var, vec![stage_prev], stage_t)
+                        .map_err(SljError::from)?,
+                );
+                let mut pose_t = Vec::with_capacity(P * S * P);
+                for prev in 0..P {
+                    for s in 0..S {
+                        pose_t.extend(&tables.pose_transition[prev][s]);
+                    }
+                }
+                b.transition_cpd(
+                    TableCpd::new(pose_var, vec![pose_prev, stage_var], pose_t)
+                        .map_err(SljError::from)?,
+                );
+            }
+            TemporalMode::PrevPose => {
+                // No stage flag: stage stays uniform, pose depends only on
+                // the previous pose.
+                b.prior_cpd(TableCpd::uniform(stage_var, vec![]));
+                b.transition_cpd(TableCpd::uniform(stage_var, vec![]));
+                let init_pose = PoseClass::initial().index();
+                b.prior_cpd(
+                    TableCpd::new(
+                        pose_var,
+                        vec![],
+                        tables.pose_transition_nostage[init_pose].clone(),
+                    )
+                    .map_err(SljError::from)?,
+                );
+                let mut pose_t = Vec::with_capacity(P * P);
+                for prev in 0..P {
+                    pose_t.extend(&tables.pose_transition_nostage[prev]);
+                }
+                b.transition_cpd(
+                    TableCpd::new(pose_var, vec![pose_prev], pose_t).map_err(SljError::from)?,
+                );
+            }
+            TemporalMode::Static => {
+                // Per-frame BN only: the pose prior is the learned class
+                // frequency, with no temporal coupling at all.
+                b.prior_cpd(TableCpd::uniform(stage_var, vec![]));
+                b.transition_cpd(TableCpd::uniform(stage_var, vec![]));
+                b.prior_cpd(
+                    TableCpd::new(pose_var, vec![], tables.pose_marginal.clone())
+                        .map_err(SljError::from)?,
+                );
+                b.transition_cpd(
+                    TableCpd::new(pose_var, vec![], tables.pose_marginal.clone())
+                        .map_err(SljError::from)?,
+                );
+            }
+        }
+        let dbn = b.build().map_err(SljError::from)?;
+
+        // The noisy-OR observation bank: five part parents, N area nodes.
+        let parts: Vec<Variable> = (0..PARTS).map(|p| Variable::new(p, n + 1)).collect();
+        let mut areas = Vec::with_capacity(n);
+        for k in 0..n {
+            let child = Variable::new(PARTS + k, 2);
+            let activation: Vec<Vec<f64>> = (0..PARTS)
+                .map(|_| {
+                    (0..=n)
+                        .map(|s| if s == k { config.part_activation } else { 0.0 })
+                        .collect()
+                })
+                .collect();
+            areas.push(
+                NoisyOrCpd::new(child, parts.clone(), activation, config.area_leak)
+                    .map_err(SljError::from)?,
+            );
+        }
+        let bank = NoisyOrBank::new(areas).map_err(SljError::from)?;
+
+        Ok(PoseModel {
+            config,
+            tables,
+            dbn,
+            stage_var,
+            pose_var,
+            bank,
+        })
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The learned tables.
+    pub fn tables(&self) -> &LearnedTables {
+        &self.tables
+    }
+
+    /// `P(frame evidence | pose)` for every pose — the per-pose BN of
+    /// Figure 7(a), evaluated in closed form.
+    ///
+    /// Under [`ObservationMode::PartAssignment`] (default), evidence is
+    /// the body-part area assignments; under
+    /// [`ObservationMode::AreaOccupancy`], only the occupancy bits reach
+    /// the network and the hidden parts are marginalised through the
+    /// noisy-OR area nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SljError::ConfigMismatch`] when the feature vector was
+    /// encoded with a different partition count.
+    pub fn observation_likelihood(&self, features: &FeatureVector) -> Result<Vec<f64>, SljError> {
+        let n = self.config.partitions as usize;
+        if features.partitions() as usize != n {
+            return Err(SljError::ConfigMismatch(format!(
+                "features encoded with {} partitions, model expects {n}",
+                features.partitions()
+            )));
+        }
+        let mut out = Vec::with_capacity(P);
+        match self.config.observation {
+            ObservationMode::PartAssignment => {
+                use slj_skeleton::features::BodyPart;
+                // State per part: its area index, or N for absent.
+                let states: Vec<usize> = BodyPart::ALL
+                    .iter()
+                    .map(|&part| features.area(part).map(|a| a as usize).unwrap_or(n))
+                    .collect();
+                // Mix each part's conditional with a uniform floor: a
+                // single mis-assigned key point (a cut-off hand, a
+                // boundary-frame knee) must not zero out the true pose.
+                let floor = 0.08 / (n + 1) as f64;
+                for pose in 0..P {
+                    let mut lik = 1.0f64;
+                    for (p, &s) in states.iter().enumerate() {
+                        lik *= 0.92 * self.tables.part_given_pose[p][pose][s] + floor;
+                    }
+                    out.push(lik.max(1e-12));
+                }
+            }
+            ObservationMode::AreaOccupancy => {
+                let evidence = features.occupied_areas();
+                for pose in 0..P {
+                    let dists: Vec<Vec<f64>> = (0..PARTS)
+                        .map(|p| self.tables.part_given_pose[p][pose].clone())
+                        .collect();
+                    let lik = self
+                        .bank
+                        .evidence_likelihood(&dists, &evidence)
+                        .map_err(SljError::from)?;
+                    // Floor so a surprising frame degrades gracefully
+                    // instead of zeroing the whole filter.
+                    out.push(lik.max(1e-12));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Starts classifying a new clip (resets to the paper's initial
+    /// state).
+    pub fn start_clip(&self) -> SequenceClassifier<'_> {
+        SequenceClassifier {
+            model: self,
+            filter: ForwardFilter::new(&self.dbn),
+            last_recognized: PoseClass::initial(),
+        }
+    }
+
+    /// Offline smoothing of a whole clip: per-frame posterior marginals
+    /// `P(stage_t, pose_t | all frames)` by forward–backward, with the
+    /// frame's pose decided as the marginal argmax.
+    ///
+    /// Sits between the paper's online filter (no hindsight) and
+    /// [`PoseModel::decode_clip`] (jointly most probable sequence):
+    /// smoothing maximises *per-frame* accuracy given hindsight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-shape mismatches and inference errors; an
+    /// empty clip yields [`SljError::ConfigMismatch`].
+    pub fn smooth_clip(
+        &self,
+        features: &[FeatureVector],
+    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+        use slj_bayes::dbn::{SmoothingPass, StepInput};
+        if features.is_empty() {
+            return Err(SljError::ConfigMismatch("empty clip".into()));
+        }
+        let steps: Vec<StepInput> = features
+            .iter()
+            .map(|fv| {
+                let lik = self.observation_likelihood(fv)?;
+                Ok(StepInput::likelihood(
+                    Factor::new(vec![self.pose_var], lik).map_err(SljError::from)?,
+                ))
+            })
+            .collect::<Result<_, SljError>>()?;
+        let gammas = SmoothingPass::new(&self.dbn)
+            .smooth(&steps)
+            .map_err(SljError::from)?;
+        gammas
+            .into_iter()
+            .map(|gamma| {
+                let pose_marg = gamma.marginal(self.pose_var).map_err(SljError::from)?;
+                let stage_marg = gamma.marginal(self.stage_var).map_err(SljError::from)?;
+                let argmax = |v: &[f64]| {
+                    v.iter()
+                        .enumerate()
+                        .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &x)| {
+                            if x > bv {
+                                (i, x)
+                            } else {
+                                (bi, bv)
+                            }
+                        })
+                        .0
+                };
+                Ok((
+                    JumpStage::from_index(argmax(&stage_marg)),
+                    PoseClass::from_index(argmax(&pose_marg)),
+                ))
+            })
+            .collect()
+    }
+
+    /// Offline decoding of a whole clip: the jointly most probable
+    /// (stage, pose) sequence given every frame's evidence, via Viterbi
+    /// over the temporal chain.
+    ///
+    /// This is an *extension* beyond the paper, whose classifier is
+    /// strictly online (frame-by-frame with hard hand-off). Batch review
+    /// of a recorded clip — the teacher watching afterwards — can use
+    /// hindsight; Experiment E11 compares the two. `Th_Pose` and the
+    /// Unknown state do not apply here: the decoder always commits to
+    /// the globally best sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-shape mismatches and inference errors; an
+    /// empty clip yields [`SljError::ConfigMismatch`].
+    pub fn decode_clip(
+        &self,
+        features: &[FeatureVector],
+    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+        use slj_bayes::dbn::{StepInput, ViterbiDecoder};
+        if features.is_empty() {
+            return Err(SljError::ConfigMismatch("empty clip".into()));
+        }
+        let steps: Vec<StepInput> = features
+            .iter()
+            .map(|fv| {
+                let lik = self.observation_likelihood(fv)?;
+                Ok(StepInput::likelihood(
+                    Factor::new(vec![self.pose_var], lik).map_err(SljError::from)?,
+                ))
+            })
+            .collect::<Result<_, SljError>>()?;
+        let path = ViterbiDecoder::new(&self.dbn)
+            .decode(&steps)
+            .map_err(SljError::from)?;
+        Ok(path
+            .into_iter()
+            .map(|m| {
+                (
+                    JumpStage::from_index(m[&self.stage_var.id()]),
+                    PoseClass::from_index(m[&self.pose_var.id()]),
+                )
+            })
+            .collect())
+    }
+}
+
+/// Stateful per-clip classifier: feed frames in order, get
+/// [`PoseEstimate`]s out.
+#[derive(Debug, Clone)]
+pub struct SequenceClassifier<'a> {
+    model: &'a PoseModel,
+    filter: ForwardFilter<'a>,
+    last_recognized: PoseClass,
+}
+
+impl SequenceClassifier<'_> {
+    /// The most recently recognised pose (starts at the paper's initial
+    /// pose).
+    pub fn last_recognized(&self) -> PoseClass {
+        self.last_recognized
+    }
+
+    /// Absorbs one frame's features and decides its pose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference errors (impossible evidence cannot occur
+    /// thanks to the likelihood floor).
+    pub fn step(&mut self, features: &FeatureVector) -> Result<PoseEstimate, SljError> {
+        let lik_values = self.model.observation_likelihood(features)?;
+        let likelihood = Factor::new(vec![self.model.pose_var], lik_values)
+            .map_err(SljError::from)?;
+        self.filter
+            .step_with_likelihood(&[], Some(&likelihood))
+            .map_err(SljError::from)?;
+        let posterior = self
+            .filter
+            .marginal(self.model.pose_var)
+            .map_err(SljError::from)?;
+        let stage_posterior = self
+            .filter
+            .marginal(self.model.stage_var)
+            .map_err(SljError::from)?;
+        // First maximum wins ties, for determinism.
+        let (best_idx, best_prob) = posterior
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            });
+        let best_pose = PoseClass::from_index(best_idx);
+        // Th_Pose rule: every pose except the majority pose must clear
+        // the threshold.
+        let accepted = best_pose == PoseClass::majority()
+            || best_prob >= self.model.config.th_pose;
+        let decided = if accepted { Some(best_pose) } else { None };
+
+        // Hard hand-off: commit a definite previous pose for the next
+        // frame. Unknown frames carry the most recent recognised pose
+        // forward when enabled, else they commit the (rejected) argmax.
+        let committed = match decided {
+            Some(p) => {
+                self.last_recognized = p;
+                p
+            }
+            None if self.model.config.carry_forward => self.last_recognized,
+            None => best_pose,
+        };
+        let (stage_idx, _) = stage_posterior
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            });
+        // Replace the pose belief with the committed pose (the paper
+        // feeds the decided pose, not a distribution, into the next
+        // frame). With `hard_commit` off, the soft posterior carries
+        // over instead (the filter already holds it).
+        if self.model.config.hard_commit {
+            let stage_belief = Factor::new(vec![self.model.stage_var], stage_posterior.clone())
+                .map_err(SljError::from)?;
+            let pose_belief = Factor::indicator(self.model.pose_var, committed.index())
+                .map_err(SljError::from)?;
+            let belief = stage_belief.product(&pose_belief).map_err(SljError::from)?;
+            self.filter.set_belief(belief).map_err(SljError::from)?;
+        } else if decided.is_none() && self.model.config.carry_forward {
+            // Soft mode still honours the carry-forward rule on Unknown
+            // frames: mix the carried pose into the belief.
+            let stage_belief = Factor::new(vec![self.model.stage_var], stage_posterior.clone())
+                .map_err(SljError::from)?;
+            let pose_belief = Factor::indicator(self.model.pose_var, committed.index())
+                .map_err(SljError::from)?;
+            let belief = stage_belief.product(&pose_belief).map_err(SljError::from)?;
+            self.filter.set_belief(belief).map_err(SljError::from)?;
+        }
+
+        Ok(PoseEstimate {
+            pose: decided,
+            posterior,
+            stage: JumpStage::from_index(stage_idx),
+            stage_posterior,
+            committed_pose: committed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_skeleton::features::FeatureCodec;
+    use slj_skeleton::keypoints::KeyPoints;
+
+    /// A synthetic model whose tables make pose 1 follow pose 0 etc.,
+    /// with parts deterministically placed per pose.
+    fn toy_tables(n: usize) -> LearnedTables {
+        let uniform_s = vec![vec![1.0 / S as f64; S]; S];
+        // Pose transition: strongly stay or advance by one.
+        let mut pose_transition = vec![vec![vec![0.0; P]; S]; P];
+        let mut nostage = vec![vec![0.0; P]; P];
+        for prev in 0..P {
+            for s in 0..S {
+                for pose in 0..P {
+                    let w = if pose == prev {
+                        0.6
+                    } else if pose == (prev + 1) % P {
+                        0.3
+                    } else {
+                        0.1 / (P - 2) as f64
+                    };
+                    pose_transition[prev][s][pose] = w;
+                }
+            }
+            nostage[prev] = pose_transition[prev][0].clone();
+        }
+        let pose_marginal = vec![1.0 / P as f64; P];
+        // Parts: pose p puts every part in area p % n with prob 0.9.
+        let mut part_given_pose = vec![vec![vec![0.0; n + 1]; P]; PARTS];
+        for (part, tbl) in part_given_pose.iter_mut().enumerate() {
+            for (pose, row) in tbl.iter_mut().enumerate() {
+                let area = (pose + part) % n;
+                for (s, v) in row.iter_mut().enumerate() {
+                    *v = if s == area {
+                        0.9
+                    } else {
+                        0.1 / n as f64
+                    };
+                }
+            }
+        }
+        LearnedTables {
+            stage_transition: uniform_s,
+            pose_transition,
+            pose_transition_nostage: nostage,
+            pose_marginal,
+            part_given_pose,
+        }
+    }
+
+    fn toy_model(mode: TemporalMode) -> PoseModel {
+        let config = PipelineConfig {
+            temporal: mode,
+            th_pose: 0.05,
+            ..PipelineConfig::default()
+        };
+        PoseModel::from_tables(config, toy_tables(8)).unwrap()
+    }
+
+    fn features_for_areas(areas: &[u8]) -> FeatureVector {
+        // Place head/chest/hand at synthetic positions mapping to areas.
+        // Easier: build via KeyPoints at exact angles.
+        let n = 8usize;
+        let mut kp = KeyPoints {
+            waist: Some((0.0, 0.0)),
+            ..KeyPoints::default()
+        };
+        let point_in_area = |a: u8| -> (f64, f64) {
+            let angle = (a as f64 + 0.5) * std::f64::consts::TAU / n as f64;
+            (angle.cos() * 10.0, -angle.sin() * 10.0)
+        };
+        let mut iter = areas.iter();
+        kp.head = iter.next().map(|&a| point_in_area(a));
+        kp.chest = iter.next().map(|&a| point_in_area(a));
+        kp.hand = iter.next().map(|&a| point_in_area(a));
+        kp.knee = iter.next().map(|&a| point_in_area(a));
+        kp.foot = iter.next().map(|&a| point_in_area(a));
+        FeatureCodec::new(8).encode(&kp)
+    }
+
+    #[test]
+    fn observation_likelihood_prefers_matching_pose() {
+        let model = toy_model(TemporalMode::Static);
+        // Pose 3 puts parts at areas (3,4,5,6,7).
+        let fv = features_for_areas(&[3, 4, 5, 6, 7]);
+        let lik = model.observation_likelihood(&fv).unwrap();
+        // The toy tables are 8-periodic, so poses 3, 11 and 19 tie; pose
+        // 3 must be among the maxima.
+        let max = lik.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((lik[3] - max).abs() < 1e-12, "likelihoods: {lik:?}");
+        assert!(lik[3] > lik[4] * 10.0, "pose 3 should dominate pose 4");
+    }
+
+    #[test]
+    fn classifier_follows_evidence() {
+        let model = toy_model(TemporalMode::Full);
+        let mut clf = model.start_clip();
+        // Strong pose-3 evidence repeatedly.
+        for _ in 0..3 {
+            let est = clf.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
+            assert!(est.posterior.len() == P);
+        }
+        let est = clf.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
+        assert_eq!(est.pose, Some(PoseClass::from_index(3)));
+    }
+
+    #[test]
+    fn temporal_smoothing_resists_single_frame_glitch() {
+        let model = toy_model(TemporalMode::Full);
+        let mut clf = model.start_clip();
+        for _ in 0..4 {
+            clf.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
+        }
+        // One glitch frame pointing at a pose far from 3 (pose 11: areas
+        // 3..7 shifted by 8 ≡ same? pick 9: areas (1,2,3,4,5)).
+        let est = clf.step(&features_for_areas(&[1, 2, 3, 4, 5])).unwrap();
+        // The prior from pose 3 pulls against the glitch; pose 9 is not
+        // reachable in one hop from 3 under the toy transition, so the
+        // posterior mass on 9 stays limited by the 0.1 smoothing floor.
+        let p9 = est.posterior[9];
+        let p_static = toy_model(TemporalMode::Static);
+        let mut clf_static = p_static.start_clip();
+        for _ in 0..4 {
+            clf_static.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
+        }
+        let est_static = clf_static.step(&features_for_areas(&[1, 2, 3, 4, 5])).unwrap();
+        assert!(
+            p9 < est_static.posterior[9],
+            "temporal prior should damp the glitch: {} vs {}",
+            p9,
+            est_static.posterior[9]
+        );
+    }
+
+    #[test]
+    fn threshold_yields_unknown_and_carry_forward() {
+        let config = PipelineConfig {
+            temporal: TemporalMode::Static,
+            th_pose: 0.9999, // nothing non-majority can clear this
+            ..PipelineConfig::default()
+        };
+        let model = PoseModel::from_tables(config, toy_tables(8)).unwrap();
+        let mut clf = model.start_clip();
+        let est = clf.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
+        if est.pose.is_none() {
+            // Carry-forward: the committed pose is the initial pose.
+            assert_eq!(est.committed_pose, PoseClass::initial());
+            assert_eq!(clf.last_recognized(), PoseClass::initial());
+        } else {
+            // Only the majority pose can be accepted under this
+            // threshold.
+            assert_eq!(est.pose, Some(PoseClass::majority()));
+        }
+    }
+
+    #[test]
+    fn majority_pose_bypasses_threshold() {
+        let config = PipelineConfig {
+            temporal: TemporalMode::Static,
+            th_pose: 1.0,
+            ..PipelineConfig::default()
+        };
+        let model = PoseModel::from_tables(config, toy_tables(8)).unwrap();
+        let mut clf = model.start_clip();
+        // Evidence pointing at the majority pose's areas.
+        let m = PoseClass::majority().index();
+        let areas: Vec<u8> = (0..5).map(|p| ((m + p) % 8) as u8).collect();
+        let est = clf.step(&features_for_areas(&areas)).unwrap();
+        assert_eq!(est.pose, Some(PoseClass::majority()));
+    }
+
+    #[test]
+    fn mismatched_partitions_rejected() {
+        let model = toy_model(TemporalMode::Full);
+        let kp = KeyPoints {
+            waist: Some((0.0, 0.0)),
+            head: Some((0.0, -5.0)),
+            ..KeyPoints::default()
+        };
+        let fv = FeatureCodec::new(12).encode(&kp);
+        assert!(matches!(
+            model.observation_likelihood(&fv),
+            Err(SljError::ConfigMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn from_tables_validates_shapes() {
+        let mut t = toy_tables(8);
+        t.part_given_pose.pop();
+        assert!(matches!(
+            PoseModel::from_tables(PipelineConfig::default(), t),
+            Err(SljError::ConfigMismatch(_))
+        ));
+        let mut t2 = toy_tables(8);
+        t2.pose_marginal.pop();
+        assert!(PoseModel::from_tables(PipelineConfig::default(), t2).is_err());
+    }
+
+    #[test]
+    fn all_modes_build_and_step() {
+        for mode in [TemporalMode::Static, TemporalMode::PrevPose, TemporalMode::Full] {
+            let model = toy_model(mode);
+            let mut clf = model.start_clip();
+            let est = clf.step(&features_for_areas(&[0, 1, 2, 3, 4])).unwrap();
+            assert_eq!(est.posterior.len(), P);
+            assert_eq!(est.stage_posterior.len(), S);
+        }
+    }
+
+    #[test]
+    fn decode_clip_follows_strong_evidence() {
+        let model = toy_model(TemporalMode::Full);
+        // Evidence for pose 3, then pose 4 (a legal +1 transition).
+        let seq: Vec<_> = (0..6)
+            .map(|t| {
+                let base = if t < 3 { 3usize } else { 4 };
+                features_for_areas(&[
+                    base as u8,
+                    (base as u8 + 1) % 8,
+                    (base as u8 + 2) % 8,
+                    (base as u8 + 3) % 8,
+                    (base as u8 + 4) % 8,
+                ])
+            })
+            .collect();
+        let path = model.decode_clip(&seq).unwrap();
+        assert_eq!(path.len(), 6);
+        // The decoded poses must be observation-equivalent to 3 then 4
+        // (the toy tables are 8-periodic).
+        for (t, (_, pose)) in path.iter().enumerate() {
+            let expect = if t < 3 { 3 } else { 4 };
+            assert_eq!(pose.index() % 8, expect, "frame {t}: {pose}");
+        }
+    }
+
+    #[test]
+    fn decode_clip_rejects_empty() {
+        let model = toy_model(TemporalMode::Full);
+        assert!(model.decode_clip(&[]).is_err());
+        assert!(model.smooth_clip(&[]).is_err());
+    }
+
+    #[test]
+    fn smooth_clip_follows_strong_evidence() {
+        let model = toy_model(TemporalMode::Full);
+        let seq: Vec<_> = (0..5)
+            .map(|_| features_for_areas(&[3, 4, 5, 6, 7]))
+            .collect();
+        let path = model.smooth_clip(&seq).unwrap();
+        assert_eq!(path.len(), 5);
+        for (t, (_, pose)) in path.iter().enumerate() {
+            assert_eq!(pose.index() % 8, 3, "frame {t}: {pose}");
+        }
+    }
+
+    #[test]
+    fn stage_posterior_advances_in_full_mode() {
+        // With a left-to-right stage table, repeated steps should move
+        // stage mass forward.
+        let mut tables = toy_tables(8);
+        tables.stage_transition = vec![
+            vec![0.6, 0.4, 0.0, 0.0],
+            vec![0.0, 0.6, 0.4, 0.0],
+            vec![0.0, 0.0, 0.6, 0.4],
+            vec![0.0, 0.0, 0.0, 1.0],
+        ];
+        let config = PipelineConfig {
+            th_pose: 0.01,
+            ..PipelineConfig::default()
+        };
+        let model = PoseModel::from_tables(config, tables).unwrap();
+        let mut clf = model.start_clip();
+        let mut first_stage = 0;
+        for i in 0..12 {
+            let est = clf.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
+            if i == 0 {
+                first_stage = est.stage.index();
+            }
+            if i == 11 {
+                assert!(
+                    est.stage.index() >= first_stage,
+                    "stage should drift forward"
+                );
+                assert!(
+                    est.stage_posterior[3] > 0.5,
+                    "after 12 frames mass reaches landing: {:?}",
+                    est.stage_posterior
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Saving and loading trained models.
+//!
+//! A [`PoseModel`] is persisted as a small versioned plain-text format
+//! (no external serialisation crates): the configuration scalars
+//! followed by each learned table as whitespace-separated rows. The
+//! format is line-oriented and diff-friendly, so trained models can be
+//! versioned next to the code.
+
+use crate::config::{ObservationMode, PipelineConfig, TemporalMode};
+use crate::error::SljError;
+use crate::model::{LearnedTables, PoseModel};
+use slj_imaging::background::ExtractionConfig;
+use slj_sim::pose::PoseClass;
+use slj_sim::stage::JumpStage;
+use slj_skeleton::pipeline::SkeletonConfig;
+use slj_skeleton::thinning::ThinningAlgorithm;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Magic first line of the model format.
+const MAGIC: &str = "slj-pose-model v1";
+
+/// Serialises a trained model to the versioned text format.
+pub fn to_string(model: &PoseModel) -> String {
+    let c = model.config();
+    let t = model.tables();
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(
+        out,
+        "config window={} th_object={} auto_threshold={} median={} min_branch={} cut_loops={} prune={} algorithm={} partitions={} th_pose={} alpha={} activation={} leak={} temporal={} observation={} hard_commit={} carry_forward={}",
+        c.extraction.window,
+        c.extraction.th_object,
+        c.extraction.auto_threshold,
+        c.median_window,
+        c.skeleton.min_branch_len,
+        c.skeleton.cut_loops,
+        c.skeleton.prune,
+        match c.skeleton.algorithm {
+            ThinningAlgorithm::ZhangSuen => "zhang-suen",
+            ThinningAlgorithm::GuoHall => "guo-hall",
+        },
+        c.partitions,
+        c.th_pose,
+        c.laplace_alpha,
+        c.part_activation,
+        c.area_leak,
+        match c.temporal {
+            TemporalMode::Static => "static",
+            TemporalMode::PrevPose => "prev-pose",
+            TemporalMode::Full => "full",
+        },
+        match c.observation {
+            ObservationMode::PartAssignment => "parts",
+            ObservationMode::AreaOccupancy => "areas",
+        },
+        c.hard_commit,
+        c.carry_forward,
+    );
+    let write_rows = |out: &mut String, name: &str, rows: Vec<&[f64]>| {
+        let _ = writeln!(out, "table {name} rows={} cols={}", rows.len(), rows[0].len());
+        for row in rows {
+            // `{:e}` prints the shortest scientific form that round-trips
+            // exactly back to the same f64.
+            let line: Vec<String> = row.iter().map(|v| format!("{v:e}")).collect();
+            let _ = writeln!(out, "{}", line.join(" "));
+        }
+    };
+    write_rows(
+        &mut out,
+        "stage_transition",
+        t.stage_transition.iter().map(|r| r.as_slice()).collect(),
+    );
+    // pose_transition[prev][stage] flattened to (prev * S + stage) rows.
+    write_rows(
+        &mut out,
+        "pose_transition",
+        t.pose_transition
+            .iter()
+            .flat_map(|per_prev| per_prev.iter().map(|r| r.as_slice()))
+            .collect(),
+    );
+    write_rows(
+        &mut out,
+        "pose_transition_nostage",
+        t.pose_transition_nostage
+            .iter()
+            .map(|r| r.as_slice())
+            .collect(),
+    );
+    write_rows(&mut out, "pose_marginal", vec![t.pose_marginal.as_slice()]);
+    write_rows(
+        &mut out,
+        "part_given_pose",
+        t.part_given_pose
+            .iter()
+            .flat_map(|per_part| per_part.iter().map(|r| r.as_slice()))
+            .collect(),
+    );
+    out
+}
+
+/// Parses a model from the text format.
+///
+/// # Errors
+///
+/// Returns [`SljError::ConfigMismatch`] on any malformed content and
+/// propagates model-assembly validation.
+pub fn from_str(text: &str) -> Result<PoseModel, SljError> {
+    let bad = |msg: &str| SljError::ConfigMismatch(format!("model parse: {msg}"));
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(MAGIC) {
+        return Err(bad("missing magic header"));
+    }
+    // Config line.
+    let config_line = lines.next().ok_or_else(|| bad("missing config line"))?;
+    let mut kv = std::collections::HashMap::new();
+    for token in config_line.split_whitespace().skip(1) {
+        let (k, v) = token
+            .split_once('=')
+            .ok_or_else(|| bad(&format!("bad config token {token:?}")))?;
+        kv.insert(k.to_string(), v.to_string());
+    }
+    fn get<T: std::str::FromStr>(
+        kv: &std::collections::HashMap<String, String>,
+        key: &str,
+    ) -> Result<T, SljError> {
+        kv.get(key)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| SljError::ConfigMismatch(format!("model parse: bad or missing {key}")))
+    }
+    let config = PipelineConfig {
+        extraction: ExtractionConfig {
+            window: get(&kv, "window")?,
+            th_object: get(&kv, "th_object")?,
+            auto_threshold: get(&kv, "auto_threshold")?,
+        },
+        median_window: get(&kv, "median")?,
+        skeleton: SkeletonConfig {
+            algorithm: match kv.get("algorithm").map(String::as_str) {
+                Some("zhang-suen") => ThinningAlgorithm::ZhangSuen,
+                Some("guo-hall") => ThinningAlgorithm::GuoHall,
+                other => return Err(bad(&format!("unknown algorithm {other:?}"))),
+            },
+            min_branch_len: get(&kv, "min_branch")?,
+            cut_loops: get(&kv, "cut_loops")?,
+            prune: get(&kv, "prune")?,
+        },
+        partitions: get(&kv, "partitions")?,
+        th_pose: get(&kv, "th_pose")?,
+        laplace_alpha: get(&kv, "alpha")?,
+        part_activation: get(&kv, "activation")?,
+        area_leak: get(&kv, "leak")?,
+        temporal: match kv.get("temporal").map(String::as_str) {
+            Some("static") => TemporalMode::Static,
+            Some("prev-pose") => TemporalMode::PrevPose,
+            Some("full") => TemporalMode::Full,
+            other => return Err(bad(&format!("unknown temporal mode {other:?}"))),
+        },
+        observation: match kv.get("observation").map(String::as_str) {
+            Some("parts") => ObservationMode::PartAssignment,
+            Some("areas") => ObservationMode::AreaOccupancy,
+            other => return Err(bad(&format!("unknown observation mode {other:?}"))),
+        },
+        hard_commit: get(&kv, "hard_commit")?,
+        carry_forward: get(&kv, "carry_forward")?,
+    };
+
+    // Tables.
+    let mut read_table = |name: &str| -> Result<Vec<Vec<f64>>, SljError> {
+        let header = lines
+            .next()
+            .ok_or_else(|| bad(&format!("missing table {name}")))?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("table") || parts.next() != Some(name) {
+            return Err(bad(&format!("expected table {name}, got {header:?}")));
+        }
+        let parse_dim = |tok: Option<&str>, what: &str| -> Result<usize, SljError> {
+            tok.and_then(|t| t.split_once('='))
+                .and_then(|(_, v)| v.parse().ok())
+                .ok_or_else(|| {
+                    SljError::ConfigMismatch(format!("model parse: bad {what} in {header:?}"))
+                })
+        };
+        let rows = parse_dim(parts.next(), "rows")?;
+        let cols = parse_dim(parts.next(), "cols")?;
+        let mut out = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let line = lines
+                .next()
+                .ok_or_else(|| bad(&format!("truncated table {name}")))?;
+            let row: Vec<f64> = line
+                .split_whitespace()
+                .map(|v| v.parse().map_err(|_| bad(&format!("bad value in {name}"))))
+                .collect::<Result<_, _>>()?;
+            if row.len() != cols {
+                return Err(bad(&format!(
+                    "table {name}: row has {} cols, expected {cols}",
+                    row.len()
+                )));
+            }
+            out.push(row);
+        }
+        Ok(out)
+    };
+
+    const P: usize = PoseClass::COUNT;
+    const S: usize = JumpStage::COUNT;
+    let stage_transition = read_table("stage_transition")?;
+    let pose_flat = read_table("pose_transition")?;
+    if pose_flat.len() != P * S {
+        return Err(bad("pose_transition has wrong row count"));
+    }
+    let pose_transition: Vec<Vec<Vec<f64>>> = pose_flat
+        .chunks(S)
+        .map(|chunk| chunk.to_vec())
+        .collect();
+    let pose_transition_nostage = read_table("pose_transition_nostage")?;
+    let pose_marginal = read_table("pose_marginal")?
+        .into_iter()
+        .next()
+        .ok_or_else(|| bad("empty pose_marginal"))?;
+    let part_flat = read_table("part_given_pose")?;
+    if part_flat.len() != 5 * P {
+        return Err(bad("part_given_pose has wrong row count"));
+    }
+    let part_given_pose: Vec<Vec<Vec<f64>>> =
+        part_flat.chunks(P).map(|chunk| chunk.to_vec()).collect();
+
+    PoseModel::from_tables(
+        config,
+        LearnedTables {
+            stage_transition,
+            pose_transition,
+            pose_transition_nostage,
+            pose_marginal,
+            part_given_pose,
+        },
+    )
+}
+
+/// Writes a model to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors as [`SljError::Imaging`] (I/O).
+pub fn save(model: &PoseModel, path: impl AsRef<Path>) -> Result<(), SljError> {
+    std::fs::write(path, to_string(model))
+        .map_err(|e| SljError::Imaging(slj_imaging::ImagingError::Io(e.to_string())))
+}
+
+/// Reads a model from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and parse failures.
+pub fn load(path: impl AsRef<Path>) -> Result<PoseModel, SljError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SljError::Imaging(slj_imaging::ImagingError::Io(e.to_string())))?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::Trainer;
+    use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+    fn trained_model() -> PoseModel {
+        let sim = JumpSimulator::new(71);
+        let clips: Vec<_> = (0..2)
+            .map(|i| {
+                sim.generate_clip(&ClipSpec {
+                    total_frames: 28,
+                    seed: i,
+                    noise: NoiseConfig::default(),
+                    rare_poses: i == 1,
+                    ..ClipSpec::default()
+                })
+            })
+            .collect();
+        Trainer::new(PipelineConfig::default()).train(&clips).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let model = trained_model();
+        let text = to_string(&model);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.config(), model.config());
+        assert_eq!(back.tables(), model.tables());
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let model = trained_model();
+        let path = std::env::temp_dir().join("slj_model_io_test.model");
+        save(&model, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.tables(), model.tables());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reloaded_model_classifies_identically() {
+        use crate::evaluation::evaluate_clip;
+        let model = trained_model();
+        let back = from_str(&to_string(&model)).unwrap();
+        let clip = JumpSimulator::new(71).generate_clip(&ClipSpec {
+            total_frames: 28,
+            seed: 9,
+            noise: NoiseConfig::default(),
+            ..ClipSpec::default()
+        });
+        let a = evaluate_clip(&model, &clip).unwrap();
+        let b = evaluate_clip(&back, &clip).unwrap();
+        for (x, y) in a.estimates.iter().zip(&b.estimates) {
+            assert_eq!(x.pose, y.pose);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_str("").is_err());
+        assert!(from_str("wrong magic\n").is_err());
+        let model = trained_model();
+        let text = to_string(&model);
+        // Truncated file.
+        let half = &text[..text.len() / 2];
+        assert!(from_str(half).is_err());
+        // Corrupted config.
+        let bad = text.replace("partitions=8", "partitions=zero");
+        assert!(from_str(&bad).is_err());
+        // Corrupted table value.
+        let bad2 = text.replacen("table stage_transition rows=4", "table stage_transition rows=9", 1);
+        assert!(from_str(&bad2).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! The per-frame front end: video frame → silhouette → skeleton → key
+//! points → feature vector (Sections 2–3 and the front half of 4).
+
+use crate::config::PipelineConfig;
+use crate::error::SljError;
+use slj_imaging::background::BackgroundSubtractor;
+use slj_imaging::binary::BinaryImage;
+use slj_imaging::filter::median_filter_binary;
+use slj_imaging::image::RgbImage;
+use slj_imaging::morphology::Connectivity;
+use slj_imaging::region::largest_component;
+use slj_skeleton::features::{FeatureCodec, FeatureVector};
+use slj_skeleton::keypoints::KeyPoints;
+use slj_skeleton::pipeline::{SkeletonPipeline, SkeletonResult};
+
+/// Everything the front end derives from one frame.
+#[derive(Debug, Clone)]
+pub struct ProcessedFrame {
+    /// The smoothed, largest-component silhouette (Figure 1(c)).
+    pub silhouette: BinaryImage,
+    /// Thinning + clean-up output (Figures 2–5).
+    pub skeleton: SkeletonResult,
+    /// Extracted key points.
+    pub keypoints: KeyPoints,
+    /// Area-encoded feature vector (Figure 6).
+    pub features: FeatureVector,
+}
+
+/// Processes frames of one clip against its known studio background.
+#[derive(Debug, Clone)]
+pub struct FrameProcessor {
+    subtractor: BackgroundSubtractor,
+    median_window: usize,
+    skeleton_pipeline: SkeletonPipeline,
+    codec: FeatureCodec,
+}
+
+impl FrameProcessor {
+    /// Creates a processor for a clip with the given background frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction-configuration errors.
+    pub fn new(background: RgbImage, config: &PipelineConfig) -> Result<Self, SljError> {
+        config.validate();
+        Ok(FrameProcessor {
+            subtractor: BackgroundSubtractor::new(background, config.extraction)?,
+            median_window: config.median_window,
+            skeleton_pipeline: SkeletonPipeline::new(config.skeleton),
+            codec: FeatureCodec::new(config.partitions),
+        })
+    }
+
+    /// Extracts the smoothed jumper silhouette (Section 2): background
+    /// subtraction, median filter, largest connected component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the extractor.
+    pub fn extract_silhouette(&self, frame: &RgbImage) -> Result<BinaryImage, SljError> {
+        let raw = self.subtractor.extract(frame)?;
+        let smoothed = median_filter_binary(&raw, self.median_window)?;
+        Ok(largest_component(&smoothed, Connectivity::Eight)
+            .unwrap_or_else(|| BinaryImage::new(smoothed.width(), smoothed.height())))
+    }
+
+    /// Runs the full front end on one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors; an empty silhouette yields an empty
+    /// feature vector rather than an error.
+    pub fn process(&self, frame: &RgbImage) -> Result<ProcessedFrame, SljError> {
+        let silhouette = self.extract_silhouette(frame)?;
+        let skeleton = self.skeleton_pipeline.run(&silhouette);
+        let keypoints = skeleton.keypoints;
+        let features = self.codec.encode(&keypoints);
+        Ok(ProcessedFrame {
+            silhouette,
+            skeleton,
+            keypoints,
+            features,
+        })
+    }
+
+    /// Processes a silhouette that is already extracted (used when
+    /// training from ground-truth silhouettes or in ablations).
+    pub fn process_silhouette(&self, silhouette: &BinaryImage) -> ProcessedFrame {
+        let skeleton = self.skeleton_pipeline.run(silhouette);
+        let keypoints = skeleton.keypoints;
+        let features = self.codec.encode(&keypoints);
+        ProcessedFrame {
+            silhouette: silhouette.clone(),
+            skeleton,
+            keypoints,
+            features,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+    fn clip() -> slj_sim::LabeledClip {
+        JumpSimulator::new(21).generate_clip(&ClipSpec {
+            total_frames: 25,
+            ..ClipSpec::default()
+        })
+    }
+
+    #[test]
+    fn silhouette_extraction_matches_truth_well() {
+        use slj_imaging::metrics::MaskMetrics;
+        let clip = clip();
+        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let mut total_iou = 0.0;
+        for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
+            let extracted = proc.extract_silhouette(frame).unwrap();
+            let m = MaskMetrics::compare(&extracted, &truth.silhouette).unwrap();
+            total_iou += m.iou();
+        }
+        let mean_iou = total_iou / clip.frames.len() as f64;
+        assert!(
+            mean_iou > 0.75,
+            "extraction should roughly recover the silhouette, IoU {mean_iou}"
+        );
+    }
+
+    #[test]
+    fn process_produces_features_on_most_frames() {
+        let clip = clip();
+        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let mut with_waist = 0;
+        for frame in &clip.frames {
+            let out = proc.process(frame).unwrap();
+            if out.keypoints.waist.is_some() {
+                with_waist += 1;
+            }
+            assert_eq!(out.features.partitions(), 8);
+        }
+        assert!(
+            with_waist * 10 >= clip.frames.len() * 8,
+            "waist found on >=80% of frames, got {with_waist}/{}",
+            clip.frames.len()
+        );
+    }
+
+    #[test]
+    fn empty_frame_yields_empty_features() {
+        let clip = clip();
+        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        // The background itself contains no jumper.
+        let out = proc.process(&clip.background).unwrap();
+        assert!(out.silhouette.is_empty());
+        assert_eq!(out.features.present_parts(), 0);
+    }
+
+    #[test]
+    fn process_silhouette_skips_extraction() {
+        let clip = clip();
+        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let out = proc.process_silhouette(&clip.truth[5].silhouette);
+        assert!(out.keypoints.foot.is_some());
+        assert!(out.features.present_parts() >= 3);
+    }
+
+    #[test]
+    fn guo_hall_config_also_processes() {
+        use slj_skeleton::pipeline::SkeletonConfig;
+        use slj_skeleton::thinning::ThinningAlgorithm;
+        let clip = clip();
+        let config = PipelineConfig {
+            skeleton: SkeletonConfig {
+                algorithm: ThinningAlgorithm::GuoHall,
+                ..SkeletonConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let proc = FrameProcessor::new(clip.background.clone(), &config).unwrap();
+        let out = proc.process(&clip.frames[10]).unwrap();
+        assert!(out.keypoints.foot.is_some());
+        assert!(out.skeleton.skeleton.count_ones() > 20);
+    }
+
+    #[test]
+    fn auto_threshold_config_extracts_comparable_silhouette() {
+        use slj_imaging::background::ExtractionConfig;
+        use slj_imaging::metrics::MaskMetrics;
+        let clip = clip();
+        let fixed = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default())
+            .unwrap();
+        let auto = FrameProcessor::new(
+            clip.background.clone(),
+            &PipelineConfig {
+                extraction: ExtractionConfig {
+                    auto_threshold: true,
+                    ..ExtractionConfig::default()
+                },
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        let a = fixed.extract_silhouette(&clip.frames[10]).unwrap();
+        let b = auto.extract_silhouette(&clip.frames[10]).unwrap();
+        // Otsu picks a higher cut, but the body core must agree.
+        let m = MaskMetrics::compare(&b, &a).unwrap();
+        assert!(m.iou() > 0.4, "fixed vs auto IoU {}", m.iou());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn mismatched_frame_size_rejected() {
+        let clip = clip();
+        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let wrong = RgbImage::new(8, 8);
+        assert!(proc.process(&wrong).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! The GA's pose encoding.
+
+use rand::Rng;
+use slj_sim::kinematics::JointAngles;
+
+/// Number of genes: root x, root y, and seven joint angles.
+pub const GENE_COUNT: usize = 9;
+
+/// One candidate stick-model pose: root (hip) position plus joint angles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chromosome {
+    /// Hip x in pixels.
+    pub root_x: f64,
+    /// Hip y in pixels.
+    pub root_y: f64,
+    /// Joint angles (radians), in [`JointAngles`] field order.
+    pub angles: [f64; 7],
+}
+
+/// Search-space bounds for chromosome sampling and mutation clamping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Root x range.
+    pub x: (f64, f64),
+    /// Root y range.
+    pub y: (f64, f64),
+    /// Torso-lean range.
+    pub torso_lean: (f64, f64),
+    /// Shoulder range.
+    pub shoulder: (f64, f64),
+    /// Elbow range.
+    pub elbow: (f64, f64),
+    /// Hip range (both legs).
+    pub hip: (f64, f64),
+    /// Knee-flexion range (both legs).
+    pub knee: (f64, f64),
+}
+
+impl Bounds {
+    /// Bounds appropriate for a `width × height` frame and the full
+    /// range of jump poses.
+    pub fn for_frame(width: usize, height: usize) -> Self {
+        Bounds {
+            x: (0.0, width as f64),
+            y: (0.0, height as f64),
+            torso_lean: (-0.6, 1.4),
+            shoulder: (-1.4, 3.0),
+            elbow: (-0.3, 1.2),
+            hip: (-0.5, 1.8),
+            knee: (-0.2, 2.2),
+        }
+    }
+
+    fn gene_range(&self, gene: usize) -> (f64, f64) {
+        match gene {
+            0 => self.x,
+            1 => self.y,
+            2 => self.torso_lean,
+            3 => self.shoulder,
+            4 => self.elbow,
+            5 | 7 => self.hip,
+            6 | 8 => self.knee,
+            _ => panic!("gene index {gene} out of range (0..{GENE_COUNT})"),
+        }
+    }
+}
+
+impl Chromosome {
+    /// Samples a uniformly random chromosome within `bounds`.
+    pub fn random<R: Rng>(bounds: &Bounds, rng: &mut R) -> Self {
+        let mut genes = [0.0f64; GENE_COUNT];
+        for (i, g) in genes.iter_mut().enumerate() {
+            let (lo, hi) = bounds.gene_range(i);
+            *g = rng.gen_range(lo..hi);
+        }
+        Self::from_genes(&genes)
+    }
+
+    /// Flattens to the gene vector.
+    pub fn genes(&self) -> [f64; GENE_COUNT] {
+        [
+            self.root_x,
+            self.root_y,
+            self.angles[0],
+            self.angles[1],
+            self.angles[2],
+            self.angles[3],
+            self.angles[4],
+            self.angles[5],
+            self.angles[6],
+        ]
+    }
+
+    /// Rebuilds from a gene vector.
+    pub fn from_genes(genes: &[f64; GENE_COUNT]) -> Self {
+        Chromosome {
+            root_x: genes[0],
+            root_y: genes[1],
+            angles: [
+                genes[2], genes[3], genes[4], genes[5], genes[6], genes[7], genes[8],
+            ],
+        }
+    }
+
+    /// The joint-angle view of the chromosome.
+    pub fn joint_angles(&self) -> JointAngles {
+        JointAngles {
+            torso_lean: self.angles[0],
+            shoulder: self.angles[1],
+            elbow: self.angles[2],
+            hip_front: self.angles[3],
+            knee_front: self.angles[4],
+            hip_back: self.angles[5],
+            knee_back: self.angles[6],
+        }
+    }
+
+    /// Uniform crossover: each gene comes from either parent with equal
+    /// probability.
+    pub fn crossover<R: Rng>(&self, other: &Chromosome, rng: &mut R) -> Chromosome {
+        let a = self.genes();
+        let b = other.genes();
+        let mut child = [0.0f64; GENE_COUNT];
+        for i in 0..GENE_COUNT {
+            child[i] = if rng.gen::<bool>() { a[i] } else { b[i] };
+        }
+        Chromosome::from_genes(&child)
+    }
+
+    /// Gaussian-ish mutation: each gene is perturbed with probability
+    /// `rate` by up to `sigma` × its bound width, then clamped.
+    pub fn mutate<R: Rng>(&self, bounds: &Bounds, rate: f64, sigma: f64, rng: &mut R) -> Chromosome {
+        let mut genes = self.genes();
+        for (i, g) in genes.iter_mut().enumerate() {
+            if rng.gen::<f64>() < rate {
+                let (lo, hi) = bounds.gene_range(i);
+                let width = hi - lo;
+                *g = (*g + rng.gen_range(-1.0..1.0) * sigma * width).clamp(lo, hi);
+            }
+        }
+        Chromosome::from_genes(&genes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn bounds() -> Bounds {
+        Bounds::for_frame(160, 120)
+    }
+
+    #[test]
+    fn random_respects_bounds() {
+        let b = bounds();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = Chromosome::random(&b, &mut rng);
+            let genes = c.genes();
+            for (i, &g) in genes.iter().enumerate() {
+                let (lo, hi) = b.gene_range(i);
+                assert!(g >= lo && g < hi, "gene {i} = {g} outside [{lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn genes_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let c = Chromosome::random(&bounds(), &mut rng);
+        assert_eq!(Chromosome::from_genes(&c.genes()), c);
+    }
+
+    #[test]
+    fn joint_angles_view() {
+        let c = Chromosome {
+            root_x: 10.0,
+            root_y: 20.0,
+            angles: [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
+        };
+        let ja = c.joint_angles();
+        assert_eq!(ja.torso_lean, 0.1);
+        assert_eq!(ja.shoulder, 0.2);
+        assert_eq!(ja.knee_back, 0.7);
+    }
+
+    #[test]
+    fn crossover_picks_parent_genes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Chromosome::from_genes(&[1.0; GENE_COUNT]);
+        let b = Chromosome::from_genes(&[2.0; GENE_COUNT]);
+        let child = a.crossover(&b, &mut rng);
+        for &g in &child.genes() {
+            assert!(g == 1.0 || g == 2.0);
+        }
+    }
+
+    #[test]
+    fn mutation_clamps_to_bounds() {
+        let b = bounds();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let c = Chromosome::random(&b, &mut rng);
+        for _ in 0..50 {
+            let m = c.mutate(&b, 1.0, 2.0, &mut rng);
+            for (i, &g) in m.genes().iter().enumerate() {
+                let (lo, hi) = b.gene_range(i);
+                assert!(g >= lo && g <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let b = bounds();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let c = Chromosome::random(&b, &mut rng);
+        assert_eq!(c.mutate(&b, 0.0, 0.5, &mut rng), c);
+    }
+}

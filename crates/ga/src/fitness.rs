@@ -1,0 +1,121 @@
+//! Silhouette-overlap fitness.
+
+use crate::chromosome::Chromosome;
+use slj_imaging::binary::BinaryImage;
+use slj_imaging::metrics::MaskMetrics;
+use slj_sim::body::BodyModel;
+use slj_sim::kinematics::solve;
+use slj_sim::render::Renderer;
+
+/// Renders the stick model posed by `chromosome` into a silhouette of
+/// the given dimensions.
+pub fn render_chromosome(
+    body: &BodyModel,
+    chromosome: &Chromosome,
+    width: usize,
+    height: usize,
+) -> BinaryImage {
+    let skeleton = solve(
+        body,
+        (chromosome.root_x, chromosome.root_y),
+        &chromosome.joint_angles(),
+    );
+    Renderer::new(width, height).silhouette(body, &skeleton)
+}
+
+/// Fitness of a chromosome against the target silhouette:
+/// intersection-over-union of the rendered stick model and the target.
+///
+/// # Panics
+///
+/// Panics if the target dimensions are zero (renderer precondition).
+pub fn overlap_fitness(body: &BodyModel, chromosome: &Chromosome, target: &BinaryImage) -> f64 {
+    let rendered = render_chromosome(body, chromosome, target.width(), target.height());
+    MaskMetrics::compare(&rendered, target)
+        .expect("rendered mask matches target dimensions")
+        .iou()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_sim::pose::PoseClass;
+
+    fn target(pose: PoseClass, hip: (f64, f64)) -> (BodyModel, BinaryImage, Chromosome) {
+        let body = BodyModel::default();
+        let skeleton = solve(&body, hip, &pose.canonical_angles());
+        let mask = Renderer::new(160, 120).silhouette(&body, &skeleton);
+        let a = pose.canonical_angles();
+        let truth = Chromosome {
+            root_x: hip.0,
+            root_y: hip.1,
+            angles: [
+                a.torso_lean,
+                a.shoulder,
+                a.elbow,
+                a.hip_front,
+                a.knee_front,
+                a.hip_back,
+                a.knee_back,
+            ],
+        };
+        (body, mask, truth)
+    }
+
+    #[test]
+    fn true_pose_scores_one() {
+        let (body, mask, truth) = target(PoseClass::StandingHandsSwungForward, (60.0, 60.0));
+        let f = overlap_fitness(&body, &truth, &mask);
+        assert!((f - 1.0).abs() < 1e-12, "self-overlap must be perfect, got {f}");
+    }
+
+    #[test]
+    fn displaced_pose_scores_less() {
+        let (body, mask, truth) = target(PoseClass::StandingHandsSwungForward, (60.0, 60.0));
+        let shifted = Chromosome {
+            root_x: truth.root_x + 25.0,
+            ..truth
+        };
+        let f = overlap_fitness(&body, &shifted, &mask);
+        assert!(f < 0.5, "a 25px shift should hurt badly, got {f}");
+    }
+
+    #[test]
+    fn wrong_pose_scores_less_than_right_pose() {
+        let (body, mask, truth) = target(PoseClass::AirborneTuck, (70.0, 50.0));
+        let a = PoseClass::StandingHandsOverlap.canonical_angles();
+        let wrong = Chromosome {
+            angles: [
+                a.torso_lean,
+                a.shoulder,
+                a.elbow,
+                a.hip_front,
+                a.knee_front,
+                a.hip_back,
+                a.knee_back,
+            ],
+            ..truth
+        };
+        assert!(overlap_fitness(&body, &wrong, &mask) < overlap_fitness(&body, &truth, &mask));
+    }
+
+    #[test]
+    fn fitness_is_monotone_in_displacement() {
+        let (body, mask, truth) = target(PoseClass::StandingHandsOverlap, (60.0, 60.0));
+        let f = |dx: f64| {
+            overlap_fitness(
+                &body,
+                &Chromosome {
+                    root_x: truth.root_x + dx,
+                    ..truth
+                },
+                &mask,
+            )
+        };
+        assert!(f(0.0) > f(5.0));
+        assert!(f(5.0) > f(15.0));
+        // Far displacements may both bottom out at zero overlap.
+        assert!(f(15.0) >= f(40.0));
+        assert!(f(0.0) > f(40.0));
+    }
+}

@@ -1,0 +1,296 @@
+//! The genetic algorithm itself: tournament selection, uniform
+//! crossover, clamped mutation, elitism.
+
+use crate::chromosome::{Bounds, Chromosome};
+use crate::fitness::overlap_fitness;
+use rand::Rng;
+use slj_imaging::binary::BinaryImage;
+use slj_sim::body::BodyModel;
+use slj_sim::kinematics::{solve, Skeleton2D};
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability that a child is produced by crossover (vs cloning the
+    /// first parent).
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Mutation step as a fraction of each gene's bound width.
+    pub mutation_sigma: f64,
+    /// Number of best individuals copied unchanged each generation.
+    pub elitism: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 60,
+            generations: 40,
+            tournament: 3,
+            crossover_rate: 0.8,
+            mutation_rate: 0.25,
+            mutation_sigma: 0.12,
+            elitism: 2,
+        }
+    }
+}
+
+/// Outcome of one GA fit.
+#[derive(Debug, Clone)]
+pub struct GaResult {
+    /// The best chromosome found.
+    pub best: Chromosome,
+    /// Its overlap fitness (IoU with the target).
+    pub best_fitness: f64,
+    /// Best fitness per generation (monotone non-decreasing with
+    /// elitism).
+    pub history: Vec<f64>,
+    /// Total fitness evaluations performed — the cost the paper calls
+    /// "very time-consuming".
+    pub evaluations: usize,
+}
+
+impl GaResult {
+    /// Resolves the best chromosome into joint positions.
+    pub fn skeleton(&self, body: &BodyModel) -> Skeleton2D {
+        solve(
+            body,
+            (self.best.root_x, self.best.root_y),
+            &self.best.joint_angles(),
+        )
+    }
+}
+
+/// Fits the stick model to silhouettes by genetic search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaFitter {
+    body: BodyModel,
+    config: GaConfig,
+}
+
+impl GaFitter {
+    /// Creates a fitter with the user-provided stick lengths (`body`) —
+    /// the manual input the paper's thinning approach eliminates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero population, zero tournament, or elitism larger
+    /// than the population.
+    pub fn new(body: BodyModel, config: GaConfig) -> Self {
+        assert!(config.population > 0, "population must be non-zero");
+        assert!(config.tournament > 0, "tournament must be non-zero");
+        assert!(
+            config.elitism <= config.population,
+            "elitism cannot exceed the population"
+        );
+        GaFitter { body, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> GaConfig {
+        self.config
+    }
+
+    /// Runs the GA against a target silhouette.
+    pub fn fit<R: Rng>(&self, target: &BinaryImage, rng: &mut R) -> GaResult {
+        let bounds = Bounds::for_frame(target.width(), target.height());
+        let mut evaluations = 0usize;
+        let eval = |c: &Chromosome, evals: &mut usize| -> f64 {
+            *evals += 1;
+            overlap_fitness(&self.body, c, target)
+        };
+        // Seed the population near the silhouette's centroid-ish bounding
+        // box when available (a fair initialisation the original system
+        // would also use).
+        let seed_center = target.bounding_box().map(|(x0, y0, x1, y1)| {
+            ((x0 + x1) as f64 / 2.0, (y0 + y1) as f64 / 2.0)
+        });
+        let mut population: Vec<Chromosome> = (0..self.config.population)
+            .map(|i| {
+                let mut c = Chromosome::random(&bounds, rng);
+                if let Some((cx, cy)) = seed_center {
+                    if i % 2 == 0 {
+                        c.root_x = (cx + rng.gen_range(-10.0..10.0))
+                            .clamp(bounds.x.0, bounds.x.1);
+                        c.root_y = (cy + rng.gen_range(-10.0..10.0))
+                            .clamp(bounds.y.0, bounds.y.1);
+                    }
+                }
+                c
+            })
+            .collect();
+        let mut fitness: Vec<f64> = population
+            .iter()
+            .map(|c| eval(c, &mut evaluations))
+            .collect();
+        let mut history = Vec::with_capacity(self.config.generations);
+
+        for _ in 0..self.config.generations {
+            // Rank for elitism.
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).unwrap());
+            history.push(fitness[order[0]]);
+
+            let mut next: Vec<Chromosome> = order[..self.config.elitism]
+                .iter()
+                .map(|&i| population[i])
+                .collect();
+            let mut next_fitness: Vec<f64> = order[..self.config.elitism]
+                .iter()
+                .map(|&i| fitness[i])
+                .collect();
+
+            while next.len() < self.config.population {
+                let p1 = self.tournament_pick(&fitness, rng);
+                let child = if rng.gen::<f64>() < self.config.crossover_rate {
+                    let p2 = self.tournament_pick(&fitness, rng);
+                    population[p1].crossover(&population[p2], rng)
+                } else {
+                    population[p1]
+                };
+                let child = child.mutate(
+                    &bounds,
+                    self.config.mutation_rate,
+                    self.config.mutation_sigma,
+                    rng,
+                );
+                next_fitness.push(eval(&child, &mut evaluations));
+                next.push(child);
+            }
+            population = next;
+            fitness = next_fitness;
+        }
+        let (best_idx, &best_fitness) = fitness
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty population");
+        history.push(best_fitness);
+        GaResult {
+            best: population[best_idx],
+            best_fitness,
+            history,
+            evaluations,
+        }
+    }
+
+    fn tournament_pick<R: Rng>(&self, fitness: &[f64], rng: &mut R) -> usize {
+        let mut best = rng.gen_range(0..fitness.len());
+        for _ in 1..self.config.tournament {
+            let challenger = rng.gen_range(0..fitness.len());
+            if fitness[challenger] > fitness[best] {
+                best = challenger;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use slj_sim::pose::PoseClass;
+    use slj_sim::render::Renderer;
+
+    fn target_mask(pose: PoseClass) -> (BodyModel, BinaryImage) {
+        let body = BodyModel::default();
+        let skeleton = solve(&body, (70.0, 60.0), &pose.canonical_angles());
+        (body, Renderer::new(160, 120).silhouette(&body, &skeleton))
+    }
+
+    fn small_config() -> GaConfig {
+        GaConfig {
+            population: 30,
+            generations: 15,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_improves_over_generations() {
+        let (body, mask) = target_mask(PoseClass::StandingHandsSwungForward);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let result = GaFitter::new(body, small_config()).fit(&mask, &mut rng);
+        assert!(
+            result.history.last().unwrap() >= result.history.first().unwrap(),
+            "fitness must not regress with elitism"
+        );
+        assert!(result.best_fitness > 0.45, "got {}", result.best_fitness);
+    }
+
+    #[test]
+    fn elitism_makes_history_monotone() {
+        let (body, mask) = target_mask(PoseClass::AirborneTuck);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let result = GaFitter::new(body, small_config()).fit(&mask, &mut rng);
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "history regressed: {:?}", result.history);
+        }
+    }
+
+    #[test]
+    fn evaluation_count_is_reported() {
+        let (body, mask) = target_mask(PoseClass::StandingHandsOverlap);
+        let config = small_config();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let result = GaFitter::new(body, config).fit(&mask, &mut rng);
+        let expected = config.population
+            + config.generations * (config.population - config.elitism);
+        assert_eq!(result.evaluations, expected);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let (body, mask) = target_mask(PoseClass::LandingAbsorb);
+        let run = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            GaFitter::new(body, small_config()).fit(&mask, &mut rng)
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn skeleton_of_best_is_resolvable() {
+        let (body, mask) = target_mask(PoseClass::StandingHandsOverlap);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let result = GaFitter::new(body, small_config()).fit(&mask, &mut rng);
+        let s = result.skeleton(&body);
+        assert!(s.head.1 < s.foot_front.1.max(s.foot_back.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn zero_population_panics() {
+        GaFitter::new(
+            BodyModel::default(),
+            GaConfig {
+                population: 0,
+                ..GaConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "elitism")]
+    fn oversized_elitism_panics() {
+        GaFitter::new(
+            BodyModel::default(),
+            GaConfig {
+                population: 4,
+                elitism: 5,
+                ..GaConfig::default()
+            },
+        );
+    }
+}

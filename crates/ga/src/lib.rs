@@ -1,0 +1,46 @@
+//! Genetic-algorithm stick-model fitting — the authors' *previous*
+//! approach, reimplemented as the baseline the paper motivates against.
+//!
+//! Section 1 of the paper: "In our previous work, the genetic algorithm
+//! was used to construct a skeleton from the extracted silhouette of the
+//! jumper. [...] However, the size of each stick needs to be given by the
+//! user beforehand. Also, the search process of the genetic algorithm is
+//! very time-consuming. Therefore, the thinning algorithm is utilized
+//! instead."
+//!
+//! This crate reproduces that baseline so Experiment E6 can quantify the
+//! trade-off: a chromosome encodes the stick model's root position and
+//! joint angles, fitness is silhouette overlap (IoU), and a tournament GA
+//! with elitism searches the pose space. The stick segment lengths are
+//! the *user-provided* [`slj_sim::body::BodyModel`] — exactly the manual
+//! input the paper complains about.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use slj_ga::{GaConfig, GaFitter};
+//! use slj_sim::body::BodyModel;
+//! use slj_sim::kinematics::solve;
+//! use slj_sim::pose::PoseClass;
+//! use slj_sim::render::Renderer;
+//!
+//! // Render a target silhouette, then fit the stick model to it.
+//! let body = BodyModel::default();
+//! let renderer = Renderer::new(120, 120);
+//! let skeleton = solve(&body, (60.0, 60.0), &PoseClass::StandingHandsOverlap.canonical_angles());
+//! let target = renderer.silhouette(&body, &skeleton);
+//!
+//! let config = GaConfig { population: 20, generations: 5, ..GaConfig::default() };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let result = GaFitter::new(body, config).fit(&target, &mut rng);
+//! assert!(result.best_fitness > 0.2);
+//! ```
+
+pub mod chromosome;
+pub mod fitness;
+pub mod ga;
+
+pub use chromosome::Chromosome;
+pub use fitness::{overlap_fitness, render_chromosome};
+pub use ga::{GaConfig, GaFitter, GaResult};

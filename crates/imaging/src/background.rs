@@ -1,0 +1,319 @@
+//! Object extraction by background subtraction (Section 2 of the paper).
+//!
+//! The paper adapts a simple object-tracking algorithm: both the known
+//! background `B` and the current frame `A` are smoothed with an n×n
+//! moving-window average per RGB channel, the per-channel absolute
+//! differences are summed into a foreground matrix `D`, `D` is shifted so
+//! its maximum becomes 255 (negatives clamped to zero), and the result is
+//! thresholded at `Th_Object = 20`.
+
+use crate::binary::BinaryImage;
+use crate::error::ImagingError;
+use crate::image::{GrayImage, ImageBuffer, RgbImage};
+use crate::integral::IntegralImage;
+
+/// Configuration for [`BackgroundSubtractor`].
+///
+/// The defaults mirror the paper: a small smoothing window and
+/// `Th_Object = 20`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractionConfig {
+    /// Side length of the n×n moving-average window (odd).
+    pub window: usize,
+    /// Foreground threshold `Th_Object` applied to the normalised
+    /// difference matrix.
+    pub th_object: u8,
+    /// Choose the threshold per frame with Otsu's method instead of the
+    /// fixed `th_object` (an ablation of the paper's magic constant;
+    /// Experiment E13).
+    pub auto_threshold: bool,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig {
+            window: 3,
+            th_object: 20,
+            auto_threshold: false,
+        }
+    }
+}
+
+/// Extracts a moving-object silhouette from frames against a fixed
+/// background, exactly following the eight steps of Section 2.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::background::{BackgroundSubtractor, ExtractionConfig};
+/// use slj_imaging::image::RgbImage;
+/// use slj_imaging::pixel::Rgb;
+///
+/// let background = RgbImage::filled(16, 16, Rgb::gray(10));
+/// let mut frame = background.clone();
+/// for y in 4..12 {
+///     for x in 6..10 {
+///         frame.set(x, y, Rgb::gray(200));
+///     }
+/// }
+/// let sub = BackgroundSubtractor::new(background, ExtractionConfig::default())?;
+/// let mask = sub.extract(&frame)?;
+/// assert!(mask.get(7, 8));
+/// assert!(!mask.get(0, 0));
+/// # Ok::<(), slj_imaging::ImagingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BackgroundSubtractor {
+    config: ExtractionConfig,
+    width: usize,
+    height: usize,
+    /// Per-channel integral images of the background.
+    bg_integrals: [IntegralImage; 3],
+}
+
+impl BackgroundSubtractor {
+    /// Builds the subtractor from the studio background frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::InvalidWindow`] when the window is even,
+    /// zero, or larger than the background's smaller dimension.
+    pub fn new(background: RgbImage, config: ExtractionConfig) -> Result<Self, ImagingError> {
+        if config.window == 0 || config.window % 2 == 0 {
+            return Err(ImagingError::InvalidWindow {
+                size: config.window,
+                requirement: "must be odd and non-zero",
+            });
+        }
+        if config.window > background.width().min(background.height()) {
+            return Err(ImagingError::InvalidWindow {
+                size: config.window,
+                requirement: "must not exceed image dimensions",
+            });
+        }
+        let bg_integrals = channel_integrals(&background);
+        Ok(BackgroundSubtractor {
+            config,
+            width: background.width(),
+            height: background.height(),
+            bg_integrals,
+        })
+    }
+
+    /// The configuration this subtractor was built with.
+    pub fn config(&self) -> ExtractionConfig {
+        self.config
+    }
+
+    /// Dimensions of the background frame `(width, height)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Computes the normalised foreground matrix `R` of steps i–vii
+    /// (before thresholding). Values are the shifted, clamped absolute
+    /// difference sums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when `frame` does not
+    /// match the background's shape.
+    pub fn foreground_matrix(&self, frame: &RgbImage) -> Result<GrayImage, ImagingError> {
+        if frame.dimensions() != (self.width, self.height) {
+            return Err(ImagingError::DimensionMismatch {
+                left: (self.width, self.height),
+                right: frame.dimensions(),
+            });
+        }
+        let frame_integrals = channel_integrals(frame);
+        let n = self.config.window;
+
+        // Steps i-iv: D(i,j) = sum_k |A_ave(i,j,k) - B_ave(i,j,k)|.
+        let mut d = ImageBuffer::<f64>::new(self.width, self.height);
+        let mut max_d = 0.0f64;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    let a = frame_integrals[k].window_mean(x, y, n);
+                    let b = self.bg_integrals[k].window_mean(x, y, n);
+                    sum += (a - b).abs();
+                }
+                if sum > max_d {
+                    max_d = sum;
+                }
+                d.set(x, y, sum);
+            }
+        }
+
+        // Steps v-vii: shift so max(D) = 255, clamp negatives to zero.
+        // When the frame equals the background (max_d == 0) there is no
+        // moving object; the paper's shift would lift everything to 255,
+        // so we keep R at zero instead.
+        let shift = max_d - 255.0;
+        let r = if max_d == 0.0 {
+            GrayImage::new(self.width, self.height)
+        } else {
+            d.map(|v| (v - shift).clamp(0.0, 255.0).round() as u8)
+        };
+        Ok(r)
+    }
+
+    /// Runs the full extraction (steps i–viii): the silhouette mask `Obj`
+    /// where `R(i, j) > Th_Object`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when `frame` does not
+    /// match the background's shape.
+    pub fn extract(&self, frame: &RgbImage) -> Result<BinaryImage, ImagingError> {
+        let r = self.foreground_matrix(frame)?;
+        let threshold = if self.config.auto_threshold {
+            crate::threshold::otsu_threshold(&r)
+        } else {
+            self.config.th_object
+        };
+        let mut mask = BinaryImage::new(self.width, self.height);
+        for (x, y, v) in r.enumerate_pixels() {
+            if v > threshold {
+                mask.set(x, y, true);
+            }
+        }
+        Ok(mask)
+    }
+}
+
+fn channel_integrals(img: &RgbImage) -> [IntegralImage; 3] {
+    [0, 1, 2].map(|k| {
+        IntegralImage::from_fn(img.width(), img.height(), |x, y| {
+            img.get(x, y).channel(k) as u64
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::Rgb;
+
+    fn scene() -> (RgbImage, RgbImage) {
+        let background = RgbImage::from_fn(20, 20, |x, y| Rgb::gray(((x + y) % 7) as u8));
+        let mut frame = background.clone();
+        for y in 5..15 {
+            for x in 8..12 {
+                frame.set(x, y, Rgb::new(180, 170, 160));
+            }
+        }
+        (background, frame)
+    }
+
+    #[test]
+    fn extracts_bright_object_on_dark_background() {
+        let (bg, frame) = scene();
+        let sub = BackgroundSubtractor::new(bg, ExtractionConfig::default()).unwrap();
+        let mask = sub.extract(&frame).unwrap();
+        assert!(mask.get(9, 10), "object interior should be foreground");
+        assert!(!mask.get(2, 2), "far background should be clear");
+        let bb = mask.bounding_box().unwrap();
+        // Object occupies x in [8,12), y in [5,15); smoothing may grow it
+        // by at most the window radius.
+        assert!(bb.0 >= 6 && bb.2 <= 13, "bbox x range {bb:?}");
+        assert!(bb.1 >= 3 && bb.3 <= 16, "bbox y range {bb:?}");
+    }
+
+    #[test]
+    fn identical_frame_yields_empty_mask() {
+        let (bg, _) = scene();
+        let sub = BackgroundSubtractor::new(bg.clone(), ExtractionConfig::default()).unwrap();
+        let mask = sub.extract(&bg).unwrap();
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn foreground_matrix_max_is_255() {
+        let (bg, frame) = scene();
+        let sub = BackgroundSubtractor::new(bg, ExtractionConfig::default()).unwrap();
+        let r = sub.foreground_matrix(&frame).unwrap();
+        assert_eq!(*r.iter().max().unwrap(), 255);
+    }
+
+    #[test]
+    fn rejects_even_window() {
+        let bg = RgbImage::new(8, 8);
+        let err = BackgroundSubtractor::new(
+            bg,
+            ExtractionConfig {
+                window: 4,
+                th_object: 20,
+                auto_threshold: false,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ImagingError::InvalidWindow { .. }));
+    }
+
+    #[test]
+    fn rejects_oversized_window() {
+        let bg = RgbImage::new(8, 8);
+        let err = BackgroundSubtractor::new(
+            bg,
+            ExtractionConfig {
+                window: 9,
+                th_object: 20,
+                auto_threshold: false,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ImagingError::InvalidWindow { .. }));
+    }
+
+    #[test]
+    fn rejects_mismatched_frame() {
+        let (bg, _) = scene();
+        let sub = BackgroundSubtractor::new(bg, ExtractionConfig::default()).unwrap();
+        let wrong = RgbImage::new(5, 5);
+        assert!(matches!(
+            sub.extract(&wrong),
+            Err(ImagingError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn higher_threshold_shrinks_mask() {
+        let (bg, frame) = scene();
+        let low = BackgroundSubtractor::new(bg.clone(), ExtractionConfig::default()).unwrap();
+        let high = BackgroundSubtractor::new(
+            bg,
+            ExtractionConfig {
+                window: 3,
+                th_object: 200,
+                auto_threshold: false,
+            },
+        )
+        .unwrap();
+        let low_count = low.extract(&frame).unwrap().count_ones();
+        let high_count = high.extract(&frame).unwrap().count_ones();
+        assert!(high_count <= low_count);
+        assert!(low_count > 0);
+    }
+
+    #[test]
+    fn sensor_noise_below_threshold_is_suppressed() {
+        // Tiny per-pixel wobble must not survive Th_Object = 20 once an
+        // actual object sets the normalisation scale.
+        let bg = RgbImage::filled(16, 16, Rgb::gray(10));
+        let mut frame = bg.clone();
+        for (i, y) in (0..16).enumerate() {
+            frame.set(0, y, Rgb::gray(10 + (i % 2) as u8 * 3));
+        }
+        for y in 4..12 {
+            for x in 6..10 {
+                frame.set(x, y, Rgb::gray(250));
+            }
+        }
+        let sub = BackgroundSubtractor::new(bg, ExtractionConfig::default()).unwrap();
+        let mask = sub.extract(&frame).unwrap();
+        assert!(!mask.get(0, 8), "noise pixel must not be foreground");
+        assert!(mask.get(7, 8));
+    }
+}

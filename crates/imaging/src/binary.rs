@@ -1,0 +1,484 @@
+//! Bit-packed binary masks (silhouettes and skeletons).
+
+use crate::error::ImagingError;
+use crate::image::GrayImage;
+use std::fmt;
+
+/// A binary image stored one bit per pixel.
+///
+/// This is the representation of both the extracted silhouette (Section 2
+/// of the paper) and the thinned skeleton (Section 3). The 8-neighbourhood
+/// accessors exist because both the Zhang-Suen thinning pass and the
+/// skeleton-graph construction are defined in terms of a pixel's eight
+/// neighbours, enumerated clockwise from north as `P2..P9` in the thinning
+/// literature.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::binary::BinaryImage;
+///
+/// let mut img = BinaryImage::new(8, 8);
+/// img.set(3, 3, true);
+/// img.set(4, 3, true);
+/// assert_eq!(img.count_ones(), 2);
+/// assert_eq!(img.neighbors8(3, 3).iter().filter(|&&b| b).count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BinaryImage {
+    width: usize,
+    height: usize,
+    words: Vec<u64>,
+}
+
+/// Offsets of the eight neighbours in Zhang-Suen order:
+/// N, NE, E, SE, S, SW, W, NW (clockwise starting from north).
+pub const NEIGHBORS8: [(isize, isize); 8] = [
+    (0, -1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (-1, -1),
+];
+
+/// Offsets of the four edge-connected neighbours: N, E, S, W.
+pub const NEIGHBORS4: [(isize, isize); 4] = [(0, -1), (1, 0), (0, 1), (-1, 0)];
+
+impl BinaryImage {
+    /// Creates an all-zero mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "binary image dimensions must be non-zero, got {width}x{height}"
+        );
+        let words = vec![0u64; (width * height).div_ceil(64)];
+        BinaryImage {
+            width,
+            height,
+            words,
+        }
+    }
+
+    /// Creates a mask from a row-major boolean vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::InvalidDimensions`] when `bits.len()` does
+    /// not equal `width * height` or either dimension is zero.
+    pub fn from_bits(width: usize, height: usize, bits: &[bool]) -> Result<Self, ImagingError> {
+        if width == 0 || height == 0 || bits.len() != width * height {
+            return Err(ImagingError::InvalidDimensions { width, height });
+        }
+        let mut img = BinaryImage::new(width, height);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                img.set_index(i, true);
+            }
+        }
+        Ok(img)
+    }
+
+    /// Parses a compact ASCII art representation, `'#'`/`'1'` = set,
+    /// anything else = clear; rows separated by newlines. Useful in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or the input is empty.
+    pub fn from_ascii(art: &str) -> Self {
+        let rows: Vec<&str> = art
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        assert!(!rows.is_empty(), "ascii art must contain at least one row");
+        let width = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == width),
+            "ascii art rows must have equal length"
+        );
+        let mut img = BinaryImage::new(width, rows.len());
+        for (y, row) in rows.iter().enumerate() {
+            for (x, ch) in row.chars().enumerate() {
+                if ch == '#' || ch == '1' {
+                    img.set(x, y, true);
+                }
+            }
+        }
+        img
+    }
+
+    /// Renders the mask as ASCII art (`'#'` = set, `'.'` = clear).
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.push(if self.get(x, y) { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mask width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mask height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Whether `(x, y)` lies inside the mask.
+    pub fn in_bounds(&self, x: isize, y: isize) -> bool {
+        x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    #[inline]
+    fn set_index(&mut self, i: usize, value: bool) {
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Returns the bit at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds for {}x{} mask",
+            self.width,
+            self.height
+        );
+        let i = self.index(x, y);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the bit at `(x, y)`, treating out-of-bounds as `false`.
+    ///
+    /// Thinning and morphology treat everything beyond the frame as
+    /// background, which is what this encodes.
+    #[inline]
+    pub fn get_or_false(&self, x: isize, y: isize) -> bool {
+        if self.in_bounds(x, y) {
+            let i = y as usize * self.width + x as usize;
+            (self.words[i / 64] >> (i % 64)) & 1 == 1
+        } else {
+            false
+        }
+    }
+
+    /// Writes the bit at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds for {}x{} mask",
+            self.width,
+            self.height
+        );
+        let i = self.index(x, y);
+        self.set_index(i, value);
+    }
+
+    /// The eight neighbours of `(x, y)` in Zhang-Suen order
+    /// (N, NE, E, SE, S, SW, W, NW); out-of-bounds count as `false`.
+    #[inline]
+    pub fn neighbors8(&self, x: usize, y: usize) -> [bool; 8] {
+        let (xi, yi) = (x as isize, y as isize);
+        let mut out = [false; 8];
+        for (k, (dx, dy)) in NEIGHBORS8.iter().enumerate() {
+            out[k] = self.get_or_false(xi + dx, yi + dy);
+        }
+        out
+    }
+
+    /// Number of set pixels among the eight neighbours of `(x, y)`.
+    #[inline]
+    pub fn neighbor_count8(&self, x: usize, y: usize) -> usize {
+        self.neighbors8(x, y).iter().filter(|&&b| b).count()
+    }
+
+    /// Number of set pixels in the whole mask.
+    pub fn count_ones(&self) -> usize {
+        // Bits beyond width*height are never set, so popcount is exact.
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no pixel is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterator over the coordinates of all set pixels, row-major.
+    pub fn iter_ones(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let w = self.width;
+        (0..self.width * self.height)
+            .filter(move |&i| (self.words[i / 64] >> (i % 64)) & 1 == 1)
+            .map(move |i| (i % w, i / w))
+    }
+
+    /// Pixel-wise logical AND.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when shapes differ.
+    pub fn and(&self, other: &BinaryImage) -> Result<BinaryImage, ImagingError> {
+        self.check_dims(other)?;
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        Ok(out)
+    }
+
+    /// Pixel-wise logical OR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when shapes differ.
+    pub fn or(&self, other: &BinaryImage) -> Result<BinaryImage, ImagingError> {
+        self.check_dims(other)?;
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        Ok(out)
+    }
+
+    /// Pixel-wise logical XOR (the symmetric difference of the masks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when shapes differ.
+    pub fn xor(&self, other: &BinaryImage) -> Result<BinaryImage, ImagingError> {
+        self.check_dims(other)?;
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+        Ok(out)
+    }
+
+    /// Bounding box of the set pixels as `(min_x, min_y, max_x, max_y)`
+    /// inclusive, or `None` when the mask is empty.
+    pub fn bounding_box(&self) -> Option<(usize, usize, usize, usize)> {
+        let mut bb: Option<(usize, usize, usize, usize)> = None;
+        for (x, y) in self.iter_ones() {
+            bb = Some(match bb {
+                None => (x, y, x, y),
+                Some((x0, y0, x1, y1)) => (x0.min(x), y0.min(y), x1.max(x), y1.max(y)),
+            });
+        }
+        bb
+    }
+
+    /// Converts to a grayscale image (set = 255, clear = 0).
+    pub fn to_gray(&self) -> GrayImage {
+        GrayImage::from_fn(self.width, self.height, |x, y| {
+            if self.get(x, y) {
+                255
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Builds a mask from a grayscale image by thresholding (`>= thresh`
+    /// becomes set).
+    pub fn from_gray_threshold(img: &GrayImage, thresh: u8) -> Self {
+        let mut out = BinaryImage::new(img.width(), img.height());
+        for (x, y, v) in img.enumerate_pixels() {
+            if v >= thresh {
+                out.set(x, y, true);
+            }
+        }
+        out
+    }
+
+    fn check_dims(&self, other: &BinaryImage) -> Result<(), ImagingError> {
+        if self.dimensions() != other.dimensions() {
+            return Err(ImagingError::DimensionMismatch {
+                left: self.dimensions(),
+                right: other.dimensions(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BinaryImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BinaryImage({}x{}, {} set)",
+            self.width,
+            self.height,
+            self.count_ones()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let img = BinaryImage::new(70, 3); // spans word boundaries
+        assert!(img.is_empty());
+        assert_eq!(img.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_round_trip_across_words() {
+        let mut img = BinaryImage::new(130, 2);
+        img.set(0, 0, true);
+        img.set(129, 1, true);
+        img.set(63, 0, true);
+        img.set(64, 0, true);
+        assert_eq!(img.count_ones(), 4);
+        assert!(img.get(64, 0));
+        img.set(64, 0, false);
+        assert!(!img.get(64, 0));
+        assert_eq!(img.count_ones(), 3);
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        let art = "\
+            .#.\n\
+            ###\n\
+            .#.\n";
+        let img = BinaryImage::from_ascii(art);
+        assert_eq!(img.dimensions(), (3, 3));
+        assert_eq!(img.count_ones(), 5);
+        assert_eq!(img.to_ascii(), art);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ascii_ragged_rows_panic() {
+        BinaryImage::from_ascii("##\n#\n");
+    }
+
+    #[test]
+    fn neighbors8_order_is_clockwise_from_north() {
+        // Set only the north and east neighbours of the centre.
+        let img = BinaryImage::from_ascii(
+            ".#.\n\
+             ..#\n\
+             ...\n",
+        );
+        let n = img.neighbors8(1, 1);
+        assert!(n[0], "north");
+        assert!(n[2], "east");
+        assert_eq!(n.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn neighbors8_at_corner_treats_outside_as_false() {
+        let img = BinaryImage::from_ascii(
+            "##\n\
+             ##\n",
+        );
+        // Corner (0,0): only E, SE, S inside.
+        assert_eq!(img.neighbor_count8(0, 0), 3);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a = BinaryImage::from_ascii("##..\n");
+        let b = BinaryImage::from_ascii(".##.\n");
+        assert_eq!(a.and(&b).unwrap().count_ones(), 1);
+        assert_eq!(a.or(&b).unwrap().count_ones(), 3);
+        assert_eq!(a.xor(&b).unwrap().count_ones(), 2);
+    }
+
+    #[test]
+    fn logical_ops_reject_mismatch() {
+        let a = BinaryImage::new(2, 2);
+        let b = BinaryImage::new(3, 2);
+        assert!(a.and(&b).is_err());
+        assert!(a.or(&b).is_err());
+        assert!(a.xor(&b).is_err());
+    }
+
+    #[test]
+    fn bounding_box_of_shape() {
+        let img = BinaryImage::from_ascii(
+            "....\n\
+             .#..\n\
+             ..#.\n\
+             ....\n",
+        );
+        assert_eq!(img.bounding_box(), Some((1, 1, 2, 2)));
+        assert_eq!(BinaryImage::new(4, 4).bounding_box(), None);
+    }
+
+    #[test]
+    fn iter_ones_is_row_major() {
+        let img = BinaryImage::from_ascii(
+            "#..\n\
+             ..#\n",
+        );
+        let ones: Vec<_> = img.iter_ones().collect();
+        assert_eq!(ones, vec![(0, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn gray_round_trip() {
+        let img = BinaryImage::from_ascii(
+            "#.\n\
+             .#\n",
+        );
+        let gray = img.to_gray();
+        assert_eq!(gray.get(0, 0), 255);
+        assert_eq!(gray.get(1, 0), 0);
+        let back = BinaryImage::from_gray_threshold(&gray, 128);
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn from_bits_validates() {
+        assert!(BinaryImage::from_bits(2, 2, &[true, false]).is_err());
+        let img = BinaryImage::from_bits(2, 1, &[true, false]).unwrap();
+        assert!(img.get(0, 0));
+        assert!(!img.get(1, 0));
+    }
+
+    #[test]
+    fn debug_shows_count() {
+        let img = BinaryImage::from_ascii("##\n");
+        assert_eq!(format!("{img:?}"), "BinaryImage(2x1, 2 set)");
+    }
+}

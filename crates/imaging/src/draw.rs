@@ -1,0 +1,250 @@
+//! Raster drawing primitives for the silhouette renderer.
+//!
+//! The synthetic jumper is a stick figure rendered as filled disks (head)
+//! and capsules — thick line segments with rounded caps — for the limbs and
+//! torso. These primitives draw directly into a [`BinaryImage`] silhouette
+//! mask or an RGB frame.
+
+use crate::binary::BinaryImage;
+use crate::image::RgbImage;
+use crate::pixel::Rgb;
+
+/// Fills the disk of radius `r` centred at `(cx, cy)`, clipped to the mask.
+pub fn fill_disk(mask: &mut BinaryImage, cx: f64, cy: f64, r: f64) {
+    if r <= 0.0 {
+        return;
+    }
+    let x0 = ((cx - r).floor() as isize).max(0);
+    let y0 = ((cy - r).floor() as isize).max(0);
+    let x1 = ((cx + r).ceil() as isize).min(mask.width() as isize - 1);
+    let y1 = ((cy + r).ceil() as isize).min(mask.height() as isize - 1);
+    let r2 = r * r;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            if dx * dx + dy * dy <= r2 {
+                mask.set(x as usize, y as usize, true);
+            }
+        }
+    }
+}
+
+/// Fills a capsule (thick segment with rounded caps) from `(x0, y0)` to
+/// `(x1, y1)` with the given `radius`, clipped to the mask.
+pub fn fill_capsule(mask: &mut BinaryImage, x0: f64, y0: f64, x1: f64, y1: f64, radius: f64) {
+    if radius <= 0.0 {
+        return;
+    }
+    let min_x = ((x0.min(x1) - radius).floor() as isize).max(0);
+    let min_y = ((y0.min(y1) - radius).floor() as isize).max(0);
+    let max_x = ((x0.max(x1) + radius).ceil() as isize).min(mask.width() as isize - 1);
+    let max_y = ((y0.max(y1) + radius).ceil() as isize).min(mask.height() as isize - 1);
+    let r2 = radius * radius;
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            let d2 = point_segment_dist2(x as f64, y as f64, x0, y0, x1, y1);
+            if d2 <= r2 {
+                mask.set(x as usize, y as usize, true);
+            }
+        }
+    }
+}
+
+/// Squared distance from point `(px, py)` to segment `(x0, y0)-(x1, y1)`.
+pub fn point_segment_dist2(px: f64, py: f64, x0: f64, y0: f64, x1: f64, y1: f64) -> f64 {
+    let (vx, vy) = (x1 - x0, y1 - y0);
+    let (wx, wy) = (px - x0, py - y0);
+    let len2 = vx * vx + vy * vy;
+    let t = if len2 <= f64::EPSILON {
+        0.0
+    } else {
+        ((wx * vx + wy * vy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (x0 + t * vx, y0 + t * vy);
+    let (dx, dy) = (px - cx, py - cy);
+    dx * dx + dy * dy
+}
+
+/// Fills a convex polygon given its vertices in order, clipped to the mask.
+///
+/// Uses a scanline point-in-convex-polygon test; the polygon may be wound
+/// either way. Degenerate polygons (fewer than 3 vertices) are ignored.
+pub fn fill_convex_polygon(mask: &mut BinaryImage, vertices: &[(f64, f64)]) {
+    if vertices.len() < 3 {
+        return;
+    }
+    let min_x = vertices.iter().map(|v| v.0).fold(f64::INFINITY, f64::min);
+    let max_x = vertices
+        .iter()
+        .map(|v| v.0)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min_y = vertices.iter().map(|v| v.1).fold(f64::INFINITY, f64::min);
+    let max_y = vertices
+        .iter()
+        .map(|v| v.1)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let x0 = (min_x.floor() as isize).max(0);
+    let y0 = (min_y.floor() as isize).max(0);
+    let x1 = (max_x.ceil() as isize).min(mask.width() as isize - 1);
+    let y1 = (max_y.ceil() as isize).min(mask.height() as isize - 1);
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            if point_in_convex(x as f64, y as f64, vertices) {
+                mask.set(x as usize, y as usize, true);
+            }
+        }
+    }
+}
+
+fn point_in_convex(px: f64, py: f64, vertices: &[(f64, f64)]) -> bool {
+    let n = vertices.len();
+    let mut sign = 0i8;
+    for i in 0..n {
+        let (ax, ay) = vertices[i];
+        let (bx, by) = vertices[(i + 1) % n];
+        let cross = (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+        if cross.abs() < 1e-12 {
+            continue;
+        }
+        let s = if cross > 0.0 { 1 } else { -1 };
+        if sign == 0 {
+            sign = s;
+        } else if sign != s {
+            return false;
+        }
+    }
+    true
+}
+
+/// Paints every set pixel of `mask` into `frame` with `color`.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn stamp_mask(frame: &mut RgbImage, mask: &BinaryImage, color: Rgb) {
+    assert_eq!(
+        frame.dimensions(),
+        mask.dimensions(),
+        "frame and mask dimensions must match"
+    );
+    for (x, y) in mask.iter_ones() {
+        frame.set(x, y, color);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_area_approximates_pi_r_squared() {
+        let mut mask = BinaryImage::new(64, 64);
+        fill_disk(&mut mask, 32.0, 32.0, 10.0);
+        let area = mask.count_ones() as f64;
+        let expected = std::f64::consts::PI * 100.0;
+        assert!(
+            (area - expected).abs() / expected < 0.08,
+            "disk area {area} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn disk_clips_at_border() {
+        let mut mask = BinaryImage::new(10, 10);
+        fill_disk(&mut mask, 0.0, 0.0, 5.0);
+        assert!(mask.get(0, 0));
+        assert!(mask.count_ones() > 0);
+    }
+
+    #[test]
+    fn zero_radius_draws_nothing() {
+        let mut mask = BinaryImage::new(10, 10);
+        fill_disk(&mut mask, 5.0, 5.0, 0.0);
+        fill_capsule(&mut mask, 1.0, 1.0, 8.0, 8.0, 0.0);
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn capsule_connects_endpoints() {
+        let mut mask = BinaryImage::new(32, 32);
+        fill_capsule(&mut mask, 4.0, 4.0, 28.0, 28.0, 2.0);
+        assert!(mask.get(4, 4));
+        assert!(mask.get(28, 28));
+        assert!(mask.get(16, 16));
+        // Far corner untouched.
+        assert!(!mask.get(28, 4));
+    }
+
+    #[test]
+    fn capsule_degenerate_is_disk() {
+        let mut cap = BinaryImage::new(20, 20);
+        fill_capsule(&mut cap, 10.0, 10.0, 10.0, 10.0, 4.0);
+        let mut disk = BinaryImage::new(20, 20);
+        fill_disk(&mut disk, 10.0, 10.0, 4.0);
+        assert_eq!(cap, disk);
+    }
+
+    #[test]
+    fn capsule_width_matches_radius() {
+        let mut mask = BinaryImage::new(21, 21);
+        fill_capsule(&mut mask, 2.0, 10.0, 18.0, 10.0, 3.0);
+        // Column through the middle: rows 7..=13 set.
+        for y in 0..21 {
+            let expected = (y as i32 - 10).abs() <= 3;
+            assert_eq!(mask.get(10, y), expected, "row {y}");
+        }
+    }
+
+    #[test]
+    fn point_segment_distance_cases() {
+        // Perpendicular foot inside the segment.
+        assert!((point_segment_dist2(0.0, 5.0, -10.0, 0.0, 10.0, 0.0) - 25.0).abs() < 1e-9);
+        // Beyond an endpoint: distance to the endpoint.
+        assert!((point_segment_dist2(13.0, 4.0, -10.0, 0.0, 10.0, 0.0) - 25.0).abs() < 1e-9);
+        // Degenerate segment.
+        assert!((point_segment_dist2(3.0, 4.0, 0.0, 0.0, 0.0, 0.0) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polygon_fills_triangle() {
+        let mut mask = BinaryImage::new(20, 20);
+        fill_convex_polygon(&mut mask, &[(2.0, 2.0), (17.0, 2.0), (2.0, 17.0)]);
+        assert!(mask.get(4, 4), "inside");
+        assert!(!mask.get(16, 16), "outside hypotenuse");
+        // Winding direction must not matter.
+        let mut rev = BinaryImage::new(20, 20);
+        fill_convex_polygon(&mut rev, &[(2.0, 17.0), (17.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(mask, rev);
+    }
+
+    #[test]
+    fn polygon_ignores_degenerate_input() {
+        let mut mask = BinaryImage::new(8, 8);
+        fill_convex_polygon(&mut mask, &[(1.0, 1.0), (5.0, 5.0)]);
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn stamp_mask_paints_only_set_pixels() {
+        let mut frame = RgbImage::filled(4, 4, Rgb::BLACK);
+        let mask = BinaryImage::from_ascii(
+            "#...\n\
+             ....\n\
+             ....\n\
+             ...#\n",
+        );
+        stamp_mask(&mut frame, &mask, Rgb::WHITE);
+        assert_eq!(frame.get(0, 0), Rgb::WHITE);
+        assert_eq!(frame.get(3, 3), Rgb::WHITE);
+        assert_eq!(frame.get(1, 1), Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn stamp_mask_rejects_mismatch() {
+        let mut frame = RgbImage::new(4, 4);
+        let mask = BinaryImage::new(3, 3);
+        stamp_mask(&mut frame, &mask, Rgb::WHITE);
+    }
+}

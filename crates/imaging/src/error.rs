@@ -1,0 +1,98 @@
+//! Error type shared by the imaging crate.
+
+use std::fmt;
+
+/// Errors returned by fallible imaging operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImagingError {
+    /// Two images that must share dimensions do not.
+    DimensionMismatch {
+        /// Dimensions of the first operand `(width, height)`.
+        left: (usize, usize),
+        /// Dimensions of the second operand `(width, height)`.
+        right: (usize, usize),
+    },
+    /// A requested dimension was zero or otherwise unusable.
+    InvalidDimensions {
+        /// Offending width.
+        width: usize,
+        /// Offending height.
+        height: usize,
+    },
+    /// A window/kernel size was invalid (zero, even where odd required, or
+    /// larger than the image).
+    InvalidWindow {
+        /// Offending window size.
+        size: usize,
+        /// Human-readable constraint that was violated.
+        requirement: &'static str,
+    },
+    /// A PNM (PGM/PPM) stream could not be parsed.
+    MalformedPnm(String),
+    /// Underlying I/O failure while reading or writing an artefact.
+    Io(String),
+}
+
+impl fmt::Display for ImagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImagingError::DimensionMismatch { left, right } => write!(
+                f,
+                "image dimensions do not match: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            ImagingError::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            ImagingError::InvalidWindow { size, requirement } => {
+                write!(f, "invalid window size {size}: {requirement}")
+            }
+            ImagingError::MalformedPnm(msg) => write!(f, "malformed PNM data: {msg}"),
+            ImagingError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImagingError {}
+
+impl From<std::io::Error> for ImagingError {
+    fn from(err: std::io::Error) -> Self {
+        ImagingError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = ImagingError::DimensionMismatch {
+            left: (4, 3),
+            right: (5, 3),
+        };
+        assert_eq!(err.to_string(), "image dimensions do not match: 4x3 vs 5x3");
+    }
+
+    #[test]
+    fn display_invalid_window() {
+        let err = ImagingError::InvalidWindow {
+            size: 2,
+            requirement: "must be odd",
+        };
+        assert_eq!(err.to_string(), "invalid window size 2: must be odd");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImagingError>();
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err = ImagingError::from(io);
+        assert!(matches!(err, ImagingError::Io(_)));
+    }
+}

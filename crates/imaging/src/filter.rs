@@ -1,0 +1,201 @@
+//! Spatial filters: median smoothing (Figure 1(c)) and box means.
+//!
+//! The paper smooths the raw extracted silhouette with a median filter to
+//! remove "small holes and ridged edges". On a binary mask the median of a
+//! window is simply the majority vote, which is what
+//! [`median_filter_binary`] computes; [`median_filter_gray`] is the general
+//! grayscale version.
+
+use crate::binary::BinaryImage;
+use crate::error::ImagingError;
+use crate::image::GrayImage;
+use crate::integral::IntegralImage;
+
+fn check_window(size: usize) -> Result<(), ImagingError> {
+    if size == 0 || size % 2 == 0 {
+        return Err(ImagingError::InvalidWindow {
+            size,
+            requirement: "must be odd and non-zero",
+        });
+    }
+    Ok(())
+}
+
+/// Median-filters a grayscale image with an n×n window (clamped at the
+/// border).
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero.
+pub fn median_filter_gray(img: &GrayImage, window: usize) -> Result<GrayImage, ImagingError> {
+    check_window(window)?;
+    let r = (window / 2) as isize;
+    let mut out = GrayImage::new(img.width(), img.height());
+    let mut hist = [0u32; 256];
+    let half = (window * window) as u32 / 2;
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            hist.fill(0);
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let v = img.get_clamped(x as isize + dx, y as isize + dy);
+                    hist[v as usize] += 1;
+                }
+            }
+            let mut acc = 0u32;
+            let mut med = 0u8;
+            for (v, &c) in hist.iter().enumerate() {
+                acc += c;
+                if acc > half {
+                    med = v as u8;
+                    break;
+                }
+            }
+            out.set(x, y, med);
+        }
+    }
+    Ok(out)
+}
+
+/// Median-filters (majority-votes) a binary mask with an n×n window.
+///
+/// Out-of-bounds pixels count as background, matching the behaviour of the
+/// rest of the pipeline. Uses an integral image so the cost is independent
+/// of the window size.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero.
+pub fn median_filter_binary(img: &BinaryImage, window: usize) -> Result<BinaryImage, ImagingError> {
+    check_window(window)?;
+    let r = (window / 2) as isize;
+    let ii = IntegralImage::from_fn(img.width(), img.height(), |x, y| img.get(x, y) as u64);
+    let mut out = BinaryImage::new(img.width(), img.height());
+    let half = (window * window) as u64 / 2;
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let (xi, yi) = (x as isize, y as isize);
+            let ones = ii.rect_sum(xi - r, yi - r, xi + r, yi + r);
+            if ones > half {
+                out.set(x, y, true);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Box-filters (windowed mean) a grayscale image with an n×n window.
+///
+/// Border windows average only in-bounds pixels.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero.
+pub fn box_filter_gray(img: &GrayImage, window: usize) -> Result<GrayImage, ImagingError> {
+    check_window(window)?;
+    let ii = IntegralImage::from_gray(img);
+    let mut out = GrayImage::new(img.width(), img.height());
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            out.set(x, y, ii.window_mean(x, y, window).round() as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_median_removes_isolated_pixel() {
+        let img = BinaryImage::from_ascii(
+            ".....\n\
+             .....\n\
+             ..#..\n\
+             .....\n\
+             .....\n",
+        );
+        let out = median_filter_binary(&img, 3).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn binary_median_fills_small_hole() {
+        let img = BinaryImage::from_ascii(
+            "#####\n\
+             #####\n\
+             ##.##\n\
+             #####\n\
+             #####\n",
+        );
+        let out = median_filter_binary(&img, 3).unwrap();
+        assert!(out.get(2, 2), "interior hole should be filled");
+    }
+
+    #[test]
+    fn binary_median_preserves_large_blob() {
+        let img = BinaryImage::from_ascii(
+            ".......\n\
+             .#####.\n\
+             .#####.\n\
+             .#####.\n\
+             .#####.\n\
+             .#####.\n\
+             .......\n",
+        );
+        let out = median_filter_binary(&img, 3).unwrap();
+        // Interior must survive; corners of the blob may round off.
+        for y in 2..5 {
+            for x in 2..5 {
+                assert!(out.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn gray_median_removes_salt_noise() {
+        let mut img = GrayImage::filled(7, 7, 50);
+        img.set(3, 3, 255);
+        let out = median_filter_gray(&img, 3).unwrap();
+        assert_eq!(out.get(3, 3), 50);
+    }
+
+    #[test]
+    fn gray_median_is_identity_on_constant() {
+        let img = GrayImage::filled(6, 6, 123);
+        let out = median_filter_gray(&img, 5).unwrap();
+        assert!(out.iter().all(|&v| v == 123));
+    }
+
+    #[test]
+    fn gray_median_window_one_is_identity() {
+        let img = GrayImage::from_fn(5, 4, |x, y| (x * y) as u8);
+        let out = median_filter_gray(&img, 1).unwrap();
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn box_filter_constant_is_identity() {
+        let img = GrayImage::filled(8, 8, 200);
+        let out = box_filter_gray(&img, 3).unwrap();
+        assert!(out.iter().all(|&v| v == 200));
+    }
+
+    #[test]
+    fn box_filter_smooths_step() {
+        let img = GrayImage::from_fn(8, 1, |x, _| if x < 4 { 0 } else { 255 });
+        let out = box_filter_gray(&img, 3).unwrap();
+        let edge = out.get(4, 0);
+        assert!(edge > 0 && edge < 255, "edge should be smoothed, got {edge}");
+    }
+
+    #[test]
+    fn even_window_rejected_everywhere() {
+        let g = GrayImage::new(4, 4);
+        let b = BinaryImage::new(4, 4);
+        assert!(median_filter_gray(&g, 2).is_err());
+        assert!(median_filter_binary(&b, 0).is_err());
+        assert!(box_filter_gray(&g, 4).is_err());
+    }
+}

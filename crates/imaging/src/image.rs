@@ -1,0 +1,299 @@
+//! Generic row-major raster buffer.
+
+use crate::error::ImagingError;
+use crate::pixel::Rgb;
+
+/// A rectangular raster of pixels of type `P`, stored row-major.
+///
+/// `ImageBuffer` is the carrier type for every raster in the pipeline:
+/// RGB video frames ([`RgbImage`]), grayscale difference images
+/// ([`GrayImage`]) and `u16`/`f32` intermediates produced by the
+/// background-subtraction stage.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::image::GrayImage;
+///
+/// let mut img = GrayImage::new(4, 3);
+/// img.set(2, 1, 200);
+/// assert_eq!(img.get(2, 1), 200);
+/// assert_eq!(img.iter().filter(|&&v| v > 0).count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageBuffer<P> {
+    width: usize,
+    height: usize,
+    data: Vec<P>,
+}
+
+/// An 8-bit RGB image.
+pub type RgbImage = ImageBuffer<Rgb>;
+/// An 8-bit grayscale image.
+pub type GrayImage = ImageBuffer<u8>;
+
+impl<P: Copy + Default> ImageBuffer<P> {
+    /// Creates an image of `width × height` pixels, all `P::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "image dimensions must be non-zero, got {width}x{height}"
+        );
+        ImageBuffer {
+            width,
+            height,
+            data: vec![P::default(); width * height],
+        }
+    }
+
+    /// Creates an image filled with `value`.
+    pub fn filled(width: usize, height: usize, value: P) -> Self {
+        let mut img = Self::new(width, height);
+        img.data.fill(value);
+        img
+    }
+
+    /// Creates an image from a row-major pixel vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::InvalidDimensions`] when `data.len()` does
+    /// not equal `width * height` or either dimension is zero.
+    pub fn from_vec(width: usize, height: usize, data: Vec<P>) -> Result<Self, ImagingError> {
+        if width == 0 || height == 0 || data.len() != width * height {
+            return Err(ImagingError::InvalidDimensions { width, height });
+        }
+        Ok(ImageBuffer {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Builds an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> P) -> Self {
+        let mut img = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.data[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+}
+
+impl<P: Copy> ImageBuffer<P> {
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Whether `(x, y)` lies inside the image.
+    pub fn in_bounds(&self, x: isize, y: isize) -> bool {
+        x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height
+    }
+
+    /// Returns the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> P {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds for {}x{} image",
+            self.width,
+            self.height
+        );
+        self.data[y * self.width + x]
+    }
+
+    /// Returns the pixel at `(x, y)`, or `None` when out of bounds.
+    #[inline]
+    pub fn try_get(&self, x: isize, y: isize) -> Option<P> {
+        if self.in_bounds(x, y) {
+            Some(self.data[y as usize * self.width + x as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the pixel at `(x, y)` with clamp-to-edge semantics.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> P {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Writes `value` at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: P) {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds for {}x{} image",
+            self.width,
+            self.height
+        );
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Iterator over all pixels in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, P> {
+        self.data.iter()
+    }
+
+    /// Iterator over `(x, y, pixel)` triples in row-major order.
+    pub fn enumerate_pixels(&self) -> impl Iterator<Item = (usize, usize, P)> + '_ {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (i % w, i / w, p))
+    }
+
+    /// Raw row-major pixel slice.
+    pub fn as_slice(&self) -> &[P] {
+        &self.data
+    }
+
+    /// Mutable raw row-major pixel slice.
+    pub fn as_mut_slice(&mut self) -> &mut [P] {
+        &mut self.data
+    }
+
+    /// Consumes the buffer and returns the underlying pixel vector.
+    pub fn into_vec(self) -> Vec<P> {
+        self.data
+    }
+
+    /// Maps every pixel through `f`, producing a new image of equal size.
+    pub fn map<Q: Copy + Default>(&self, mut f: impl FnMut(P) -> Q) -> ImageBuffer<Q> {
+        ImageBuffer {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&p| f(p)).collect(),
+        }
+    }
+}
+
+impl RgbImage {
+    /// Converts to grayscale using the integer luma approximation.
+    pub fn to_gray(&self) -> GrayImage {
+        self.map(Rgb::luma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_default_filled() {
+        let img: GrayImage = ImageBuffer::new(3, 2);
+        assert_eq!(img.dimensions(), (3, 2));
+        assert!(img.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _: GrayImage = ImageBuffer::new(0, 5);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(GrayImage::from_vec(2, 2, vec![1, 2, 3]).is_err());
+        let img = GrayImage::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(img.get(1, 1), 4);
+    }
+
+    #[test]
+    fn from_fn_row_major_orientation() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (10 * y + x) as u8);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(2, 0), 2);
+        assert_eq!(img.get(0, 1), 10);
+        assert_eq!(img.get(2, 1), 12);
+    }
+
+    #[test]
+    fn try_get_boundaries() {
+        let img = GrayImage::filled(2, 2, 9);
+        assert_eq!(img.try_get(1, 1), Some(9));
+        assert_eq!(img.try_get(-1, 0), None);
+        assert_eq!(img.try_get(0, 2), None);
+    }
+
+    #[test]
+    fn get_clamped_extends_edges() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (y * 2 + x) as u8);
+        assert_eq!(img.get_clamped(-5, -5), img.get(0, 0));
+        assert_eq!(img.get_clamped(10, 10), img.get(1, 1));
+        assert_eq!(img.get_clamped(10, -1), img.get(1, 0));
+    }
+
+    #[test]
+    fn enumerate_pixels_covers_all() {
+        let img = GrayImage::from_fn(3, 3, |x, y| (x + y) as u8);
+        let collected: Vec<_> = img.enumerate_pixels().collect();
+        assert_eq!(collected.len(), 9);
+        assert_eq!(collected[4], (1, 1, 2));
+    }
+
+    #[test]
+    fn map_preserves_dimensions() {
+        let img = GrayImage::filled(4, 5, 10);
+        let doubled = img.map(|v| v * 2);
+        assert_eq!(doubled.dimensions(), (4, 5));
+        assert!(doubled.iter().all(|&v| v == 20));
+    }
+
+    #[test]
+    fn rgb_to_gray_uses_luma() {
+        let img = RgbImage::filled(2, 1, Rgb::WHITE);
+        let gray = img.to_gray();
+        assert_eq!(gray.get(0, 0), 255);
+    }
+
+    #[test]
+    fn set_then_get_round_trip() {
+        let mut img = RgbImage::new(3, 3);
+        img.set(2, 0, Rgb::new(1, 2, 3));
+        assert_eq!(img.get(2, 0), Rgb::new(1, 2, 3));
+        assert_eq!(img.get(0, 2), Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = GrayImage::new(2, 2);
+        img.get(2, 0);
+    }
+
+    #[test]
+    fn into_vec_round_trip() {
+        let img = GrayImage::from_vec(2, 2, vec![5, 6, 7, 8]).unwrap();
+        assert_eq!(img.clone().into_vec(), vec![5, 6, 7, 8]);
+        assert_eq!(img.as_slice(), &[5, 6, 7, 8]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Summed-area tables for O(1) windowed sums.
+//!
+//! The paper's object-extraction step averages every n×n window of both the
+//! background and the current frame (its `B_ave` and `A_ave` matrices). A
+//! naive implementation is O(n²) per pixel; an integral image makes each
+//! window sum O(1), which is what keeps the extractor "simple and fast" as
+//! the paper claims of its source algorithm.
+
+use crate::image::{GrayImage, ImageBuffer};
+
+/// Summed-area table over a single channel.
+///
+/// Entry `(x, y)` stores the sum of all pixels `(i, j)` with `i <= x` and
+/// `j <= y`. Windowed sums and means are then four lookups.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::image::GrayImage;
+/// use slj_imaging::integral::IntegralImage;
+///
+/// let img = GrayImage::filled(10, 10, 3);
+/// let ii = IntegralImage::from_gray(&img);
+/// assert_eq!(ii.window_sum(2, 2, 3), 9 * 3);
+/// assert!((ii.window_mean(2, 2, 3) - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralImage {
+    sums: ImageBuffer<u64>,
+}
+
+impl IntegralImage {
+    /// Builds the table from a grayscale image.
+    pub fn from_gray(img: &GrayImage) -> Self {
+        Self::from_fn(img.width(), img.height(), |x, y| img.get(x, y) as u64)
+    }
+
+    /// Builds the table from an arbitrary per-pixel value function.
+    pub fn from_fn(width: usize, height: usize, mut value: impl FnMut(usize, usize) -> u64) -> Self {
+        let mut sums = ImageBuffer::<u64>::new(width, height);
+        for y in 0..height {
+            let mut row_sum = 0u64;
+            for x in 0..width {
+                row_sum += value(x, y);
+                let above = if y > 0 { sums.get(x, y - 1) } else { 0 };
+                sums.set(x, y, row_sum + above);
+            }
+        }
+        IntegralImage { sums }
+    }
+
+    /// Table width in pixels.
+    pub fn width(&self) -> usize {
+        self.sums.width()
+    }
+
+    /// Table height in pixels.
+    pub fn height(&self) -> usize {
+        self.sums.height()
+    }
+
+    /// Sum over the inclusive rectangle `[x0, x1] × [y0, y1]`, clipped to
+    /// the image bounds.
+    pub fn rect_sum(&self, x0: isize, y0: isize, x1: isize, y1: isize) -> u64 {
+        let w = self.width() as isize;
+        let h = self.height() as isize;
+        let x0 = x0.max(0);
+        let y0 = y0.max(0);
+        let x1 = x1.min(w - 1);
+        let y1 = y1.min(h - 1);
+        if x0 > x1 || y0 > y1 {
+            return 0;
+        }
+        let at = |x: isize, y: isize| -> u64 {
+            if x < 0 || y < 0 {
+                0
+            } else {
+                self.sums.get(x as usize, y as usize)
+            }
+        };
+        at(x1, y1) + at(x0 - 1, y0 - 1) - at(x0 - 1, y1) - at(x1, y0 - 1)
+    }
+
+    /// Sum over the n×n window centred at `(cx, cy)` (n odd), with the
+    /// window clipped at the image border.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or zero.
+    pub fn window_sum(&self, cx: usize, cy: usize, n: usize) -> u64 {
+        assert!(n % 2 == 1 && n > 0, "window size must be odd, got {n}");
+        let r = (n / 2) as isize;
+        let (cx, cy) = (cx as isize, cy as isize);
+        self.rect_sum(cx - r, cy - r, cx + r, cy + r)
+    }
+
+    /// Mean over the n×n window centred at `(cx, cy)` (n odd), dividing by
+    /// the number of in-bounds pixels so border windows stay unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or zero.
+    pub fn window_mean(&self, cx: usize, cy: usize, n: usize) -> f64 {
+        assert!(n % 2 == 1 && n > 0, "window size must be odd, got {n}");
+        let r = (n / 2) as isize;
+        let (cxi, cyi) = (cx as isize, cy as isize);
+        let x0 = (cxi - r).max(0);
+        let y0 = (cyi - r).max(0);
+        let x1 = (cxi + r).min(self.width() as isize - 1);
+        let y1 = (cyi + r).min(self.height() as isize - 1);
+        let count = ((x1 - x0 + 1) * (y1 - y0 + 1)) as f64;
+        self.rect_sum(x0, y0, x1, y1) as f64 / count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| (x + 2 * y) as u8)
+    }
+
+    fn brute_rect_sum(img: &GrayImage, x0: usize, y0: usize, x1: usize, y1: usize) -> u64 {
+        let mut s = 0u64;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                s += img.get(x, y) as u64;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn rect_sum_matches_brute_force() {
+        let img = ramp(9, 7);
+        let ii = IntegralImage::from_gray(&img);
+        for (x0, y0, x1, y1) in [(0, 0, 8, 6), (2, 1, 5, 4), (3, 3, 3, 3), (0, 6, 8, 6)] {
+            assert_eq!(
+                ii.rect_sum(x0 as isize, y0 as isize, x1 as isize, y1 as isize),
+                brute_rect_sum(&img, x0, y0, x1, y1),
+                "rect ({x0},{y0})-({x1},{y1})"
+            );
+        }
+    }
+
+    #[test]
+    fn rect_sum_clips_out_of_bounds() {
+        let img = ramp(4, 4);
+        let ii = IntegralImage::from_gray(&img);
+        assert_eq!(ii.rect_sum(-3, -3, 10, 10), brute_rect_sum(&img, 0, 0, 3, 3));
+        assert_eq!(ii.rect_sum(5, 5, 9, 9), 0);
+        assert_eq!(ii.rect_sum(2, 2, 1, 1), 0);
+    }
+
+    #[test]
+    fn window_sum_centre_and_border() {
+        let img = GrayImage::filled(5, 5, 2);
+        let ii = IntegralImage::from_gray(&img);
+        assert_eq!(ii.window_sum(2, 2, 3), 18);
+        // Corner window only covers 4 in-bounds pixels.
+        assert_eq!(ii.window_sum(0, 0, 3), 8);
+    }
+
+    #[test]
+    fn window_mean_is_unbiased_at_border() {
+        let img = GrayImage::filled(5, 5, 7);
+        let ii = IntegralImage::from_gray(&img);
+        assert!((ii.window_mean(0, 0, 3) - 7.0).abs() < 1e-12);
+        assert!((ii.window_mean(2, 2, 5) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_window_panics() {
+        let ii = IntegralImage::from_gray(&GrayImage::new(3, 3));
+        ii.window_sum(1, 1, 2);
+    }
+
+    #[test]
+    fn from_fn_arbitrary_values() {
+        let ii = IntegralImage::from_fn(3, 3, |x, y| (x * y) as u64);
+        // Total = sum over x*y for x,y in 0..3 = (0+1+2)*(0+1+2) = 9.
+        assert_eq!(ii.rect_sum(0, 0, 2, 2), 9);
+    }
+}

@@ -1,0 +1,247 @@
+//! Plain PGM/PPM (binary PNM) reading and writing.
+//!
+//! Used to dump intermediate artefacts — extracted silhouettes, thinning
+//! results, skeleton overlays — so reproduction runs can be inspected
+//! visually like the paper's Figures 1–5 and 8.
+
+use crate::binary::BinaryImage;
+use crate::error::ImagingError;
+use crate::image::{GrayImage, RgbImage};
+use crate::pixel::Rgb;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Writes a grayscale image as binary PGM (P5).
+///
+/// # Errors
+///
+/// Propagates underlying I/O failures as [`ImagingError::Io`].
+pub fn write_pgm<W: Write>(mut w: W, img: &GrayImage) -> Result<(), ImagingError> {
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    w.write_all(img.as_slice())?;
+    Ok(())
+}
+
+/// Writes an RGB image as binary PPM (P6).
+///
+/// # Errors
+///
+/// Propagates underlying I/O failures as [`ImagingError::Io`].
+pub fn write_ppm<W: Write>(mut w: W, img: &RgbImage) -> Result<(), ImagingError> {
+    write!(w, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    let mut buf = Vec::with_capacity(img.width() * img.height() * 3);
+    for &p in img.iter() {
+        buf.extend_from_slice(&[p.r, p.g, p.b]);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Writes a grayscale image to `path` as PGM.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures as [`ImagingError::Io`].
+pub fn save_pgm(path: impl AsRef<Path>, img: &GrayImage) -> Result<(), ImagingError> {
+    let file = std::fs::File::create(path)?;
+    write_pgm(std::io::BufWriter::new(file), img)
+}
+
+/// Writes an RGB image to `path` as PPM.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures as [`ImagingError::Io`].
+pub fn save_ppm(path: impl AsRef<Path>, img: &RgbImage) -> Result<(), ImagingError> {
+    let file = std::fs::File::create(path)?;
+    write_ppm(std::io::BufWriter::new(file), img)
+}
+
+/// Writes a binary mask to `path` as PGM (set = 255).
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures as [`ImagingError::Io`].
+pub fn save_mask_pgm(path: impl AsRef<Path>, mask: &BinaryImage) -> Result<(), ImagingError> {
+    save_pgm(path, &mask.to_gray())
+}
+
+/// Reads a binary PGM (P5, maxval 255) image.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::MalformedPnm`] on a bad header and
+/// [`ImagingError::Io`] on underlying read failures.
+pub fn read_pgm<R: Read>(mut r: R) -> Result<GrayImage, ImagingError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let (magic, rest) = parse_header(&bytes)?;
+    if magic != "P5" {
+        return Err(ImagingError::MalformedPnm(format!(
+            "expected P5 magic, got {magic}"
+        )));
+    }
+    let (width, height, data) = rest;
+    if data.len() < width * height {
+        return Err(ImagingError::MalformedPnm(format!(
+            "pixel payload truncated: need {} bytes, have {}",
+            width * height,
+            data.len()
+        )));
+    }
+    GrayImage::from_vec(width, height, data[..width * height].to_vec())
+}
+
+/// Reads a binary PPM (P6, maxval 255) image.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::MalformedPnm`] on a bad header and
+/// [`ImagingError::Io`] on underlying read failures.
+pub fn read_ppm<R: Read>(mut r: R) -> Result<RgbImage, ImagingError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let (magic, rest) = parse_header(&bytes)?;
+    if magic != "P6" {
+        return Err(ImagingError::MalformedPnm(format!(
+            "expected P6 magic, got {magic}"
+        )));
+    }
+    let (width, height, data) = rest;
+    let need = width * height * 3;
+    if data.len() < need {
+        return Err(ImagingError::MalformedPnm(format!(
+            "pixel payload truncated: need {need} bytes, have {}",
+            data.len()
+        )));
+    }
+    let pixels = data[..need]
+        .chunks_exact(3)
+        .map(|c| Rgb::new(c[0], c[1], c[2]))
+        .collect();
+    RgbImage::from_vec(width, height, pixels)
+}
+
+/// Parses `magic, width, height, maxval` and returns the remaining payload.
+#[allow(clippy::type_complexity)]
+fn parse_header(bytes: &[u8]) -> Result<(String, (usize, usize, Vec<u8>)), ImagingError> {
+    let mut pos = 0usize;
+    let mut tokens = Vec::new();
+    // Read 4 whitespace-separated tokens, skipping '#' comments.
+    while tokens.len() < 4 {
+        while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if pos >= bytes.len() {
+            return Err(ImagingError::MalformedPnm("truncated header".into()));
+        }
+        if bytes[pos] == b'#' {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        tokens.push(
+            std::str::from_utf8(&bytes[start..pos])
+                .map_err(|_| ImagingError::MalformedPnm("non-utf8 header token".into()))?
+                .to_string(),
+        );
+    }
+    // Exactly one whitespace byte separates the header from the payload.
+    if pos < bytes.len() {
+        pos += 1;
+    }
+    let magic = tokens[0].clone();
+    let width: usize = tokens[1]
+        .parse()
+        .map_err(|_| ImagingError::MalformedPnm(format!("bad width {:?}", tokens[1])))?;
+    let height: usize = tokens[2]
+        .parse()
+        .map_err(|_| ImagingError::MalformedPnm(format!("bad height {:?}", tokens[2])))?;
+    let maxval: usize = tokens[3]
+        .parse()
+        .map_err(|_| ImagingError::MalformedPnm(format!("bad maxval {:?}", tokens[3])))?;
+    if maxval != 255 {
+        return Err(ImagingError::MalformedPnm(format!(
+            "only maxval 255 supported, got {maxval}"
+        )));
+    }
+    Ok((magic, (width, height, bytes[pos..].to_vec())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = GrayImage::from_fn(5, 3, |x, y| (x * 10 + y) as u8);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &img).unwrap();
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_round_trip() {
+        let img = RgbImage::from_fn(4, 2, |x, y| Rgb::new(x as u8, y as u8, 99));
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, &img).unwrap();
+        let back = read_ppm(buf.as_slice()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let mut buf: Vec<u8> = b"P5\n# a comment\n2 1\n# another\n255\n".to_vec();
+        buf.extend_from_slice(&[7, 8]);
+        let img = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(img.get(0, 0), 7);
+        assert_eq!(img.get(1, 0), 8);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut buf: Vec<u8> = b"P6\n2 1\n255\n".to_vec();
+        buf.extend_from_slice(&[0; 6]);
+        assert!(read_pgm(buf.as_slice()).is_err());
+        let mut buf2: Vec<u8> = b"P5\n2 1\n255\n".to_vec();
+        buf2.extend_from_slice(&[0; 2]);
+        assert!(read_ppm(buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let buf: Vec<u8> = b"P5\n4 4\n255\nxy".to_vec();
+        assert!(matches!(
+            read_pgm(buf.as_slice()),
+            Err(ImagingError::MalformedPnm(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_maxval_rejected() {
+        let buf: Vec<u8> = b"P5\n1 1\n65535\n\x00\x00".to_vec();
+        assert!(read_pgm(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("slj_imaging_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mask.pgm");
+        let mask = BinaryImage::from_ascii(
+            "#.#\n\
+             .#.\n",
+        );
+        save_mask_pgm(&path, &mask).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let img = read_pgm(file).unwrap();
+        assert_eq!(BinaryImage::from_gray_threshold(&img, 128), mask);
+        std::fs::remove_file(&path).ok();
+    }
+}

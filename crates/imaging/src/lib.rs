@@ -1,0 +1,54 @@
+//! Image substrate for the standing-long-jump pose-estimation pipeline.
+//!
+//! The paper's front end (Section 2) extracts a jumper silhouette from a
+//! studio video via moving-window background subtraction, thresholding and
+//! median smoothing. This crate provides everything that step needs, plus
+//! the raster primitives the synthetic-jumper renderer and the skeleton
+//! crate build on:
+//!
+//! - [`image::ImageBuffer`] — a generic row-major raster over any pixel
+//!   type, with [`pixel::Rgb`] and `u8` grayscale instantiations.
+//! - [`binary::BinaryImage`] — a bit-packed binary mask with fast
+//!   neighbourhood queries (the silhouette/skeleton representation).
+//! - [`background`] — the paper's object-extraction algorithm
+//!   (`Th_Object = 20`), built on [`integral::IntegralImage`] so the n×n
+//!   moving-window averages cost O(1) per pixel.
+//! - [`filter`] — median and box filters (Figure 1(c) smoothing).
+//! - [`morphology`] — erosion/dilation/opening/closing and hole filling.
+//! - [`region`] — connected-component labelling and region statistics.
+//! - [`draw`] — filled disks, capsules (thick segments) and convex
+//!   polygons used by the silhouette renderer.
+//! - [`metrics`] — IoU / precision / recall between masks (Experiment E2).
+//! - [`io`] — PGM/PPM artefact dump and load for debugging.
+//!
+//! # Examples
+//!
+//! ```
+//! use slj_imaging::binary::BinaryImage;
+//! use slj_imaging::draw;
+//!
+//! let mut mask = BinaryImage::new(64, 64);
+//! draw::fill_disk(&mut mask, 32.0, 32.0, 10.0);
+//! assert!(mask.count_ones() > 250);
+//! ```
+
+pub mod background;
+pub mod binary;
+pub mod distance;
+pub mod draw;
+pub mod error;
+pub mod filter;
+pub mod image;
+pub mod integral;
+pub mod io;
+pub mod metrics;
+pub mod morphology;
+pub mod pixel;
+pub mod region;
+pub mod threshold;
+
+pub use background::{BackgroundSubtractor, ExtractionConfig};
+pub use binary::BinaryImage;
+pub use error::ImagingError;
+pub use image::{GrayImage, ImageBuffer, RgbImage};
+pub use pixel::Rgb;

@@ -1,0 +1,161 @@
+//! Mask-agreement metrics for the extraction experiments (E2).
+//!
+//! The paper shows extraction quality qualitatively (Figure 1); the
+//! reproduction quantifies it as intersection-over-union, precision and
+//! recall between the extracted silhouette and the renderer's ground-truth
+//! mask.
+
+use crate::binary::BinaryImage;
+use crate::error::ImagingError;
+
+/// Agreement statistics between a predicted mask and a ground-truth mask.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskMetrics {
+    /// True positives: set in both.
+    pub tp: usize,
+    /// False positives: set in prediction only.
+    pub fp: usize,
+    /// False negatives: set in ground truth only.
+    pub fn_: usize,
+    /// True negatives: clear in both.
+    pub tn: usize,
+}
+
+impl MaskMetrics {
+    /// Compares `predicted` against `truth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when shapes differ.
+    pub fn compare(predicted: &BinaryImage, truth: &BinaryImage) -> Result<Self, ImagingError> {
+        if predicted.dimensions() != truth.dimensions() {
+            return Err(ImagingError::DimensionMismatch {
+                left: predicted.dimensions(),
+                right: truth.dimensions(),
+            });
+        }
+        let tp = predicted.and(truth)?.count_ones();
+        let fp = predicted.count_ones() - tp;
+        let fn_ = truth.count_ones() - tp;
+        let total = predicted.width() * predicted.height();
+        let tn = total - tp - fp - fn_;
+        Ok(MaskMetrics { tp, fp, fn_, tn })
+    }
+
+    /// Intersection over union. Returns 1.0 when both masks are empty.
+    pub fn iou(&self) -> f64 {
+        let union = self.tp + self.fp + self.fn_;
+        if union == 0 {
+            1.0
+        } else {
+            self.tp as f64 / union as f64
+        }
+    }
+
+    /// Precision `tp / (tp + fp)`. Returns 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`. Returns 1.0 when the truth is empty.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Pixel accuracy `(tp + tn) / total`.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        (self.tp + self.tn) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match() {
+        let a = BinaryImage::from_ascii(
+            "##..\n\
+             ##..\n",
+        );
+        let m = MaskMetrics::compare(&a, &a).unwrap();
+        assert_eq!(m.tp, 4);
+        assert_eq!(m.fp, 0);
+        assert_eq!(m.fn_, 0);
+        assert_eq!(m.tn, 4);
+        assert_eq!(m.iou(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_masks() {
+        let a = BinaryImage::from_ascii("##..\n");
+        let b = BinaryImage::from_ascii("..##\n");
+        let m = MaskMetrics::compare(&a, &b).unwrap();
+        assert_eq!(m.iou(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_counts() {
+        let pred = BinaryImage::from_ascii("###.\n");
+        let truth = BinaryImage::from_ascii(".###\n");
+        let m = MaskMetrics::compare(&pred, &truth).unwrap();
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 1);
+        assert!((m.iou() - 0.5).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_masks_convention() {
+        let a = BinaryImage::new(3, 3);
+        let m = MaskMetrics::compare(&a, &a).unwrap();
+        assert_eq!(m.iou(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = BinaryImage::new(3, 3);
+        let b = BinaryImage::new(4, 3);
+        assert!(MaskMetrics::compare(&a, &b).is_err());
+    }
+
+    #[test]
+    fn iou_bounded_by_precision_and_recall() {
+        let pred = BinaryImage::from_ascii("####....\n");
+        let truth = BinaryImage::from_ascii("..####..\n");
+        let m = MaskMetrics::compare(&pred, &truth).unwrap();
+        assert!(m.iou() <= m.precision() + 1e-12);
+        assert!(m.iou() <= m.recall() + 1e-12);
+    }
+}

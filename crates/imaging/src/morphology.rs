@@ -1,0 +1,271 @@
+//! Binary mathematical morphology.
+//!
+//! The extracted silhouettes carry small holes and ragged borders
+//! (Figure 1(b) of the paper). Besides the median filter the paper applies,
+//! the simulator and the test suites use the classic morphology toolbox to
+//! manufacture and repair such defects: erosion, dilation, opening,
+//! closing, and background-flood hole filling.
+
+use crate::binary::{BinaryImage, NEIGHBORS4, NEIGHBORS8};
+use std::collections::VecDeque;
+
+/// Structuring-element connectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Connectivity {
+    /// 4-connected (edge) neighbourhood — a diamond structuring element.
+    Four,
+    /// 8-connected (edge + corner) neighbourhood — a square structuring
+    /// element.
+    Eight,
+}
+
+impl Connectivity {
+    fn offsets(self) -> &'static [(isize, isize)] {
+        match self {
+            Connectivity::Four => &NEIGHBORS4,
+            Connectivity::Eight => &NEIGHBORS8,
+        }
+    }
+}
+
+/// Erodes the mask by one step: a pixel survives only if it and all its
+/// neighbours (under `conn`) are set. Out-of-bounds counts as background,
+/// so shapes touching the border erode there too.
+pub fn erode(img: &BinaryImage, conn: Connectivity) -> BinaryImage {
+    let mut out = BinaryImage::new(img.width(), img.height());
+    for (x, y) in img.iter_ones() {
+        let survives = conn
+            .offsets()
+            .iter()
+            .all(|&(dx, dy)| img.get_or_false(x as isize + dx, y as isize + dy));
+        if survives {
+            out.set(x, y, true);
+        }
+    }
+    out
+}
+
+/// Dilates the mask by one step: every neighbour (under `conn`) of a set
+/// pixel becomes set.
+pub fn dilate(img: &BinaryImage, conn: Connectivity) -> BinaryImage {
+    let mut out = img.clone();
+    for (x, y) in img.iter_ones() {
+        for &(dx, dy) in conn.offsets() {
+            let (nx, ny) = (x as isize + dx, y as isize + dy);
+            if img.in_bounds(nx, ny) {
+                out.set(nx as usize, ny as usize, true);
+            }
+        }
+    }
+    out
+}
+
+/// Morphological opening (erosion then dilation) — removes protrusions and
+/// specks smaller than the structuring element.
+pub fn open(img: &BinaryImage, conn: Connectivity) -> BinaryImage {
+    dilate(&erode(img, conn), conn)
+}
+
+/// Morphological closing (dilation then erosion) — fills pits and gaps
+/// smaller than the structuring element.
+pub fn close(img: &BinaryImage, conn: Connectivity) -> BinaryImage {
+    erode(&dilate(img, conn), conn)
+}
+
+/// Fills holes: background regions not connected to the image border
+/// become foreground.
+///
+/// Background connectivity is the dual of the foreground's; silhouettes in
+/// this pipeline are 8-connected, so holes are flooded 4-connected.
+pub fn fill_holes(img: &BinaryImage) -> BinaryImage {
+    let (w, h) = img.dimensions();
+    // Flood the outside background from every border pixel.
+    let mut outside = BinaryImage::new(w, h);
+    let mut queue = VecDeque::new();
+    let push = |outside: &mut BinaryImage, queue: &mut VecDeque<(usize, usize)>, x: usize, y: usize| {
+        if !img.get(x, y) && !outside.get(x, y) {
+            outside.set(x, y, true);
+            queue.push_back((x, y));
+        }
+    };
+    for x in 0..w {
+        push(&mut outside, &mut queue, x, 0);
+        push(&mut outside, &mut queue, x, h - 1);
+    }
+    for y in 0..h {
+        push(&mut outside, &mut queue, 0, y);
+        push(&mut outside, &mut queue, w - 1, y);
+    }
+    while let Some((x, y)) = queue.pop_front() {
+        for &(dx, dy) in &NEIGHBORS4 {
+            let (nx, ny) = (x as isize + dx, y as isize + dy);
+            if img.in_bounds(nx, ny) {
+                let (nx, ny) = (nx as usize, ny as usize);
+                if !img.get(nx, ny) && !outside.get(nx, ny) {
+                    outside.set(nx, ny, true);
+                    queue.push_back((nx, ny));
+                }
+            }
+        }
+    }
+    // Everything that is neither foreground nor outside-background is a
+    // hole.
+    let mut out = img.clone();
+    for y in 0..h {
+        for x in 0..w {
+            if !img.get(x, y) && !outside.get(x, y) {
+                out.set(x, y, true);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_hole() -> BinaryImage {
+        BinaryImage::from_ascii(
+            ".......\n\
+             .#####.\n\
+             .#####.\n\
+             .##.##.\n\
+             .#####.\n\
+             .#####.\n\
+             .......\n",
+        )
+    }
+
+    #[test]
+    fn erode_shrinks_square() {
+        let img = BinaryImage::from_ascii(
+            ".....\n\
+             .###.\n\
+             .###.\n\
+             .###.\n\
+             .....\n",
+        );
+        let out = erode(&img, Connectivity::Eight);
+        assert_eq!(out.count_ones(), 1);
+        assert!(out.get(2, 2));
+    }
+
+    #[test]
+    fn erode_four_keeps_more_than_eight() {
+        let img = BinaryImage::from_ascii(
+            ".###.\n\
+             .###.\n\
+             .###.\n",
+        );
+        let four = erode(&img, Connectivity::Four).count_ones();
+        let eight = erode(&img, Connectivity::Eight).count_ones();
+        assert!(four >= eight);
+    }
+
+    #[test]
+    fn dilate_grows_point_by_connectivity() {
+        let mut img = BinaryImage::new(5, 5);
+        img.set(2, 2, true);
+        assert_eq!(dilate(&img, Connectivity::Four).count_ones(), 5);
+        assert_eq!(dilate(&img, Connectivity::Eight).count_ones(), 9);
+    }
+
+    #[test]
+    fn dilate_clips_at_border() {
+        let mut img = BinaryImage::new(3, 3);
+        img.set(0, 0, true);
+        let out = dilate(&img, Connectivity::Eight);
+        assert_eq!(out.count_ones(), 4);
+    }
+
+    #[test]
+    fn erode_then_dilate_identity_on_big_blob_interior() {
+        let img = BinaryImage::from_ascii(
+            ".......\n\
+             .#####.\n\
+             .#####.\n\
+             .#####.\n\
+             .#####.\n\
+             .#####.\n\
+             .......\n",
+        );
+        let opened = open(&img, Connectivity::Four);
+        // Opening with a diamond SE keeps the 5x5 square minus nothing:
+        // all interior pixels must survive.
+        for y in 2..5 {
+            for x in 2..5 {
+                assert!(opened.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn open_removes_single_speck() {
+        let mut img = BinaryImage::new(9, 9);
+        img.set(4, 4, true);
+        assert!(open(&img, Connectivity::Four).is_empty());
+    }
+
+    #[test]
+    fn close_fills_one_pixel_gap() {
+        let img = BinaryImage::from_ascii(
+            ".......\n\
+             .##.##.\n\
+             .##.##.\n\
+             .##.##.\n\
+             .......\n",
+        );
+        let closed = close(&img, Connectivity::Eight);
+        assert!(closed.get(3, 2), "gap column should be bridged");
+    }
+
+    #[test]
+    fn fill_holes_fills_interior_only() {
+        let img = square_with_hole();
+        let filled = fill_holes(&img);
+        assert!(filled.get(3, 3), "interior hole should be filled");
+        assert!(!filled.get(0, 0), "outside must stay background");
+        assert_eq!(filled.count_ones(), img.count_ones() + 1);
+    }
+
+    #[test]
+    fn fill_holes_noop_without_holes() {
+        let img = BinaryImage::from_ascii(
+            "###\n\
+             ###\n\
+             ###\n",
+        );
+        assert_eq!(fill_holes(&img), img);
+    }
+
+    #[test]
+    fn fill_holes_keeps_border_notch_open() {
+        // A notch open to the border is not a hole.
+        let img = BinaryImage::from_ascii(
+            "##.##\n\
+             ##.##\n\
+             #####\n",
+        );
+        let filled = fill_holes(&img);
+        assert!(!filled.get(2, 0));
+        assert!(!filled.get(2, 1));
+    }
+
+    #[test]
+    fn morphology_duality_erode_dilate_on_empty_and_full() {
+        let empty = BinaryImage::new(4, 4);
+        assert!(erode(&empty, Connectivity::Eight).is_empty());
+        assert!(dilate(&empty, Connectivity::Eight).is_empty());
+        let full = BinaryImage::from_ascii(
+            "####\n\
+             ####\n\
+             ####\n\
+             ####\n",
+        );
+        // Border pixels erode away because outside counts as background.
+        let eroded = erode(&full, Connectivity::Eight);
+        assert_eq!(eroded.count_ones(), 4);
+        assert_eq!(dilate(&full, Connectivity::Eight), full);
+    }
+}

@@ -1,0 +1,199 @@
+//! Pixel types used by [`crate::image::ImageBuffer`].
+
+use std::fmt;
+
+/// An 8-bit RGB pixel.
+///
+/// The paper's object-extraction algorithm (Section 2) works on the three
+/// colour channels separately (`k = 1, 2, 3` corresponding to R, G, B), so
+/// the channels are exposed both as named fields and by index.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::pixel::Rgb;
+///
+/// let p = Rgb::new(10, 20, 30);
+/// assert_eq!(p.channel(0), 10);
+/// assert_eq!(p.luma(), 18); // integer-weighted BT.601 luma
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Pure black — the studio background colour the paper shoots against.
+    pub const BLACK: Rgb = Rgb { r: 0, g: 0, b: 0 };
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb {
+        r: 255,
+        g: 255,
+        b: 255,
+    };
+
+    /// Creates a pixel from the three channel values.
+    pub fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Creates a gray pixel with all three channels equal to `v`.
+    pub fn gray(v: u8) -> Self {
+        Rgb { r: v, g: v, b: v }
+    }
+
+    /// Returns channel `k` (0 = R, 1 = G, 2 = B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 2`.
+    pub fn channel(self, k: usize) -> u8 {
+        match k {
+            0 => self.r,
+            1 => self.g,
+            2 => self.b,
+            _ => panic!("RGB channel index {k} out of range (0..3)"),
+        }
+    }
+
+    /// Sum of the absolute per-channel differences against `other`.
+    ///
+    /// This is the quantity the paper accumulates into its foreground
+    /// matrix `D(i,j) = |C(i,j,1)| + |C(i,j,2)| + |C(i,j,3)|`.
+    pub fn abs_diff_sum(self, other: Rgb) -> u16 {
+        let d = |a: u8, b: u8| -> u16 { (a as i16 - b as i16).unsigned_abs() };
+        d(self.r, other.r) + d(self.g, other.g) + d(self.b, other.b)
+    }
+
+    /// Integer BT.601 luma approximation `(77 R + 150 G + 29 B) / 256`.
+    pub fn luma(self) -> u8 {
+        ((77 * self.r as u32 + 150 * self.g as u32 + 29 * self.b as u32) >> 8) as u8
+    }
+
+    /// Component-wise saturating addition.
+    pub fn saturating_add(self, other: Rgb) -> Rgb {
+        Rgb {
+            r: self.r.saturating_add(other.r),
+            g: self.g.saturating_add(other.g),
+            b: self.b.saturating_add(other.b),
+        }
+    }
+
+    /// Blends `self` toward `other` by `t` in `[0, 1]`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| -> u8 { (a as f32 + (b as f32 - a as f32) * t).round() as u8 };
+        Rgb {
+            r: mix(self.r, other.r),
+            g: mix(self.g, other.g),
+            b: mix(self.b, other.b),
+        }
+    }
+}
+
+impl fmt::Display for Rgb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+impl From<(u8, u8, u8)> for Rgb {
+    fn from((r, g, b): (u8, u8, u8)) -> Self {
+        Rgb::new(r, g, b)
+    }
+}
+
+impl From<Rgb> for (u8, u8, u8) {
+    fn from(p: Rgb) -> Self {
+        (p.r, p.g, p.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_indexing_matches_fields() {
+        let p = Rgb::new(1, 2, 3);
+        assert_eq!(p.channel(0), p.r);
+        assert_eq!(p.channel(1), p.g);
+        assert_eq!(p.channel(2), p.b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_out_of_range_panics() {
+        Rgb::BLACK.channel(3);
+    }
+
+    #[test]
+    fn abs_diff_sum_is_symmetric() {
+        let a = Rgb::new(10, 200, 50);
+        let b = Rgb::new(30, 100, 250);
+        assert_eq!(a.abs_diff_sum(b), b.abs_diff_sum(a));
+        assert_eq!(a.abs_diff_sum(b), 20 + 100 + 200);
+    }
+
+    #[test]
+    fn abs_diff_sum_zero_on_identical() {
+        let a = Rgb::new(7, 8, 9);
+        assert_eq!(a.abs_diff_sum(a), 0);
+    }
+
+    #[test]
+    fn luma_of_extremes() {
+        assert_eq!(Rgb::BLACK.luma(), 0);
+        assert_eq!(Rgb::WHITE.luma(), 255);
+    }
+
+    #[test]
+    fn luma_is_monotone_in_gray() {
+        let mut prev = 0;
+        for v in (0..=255u8).step_by(5) {
+            let l = Rgb::gray(v).luma();
+            assert!(l >= prev, "luma not monotone at gray {v}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Rgb::new(0, 100, 200);
+        let b = Rgb::new(255, 0, 0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn lerp_clamps_parameter() {
+        let a = Rgb::BLACK;
+        let b = Rgb::WHITE;
+        assert_eq!(a.lerp(b, -5.0), a);
+        assert_eq!(a.lerp(b, 5.0), b);
+    }
+
+    #[test]
+    fn saturating_add_saturates() {
+        let a = Rgb::new(250, 1, 128);
+        let b = Rgb::new(10, 2, 128);
+        assert_eq!(a.saturating_add(b), Rgb::new(255, 3, 255));
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let p = Rgb::new(9, 8, 7);
+        let t: (u8, u8, u8) = p.into();
+        assert_eq!(Rgb::from(t), p);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Rgb::new(255, 0, 16).to_string(), "#ff0010");
+    }
+}

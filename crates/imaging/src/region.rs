@@ -1,0 +1,202 @@
+//! Connected-component labelling and region statistics.
+//!
+//! After thresholding, the extracted foreground may contain stray blobs
+//! (lighting flicker, shadows). The pipeline keeps only the largest
+//! component — the jumper — before thinning, which is what
+//! [`largest_component`] provides.
+
+use crate::binary::{BinaryImage, NEIGHBORS4, NEIGHBORS8};
+use crate::morphology::Connectivity;
+use std::collections::VecDeque;
+
+/// A connected component of a binary mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Component label (1-based, in discovery order).
+    pub label: u32,
+    /// Number of pixels in the component.
+    pub area: usize,
+    /// Inclusive bounding box `(min_x, min_y, max_x, max_y)`.
+    pub bbox: (usize, usize, usize, usize),
+    /// Pixel coordinates of the component, row-major discovery order.
+    pub pixels: Vec<(usize, usize)>,
+}
+
+impl Region {
+    /// Centroid of the component `(x, y)`.
+    pub fn centroid(&self) -> (f64, f64) {
+        let n = self.pixels.len() as f64;
+        let (sx, sy) = self
+            .pixels
+            .iter()
+            .fold((0.0, 0.0), |(ax, ay), &(x, y)| (ax + x as f64, ay + y as f64));
+        (sx / n, sy / n)
+    }
+
+    /// Renders the component alone into a mask of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component pixel falls outside `width × height`.
+    pub fn to_mask(&self, width: usize, height: usize) -> BinaryImage {
+        let mut out = BinaryImage::new(width, height);
+        for &(x, y) in &self.pixels {
+            out.set(x, y, true);
+        }
+        out
+    }
+}
+
+/// Labels all connected components of `img` under the given connectivity,
+/// returned in discovery (row-major) order.
+pub fn connected_components(img: &BinaryImage, conn: Connectivity) -> Vec<Region> {
+    let offsets: &[(isize, isize)] = match conn {
+        Connectivity::Four => &NEIGHBORS4,
+        Connectivity::Eight => &NEIGHBORS8,
+    };
+    let (w, h) = img.dimensions();
+    let mut visited = BinaryImage::new(w, h);
+    let mut regions = Vec::new();
+    let mut queue = VecDeque::new();
+    for y in 0..h {
+        for x in 0..w {
+            if !img.get(x, y) || visited.get(x, y) {
+                continue;
+            }
+            let label = regions.len() as u32 + 1;
+            let mut pixels = Vec::new();
+            let mut bbox = (x, y, x, y);
+            visited.set(x, y, true);
+            queue.push_back((x, y));
+            while let Some((cx, cy)) = queue.pop_front() {
+                pixels.push((cx, cy));
+                bbox = (
+                    bbox.0.min(cx),
+                    bbox.1.min(cy),
+                    bbox.2.max(cx),
+                    bbox.3.max(cy),
+                );
+                for &(dx, dy) in offsets {
+                    let (nx, ny) = (cx as isize + dx, cy as isize + dy);
+                    if img.in_bounds(nx, ny) {
+                        let (nx, ny) = (nx as usize, ny as usize);
+                        if img.get(nx, ny) && !visited.get(nx, ny) {
+                            visited.set(nx, ny, true);
+                            queue.push_back((nx, ny));
+                        }
+                    }
+                }
+            }
+            regions.push(Region {
+                label,
+                area: pixels.len(),
+                bbox,
+                pixels,
+            });
+        }
+    }
+    regions
+}
+
+/// Returns the largest connected component as a standalone mask, or `None`
+/// when the image is empty. Ties break toward the earlier (row-major
+/// first) component.
+pub fn largest_component(img: &BinaryImage, conn: Connectivity) -> Option<BinaryImage> {
+    let regions = connected_components(img, conn);
+    let best = regions.iter().max_by(|a, b| {
+        a.area
+            .cmp(&b.area)
+            .then(b.label.cmp(&a.label)) // prefer smaller label on ties
+    })?;
+    Some(best.to_mask(img.width(), img.height()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_components_four_vs_eight() {
+        // Two blobs touching only diagonally.
+        let img = BinaryImage::from_ascii(
+            "##...\n\
+             ##...\n\
+             ..##.\n\
+             ..##.\n",
+        );
+        assert_eq!(connected_components(&img, Connectivity::Four).len(), 2);
+        assert_eq!(connected_components(&img, Connectivity::Eight).len(), 1);
+    }
+
+    #[test]
+    fn empty_image_has_no_components() {
+        let img = BinaryImage::new(4, 4);
+        assert!(connected_components(&img, Connectivity::Eight).is_empty());
+        assert!(largest_component(&img, Connectivity::Eight).is_none());
+    }
+
+    #[test]
+    fn region_statistics() {
+        let img = BinaryImage::from_ascii(
+            ".....\n\
+             .###.\n\
+             .###.\n\
+             .....\n",
+        );
+        let regions = connected_components(&img, Connectivity::Four);
+        assert_eq!(regions.len(), 1);
+        let r = &regions[0];
+        assert_eq!(r.area, 6);
+        assert_eq!(r.bbox, (1, 1, 3, 2));
+        let (cx, cy) = r.centroid();
+        assert!((cx - 2.0).abs() < 1e-9);
+        assert!((cy - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn largest_component_picks_biggest() {
+        let img = BinaryImage::from_ascii(
+            "#..####\n\
+             #..####\n\
+             .......\n\
+             ##.....\n",
+        );
+        let largest = largest_component(&img, Connectivity::Four).unwrap();
+        assert_eq!(largest.count_ones(), 8);
+        assert!(largest.get(3, 0));
+        assert!(!largest.get(0, 0));
+        assert!(!largest.get(0, 3));
+    }
+
+    #[test]
+    fn largest_component_tie_breaks_to_first() {
+        let img = BinaryImage::from_ascii(
+            "##..##\n",
+        );
+        let largest = largest_component(&img, Connectivity::Four).unwrap();
+        assert!(largest.get(0, 0), "earlier component wins ties");
+        assert!(!largest.get(4, 0));
+    }
+
+    #[test]
+    fn labels_are_one_based_in_order() {
+        let img = BinaryImage::from_ascii(
+            "#.#\n",
+        );
+        let regions = connected_components(&img, Connectivity::Four);
+        assert_eq!(regions[0].label, 1);
+        assert_eq!(regions[1].label, 2);
+        assert_eq!(regions[0].pixels, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn to_mask_round_trip() {
+        let img = BinaryImage::from_ascii(
+            ".#.\n\
+             ###\n",
+        );
+        let regions = connected_components(&img, Connectivity::Eight);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].to_mask(3, 2), img);
+    }
+}

@@ -1,0 +1,148 @@
+//! Automatic threshold selection.
+//!
+//! The paper fixes `Th_Object = 20` ("The value of Th_Object is 20
+//! here") — a magic constant tuned to their studio. Otsu's method picks
+//! the threshold that maximises between-class variance of the histogram,
+//! removing the constant; Experiment E13 compares the two.
+
+use crate::image::GrayImage;
+
+/// A 256-bin grayscale histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: [u32; 256],
+    total: u32,
+}
+
+impl Histogram {
+    /// Builds the histogram of an image.
+    pub fn of(img: &GrayImage) -> Self {
+        let mut bins = [0u32; 256];
+        for &v in img.iter() {
+            bins[v as usize] += 1;
+        }
+        Histogram {
+            bins,
+            total: (img.width() * img.height()) as u32,
+        }
+    }
+
+    /// Count in bin `v`.
+    pub fn count(&self, v: u8) -> u32 {
+        self.bins[v as usize]
+    }
+
+    /// Total pixel count.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+}
+
+/// Computes Otsu's threshold for `img`: the value `t` maximising the
+/// between-class variance when splitting at `v > t`. Returns 0 for a
+/// constant image (everything lands in the upper class for any
+/// `t < v`).
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::image::GrayImage;
+/// use slj_imaging::threshold::otsu_threshold;
+///
+/// // Two well-separated populations.
+/// let img = GrayImage::from_fn(16, 16, |x, _| if x < 8 { 10 } else { 200 });
+/// let t = otsu_threshold(&img);
+/// assert!(t >= 10 && t < 200);
+/// ```
+pub fn otsu_threshold(img: &GrayImage) -> u8 {
+    let hist = Histogram::of(img);
+    let total = hist.total() as f64;
+    let global_sum: f64 = (0..256).map(|v| v as f64 * hist.count(v as u8) as f64).sum();
+
+    let mut best_t = 0u8;
+    let mut best_var = -1.0f64;
+    let mut w0 = 0.0f64; // lower-class weight
+    let mut sum0 = 0.0f64; // lower-class intensity sum
+    for t in 0..255usize {
+        w0 += hist.count(t as u8) as f64;
+        sum0 += t as f64 * hist.count(t as u8) as f64;
+        if w0 == 0.0 {
+            continue;
+        }
+        let w1 = total - w0;
+        if w1 == 0.0 {
+            break;
+        }
+        let mu0 = sum0 / w0;
+        let mu1 = (global_sum - sum0) / w1;
+        let between = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+        if between > best_var {
+            best_var = between;
+            best_t = t as u8;
+        }
+    }
+    best_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts() {
+        let img = GrayImage::from_fn(4, 2, |x, _| (x as u8) * 10);
+        let h = Histogram::of(&img);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(30), 2);
+        assert_eq!(h.count(99), 0);
+    }
+
+    #[test]
+    fn bimodal_split_lands_between_modes() {
+        let img = GrayImage::from_fn(32, 32, |x, _| if x < 16 { 20 } else { 220 });
+        let t = otsu_threshold(&img);
+        assert!(t >= 20 && t < 220, "threshold {t}");
+    }
+
+    #[test]
+    fn unbalanced_bimodal_still_separates() {
+        // A small bright object on a large dark background, like a
+        // jumper in the difference image.
+        let img = GrayImage::from_fn(40, 40, |x, y| {
+            if (8..14).contains(&x) && (8..20).contains(&y) {
+                180
+            } else {
+                5
+            }
+        });
+        let t = otsu_threshold(&img);
+        assert!(t >= 5 && t < 180, "threshold {t}");
+        // Thresholding must recover the object pixels exactly.
+        let mask = crate::binary::BinaryImage::from_gray_threshold(
+            &img.map(|v| v),
+            t.saturating_add(1),
+        );
+        assert_eq!(mask.count_ones(), 6 * 12);
+    }
+
+    #[test]
+    fn constant_image_is_degenerate() {
+        let img = GrayImage::filled(8, 8, 77);
+        assert_eq!(otsu_threshold(&img), 0);
+    }
+
+    #[test]
+    fn noise_shifts_threshold_smoothly() {
+        // Adding mild spread to the modes must not move the threshold
+        // outside the inter-mode gap.
+        let img = GrayImage::from_fn(64, 64, |x, y| {
+            let base = if x < 32 { 15 } else { 200 };
+            base + ((x * 7 + y * 13) % 11) as u8
+        });
+        let t = otsu_threshold(&img);
+        // Dark mode spans 15..=25, bright 200..=210; any `v > t` split
+        // with t in [25, 199] separates them cleanly.
+        assert!((25..200).contains(&t), "threshold {t}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the imaging substrate.
+
+use proptest::prelude::*;
+use slj_imaging::binary::BinaryImage;
+use slj_imaging::filter::median_filter_binary;
+use slj_imaging::image::GrayImage;
+use slj_imaging::integral::IntegralImage;
+use slj_imaging::io::{read_pgm, write_pgm};
+use slj_imaging::metrics::MaskMetrics;
+use slj_imaging::morphology::{close, dilate, erode, fill_holes, open, Connectivity};
+
+/// Strategy: a random small binary mask.
+fn mask_strategy() -> impl Strategy<Value = BinaryImage> {
+    (4usize..20, 4usize..20)
+        .prop_flat_map(|(w, h)| {
+            proptest::collection::vec(proptest::bool::ANY, w * h)
+                .prop_map(move |bits| BinaryImage::from_bits(w, h, &bits).unwrap())
+        })
+}
+
+/// Strategy: a random small grayscale image.
+fn gray_strategy() -> impl Strategy<Value = GrayImage> {
+    (3usize..16, 3usize..16).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0u8..=255, w * h)
+            .prop_map(move |px| GrayImage::from_vec(w, h, px).unwrap())
+    })
+}
+
+fn subset(a: &BinaryImage, b: &BinaryImage) -> bool {
+    a.and(b).unwrap() == *a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Erosion shrinks, dilation grows (w.r.t. set inclusion).
+    #[test]
+    fn erode_subset_original_subset_dilate(mask in mask_strategy()) {
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let e = erode(&mask, conn);
+            let d = dilate(&mask, conn);
+            prop_assert!(subset(&e, &mask));
+            prop_assert!(subset(&mask, &d));
+        }
+    }
+
+    /// Opening is anti-extensive everywhere; closing is extensive away
+    /// from the border (out-of-bounds counts as background, so border
+    /// pixels may erode in the closing's second step).
+    #[test]
+    fn open_close_ordering(mask in mask_strategy()) {
+        let (w, h) = mask.dimensions();
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            prop_assert!(subset(&open(&mask, conn), &mask));
+            let closed = close(&mask, conn);
+            for y in 1..h.saturating_sub(1) {
+                for x in 1..w.saturating_sub(1) {
+                    if mask.get(x, y) {
+                        prop_assert!(closed.get(x, y), "interior pixel ({x},{y}) lost by closing");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Opening and closing are idempotent.
+    #[test]
+    fn open_close_idempotent(mask in mask_strategy()) {
+        let conn = Connectivity::Eight;
+        let o = open(&mask, conn);
+        prop_assert_eq!(&open(&o, conn), &o);
+        let c = close(&mask, conn);
+        prop_assert_eq!(&close(&c, conn), &c);
+    }
+
+    /// Hole filling is extensive, idempotent, and never touches pixels
+    /// reachable from the border.
+    #[test]
+    fn fill_holes_properties(mask in mask_strategy()) {
+        let filled = fill_holes(&mask);
+        prop_assert!(subset(&mask, &filled));
+        prop_assert_eq!(&fill_holes(&filled), &filled);
+        // Border background pixels must stay background.
+        let (w, h) = mask.dimensions();
+        for x in 0..w {
+            for y in [0, h - 1] {
+                if !mask.get(x, y) {
+                    prop_assert!(!filled.get(x, y));
+                }
+            }
+        }
+    }
+
+    /// Integral-image window sums equal brute force everywhere.
+    #[test]
+    fn integral_matches_brute_force(img in gray_strategy(), n in prop_oneof![Just(1usize), Just(3), Just(5)]) {
+        let ii = IntegralImage::from_gray(&img);
+        let (w, h) = img.dimensions();
+        let r = (n / 2) as isize;
+        for cy in (0..h).step_by(3) {
+            for cx in (0..w).step_by(3) {
+                let mut brute = 0u64;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let (x, y) = (cx as isize + dx, cy as isize + dy);
+                        if x >= 0 && y >= 0 && (x as usize) < w && (y as usize) < h {
+                            brute += img.get(x as usize, y as usize) as u64;
+                        }
+                    }
+                }
+                prop_assert_eq!(ii.window_sum(cx, cy, n), brute);
+            }
+        }
+    }
+
+    /// The binary median never inverts a unanimous neighbourhood.
+    #[test]
+    fn median_respects_unanimity(mask in mask_strategy()) {
+        let out = median_filter_binary(&mask, 3).unwrap();
+        let (w, h) = mask.dimensions();
+        for y in 1..h.saturating_sub(1) {
+            for x in 1..w.saturating_sub(1) {
+                let n = mask.neighbors8(x, y);
+                if mask.get(x, y) && n.iter().all(|&b| b) {
+                    prop_assert!(out.get(x, y), "unanimous set pixel flipped at ({x},{y})");
+                }
+                if !mask.get(x, y) && n.iter().all(|&b| !b) {
+                    prop_assert!(!out.get(x, y), "unanimous clear pixel flipped at ({x},{y})");
+                }
+            }
+        }
+    }
+
+    /// Mask metrics are consistent: IoU(a,a)=1, symmetry of IoU, and the
+    /// counts partition the image.
+    #[test]
+    fn metrics_consistency(a in mask_strategy()) {
+        let m_self = MaskMetrics::compare(&a, &a).unwrap();
+        prop_assert_eq!(m_self.iou(), 1.0);
+        prop_assert_eq!(m_self.fp, 0);
+        prop_assert_eq!(m_self.fn_, 0);
+        let total = a.width() * a.height();
+        prop_assert_eq!(m_self.tp + m_self.tn, total);
+    }
+
+    /// IoU is symmetric under operand swap.
+    #[test]
+    fn iou_symmetric(a in mask_strategy()) {
+        // Build a second mask of identical dimensions by shifting bits.
+        let (w, h) = a.dimensions();
+        let mut b = BinaryImage::new(w, h);
+        for (x, y) in a.iter_ones() {
+            b.set((x + 1) % w, y, true);
+        }
+        let ab = MaskMetrics::compare(&a, &b).unwrap().iou();
+        let ba = MaskMetrics::compare(&b, &a).unwrap().iou();
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    /// PGM serialisation round-trips any image.
+    #[test]
+    fn pgm_round_trip(img in gray_strategy()) {
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &img).unwrap();
+        prop_assert_eq!(read_pgm(buf.as_slice()).unwrap(), img);
+    }
+
+    /// XOR with self is empty; OR is commutative in mass.
+    #[test]
+    fn bit_ops_algebra(a in mask_strategy()) {
+        prop_assert!(a.xor(&a).unwrap().is_empty());
+        prop_assert_eq!(a.and(&a).unwrap(), a.clone());
+        prop_assert_eq!(a.or(&a).unwrap(), a);
+    }
+}

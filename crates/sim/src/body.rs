@@ -1,0 +1,133 @@
+//! Jumper body proportions.
+
+/// Segment lengths and thicknesses of the articulated jumper, in pixels.
+///
+/// Proportions follow a child's build (the paper studies primary-school
+/// students): a relatively large head and short limbs. All lengths scale
+/// linearly with [`BodyModel::scaled`] so datasets can contain jumpers of
+/// different sizes.
+///
+/// # Examples
+///
+/// ```
+/// use slj_sim::body::BodyModel;
+///
+/// let child = BodyModel::default();
+/// let small = child.scaled(0.8);
+/// assert!(small.torso < child.torso);
+/// assert!((small.standing_height() / child.standing_height() - 0.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyModel {
+    /// Head radius.
+    pub head_radius: f64,
+    /// Neck length (neck joint to head centre).
+    pub neck: f64,
+    /// Torso length (hip to neck).
+    pub torso: f64,
+    /// Upper-arm length (shoulder to elbow).
+    pub upper_arm: f64,
+    /// Forearm length including the hand (elbow to hand tip).
+    pub forearm: f64,
+    /// Thigh length (hip to knee).
+    pub thigh: f64,
+    /// Shin length including the foot (knee to foot).
+    pub shin: f64,
+    /// Capsule radius of the torso.
+    pub torso_thickness: f64,
+    /// Capsule radius of the limbs.
+    pub limb_thickness: f64,
+}
+
+impl Default for BodyModel {
+    fn default() -> Self {
+        BodyModel {
+            head_radius: 7.0,
+            neck: 3.0,
+            torso: 26.0,
+            upper_arm: 12.0,
+            forearm: 11.0,
+            thigh: 16.0,
+            shin: 16.0,
+            torso_thickness: 6.0,
+            limb_thickness: 3.0,
+        }
+    }
+}
+
+impl BodyModel {
+    /// Uniformly scales all proportions by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn scaled(&self, factor: f64) -> BodyModel {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive, got {factor}"
+        );
+        BodyModel {
+            head_radius: self.head_radius * factor,
+            neck: self.neck * factor,
+            torso: self.torso * factor,
+            upper_arm: self.upper_arm * factor,
+            forearm: self.forearm * factor,
+            thigh: self.thigh * factor,
+            shin: self.shin * factor,
+            torso_thickness: self.torso_thickness * factor,
+            limb_thickness: self.limb_thickness * factor,
+        }
+    }
+
+    /// Full standing height (feet to top of head) with straight joints.
+    pub fn standing_height(&self) -> f64 {
+        self.thigh + self.shin + self.torso + self.neck + 2.0 * self.head_radius
+    }
+
+    /// Full leg length with straight joints.
+    pub fn leg_length(&self) -> f64 {
+        self.thigh + self.shin
+    }
+
+    /// Full arm length with straight joints.
+    pub fn arm_length(&self) -> f64 {
+        self.upper_arm + self.forearm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_proportions_are_childlike() {
+        let b = BodyModel::default();
+        // A child's head is roughly 1/6 of standing height.
+        let ratio = 2.0 * b.head_radius / b.standing_height();
+        assert!(ratio > 0.15 && ratio < 0.25, "head ratio {ratio}");
+        // Legs shorter than torso+head (childlike, not adult).
+        assert!(b.leg_length() < b.torso + b.neck + 2.0 * b.head_radius);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let b = BodyModel::default();
+        let s = b.scaled(2.0);
+        assert_eq!(s.torso, b.torso * 2.0);
+        assert_eq!(s.limb_thickness, b.limb_thickness * 2.0);
+        assert!((s.standing_height() - 2.0 * b.standing_height()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        BodyModel::default().scaled(0.0);
+    }
+
+    #[test]
+    fn composite_lengths() {
+        let b = BodyModel::default();
+        assert_eq!(b.leg_length(), b.thigh + b.shin);
+        assert_eq!(b.arm_length(), b.upper_arm + b.forearm);
+    }
+}

@@ -1,0 +1,386 @@
+//! Clip and dataset generation.
+//!
+//! [`JumpSimulator::paper_dataset`] reproduces the paper's data regime
+//! exactly: 12 training clips totalling 522 frames and 3 test clips
+//! totalling 135 frames (Section 5).
+
+use crate::body::BodyModel;
+use crate::faults::JumpFault;
+use crate::kinematics::Skeleton2D;
+use crate::noise::NoiseConfig;
+use crate::pose::PoseClass;
+use crate::render::Renderer;
+use crate::script::{choreograph, JumpScript, SceneParams};
+use crate::stage::JumpStage;
+use rand::SeedableRng;
+use slj_imaging::binary::BinaryImage;
+use slj_imaging::image::RgbImage;
+
+/// Ground truth for one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTruth {
+    /// Jump stage.
+    pub stage: JumpStage,
+    /// Pose label.
+    pub pose: PoseClass,
+    /// Exact joint positions.
+    pub skeleton: Skeleton2D,
+    /// Clean (uncorrupted) silhouette.
+    pub silhouette: BinaryImage,
+}
+
+/// A rendered, labelled video clip.
+#[derive(Debug, Clone)]
+pub struct LabeledClip {
+    /// Clip identifier within its dataset.
+    pub id: usize,
+    /// RGB video frames.
+    pub frames: Vec<RgbImage>,
+    /// The clean background frame (known to the extractor, as in the
+    /// paper's studio setup).
+    pub background: RgbImage,
+    /// Per-frame ground truth, aligned with `frames`.
+    pub truth: Vec<FrameTruth>,
+    /// The fault injected into this clip, if any.
+    pub fault: Option<JumpFault>,
+}
+
+impl LabeledClip {
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the clip has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The ground-truth pose sequence.
+    pub fn pose_sequence(&self) -> Vec<PoseClass> {
+        self.truth.iter().map(|t| t.pose).collect()
+    }
+}
+
+/// Specification of one clip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClipSpec {
+    /// Exact frame count (the script is reshaped to fit).
+    pub total_frames: usize,
+    /// Per-clip seed (combined with the simulator's master seed).
+    pub seed: u64,
+    /// Jumper size multiplier.
+    pub body_scale: f64,
+    /// Noise configuration.
+    pub noise: NoiseConfig,
+    /// Use the rare-pose script variant instead of the standard one.
+    pub rare_poses: bool,
+    /// Inject a standards violation.
+    pub fault: Option<JumpFault>,
+}
+
+impl Default for ClipSpec {
+    fn default() -> Self {
+        ClipSpec {
+            total_frames: 44,
+            seed: 0,
+            body_scale: 1.0,
+            noise: NoiseConfig::default(),
+            rare_poses: false,
+            fault: None,
+        }
+    }
+}
+
+/// A train/test dataset of labelled clips.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Training clips.
+    pub train: Vec<LabeledClip>,
+    /// Test clips.
+    pub test: Vec<LabeledClip>,
+}
+
+impl Dataset {
+    /// Total training frames.
+    pub fn train_frames(&self) -> usize {
+        self.train.iter().map(LabeledClip::len).sum()
+    }
+
+    /// Total test frames.
+    pub fn test_frames(&self) -> usize {
+        self.test.iter().map(LabeledClip::len).sum()
+    }
+
+    /// Frame counts per pose over the training set — the class imbalance
+    /// §4.2 of the paper discusses ("different poses in the training
+    /// samples do not appear equally").
+    pub fn train_pose_histogram(&self) -> [usize; PoseClass::COUNT] {
+        let mut counts = [0usize; PoseClass::COUNT];
+        for clip in &self.train {
+            for t in &clip.truth {
+                counts[t.pose.index()] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Deterministic clip generator.
+///
+/// # Examples
+///
+/// ```
+/// use slj_sim::{ClipSpec, JumpSimulator};
+///
+/// let sim = JumpSimulator::new(42);
+/// let clip = sim.generate_clip(&ClipSpec { total_frames: 40, ..ClipSpec::default() });
+/// assert_eq!(clip.len(), 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JumpSimulator {
+    master_seed: u64,
+    scene: SceneParamsWrapper,
+}
+
+// SceneParams is not Eq (f64); wrap for the simulator's derives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SceneParamsWrapper(SceneParams);
+impl Eq for SceneParamsWrapper {}
+
+impl JumpSimulator {
+    /// Creates a simulator with the default scene.
+    pub fn new(master_seed: u64) -> Self {
+        JumpSimulator {
+            master_seed,
+            scene: SceneParamsWrapper(SceneParams::default()),
+        }
+    }
+
+    /// Scene parameters used for all clips.
+    pub fn scene(&self) -> SceneParams {
+        self.scene.0
+    }
+
+    /// Generates one clip.
+    pub fn generate_clip(&self, spec: &ClipSpec) -> LabeledClip {
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(self.master_seed.wrapping_mul(0x9E37_79B9).wrapping_add(spec.seed));
+        let scene = self.scene.0;
+        let body = BodyModel::default().scaled(spec.body_scale);
+        let mut script = if spec.rare_poses {
+            JumpScript::with_rare_poses()
+        } else {
+            JumpScript::standard()
+        };
+        if let Some(fault) = spec.fault {
+            script = fault.apply(&script);
+        }
+        let script = script
+            .jitter_durations(&mut rng)
+            .with_total_frames(spec.total_frames);
+        let frame_specs = choreograph(&script, &body, &scene, spec.noise.angle_jitter, &mut rng);
+
+        let renderer = Renderer::new(scene.width, scene.height);
+        let background = renderer.background(&mut rng);
+        let mut frames = Vec::with_capacity(frame_specs.len());
+        let mut truth = Vec::with_capacity(frame_specs.len());
+        for fs in frame_specs {
+            let clean = renderer.silhouette(&body, &fs.skeleton);
+            let corrupted = renderer.corrupt_silhouette(&clean, &spec.noise, &mut rng);
+            let frame = renderer.frame(&background, &corrupted, &spec.noise, &mut rng);
+            frames.push(frame);
+            truth.push(FrameTruth {
+                stage: fs.stage,
+                pose: fs.pose,
+                skeleton: fs.skeleton,
+                silhouette: clean,
+            });
+        }
+        LabeledClip {
+            id: spec.seed as usize,
+            frames,
+            background,
+            truth,
+            fault: spec.fault,
+        }
+    }
+
+    /// Generates the paper's dataset: 12 training clips (522 frames) and
+    /// 3 test clips (135 frames), with varied jumper sizes and scripts.
+    pub fn paper_dataset(&self, noise: &NoiseConfig) -> Dataset {
+        // 12 clips of 43/44 frames: 6×43 + 6×44 = 522.
+        let train = (0..12)
+            .map(|i| {
+                self.generate_clip(&ClipSpec {
+                    total_frames: if i % 2 == 0 { 43 } else { 44 },
+                    seed: i as u64,
+                    body_scale: 0.92 + 0.03 * (i % 5) as f64,
+                    noise: *noise,
+                    rare_poses: i % 3 == 2,
+                    fault: None,
+                })
+            })
+            .collect();
+        // 3 clips of 45 frames: 135.
+        let test = (0..3)
+            .map(|i| {
+                self.generate_clip(&ClipSpec {
+                    total_frames: 45,
+                    seed: 1000 + i as u64,
+                    body_scale: 0.94 + 0.04 * i as f64,
+                    noise: *noise,
+                    rare_poses: i == 1,
+                    fault: None,
+                })
+            })
+            .collect();
+        Dataset { train, test }
+    }
+
+    /// Generates `n` extra training clips beyond the paper's 12 (for the
+    /// training-set-size experiment E9). Seeds continue after the paper
+    /// set so the first 12 match [`JumpSimulator::paper_dataset`].
+    pub fn extra_training_clips(&self, n: usize, noise: &NoiseConfig) -> Vec<LabeledClip> {
+        (0..n)
+            .map(|i| {
+                self.generate_clip(&ClipSpec {
+                    total_frames: 43 + (i % 3),
+                    seed: 100 + i as u64,
+                    body_scale: 0.9 + 0.025 * (i % 7) as f64,
+                    noise: *noise,
+                    rare_poses: i % 3 == 1,
+                    fault: None,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_has_consistent_lengths() {
+        let sim = JumpSimulator::new(1);
+        let clip = sim.generate_clip(&ClipSpec::default());
+        assert_eq!(clip.frames.len(), 44);
+        assert_eq!(clip.truth.len(), 44);
+        assert_eq!(clip.pose_sequence().len(), 44);
+        assert!(!clip.is_empty());
+    }
+
+    #[test]
+    fn clip_is_deterministic() {
+        let sim = JumpSimulator::new(5);
+        let spec = ClipSpec::default();
+        let a = sim.generate_clip(&spec);
+        let b = sim.generate_clip(&spec);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.truth.len(), b.truth.len());
+        for (ta, tb) in a.truth.iter().zip(&b.truth) {
+            assert_eq!(ta.pose, tb.pose);
+            assert_eq!(ta.silhouette, tb.silhouette);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let sim = JumpSimulator::new(5);
+        let a = sim.generate_clip(&ClipSpec { seed: 1, ..ClipSpec::default() });
+        let b = sim.generate_clip(&ClipSpec { seed: 2, ..ClipSpec::default() });
+        assert_ne!(a.frames, b.frames);
+    }
+
+    #[test]
+    fn paper_dataset_matches_the_papers_counts() {
+        let sim = JumpSimulator::new(7);
+        let ds = sim.paper_dataset(&NoiseConfig::default());
+        assert_eq!(ds.train.len(), 12);
+        assert_eq!(ds.test.len(), 3);
+        assert_eq!(ds.train_frames(), 522, "12 training clips, 522 frames");
+        assert_eq!(ds.test_frames(), 135, "3 test clips, 135 frames");
+    }
+
+    #[test]
+    fn paper_dataset_training_covers_all_poses() {
+        let sim = JumpSimulator::new(7);
+        let ds = sim.paper_dataset(&NoiseConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for clip in &ds.train {
+            for t in &clip.truth {
+                seen.insert(t.pose);
+            }
+        }
+        assert_eq!(seen.len(), PoseClass::COUNT, "all 22 poses in training");
+    }
+
+    #[test]
+    fn majority_pose_matches_the_papers_claim() {
+        // "'Standing & hand swung forward' appears most of the time":
+        // the generator's class balance must agree with the pose the
+        // classifier exempts from Th_Pose.
+        let sim = JumpSimulator::new(7);
+        let ds = sim.paper_dataset(&NoiseConfig::default());
+        let hist = ds.train_pose_histogram();
+        let most_frequent = hist
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| PoseClass::from_index(i))
+            .unwrap();
+        assert_eq!(most_frequent, PoseClass::majority());
+        // And the rare poses really are rare (paper: "may appear much
+        // less frequently").
+        let rare = hist[PoseClass::WaistBentHandsForward.index()];
+        assert!(
+            rare * 3 < hist[PoseClass::majority().index()],
+            "rare {rare} vs majority {}",
+            hist[PoseClass::majority().index()]
+        );
+        assert_eq!(hist.iter().sum::<usize>(), ds.train_frames());
+    }
+
+    #[test]
+    fn stages_are_monotone_within_clips() {
+        let sim = JumpSimulator::new(3);
+        let ds = sim.paper_dataset(&NoiseConfig::default());
+        for clip in ds.train.iter().chain(&ds.test) {
+            let mut prev = 0;
+            for t in &clip.truth {
+                assert!(t.stage.index() >= prev);
+                prev = t.stage.index();
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_clip_carries_its_fault() {
+        let sim = JumpSimulator::new(9);
+        let clip = sim.generate_clip(&ClipSpec {
+            fault: Some(JumpFault::NoTuck),
+            ..ClipSpec::default()
+        });
+        assert_eq!(clip.fault, Some(JumpFault::NoTuck));
+        assert!(!clip.pose_sequence().contains(&PoseClass::AirborneTuck));
+    }
+
+    #[test]
+    fn silhouettes_are_nonempty_and_in_frame() {
+        let sim = JumpSimulator::new(4);
+        let clip = sim.generate_clip(&ClipSpec::default());
+        for (i, t) in clip.truth.iter().enumerate() {
+            assert!(t.silhouette.count_ones() > 200, "frame {i} silhouette too small");
+        }
+    }
+
+    #[test]
+    fn extra_clips_are_distinct_from_paper_set() {
+        let sim = JumpSimulator::new(11);
+        let extra = sim.extra_training_clips(4, &NoiseConfig::default());
+        assert_eq!(extra.len(), 4);
+        let ds = sim.paper_dataset(&NoiseConfig::default());
+        assert_ne!(extra[0].frames, ds.train[0].frames);
+    }
+}

@@ -1,0 +1,187 @@
+//! Injection of standards-violating movements.
+//!
+//! The whole point of the paper's system is to spot jumps that deviate
+//! from the standing-long-jump standard ("incorrect movements at
+//! different stages of the jump can thus be identified"). These fault
+//! transformations rewrite a correct [`JumpScript`] into one exhibiting a
+//! specific violation; the scoring experiments (E10) check the detector
+//! finds exactly the injected faults.
+
+use crate::pose::PoseClass;
+use crate::script::{JumpScript, ScriptSegment};
+use std::fmt;
+
+/// A standards violation that can be injected into a jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JumpFault {
+    /// The jumper never swings the arms back before take-off.
+    NoArmSwing,
+    /// The jumper never bends the knees before take-off (no crouch).
+    NoCrouch,
+    /// The jumper never tucks the knees mid-flight.
+    NoTuck,
+    /// The jumper lands with stiff knees (no absorption).
+    StiffLanding,
+    /// The jumper overbalances forward after landing.
+    Overbalance,
+}
+
+impl JumpFault {
+    /// All injectable faults.
+    pub const ALL: [JumpFault; 5] = [
+        JumpFault::NoArmSwing,
+        JumpFault::NoCrouch,
+        JumpFault::NoTuck,
+        JumpFault::StiffLanding,
+        JumpFault::Overbalance,
+    ];
+
+    /// Rewrites `script` to exhibit this fault, preserving total frame
+    /// count and stage order.
+    pub fn apply(self, script: &JumpScript) -> JumpScript {
+        use PoseClass::*;
+        let total = script.total_frames();
+        let segments: Vec<ScriptSegment> = script
+            .segments()
+            .iter()
+            .map(|seg| {
+                let pose = match self {
+                    JumpFault::NoArmSwing => match seg.pose {
+                        StandingHandsSwungBack | StandingHandsSwungForward => {
+                            StandingHandsOverlap
+                        }
+                        WaistBentHandsBack => WaistBentHandsForward,
+                        KneesBentHandsBack => KneesBentHandsForward,
+                        p => p,
+                    },
+                    JumpFault::NoCrouch => match seg.pose {
+                        KneesBentHandsBack => WaistBentHandsBack,
+                        KneesBentHandsForward => WaistBentHandsForward,
+                        p => p,
+                    },
+                    JumpFault::NoTuck => match seg.pose {
+                        AirborneTuck => AirborneExtendedForward,
+                        p => p,
+                    },
+                    JumpFault::StiffLanding => match seg.pose {
+                        LandingAbsorb => LandingRecovery,
+                        p => p,
+                    },
+                    JumpFault::Overbalance => match seg.pose {
+                        LandingRecovery => LandingOverbalanced,
+                        p => p,
+                    },
+                };
+                ScriptSegment {
+                    pose,
+                    frames: seg.frames,
+                }
+            })
+            .collect();
+        // Merging identical neighbours keeps the script canonical.
+        let mut merged: Vec<ScriptSegment> = Vec::new();
+        for seg in segments {
+            match merged.last_mut() {
+                Some(last) if last.pose == seg.pose => last.frames += seg.frames,
+                _ => merged.push(seg),
+            }
+        }
+        let out = JumpScript::new(merged);
+        debug_assert_eq!(out.total_frames(), total);
+        out
+    }
+}
+
+impl fmt::Display for JumpFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            JumpFault::NoArmSwing => "no backward arm swing before take-off",
+            JumpFault::NoCrouch => "no knee bend before take-off",
+            JumpFault::NoTuck => "no knee tuck in flight",
+            JumpFault::StiffLanding => "stiff-kneed landing",
+            JumpFault::Overbalance => "overbalanced landing",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_preserve_length_and_order() {
+        let base = JumpScript::standard();
+        for fault in JumpFault::ALL {
+            let bad = fault.apply(&base);
+            assert_eq!(bad.total_frames(), base.total_frames(), "{fault}");
+            let mut prev = 0;
+            for seg in bad.segments() {
+                assert!(seg.pose.stage().index() >= prev, "{fault}");
+                prev = seg.pose.stage().index();
+            }
+        }
+    }
+
+    #[test]
+    fn no_arm_swing_removes_backward_poses() {
+        let bad = JumpFault::NoArmSwing.apply(&JumpScript::standard());
+        for p in bad.frame_poses() {
+            assert!(
+                !matches!(
+                    p,
+                    PoseClass::StandingHandsSwungBack
+                        | PoseClass::KneesBentHandsBack
+                        | PoseClass::WaistBentHandsBack
+                ),
+                "arm-swing pose {p} survived"
+            );
+        }
+    }
+
+    #[test]
+    fn no_crouch_removes_knee_bends() {
+        let bad = JumpFault::NoCrouch.apply(&JumpScript::standard());
+        for p in bad.frame_poses() {
+            assert!(
+                !matches!(
+                    p,
+                    PoseClass::KneesBentHandsBack | PoseClass::KneesBentHandsForward
+                ),
+                "crouch pose {p} survived"
+            );
+        }
+    }
+
+    #[test]
+    fn no_tuck_removes_tuck() {
+        let bad = JumpFault::NoTuck.apply(&JumpScript::standard());
+        assert!(!bad.frame_poses().contains(&PoseClass::AirborneTuck));
+    }
+
+    #[test]
+    fn stiff_landing_removes_absorb() {
+        let bad = JumpFault::StiffLanding.apply(&JumpScript::standard());
+        assert!(!bad.frame_poses().contains(&PoseClass::LandingAbsorb));
+    }
+
+    #[test]
+    fn overbalance_adds_overbalanced() {
+        let bad = JumpFault::Overbalance.apply(&JumpScript::standard());
+        assert!(bad.frame_poses().contains(&PoseClass::LandingOverbalanced));
+    }
+
+    #[test]
+    fn correct_script_is_untouched_by_merging() {
+        // Applying NoTuck to a script without a tuck is the identity.
+        let no_tuck = JumpFault::NoTuck.apply(&JumpScript::standard());
+        let twice = JumpFault::NoTuck.apply(&no_tuck);
+        assert_eq!(no_tuck, twice);
+    }
+
+    #[test]
+    fn display_names() {
+        assert!(JumpFault::NoTuck.to_string().contains("tuck"));
+        assert!(JumpFault::Overbalance.to_string().contains("overbalanced"));
+    }
+}

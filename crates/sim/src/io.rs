@@ -1,0 +1,170 @@
+//! Saving and loading labelled clips.
+//!
+//! A clip is stored as a directory: `background.ppm`, one
+//! `frame_NNN.ppm` per frame, and a `labels.tsv` manifest with one line
+//! per frame (`index, stage, pose`). This is the bridge between the
+//! synthetic generator and any external tool — and, in the other
+//! direction, how real extracted video frames would enter the pipeline.
+//!
+//! Ground-truth silhouettes and joint positions are *not* persisted
+//! (real video would not have them either); a reloaded clip carries the
+//! label part of the truth only.
+
+use crate::dataset::LabeledClip;
+use crate::pose::PoseClass;
+use crate::stage::JumpStage;
+use slj_imaging::error::ImagingError;
+use slj_imaging::io::{read_ppm, save_ppm};
+use std::path::Path;
+
+/// A clip reloaded from disk: frames, background and per-frame labels.
+#[derive(Debug, Clone)]
+pub struct StoredClip {
+    /// RGB frames in order.
+    pub frames: Vec<slj_imaging::image::RgbImage>,
+    /// The clip's background frame.
+    pub background: slj_imaging::image::RgbImage,
+    /// Per-frame `(stage, pose)` labels, aligned with `frames`.
+    pub labels: Vec<(JumpStage, PoseClass)>,
+}
+
+/// Saves a clip into `dir` (created if absent).
+///
+/// # Errors
+///
+/// Propagates filesystem and encoding failures as [`ImagingError`].
+pub fn save_clip(dir: impl AsRef<Path>, clip: &LabeledClip) -> Result<(), ImagingError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    save_ppm(dir.join("background.ppm"), &clip.background)?;
+    let mut manifest = String::from("# frame\tstage\tpose\n");
+    for (i, (frame, truth)) in clip.frames.iter().zip(&clip.truth).enumerate() {
+        save_ppm(dir.join(format!("frame_{i:03}.ppm")), frame)?;
+        manifest.push_str(&format!(
+            "{i}\t{}\t{}\n",
+            truth.stage.index(),
+            truth.pose.index()
+        ));
+    }
+    std::fs::write(dir.join("labels.tsv"), manifest)?;
+    Ok(())
+}
+
+/// Loads a clip saved by [`save_clip`].
+///
+/// # Errors
+///
+/// Returns [`ImagingError::MalformedPnm`] for unreadable images and
+/// [`ImagingError::Io`] for missing files or a malformed manifest.
+pub fn load_clip(dir: impl AsRef<Path>) -> Result<StoredClip, ImagingError> {
+    let dir = dir.as_ref();
+    let background = read_ppm(std::fs::File::open(dir.join("background.ppm"))?)?;
+    let manifest = std::fs::read_to_string(dir.join("labels.tsv"))?;
+    let mut frames = Vec::new();
+    let mut labels = Vec::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let parse = |field: Option<&str>, what: &str| -> Result<usize, ImagingError> {
+            field
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| ImagingError::Io(format!("malformed manifest line ({what}): {line}")))
+        };
+        let idx = parse(cols.next(), "frame index")?;
+        let stage = parse(cols.next(), "stage")?;
+        let pose = parse(cols.next(), "pose")?;
+        if stage >= JumpStage::COUNT || pose >= PoseClass::COUNT {
+            return Err(ImagingError::Io(format!(
+                "label out of range in manifest line: {line}"
+            )));
+        }
+        if idx != frames.len() {
+            return Err(ImagingError::Io(format!(
+                "manifest indices must be dense and ordered, got {idx} at position {}",
+                frames.len()
+            )));
+        }
+        let frame = read_ppm(std::fs::File::open(dir.join(format!("frame_{idx:03}.ppm")))?)?;
+        if frame.dimensions() != background.dimensions() {
+            return Err(ImagingError::DimensionMismatch {
+                left: background.dimensions(),
+                right: frame.dimensions(),
+            });
+        }
+        frames.push(frame);
+        labels.push((
+            JumpStage::from_index(stage),
+            PoseClass::from_index(pose),
+        ));
+    }
+    if frames.is_empty() {
+        return Err(ImagingError::Io("manifest lists no frames".into()));
+    }
+    Ok(StoredClip {
+        frames,
+        background,
+        labels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{ClipSpec, JumpSimulator};
+    use crate::noise::NoiseConfig;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("slj_sim_io_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_clip() -> LabeledClip {
+        JumpSimulator::new(61).generate_clip(&ClipSpec {
+            total_frames: 22,
+            seed: 1,
+            noise: NoiseConfig::default(),
+            ..ClipSpec::default()
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_frames_and_labels() {
+        let dir = temp_dir("round_trip");
+        let clip = small_clip();
+        save_clip(&dir, &clip).unwrap();
+        let loaded = load_clip(&dir).unwrap();
+        assert_eq!(loaded.frames.len(), clip.len());
+        assert_eq!(loaded.frames, clip.frames);
+        assert_eq!(loaded.background, clip.background);
+        for (loaded_label, truth) in loaded.labels.iter().zip(&clip.truth) {
+            assert_eq!(loaded_label.0, truth.stage);
+            assert_eq!(loaded_label.1, truth.pose);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_fails_cleanly() {
+        assert!(load_clip(temp_dir("missing")).is_err());
+    }
+
+    #[test]
+    fn corrupt_manifest_rejected() {
+        let dir = temp_dir("corrupt");
+        let clip = small_clip();
+        save_clip(&dir, &clip).unwrap();
+        std::fs::write(dir.join("labels.tsv"), "0\tnot_a_number\t3\n").unwrap();
+        assert!(load_clip(&dir).is_err());
+        std::fs::write(dir.join("labels.tsv"), "5\t0\t0\n").unwrap();
+        assert!(load_clip(&dir).is_err(), "non-dense indices rejected");
+        std::fs::write(dir.join("labels.tsv"), "0\t9\t0\n").unwrap();
+        assert!(load_clip(&dir).is_err(), "out-of-range stage rejected");
+        std::fs::write(dir.join("labels.tsv"), "# only comments\n").unwrap();
+        assert!(load_clip(&dir).is_err(), "empty manifest rejected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

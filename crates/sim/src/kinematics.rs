@@ -1,0 +1,275 @@
+//! Forward kinematics: joint angles → 2-D joint positions.
+//!
+//! Coordinates are image coordinates (x right = the jump direction when
+//! filmed from the jumper's left side, y down). Limb angles are measured
+//! from "straight down" (+y), positive swinging forward (+x); the torso
+//! lean is measured from "straight up" (−y), positive leaning forward.
+
+use crate::body::BodyModel;
+
+/// Joint-angle configuration of the jumper (radians).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JointAngles {
+    /// Torso lean from vertical; positive = leaning forward.
+    pub torso_lean: f64,
+    /// Arm angle relative to straight-down; positive = forward,
+    /// π = overhead.
+    pub shoulder: f64,
+    /// Forearm bend relative to the upper arm; positive = forward.
+    pub elbow: f64,
+    /// Front-leg thigh angle relative to straight-down; positive = knee
+    /// forward.
+    pub hip_front: f64,
+    /// Front-leg knee flexion; positive bends the shin backward.
+    pub knee_front: f64,
+    /// Back-leg thigh angle.
+    pub hip_back: f64,
+    /// Back-leg knee flexion.
+    pub knee_back: f64,
+}
+
+impl JointAngles {
+    /// Linear interpolation toward `other` by `t ∈ [0, 1]`.
+    pub fn lerp(&self, other: &JointAngles, t: f64) -> JointAngles {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: f64, b: f64| a + (b - a) * t;
+        JointAngles {
+            torso_lean: mix(self.torso_lean, other.torso_lean),
+            shoulder: mix(self.shoulder, other.shoulder),
+            elbow: mix(self.elbow, other.elbow),
+            hip_front: mix(self.hip_front, other.hip_front),
+            knee_front: mix(self.knee_front, other.knee_front),
+            hip_back: mix(self.hip_back, other.hip_back),
+            knee_back: mix(self.knee_back, other.knee_back),
+        }
+    }
+
+    /// Adds `jitter` to every angle (used for per-frame pose noise).
+    pub fn jittered(&self, jitter: &JointAngles) -> JointAngles {
+        JointAngles {
+            torso_lean: self.torso_lean + jitter.torso_lean,
+            shoulder: self.shoulder + jitter.shoulder,
+            elbow: self.elbow + jitter.elbow,
+            hip_front: self.hip_front + jitter.hip_front,
+            knee_front: self.knee_front + jitter.knee_front,
+            hip_back: self.hip_back + jitter.hip_back,
+            knee_back: self.knee_back + jitter.knee_back,
+        }
+    }
+}
+
+/// A 2-D point `(x, y)` in image coordinates.
+pub type Point = (f64, f64);
+
+/// The resolved joint positions of one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Skeleton2D {
+    /// Hip (root of the kinematic chain; also the anatomical waist).
+    pub hip: Point,
+    /// Neck (top of the torso; also the shoulder joint).
+    pub neck: Point,
+    /// Head centre.
+    pub head: Point,
+    /// Chest (between neck and hip, on the torso axis).
+    pub chest: Point,
+    /// Elbow.
+    pub elbow: Point,
+    /// Hand tip.
+    pub hand: Point,
+    /// Front-leg knee.
+    pub knee_front: Point,
+    /// Front-leg foot tip.
+    pub foot_front: Point,
+    /// Back-leg knee.
+    pub knee_back: Point,
+    /// Back-leg foot tip.
+    pub foot_back: Point,
+}
+
+impl Skeleton2D {
+    /// The lowest point of the body (max y over foot tips and hip — the
+    /// foot in any normal pose).
+    pub fn lowest_point(&self) -> Point {
+        [self.foot_front, self.foot_back, self.hip, self.hand]
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+    }
+
+    /// Vertical drop from the hip to the lowest foot (how far below the
+    /// root the body extends); used to pin the feet to the ground.
+    pub fn foot_drop(&self) -> f64 {
+        self.foot_front.1.max(self.foot_back.1) - self.hip.1
+    }
+}
+
+/// Direction unit vector for a limb angle measured from straight-down,
+/// positive toward +x.
+fn down_dir(angle: f64) -> Point {
+    (angle.sin(), angle.cos())
+}
+
+/// Direction unit vector for the torso angle measured from straight-up,
+/// positive toward +x.
+fn up_dir(angle: f64) -> Point {
+    (angle.sin(), -angle.cos())
+}
+
+/// Computes all joint positions for a body at `hip` with the given
+/// angles.
+pub fn solve(body: &BodyModel, hip: Point, angles: &JointAngles) -> Skeleton2D {
+    let up = up_dir(angles.torso_lean);
+    let neck = (hip.0 + body.torso * up.0, hip.1 + body.torso * up.1);
+    let head = (
+        neck.0 + (body.neck + body.head_radius) * up.0,
+        neck.1 + (body.neck + body.head_radius) * up.1,
+    );
+    let chest = (
+        hip.0 + 0.75 * body.torso * up.0,
+        hip.1 + 0.75 * body.torso * up.1,
+    );
+    // Arm hangs from the neck; its angle composes the torso lean so the
+    // arm moves with the trunk.
+    let arm_dir = down_dir(angles.torso_lean + angles.shoulder);
+    let elbow = (
+        neck.0 + body.upper_arm * arm_dir.0,
+        neck.1 + body.upper_arm * arm_dir.1,
+    );
+    let fore_dir = down_dir(angles.torso_lean + angles.shoulder + angles.elbow);
+    let hand = (
+        elbow.0 + body.forearm * fore_dir.0,
+        elbow.1 + body.forearm * fore_dir.1,
+    );
+    // Legs hang from the hip. Knee flexion bends the shin backward.
+    let leg = |hip_angle: f64, knee_flex: f64| -> (Point, Point) {
+        let thigh_dir = down_dir(angles.torso_lean + hip_angle);
+        let knee = (
+            hip.0 + body.thigh * thigh_dir.0,
+            hip.1 + body.thigh * thigh_dir.1,
+        );
+        let shin_dir = down_dir(angles.torso_lean + hip_angle - knee_flex);
+        let foot = (
+            knee.0 + body.shin * shin_dir.0,
+            knee.1 + body.shin * shin_dir.1,
+        );
+        (knee, foot)
+    };
+    let (knee_front, foot_front) = leg(angles.hip_front, angles.knee_front);
+    let (knee_back, foot_back) = leg(angles.hip_back, angles.knee_back);
+    Skeleton2D {
+        hip,
+        neck,
+        head,
+        chest,
+        elbow,
+        hand,
+        knee_front,
+        foot_front,
+        knee_back,
+        foot_back,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pose::PoseClass;
+
+    fn body() -> BodyModel {
+        BodyModel::default()
+    }
+
+    #[test]
+    fn upright_pose_is_vertical() {
+        let angles = JointAngles::default();
+        let s = solve(&body(), (50.0, 60.0), &angles);
+        // Straight body: head directly above hip, feet directly below.
+        assert!((s.head.0 - 50.0).abs() < 1e-9);
+        assert!(s.head.1 < s.neck.1);
+        assert!(s.neck.1 < s.chest.1);
+        assert!(s.chest.1 < s.hip.1);
+        assert!((s.foot_front.0 - 50.0).abs() < 1e-9);
+        assert!(s.foot_front.1 > s.knee_front.1);
+        assert!(s.knee_front.1 > s.hip.1);
+    }
+
+    #[test]
+    fn forward_lean_moves_head_forward() {
+        let mut angles = JointAngles::default();
+        angles.torso_lean = 0.5;
+        let s = solve(&body(), (50.0, 60.0), &angles);
+        assert!(s.head.0 > 50.0, "leaning forward moves the head to +x");
+        assert!(s.head.1 > solve(&body(), (50.0, 60.0), &JointAngles::default()).head.1);
+    }
+
+    #[test]
+    fn shoulder_swing_moves_hand() {
+        let mut angles = JointAngles::default();
+        angles.shoulder = std::f64::consts::FRAC_PI_2; // horizontal forward
+        let s = solve(&body(), (50.0, 60.0), &angles);
+        assert!(s.hand.0 > s.neck.0 + 10.0, "hand reaches forward");
+        assert!((s.hand.1 - s.neck.1).abs() < 1.0, "hand near shoulder height");
+        // Overhead.
+        angles.shoulder = std::f64::consts::PI;
+        let s2 = solve(&body(), (50.0, 60.0), &angles);
+        assert!(s2.hand.1 < s2.head.1, "hand above the head");
+    }
+
+    #[test]
+    fn knee_flexion_bends_shin_backward() {
+        let mut angles = JointAngles::default();
+        angles.hip_front = 0.3;
+        angles.knee_front = 1.2;
+        let s = solve(&body(), (50.0, 60.0), &angles);
+        // The foot ends up behind the knee.
+        assert!(s.foot_front.0 < s.knee_front.0);
+    }
+
+    #[test]
+    fn limb_lengths_are_preserved() {
+        let b = body();
+        for &pose in &PoseClass::ALL {
+            let s = solve(&b, (80.0, 60.0), &pose.canonical_angles());
+            let d = |a: Point, c: Point| ((a.0 - c.0).powi(2) + (a.1 - c.1).powi(2)).sqrt();
+            assert!((d(s.hip, s.neck) - b.torso).abs() < 1e-9, "{pose}");
+            assert!((d(s.neck, s.elbow) - b.upper_arm).abs() < 1e-9, "{pose}");
+            assert!((d(s.elbow, s.hand) - b.forearm).abs() < 1e-9, "{pose}");
+            assert!((d(s.hip, s.knee_front) - b.thigh).abs() < 1e-9, "{pose}");
+            assert!((d(s.knee_front, s.foot_front) - b.shin).abs() < 1e-9, "{pose}");
+        }
+    }
+
+    #[test]
+    fn lowest_point_is_a_foot_in_standing_poses() {
+        let s = solve(
+            &body(),
+            (50.0, 60.0),
+            &PoseClass::StandingHandsOverlap.canonical_angles(),
+        );
+        let low = s.lowest_point();
+        assert!((low.1 - s.foot_front.1.max(s.foot_back.1)).abs() < 1e-9);
+        assert!(s.foot_drop() > 25.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = PoseClass::StandingHandsOverlap.canonical_angles();
+        let b = PoseClass::AirborneTuck.canonical_angles();
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.shoulder - (a.shoulder + b.shoulder) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_adds_componentwise() {
+        let a = PoseClass::StandingHandsOverlap.canonical_angles();
+        let j = JointAngles {
+            shoulder: 0.1,
+            ..JointAngles::default()
+        };
+        let out = a.jittered(&j);
+        assert!((out.shoulder - a.shoulder - 0.1).abs() < 1e-12);
+        assert_eq!(out.torso_lean, a.torso_lean);
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic standing-long-jump video generator.
+//!
+//! The paper's data — studio video of primary-school students jumping in
+//! front of a black background — is not available, so this crate
+//! substitutes an articulated 2-D jumper whose silhouette videos exercise
+//! the identical pipeline code paths: background subtraction sees an RGB
+//! frame with lighting jitter and sensor noise; thinning sees silhouettes
+//! with limb junctions, loops where limbs touch the body, and boundary
+//! noise; the classifier sees 22 labelled poses across the four jump
+//! stages. Every frame carries ground truth (stage, pose, joint
+//! positions, clean silhouette), which the paper's authors obtained by
+//! hand labelling.
+//!
+//! - [`stage`] / [`pose`] — the four jump stages and the 22-pose taxonomy
+//!   (including the four poses the paper names).
+//! - [`body`] — jumper proportions (segment lengths, limb thickness).
+//! - [`kinematics`] — forward kinematics from joint angles to 2-D joints.
+//! - [`script`] — the frame-by-frame jump choreography and root
+//!   trajectory (ballistic flight, ground-locked stance).
+//! - [`render`] — silhouette and RGB-frame rasterisation with noise.
+//! - [`faults`] — injects standards violations (no arm swing, no crouch,
+//!   no tuck, stiff landing, overbalance) for the scoring experiments.
+//! - [`dataset`] — clip and dataset generation matching the paper's
+//!   12-clip/522-frame training and 3-clip/135-frame test sets.
+//!
+//! # Examples
+//!
+//! ```
+//! use slj_sim::{ClipSpec, JumpSimulator};
+//!
+//! let clip = JumpSimulator::new(7).generate_clip(&ClipSpec::default());
+//! assert_eq!(clip.frames.len(), clip.truth.len());
+//! assert!(clip.frames.len() >= 40, "a jump is roughly 40+ frames");
+//! ```
+
+pub mod body;
+pub mod dataset;
+pub mod faults;
+pub mod io;
+pub mod kinematics;
+pub mod noise;
+pub mod pose;
+pub mod render;
+pub mod script;
+pub mod stage;
+
+pub use body::BodyModel;
+pub use dataset::{ClipSpec, Dataset, FrameTruth, JumpSimulator, LabeledClip};
+pub use faults::JumpFault;
+pub use noise::NoiseConfig;
+pub use pose::PoseClass;
+pub use stage::JumpStage;

@@ -1,0 +1,103 @@
+//! Noise models for the rendered clips.
+
+/// Degradations applied when turning clean silhouettes into video frames,
+/// emulating the artefacts the paper's studio footage shows: Figure 1(b)'s
+/// "small holes and ridged edges", lighting drift between frames, and
+/// sensor speckle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Per-frame joint-angle jitter in radians (pose execution sloppiness).
+    pub angle_jitter: f64,
+    /// Max absolute per-frame brightness shift of the background.
+    pub lighting_jitter: u8,
+    /// Probability of a speckle (salt) pixel per frame pixel.
+    pub speckle_prob: f64,
+    /// Probability that a silhouette *boundary* pixel is dropped
+    /// (ragged edges).
+    pub edge_dropout_prob: f64,
+    /// Probability that a silhouette *interior* pixel is dropped
+    /// (small holes).
+    pub hole_prob: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            angle_jitter: 0.055,
+            lighting_jitter: 6,
+            speckle_prob: 0.0012,
+            edge_dropout_prob: 0.22,
+            hole_prob: 0.004,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A completely clean configuration (no degradation at all).
+    pub fn clean() -> Self {
+        NoiseConfig {
+            angle_jitter: 0.0,
+            lighting_jitter: 0,
+            speckle_prob: 0.0,
+            edge_dropout_prob: 0.0,
+            hole_prob: 0.0,
+        }
+    }
+
+    /// Scales all degradations by `factor` (angle jitter included);
+    /// useful for noise sweeps (Experiment E2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite factor.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "noise scale must be non-negative, got {factor}"
+        );
+        NoiseConfig {
+            angle_jitter: self.angle_jitter * factor,
+            lighting_jitter: ((self.lighting_jitter as f64 * factor).round() as u64)
+                .min(120) as u8,
+            speckle_prob: (self.speckle_prob * factor).min(1.0),
+            edge_dropout_prob: (self.edge_dropout_prob * factor).min(1.0),
+            hole_prob: (self.hole_prob * factor).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_is_all_zero() {
+        let c = NoiseConfig::clean();
+        assert_eq!(c.angle_jitter, 0.0);
+        assert_eq!(c.lighting_jitter, 0);
+        assert_eq!(c.speckle_prob, 0.0);
+        assert_eq!(c.edge_dropout_prob, 0.0);
+        assert_eq!(c.hole_prob, 0.0);
+    }
+
+    #[test]
+    fn scaling_zero_gives_clean() {
+        let s = NoiseConfig::default().scaled(0.0);
+        assert_eq!(s, NoiseConfig::clean());
+    }
+
+    #[test]
+    fn scaling_clamps_probabilities() {
+        let s = NoiseConfig::default().scaled(10_000.0);
+        assert!(s.speckle_prob <= 1.0);
+        assert!(s.edge_dropout_prob <= 1.0);
+        assert!(s.hole_prob <= 1.0);
+        assert!(s.lighting_jitter <= 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scale_panics() {
+        NoiseConfig::default().scaled(-1.0);
+    }
+}

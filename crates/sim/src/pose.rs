@@ -1,0 +1,327 @@
+//! The 22-pose taxonomy (Section 4: "There are totally 22 defined poses
+//! in our work").
+//!
+//! The paper only names four of its poses in the text: "standing & hand
+//! overlap with body", "standing & hand swung forward", "knee and foot
+//! extended & hand raised forward" and "waist bended & hand raised
+//! forward". This module fixes a complete, concrete 22-pose vocabulary
+//! around them, partitioned over the four jump stages, and gives every
+//! pose its canonical joint-angle configuration for the simulator.
+
+use crate::kinematics::JointAngles;
+use crate::stage::JumpStage;
+use std::fmt;
+
+/// One of the 22 defined poses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the variant names are the documentation
+pub enum PoseClass {
+    // --- Before jumping (7) ---
+    StandingHandsOverlap,
+    StandingHandsSwungForward,
+    StandingHandsSwungBack,
+    KneesBentHandsBack,
+    KneesBentHandsForward,
+    WaistBentHandsBack,
+    WaistBentHandsForward,
+    // --- Jumping (4) ---
+    TakeoffLeanForward,
+    TakeoffLegsDriving,
+    TakeoffExtendedHandsForward,
+    TakeoffExtendedHandsUp,
+    // --- In the air (6) ---
+    AirborneArmsUp,
+    AirborneTuck,
+    AirborneArmsForward,
+    AirborneExtendedForward,
+    AirborneLegsForward,
+    AirborneDescending,
+    // --- Landing (5) ---
+    LandingReach,
+    LandingContact,
+    LandingAbsorb,
+    LandingRecovery,
+    LandingOverbalanced,
+}
+
+impl PoseClass {
+    /// All poses in canonical (stage-then-phase) order.
+    pub const ALL: [PoseClass; 22] = [
+        PoseClass::StandingHandsOverlap,
+        PoseClass::StandingHandsSwungForward,
+        PoseClass::StandingHandsSwungBack,
+        PoseClass::KneesBentHandsBack,
+        PoseClass::KneesBentHandsForward,
+        PoseClass::WaistBentHandsBack,
+        PoseClass::WaistBentHandsForward,
+        PoseClass::TakeoffLeanForward,
+        PoseClass::TakeoffLegsDriving,
+        PoseClass::TakeoffExtendedHandsForward,
+        PoseClass::TakeoffExtendedHandsUp,
+        PoseClass::AirborneArmsUp,
+        PoseClass::AirborneTuck,
+        PoseClass::AirborneArmsForward,
+        PoseClass::AirborneExtendedForward,
+        PoseClass::AirborneLegsForward,
+        PoseClass::AirborneDescending,
+        PoseClass::LandingReach,
+        PoseClass::LandingContact,
+        PoseClass::LandingAbsorb,
+        PoseClass::LandingRecovery,
+        PoseClass::LandingOverbalanced,
+    ];
+
+    /// Number of defined poses (the paper's 22).
+    pub const COUNT: usize = 22;
+
+    /// Canonical index (0..22).
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("every pose is in ALL")
+    }
+
+    /// Pose from its canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= 22`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// The jump stage this pose belongs to.
+    pub fn stage(self) -> JumpStage {
+        use PoseClass::*;
+        match self {
+            StandingHandsOverlap | StandingHandsSwungForward | StandingHandsSwungBack
+            | KneesBentHandsBack | KneesBentHandsForward | WaistBentHandsBack
+            | WaistBentHandsForward => JumpStage::BeforeJumping,
+            TakeoffLeanForward | TakeoffLegsDriving | TakeoffExtendedHandsForward
+            | TakeoffExtendedHandsUp => JumpStage::Jumping,
+            AirborneArmsUp | AirborneTuck | AirborneArmsForward | AirborneExtendedForward
+            | AirborneLegsForward | AirborneDescending => JumpStage::InAir,
+            LandingReach | LandingContact | LandingAbsorb | LandingRecovery
+            | LandingOverbalanced => JumpStage::Landing,
+        }
+    }
+
+    /// Poses belonging to `stage`, in canonical order.
+    pub fn in_stage(stage: JumpStage) -> Vec<PoseClass> {
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|p| p.stage() == stage)
+            .collect()
+    }
+
+    /// The pose every clip starts in — the paper's reset rule: "we reset
+    /// the jumping stage to 'before jumping' and the current pose to
+    /// 'standing & hand overlap with body'."
+    pub fn initial() -> PoseClass {
+        PoseClass::StandingHandsOverlap
+    }
+
+    /// The majority pose ("'Standing & hand swung forward' appears most
+    /// of the time"), the only pose exempt from the `Th_Pose` threshold.
+    pub fn majority() -> PoseClass {
+        PoseClass::StandingHandsSwungForward
+    }
+
+    /// Canonical joint angles for the simulator (degrees internally,
+    /// returned in radians).
+    pub fn canonical_angles(self) -> JointAngles {
+        use PoseClass::*;
+        // (torso_lean, shoulder, elbow, hip_front, knee_front, hip_back, knee_back)
+        let deg: (f64, f64, f64, f64, f64, f64, f64) = match self {
+            StandingHandsOverlap => (2.0, 4.0, 4.0, 2.0, 4.0, -2.0, 3.0),
+            StandingHandsSwungForward => (4.0, 62.0, 10.0, 2.0, 5.0, -2.0, 4.0),
+            StandingHandsSwungBack => (8.0, -42.0, 6.0, 4.0, 8.0, 0.0, 6.0),
+            KneesBentHandsBack => (22.0, -52.0, 8.0, 28.0, 52.0, 20.0, 44.0),
+            KneesBentHandsForward => (22.0, 56.0, 10.0, 28.0, 52.0, 20.0, 44.0),
+            WaistBentHandsBack => (46.0, -46.0, 8.0, 12.0, 18.0, 6.0, 14.0),
+            WaistBentHandsForward => (46.0, 60.0, 8.0, 12.0, 18.0, 6.0, 14.0),
+            TakeoffLeanForward => (32.0, 24.0, 10.0, 16.0, 32.0, 10.0, 26.0),
+            TakeoffLegsDriving => (26.0, 82.0, 14.0, 58.0, 78.0, -8.0, 12.0),
+            TakeoffExtendedHandsForward => (16.0, 92.0, 5.0, -10.0, 6.0, -14.0, 4.0),
+            TakeoffExtendedHandsUp => (10.0, 148.0, 5.0, -10.0, 6.0, -14.0, 4.0),
+            AirborneArmsUp => (6.0, 158.0, 6.0, 22.0, 32.0, 14.0, 26.0),
+            AirborneTuck => (22.0, 72.0, 24.0, 92.0, 112.0, 80.0, 100.0),
+            AirborneArmsForward => (12.0, 92.0, 10.0, 62.0, 72.0, 50.0, 62.0),
+            AirborneExtendedForward => (2.0, 82.0, 6.0, 42.0, 20.0, 32.0, 16.0),
+            AirborneLegsForward => (-8.0, 62.0, 8.0, 72.0, 18.0, 60.0, 14.0),
+            AirborneDescending => (2.0, 42.0, 8.0, 52.0, 30.0, 42.0, 24.0),
+            LandingReach => (12.0, 32.0, 10.0, 62.0, 16.0, 52.0, 12.0),
+            LandingContact => (22.0, 22.0, 12.0, 52.0, 42.0, 44.0, 36.0),
+            LandingAbsorb => (32.0, 44.0, 14.0, 72.0, 92.0, 62.0, 82.0),
+            LandingRecovery => (10.0, 14.0, 8.0, 20.0, 26.0, 14.0, 20.0),
+            LandingOverbalanced => (62.0, 72.0, 20.0, 42.0, 42.0, 32.0, 36.0),
+        };
+        JointAngles {
+            torso_lean: deg.0.to_radians(),
+            shoulder: deg.1.to_radians(),
+            elbow: deg.2.to_radians(),
+            hip_front: deg.3.to_radians(),
+            knee_front: deg.4.to_radians(),
+            hip_back: deg.5.to_radians(),
+            knee_back: deg.6.to_radians(),
+        }
+    }
+
+    /// Whether this pose is airborne (the feet leave the ground during
+    /// takeoff extension, flight, and the landing reach).
+    pub fn is_airborne(self) -> bool {
+        use PoseClass::*;
+        matches!(
+            self,
+            TakeoffExtendedHandsForward
+                | TakeoffExtendedHandsUp
+                | AirborneArmsUp
+                | AirborneTuck
+                | AirborneArmsForward
+                | AirborneExtendedForward
+                | AirborneLegsForward
+                | AirborneDescending
+                | LandingReach
+        )
+    }
+}
+
+impl fmt::Display for PoseClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use PoseClass::*;
+        // The paper's naming style for the four poses it mentions, and
+        // consistent phrasing for the rest.
+        let name = match self {
+            StandingHandsOverlap => "standing & hand overlap with body",
+            StandingHandsSwungForward => "standing & hand swung forward",
+            StandingHandsSwungBack => "standing & hand swung backward",
+            KneesBentHandsBack => "knees bent & hand swung backward",
+            KneesBentHandsForward => "knees bent & hand raised forward",
+            WaistBentHandsBack => "waist bended & hand swung backward",
+            WaistBentHandsForward => "waist bended & hand raised forward",
+            TakeoffLeanForward => "takeoff & body leaning forward",
+            TakeoffLegsDriving => "takeoff & legs driving",
+            TakeoffExtendedHandsForward => "knee and foot extended & hand raised forward",
+            TakeoffExtendedHandsUp => "knee and foot extended & hand raised up",
+            AirborneArmsUp => "airborne & hand raised up",
+            AirborneTuck => "airborne & knees tucked",
+            AirborneArmsForward => "airborne & hand raised forward",
+            AirborneExtendedForward => "airborne & body extended forward",
+            AirborneLegsForward => "airborne & legs reaching forward",
+            AirborneDescending => "airborne & descending",
+            LandingReach => "landing & legs reaching",
+            LandingContact => "landing & feet contact",
+            LandingAbsorb => "landing & knees absorbing",
+            LandingRecovery => "landing & standing up",
+            LandingOverbalanced => "landing & overbalanced",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_twenty_two_poses() {
+        assert_eq!(PoseClass::ALL.len(), PoseClass::COUNT);
+        assert_eq!(PoseClass::COUNT, 22);
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, &p) in PoseClass::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(PoseClass::from_index(i), p);
+        }
+    }
+
+    #[test]
+    fn stage_partition_sizes() {
+        assert_eq!(PoseClass::in_stage(JumpStage::BeforeJumping).len(), 7);
+        assert_eq!(PoseClass::in_stage(JumpStage::Jumping).len(), 4);
+        assert_eq!(PoseClass::in_stage(JumpStage::InAir).len(), 6);
+        assert_eq!(PoseClass::in_stage(JumpStage::Landing).len(), 5);
+    }
+
+    #[test]
+    fn every_pose_belongs_to_its_stage_partition() {
+        for &p in &PoseClass::ALL {
+            assert!(PoseClass::in_stage(p.stage()).contains(&p));
+        }
+    }
+
+    #[test]
+    fn papers_named_poses_exist() {
+        assert_eq!(
+            PoseClass::StandingHandsOverlap.to_string(),
+            "standing & hand overlap with body"
+        );
+        assert_eq!(
+            PoseClass::StandingHandsSwungForward.to_string(),
+            "standing & hand swung forward"
+        );
+        assert_eq!(
+            PoseClass::TakeoffExtendedHandsForward.to_string(),
+            "knee and foot extended & hand raised forward"
+        );
+        assert_eq!(
+            PoseClass::WaistBentHandsForward.to_string(),
+            "waist bended & hand raised forward"
+        );
+    }
+
+    #[test]
+    fn initial_and_majority_are_the_papers() {
+        assert_eq!(PoseClass::initial(), PoseClass::StandingHandsOverlap);
+        assert_eq!(PoseClass::majority(), PoseClass::StandingHandsSwungForward);
+        assert_eq!(PoseClass::initial().stage(), JumpStage::BeforeJumping);
+    }
+
+    #[test]
+    fn canonical_angles_are_distinct() {
+        // No two poses may share an identical configuration, or they
+        // would be indistinguishable by construction.
+        for (i, &a) in PoseClass::ALL.iter().enumerate() {
+            for &b in &PoseClass::ALL[i + 1..] {
+                assert_ne!(
+                    a.canonical_angles(),
+                    b.canonical_angles(),
+                    "{a} and {b} share canonical angles"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_angles_are_finite_and_bounded() {
+        for &p in &PoseClass::ALL {
+            let a = p.canonical_angles();
+            for v in [
+                a.torso_lean,
+                a.shoulder,
+                a.elbow,
+                a.hip_front,
+                a.knee_front,
+                a.hip_back,
+                a.knee_back,
+            ] {
+                assert!(v.is_finite());
+                assert!(v.abs() < std::f64::consts::PI, "{p}: angle {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn airborne_poses_are_marked() {
+        assert!(PoseClass::AirborneTuck.is_airborne());
+        assert!(!PoseClass::StandingHandsOverlap.is_airborne());
+        assert!(!PoseClass::LandingAbsorb.is_airborne());
+        assert!(PoseClass::LandingReach.is_airborne());
+        let airborne_count = PoseClass::ALL.iter().filter(|p| p.is_airborne()).count();
+        assert_eq!(airborne_count, 9);
+    }
+}

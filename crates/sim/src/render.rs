@@ -1,0 +1,346 @@
+//! Rasterisation of the jumper into silhouettes and RGB video frames.
+
+use crate::body::BodyModel;
+use crate::kinematics::Skeleton2D;
+use crate::noise::NoiseConfig;
+use rand::Rng;
+use slj_imaging::binary::BinaryImage;
+use slj_imaging::draw;
+use slj_imaging::image::RgbImage;
+use slj_imaging::pixel::Rgb;
+
+/// Renders skeletons into silhouette masks and noisy studio-style RGB
+/// frames (dark background, brightly lit jumper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Renderer {
+    width: usize,
+    height: usize,
+    /// Background base colour (the paper shoots against black).
+    pub background_color: Rgb,
+    /// Jumper base colour.
+    pub jumper_color: Rgb,
+}
+
+impl Renderer {
+    /// Creates a renderer for `width × height` frames with studio
+    /// defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be non-zero");
+        Renderer {
+            width,
+            height,
+            background_color: Rgb::new(12, 12, 16),
+            jumper_color: Rgb::new(170, 150, 130),
+        }
+    }
+
+    /// Frame dimensions `(width, height)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Rasterises the clean silhouette of a skeleton: head disk, torso
+    /// capsule, one arm and two legs.
+    pub fn silhouette(&self, body: &BodyModel, s: &Skeleton2D) -> BinaryImage {
+        let mut mask = BinaryImage::new(self.width, self.height);
+        let cap = |m: &mut BinaryImage, a: (f64, f64), b: (f64, f64), r: f64| {
+            draw::fill_capsule(m, a.0, a.1, b.0, b.1, r);
+        };
+        // Torso, neck and head.
+        cap(&mut mask, s.hip, s.neck, body.torso_thickness);
+        cap(&mut mask, s.neck, s.head, body.limb_thickness);
+        draw::fill_disk(&mut mask, s.head.0, s.head.1, body.head_radius);
+        // Arm (single, side view: both arms overlap).
+        cap(&mut mask, s.neck, s.elbow, body.limb_thickness);
+        cap(&mut mask, s.elbow, s.hand, body.limb_thickness);
+        // Legs.
+        cap(&mut mask, s.hip, s.knee_front, body.limb_thickness + 0.5);
+        cap(&mut mask, s.knee_front, s.foot_front, body.limb_thickness);
+        cap(&mut mask, s.hip, s.knee_back, body.limb_thickness + 0.5);
+        cap(&mut mask, s.knee_back, s.foot_back, body.limb_thickness);
+        mask
+    }
+
+    /// Applies edge bites and interior holes to a silhouette (the
+    /// degraded version painted into the video frame) — the "small holes
+    /// and ridged edges" of the paper's Figure 1(b).
+    ///
+    /// Defects are small disks rather than single pixels, so they
+    /// survive the extractor's moving-window average and genuinely need
+    /// the median-filter repair step.
+    pub fn corrupt_silhouette<R: Rng>(
+        &self,
+        clean: &BinaryImage,
+        noise: &NoiseConfig,
+        rng: &mut R,
+    ) -> BinaryImage {
+        let mut out = clean.clone();
+        if noise.edge_dropout_prob <= 0.0 && noise.hole_prob <= 0.0 {
+            return out;
+        }
+        let clear_disk = |out: &mut BinaryImage, cx: usize, cy: usize, r2: f64| {
+            let r = r2.sqrt().ceil() as isize;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if (dx * dx + dy * dy) as f64 <= r2 {
+                        let (nx, ny) = (cx as isize + dx, cy as isize + dy);
+                        if out.in_bounds(nx, ny) {
+                            out.set(nx as usize, ny as usize, false);
+                        }
+                    }
+                }
+            }
+        };
+        for (x, y) in clean.iter_ones() {
+            let boundary = clean.neighbor_count8(x, y) < 8;
+            if boundary {
+                // Ragged edges: single-pixel nicks, plus occasional
+                // deeper bites.
+                if noise.edge_dropout_prob > 0.0 && rng.gen::<f64>() < noise.edge_dropout_prob {
+                    out.set(x, y, false);
+                }
+                if noise.edge_dropout_prob > 0.0
+                    && rng.gen::<f64>() < noise.edge_dropout_prob / 20.0
+                {
+                    clear_disk(&mut out, x, y, 2.0);
+                }
+            } else if noise.hole_prob > 0.0 && rng.gen::<f64>() < noise.hole_prob / 3.0 {
+                // Small interior holes, a few pixels across.
+                clear_disk(&mut out, x, y, 2.0);
+            }
+        }
+        out
+    }
+
+    /// Generates the static studio background with mild deterministic
+    /// texture.
+    pub fn background<R: Rng>(&self, rng: &mut R) -> RgbImage {
+        let base = self.background_color;
+        RgbImage::from_fn(self.width, self.height, |_, _| {
+            let dv = rng.gen_range(0..5) as u8;
+            Rgb::new(
+                base.r.saturating_add(dv),
+                base.g.saturating_add(dv),
+                base.b.saturating_add(dv),
+            )
+        })
+    }
+
+    /// Composites a (possibly corrupted) silhouette over the background
+    /// with lighting jitter and sensor speckle.
+    pub fn frame<R: Rng>(
+        &self,
+        background: &RgbImage,
+        silhouette: &BinaryImage,
+        noise: &NoiseConfig,
+        rng: &mut R,
+    ) -> RgbImage {
+        assert_eq!(
+            background.dimensions(),
+            silhouette.dimensions(),
+            "background and silhouette dimensions must match"
+        );
+        let lighting: i16 = if noise.lighting_jitter > 0 {
+            rng.gen_range(-(noise.lighting_jitter as i16)..=noise.lighting_jitter as i16)
+        } else {
+            0
+        };
+        let shift = |v: u8| -> u8 { (v as i16 + lighting).clamp(0, 255) as u8 };
+        let mut frame = background.map(|p| Rgb::new(shift(p.r), shift(p.g), shift(p.b)));
+        // Paint the jumper with per-pixel shading variation.
+        for (x, y) in silhouette.iter_ones() {
+            let shade = rng.gen_range(-12i16..=12);
+            let tint = |v: u8| -> u8 { (v as i16 + shade + lighting).clamp(0, 255) as u8 };
+            frame.set(
+                x,
+                y,
+                Rgb::new(
+                    tint(self.jumper_color.r),
+                    tint(self.jumper_color.g),
+                    tint(self.jumper_color.b),
+                ),
+            );
+        }
+        // Sensor speckle: mostly single pixels, occasionally a bright
+        // 2x2 blob (hot region) that survives the extractor's moving
+        // window — the source of the stray foreground fragments the
+        // median filter removes (Figure 1(b) -> 1(c)).
+        if noise.speckle_prob > 0.0 {
+            let total = self.width * self.height;
+            let expected = (total as f64 * noise.speckle_prob).ceil() as usize;
+            for _ in 0..expected {
+                let x = rng.gen_range(0..self.width);
+                let y = rng.gen_range(0..self.height);
+                if rng.gen::<f64>() < 0.3 {
+                    let v = rng.gen_range(190..255) as u8;
+                    for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+                        let (nx, ny) = (x + dx, y + dy);
+                        if nx < self.width && ny < self.height {
+                            frame.set(nx, ny, Rgb::gray(v));
+                        }
+                    }
+                } else {
+                    let v = rng.gen_range(40..120) as u8;
+                    frame.set(x, y, Rgb::gray(v));
+                }
+            }
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinematics::solve;
+    use crate::pose::PoseClass;
+    use rand::SeedableRng;
+
+    fn skeleton() -> Skeleton2D {
+        solve(
+            &BodyModel::default(),
+            (80.0, 60.0),
+            &PoseClass::StandingHandsSwungForward.canonical_angles(),
+        )
+    }
+
+    #[test]
+    fn silhouette_is_one_connected_blob() {
+        use slj_imaging::morphology::Connectivity;
+        use slj_imaging::region::connected_components;
+        let r = Renderer::new(160, 120);
+        for &pose in &PoseClass::ALL {
+            let s = solve(&BodyModel::default(), (80.0, 60.0), &pose.canonical_angles());
+            let mask = r.silhouette(&BodyModel::default(), &s);
+            let comps = connected_components(&mask, Connectivity::Eight);
+            assert_eq!(comps.len(), 1, "{pose}: silhouette must be one blob");
+            assert!(mask.count_ones() > 300, "{pose}: body too small");
+        }
+    }
+
+    #[test]
+    fn silhouette_covers_key_joints() {
+        let r = Renderer::new(160, 120);
+        let s = skeleton();
+        let mask = r.silhouette(&BodyModel::default(), &s);
+        for p in [s.head, s.hip, s.knee_front, s.hand] {
+            assert!(
+                mask.get(p.0.round() as usize, p.1.round() as usize),
+                "joint {p:?} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_preserves_mass_within_reason() {
+        let r = Renderer::new(160, 120);
+        let mask = r.silhouette(&BodyModel::default(), &skeleton());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let corrupted = r.corrupt_silhouette(&mask, &NoiseConfig::default(), &mut rng);
+        let kept = corrupted.count_ones() as f64 / mask.count_ones() as f64;
+        assert!(kept > 0.75, "kept fraction {kept}");
+        assert!(kept < 1.0, "corruption must remove something");
+        // Corrupted is a subset.
+        assert_eq!(corrupted.and(&mask).unwrap(), corrupted);
+    }
+
+    #[test]
+    fn corrupt_with_clean_config_is_identity() {
+        let r = Renderer::new(160, 120);
+        let mask = r.silhouette(&BodyModel::default(), &skeleton());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(
+            r.corrupt_silhouette(&mask, &NoiseConfig::clean(), &mut rng),
+            mask
+        );
+    }
+
+    #[test]
+    fn frame_contrast_between_jumper_and_background() {
+        let r = Renderer::new(160, 120);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let bg = r.background(&mut rng);
+        let mask = r.silhouette(&BodyModel::default(), &skeleton());
+        let frame = r.frame(&bg, &mask, &NoiseConfig::default(), &mut rng);
+        // Average brightness on the jumper far exceeds the background.
+        let (mut on, mut on_n, mut off, mut off_n) = (0u64, 0u64, 0u64, 0u64);
+        for (x, y, p) in frame.enumerate_pixels() {
+            if mask.get(x, y) {
+                on += p.luma() as u64;
+                on_n += 1;
+            } else {
+                off += p.luma() as u64;
+                off_n += 1;
+            }
+        }
+        let on_avg = on / on_n;
+        let off_avg = off / off_n;
+        assert!(
+            on_avg > off_avg + 80,
+            "jumper {on_avg} vs background {off_avg}"
+        );
+    }
+
+    #[test]
+    fn speckle_noise_appears_on_the_background() {
+        let r = Renderer::new(160, 120);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let bg = r.background(&mut rng);
+        let mask = BinaryImage::new(160, 120); // no jumper at all
+        let noisy = r.frame(
+            &bg,
+            &mask,
+            &NoiseConfig {
+                speckle_prob: 0.002,
+                lighting_jitter: 0,
+                ..NoiseConfig::clean()
+            },
+            &mut rng,
+        );
+        // Speckles are bright against the dark background.
+        let bright = noisy.iter().filter(|p| p.luma() > 35).count();
+        assert!(bright >= 10, "expected speckles, found {bright}");
+        // And some are the 2x2 hot blobs (adjacent bright pairs).
+        let mut paired = 0;
+        for y in 0..119 {
+            for x in 0..159 {
+                if noisy.get(x, y).luma() > 150 && noisy.get(x + 1, y).luma() > 150 {
+                    paired += 1;
+                }
+            }
+        }
+        assert!(paired > 0, "expected at least one 2x2 hot blob");
+    }
+
+    #[test]
+    fn clean_noise_leaves_background_untouched() {
+        let r = Renderer::new(64, 64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let bg = r.background(&mut rng);
+        let mask = BinaryImage::new(64, 64);
+        let frame = r.frame(&bg, &mask, &NoiseConfig::clean(), &mut rng);
+        assert_eq!(frame, bg);
+    }
+
+    #[test]
+    fn background_is_dark() {
+        let r = Renderer::new(64, 64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let bg = r.background(&mut rng);
+        assert!(bg.iter().all(|p| p.luma() < 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn frame_rejects_mismatched_dimensions() {
+        let r = Renderer::new(64, 64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let bg = r.background(&mut rng);
+        let mask = BinaryImage::new(32, 32);
+        r.frame(&bg, &mask, &NoiseConfig::default(), &mut rng);
+    }
+}

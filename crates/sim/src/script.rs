@@ -1,0 +1,493 @@
+//! Jump choreography: pose scripts and the root trajectory.
+//!
+//! A clip is a sequence of pose segments (each a pose held for a few
+//! frames) whose stages advance left-to-right, plus a root (hip)
+//! trajectory: feet pinned to the ground while in contact, a ballistic
+//! arc while airborne.
+
+use crate::body::BodyModel;
+use crate::kinematics::{solve, JointAngles, Skeleton2D};
+use crate::pose::PoseClass;
+use crate::stage::JumpStage;
+use rand::Rng;
+
+/// How far a segment's first frame has progressed from the previous
+/// pose toward the new one (1.0 = no residual transition ambiguity).
+pub const TRANSITION_BLEND: f64 = 0.9;
+
+/// One segment of the choreography: a pose held for `frames` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptSegment {
+    /// The pose of every frame in the segment.
+    pub pose: PoseClass,
+    /// Segment duration in frames.
+    pub frames: usize,
+}
+
+/// A full jump choreography.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JumpScript {
+    segments: Vec<ScriptSegment>,
+}
+
+impl JumpScript {
+    /// Builds a script from segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segments are empty, any segment has zero frames, or
+    /// the stage sequence moves backwards (a jump cannot return to an
+    /// earlier stage).
+    pub fn new(segments: Vec<ScriptSegment>) -> Self {
+        assert!(!segments.is_empty(), "script must contain segments");
+        assert!(
+            segments.iter().all(|s| s.frames > 0),
+            "segments must have at least one frame"
+        );
+        for w in segments.windows(2) {
+            assert!(
+                w[0].pose.stage().index() <= w[1].pose.stage().index(),
+                "stage order must be monotone: {} after {}",
+                w[1].pose,
+                w[0].pose
+            );
+        }
+        JumpScript { segments }
+    }
+
+    /// The textbook-correct jump: stand, swing, crouch, drive, extend,
+    /// tuck, reach, absorb, recover — 44 frames, all four stages.
+    pub fn standard() -> Self {
+        use PoseClass::*;
+        JumpScript::new(vec![
+            ScriptSegment { pose: StandingHandsOverlap, frames: 2 },
+            // The paper's majority pose: "appears most of the time".
+            ScriptSegment { pose: StandingHandsSwungForward, frames: 5 },
+            ScriptSegment { pose: StandingHandsSwungBack, frames: 2 },
+            ScriptSegment { pose: WaistBentHandsBack, frames: 2 },
+            ScriptSegment { pose: KneesBentHandsBack, frames: 3 },
+            ScriptSegment { pose: KneesBentHandsForward, frames: 2 },
+            ScriptSegment { pose: TakeoffLeanForward, frames: 2 },
+            ScriptSegment { pose: TakeoffLegsDriving, frames: 2 },
+            ScriptSegment { pose: TakeoffExtendedHandsForward, frames: 2 },
+            ScriptSegment { pose: TakeoffExtendedHandsUp, frames: 1 },
+            ScriptSegment { pose: AirborneArmsUp, frames: 2 },
+            ScriptSegment { pose: AirborneTuck, frames: 3 },
+            ScriptSegment { pose: AirborneArmsForward, frames: 2 },
+            ScriptSegment { pose: AirborneExtendedForward, frames: 2 },
+            ScriptSegment { pose: AirborneLegsForward, frames: 2 },
+            ScriptSegment { pose: AirborneDescending, frames: 1 },
+            ScriptSegment { pose: LandingReach, frames: 2 },
+            ScriptSegment { pose: LandingContact, frames: 2 },
+            ScriptSegment { pose: LandingAbsorb, frames: 3 },
+            ScriptSegment { pose: LandingRecovery, frames: 2 },
+        ])
+    }
+
+    /// A jump variant that also visits the rarer poses (the paper notes
+    /// some poses "appear much less frequently"): the jumper bends the
+    /// waist with hands forward before take-off and overbalances on
+    /// landing.
+    pub fn with_rare_poses() -> Self {
+        use PoseClass::*;
+        JumpScript::new(vec![
+            ScriptSegment { pose: StandingHandsOverlap, frames: 2 },
+            ScriptSegment { pose: StandingHandsSwungForward, frames: 5 },
+            ScriptSegment { pose: StandingHandsSwungBack, frames: 2 },
+            ScriptSegment { pose: WaistBentHandsBack, frames: 2 },
+            ScriptSegment { pose: KneesBentHandsBack, frames: 2 },
+            ScriptSegment { pose: KneesBentHandsForward, frames: 2 },
+            ScriptSegment { pose: WaistBentHandsForward, frames: 1 },
+            ScriptSegment { pose: TakeoffLeanForward, frames: 2 },
+            ScriptSegment { pose: TakeoffLegsDriving, frames: 2 },
+            ScriptSegment { pose: TakeoffExtendedHandsForward, frames: 2 },
+            ScriptSegment { pose: TakeoffExtendedHandsUp, frames: 1 },
+            ScriptSegment { pose: AirborneArmsUp, frames: 2 },
+            ScriptSegment { pose: AirborneTuck, frames: 3 },
+            ScriptSegment { pose: AirborneArmsForward, frames: 2 },
+            ScriptSegment { pose: AirborneExtendedForward, frames: 1 },
+            ScriptSegment { pose: AirborneLegsForward, frames: 2 },
+            ScriptSegment { pose: AirborneDescending, frames: 1 },
+            ScriptSegment { pose: LandingReach, frames: 2 },
+            ScriptSegment { pose: LandingContact, frames: 2 },
+            ScriptSegment { pose: LandingAbsorb, frames: 2 },
+            ScriptSegment { pose: LandingRecovery, frames: 2 },
+            ScriptSegment { pose: LandingOverbalanced, frames: 1 },
+        ])
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[ScriptSegment] {
+        &self.segments
+    }
+
+    /// Total frame count.
+    pub fn total_frames(&self) -> usize {
+        self.segments.iter().map(|s| s.frames).sum()
+    }
+
+    /// The per-frame pose sequence, expanded.
+    pub fn frame_poses(&self) -> Vec<PoseClass> {
+        self.segments
+            .iter()
+            .flat_map(|s| std::iter::repeat(s.pose).take(s.frames))
+            .collect()
+    }
+
+    /// Reshapes the script to exactly `total` frames by repeatedly
+    /// growing the currently shortest segment or shrinking the longest
+    /// (never below one frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is smaller than the number of segments.
+    pub fn with_total_frames(mut self, total: usize) -> Self {
+        assert!(
+            total >= self.segments.len(),
+            "cannot fit {} segments into {total} frames",
+            self.segments.len()
+        );
+        while self.total_frames() < total {
+            let idx = self
+                .segments
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, s)| (s.frames, *i))
+                .map(|(i, _)| i)
+                .expect("non-empty script");
+            self.segments[idx].frames += 1;
+        }
+        while self.total_frames() > total {
+            let idx = self
+                .segments
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, s)| (s.frames, usize::MAX - *i))
+                .map(|(i, _)| i)
+                .expect("non-empty script");
+            assert!(self.segments[idx].frames > 1, "cannot shrink below one frame");
+            self.segments[idx].frames -= 1;
+        }
+        self
+    }
+
+    /// Randomly perturbs segment durations by ±1 frame (keeping each at
+    /// least one frame), preserving pose order.
+    pub fn jitter_durations<R: Rng>(mut self, rng: &mut R) -> Self {
+        for seg in &mut self.segments {
+            match rng.gen_range(0..3) {
+                0 if seg.frames > 1 => seg.frames -= 1,
+                1 => seg.frames += 1,
+                _ => {}
+            }
+        }
+        self
+    }
+}
+
+/// Scene and trajectory parameters for [`choreograph`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneParams {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Ground line (image y of the floor).
+    pub ground_y: f64,
+    /// Hip x position at the start.
+    pub start_x: f64,
+    /// Horizontal distance covered by the flight.
+    pub jump_distance: f64,
+    /// Extra hip rise at the apex of the flight.
+    pub jump_lift: f64,
+}
+
+impl Default for SceneParams {
+    fn default() -> Self {
+        SceneParams {
+            width: 160,
+            height: 120,
+            ground_y: 112.0,
+            start_x: 38.0,
+            jump_distance: 52.0,
+            jump_lift: 14.0,
+        }
+    }
+}
+
+/// One fully resolved frame of a clip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSpec {
+    /// Ground-truth jump stage.
+    pub stage: JumpStage,
+    /// Ground-truth pose label.
+    pub pose: PoseClass,
+    /// The (jittered) joint angles used for rendering.
+    pub angles: JointAngles,
+    /// The resolved joint positions.
+    pub skeleton: Skeleton2D,
+}
+
+/// Resolves a script into per-frame skeletons: pins the feet to the
+/// ground while in contact, flies the hip along a parabola while
+/// airborne, and adds per-frame Gaussian-ish angle jitter of
+/// `angle_jitter` radians (uniform ±1.5σ approximation).
+pub fn choreograph<R: Rng>(
+    script: &JumpScript,
+    body: &BodyModel,
+    scene: &SceneParams,
+    angle_jitter: f64,
+    rng: &mut R,
+) -> Vec<FrameSpec> {
+    let poses = script.frame_poses();
+    let n = poses.len();
+    // Identify the airborne span.
+    let airborne: Vec<bool> = poses.iter().map(|p| p.is_airborne()).collect();
+    let first_air = airborne.iter().position(|&a| a);
+    let last_air = airborne.iter().rposition(|&a| a);
+
+    // Jittered angles per frame, with a half-step blend on the first
+    // frame of each segment for smoother transitions.
+    let jitter = |rng: &mut R| -> JointAngles {
+        let mut j = JointAngles::default();
+        let sample = |rng: &mut R| rng.gen_range(-1.5..1.5) * angle_jitter;
+        j.torso_lean = sample(rng);
+        j.shoulder = sample(rng);
+        j.elbow = sample(rng);
+        j.hip_front = sample(rng);
+        j.knee_front = sample(rng);
+        j.hip_back = sample(rng);
+        j.knee_back = sample(rng);
+        j
+    };
+    let mut angles_per_frame: Vec<JointAngles> = Vec::with_capacity(n);
+    for (i, &pose) in poses.iter().enumerate() {
+        let canonical = pose.canonical_angles();
+        // The first frame of a segment is still part-way through the
+        // transition from the previous pose.
+        let blended = if i > 0 && poses[i - 1] != pose {
+            poses[i - 1].canonical_angles().lerp(&canonical, TRANSITION_BLEND)
+        } else {
+            canonical
+        };
+        angles_per_frame.push(blended.jittered(&jitter(rng)));
+    }
+
+    // Horizontal trajectory.
+    let takeoff_x = scene.start_x + 4.0;
+    let landing_x = takeoff_x + scene.jump_distance;
+    let x_of = |i: usize| -> f64 {
+        match (first_air, last_air) {
+            (Some(a), Some(b)) if i >= a && i <= b => {
+                let t = (i - a) as f64 / (b - a).max(1) as f64;
+                takeoff_x + t * scene.jump_distance
+            }
+            (Some(a), _) if i < a => {
+                // Slow creep forward through the preparation.
+                scene.start_x + 4.0 * (i as f64 / a.max(1) as f64)
+            }
+            (_, Some(b)) if i > b => landing_x,
+            _ => scene.start_x,
+        }
+    };
+
+    // Vertical trajectory: pin the feet on the ground, fly a parabola in
+    // the air.
+    let ground_hip_y = |angles: &JointAngles| -> f64 {
+        let probe = solve(body, (0.0, 0.0), angles);
+        scene.ground_y - probe.foot_drop()
+    };
+    let mut frames = Vec::with_capacity(n);
+    for i in 0..n {
+        let angles = angles_per_frame[i];
+        let hip_y = match (first_air, last_air) {
+            (Some(a), Some(b)) if i >= a && i <= b && b > a => {
+                let t = (i - a) as f64 / (b - a) as f64;
+                // Parabola from the take-off hip height to the landing
+                // hip height, lifted by jump_lift at the apex.
+                let y0 = ground_hip_y(&angles_per_frame[a.saturating_sub(1)]);
+                let y1 = ground_hip_y(&angles_per_frame[(b + 1).min(n - 1)]);
+                let base = y0 + (y1 - y0) * t;
+                base - scene.jump_lift * 4.0 * t * (1.0 - t)
+            }
+            _ => ground_hip_y(&angles),
+        };
+        let hip = (x_of(i), hip_y);
+        let skeleton = solve(body, hip, &angles);
+        frames.push(FrameSpec {
+            stage: poses[i].stage(),
+            pose: poses[i],
+            angles,
+            skeleton,
+        });
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_script_is_44_frames_all_stages() {
+        let s = JumpScript::standard();
+        assert_eq!(s.total_frames(), 44);
+        let stages: std::collections::HashSet<_> =
+            s.frame_poses().iter().map(|p| p.stage()).collect();
+        assert_eq!(stages.len(), 4);
+    }
+
+    #[test]
+    fn rare_pose_script_covers_all_22_poses_with_standard() {
+        let mut seen: std::collections::HashSet<PoseClass> = std::collections::HashSet::new();
+        for p in JumpScript::standard().frame_poses() {
+            seen.insert(p);
+        }
+        for p in JumpScript::with_rare_poses().frame_poses() {
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), 22, "both scripts together visit every pose");
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn backwards_stage_order_panics() {
+        JumpScript::new(vec![
+            ScriptSegment {
+                pose: PoseClass::LandingAbsorb,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: PoseClass::AirborneTuck,
+                frames: 2,
+            },
+        ]);
+    }
+
+    #[test]
+    fn with_total_frames_hits_target_exactly() {
+        for total in [20, 43, 44, 45, 60] {
+            let s = JumpScript::standard().with_total_frames(total);
+            assert_eq!(s.total_frames(), total);
+            // Pose order must be intact.
+            let mut prev = 0;
+            for seg in s.segments() {
+                assert!(seg.pose.stage().index() >= prev);
+                prev = seg.pose.stage().index();
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_durations_keeps_structure() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = JumpScript::standard().jitter_durations(&mut rng);
+        assert_eq!(s.segments().len(), JumpScript::standard().segments().len());
+        assert!(s.segments().iter().all(|seg| seg.frames >= 1));
+    }
+
+    #[test]
+    fn choreograph_pins_feet_on_ground_frames() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let scene = SceneParams::default();
+        let frames = choreograph(
+            &JumpScript::standard(),
+            &BodyModel::default(),
+            &scene,
+            0.0,
+            &mut rng,
+        );
+        for f in &frames {
+            if !f.pose.is_airborne() {
+                let foot_y = f.skeleton.foot_front.1.max(f.skeleton.foot_back.1);
+                assert!(
+                    (foot_y - scene.ground_y).abs() < 1.0,
+                    "{}: foot at {foot_y}, ground {}",
+                    f.pose,
+                    scene.ground_y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn choreograph_flight_rises_above_ground() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let scene = SceneParams::default();
+        let frames = choreograph(
+            &JumpScript::standard(),
+            &BodyModel::default(),
+            &scene,
+            0.0,
+            &mut rng,
+        );
+        // Somewhere mid-flight both feet are clearly above the ground.
+        let airborne_clear = frames.iter().any(|f| {
+            f.pose.is_airborne()
+                && f.skeleton.foot_front.1 < scene.ground_y - 4.0
+                && f.skeleton.foot_back.1 < scene.ground_y - 4.0
+        });
+        assert!(airborne_clear, "flight should lift the feet off the ground");
+    }
+
+    #[test]
+    fn choreograph_moves_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let scene = SceneParams::default();
+        let frames = choreograph(
+            &JumpScript::standard(),
+            &BodyModel::default(),
+            &scene,
+            0.0,
+            &mut rng,
+        );
+        let first_x = frames.first().unwrap().skeleton.hip.0;
+        let last_x = frames.last().unwrap().skeleton.hip.0;
+        assert!(
+            last_x - first_x > scene.jump_distance * 0.8,
+            "jump covers ground: {first_x} -> {last_x}"
+        );
+        // x must be monotone non-decreasing.
+        for w in frames.windows(2) {
+            assert!(w[1].skeleton.hip.0 >= w[0].skeleton.hip.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn choreograph_stays_in_frame() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let scene = SceneParams::default();
+        for script in [JumpScript::standard(), JumpScript::with_rare_poses()] {
+            let frames = choreograph(&script, &BodyModel::default(), &scene, 0.05, &mut rng);
+            for f in &frames {
+                for p in [
+                    f.skeleton.head,
+                    f.skeleton.hand,
+                    f.skeleton.foot_front,
+                    f.skeleton.foot_back,
+                ] {
+                    assert!(p.0 > 2.0 && p.0 < scene.width as f64 - 2.0, "{}: x={}", f.pose, p.0);
+                    assert!(p.1 > 2.0 && p.1 < scene.height as f64 - 2.0, "{}: y={}", f.pose, p.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn choreograph_is_deterministic_per_seed() {
+        let scene = SceneParams::default();
+        let run = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            choreograph(
+                &JumpScript::standard(),
+                &BodyModel::default(),
+                &scene,
+                0.05,
+                &mut rng,
+            )
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

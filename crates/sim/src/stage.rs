@@ -1,0 +1,113 @@
+//! The four stages of a standing long jump (Section 4 of the paper).
+
+use std::fmt;
+
+/// The jumping-stage flag the paper feeds into its DBN: "there are four
+/// stages in a jump. They are before jumping, jumping, in the air, and
+/// landing."
+///
+/// The stage sequence is left-to-right: a jump can stay in a stage or
+/// advance to the next one, never go back — which is exactly why the
+/// paper uses it to rule out impossible pose transitions ("poses belonging
+/// to 'before jumping' and poses belonging to 'landing' cannot occur
+/// consecutively").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JumpStage {
+    /// Standing, swinging arms, crouching.
+    BeforeJumping,
+    /// Take-off: extension of knees and ankles.
+    Jumping,
+    /// Flight.
+    InAir,
+    /// Touch-down and recovery.
+    Landing,
+}
+
+impl JumpStage {
+    /// All stages in temporal order.
+    pub const ALL: [JumpStage; 4] = [
+        JumpStage::BeforeJumping,
+        JumpStage::Jumping,
+        JumpStage::InAir,
+        JumpStage::Landing,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = 4;
+
+    /// Stage index (0..4) in temporal order.
+    pub fn index(self) -> usize {
+        match self {
+            JumpStage::BeforeJumping => 0,
+            JumpStage::Jumping => 1,
+            JumpStage::InAir => 2,
+            JumpStage::Landing => 3,
+        }
+    }
+
+    /// Stage from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= 4`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// The next stage, or `None` after landing.
+    pub fn next(self) -> Option<JumpStage> {
+        match self {
+            JumpStage::BeforeJumping => Some(JumpStage::Jumping),
+            JumpStage::Jumping => Some(JumpStage::InAir),
+            JumpStage::InAir => Some(JumpStage::Landing),
+            JumpStage::Landing => None,
+        }
+    }
+
+    /// Whether `to` is a legal successor of `self` (stay or advance one).
+    pub fn can_transition_to(self, to: JumpStage) -> bool {
+        to == self || self.next() == Some(to)
+    }
+}
+
+impl fmt::Display for JumpStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            JumpStage::BeforeJumping => "before jumping",
+            JumpStage::Jumping => "jumping",
+            JumpStage::InAir => "in the air",
+            JumpStage::Landing => "landing",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, &s) in JumpStage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(JumpStage::from_index(i), s);
+        }
+    }
+
+    #[test]
+    fn left_to_right_transitions() {
+        assert!(JumpStage::BeforeJumping.can_transition_to(JumpStage::BeforeJumping));
+        assert!(JumpStage::BeforeJumping.can_transition_to(JumpStage::Jumping));
+        assert!(!JumpStage::BeforeJumping.can_transition_to(JumpStage::InAir));
+        assert!(!JumpStage::BeforeJumping.can_transition_to(JumpStage::Landing));
+        assert!(!JumpStage::Landing.can_transition_to(JumpStage::BeforeJumping));
+        assert!(JumpStage::Landing.can_transition_to(JumpStage::Landing));
+        assert_eq!(JumpStage::Landing.next(), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(JumpStage::BeforeJumping.to_string(), "before jumping");
+        assert_eq!(JumpStage::InAir.to_string(), "in the air");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the jump simulator.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use slj_sim::body::BodyModel;
+use slj_sim::faults::JumpFault;
+use slj_sim::kinematics::{solve, JointAngles};
+use slj_sim::pose::PoseClass;
+use slj_sim::script::{choreograph, JumpScript, SceneParams};
+use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+fn angles_strategy() -> impl Strategy<Value = JointAngles> {
+    (
+        -0.8f64..1.2,
+        -1.5f64..3.0,
+        -0.3f64..1.2,
+        -0.5f64..1.8,
+        -0.2f64..2.2,
+        -0.5f64..1.8,
+        -0.2f64..2.2,
+    )
+        .prop_map(
+            |(torso_lean, shoulder, elbow, hip_front, knee_front, hip_back, knee_back)| {
+                JointAngles {
+                    torso_lean,
+                    shoulder,
+                    elbow,
+                    hip_front,
+                    knee_front,
+                    hip_back,
+                    knee_back,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forward kinematics preserves every segment length, for any joint
+    /// configuration.
+    #[test]
+    fn kinematics_preserves_lengths(angles in angles_strategy(), hx in 0.0f64..200.0, hy in 0.0f64..200.0) {
+        let b = BodyModel::default();
+        let s = solve(&b, (hx, hy), &angles);
+        let d = |a: (f64, f64), c: (f64, f64)| ((a.0 - c.0).powi(2) + (a.1 - c.1).powi(2)).sqrt();
+        prop_assert!((d(s.hip, s.neck) - b.torso).abs() < 1e-9);
+        prop_assert!((d(s.neck, s.elbow) - b.upper_arm).abs() < 1e-9);
+        prop_assert!((d(s.elbow, s.hand) - b.forearm).abs() < 1e-9);
+        prop_assert!((d(s.hip, s.knee_front) - b.thigh).abs() < 1e-9);
+        prop_assert!((d(s.knee_front, s.foot_front) - b.shin).abs() < 1e-9);
+        prop_assert!((d(s.hip, s.knee_back) - b.thigh).abs() < 1e-9);
+        prop_assert!((d(s.knee_back, s.foot_back) - b.shin).abs() < 1e-9);
+    }
+
+    /// Scripts reshape to any feasible frame count exactly, preserving
+    /// pose order.
+    #[test]
+    fn scripts_reshape_exactly(total in 22usize..80, rare in proptest::bool::ANY) {
+        let base = if rare { JumpScript::with_rare_poses() } else { JumpScript::standard() };
+        prop_assume!(total >= base.segments().len());
+        let s = base.with_total_frames(total);
+        prop_assert_eq!(s.total_frames(), total);
+        let mut prev = 0usize;
+        for seg in s.segments() {
+            prop_assert!(seg.pose.stage().index() >= prev);
+            prev = seg.pose.stage().index();
+        }
+    }
+
+    /// Choreography keeps ground-contact feet on the ground line and
+    /// everything inside the frame.
+    #[test]
+    fn choreography_respects_scene(seed in 0u64..10_000, total in 25usize..60) {
+        let scene = SceneParams::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let script = JumpScript::standard().with_total_frames(total);
+        let frames = choreograph(&script, &BodyModel::default(), &scene, 0.05, &mut rng);
+        prop_assert_eq!(frames.len(), total);
+        for f in &frames {
+            if !f.pose.is_airborne() {
+                let foot_y = f.skeleton.foot_front.1.max(f.skeleton.foot_back.1);
+                prop_assert!((foot_y - scene.ground_y).abs() < 1.0);
+            }
+            for p in [f.skeleton.head, f.skeleton.hand, f.skeleton.foot_front, f.skeleton.foot_back] {
+                prop_assert!(p.0 > 0.0 && p.0 < scene.width as f64);
+                prop_assert!(p.1 > 0.0 && p.1 < scene.height as f64);
+            }
+        }
+    }
+
+    /// Any fault transformation preserves clip length and detects as a
+    /// stage-monotone script.
+    #[test]
+    fn faults_preserve_script_shape(fault_idx in 0usize..5, total in 25usize..60) {
+        let fault = JumpFault::ALL[fault_idx];
+        let script = JumpScript::standard().with_total_frames(total);
+        let bad = fault.apply(&script);
+        prop_assert_eq!(bad.total_frames(), total);
+        let mut prev = 0usize;
+        for p in bad.frame_poses() {
+            prop_assert!(p.stage().index() >= prev);
+            prev = p.stage().index();
+        }
+    }
+
+    /// Generated clips are internally consistent for any seed.
+    #[test]
+    fn clips_are_consistent(seed in 0u64..10_000) {
+        let sim = JumpSimulator::new(999);
+        let clip = sim.generate_clip(&ClipSpec {
+            total_frames: 30,
+            seed,
+            noise: NoiseConfig::default(),
+            ..ClipSpec::default()
+        });
+        prop_assert_eq!(clip.frames.len(), 30);
+        prop_assert_eq!(clip.truth.len(), 30);
+        for t in &clip.truth {
+            prop_assert_eq!(t.pose.stage(), t.stage);
+            prop_assert!(!t.silhouette.is_empty());
+        }
+        // Frames have the jumper brighter than the background on the
+        // silhouette.
+        let mid = &clip.frames[15];
+        let truth = &clip.truth[15];
+        let (mut on, mut n) = (0u64, 0u64);
+        for (x, y) in truth.silhouette.iter_ones() {
+            on += mid.get(x, y).luma() as u64;
+            n += 1;
+        }
+        prop_assert!(on / n > 60, "jumper too dark: {}", on / n);
+    }
+
+    /// Canonical poses solve to skeletons whose lowest point is a foot
+    /// or (for deep tucks) near the body's bottom — never the head.
+    #[test]
+    fn head_is_never_the_lowest_point(pose_idx in 0usize..22) {
+        let pose = PoseClass::from_index(pose_idx);
+        let s = solve(&BodyModel::default(), (80.0, 60.0), &pose.canonical_angles());
+        let low = s.lowest_point();
+        prop_assert!(low.1 > s.head.1, "{pose}: head at the bottom");
+    }
+}

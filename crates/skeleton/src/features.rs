@@ -1,0 +1,328 @@
+//! Area feature encoding (Section 4, Figure 6).
+//!
+//! With the waist as the origin, the plane is divided into N equal angular
+//! areas (N = 8 in the paper) and each key point is encoded by the area it
+//! falls in. The conclusion suggests "more partitions instead of just
+//! eight" as future work, so the partition count is a parameter here
+//! (Experiment E7 sweeps it).
+
+use crate::keypoints::{KeyPoints, Point};
+use std::fmt;
+
+/// The five body parts carried by the feature vector, in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BodyPart {
+    /// The head key point.
+    Head,
+    /// The chest key point.
+    Chest,
+    /// The hand key point.
+    Hand,
+    /// The knee key point.
+    Knee,
+    /// The foot key point.
+    Foot,
+}
+
+impl BodyPart {
+    /// All body parts in canonical order.
+    pub const ALL: [BodyPart; 5] = [
+        BodyPart::Head,
+        BodyPart::Chest,
+        BodyPart::Hand,
+        BodyPart::Knee,
+        BodyPart::Foot,
+    ];
+
+    /// Canonical index (0..5).
+    pub fn index(self) -> usize {
+        match self {
+            BodyPart::Head => 0,
+            BodyPart::Chest => 1,
+            BodyPart::Hand => 2,
+            BodyPart::Knee => 3,
+            BodyPart::Foot => 4,
+        }
+    }
+}
+
+impl fmt::Display for BodyPart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BodyPart::Head => "Head",
+            BodyPart::Chest => "Chest",
+            BodyPart::Hand => "Hand",
+            BodyPart::Knee => "Knee",
+            BodyPart::Foot => "Foot",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Returns the area index (`0..partitions`) of the displacement
+/// `(dx, dy)` from the waist, in image coordinates (y grows downward).
+///
+/// Area 0 starts at the positive-x axis (the jumper's direction of travel
+/// when filmed from their left side) and indices increase
+/// counter-clockwise in *body* coordinates (i.e. upward first). A zero
+/// displacement maps to area 0.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use slj_skeleton::features::area_of;
+///
+/// // Eight areas: straight up (negative image y) is area 2.
+/// assert_eq!(area_of(0.0, -1.0, 8), 2);
+/// // Straight down is area 6.
+/// assert_eq!(area_of(0.0, 1.0, 8), 6);
+/// ```
+pub fn area_of(dx: f64, dy: f64, partitions: usize) -> u8 {
+    assert!(partitions > 0, "partitions must be non-zero");
+    if dx == 0.0 && dy == 0.0 {
+        return 0;
+    }
+    // Flip y so angles follow the usual mathematical convention.
+    let mut angle = (-dy).atan2(dx);
+    if angle < 0.0 {
+        angle += std::f64::consts::TAU;
+    }
+    let sector = angle / (std::f64::consts::TAU / partitions as f64);
+    // Guard against the angle == TAU edge case.
+    (sector as usize).min(partitions - 1) as u8
+}
+
+/// The encoded feature vector: one area per body part, `None` for parts
+/// the skeleton did not expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FeatureVector {
+    areas: [Option<u8>; 5],
+    partitions: u8,
+}
+
+impl FeatureVector {
+    /// Area of `part`, or `None` when the part was absent.
+    pub fn area(&self, part: BodyPart) -> Option<u8> {
+        self.areas[part.index()]
+    }
+
+    /// Number of partitions this vector was encoded against.
+    pub fn partitions(&self) -> u8 {
+        self.partitions
+    }
+
+    /// Number of parts with a detected area.
+    pub fn present_parts(&self) -> usize {
+        self.areas.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Which areas are occupied by at least one key point — the observed
+    /// evidence for the Area I..N nodes of the paper's Bayesian network.
+    pub fn occupied_areas(&self) -> Vec<bool> {
+        let mut occupied = vec![false; self.partitions as usize];
+        for area in self.areas.into_iter().flatten() {
+            occupied[area as usize] = true;
+        }
+        occupied
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, part) in BodyPart::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match self.area(*part) {
+                Some(a) => write!(f, "{part}:{a}")?,
+                None => write!(f, "{part}:-")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Encodes [`KeyPoints`] into a [`FeatureVector`] against a configurable
+/// number of angular partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureCodec {
+    partitions: u8,
+}
+
+impl Default for FeatureCodec {
+    fn default() -> Self {
+        FeatureCodec { partitions: 8 }
+    }
+}
+
+impl FeatureCodec {
+    /// Creates a codec with the given partition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn new(partitions: u8) -> Self {
+        assert!(partitions > 0, "partitions must be non-zero");
+        FeatureCodec { partitions }
+    }
+
+    /// The configured partition count.
+    pub fn partitions(&self) -> u8 {
+        self.partitions
+    }
+
+    /// Encodes the key points. Without a waist no areas can be assigned
+    /// and every part is reported absent.
+    pub fn encode(&self, kp: &KeyPoints) -> FeatureVector {
+        let mut fv = FeatureVector {
+            areas: [None; 5],
+            partitions: self.partitions,
+        };
+        let Some(waist) = kp.waist else {
+            return fv;
+        };
+        let encode_one = |p: Option<Point>| -> Option<u8> {
+            p.map(|(x, y)| area_of(x - waist.0, y - waist.1, self.partitions as usize))
+        };
+        fv.areas[BodyPart::Head.index()] = encode_one(kp.head);
+        fv.areas[BodyPart::Chest.index()] = encode_one(kp.chest);
+        fv.areas[BodyPart::Hand.index()] = encode_one(kp.hand);
+        fv.areas[BodyPart::Knee.index()] = encode_one(kp.knee);
+        fv.areas[BodyPart::Foot.index()] = encode_one(kp.foot);
+        fv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_area_compass() {
+        // Image coordinates: y grows downward.
+        assert_eq!(area_of(1.0, 0.0, 8), 0); // east
+        assert_eq!(area_of(1.0, -1.0, 8), 1); // north-east
+        assert_eq!(area_of(0.0, -1.0, 8), 2); // north
+        assert_eq!(area_of(-1.0, -1.0, 8), 3); // north-west
+        assert_eq!(area_of(-1.0, 0.0, 8), 4); // west
+        assert_eq!(area_of(-1.0, 1.0, 8), 5); // south-west
+        assert_eq!(area_of(0.0, 1.0, 8), 6); // south
+        assert_eq!(area_of(1.0, 1.0, 8), 7); // south-east
+    }
+
+    #[test]
+    fn area_is_scale_invariant() {
+        for n in [4usize, 8, 12, 16] {
+            assert_eq!(area_of(0.3, -0.7, n), area_of(30.0, -70.0, n));
+        }
+    }
+
+    #[test]
+    fn origin_maps_to_area_zero() {
+        assert_eq!(area_of(0.0, 0.0, 8), 0);
+    }
+
+    #[test]
+    fn all_areas_reachable() {
+        for n in [4usize, 6, 8, 12, 16] {
+            let mut seen = vec![false; n];
+            for k in 0..n {
+                let angle = (k as f64 + 0.5) * std::f64::consts::TAU / n as f64;
+                let area = area_of(angle.cos(), -angle.sin(), n);
+                seen[area as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "n={n}: not all areas hit");
+        }
+    }
+
+    #[test]
+    fn area_never_exceeds_partitions() {
+        for i in 0..360 {
+            let angle = i as f64 * std::f64::consts::TAU / 360.0;
+            let a = area_of(angle.cos(), angle.sin(), 8) as usize;
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_partitions_panics() {
+        area_of(1.0, 0.0, 0);
+    }
+
+    fn sample_keypoints() -> KeyPoints {
+        KeyPoints {
+            head: Some((10.0, 0.0)),
+            chest: Some((10.0, 5.0)),
+            hand: Some((18.0, 14.0)),
+            knee: Some((10.0, 15.0)),
+            foot: Some((10.0, 20.0)),
+            waist: Some((10.0, 10.0)),
+        }
+    }
+
+    #[test]
+    fn encode_assigns_expected_areas() {
+        let fv = FeatureCodec::default().encode(&sample_keypoints());
+        assert_eq!(fv.area(BodyPart::Head), Some(2)); // straight up
+        assert_eq!(fv.area(BodyPart::Chest), Some(2)); // up
+        assert_eq!(fv.area(BodyPart::Foot), Some(6)); // straight down
+        assert_eq!(fv.area(BodyPart::Knee), Some(6)); // down
+        assert_eq!(fv.area(BodyPart::Hand), Some(7)); // forward-down
+        assert_eq!(fv.present_parts(), 5);
+    }
+
+    #[test]
+    fn encode_without_waist_is_all_absent() {
+        let mut kp = sample_keypoints();
+        kp.waist = None;
+        let fv = FeatureCodec::default().encode(&kp);
+        assert_eq!(fv.present_parts(), 0);
+    }
+
+    #[test]
+    fn encode_missing_hand() {
+        let mut kp = sample_keypoints();
+        kp.hand = None;
+        let fv = FeatureCodec::default().encode(&kp);
+        assert_eq!(fv.area(BodyPart::Hand), None);
+        assert_eq!(fv.present_parts(), 4);
+    }
+
+    #[test]
+    fn occupied_areas_merges_parts() {
+        let fv = FeatureCodec::default().encode(&sample_keypoints());
+        let occ = fv.occupied_areas();
+        assert_eq!(occ.len(), 8);
+        assert!(occ[2] && occ[6] && occ[7]);
+        assert_eq!(occ.iter().filter(|&&b| b).count(), 3);
+    }
+
+    #[test]
+    fn partition_count_changes_granularity() {
+        let kp = sample_keypoints();
+        let coarse = FeatureCodec::new(4).encode(&kp);
+        let fine = FeatureCodec::new(16).encode(&kp);
+        assert_eq!(coarse.partitions(), 4);
+        assert_eq!(fine.partitions(), 16);
+        assert_eq!(coarse.occupied_areas().len(), 4);
+        assert_eq!(fine.occupied_areas().len(), 16);
+    }
+
+    #[test]
+    fn display_format() {
+        let fv = FeatureCodec::default().encode(&sample_keypoints());
+        let s = fv.to_string();
+        assert!(s.contains("Head:2"));
+        assert!(s.contains("Hand:7"));
+        let mut kp = sample_keypoints();
+        kp.hand = None;
+        let s2 = FeatureCodec::default().encode(&kp).to_string();
+        assert!(s2.contains("Hand:-"));
+    }
+}

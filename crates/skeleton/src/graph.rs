@@ -1,0 +1,983 @@
+//! Skeleton graphs: pixel-level adjacency and the segment-level graph the
+//! clean-up steps of Section 3 operate on.
+//!
+//! The paper converts the thinning result into a graph and then removes
+//! *adjacent junction vertices* — junction pixels with more than one
+//! junction pixel among their 8-neighbours — so every node ends up with
+//! degree ≤ 4. This module implements that as junction *clustering*: each
+//! connected group of mutually adjacent junction pixels collapses into a
+//! single [`SkeletonGraph`] node placed at the cluster centroid, connected
+//! to every segment that touched the cluster (which is what the paper's
+//! subsequent maximum-spanning-tree step restores via "the new junction
+//! vertex can connect to all of its neighbors").
+
+use slj_imaging::binary::BinaryImage;
+use std::collections::HashMap;
+
+/// Adjacency graph over the set pixels of a skeleton mask.
+///
+/// Orthogonal neighbours are always connected; diagonal neighbours are
+/// connected only when they do not already share a set orthogonal
+/// neighbour. This standard rule avoids counting the little triangles of
+/// an 8-connected digital curve as junctions.
+#[derive(Debug, Clone)]
+pub struct PixelGraph {
+    width: usize,
+    height: usize,
+    positions: Vec<(usize, usize)>,
+    index: HashMap<(usize, usize), usize>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl PixelGraph {
+    /// Builds the pixel graph of `mask`.
+    pub fn from_mask(mask: &BinaryImage) -> Self {
+        let positions: Vec<(usize, usize)> = mask.iter_ones().collect();
+        let index: HashMap<(usize, usize), usize> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        let mut adj = vec![Vec::new(); positions.len()];
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            let (xi, yi) = (x as isize, y as isize);
+            for (dx, dy) in [
+                (1isize, 0isize),
+                (0, 1),
+                (1, 1),
+                (1, -1),
+            ] {
+                let (nx, ny) = (xi + dx, yi + dy);
+                if !mask.get_or_false(nx, ny) {
+                    continue;
+                }
+                // Diagonal step: skip when a shared orthogonal pixel is
+                // set (the connection already exists through it).
+                if dx != 0 && dy != 0 {
+                    let shared_a = mask.get_or_false(xi + dx, yi);
+                    let shared_b = mask.get_or_false(xi, yi + dy);
+                    if shared_a || shared_b {
+                        continue;
+                    }
+                }
+                let j = index[&(nx as usize, ny as usize)];
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+        PixelGraph {
+            width: mask.width(),
+            height: mask.height(),
+            positions,
+            index,
+            adj,
+        }
+    }
+
+    /// Number of pixels (vertices).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Mask dimensions the graph was built from.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Position of vertex `i`.
+    pub fn position(&self, i: usize) -> (usize, usize) {
+        self.positions[i]
+    }
+
+    /// Vertex index of the pixel at `pos`, if set.
+    pub fn vertex_at(&self, pos: (usize, usize)) -> Option<usize> {
+        self.index.get(&pos).copied()
+    }
+
+    /// Degree of vertex `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Neighbours of vertex `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Indices of junction pixels (degree ≥ 3).
+    pub fn junction_pixels(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.degree(i) >= 3).collect()
+    }
+
+    /// Indices of end pixels (degree 1).
+    pub fn end_pixels(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.degree(i) == 1).collect()
+    }
+
+    /// Number of *adjacent junction vertices* in the paper's sense:
+    /// junction pixels with more than one junction pixel among their
+    /// neighbours.
+    pub fn adjacent_junction_count(&self) -> usize {
+        let is_junction: Vec<bool> = (0..self.len()).map(|i| self.degree(i) >= 3).collect();
+        (0..self.len())
+            .filter(|&i| {
+                is_junction[i]
+                    && self.adj[i].iter().filter(|&&j| is_junction[j]).count() > 1
+            })
+            .count()
+    }
+}
+
+/// Classification of a segment-graph node by its current degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// No incident edges.
+    Isolated,
+    /// Exactly one incident edge — a branch tip.
+    End,
+    /// Exactly two incident edges — a pass-through point (left by loop
+    /// cuts or pruning; removable by [`SkeletonGraph::normalize`]).
+    Corner,
+    /// Three or more incident edges — a body-part intersection
+    /// ("head and hand", "hand and foot" in the paper).
+    Junction,
+}
+
+/// A node of the segment graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Position (cluster centroid for merged junctions).
+    pub pos: (f64, f64),
+    /// Number of junction *pixels* merged into this node (1 for plain
+    /// nodes; > 1 marks a removed adjacent-junction cluster).
+    pub merged_pixels: usize,
+}
+
+/// An edge of the segment graph: a chain of skeleton pixels between two
+/// nodes (inclusive of the terminal pixels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// First incident node.
+    pub a: usize,
+    /// Second incident node (may equal `a` for a cycle).
+    pub b: usize,
+    /// The pixel chain from `a`'s side to `b`'s side.
+    pub path: Vec<(usize, usize)>,
+}
+
+impl Edge {
+    /// Length of the edge in pixels.
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Whether the path is empty (never true for constructed edges).
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// Whether the edge is a self-loop.
+    pub fn is_self_loop(&self) -> bool {
+        self.a == self.b
+    }
+}
+
+/// The segment-level skeleton graph of Section 3.
+///
+/// Nodes are endpoints, isolated pixels and (clustered) junctions; edges
+/// are the pixel chains between them. All clean-up operations — loop
+/// cutting ([`crate::spanning`]) and branch pruning ([`crate::prune`]) —
+/// act on this structure.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::binary::BinaryImage;
+/// use slj_skeleton::graph::SkeletonGraph;
+///
+/// // A plus sign: one junction, four ends. ('1' also means "set";
+/// // a leading '#' would be eaten by rustdoc's hidden-line syntax.)
+/// let mask = BinaryImage::from_ascii(
+///     "...1...\n\
+///      ...1...\n\
+///      ...1...\n\
+///      1111111\n\
+///      ...1...\n\
+///      ...1...\n\
+///      ...1...\n",
+/// );
+/// let graph = SkeletonGraph::from_mask(&mask);
+/// assert_eq!(graph.node_ids().count(), 5);
+/// assert_eq!(graph.edge_ids().count(), 4);
+/// assert_eq!(graph.cycle_rank(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkeletonGraph {
+    width: usize,
+    height: usize,
+    nodes: Vec<Node>,
+    node_alive: Vec<bool>,
+    edges: Vec<Edge>,
+    edge_alive: Vec<bool>,
+    /// Junction clusters of size > 1 encountered during construction.
+    merged_clusters: usize,
+}
+
+impl SkeletonGraph {
+    /// Builds the segment graph of a skeleton mask.
+    pub fn from_mask(mask: &BinaryImage) -> Self {
+        Self::from_pixel_graph(&PixelGraph::from_mask(mask))
+    }
+
+    /// Builds the segment graph from an existing pixel graph.
+    pub fn from_pixel_graph(pg: &PixelGraph) -> Self {
+        let n = pg.len();
+        let (width, height) = pg.dimensions();
+        // 1. Junction clustering.
+        let is_junction: Vec<bool> = (0..n).map(|i| pg.degree(i) >= 3).collect();
+        let mut node_of_pixel: Vec<Option<usize>> = vec![None; n];
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut merged_clusters = 0usize;
+        for i in 0..n {
+            if !is_junction[i] || node_of_pixel[i].is_some() {
+                continue;
+            }
+            // Flood the junction cluster.
+            let node_id = nodes.len();
+            let mut stack = vec![i];
+            let mut members = Vec::new();
+            node_of_pixel[i] = Some(node_id);
+            while let Some(v) = stack.pop() {
+                members.push(v);
+                for &w in pg.neighbors(v) {
+                    if is_junction[w] && node_of_pixel[w].is_none() {
+                        node_of_pixel[w] = Some(node_id);
+                        stack.push(w);
+                    }
+                }
+            }
+            let (sx, sy) = members.iter().fold((0.0, 0.0), |(ax, ay), &v| {
+                let (x, y) = pg.position(v);
+                (ax + x as f64, ay + y as f64)
+            });
+            let count = members.len();
+            if count > 1 {
+                merged_clusters += 1;
+            }
+            nodes.push(Node {
+                pos: (sx / count as f64, sy / count as f64),
+                merged_pixels: count,
+            });
+        }
+        // End and isolated pixels are single-pixel nodes.
+        for i in 0..n {
+            if pg.degree(i) <= 1 && node_of_pixel[i].is_none() {
+                let (x, y) = pg.position(i);
+                node_of_pixel[i] = Some(nodes.len());
+                nodes.push(Node {
+                    pos: (x as f64, y as f64),
+                    merged_pixels: 1,
+                });
+            }
+        }
+
+        // 2. Trace segments between node pixels through degree-2 chains.
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut used_step: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        let mut pixel_in_edge: Vec<bool> = vec![false; n];
+        for start in 0..n {
+            let Some(a) = node_of_pixel[start] else {
+                continue;
+            };
+            for &first in pg.neighbors(start) {
+                if node_of_pixel[first] == Some(a) && is_junction[first] && is_junction[start] {
+                    // Internal cluster step, not a segment.
+                    continue;
+                }
+                if used_step.contains(&(start, first)) {
+                    continue;
+                }
+                // Walk the chain.
+                let mut path = vec![pg.position(start)];
+                let mut prev = start;
+                let mut cur = first;
+                loop {
+                    path.push(pg.position(cur));
+                    if let Some(b) = node_of_pixel[cur] {
+                        // Terminate at any node pixel.
+                        used_step.insert((start, first));
+                        used_step.insert((cur, prev));
+                        edges.push(Edge { a, b, path });
+                        break;
+                    }
+                    pixel_in_edge[cur] = true;
+                    // Regular pixel: exactly two neighbours.
+                    let next = pg
+                        .neighbors(cur)
+                        .iter()
+                        .copied()
+                        .find(|&w| w != prev);
+                    match next {
+                        Some(w) => {
+                            prev = cur;
+                            cur = w;
+                        }
+                        None => {
+                            // Dead end without a node pixel — should not
+                            // happen (degree-1 pixels are nodes), but
+                            // terminate defensively as an extra end node.
+                            let (x, y) = pg.position(cur);
+                            let b = nodes.len();
+                            nodes.push(Node {
+                                pos: (x as f64, y as f64),
+                                merged_pixels: 1,
+                            });
+                            used_step.insert((start, first));
+                            edges.push(Edge { a, b, path });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Pure cycles: degree-2 components never touched above.
+        for i in 0..n {
+            if node_of_pixel[i].is_some() || pixel_in_edge[i] || pg.degree(i) != 2 {
+                continue;
+            }
+            // Promote this pixel to an artificial node and trace the loop.
+            let (x, y) = pg.position(i);
+            let a = nodes.len();
+            nodes.push(Node {
+                pos: (x as f64, y as f64),
+                merged_pixels: 1,
+            });
+            let mut path = vec![pg.position(i)];
+            let mut prev = i;
+            let mut cur = pg.neighbors(i)[0];
+            pixel_in_edge[i] = true;
+            while cur != i {
+                path.push(pg.position(cur));
+                pixel_in_edge[cur] = true;
+                let next = pg
+                    .neighbors(cur)
+                    .iter()
+                    .copied()
+                    .find(|&w| w != prev)
+                    .expect("cycle pixel must have two neighbours");
+                prev = cur;
+                cur = next;
+            }
+            path.push(pg.position(i));
+            edges.push(Edge { a, b: a, path });
+        }
+
+        let node_alive = vec![true; nodes.len()];
+        let edge_alive = vec![true; edges.len()];
+        SkeletonGraph {
+            width,
+            height,
+            nodes,
+            node_alive,
+            edges,
+            edge_alive,
+            merged_clusters,
+        }
+    }
+
+    /// Mask dimensions the graph was built from.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Number of junction clusters with more than one pixel that were
+    /// collapsed during construction (the paper's removed adjacent
+    /// junction vertices).
+    pub fn merged_cluster_count(&self) -> usize {
+        self.merged_clusters
+    }
+
+    /// IDs of live nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes.len()).filter(move |&i| self.node_alive[i])
+    }
+
+    /// IDs of live edges.
+    pub fn edge_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.edges.len()).filter(move |&i| self.edge_alive[i])
+    }
+
+    /// The node with the given ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was removed.
+    pub fn node(&self, id: usize) -> &Node {
+        assert!(self.node_alive[id], "node {id} has been removed");
+        &self.nodes[id]
+    }
+
+    /// The edge with the given ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge was removed.
+    pub fn edge(&self, id: usize) -> &Edge {
+        assert!(self.edge_alive[id], "edge {id} has been removed");
+        &self.edges[id]
+    }
+
+    /// Degree of a node (self-loops count twice).
+    pub fn degree(&self, node: usize) -> usize {
+        self.edge_ids()
+            .map(|e| {
+                let edge = &self.edges[e];
+                (edge.a == node) as usize + (edge.b == node) as usize
+            })
+            .sum()
+    }
+
+    /// Kind of a node by its current degree.
+    pub fn kind(&self, node: usize) -> NodeKind {
+        match self.degree(node) {
+            0 => NodeKind::Isolated,
+            1 => NodeKind::End,
+            2 => NodeKind::Corner,
+            _ => NodeKind::Junction,
+        }
+    }
+
+    /// Live edges incident to `node`.
+    pub fn incident_edges(&self, node: usize) -> Vec<usize> {
+        self.edge_ids()
+            .filter(|&e| self.edges[e].a == node || self.edges[e].b == node)
+            .collect()
+    }
+
+    /// Number of connected components among live nodes.
+    pub fn component_count(&self) -> usize {
+        self.components().len()
+    }
+
+    /// Connected components as lists of node IDs.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen: HashMap<usize, bool> = self.node_ids().map(|i| (i, false)).collect();
+        let mut comps = Vec::new();
+        for start in self.node_ids() {
+            if seen[&start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            *seen.get_mut(&start).unwrap() = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for e in self.incident_edges(v) {
+                    let edge = &self.edges[e];
+                    let other = if edge.a == v { edge.b } else { edge.a };
+                    if let Some(s) = seen.get_mut(&other) {
+                        if !*s {
+                            *s = true;
+                            stack.push(other);
+                        }
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Number of independent cycles: `E - V + C` over live elements.
+    pub fn cycle_rank(&self) -> usize {
+        let v = self.node_ids().count();
+        let e = self.edge_ids().count();
+        let c = self.component_count();
+        (e + c).saturating_sub(v)
+    }
+
+    /// Total number of skeleton pixels across live edges (shared terminal
+    /// pixels counted per edge).
+    pub fn total_path_pixels(&self) -> usize {
+        self.edge_ids().map(|e| self.edges[e].len()).sum()
+    }
+
+    /// Removes an edge (its pixels disappear from the skeleton). Nodes
+    /// left isolated are removed too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge was already removed.
+    pub fn remove_edge(&mut self, edge_id: usize) {
+        assert!(self.edge_alive[edge_id], "edge {edge_id} already removed");
+        self.edge_alive[edge_id] = false;
+        let Edge { a, b, .. } = self.edges[edge_id];
+        for node in [a, b] {
+            if self.node_alive[node] && self.degree(node) == 0 {
+                self.node_alive[node] = false;
+            }
+        }
+    }
+
+    /// Splits an edge at its middle pixel (the paper's loop-cut "green
+    /// dot"): the midpoint pixel is discarded and the two halves become
+    /// edges ending in fresh [`NodeKind::End`] nodes.
+    ///
+    /// Edges of length < 3 are simply removed (there is no interior pixel
+    /// to cut at).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge was already removed.
+    pub fn split_edge_at_midpoint(&mut self, edge_id: usize) {
+        assert!(self.edge_alive[edge_id], "edge {edge_id} already removed");
+        let edge = self.edges[edge_id].clone();
+        if edge.len() < 3 {
+            self.remove_edge(edge_id);
+            return;
+        }
+        let mid = edge.len() / 2;
+        let first_half: Vec<_> = edge.path[..mid].to_vec();
+        let second_half: Vec<_> = edge.path[mid + 1..].to_vec();
+        self.edge_alive[edge_id] = false;
+        if !first_half.is_empty() {
+            let tip = *first_half.last().unwrap();
+            let tip_node = self.push_node(tip);
+            self.push_edge(Edge {
+                a: edge.a,
+                b: tip_node,
+                path: first_half,
+            });
+        }
+        if !second_half.is_empty() {
+            let tip = second_half[0];
+            let tip_node = self.push_node(tip);
+            self.push_edge(Edge {
+                a: tip_node,
+                b: edge.b,
+                path: second_half,
+            });
+        }
+    }
+
+    fn push_node(&mut self, pos: (usize, usize)) -> usize {
+        self.nodes.push(Node {
+            pos: (pos.0 as f64, pos.1 as f64),
+            merged_pixels: 1,
+        });
+        self.node_alive.push(true);
+        self.nodes.len() - 1
+    }
+
+    fn push_edge(&mut self, edge: Edge) -> usize {
+        self.edges.push(edge);
+        self.edge_alive.push(true);
+        self.edges.len() - 1
+    }
+
+    /// Splices out pass-through nodes: every [`NodeKind::Corner`] node
+    /// whose two incident edges are distinct gets removed and its edges
+    /// concatenated, so branch lengths are measured junction-to-end as the
+    /// pruning step requires.
+    pub fn normalize(&mut self) {
+        loop {
+            let candidate = self.node_ids().find(|&v| {
+                let inc = self.incident_edges(v);
+                inc.len() == 2 && inc[0] != inc[1] && !self.edges[inc[0]].is_self_loop()
+                    && !self.edges[inc[1]].is_self_loop()
+            });
+            let Some(v) = candidate else {
+                break;
+            };
+            let inc = self.incident_edges(v);
+            let (e1, e2) = (inc[0], inc[1]);
+            let mut p1 = self.edges[e1].path.clone();
+            let mut p2 = self.edges[e2].path.clone();
+            // Orient p1 to end at v and p2 to start at v.
+            let a = if self.edges[e1].a == v {
+                p1.reverse();
+                self.edges[e1].b
+            } else {
+                self.edges[e1].a
+            };
+            let b = if self.edges[e2].a == v {
+                self.edges[e2].b
+            } else {
+                p2.reverse();
+                self.edges[e2].a
+            };
+            // Drop the duplicated shared pixel at the seam.
+            let mut path = p1;
+            path.extend(p2.into_iter().skip(1));
+            self.edge_alive[e1] = false;
+            self.edge_alive[e2] = false;
+            self.node_alive[v] = false;
+            self.push_edge(Edge { a, b, path });
+        }
+    }
+
+    /// Renders the live edges (and node positions) back into a mask.
+    pub fn to_mask(&self) -> BinaryImage {
+        let mut mask = BinaryImage::new(self.width, self.height);
+        for e in self.edge_ids() {
+            for &(x, y) in &self.edges[e].path {
+                mask.set(x, y, true);
+            }
+        }
+        for v in self.node_ids() {
+            let (x, y) = self.nodes[v].pos;
+            let (xi, yi) = (x.round() as isize, y.round() as isize);
+            if xi >= 0 && yi >= 0 && (xi as usize) < self.width && (yi as usize) < self.height {
+                mask.set(xi as usize, yi as usize, true);
+            }
+        }
+        mask
+    }
+
+    /// Shortest node-to-node route (by pixel length) between `from` and
+    /// `to`, returned as the concatenated pixel path; `None` when
+    /// disconnected. Uses Dijkstra over edge pixel lengths.
+    pub fn pixel_path(&self, from: usize, to: usize) -> Option<Vec<(usize, usize)>> {
+        if from == to {
+            let (x, y) = self.nodes[from].pos;
+            return Some(vec![(x.round() as usize, y.round() as usize)]);
+        }
+        let mut dist: HashMap<usize, usize> = HashMap::new();
+        let mut back: HashMap<usize, (usize, usize)> = HashMap::new(); // node -> (prev node, via edge)
+        let mut heap = std::collections::BinaryHeap::new();
+        dist.insert(from, 0);
+        heap.push(std::cmp::Reverse((0usize, from)));
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            if v == to {
+                break;
+            }
+            if dist.get(&v).copied().unwrap_or(usize::MAX) < d {
+                continue;
+            }
+            for e in self.incident_edges(v) {
+                let edge = &self.edges[e];
+                if edge.is_self_loop() {
+                    continue;
+                }
+                let other = if edge.a == v { edge.b } else { edge.a };
+                let nd = d + edge.len();
+                if nd < dist.get(&other).copied().unwrap_or(usize::MAX) {
+                    dist.insert(other, nd);
+                    back.insert(other, (v, e));
+                    heap.push(std::cmp::Reverse((nd, other)));
+                }
+            }
+        }
+        if !back.contains_key(&to) {
+            return None;
+        }
+        // Reconstruct the pixel path.
+        let mut segments: Vec<Vec<(usize, usize)>> = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (prev, e) = back[&cur];
+            let edge = &self.edges[e];
+            let mut p = edge.path.clone();
+            if edge.a == cur {
+                // path runs cur -> prev; reverse to prev -> cur
+                p.reverse();
+            }
+            segments.push(p);
+            cur = prev;
+        }
+        segments.reverse();
+        let mut out: Vec<(usize, usize)> = Vec::new();
+        for seg in segments {
+            let skip = usize::from(!out.is_empty());
+            out.extend(seg.into_iter().skip(skip));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plus_sign() -> BinaryImage {
+        BinaryImage::from_ascii(
+            "...#...\n\
+             ...#...\n\
+             ...#...\n\
+             #######\n\
+             ...#...\n\
+             ...#...\n\
+             ...#...\n",
+        )
+    }
+
+    #[test]
+    fn pixel_graph_degrees_on_line() {
+        let mask = BinaryImage::from_ascii("#####\n");
+        let pg = PixelGraph::from_mask(&mask);
+        assert_eq!(pg.len(), 5);
+        assert_eq!(pg.end_pixels().len(), 2);
+        assert!(pg.junction_pixels().is_empty());
+    }
+
+    #[test]
+    fn pixel_graph_skips_redundant_diagonals() {
+        // Staircase: each pixel connects orthogonally through the shared
+        // neighbour; the diagonal shortcut must be skipped.
+        let mask = BinaryImage::from_ascii(
+            "##.\n\
+             .##\n",
+        );
+        let pg = PixelGraph::from_mask(&mask);
+        let v = pg.vertex_at((1, 0)).unwrap();
+        // (1,0) connects to (0,0) and (1,1) but NOT diagonally to (2,1).
+        assert_eq!(pg.degree(v), 2);
+    }
+
+    #[test]
+    fn pixel_graph_keeps_true_diagonals() {
+        let mask = BinaryImage::from_ascii(
+            "#.\n\
+             .#\n",
+        );
+        let pg = PixelGraph::from_mask(&mask);
+        assert_eq!(pg.degree(0), 1);
+        assert_eq!(pg.degree(1), 1);
+    }
+
+    #[test]
+    fn plus_sign_segment_graph() {
+        let g = SkeletonGraph::from_mask(&plus_sign());
+        assert_eq!(g.node_ids().count(), 5);
+        assert_eq!(g.edge_ids().count(), 4);
+        assert_eq!(g.cycle_rank(), 0);
+        assert_eq!(g.component_count(), 1);
+        let junctions: Vec<_> = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == NodeKind::Junction)
+            .collect();
+        assert_eq!(junctions.len(), 1);
+        assert_eq!(g.degree(junctions[0]), 4);
+    }
+
+    #[test]
+    fn ring_has_cycle_rank_one() {
+        let mask = BinaryImage::from_ascii(
+            ".###.\n\
+             .#.#.\n\
+             .###.\n",
+        );
+        let g = SkeletonGraph::from_mask(&mask);
+        assert_eq!(g.cycle_rank(), 1);
+        assert_eq!(g.component_count(), 1);
+    }
+
+    #[test]
+    fn lollipop_ring_plus_tail() {
+        // A ring with a tail: junction where the tail meets the ring.
+        let mask = BinaryImage::from_ascii(
+            ".###....\n\
+             .#.#....\n\
+             .#######\n",
+        );
+        let g = SkeletonGraph::from_mask(&mask);
+        assert_eq!(g.cycle_rank(), 1);
+        let ends: Vec<_> = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == NodeKind::End)
+            .collect();
+        assert_eq!(ends.len(), 1, "one tail end");
+    }
+
+    #[test]
+    fn merged_cluster_detected() {
+        // Three junction pixels in a row at (1,1), (2,1), (3,1); the
+        // middle one has two junction neighbours, making it an adjacent
+        // junction vertex in the paper's sense.
+        let mask = BinaryImage::from_ascii(
+            ".#.#...\n\
+             #####..\n\
+             ..#....\n",
+        );
+        let pg = PixelGraph::from_mask(&mask);
+        assert_eq!(pg.junction_pixels().len(), 3);
+        assert_eq!(pg.adjacent_junction_count(), 1);
+        let g = SkeletonGraph::from_pixel_graph(&pg);
+        assert_eq!(g.merged_cluster_count(), 1);
+        // Cluster collapses to one node carrying all five branches.
+        let junctions: Vec<_> = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == NodeKind::Junction)
+            .collect();
+        assert_eq!(junctions.len(), 1);
+        assert_eq!(g.degree(junctions[0]), 5);
+        assert_eq!(g.node(junctions[0]).merged_pixels, 3);
+        assert_eq!(
+            g.node_ids()
+                .filter(|&v| g.kind(v) == NodeKind::End)
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn two_junction_cluster_is_not_adjacent_by_paper_definition() {
+        // Two junction pixels side by side: each has exactly one junction
+        // neighbour, so neither crosses the "more than one" bar, yet they
+        // still merge into a single segment-graph node.
+        let mask = BinaryImage::from_ascii(
+            "..#..#..\n\
+             ...##...\n\
+             ..#..#..\n",
+        );
+        let pg = PixelGraph::from_mask(&mask);
+        assert_eq!(pg.junction_pixels().len(), 2);
+        assert_eq!(pg.adjacent_junction_count(), 0);
+        let g = SkeletonGraph::from_pixel_graph(&pg);
+        assert_eq!(g.merged_cluster_count(), 1);
+        let junctions: Vec<_> = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == NodeKind::Junction)
+            .collect();
+        assert_eq!(junctions.len(), 1);
+        assert_eq!(g.degree(junctions[0]), 4);
+    }
+
+    #[test]
+    fn remove_edge_updates_structure() {
+        let mut g = SkeletonGraph::from_mask(&plus_sign());
+        let shortest = g
+            .edge_ids()
+            .min_by_key(|&e| g.edge(e).len())
+            .unwrap();
+        let nodes_before = g.node_ids().count();
+        g.remove_edge(shortest);
+        assert_eq!(g.edge_ids().count(), 3);
+        // The orphaned end node disappears.
+        assert_eq!(g.node_ids().count(), nodes_before - 1);
+    }
+
+    #[test]
+    fn split_edge_cuts_cycle() {
+        let mask = BinaryImage::from_ascii(
+            ".###.\n\
+             .#.#.\n\
+             .###.\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        assert_eq!(g.cycle_rank(), 1);
+        let loop_edge = g.edge_ids().find(|&e| g.edge(e).is_self_loop()).unwrap();
+        let pixels_before = g.total_path_pixels();
+        g.split_edge_at_midpoint(loop_edge);
+        assert_eq!(g.cycle_rank(), 0);
+        // Exactly one pixel (the midpoint) is gone, modulo the duplicated
+        // seam pixel of the self-loop path.
+        assert!(g.total_path_pixels() < pixels_before);
+        assert_eq!(g.component_count(), 1);
+    }
+
+    #[test]
+    fn split_short_edge_just_removes() {
+        let mask = BinaryImage::from_ascii("##\n");
+        let mut g = SkeletonGraph::from_mask(&mask);
+        let e = g.edge_ids().next().unwrap();
+        g.split_edge_at_midpoint(e);
+        assert_eq!(g.edge_ids().count(), 0);
+    }
+
+    #[test]
+    fn normalize_merges_corner_nodes() {
+        let mask = BinaryImage::from_ascii(
+            ".###.\n\
+             .#.#.\n\
+             .###.\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        let loop_edge = g.edge_ids().find(|&e| g.edge(e).is_self_loop()).unwrap();
+        g.split_edge_at_midpoint(loop_edge);
+        // The split leaves the artificial loop node with degree 2.
+        g.normalize();
+        let corner_count = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == NodeKind::Corner)
+            .count();
+        assert_eq!(corner_count, 0);
+        assert_eq!(g.edge_ids().count(), 1);
+        assert_eq!(
+            g.node_ids()
+                .filter(|&v| g.kind(v) == NodeKind::End)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn pixel_path_via_dijkstra() {
+        let g = SkeletonGraph::from_mask(&plus_sign());
+        // Path between the two horizontal ends passes the junction.
+        let ends: Vec<_> = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == NodeKind::End)
+            .collect();
+        let left = *ends
+            .iter()
+            .min_by(|&&a, &&b| {
+                g.node(a)
+                    .pos
+                    .0
+                    .partial_cmp(&g.node(b).pos.0)
+                    .unwrap()
+            })
+            .unwrap();
+        let right = *ends
+            .iter()
+            .max_by(|&&a, &&b| {
+                g.node(a)
+                    .pos
+                    .0
+                    .partial_cmp(&g.node(b).pos.0)
+                    .unwrap()
+            })
+            .unwrap();
+        let path = g.pixel_path(left, right).unwrap();
+        assert_eq!(path.first(), Some(&(0, 3)));
+        assert_eq!(path.last(), Some(&(6, 3)));
+        assert_eq!(path.len(), 7);
+    }
+
+    #[test]
+    fn pixel_path_disconnected_returns_none() {
+        let mask = BinaryImage::from_ascii("##..##\n");
+        let g = SkeletonGraph::from_mask(&mask);
+        let nodes: Vec<_> = g.node_ids().collect();
+        // Find nodes in different components.
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        assert!(g.pixel_path(comps[0][0], comps[1][0]).is_none());
+        assert!(nodes.len() >= 4);
+    }
+
+    #[test]
+    fn to_mask_round_trips_pixels() {
+        let mask = plus_sign();
+        let g = SkeletonGraph::from_mask(&mask);
+        assert_eq!(g.to_mask(), mask);
+    }
+
+    #[test]
+    fn isolated_pixel_is_isolated_node() {
+        let mut mask = BinaryImage::new(5, 5);
+        mask.set(2, 2, true);
+        let g = SkeletonGraph::from_mask(&mask);
+        assert_eq!(g.node_ids().count(), 1);
+        let v = g.node_ids().next().unwrap();
+        assert_eq!(g.kind(v), NodeKind::Isolated);
+    }
+}

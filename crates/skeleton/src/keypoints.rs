@@ -1,0 +1,342 @@
+//! Key-point extraction from the cleaned skeleton (Section 4).
+//!
+//! The paper anchors the body parts on the skeleton as follows: the lowest
+//! point is always the Foot ("no matter what pose it is Foot is always the
+//! lowest point"), the path from Head to Foot is the torso, and the waist
+//! sits at the middle of the torso. The remaining parts are placed from
+//! the skeleton structure: Chest on the upper torso, Knee on the lower
+//! torso, and Hand at the most protruding remaining branch tip.
+
+use crate::graph::{NodeKind, SkeletonGraph};
+
+/// A 2-D point in image coordinates (x right, y down).
+pub type Point = (f64, f64);
+
+/// The five body-part key points plus the waist origin.
+///
+/// Any part the skeleton does not expose (e.g. a hand folded against the
+/// body never produces its own branch) is `None`; the feature encoding
+/// treats that as an explicit *absent* state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KeyPoints {
+    /// Top of the skeleton (highest end vertex).
+    pub head: Option<Point>,
+    /// Upper-torso point (first quartile of the Head→Foot path).
+    pub chest: Option<Point>,
+    /// Tip of the most protruding non-torso branch.
+    pub hand: Option<Point>,
+    /// Lower-torso point (third quartile of the Head→Foot path).
+    pub knee: Option<Point>,
+    /// Lowest skeleton point.
+    pub foot: Option<Point>,
+    /// Waist — midpoint of the torso path; the origin of the area
+    /// encoding (Figure 6).
+    pub waist: Option<Point>,
+}
+
+impl KeyPoints {
+    /// Number of detected (non-`None`) body parts, excluding the waist.
+    pub fn detected_parts(&self) -> usize {
+        [self.head, self.chest, self.hand, self.knee, self.foot]
+            .iter()
+            .filter(|p| p.is_some())
+            .count()
+    }
+}
+
+/// Extracts [`KeyPoints`] from a cleaned [`SkeletonGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeypointExtractor {
+    _private: (),
+}
+
+impl KeypointExtractor {
+    /// Creates an extractor with the paper's conventions.
+    pub fn new() -> Self {
+        KeypointExtractor::default()
+    }
+
+    /// Runs key-point extraction.
+    ///
+    /// Returns an all-`None` [`KeyPoints`] when the graph is empty; when
+    /// head and foot live in different components (a torn skeleton), only
+    /// foot/head are filled.
+    pub fn extract(&self, graph: &SkeletonGraph) -> KeyPoints {
+        let mut kp = KeyPoints::default();
+        let nodes: Vec<usize> = graph.node_ids().collect();
+        if nodes.is_empty() {
+            return kp;
+        }
+
+        // Foot: the lowest node (max y, then min x for determinism).
+        let foot_node = *nodes
+            .iter()
+            .max_by(|&&a, &&b| {
+                let pa = graph.node(a).pos;
+                let pb = graph.node(b).pos;
+                pa.1.partial_cmp(&pb.1)
+                    .unwrap()
+                    .then(pb.0.partial_cmp(&pa.0).unwrap())
+            })
+            .unwrap();
+        kp.foot = Some(graph.node(foot_node).pos);
+
+        // Head: the highest end vertex; fall back to the highest node of
+        // any kind when the skeleton has no end vertices (e.g. one ring).
+        let head_node = nodes
+            .iter()
+            .copied()
+            .filter(|&v| graph.kind(v) == NodeKind::End && v != foot_node)
+            .min_by(|&a, &b| {
+                let pa = graph.node(a).pos;
+                let pb = graph.node(b).pos;
+                pa.1.partial_cmp(&pb.1)
+                    .unwrap()
+                    .then(pa.0.partial_cmp(&pb.0).unwrap())
+            })
+            .or_else(|| {
+                nodes
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != foot_node)
+                    .min_by(|&a, &b| {
+                        let pa = graph.node(a).pos;
+                        let pb = graph.node(b).pos;
+                        pa.1.partial_cmp(&pb.1)
+                            .unwrap()
+                            .then(pa.0.partial_cmp(&pb.0).unwrap())
+                    })
+            });
+        let Some(head_node) = head_node else {
+            // Single-node skeleton: foot only.
+            return kp;
+        };
+        kp.head = Some(graph.node(head_node).pos);
+
+        // Torso: the Head→Foot pixel path; waist at its middle, chest and
+        // knee at the quartiles.
+        if let Some(torso) = graph.pixel_path(head_node, foot_node) {
+            if !torso.is_empty() {
+                let at = |frac: f64| -> Point {
+                    let idx = ((torso.len() - 1) as f64 * frac).round() as usize;
+                    let (x, y) = torso[idx];
+                    (x as f64, y as f64)
+                };
+                kp.waist = Some(at(0.5));
+                kp.chest = Some(at(0.25));
+                kp.knee = Some(at(0.75));
+            }
+        }
+
+        // Hand: among the remaining end vertices, the tip farthest from
+        // the waist (protruding limbs swing away from the body's centre).
+        // The second leg also produces a spare end vertex, so candidates
+        // must sit above the waist–foot midpoint — an arm tip does, a
+        // foot tip does not.
+        if let (Some(waist), Some(foot)) = (kp.waist, kp.foot) {
+            let y_cutoff = (waist.1 + foot.1) / 2.0;
+            let candidates: Vec<usize> = nodes
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    v != head_node && v != foot_node && graph.kind(v) == NodeKind::End
+                })
+                .collect();
+            let farthest = |vs: &[usize]| -> Option<(f64, f64)> {
+                vs.iter()
+                    .copied()
+                    .max_by(|&a, &b| {
+                        let da = dist2(graph.node(a).pos, waist);
+                        let db = dist2(graph.node(b).pos, waist);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .map(|v| graph.node(v).pos)
+            };
+            let upper: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&v| graph.node(v).pos.1 < y_cutoff)
+                .collect();
+            // Prefer a tip above the waist–foot midpoint (an arm);
+            // otherwise take whatever protrudes the most (the paper's
+            // assignment is equally heuristic: "we try to assign body
+            // parts to other key points").
+            kp.hand = farthest(&upper).or_else(|| farthest(&candidates));
+        }
+        kp
+    }
+}
+
+fn dist2(a: Point, b: Point) -> f64 {
+    let (dx, dy) = (a.0 - b.0, a.1 - b.1);
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imaging::binary::BinaryImage;
+
+    fn extract(mask: &BinaryImage) -> KeyPoints {
+        KeypointExtractor::new().extract(&SkeletonGraph::from_mask(mask))
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let kp = extract(&BinaryImage::new(8, 8));
+        assert_eq!(kp.detected_parts(), 0);
+        assert!(kp.waist.is_none());
+    }
+
+    #[test]
+    fn vertical_line_head_top_foot_bottom() {
+        let mut mask = BinaryImage::new(5, 21);
+        for y in 0..21 {
+            mask.set(2, y, true);
+        }
+        let kp = extract(&mask);
+        assert_eq!(kp.head, Some((2.0, 0.0)));
+        assert_eq!(kp.foot, Some((2.0, 20.0)));
+        assert_eq!(kp.waist, Some((2.0, 10.0)));
+        assert_eq!(kp.chest, Some((2.0, 5.0)));
+        assert_eq!(kp.knee, Some((2.0, 15.0)));
+        assert!(kp.hand.is_none(), "a bare line has no hand branch");
+    }
+
+    #[test]
+    fn stick_figure_with_arm() {
+        // Vertical torso with a horizontal arm branching at 1/3 height.
+        let mut mask = BinaryImage::new(24, 30);
+        for y in 0..30 {
+            mask.set(4, y, true);
+        }
+        for x in 5..20 {
+            mask.set(x, 10, true);
+        }
+        let kp = extract(&mask);
+        assert_eq!(kp.head, Some((4.0, 0.0)));
+        assert_eq!(kp.foot, Some((4.0, 29.0)));
+        let hand = kp.hand.expect("arm tip should be the hand");
+        assert_eq!(hand, (19.0, 10.0));
+        let waist = kp.waist.unwrap();
+        assert_eq!(waist.0, 4.0);
+        assert!((waist.1 - 14.0).abs() <= 1.5, "waist near torso middle: {waist:?}");
+    }
+
+    #[test]
+    fn waist_is_midpoint_of_torso_path() {
+        // L-shaped skeleton: the torso path bends, and the waist must be
+        // at half the *path length*, not half the bounding box.
+        let mut mask = BinaryImage::new(30, 30);
+        for y in 0..20 {
+            mask.set(3, y, true);
+        }
+        for x in 3..23 {
+            mask.set(x, 19, true);
+        }
+        let kp = extract(&mask);
+        assert_eq!(kp.head, Some((3.0, 0.0)));
+        assert_eq!(kp.foot, Some((22.0, 19.0)));
+        let waist = kp.waist.unwrap();
+        // Path length 39, midpoint index 19 → (3,19) the corner.
+        assert_eq!(waist, (3.0, 19.0));
+    }
+
+    #[test]
+    fn single_pixel_is_foot_only() {
+        let mut mask = BinaryImage::new(5, 5);
+        mask.set(2, 2, true);
+        let kp = extract(&mask);
+        assert_eq!(kp.foot, Some((2.0, 2.0)));
+        assert!(kp.head.is_none());
+        assert_eq!(kp.detected_parts(), 1);
+    }
+
+    #[test]
+    fn hand_prefers_most_protruding_branch() {
+        // Two side branches: a short stub and a long arm; the hand is the
+        // farther tip.
+        let mut mask = BinaryImage::new(40, 40);
+        for y in 0..36 {
+            mask.set(6, y, true);
+        }
+        for x in 7..12 {
+            mask.set(x, 8, true); // short stub
+        }
+        for x in 7..30 {
+            mask.set(x, 20, true); // long arm
+        }
+        let kp = extract(&mask);
+        assert_eq!(kp.hand, Some((29.0, 20.0)));
+    }
+
+    #[test]
+    fn disconnected_fragment_ignored_for_torso() {
+        // Main body plus a distant speck; foot/head still resolve on the
+        // nodes, and if they land in different components the torso is
+        // absent.
+        let mut mask = BinaryImage::new(30, 30);
+        for y in 0..10 {
+            mask.set(3, y, true);
+        }
+        mask.set(25, 29, true); // speck is the lowest point
+        let kp = extract(&mask);
+        assert_eq!(kp.foot, Some((25.0, 29.0)));
+        assert_eq!(kp.head, Some((3.0, 0.0)));
+        assert!(kp.waist.is_none(), "no torso across components");
+    }
+
+    #[test]
+    fn hand_prefers_upper_tip_over_second_foot() {
+        // Torso with an arm branch and a split second leg: the arm tip
+        // (above the waist-foot midpoint) must win even when the spare
+        // foot tip is farther from the waist.
+        let mut mask = BinaryImage::new(48, 48);
+        for y in 2..30 {
+            mask.set(20, y, true); // torso
+        }
+        for x in 21..34 {
+            mask.set(x, 10, true); // arm, tip at (33, 10)
+        }
+        for i in 0..16 {
+            mask.set(20 - i / 2, 30 + i, true); // front leg to (12, 45)
+            mask.set(20 + i, 30 + i, true); // splayed back leg to (35, 45)
+        }
+        let kp = extract(&mask);
+        let hand = kp.hand.expect("hand found");
+        assert!(
+            hand.1 < 20.0,
+            "hand should be the arm tip, got {hand:?}"
+        );
+    }
+
+    #[test]
+    fn hand_falls_back_to_spare_low_tip_when_arms_merged() {
+        // No arm branch at all, but two leg tips: the spare (non-foot)
+        // leg tip is the only protruding point left for "hand".
+        let mut mask = BinaryImage::new(48, 48);
+        for y in 2..30 {
+            mask.set(20, y, true);
+        }
+        for i in 0..16 {
+            mask.set(20 - i / 2, 30 + i, true);
+            mask.set(20 + i, 30 + i, true);
+        }
+        let kp = extract(&mask);
+        assert!(kp.hand.is_some(), "fallback should fill the hand slot");
+        let hand = kp.hand.unwrap();
+        assert!(hand.1 > 30.0, "fallback tip is a leg tip: {hand:?}");
+        assert_ne!(Some(hand), kp.foot, "hand is not the chosen foot");
+    }
+
+    #[test]
+    fn detected_parts_counts() {
+        let mut mask = BinaryImage::new(5, 21);
+        for y in 0..21 {
+            mask.set(2, y, true);
+        }
+        let kp = extract(&mask);
+        // head, chest, knee, foot (no hand).
+        assert_eq!(kp.detected_parts(), 4);
+    }
+}

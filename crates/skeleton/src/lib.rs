@@ -1,0 +1,57 @@
+//! Skeleton extraction and feature encoding (Sections 3–4 of the paper).
+//!
+//! The pipeline stage this crate implements turns a silhouette mask into
+//! the feature vector the DBN classifies:
+//!
+//! 1. [`thinning`] — the Zhang-Suen (Z-S) thinning algorithm peels the
+//!    silhouette down to a one-pixel-wide skeleton.
+//! 2. [`graph`] — the thinning result is converted into a graph:
+//!    a [`graph::PixelGraph`] over skeleton pixels, and from it a
+//!    segment-level [`graph::SkeletonGraph`] whose nodes are endpoints and
+//!    junction clusters and whose edges are pixel chains. Building the
+//!    segment graph merges *adjacent junction vertices* (junction pixels
+//!    with other junction pixels among their 8-neighbours) exactly as the
+//!    paper's first clean-up step demands.
+//! 3. [`spanning`] — loops left by thinning are cut by growing a
+//!    **maximum** spanning tree over the segment graph and splitting every
+//!    non-tree edge at its midpoint (the "green dot" of Figure 3(b)).
+//! 4. [`prune`] — noisy branches shorter than 10 pixels are deleted one at
+//!    a time, shortest first, so a genuine branch sharing a junction with
+//!    a noisy one survives (Figure 4).
+//! 5. [`keypoints`] — the lowest point becomes Foot, the highest endpoint
+//!    Head, the Head→Foot path the torso whose midpoint is the waist, and
+//!    Chest/Hand/Knee are located from the remaining structure.
+//! 6. [`features`] — key points are encoded by which of the N areas of
+//!    the waist-centred plane they fall in (N = 8 in the paper, Figure 6;
+//!    generalised for the partition-count experiment E7).
+//!
+//! # Examples
+//!
+//! ```
+//! use slj_imaging::binary::BinaryImage;
+//! use slj_skeleton::pipeline::{SkeletonConfig, SkeletonPipeline};
+//!
+//! // A simple vertical bar thins to a vertical line.
+//! let mut silhouette = BinaryImage::new(32, 32);
+//! for y in 4..28 {
+//!     for x in 12..20 {
+//!         silhouette.set(x, y, true);
+//!     }
+//! }
+//! let result = SkeletonPipeline::new(SkeletonConfig::default()).run(&silhouette);
+//! assert!(result.skeleton.count_ones() > 10);
+//! ```
+
+pub mod features;
+pub mod graph;
+pub mod keypoints;
+pub mod pipeline;
+pub mod prune;
+pub mod spanning;
+pub mod thinning;
+
+pub use features::{area_of, BodyPart, FeatureCodec, FeatureVector};
+pub use graph::{NodeKind, PixelGraph, SkeletonGraph};
+pub use keypoints::{KeyPoints, KeypointExtractor};
+pub use pipeline::{SkeletonConfig, SkeletonPipeline, SkeletonResult};
+pub use thinning::zhang_suen;

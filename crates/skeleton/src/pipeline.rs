@@ -1,0 +1,238 @@
+//! The full Section-3/4 front end: silhouette → skeleton → graph clean-up
+//! → key points, with per-stage statistics for the clean-up ablation
+//! (Experiment E3).
+
+use crate::graph::{PixelGraph, SkeletonGraph};
+use crate::keypoints::{KeyPoints, KeypointExtractor};
+use crate::prune::{self, DEFAULT_MIN_BRANCH_LEN};
+use crate::spanning;
+use crate::thinning::ThinningAlgorithm;
+use slj_imaging::binary::BinaryImage;
+
+/// Configuration of the skeleton pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkeletonConfig {
+    /// Which parallel thinning algorithm to run (the paper uses
+    /// Zhang-Suen; Guo-Hall is the E12 ablation comparator).
+    pub algorithm: ThinningAlgorithm,
+    /// Minimum branch length in vertices; shorter branches are pruned
+    /// (the paper uses 10).
+    pub min_branch_len: usize,
+    /// Whether to run the loop-cut stage.
+    pub cut_loops: bool,
+    /// Whether to run the pruning stage.
+    pub prune: bool,
+}
+
+impl Default for SkeletonConfig {
+    fn default() -> Self {
+        SkeletonConfig {
+            algorithm: ThinningAlgorithm::default(),
+            min_branch_len: DEFAULT_MIN_BRANCH_LEN,
+            cut_loops: true,
+            prune: true,
+        }
+    }
+}
+
+/// Per-stage statistics of a pipeline run, mirroring the defects the
+/// paper's Figures 2–4 illustrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Thinning passes until convergence.
+    pub thinning_passes: usize,
+    /// Pixels removed by thinning.
+    pub thinning_removed: usize,
+    /// Adjacent junction vertices in the raw thinning result (paper
+    /// definition: junction pixels with > 1 junction neighbours).
+    pub adjacent_junctions_before: usize,
+    /// Junction clusters merged while building the segment graph.
+    pub clusters_merged: usize,
+    /// Independent loops in the raw skeleton graph.
+    pub loops_before: usize,
+    /// Loops cut by the maximum-spanning-tree stage.
+    pub loops_cut: usize,
+    /// Branches shorter than the threshold before pruning.
+    pub short_branches_before: usize,
+    /// Branches removed by pruning.
+    pub branches_pruned: usize,
+    /// Pixels removed by pruning.
+    pub prune_pixels_removed: usize,
+}
+
+/// Result of running the skeleton pipeline on one silhouette.
+#[derive(Debug, Clone)]
+pub struct SkeletonResult {
+    /// The raw Zhang-Suen skeleton (before graph clean-up).
+    pub raw_skeleton: BinaryImage,
+    /// The cleaned skeleton rendered back to a mask.
+    pub skeleton: BinaryImage,
+    /// The cleaned segment graph.
+    pub graph: SkeletonGraph,
+    /// Extracted key points.
+    pub keypoints: KeyPoints,
+    /// Per-stage statistics.
+    pub stats: StageStats,
+}
+
+/// Runs thinning, graph conversion, loop cutting, pruning and key-point
+/// extraction.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::binary::BinaryImage;
+/// use slj_imaging::draw;
+/// use slj_skeleton::pipeline::{SkeletonConfig, SkeletonPipeline};
+///
+/// let mut silhouette = BinaryImage::new(64, 64);
+/// draw::fill_capsule(&mut silhouette, 32.0, 8.0, 32.0, 56.0, 5.0);
+/// let result = SkeletonPipeline::new(SkeletonConfig::default()).run(&silhouette);
+/// assert!(result.keypoints.head.is_some());
+/// assert!(result.keypoints.foot.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SkeletonPipeline {
+    config: SkeletonConfig,
+}
+
+impl SkeletonPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: SkeletonConfig) -> Self {
+        SkeletonPipeline { config }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> SkeletonConfig {
+        self.config
+    }
+
+    /// Runs the full pipeline on a silhouette mask.
+    pub fn run(&self, silhouette: &BinaryImage) -> SkeletonResult {
+        let mut stats = StageStats::default();
+
+        // Stage 1: parallel thinning (Zhang-Suen by default).
+        let thin = self.config.algorithm.run(silhouette);
+        stats.thinning_passes = thin.passes;
+        stats.thinning_removed = thin.removed;
+        let raw_skeleton = thin.skeleton;
+
+        // Stage 2: graph conversion with adjacent-junction merging.
+        let pg = PixelGraph::from_mask(&raw_skeleton);
+        stats.adjacent_junctions_before = pg.adjacent_junction_count();
+        let mut graph = SkeletonGraph::from_pixel_graph(&pg);
+        stats.clusters_merged = graph.merged_cluster_count();
+        stats.loops_before = graph.cycle_rank();
+
+        // Stage 3: loop cutting by maximum spanning tree.
+        if self.config.cut_loops {
+            let report = spanning::cut_loops(&mut graph);
+            stats.loops_cut = report.loops_cut;
+        }
+
+        // Stage 4: branch pruning, one at a time.
+        stats.short_branches_before = prune::short_branch_count(&graph, self.config.min_branch_len);
+        if self.config.prune {
+            let report = prune::prune_branches(&mut graph, self.config.min_branch_len);
+            stats.branches_pruned = report.branches_removed;
+            stats.prune_pixels_removed = report.pixels_removed;
+        }
+
+        // Stage 5: key points.
+        let keypoints = KeypointExtractor::new().extract(&graph);
+
+        SkeletonResult {
+            raw_skeleton,
+            skeleton: graph.to_mask(),
+            graph,
+            keypoints,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imaging::draw;
+
+    /// A simple standing figure: head disk, torso capsule, two leg
+    /// capsules and one arm capsule.
+    fn standing_figure() -> BinaryImage {
+        let mut s = BinaryImage::new(96, 128);
+        draw::fill_disk(&mut s, 48.0, 16.0, 9.0);
+        draw::fill_capsule(&mut s, 48.0, 22.0, 48.0, 70.0, 7.0); // torso
+        draw::fill_capsule(&mut s, 48.0, 70.0, 40.0, 115.0, 5.0); // leg
+        draw::fill_capsule(&mut s, 48.0, 70.0, 58.0, 115.0, 5.0); // leg
+        draw::fill_capsule(&mut s, 48.0, 32.0, 76.0, 52.0, 4.0); // arm
+        s
+    }
+
+    #[test]
+    fn full_run_on_figure_extracts_keypoints() {
+        let result = SkeletonPipeline::new(SkeletonConfig::default()).run(&standing_figure());
+        let kp = result.keypoints;
+        assert!(kp.head.is_some());
+        assert!(kp.foot.is_some());
+        assert!(kp.waist.is_some());
+        let head = kp.head.unwrap();
+        let foot = kp.foot.unwrap();
+        assert!(head.1 < 40.0, "head near the top, got {head:?}");
+        assert!(foot.1 > 95.0, "foot near the bottom, got {foot:?}");
+        // The cleaned graph is a forest with no short branches.
+        assert_eq!(result.graph.cycle_rank(), 0);
+        assert_eq!(
+            prune::short_branch_count(&result.graph, SkeletonConfig::default().min_branch_len),
+            0
+        );
+    }
+
+    #[test]
+    fn stats_populated() {
+        let result = SkeletonPipeline::new(SkeletonConfig::default()).run(&standing_figure());
+        assert!(result.stats.thinning_passes > 1);
+        assert!(result.stats.thinning_removed > 100);
+        assert!(
+            result.raw_skeleton.count_ones() >= result.skeleton.count_ones(),
+            "clean-up only removes pixels"
+        );
+    }
+
+    #[test]
+    fn disabling_stages_keeps_defects() {
+        let mut silhouette = BinaryImage::new(64, 64);
+        // A ring silhouette guarantees a loop in the skeleton.
+        draw::fill_disk(&mut silhouette, 32.0, 32.0, 20.0);
+        let mut hole = BinaryImage::new(64, 64);
+        draw::fill_disk(&mut hole, 32.0, 32.0, 10.0);
+        for (x, y) in hole.iter_ones() {
+            silhouette.set(x, y, false);
+        }
+        let no_cut = SkeletonPipeline::new(SkeletonConfig {
+            cut_loops: false,
+            prune: false,
+            ..SkeletonConfig::default()
+        })
+        .run(&silhouette);
+        assert!(no_cut.graph.cycle_rank() > 0, "loop preserved when stage off");
+        let full = SkeletonPipeline::new(SkeletonConfig::default()).run(&silhouette);
+        assert_eq!(full.graph.cycle_rank(), 0);
+        assert!(full.stats.loops_cut >= 1);
+    }
+
+    #[test]
+    fn empty_silhouette_is_handled() {
+        let result = SkeletonPipeline::new(SkeletonConfig::default()).run(&BinaryImage::new(16, 16));
+        assert!(result.skeleton.is_empty());
+        assert_eq!(result.keypoints.detected_parts(), 0);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = SkeletonPipeline::new(SkeletonConfig::default()).run(&standing_figure());
+        let b = SkeletonPipeline::new(SkeletonConfig::default()).run(&standing_figure());
+        assert_eq!(a.skeleton, b.skeleton);
+        assert_eq!(a.keypoints, b.keypoints);
+        assert_eq!(a.stats, b.stats);
+    }
+}

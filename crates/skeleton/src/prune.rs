@@ -1,0 +1,241 @@
+//! Noisy-branch pruning (Section 3, Figure 4).
+//!
+//! Silhouette boundary noise sprouts short spurious branches on the
+//! skeleton. The paper deletes a branch — a simple path from an end vertex
+//! to a junction vertex — when it is shorter than 10 vertices, and
+//! crucially deletes **only one branch at a time**: deleting all short
+//! branches simultaneously can take a genuine limb down together with the
+//! noise (Figure 4(b) vs 4(c)).
+
+use crate::graph::{NodeKind, SkeletonGraph};
+
+/// Default minimum branch length in vertices (the paper's threshold).
+pub const DEFAULT_MIN_BRANCH_LEN: usize = 10;
+
+/// Statistics from a pruning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneReport {
+    /// Number of branches deleted.
+    pub branches_removed: usize,
+    /// Total pixels deleted.
+    pub pixels_removed: usize,
+}
+
+/// Returns the IDs of current branch edges: edges joining an
+/// [`NodeKind::End`] node to a [`NodeKind::Junction`] node.
+pub fn branch_edges(g: &SkeletonGraph) -> Vec<usize> {
+    g.edge_ids()
+        .filter(|&e| {
+            let edge = g.edge(e);
+            if edge.is_self_loop() {
+                return false;
+            }
+            let ka = g.kind(edge.a);
+            let kb = g.kind(edge.b);
+            matches!(
+                (ka, kb),
+                (NodeKind::End, NodeKind::Junction) | (NodeKind::Junction, NodeKind::End)
+            )
+        })
+        .collect()
+}
+
+/// Number of branches currently shorter than `min_len` vertices.
+pub fn short_branch_count(g: &SkeletonGraph, min_len: usize) -> usize {
+    branch_edges(g)
+        .into_iter()
+        .filter(|&e| g.edge(e).len() < min_len)
+        .count()
+}
+
+/// Prunes noisy branches one at a time, shortest first, until every
+/// remaining branch has at least `min_len` vertices.
+///
+/// After each deletion the graph is re-normalised (junctions that dropped
+/// to degree 2 are spliced out), exactly the re-evaluation that deleting
+/// one branch at a time buys: a genuine branch that shared a junction
+/// with a deleted noisy branch merges into its continuation and is no
+/// longer (wrongly) eligible for deletion.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::binary::BinaryImage;
+/// use slj_skeleton::graph::SkeletonGraph;
+/// use slj_skeleton::prune::{prune_branches, DEFAULT_MIN_BRANCH_LEN};
+///
+/// // A long line with a 3-pixel noisy spur. ('1' also means "set"; a
+/// // leading '#' would be eaten by rustdoc's hidden-line syntax.)
+/// let mask = BinaryImage::from_ascii(
+///     "........1.........\n\
+///      ........1.........\n\
+///      ........1.........\n\
+///      111111111111111111\n",
+/// );
+/// let mut graph = SkeletonGraph::from_mask(&mask);
+/// let report = prune_branches(&mut graph, DEFAULT_MIN_BRANCH_LEN);
+/// assert_eq!(report.branches_removed, 1);
+/// assert_eq!(graph.cycle_rank(), 0);
+/// ```
+pub fn prune_branches(g: &mut SkeletonGraph, min_len: usize) -> PruneReport {
+    let mut report = PruneReport::default();
+    loop {
+        let candidate = branch_edges(g)
+            .into_iter()
+            .filter(|&e| g.edge(e).len() < min_len)
+            // Shortest first; ties by ID for determinism.
+            .min_by_key(|&e| (g.edge(e).len(), e));
+        let Some(e) = candidate else {
+            break;
+        };
+        report.branches_removed += 1;
+        // The junction-side terminal pixel stays (it belongs to the
+        // junction), so count interior + end pixels.
+        report.pixels_removed += g.edge(e).len().saturating_sub(1);
+        g.remove_edge(e);
+        g.normalize();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imaging::binary::BinaryImage;
+
+    /// Long horizontal line with one short vertical spur; both line
+    /// halves are at least 10 vertices so only the spur is short.
+    fn line_with_spur() -> BinaryImage {
+        BinaryImage::from_ascii(
+            "............#.............\n\
+             ............#.............\n\
+             ............#.............\n\
+             ##########################\n",
+        )
+    }
+
+    #[test]
+    fn removes_short_spur_keeps_line() {
+        let mut g = SkeletonGraph::from_mask(&line_with_spur());
+        let report = prune_branches(&mut g, DEFAULT_MIN_BRANCH_LEN);
+        assert_eq!(report.branches_removed, 1);
+        let mask = g.to_mask();
+        assert!(!mask.get(12, 0), "spur tip removed");
+        assert!(!mask.get(12, 1), "spur interior removed");
+        assert!(mask.get(0, 3) && mask.get(25, 3), "main line intact");
+        // After normalisation the line is a single edge again.
+        assert_eq!(g.edge_ids().count(), 1);
+    }
+
+    #[test]
+    fn long_branches_survive() {
+        let mask = BinaryImage::from_ascii(
+            "...........#...........\n\
+             ...........#...........\n\
+             ...........#...........\n\
+             ...........#...........\n\
+             ...........#...........\n\
+             ...........#...........\n\
+             ...........#...........\n\
+             ...........#...........\n\
+             ...........#...........\n\
+             ...........#...........\n\
+             ...........#...........\n\
+             #######################\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        let report = prune_branches(&mut g, DEFAULT_MIN_BRANCH_LEN);
+        assert_eq!(report.branches_removed, 0, "an 11-pixel branch is kept");
+        assert_eq!(g.edge_ids().count(), 3);
+    }
+
+    #[test]
+    fn one_at_a_time_saves_the_real_branch() {
+        // Figure 4 scenario: a noisy spur and a genuine short continuation
+        // share a junction. Deleting both at once (Figure 4(b)) would
+        // destroy the limb; one-at-a-time (Figure 4(c)) keeps it, because
+        // after the spur is gone the junction dissolves and the
+        // continuation merges into the long segment.
+        //
+        // Main path: 14 px horizontal, then junction, then 6 more px
+        // (short continuation, would be < 10 on its own). Spur: 3 px.
+        let mask = BinaryImage::from_ascii(
+            "..............#......\n\
+             ..............#......\n\
+             ..............#......\n\
+             #####################\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        // Branches at the junction (14, 3): left part (length 15), right
+        // part (length 7) and the spur (length 4).
+        let mut g_all_at_once = g.clone();
+        // "Delete both" failure mode: remove every short branch found in
+        // the initial graph simultaneously.
+        let initial_short: Vec<usize> = branch_edges(&g_all_at_once)
+            .into_iter()
+            .filter(|&e| g_all_at_once.edge(e).len() < DEFAULT_MIN_BRANCH_LEN)
+            .collect();
+        assert_eq!(initial_short.len(), 2, "both spur and continuation look short");
+        for e in initial_short {
+            g_all_at_once.remove_edge(e);
+        }
+        let bad_mask = g_all_at_once.to_mask();
+        assert!(!bad_mask.get(20, 3), "all-at-once loses the real continuation");
+
+        // The paper's way.
+        let report = prune_branches(&mut g, DEFAULT_MIN_BRANCH_LEN);
+        assert_eq!(report.branches_removed, 1, "only the spur is deleted");
+        let good_mask = g.to_mask();
+        assert!(good_mask.get(20, 3), "continuation survives");
+        assert!(!good_mask.get(14, 0), "spur removed");
+    }
+
+    #[test]
+    fn isolated_line_is_not_a_branch() {
+        // An edge between two End nodes is a segment, not a branch.
+        let mask = BinaryImage::from_ascii("#####\n");
+        let mut g = SkeletonGraph::from_mask(&mask);
+        assert!(branch_edges(&g).is_empty());
+        let report = prune_branches(&mut g, 100);
+        assert_eq!(report.branches_removed, 0);
+        assert_eq!(g.edge_ids().count(), 1);
+    }
+
+    #[test]
+    fn plus_sign_with_all_short_arms_prunes_down() {
+        // All four arms are short; pruning removes them one at a time.
+        // After two removals the junction dissolves into a straight line,
+        // which is no longer a branch.
+        let mask = BinaryImage::from_ascii(
+            "...#...\n\
+             ...#...\n\
+             ...#...\n\
+             #######\n\
+             ...#...\n\
+             ...#...\n\
+             ...#...\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        let report = prune_branches(&mut g, DEFAULT_MIN_BRANCH_LEN);
+        assert_eq!(report.branches_removed, 2);
+        assert_eq!(g.edge_ids().count(), 1);
+        let survivors = g.edge(g.edge_ids().next().unwrap()).len();
+        assert_eq!(survivors, 7, "one full line of the plus remains");
+    }
+
+    #[test]
+    fn short_branch_count_reports() {
+        let g = SkeletonGraph::from_mask(&line_with_spur());
+        assert_eq!(short_branch_count(&g, DEFAULT_MIN_BRANCH_LEN), 1);
+        assert_eq!(short_branch_count(&g, 2), 0);
+    }
+
+    #[test]
+    fn prune_report_counts_pixels() {
+        let mut g = SkeletonGraph::from_mask(&line_with_spur());
+        let report = prune_branches(&mut g, DEFAULT_MIN_BRANCH_LEN);
+        // Spur edge path: junction pixel + 3 spur pixels = 4; junction
+        // pixel stays.
+        assert_eq!(report.pixels_removed, 3);
+    }
+}

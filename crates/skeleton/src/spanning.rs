@@ -1,0 +1,213 @@
+//! Loop cutting via a maximum spanning tree (Section 3, Figure 3).
+//!
+//! Thinning can leave loops (e.g. where an arm touches the torso). The
+//! paper removes them by growing a **maximum** spanning tree over the
+//! skeleton graph — maximum rather than minimum length so that, after the
+//! adjacent-junction removal of the previous step, the surviving junction
+//! vertex stays connected to all of its neighbours through the longest
+//! segments. Every edge excluded from the tree closes a cycle and is cut
+//! at a single pixel (the green dot of Figure 3(b)), not deleted wholesale.
+
+use crate::graph::SkeletonGraph;
+
+/// Statistics from a loop-cut pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoopCutReport {
+    /// Number of cycles that were cut.
+    pub loops_cut: usize,
+    /// Number of cut edges that were self-loops.
+    pub self_loops_cut: usize,
+}
+
+/// Simple union-find over node IDs.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+/// Cuts every loop in the graph by keeping a maximum spanning tree
+/// (Kruskal over pixel lengths, descending) and splitting each excluded
+/// edge at its midpoint.
+///
+/// After this pass [`SkeletonGraph::cycle_rank`] is zero.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::binary::BinaryImage;
+/// use slj_skeleton::graph::SkeletonGraph;
+/// use slj_skeleton::spanning::cut_loops;
+///
+/// let ring = BinaryImage::from_ascii(
+///     ".###.\n\
+///      .#.#.\n\
+///      .###.\n",
+/// );
+/// let mut graph = SkeletonGraph::from_mask(&ring);
+/// assert_eq!(graph.cycle_rank(), 1);
+/// let report = cut_loops(&mut graph);
+/// assert_eq!(report.loops_cut, 1);
+/// assert_eq!(graph.cycle_rank(), 0);
+/// ```
+pub fn cut_loops(g: &mut SkeletonGraph) -> LoopCutReport {
+    let mut report = LoopCutReport::default();
+    // Snapshot the live edges; splitting appends new acyclic edges that
+    // must not be revisited.
+    let mut edge_ids: Vec<usize> = g.edge_ids().collect();
+    // Maximum spanning tree: longest edges first; ties by ID for
+    // determinism.
+    edge_ids.sort_by_key(|&e| (std::cmp::Reverse(g.edge(e).len()), e));
+    let max_node = g.node_ids().max().map_or(0, |v| v + 1);
+    let mut uf = UnionFind::new(max_node);
+    for e in edge_ids {
+        let (a, b) = {
+            let edge = g.edge(e);
+            (edge.a, edge.b)
+        };
+        if a == b {
+            // A self-loop is always a cycle.
+            g.split_edge_at_midpoint(e);
+            report.loops_cut += 1;
+            report.self_loops_cut += 1;
+            continue;
+        }
+        if !uf.union(a, b) {
+            // Joining two already-connected nodes would close a cycle:
+            // this edge is excluded from the maximum spanning tree.
+            g.split_edge_at_midpoint(e);
+            report.loops_cut += 1;
+        }
+    }
+    debug_assert_eq!(g.cycle_rank(), 0, "loop cutting must leave a forest");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imaging::binary::BinaryImage;
+
+    #[test]
+    fn acyclic_graph_is_untouched() {
+        let mask = BinaryImage::from_ascii(
+            "...#...\n\
+             ...#...\n\
+             #######\n\
+             ...#...\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        let edges_before = g.edge_ids().count();
+        let report = cut_loops(&mut g);
+        assert_eq!(report.loops_cut, 0);
+        assert_eq!(g.edge_ids().count(), edges_before);
+    }
+
+    #[test]
+    fn lollipop_keeps_tail_connected() {
+        let mask = BinaryImage::from_ascii(
+            ".###....\n\
+             .#.#....\n\
+             .#######\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        let report = cut_loops(&mut g);
+        assert_eq!(report.loops_cut, 1);
+        assert_eq!(report.self_loops_cut, 1);
+        assert_eq!(g.cycle_rank(), 0);
+        // The whole structure stays one component (cut, not deleted).
+        assert_eq!(g.component_count(), 1);
+    }
+
+    #[test]
+    fn theta_graph_cuts_shortest_parallel_path() {
+        // Two nodes joined by three parallel paths of different lengths:
+        // the maximum spanning tree keeps the two longest, so the
+        // shortest path is the one cut.
+        let mask = BinaryImage::from_ascii(
+            ".#####.\n\
+             .#...#.\n\
+             .#####.\n\
+             .#...#.\n\
+             .#####.\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        assert_eq!(g.cycle_rank(), 2);
+        let report = cut_loops(&mut g);
+        assert_eq!(report.loops_cut, 2);
+        assert_eq!(g.cycle_rank(), 0);
+        assert_eq!(g.component_count(), 1);
+        // The middle bar (the shortest path, y = 2) must have been cut:
+        // its midpoint pixel is gone.
+        let mask_after = g.to_mask();
+        assert!(!mask_after.get(3, 2), "middle bar should be cut at its midpoint");
+    }
+
+    #[test]
+    fn nested_loops_all_cut() {
+        // A figure-eight: two rings sharing a junction.
+        let mask = BinaryImage::from_ascii(
+            ".###.###.\n\
+             .#..#..#.\n\
+             .###.###.\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        let rank = g.cycle_rank();
+        assert!(rank >= 2, "figure eight should have two cycles, got {rank}");
+        let report = cut_loops(&mut g);
+        assert_eq!(report.loops_cut, rank);
+        assert_eq!(g.cycle_rank(), 0);
+    }
+
+    #[test]
+    fn disconnected_components_handled_independently() {
+        let mask = BinaryImage::from_ascii(
+            ".###.......\n\
+             .#.#..####.\n\
+             .###.......\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        let report = cut_loops(&mut g);
+        assert_eq!(report.loops_cut, 1);
+        assert_eq!(g.cycle_rank(), 0);
+        assert_eq!(g.component_count(), 2);
+    }
+
+    #[test]
+    fn cut_is_single_pixel() {
+        let mask = BinaryImage::from_ascii(
+            ".#####.\n\
+             .#...#.\n\
+             .#####.\n",
+        );
+        let mut g = SkeletonGraph::from_mask(&mask);
+        let pixels_before = g.to_mask().count_ones();
+        cut_loops(&mut g);
+        let pixels_after = g.to_mask().count_ones();
+        assert_eq!(pixels_before - pixels_after, 1, "exactly one pixel removed");
+    }
+}

@@ -1,0 +1,482 @@
+//! Zhang-Suen thinning (the "Z-S algorithm" of Section 3).
+//!
+//! The algorithm peels the silhouette from alternating sides in two
+//! sub-iterations per pass until nothing changes, leaving a skeleton that
+//! is (mostly) one pixel wide. It is fast and avoids the break-line
+//! problem, which is why the paper picks it over the authors' earlier
+//! genetic-algorithm skeleton fit.
+//!
+//! Notation follows the thinning literature: the neighbours of pixel `P1`
+//! are `P2..P9`, clockwise from north. `B(P1)` is the number of set
+//! neighbours and `A(P1)` the number of 0→1 transitions in the circular
+//! sequence `P2, P3, ..., P9, P2`.
+
+use slj_imaging::binary::BinaryImage;
+
+/// Outcome of a thinning run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThinningOutcome {
+    /// The thinned skeleton mask.
+    pub skeleton: BinaryImage,
+    /// Number of full passes (pairs of sub-iterations) performed.
+    pub passes: usize,
+    /// Total number of pixels removed.
+    pub removed: usize,
+}
+
+/// Number of 0→1 transitions around the 8-neighbourhood (in Z-S order).
+#[inline]
+fn transitions(n: &[bool; 8]) -> usize {
+    let mut count = 0;
+    for i in 0..8 {
+        if !n[i] && n[(i + 1) % 8] {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Thins `mask` with the Zhang-Suen algorithm until convergence and
+/// returns the skeleton along with pass statistics.
+pub fn zhang_suen_with_stats(mask: &BinaryImage) -> ThinningOutcome {
+    let mut img = mask.clone();
+    let (w, h) = img.dimensions();
+    let mut passes = 0usize;
+    let mut removed_total = 0usize;
+    let mut to_remove: Vec<(usize, usize)> = Vec::new();
+    loop {
+        let mut changed = false;
+        // Two sub-iterations per pass; they differ only in the pair of
+        // "directional" conditions, which alternate the peeling side.
+        for sub in 0..2 {
+            to_remove.clear();
+            for y in 0..h {
+                for x in 0..w {
+                    if !img.get(x, y) {
+                        continue;
+                    }
+                    // Neighbour order from BinaryImage::neighbors8 is
+                    // N, NE, E, SE, S, SW, W, NW = P2, P3, ..., P9.
+                    let n = img.neighbors8(x, y);
+                    let b: usize = n.iter().filter(|&&v| v).count();
+                    if !(2..=6).contains(&b) {
+                        continue;
+                    }
+                    if transitions(&n) != 1 {
+                        continue;
+                    }
+                    let (p2, p4, p6, p8) = (n[0], n[2], n[4], n[6]);
+                    let ok = if sub == 0 {
+                        // P2*P4*P6 == 0 and P4*P6*P8 == 0
+                        !(p2 && p4 && p6) && !(p4 && p6 && p8)
+                    } else {
+                        // P2*P4*P8 == 0 and P2*P6*P8 == 0
+                        !(p2 && p4 && p8) && !(p2 && p6 && p8)
+                    };
+                    if ok {
+                        to_remove.push((x, y));
+                    }
+                }
+            }
+            if !to_remove.is_empty() {
+                changed = true;
+                removed_total += to_remove.len();
+                for &(x, y) in &to_remove {
+                    img.set(x, y, false);
+                }
+            }
+        }
+        passes += 1;
+        if !changed {
+            break;
+        }
+    }
+    ThinningOutcome {
+        skeleton: img,
+        passes,
+        removed: removed_total,
+    }
+}
+
+/// Thins `mask` with the Zhang-Suen algorithm until convergence.
+///
+/// # Examples
+///
+/// ```
+/// use slj_imaging::binary::BinaryImage;
+/// use slj_skeleton::thinning::zhang_suen;
+///
+/// let mut blob = BinaryImage::new(20, 20);
+/// for y in 5..15 {
+///     for x in 5..15 {
+///         blob.set(x, y, true);
+///     }
+/// }
+/// let skeleton = zhang_suen(&blob);
+/// assert!(skeleton.count_ones() < blob.count_ones());
+/// assert!(!skeleton.is_empty());
+/// ```
+pub fn zhang_suen(mask: &BinaryImage) -> BinaryImage {
+    zhang_suen_with_stats(mask).skeleton
+}
+
+/// Which parallel thinning algorithm drives the skeleton stage.
+///
+/// The paper uses Zhang-Suen ("the Z-S algorithm"); Guo-Hall is the
+/// other classical two-sub-iteration algorithm and serves as the
+/// ablation comparator (Experiment E12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ThinningAlgorithm {
+    /// Zhang & Fu's 1984 choice as cited by the paper (Zhang-Suen).
+    #[default]
+    ZhangSuen,
+    /// Guo & Hall's 1989 parallel thinning (A1 variant).
+    GuoHall,
+}
+
+impl ThinningAlgorithm {
+    /// Runs the selected algorithm.
+    pub fn run(self, mask: &BinaryImage) -> ThinningOutcome {
+        match self {
+            ThinningAlgorithm::ZhangSuen => zhang_suen_with_stats(mask),
+            ThinningAlgorithm::GuoHall => guo_hall_with_stats(mask),
+        }
+    }
+}
+
+/// Thins `mask` with the Guo-Hall algorithm until convergence and
+/// returns the skeleton along with pass statistics.
+///
+/// Neighbour notation matches [`zhang_suen_with_stats`]: `n[0..8]` are
+/// N, NE, E, SE, S, SW, W, NW.
+pub fn guo_hall_with_stats(mask: &BinaryImage) -> ThinningOutcome {
+    let mut img = mask.clone();
+    let (w, h) = img.dimensions();
+    let mut passes = 0usize;
+    let mut removed_total = 0usize;
+    let mut to_remove: Vec<(usize, usize)> = Vec::new();
+    loop {
+        let mut changed = false;
+        for sub in 0..2 {
+            to_remove.clear();
+            for y in 0..h {
+                for x in 0..w {
+                    if !img.get(x, y) {
+                        continue;
+                    }
+                    let n = img.neighbors8(x, y);
+                    // Guo-Hall's p2..p9 run N, NE, E, SE, S, SW, W, NW —
+                    // identical to our neighbour order n[0..8].
+                    let (p2, p3, p4, p5, p6, p7, p8, p9) =
+                        (n[0], n[1], n[2], n[3], n[4], n[5], n[6], n[7]);
+                    // C(p): connectivity number.
+                    let c = u8::from(!p2 && (p3 || p4))
+                        + u8::from(!p4 && (p5 || p6))
+                        + u8::from(!p6 && (p7 || p8))
+                        + u8::from(!p8 && (p9 || p2));
+                    if c != 1 {
+                        continue;
+                    }
+                    // N(p) = min(N1, N2).
+                    let n1 = u8::from(p9 || p2)
+                        + u8::from(p3 || p4)
+                        + u8::from(p5 || p6)
+                        + u8::from(p7 || p8);
+                    let n2 = u8::from(p2 || p3)
+                        + u8::from(p4 || p5)
+                        + u8::from(p6 || p7)
+                        + u8::from(p8 || p9);
+                    let np = n1.min(n2);
+                    if !(2..=3).contains(&np) {
+                        continue;
+                    }
+                    let ok = if sub == 0 {
+                        !((p6 || p7 || !p9) && p8)
+                    } else {
+                        !((p2 || p3 || !p5) && p4)
+                    };
+                    if ok {
+                        to_remove.push((x, y));
+                    }
+                }
+            }
+            if !to_remove.is_empty() {
+                changed = true;
+                removed_total += to_remove.len();
+                for &(x, y) in &to_remove {
+                    img.set(x, y, false);
+                }
+            }
+        }
+        passes += 1;
+        if !changed {
+            break;
+        }
+    }
+    ThinningOutcome {
+        skeleton: img,
+        passes,
+        removed: removed_total,
+    }
+}
+
+/// Thins `mask` with the Guo-Hall algorithm until convergence.
+pub fn guo_hall(mask: &BinaryImage) -> BinaryImage {
+    guo_hall_with_stats(mask).skeleton
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imaging::morphology::Connectivity;
+    use slj_imaging::region::connected_components;
+
+    fn filled_rect(w: usize, h: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> BinaryImage {
+        let mut img = BinaryImage::new(w, h);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                img.set(x, y, true);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn transitions_counting() {
+        assert_eq!(transitions(&[false; 8]), 0);
+        assert_eq!(transitions(&[true; 8]), 0);
+        // Single block of ones: one transition.
+        assert_eq!(
+            transitions(&[true, true, false, false, false, false, false, false]),
+            1
+        );
+        // Two separate blocks: two transitions.
+        assert_eq!(
+            transitions(&[true, false, true, false, false, false, false, false]),
+            2
+        );
+        // Alternating: four transitions.
+        assert_eq!(
+            transitions(&[true, false, true, false, true, false, true, false]),
+            4
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fixed_point() {
+        let img = BinaryImage::new(10, 10);
+        let out = zhang_suen_with_stats(&img);
+        assert!(out.skeleton.is_empty());
+        assert_eq!(out.removed, 0);
+    }
+
+    #[test]
+    fn single_pixel_survives() {
+        let mut img = BinaryImage::new(5, 5);
+        img.set(2, 2, true);
+        assert_eq!(zhang_suen(&img).count_ones(), 1);
+    }
+
+    #[test]
+    fn one_pixel_line_is_fixed_point() {
+        let mut img = BinaryImage::new(20, 5);
+        for x in 2..18 {
+            img.set(x, 2, true);
+        }
+        let skel = zhang_suen(&img);
+        assert_eq!(skel, img, "a 1px line is already thin");
+    }
+
+    #[test]
+    fn thick_horizontal_bar_thins_to_line() {
+        let img = filled_rect(30, 11, 2, 3, 28, 8); // 26x5 bar
+        let skel = zhang_suen(&img);
+        // Every column in the interior should have exactly one pixel.
+        for x in 6..24 {
+            let count = (0..11).filter(|&y| skel.get(x, y)).count();
+            assert_eq!(count, 1, "column {x} has {count} pixels");
+        }
+    }
+
+    #[test]
+    fn thick_vertical_bar_thins_to_line() {
+        let img = filled_rect(11, 30, 3, 2, 8, 28);
+        let skel = zhang_suen(&img);
+        for y in 6..24 {
+            let count = (0..11).filter(|&x| skel.get(x, y)).count();
+            assert_eq!(count, 1, "row {y} has {count} pixels");
+        }
+    }
+
+    #[test]
+    fn connectivity_is_preserved() {
+        // An L-shaped thick region must stay a single component.
+        let mut img = filled_rect(40, 40, 5, 5, 12, 35);
+        for y in 28..35 {
+            for x in 5..35 {
+                img.set(x, y, true);
+            }
+        }
+        let before = connected_components(&img, Connectivity::Eight).len();
+        let skel = zhang_suen(&img);
+        let after = connected_components(&skel, Connectivity::Eight).len();
+        assert_eq!(before, 1);
+        assert_eq!(after, 1, "thinning must not break the L shape");
+    }
+
+    #[test]
+    fn no_break_line_on_long_diagonal_band() {
+        let mut img = BinaryImage::new(50, 50);
+        for t in 0..40 {
+            for dy in 0..5 {
+                img.set(5 + t, 5 + t / 2 + dy, true);
+            }
+        }
+        let skel = zhang_suen(&img);
+        assert_eq!(
+            connected_components(&skel, Connectivity::Eight).len(),
+            1,
+            "diagonal band must remain connected"
+        );
+    }
+
+    #[test]
+    fn thinning_is_idempotent() {
+        let img = filled_rect(25, 25, 4, 4, 21, 21);
+        let once = zhang_suen(&img);
+        let twice = zhang_suen(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn skeleton_is_subset_of_input() {
+        let img = filled_rect(20, 20, 3, 3, 17, 17);
+        let skel = zhang_suen(&img);
+        // skeleton AND input == skeleton
+        assert_eq!(skel.and(&img).unwrap(), skel);
+    }
+
+    #[test]
+    fn stats_account_for_removed_pixels() {
+        let img = filled_rect(20, 20, 3, 3, 17, 17);
+        let out = zhang_suen_with_stats(&img);
+        assert_eq!(
+            img.count_ones() - out.skeleton.count_ones(),
+            out.removed
+        );
+        assert!(out.passes >= 2);
+    }
+
+    #[test]
+    fn guo_hall_thins_bars_to_lines() {
+        let img = filled_rect(30, 11, 2, 3, 28, 8);
+        let skel = guo_hall(&img);
+        assert!(skel.count_ones() < img.count_ones() / 3);
+        for x in 8..22 {
+            let count = (0..11).filter(|&y| skel.get(x, y)).count();
+            assert!(count >= 1, "column {x} broke");
+            assert!(count <= 2, "column {x} too thick: {count}");
+        }
+    }
+
+    #[test]
+    fn guo_hall_preserves_connectivity() {
+        use slj_imaging::morphology::Connectivity;
+        use slj_imaging::region::connected_components;
+        let mut img = filled_rect(40, 40, 5, 5, 12, 35);
+        for y in 28..35 {
+            for x in 5..35 {
+                img.set(x, y, true);
+            }
+        }
+        let skel = guo_hall(&img);
+        assert_eq!(connected_components(&skel, Connectivity::Eight).len(), 1);
+    }
+
+    #[test]
+    fn guo_hall_is_idempotent_and_subset() {
+        let img = filled_rect(25, 25, 4, 4, 21, 21);
+        let once = guo_hall(&img);
+        assert_eq!(guo_hall(&once), once);
+        assert_eq!(once.and(&img).unwrap(), once);
+    }
+
+    #[test]
+    fn algorithms_agree_on_thin_lines() {
+        // An already-thin line is a fixed point of both algorithms.
+        let mut img = BinaryImage::new(20, 5);
+        for x in 2..18 {
+            img.set(x, 2, true);
+        }
+        assert_eq!(zhang_suen(&img), img);
+        assert_eq!(guo_hall(&img), img);
+    }
+
+    #[test]
+    fn algorithm_enum_dispatches() {
+        let img = filled_rect(20, 20, 3, 3, 17, 17);
+        let zs = ThinningAlgorithm::ZhangSuen.run(&img);
+        let gh = ThinningAlgorithm::GuoHall.run(&img);
+        assert_eq!(zs.skeleton, zhang_suen(&img));
+        assert_eq!(gh.skeleton, guo_hall(&img));
+        assert_eq!(ThinningAlgorithm::default(), ThinningAlgorithm::ZhangSuen);
+    }
+
+    #[test]
+    fn even_diameter_disk_can_vanish() {
+        // A documented flaw of the classical parallel Zhang-Suen
+        // algorithm: even-diameter convex shapes erode symmetrically to
+        // a 2x2 block, which neither sub-iteration can reduce to a
+        // single pixel — the next pass deletes it entirely. Odd-diameter
+        // disks survive as one pixel. We implement the published
+        // algorithm faithfully, so this behaviour is pinned here.
+        let mut even = BinaryImage::new(24, 24);
+        // Even-diameter octagon (the classic vanishing case).
+        for (y, (x0, x1)) in [
+            (7usize, (10usize, 14usize)),
+            (8, (9, 15)),
+            (9, (8, 16)),
+            (10, (7, 17)),
+            (11, (7, 17)),
+            (12, (7, 17)),
+            (13, (7, 17)),
+            (14, (8, 16)),
+            (15, (9, 15)),
+            (16, (10, 14)),
+        ] {
+            for x in x0..x1 {
+                even.set(x, y, true);
+            }
+        }
+        assert!(zhang_suen(&even).is_empty(), "even octagon should vanish");
+
+        // An odd-diameter disk survives.
+        let mut odd = BinaryImage::new(24, 24);
+        for dy in -3i32..=3 {
+            for dx in -3i32..=3 {
+                if dx * dx + dy * dy <= 9 {
+                    odd.set((12 + dx) as usize, (12 + dy) as usize, true);
+                }
+            }
+        }
+        assert_eq!(zhang_suen(&odd).count_ones(), 1);
+    }
+
+    #[test]
+    fn skeleton_is_mostly_unit_width() {
+        // After thinning, no pixel should have a full 2x2 block of set
+        // pixels around it (the standard thinness criterion).
+        let img = filled_rect(40, 24, 4, 4, 36, 20);
+        let skel = zhang_suen(&img);
+        let mut blocks = 0;
+        for y in 0..23 {
+            for x in 0..39 {
+                if skel.get(x, y) && skel.get(x + 1, y) && skel.get(x, y + 1) && skel.get(x + 1, y + 1)
+                {
+                    blocks += 1;
+                }
+            }
+        }
+        assert_eq!(blocks, 0, "skeleton contains {blocks} solid 2x2 blocks");
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests of thinning, graph clean-up and feature
+//! encoding on randomly generated blobs.
+
+use proptest::prelude::*;
+use slj_imaging::binary::BinaryImage;
+use slj_imaging::draw;
+use slj_imaging::morphology::Connectivity;
+use slj_imaging::region::connected_components;
+use slj_skeleton::features::area_of;
+use slj_skeleton::graph::SkeletonGraph;
+use slj_skeleton::pipeline::{SkeletonConfig, SkeletonPipeline};
+use slj_skeleton::prune::{prune_branches, short_branch_count};
+use slj_skeleton::spanning::cut_loops;
+use slj_skeleton::thinning::zhang_suen;
+
+/// Strategy: a blob built from 1..=4 random capsules and disks on a
+/// 48x48 canvas — connected shapes with limbs, like silhouettes.
+fn blob_strategy() -> impl Strategy<Value = BinaryImage> {
+    proptest::collection::vec((4.0f64..44.0, 4.0f64..44.0, 2.0f64..5.0), 1..=4).prop_map(
+        |shapes| {
+            let mut mask = BinaryImage::new(48, 48);
+            let mut prev: Option<(f64, f64)> = None;
+            for (x, y, r) in shapes {
+                draw::fill_disk(&mut mask, x, y, r + 1.0);
+                // Connect to the previous shape so the blob stays one
+                // component.
+                if let Some((px, py)) = prev {
+                    draw::fill_capsule(&mut mask, px, py, x, y, r);
+                }
+                prev = Some((x, y));
+            }
+            mask
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The skeleton is always a subset of the input.
+    #[test]
+    fn thinning_is_anti_extensive(mask in blob_strategy()) {
+        let skel = zhang_suen(&mask);
+        prop_assert_eq!(&skel.and(&mask).unwrap(), &skel);
+    }
+
+    /// Thinning is idempotent.
+    #[test]
+    fn thinning_is_idempotent(mask in blob_strategy()) {
+        let once = zhang_suen(&mask);
+        prop_assert_eq!(&zhang_suen(&once), &once);
+    }
+
+    /// Thinning never splits a component (the "break-line problem" the
+    /// paper credits Z-S with avoiding) and never invents one. Very
+    /// small blobs (e.g. 2x2 squares) may vanish entirely — a known
+    /// Zhang-Suen behaviour — but any sizeable component keeps exactly
+    /// one connected skeleton.
+    #[test]
+    fn thinning_never_splits_components(mask in blob_strategy()) {
+        let skel = zhang_suen(&mask);
+        let before = connected_components(&mask, Connectivity::Eight);
+        let after = connected_components(&skel, Connectivity::Eight).len();
+        prop_assert!(after <= before.len(), "components appeared from nowhere");
+        for comp in &before {
+            let comp_mask = comp.to_mask(mask.width(), mask.height());
+            let within = skel.and(&comp_mask).unwrap();
+            let pieces = connected_components(&within, Connectivity::Eight).len();
+            // Note: components may vanish entirely — the classical
+            // parallel Zhang-Suen erodes certain even-diameter convex
+            // shapes down to a 2x2 block and then deletes it (see the
+            // `even_diameter_disk_can_vanish` unit test) — but a
+            // component must never split into several pieces.
+            prop_assert!(
+                pieces <= 1,
+                "component of {} px split into {pieces} skeleton pieces",
+                comp.area
+            );
+        }
+    }
+
+    /// Thinning is (almost) unit width: Zhang-Suen can leave isolated
+    /// 2x2 blocks at diagonal crossings, but they must stay rare.
+    #[test]
+    fn thinning_is_mostly_unit_width(mask in blob_strategy()) {
+        let skel = zhang_suen(&mask);
+        let (w, h) = skel.dimensions();
+        let mut blocks = 0usize;
+        for y in 0..h - 1 {
+            for x in 0..w - 1 {
+                if skel.get(x, y)
+                    && skel.get(x + 1, y)
+                    && skel.get(x, y + 1)
+                    && skel.get(x + 1, y + 1)
+                {
+                    blocks += 1;
+                }
+            }
+        }
+        let total = skel.count_ones().max(1);
+        prop_assert!(
+            blocks <= 2 + total / 25,
+            "{blocks} solid 2x2 blocks in a {total}-pixel skeleton"
+        );
+    }
+
+    /// Loop cutting always leaves a forest and never splits components.
+    #[test]
+    fn cut_loops_leaves_forest(mask in blob_strategy()) {
+        let skel = zhang_suen(&mask);
+        let mut g = SkeletonGraph::from_mask(&skel);
+        let comps_before = g.component_count();
+        cut_loops(&mut g);
+        prop_assert_eq!(g.cycle_rank(), 0);
+        prop_assert!(g.component_count() >= comps_before);
+        // Cutting removes single pixels; it cannot *merge* components,
+        // and splitting an edge keeps both halves attached.
+        prop_assert_eq!(g.component_count(), comps_before);
+    }
+
+    /// After pruning there is no branch below the threshold.
+    #[test]
+    fn pruning_reaches_fixpoint(mask in blob_strategy(), min_len in 3usize..12) {
+        let skel = zhang_suen(&mask);
+        let mut g = SkeletonGraph::from_mask(&skel);
+        cut_loops(&mut g);
+        prune_branches(&mut g, min_len);
+        prop_assert_eq!(short_branch_count(&g, min_len), 0);
+    }
+
+    /// The graph's mask rendering preserves every non-junction skeleton
+    /// pixel. Junction pixels may be re-located (adjacent-junction
+    /// clusters collapse to their centroid — the paper's §3 removal
+    /// step), so only they are exempt.
+    #[test]
+    fn graph_round_trip_is_conservative(mask in blob_strategy()) {
+        use slj_skeleton::graph::PixelGraph;
+        let skel = zhang_suen(&mask);
+        let pg = PixelGraph::from_mask(&skel);
+        let g = SkeletonGraph::from_mask(&skel);
+        let rendered = g.to_mask();
+        for i in 0..pg.len() {
+            if pg.degree(i) < 3 {
+                let (x, y) = pg.position(i);
+                prop_assert!(
+                    rendered.get(x, y),
+                    "non-junction skeleton pixel ({x},{y}) lost"
+                );
+            }
+        }
+        // Additions are at most one centroid pixel per merged cluster.
+        let extra = rendered
+            .iter_ones()
+            .filter(|&(x, y)| !skel.get(x, y))
+            .count();
+        prop_assert!(
+            extra <= g.merged_cluster_count(),
+            "{extra} extra pixels but only {} merged clusters",
+            g.merged_cluster_count()
+        );
+    }
+
+    /// The full pipeline never panics and key points stay in bounds.
+    #[test]
+    fn pipeline_total_on_random_blobs(mask in blob_strategy()) {
+        let result = SkeletonPipeline::new(SkeletonConfig::default()).run(&mask);
+        let (w, h) = mask.dimensions();
+        for p in [
+            result.keypoints.head,
+            result.keypoints.chest,
+            result.keypoints.hand,
+            result.keypoints.knee,
+            result.keypoints.foot,
+            result.keypoints.waist,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            prop_assert!(p.0 >= 0.0 && p.0 < w as f64);
+            prop_assert!(p.1 >= 0.0 && p.1 < h as f64);
+        }
+    }
+
+    /// Area encoding is total, bounded and scale-invariant.
+    #[test]
+    fn area_of_properties(
+        dx in -100.0f64..100.0,
+        dy in -100.0f64..100.0,
+        n in 1usize..24,
+        scale in 0.01f64..50.0,
+    ) {
+        let a = area_of(dx, dy, n);
+        prop_assert!((a as usize) < n);
+        prop_assert_eq!(a, area_of(dx * scale, dy * scale, n));
+    }
+
+    /// Rotating a displacement by one sector advances the area by one
+    /// (mod n) for non-degenerate displacements.
+    #[test]
+    fn area_of_rotation(angle_deg in 0.0f64..360.0, n in 2usize..16) {
+        let step = std::f64::consts::TAU / n as f64;
+        let a0 = angle_deg.to_radians();
+        // Keep away from sector boundaries to avoid FP edge flips.
+        let frac = (a0 / step).fract();
+        prop_assume!(frac > 0.05 && frac < 0.95);
+        let p0 = (a0.cos(), -a0.sin());
+        let p1 = ((a0 + step).cos(), -(a0 + step).sin());
+        let s0 = area_of(p0.0, p0.1, n) as usize;
+        let s1 = area_of(p1.0, p1.1, n) as usize;
+        prop_assert_eq!((s0 + 1) % n, s1);
+    }
+}

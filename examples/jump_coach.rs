@@ -1,0 +1,75 @@
+//! The paper's end use: a self-training tutor. Each "student" performs
+//! three attempts with their habitual mistake; the system estimates the
+//! poses of every attempt and reports the standards violations seen in a
+//! majority of attempts, with advice — "advices to the jumper can be
+//! given" (paper Section 6).
+//!
+//! ```text
+//! cargo run --release --example jump_coach
+//! ```
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::evaluation::evaluate_clip;
+use slj_repro::core::scoring::assess_pose_sequence;
+use slj_repro::core::training::Trainer;
+use slj_repro::sim::{ClipSpec, JumpFault, JumpSimulator, NoiseConfig};
+use std::collections::HashMap;
+
+const ATTEMPTS: usize = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = JumpSimulator::new(21);
+    let noise = NoiseConfig::default();
+
+    // Train the pose model once on correct jumps.
+    let data = sim.paper_dataset(&noise);
+    let model = Trainer::new(PipelineConfig::default()).train(&data.train)?;
+
+    // A class of six students, each with a different habit.
+    let students: [(&str, Option<JumpFault>); 6] = [
+        ("Ada (textbook jump)", None),
+        ("Ben (keeps arms still)", Some(JumpFault::NoArmSwing)),
+        ("Chloe (no crouch)", Some(JumpFault::NoCrouch)),
+        ("Dan (no tuck in flight)", Some(JumpFault::NoTuck)),
+        ("Eve (stiff landing)", Some(JumpFault::StiffLanding)),
+        ("Finn (falls forward)", Some(JumpFault::Overbalance)),
+    ];
+
+    for (i, (name, fault)) in students.iter().enumerate() {
+        // Findings are aggregated over several attempts: a violation is
+        // reported when it shows up in the majority of them, which keeps
+        // single-frame misclassifications from becoming bogus advice.
+        let mut counts: HashMap<String, (usize, String)> = HashMap::new();
+        for attempt in 0..ATTEMPTS {
+            let clip = sim.generate_clip(&ClipSpec {
+                total_frames: 44,
+                seed: 700 + (i * ATTEMPTS + attempt) as u64,
+                noise,
+                fault: *fault,
+                ..ClipSpec::default()
+            });
+            let report = evaluate_clip(&model, &clip)?;
+            let predicted: Vec<_> = report.estimates.iter().map(|e| e.pose).collect();
+            for finding in assess_pose_sequence(&predicted) {
+                let entry = counts
+                    .entry(finding.fault.to_string())
+                    .or_insert_with(|| (0, finding.to_string()));
+                entry.0 += 1;
+            }
+        }
+        println!("\n=== {name} — {ATTEMPTS} attempts ===");
+        let mut consistent: Vec<_> = counts
+            .values()
+            .filter(|(n, _)| *n * 2 > ATTEMPTS)
+            .collect();
+        consistent.sort_by_key(|(_, msg)| msg.clone());
+        if consistent.is_empty() {
+            println!("  no consistent standards violations — nice jumping!");
+        } else {
+            for (n, msg) in consistent {
+                println!("  ✗ ({n}/{ATTEMPTS} attempts) {msg}");
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Offline review (extension): a teacher analysing a recorded clip after
+//! the fact can use hindsight. This example contrasts the paper's online
+//! classifier — which commits to each frame immediately and lets one
+//! mistake bleed into the next frames — with batch Viterbi decoding of
+//! the whole clip.
+//!
+//! ```text
+//! cargo run --release --example offline_review
+//! ```
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::pipeline::FrameProcessor;
+use slj_repro::core::training::Trainer;
+use slj_repro::sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = JumpSimulator::new(13);
+    let noise = NoiseConfig::default();
+    let data = sim.paper_dataset(&noise);
+    let model = Trainer::new(PipelineConfig::default()).train(&data.train)?;
+
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 44,
+        seed: 777,
+        noise,
+        ..ClipSpec::default()
+    });
+    let processor = FrameProcessor::new(clip.background.clone(), model.config())?;
+    let features: Vec<_> = clip
+        .frames
+        .iter()
+        .map(|f| processor.process(f).map(|p| p.features))
+        .collect::<Result<_, _>>()?;
+
+    // Online, frame by frame (the paper's classifier).
+    let mut clf = model.start_clip();
+    let online: Vec<_> = features
+        .iter()
+        .map(|fv| clf.step(fv).map(|e| e.pose))
+        .collect::<Result<_, _>>()?;
+
+    // Offline, whole clip at once (Viterbi).
+    let offline = model.decode_clip(&features)?;
+
+    println!("frame  truth                                online          offline");
+    println!("-----  -----------------------------------  --------------  --------------");
+    let mut on_ok = 0;
+    let mut off_ok = 0;
+    for (t, truth) in clip.truth.iter().enumerate() {
+        let on = online[t];
+        let off = offline[t].1;
+        if on == Some(truth.pose) {
+            on_ok += 1;
+        }
+        if off == truth.pose {
+            off_ok += 1;
+        }
+        let mark = |good: bool| if good { ' ' } else { '*' };
+        println!(
+            "{t:4}   {:<35}  {}{:<14}  {}{:<14}",
+            truth.pose.to_string().chars().take(35).collect::<String>(),
+            mark(on == Some(truth.pose)),
+            on.map(|p| short(&p.to_string())).unwrap_or_else(|| "unknown".into()),
+            mark(off == truth.pose),
+            short(&off.to_string()),
+        );
+    }
+    println!(
+        "\nonline : {on_ok}/{} correct ({:.1}%)",
+        clip.len(),
+        100.0 * on_ok as f64 / clip.len() as f64
+    );
+    println!(
+        "offline: {off_ok}/{} correct ({:.1}%)  — hindsight helps",
+        clip.len(),
+        100.0 * off_ok as f64 / clip.len() as f64
+    );
+    Ok(())
+}
+
+fn short(s: &str) -> String {
+    s.chars().take(14).collect()
+}

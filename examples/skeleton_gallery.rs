@@ -1,0 +1,79 @@
+//! Regenerates the paper's qualitative figures as image files: input
+//! frames (Figure 1a), extracted silhouettes (1b), smoothed silhouettes
+//! (1c) and cleaned skeletons with key points (Figures 5 & 8), written
+//! as PGM/PPM files under `artifacts/`.
+//!
+//! ```text
+//! cargo run --release --example skeleton_gallery
+//! ```
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::pipeline::FrameProcessor;
+use slj_repro::imaging::io::{save_mask_pgm, save_ppm};
+use slj_repro::imaging::pixel::Rgb;
+use slj_repro::sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("artifacts");
+    std::fs::create_dir_all(out_dir)?;
+
+    let sim = JumpSimulator::new(8);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 44,
+        seed: 0,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    let config = PipelineConfig::default();
+    let processor = FrameProcessor::new(clip.background.clone(), &config)?;
+
+    // Representative frames across the jump, like the paper's Figure 8.
+    for &i in &[2usize, 10, 17, 22, 27, 33, 39, 43] {
+        let frame = &clip.frames[i];
+        let processed = processor.process(frame)?;
+
+        save_ppm(out_dir.join(format!("frame_{i:02}_input.ppm")), frame)?;
+        save_mask_pgm(
+            out_dir.join(format!("frame_{i:02}_silhouette.pgm")),
+            &processed.silhouette,
+        )?;
+        save_mask_pgm(
+            out_dir.join(format!("frame_{i:02}_skeleton.pgm")),
+            &processed.skeleton.skeleton,
+        )?;
+
+        // Overlay: skeleton in red over a dimmed frame, key points as
+        // bright dots.
+        let mut overlay = frame.map(|p| Rgb::new(p.r / 2, p.g / 2, p.b / 2));
+        for (x, y) in processed.skeleton.skeleton.iter_ones() {
+            overlay.set(x, y, Rgb::new(255, 60, 60));
+        }
+        let kp = processed.keypoints;
+        for point in [kp.head, kp.chest, kp.hand, kp.knee, kp.foot, kp.waist]
+            .into_iter()
+            .flatten()
+        {
+            let (cx, cy) = (point.0.round() as isize, point.1.round() as isize);
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    if overlay.in_bounds(cx + dx, cy + dy) {
+                        overlay.set(
+                            (cx + dx) as usize,
+                            (cy + dy) as usize,
+                            Rgb::new(80, 255, 80),
+                        );
+                    }
+                }
+            }
+        }
+        save_ppm(out_dir.join(format!("frame_{i:02}_overlay.ppm")), &overlay)?;
+        println!(
+            "frame {i:2}: pose '{}', skeleton {} px, {} key points -> artifacts/frame_{i:02}_*.p?m",
+            clip.truth[i].pose,
+            processed.skeleton.skeleton.count_ones(),
+            kp.detected_parts(),
+        );
+    }
+    println!("\nwrote the gallery to {}/", out_dir.display());
+    Ok(())
+}

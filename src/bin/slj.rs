@@ -1,0 +1,253 @@
+//! `slj` — command-line front end for the standing-long-jump pose
+//! estimation system.
+//!
+//! ```text
+//! slj generate --out data/ --clips 12            # render labelled clips
+//! slj train --data data/ --model jump.model      # quantitative training
+//! slj eval --model jump.model --data data/       # per-frame accuracy
+//! slj coach --model jump.model --data data/      # standards assessment
+//! ```
+//!
+//! Clips are directories of PPM frames plus a `labels.tsv` manifest (see
+//! `slj_sim::io`); models use the versioned text format of
+//! `slj_core::model_io`.
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::model::PoseModel;
+use slj_repro::core::model_io;
+use slj_repro::core::pipeline::FrameProcessor;
+use slj_repro::core::scoring::assess_pose_sequence;
+use slj_repro::core::training::Trainer;
+use slj_repro::sim::io::{load_clip, save_clip, StoredClip};
+use slj_repro::sim::{ClipSpec, JumpFault, JumpSimulator, NoiseConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("coach") => cmd_coach(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try `slj help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "slj — pose estimation for standing long jumps (paper reproduction)\n\
+         \n\
+         commands:\n\
+         \x20 generate --out DIR [--clips N] [--frames N] [--seed S] [--fault F] [--rare]\n\
+         \x20          render labelled synthetic clips into DIR/clip_NNN/\n\
+         \x20          faults: no-arm-swing no-crouch no-tuck stiff-landing overbalance\n\
+         \x20 train    --data DIR [--model FILE]\n\
+         \x20          train on every clip_* directory under DIR, save the model\n\
+         \x20 eval     --model FILE --data DIR\n\
+         \x20          classify every clip under DIR, report per-frame accuracy\n\
+         \x20 coach    --model FILE --data DIR\n\
+         \x20          assess each clip against the standing-long-jump standard"
+    );
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Flags {
+    values: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], switches: &[&str]) -> Result<Flags, String> {
+        let mut values = std::collections::HashMap::new();
+        let mut found = std::collections::HashSet::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got {arg:?}"))?;
+            if switches.contains(&key) {
+                found.insert(key.to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                values.insert(key.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Flags {
+            values,
+            switches: found,
+        })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        }
+    }
+
+    fn switch(&self, key: &str) -> bool {
+        self.switches.contains(key)
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["rare"])?;
+    let out = PathBuf::from(flags.require("out")?);
+    let clips: usize = flags.parse_or("clips", 3)?;
+    let frames: usize = flags.parse_or("frames", 44)?;
+    let seed: u64 = flags.parse_or("seed", 7)?;
+    let fault = match flags.get("fault") {
+        None => None,
+        Some("no-arm-swing") => Some(JumpFault::NoArmSwing),
+        Some("no-crouch") => Some(JumpFault::NoCrouch),
+        Some("no-tuck") => Some(JumpFault::NoTuck),
+        Some("stiff-landing") => Some(JumpFault::StiffLanding),
+        Some("overbalance") => Some(JumpFault::Overbalance),
+        Some(other) => return Err(format!("unknown fault {other:?}")),
+    };
+    let sim = JumpSimulator::new(seed);
+    for i in 0..clips {
+        let clip = sim.generate_clip(&ClipSpec {
+            total_frames: frames,
+            seed: i as u64,
+            noise: NoiseConfig::default(),
+            rare_poses: flags.switch("rare") || i % 3 == 2,
+            fault,
+            ..ClipSpec::default()
+        });
+        let dir = out.join(format!("clip_{i:03}"));
+        save_clip(&dir, &clip).map_err(|e| e.to_string())?;
+        println!("wrote {} ({} frames)", dir.display(), clip.len());
+    }
+    Ok(())
+}
+
+fn clip_dirs(data: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(data)
+        .map_err(|e| format!("cannot read {}: {e}", data.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("clip_"))
+        })
+        .collect();
+    dirs.sort();
+    if dirs.is_empty() {
+        return Err(format!("no clip_* directories under {}", data.display()));
+    }
+    Ok(dirs)
+}
+
+fn load_clips(data: &Path) -> Result<Vec<StoredClip>, String> {
+    clip_dirs(data)?
+        .iter()
+        .map(|d| load_clip(d).map_err(|e| format!("{}: {e}", d.display())))
+        .collect()
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let data = PathBuf::from(flags.require("data")?);
+    let model_path = PathBuf::from(flags.get("model").unwrap_or("jump.model"));
+    let clips = load_clips(&data)?;
+    let frames: usize = clips.iter().map(|c| c.frames.len()).sum();
+    println!("training on {} clips ({frames} frames)...", clips.len());
+    let model = Trainer::new(PipelineConfig::default())
+        .train_from_stored(&clips)
+        .map_err(|e| e.to_string())?;
+    model_io::save(&model, &model_path).map_err(|e| e.to_string())?;
+    println!("model written to {}", model_path.display());
+    Ok(())
+}
+
+fn classify_stored(
+    model: &PoseModel,
+    clip: &StoredClip,
+) -> Result<Vec<Option<slj_repro::sim::PoseClass>>, String> {
+    let processor = FrameProcessor::new(clip.background.clone(), model.config())
+        .map_err(|e| e.to_string())?;
+    let mut clf = model.start_clip();
+    clip.frames
+        .iter()
+        .map(|frame| {
+            let processed = processor.process(frame).map_err(|e| e.to_string())?;
+            Ok(clf.step(&processed.features).map_err(|e| e.to_string())?.pose)
+        })
+        .collect()
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let model = model_io::load(flags.require("model")?).map_err(|e| e.to_string())?;
+    let data = PathBuf::from(flags.require("data")?);
+    let clips = load_clips(&data)?;
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    for (i, clip) in clips.iter().enumerate() {
+        let predicted = classify_stored(&model, clip)?;
+        let ok = predicted
+            .iter()
+            .zip(&clip.labels)
+            .filter(|(p, (_, truth))| **p == Some(*truth))
+            .count();
+        println!(
+            "clip {i:3}: {ok}/{} correct ({:.1}%)",
+            clip.frames.len(),
+            100.0 * ok as f64 / clip.frames.len() as f64
+        );
+        total += clip.frames.len();
+        correct += ok;
+    }
+    println!(
+        "overall: {correct}/{total} correct ({:.1}%)",
+        100.0 * correct as f64 / total as f64
+    );
+    Ok(())
+}
+
+fn cmd_coach(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let model = model_io::load(flags.require("model")?).map_err(|e| e.to_string())?;
+    let data = PathBuf::from(flags.require("data")?);
+    let clips = load_clips(&data)?;
+    for (i, clip) in clips.iter().enumerate() {
+        let predicted = classify_stored(&model, clip)?;
+        let findings = assess_pose_sequence(&predicted);
+        println!("clip {i:3}:");
+        if findings.is_empty() {
+            println!("  meets the standing-long-jump standard");
+        } else {
+            for f in findings {
+                println!("  ✗ {f}");
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Umbrella crate for the standing-long-jump pose-estimation reproduction.
+//!
+//! This crate re-exports the workspace members so the examples and
+//! integration tests at the repository root can exercise the full public
+//! API surface through a single dependency:
+//!
+//! - [`imaging`] — image substrate (silhouette extraction, filtering,
+//!   morphology, metrics).
+//! - [`sim`] — synthetic articulated-jumper video generator with
+//!   ground-truth pose labels.
+//! - [`skeleton`] — Zhang-Suen thinning, skeleton-graph clean-up, key-point
+//!   extraction and area feature encoding.
+//! - [`bayes`] — discrete Bayesian-network / dynamic-Bayesian-network
+//!   substrate (factors, CPDs, exact inference, learning, filtering).
+//! - [`ga`] — genetic-algorithm stick-model baseline from the authors'
+//!   prior work.
+//! - [`core`] — the end-to-end pipeline, DBN pose classifier, trainer,
+//!   evaluator and standards-based fault scorer.
+//!
+//! # Examples
+//!
+//! ```
+//! use slj_repro::sim::{ClipSpec, JumpSimulator};
+//!
+//! let clip = JumpSimulator::new(7).generate_clip(&ClipSpec::default());
+//! assert!(!clip.frames.is_empty());
+//! ```
+
+pub use slj_bayes as bayes;
+pub use slj_core as core;
+pub use slj_ga as ga;
+pub use slj_imaging as imaging;
+pub use slj_sim as sim;
+pub use slj_skeleton as skeleton;

@@ -1,0 +1,65 @@
+//! Artefact round-trips: rendered frames survive PPM/PGM serialisation
+//! and classify identically after reloading — the workflow of dumping a
+//! clip to disk and analysing it later.
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::pipeline::FrameProcessor;
+use slj_repro::imaging::io::{read_pgm, read_ppm, write_pgm, write_ppm};
+use slj_repro::sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+#[test]
+fn frames_round_trip_through_ppm() {
+    let sim = JumpSimulator::new(31);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 20,
+        seed: 2,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    for frame in clip.frames.iter().step_by(5) {
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, frame).unwrap();
+        let back = read_ppm(buf.as_slice()).unwrap();
+        assert_eq!(&back, frame);
+    }
+}
+
+#[test]
+fn silhouettes_round_trip_through_pgm() {
+    let sim = JumpSimulator::new(32);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 20,
+        seed: 3,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    for truth in clip.truth.iter().step_by(7) {
+        let gray = truth.silhouette.to_gray();
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &gray).unwrap();
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(back, gray);
+    }
+}
+
+#[test]
+fn reloaded_frames_classify_identically() {
+    let sim = JumpSimulator::new(33);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 24,
+        seed: 4,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    let processor =
+        FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+    for frame in clip.frames.iter().step_by(4) {
+        let direct = processor.process(frame).unwrap();
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, frame).unwrap();
+        let reloaded = read_ppm(buf.as_slice()).unwrap();
+        let indirect = processor.process(&reloaded).unwrap();
+        assert_eq!(direct.silhouette, indirect.silhouette);
+        assert_eq!(direct.features, indirect.features);
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-crate integration of the GA baseline (the authors' prior
+//! system) against the thinning pipeline on identical silhouettes.
+
+use rand::SeedableRng;
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::pipeline::FrameProcessor;
+use slj_repro::ga::{GaConfig, GaFitter};
+use slj_repro::sim::body::BodyModel;
+use slj_repro::sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[test]
+fn both_methods_locate_the_body_on_real_silhouettes() {
+    let sim = JumpSimulator::new(1212);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 40,
+        seed: 4,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    let processor =
+        FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+
+    let frame_idx = 5; // standing phase, easy pose
+    let truth = &clip.truth[frame_idx];
+    let silhouette = processor
+        .extract_silhouette(&clip.frames[frame_idx])
+        .unwrap();
+
+    // Thinning pipeline.
+    let processed = processor.process_silhouette(&silhouette);
+    let kp = processed.keypoints;
+    let head = kp.head.expect("head found");
+    assert!(
+        dist(head, truth.skeleton.head) < 12.0,
+        "thinning head {head:?} vs truth {:?}",
+        truth.skeleton.head
+    );
+
+    // GA baseline, modest budget.
+    let body = BodyModel::default();
+    let fitter = GaFitter::new(
+        body,
+        GaConfig {
+            population: 40,
+            generations: 20,
+            ..GaConfig::default()
+        },
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let fit = fitter.fit(&silhouette, &mut rng);
+    assert!(fit.best_fitness > 0.4, "GA fitness {}", fit.best_fitness);
+    let ga_skel = fit.skeleton(&body);
+    assert!(
+        dist(ga_skel.head, truth.skeleton.head) < 25.0,
+        "GA head {:?} vs truth {:?}",
+        ga_skel.head,
+        truth.skeleton.head
+    );
+}
+
+#[test]
+fn thinning_needs_far_fewer_operations_than_ga() {
+    // The paper's motivation quantified: count fitness evaluations the
+    // GA consumes vs the single pass the thinning pipeline needs.
+    let sim = JumpSimulator::new(1313);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 40,
+        seed: 4,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    let processor =
+        FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+    let silhouette = processor.extract_silhouette(&clip.frames[10]).unwrap();
+
+    let fitter = GaFitter::new(BodyModel::default(), GaConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let t_ga = std::time::Instant::now();
+    let fit = fitter.fit(&silhouette, &mut rng);
+    let ga_time = t_ga.elapsed();
+
+    let t_thin = std::time::Instant::now();
+    let _ = processor.process_silhouette(&silhouette);
+    let thin_time = t_thin.elapsed();
+
+    assert!(fit.evaluations > 1000, "GA did {} evaluations", fit.evaluations);
+    assert!(
+        ga_time > thin_time * 5,
+        "GA ({ga_time:?}) should be much slower than thinning ({thin_time:?})"
+    );
+}

@@ -1,0 +1,109 @@
+//! Smoke test of the `slj` CLI: generate → train → eval → coach, driving
+//! the released binary the way a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn slj_binary() -> PathBuf {
+    // Integration tests live next to the binary in target/<profile>/.
+    let mut path = std::env::current_exe().expect("test executable path");
+    path.pop(); // deps/
+    path.pop(); // <profile>/
+    path.push(format!("slj{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(slj_binary())
+        .args(args)
+        .output()
+        .expect("spawn slj binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn generate_train_eval_coach_round_trip() {
+    if !slj_binary().exists() {
+        // `cargo test --test cli` can run before the bin target is
+        // built in some invocation orders; build it on demand.
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "--bin", "slj"])
+            .status()
+            .expect("cargo build --bin slj");
+        assert!(status.success(), "failed to build the slj binary");
+    }
+    let dir = std::env::temp_dir().join("slj_cli_smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let data = dir.join("data");
+    let model = dir.join("jump.model");
+
+    let (ok, out) = run(&[
+        "generate",
+        "--out",
+        data.to_str().unwrap(),
+        "--clips",
+        "3",
+        "--frames",
+        "30",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "generate failed: {out}");
+    assert!(out.contains("clip_002"), "generate output: {out}");
+
+    let (ok, out) = run(&[
+        "train",
+        "--data",
+        data.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+    ]);
+    assert!(ok, "train failed: {out}");
+    assert!(model.exists(), "model file missing");
+
+    let (ok, out) = run(&[
+        "eval",
+        "--model",
+        model.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+    ]);
+    assert!(ok, "eval failed: {out}");
+    assert!(out.contains("overall:"), "eval output: {out}");
+
+    let (ok, out) = run(&[
+        "coach",
+        "--model",
+        model.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+    ]);
+    assert!(ok, "coach failed: {out}");
+    assert!(
+        out.contains("standard") || out.contains('✗'),
+        "coach output: {out}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    if !slj_binary().exists() {
+        return; // covered by the main smoke test's build-on-demand
+    }
+    let (ok, out) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(out.contains("unknown command"));
+    let (ok, out) = run(&["train"]);
+    assert!(!ok);
+    assert!(out.contains("--data is required"));
+    let (ok, out) = run(&["generate", "--out", "/tmp/x", "--fault", "bogus"]);
+    assert!(!ok);
+    assert!(out.contains("unknown fault"));
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: simulate → extract → thin → encode → train →
+//! classify, across crate boundaries.
+
+use slj_repro::core::config::{PipelineConfig, TemporalMode};
+use slj_repro::core::evaluation::{evaluate, evaluate_clip};
+use slj_repro::core::training::Trainer;
+use slj_repro::sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+fn small_world() -> (slj_repro::core::model::PoseModel, Vec<slj_repro::sim::LabeledClip>) {
+    let sim = JumpSimulator::new(404);
+    let noise = NoiseConfig::default();
+    let train: Vec<_> = (0..5)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 40,
+                seed: i,
+                noise,
+                rare_poses: i % 2 == 1,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    let test: Vec<_> = (0..2)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 40,
+                seed: 100 + i,
+                noise,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    let model = Trainer::new(PipelineConfig::default())
+        .train(&train)
+        .expect("training succeeds");
+    (model, test)
+}
+
+#[test]
+fn full_pipeline_beats_chance_by_wide_margin() {
+    let (model, test) = small_world();
+    let report = evaluate(&model, &test).expect("evaluation succeeds");
+    // Chance is 1/22 ≈ 4.5%; even this small training set must land far
+    // above it.
+    assert!(
+        report.overall_accuracy() > 0.45,
+        "accuracy {:.3} too low",
+        report.overall_accuracy()
+    );
+}
+
+#[test]
+fn classification_is_deterministic() {
+    let (model, test) = small_world();
+    let a = evaluate_clip(&model, &test[0]).unwrap();
+    let b = evaluate_clip(&model, &test[0]).unwrap();
+    assert_eq!(a.correct, b.correct);
+    for (x, y) in a.estimates.iter().zip(&b.estimates) {
+        assert_eq!(x.pose, y.pose);
+        assert_eq!(x.stage, y.stage);
+    }
+}
+
+#[test]
+fn posteriors_are_probability_distributions() {
+    let (model, test) = small_world();
+    let report = evaluate_clip(&model, &test[0]).unwrap();
+    for est in &report.estimates {
+        let sum: f64 = est.posterior.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "pose posterior sums to {sum}");
+        assert!(est.posterior.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+        let ssum: f64 = est.stage_posterior.iter().sum();
+        assert!((ssum - 1.0).abs() < 1e-6, "stage posterior sums to {ssum}");
+    }
+}
+
+#[test]
+fn predicted_stages_are_monotone_in_time() {
+    // The left-to-right stage chain must never move backwards.
+    let (model, test) = small_world();
+    let report = evaluate_clip(&model, &test[0]).unwrap();
+    // Count frame-to-frame *down* transitions: a single spurious early
+    // spike should cost one, not taint every following frame.
+    let mut down_moves = 0usize;
+    for w in report.estimates.windows(2) {
+        if w[1].stage.index() < w[0].stage.index() {
+            down_moves += 1;
+        }
+    }
+    // The stage *chain* is structurally left-to-right, but the argmax of
+    // the soft posterior can wobble when a pose from an earlier stage
+    // re-gains likelihood; it must not wobble often.
+    assert!(
+        down_moves <= report.estimates.len() / 8,
+        "{down_moves} backward stage transitions in {} frames",
+        report.estimates.len()
+    );
+}
+
+#[test]
+fn temporal_model_beats_static_model() {
+    let sim = JumpSimulator::new(505);
+    let noise = NoiseConfig::default();
+    let data = sim.paper_dataset(&noise);
+    let full = Trainer::new(PipelineConfig::default())
+        .train(&data.train)
+        .unwrap();
+    let static_cfg = PipelineConfig {
+        temporal: TemporalMode::Static,
+        ..PipelineConfig::default()
+    };
+    let static_model = Trainer::new(static_cfg).train(&data.train).unwrap();
+    let acc_full = evaluate(&full, &data.test).unwrap().overall_accuracy();
+    let acc_static = evaluate(&static_model, &data.test).unwrap().overall_accuracy();
+    assert!(
+        acc_full > acc_static + 0.05,
+        "temporal {acc_full:.3} should clearly beat static {acc_static:.3}"
+    );
+}
+
+#[test]
+fn headline_dataset_matches_papers_shape() {
+    // The full paper-sized run: 12 clips / 522 frames training, 3 clips /
+    // 135 frames test, accuracy in the vicinity of the paper's 81-87%.
+    let sim = JumpSimulator::new(20080617);
+    let noise = NoiseConfig::default();
+    let data = sim.paper_dataset(&noise);
+    assert_eq!(data.train_frames(), 522);
+    assert_eq!(data.test_frames(), 135);
+    let model = Trainer::new(PipelineConfig::default())
+        .train(&data.train)
+        .unwrap();
+    let report = evaluate(&model, &data.test).unwrap();
+    let overall = report.overall_accuracy();
+    assert!(
+        (0.72..=0.97).contains(&overall),
+        "overall accuracy {overall:.3} far from the paper's band"
+    );
+    for (i, acc) in report.per_clip_accuracy().into_iter().enumerate() {
+        assert!(acc > 0.6, "clip {i} collapsed to {acc:.3}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based integration tests over randomly generated scenes.
+
+use proptest::prelude::*;
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::pipeline::FrameProcessor;
+use slj_repro::sim::{ClipSpec, JumpSimulator, NoiseConfig};
+use slj_repro::skeleton::features::BodyPart;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any generated clip processes without panicking and yields
+    /// in-bounds key points and consistent feature vectors.
+    #[test]
+    fn any_clip_processes_cleanly(seed in 0u64..5000, frames in 22usize..50) {
+        let sim = JumpSimulator::new(606);
+        let clip = sim.generate_clip(&ClipSpec {
+            total_frames: frames,
+            seed,
+            noise: NoiseConfig::default(),
+            ..ClipSpec::default()
+        });
+        let processor =
+            FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let (w, h) = clip.background.dimensions();
+        for frame in clip.frames.iter().step_by(6) {
+            let p = processor.process(frame).unwrap();
+            for point in [
+                p.keypoints.head,
+                p.keypoints.chest,
+                p.keypoints.hand,
+                p.keypoints.knee,
+                p.keypoints.foot,
+                p.keypoints.waist,
+            ]
+            .into_iter()
+            .flatten()
+            {
+                prop_assert!(point.0 >= 0.0 && point.0 < w as f64);
+                prop_assert!(point.1 >= 0.0 && point.1 < h as f64);
+            }
+            // A part with an area requires a waist.
+            if p.features.present_parts() > 0 {
+                prop_assert!(p.keypoints.waist.is_some());
+            }
+            // Occupied areas are exactly the areas of present parts.
+            let occ = p.features.occupied_areas();
+            for part in BodyPart::ALL {
+                if let Some(a) = p.features.area(part) {
+                    prop_assert!(occ[a as usize]);
+                }
+            }
+        }
+    }
+
+    /// The cleaned skeleton is always a subset of the silhouette and a
+    /// forest (no loops), with no prunable branches left.
+    #[test]
+    fn cleaned_skeleton_invariants(seed in 0u64..5000) {
+        let sim = JumpSimulator::new(707);
+        let clip = sim.generate_clip(&ClipSpec {
+            total_frames: 24,
+            seed,
+            noise: NoiseConfig::default(),
+            ..ClipSpec::default()
+        });
+        let processor =
+            FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let config = PipelineConfig::default();
+        for frame in clip.frames.iter().step_by(8) {
+            let p = processor.process(frame).unwrap();
+            // Subset: skeleton AND silhouette == skeleton.
+            prop_assert_eq!(
+                &p.skeleton.skeleton.and(&p.silhouette).unwrap(),
+                &p.skeleton.skeleton
+            );
+            prop_assert_eq!(p.skeleton.graph.cycle_rank(), 0);
+            prop_assert_eq!(
+                slj_repro::skeleton::prune::short_branch_count(
+                    &p.skeleton.graph,
+                    config.skeleton.min_branch_len
+                ),
+                0
+            );
+        }
+    }
+
+    /// Ground-truth stages of any generated clip are monotone and the
+    /// pose labels belong to their stages.
+    #[test]
+    fn clip_labels_are_consistent(seed in 0u64..5000, rare in proptest::bool::ANY) {
+        let sim = JumpSimulator::new(808);
+        let clip = sim.generate_clip(&ClipSpec {
+            total_frames: 30,
+            seed,
+            rare_poses: rare,
+            noise: NoiseConfig::default(),
+            ..ClipSpec::default()
+        });
+        let mut prev = 0usize;
+        for t in &clip.truth {
+            prop_assert!(t.stage.index() >= prev);
+            prev = t.stage.index();
+            prop_assert_eq!(t.pose.stage(), t.stage);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration of fault injection (sim) with standards assessment
+//! (core): the system's end use.
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::evaluation::evaluate_clip;
+use slj_repro::core::scoring::{assess_known_sequence, assess_pose_sequence};
+use slj_repro::core::training::Trainer;
+use slj_repro::sim::script::JumpScript;
+use slj_repro::sim::{ClipSpec, JumpFault, JumpSimulator, NoiseConfig};
+
+#[test]
+fn ground_truth_sequences_score_correctly() {
+    // On perfect (ground-truth) pose sequences, detection is exact.
+    let base = JumpScript::standard();
+    assert!(assess_known_sequence(&base.frame_poses()).is_empty());
+    for fault in JumpFault::ALL {
+        let bad = fault.apply(&base);
+        let findings = assess_known_sequence(&bad.frame_poses());
+        assert!(
+            findings.iter().any(|d| d.fault == fault),
+            "{fault} not detected on ground truth"
+        );
+    }
+}
+
+#[test]
+fn predicted_sequences_detect_injected_faults() {
+    let sim = JumpSimulator::new(777);
+    let noise = NoiseConfig::default();
+    let data = sim.paper_dataset(&noise);
+    let model = Trainer::new(PipelineConfig::default())
+        .train(&data.train)
+        .unwrap();
+
+    // Three attempts per fault, as a tutor would collect. Faults whose
+    // replacement poses are close neighbours of the originals (e.g. a
+    // waist bend standing in for a knee bend) can be masked by
+    // misclassification in unlucky worlds, so the assertions are about
+    // aggregate reliability: most attempts flag their fault, and most
+    // fault kinds are caught by majority vote.
+    let mut total_detections = 0usize;
+    let mut majority_faults = 0usize;
+    for fault in JumpFault::ALL {
+        let mut detections = 0;
+        for attempt in 0..3u64 {
+            let clip = sim.generate_clip(&ClipSpec {
+                total_frames: 44,
+                seed: 9000 + fault as u64 * 10 + attempt,
+                noise,
+                fault: Some(fault),
+                ..ClipSpec::default()
+            });
+            let report = evaluate_clip(&model, &clip).unwrap();
+            let predicted: Vec<_> = report.estimates.iter().map(|e| e.pose).collect();
+            if assess_pose_sequence(&predicted)
+                .iter()
+                .any(|d| d.fault == fault)
+            {
+                detections += 1;
+            }
+        }
+        total_detections += detections;
+        if detections >= 2 {
+            majority_faults += 1;
+        }
+    }
+    assert!(
+        total_detections >= 9,
+        "only {total_detections}/15 faulty attempts flagged their fault"
+    );
+    assert!(
+        majority_faults >= 4,
+        "only {majority_faults}/5 fault kinds detected by 2-of-3 majority"
+    );
+}
+
+#[test]
+fn clean_jumps_rarely_raise_alarms() {
+    let sim = JumpSimulator::new(888);
+    let noise = NoiseConfig::default();
+    let data = sim.paper_dataset(&noise);
+    let model = Trainer::new(PipelineConfig::default())
+        .train(&data.train)
+        .unwrap();
+    let mut false_alarms = 0usize;
+    const CLIPS: usize = 4;
+    for i in 0..CLIPS as u64 {
+        let clip = sim.generate_clip(&ClipSpec {
+            total_frames: 44,
+            seed: 9500 + i,
+            noise,
+            ..ClipSpec::default()
+        });
+        let report = evaluate_clip(&model, &clip).unwrap();
+        let predicted: Vec<_> = report.estimates.iter().map(|e| e.pose).collect();
+        false_alarms += assess_pose_sequence(&predicted).len();
+    }
+    assert!(
+        false_alarms <= CLIPS,
+        "too many false alarms on clean jumps: {false_alarms} over {CLIPS} clips"
+    );
+}

@@ -1,0 +1,80 @@
+//! Disk round-trip of whole clips: save → reload → train → evaluate,
+//! the workflow real labelled video would follow.
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::evaluation::evaluate;
+use slj_repro::core::training::Trainer;
+use slj_repro::sim::io::{load_clip, save_clip};
+use slj_repro::sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+#[test]
+fn training_from_reloaded_clips_matches_direct_training() {
+    let dir = std::env::temp_dir().join("slj_stored_clips_test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sim = JumpSimulator::new(909);
+    let noise = NoiseConfig::default();
+    let train: Vec<_> = (0..4)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 36,
+                seed: i,
+                noise,
+                rare_poses: i % 2 == 1,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    let test = vec![sim.generate_clip(&ClipSpec {
+        total_frames: 36,
+        seed: 50,
+        noise,
+        ..ClipSpec::default()
+    })];
+
+    // Save the training clips, reload them, train from the stored form.
+    let stored: Vec<_> = train
+        .iter()
+        .enumerate()
+        .map(|(i, clip)| {
+            let clip_dir = dir.join(format!("clip_{i}"));
+            save_clip(&clip_dir, clip).unwrap();
+            load_clip(&clip_dir).unwrap()
+        })
+        .collect();
+
+    let trainer = Trainer::new(PipelineConfig::default());
+    let direct = trainer.train(&train).unwrap();
+    let reloaded = trainer.train_from_stored(&stored).unwrap();
+
+    // Same frames, same labels → identical learned tables.
+    assert_eq!(direct.tables(), reloaded.tables());
+
+    // And the reloaded model evaluates identically.
+    let a = evaluate(&direct, &test).unwrap().overall_accuracy();
+    let b = evaluate(&reloaded, &test).unwrap().overall_accuracy();
+    assert_eq!(a, b);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_from_stored_validates_input() {
+    let trainer = Trainer::new(PipelineConfig::default());
+    assert!(trainer.train_from_stored(&[]).is_err());
+
+    let sim = JumpSimulator::new(910);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 25,
+        seed: 0,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    let dir = std::env::temp_dir().join("slj_stored_clips_invalid");
+    let _ = std::fs::remove_dir_all(&dir);
+    save_clip(&dir, &clip).unwrap();
+    let mut stored = load_clip(&dir).unwrap();
+    stored.labels.pop();
+    assert!(trainer.train_from_stored(&[stored]).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
