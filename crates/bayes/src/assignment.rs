@@ -119,7 +119,11 @@ mod tests {
     use super::*;
 
     fn scope() -> Vec<Variable> {
-        vec![Variable::new(0, 2), Variable::new(1, 3), Variable::new(2, 2)]
+        vec![
+            Variable::new(0, 2),
+            Variable::new(1, 3),
+            Variable::new(2, 2),
+        ]
     }
 
     #[test]

@@ -353,12 +353,7 @@ mod tests {
     fn table_cpd_prob_lookup() {
         let a = Variable::new(0, 3);
         let c = binary(1);
-        let t = TableCpd::new(
-            c,
-            vec![a],
-            vec![0.9, 0.1, 0.5, 0.5, 0.2, 0.8],
-        )
-        .unwrap();
+        let t = TableCpd::new(c, vec![a], vec![0.9, 0.1, 0.5, 0.5, 0.2, 0.8]).unwrap();
         assert!((t.prob(&[0], 1).unwrap() - 0.1).abs() < 1e-12);
         assert!((t.prob(&[2], 0).unwrap() - 0.2).abs() < 1e-12);
         assert!(t.prob(&[3], 0).is_err());
@@ -418,13 +413,8 @@ mod tests {
         let c = binary(0);
         let p1 = Variable::new(1, 2);
         let p2 = Variable::new(2, 2);
-        let n = NoisyOrCpd::new(
-            c,
-            vec![p1, p2],
-            vec![vec![0.0, 0.8], vec![0.0, 0.5]],
-            0.1,
-        )
-        .unwrap();
+        let n =
+            NoisyOrCpd::new(c, vec![p1, p2], vec![vec![0.0, 0.8], vec![0.0, 0.5]], 0.1).unwrap();
         // Neither active: only the leak can fire.
         assert!((n.prob_off(&[0, 0]) - 0.9).abs() < 1e-12);
         // Both active.
@@ -461,13 +451,8 @@ mod tests {
         let c = binary(0);
         let p1 = binary(1);
         let p2 = binary(2);
-        let n = NoisyOrCpd::new(
-            c,
-            vec![p1, p2],
-            vec![vec![0.0, 0.7], vec![0.0, 0.4]],
-            0.0,
-        )
-        .unwrap();
+        let n =
+            NoisyOrCpd::new(c, vec![p1, p2], vec![vec![0.0, 0.7], vec![0.0, 0.4]], 0.0).unwrap();
         let none = 1.0 - n.prob_off(&[0, 0]);
         let one = 1.0 - n.prob_off(&[1, 0]);
         let both = 1.0 - n.prob_off(&[1, 1]);

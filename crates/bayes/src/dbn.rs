@@ -233,7 +233,11 @@ impl TwoSliceDbn {
                     map.insert(pair.prev.id(), prev_instance);
                 }
             }
-            let cpds = if t == 0 { &self.prior } else { &self.transition };
+            let cpds = if t == 0 {
+                &self.prior
+            } else {
+                &self.transition
+            };
             for cpd in cpds {
                 b.attach(remap_cpd(cpd, &map))?;
             }
@@ -245,9 +249,7 @@ impl TwoSliceDbn {
 
 /// Rewrites a CPD onto new variable handles with identical cardinalities.
 fn remap_cpd(cpd: &Cpd, map: &HashMap<usize, Variable>) -> Cpd {
-    let remap = |v: Variable| -> Variable {
-        map.get(&v.id()).copied().unwrap_or(v)
-    };
+    let remap = |v: Variable| -> Variable { map.get(&v.id()).copied().unwrap_or(v) };
     match cpd {
         Cpd::Table(t) => {
             let child = remap(t.child());
@@ -315,7 +317,11 @@ impl<'a> ForwardFilter<'a> {
         let iface: HashSet<usize> = self.dbn.interface_vars().iter().map(|v| v.id()).collect();
         let scope: HashSet<usize> = belief.scope().iter().map(|v| v.id()).collect();
         if iface != scope {
-            let missing = iface.symmetric_difference(&scope).next().copied().unwrap_or(0);
+            let missing = iface
+                .symmetric_difference(&scope)
+                .next()
+                .copied()
+                .unwrap_or(0);
             return Err(BayesError::VariableNotInScope(missing));
         }
         self.belief = Some(belief.normalized()?);
@@ -371,9 +377,8 @@ impl<'a> ForwardFilter<'a> {
             factors.push(lik.clone());
         }
         let keep: HashSet<usize> = self.dbn.interface_vars().iter().map(|v| v.id()).collect();
-        let result = crate::inference::elimination_internal::eliminate_all(
-            factors, evidence, &keep,
-        )?;
+        let result =
+            crate::inference::elimination_internal::eliminate_all(factors, evidence, &keep)?;
         let belief = result.normalized()?;
         self.belief = Some(belief.clone());
         self.steps += 1;
@@ -575,8 +580,7 @@ impl<'a> ViterbiDecoder<'a> {
         let mut keep_both = keep_cur.clone();
         keep_both.extend(prev_vars.iter().map(|v| v.id()));
         for step in &steps[1..] {
-            let kernel =
-                self.slice_potential(&self.dbn.transition, step, &keep_both, None)?;
+            let kernel = self.slice_potential(&self.dbn.transition, step, &keep_both, None)?;
             let mut next = vec![f64::NEG_INFINITY; joint_states];
             let mut back = vec![usize::MAX; joint_states];
             for x in 0..joint_states {
@@ -586,17 +590,9 @@ impl<'a> ViterbiDecoder<'a> {
                         continue;
                     }
                     let prev_asn = crate::assignment::index_to_assignment(&iface, xp);
-                    let mut pairs: Vec<(Variable, usize)> = iface
-                        .iter()
-                        .copied()
-                        .zip(cur_asn.iter().copied())
-                        .collect();
-                    pairs.extend(
-                        prev_vars
-                            .iter()
-                            .copied()
-                            .zip(prev_asn.iter().copied()),
-                    );
+                    let mut pairs: Vec<(Variable, usize)> =
+                        iface.iter().copied().zip(cur_asn.iter().copied()).collect();
+                    pairs.extend(prev_vars.iter().copied().zip(prev_asn.iter().copied()));
                     let w = kernel.value_at(&pairs)?;
                     if w <= 0.0 {
                         continue;
@@ -613,16 +609,17 @@ impl<'a> ViterbiDecoder<'a> {
         }
 
         // Backtrack from the best terminal state.
-        let (mut best, best_score) = delta
-            .iter()
-            .enumerate()
-            .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            });
+        let (mut best, best_score) =
+            delta
+                .iter()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
         if best_score == f64::NEG_INFINITY {
             return Err(BayesError::ZeroProbabilityEvidence);
         }
@@ -678,12 +675,8 @@ mod tests {
         let umbrella = b.slice_variable("umbrella", 2);
         // Day-1 prior: P(rain) = Σ_r0 P(rain|r0) P(r0) = 0.5.
         b.prior_cpd(TableCpd::new(rain, vec![], vec![0.5, 0.5]).unwrap());
-        b.transition_cpd(
-            TableCpd::new(rain, vec![rain_prev], vec![0.7, 0.3, 0.3, 0.7]).unwrap(),
-        );
-        b.shared_cpd(
-            TableCpd::new(umbrella, vec![rain], vec![0.8, 0.2, 0.1, 0.9]).unwrap(),
-        );
+        b.transition_cpd(TableCpd::new(rain, vec![rain_prev], vec![0.7, 0.3, 0.3, 0.7]).unwrap());
+        b.shared_cpd(TableCpd::new(umbrella, vec![rain], vec![0.8, 0.2, 0.1, 0.9]).unwrap());
         let dbn = b.build().unwrap();
         (dbn, rain, rain_prev, umbrella)
     }
@@ -753,7 +746,9 @@ mod tests {
         assert!((p[1] - 0.7).abs() < 1e-12, "{p:?}");
         // Scope mismatch is rejected.
         let mut f2 = ForwardFilter::new(&dbn);
-        assert!(f2.set_belief(Factor::indicator(umbrella, 1).unwrap()).is_err());
+        assert!(f2
+            .set_belief(Factor::indicator(umbrella, 1).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -129,8 +129,7 @@ impl Factor {
     /// Returns [`BayesError::VariableNotInScope`] if a scope variable has
     /// no pair, [`BayesError::StateOutOfRange`] on a bad state.
     pub fn value_at(&self, assignment: &[(Variable, usize)]) -> Result<f64, BayesError> {
-        let lookup: HashMap<usize, usize> =
-            assignment.iter().map(|&(v, s)| (v.id(), s)).collect();
+        let lookup: HashMap<usize, usize> = assignment.iter().map(|&(v, s)| (v.id(), s)).collect();
         let mut idx = Vec::with_capacity(self.scope.len());
         for v in &self.scope {
             let s = *lookup
@@ -367,17 +366,20 @@ impl Factor {
     /// The joint assignment with the highest value (ties to the lowest
     /// index) and that value.
     pub fn argmax(&self) -> (Vec<usize>, f64) {
-        let (best, &val) = self
-            .values
-            .iter()
-            .enumerate()
-            .fold((0, &self.values[0]), |(bi, bv), (i, v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            });
+        let (best, &val) =
+            self.values
+                .iter()
+                .enumerate()
+                .fold(
+                    (0, &self.values[0]),
+                    |(bi, bv), (i, v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    },
+                );
         (index_to_assignment(&self.scope, best), val)
     }
 

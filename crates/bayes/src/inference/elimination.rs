@@ -32,11 +32,7 @@ impl<'a> VariableElimination<'a> {
     ///
     /// Returns [`BayesError::ZeroProbabilityEvidence`] for impossible
     /// evidence; propagates factor-algebra errors on malformed inputs.
-    pub fn posterior(
-        &self,
-        query: Variable,
-        evidence: &Evidence,
-    ) -> Result<Vec<f64>, BayesError> {
+    pub fn posterior(&self, query: Variable, evidence: &Evidence) -> Result<Vec<f64>, BayesError> {
         let f = self.joint_posterior(&[query], evidence)?;
         f.marginal(query)
     }
@@ -175,7 +171,10 @@ mod tests {
             let a = ve.posterior(rain, &evidence).unwrap();
             let b = en.posterior(rain, &evidence).unwrap();
             for (x, y) in a.iter().zip(&b) {
-                assert!((x - y).abs() < 1e-10, "evidence {evidence:?}: {a:?} vs {b:?}");
+                assert!(
+                    (x - y).abs() < 1e-10,
+                    "evidence {evidence:?}: {a:?} vs {b:?}"
+                );
             }
         }
     }
@@ -232,8 +231,12 @@ mod tests {
         let (net, _, sprinkler, wet) = sprinkler();
         let ve = VariableElimination::new(&net);
         let en = Enumeration::new(&net);
-        let p_ve = ve.evidence_probability(&[(wet, 1), (sprinkler, 1)]).unwrap();
-        let p_en = en.evidence_probability(&[(wet, 1), (sprinkler, 1)]).unwrap();
+        let p_ve = ve
+            .evidence_probability(&[(wet, 1), (sprinkler, 1)])
+            .unwrap();
+        let p_en = en
+            .evidence_probability(&[(wet, 1), (sprinkler, 1)])
+            .unwrap();
         assert!((p_ve - p_en).abs() < 1e-12);
     }
 

@@ -44,11 +44,7 @@ impl<'a> Enumeration<'a> {
     /// Returns [`BayesError::ZeroProbabilityEvidence`] for impossible
     /// evidence and propagates factor-algebra errors on malformed
     /// queries.
-    pub fn posterior(
-        &self,
-        query: Variable,
-        evidence: &Evidence,
-    ) -> Result<Vec<f64>, BayesError> {
+    pub fn posterior(&self, query: Variable, evidence: &Evidence) -> Result<Vec<f64>, BayesError> {
         let mut joint = self.net.joint()?;
         for &(var, state) in evidence {
             joint = joint.reduce(var, state)?;
@@ -131,10 +127,7 @@ mod tests {
         let p_rain_given_wet = eng.posterior(rain, &[(wet, 1)]).unwrap()[1];
         // Hand-computed: P(rain=1, wet=1) / P(wet=1).
         // P(wet=1) = Σ P(r)P(s|r)P(w=1|r,s)
-        let p_wet: f64 = 0.8 * 0.6 * 0.0
-            + 0.8 * 0.4 * 0.9
-            + 0.2 * 0.99 * 0.8
-            + 0.2 * 0.01 * 0.99;
+        let p_wet: f64 = 0.8 * 0.6 * 0.0 + 0.8 * 0.4 * 0.9 + 0.2 * 0.99 * 0.8 + 0.2 * 0.01 * 0.99;
         let p_rain_wet: f64 = 0.2 * 0.99 * 0.8 + 0.2 * 0.01 * 0.99;
         assert!((p_rain_given_wet - p_rain_wet / p_wet).abs() < 1e-12);
         // Knowing the sprinkler ran explains the wetness away.
@@ -148,10 +141,8 @@ mod tests {
         let (net, _, _, wet) = sprinkler();
         let eng = Enumeration::new(&net);
         let p_wet = eng.evidence_probability(&[(wet, 1)]).unwrap();
-        let expected: f64 = 0.8 * 0.6 * 0.0
-            + 0.8 * 0.4 * 0.9
-            + 0.2 * 0.99 * 0.8
-            + 0.2 * 0.01 * 0.99;
+        let expected: f64 =
+            0.8 * 0.6 * 0.0 + 0.8 * 0.4 * 0.9 + 0.2 * 0.99 * 0.8 + 0.2 * 0.01 * 0.99;
         assert!((p_wet - expected).abs() < 1e-12);
         assert!((eng.evidence_probability(&[]).unwrap() - 1.0).abs() < 1e-9);
     }
@@ -160,7 +151,9 @@ mod tests {
     fn joint_posterior_over_two_variables() {
         let (net, rain, sprinkler, wet) = sprinkler();
         let eng = Enumeration::new(&net);
-        let f = eng.joint_posterior(&[rain, sprinkler], &[(wet, 1)]).unwrap();
+        let f = eng
+            .joint_posterior(&[rain, sprinkler], &[(wet, 1)])
+            .unwrap();
         assert_eq!(f.scope().len(), 2);
         assert!((f.total() - 1.0).abs() < 1e-9);
         // Consistency with the single-variable posterior.

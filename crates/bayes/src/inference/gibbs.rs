@@ -88,8 +88,7 @@ impl<'a> GibbsSampler<'a> {
         let mut state: HashMap<usize, usize> = HashMap::new();
         for var in &order {
             let cpd = self.net.cpd(*var).expect("validated network");
-            let parent_states: Vec<usize> =
-                cpd.parents().iter().map(|p| state[&p.id()]).collect();
+            let parent_states: Vec<usize> = cpd.parents().iter().map(|p| state[&p.id()]).collect();
             let s = if let Some(&observed) = ev.get(&var.id()) {
                 observed
             } else {
@@ -117,12 +116,17 @@ impl<'a> GibbsSampler<'a> {
                     if w > 0.0 {
                         if let Some(kids) = children.get(&var.id()) {
                             for &child in kids {
-                                let child_cpd =
-                                    self.net.cpd(child).expect("validated network");
+                                let child_cpd = self.net.cpd(child).expect("validated network");
                                 let child_parents: Vec<usize> = child_cpd
                                     .parents()
                                     .iter()
-                                    .map(|p| if p.id() == var.id() { s } else { state[&p.id()] })
+                                    .map(|p| {
+                                        if p.id() == var.id() {
+                                            s
+                                        } else {
+                                            state[&p.id()]
+                                        }
+                                    })
                                     .collect();
                                 w *= conditional(child_cpd, &child_parents, state[&child.id()]);
                                 if w == 0.0 {
@@ -158,7 +162,10 @@ impl<'a> GibbsSampler<'a> {
             }
         }
         let total: u64 = counts.iter().sum();
-        Ok(counts.into_iter().map(|c| c as f64 / total as f64).collect())
+        Ok(counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect())
     }
 }
 

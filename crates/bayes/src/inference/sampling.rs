@@ -68,11 +68,8 @@ impl<'a> LikelihoodWeighting<'a> {
             let mut weight = 1.0f64;
             for &var in &order {
                 let cpd = self.net.cpd(var).expect("validated network");
-                let parent_states: Vec<usize> = cpd
-                    .parents()
-                    .iter()
-                    .map(|p| assignment[&p.id()])
-                    .collect();
+                let parent_states: Vec<usize> =
+                    cpd.parents().iter().map(|p| assignment[&p.id()]).collect();
                 if let Some(&observed) = ev.get(&var.id()) {
                     weight *= conditional_prob(cpd, &parent_states, observed);
                     assignment.insert(var.id(), observed);

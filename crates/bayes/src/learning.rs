@@ -302,13 +302,7 @@ mod tests {
             vec![1, 1],
             vec![1, 0],
         ];
-        let cpds = learn_table_cpds(
-            &[a, b],
-            &data,
-            &[(a, vec![]), (b, vec![a])],
-            0.0,
-        )
-        .unwrap();
+        let cpds = learn_table_cpds(&[a, b], &data, &[(a, vec![]), (b, vec![a])], 0.0).unwrap();
         assert!((cpds[0].prob(&[], 0).unwrap() - 0.5).abs() < 1e-12);
         assert!((cpds[1].prob(&[0], 0).unwrap() - 0.8).abs() < 1e-12);
         assert!((cpds[1].prob(&[1], 1).unwrap() - 0.8).abs() < 1e-12);

@@ -62,7 +62,9 @@ pub mod noisy_or;
 pub mod variable;
 
 pub use cpd::{Cpd, NoisyOrCpd, TableCpd};
-pub use dbn::{ForwardFilter, SmoothingPass, StepInput, TwoSliceDbn, TwoSliceDbnBuilder, ViterbiDecoder};
+pub use dbn::{
+    ForwardFilter, SmoothingPass, StepInput, TwoSliceDbn, TwoSliceDbnBuilder, ViterbiDecoder,
+};
 pub use error::BayesError;
 pub use factor::Factor;
 pub use inference::{Enumeration, GibbsSampler, LikelihoodWeighting, VariableElimination};

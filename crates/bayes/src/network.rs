@@ -247,10 +247,7 @@ mod tests {
         let a = b.variable("a", 2);
         let _b2 = b.variable("b", 2);
         b.table_cpd(a, &[], &[0.5, 0.5]).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(BayesError::UnknownVariable(1))
-        ));
+        assert!(matches!(b.build(), Err(BayesError::UnknownVariable(1))));
     }
 
     #[test]

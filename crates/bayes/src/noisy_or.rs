@@ -144,7 +144,11 @@ impl NoisyOrBank {
         let mut total = 0.0f64;
         // Iterate subsets S of the positive findings.
         for subset in 0u64..(1u64 << positive.len()) {
-            let sign = if subset.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if subset.count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             let mut active: Vec<usize> = negative.clone();
             for (bit, &k) in positive.iter().enumerate() {
                 if subset >> bit & 1 == 1 {
@@ -152,10 +156,7 @@ impl NoisyOrBank {
                 }
             }
             // Leak term.
-            let mut term: f64 = active
-                .iter()
-                .map(|&k| 1.0 - self.areas[k].leak())
-                .product();
+            let mut term: f64 = active.iter().map(|&k| 1.0 - self.areas[k].leak()).product();
             // Per-parent expectation of the joint off-probabilities.
             for (p, dist) in parent_dists.iter().enumerate() {
                 let mut expect = 0.0f64;
@@ -216,8 +217,7 @@ mod tests {
                 let activation: Vec<Vec<f64>> = (0..n_parents)
                     .map(|_| (0..parent_card).map(|_| rng.gen::<f64>() * 0.9).collect())
                     .collect();
-                NoisyOrCpd::new(child, parents.clone(), activation, rng.gen::<f64>() * 0.1)
-                    .unwrap()
+                NoisyOrCpd::new(child, parents.clone(), activation, rng.gen::<f64>() * 0.1).unwrap()
             })
             .collect();
         NoisyOrBank::new(areas).unwrap()

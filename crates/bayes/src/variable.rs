@@ -114,10 +114,9 @@ impl VariablePool {
 
     /// Re-creates the handle for a previously allocated ID.
     pub fn get(&self, id: usize) -> Option<Variable> {
-        self.cardinalities.get(id).map(|&c| Variable {
-            id,
-            cardinality: c,
-        })
+        self.cardinalities
+            .get(id)
+            .map(|&c| Variable { id, cardinality: c })
     }
 }
 

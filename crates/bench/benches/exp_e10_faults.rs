@@ -49,6 +49,7 @@ fn main() {
     let noise = NoiseConfig::default();
     let data = sim.paper_dataset(&noise);
     let model = Trainer::new(PipelineConfig::default())
+        .expect("config")
         .train(&data.train)
         .expect("train");
 
@@ -122,18 +123,32 @@ fn main() {
 
     print_table(
         "E10a: per single attempt (one clip per decision)",
-        &["injected fault", "detected", "fa (clean)", "fa (other fault)", "recall"],
+        &[
+            "injected fault",
+            "detected",
+            "fa (clean)",
+            "fa (other fault)",
+            "recall",
+        ],
         &table(&single),
     );
     print_table(
         "E10b: per student, 2-of-3-attempt majority (the tutor protocol)",
-        &["injected fault", "detected", "fa (clean)", "fa (other fault)", "recall"],
+        &[
+            "injected fault",
+            "detected",
+            "fa (clean)",
+            "fa (other fault)",
+            "recall",
+        ],
         &table(&majority),
     );
     println!(
         "{STUDENTS} students per case, {ATTEMPTS} attempts each; one clean control case + one case per fault kind;"
     );
-    println!("detection runs on the *predicted* pose sequences of a model trained on correct jumps");
+    println!(
+        "detection runs on the *predicted* pose sequences of a model trained on correct jumps"
+    );
     println!("fa (clean) = false alarms on correct jumps; fa (other fault) = spill-over alarms on");
     println!("clips whose unusual (differently-faulty) sequences get misclassified");
     println!("expected shape: majority voting lifts recall; clean jumps raise almost no alarms");

@@ -20,6 +20,7 @@ fn main() {
     let noise = NoiseConfig::default();
     let data = sim.paper_dataset(&noise);
     let model = Trainer::new(PipelineConfig::default())
+        .expect("config")
         .train(&data.train)
         .expect("train");
 
@@ -31,7 +32,7 @@ fn main() {
     let mut offline_bursts: Vec<usize> = Vec::new();
 
     for (i, clip) in data.test.iter().enumerate() {
-        let processor =
+        let mut processor =
             FrameProcessor::new(clip.background.clone(), model.config()).expect("processor");
         let features: Vec<_> = clip
             .frames
@@ -104,7 +105,12 @@ fn main() {
     ]);
     print_table(
         "E11: online filtering (the paper) vs offline decoding (extension)",
-        &["clip", "online (per-frame commit)", "smoothed marginals", "Viterbi sequence"],
+        &[
+            "clip",
+            "online (per-frame commit)",
+            "smoothed marginals",
+            "Viterbi sequence",
+        ],
         &rows,
     );
     let longest = |b: &[usize]| b.iter().copied().max().unwrap_or(0);

@@ -38,7 +38,7 @@ fn main() {
             },
             ..PipelineConfig::default()
         };
-        let processor =
+        let mut processor =
             FrameProcessor::new(clip.background.clone(), &config).expect("processor");
         let mut px = 0usize;
         let mut passes = 0usize;
@@ -47,8 +47,8 @@ fn main() {
         let t0 = Instant::now();
         for frame in &clip.frames {
             let silhouette = processor.extract_silhouette(frame).expect("extract");
-            let result = slj_skeleton::pipeline::SkeletonPipeline::new(config.skeleton)
-                .run(&silhouette);
+            let result =
+                slj_skeleton::pipeline::SkeletonPipeline::new(config.skeleton).run(&silhouette);
             px += result.skeleton.count_ones();
             passes += result.stats.thinning_passes;
             if let Some(d) = mean_interior_depth(&silhouette, &result.skeleton) {

@@ -26,7 +26,10 @@ fn main() {
         .into_iter()
         .map(|th| {
             (
-                format!("fixed Th_Object = {th}{}", if th == 20 { " (paper)" } else { "" }),
+                format!(
+                    "fixed Th_Object = {th}{}",
+                    if th == 20 { " (paper)" } else { "" }
+                ),
                 ExtractionConfig {
                     th_object: th,
                     ..ExtractionConfig::default()
@@ -43,8 +46,8 @@ fn main() {
         .collect();
 
     for (label, extraction) in cases {
-        let sub = BackgroundSubtractor::new(clip.background.clone(), extraction)
-            .expect("extractor");
+        let sub =
+            BackgroundSubtractor::new(clip.background.clone(), extraction).expect("extractor");
         let mut iou = 0.0;
         for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
             let mask = sub.extract(frame).expect("extract");

@@ -18,6 +18,7 @@ fn main() {
     // Train on the paper's dataset (body scales 0.92–1.04).
     let data = sim.paper_dataset(&noise);
     let model = Trainer::new(PipelineConfig::default())
+        .expect("config")
         .train(&data.train)
         .expect("train");
 

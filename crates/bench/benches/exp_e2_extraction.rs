@@ -14,7 +14,7 @@ use slj_imaging::binary::BinaryImage;
 use slj_imaging::filter::median_filter_binary;
 use slj_imaging::metrics::MaskMetrics;
 use slj_imaging::morphology::Connectivity;
-use slj_imaging::region::largest_component;
+use slj_imaging::region::largest_component_or_empty;
 use slj_sim::{ClipSpec, JumpSimulator, LabeledClip, NoiseConfig};
 
 fn mean_iou(
@@ -23,8 +23,7 @@ fn mean_iou(
     median: Option<usize>,
     keep_largest: bool,
 ) -> f64 {
-    let sub =
-        BackgroundSubtractor::new(clip.background.clone(), extraction).expect("extractor");
+    let sub = BackgroundSubtractor::new(clip.background.clone(), extraction).expect("extractor");
     let mut total = 0.0;
     for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
         let mut mask: BinaryImage = sub.extract(frame).expect("extract");
@@ -32,7 +31,7 @@ fn mean_iou(
             mask = median_filter_binary(&mask, w).expect("median");
         }
         if keep_largest {
-            mask = largest_component(&mask, Connectivity::Eight).unwrap_or(mask);
+            mask = largest_component_or_empty(&mask, Connectivity::Eight);
         }
         total += MaskMetrics::compare(&mask, &truth.silhouette)
             .expect("metrics")
@@ -68,7 +67,12 @@ fn main() {
     }
     print_table(
         "E2a: extraction IoU vs ground truth across noise (Figure 1b raw vs 1c smoothed)",
-        &["noise scale", "raw extraction", "+ median + largest comp.", "gain"],
+        &[
+            "noise scale",
+            "raw extraction",
+            "+ median + largest comp.",
+            "gain",
+        ],
         &rows,
     );
 
@@ -84,8 +88,16 @@ fn main() {
     for (label, extraction, median) in [
         ("no window, no median", window1, None),
         ("no window, median 3x3", window1, Some(3)),
-        ("3x3 window, no median (step i-viii only)", config.extraction, None),
-        ("3x3 window + median 3x3 (the paper)", config.extraction, Some(3)),
+        (
+            "3x3 window, no median (step i-viii only)",
+            config.extraction,
+            None,
+        ),
+        (
+            "3x3 window + median 3x3 (the paper)",
+            config.extraction,
+            Some(3),
+        ),
     ] {
         // No largest-component pass here, so the smoothing filters get
         // sole credit for removing stray fragments.
@@ -100,8 +112,8 @@ fn main() {
 
     // Part 3: the qualitative Figure 1 story — counts of defects (stray
     // foreground fragments and interior holes) before/after the median.
-    let sub = BackgroundSubtractor::new(clip.background.clone(), config.extraction)
-        .expect("extractor");
+    let sub =
+        BackgroundSubtractor::new(clip.background.clone(), config.extraction).expect("extractor");
     let count_defects = |mask: &BinaryImage| -> (usize, usize) {
         use slj_imaging::morphology::fill_holes;
         let fragments = slj_imaging::region::connected_components(mask, Connectivity::Eight)

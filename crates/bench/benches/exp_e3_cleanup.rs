@@ -8,9 +8,9 @@
 use slj_bench::{print_table, MASTER_SEED};
 use slj_core::config::PipelineConfig;
 use slj_core::pipeline::FrameProcessor;
+use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
 use slj_skeleton::pipeline::{SkeletonConfig, SkeletonPipeline};
 use slj_skeleton::prune::short_branch_count;
-use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
 
 fn main() {
     let sim = JumpSimulator::new(MASTER_SEED);
@@ -21,7 +21,7 @@ fn main() {
         ..ClipSpec::default()
     });
     let core_config = PipelineConfig::default();
-    let processor =
+    let mut processor =
         FrameProcessor::new(clip.background.clone(), &core_config).expect("processor");
 
     let configs: [(&str, SkeletonConfig); 3] = [
@@ -41,10 +41,7 @@ fn main() {
                 ..SkeletonConfig::default()
             },
         ),
-        (
-            "+ pruning (Fig 4)",
-            SkeletonConfig::default(),
-        ),
+        ("+ pruning (Fig 4)", SkeletonConfig::default()),
     ];
 
     let mut rows = Vec::new();

@@ -27,7 +27,7 @@ fn main() {
     let mut frames = [0usize; 4];
 
     for clip in &data.test {
-        let processor =
+        let mut processor =
             FrameProcessor::new(clip.background.clone(), &config).expect("processor");
         for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
             let processed = processor.process(frame).expect("process");

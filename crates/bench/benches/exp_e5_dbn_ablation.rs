@@ -47,8 +47,14 @@ fn main() {
 
     let mut rows2 = Vec::new();
     for (label, obs) in [
-        ("part assignments (testing-phase reading)", ObservationMode::PartAssignment),
-        ("area occupancy via noisy-OR (literal Fig 7)", ObservationMode::AreaOccupancy),
+        (
+            "part assignments (testing-phase reading)",
+            ObservationMode::PartAssignment,
+        ),
+        (
+            "area occupancy via noisy-OR (literal Fig 7)",
+            ObservationMode::AreaOccupancy,
+        ),
     ] {
         let config = PipelineConfig {
             observation: obs,

@@ -33,8 +33,7 @@ fn main() {
         ..ClipSpec::default()
     });
     let config = PipelineConfig::default();
-    let processor =
-        FrameProcessor::new(clip.background.clone(), &config).expect("processor");
+    let mut processor = FrameProcessor::new(clip.background.clone(), &config).expect("processor");
 
     // Sample every 4th frame to keep the GA runtime reasonable.
     let sample: Vec<usize> = (0..clip.len()).step_by(4).collect();
@@ -111,7 +110,12 @@ fn main() {
     ];
     print_table(
         "E6: GA baseline vs thinning pipeline (paper Section 1 motivation)",
-        &["method", "per-frame time", "mean key-point error", "needs user input"],
+        &[
+            "method",
+            "per-frame time",
+            "mean key-point error",
+            "needs user input",
+        ],
         &rows,
     );
     println!(

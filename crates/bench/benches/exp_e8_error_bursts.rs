@@ -15,8 +15,7 @@ fn main() {
     let noise = NoiseConfig::default();
 
     // Part 1: burst-length histogram at the default threshold.
-    let result =
-        run_headline(MASTER_SEED, &noise, &PipelineConfig::default()).expect("run");
+    let result = run_headline(MASTER_SEED, &noise, &PipelineConfig::default()).expect("run");
     let bursts = result.report.error_bursts();
     let max_len = bursts.iter().copied().max().unwrap_or(0);
     let mut rows = Vec::new();
@@ -53,8 +52,12 @@ fn main() {
             let r = run_headline(MASTER_SEED, &noise, &config).expect("run");
             rows2.push(vec![
                 format!("{th:.2}"),
-                if carry { "carry last recognised" } else { "commit rejected argmax" }
-                    .to_string(),
+                if carry {
+                    "carry last recognised"
+                } else {
+                    "commit rejected argmax"
+                }
+                .to_string(),
                 pct(r.overall),
                 r.unknown.to_string(),
             ]);
@@ -62,7 +65,12 @@ fn main() {
     }
     print_table(
         "E8b: Th_Pose and the carry-forward rule for Unknown frames",
-        &["Th_Pose", "unknown handling", "overall accuracy", "unknown frames"],
+        &[
+            "Th_Pose",
+            "unknown handling",
+            "overall accuracy",
+            "unknown frames",
+        ],
         &rows2,
     );
     println!("expected shape: errors cluster in bursts; higher thresholds create Unknowns and carry-forward limits the damage");

@@ -20,7 +20,7 @@ fn main() {
     let mut pool: Vec<LabeledClip> = data.train.clone();
     pool.extend(extra);
 
-    let trainer = Trainer::new(PipelineConfig::default());
+    let trainer = Trainer::new(PipelineConfig::default()).expect("config");
     let mut rows = Vec::new();
     for &k in &[3usize, 6, 9, 12, 18, 24] {
         let clips = &pool[..k];
@@ -42,7 +42,12 @@ fn main() {
     }
     print_table(
         "E9: accuracy vs training-set size (paper: 'the number of training samples is small')",
-        &["train clips", "train frames", "per-clip accuracy", "overall"],
+        &[
+            "train clips",
+            "train frames",
+            "per-clip accuracy",
+            "overall",
+        ],
         &rows,
     );
     println!("expected shape: accuracy grows with clips and is not saturated at the paper's 12");

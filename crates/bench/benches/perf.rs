@@ -60,8 +60,11 @@ fn bench_offline_decoding(c: &mut Criterion) {
     let (clip, config) = fixtures();
     let sim = JumpSimulator::new(slj_bench::MASTER_SEED);
     let data = sim.paper_dataset(&NoiseConfig::default());
-    let model = Trainer::new(config.clone()).train(&data.train[..4]).unwrap();
-    let processor = FrameProcessor::new(clip.background.clone(), &config).unwrap();
+    let model = Trainer::new(config.clone())
+        .expect("config")
+        .train(&data.train[..4])
+        .unwrap();
+    let mut processor = FrameProcessor::new(clip.background.clone(), &config).unwrap();
     let features: Vec<_> = clip
         .frames
         .iter()
@@ -79,7 +82,10 @@ fn bench_model_io(c: &mut Criterion) {
     let (_, config) = fixtures();
     let sim = JumpSimulator::new(slj_bench::MASTER_SEED);
     let data = sim.paper_dataset(&NoiseConfig::default());
-    let model = Trainer::new(config).train(&data.train[..4]).unwrap();
+    let model = Trainer::new(config)
+        .expect("config")
+        .train(&data.train[..4])
+        .unwrap();
     let text = slj_core::model_io::to_string(&model);
     c.bench_function("model_serialize", |b| {
         b.iter(|| slj_core::model_io::to_string(&model))
@@ -91,10 +97,36 @@ fn bench_model_io(c: &mut Criterion) {
 
 fn bench_full_frame(c: &mut Criterion) {
     let (clip, config) = fixtures();
-    let processor = FrameProcessor::new(clip.background.clone(), &config).unwrap();
+    let mut processor = FrameProcessor::new(clip.background.clone(), &config).unwrap();
     let frame = clip.frames[20].clone();
     c.bench_function("frame_to_features_full_front_end", |b| {
         b.iter(|| processor.process(&frame).unwrap())
+    });
+}
+
+fn bench_streaming_steady_state(c: &mut Criterion) {
+    use slj_core::engine::JumpSession;
+    let (clip, config) = fixtures();
+    let sim = JumpSimulator::new(slj_bench::MASTER_SEED);
+    let data = sim.paper_dataset(&NoiseConfig::default());
+    let model = Trainer::new(config)
+        .expect("config")
+        .train(&data.train[..4])
+        .unwrap();
+    let mut session = JumpSession::new(&model, clip.background.clone()).unwrap();
+    // Warm up past the first few frames so every scratch buffer has
+    // reached its steady-state capacity; the measured loop then does no
+    // per-frame image-buffer allocation.
+    for frame in &clip.frames[..8] {
+        session.push_frame(frame).unwrap();
+    }
+    let mut cursor = 0usize;
+    c.bench_function("streaming_push_frame_steady_state", |b| {
+        b.iter(|| {
+            let frame = &clip.frames[8 + cursor % (clip.frames.len() - 8)];
+            cursor += 1;
+            session.push_frame(frame).unwrap()
+        })
     });
 }
 
@@ -102,8 +134,11 @@ fn bench_classifier_step(c: &mut Criterion) {
     let (clip, config) = fixtures();
     let sim = JumpSimulator::new(slj_bench::MASTER_SEED);
     let data = sim.paper_dataset(&NoiseConfig::default());
-    let model = Trainer::new(config.clone()).train(&data.train[..4]).unwrap();
-    let processor = FrameProcessor::new(clip.background.clone(), &config).unwrap();
+    let model = Trainer::new(config.clone())
+        .expect("config")
+        .train(&data.train[..4])
+        .unwrap();
+    let mut processor = FrameProcessor::new(clip.background.clone(), &config).unwrap();
     let features = processor.process(&clip.frames[20]).unwrap().features;
     c.bench_function("dbn_filter_step_per_frame", |b| {
         b.iter_batched(
@@ -116,10 +151,10 @@ fn bench_classifier_step(c: &mut Criterion) {
 
 fn bench_variable_elimination(c: &mut Criterion) {
     let mut builder = BayesNetBuilder::new();
-    let vars: Vec<_> = (0..8).map(|i| builder.variable(format!("x{i}"), 3)).collect();
-    builder
-        .table_cpd(vars[0], &[], &[0.2, 0.3, 0.5])
-        .unwrap();
+    let vars: Vec<_> = (0..8)
+        .map(|i| builder.variable(format!("x{i}"), 3))
+        .collect();
+    builder.table_cpd(vars[0], &[], &[0.2, 0.3, 0.5]).unwrap();
     for i in 1..8 {
         let mut table = Vec::new();
         for p in 0..3 {
@@ -168,6 +203,7 @@ criterion_group!(
     bench_median,
     bench_thinning,
     bench_full_frame,
+    bench_streaming_steady_state,
     bench_classifier_step,
     bench_offline_decoding,
     bench_model_io,

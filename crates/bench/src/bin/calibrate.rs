@@ -54,8 +54,12 @@ fn main() {
 
     // Diagnostic: top confusions at the default noise.
     if std::env::var("CONFUSION").is_ok() {
-        let result = run_headline(MASTER_SEED, &NoiseConfig::default(), &PipelineConfig::default())
-            .expect("headline run");
+        let result = run_headline(
+            MASTER_SEED,
+            &NoiseConfig::default(),
+            &PipelineConfig::default(),
+        )
+        .expect("headline run");
         let mut confusions: Vec<(u32, usize, usize)> = Vec::new();
         for (t, row) in result.report.confusion.iter().enumerate() {
             for (p, &c) in row.iter().enumerate() {

@@ -41,7 +41,9 @@ pub fn run_headline(
 ) -> Result<HeadlineResult, SljError> {
     let sim = JumpSimulator::new(seed);
     let data = sim.paper_dataset(noise);
-    let model = Trainer::new(config.clone()).train(&data.train)?;
+    let model = Trainer::new(config.clone())
+        .expect("config")
+        .train(&data.train)?;
     let report = evaluate(&model, &data.test)?;
     Ok(HeadlineResult {
         per_clip: report.per_clip_accuracy(),
@@ -87,17 +89,16 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut out = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            out.push_str(&format!("{:<width$}  ", cell, width = widths[i.min(widths.len() - 1)]));
+            out.push_str(&format!(
+                "{:<width$}  ",
+                cell,
+                width = widths[i.min(widths.len() - 1)]
+            ));
         }
         println!("{}", out.trim_end());
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }

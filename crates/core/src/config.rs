@@ -1,5 +1,6 @@
 //! System configuration.
 
+use crate::error::SljError;
 use slj_imaging::background::ExtractionConfig;
 use slj_skeleton::pipeline::SkeletonConfig;
 
@@ -96,31 +97,40 @@ impl Default for PipelineConfig {
 impl PipelineConfig {
     /// Validates internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when probabilities fall outside `[0, 1]`, the partition
-    /// count is zero, or the median window is even.
-    pub fn validate(&self) {
-        assert!(self.partitions > 0, "partitions must be non-zero");
-        assert!(
-            self.median_window % 2 == 1,
-            "median window must be odd, got {}",
-            self.median_window
-        );
+    /// Returns [`SljError::InvalidConfig`] when probabilities fall
+    /// outside `[0, 1]`, the partition count is zero, or the median
+    /// window is even.
+    pub fn validate(&self) -> Result<(), SljError> {
+        if self.partitions == 0 {
+            return Err(SljError::InvalidConfig(
+                "partitions must be non-zero".into(),
+            ));
+        }
+        if self.median_window % 2 == 0 {
+            return Err(SljError::InvalidConfig(format!(
+                "median window must be odd, got {}",
+                self.median_window
+            )));
+        }
         for (name, p) in [
             ("th_pose", self.th_pose),
             ("part_activation", self.part_activation),
             ("area_leak", self.area_leak),
         ] {
-            assert!(
-                (0.0..=1.0).contains(&p) && p.is_finite(),
-                "{name} must be a probability, got {p}"
-            );
+            if !((0.0..=1.0).contains(&p) && p.is_finite()) {
+                return Err(SljError::InvalidConfig(format!(
+                    "{name} must be a probability, got {p}"
+                )));
+            }
         }
-        assert!(
-            self.laplace_alpha.is_finite() && self.laplace_alpha >= 0.0,
-            "laplace_alpha must be non-negative"
-        );
+        if !(self.laplace_alpha.is_finite() && self.laplace_alpha >= 0.0) {
+            return Err(SljError::InvalidConfig(
+                "laplace_alpha must be non-negative".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -136,27 +146,40 @@ mod tests {
         assert_eq!(c.partitions, 8, "eight areas");
         assert_eq!(c.temporal, TemporalMode::Full);
         assert!(c.carry_forward);
-        c.validate();
+        assert!(c.validate().is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "median window")]
     fn even_median_window_rejected() {
-        PipelineConfig {
+        let err = PipelineConfig {
             median_window: 4,
             ..PipelineConfig::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(matches!(&err, SljError::InvalidConfig(m) if m.contains("median window")));
     }
 
     #[test]
-    #[should_panic(expected = "probability")]
     fn bad_threshold_rejected() {
-        PipelineConfig {
+        let err = PipelineConfig {
             th_pose: 1.5,
             ..PipelineConfig::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(matches!(&err, SljError::InvalidConfig(m) if m.contains("probability")));
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let err = PipelineConfig {
+            partitions: 0,
+            ..PipelineConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, SljError::InvalidConfig(_)));
     }
 
     #[test]

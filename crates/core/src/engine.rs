@@ -1,0 +1,810 @@
+//! The streaming frame engine: one frame in, one committed pose out.
+//!
+//! The paper's system is inherently online — "the current pose will be
+//! input to the next frame as the previous pose" — yet the original
+//! front end re-allocated every intermediate image on every frame and
+//! only exposed whole-clip batch helpers. This module restructures the
+//! front half of the system around three ideas:
+//!
+//! 1. **A stage graph.** Each of the seven front-end steps (background
+//!    subtraction, median filter, largest component, thinning, graph
+//!    clean-up, key points, feature codec) is a [`FrameStage`] writing
+//!    into shared [`FrameSlots`]. Stages are boxed and swappable, so
+//!    ablations can replace or drop a step without forking the driver.
+//! 2. **Reusable scratch buffers.** [`FrameSlots`] owns every
+//!    intermediate image and working buffer; the stages use the
+//!    `_into`-style APIs of `slj-imaging`/`slj-skeleton`, so steady-state
+//!    per-frame work does no image-buffer allocation.
+//! 3. **Per-stage timing.** Every pass records a [`StageTimings`] entry
+//!    per stage — the data behind `slj stream --timings` and the
+//!    steady-state benches.
+//!
+//! [`JumpSession`] couples a [`FrontEnd`] with the DBN filter of
+//! [`crate::model`], accepting one [`RgbImage`] at a time and returning
+//! the committed [`PoseEstimate`] online.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use slj_core::config::PipelineConfig;
+//! use slj_core::engine::JumpSession;
+//! use slj_core::training::Trainer;
+//! use slj_sim::{JumpSimulator, NoiseConfig};
+//!
+//! let sim = JumpSimulator::new(7);
+//! let data = sim.paper_dataset(&NoiseConfig::default());
+//! let model = Trainer::new(PipelineConfig::default())?.train(&data.train)?;
+//! let clip = &data.test[0];
+//! let mut session = JumpSession::new(&model, clip.background.clone())?;
+//! for frame in &clip.frames {
+//!     let estimate = session.push_frame(frame)?;
+//!     println!("pose: {:?} ({:?})", estimate.pose, session.last_timings().total());
+//! }
+//! # Ok::<(), slj_core::SljError>(())
+//! ```
+
+use crate::config::PipelineConfig;
+use crate::error::SljError;
+use crate::model::{PoseEstimate, PoseModel, SequenceClassifier};
+use crate::pipeline::ProcessedFrame;
+use slj_imaging::background::{BackgroundSubtractor, ExtractScratch};
+use slj_imaging::binary::BinaryImage;
+use slj_imaging::filter::{median_filter_binary_into, FilterScratch};
+use slj_imaging::image::RgbImage;
+use slj_imaging::morphology::Connectivity;
+use slj_imaging::region::{largest_component_into, LabelScratch};
+use slj_skeleton::features::FeatureCodec;
+use slj_skeleton::graph::GraphScratch;
+use slj_skeleton::keypoints::KeypointExtractor;
+use slj_skeleton::pipeline::{SkeletonConfig, SkeletonResult, StageStats};
+use slj_skeleton::thinning::{ThinningAlgorithm, ThinningScratch};
+use slj_skeleton::PixelGraph;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Names of the standard seven stages, in execution order.
+pub const STAGE_NAMES: [&str; 7] = [
+    "background_subtraction",
+    "median_filter",
+    "largest_component",
+    "thinning",
+    "graph_cleanup",
+    "keypoints",
+    "features",
+];
+
+/// Index of the first stage that runs when the silhouette is already
+/// extracted (ground-truth silhouettes, ablations).
+const SILHOUETTE_START: usize = 3;
+
+/// Wall-clock duration of every stage of one front-end pass.
+///
+/// Entries appear in execution order; stages skipped on a pass (e.g. the
+/// extraction stages when processing a ready-made silhouette) report
+/// [`Duration::ZERO`] so every pass exposes the full stage list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    entries: Vec<(&'static str, Duration)>,
+}
+
+impl StageTimings {
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn push(&mut self, name: &'static str, elapsed: Duration) {
+        self.entries.push((name, elapsed));
+    }
+
+    /// `(stage name, duration)` pairs in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Duration of the named stage, if it appears in this pass.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, d)| d)
+    }
+
+    /// Total duration across all stages.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Number of stages recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no stage has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// All intermediate buffers of one front-end pass, owned across frames so
+/// the stages can reuse them.
+///
+/// The result fields (`silhouette`, `skeleton`, `keypoints`, `features`)
+/// hold the outputs of the most recent pass; the scratch fields are the
+/// working storage of the `_into`-style stage implementations. Everything
+/// is public so custom [`FrameStage`]s can read and write the same slots
+/// as the standard bank.
+#[derive(Debug, Clone, Default)]
+pub struct FrameSlots {
+    /// Raw background-subtraction mask (before smoothing).
+    pub raw_mask: BinaryImage,
+    /// Median-filtered mask (before component selection).
+    pub smoothed: BinaryImage,
+    /// The smoothed, largest-component silhouette (Figure 1(c)).
+    pub silhouette: BinaryImage,
+    /// Thinning + clean-up output (Figures 2–5).
+    pub skeleton: SkeletonResult,
+    /// Extracted key points.
+    pub keypoints: slj_skeleton::keypoints::KeyPoints,
+    /// Area-encoded feature vector (Figure 6).
+    pub features: slj_skeleton::features::FeatureVector,
+    /// Background-subtraction working buffers.
+    pub extract: ExtractScratch,
+    /// Median-filter working buffers.
+    pub filter: FilterScratch,
+    /// Component-labelling working buffers.
+    pub label: LabelScratch,
+    /// Thinning deletion list.
+    pub thinning: ThinningScratch,
+    /// Reusable pixel-adjacency graph.
+    pub pixel_graph: PixelGraph,
+    /// Segment-graph construction buffers.
+    pub graph: GraphScratch,
+}
+
+impl FrameSlots {
+    /// Creates empty slots; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One step of the front end: reads and writes [`FrameSlots`].
+///
+/// The standard bank is built by [`FrontEnd::new`]; ablations can swap
+/// individual stages via [`FrontEnd::from_stages`].
+pub trait FrameStage: fmt::Debug {
+    /// Stable stage name (one of [`STAGE_NAMES`] for the standard bank).
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage. `frame` is the input video frame, or `None` when
+    /// the pass started from a ready-made silhouette.
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific; the standard extraction stage propagates dimension
+    /// mismatches.
+    fn run(&self, frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError>;
+
+    /// Clones the stage as a boxed trait object (lets stage banks derive
+    /// `Clone`).
+    fn box_clone(&self) -> Box<dyn FrameStage>;
+}
+
+impl Clone for Box<dyn FrameStage> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Stage 1: background subtraction against the clip's studio background.
+#[derive(Debug, Clone)]
+pub struct BackgroundSubtractionStage {
+    subtractor: BackgroundSubtractor,
+}
+
+impl BackgroundSubtractionStage {
+    /// Wraps a configured subtractor.
+    pub fn new(subtractor: BackgroundSubtractor) -> Self {
+        BackgroundSubtractionStage { subtractor }
+    }
+}
+
+impl FrameStage for BackgroundSubtractionStage {
+    fn name(&self) -> &'static str {
+        STAGE_NAMES[0]
+    }
+
+    fn run(&self, frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
+        let frame = frame.ok_or_else(|| {
+            SljError::ConfigMismatch("background subtraction needs an input frame".into())
+        })?;
+        self.subtractor
+            .extract_into(frame, &mut slots.raw_mask, &mut slots.extract)?;
+        Ok(())
+    }
+
+    fn box_clone(&self) -> Box<dyn FrameStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// Stage 2: median smoothing of the raw mask.
+#[derive(Debug, Clone)]
+pub struct MedianFilterStage {
+    window: usize,
+}
+
+impl MedianFilterStage {
+    /// Creates the stage with an odd window size.
+    pub fn new(window: usize) -> Self {
+        MedianFilterStage { window }
+    }
+}
+
+impl FrameStage for MedianFilterStage {
+    fn name(&self) -> &'static str {
+        STAGE_NAMES[1]
+    }
+
+    fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
+        median_filter_binary_into(
+            &slots.raw_mask,
+            self.window,
+            &mut slots.smoothed,
+            &mut slots.filter,
+        )?;
+        Ok(())
+    }
+
+    fn box_clone(&self) -> Box<dyn FrameStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// Stage 3: keep the largest 8-connected component (or an empty mask).
+#[derive(Debug, Clone, Default)]
+pub struct LargestComponentStage;
+
+impl FrameStage for LargestComponentStage {
+    fn name(&self) -> &'static str {
+        STAGE_NAMES[2]
+    }
+
+    fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
+        largest_component_into(
+            &slots.smoothed,
+            Connectivity::Eight,
+            &mut slots.silhouette,
+            &mut slots.label,
+        );
+        Ok(())
+    }
+
+    fn box_clone(&self) -> Box<dyn FrameStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// Stage 4: parallel thinning of the silhouette.
+#[derive(Debug, Clone)]
+pub struct ThinningStage {
+    algorithm: ThinningAlgorithm,
+}
+
+impl ThinningStage {
+    /// Creates the stage for the given algorithm.
+    pub fn new(algorithm: ThinningAlgorithm) -> Self {
+        ThinningStage { algorithm }
+    }
+}
+
+impl FrameStage for ThinningStage {
+    fn name(&self) -> &'static str {
+        STAGE_NAMES[3]
+    }
+
+    fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
+        let (passes, removed) = self.algorithm.run_into(
+            &slots.silhouette,
+            &mut slots.skeleton.raw_skeleton,
+            &mut slots.thinning,
+        );
+        slots.skeleton.stats = StageStats {
+            thinning_passes: passes,
+            thinning_removed: removed,
+            ..StageStats::default()
+        };
+        Ok(())
+    }
+
+    fn box_clone(&self) -> Box<dyn FrameStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// Stage 5: graph conversion, loop cutting and branch pruning.
+#[derive(Debug, Clone)]
+pub struct GraphCleanupStage {
+    config: SkeletonConfig,
+}
+
+impl GraphCleanupStage {
+    /// Creates the stage with the clean-up configuration.
+    pub fn new(config: SkeletonConfig) -> Self {
+        GraphCleanupStage { config }
+    }
+}
+
+impl FrameStage for GraphCleanupStage {
+    fn name(&self) -> &'static str {
+        STAGE_NAMES[4]
+    }
+
+    fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
+        slots.pixel_graph.rebuild(&slots.skeleton.raw_skeleton);
+        slots.skeleton.stats.adjacent_junctions_before =
+            slots.pixel_graph.adjacent_junction_count();
+        slots
+            .skeleton
+            .graph
+            .rebuild_from_pixel_graph(&slots.pixel_graph, &mut slots.graph);
+        slots.skeleton.stats.clusters_merged = slots.skeleton.graph.merged_cluster_count();
+        slots.skeleton.stats.loops_before = slots.skeleton.graph.cycle_rank();
+        if self.config.cut_loops {
+            let report = slj_skeleton::spanning::cut_loops(&mut slots.skeleton.graph);
+            slots.skeleton.stats.loops_cut = report.loops_cut;
+        }
+        slots.skeleton.stats.short_branches_before = slj_skeleton::prune::short_branch_count(
+            &slots.skeleton.graph,
+            self.config.min_branch_len,
+        );
+        if self.config.prune {
+            let report = slj_skeleton::prune::prune_branches(
+                &mut slots.skeleton.graph,
+                self.config.min_branch_len,
+            );
+            slots.skeleton.stats.branches_pruned = report.branches_removed;
+            slots.skeleton.stats.prune_pixels_removed = report.pixels_removed;
+        }
+        slots
+            .skeleton
+            .graph
+            .to_mask_into(&mut slots.skeleton.skeleton);
+        Ok(())
+    }
+
+    fn box_clone(&self) -> Box<dyn FrameStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// Stage 6: key-point extraction from the cleaned graph.
+#[derive(Debug, Clone, Default)]
+pub struct KeypointStage;
+
+impl FrameStage for KeypointStage {
+    fn name(&self) -> &'static str {
+        STAGE_NAMES[5]
+    }
+
+    fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
+        slots.skeleton.keypoints = KeypointExtractor::new().extract(&slots.skeleton.graph);
+        slots.keypoints = slots.skeleton.keypoints;
+        Ok(())
+    }
+
+    fn box_clone(&self) -> Box<dyn FrameStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// Stage 7: area-encoding the key points into the feature vector.
+#[derive(Debug, Clone)]
+pub struct FeatureStage {
+    codec: FeatureCodec,
+}
+
+impl FeatureStage {
+    /// Creates the stage with the given codec.
+    pub fn new(codec: FeatureCodec) -> Self {
+        FeatureStage { codec }
+    }
+}
+
+impl FrameStage for FeatureStage {
+    fn name(&self) -> &'static str {
+        STAGE_NAMES[6]
+    }
+
+    fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
+        slots.features = self.codec.encode(&slots.keypoints);
+        Ok(())
+    }
+
+    fn box_clone(&self) -> Box<dyn FrameStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// The streaming front end: a bank of [`FrameStage`]s plus the
+/// [`FrameSlots`] they share.
+///
+/// One `FrontEnd` serves one clip (it owns that clip's background
+/// subtractor). Feed frames with [`FrontEnd::process_frame`]; the
+/// results stay in [`FrontEnd::slots`] until the next pass, and
+/// [`FrontEnd::timings`] reports the per-stage wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    stages: Vec<Box<dyn FrameStage>>,
+    silhouette_start: usize,
+    slots: FrameSlots,
+    timings: StageTimings,
+}
+
+impl FrontEnd {
+    /// Builds the standard seven-stage bank for a clip with the given
+    /// background frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SljError::InvalidConfig`] on an invalid configuration
+    /// and propagates extraction-configuration errors.
+    pub fn new(background: RgbImage, config: &PipelineConfig) -> Result<Self, SljError> {
+        config.validate()?;
+        let subtractor = BackgroundSubtractor::new(background, config.extraction)?;
+        let stages: Vec<Box<dyn FrameStage>> = vec![
+            Box::new(BackgroundSubtractionStage::new(subtractor)),
+            Box::new(MedianFilterStage::new(config.median_window)),
+            Box::new(LargestComponentStage),
+            Box::new(ThinningStage::new(config.skeleton.algorithm)),
+            Box::new(GraphCleanupStage::new(config.skeleton)),
+            Box::new(KeypointStage),
+            Box::new(FeatureStage::new(FeatureCodec::new(config.partitions))),
+        ];
+        Ok(FrontEnd::from_stages(stages, SILHOUETTE_START))
+    }
+
+    /// Builds a custom bank. `silhouette_start` is the index of the first
+    /// stage to run when a pass starts from a ready-made silhouette (the
+    /// stages before it are the extraction stages).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `silhouette_start` exceeds the stage count.
+    pub fn from_stages(stages: Vec<Box<dyn FrameStage>>, silhouette_start: usize) -> Self {
+        assert!(
+            silhouette_start <= stages.len(),
+            "silhouette_start {silhouette_start} out of range for {} stages",
+            stages.len()
+        );
+        FrontEnd {
+            stages,
+            silhouette_start,
+            slots: FrameSlots::new(),
+            timings: StageTimings::default(),
+        }
+    }
+
+    /// Stage names in execution order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// The slots holding the most recent pass's outputs.
+    pub fn slots(&self) -> &FrameSlots {
+        &self.slots
+    }
+
+    /// Per-stage timings of the most recent pass.
+    pub fn timings(&self) -> &StageTimings {
+        &self.timings
+    }
+
+    fn run_range(&mut self, frame: Option<&RgbImage>, start: usize) -> Result<(), SljError> {
+        self.timings.clear();
+        for stage in &self.stages[..start] {
+            self.timings.push(stage.name(), Duration::ZERO);
+        }
+        for stage in &self.stages[start..] {
+            let t0 = Instant::now();
+            stage.run(frame, &mut self.slots)?;
+            self.timings.push(stage.name(), t0.elapsed());
+        }
+        Ok(())
+    }
+
+    /// Runs the full bank on one video frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage errors (e.g. frame/background dimension
+    /// mismatches).
+    pub fn process_frame(&mut self, frame: &RgbImage) -> Result<(), SljError> {
+        self.run_range(Some(frame), 0)
+    }
+
+    /// Runs the post-extraction stages on a ready-made silhouette
+    /// (ground-truth silhouettes, ablations). The extraction stages
+    /// report zero duration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage errors.
+    pub fn process_silhouette(&mut self, silhouette: &BinaryImage) -> Result<(), SljError> {
+        self.slots.silhouette.copy_from(silhouette);
+        self.run_range(None, self.silhouette_start)
+    }
+
+    /// Runs only the extraction stages and returns the silhouette slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage errors.
+    pub fn extract_silhouette(&mut self, frame: &RgbImage) -> Result<&BinaryImage, SljError> {
+        self.timings.clear();
+        for stage in &self.stages[..self.silhouette_start] {
+            let t0 = Instant::now();
+            stage.run(Some(frame), &mut self.slots)?;
+            self.timings.push(stage.name(), t0.elapsed());
+        }
+        for stage in &self.stages[self.silhouette_start..] {
+            self.timings.push(stage.name(), Duration::ZERO);
+        }
+        Ok(&self.slots.silhouette)
+    }
+
+    /// Clones the most recent pass's outputs into an owned
+    /// [`ProcessedFrame`] (the batch-API view of the slots).
+    pub fn snapshot(&self) -> ProcessedFrame {
+        ProcessedFrame {
+            silhouette: self.slots.silhouette.clone(),
+            skeleton: self.slots.skeleton.clone(),
+            keypoints: self.slots.keypoints,
+            features: self.slots.features,
+            timings: self.timings.clone(),
+        }
+    }
+}
+
+/// A streaming pose-estimation session: the paper's online loop, one
+/// frame at a time.
+///
+/// Couples a [`FrontEnd`] for the clip with the trained model's DBN
+/// filter. Each [`JumpSession::push_frame`] runs the seven-stage front
+/// end into reusable buffers, steps the filter, and returns the
+/// committed [`PoseEstimate`] for that frame.
+#[derive(Debug)]
+pub struct JumpSession<'m> {
+    front_end: FrontEnd,
+    classifier: SequenceClassifier<'m>,
+    frames_processed: usize,
+}
+
+impl<'m> JumpSession<'m> {
+    /// Starts a session for a clip with the given background frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SljError::InvalidConfig`] on an invalid model
+    /// configuration and propagates extraction-configuration errors.
+    pub fn new(model: &'m PoseModel, background: RgbImage) -> Result<Self, SljError> {
+        Ok(JumpSession {
+            front_end: FrontEnd::new(background, model.config())?,
+            classifier: model.start_clip(),
+            frames_processed: 0,
+        })
+    }
+
+    /// Starts a session with a custom stage bank (ablations).
+    pub fn with_front_end(model: &'m PoseModel, front_end: FrontEnd) -> Self {
+        JumpSession {
+            front_end,
+            classifier: model.start_clip(),
+            frames_processed: 0,
+        }
+    }
+
+    /// Processes one video frame and returns the committed estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end and inference errors.
+    pub fn push_frame(&mut self, frame: &RgbImage) -> Result<PoseEstimate, SljError> {
+        self.front_end.process_frame(frame)?;
+        self.frames_processed += 1;
+        self.classifier.step(&self.front_end.slots().features)
+    }
+
+    /// Processes a ready-made silhouette and returns the committed
+    /// estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end and inference errors.
+    pub fn push_silhouette(&mut self, silhouette: &BinaryImage) -> Result<PoseEstimate, SljError> {
+        self.front_end.process_silhouette(silhouette)?;
+        self.frames_processed += 1;
+        self.classifier.step(&self.front_end.slots().features)
+    }
+
+    /// Per-stage timings of the most recent frame.
+    pub fn last_timings(&self) -> &StageTimings {
+        self.front_end.timings()
+    }
+
+    /// The front-end slots of the most recent frame (silhouette,
+    /// skeleton, key points, features) — borrow, no copies.
+    pub fn slots(&self) -> &FrameSlots {
+        self.front_end.slots()
+    }
+
+    /// Clones the most recent frame's outputs into an owned
+    /// [`ProcessedFrame`].
+    pub fn last_frame(&self) -> ProcessedFrame {
+        self.front_end.snapshot()
+    }
+
+    /// Number of frames pushed so far.
+    pub fn frames_processed(&self) -> usize {
+        self.frames_processed
+    }
+
+    /// The most recently recognised (non-Unknown) pose.
+    pub fn last_recognized(&self) -> slj_sim::pose::PoseClass {
+        self.classifier.last_recognized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::FrameProcessor;
+    use crate::training::Trainer;
+    use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+    fn clip() -> slj_sim::LabeledClip {
+        JumpSimulator::new(21).generate_clip(&ClipSpec {
+            total_frames: 20,
+            noise: NoiseConfig::default().scaled(0.5),
+            ..ClipSpec::default()
+        })
+    }
+
+    #[test]
+    fn front_end_matches_batch_processor() {
+        let clip = clip();
+        let config = PipelineConfig::default();
+        let mut fe = FrontEnd::new(clip.background.clone(), &config).unwrap();
+        let mut proc = FrameProcessor::new(clip.background.clone(), &config).unwrap();
+        for frame in clip.frames.iter().step_by(4) {
+            fe.process_frame(frame).unwrap();
+            let batch = proc.process(frame).unwrap();
+            assert_eq!(fe.slots().silhouette, batch.silhouette);
+            assert_eq!(fe.slots().skeleton.skeleton, batch.skeleton.skeleton);
+            assert_eq!(fe.slots().skeleton.stats, batch.skeleton.stats);
+            assert_eq!(fe.slots().keypoints, batch.keypoints);
+            assert_eq!(fe.slots().features, batch.features);
+        }
+    }
+
+    #[test]
+    fn timings_cover_all_stages() {
+        let clip = clip();
+        let mut fe = FrontEnd::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        fe.process_frame(&clip.frames[0]).unwrap();
+        let names: Vec<_> = fe.timings().iter().map(|(n, _)| n).collect();
+        assert_eq!(names, STAGE_NAMES.to_vec());
+        assert!(fe.timings().total() > Duration::ZERO);
+        for name in STAGE_NAMES {
+            assert!(fe.timings().get(name).is_some(), "missing stage {name}");
+        }
+    }
+
+    #[test]
+    fn silhouette_pass_zeroes_extraction_timings() {
+        let clip = clip();
+        let mut fe = FrontEnd::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        fe.process_silhouette(&clip.truth[5].silhouette).unwrap();
+        assert_eq!(fe.timings().len(), STAGE_NAMES.len());
+        assert_eq!(
+            fe.timings().get("background_subtraction"),
+            Some(Duration::ZERO)
+        );
+        assert_eq!(fe.timings().get("median_filter"), Some(Duration::ZERO));
+        assert!(fe.slots().keypoints.foot.is_some());
+    }
+
+    #[test]
+    fn session_streams_committed_estimates() {
+        let sim = JumpSimulator::new(55);
+        let noise = NoiseConfig::default().scaled(0.5);
+        let train: Vec<_> = (0..2)
+            .map(|i| {
+                sim.generate_clip(&ClipSpec {
+                    total_frames: 25,
+                    seed: i,
+                    noise,
+                    ..ClipSpec::default()
+                })
+            })
+            .collect();
+        let model = Trainer::new(PipelineConfig::default())
+            .unwrap()
+            .train(&train)
+            .unwrap();
+        let test = sim.generate_clip(&ClipSpec {
+            total_frames: 25,
+            seed: 9,
+            noise,
+            ..ClipSpec::default()
+        });
+        let mut session = JumpSession::new(&model, test.background.clone()).unwrap();
+        let mut estimates = Vec::new();
+        for frame in &test.frames {
+            estimates.push(session.push_frame(frame).unwrap());
+        }
+        assert_eq!(session.frames_processed(), 25);
+        assert_eq!(estimates.len(), 25);
+        assert_eq!(session.last_timings().len(), STAGE_NAMES.len());
+        // The session's estimates must be byte-for-byte the batch path's.
+        let mut proc = FrameProcessor::new(test.background.clone(), model.config()).unwrap();
+        let mut clf = model.start_clip();
+        for (frame, est) in test.frames.iter().zip(&estimates) {
+            let batch_est = clf.step(&proc.process(frame).unwrap().features).unwrap();
+            assert_eq!(est.pose, batch_est.pose);
+            assert_eq!(est.posterior, batch_est.posterior);
+            assert_eq!(est.committed_pose, batch_est.committed_pose);
+        }
+    }
+
+    #[test]
+    fn custom_bank_swaps_a_stage() {
+        // Drop the median filter: an ablation bank with 6 stages.
+        let clip = clip();
+        let config = PipelineConfig::default();
+        let subtractor =
+            BackgroundSubtractor::new(clip.background.clone(), config.extraction).unwrap();
+        // Without the median filter the largest-component stage must read
+        // the raw mask, so wire a pass-through copy in its place.
+        #[derive(Debug, Clone)]
+        struct CopyRawStage;
+        impl FrameStage for CopyRawStage {
+            fn name(&self) -> &'static str {
+                "copy_raw"
+            }
+            fn run(&self, _f: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
+                let raw = std::mem::take(&mut slots.raw_mask);
+                slots.smoothed.copy_from(&raw);
+                slots.raw_mask = raw;
+                Ok(())
+            }
+            fn box_clone(&self) -> Box<dyn FrameStage> {
+                Box::new(self.clone())
+            }
+        }
+        let stages: Vec<Box<dyn FrameStage>> = vec![
+            Box::new(BackgroundSubtractionStage::new(subtractor)),
+            Box::new(CopyRawStage),
+            Box::new(LargestComponentStage),
+            Box::new(ThinningStage::new(config.skeleton.algorithm)),
+            Box::new(GraphCleanupStage::new(config.skeleton)),
+            Box::new(KeypointStage),
+            Box::new(FeatureStage::new(FeatureCodec::new(config.partitions))),
+        ];
+        let mut fe = FrontEnd::from_stages(stages, 3);
+        fe.process_frame(&clip.frames[10]).unwrap();
+        assert_eq!(
+            fe.slots().silhouette.dimensions(),
+            clip.background.dimensions()
+        );
+        assert!(fe.timings().get("copy_raw").is_some());
+        assert!(fe.timings().get("median_filter").is_none());
+    }
+
+    #[test]
+    fn mismatched_frame_is_an_error() {
+        let clip = clip();
+        let mut fe = FrontEnd::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        assert!(fe.process_frame(&RgbImage::new(4, 4)).is_err());
+    }
+}

@@ -15,6 +15,8 @@ pub enum SljError {
     InvalidTrainingSet(String),
     /// A clip/model mismatch (e.g. different partition counts).
     ConfigMismatch(String),
+    /// A [`crate::config::PipelineConfig`] with out-of-range values.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for SljError {
@@ -24,6 +26,7 @@ impl fmt::Display for SljError {
             SljError::Bayes(e) => write!(f, "model error: {e}"),
             SljError::InvalidTrainingSet(msg) => write!(f, "invalid training set: {msg}"),
             SljError::ConfigMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
+            SljError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

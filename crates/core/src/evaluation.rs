@@ -1,9 +1,9 @@
 //! Evaluation: per-clip accuracy (the Section 5 headline), confusion
 //! matrices, and the consecutive-error burst analysis.
 
+use crate::engine::JumpSession;
 use crate::error::SljError;
 use crate::model::{PoseEstimate, PoseModel};
-use crate::pipeline::FrameProcessor;
 use slj_sim::dataset::LabeledClip;
 use slj_sim::pose::PoseClass;
 
@@ -188,14 +188,12 @@ impl EvalReport {
 ///
 /// Propagates pipeline and inference errors.
 pub fn evaluate_clip(model: &PoseModel, clip: &LabeledClip) -> Result<ClipReport, SljError> {
-    let processor = FrameProcessor::new(clip.background.clone(), model.config())?;
-    let mut clf = model.start_clip();
+    let mut session = JumpSession::new(model, clip.background.clone())?;
     let mut estimates = Vec::with_capacity(clip.len());
     let mut correct = 0usize;
     let mut unknown = 0usize;
     for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
-        let processed = processor.process(frame)?;
-        let est = clf.step(&processed.features)?;
+        let est = session.push_frame(frame)?;
         match est.pose {
             Some(p) if p == truth.pose => correct += 1,
             None => unknown += 1,
@@ -262,7 +260,10 @@ mod tests {
             noise,
             ..ClipSpec::default()
         })];
-        let model = Trainer::new(PipelineConfig::default()).train(&train).unwrap();
+        let model = Trainer::new(PipelineConfig::default())
+            .unwrap()
+            .train(&train)
+            .unwrap();
         (model, test)
     }
 
@@ -298,7 +299,10 @@ mod tests {
         assert_eq!(burst_sum, errors);
         let frac = report.burst_error_fraction(1);
         if errors > 0 {
-            assert!((frac - 1.0).abs() < 1e-12, "every error is in a burst of >=1");
+            assert!(
+                (frac - 1.0).abs() < 1e-12,
+                "every error is in a burst of >=1"
+            );
         }
     }
 

@@ -4,9 +4,13 @@
 //! The crate wires the substrates together into the system of Sections
 //! 2–5 plus the scoring end use the introduction motivates:
 //!
-//! 1. [`pipeline`] — frame → silhouette (background subtraction, median
-//!    filter, largest component) → Zhang-Suen skeleton → graph clean-up →
-//!    key points → area feature vector.
+//! 1. [`engine`] — the streaming stage graph: frame → silhouette
+//!    (background subtraction, median filter, largest component) →
+//!    Zhang-Suen skeleton → graph clean-up → key points → area feature
+//!    vector, each step a swappable [`engine::FrameStage`] writing into
+//!    reusable buffers, with per-stage timings. [`engine::JumpSession`]
+//!    couples it with the DBN filter for one-frame-in, one-estimate-out
+//!    streaming; [`pipeline`] is the batch-friendly wrapper.
 //! 2. [`model`] — the DBN classifier of Figure 7: a stage/pose temporal
 //!    chain filtered forward per frame, with the per-pose observation
 //!    network (hidden body parts, noisy-OR area nodes) evaluated in
@@ -33,13 +37,14 @@
 //! let sim = JumpSimulator::new(7);
 //! let data = sim.paper_dataset(&NoiseConfig::default());
 //! let config = PipelineConfig::default();
-//! let model = Trainer::new(config.clone()).train(&data.train)?;
+//! let model = Trainer::new(config.clone())?.train(&data.train)?;
 //! let report = evaluate(&model, &data.test)?;
 //! println!("overall accuracy: {:.1}%", 100.0 * report.overall_accuracy());
 //! # Ok::<(), slj_core::SljError>(())
 //! ```
 
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod evaluation;
 pub mod model;
@@ -49,6 +54,7 @@ pub mod scoring;
 pub mod training;
 
 pub use config::{PipelineConfig, TemporalMode};
+pub use engine::{FrameSlots, FrameStage, FrontEnd, JumpSession, StageTimings, STAGE_NAMES};
 pub use error::SljError;
 pub use evaluation::{evaluate, ClipReport, EvalReport};
 pub use model::{PoseEstimate, PoseModel, SequenceClassifier};

@@ -90,7 +90,7 @@ impl PoseModel {
     /// Propagates CPD/DBN validation errors (e.g. rows not summing to 1)
     /// and [`SljError::ConfigMismatch`] on shape problems.
     pub fn from_tables(config: PipelineConfig, tables: LearnedTables) -> Result<Self, SljError> {
-        config.validate();
+        config.validate()?;
         let n = config.partitions as usize;
         // Shape checks.
         if tables.stage_transition.len() != S
@@ -120,9 +120,11 @@ impl PoseModel {
             TemporalMode::Full => {
                 // Slice 0: the paper's reset — previous stage is "before
                 // jumping", previous pose is "standing & hand overlap".
-                let init_stage_row = tables.stage_transition[JumpStage::BeforeJumping.index()]
-                    .clone();
-                b.prior_cpd(TableCpd::new(stage_var, vec![], init_stage_row).map_err(SljError::from)?);
+                let init_stage_row =
+                    tables.stage_transition[JumpStage::BeforeJumping.index()].clone();
+                b.prior_cpd(
+                    TableCpd::new(stage_var, vec![], init_stage_row).map_err(SljError::from)?,
+                );
                 let init_pose = PoseClass::initial().index();
                 let mut pose0 = Vec::with_capacity(S * P);
                 for s in 0..S {
@@ -137,8 +139,7 @@ impl PoseModel {
                     stage_t.extend(row);
                 }
                 b.transition_cpd(
-                    TableCpd::new(stage_var, vec![stage_prev], stage_t)
-                        .map_err(SljError::from)?,
+                    TableCpd::new(stage_var, vec![stage_prev], stage_t).map_err(SljError::from)?,
                 );
                 let mut pose_t = Vec::with_capacity(P * S * P);
                 for prev in 0..P {
@@ -428,8 +429,8 @@ impl SequenceClassifier<'_> {
     /// thanks to the likelihood floor).
     pub fn step(&mut self, features: &FeatureVector) -> Result<PoseEstimate, SljError> {
         let lik_values = self.model.observation_likelihood(features)?;
-        let likelihood = Factor::new(vec![self.model.pose_var], lik_values)
-            .map_err(SljError::from)?;
+        let likelihood =
+            Factor::new(vec![self.model.pose_var], lik_values).map_err(SljError::from)?;
         self.filter
             .step_with_likelihood(&[], Some(&likelihood))
             .map_err(SljError::from)?;
@@ -442,21 +443,21 @@ impl SequenceClassifier<'_> {
             .marginal(self.model.stage_var)
             .map_err(SljError::from)?;
         // First maximum wins ties, for determinism.
-        let (best_idx, best_prob) = posterior
-            .iter()
-            .enumerate()
-            .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            });
+        let (best_idx, best_prob) =
+            posterior
+                .iter()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
         let best_pose = PoseClass::from_index(best_idx);
         // Th_Pose rule: every pose except the majority pose must clear
         // the threshold.
-        let accepted = best_pose == PoseClass::majority()
-            || best_prob >= self.model.config.th_pose;
+        let accepted = best_pose == PoseClass::majority() || best_prob >= self.model.config.th_pose;
         let decided = if accepted { Some(best_pose) } else { None };
 
         // Hard hand-off: commit a definite previous pose for the next
@@ -470,16 +471,16 @@ impl SequenceClassifier<'_> {
             None if self.model.config.carry_forward => self.last_recognized,
             None => best_pose,
         };
-        let (stage_idx, _) = stage_posterior
-            .iter()
-            .enumerate()
-            .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+        let (stage_idx, _) = stage_posterior.iter().enumerate().fold(
+            (0usize, f64::NEG_INFINITY),
+            |(bi, bv), (i, &v)| {
                 if v > bv {
                     (i, v)
                 } else {
                     (bi, bv)
                 }
-            });
+            },
+        );
         // Replace the pose belief with the committed pose (the paper
         // feeds the decided pose, not a distribution, into the next
         // frame). With `hard_commit` off, the soft posterior carries
@@ -547,11 +548,7 @@ mod tests {
             for (pose, row) in tbl.iter_mut().enumerate() {
                 let area = (pose + part) % n;
                 for (s, v) in row.iter_mut().enumerate() {
-                    *v = if s == area {
-                        0.9
-                    } else {
-                        0.1 / n as f64
-                    };
+                    *v = if s == area { 0.9 } else { 0.1 / n as f64 };
                 }
             }
         }
@@ -637,9 +634,13 @@ mod tests {
         let p_static = toy_model(TemporalMode::Static);
         let mut clf_static = p_static.start_clip();
         for _ in 0..4 {
-            clf_static.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
+            clf_static
+                .step(&features_for_areas(&[3, 4, 5, 6, 7]))
+                .unwrap();
         }
-        let est_static = clf_static.step(&features_for_areas(&[1, 2, 3, 4, 5])).unwrap();
+        let est_static = clf_static
+            .step(&features_for_areas(&[1, 2, 3, 4, 5]))
+            .unwrap();
         assert!(
             p9 < est_static.posterior[9],
             "temporal prior should damp the glitch: {} vs {}",
@@ -715,7 +716,11 @@ mod tests {
 
     #[test]
     fn all_modes_build_and_step() {
-        for mode in [TemporalMode::Static, TemporalMode::PrevPose, TemporalMode::Full] {
+        for mode in [
+            TemporalMode::Static,
+            TemporalMode::PrevPose,
+            TemporalMode::Full,
+        ] {
             let model = toy_model(mode);
             let mut clf = model.start_clip();
             let est = clf.step(&features_for_areas(&[0, 1, 2, 3, 4])).unwrap();

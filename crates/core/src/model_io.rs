@@ -58,7 +58,12 @@ pub fn to_string(model: &PoseModel) -> String {
         c.carry_forward,
     );
     let write_rows = |out: &mut String, name: &str, rows: Vec<&[f64]>| {
-        let _ = writeln!(out, "table {name} rows={} cols={}", rows.len(), rows[0].len());
+        let _ = writeln!(
+            out,
+            "table {name} rows={} cols={}",
+            rows.len(),
+            rows[0].len()
+        );
         for row in rows {
             // `{:e}` prints the shortest scientific form that round-trips
             // exactly back to the same f64.
@@ -211,10 +216,8 @@ pub fn from_str(text: &str) -> Result<PoseModel, SljError> {
     if pose_flat.len() != P * S {
         return Err(bad("pose_transition has wrong row count"));
     }
-    let pose_transition: Vec<Vec<Vec<f64>>> = pose_flat
-        .chunks(S)
-        .map(|chunk| chunk.to_vec())
-        .collect();
+    let pose_transition: Vec<Vec<Vec<f64>>> =
+        pose_flat.chunks(S).map(|chunk| chunk.to_vec()).collect();
     let pose_transition_nostage = read_table("pose_transition_nostage")?;
     let pose_marginal = read_table("pose_marginal")?
         .into_iter()
@@ -279,7 +282,10 @@ mod tests {
                 })
             })
             .collect();
-        Trainer::new(PipelineConfig::default()).train(&clips).unwrap()
+        Trainer::new(PipelineConfig::default())
+            .unwrap()
+            .train(&clips)
+            .unwrap()
     }
 
     #[test]
@@ -332,7 +338,11 @@ mod tests {
         let bad = text.replace("partitions=8", "partitions=zero");
         assert!(from_str(&bad).is_err());
         // Corrupted table value.
-        let bad2 = text.replacen("table stage_transition rows=4", "table stage_transition rows=9", 1);
+        let bad2 = text.replacen(
+            "table stage_transition rows=4",
+            "table stage_transition rows=9",
+            1,
+        );
         assert!(from_str(&bad2).is_err());
     }
 }

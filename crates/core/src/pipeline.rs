@@ -1,17 +1,21 @@
 //! The per-frame front end: video frame → silhouette → skeleton → key
 //! points → feature vector (Sections 2–3 and the front half of 4).
+//!
+//! [`FrameProcessor`] is the batch-friendly wrapper over the streaming
+//! stage graph in [`crate::engine`]: each call runs the engine's stage
+//! bank into reusable buffers and clones the slots into an owned
+//! [`ProcessedFrame`]. Callers that want zero-copy access per frame
+//! should use [`crate::engine::FrontEnd`] or
+//! [`crate::engine::JumpSession`] directly.
 
 use crate::config::PipelineConfig;
+use crate::engine::{FrontEnd, StageTimings};
 use crate::error::SljError;
-use slj_imaging::background::BackgroundSubtractor;
 use slj_imaging::binary::BinaryImage;
-use slj_imaging::filter::median_filter_binary;
 use slj_imaging::image::RgbImage;
-use slj_imaging::morphology::Connectivity;
-use slj_imaging::region::largest_component;
-use slj_skeleton::features::{FeatureCodec, FeatureVector};
+use slj_skeleton::features::FeatureVector;
 use slj_skeleton::keypoints::KeyPoints;
-use slj_skeleton::pipeline::{SkeletonPipeline, SkeletonResult};
+use slj_skeleton::pipeline::SkeletonResult;
 
 /// Everything the front end derives from one frame.
 #[derive(Debug, Clone)]
@@ -24,15 +28,18 @@ pub struct ProcessedFrame {
     pub keypoints: KeyPoints,
     /// Area-encoded feature vector (Figure 6).
     pub features: FeatureVector,
+    /// Wall-clock duration of every front-end stage for this frame.
+    pub timings: StageTimings,
 }
 
 /// Processes frames of one clip against its known studio background.
+///
+/// A thin wrapper over [`FrontEnd`] that returns owned snapshots;
+/// processing takes `&mut self` because the underlying stage buffers are
+/// reused between calls.
 #[derive(Debug, Clone)]
 pub struct FrameProcessor {
-    subtractor: BackgroundSubtractor,
-    median_window: usize,
-    skeleton_pipeline: SkeletonPipeline,
-    codec: FeatureCodec,
+    front_end: FrontEnd,
 }
 
 impl FrameProcessor {
@@ -40,15 +47,17 @@ impl FrameProcessor {
     ///
     /// # Errors
     ///
-    /// Propagates extraction-configuration errors.
+    /// Returns [`SljError::InvalidConfig`] on an invalid configuration
+    /// and propagates extraction-configuration errors.
     pub fn new(background: RgbImage, config: &PipelineConfig) -> Result<Self, SljError> {
-        config.validate();
         Ok(FrameProcessor {
-            subtractor: BackgroundSubtractor::new(background, config.extraction)?,
-            median_window: config.median_window,
-            skeleton_pipeline: SkeletonPipeline::new(config.skeleton),
-            codec: FeatureCodec::new(config.partitions),
+            front_end: FrontEnd::new(background, config)?,
         })
+    }
+
+    /// The underlying stage bank.
+    pub fn front_end(&self) -> &FrontEnd {
+        &self.front_end
     }
 
     /// Extracts the smoothed jumper silhouette (Section 2): background
@@ -57,11 +66,8 @@ impl FrameProcessor {
     /// # Errors
     ///
     /// Propagates dimension mismatches from the extractor.
-    pub fn extract_silhouette(&self, frame: &RgbImage) -> Result<BinaryImage, SljError> {
-        let raw = self.subtractor.extract(frame)?;
-        let smoothed = median_filter_binary(&raw, self.median_window)?;
-        Ok(largest_component(&smoothed, Connectivity::Eight)
-            .unwrap_or_else(|| BinaryImage::new(smoothed.width(), smoothed.height())))
+    pub fn extract_silhouette(&mut self, frame: &RgbImage) -> Result<BinaryImage, SljError> {
+        Ok(self.front_end.extract_silhouette(frame)?.clone())
     }
 
     /// Runs the full front end on one frame.
@@ -70,38 +76,30 @@ impl FrameProcessor {
     ///
     /// Propagates extraction errors; an empty silhouette yields an empty
     /// feature vector rather than an error.
-    pub fn process(&self, frame: &RgbImage) -> Result<ProcessedFrame, SljError> {
-        let silhouette = self.extract_silhouette(frame)?;
-        let skeleton = self.skeleton_pipeline.run(&silhouette);
-        let keypoints = skeleton.keypoints;
-        let features = self.codec.encode(&keypoints);
-        Ok(ProcessedFrame {
-            silhouette,
-            skeleton,
-            keypoints,
-            features,
-        })
+    pub fn process(&mut self, frame: &RgbImage) -> Result<ProcessedFrame, SljError> {
+        self.front_end.process_frame(frame)?;
+        Ok(self.front_end.snapshot())
     }
 
     /// Processes a silhouette that is already extracted (used when
     /// training from ground-truth silhouettes or in ablations).
-    pub fn process_silhouette(&self, silhouette: &BinaryImage) -> ProcessedFrame {
-        let skeleton = self.skeleton_pipeline.run(silhouette);
-        let keypoints = skeleton.keypoints;
-        let features = self.codec.encode(&keypoints);
-        ProcessedFrame {
-            silhouette: silhouette.clone(),
-            skeleton,
-            keypoints,
-            features,
-        }
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; the post-extraction stages are infallible on any
+    /// silhouette.
+    pub fn process_silhouette(&mut self, silhouette: &BinaryImage) -> ProcessedFrame {
+        self.front_end
+            .process_silhouette(silhouette)
+            .expect("post-extraction stages are infallible");
+        self.front_end.snapshot()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+    use slj_sim::{ClipSpec, JumpSimulator};
 
     fn clip() -> slj_sim::LabeledClip {
         JumpSimulator::new(21).generate_clip(&ClipSpec {
@@ -114,7 +112,8 @@ mod tests {
     fn silhouette_extraction_matches_truth_well() {
         use slj_imaging::metrics::MaskMetrics;
         let clip = clip();
-        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let mut proc =
+            FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
         let mut total_iou = 0.0;
         for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
             let extracted = proc.extract_silhouette(frame).unwrap();
@@ -131,7 +130,8 @@ mod tests {
     #[test]
     fn process_produces_features_on_most_frames() {
         let clip = clip();
-        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let mut proc =
+            FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
         let mut with_waist = 0;
         for frame in &clip.frames {
             let out = proc.process(frame).unwrap();
@@ -150,7 +150,8 @@ mod tests {
     #[test]
     fn empty_frame_yields_empty_features() {
         let clip = clip();
-        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let mut proc =
+            FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
         // The background itself contains no jumper.
         let out = proc.process(&clip.background).unwrap();
         assert!(out.silhouette.is_empty());
@@ -160,7 +161,8 @@ mod tests {
     #[test]
     fn process_silhouette_skips_extraction() {
         let clip = clip();
-        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let mut proc =
+            FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
         let out = proc.process_silhouette(&clip.truth[5].silhouette);
         assert!(out.keypoints.foot.is_some());
         assert!(out.features.present_parts() >= 3);
@@ -178,7 +180,7 @@ mod tests {
             },
             ..PipelineConfig::default()
         };
-        let proc = FrameProcessor::new(clip.background.clone(), &config).unwrap();
+        let mut proc = FrameProcessor::new(clip.background.clone(), &config).unwrap();
         let out = proc.process(&clip.frames[10]).unwrap();
         assert!(out.keypoints.foot.is_some());
         assert!(out.skeleton.skeleton.count_ones() > 20);
@@ -189,9 +191,9 @@ mod tests {
         use slj_imaging::background::ExtractionConfig;
         use slj_imaging::metrics::MaskMetrics;
         let clip = clip();
-        let fixed = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default())
-            .unwrap();
-        let auto = FrameProcessor::new(
+        let mut fixed =
+            FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let mut auto = FrameProcessor::new(
             clip.background.clone(),
             &PipelineConfig {
                 extraction: ExtractionConfig {
@@ -213,7 +215,8 @@ mod tests {
     #[test]
     fn mismatched_frame_size_rejected() {
         let clip = clip();
-        let proc = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
+        let mut proc =
+            FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
         let wrong = RgbImage::new(8, 8);
         assert!(proc.process(&wrong).is_err());
     }

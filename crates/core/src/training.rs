@@ -10,9 +10,9 @@
 //! pose and the previous pose").
 
 use crate::config::PipelineConfig;
+use crate::engine::FrontEnd;
 use crate::error::SljError;
 use crate::model::{LearnedTables, PoseModel};
-use crate::pipeline::FrameProcessor;
 use slj_sim::dataset::LabeledClip;
 use slj_sim::pose::PoseClass;
 use slj_sim::stage::JumpStage;
@@ -31,12 +31,12 @@ pub struct Trainer {
 impl Trainer {
     /// Creates a trainer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an invalid configuration.
-    pub fn new(config: PipelineConfig) -> Self {
-        config.validate();
-        Trainer { config }
+    /// Returns [`SljError::InvalidConfig`] on an invalid configuration.
+    pub fn new(config: PipelineConfig) -> Result<Self, SljError> {
+        config.validate()?;
+        Ok(Trainer { config })
     }
 
     /// The training configuration.
@@ -80,14 +80,14 @@ impl Trainer {
                     clip.labels.len()
                 )));
             }
-            let processor = FrameProcessor::new(clip.background.clone(), &self.config)?;
+            let mut front_end = FrontEnd::new(clip.background.clone(), &self.config)?;
             let mut frames = Vec::with_capacity(clip.frames.len());
             for (frame, &(stage, pose)) in clip.frames.iter().zip(&clip.labels) {
-                let processed = processor.process(frame)?;
+                front_end.process_frame(frame)?;
                 frames.push(TrainingFrame {
                     stage,
                     pose,
-                    features: processed.features,
+                    features: front_end.slots().features,
                 });
             }
             sequences.push(TrainingSequence { frames });
@@ -113,14 +113,14 @@ impl Trainer {
         }
         let mut sequences = Vec::with_capacity(clips.len());
         for clip in clips {
-            let processor = FrameProcessor::new(clip.background.clone(), &self.config)?;
+            let mut front_end = FrontEnd::new(clip.background.clone(), &self.config)?;
             let mut frames = Vec::with_capacity(clip.len());
             for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
-                let processed = processor.process(frame)?;
+                front_end.process_frame(frame)?;
                 frames.push(TrainingFrame {
                     stage: truth.stage,
                     pose: truth.pose,
-                    features: processed.features,
+                    features: front_end.slots().features,
                 });
             }
             sequences.push(TrainingSequence { frames });
@@ -155,7 +155,9 @@ impl Trainer {
         let stage_transition: Vec<Vec<f64>> = (0..S)
             .map(|i| {
                 let legal: Vec<usize> = (0..S)
-                    .filter(|&j| JumpStage::from_index(i).can_transition_to(JumpStage::from_index(j)))
+                    .filter(|&j| {
+                        JumpStage::from_index(i).can_transition_to(JumpStage::from_index(j))
+                    })
                     .collect();
                 let total: f64 = legal.iter().map(|&j| stage_counts[i][j] + alpha).sum();
                 (0..S)
@@ -241,11 +243,7 @@ impl Trainer {
         for seq in sequences {
             for f in &seq.frames {
                 for (pi, part) in BodyPart::ALL.iter().enumerate() {
-                    let state = f
-                        .features
-                        .area(*part)
-                        .map(|a| a as usize)
-                        .unwrap_or(n); // absent
+                    let state = f.features.area(*part).map(|a| a as usize).unwrap_or(n); // absent
                     part_counts[pi][f.pose.index()][state] += 1.0;
                 }
             }
@@ -317,7 +315,10 @@ mod tests {
     #[test]
     fn train_produces_valid_model() {
         let clips = small_clips(2);
-        let model = Trainer::new(PipelineConfig::default()).train(&clips).unwrap();
+        let model = Trainer::new(PipelineConfig::default())
+            .unwrap()
+            .train(&clips)
+            .unwrap();
         let t = model.tables();
         // Stage transitions are row-stochastic and left-to-right.
         for (i, row) in t.stage_transition.iter().enumerate() {
@@ -353,19 +354,20 @@ mod tests {
 
     #[test]
     fn empty_training_set_rejected() {
-        let err = Trainer::new(PipelineConfig::default()).train(&[]);
+        let err = Trainer::new(PipelineConfig::default()).unwrap().train(&[]);
         assert!(matches!(err, Err(SljError::InvalidTrainingSet(_))));
     }
 
     #[test]
     fn trained_model_classifies_training_clip_reasonably() {
         let clips = small_clips(3);
-        let trainer = Trainer::new(PipelineConfig::default());
+        let trainer = Trainer::new(PipelineConfig::default()).unwrap();
         let model = trainer.train(&clips).unwrap();
         // Self-test on the first training clip: should beat chance by a
         // wide margin.
         let clip = &clips[0];
-        let processor = FrameProcessor::new(clip.background.clone(), model.config()).unwrap();
+        let mut processor =
+            crate::pipeline::FrameProcessor::new(clip.background.clone(), model.config()).unwrap();
         let mut clf = model.start_clip();
         let mut correct = 0;
         for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
@@ -382,7 +384,7 @@ mod tests {
     #[test]
     fn extract_sequences_shape() {
         let clips = small_clips(2);
-        let trainer = Trainer::new(PipelineConfig::default());
+        let trainer = Trainer::new(PipelineConfig::default()).unwrap();
         let seqs = trainer.extract_sequences(&clips).unwrap();
         assert_eq!(seqs.len(), 2);
         assert_eq!(seqs[0].frames.len(), 30);

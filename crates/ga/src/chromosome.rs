@@ -129,7 +129,13 @@ impl Chromosome {
 
     /// Gaussian-ish mutation: each gene is perturbed with probability
     /// `rate` by up to `sigma` × its bound width, then clamped.
-    pub fn mutate<R: Rng>(&self, bounds: &Bounds, rate: f64, sigma: f64, rng: &mut R) -> Chromosome {
+    pub fn mutate<R: Rng>(
+        &self,
+        bounds: &Bounds,
+        rate: f64,
+        sigma: f64,
+        rng: &mut R,
+    ) -> Chromosome {
         let mut genes = self.genes();
         for (i, g) in genes.iter_mut().enumerate() {
             if rng.gen::<f64>() < rate {

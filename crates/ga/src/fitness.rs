@@ -66,7 +66,10 @@ mod tests {
     fn true_pose_scores_one() {
         let (body, mask, truth) = target(PoseClass::StandingHandsSwungForward, (60.0, 60.0));
         let f = overlap_fitness(&body, &truth, &mask);
-        assert!((f - 1.0).abs() < 1e-12, "self-overlap must be perfect, got {f}");
+        assert!(
+            (f - 1.0).abs() < 1e-12,
+            "self-overlap must be perfect, got {f}"
+        );
     }
 
     #[test]

@@ -109,18 +109,16 @@ impl GaFitter {
         // Seed the population near the silhouette's centroid-ish bounding
         // box when available (a fair initialisation the original system
         // would also use).
-        let seed_center = target.bounding_box().map(|(x0, y0, x1, y1)| {
-            ((x0 + x1) as f64 / 2.0, (y0 + y1) as f64 / 2.0)
-        });
+        let seed_center = target
+            .bounding_box()
+            .map(|(x0, y0, x1, y1)| ((x0 + x1) as f64 / 2.0, (y0 + y1) as f64 / 2.0));
         let mut population: Vec<Chromosome> = (0..self.config.population)
             .map(|i| {
                 let mut c = Chromosome::random(&bounds, rng);
                 if let Some((cx, cy)) = seed_center {
                     if i % 2 == 0 {
-                        c.root_x = (cx + rng.gen_range(-10.0..10.0))
-                            .clamp(bounds.x.0, bounds.x.1);
-                        c.root_y = (cy + rng.gen_range(-10.0..10.0))
-                            .clamp(bounds.y.0, bounds.y.1);
+                        c.root_x = (cx + rng.gen_range(-10.0..10.0)).clamp(bounds.x.0, bounds.x.1);
+                        c.root_y = (cy + rng.gen_range(-10.0..10.0)).clamp(bounds.y.0, bounds.y.1);
                     }
                 }
                 c
@@ -232,7 +230,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let result = GaFitter::new(body, small_config()).fit(&mask, &mut rng);
         for w in result.history.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "history regressed: {:?}", result.history);
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "history regressed: {:?}",
+                result.history
+            );
         }
     }
 
@@ -242,8 +244,8 @@ mod tests {
         let config = small_config();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let result = GaFitter::new(body, config).fit(&mask, &mut rng);
-        let expected = config.population
-            + config.generations * (config.population - config.elitism);
+        let expected =
+            config.population + config.generations * (config.population - config.elitism);
         assert_eq!(result.evaluations, expected);
     }
 

@@ -9,7 +9,7 @@
 
 use crate::binary::BinaryImage;
 use crate::error::ImagingError;
-use crate::image::{GrayImage, ImageBuffer, RgbImage};
+use crate::image::{GrayImage, RgbImage};
 use crate::integral::IntegralImage;
 
 /// Configuration for [`BackgroundSubtractor`].
@@ -119,17 +119,48 @@ impl BackgroundSubtractor {
     /// Returns [`ImagingError::DimensionMismatch`] when `frame` does not
     /// match the background's shape.
     pub fn foreground_matrix(&self, frame: &RgbImage) -> Result<GrayImage, ImagingError> {
+        let mut out = GrayImage::new(self.width, self.height);
+        self.foreground_matrix_into(frame, &mut out, &mut ExtractScratch::new())?;
+        Ok(out)
+    }
+
+    /// In-place variant of [`BackgroundSubtractor::foreground_matrix`]:
+    /// writes `R` into `out` (resized as needed) and reuses the per-frame
+    /// integral images and difference buffer held in `scratch`.
+    /// Bit-identical to the allocating version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when `frame` does not
+    /// match the background's shape.
+    pub fn foreground_matrix_into(
+        &self,
+        frame: &RgbImage,
+        out: &mut GrayImage,
+        scratch: &mut ExtractScratch,
+    ) -> Result<(), ImagingError> {
         if frame.dimensions() != (self.width, self.height) {
             return Err(ImagingError::DimensionMismatch {
                 left: (self.width, self.height),
                 right: frame.dimensions(),
             });
         }
-        let frame_integrals = channel_integrals(frame);
+        let frame_integrals = match scratch.frame_integrals.as_mut() {
+            Some(integrals) => {
+                for (k, ii) in integrals.iter_mut().enumerate() {
+                    ii.rebuild_from_fn(self.width, self.height, |x, y| {
+                        frame.get(x, y).channel(k) as u64
+                    });
+                }
+                &*integrals
+            }
+            None => &*scratch.frame_integrals.insert(channel_integrals(frame)),
+        };
         let n = self.config.window;
 
         // Steps i-iv: D(i,j) = sum_k |A_ave(i,j,k) - B_ave(i,j,k)|.
-        let mut d = ImageBuffer::<f64>::new(self.width, self.height);
+        scratch.diff.clear();
+        scratch.diff.resize(self.width * self.height, 0.0);
         let mut max_d = 0.0f64;
         for y in 0..self.height {
             for x in 0..self.width {
@@ -142,7 +173,7 @@ impl BackgroundSubtractor {
                 if sum > max_d {
                     max_d = sum;
                 }
-                d.set(x, y, sum);
+                scratch.diff[y * self.width + x] = sum;
             }
         }
 
@@ -150,13 +181,15 @@ impl BackgroundSubtractor {
         // When the frame equals the background (max_d == 0) there is no
         // moving object; the paper's shift would lift everything to 255,
         // so we keep R at zero instead.
-        let shift = max_d - 255.0;
-        let r = if max_d == 0.0 {
-            GrayImage::new(self.width, self.height)
-        } else {
-            d.map(|v| (v - shift).clamp(0.0, 255.0).round() as u8)
-        };
-        Ok(r)
+        out.reset(self.width, self.height);
+        if max_d != 0.0 {
+            let shift = max_d - 255.0;
+            let pixels = out.as_mut_slice();
+            for (i, &v) in scratch.diff.iter().enumerate() {
+                pixels[i] = (v - shift).clamp(0.0, 255.0).round() as u8;
+            }
+        }
+        Ok(())
     }
 
     /// Runs the full extraction (steps i–viii): the silhouette mask `Obj`
@@ -167,19 +200,66 @@ impl BackgroundSubtractor {
     /// Returns [`ImagingError::DimensionMismatch`] when `frame` does not
     /// match the background's shape.
     pub fn extract(&self, frame: &RgbImage) -> Result<BinaryImage, ImagingError> {
-        let r = self.foreground_matrix(frame)?;
-        let threshold = if self.config.auto_threshold {
-            crate::threshold::otsu_threshold(&r)
-        } else {
-            self.config.th_object
-        };
         let mut mask = BinaryImage::new(self.width, self.height);
-        for (x, y, v) in r.enumerate_pixels() {
-            if v > threshold {
-                mask.set(x, y, true);
-            }
-        }
+        self.extract_into(frame, &mut mask, &mut ExtractScratch::new())?;
         Ok(mask)
+    }
+
+    /// In-place variant of [`BackgroundSubtractor::extract`]: writes the
+    /// silhouette into `out` (resized as needed), reusing all intermediate
+    /// buffers held in `scratch`. Bit-identical to the allocating version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when `frame` does not
+    /// match the background's shape.
+    pub fn extract_into(
+        &self,
+        frame: &RgbImage,
+        out: &mut BinaryImage,
+        scratch: &mut ExtractScratch,
+    ) -> Result<(), ImagingError> {
+        let mut matrix = scratch
+            .matrix
+            .take()
+            .unwrap_or_else(|| GrayImage::new(1, 1));
+        let result = (|| {
+            self.foreground_matrix_into(frame, &mut matrix, scratch)?;
+            let threshold = if self.config.auto_threshold {
+                crate::threshold::otsu_threshold(&matrix)
+            } else {
+                self.config.th_object
+            };
+            out.reset(self.width, self.height);
+            for (x, y, v) in matrix.enumerate_pixels() {
+                if v > threshold {
+                    out.set(x, y, true);
+                }
+            }
+            Ok(())
+        })();
+        scratch.matrix = Some(matrix);
+        result
+    }
+}
+
+/// Reusable working storage for the `_into` variants of
+/// [`BackgroundSubtractor`]: the per-frame channel integral images, the
+/// raw difference matrix and the normalised foreground matrix.
+///
+/// Holding one of these across frames means per-frame extraction does no
+/// buffer allocation in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractScratch {
+    frame_integrals: Option<[IntegralImage; 3]>,
+    diff: Vec<f64>,
+    matrix: Option<GrayImage>,
+}
+
+impl ExtractScratch {
+    /// Creates empty scratch storage; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -295,6 +375,38 @@ mod tests {
         let high_count = high.extract(&frame).unwrap().count_ones();
         assert!(high_count <= low_count);
         assert!(low_count > 0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let (bg, frame) = scene();
+        let sub = BackgroundSubtractor::new(bg.clone(), ExtractionConfig::default()).unwrap();
+        let mut scratch = ExtractScratch::new();
+        let mut mask = BinaryImage::new(1, 1);
+        let mut matrix = GrayImage::new(1, 1);
+        // Run twice so the second pass exercises the buffer-reuse path.
+        for pass in 0..2 {
+            for f in [&frame, &bg] {
+                sub.foreground_matrix_into(f, &mut matrix, &mut scratch)
+                    .unwrap();
+                assert_eq!(matrix, sub.foreground_matrix(f).unwrap(), "pass {pass}");
+                sub.extract_into(f, &mut mask, &mut scratch).unwrap();
+                assert_eq!(mask, sub.extract(f).unwrap(), "pass {pass}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_rejects_mismatched_frame_and_keeps_scratch() {
+        let (bg, frame) = scene();
+        let sub = BackgroundSubtractor::new(bg, ExtractionConfig::default()).unwrap();
+        let mut scratch = ExtractScratch::new();
+        let mut mask = BinaryImage::new(1, 1);
+        let wrong = RgbImage::new(5, 5);
+        assert!(sub.extract_into(&wrong, &mut mask, &mut scratch).is_err());
+        // Scratch must still be usable after an error.
+        sub.extract_into(&frame, &mut mask, &mut scratch).unwrap();
+        assert_eq!(mask, sub.extract(&frame).unwrap());
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct BinaryImage {
     words: Vec<u64>,
 }
 
+impl Default for BinaryImage {
+    /// A 1×1 all-zero mask — the smallest valid placeholder, meant for
+    /// scratch slots that are `reset`/`copy_from`-ed before first use.
+    fn default() -> Self {
+        BinaryImage::new(1, 1)
+    }
+}
+
 /// Offsets of the eight neighbours in Zhang-Suen order:
 /// N, NE, E, SE, S, SW, W, NW (clockwise starting from north).
 pub const NEIGHBORS8: [(isize, isize); 8] = [
@@ -64,6 +72,34 @@ impl BinaryImage {
             height,
             words,
         }
+    }
+
+    /// Resizes the mask to `width × height` and clears every bit, reusing
+    /// the existing word storage when it is large enough. This is the
+    /// allocation-free path for per-frame scratch masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset(&mut self, width: usize, height: usize) {
+        assert!(
+            width > 0 && height > 0,
+            "binary image dimensions must be non-zero, got {width}x{height}"
+        );
+        let need = (width * height).div_ceil(64);
+        self.words.clear();
+        self.words.resize(need, 0);
+        self.width = width;
+        self.height = height;
+    }
+
+    /// Makes this mask an exact copy of `src`, reusing the existing word
+    /// storage when it is large enough.
+    pub fn copy_from(&mut self, src: &BinaryImage) {
+        self.width = src.width;
+        self.height = src.height;
+        self.words.clear();
+        self.words.extend_from_slice(&src.words);
     }
 
     /// Creates a mask from a row-major boolean vector.
@@ -474,6 +510,40 @@ mod tests {
         let img = BinaryImage::from_bits(2, 1, &[true, false]).unwrap();
         assert!(img.get(0, 0));
         assert!(!img.get(1, 0));
+    }
+
+    #[test]
+    fn reset_clears_and_resizes() {
+        let mut img = BinaryImage::from_ascii(
+            "###\n\
+             ###\n",
+        );
+        img.reset(130, 2); // grows across word boundaries
+        assert_eq!(img.dimensions(), (130, 2));
+        assert!(img.is_empty());
+        img.set(129, 1, true);
+        img.reset(2, 2); // shrinks; stale bits must not leak
+        assert_eq!(img.dimensions(), (2, 2));
+        assert!(img.is_empty());
+    }
+
+    #[test]
+    fn copy_from_matches_source() {
+        let src = BinaryImage::from_ascii(
+            "#.#\n\
+             .#.\n",
+        );
+        let mut dst = BinaryImage::new(70, 9);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.set(0, 0, false);
+        assert!(src.get(0, 0), "copy must not alias the source");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn reset_rejects_zero_dimension() {
+        BinaryImage::new(2, 2).reset(0, 3);
     }
 
     #[test]

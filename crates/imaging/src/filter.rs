@@ -57,6 +57,22 @@ pub fn median_filter_gray(img: &GrayImage, window: usize) -> Result<GrayImage, I
     Ok(out)
 }
 
+/// Reusable working storage for [`median_filter_binary_into`].
+///
+/// Holding one of these across frames means the per-frame filter does no
+/// buffer allocation in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct FilterScratch {
+    integral: Option<IntegralImage>,
+}
+
+impl FilterScratch {
+    /// Creates empty scratch storage; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Median-filters (majority-votes) a binary mask with an n×n window.
 ///
 /// Out-of-bounds pixels count as background, matching the behaviour of the
@@ -67,10 +83,39 @@ pub fn median_filter_gray(img: &GrayImage, window: usize) -> Result<GrayImage, I
 ///
 /// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero.
 pub fn median_filter_binary(img: &BinaryImage, window: usize) -> Result<BinaryImage, ImagingError> {
+    let mut out = BinaryImage::new(img.width(), img.height());
+    median_filter_binary_into(img, window, &mut out, &mut FilterScratch::new())?;
+    Ok(out)
+}
+
+/// In-place variant of [`median_filter_binary`]: writes the result into
+/// `out` (resized as needed) and reuses the integral-image storage held in
+/// `scratch`. Bit-identical to the allocating version.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero.
+pub fn median_filter_binary_into(
+    img: &BinaryImage,
+    window: usize,
+    out: &mut BinaryImage,
+    scratch: &mut FilterScratch,
+) -> Result<(), ImagingError> {
     check_window(window)?;
     let r = (window / 2) as isize;
-    let ii = IntegralImage::from_fn(img.width(), img.height(), |x, y| img.get(x, y) as u64);
-    let mut out = BinaryImage::new(img.width(), img.height());
+    let ii =
+        match scratch.integral.as_mut() {
+            Some(ii) => {
+                ii.rebuild_from_fn(img.width(), img.height(), |x, y| img.get(x, y) as u64);
+                ii
+            }
+            None => scratch.integral.insert(IntegralImage::from_fn(
+                img.width(),
+                img.height(),
+                |x, y| img.get(x, y) as u64,
+            )),
+        };
+    out.reset(img.width(), img.height());
     let half = (window * window) as u64 / 2;
     for y in 0..img.height() {
         for x in 0..img.width() {
@@ -81,7 +126,7 @@ pub fn median_filter_binary(img: &BinaryImage, window: usize) -> Result<BinaryIm
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Box-filters (windowed mean) a grayscale image with an n×n window.
@@ -187,7 +232,41 @@ mod tests {
         let img = GrayImage::from_fn(8, 1, |x, _| if x < 4 { 0 } else { 255 });
         let out = box_filter_gray(&img, 3).unwrap();
         let edge = out.get(4, 0);
-        assert!(edge > 0 && edge < 255, "edge should be smoothed, got {edge}");
+        assert!(
+            edge > 0 && edge < 255,
+            "edge should be smoothed, got {edge}"
+        );
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_version() {
+        let imgs = [
+            BinaryImage::from_ascii(
+                ".#.#.\n\
+                 ##.##\n\
+                 .###.\n\
+                 #...#\n",
+            ),
+            BinaryImage::from_ascii("###\n"),
+            BinaryImage::new(7, 9),
+        ];
+        let mut out = BinaryImage::new(1, 1);
+        let mut scratch = FilterScratch::new();
+        for img in &imgs {
+            for window in [1, 3, 5] {
+                let expected = median_filter_binary(img, window).unwrap();
+                median_filter_binary_into(img, window, &mut out, &mut scratch).unwrap();
+                assert_eq!(out, expected, "window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_rejects_even_window() {
+        let img = BinaryImage::new(4, 4);
+        let mut out = BinaryImage::new(1, 1);
+        let mut scratch = FilterScratch::new();
+        assert!(median_filter_binary_into(&img, 2, &mut out, &mut scratch).is_err());
     }
 
     #[test]

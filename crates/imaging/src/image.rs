@@ -50,6 +50,25 @@ impl<P: Copy + Default> ImageBuffer<P> {
         }
     }
 
+    /// Resizes the image to `width × height` and fills it with
+    /// `P::default()`, reusing the existing pixel storage when it is large
+    /// enough. This is the allocation-free path for per-frame scratch
+    /// buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset(&mut self, width: usize, height: usize) {
+        assert!(
+            width > 0 && height > 0,
+            "image dimensions must be non-zero, got {width}x{height}"
+        );
+        self.data.clear();
+        self.data.resize(width * height, P::default());
+        self.width = width;
+        self.height = height;
+    }
+
     /// Creates an image filled with `value`.
     pub fn filled(width: usize, height: usize, value: P) -> Self {
         let mut img = Self::new(width, height);
@@ -288,6 +307,17 @@ mod tests {
     fn get_out_of_bounds_panics() {
         let img = GrayImage::new(2, 2);
         img.get(2, 0);
+    }
+
+    #[test]
+    fn reset_clears_and_resizes() {
+        let mut img = GrayImage::filled(3, 3, 77);
+        img.reset(5, 2);
+        assert_eq!(img.dimensions(), (5, 2));
+        assert!(img.iter().all(|&v| v == 0));
+        img.set(4, 1, 9);
+        img.reset(2, 2);
+        assert!(img.iter().all(|&v| v == 0), "stale pixels must not leak");
     }
 
     #[test]

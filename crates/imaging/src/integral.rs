@@ -36,17 +36,42 @@ impl IntegralImage {
     }
 
     /// Builds the table from an arbitrary per-pixel value function.
-    pub fn from_fn(width: usize, height: usize, mut value: impl FnMut(usize, usize) -> u64) -> Self {
-        let mut sums = ImageBuffer::<u64>::new(width, height);
+    pub fn from_fn(width: usize, height: usize, value: impl FnMut(usize, usize) -> u64) -> Self {
+        let mut ii = IntegralImage {
+            sums: ImageBuffer::<u64>::new(width, height),
+        };
+        ii.fill(value);
+        ii
+    }
+
+    /// Recomputes the table in place from a per-pixel value function,
+    /// reusing the existing storage when it is large enough. This is the
+    /// allocation-free counterpart of [`IntegralImage::from_fn`] for
+    /// per-frame streaming work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn rebuild_from_fn(
+        &mut self,
+        width: usize,
+        height: usize,
+        value: impl FnMut(usize, usize) -> u64,
+    ) {
+        self.sums.reset(width, height);
+        self.fill(value);
+    }
+
+    fn fill(&mut self, mut value: impl FnMut(usize, usize) -> u64) {
+        let (width, height) = self.sums.dimensions();
         for y in 0..height {
             let mut row_sum = 0u64;
             for x in 0..width {
                 row_sum += value(x, y);
-                let above = if y > 0 { sums.get(x, y - 1) } else { 0 };
-                sums.set(x, y, row_sum + above);
+                let above = if y > 0 { self.sums.get(x, y - 1) } else { 0 };
+                self.sums.set(x, y, row_sum + above);
             }
         }
-        IntegralImage { sums }
     }
 
     /// Table width in pixels.
@@ -148,7 +173,10 @@ mod tests {
     fn rect_sum_clips_out_of_bounds() {
         let img = ramp(4, 4);
         let ii = IntegralImage::from_gray(&img);
-        assert_eq!(ii.rect_sum(-3, -3, 10, 10), brute_rect_sum(&img, 0, 0, 3, 3));
+        assert_eq!(
+            ii.rect_sum(-3, -3, 10, 10),
+            brute_rect_sum(&img, 0, 0, 3, 3)
+        );
         assert_eq!(ii.rect_sum(5, 5, 9, 9), 0);
         assert_eq!(ii.rect_sum(2, 2, 1, 1), 0);
     }
@@ -175,6 +203,17 @@ mod tests {
     fn even_window_panics() {
         let ii = IntegralImage::from_gray(&GrayImage::new(3, 3));
         ii.window_sum(1, 1, 2);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        let a = ramp(9, 7);
+        let b = ramp(4, 11);
+        let mut ii = IntegralImage::from_gray(&a);
+        ii.rebuild_from_fn(b.width(), b.height(), |x, y| b.get(x, y) as u64);
+        assert_eq!(ii, IntegralImage::from_gray(&b));
+        ii.rebuild_from_fn(a.width(), a.height(), |x, y| a.get(x, y) as u64);
+        assert_eq!(ii, IntegralImage::from_gray(&a));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod pixel;
 pub mod region;
 pub mod threshold;
 
-pub use background::{BackgroundSubtractor, ExtractionConfig};
+pub use background::{BackgroundSubtractor, ExtractScratch, ExtractionConfig};
 pub use binary::BinaryImage;
 pub use error::ImagingError;
 pub use image::{GrayImage, ImageBuffer, RgbImage};

@@ -82,12 +82,13 @@ pub fn fill_holes(img: &BinaryImage) -> BinaryImage {
     // Flood the outside background from every border pixel.
     let mut outside = BinaryImage::new(w, h);
     let mut queue = VecDeque::new();
-    let push = |outside: &mut BinaryImage, queue: &mut VecDeque<(usize, usize)>, x: usize, y: usize| {
-        if !img.get(x, y) && !outside.get(x, y) {
-            outside.set(x, y, true);
-            queue.push_back((x, y));
-        }
-    };
+    let push =
+        |outside: &mut BinaryImage, queue: &mut VecDeque<(usize, usize)>, x: usize, y: usize| {
+            if !img.get(x, y) && !outside.get(x, y) {
+                outside.set(x, y, true);
+                queue.push_back((x, y));
+            }
+        };
     for x in 0..w {
         push(&mut outside, &mut queue, x, 0);
         push(&mut outside, &mut queue, x, h - 1);

@@ -26,10 +26,9 @@ impl Region {
     /// Centroid of the component `(x, y)`.
     pub fn centroid(&self) -> (f64, f64) {
         let n = self.pixels.len() as f64;
-        let (sx, sy) = self
-            .pixels
-            .iter()
-            .fold((0.0, 0.0), |(ax, ay), &(x, y)| (ax + x as f64, ay + y as f64));
+        let (sx, sy) = self.pixels.iter().fold((0.0, 0.0), |(ax, ay), &(x, y)| {
+            (ax + x as f64, ay + y as f64)
+        });
         (sx / n, sy / n)
     }
 
@@ -104,11 +103,103 @@ pub fn connected_components(img: &BinaryImage, conn: Connectivity) -> Vec<Region
 pub fn largest_component(img: &BinaryImage, conn: Connectivity) -> Option<BinaryImage> {
     let regions = connected_components(img, conn);
     let best = regions.iter().max_by(|a, b| {
-        a.area
-            .cmp(&b.area)
-            .then(b.label.cmp(&a.label)) // prefer smaller label on ties
+        a.area.cmp(&b.area).then(b.label.cmp(&a.label)) // prefer smaller label on ties
     })?;
     Some(best.to_mask(img.width(), img.height()))
+}
+
+/// Returns the largest connected component, or an all-clear mask of the
+/// same dimensions when the image has no foreground at all. This is the
+/// pipeline's empty-silhouette fallback (e.g. frames before the jumper
+/// enters the scene), shared so every caller degrades identically.
+pub fn largest_component_or_empty(img: &BinaryImage, conn: Connectivity) -> BinaryImage {
+    largest_component(img, conn).unwrap_or_else(|| BinaryImage::new(img.width(), img.height()))
+}
+
+/// Reusable working storage for [`largest_component_into`]: the label map,
+/// the BFS queue and the per-component area table.
+///
+/// Holding one of these across frames means per-frame component labelling
+/// does no buffer allocation in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct LabelScratch {
+    labels: Vec<u32>,
+    queue: VecDeque<usize>,
+    areas: Vec<usize>,
+}
+
+impl LabelScratch {
+    /// Creates empty scratch storage; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// In-place variant of [`largest_component_or_empty`]: writes the largest
+/// component (or an all-clear mask when there is none) into `out`, reusing
+/// the labelling storage in `scratch`. Returns `true` when a component was
+/// found. Bit-identical to the allocating version, including the
+/// earlier-component tie-break.
+pub fn largest_component_into(
+    img: &BinaryImage,
+    conn: Connectivity,
+    out: &mut BinaryImage,
+    scratch: &mut LabelScratch,
+) -> bool {
+    let offsets: &[(isize, isize)] = match conn {
+        Connectivity::Four => &NEIGHBORS4,
+        Connectivity::Eight => &NEIGHBORS8,
+    };
+    let (w, h) = img.dimensions();
+    scratch.labels.clear();
+    scratch.labels.resize(w * h, 0);
+    scratch.areas.clear();
+    scratch.queue.clear();
+    for y in 0..h {
+        for x in 0..w {
+            if !img.get(x, y) || scratch.labels[y * w + x] != 0 {
+                continue;
+            }
+            let label = scratch.areas.len() as u32 + 1;
+            let mut area = 0usize;
+            scratch.labels[y * w + x] = label;
+            scratch.queue.push_back(y * w + x);
+            while let Some(i) = scratch.queue.pop_front() {
+                area += 1;
+                let (cx, cy) = (i % w, i / w);
+                for &(dx, dy) in offsets {
+                    let (nx, ny) = (cx as isize + dx, cy as isize + dy);
+                    if img.in_bounds(nx, ny) {
+                        let (nx, ny) = (nx as usize, ny as usize);
+                        let ni = ny * w + nx;
+                        if img.get(nx, ny) && scratch.labels[ni] == 0 {
+                            scratch.labels[ni] = label;
+                            scratch.queue.push_back(ni);
+                        }
+                    }
+                }
+            }
+            scratch.areas.push(area);
+        }
+    }
+    out.reset(w, h);
+    // Strictly-greater scan in discovery order keeps the earliest label on
+    // area ties, matching `largest_component`.
+    let mut best: Option<(usize, u32)> = None;
+    for (k, &area) in scratch.areas.iter().enumerate() {
+        if best.is_none_or(|(best_area, _)| area > best_area) {
+            best = Some((area, k as u32 + 1));
+        }
+    }
+    let Some((_, best_label)) = best else {
+        return false;
+    };
+    for i in 0..w * h {
+        if scratch.labels[i] == best_label {
+            out.set(i % w, i / w, true);
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -170,9 +261,7 @@ mod tests {
 
     #[test]
     fn largest_component_tie_breaks_to_first() {
-        let img = BinaryImage::from_ascii(
-            "##..##\n",
-        );
+        let img = BinaryImage::from_ascii("##..##\n");
         let largest = largest_component(&img, Connectivity::Four).unwrap();
         assert!(largest.get(0, 0), "earlier component wins ties");
         assert!(!largest.get(4, 0));
@@ -180,13 +269,52 @@ mod tests {
 
     #[test]
     fn labels_are_one_based_in_order() {
-        let img = BinaryImage::from_ascii(
-            "#.#\n",
-        );
+        let img = BinaryImage::from_ascii("#.#\n");
         let regions = connected_components(&img, Connectivity::Four);
         assert_eq!(regions[0].label, 1);
         assert_eq!(regions[1].label, 2);
         assert_eq!(regions[0].pixels, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn or_empty_falls_back_to_blank_mask() {
+        let img = BinaryImage::new(5, 4);
+        let out = largest_component_or_empty(&img, Connectivity::Eight);
+        assert_eq!(out.dimensions(), (5, 4));
+        assert!(out.is_empty());
+        let img = BinaryImage::from_ascii("##.\n");
+        let out = largest_component_or_empty(&img, Connectivity::Eight);
+        assert_eq!(out.count_ones(), 2);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_version() {
+        let imgs = [
+            BinaryImage::from_ascii(
+                "#..####\n\
+                 #..####\n\
+                 .......\n\
+                 ##.....\n",
+            ),
+            BinaryImage::from_ascii("##..##\n"), // area tie: earlier wins
+            BinaryImage::from_ascii(
+                "##...\n\
+                 ##...\n\
+                 ..##.\n\
+                 ..##.\n",
+            ),
+            BinaryImage::new(6, 3),
+        ];
+        let mut out = BinaryImage::new(1, 1);
+        let mut scratch = LabelScratch::new();
+        for img in &imgs {
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                let expected = largest_component_or_empty(img, conn);
+                let found = largest_component_into(img, conn, &mut out, &mut scratch);
+                assert_eq!(out, expected, "{conn:?}\n{}", img.to_ascii());
+                assert_eq!(found, largest_component(img, conn).is_some());
+            }
+        }
     }
 
     #[test]

@@ -57,7 +57,9 @@ impl Histogram {
 pub fn otsu_threshold(img: &GrayImage) -> u8 {
     let hist = Histogram::of(img);
     let total = hist.total() as f64;
-    let global_sum: f64 = (0..256).map(|v| v as f64 * hist.count(v as u8) as f64).sum();
+    let global_sum: f64 = (0..256)
+        .map(|v| v as f64 * hist.count(v as u8) as f64)
+        .sum();
 
     let mut best_t = 0u8;
     let mut best_var = -1.0f64;
@@ -119,10 +121,8 @@ mod tests {
         let t = otsu_threshold(&img);
         assert!(t >= 5 && t < 180, "threshold {t}");
         // Thresholding must recover the object pixels exactly.
-        let mask = crate::binary::BinaryImage::from_gray_threshold(
-            &img.map(|v| v),
-            t.saturating_add(1),
-        );
+        let mask =
+            crate::binary::BinaryImage::from_gray_threshold(&img.map(|v| v), t.saturating_add(1));
         assert_eq!(mask.count_ones(), 6 * 12);
     }
 

@@ -11,11 +11,10 @@ use slj_imaging::morphology::{close, dilate, erode, fill_holes, open, Connectivi
 
 /// Strategy: a random small binary mask.
 fn mask_strategy() -> impl Strategy<Value = BinaryImage> {
-    (4usize..20, 4usize..20)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(proptest::bool::ANY, w * h)
-                .prop_map(move |bits| BinaryImage::from_bits(w, h, &bits).unwrap())
-        })
+    (4usize..20, 4usize..20).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(proptest::bool::ANY, w * h)
+            .prop_map(move |bits| BinaryImage::from_bits(w, h, &bits).unwrap())
+    })
 }
 
 /// Strategy: a random small grayscale image.

@@ -164,8 +164,11 @@ impl JumpSimulator {
 
     /// Generates one clip.
     pub fn generate_clip(&self, spec: &ClipSpec) -> LabeledClip {
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(self.master_seed.wrapping_mul(0x9E37_79B9).wrapping_add(spec.seed));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.master_seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(spec.seed),
+        );
         let scene = self.scene.0;
         let body = BodyModel::default().scaled(spec.body_scale);
         let mut script = if spec.rare_poses {
@@ -288,8 +291,14 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let sim = JumpSimulator::new(5);
-        let a = sim.generate_clip(&ClipSpec { seed: 1, ..ClipSpec::default() });
-        let b = sim.generate_clip(&ClipSpec { seed: 2, ..ClipSpec::default() });
+        let a = sim.generate_clip(&ClipSpec {
+            seed: 1,
+            ..ClipSpec::default()
+        });
+        let b = sim.generate_clip(&ClipSpec {
+            seed: 2,
+            ..ClipSpec::default()
+        });
         assert_ne!(a.frames, b.frames);
     }
 
@@ -371,7 +380,10 @@ mod tests {
         let sim = JumpSimulator::new(4);
         let clip = sim.generate_clip(&ClipSpec::default());
         for (i, t) in clip.truth.iter().enumerate() {
-            assert!(t.silhouette.count_ones() > 200, "frame {i} silhouette too small");
+            assert!(
+                t.silhouette.count_ones() > 200,
+                "frame {i} silhouette too small"
+            );
         }
     }
 

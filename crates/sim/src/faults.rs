@@ -47,9 +47,7 @@ impl JumpFault {
             .map(|seg| {
                 let pose = match self {
                     JumpFault::NoArmSwing => match seg.pose {
-                        StandingHandsSwungBack | StandingHandsSwungForward => {
-                            StandingHandsOverlap
-                        }
+                        StandingHandsSwungBack | StandingHandsSwungForward => StandingHandsOverlap,
                         WaistBentHandsBack => WaistBentHandsForward,
                         KneesBentHandsBack => KneesBentHandsForward,
                         p => p,

@@ -69,9 +69,9 @@ pub fn load_clip(dir: impl AsRef<Path>) -> Result<StoredClip, ImagingError> {
         }
         let mut cols = line.split('\t');
         let parse = |field: Option<&str>, what: &str| -> Result<usize, ImagingError> {
-            field
-                .and_then(|f| f.parse().ok())
-                .ok_or_else(|| ImagingError::Io(format!("malformed manifest line ({what}): {line}")))
+            field.and_then(|f| f.parse().ok()).ok_or_else(|| {
+                ImagingError::Io(format!("malformed manifest line ({what}): {line}"))
+            })
         };
         let idx = parse(cols.next(), "frame index")?;
         let stage = parse(cols.next(), "stage")?;
@@ -87,7 +87,9 @@ pub fn load_clip(dir: impl AsRef<Path>) -> Result<StoredClip, ImagingError> {
                 frames.len()
             )));
         }
-        let frame = read_ppm(std::fs::File::open(dir.join(format!("frame_{idx:03}.ppm")))?)?;
+        let frame = read_ppm(std::fs::File::open(
+            dir.join(format!("frame_{idx:03}.ppm")),
+        )?)?;
         if frame.dimensions() != background.dimensions() {
             return Err(ImagingError::DimensionMismatch {
                 left: background.dimensions(),
@@ -95,10 +97,7 @@ pub fn load_clip(dir: impl AsRef<Path>) -> Result<StoredClip, ImagingError> {
             });
         }
         frames.push(frame);
-        labels.push((
-            JumpStage::from_index(stage),
-            PoseClass::from_index(pose),
-        ));
+        labels.push((JumpStage::from_index(stage), PoseClass::from_index(pose)));
     }
     if frames.is_empty() {
         return Err(ImagingError::Io("manifest lists no frames".into()));

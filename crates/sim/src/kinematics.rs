@@ -208,7 +208,10 @@ mod tests {
         angles.shoulder = std::f64::consts::FRAC_PI_2; // horizontal forward
         let s = solve(&body(), (50.0, 60.0), &angles);
         assert!(s.hand.0 > s.neck.0 + 10.0, "hand reaches forward");
-        assert!((s.hand.1 - s.neck.1).abs() < 1.0, "hand near shoulder height");
+        assert!(
+            (s.hand.1 - s.neck.1).abs() < 1.0,
+            "hand near shoulder height"
+        );
         // Overhead.
         angles.shoulder = std::f64::consts::PI;
         let s2 = solve(&body(), (50.0, 60.0), &angles);
@@ -235,7 +238,10 @@ mod tests {
             assert!((d(s.neck, s.elbow) - b.upper_arm).abs() < 1e-9, "{pose}");
             assert!((d(s.elbow, s.hand) - b.forearm).abs() < 1e-9, "{pose}");
             assert!((d(s.hip, s.knee_front) - b.thigh).abs() < 1e-9, "{pose}");
-            assert!((d(s.knee_front, s.foot_front) - b.shin).abs() < 1e-9, "{pose}");
+            assert!(
+                (d(s.knee_front, s.foot_front) - b.shin).abs() < 1e-9,
+                "{pose}"
+            );
         }
     }
 

@@ -57,8 +57,7 @@ impl NoiseConfig {
         );
         NoiseConfig {
             angle_jitter: self.angle_jitter * factor,
-            lighting_jitter: ((self.lighting_jitter as f64 * factor).round() as u64)
-                .min(120) as u8,
+            lighting_jitter: ((self.lighting_jitter as f64 * factor).round() as u64).min(120) as u8,
             speckle_prob: (self.speckle_prob * factor).min(1.0),
             edge_dropout_prob: (self.edge_dropout_prob * factor).min(1.0),
             hole_prob: (self.hole_prob * factor).min(1.0),

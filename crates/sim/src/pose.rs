@@ -95,13 +95,23 @@ impl PoseClass {
     pub fn stage(self) -> JumpStage {
         use PoseClass::*;
         match self {
-            StandingHandsOverlap | StandingHandsSwungForward | StandingHandsSwungBack
-            | KneesBentHandsBack | KneesBentHandsForward | WaistBentHandsBack
+            StandingHandsOverlap
+            | StandingHandsSwungForward
+            | StandingHandsSwungBack
+            | KneesBentHandsBack
+            | KneesBentHandsForward
+            | WaistBentHandsBack
             | WaistBentHandsForward => JumpStage::BeforeJumping,
-            TakeoffLeanForward | TakeoffLegsDriving | TakeoffExtendedHandsForward
+            TakeoffLeanForward
+            | TakeoffLegsDriving
+            | TakeoffExtendedHandsForward
             | TakeoffExtendedHandsUp => JumpStage::Jumping,
-            AirborneArmsUp | AirborneTuck | AirborneArmsForward | AirborneExtendedForward
-            | AirborneLegsForward | AirborneDescending => JumpStage::InAir,
+            AirborneArmsUp
+            | AirborneTuck
+            | AirborneArmsForward
+            | AirborneExtendedForward
+            | AirborneLegsForward
+            | AirborneDescending => JumpStage::InAir,
             LandingReach | LandingContact | LandingAbsorb | LandingRecovery
             | LandingOverbalanced => JumpStage::Landing,
         }
@@ -310,7 +320,10 @@ mod tests {
                 a.knee_back,
             ] {
                 assert!(v.is_finite());
-                assert!(v.abs() < std::f64::consts::PI, "{p}: angle {v} out of range");
+                assert!(
+                    v.abs() < std::f64::consts::PI,
+                    "{p}: angle {v} out of range"
+                );
             }
         }
     }

@@ -214,7 +214,11 @@ mod tests {
         use slj_imaging::region::connected_components;
         let r = Renderer::new(160, 120);
         for &pose in &PoseClass::ALL {
-            let s = solve(&BodyModel::default(), (80.0, 60.0), &pose.canonical_angles());
+            let s = solve(
+                &BodyModel::default(),
+                (80.0, 60.0),
+                &pose.canonical_angles(),
+            );
             let mask = r.silhouette(&BodyModel::default(), &s);
             let comps = connected_components(&mask, Connectivity::Eight);
             assert_eq!(comps.len(), 1, "{pose}: silhouette must be one blob");

@@ -60,27 +60,87 @@ impl JumpScript {
     pub fn standard() -> Self {
         use PoseClass::*;
         JumpScript::new(vec![
-            ScriptSegment { pose: StandingHandsOverlap, frames: 2 },
+            ScriptSegment {
+                pose: StandingHandsOverlap,
+                frames: 2,
+            },
             // The paper's majority pose: "appears most of the time".
-            ScriptSegment { pose: StandingHandsSwungForward, frames: 5 },
-            ScriptSegment { pose: StandingHandsSwungBack, frames: 2 },
-            ScriptSegment { pose: WaistBentHandsBack, frames: 2 },
-            ScriptSegment { pose: KneesBentHandsBack, frames: 3 },
-            ScriptSegment { pose: KneesBentHandsForward, frames: 2 },
-            ScriptSegment { pose: TakeoffLeanForward, frames: 2 },
-            ScriptSegment { pose: TakeoffLegsDriving, frames: 2 },
-            ScriptSegment { pose: TakeoffExtendedHandsForward, frames: 2 },
-            ScriptSegment { pose: TakeoffExtendedHandsUp, frames: 1 },
-            ScriptSegment { pose: AirborneArmsUp, frames: 2 },
-            ScriptSegment { pose: AirborneTuck, frames: 3 },
-            ScriptSegment { pose: AirborneArmsForward, frames: 2 },
-            ScriptSegment { pose: AirborneExtendedForward, frames: 2 },
-            ScriptSegment { pose: AirborneLegsForward, frames: 2 },
-            ScriptSegment { pose: AirborneDescending, frames: 1 },
-            ScriptSegment { pose: LandingReach, frames: 2 },
-            ScriptSegment { pose: LandingContact, frames: 2 },
-            ScriptSegment { pose: LandingAbsorb, frames: 3 },
-            ScriptSegment { pose: LandingRecovery, frames: 2 },
+            ScriptSegment {
+                pose: StandingHandsSwungForward,
+                frames: 5,
+            },
+            ScriptSegment {
+                pose: StandingHandsSwungBack,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: WaistBentHandsBack,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: KneesBentHandsBack,
+                frames: 3,
+            },
+            ScriptSegment {
+                pose: KneesBentHandsForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: TakeoffLeanForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: TakeoffLegsDriving,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: TakeoffExtendedHandsForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: TakeoffExtendedHandsUp,
+                frames: 1,
+            },
+            ScriptSegment {
+                pose: AirborneArmsUp,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: AirborneTuck,
+                frames: 3,
+            },
+            ScriptSegment {
+                pose: AirborneArmsForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: AirborneExtendedForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: AirborneLegsForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: AirborneDescending,
+                frames: 1,
+            },
+            ScriptSegment {
+                pose: LandingReach,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: LandingContact,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: LandingAbsorb,
+                frames: 3,
+            },
+            ScriptSegment {
+                pose: LandingRecovery,
+                frames: 2,
+            },
         ])
     }
 
@@ -91,28 +151,94 @@ impl JumpScript {
     pub fn with_rare_poses() -> Self {
         use PoseClass::*;
         JumpScript::new(vec![
-            ScriptSegment { pose: StandingHandsOverlap, frames: 2 },
-            ScriptSegment { pose: StandingHandsSwungForward, frames: 5 },
-            ScriptSegment { pose: StandingHandsSwungBack, frames: 2 },
-            ScriptSegment { pose: WaistBentHandsBack, frames: 2 },
-            ScriptSegment { pose: KneesBentHandsBack, frames: 2 },
-            ScriptSegment { pose: KneesBentHandsForward, frames: 2 },
-            ScriptSegment { pose: WaistBentHandsForward, frames: 1 },
-            ScriptSegment { pose: TakeoffLeanForward, frames: 2 },
-            ScriptSegment { pose: TakeoffLegsDriving, frames: 2 },
-            ScriptSegment { pose: TakeoffExtendedHandsForward, frames: 2 },
-            ScriptSegment { pose: TakeoffExtendedHandsUp, frames: 1 },
-            ScriptSegment { pose: AirborneArmsUp, frames: 2 },
-            ScriptSegment { pose: AirborneTuck, frames: 3 },
-            ScriptSegment { pose: AirborneArmsForward, frames: 2 },
-            ScriptSegment { pose: AirborneExtendedForward, frames: 1 },
-            ScriptSegment { pose: AirborneLegsForward, frames: 2 },
-            ScriptSegment { pose: AirborneDescending, frames: 1 },
-            ScriptSegment { pose: LandingReach, frames: 2 },
-            ScriptSegment { pose: LandingContact, frames: 2 },
-            ScriptSegment { pose: LandingAbsorb, frames: 2 },
-            ScriptSegment { pose: LandingRecovery, frames: 2 },
-            ScriptSegment { pose: LandingOverbalanced, frames: 1 },
+            ScriptSegment {
+                pose: StandingHandsOverlap,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: StandingHandsSwungForward,
+                frames: 5,
+            },
+            ScriptSegment {
+                pose: StandingHandsSwungBack,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: WaistBentHandsBack,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: KneesBentHandsBack,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: KneesBentHandsForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: WaistBentHandsForward,
+                frames: 1,
+            },
+            ScriptSegment {
+                pose: TakeoffLeanForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: TakeoffLegsDriving,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: TakeoffExtendedHandsForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: TakeoffExtendedHandsUp,
+                frames: 1,
+            },
+            ScriptSegment {
+                pose: AirborneArmsUp,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: AirborneTuck,
+                frames: 3,
+            },
+            ScriptSegment {
+                pose: AirborneArmsForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: AirborneExtendedForward,
+                frames: 1,
+            },
+            ScriptSegment {
+                pose: AirborneLegsForward,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: AirborneDescending,
+                frames: 1,
+            },
+            ScriptSegment {
+                pose: LandingReach,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: LandingContact,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: LandingAbsorb,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: LandingRecovery,
+                frames: 2,
+            },
+            ScriptSegment {
+                pose: LandingOverbalanced,
+                frames: 1,
+            },
         ])
     }
 
@@ -165,7 +291,10 @@ impl JumpScript {
                 .max_by_key(|(i, s)| (s.frames, usize::MAX - *i))
                 .map(|(i, _)| i)
                 .expect("non-empty script");
-            assert!(self.segments[idx].frames > 1, "cannot shrink below one frame");
+            assert!(
+                self.segments[idx].frames > 1,
+                "cannot shrink below one frame"
+            );
             self.segments[idx].frames -= 1;
         }
         self
@@ -266,7 +395,9 @@ pub fn choreograph<R: Rng>(
         // The first frame of a segment is still part-way through the
         // transition from the previous pose.
         let blended = if i > 0 && poses[i - 1] != pose {
-            poses[i - 1].canonical_angles().lerp(&canonical, TRANSITION_BLEND)
+            poses[i - 1]
+                .canonical_angles()
+                .lerp(&canonical, TRANSITION_BLEND)
         } else {
             canonical
         };
@@ -467,8 +598,18 @@ mod tests {
                     f.skeleton.foot_front,
                     f.skeleton.foot_back,
                 ] {
-                    assert!(p.0 > 2.0 && p.0 < scene.width as f64 - 2.0, "{}: x={}", f.pose, p.0);
-                    assert!(p.1 > 2.0 && p.1 < scene.height as f64 - 2.0, "{}: y={}", f.pose, p.1);
+                    assert!(
+                        p.0 > 2.0 && p.0 < scene.width as f64 - 2.0,
+                        "{}: x={}",
+                        f.pose,
+                        p.0
+                    );
+                    assert!(
+                        p.1 > 2.0 && p.1 < scene.height as f64 - 2.0,
+                        "{}: y={}",
+                        f.pose,
+                        p.1
+                    );
                 }
             }
         }

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 /// connected only when they do not already share a set orthogonal
 /// neighbour. This standard rule avoids counting the little triangles of
 /// an 8-connected digital curve as junctions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PixelGraph {
     width: usize,
     height: usize,
@@ -32,21 +32,35 @@ pub struct PixelGraph {
 impl PixelGraph {
     /// Builds the pixel graph of `mask`.
     pub fn from_mask(mask: &BinaryImage) -> Self {
-        let positions: Vec<(usize, usize)> = mask.iter_ones().collect();
-        let index: HashMap<(usize, usize), usize> = positions
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i))
-            .collect();
-        let mut adj = vec![Vec::new(); positions.len()];
-        for (i, &(x, y)) in positions.iter().enumerate() {
+        let mut pg = PixelGraph::default();
+        pg.rebuild(mask);
+        pg
+    }
+
+    /// Rebuilds the graph in place from a new mask, reusing the position
+    /// table, pixel index and adjacency storage. This is the
+    /// allocation-free counterpart of [`PixelGraph::from_mask`] for
+    /// per-frame streaming work; the result is identical, including
+    /// adjacency-list ordering.
+    pub fn rebuild(&mut self, mask: &BinaryImage) {
+        self.width = mask.width();
+        self.height = mask.height();
+        self.positions.clear();
+        self.positions.extend(mask.iter_ones());
+        self.index.clear();
+        for (i, &p) in self.positions.iter().enumerate() {
+            self.index.insert(p, i);
+        }
+        let n = self.positions.len();
+        self.adj.truncate(n);
+        for list in &mut self.adj {
+            list.clear();
+        }
+        self.adj.resize_with(n, Vec::new);
+        for i in 0..n {
+            let (x, y) = self.positions[i];
             let (xi, yi) = (x as isize, y as isize);
-            for (dx, dy) in [
-                (1isize, 0isize),
-                (0, 1),
-                (1, 1),
-                (1, -1),
-            ] {
+            for (dx, dy) in [(1isize, 0isize), (0, 1), (1, 1), (1, -1)] {
                 let (nx, ny) = (xi + dx, yi + dy);
                 if !mask.get_or_false(nx, ny) {
                     continue;
@@ -60,17 +74,10 @@ impl PixelGraph {
                         continue;
                     }
                 }
-                let j = index[&(nx as usize, ny as usize)];
-                adj[i].push(j);
-                adj[j].push(i);
+                let j = self.index[&(nx as usize, ny as usize)];
+                self.adj[i].push(j);
+                self.adj[j].push(i);
             }
-        }
-        PixelGraph {
-            width: mask.width(),
-            height: mask.height(),
-            positions,
-            index,
-            adj,
         }
     }
 
@@ -126,8 +133,7 @@ impl PixelGraph {
         let is_junction: Vec<bool> = (0..self.len()).map(|i| self.degree(i) >= 3).collect();
         (0..self.len())
             .filter(|&i| {
-                is_junction[i]
-                    && self.adj[i].iter().filter(|&&j| is_junction[j]).count() > 1
+                is_junction[i] && self.adj[i].iter().filter(|&&j| is_junction[j]).count() > 1
             })
             .count()
     }
@@ -216,7 +222,7 @@ impl Edge {
 /// assert_eq!(graph.edge_ids().count(), 4);
 /// assert_eq!(graph.cycle_rank(), 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SkeletonGraph {
     width: usize,
     height: usize,
@@ -228,6 +234,29 @@ pub struct SkeletonGraph {
     merged_clusters: usize,
 }
 
+/// Reusable working storage for [`SkeletonGraph::rebuild_from_pixel_graph`]:
+/// the per-pixel junction flags, node assignments, flood-fill stacks and
+/// chain-walk bookkeeping.
+///
+/// Holding one of these across frames means the per-pixel tables of graph
+/// construction are not reallocated every frame.
+#[derive(Debug, Clone, Default)]
+pub struct GraphScratch {
+    is_junction: Vec<bool>,
+    node_of_pixel: Vec<Option<usize>>,
+    stack: Vec<usize>,
+    members: Vec<usize>,
+    used_step: std::collections::HashSet<(usize, usize)>,
+    pixel_in_edge: Vec<bool>,
+}
+
+impl GraphScratch {
+    /// Creates empty scratch storage; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl SkeletonGraph {
     /// Builds the segment graph of a skeleton mask.
     pub fn from_mask(mask: &BinaryImage) -> Self {
@@ -236,36 +265,57 @@ impl SkeletonGraph {
 
     /// Builds the segment graph from an existing pixel graph.
     pub fn from_pixel_graph(pg: &PixelGraph) -> Self {
+        let mut g = SkeletonGraph::default();
+        g.rebuild_from_pixel_graph(pg, &mut GraphScratch::new());
+        g
+    }
+
+    /// Rebuilds the segment graph in place from a pixel graph, reusing
+    /// this graph's node/edge storage and the per-pixel tables in
+    /// `scratch`. Identical to [`SkeletonGraph::from_pixel_graph`].
+    pub fn rebuild_from_pixel_graph(&mut self, pg: &PixelGraph, scratch: &mut GraphScratch) {
         let n = pg.len();
         let (width, height) = pg.dimensions();
-        // 1. Junction clustering.
-        let is_junction: Vec<bool> = (0..n).map(|i| pg.degree(i) >= 3).collect();
-        let mut node_of_pixel: Vec<Option<usize>> = vec![None; n];
-        let mut nodes: Vec<Node> = Vec::new();
+        self.width = width;
+        self.height = height;
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut edges = std::mem::take(&mut self.edges);
+        nodes.clear();
+        edges.clear();
         let mut merged_clusters = 0usize;
+        // 1. Junction clustering.
+        scratch.is_junction.clear();
+        scratch
+            .is_junction
+            .extend((0..n).map(|i| pg.degree(i) >= 3));
+        let is_junction = &scratch.is_junction;
+        scratch.node_of_pixel.clear();
+        scratch.node_of_pixel.resize(n, None);
+        let node_of_pixel = &mut scratch.node_of_pixel;
         for i in 0..n {
             if !is_junction[i] || node_of_pixel[i].is_some() {
                 continue;
             }
             // Flood the junction cluster.
             let node_id = nodes.len();
-            let mut stack = vec![i];
-            let mut members = Vec::new();
+            scratch.stack.clear();
+            scratch.stack.push(i);
+            scratch.members.clear();
             node_of_pixel[i] = Some(node_id);
-            while let Some(v) = stack.pop() {
-                members.push(v);
+            while let Some(v) = scratch.stack.pop() {
+                scratch.members.push(v);
                 for &w in pg.neighbors(v) {
                     if is_junction[w] && node_of_pixel[w].is_none() {
                         node_of_pixel[w] = Some(node_id);
-                        stack.push(w);
+                        scratch.stack.push(w);
                     }
                 }
             }
-            let (sx, sy) = members.iter().fold((0.0, 0.0), |(ax, ay), &v| {
+            let (sx, sy) = scratch.members.iter().fold((0.0, 0.0), |(ax, ay), &v| {
                 let (x, y) = pg.position(v);
                 (ax + x as f64, ay + y as f64)
             });
-            let count = members.len();
+            let count = scratch.members.len();
             if count > 1 {
                 merged_clusters += 1;
             }
@@ -287,10 +337,11 @@ impl SkeletonGraph {
         }
 
         // 2. Trace segments between node pixels through degree-2 chains.
-        let mut edges: Vec<Edge> = Vec::new();
-        let mut used_step: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::new();
-        let mut pixel_in_edge: Vec<bool> = vec![false; n];
+        scratch.used_step.clear();
+        let used_step = &mut scratch.used_step;
+        scratch.pixel_in_edge.clear();
+        scratch.pixel_in_edge.resize(n, false);
+        let pixel_in_edge = &mut scratch.pixel_in_edge;
         for start in 0..n {
             let Some(a) = node_of_pixel[start] else {
                 continue;
@@ -318,11 +369,7 @@ impl SkeletonGraph {
                     }
                     pixel_in_edge[cur] = true;
                     // Regular pixel: exactly two neighbours.
-                    let next = pg
-                        .neighbors(cur)
-                        .iter()
-                        .copied()
-                        .find(|&w| w != prev);
+                    let next = pg.neighbors(cur).iter().copied().find(|&w| w != prev);
                     match next {
                         Some(w) => {
                             prev = cur;
@@ -379,17 +426,13 @@ impl SkeletonGraph {
             edges.push(Edge { a, b: a, path });
         }
 
-        let node_alive = vec![true; nodes.len()];
-        let edge_alive = vec![true; edges.len()];
-        SkeletonGraph {
-            width,
-            height,
-            nodes,
-            node_alive,
-            edges,
-            edge_alive,
-            merged_clusters,
-        }
+        self.merged_clusters = merged_clusters;
+        self.node_alive.clear();
+        self.node_alive.resize(nodes.len(), true);
+        self.edge_alive.clear();
+        self.edge_alive.resize(edges.len(), true);
+        self.nodes = nodes;
+        self.edges = edges;
     }
 
     /// Mask dimensions the graph was built from.
@@ -590,7 +633,9 @@ impl SkeletonGraph {
         loop {
             let candidate = self.node_ids().find(|&v| {
                 let inc = self.incident_edges(v);
-                inc.len() == 2 && inc[0] != inc[1] && !self.edges[inc[0]].is_self_loop()
+                inc.len() == 2
+                    && inc[0] != inc[1]
+                    && !self.edges[inc[0]].is_self_loop()
                     && !self.edges[inc[1]].is_self_loop()
             });
             let Some(v) = candidate else {
@@ -626,6 +671,16 @@ impl SkeletonGraph {
     /// Renders the live edges (and node positions) back into a mask.
     pub fn to_mask(&self) -> BinaryImage {
         let mut mask = BinaryImage::new(self.width, self.height);
+        self.to_mask_into(&mut mask);
+        mask
+    }
+
+    /// In-place variant of [`SkeletonGraph::to_mask`]: writes the rendered
+    /// mask into `out` (resized as needed). Bit-identical to the
+    /// allocating version.
+    pub fn to_mask_into(&self, out: &mut BinaryImage) {
+        out.reset(self.width, self.height);
+        let mask = out;
         for e in self.edge_ids() {
             for &(x, y) in &self.edges[e].path {
                 mask.set(x, y, true);
@@ -638,7 +693,6 @@ impl SkeletonGraph {
                 mask.set(xi as usize, yi as usize, true);
             }
         }
-        mask
     }
 
     /// Shortest node-to-node route (by pixel length) between `from` and
@@ -820,9 +874,7 @@ mod tests {
         assert_eq!(g.degree(junctions[0]), 5);
         assert_eq!(g.node(junctions[0]).merged_pixels, 3);
         assert_eq!(
-            g.node_ids()
-                .filter(|&v| g.kind(v) == NodeKind::End)
-                .count(),
+            g.node_ids().filter(|&v| g.kind(v) == NodeKind::End).count(),
             5
         );
     }
@@ -853,10 +905,7 @@ mod tests {
     #[test]
     fn remove_edge_updates_structure() {
         let mut g = SkeletonGraph::from_mask(&plus_sign());
-        let shortest = g
-            .edge_ids()
-            .min_by_key(|&e| g.edge(e).len())
-            .unwrap();
+        let shortest = g.edge_ids().min_by_key(|&e| g.edge(e).len()).unwrap();
         let nodes_before = g.node_ids().count();
         g.remove_edge(shortest);
         assert_eq!(g.edge_ids().count(), 3);
@@ -911,9 +960,7 @@ mod tests {
         assert_eq!(corner_count, 0);
         assert_eq!(g.edge_ids().count(), 1);
         assert_eq!(
-            g.node_ids()
-                .filter(|&v| g.kind(v) == NodeKind::End)
-                .count(),
+            g.node_ids().filter(|&v| g.kind(v) == NodeKind::End).count(),
             2
         );
     }
@@ -928,23 +975,11 @@ mod tests {
             .collect();
         let left = *ends
             .iter()
-            .min_by(|&&a, &&b| {
-                g.node(a)
-                    .pos
-                    .0
-                    .partial_cmp(&g.node(b).pos.0)
-                    .unwrap()
-            })
+            .min_by(|&&a, &&b| g.node(a).pos.0.partial_cmp(&g.node(b).pos.0).unwrap())
             .unwrap();
         let right = *ends
             .iter()
-            .max_by(|&&a, &&b| {
-                g.node(a)
-                    .pos
-                    .0
-                    .partial_cmp(&g.node(b).pos.0)
-                    .unwrap()
-            })
+            .max_by(|&&a, &&b| g.node(a).pos.0.partial_cmp(&g.node(b).pos.0).unwrap())
             .unwrap();
         let path = g.pixel_path(left, right).unwrap();
         assert_eq!(path.first(), Some(&(0, 3)));

@@ -138,9 +138,7 @@ impl KeypointExtractor {
             let candidates: Vec<usize> = nodes
                 .iter()
                 .copied()
-                .filter(|&v| {
-                    v != head_node && v != foot_node && graph.kind(v) == NodeKind::End
-                })
+                .filter(|&v| v != head_node && v != foot_node && graph.kind(v) == NodeKind::End)
                 .collect();
             let farthest = |vs: &[usize]| -> Option<(f64, f64)> {
                 vs.iter()
@@ -220,7 +218,10 @@ mod tests {
         assert_eq!(hand, (19.0, 10.0));
         let waist = kp.waist.unwrap();
         assert_eq!(waist.0, 4.0);
-        assert!((waist.1 - 14.0).abs() <= 1.5, "waist near torso middle: {waist:?}");
+        assert!(
+            (waist.1 - 14.0).abs() <= 1.5,
+            "waist near torso middle: {waist:?}"
+        );
     }
 
     #[test]
@@ -304,10 +305,7 @@ mod tests {
         }
         let kp = extract(&mask);
         let hand = kp.hand.expect("hand found");
-        assert!(
-            hand.1 < 20.0,
-            "hand should be the arm tip, got {hand:?}"
-        );
+        assert!(hand.1 < 20.0, "hand should be the arm tip, got {hand:?}");
     }
 
     #[test]

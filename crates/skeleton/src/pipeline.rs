@@ -2,11 +2,11 @@
 //! → key points, with per-stage statistics for the clean-up ablation
 //! (Experiment E3).
 
-use crate::graph::{PixelGraph, SkeletonGraph};
+use crate::graph::{GraphScratch, PixelGraph, SkeletonGraph};
 use crate::keypoints::{KeyPoints, KeypointExtractor};
 use crate::prune::{self, DEFAULT_MIN_BRANCH_LEN};
 use crate::spanning;
-use crate::thinning::ThinningAlgorithm;
+use crate::thinning::{ThinningAlgorithm, ThinningScratch};
 use slj_imaging::binary::BinaryImage;
 
 /// Configuration of the skeleton pipeline.
@@ -60,8 +60,32 @@ pub struct StageStats {
     pub prune_pixels_removed: usize,
 }
 
+/// Reusable working storage for [`SkeletonPipeline::run_into`]: the
+/// thinning deletion list, the intermediate pixel graph and the
+/// segment-graph construction buffers.
+///
+/// Holding one of these (plus a [`SkeletonResult`]) across frames means
+/// the whole skeleton stage does no image-buffer allocation in steady
+/// state.
+#[derive(Debug, Clone, Default)]
+pub struct SkeletonScratch {
+    thinning: ThinningScratch,
+    pixel_graph: PixelGraph,
+    graph: GraphScratch,
+}
+
+impl SkeletonScratch {
+    /// Creates empty scratch storage; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Result of running the skeleton pipeline on one silhouette.
-#[derive(Debug, Clone)]
+///
+/// The `Default` value is an empty 1×1 placeholder meant to be passed to
+/// [`SkeletonPipeline::run_into`], which overwrites every field.
+#[derive(Debug, Clone, Default)]
 pub struct SkeletonResult {
     /// The raw Zhang-Suen skeleton (before graph clean-up).
     pub raw_skeleton: BinaryImage,
@@ -109,45 +133,58 @@ impl SkeletonPipeline {
 
     /// Runs the full pipeline on a silhouette mask.
     pub fn run(&self, silhouette: &BinaryImage) -> SkeletonResult {
+        let mut out = SkeletonResult::default();
+        self.run_into(silhouette, &mut out, &mut SkeletonScratch::new());
+        out
+    }
+
+    /// In-place variant of [`SkeletonPipeline::run`]: writes into `out`,
+    /// reusing its buffers and the working storage in `scratch`.
+    /// Bit-identical to the allocating version.
+    pub fn run_into(
+        &self,
+        silhouette: &BinaryImage,
+        out: &mut SkeletonResult,
+        scratch: &mut SkeletonScratch,
+    ) {
         let mut stats = StageStats::default();
 
         // Stage 1: parallel thinning (Zhang-Suen by default).
-        let thin = self.config.algorithm.run(silhouette);
-        stats.thinning_passes = thin.passes;
-        stats.thinning_removed = thin.removed;
-        let raw_skeleton = thin.skeleton;
+        let (passes, removed) = self.config.algorithm.run_into(
+            silhouette,
+            &mut out.raw_skeleton,
+            &mut scratch.thinning,
+        );
+        stats.thinning_passes = passes;
+        stats.thinning_removed = removed;
 
         // Stage 2: graph conversion with adjacent-junction merging.
-        let pg = PixelGraph::from_mask(&raw_skeleton);
-        stats.adjacent_junctions_before = pg.adjacent_junction_count();
-        let mut graph = SkeletonGraph::from_pixel_graph(&pg);
-        stats.clusters_merged = graph.merged_cluster_count();
-        stats.loops_before = graph.cycle_rank();
+        scratch.pixel_graph.rebuild(&out.raw_skeleton);
+        stats.adjacent_junctions_before = scratch.pixel_graph.adjacent_junction_count();
+        out.graph
+            .rebuild_from_pixel_graph(&scratch.pixel_graph, &mut scratch.graph);
+        stats.clusters_merged = out.graph.merged_cluster_count();
+        stats.loops_before = out.graph.cycle_rank();
 
         // Stage 3: loop cutting by maximum spanning tree.
         if self.config.cut_loops {
-            let report = spanning::cut_loops(&mut graph);
+            let report = spanning::cut_loops(&mut out.graph);
             stats.loops_cut = report.loops_cut;
         }
 
         // Stage 4: branch pruning, one at a time.
-        stats.short_branches_before = prune::short_branch_count(&graph, self.config.min_branch_len);
+        stats.short_branches_before =
+            prune::short_branch_count(&out.graph, self.config.min_branch_len);
         if self.config.prune {
-            let report = prune::prune_branches(&mut graph, self.config.min_branch_len);
+            let report = prune::prune_branches(&mut out.graph, self.config.min_branch_len);
             stats.branches_pruned = report.branches_removed;
             stats.prune_pixels_removed = report.pixels_removed;
         }
 
         // Stage 5: key points.
-        let keypoints = KeypointExtractor::new().extract(&graph);
-
-        SkeletonResult {
-            raw_skeleton,
-            skeleton: graph.to_mask(),
-            graph,
-            keypoints,
-            stats,
-        }
+        out.keypoints = KeypointExtractor::new().extract(&out.graph);
+        out.graph.to_mask_into(&mut out.skeleton);
+        out.stats = stats;
     }
 }
 
@@ -214,7 +251,10 @@ mod tests {
             ..SkeletonConfig::default()
         })
         .run(&silhouette);
-        assert!(no_cut.graph.cycle_rank() > 0, "loop preserved when stage off");
+        assert!(
+            no_cut.graph.cycle_rank() > 0,
+            "loop preserved when stage off"
+        );
         let full = SkeletonPipeline::new(SkeletonConfig::default()).run(&silhouette);
         assert_eq!(full.graph.cycle_rank(), 0);
         assert!(full.stats.loops_cut >= 1);
@@ -222,9 +262,30 @@ mod tests {
 
     #[test]
     fn empty_silhouette_is_handled() {
-        let result = SkeletonPipeline::new(SkeletonConfig::default()).run(&BinaryImage::new(16, 16));
+        let result =
+            SkeletonPipeline::new(SkeletonConfig::default()).run(&BinaryImage::new(16, 16));
         assert!(result.skeleton.is_empty());
         assert_eq!(result.keypoints.detected_parts(), 0);
+    }
+
+    #[test]
+    fn run_into_reused_buffers_match_run() {
+        let pipeline = SkeletonPipeline::new(SkeletonConfig::default());
+        let mut out = SkeletonResult::default();
+        let mut scratch = SkeletonScratch::new();
+        // Reuse the same buffers across dissimilar inputs; every pass must
+        // be bit-identical to a fresh allocating run.
+        let mut ring = BinaryImage::new(64, 64);
+        draw::fill_disk(&mut ring, 32.0, 32.0, 20.0);
+        let inputs = [standing_figure(), ring, BinaryImage::new(16, 16)];
+        for silhouette in &inputs {
+            pipeline.run_into(silhouette, &mut out, &mut scratch);
+            let fresh = pipeline.run(silhouette);
+            assert_eq!(out.raw_skeleton, fresh.raw_skeleton);
+            assert_eq!(out.skeleton, fresh.skeleton);
+            assert_eq!(out.keypoints, fresh.keypoints);
+            assert_eq!(out.stats, fresh.stats);
+        }
     }
 
     #[test]

@@ -175,12 +175,19 @@ mod tests {
             .into_iter()
             .filter(|&e| g_all_at_once.edge(e).len() < DEFAULT_MIN_BRANCH_LEN)
             .collect();
-        assert_eq!(initial_short.len(), 2, "both spur and continuation look short");
+        assert_eq!(
+            initial_short.len(),
+            2,
+            "both spur and continuation look short"
+        );
         for e in initial_short {
             g_all_at_once.remove_edge(e);
         }
         let bad_mask = g_all_at_once.to_mask();
-        assert!(!bad_mask.get(20, 3), "all-at-once loses the real continuation");
+        assert!(
+            !bad_mask.get(20, 3),
+            "all-at-once loses the real continuation"
+        );
 
         // The paper's way.
         let report = prune_branches(&mut g, DEFAULT_MIN_BRANCH_LEN);

@@ -164,7 +164,10 @@ mod tests {
         // The middle bar (the shortest path, y = 2) must have been cut:
         // its midpoint pixel is gone.
         let mask_after = g.to_mask();
-        assert!(!mask_after.get(3, 2), "middle bar should be cut at its midpoint");
+        assert!(
+            !mask_after.get(3, 2),
+            "middle bar should be cut at its midpoint"
+        );
     }
 
     #[test]

@@ -24,6 +24,24 @@ pub struct ThinningOutcome {
     pub removed: usize,
 }
 
+/// Reusable working storage for the `_into` thinning variants: the
+/// deletion list shared by both sub-iterations.
+///
+/// Holding one of these across frames means per-frame thinning does no
+/// buffer allocation in steady state (the skeleton is written into a
+/// caller-owned mask).
+#[derive(Debug, Clone, Default)]
+pub struct ThinningScratch {
+    to_remove: Vec<(usize, usize)>,
+}
+
+impl ThinningScratch {
+    /// Creates empty scratch storage; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Number of 0→1 transitions around the 8-neighbourhood (in Z-S order).
 #[inline]
 fn transitions(n: &[bool; 8]) -> usize {
@@ -39,11 +57,29 @@ fn transitions(n: &[bool; 8]) -> usize {
 /// Thins `mask` with the Zhang-Suen algorithm until convergence and
 /// returns the skeleton along with pass statistics.
 pub fn zhang_suen_with_stats(mask: &BinaryImage) -> ThinningOutcome {
-    let mut img = mask.clone();
+    let mut skeleton = BinaryImage::new(mask.width(), mask.height());
+    let (passes, removed) = zhang_suen_into(mask, &mut skeleton, &mut ThinningScratch::new());
+    ThinningOutcome {
+        skeleton,
+        passes,
+        removed,
+    }
+}
+
+/// In-place variant of [`zhang_suen_with_stats`]: copies `mask` into `out`
+/// and thins it there, reusing the deletion list in `scratch`. Returns
+/// `(passes, removed)`. Bit-identical to the allocating version.
+pub fn zhang_suen_into(
+    mask: &BinaryImage,
+    out: &mut BinaryImage,
+    scratch: &mut ThinningScratch,
+) -> (usize, usize) {
+    out.copy_from(mask);
+    let img = out;
     let (w, h) = img.dimensions();
     let mut passes = 0usize;
     let mut removed_total = 0usize;
-    let mut to_remove: Vec<(usize, usize)> = Vec::new();
+    let to_remove = &mut scratch.to_remove;
     loop {
         let mut changed = false;
         // Two sub-iterations per pass; they differ only in the pair of
@@ -81,7 +117,7 @@ pub fn zhang_suen_with_stats(mask: &BinaryImage) -> ThinningOutcome {
             if !to_remove.is_empty() {
                 changed = true;
                 removed_total += to_remove.len();
-                for &(x, y) in &to_remove {
+                for &(x, y) in to_remove.iter() {
                     img.set(x, y, false);
                 }
             }
@@ -91,11 +127,7 @@ pub fn zhang_suen_with_stats(mask: &BinaryImage) -> ThinningOutcome {
             break;
         }
     }
-    ThinningOutcome {
-        skeleton: img,
-        passes,
-        removed: removed_total,
-    }
+    (passes, removed_total)
 }
 
 /// Thins `mask` with the Zhang-Suen algorithm until convergence.
@@ -142,6 +174,20 @@ impl ThinningAlgorithm {
             ThinningAlgorithm::GuoHall => guo_hall_with_stats(mask),
         }
     }
+
+    /// In-place variant of [`ThinningAlgorithm::run`]: writes the skeleton
+    /// into `out`, reusing `scratch`. Returns `(passes, removed)`.
+    pub fn run_into(
+        self,
+        mask: &BinaryImage,
+        out: &mut BinaryImage,
+        scratch: &mut ThinningScratch,
+    ) -> (usize, usize) {
+        match self {
+            ThinningAlgorithm::ZhangSuen => zhang_suen_into(mask, out, scratch),
+            ThinningAlgorithm::GuoHall => guo_hall_into(mask, out, scratch),
+        }
+    }
 }
 
 /// Thins `mask` with the Guo-Hall algorithm until convergence and
@@ -150,11 +196,29 @@ impl ThinningAlgorithm {
 /// Neighbour notation matches [`zhang_suen_with_stats`]: `n[0..8]` are
 /// N, NE, E, SE, S, SW, W, NW.
 pub fn guo_hall_with_stats(mask: &BinaryImage) -> ThinningOutcome {
-    let mut img = mask.clone();
+    let mut skeleton = BinaryImage::new(mask.width(), mask.height());
+    let (passes, removed) = guo_hall_into(mask, &mut skeleton, &mut ThinningScratch::new());
+    ThinningOutcome {
+        skeleton,
+        passes,
+        removed,
+    }
+}
+
+/// In-place variant of [`guo_hall_with_stats`]: copies `mask` into `out`
+/// and thins it there, reusing the deletion list in `scratch`. Returns
+/// `(passes, removed)`. Bit-identical to the allocating version.
+pub fn guo_hall_into(
+    mask: &BinaryImage,
+    out: &mut BinaryImage,
+    scratch: &mut ThinningScratch,
+) -> (usize, usize) {
+    out.copy_from(mask);
+    let img = out;
     let (w, h) = img.dimensions();
     let mut passes = 0usize;
     let mut removed_total = 0usize;
-    let mut to_remove: Vec<(usize, usize)> = Vec::new();
+    let to_remove = &mut scratch.to_remove;
     loop {
         let mut changed = false;
         for sub in 0..2 {
@@ -203,7 +267,7 @@ pub fn guo_hall_with_stats(mask: &BinaryImage) -> ThinningOutcome {
             if !to_remove.is_empty() {
                 changed = true;
                 removed_total += to_remove.len();
-                for &(x, y) in &to_remove {
+                for &(x, y) in to_remove.iter() {
                     img.set(x, y, false);
                 }
             }
@@ -213,11 +277,7 @@ pub fn guo_hall_with_stats(mask: &BinaryImage) -> ThinningOutcome {
             break;
         }
     }
-    ThinningOutcome {
-        skeleton: img,
-        passes,
-        removed: removed_total,
-    }
+    (passes, removed_total)
 }
 
 /// Thins `mask` with the Guo-Hall algorithm until convergence.
@@ -360,10 +420,7 @@ mod tests {
     fn stats_account_for_removed_pixels() {
         let img = filled_rect(20, 20, 3, 3, 17, 17);
         let out = zhang_suen_with_stats(&img);
-        assert_eq!(
-            img.count_ones() - out.skeleton.count_ones(),
-            out.removed
-        );
+        assert_eq!(img.count_ones() - out.skeleton.count_ones(), out.removed);
         assert!(out.passes >= 2);
     }
 
@@ -471,7 +528,10 @@ mod tests {
         let mut blocks = 0;
         for y in 0..23 {
             for x in 0..39 {
-                if skel.get(x, y) && skel.get(x + 1, y) && skel.get(x, y + 1) && skel.get(x + 1, y + 1)
+                if skel.get(x, y)
+                    && skel.get(x + 1, y)
+                    && skel.get(x, y + 1)
+                    && skel.get(x + 1, y + 1)
                 {
                     blocks += 1;
                 }

@@ -16,22 +16,20 @@ use slj_skeleton::thinning::zhang_suen;
 /// Strategy: a blob built from 1..=4 random capsules and disks on a
 /// 48x48 canvas — connected shapes with limbs, like silhouettes.
 fn blob_strategy() -> impl Strategy<Value = BinaryImage> {
-    proptest::collection::vec((4.0f64..44.0, 4.0f64..44.0, 2.0f64..5.0), 1..=4).prop_map(
-        |shapes| {
-            let mut mask = BinaryImage::new(48, 48);
-            let mut prev: Option<(f64, f64)> = None;
-            for (x, y, r) in shapes {
-                draw::fill_disk(&mut mask, x, y, r + 1.0);
-                // Connect to the previous shape so the blob stays one
-                // component.
-                if let Some((px, py)) = prev {
-                    draw::fill_capsule(&mut mask, px, py, x, y, r);
-                }
-                prev = Some((x, y));
+    proptest::collection::vec((4.0f64..44.0, 4.0f64..44.0, 2.0f64..5.0), 1..=4).prop_map(|shapes| {
+        let mut mask = BinaryImage::new(48, 48);
+        let mut prev: Option<(f64, f64)> = None;
+        for (x, y, r) in shapes {
+            draw::fill_disk(&mut mask, x, y, r + 1.0);
+            // Connect to the previous shape so the blob stays one
+            // component.
+            if let Some((px, py)) = prev {
+                draw::fill_capsule(&mut mask, px, py, x, y, r);
             }
-            mask
-        },
-    )
+            prev = Some((x, y));
+        }
+        mask
+    })
 }
 
 proptest! {

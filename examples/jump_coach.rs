@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train the pose model once on correct jumps.
     let data = sim.paper_dataset(&noise);
-    let model = Trainer::new(PipelineConfig::default()).train(&data.train)?;
+    let model = Trainer::new(PipelineConfig::default())?.train(&data.train)?;
 
     // A class of six students, each with a different habit.
     let students: [(&str, Option<JumpFault>); 6] = [
@@ -58,10 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         println!("\n=== {name} — {ATTEMPTS} attempts ===");
-        let mut consistent: Vec<_> = counts
-            .values()
-            .filter(|(n, _)| *n * 2 > ATTEMPTS)
-            .collect();
+        let mut consistent: Vec<_> = counts.values().filter(|(n, _)| *n * 2 > ATTEMPTS).collect();
         consistent.sort_by_key(|(_, msg)| msg.clone());
         if consistent.is_empty() {
             println!("  no consistent standards violations — nice jumping!");

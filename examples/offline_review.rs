@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = JumpSimulator::new(13);
     let noise = NoiseConfig::default();
     let data = sim.paper_dataset(&noise);
-    let model = Trainer::new(PipelineConfig::default()).train(&data.train)?;
+    let model = Trainer::new(PipelineConfig::default())?.train(&data.train)?;
 
     let clip = sim.generate_clip(&ClipSpec {
         total_frames: 44,
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         noise,
         ..ClipSpec::default()
     });
-    let processor = FrameProcessor::new(clip.background.clone(), model.config())?;
+    let mut processor = FrameProcessor::new(clip.background.clone(), model.config())?;
     let features: Vec<_> = clip
         .frames
         .iter()
@@ -60,7 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{t:4}   {:<35}  {}{:<14}  {}{:<14}",
             truth.pose.to_string().chars().take(35).collect::<String>(),
             mark(on == Some(truth.pose)),
-            on.map(|p| short(&p.to_string())).unwrap_or_else(|| "unknown".into()),
+            on.map(|p| short(&p.to_string()))
+                .unwrap_or_else(|| "unknown".into()),
             mark(off == truth.pose),
             short(&off.to_string()),
         );

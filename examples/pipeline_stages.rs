@@ -40,9 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let frame_idx = 12; // mid-preparation, arms swinging
     let truth = &clip.truth[frame_idx];
-    println!("ground truth: pose '{}', stage '{}'\n", truth.pose, truth.stage);
+    println!(
+        "ground truth: pose '{}', stage '{}'\n",
+        truth.pose, truth.stage
+    );
 
-    let processor = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default())?;
+    let mut processor = FrameProcessor::new(clip.background.clone(), &PipelineConfig::default())?;
 
     println!("--- Section 2: extracted + smoothed silhouette ---");
     let silhouette = processor.extract_silhouette(&clip.frames[frame_idx])?;

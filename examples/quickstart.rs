@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Quantitative training: learn stage/pose transitions and the
     //    per-pose body-part tables from the extracted feature vectors.
     let config = PipelineConfig::default();
-    let model = Trainer::new(config).train(&train)?;
+    let model = Trainer::new(config)?.train(&train)?;
 
     // 3. Classify an unseen clip frame by frame.
     let test = sim.generate_clip(&ClipSpec {

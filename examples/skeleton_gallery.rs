@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ClipSpec::default()
     });
     let config = PipelineConfig::default();
-    let processor = FrameProcessor::new(clip.background.clone(), &config)?;
+    let mut processor = FrameProcessor::new(clip.background.clone(), &config)?;
 
     // Representative frames across the jump, like the paper's Figure 8.
     for &i in &[2usize, 10, 17, 22, 27, 33, 39, 43] {

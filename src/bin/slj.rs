@@ -6,6 +6,8 @@
 //! slj train --data data/ --model jump.model      # quantitative training
 //! slj eval --model jump.model --data data/       # per-frame accuracy
 //! slj coach --model jump.model --data data/      # standards assessment
+//! slj stream --model jump.model --clip data/clip_000 --timings
+//!                                                # online, frame-by-frame
 //! ```
 //!
 //! Clips are directories of PPM frames plus a `labels.tsv` manifest (see
@@ -13,9 +15,9 @@
 //! `slj_core::model_io`.
 
 use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::engine::JumpSession;
 use slj_repro::core::model::PoseModel;
 use slj_repro::core::model_io;
-use slj_repro::core::pipeline::FrameProcessor;
 use slj_repro::core::scoring::assess_pose_sequence;
 use slj_repro::core::training::Trainer;
 use slj_repro::sim::io::{load_clip, save_clip, StoredClip};
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("coach") => cmd_coach(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -58,7 +61,10 @@ fn print_usage() {
          \x20 eval     --model FILE --data DIR\n\
          \x20          classify every clip under DIR, report per-frame accuracy\n\
          \x20 coach    --model FILE --data DIR\n\
-         \x20          assess each clip against the standing-long-jump standard"
+         \x20          assess each clip against the standing-long-jump standard\n\
+         \x20 stream   --model FILE --clip DIR [--timings]\n\
+         \x20          feed one clip frame-by-frame, printing each committed pose\n\
+         \x20          as it is decided; --timings adds per-stage wall-clock cost"
     );
 }
 
@@ -106,7 +112,9 @@ impl Flags {
     fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {v:?}")),
         }
     }
 
@@ -180,7 +188,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let frames: usize = clips.iter().map(|c| c.frames.len()).sum();
     println!("training on {} clips ({frames} frames)...", clips.len());
     let model = Trainer::new(PipelineConfig::default())
-        .train_from_stored(&clips)
+        .and_then(|t| t.train_from_stored(&clips))
         .map_err(|e| e.to_string())?;
     model_io::save(&model, &model_path).map_err(|e| e.to_string())?;
     println!("model written to {}", model_path.display());
@@ -191,15 +199,11 @@ fn classify_stored(
     model: &PoseModel,
     clip: &StoredClip,
 ) -> Result<Vec<Option<slj_repro::sim::PoseClass>>, String> {
-    let processor = FrameProcessor::new(clip.background.clone(), model.config())
-        .map_err(|e| e.to_string())?;
-    let mut clf = model.start_clip();
+    let mut session =
+        JumpSession::new(model, clip.background.clone()).map_err(|e| e.to_string())?;
     clip.frames
         .iter()
-        .map(|frame| {
-            let processed = processor.process(frame).map_err(|e| e.to_string())?;
-            Ok(clf.step(&processed.features).map_err(|e| e.to_string())?.pose)
-        })
+        .map(|frame| Ok(session.push_frame(frame).map_err(|e| e.to_string())?.pose))
         .collect()
 }
 
@@ -229,6 +233,55 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         "overall: {correct}/{total} correct ({:.1}%)",
         100.0 * correct as f64 / total as f64
     );
+    Ok(())
+}
+
+/// Streams one clip through a [`JumpSession`], reading each frame from
+/// disk only when the previous one has been classified — the online loop
+/// the paper describes, without ever holding the whole clip in memory.
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["timings"])?;
+    let model = model_io::load(flags.require("model")?).map_err(|e| e.to_string())?;
+    let dir = PathBuf::from(flags.require("clip")?);
+    let open_ppm = |path: PathBuf| -> Result<slj_repro::imaging::image::RgbImage, String> {
+        let file = std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        slj_repro::imaging::io::read_ppm(file).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let background = open_ppm(dir.join("background.ppm"))?;
+    let mut session = JumpSession::new(&model, background).map_err(|e| e.to_string())?;
+    loop {
+        let path = dir.join(format!("frame_{:03}.ppm", session.frames_processed()));
+        if !path.exists() {
+            break;
+        }
+        let frame = open_ppm(path)?;
+        let est = session.push_frame(&frame).map_err(|e| e.to_string())?;
+        let pose = est
+            .pose
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "UNKNOWN".to_string());
+        println!(
+            "frame {:3}: {pose} (stage {:?})",
+            session.frames_processed() - 1,
+            est.stage
+        );
+        if flags.switch("timings") {
+            let timings = session.last_timings();
+            let per_stage = timings
+                .iter()
+                .map(|(name, d)| format!("{name} {:.2}ms", d.as_secs_f64() * 1e3))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "  stages ({:.2}ms total): {per_stage}",
+                timings.total().as_secs_f64() * 1e3
+            );
+        }
+    }
+    if session.frames_processed() == 0 {
+        return Err(format!("no frame_*.ppm files under {}", dir.display()));
+    }
+    println!("streamed {} frames", session.frames_processed());
     Ok(())
 }
 

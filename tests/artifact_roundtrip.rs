@@ -51,7 +51,7 @@ fn reloaded_frames_classify_identically() {
         noise: NoiseConfig::default(),
         ..ClipSpec::default()
     });
-    let processor =
+    let mut processor =
         FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
     for frame in clip.frames.iter().step_by(4) {
         let direct = processor.process(frame).unwrap();

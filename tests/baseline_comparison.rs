@@ -21,7 +21,7 @@ fn both_methods_locate_the_body_on_real_silhouettes() {
         noise: NoiseConfig::default(),
         ..ClipSpec::default()
     });
-    let processor =
+    let mut processor =
         FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
 
     let frame_idx = 5; // standing phase, easy pose
@@ -73,7 +73,7 @@ fn thinning_needs_far_fewer_operations_than_ga() {
         noise: NoiseConfig::default(),
         ..ClipSpec::default()
     });
-    let processor =
+    let mut processor =
         FrameProcessor::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
     let silhouette = processor.extract_silhouette(&clip.frames[10]).unwrap();
 
@@ -87,7 +87,11 @@ fn thinning_needs_far_fewer_operations_than_ga() {
     let _ = processor.process_silhouette(&silhouette);
     let thin_time = t_thin.elapsed();
 
-    assert!(fit.evaluations > 1000, "GA did {} evaluations", fit.evaluations);
+    assert!(
+        fit.evaluations > 1000,
+        "GA did {} evaluations",
+        fit.evaluations
+    );
     assert!(
         ga_time > thin_time * 5,
         "GA ({ga_time:?}) should be much slower than thinning ({thin_time:?})"

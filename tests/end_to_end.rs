@@ -6,7 +6,10 @@ use slj_repro::core::evaluation::{evaluate, evaluate_clip};
 use slj_repro::core::training::Trainer;
 use slj_repro::sim::{ClipSpec, JumpSimulator, NoiseConfig};
 
-fn small_world() -> (slj_repro::core::model::PoseModel, Vec<slj_repro::sim::LabeledClip>) {
+fn small_world() -> (
+    slj_repro::core::model::PoseModel,
+    Vec<slj_repro::sim::LabeledClip>,
+) {
     let sim = JumpSimulator::new(404);
     let noise = NoiseConfig::default();
     let train: Vec<_> = (0..5)
@@ -31,6 +34,7 @@ fn small_world() -> (slj_repro::core::model::PoseModel, Vec<slj_repro::sim::Labe
         })
         .collect();
     let model = Trainer::new(PipelineConfig::default())
+        .expect("config")
         .train(&train)
         .expect("training succeeds");
     (model, test)
@@ -68,7 +72,10 @@ fn posteriors_are_probability_distributions() {
     for est in &report.estimates {
         let sum: f64 = est.posterior.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "pose posterior sums to {sum}");
-        assert!(est.posterior.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+        assert!(est
+            .posterior
+            .iter()
+            .all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
         let ssum: f64 = est.stage_posterior.iter().sum();
         assert!((ssum - 1.0).abs() < 1e-6, "stage posterior sums to {ssum}");
     }
@@ -103,15 +110,21 @@ fn temporal_model_beats_static_model() {
     let noise = NoiseConfig::default();
     let data = sim.paper_dataset(&noise);
     let full = Trainer::new(PipelineConfig::default())
+        .expect("config")
         .train(&data.train)
         .unwrap();
     let static_cfg = PipelineConfig {
         temporal: TemporalMode::Static,
         ..PipelineConfig::default()
     };
-    let static_model = Trainer::new(static_cfg).train(&data.train).unwrap();
+    let static_model = Trainer::new(static_cfg)
+        .expect("config")
+        .train(&data.train)
+        .unwrap();
     let acc_full = evaluate(&full, &data.test).unwrap().overall_accuracy();
-    let acc_static = evaluate(&static_model, &data.test).unwrap().overall_accuracy();
+    let acc_static = evaluate(&static_model, &data.test)
+        .unwrap()
+        .overall_accuracy();
     assert!(
         acc_full > acc_static + 0.05,
         "temporal {acc_full:.3} should clearly beat static {acc_static:.3}"
@@ -128,6 +141,7 @@ fn headline_dataset_matches_papers_shape() {
     assert_eq!(data.train_frames(), 522);
     assert_eq!(data.test_frames(), 135);
     let model = Trainer::new(PipelineConfig::default())
+        .expect("config")
         .train(&data.train)
         .unwrap();
     let report = evaluate(&model, &data.test).unwrap();

@@ -29,6 +29,7 @@ fn predicted_sequences_detect_injected_faults() {
     let noise = NoiseConfig::default();
     let data = sim.paper_dataset(&noise);
     let model = Trainer::new(PipelineConfig::default())
+        .expect("config")
         .train(&data.train)
         .unwrap();
 
@@ -80,6 +81,7 @@ fn clean_jumps_rarely_raise_alarms() {
     let noise = NoiseConfig::default();
     let data = sim.paper_dataset(&noise);
     let model = Trainer::new(PipelineConfig::default())
+        .expect("config")
         .train(&data.train)
         .unwrap();
     let mut false_alarms = 0usize;

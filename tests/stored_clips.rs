@@ -43,7 +43,7 @@ fn training_from_reloaded_clips_matches_direct_training() {
         })
         .collect();
 
-    let trainer = Trainer::new(PipelineConfig::default());
+    let trainer = Trainer::new(PipelineConfig::default()).expect("config");
     let direct = trainer.train(&train).unwrap();
     let reloaded = trainer.train_from_stored(&stored).unwrap();
 
@@ -60,7 +60,7 @@ fn training_from_reloaded_clips_matches_direct_training() {
 
 #[test]
 fn train_from_stored_validates_input() {
-    let trainer = Trainer::new(PipelineConfig::default());
+    let trainer = Trainer::new(PipelineConfig::default()).expect("config");
     assert!(trainer.train_from_stored(&[]).is_err());
 
     let sim = JumpSimulator::new(910);

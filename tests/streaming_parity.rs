@@ -1,0 +1,115 @@
+//! Streaming/batch parity: the online [`JumpSession`] must commit, frame
+//! by frame, exactly the estimates the batch path produces — including
+//! posteriors, bit for bit — so ablations run through either API are
+//! comparable.
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::engine::{JumpSession, STAGE_NAMES};
+use slj_repro::core::model::{PoseEstimate, PoseModel};
+use slj_repro::core::pipeline::FrameProcessor;
+use slj_repro::core::training::Trainer;
+use slj_repro::sim::{ClipSpec, JumpFault, JumpSimulator, LabeledClip, NoiseConfig};
+
+fn trained_model(sim: &JumpSimulator) -> PoseModel {
+    let noise = NoiseConfig::default();
+    let train: Vec<_> = (0..4)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 36,
+                seed: i,
+                noise,
+                rare_poses: i % 2 == 1,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    Trainer::new(PipelineConfig::default())
+        .expect("config")
+        .train(&train)
+        .expect("train")
+}
+
+/// The batch path: process the whole clip through the owned-snapshot
+/// [`FrameProcessor`], then classify the collected features in a second
+/// pass.
+fn batch_estimates(model: &PoseModel, clip: &LabeledClip) -> Vec<PoseEstimate> {
+    let mut processor =
+        FrameProcessor::new(clip.background.clone(), model.config()).expect("processor");
+    let frames: Vec<_> = clip
+        .frames
+        .iter()
+        .map(|f| processor.process(f).expect("process"))
+        .collect();
+    let mut classifier = model.start_clip();
+    frames
+        .iter()
+        .map(|f| classifier.step(&f.features).expect("step"))
+        .collect()
+}
+
+/// The streaming path: one frame in, one committed estimate out.
+fn streamed_estimates(model: &PoseModel, clip: &LabeledClip) -> Vec<PoseEstimate> {
+    let mut session = JumpSession::new(model, clip.background.clone()).expect("session");
+    clip.frames
+        .iter()
+        .map(|frame| session.push_frame(frame).expect("push"))
+        .collect()
+}
+
+#[test]
+fn streaming_matches_batch_on_varied_clips() {
+    let sim = JumpSimulator::new(909);
+    let model = trained_model(&sim);
+    let noise = NoiseConfig::default();
+    // Three clips the batch path must be reproduced on exactly: a clean
+    // jump, one with rare poses, and one with an injected standards
+    // fault (whose unusual sequences stress the Unknown/carry-forward
+    // logic hardest).
+    let specs = [
+        ClipSpec {
+            total_frames: 40,
+            seed: 500,
+            noise,
+            ..ClipSpec::default()
+        },
+        ClipSpec {
+            total_frames: 40,
+            seed: 501,
+            noise,
+            rare_poses: true,
+            ..ClipSpec::default()
+        },
+        ClipSpec {
+            total_frames: 44,
+            seed: 502,
+            noise,
+            fault: Some(JumpFault::NoCrouch),
+            ..ClipSpec::default()
+        },
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let clip = sim.generate_clip(spec);
+        let batch = batch_estimates(&model, &clip);
+        let streamed = streamed_estimates(&model, &clip);
+        assert_eq!(batch.len(), streamed.len(), "clip {i}: length mismatch");
+        for (t, (b, s)) in batch.iter().zip(&streamed).enumerate() {
+            assert_eq!(b, s, "clip {i}: estimates diverge at frame {t}");
+        }
+    }
+}
+
+#[test]
+fn session_reports_timings_for_every_stage() {
+    let sim = JumpSimulator::new(909);
+    let model = trained_model(&sim);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: 24,
+        seed: 503,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    });
+    let mut session = JumpSession::new(&model, clip.background.clone()).expect("session");
+    session.push_frame(&clip.frames[0]).expect("push");
+    let names: Vec<_> = session.last_timings().iter().map(|(n, _)| n).collect();
+    assert_eq!(names, STAGE_NAMES.to_vec());
+}
