@@ -12,8 +12,12 @@ use slj_core::config::PipelineConfig;
 use slj_core::pipeline::FrameProcessor;
 use slj_core::training::Trainer;
 use slj_ga::{GaConfig, GaFitter};
-use slj_imaging::background::BackgroundSubtractor;
-use slj_imaging::filter::median_filter_binary;
+use slj_imaging::background::{BackgroundSubtractor, ExtractScratch};
+use slj_imaging::filter::{
+    box_filter_gray, box_filter_gray_par, median_filter_binary, median_filter_binary_into,
+    median_filter_binary_par_into, FilterScratch,
+};
+use slj_runtime::ThreadPool;
 use slj_sim::body::BodyModel;
 use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
 use slj_skeleton::thinning::{guo_hall, zhang_suen};
@@ -149,6 +153,78 @@ fn bench_classifier_step(c: &mut Criterion) {
     });
 }
 
+/// Serial vs parallel imaging kernels: the same work at pool sizes
+/// {1, 2, 4}. Size 1 uses the serial in-place kernels, so the delta
+/// against `x1` is the pure fan-out benefit (or overhead, on few cores).
+fn bench_parallel_kernels(c: &mut Criterion) {
+    let (clip, config) = fixtures();
+    let mask = clip.truth[20].silhouette.clone();
+    let gray = mask.to_gray();
+    let frame = clip.frames[20].clone();
+    let sub = BackgroundSubtractor::new(clip.background.clone(), config.extraction).unwrap();
+    let mut group = c.benchmark_group("parallel_kernels");
+    let mut bin_out = slj_imaging::binary::BinaryImage::new(1, 1);
+    let mut gray_out = slj_imaging::image::GrayImage::new(1, 1);
+    let mut fscratch = FilterScratch::new();
+    let mut escratch = ExtractScratch::new();
+    group.bench_function("median_binary_3x3_serial", |b| {
+        b.iter(|| median_filter_binary_into(&mask, 3, &mut bin_out, &mut fscratch).unwrap())
+    });
+    group.bench_function("box_gray_5x5_serial", |b| {
+        b.iter(|| box_filter_gray(&gray, 5).unwrap())
+    });
+    group.bench_function("foreground_matrix_serial", |b| {
+        b.iter(|| {
+            sub.foreground_matrix_into(&frame, &mut gray_out, &mut escratch)
+                .unwrap()
+        })
+    });
+    for threads in [2usize, 4] {
+        let pool = ThreadPool::fixed(threads);
+        group.bench_function(&format!("median_binary_3x3_x{threads}"), |b| {
+            b.iter(|| {
+                median_filter_binary_par_into(&mask, 3, &mut bin_out, &mut fscratch, &pool).unwrap()
+            })
+        });
+        group.bench_function(&format!("box_gray_5x5_x{threads}"), |b| {
+            b.iter(|| box_filter_gray_par(&gray, 5, &pool).unwrap())
+        });
+        group.bench_function(&format!("foreground_matrix_x{threads}"), |b| {
+            b.iter(|| {
+                sub.foreground_matrix_par_into(&frame, &mut gray_out, &mut escratch, &pool)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Serial vs parallel clip-set evaluation — the headline fan-out of the
+/// execution layer (one worker per clip, ordered collection).
+fn bench_parallel_evaluate(c: &mut Criterion) {
+    use slj_core::evaluation::evaluate_with;
+    let (_, config) = fixtures();
+    let sim = JumpSimulator::new(slj_bench::MASTER_SEED);
+    let data = sim.paper_dataset(&NoiseConfig::default());
+    let model = Trainer::new(config)
+        .expect("config")
+        .train(&data.train[..4])
+        .unwrap();
+    let clips = &data.train[..8];
+    let mut group = c.benchmark_group("parallel_evaluate");
+    group.sample_size(10);
+    group.bench_function("evaluate_8_clips_serial", |b| {
+        b.iter(|| evaluate_with(&model, clips, &ThreadPool::serial()).unwrap())
+    });
+    for threads in [2usize, 4] {
+        let pool = ThreadPool::fixed(threads);
+        group.bench_function(&format!("evaluate_8_clips_x{threads}"), |b| {
+            b.iter(|| evaluate_with(&model, clips, &pool).unwrap())
+        });
+    }
+    group.finish();
+}
+
 fn bench_variable_elimination(c: &mut Criterion) {
     let mut builder = BayesNetBuilder::new();
     let vars: Vec<_> = (0..8)
@@ -205,6 +281,8 @@ criterion_group!(
     bench_full_frame,
     bench_streaming_steady_state,
     bench_classifier_step,
+    bench_parallel_kernels,
+    bench_parallel_evaluate,
     bench_offline_decoding,
     bench_model_io,
     bench_variable_elimination,

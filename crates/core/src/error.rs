@@ -17,6 +17,9 @@ pub enum SljError {
     ConfigMismatch(String),
     /// A [`crate::config::PipelineConfig`] with out-of-range values.
     InvalidConfig(String),
+    /// The execution layer failed (a worker-thread panic, surfaced as an
+    /// error instead of aborting the process).
+    Runtime(String),
 }
 
 impl fmt::Display for SljError {
@@ -27,6 +30,7 @@ impl fmt::Display for SljError {
             SljError::InvalidTrainingSet(msg) => write!(f, "invalid training set: {msg}"),
             SljError::ConfigMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
             SljError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SljError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
     }
 }
@@ -53,6 +57,12 @@ impl From<BayesError> for SljError {
     }
 }
 
+impl From<slj_runtime::RuntimeError> for SljError {
+    fn from(e: slj_runtime::RuntimeError) -> Self {
+        SljError::Runtime(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +85,12 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SljError>();
+    }
+
+    #[test]
+    fn from_runtime_error() {
+        let e = SljError::from(slj_runtime::RuntimeError::WorkerPanic("boom".into()));
+        assert!(matches!(&e, SljError::Runtime(m) if m.contains("boom")));
+        assert!(e.to_string().contains("runtime error"));
     }
 }

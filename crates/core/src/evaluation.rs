@@ -4,6 +4,7 @@
 use crate::engine::JumpSession;
 use crate::error::SljError;
 use crate::model::{PoseEstimate, PoseModel};
+use slj_runtime::{Parallelism, ThreadPool};
 use slj_sim::dataset::LabeledClip;
 use slj_sim::pose::PoseClass;
 
@@ -213,19 +214,43 @@ pub fn evaluate_clip(model: &PoseModel, clip: &LabeledClip) -> Result<ClipReport
 
 /// Classifies a set of clips and aggregates the statistics.
 ///
+/// Clips fan out across a worker pool sized by [`Parallelism::Auto`]
+/// (overridable via the `SLJ_THREADS` environment variable). The report
+/// is **bit-identical** to a serial evaluation: each clip is classified
+/// by exactly one worker with its own session state, per-clip reports
+/// are collected in clip order, and the confusion matrix is accumulated
+/// serially from the ordered reports.
+///
 /// # Errors
 ///
-/// Propagates pipeline and inference errors.
+/// Propagates pipeline and inference errors, reported for the earliest
+/// failing clip; [`SljError::Runtime`] on a worker panic.
 pub fn evaluate(model: &PoseModel, clips: &[LabeledClip]) -> Result<EvalReport, SljError> {
-    let mut reports = Vec::with_capacity(clips.len());
+    evaluate_with(model, clips, &ThreadPool::new(Parallelism::default()))
+}
+
+/// [`evaluate`] on an explicit worker pool (e.g. [`ThreadPool::serial`]
+/// for single-threaded runs or a fixed size for benchmarking).
+///
+/// # Errors
+///
+/// Propagates pipeline and inference errors, reported for the earliest
+/// failing clip; [`SljError::Runtime`] on a worker panic.
+pub fn evaluate_with(
+    model: &PoseModel,
+    clips: &[LabeledClip],
+    pool: &ThreadPool,
+) -> Result<EvalReport, SljError> {
+    let reports = pool
+        .scoped_map(clips, |_, clip| evaluate_clip(model, clip))?
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     let mut confusion = vec![vec![0u32; P + 1]; P];
-    for clip in clips {
-        let report = evaluate_clip(model, clip)?;
+    for report in &reports {
         for (est, &truth) in report.estimates.iter().zip(&report.truth) {
             let col = est.pose.map(|p| p.index()).unwrap_or(P);
             confusion[truth.index()][col] += 1;
         }
-        reports.push(report);
     }
     Ok(EvalReport {
         clips: reports,
@@ -287,6 +312,24 @@ mod tests {
             "accuracy {}",
             report.overall_accuracy()
         );
+    }
+
+    #[test]
+    fn evaluate_with_matches_serial() {
+        let (model, test) = tiny_world();
+        let expected = evaluate_with(&model, &test, &ThreadPool::serial()).unwrap();
+        for threads in [2, 8] {
+            let got = evaluate_with(&model, &test, &ThreadPool::fixed(threads)).unwrap();
+            assert_eq!(got.confusion, expected.confusion, "threads {threads}");
+            assert_eq!(got.clips.len(), expected.clips.len());
+            for (a, b) in got.clips.iter().zip(&expected.clips) {
+                assert_eq!(a.clip_id, b.clip_id);
+                assert_eq!(a.correct, b.correct);
+                assert_eq!(a.unknown, b.unknown);
+                assert_eq!(a.estimates, b.estimates, "threads {threads}");
+                assert_eq!(a.truth, b.truth);
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use slj_bayes::dbn::{ForwardFilter, TwoSliceDbn, TwoSliceDbnBuilder};
 use slj_bayes::factor::Factor;
 use slj_bayes::noisy_or::NoisyOrBank;
 use slj_bayes::variable::Variable;
+use slj_runtime::ThreadPool;
 use slj_sim::pose::PoseClass;
 use slj_sim::stage::JumpStage;
 use slj_skeleton::features::FeatureVector;
@@ -53,6 +54,15 @@ pub struct LearnedTables {
     /// `part_given_pose[part][pose][state]` with `state ∈ {0..N areas,
     /// N = absent}`.
     pub part_given_pose: Vec<Vec<Vec<f64>>>,
+}
+
+/// Per-frame evidence, precomputed once and shared by every per-pose
+/// evaluation (serial or fanned out).
+enum FrameEvidence {
+    /// Per-part state: the part's area index, or N for absent.
+    PartStates(Vec<usize>),
+    /// Which areas contain any key point.
+    Occupancy(Vec<bool>),
 }
 
 /// A trained pose classifier.
@@ -244,6 +254,37 @@ impl PoseModel {
     /// Returns [`SljError::ConfigMismatch`] when the feature vector was
     /// encoded with a different partition count.
     pub fn observation_likelihood(&self, features: &FeatureVector) -> Result<Vec<f64>, SljError> {
+        let evidence = self.frame_evidence(features)?;
+        (0..P)
+            .map(|pose| self.pose_likelihood(&evidence, pose))
+            .collect()
+    }
+
+    /// [`PoseModel::observation_likelihood`] with the 22 per-pose BN
+    /// evaluations fanned out across `pool`. Each pose's likelihood is
+    /// computed by exactly one worker with the same arithmetic as the
+    /// serial path, and the vector is assembled in pose order, so the
+    /// result is **bit-identical** to the serial variant at every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As [`PoseModel::observation_likelihood`], plus
+    /// [`SljError::Runtime`] on a worker panic.
+    pub fn observation_likelihood_par(
+        &self,
+        features: &FeatureVector,
+        pool: &ThreadPool,
+    ) -> Result<Vec<f64>, SljError> {
+        let evidence = self.frame_evidence(features)?;
+        pool.scoped_map_n(P, |pose| self.pose_likelihood(&evidence, pose))?
+            .into_iter()
+            .collect()
+    }
+
+    /// Validates the feature shape and captures the per-frame evidence
+    /// shared by all 22 per-pose evaluations.
+    fn frame_evidence(&self, features: &FeatureVector) -> Result<FrameEvidence, SljError> {
         let n = self.config.partitions as usize;
         if features.partitions() as usize != n {
             return Err(SljError::ConfigMismatch(format!(
@@ -251,44 +292,50 @@ impl PoseModel {
                 features.partitions()
             )));
         }
-        let mut out = Vec::with_capacity(P);
-        match self.config.observation {
+        Ok(match self.config.observation {
             ObservationMode::PartAssignment => {
                 use slj_skeleton::features::BodyPart;
                 // State per part: its area index, or N for absent.
-                let states: Vec<usize> = BodyPart::ALL
-                    .iter()
-                    .map(|&part| features.area(part).map(|a| a as usize).unwrap_or(n))
-                    .collect();
+                FrameEvidence::PartStates(
+                    BodyPart::ALL
+                        .iter()
+                        .map(|&part| features.area(part).map(|a| a as usize).unwrap_or(n))
+                        .collect(),
+                )
+            }
+            ObservationMode::AreaOccupancy => FrameEvidence::Occupancy(features.occupied_areas()),
+        })
+    }
+
+    /// `P(frame evidence | pose)` for one pose — the unit of work shared
+    /// by the serial and parallel scoring paths.
+    fn pose_likelihood(&self, evidence: &FrameEvidence, pose: usize) -> Result<f64, SljError> {
+        match evidence {
+            FrameEvidence::PartStates(states) => {
                 // Mix each part's conditional with a uniform floor: a
                 // single mis-assigned key point (a cut-off hand, a
                 // boundary-frame knee) must not zero out the true pose.
+                let n = self.config.partitions as usize;
                 let floor = 0.08 / (n + 1) as f64;
-                for pose in 0..P {
-                    let mut lik = 1.0f64;
-                    for (p, &s) in states.iter().enumerate() {
-                        lik *= 0.92 * self.tables.part_given_pose[p][pose][s] + floor;
-                    }
-                    out.push(lik.max(1e-12));
+                let mut lik = 1.0f64;
+                for (p, &s) in states.iter().enumerate() {
+                    lik *= 0.92 * self.tables.part_given_pose[p][pose][s] + floor;
                 }
+                Ok(lik.max(1e-12))
             }
-            ObservationMode::AreaOccupancy => {
-                let evidence = features.occupied_areas();
-                for pose in 0..P {
-                    let dists: Vec<Vec<f64>> = (0..PARTS)
-                        .map(|p| self.tables.part_given_pose[p][pose].clone())
-                        .collect();
-                    let lik = self
-                        .bank
-                        .evidence_likelihood(&dists, &evidence)
-                        .map_err(SljError::from)?;
-                    // Floor so a surprising frame degrades gracefully
-                    // instead of zeroing the whole filter.
-                    out.push(lik.max(1e-12));
-                }
+            FrameEvidence::Occupancy(occupied) => {
+                let dists: Vec<Vec<f64>> = (0..PARTS)
+                    .map(|p| self.tables.part_given_pose[p][pose].clone())
+                    .collect();
+                let lik = self
+                    .bank
+                    .evidence_likelihood(&dists, occupied)
+                    .map_err(SljError::from)?;
+                // Floor so a surprising frame degrades gracefully
+                // instead of zeroing the whole filter.
+                Ok(lik.max(1e-12))
             }
         }
-        Ok(out)
     }
 
     /// Starts classifying a new clip (resets to the paper's initial
@@ -317,21 +364,61 @@ impl PoseModel {
         &self,
         features: &[FeatureVector],
     ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
-        use slj_bayes::dbn::{SmoothingPass, StepInput};
+        let steps = self.likelihood_steps(features, None)?;
+        self.smooth_steps(&steps)
+    }
+
+    /// [`PoseModel::smooth_clip`] with the per-frame likelihood
+    /// evaluations fanned out across `pool` (each frame's evidence is
+    /// independent; the forward–backward pass itself stays serial).
+    /// Bit-identical to the serial variant at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`PoseModel::smooth_clip`], plus [`SljError::Runtime`] on a
+    /// worker panic.
+    pub fn smooth_clip_par(
+        &self,
+        features: &[FeatureVector],
+        pool: &ThreadPool,
+    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+        let steps = self.likelihood_steps(features, Some(pool))?;
+        self.smooth_steps(&steps)
+    }
+
+    /// Per-frame evidence likelihoods as DBN step inputs, computed
+    /// serially or fanned out over an explicit pool.
+    fn likelihood_steps(
+        &self,
+        features: &[FeatureVector],
+        pool: Option<&ThreadPool>,
+    ) -> Result<Vec<slj_bayes::dbn::StepInput>, SljError> {
+        use slj_bayes::dbn::StepInput;
         if features.is_empty() {
             return Err(SljError::ConfigMismatch("empty clip".into()));
         }
-        let steps: Vec<StepInput> = features
-            .iter()
-            .map(|fv| {
-                let lik = self.observation_likelihood(fv)?;
-                Ok(StepInput::likelihood(
-                    Factor::new(vec![self.pose_var], lik).map_err(SljError::from)?,
-                ))
-            })
-            .collect::<Result<_, SljError>>()?;
+        let step = |fv: &FeatureVector| -> Result<StepInput, SljError> {
+            let lik = self.observation_likelihood(fv)?;
+            Ok(StepInput::likelihood(
+                Factor::new(vec![self.pose_var], lik).map_err(SljError::from)?,
+            ))
+        };
+        match pool {
+            Some(pool) => pool
+                .scoped_map(features, |_, fv| step(fv))?
+                .into_iter()
+                .collect(),
+            None => features.iter().map(step).collect(),
+        }
+    }
+
+    fn smooth_steps(
+        &self,
+        steps: &[slj_bayes::dbn::StepInput],
+    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+        use slj_bayes::dbn::SmoothingPass;
         let gammas = SmoothingPass::new(&self.dbn)
-            .smooth(&steps)
+            .smooth(steps)
             .map_err(SljError::from)?;
         gammas
             .into_iter()
@@ -377,21 +464,35 @@ impl PoseModel {
         &self,
         features: &[FeatureVector],
     ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
-        use slj_bayes::dbn::{StepInput, ViterbiDecoder};
-        if features.is_empty() {
-            return Err(SljError::ConfigMismatch("empty clip".into()));
-        }
-        let steps: Vec<StepInput> = features
-            .iter()
-            .map(|fv| {
-                let lik = self.observation_likelihood(fv)?;
-                Ok(StepInput::likelihood(
-                    Factor::new(vec![self.pose_var], lik).map_err(SljError::from)?,
-                ))
-            })
-            .collect::<Result<_, SljError>>()?;
+        let steps = self.likelihood_steps(features, None)?;
+        self.decode_steps(&steps)
+    }
+
+    /// [`PoseModel::decode_clip`] with the per-frame likelihood
+    /// evaluations fanned out across `pool` (the Viterbi recursion
+    /// itself stays serial). Bit-identical to the serial variant at
+    /// every thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`PoseModel::decode_clip`], plus [`SljError::Runtime`] on a
+    /// worker panic.
+    pub fn decode_clip_par(
+        &self,
+        features: &[FeatureVector],
+        pool: &ThreadPool,
+    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+        let steps = self.likelihood_steps(features, Some(pool))?;
+        self.decode_steps(&steps)
+    }
+
+    fn decode_steps(
+        &self,
+        steps: &[slj_bayes::dbn::StepInput],
+    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+        use slj_bayes::dbn::ViterbiDecoder;
         let path = ViterbiDecoder::new(&self.dbn)
-            .decode(&steps)
+            .decode(steps)
             .map_err(SljError::from)?;
         Ok(path
             .into_iter()
@@ -429,6 +530,30 @@ impl SequenceClassifier<'_> {
     /// thanks to the likelihood floor).
     pub fn step(&mut self, features: &FeatureVector) -> Result<PoseEstimate, SljError> {
         let lik_values = self.model.observation_likelihood(features)?;
+        self.step_with_values(lik_values)
+    }
+
+    /// [`SequenceClassifier::step`] with the 22 per-pose BN evaluations
+    /// fanned out across `pool` (the temporal filter update stays
+    /// serial). Bit-identical to the serial variant at every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As [`SequenceClassifier::step`], plus [`SljError::Runtime`] on a
+    /// worker panic.
+    pub fn step_par(
+        &mut self,
+        features: &FeatureVector,
+        pool: &ThreadPool,
+    ) -> Result<PoseEstimate, SljError> {
+        let lik_values = self.model.observation_likelihood_par(features, pool)?;
+        self.step_with_values(lik_values)
+    }
+
+    /// The shared filter update behind [`SequenceClassifier::step`] and
+    /// [`SequenceClassifier::step_par`].
+    fn step_with_values(&mut self, lik_values: Vec<f64>) -> Result<PoseEstimate, SljError> {
         let likelihood =
             Factor::new(vec![self.model.pose_var], lik_values).map_err(SljError::from)?;
         self.filter
@@ -773,6 +898,70 @@ mod tests {
         for (t, (_, pose)) in path.iter().enumerate() {
             assert_eq!(pose.index() % 8, 3, "frame {t}: {pose}");
         }
+    }
+
+    #[test]
+    fn par_scoring_matches_serial_bitwise() {
+        use crate::config::ObservationMode;
+        for obs in [
+            ObservationMode::PartAssignment,
+            ObservationMode::AreaOccupancy,
+        ] {
+            let config = PipelineConfig {
+                observation: obs,
+                th_pose: 0.05,
+                ..PipelineConfig::default()
+            };
+            let model = PoseModel::from_tables(config, toy_tables(8)).unwrap();
+            let fv = features_for_areas(&[3, 4, 5, 6, 7]);
+            let expected = model.observation_likelihood(&fv).unwrap();
+            for threads in [1, 2, 8] {
+                let pool = ThreadPool::fixed(threads);
+                let got = model.observation_likelihood_par(&fv, &pool).unwrap();
+                assert_eq!(got.len(), expected.len());
+                for (pose, (a, b)) in got.iter().zip(&expected).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "pose {pose} differs under {obs:?} x{threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_par_matches_step() {
+        let model = toy_model(TemporalMode::Full);
+        let pool = ThreadPool::fixed(4);
+        let mut serial = model.start_clip();
+        let mut parallel = model.start_clip();
+        for t in 0..6u8 {
+            let fv = features_for_areas(&[t % 8, 4, 5, 6, 7]);
+            let a = serial.step(&fv).unwrap();
+            let b = parallel.step_par(&fv, &pool).unwrap();
+            assert_eq!(a, b, "frame {t}");
+        }
+        assert_eq!(serial.last_recognized(), parallel.last_recognized());
+    }
+
+    #[test]
+    fn decode_and_smooth_par_match_serial() {
+        let model = toy_model(TemporalMode::Full);
+        let seq: Vec<_> = (0..6)
+            .map(|t: u8| features_for_areas(&[t % 8, (t + 1) % 8, 5, 6, 7]))
+            .collect();
+        let pool = ThreadPool::fixed(3);
+        assert_eq!(
+            model.decode_clip_par(&seq, &pool).unwrap(),
+            model.decode_clip(&seq).unwrap()
+        );
+        assert_eq!(
+            model.smooth_clip_par(&seq, &pool).unwrap(),
+            model.smooth_clip(&seq).unwrap()
+        );
+        assert!(model.decode_clip_par(&[], &pool).is_err());
+        assert!(model.smooth_clip_par(&[], &pool).is_err());
     }
 
     #[test]

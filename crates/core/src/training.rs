@@ -13,6 +13,7 @@ use crate::config::PipelineConfig;
 use crate::engine::FrontEnd;
 use crate::error::SljError;
 use crate::model::{LearnedTables, PoseModel};
+use slj_runtime::{Parallelism, ThreadPool};
 use slj_sim::dataset::LabeledClip;
 use slj_sim::pose::PoseClass;
 use slj_sim::stage::JumpStage;
@@ -23,25 +24,49 @@ const S: usize = JumpStage::COUNT;
 const PARTS: usize = 5;
 
 /// Trains [`PoseModel`]s from labelled clips.
+///
+/// The front-end pass fans clips out across a worker pool (one
+/// [`FrontEnd`] — and therefore one set of scratch buffers — per
+/// worker-claimed clip). The fan-out is **bit-identical** to the serial
+/// pass at every thread count: results are collected in clip order and
+/// table estimation stays serial.
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: PipelineConfig,
+    parallelism: Parallelism,
 }
 
 impl Trainer {
-    /// Creates a trainer.
+    /// Creates a trainer with the default execution policy
+    /// ([`Parallelism::Auto`], overridable via the `SLJ_THREADS`
+    /// environment variable).
     ///
     /// # Errors
     ///
     /// Returns [`SljError::InvalidConfig`] on an invalid configuration.
     pub fn new(config: PipelineConfig) -> Result<Self, SljError> {
         config.validate()?;
-        Ok(Trainer { config })
+        Ok(Trainer {
+            config,
+            parallelism: Parallelism::default(),
+        })
+    }
+
+    /// Sets the execution policy for the clip fan-out. Output is
+    /// identical under every policy; this only trades wall-clock time.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The training configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.parallelism)
     }
 
     /// Runs the front end over every training clip and estimates all
@@ -71,28 +96,34 @@ impl Trainer {
         if clips.is_empty() {
             return Err(SljError::InvalidTrainingSet("no training clips".into()));
         }
-        let mut sequences = Vec::with_capacity(clips.len());
-        for clip in clips {
-            if clip.frames.len() != clip.labels.len() {
-                return Err(SljError::InvalidTrainingSet(format!(
-                    "{} frames but {} labels",
-                    clip.frames.len(),
-                    clip.labels.len()
-                )));
-            }
-            let mut front_end = FrontEnd::new(clip.background.clone(), &self.config)?;
-            let mut frames = Vec::with_capacity(clip.frames.len());
-            for (frame, &(stage, pose)) in clip.frames.iter().zip(&clip.labels) {
-                front_end.process_frame(frame)?;
-                frames.push(TrainingFrame {
-                    stage,
-                    pose,
-                    features: front_end.slots().features,
-                });
-            }
-            sequences.push(TrainingSequence { frames });
-        }
+        let sequences = self
+            .pool()
+            .scoped_map(clips, |_, clip| self.extract_stored(clip))?
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         self.train_from_sequences(&sequences)
+    }
+
+    /// Front-end pass over one stored clip.
+    fn extract_stored(&self, clip: &slj_sim::io::StoredClip) -> Result<TrainingSequence, SljError> {
+        if clip.frames.len() != clip.labels.len() {
+            return Err(SljError::InvalidTrainingSet(format!(
+                "{} frames but {} labels",
+                clip.frames.len(),
+                clip.labels.len()
+            )));
+        }
+        let mut front_end = FrontEnd::new(clip.background.clone(), &self.config)?;
+        let mut frames = Vec::with_capacity(clip.frames.len());
+        for (frame, &(stage, pose)) in clip.frames.iter().zip(&clip.labels) {
+            front_end.process_frame(frame)?;
+            frames.push(TrainingFrame {
+                stage,
+                pose,
+                features: front_end.slots().features,
+            });
+        }
+        Ok(TrainingSequence { frames })
     }
 
     /// Front-end pass: per clip, the (stage, pose, features) triples.
@@ -111,21 +142,28 @@ impl Trainer {
         if clips.is_empty() {
             return Err(SljError::InvalidTrainingSet("no training clips".into()));
         }
-        let mut sequences = Vec::with_capacity(clips.len());
-        for clip in clips {
-            let mut front_end = FrontEnd::new(clip.background.clone(), &self.config)?;
-            let mut frames = Vec::with_capacity(clip.len());
-            for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
-                front_end.process_frame(frame)?;
-                frames.push(TrainingFrame {
-                    stage: truth.stage,
-                    pose: truth.pose,
-                    features: front_end.slots().features,
-                });
-            }
-            sequences.push(TrainingSequence { frames });
+        // Fan the clips out; errors are reported for the earliest failing
+        // clip regardless of worker scheduling, so the error path is as
+        // deterministic as the success path.
+        self.pool()
+            .scoped_map(clips, |_, clip| self.extract_labeled(clip))?
+            .into_iter()
+            .collect()
+    }
+
+    /// Front-end pass over one labelled clip.
+    fn extract_labeled(&self, clip: &LabeledClip) -> Result<TrainingSequence, SljError> {
+        let mut front_end = FrontEnd::new(clip.background.clone(), &self.config)?;
+        let mut frames = Vec::with_capacity(clip.len());
+        for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
+            front_end.process_frame(frame)?;
+            frames.push(TrainingFrame {
+                stage: truth.stage,
+                pose: truth.pose,
+                features: front_end.slots().features,
+            });
         }
-        Ok(sequences)
+        Ok(TrainingSequence { frames })
     }
 
     /// Estimates tables from pre-extracted sequences and assembles the
@@ -275,14 +313,14 @@ impl Trainer {
 }
 
 /// One clip's worth of labelled training frames.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrainingSequence {
     /// Labelled frames in temporal order.
     pub frames: Vec<TrainingFrame>,
 }
 
 /// One labelled training frame.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrainingFrame {
     /// Ground-truth stage.
     pub stage: JumpStage,
@@ -379,6 +417,31 @@ mod tests {
         }
         let acc = correct as f64 / clip.len() as f64;
         assert!(acc > 0.35, "training-set accuracy {acc} too low");
+    }
+
+    #[test]
+    fn parallel_extraction_matches_serial() {
+        let clips = small_clips(3);
+        let trainer = Trainer::new(PipelineConfig::default()).unwrap();
+        let expected = trainer
+            .clone()
+            .with_parallelism(Parallelism::Serial)
+            .extract_sequences(&clips)
+            .unwrap();
+        for threads in [2, 8] {
+            let par = trainer
+                .clone()
+                .with_parallelism(Parallelism::Fixed(threads));
+            assert_eq!(par.extract_sequences(&clips).unwrap(), expected);
+            // The whole training path stays bit-identical too.
+            let m_serial = trainer
+                .clone()
+                .with_parallelism(Parallelism::Serial)
+                .train(&clips)
+                .unwrap();
+            let m_par = par.train(&clips).unwrap();
+            assert_eq!(m_serial.tables(), m_par.tables());
+        }
     }
 
     #[test]

@@ -9,8 +9,10 @@
 
 use crate::binary::BinaryImage;
 use crate::error::ImagingError;
+use crate::filter::split_row_bands;
 use crate::image::{GrayImage, RgbImage};
 use crate::integral::IntegralImage;
+use slj_runtime::{band_ranges, ThreadPool};
 
 /// Configuration for [`BackgroundSubtractor`].
 ///
@@ -188,6 +190,90 @@ impl BackgroundSubtractor {
             for (i, &v) in scratch.diff.iter().enumerate() {
                 pixels[i] = (v - shift).clamp(0.0, 255.0).round() as u8;
             }
+        }
+        Ok(())
+    }
+
+    /// Row-parallel variant of
+    /// [`BackgroundSubtractor::foreground_matrix_into`].
+    ///
+    /// The per-channel integral images are rebuilt serially (prefix sums
+    /// are inherently sequential); the difference pass and the
+    /// normalisation pass are split into horizontal bands over `pool`.
+    /// The global maximum is the fold of the per-band maxima — maximum is
+    /// a selection, not an arithmetic reduction, so the result is
+    /// **bit-identical** to the serial variant at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when `frame` does not
+    /// match the background's shape and [`ImagingError::Runtime`] when a
+    /// worker panics.
+    pub fn foreground_matrix_par_into(
+        &self,
+        frame: &RgbImage,
+        out: &mut GrayImage,
+        scratch: &mut ExtractScratch,
+        pool: &ThreadPool,
+    ) -> Result<(), ImagingError> {
+        if frame.dimensions() != (self.width, self.height) {
+            return Err(ImagingError::DimensionMismatch {
+                left: (self.width, self.height),
+                right: frame.dimensions(),
+            });
+        }
+        let frame_integrals = match scratch.frame_integrals.as_mut() {
+            Some(integrals) => {
+                for (k, ii) in integrals.iter_mut().enumerate() {
+                    ii.rebuild_from_fn(self.width, self.height, |x, y| {
+                        frame.get(x, y).channel(k) as u64
+                    });
+                }
+                &*integrals
+            }
+            None => &*scratch.frame_integrals.insert(channel_integrals(frame)),
+        };
+        let n = self.config.window;
+        let bands = band_ranges(self.height, pool.threads());
+
+        // Steps i-iv in bands; each worker returns its band's maximum.
+        scratch.diff.clear();
+        scratch.diff.resize(self.width * self.height, 0.0);
+        let chunks = split_row_bands(&mut scratch.diff, self.width, &bands);
+        let band_maxes = pool.scoped_run(chunks, |_, (first_row, rows)| {
+            let mut band_max = 0.0f64;
+            for (dy, row) in rows.chunks_mut(self.width).enumerate() {
+                let y = first_row + dy;
+                for (x, px) in row.iter_mut().enumerate() {
+                    let mut sum = 0.0;
+                    for k in 0..3 {
+                        let a = frame_integrals[k].window_mean(x, y, n);
+                        let b = self.bg_integrals[k].window_mean(x, y, n);
+                        sum += (a - b).abs();
+                    }
+                    if sum > band_max {
+                        band_max = sum;
+                    }
+                    *px = sum;
+                }
+            }
+            band_max
+        })?;
+        let max_d = band_maxes.into_iter().fold(0.0f64, f64::max);
+
+        // Steps v-vii in bands (see the serial variant for the max_d == 0
+        // special case).
+        out.reset(self.width, self.height);
+        if max_d != 0.0 {
+            let shift = max_d - 255.0;
+            let diff = &scratch.diff;
+            let out_chunks = split_row_bands(out.as_mut_slice(), self.width, &bands);
+            pool.scoped_run(out_chunks, |_, (first_row, rows)| {
+                let offset = first_row * self.width;
+                for (i, px) in rows.iter_mut().enumerate() {
+                    *px = (diff[offset + i] - shift).clamp(0.0, 255.0).round() as u8;
+                }
+            })?;
         }
         Ok(())
     }
@@ -394,6 +480,28 @@ mod tests {
                 assert_eq!(mask, sub.extract(f).unwrap(), "pass {pass}");
             }
         }
+    }
+
+    #[test]
+    fn par_foreground_matrix_matches_serial() {
+        let (bg, frame) = scene();
+        let sub = BackgroundSubtractor::new(bg.clone(), ExtractionConfig::default()).unwrap();
+        let mut scratch = ExtractScratch::new();
+        let mut out = GrayImage::new(1, 1);
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::fixed(threads);
+            for f in [&frame, &bg] {
+                let expected = sub.foreground_matrix(f).unwrap();
+                sub.foreground_matrix_par_into(f, &mut out, &mut scratch, &pool)
+                    .unwrap();
+                assert_eq!(out, expected, "threads {threads}");
+            }
+        }
+        let wrong = RgbImage::new(5, 5);
+        let pool = ThreadPool::fixed(2);
+        assert!(sub
+            .foreground_matrix_par_into(&wrong, &mut out, &mut scratch, &pool)
+            .is_err());
     }
 
     #[test]

@@ -177,6 +177,16 @@ impl BinaryImage {
         (self.width, self.height)
     }
 
+    /// The backing 64-bit words in row-major bit order
+    /// (`bit i = y * width + x`, bit `i % 64` of word `i / 64`).
+    ///
+    /// Exposed crate-internally for the band-parallel kernels, which
+    /// split the output at word boundaries so concurrent bands never
+    /// touch the same word.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Whether `(x, y)` lies inside the mask.
     pub fn in_bounds(&self, x: isize, y: isize) -> bool {
         x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height

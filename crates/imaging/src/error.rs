@@ -31,6 +31,9 @@ pub enum ImagingError {
     MalformedPnm(String),
     /// Underlying I/O failure while reading or writing an artefact.
     Io(String),
+    /// The execution layer failed inside a parallel kernel (a worker
+    /// panic, surfaced instead of aborting the process).
+    Runtime(String),
 }
 
 impl fmt::Display for ImagingError {
@@ -49,6 +52,7 @@ impl fmt::Display for ImagingError {
             }
             ImagingError::MalformedPnm(msg) => write!(f, "malformed PNM data: {msg}"),
             ImagingError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ImagingError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
     }
 }
@@ -58,6 +62,12 @@ impl std::error::Error for ImagingError {}
 impl From<std::io::Error> for ImagingError {
     fn from(err: std::io::Error) -> Self {
         ImagingError::Io(err.to_string())
+    }
+}
+
+impl From<slj_runtime::RuntimeError> for ImagingError {
+    fn from(err: slj_runtime::RuntimeError) -> Self {
+        ImagingError::Runtime(err.to_string())
     }
 }
 
@@ -87,6 +97,13 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ImagingError>();
+    }
+
+    #[test]
+    fn from_runtime_error() {
+        let err = ImagingError::from(slj_runtime::RuntimeError::WorkerPanic("boom".into()));
+        assert!(matches!(&err, ImagingError::Runtime(m) if m.contains("boom")));
+        assert!(err.to_string().contains("runtime error"));
     }
 
     #[test]

@@ -5,11 +5,37 @@
 //! window is simply the majority vote, which is what
 //! [`median_filter_binary`] computes; [`median_filter_gray`] is the general
 //! grayscale version.
+//!
+//! Every filter has an allocation-free `_into` variant, and the hot ones
+//! additionally have a `_par` variant that splits the output into
+//! horizontal bands (word-aligned spans for bit-packed masks) over a
+//! [`slj_runtime::ThreadPool`]. Each output pixel depends only on the
+//! read-only input, so the parallel variants are **bit-identical** to
+//! their serial counterparts at every thread count.
 
 use crate::binary::BinaryImage;
 use crate::error::ImagingError;
 use crate::image::GrayImage;
 use crate::integral::IntegralImage;
+use slj_runtime::{band_ranges, ThreadPool};
+use std::ops::Range;
+
+/// Splits `data` (a row-major buffer with rows of `row_width` elements)
+/// into one mutable chunk per band, tagged with the band's first row.
+pub(crate) fn split_row_bands<'a, T>(
+    data: &'a mut [T],
+    row_width: usize,
+    bands: &[Range<usize>],
+) -> Vec<(usize, &'a mut [T])> {
+    let mut chunks = Vec::with_capacity(bands.len());
+    let mut rest = data;
+    for band in bands {
+        let (head, tail) = rest.split_at_mut(band.len() * row_width);
+        chunks.push((band.start, head));
+        rest = tail;
+    }
+    chunks
+}
 
 fn check_window(size: usize) -> Result<(), ImagingError> {
     if size == 0 || size % 2 == 0 {
@@ -28,13 +54,63 @@ fn check_window(size: usize) -> Result<(), ImagingError> {
 ///
 /// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero.
 pub fn median_filter_gray(img: &GrayImage, window: usize) -> Result<GrayImage, ImagingError> {
-    check_window(window)?;
-    let r = (window / 2) as isize;
     let mut out = GrayImage::new(img.width(), img.height());
-    let mut hist = [0u32; 256];
+    median_filter_gray_into(img, window, &mut out)?;
+    Ok(out)
+}
+
+/// In-place variant of [`median_filter_gray`]: writes the result into
+/// `out` (resized as needed). The histogram lives on the stack, so the
+/// steady-state per-frame cost is allocation-free. Bit-identical to the
+/// allocating version.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero.
+pub fn median_filter_gray_into(
+    img: &GrayImage,
+    window: usize,
+    out: &mut GrayImage,
+) -> Result<(), ImagingError> {
+    check_window(window)?;
+    out.reset(img.width(), img.height());
+    gray_median_rows(img, window, 0, out.as_mut_slice());
+    Ok(())
+}
+
+/// Row-parallel variant of [`median_filter_gray_into`]: splits the image
+/// into horizontal bands over `pool`. Bit-identical to the serial
+/// variants at every thread count.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero
+/// and [`ImagingError::Runtime`] when a worker panics.
+pub fn median_filter_gray_par_into(
+    img: &GrayImage,
+    window: usize,
+    out: &mut GrayImage,
+    pool: &ThreadPool,
+) -> Result<(), ImagingError> {
+    check_window(window)?;
+    out.reset(img.width(), img.height());
+    let bands = band_ranges(img.height(), pool.threads());
+    let chunks = split_row_bands(out.as_mut_slice(), img.width(), &bands);
+    pool.scoped_run(chunks, |_, (first_row, rows)| {
+        gray_median_rows(img, window, first_row, rows);
+    })?;
+    Ok(())
+}
+
+/// Median-filters rows `first_row ..` of `img` into `out_rows` (a
+/// row-major slice holding exactly the destination rows).
+fn gray_median_rows(img: &GrayImage, window: usize, first_row: usize, out_rows: &mut [u8]) {
+    let r = (window / 2) as isize;
     let half = (window * window) as u32 / 2;
-    for y in 0..img.height() {
-        for x in 0..img.width() {
+    let mut hist = [0u32; 256];
+    for (dy, row) in out_rows.chunks_mut(img.width()).enumerate() {
+        let y = first_row + dy;
+        for (x, px) in row.iter_mut().enumerate() {
             hist.fill(0);
             for dy in -r..=r {
                 for dx in -r..=r {
@@ -51,10 +127,9 @@ pub fn median_filter_gray(img: &GrayImage, window: usize) -> Result<GrayImage, I
                     break;
                 }
             }
-            out.set(x, y, med);
+            *px = med;
         }
     }
-    Ok(out)
 }
 
 /// Reusable working storage for [`median_filter_binary_into`].
@@ -129,6 +204,67 @@ pub fn median_filter_binary_into(
     Ok(())
 }
 
+/// Row-parallel variant of [`median_filter_binary_into`].
+///
+/// The integral image is rebuilt serially (it is an inherently sequential
+/// prefix sum), then the bit-packed output mask is split into word-aligned
+/// spans — each 64-bit word covers 64 consecutive pixel indices, so the
+/// spans are disjoint and no worker ever touches a word another worker
+/// writes. Bit-identical to the serial variants at every thread count.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero
+/// and [`ImagingError::Runtime`] when a worker panics.
+pub fn median_filter_binary_par_into(
+    img: &BinaryImage,
+    window: usize,
+    out: &mut BinaryImage,
+    scratch: &mut FilterScratch,
+    pool: &ThreadPool,
+) -> Result<(), ImagingError> {
+    check_window(window)?;
+    let r = (window / 2) as isize;
+    let ii =
+        match scratch.integral.as_mut() {
+            Some(ii) => {
+                ii.rebuild_from_fn(img.width(), img.height(), |x, y| img.get(x, y) as u64);
+                ii
+            }
+            None => scratch.integral.insert(IntegralImage::from_fn(
+                img.width(),
+                img.height(),
+                |x, y| img.get(x, y) as u64,
+            )),
+        };
+    let (w, h) = (img.width(), img.height());
+    out.reset(w, h);
+    let half = (window * window) as u64 / 2;
+    let words = out.words_mut();
+    let bands = band_ranges(words.len(), pool.threads());
+    let chunks = split_row_bands(words, 1, &bands);
+    let ii = &*ii;
+    pool.scoped_run(chunks, |_, (first_word, span)| {
+        for (wi, word) in span.iter_mut().enumerate() {
+            let base = (first_word + wi) * 64;
+            let mut bits = 0u64;
+            for b in 0..64 {
+                let i = base + b;
+                if i >= w * h {
+                    break;
+                }
+                let (xi, yi) = ((i % w) as isize, (i / w) as isize);
+                let ones = ii.rect_sum(xi - r, yi - r, xi + r, yi + r);
+                if ones > half {
+                    bits |= 1 << b;
+                }
+            }
+            *word = bits;
+        }
+    })?;
+    Ok(())
+}
+
 /// Box-filters (windowed mean) a grayscale image with an n×n window.
 ///
 /// Border windows average only in-bounds pixels.
@@ -145,6 +281,36 @@ pub fn box_filter_gray(img: &GrayImage, window: usize) -> Result<GrayImage, Imag
             out.set(x, y, ii.window_mean(x, y, window).round() as u8);
         }
     }
+    Ok(out)
+}
+
+/// Row-parallel variant of [`box_filter_gray`]: builds the integral image
+/// serially (a sequential prefix sum), then fills the output rows in
+/// horizontal bands over `pool`. Bit-identical to the serial variant at
+/// every thread count.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero
+/// and [`ImagingError::Runtime`] when a worker panics.
+pub fn box_filter_gray_par(
+    img: &GrayImage,
+    window: usize,
+    pool: &ThreadPool,
+) -> Result<GrayImage, ImagingError> {
+    check_window(window)?;
+    let ii = IntegralImage::from_gray(img);
+    let mut out = GrayImage::new(img.width(), img.height());
+    let bands = band_ranges(img.height(), pool.threads());
+    let chunks = split_row_bands(out.as_mut_slice(), img.width(), &bands);
+    pool.scoped_run(chunks, |_, (first_row, rows)| {
+        for (dy, row) in rows.chunks_mut(img.width()).enumerate() {
+            let y = first_row + dy;
+            for (x, px) in row.iter_mut().enumerate() {
+                *px = ii.window_mean(x, y, window).round() as u8;
+            }
+        }
+    })?;
     Ok(out)
 }
 
@@ -276,5 +442,71 @@ mod tests {
         assert!(median_filter_gray(&g, 2).is_err());
         assert!(median_filter_binary(&b, 0).is_err());
         assert!(box_filter_gray(&g, 4).is_err());
+        let pool = ThreadPool::fixed(2);
+        let mut bo = BinaryImage::new(1, 1);
+        let mut go = GrayImage::new(1, 1);
+        let mut scratch = FilterScratch::new();
+        assert!(median_filter_gray_par_into(&g, 2, &mut go, &pool).is_err());
+        assert!(median_filter_binary_par_into(&b, 2, &mut bo, &mut scratch, &pool).is_err());
+        assert!(box_filter_gray_par(&g, 4, &pool).is_err());
+    }
+
+    #[test]
+    fn gray_into_matches_allocating_version() {
+        let img = GrayImage::from_fn(9, 7, |x, y| (x * 37 + y * 101) as u8);
+        let mut out = GrayImage::new(1, 1);
+        for window in [1, 3, 5] {
+            let expected = median_filter_gray(&img, window).unwrap();
+            median_filter_gray_into(&img, window, &mut out).unwrap();
+            assert_eq!(out, expected, "window {window}");
+        }
+    }
+
+    #[test]
+    fn gray_median_par_matches_serial() {
+        let img = GrayImage::from_fn(13, 11, |x, y| (x * 53 + y * 7) as u8);
+        let mut out = GrayImage::new(1, 1);
+        for threads in [1, 2, 3, 8, 16] {
+            let pool = ThreadPool::fixed(threads);
+            for window in [1, 3, 5] {
+                let expected = median_filter_gray(&img, window).unwrap();
+                median_filter_gray_par_into(&img, window, &mut out, &pool).unwrap();
+                assert_eq!(out, expected, "threads {threads} window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_median_par_matches_serial() {
+        // 17x9 = 153 pixels = 2 full words + a ragged tail word.
+        let mut img = BinaryImage::new(17, 9);
+        for y in 0..9 {
+            for x in 0..17 {
+                img.set(x, y, (x * 31 + y * 13) % 5 < 2);
+            }
+        }
+        let mut out = BinaryImage::new(1, 1);
+        let mut scratch = FilterScratch::new();
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::fixed(threads);
+            for window in [1, 3, 5] {
+                let expected = median_filter_binary(&img, window).unwrap();
+                median_filter_binary_par_into(&img, window, &mut out, &mut scratch, &pool).unwrap();
+                assert_eq!(out, expected, "threads {threads} window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn box_filter_par_matches_serial() {
+        let img = GrayImage::from_fn(19, 12, |x, y| (x * 11 + y * 29) as u8);
+        for threads in [1, 2, 5, 16] {
+            let pool = ThreadPool::fixed(threads);
+            for window in [1, 3, 7] {
+                let expected = box_filter_gray(&img, window).unwrap();
+                let got = box_filter_gray_par(&img, window, &pool).unwrap();
+                assert_eq!(got, expected, "threads {threads} window {window}");
+            }
+        }
     }
 }

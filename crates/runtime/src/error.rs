@@ -1,0 +1,42 @@
+//! Error type for the execution layer.
+
+use std::fmt;
+
+/// Errors surfaced by the worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A worker closure panicked; the payload message is preserved.
+    ///
+    /// The pool catches the unwind, stops handing out further work, and
+    /// returns this instead of poisoning shared state or aborting the
+    /// process. When several workers panic, the message is the first one
+    /// observed at collection time (worker order, not wall-clock order).
+    WorkerPanic(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_payload() {
+        let e = RuntimeError::WorkerPanic("boom".into());
+        assert_eq!(e.to_string(), "worker thread panicked: boom");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

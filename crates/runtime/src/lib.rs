@@ -1,0 +1,37 @@
+//! Multi-core execution layer for the standing-long-jump system.
+//!
+//! The paper's pipeline is embarrassingly parallel at two granularities:
+//! across clips (each ~40-frame jump is independent) and across image
+//! rows inside the per-frame kernels (background subtraction, median
+//! filtering). This crate provides the one primitive both need — a
+//! scoped worker pool built on [`std::thread`] with **hard determinism**:
+//!
+//! - results are collected **in input order**, never in completion order;
+//! - there are no shared floating-point accumulators — every reduction
+//!   the callers perform happens serially over the ordered results;
+//! - a worker panic is captured and surfaced as
+//!   [`RuntimeError::WorkerPanic`] instead of aborting the process.
+//!
+//! Together these guarantee that for pure per-item work, the output of a
+//! parallel run is **bit-identical** to a serial run — the contract the
+//! parity test suite at the repository root enforces.
+//!
+//! Thread counts come from a [`Parallelism`] config (explicit N, `Auto` =
+//! available cores, `Serial` for bit-exact debugging of the pool itself),
+//! overridable at runtime via the `SLJ_THREADS` environment variable.
+//!
+//! # Examples
+//!
+//! ```
+//! use slj_runtime::{Parallelism, ThreadPool};
+//!
+//! let pool = ThreadPool::new(Parallelism::Auto);
+//! let squares = pool.scoped_map(&[1u64, 2, 3, 4], |_, &x| x * x).unwrap();
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+mod error;
+mod pool;
+
+pub use error::RuntimeError;
+pub use pool::{band_ranges, Parallelism, ThreadPool, THREADS_ENV};

@@ -1,0 +1,462 @@
+//! The scoped worker pool and its configuration.
+
+use crate::error::RuntimeError;
+use std::any::Any;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Environment variable overriding any configured [`Parallelism`].
+///
+/// Accepted values: `serial` or `0` (force serial), `auto` (available
+/// cores), or an explicit thread count. Unparseable values are ignored.
+pub const THREADS_ENV: &str = "SLJ_THREADS";
+
+/// How many worker threads the pool should use.
+///
+/// Whatever the choice, parallel output is bit-identical to serial
+/// output for pure per-item work — `Serial` exists for debugging the
+/// execution layer itself (and for machines where spawning threads is
+/// counterproductive), not for correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// One thread, no spawning at all — the bit-exact debugging baseline.
+    Serial,
+    /// One worker per available core ([`std::thread::available_parallelism`]).
+    #[default]
+    Auto,
+    /// An explicit worker count (clamped to at least 1).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Parses a `SLJ_THREADS`-style string: `serial`/`0` → [`Parallelism::Serial`],
+    /// `auto` → [`Parallelism::Auto`], `1` → [`Parallelism::Serial`],
+    /// `N` → [`Parallelism::Fixed`]. Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<Parallelism> {
+        match s.trim() {
+            "serial" | "0" | "1" => Some(Parallelism::Serial),
+            "auto" => Some(Parallelism::Auto),
+            n => match n.parse::<usize>() {
+                Ok(n) => Some(Parallelism::Fixed(n)),
+                Err(_) => None,
+            },
+        }
+    }
+
+    /// The override from the `SLJ_THREADS` environment variable, if set
+    /// to something parseable.
+    pub fn from_env() -> Option<Parallelism> {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| Self::parse(&s))
+    }
+
+    /// This configuration with the `SLJ_THREADS` override applied.
+    pub fn effective(self) -> Parallelism {
+        Self::from_env().unwrap_or(self)
+    }
+
+    /// The concrete worker count this configuration resolves to (without
+    /// consulting the environment; see [`Parallelism::effective`]).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+/// Splits `rows` into up to `bands` contiguous, near-equal ranges.
+///
+/// Empty bands are omitted, so the result covers `0..rows` exactly with
+/// no empty ranges. The split depends only on the two arguments — never
+/// on scheduling — so banded kernels partition their work identically on
+/// every run.
+pub fn band_ranges(rows: usize, bands: usize) -> Vec<Range<usize>> {
+    let bands = bands.clamp(1, rows.max(1));
+    let base = rows / bands;
+    let extra = rows % bands;
+    let mut out = Vec::with_capacity(bands);
+    let mut start = 0;
+    for b in 0..bands {
+        let len = base + usize::from(b < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A scoped, work-stealing-ish worker pool over [`std::thread`].
+///
+/// The pool itself holds no threads — it is a resolved worker count.
+/// Each call to [`ThreadPool::scoped_map`] / [`ThreadPool::scoped_run`]
+/// spawns scoped workers that borrow the caller's data directly (no
+/// `'static` bounds, no `Arc`), and joins them before returning. Workers
+/// pull items off a shared atomic cursor (cheap dynamic load balancing),
+/// but results are always **collected in input order**, which is what
+/// makes parallel output bit-identical to serial output.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Builds a pool from a configuration, with the `SLJ_THREADS`
+    /// environment override applied.
+    pub fn new(parallelism: Parallelism) -> Self {
+        ThreadPool {
+            threads: parallelism.effective().threads(),
+        }
+    }
+
+    /// A pool with an exact worker count, ignoring the environment —
+    /// what the parity tests and benchmarks use to pin configurations.
+    pub fn fixed(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool (never spawns).
+    pub fn serial() -> Self {
+        Self::fixed(1)
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order** — the deterministic ordered fan-out primitive.
+    ///
+    /// Workers claim items dynamically, so uneven per-item cost balances
+    /// across threads; with one worker (or one item) the call degrades
+    /// to a plain in-place loop with identical semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::WorkerPanic`] when `f` panics on any item;
+    /// remaining items are abandoned (workers stop claiming new ones).
+    pub fn scoped_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, RuntimeError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                out.push(
+                    catch_unwind(AssertUnwindSafe(|| f(i, item)))
+                        .map_err(|p| RuntimeError::WorkerPanic(panic_message(p.as_ref())))?,
+                );
+            }
+            return Ok(out);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let joined: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (f, cursor, abort) = (&f, &cursor, &abort);
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        let mut panicked: Option<String> = None;
+                        while !abort.load(Ordering::Relaxed) {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                                Ok(r) => local.push((i, r)),
+                                Err(payload) => {
+                                    panicked = Some(panic_message(payload.as_ref()));
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        (local, panicked)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        let mut first_panic: Option<String> = None;
+        for worker in joined {
+            match worker {
+                Ok((local, panicked)) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                    if first_panic.is_none() {
+                        first_panic = panicked;
+                    }
+                }
+                // The worker body catches unwinds itself, but stay safe
+                // against panics outside the catch (e.g. in drop glue).
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(panic_message(payload.as_ref()));
+                    }
+                }
+            }
+        }
+        if let Some(msg) = first_panic {
+            return Err(RuntimeError::WorkerPanic(msg));
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("pool invariant: every index processed"))
+            .collect())
+    }
+
+    /// [`ThreadPool::scoped_map`] over the index range `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::WorkerPanic`] when `f` panics.
+    pub fn scoped_map_n<R, F>(&self, n: usize, f: F) -> Result<Vec<R>, RuntimeError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        // A unit-slice of length n: the items carry no data, only indices.
+        let units = vec![(); n];
+        self.scoped_map(&units, |i, _| f(i))
+    }
+
+    /// Runs one task per element of `tasks` — each task owns its input
+    /// (typically a disjoint `&mut` chunk of an output buffer) — and
+    /// returns the results in input order.
+    ///
+    /// Unlike [`ThreadPool::scoped_map`] this spawns **one thread per
+    /// task**, so callers should produce at most [`ThreadPool::threads`]
+    /// tasks (e.g. via [`band_ranges`]). With one worker or one task it
+    /// degrades to a plain in-place loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::WorkerPanic`] when `f` panics on any task.
+    pub fn scoped_run<T, R, F>(&self, tasks: Vec<T>, f: F) -> Result<Vec<R>, RuntimeError>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.threads <= 1 || tasks.len() <= 1 {
+            let mut out = Vec::with_capacity(tasks.len());
+            for (i, task) in tasks.into_iter().enumerate() {
+                out.push(
+                    catch_unwind(AssertUnwindSafe(|| f(i, task)))
+                        .map_err(|p| RuntimeError::WorkerPanic(panic_message(p.as_ref())))?,
+                );
+            }
+            return Ok(out);
+        }
+
+        let joined: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, task)| {
+                    let f = &f;
+                    scope.spawn(move || catch_unwind(AssertUnwindSafe(|| f(i, task))))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        let mut out = Vec::with_capacity(joined.len());
+        let mut first_panic: Option<String> = None;
+        for worker in joined {
+            match worker {
+                Ok(Ok(r)) => out.push(r),
+                Ok(Err(payload)) | Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(panic_message(payload.as_ref()));
+                    }
+                }
+            }
+        }
+        match first_panic {
+            Some(msg) => Err(RuntimeError::WorkerPanic(msg)),
+            None => Ok(out),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_map_preserves_input_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::fixed(threads);
+            let items: Vec<u64> = (0..57).collect();
+            let out = pool.scoped_map(&items, |i, &x| x * 3 + i as u64).unwrap();
+            let expected: Vec<u64> = (0..57).map(|x| x * 3 + x).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_map_matches_serial_bitwise_on_floats() {
+        // Per-item float work must be bit-identical across thread counts
+        // because no accumulation crosses items.
+        let items: Vec<f64> = (0..200).map(|i| 0.1 + i as f64 * 0.37).collect();
+        let work = |_: usize, &x: &f64| (x.sin() * x.exp()).sqrt();
+        let serial = ThreadPool::serial().scoped_map(&items, work).unwrap();
+        for threads in [2, 5, 16] {
+            let parallel = ThreadPool::fixed(threads).scoped_map(&items, work).unwrap();
+            let same = serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads}: float results diverge");
+        }
+    }
+
+    #[test]
+    fn scoped_map_empty_and_single() {
+        let pool = ThreadPool::fixed(4);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(
+            pool.scoped_map(&empty, |_, &x| x).unwrap(),
+            Vec::<u32>::new()
+        );
+        assert_eq!(pool.scoped_map(&[9u32], |_, &x| x + 1).unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn scoped_map_propagates_panic_as_error() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::fixed(threads);
+            let items: Vec<usize> = (0..32).collect();
+            let err = pool
+                .scoped_map(&items, |_, &x| {
+                    if x == 13 {
+                        panic!("injected failure on item {x}");
+                    }
+                    x
+                })
+                .unwrap_err();
+            let RuntimeError::WorkerPanic(msg) = err;
+            assert!(
+                msg.contains("injected failure on item 13"),
+                "threads={threads}: got {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scoped_run_propagates_panic_and_orders_results() {
+        let pool = ThreadPool::fixed(3);
+        let out = pool
+            .scoped_run(vec![10u64, 20, 30], |i, x| x + i as u64)
+            .unwrap();
+        assert_eq!(out, vec![10, 21, 32]);
+        let err = pool
+            .scoped_run(vec![1, 2, 3], |_, x| {
+                if x == 2 {
+                    panic!("band {x} failed");
+                }
+                x
+            })
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::WorkerPanic(m) if m.contains("band 2 failed")));
+    }
+
+    #[test]
+    fn scoped_run_splits_mutable_chunks() {
+        let pool = ThreadPool::fixed(4);
+        let mut data = vec![0u32; 17];
+        let chunks: Vec<&mut [u32]> = data.chunks_mut(5).collect();
+        pool.scoped_run(chunks, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 100 + j) as u32;
+            }
+        })
+        .unwrap();
+        assert_eq!(data[0], 0);
+        assert_eq!(data[5], 100);
+        assert_eq!(data[16], 301);
+    }
+
+    #[test]
+    fn scoped_map_n_counts_indices() {
+        let pool = ThreadPool::fixed(2);
+        assert_eq!(
+            pool.scoped_map_n(5, |i| i * i).unwrap(),
+            vec![0, 1, 4, 9, 16]
+        );
+        assert_eq!(pool.scoped_map_n(0, |i| i).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn band_ranges_cover_exactly() {
+        for rows in [0usize, 1, 7, 64, 119, 120] {
+            for bands in [1usize, 2, 3, 8, 200] {
+                let ranges = band_ranges(rows, bands);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "rows={rows} bands={bands}");
+                    assert!(!r.is_empty(), "rows={rows} bands={bands}");
+                    next = r.end;
+                }
+                assert_eq!(next, rows, "rows={rows} bands={bands}");
+                assert!(ranges.len() <= bands.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_parse_and_threads() {
+        assert_eq!(Parallelism::parse("serial"), Some(Parallelism::Serial));
+        assert_eq!(Parallelism::parse("0"), Some(Parallelism::Serial));
+        assert_eq!(Parallelism::parse("1"), Some(Parallelism::Serial));
+        assert_eq!(Parallelism::parse("auto"), Some(Parallelism::Auto));
+        assert_eq!(Parallelism::parse(" 6 "), Some(Parallelism::Fixed(6)));
+        assert_eq!(Parallelism::parse("lots"), None);
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert_eq!(Parallelism::Fixed(5).threads(), 5);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_wins() {
+        // The only test that touches SLJ_THREADS; every other test pins
+        // thread counts via `fixed`, so this cannot race a reader.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Parallelism::Auto.effective(), Parallelism::Fixed(3));
+        assert_eq!(ThreadPool::new(Parallelism::Serial).threads(), 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert_eq!(Parallelism::Serial.effective(), Parallelism::Serial);
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(ThreadPool::new(Parallelism::Serial).threads(), 1);
+    }
+}

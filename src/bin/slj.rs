@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         Some("eval") => cmd_eval(&args[1..]),
         Some("coach") => cmd_coach(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -64,7 +65,10 @@ fn print_usage() {
          \x20          assess each clip against the standing-long-jump standard\n\
          \x20 stream   --model FILE --clip DIR [--timings]\n\
          \x20          feed one clip frame-by-frame, printing each committed pose\n\
-         \x20          as it is decided; --timings adds per-stage wall-clock cost"
+         \x20          as it is decided; --timings adds per-stage wall-clock cost\n\
+         \x20 bench    [--quick] [--clips N] [--frames N] [--seed S] [--out FILE]\n\
+         \x20          time the serial vs parallel execution paths on synthetic\n\
+         \x20          clips, verify bit-identical outputs, emit a JSON baseline"
     );
 }
 
@@ -282,6 +286,135 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         return Err(format!("no frame_*.ppm files under {}", dir.display()));
     }
     println!("streamed {} frames", session.frames_processed());
+    Ok(())
+}
+
+/// Times the serial vs parallel execution paths on synthetic clips,
+/// verifies the deterministic-parity contract, and emits a JSON baseline
+/// (schema `slj-bench v1`) — independent of `cargo bench`, so CI and the
+/// BENCH_*.json records at the repo root need only the `slj` binary.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use slj_repro::core::evaluation::{evaluate_with, EvalReport};
+    use slj_repro::runtime::{Parallelism, ThreadPool};
+    use std::time::Instant;
+
+    let flags = Flags::parse(args, &["quick"])?;
+    let quick = flags.switch("quick");
+    let clips_n: usize = flags.parse_or("clips", if quick { 3 } else { 8 })?;
+    let frames_n: usize = flags.parse_or("frames", if quick { 30 } else { 44 })?;
+    let seed: u64 = flags.parse_or("seed", 20080617)?;
+    let reps: usize = if quick { 1 } else { 3 };
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "bench: {clips_n} clips x {frames_n} frames, seed {seed}, host cores {host_cores}{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    // Fixture: train on a few clips, evaluate on the full set.
+    let sim = JumpSimulator::new(seed);
+    let clips: Vec<_> = (0..clips_n)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: frames_n,
+                seed: i as u64,
+                noise: NoiseConfig::default(),
+                rare_poses: i % 3 == 2,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    let model = Trainer::new(PipelineConfig::default())
+        .and_then(|t| t.train(&clips[..clips_n.min(4)]))
+        .map_err(|e| e.to_string())?;
+
+    // Steady-state per-frame streaming cost (always single-session).
+    let push_frame_ns = {
+        let clip = &clips[0];
+        let mut session =
+            JumpSession::new(&model, clip.background.clone()).map_err(|e| e.to_string())?;
+        let warmup = clip.frames.len().min(8);
+        for frame in &clip.frames[..warmup] {
+            session.push_frame(frame).map_err(|e| e.to_string())?;
+        }
+        let iters = if quick { 20 } else { 200 };
+        let start = Instant::now();
+        for i in 0..iters {
+            let frame = &clip.frames[warmup + i % (clip.frames.len() - warmup)];
+            session.push_frame(frame).map_err(|e| e.to_string())?;
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+    eprintln!("  streaming push_frame steady state: {push_frame_ns:.0} ns/frame");
+
+    // Clip-set evaluation at several pool sizes; best-of-reps wall time.
+    let reports_equal = |a: &EvalReport, b: &EvalReport| -> bool {
+        a.confusion == b.confusion
+            && a.clips.len() == b.clips.len()
+            && a.clips.iter().zip(&b.clips).all(|(x, y)| {
+                x.clip_id == y.clip_id
+                    && x.correct == y.correct
+                    && x.unknown == y.unknown
+                    && x.estimates == y.estimates
+                    && x.truth == y.truth
+            })
+    };
+    let mut baseline: Option<EvalReport> = None;
+    let mut serial_ms = 0.0f64;
+    let mut parity_checked = true;
+    let mut eval_rows = Vec::new();
+    let pools = [
+        ("1", ThreadPool::serial()),
+        ("2", ThreadPool::fixed(2)),
+        ("auto", ThreadPool::new(Parallelism::Auto)),
+    ];
+    for (label, pool) in &pools {
+        let mut best_ms = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let r = evaluate_with(&model, &clips, pool).map_err(|e| e.to_string())?;
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            report = Some(r);
+        }
+        let report = report.expect("at least one rep");
+        match &baseline {
+            None => {
+                serial_ms = best_ms;
+                baseline = Some(report);
+            }
+            Some(base) => parity_checked &= reports_equal(base, &report),
+        }
+        let speedup = serial_ms / best_ms;
+        eprintln!(
+            "  evaluate threads={label} ({} workers): {best_ms:.1} ms (speedup x{speedup:.2})",
+            pool.threads()
+        );
+        eval_rows.push(format!(
+            "    {{\"threads\": \"{label}\", \"workers\": {}, \"wall_ms\": {best_ms:.3}, \
+             \"speedup_vs_serial\": {speedup:.3}}}",
+            pool.threads()
+        ));
+    }
+    if !parity_checked {
+        return Err("parity check failed: parallel evaluation diverged from serial".into());
+    }
+    eprintln!("  parity: parallel reports bit-identical to serial");
+
+    let json = format!(
+        "{{\n  \"schema\": \"slj-bench v1\",\n  \"quick\": {quick},\n  \"seed\": {seed},\n  \
+         \"host_cores\": {host_cores},\n  \"clips\": {clips_n},\n  \"frames_per_clip\": {frames_n},\n  \
+         \"push_frame_ns\": {push_frame_ns:.0},\n  \"evaluate\": [\n{}\n  ],\n  \
+         \"parity_checked\": {parity_checked}\n}}\n",
+        eval_rows.join(",\n")
+    );
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("baseline written to {path}");
+        }
+        None => print!("{json}"),
+    }
     Ok(())
 }
 

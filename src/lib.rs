@@ -16,6 +16,8 @@
 //!   prior work.
 //! - [`core`] — the end-to-end pipeline, DBN pose classifier, trainer,
 //!   evaluator and standards-based fault scorer.
+//! - [`runtime`] — the multi-core execution layer: a scoped worker pool
+//!   with a deterministic-parity guarantee (`SLJ_THREADS` overridable).
 //!
 //! # Examples
 //!
@@ -30,5 +32,6 @@ pub use slj_bayes as bayes;
 pub use slj_core as core;
 pub use slj_ga as ga;
 pub use slj_imaging as imaging;
+pub use slj_runtime as runtime;
 pub use slj_sim as sim;
 pub use slj_skeleton as skeleton;

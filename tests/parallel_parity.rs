@@ -1,0 +1,229 @@
+//! Deterministic-parity contract of the execution layer: every parallel
+//! path — clip fan-out in evaluation and training, the per-pose scoring
+//! fan-out, and the row-banded imaging kernels — must produce output
+//! **bit-identical** to its serial counterpart at every thread count.
+//!
+//! The clips mirror `streaming_parity.rs`: a clean jump, one with rare
+//! poses, and one with an injected standards fault, so the parity claim
+//! covers the Unknown/carry-forward paths too.
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::evaluation::{evaluate, evaluate_with};
+use slj_repro::core::model::PoseModel;
+use slj_repro::core::pipeline::FrameProcessor;
+use slj_repro::core::training::Trainer;
+use slj_repro::imaging::background::{BackgroundSubtractor, ExtractScratch};
+use slj_repro::imaging::binary::BinaryImage;
+use slj_repro::imaging::filter::{
+    box_filter_gray, box_filter_gray_par, median_filter_binary, median_filter_binary_par_into,
+    median_filter_gray, median_filter_gray_par_into, FilterScratch,
+};
+use slj_repro::imaging::image::GrayImage;
+use slj_repro::runtime::{Parallelism, ThreadPool};
+use slj_repro::sim::{ClipSpec, JumpFault, JumpSimulator, LabeledClip, NoiseConfig};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn trained_model(sim: &JumpSimulator) -> PoseModel {
+    let noise = NoiseConfig::default();
+    let train: Vec<_> = (0..4)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 36,
+                seed: i,
+                noise,
+                rare_poses: i % 2 == 1,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    Trainer::new(PipelineConfig::default())
+        .expect("config")
+        .train(&train)
+        .expect("train")
+}
+
+/// Clean jump, rare poses, injected fault — the same trio the
+/// streaming-parity suite pins down.
+fn test_clips(sim: &JumpSimulator) -> Vec<LabeledClip> {
+    let noise = NoiseConfig::default();
+    [
+        ClipSpec {
+            total_frames: 40,
+            seed: 500,
+            noise,
+            ..ClipSpec::default()
+        },
+        ClipSpec {
+            total_frames: 40,
+            seed: 501,
+            noise,
+            rare_poses: true,
+            ..ClipSpec::default()
+        },
+        ClipSpec {
+            total_frames: 44,
+            seed: 502,
+            noise,
+            fault: Some(JumpFault::NoCrouch),
+            ..ClipSpec::default()
+        },
+    ]
+    .iter()
+    .map(|spec| sim.generate_clip(spec))
+    .collect()
+}
+
+#[test]
+fn evaluate_is_bit_identical_across_thread_counts() {
+    let sim = JumpSimulator::new(909);
+    let model = trained_model(&sim);
+    let clips = test_clips(&sim);
+    let serial = evaluate_with(&model, &clips, &ThreadPool::serial()).expect("serial");
+    for threads in THREAD_COUNTS {
+        let par = evaluate_with(&model, &clips, &ThreadPool::fixed(threads)).expect("parallel");
+        assert_eq!(par.confusion, serial.confusion, "x{threads}: confusion");
+        assert_eq!(par.clips.len(), serial.clips.len());
+        for (i, (p, s)) in par.clips.iter().zip(&serial.clips).enumerate() {
+            assert_eq!(p.clip_id, s.clip_id);
+            assert_eq!(p.correct, s.correct, "x{threads} clip {i}: correct");
+            assert_eq!(p.unknown, s.unknown, "x{threads} clip {i}: unknown");
+            assert_eq!(p.truth, s.truth);
+            // PoseEstimate equality covers the full posteriors, so this
+            // is a bitwise claim, not an argmax-level one.
+            for (t, (pe, se)) in p.estimates.iter().zip(&s.estimates).enumerate() {
+                assert_eq!(pe, se, "x{threads} clip {i}: diverges at frame {t}");
+            }
+        }
+    }
+    // The default entry point routes through the same pool machinery.
+    let auto = evaluate(&model, &clips).expect("auto");
+    assert_eq!(auto.confusion, serial.confusion);
+}
+
+#[test]
+fn training_extraction_is_bit_identical_across_thread_counts() {
+    let sim = JumpSimulator::new(909);
+    let clips = test_clips(&sim);
+    let trainer = Trainer::new(PipelineConfig::default()).expect("config");
+    let serial = trainer
+        .clone()
+        .with_parallelism(Parallelism::Serial)
+        .extract_sequences(&clips)
+        .expect("serial extraction");
+    let serial_model = trainer
+        .clone()
+        .with_parallelism(Parallelism::Serial)
+        .train(&clips)
+        .expect("serial train");
+    for threads in THREAD_COUNTS {
+        let par = trainer
+            .clone()
+            .with_parallelism(Parallelism::Fixed(threads));
+        assert_eq!(
+            par.extract_sequences(&clips).expect("parallel extraction"),
+            serial,
+            "x{threads}: extracted sequences diverge"
+        );
+        let par_model = par.train(&clips).expect("parallel train");
+        assert_eq!(
+            par_model.tables(),
+            serial_model.tables(),
+            "x{threads}: learned tables diverge"
+        );
+    }
+}
+
+#[test]
+fn pose_scoring_is_bit_identical_across_thread_counts() {
+    let sim = JumpSimulator::new(909);
+    let model = trained_model(&sim);
+    let clips = test_clips(&sim);
+    for (i, clip) in clips.iter().enumerate() {
+        let mut processor =
+            FrameProcessor::new(clip.background.clone(), model.config()).expect("processor");
+        let features: Vec<_> = clip
+            .frames
+            .iter()
+            .map(|f| processor.process(f).expect("process").features)
+            .collect();
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::fixed(threads);
+            // Per-pose scoring fan-out.
+            for (t, fv) in features.iter().enumerate() {
+                let serial = model.observation_likelihood(fv).expect("serial");
+                let par = model.observation_likelihood_par(fv, &pool).expect("par");
+                assert_eq!(serial.len(), par.len());
+                for (pose, (a, b)) in serial.iter().zip(&par).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "x{threads} clip {i} frame {t}: pose {pose} likelihood"
+                    );
+                }
+            }
+            // Stateful classifier with fanned-out scoring.
+            let mut serial_clf = model.start_clip();
+            let mut par_clf = model.start_clip();
+            for (t, fv) in features.iter().enumerate() {
+                let a = serial_clf.step(fv).expect("step");
+                let b = par_clf.step_par(fv, &pool).expect("step_par");
+                assert_eq!(a, b, "x{threads} clip {i}: step diverges at frame {t}");
+            }
+            // Offline paths with fanned-out per-frame likelihoods.
+            assert_eq!(
+                model.decode_clip_par(&features, &pool).expect("decode par"),
+                model.decode_clip(&features).expect("decode"),
+                "x{threads} clip {i}: decode diverges"
+            );
+            assert_eq!(
+                model.smooth_clip_par(&features, &pool).expect("smooth par"),
+                model.smooth_clip(&features).expect("smooth"),
+                "x{threads} clip {i}: smooth diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn imaging_kernels_are_bit_identical_across_thread_counts() {
+    let sim = JumpSimulator::new(909);
+    let clips = test_clips(&sim);
+    for (i, clip) in clips.iter().enumerate() {
+        let mask = clip.truth[clip.len() / 2].silhouette.clone();
+        let gray = mask.to_gray();
+        let frame = clip.frames[clip.len() / 2].clone();
+        let sub = BackgroundSubtractor::new(
+            clip.background.clone(),
+            PipelineConfig::default().extraction,
+        )
+        .expect("subtractor");
+        let serial_median = median_filter_binary(&mask, 3).expect("serial median");
+        let serial_gray_median = median_filter_gray(&gray, 3).expect("serial gray median");
+        let serial_box = box_filter_gray(&gray, 5).expect("serial box");
+        let serial_fg = sub.foreground_matrix(&frame).expect("serial fg");
+        let mut bin_out = BinaryImage::new(1, 1);
+        let mut gray_out = GrayImage::new(1, 1);
+        let mut fscratch = FilterScratch::new();
+        let mut escratch = ExtractScratch::new();
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::fixed(threads);
+            median_filter_binary_par_into(&mask, 3, &mut bin_out, &mut fscratch, &pool)
+                .expect("par median");
+            assert_eq!(bin_out, serial_median, "x{threads} clip {i}: binary median");
+            median_filter_gray_par_into(&gray, 3, &mut gray_out, &pool).expect("par gray median");
+            assert_eq!(
+                gray_out, serial_gray_median,
+                "x{threads} clip {i}: gray median"
+            );
+            let par_box = box_filter_gray_par(&gray, 5, &pool).expect("par box");
+            assert_eq!(par_box, serial_box, "x{threads} clip {i}: box filter");
+            sub.foreground_matrix_par_into(&frame, &mut gray_out, &mut escratch, &pool)
+                .expect("par fg");
+            assert_eq!(
+                gray_out, serial_fg,
+                "x{threads} clip {i}: foreground matrix"
+            );
+        }
+    }
+}
