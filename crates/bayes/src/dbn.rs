@@ -17,7 +17,40 @@ use crate::factor::Factor;
 use crate::inference::Evidence;
 use crate::network::{BayesNetBuilder, DiscreteBayesNet};
 use crate::variable::{Variable, VariablePool};
+use slj_obs::{Histogram, Registry};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Metric handles for DBN inference, recorded into an observability
+/// registry (see [`ForwardFilter::set_metrics`],
+/// [`SmoothingPass::with_metrics`], [`ViterbiDecoder::with_metrics`]).
+///
+/// Handles are resolved once at construction; recording is a few relaxed
+/// atomic adds per step/pass and never changes inference results.
+#[derive(Debug, Clone)]
+pub struct InferenceMetrics {
+    /// `bayes.filter.step_ns` — wall time of one filtering step.
+    step_ns: Histogram,
+    /// `bayes.filter.factor_cells` — total table cells across the
+    /// factors eliminated in one filtering step (the step's work size).
+    factor_cells: Histogram,
+    /// `bayes.decode_ns` — wall time of one Viterbi decode pass.
+    decode_ns: Histogram,
+    /// `bayes.smooth_ns` — wall time of one smoothing pass.
+    smooth_ns: Histogram,
+}
+
+impl InferenceMetrics {
+    /// Resolves the DBN inference metrics in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        InferenceMetrics {
+            step_ns: registry.histogram("bayes.filter.step_ns"),
+            factor_cells: registry.histogram("bayes.filter.factor_cells"),
+            decode_ns: registry.histogram("bayes.decode_ns"),
+            smooth_ns: registry.histogram("bayes.smooth_ns"),
+        }
+    }
+}
 
 /// Builder for [`TwoSliceDbn`].
 ///
@@ -282,6 +315,7 @@ pub struct ForwardFilter<'a> {
     dbn: &'a TwoSliceDbn,
     belief: Option<Factor>,
     steps: usize,
+    metrics: Option<InferenceMetrics>,
 }
 
 impl<'a> ForwardFilter<'a> {
@@ -292,7 +326,14 @@ impl<'a> ForwardFilter<'a> {
             dbn,
             belief: None,
             steps: 0,
+            metrics: None,
         }
+    }
+
+    /// Records per-step timing and factor sizes into `metrics` from now
+    /// on. Observation never changes the belief.
+    pub fn set_metrics(&mut self, metrics: InferenceMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Number of steps absorbed so far.
@@ -355,6 +396,7 @@ impl<'a> ForwardFilter<'a> {
         evidence: &Evidence,
         likelihood: Option<&Factor>,
     ) -> Result<Factor, BayesError> {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         let first = self.steps == 0;
         let template = if first {
             &self.dbn.prior
@@ -376,12 +418,19 @@ impl<'a> ForwardFilter<'a> {
         if let Some(lik) = likelihood {
             factors.push(lik.clone());
         }
+        if let Some(metrics) = &self.metrics {
+            let cells: usize = factors.iter().map(|f| f.values().len()).sum();
+            metrics.factor_cells.record(cells as u64);
+        }
         let keep: HashSet<usize> = self.dbn.interface_vars().iter().map(|v| v.id()).collect();
         let result =
             crate::inference::elimination_internal::eliminate_all(factors, evidence, &keep)?;
         let belief = result.normalized()?;
         self.belief = Some(belief.clone());
         self.steps += 1;
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            metrics.step_ns.record_duration(started.elapsed());
+        }
         Ok(belief)
     }
 
@@ -437,12 +486,19 @@ impl StepInput {
 #[derive(Debug, Clone)]
 pub struct SmoothingPass<'a> {
     dbn: &'a TwoSliceDbn,
+    metrics: Option<InferenceMetrics>,
 }
 
 impl<'a> SmoothingPass<'a> {
     /// Creates a smoother over `dbn`.
     pub fn new(dbn: &'a TwoSliceDbn) -> Self {
-        SmoothingPass { dbn }
+        SmoothingPass { dbn, metrics: None }
+    }
+
+    /// This smoother recording pass wall time into `metrics`.
+    pub fn with_metrics(mut self, metrics: InferenceMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Computes `P(interface_t | evidence_{0..T})` for every `t`,
@@ -454,6 +510,15 @@ impl<'a> SmoothingPass<'a> {
     /// input and [`BayesError::ZeroProbabilityEvidence`] for impossible
     /// evidence; factor errors propagate.
     pub fn smooth(&self, steps: &[StepInput]) -> Result<Vec<Factor>, BayesError> {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let result = self.smooth_inner(steps);
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            metrics.smooth_ns.record_duration(started.elapsed());
+        }
+        result
+    }
+
+    fn smooth_inner(&self, steps: &[StepInput]) -> Result<Vec<Factor>, BayesError> {
         if steps.is_empty() {
             return Err(BayesError::InvalidTemporalStructure(
                 "cannot smooth an empty sequence".into(),
@@ -530,12 +595,19 @@ impl<'a> SmoothingPass<'a> {
 #[derive(Debug, Clone)]
 pub struct ViterbiDecoder<'a> {
     dbn: &'a TwoSliceDbn,
+    metrics: Option<InferenceMetrics>,
 }
 
 impl<'a> ViterbiDecoder<'a> {
     /// Creates a decoder over `dbn`.
     pub fn new(dbn: &'a TwoSliceDbn) -> Self {
-        ViterbiDecoder { dbn }
+        ViterbiDecoder { dbn, metrics: None }
+    }
+
+    /// This decoder recording pass wall time into `metrics`.
+    pub fn with_metrics(mut self, metrics: InferenceMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Decodes the most probable interface-state sequence. Each returned
@@ -547,6 +619,15 @@ impl<'a> ViterbiDecoder<'a> {
     /// input and [`BayesError::ZeroProbabilityEvidence`] when no
     /// sequence has positive probability; factor errors propagate.
     pub fn decode(&self, steps: &[StepInput]) -> Result<Vec<HashMap<usize, usize>>, BayesError> {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let result = self.decode_inner(steps);
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            metrics.decode_ns.record_duration(started.elapsed());
+        }
+        result
+    }
+
+    fn decode_inner(&self, steps: &[StepInput]) -> Result<Vec<HashMap<usize, usize>>, BayesError> {
         if steps.is_empty() {
             return Err(BayesError::InvalidTemporalStructure(
                 "cannot decode an empty sequence".into(),

@@ -63,7 +63,8 @@ pub mod variable;
 
 pub use cpd::{Cpd, NoisyOrCpd, TableCpd};
 pub use dbn::{
-    ForwardFilter, SmoothingPass, StepInput, TwoSliceDbn, TwoSliceDbnBuilder, ViterbiDecoder,
+    ForwardFilter, InferenceMetrics, SmoothingPass, StepInput, TwoSliceDbn, TwoSliceDbnBuilder,
+    ViterbiDecoder,
 };
 pub use error::BayesError;
 pub use factor::Factor;

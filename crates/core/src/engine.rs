@@ -15,9 +15,15 @@
 //!    intermediate image and working buffer; the stages use the
 //!    `_into`-style APIs of `slj-imaging`/`slj-skeleton`, so steady-state
 //!    per-frame work does no image-buffer allocation.
-//! 3. **Per-stage timing.** Every pass records a [`StageTimings`] entry
-//!    per stage — the data behind `slj stream --timings` and the
-//!    steady-state benches.
+//! 3. **Per-stage timing and observability.** Every pass records a
+//!    [`StageTimings`] entry per stage — the data behind
+//!    `slj stream --timings` and the steady-state benches. A session
+//!    additionally times the DBN filter step under the same roof
+//!    ([`DBN_STAGE`]), can record every stage into an
+//!    [`slj_obs::Registry`] ([`JumpSession::attach_metrics`]), and can
+//!    emit one `frame.decision` trace event per frame
+//!    ([`JumpSession::set_tracer`]) carrying the `Th_Pose` margin,
+//!    Unknown/carry-forward flags, and the jumping stage.
 //!
 //! [`JumpSession`] couples a [`FrontEnd`] with the DBN filter of
 //! [`crate::model`], accepting one [`RgbImage`] at a time and returning
@@ -53,6 +59,7 @@ use slj_imaging::filter::{median_filter_binary_into, FilterScratch};
 use slj_imaging::image::RgbImage;
 use slj_imaging::morphology::Connectivity;
 use slj_imaging::region::{largest_component_into, LabelScratch};
+use slj_obs::{Counter, Histogram, Registry, Tracer, Value};
 use slj_skeleton::features::FeatureCodec;
 use slj_skeleton::graph::GraphScratch;
 use slj_skeleton::keypoints::KeypointExtractor;
@@ -73,57 +80,24 @@ pub const STAGE_NAMES: [&str; 7] = [
     "features",
 ];
 
+/// Timing-entry name of the DBN filter step, appended by
+/// [`JumpSession`] after the front-end stages so engine and model
+/// timing share one path.
+pub const DBN_STAGE: &str = "dbn_step";
+
 /// Index of the first stage that runs when the silhouette is already
 /// extracted (ground-truth silhouettes, ablations).
 const SILHOUETTE_START: usize = 3;
 
-/// Wall-clock duration of every stage of one front-end pass.
+/// Wall-clock duration of every stage of one pass.
 ///
-/// Entries appear in execution order; stages skipped on a pass (e.g. the
-/// extraction stages when processing a ready-made silhouette) report
-/// [`Duration::ZERO`] so every pass exposes the full stage list.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct StageTimings {
-    entries: Vec<(&'static str, Duration)>,
-}
-
-impl StageTimings {
-    fn clear(&mut self) {
-        self.entries.clear();
-    }
-
-    fn push(&mut self, name: &'static str, elapsed: Duration) {
-        self.entries.push((name, elapsed));
-    }
-
-    /// `(stage name, duration)` pairs in execution order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
-        self.entries.iter().copied()
-    }
-
-    /// Duration of the named stage, if it appears in this pass.
-    pub fn get(&self, name: &str) -> Option<Duration> {
-        self.entries
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|&(_, d)| d)
-    }
-
-    /// Total duration across all stages.
-    pub fn total(&self) -> Duration {
-        self.entries.iter().map(|&(_, d)| d).sum()
-    }
-
-    /// Number of stages recorded.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether no stage has been recorded yet.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-}
+/// An alias for the observability crate's [`slj_obs::SpanTimings`] —
+/// the engine's former ad-hoc timing vector now lives there so every
+/// layer shares one timing type. Entries appear in execution order;
+/// stages skipped on a pass (e.g. the extraction stages when processing
+/// a ready-made silhouette) report [`Duration::ZERO`] so every pass
+/// exposes the full stage list.
+pub use slj_obs::SpanTimings as StageTimings;
 
 /// All intermediate buffers of one front-end pass, owned across frames so
 /// the stages can reuse them.
@@ -439,6 +413,22 @@ pub struct FrontEnd {
     silhouette_start: usize,
     slots: FrameSlots,
     timings: StageTimings,
+    metrics: Option<EngineMetrics>,
+}
+
+/// Metric handles for one front end (see [`FrontEnd::attach_metrics`]).
+///
+/// Handles are resolved once at attach time — one per stage, in stage
+/// order — so the per-frame path records into them without touching the
+/// registry lock.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    /// `engine.frames` — frames processed.
+    frames: Counter,
+    /// `engine.frame.total_ns` — whole-pass wall time.
+    total_ns: Histogram,
+    /// `engine.stage.<name>.ns`, parallel to the stage bank.
+    stage_ns: Vec<Histogram>,
 }
 
 impl FrontEnd {
@@ -482,7 +472,24 @@ impl FrontEnd {
             silhouette_start,
             slots: FrameSlots::new(),
             timings: StageTimings::default(),
+            metrics: None,
         }
+    }
+
+    /// Records per-stage and per-frame timing histograms into `registry`
+    /// from now on (`engine.stage.<name>.ns`, `engine.frame.total_ns`,
+    /// `engine.frames`). Observation never changes outputs.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let stage_ns = self
+            .stages
+            .iter()
+            .map(|s| registry.histogram(&format!("engine.stage.{}.ns", s.name())))
+            .collect();
+        self.metrics = Some(EngineMetrics {
+            frames: registry.counter("engine.frames"),
+            total_ns: registry.histogram("engine.frame.total_ns"),
+            stage_ns,
+        });
     }
 
     /// Stage names in execution order.
@@ -509,6 +516,13 @@ impl FrontEnd {
             let t0 = Instant::now();
             stage.run(frame, &mut self.slots)?;
             self.timings.push(stage.name(), t0.elapsed());
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.frames.inc();
+            metrics.total_ns.record_duration(self.timings.total());
+            for ((_, elapsed), hist) in self.timings.iter().zip(&metrics.stage_ns) {
+                hist.record_duration(elapsed);
+            }
         }
         Ok(())
     }
@@ -572,12 +586,18 @@ impl FrontEnd {
 /// Couples a [`FrontEnd`] for the clip with the trained model's DBN
 /// filter. Each [`JumpSession::push_frame`] runs the seven-stage front
 /// end into reusable buffers, steps the filter, and returns the
-/// committed [`PoseEstimate`] for that frame.
+/// committed [`PoseEstimate`] for that frame. The DBN step is timed as
+/// an eighth entry ([`DBN_STAGE`]) in [`JumpSession::last_timings`].
 #[derive(Debug)]
 pub struct JumpSession<'m> {
     front_end: FrontEnd,
     classifier: SequenceClassifier<'m>,
     frames_processed: usize,
+    /// Front-end timings plus the [`DBN_STAGE`] entry; the vector is
+    /// reused across frames so the steady state allocates nothing.
+    timings: StageTimings,
+    tracer: Tracer,
+    dbn_ns: Option<Histogram>,
 }
 
 impl<'m> JumpSession<'m> {
@@ -588,11 +608,10 @@ impl<'m> JumpSession<'m> {
     /// Returns [`SljError::InvalidConfig`] on an invalid model
     /// configuration and propagates extraction-configuration errors.
     pub fn new(model: &'m PoseModel, background: RgbImage) -> Result<Self, SljError> {
-        Ok(JumpSession {
-            front_end: FrontEnd::new(background, model.config())?,
-            classifier: model.start_clip(),
-            frames_processed: 0,
-        })
+        Ok(Self::with_front_end(
+            model,
+            FrontEnd::new(background, model.config())?,
+        ))
     }
 
     /// Starts a session with a custom stage bank (ablations).
@@ -601,7 +620,26 @@ impl<'m> JumpSession<'m> {
             front_end,
             classifier: model.start_clip(),
             frames_processed: 0,
+            timings: StageTimings::default(),
+            tracer: Tracer::disabled(),
+            dbn_ns: None,
         }
+    }
+
+    /// Records the whole session into `registry` from now on: front-end
+    /// stage histograms, the [`DBN_STAGE`] step histogram, and the DBN
+    /// filter's inference metrics. Observation never changes estimates.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.front_end.attach_metrics(registry);
+        self.classifier.attach_metrics(registry);
+        self.dbn_ns = Some(registry.histogram(&format!("engine.stage.{DBN_STAGE}.ns")));
+    }
+
+    /// Emits one `frame.decision` trace event per frame into `tracer`
+    /// from now on. A disabled tracer (the default) costs one branch per
+    /// frame and allocates nothing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Processes one video frame and returns the committed estimate.
@@ -611,8 +649,7 @@ impl<'m> JumpSession<'m> {
     /// Propagates front-end and inference errors.
     pub fn push_frame(&mut self, frame: &RgbImage) -> Result<PoseEstimate, SljError> {
         self.front_end.process_frame(frame)?;
-        self.frames_processed += 1;
-        self.classifier.step(&self.front_end.slots().features)
+        self.finish_frame()
     }
 
     /// Processes a ready-made silhouette and returns the committed
@@ -623,13 +660,84 @@ impl<'m> JumpSession<'m> {
     /// Propagates front-end and inference errors.
     pub fn push_silhouette(&mut self, silhouette: &BinaryImage) -> Result<PoseEstimate, SljError> {
         self.front_end.process_silhouette(silhouette)?;
-        self.frames_processed += 1;
-        self.classifier.step(&self.front_end.slots().features)
+        self.finish_frame()
     }
 
-    /// Per-stage timings of the most recent frame.
+    /// The classifier step plus timing/trace bookkeeping shared by both
+    /// push paths.
+    fn finish_frame(&mut self) -> Result<PoseEstimate, SljError> {
+        self.frames_processed += 1;
+        let t0 = Instant::now();
+        let estimate = self.classifier.step(&self.front_end.slots().features)?;
+        let dbn_elapsed = t0.elapsed();
+        self.timings.clear();
+        for (name, elapsed) in self.front_end.timings().iter() {
+            self.timings.push(name, elapsed);
+        }
+        self.timings.push(DBN_STAGE, dbn_elapsed);
+        if let Some(hist) = &self.dbn_ns {
+            hist.record_duration(dbn_elapsed);
+        }
+        if self.tracer.enabled() {
+            if let Some(d) = self.classifier.last_decision() {
+                self.tracer.event(
+                    "frame.decision",
+                    &[
+                        ("frame", Value::U64(self.frames_processed as u64 - 1)),
+                        (
+                            "pose",
+                            match estimate.pose {
+                                Some(p) => Value::I64(p.index() as i64),
+                                None => Value::I64(-1),
+                            },
+                        ),
+                        (
+                            "committed",
+                            Value::U64(estimate.committed_pose.index() as u64),
+                        ),
+                        ("stage", Value::U64(estimate.stage.index() as u64)),
+                        ("best_prob", Value::F64(d.best_prob)),
+                        ("th_margin", Value::F64(d.th_margin)),
+                        ("accepted", Value::Bool(d.accepted)),
+                        ("majority_exempt", Value::Bool(d.majority_exempt)),
+                        ("carry_forward", Value::Bool(d.carry_forward)),
+                        (
+                            "total_ns",
+                            Value::U64(
+                                u64::try_from(self.timings.total().as_nanos()).unwrap_or(u64::MAX),
+                            ),
+                        ),
+                    ],
+                );
+            }
+        }
+        Ok(estimate)
+    }
+
+    /// Builds the JSONL trace record for the most recent frame from the
+    /// session's timings and the classifier's decision internals.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no frame has been pushed yet.
+    pub fn frame_record(&self, estimate: &PoseEstimate) -> crate::trace::FrameRecord {
+        assert!(self.frames_processed > 0, "no frame pushed yet");
+        let decision = self
+            .classifier
+            .last_decision()
+            .expect("frames_processed > 0 implies a decision");
+        crate::trace::FrameRecord::new(
+            self.frames_processed as u64 - 1,
+            &self.timings,
+            estimate,
+            &decision,
+        )
+    }
+
+    /// Per-stage timings of the most recent frame: the front-end stages
+    /// plus the [`DBN_STAGE`] entry.
     pub fn last_timings(&self) -> &StageTimings {
-        self.front_end.timings()
+        &self.timings
     }
 
     /// The front-end slots of the most recent frame (silhouette,
@@ -745,7 +853,8 @@ mod tests {
         }
         assert_eq!(session.frames_processed(), 25);
         assert_eq!(estimates.len(), 25);
-        assert_eq!(session.last_timings().len(), STAGE_NAMES.len());
+        assert_eq!(session.last_timings().len(), STAGE_NAMES.len() + 1);
+        assert!(session.last_timings().get(DBN_STAGE).is_some());
         // The session's estimates must be byte-for-byte the batch path's.
         let mut proc = FrameProcessor::new(test.background.clone(), model.config()).unwrap();
         let mut clf = model.start_clip();

@@ -51,13 +51,17 @@ pub mod model;
 pub mod model_io;
 pub mod pipeline;
 pub mod scoring;
+pub mod trace;
 pub mod training;
 
 pub use config::{PipelineConfig, TemporalMode};
-pub use engine::{FrameSlots, FrameStage, FrontEnd, JumpSession, StageTimings, STAGE_NAMES};
+pub use engine::{
+    FrameSlots, FrameStage, FrontEnd, JumpSession, StageTimings, DBN_STAGE, STAGE_NAMES,
+};
 pub use error::SljError;
 pub use evaluation::{evaluate, ClipReport, EvalReport};
-pub use model::{PoseEstimate, PoseModel, SequenceClassifier};
+pub use model::{Decision, PoseEstimate, PoseModel, SequenceClassifier};
 pub use pipeline::{FrameProcessor, ProcessedFrame};
 pub use scoring::{assess_pose_sequence, DetectedFault};
+pub use trace::FrameRecord;
 pub use training::Trainer;

@@ -24,10 +24,11 @@
 use crate::config::{ObservationMode, PipelineConfig, TemporalMode};
 use crate::error::SljError;
 use slj_bayes::cpd::{NoisyOrCpd, TableCpd};
-use slj_bayes::dbn::{ForwardFilter, TwoSliceDbn, TwoSliceDbnBuilder};
+use slj_bayes::dbn::{ForwardFilter, InferenceMetrics, TwoSliceDbn, TwoSliceDbnBuilder};
 use slj_bayes::factor::Factor;
 use slj_bayes::noisy_or::NoisyOrBank;
 use slj_bayes::variable::Variable;
+use slj_obs::Registry;
 use slj_runtime::ThreadPool;
 use slj_sim::pose::PoseClass;
 use slj_sim::stage::JumpStage;
@@ -90,6 +91,30 @@ pub struct PoseEstimate {
     /// The pose used as "previous pose" for the next frame (the decided
     /// pose, or the most recently recognised one on Unknown frames).
     pub committed_pose: PoseClass,
+}
+
+/// The internals of one frame's `Th_Pose` decision, kept by the
+/// classifier for tracing ([`SequenceClassifier::last_decision`]).
+///
+/// [`PoseEstimate`] carries the verdict; this records *why* — the
+/// threshold margin, whether the majority-pose exemption fired, and
+/// whether the carry-forward rule replaced an Unknown frame's pose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Argmax pose of the filtered posterior.
+    pub best_pose: PoseClass,
+    /// Its posterior probability.
+    pub best_prob: f64,
+    /// Whether the frame was accepted (false → Unknown).
+    pub accepted: bool,
+    /// Whether acceptance came from the majority-pose exemption rather
+    /// than clearing `Th_Pose`.
+    pub majority_exempt: bool,
+    /// `best_prob − Th_Pose`; negative on sub-threshold frames.
+    pub th_margin: f64,
+    /// Whether the Unknown frame carried the last recognised pose
+    /// forward (always false on accepted frames).
+    pub carry_forward: bool,
 }
 
 impl PoseModel {
@@ -345,6 +370,7 @@ impl PoseModel {
             model: self,
             filter: ForwardFilter::new(&self.dbn),
             last_recognized: PoseClass::initial(),
+            last_decision: None,
         }
     }
 
@@ -365,7 +391,22 @@ impl PoseModel {
         features: &[FeatureVector],
     ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
         let steps = self.likelihood_steps(features, None)?;
-        self.smooth_steps(&steps)
+        self.smooth_steps(&steps, None)
+    }
+
+    /// [`PoseModel::smooth_clip`] with pass wall time recorded into
+    /// `registry` (`bayes.smooth_ns`). Observation never changes output.
+    ///
+    /// # Errors
+    ///
+    /// As [`PoseModel::smooth_clip`].
+    pub fn smooth_clip_observed(
+        &self,
+        features: &[FeatureVector],
+        registry: &Registry,
+    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+        let steps = self.likelihood_steps(features, None)?;
+        self.smooth_steps(&steps, Some(InferenceMetrics::new(registry)))
     }
 
     /// [`PoseModel::smooth_clip`] with the per-frame likelihood
@@ -383,7 +424,7 @@ impl PoseModel {
         pool: &ThreadPool,
     ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
         let steps = self.likelihood_steps(features, Some(pool))?;
-        self.smooth_steps(&steps)
+        self.smooth_steps(&steps, None)
     }
 
     /// Per-frame evidence likelihoods as DBN step inputs, computed
@@ -415,11 +456,14 @@ impl PoseModel {
     fn smooth_steps(
         &self,
         steps: &[slj_bayes::dbn::StepInput],
+        metrics: Option<InferenceMetrics>,
     ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
         use slj_bayes::dbn::SmoothingPass;
-        let gammas = SmoothingPass::new(&self.dbn)
-            .smooth(steps)
-            .map_err(SljError::from)?;
+        let mut pass = SmoothingPass::new(&self.dbn);
+        if let Some(metrics) = metrics {
+            pass = pass.with_metrics(metrics);
+        }
+        let gammas = pass.smooth(steps).map_err(SljError::from)?;
         gammas
             .into_iter()
             .map(|gamma| {
@@ -465,7 +509,22 @@ impl PoseModel {
         features: &[FeatureVector],
     ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
         let steps = self.likelihood_steps(features, None)?;
-        self.decode_steps(&steps)
+        self.decode_steps(&steps, None)
+    }
+
+    /// [`PoseModel::decode_clip`] with pass wall time recorded into
+    /// `registry` (`bayes.decode_ns`). Observation never changes output.
+    ///
+    /// # Errors
+    ///
+    /// As [`PoseModel::decode_clip`].
+    pub fn decode_clip_observed(
+        &self,
+        features: &[FeatureVector],
+        registry: &Registry,
+    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+        let steps = self.likelihood_steps(features, None)?;
+        self.decode_steps(&steps, Some(InferenceMetrics::new(registry)))
     }
 
     /// [`PoseModel::decode_clip`] with the per-frame likelihood
@@ -483,17 +542,20 @@ impl PoseModel {
         pool: &ThreadPool,
     ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
         let steps = self.likelihood_steps(features, Some(pool))?;
-        self.decode_steps(&steps)
+        self.decode_steps(&steps, None)
     }
 
     fn decode_steps(
         &self,
         steps: &[slj_bayes::dbn::StepInput],
+        metrics: Option<InferenceMetrics>,
     ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
         use slj_bayes::dbn::ViterbiDecoder;
-        let path = ViterbiDecoder::new(&self.dbn)
-            .decode(steps)
-            .map_err(SljError::from)?;
+        let mut decoder = ViterbiDecoder::new(&self.dbn);
+        if let Some(metrics) = metrics {
+            decoder = decoder.with_metrics(metrics);
+        }
+        let path = decoder.decode(steps).map_err(SljError::from)?;
         Ok(path
             .into_iter()
             .map(|m| {
@@ -513,6 +575,7 @@ pub struct SequenceClassifier<'a> {
     model: &'a PoseModel,
     filter: ForwardFilter<'a>,
     last_recognized: PoseClass,
+    last_decision: Option<Decision>,
 }
 
 impl SequenceClassifier<'_> {
@@ -520,6 +583,18 @@ impl SequenceClassifier<'_> {
     /// pose).
     pub fn last_recognized(&self) -> PoseClass {
         self.last_recognized
+    }
+
+    /// The internals of the most recent frame's decision (`None` before
+    /// the first step).
+    pub fn last_decision(&self) -> Option<Decision> {
+        self.last_decision
+    }
+
+    /// Records per-step DBN filter timing and factor sizes into
+    /// `registry` from now on. Observation never changes decisions.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.filter.set_metrics(InferenceMetrics::new(registry));
     }
 
     /// Absorbs one frame's features and decides its pose.
@@ -584,6 +659,14 @@ impl SequenceClassifier<'_> {
         // the threshold.
         let accepted = best_pose == PoseClass::majority() || best_prob >= self.model.config.th_pose;
         let decided = if accepted { Some(best_pose) } else { None };
+        self.last_decision = Some(Decision {
+            best_pose,
+            best_prob,
+            accepted,
+            majority_exempt: accepted && best_prob < self.model.config.th_pose,
+            th_margin: best_prob - self.model.config.th_pose,
+            carry_forward: !accepted && self.model.config.carry_forward,
+        });
 
         // Hard hand-off: commit a definite previous pose for the next
         // frame. Unknown frames carry the most recent recognised pose

@@ -1,0 +1,236 @@
+//! Per-frame decision trace records for `slj trace`.
+//!
+//! [`FrameRecord`] is the JSONL payload behind the `slj trace`
+//! subcommand: one self-contained line per frame carrying the per-stage
+//! timings of the engine pass, the full pose posterior, the `Th_Pose`
+//! decision internals, and the jumping stage. The record is built from
+//! a [`crate::engine::JumpSession`] after each push
+//! ([`crate::engine::JumpSession::frame_record`]) and serialised with
+//! the dependency-free [`JsonWriter`].
+//!
+//! This path runs once per emitted frame, outside the steady-state
+//! pipeline loop, so it is allowed to allocate (`Debug`-formatted pose
+//! names, the posterior copy); the zero-alloc budget of the engine only
+//! covers the disabled-tracing path.
+
+use crate::engine::StageTimings;
+use crate::model::{Decision, PoseEstimate};
+use slj_obs::JsonWriter;
+
+/// Schema version stamped into every record as `"schema"`.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// One frame's decision trace: timings, posterior and decision rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    /// Zero-based clip index (present when tracing multiple clips).
+    pub clip: Option<u64>,
+    /// Zero-based frame index within the clip.
+    pub frame: u64,
+    /// Per-stage nanoseconds, in execution order (seven front-end
+    /// stages plus [`crate::engine::DBN_STAGE`]).
+    pub stage_ns: Vec<(&'static str, u64)>,
+    /// Decided pose name (`Debug` form), or `None` for Unknown frames.
+    pub pose: Option<String>,
+    /// The pose fed to the next frame as "previous pose".
+    pub committed: String,
+    /// Posterior over all 22 poses after temporal filtering.
+    pub posterior: Vec<f64>,
+    /// Posterior probability of the argmax pose.
+    pub best_prob: f64,
+    /// `best_prob − Th_Pose`; negative on sub-threshold frames.
+    pub th_margin: f64,
+    /// Whether the frame cleared the decision rule.
+    pub accepted: bool,
+    /// Whether acceptance came from the majority-pose exemption.
+    pub majority_exempt: bool,
+    /// Why the frame is Unknown, or `None` on accepted frames.
+    pub unknown_reason: Option<&'static str>,
+    /// Whether the carry-forward rule replaced the Unknown pose.
+    pub carry_forward: bool,
+    /// Most probable jumping stage name.
+    pub stage: String,
+    /// Posterior over the four jumping stages.
+    pub stage_posterior: Vec<f64>,
+}
+
+impl FrameRecord {
+    /// Assembles the record for one frame from the engine timings and
+    /// the classifier outputs.
+    pub fn new(
+        frame: u64,
+        timings: &StageTimings,
+        estimate: &PoseEstimate,
+        decision: &Decision,
+    ) -> Self {
+        FrameRecord {
+            clip: None,
+            frame,
+            stage_ns: timings
+                .iter()
+                .map(|(name, elapsed)| {
+                    (name, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX))
+                })
+                .collect(),
+            pose: estimate.pose.map(|p| format!("{p:?}")),
+            committed: format!("{:?}", estimate.committed_pose),
+            posterior: estimate.posterior.clone(),
+            best_prob: decision.best_prob,
+            th_margin: decision.th_margin,
+            accepted: decision.accepted,
+            majority_exempt: decision.majority_exempt,
+            unknown_reason: if decision.accepted {
+                None
+            } else {
+                Some("below_th_pose")
+            },
+            carry_forward: decision.carry_forward,
+            stage: format!("{:?}", estimate.stage),
+            stage_posterior: estimate.stage_posterior.clone(),
+        }
+    }
+
+    /// Serialises the record as one JSON object on a single line
+    /// (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.u64(TRACE_SCHEMA_VERSION);
+        if let Some(clip) = self.clip {
+            w.key("clip");
+            w.u64(clip);
+        }
+        w.key("frame");
+        w.u64(self.frame);
+        w.key("stage_ns");
+        w.begin_object();
+        for (name, ns) in &self.stage_ns {
+            w.key(name);
+            w.u64(*ns);
+        }
+        w.end_object();
+        w.key("pose");
+        match &self.pose {
+            Some(pose) => w.string(pose),
+            None => w.null(),
+        }
+        w.key("committed");
+        w.string(&self.committed);
+        w.key("posterior");
+        w.begin_array();
+        for p in &self.posterior {
+            w.f64(*p);
+        }
+        w.end_array();
+        w.key("best_prob");
+        w.f64(self.best_prob);
+        w.key("th_margin");
+        w.f64(self.th_margin);
+        w.key("accepted");
+        w.bool(self.accepted);
+        w.key("majority_exempt");
+        w.bool(self.majority_exempt);
+        w.key("unknown_reason");
+        match self.unknown_reason {
+            Some(reason) => w.string(reason),
+            None => w.null(),
+        }
+        w.key("carry_forward");
+        w.bool(self.carry_forward);
+        w.key("stage");
+        w.string(&self.stage);
+        w.key("stage_posterior");
+        w.begin_array();
+        for p in &self.stage_posterior {
+            w.f64(*p);
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_record() -> FrameRecord {
+        let mut timings = StageTimings::default();
+        timings.push("background_subtraction", Duration::from_nanos(1200));
+        timings.push("dbn_step", Duration::from_nanos(800));
+        let estimate = PoseEstimate {
+            pose: None,
+            posterior: vec![0.25, 0.75],
+            stage: slj_sim::JumpStage::Jumping,
+            stage_posterior: vec![0.1, 0.6, 0.2, 0.1],
+            committed_pose: slj_sim::PoseClass::StandingHandsOverlap,
+        };
+        let decision = Decision {
+            best_pose: slj_sim::PoseClass::StandingHandsOverlap,
+            best_prob: 0.75,
+            accepted: false,
+            majority_exempt: false,
+            th_margin: -0.05,
+            carry_forward: true,
+        };
+        FrameRecord::new(3, &timings, &estimate, &decision)
+    }
+
+    #[test]
+    fn unknown_frame_record_round_trips_decision_fields() {
+        let record = sample_record();
+        assert_eq!(record.frame, 3);
+        assert_eq!(record.pose, None);
+        assert_eq!(record.unknown_reason, Some("below_th_pose"));
+        assert!(record.carry_forward);
+        assert_eq!(record.stage_ns.len(), 2);
+        assert_eq!(record.stage_ns[1], ("dbn_step", 800));
+    }
+
+    #[test]
+    fn to_json_is_single_line_with_stable_keys() {
+        let mut record = sample_record();
+        record.clip = Some(7);
+        let json = record.to_json();
+        assert!(!json.contains('\n'));
+        for key in [
+            "\"schema\":1",
+            "\"clip\":7",
+            "\"frame\":3",
+            "\"stage_ns\":{\"background_subtraction\":1200,\"dbn_step\":800}",
+            "\"pose\":null",
+            "\"committed\":\"StandingHandsOverlap\"",
+            "\"unknown_reason\":\"below_th_pose\"",
+            "\"carry_forward\":true",
+            "\"stage\":\"Jumping\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn accepted_frame_has_no_unknown_reason() {
+        let mut timings = StageTimings::default();
+        timings.push("features", Duration::from_nanos(10));
+        let estimate = PoseEstimate {
+            pose: Some(slj_sim::PoseClass::StandingHandsOverlap),
+            posterior: vec![1.0],
+            stage: slj_sim::JumpStage::BeforeJumping,
+            stage_posterior: vec![1.0, 0.0, 0.0, 0.0],
+            committed_pose: slj_sim::PoseClass::StandingHandsOverlap,
+        };
+        let decision = Decision {
+            best_pose: slj_sim::PoseClass::StandingHandsOverlap,
+            best_prob: 0.9,
+            accepted: true,
+            majority_exempt: false,
+            th_margin: 0.2,
+            carry_forward: false,
+        };
+        let record = FrameRecord::new(0, &timings, &estimate, &decision);
+        assert_eq!(record.unknown_reason, None);
+        assert!(record.to_json().contains("\"unknown_reason\":null"));
+    }
+}

@@ -222,6 +222,7 @@ impl BackgroundSubtractor {
                 right: frame.dimensions(),
             });
         }
+        let started = pool.registry().map(|_| std::time::Instant::now());
         let frame_integrals = match scratch.frame_integrals.as_mut() {
             Some(integrals) => {
                 for (k, ii) in integrals.iter_mut().enumerate() {
@@ -274,6 +275,11 @@ impl BackgroundSubtractor {
                     *px = (diff[offset + i] - shift).clamp(0.0, 255.0).round() as u8;
                 }
             })?;
+        }
+        if let (Some(registry), Some(started)) = (pool.registry(), started) {
+            registry
+                .histogram("imaging.foreground_matrix_par.ns")
+                .record_duration(started.elapsed());
         }
         Ok(())
     }

@@ -19,6 +19,7 @@ use crate::image::GrayImage;
 use crate::integral::IntegralImage;
 use slj_runtime::{band_ranges, ThreadPool};
 use std::ops::Range;
+use std::time::Instant;
 
 /// Splits `data` (a row-major buffer with rows of `row_width` elements)
 /// into one mutable chunk per band, tagged with the band's first row.
@@ -93,12 +94,18 @@ pub fn median_filter_gray_par_into(
     pool: &ThreadPool,
 ) -> Result<(), ImagingError> {
     check_window(window)?;
+    let started = pool.registry().map(|_| Instant::now());
     out.reset(img.width(), img.height());
     let bands = band_ranges(img.height(), pool.threads());
     let chunks = split_row_bands(out.as_mut_slice(), img.width(), &bands);
     pool.scoped_run(chunks, |_, (first_row, rows)| {
         gray_median_rows(img, window, first_row, rows);
     })?;
+    if let (Some(registry), Some(started)) = (pool.registry(), started) {
+        registry
+            .histogram("imaging.median_filter_gray_par.ns")
+            .record_duration(started.elapsed());
+    }
     Ok(())
 }
 
@@ -224,6 +231,7 @@ pub fn median_filter_binary_par_into(
     pool: &ThreadPool,
 ) -> Result<(), ImagingError> {
     check_window(window)?;
+    let started = pool.registry().map(|_| Instant::now());
     let r = (window / 2) as isize;
     let ii =
         match scratch.integral.as_mut() {
@@ -262,6 +270,11 @@ pub fn median_filter_binary_par_into(
             *word = bits;
         }
     })?;
+    if let (Some(registry), Some(started)) = (pool.registry(), started) {
+        registry
+            .histogram("imaging.median_filter_binary_par.ns")
+            .record_duration(started.elapsed());
+    }
     Ok(())
 }
 
@@ -299,6 +312,7 @@ pub fn box_filter_gray_par(
     pool: &ThreadPool,
 ) -> Result<GrayImage, ImagingError> {
     check_window(window)?;
+    let started = pool.registry().map(|_| Instant::now());
     let ii = IntegralImage::from_gray(img);
     let mut out = GrayImage::new(img.width(), img.height());
     let bands = band_ranges(img.height(), pool.threads());
@@ -311,6 +325,11 @@ pub fn box_filter_gray_par(
             }
         }
     })?;
+    if let (Some(registry), Some(started)) = (pool.registry(), started) {
+        registry
+            .histogram("imaging.box_filter_gray_par.ns")
+            .record_duration(started.elapsed());
+    }
     Ok(out)
 }
 

@@ -1,0 +1,229 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The repository deliberately has no serde dependency; every JSON
+//! artefact (bench baselines, metrics snapshots, JSONL trace records) is
+//! emitted through this writer so escaping and number formatting are
+//! implemented exactly once.
+
+use std::fmt::Write as _;
+
+/// Streaming JSON builder over an owned `String`.
+///
+/// Commas are inserted automatically; the caller is responsible for
+/// balancing `begin_*`/`end_*` calls (debug assertions catch mismatches).
+///
+/// # Examples
+///
+/// ```
+/// use slj_obs::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("schema");
+/// w.u64(3);
+/// w.key("name");
+/// w.string("slj");
+/// w.key("values");
+/// w.begin_array();
+/// w.f64(0.5);
+/// w.f64(1.0);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"schema":3,"name":"slj","values":[0.5,1]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: the number of items written so far.
+    stack: Vec<usize>,
+    /// A key was just written; the next value belongs to it.
+    pending_value: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer and returns the JSON text.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when containers are still open.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unbalanced JSON containers");
+        debug_assert!(!self.pending_value, "key written without a value");
+        self.out
+    }
+
+    fn before_value(&mut self) {
+        if self.pending_value {
+            self.pending_value = false;
+            return;
+        }
+        if let Some(count) = self.stack.last_mut() {
+            if *count > 0 {
+                self.out.push(',');
+            }
+            *count += 1;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(0);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        let popped = self.stack.pop();
+        debug_assert!(popped.is_some(), "end_object with no object");
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(0);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        let popped = self.stack.pop();
+        debug_assert!(popped.is_some(), "end_array with no array");
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next write is its value.
+    pub fn key(&mut self, key: &str) {
+        debug_assert!(!self.pending_value, "two keys in a row");
+        if let Some(count) = self.stack.last_mut() {
+            if *count > 0 {
+                self.out.push(',');
+            }
+            *count += 1;
+        }
+        self.write_escaped(key);
+        self.out.push(':');
+        self.pending_value = true;
+    }
+
+    /// Writes a string value (escaped).
+    pub fn string(&mut self, value: &str) {
+        self.before_value();
+        self.write_escaped(value);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, value: u64) {
+        self.before_value();
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a signed integer value.
+    pub fn i64(&mut self, value: i64) {
+        self.before_value();
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a float value. Non-finite values render as `null` (JSON has
+    /// no NaN/Infinity).
+    pub fn f64(&mut self, value: f64) {
+        self.before_value();
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, value: bool) {
+        self.before_value();
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.u64(1);
+        w.begin_object();
+        w.key("b");
+        w.bool(false);
+        w.end_object();
+        w.null();
+        w.end_array();
+        w.key("c");
+        w.i64(-5);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":[1,{"b":false},null],"c":-5}"#);
+    }
+
+    #[test]
+    fn escapes_control_characters_and_quotes() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\te\u{01}f");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.f64(0.25);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,0.25]");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("empty_obj");
+        w.begin_object();
+        w.end_object();
+        w.key("empty_arr");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"empty_obj":{},"empty_arr":[]}"#);
+    }
+}

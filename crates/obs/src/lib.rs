@@ -1,0 +1,58 @@
+//! Observability substrate for the standing-long-jump system.
+//!
+//! The pipeline makes silent per-frame decisions — `Th_Pose` rejections
+//! to Unknown, carry-forward of the last recognised pose, jumping-stage
+//! transitions — and the multi-core runtime schedules work invisibly.
+//! This crate is the measurement substrate both need, with **zero
+//! dependencies** and two deliberate design rules:
+//!
+//! 1. **Zero cost when disabled.** A [`Tracer`] without a sink and a
+//!    detached metric handle do nothing: no event is constructed, no
+//!    timestamp is read, no allocation happens on the steady-state path.
+//!    Instrumented code guards with [`Tracer::enabled`] / `Option` checks
+//!    that compile down to a branch.
+//! 2. **Deterministic output.** [`Registry::snapshot_json`] renders
+//!    metrics sorted by name; histogram quantiles are computed from fixed
+//!    power-of-two buckets with deterministic interpolation, so two runs
+//!    over the same events serialise identically (timestamps aside).
+//!
+//! The pieces:
+//!
+//! - [`Tracer`] / [`Span`] / [`Event`] — a lightweight span/event tracer
+//!   with monotonic nanosecond timestamps and a pluggable [`TraceSink`]
+//!   (the bundled [`RingSink`] keeps the last N events in a ring buffer).
+//! - [`Counter`] / [`Gauge`] / [`Histogram`] — lock-free atomic metric
+//!   handles, cheaply clonable (`Arc` inside), shared across threads.
+//! - [`Registry`] — get-or-create metrics by name; one registry per
+//!   run/session aggregates every layer (engine stages, DBN filter,
+//!   worker pool, imaging kernels) into one JSON snapshot.
+//! - [`JsonWriter`] — the hand-rolled JSON writer behind snapshots, the
+//!   per-frame JSONL trace records, and `slj bench` baselines.
+//! - [`SpanTimings`] — named wall-clock durations of one pass (the
+//!   engine's per-stage timing vector), reused across passes so the
+//!   steady state allocates nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use slj_obs::{Registry, Tracer, Value};
+//!
+//! let registry = Registry::new();
+//! let frames = registry.counter("engine.frames");
+//! let latency = registry.histogram("engine.frame.total_ns");
+//! frames.inc();
+//! latency.record(1_200_000);
+//! assert!(registry.snapshot_json().contains("\"engine.frames\""));
+//!
+//! let (tracer, ring) = Tracer::ring(64);
+//! tracer.event("frame.decision", &[("frame", Value::U64(0)), ("accepted", Value::Bool(true))]);
+//! assert_eq!(ring.drain().len(), 1);
+//! ```
+
+mod json;
+mod metrics;
+mod trace;
+
+pub use json::JsonWriter;
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{Event, RingSink, Span, SpanTimings, TraceSink, Tracer, Value};

@@ -1,0 +1,462 @@
+//! Counters, gauges, fixed-bucket histograms, and the named registry.
+//!
+//! Every handle is an `Arc` around atomics: cloning is cheap, recording
+//! is lock-free, and the same handle can be shared across worker
+//! threads. The [`Registry`] is the aggregation point — one per
+//! run/session — and renders a deterministic JSON snapshot (metrics
+//! sorted by name) through the crate's [`JsonWriter`].
+
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, detached counter (not in any registry).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed value (queue depths, band counts, config knobs).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, detached gauge (not in any registry).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a signed delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets (bucket `i` holds values in
+/// `(2^(i-1), 2^i]`, bucket 0 holds `0..=1`), plus one overflow bucket.
+const BUCKETS: usize = 40;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples (nanoseconds, cell
+/// counts, band counts — anything non-negative).
+///
+/// Buckets are powers of two spanning `1 ..= 2^39` (~9 minutes in
+/// nanoseconds) with an overflow bucket above; quantiles interpolate
+/// geometrically inside the hit bucket and clamp to the observed
+/// min/max, so estimates are deterministic for a given sample multiset.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A fresh, detached histogram (not in any registry).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            return 0;
+        }
+        // ceil(log2(value)): bucket i covers (2^(i-1), 2^i].
+        let idx = (64 - (value - 1).leading_zeros()) as usize;
+        idx.min(BUCKETS)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let inner = &*self.0;
+        inner.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.0.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.0.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), 0 when empty.
+    ///
+    /// Walks the bucket counts to the target rank and interpolates
+    /// geometrically inside the hit bucket, clamped to the observed
+    /// min/max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        let mut estimate = self.0.max.load(Ordering::Relaxed) as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = if i == 0 {
+                    (0.0, 1.0)
+                } else if i >= BUCKETS {
+                    let lo = (1u64 << (BUCKETS - 1)) as f64 * 2.0;
+                    (lo, self.0.max.load(Ordering::Relaxed) as f64)
+                } else {
+                    ((1u64 << (i - 1)) as f64, (1u64 << i) as f64)
+                };
+                let frac = (rank - cum) as f64 / c as f64;
+                estimate = lo + (hi - lo) * frac;
+                break;
+            }
+            cum += c;
+        }
+        let min = self.0.min.load(Ordering::Relaxed) as f64;
+        let max = self.0.max.load(Ordering::Relaxed) as f64;
+        estimate.clamp(min, max)
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("type");
+        w.string("histogram");
+        w.key("count");
+        w.u64(self.count());
+        w.key("sum");
+        w.u64(self.sum());
+        w.key("min");
+        w.u64(self.min().unwrap_or(0));
+        w.key("max");
+        w.u64(self.max().unwrap_or(0));
+        w.key("mean");
+        w.f64(self.mean());
+        w.key("p50");
+        w.f64(self.quantile(0.50));
+        w.key("p95");
+        w.f64(self.quantile(0.95));
+        w.key("p99");
+        w.f64(self.quantile(0.99));
+        w.end_object();
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics, shared by every instrumented layer of
+/// one run or session.
+///
+/// Handles are get-or-create by name: the first caller determines the
+/// metric's kind; a later request for the same name with a different
+/// kind receives a fresh *detached* handle (recorded values go nowhere)
+/// rather than panicking — observability must never take the pipeline
+/// down.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::new(),
+        }
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders every metric as one JSON object, sorted by name:
+    ///
+    /// ```json
+    /// {"schema": 1, "metrics": {"name": {"type": "counter", "value": 3}, ...}}
+    /// ```
+    pub fn snapshot_json(&self) -> String {
+        let map = self.inner.lock().expect("registry poisoned").clone();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.u64(1);
+        w.key("metrics");
+        w.begin_object();
+        for (name, metric) in &map {
+            w.key(name);
+            match metric {
+                Metric::Counter(c) => {
+                    w.begin_object();
+                    w.key("type");
+                    w.string("counter");
+                    w.key("value");
+                    w.u64(c.get());
+                    w.end_object();
+                }
+                Metric::Gauge(g) => {
+                    w.begin_object();
+                    w.key("type");
+                    w.string("gauge");
+                    w.key("value");
+                    w.i64(g.get());
+                    w.end_object();
+                }
+                Metric::Histogram(h) => h.write_json(&mut w),
+            }
+        }
+        w.end_object();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("jobs");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("jobs").get(), 5, "handles share state");
+        let g = reg.gauge("depth");
+        g.set(-3);
+        g.add(1);
+        assert_eq!(reg.gauge("depth").get(), -2);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1 << 20), 20);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS);
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1100);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 220.0).abs() < 1e-9);
+        let p50 = h.quantile(0.5);
+        assert!((10.0..=40.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 100.0, "p99 = {p99}");
+        assert!(p99 <= 1000.0, "p99 clamped to max, got {p99}");
+        // Empty histogram is all zeros.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 7 + 1);
+        }
+        let mut last = 0.0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let e = h.quantile(q);
+            assert!(e >= last, "quantile({q}) = {e} < {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn histogram_is_shared_across_clones_and_threads() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.record(42);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum(), 4000 * 42);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        let reg = Registry::new();
+        reg.counter("x").add(7);
+        let h = reg.histogram("x"); // wrong kind: detached
+        h.record(99);
+        assert_eq!(reg.counter("x").get(), 7, "original survives");
+        assert_eq!(reg.len(), 1);
+        assert!(reg.snapshot_json().contains("\"counter\""));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.histogram("b.lat").record(3);
+        reg.counter("a.count").inc();
+        reg.gauge("c.depth").set(2);
+        let json = reg.snapshot_json();
+        let a = json.find("\"a.count\"").unwrap();
+        let b = json.find("\"b.lat\"").unwrap();
+        let c = json.find("\"c.depth\"").unwrap();
+        assert!(a < b && b < c, "not sorted: {json}");
+        assert!(json.contains("\"schema\":1"));
+        assert!(json.contains("\"p95\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

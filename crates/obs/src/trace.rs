@@ -1,0 +1,398 @@
+//! Span/event tracer with pluggable sinks.
+//!
+//! A [`Tracer`] without a sink is the *disabled* tracer: [`Tracer::event`]
+//! returns before constructing anything and [`Tracer::span`] hands back an
+//! inert guard, so instrumentation left in hot loops costs one branch.
+//! With a sink attached (the bundled [`RingSink`], or anything
+//! implementing [`TraceSink`]) every event carries a monotonic nanosecond
+//! timestamp relative to the tracer's epoch.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A field value attached to an [`Event`].
+///
+/// `Copy` on purpose: field slices are borrowed at the call site and only
+/// copied into an owned `Vec` once the tracer is known to be enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, nanoseconds, frame indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (posteriors, margins).
+    F64(f64),
+    /// Boolean flag (accepted, carry-forward).
+    Bool(bool),
+    /// Static string (pose names, Unknown reasons).
+    Str(&'static str),
+}
+
+impl Value {
+    fn write_json(&self, w: &mut crate::JsonWriter) {
+        match *self {
+            Value::U64(v) => w.u64(v),
+            Value::I64(v) => w.i64(v),
+            Value::F64(v) => w.f64(v),
+            Value::Bool(v) => w.bool(v),
+            Value::Str(v) => w.string(v),
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic nanoseconds since the owning tracer's epoch.
+    pub ts_ns: u64,
+    /// Event name (static so hot paths never allocate for it).
+    pub name: &'static str,
+    /// Named field values.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// The value of the field named `key`, if present.
+    pub fn field(&self, key: &str) -> Option<Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = crate::JsonWriter::new();
+        w.begin_object();
+        w.key("ts_ns");
+        w.u64(self.ts_ns);
+        w.key("name");
+        w.string(self.name);
+        for (k, v) in &self.fields {
+            w.key(k);
+            v.write_json(&mut w);
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Destination for recorded events.
+///
+/// Implementations must be cheap and non-blocking-ish: sinks are called
+/// from the pipeline's hot path whenever tracing is enabled.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+}
+
+/// Bounded in-memory sink keeping the most recent `capacity` events.
+///
+/// When full, the oldest event is dropped and [`RingSink::dropped`]
+/// counts the loss, so post-hoc analysis can tell a quiet run from a
+/// truncated one.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("ring poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: Event) {
+        let mut events = self.events.lock().expect("ring poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+}
+
+/// Entry point for emitting spans and events.
+///
+/// Cloning shares the sink and epoch. The default tracer is disabled.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    sink: Option<Arc<dyn TraceSink>>,
+    epoch: Instant,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer with no sink: every operation is a no-op.
+    pub fn disabled() -> Self {
+        Tracer {
+            sink: None,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A tracer writing into `sink`.
+    pub fn with_sink(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer {
+            sink: Some(sink),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Convenience: a tracer backed by a fresh [`RingSink`], returning
+    /// both so the caller can drain the ring later.
+    pub fn ring(capacity: usize) -> (Self, Arc<RingSink>) {
+        let ring = Arc::new(RingSink::new(capacity));
+        (Tracer::with_sink(ring.clone()), ring)
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Monotonic nanoseconds since this tracer was created.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records an event with the given fields.
+    ///
+    /// When disabled this returns immediately: the field slice is never
+    /// copied, no timestamp is read, nothing allocates.
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        let Some(sink) = &self.sink else { return };
+        sink.record(Event {
+            ts_ns: self.now_ns(),
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+
+    /// Starts a span; its wall-clock duration is recorded as an event
+    /// named `name` with an `elapsed_ns` field when the guard drops.
+    ///
+    /// Inert (no clock read, no event) when the tracer is disabled.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            tracer: if self.enabled() { Some(self) } else { None },
+            name,
+            start: if self.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Drop guard produced by [`Tracer::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: Option<&'a Tracer>,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Elapsed time since the span started (zero when disabled).
+    pub fn elapsed(&self) -> Duration {
+        self.start.map(|s| s.elapsed()).unwrap_or_default()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let (Some(tracer), Some(start)) = (self.tracer, self.start) else {
+            return;
+        };
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        tracer.event(self.name, &[("elapsed_ns", Value::U64(elapsed))]);
+    }
+}
+
+/// Named wall-clock durations for one pass over a unit of work (e.g. the
+/// engine's per-stage timings for one frame).
+///
+/// The entry vector is reused across passes via [`SpanTimings::clear`],
+/// so a steady-state loop performs no allocations once the stage set has
+/// been seen once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTimings {
+    entries: Vec<(&'static str, Duration)>,
+}
+
+impl SpanTimings {
+    /// Creates an empty timing set.
+    pub fn new() -> Self {
+        SpanTimings::default()
+    }
+
+    /// Forgets all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Appends a named duration.
+    pub fn push(&mut self, name: &'static str, elapsed: Duration) {
+        self.entries.push((name, elapsed));
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The duration recorded for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, d)| d)
+    }
+
+    /// Sum of all entries.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        tracer.event("x", &[("a", Value::U64(1))]);
+        let span = tracer.span("y");
+        assert_eq!(span.elapsed(), Duration::ZERO);
+        drop(span);
+        // Nothing observable happened; also Default is disabled.
+        assert!(!Tracer::default().enabled());
+    }
+
+    #[test]
+    fn ring_sink_buffers_and_drops_oldest() {
+        let (tracer, ring) = Tracer::ring(2);
+        assert!(tracer.enabled());
+        tracer.event("a", &[]);
+        tracer.event("b", &[("k", Value::Bool(true))]);
+        tracer.event("c", &[]);
+        assert_eq!(ring.dropped(), 1);
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "b");
+        assert_eq!(events[1].name, "c");
+        assert_eq!(events[0].field("k"), Some(Value::Bool(true)));
+        assert!(ring.is_empty());
+        // Timestamps are monotone.
+        assert!(events[0].ts_ns <= events[1].ts_ns);
+    }
+
+    #[test]
+    fn span_emits_elapsed_event_on_drop() {
+        let (tracer, ring) = Tracer::ring(8);
+        {
+            let _span = tracer.span("work");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "work");
+        match events[0].field("elapsed_ns") {
+            Some(Value::U64(ns)) => assert!(ns >= 1_000_000, "elapsed {ns} ns"),
+            other => panic!("missing elapsed_ns: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_serialises_to_one_json_object() {
+        let event = Event {
+            ts_ns: 42,
+            name: "frame.decision",
+            fields: vec![
+                ("frame", Value::U64(3)),
+                ("margin", Value::F64(-0.125)),
+                ("pose", Value::Str("Squat")),
+                ("carry_forward", Value::Bool(false)),
+                ("delta", Value::I64(-2)),
+            ],
+        };
+        assert_eq!(
+            event.to_json(),
+            r#"{"ts_ns":42,"name":"frame.decision","frame":3,"margin":-0.125,"pose":"Squat","carry_forward":false,"delta":-2}"#
+        );
+    }
+
+    #[test]
+    fn span_timings_reuse_allocation() {
+        let mut t = SpanTimings::new();
+        t.push("a", Duration::from_nanos(10));
+        t.push("b", Duration::from_nanos(30));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("b"), Some(Duration::from_nanos(30)));
+        assert_eq!(t.get("z"), None);
+        assert_eq!(t.total(), Duration::from_nanos(40));
+        let cap = t.entries.capacity();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.entries.capacity(), cap, "clear keeps the allocation");
+    }
+
+    #[test]
+    fn tracer_clone_shares_sink() {
+        let (tracer, ring) = Tracer::ring(4);
+        let clone = tracer.clone();
+        clone.event("from-clone", &[]);
+        assert_eq!(ring.len(), 1);
+    }
+}

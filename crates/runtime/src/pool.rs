@@ -1,6 +1,7 @@
 //! The scoped worker pool and its configuration.
 
 use crate::error::RuntimeError;
+use slj_obs::{Counter, Histogram, Registry};
 use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -105,6 +106,43 @@ pub fn band_ranges(rows: usize, bands: usize) -> Vec<Range<usize>> {
 #[derive(Debug, Clone)]
 pub struct ThreadPool {
     threads: usize,
+    obs: Option<PoolObs>,
+}
+
+/// Metric handles for one observed pool (see [`ThreadPool::observed`]).
+///
+/// Handles are resolved once at attach time so the dispatch paths never
+/// take the registry lock; recording is a handful of relaxed atomic adds
+/// and cannot influence scheduling or results.
+#[derive(Debug, Clone)]
+struct PoolObs {
+    registry: Registry,
+    /// `runtime.pool.batches` — dispatch calls (`scoped_map`/`scoped_run`).
+    batches: Counter,
+    /// `runtime.pool.items` — items/tasks queued across all batches.
+    items: Counter,
+    /// `runtime.pool.panics` — batches that surfaced a worker panic.
+    panics: Counter,
+    /// `runtime.pool.bands` — tasks per `scoped_run` batch (band counts).
+    bands: Histogram,
+    /// `runtime.pool.worker.N.items` — items claimed by each map worker.
+    worker_items: Vec<Counter>,
+}
+
+impl PoolObs {
+    fn new(registry: &Registry, workers: usize) -> Self {
+        registry.gauge("runtime.pool.threads").set(workers as i64);
+        PoolObs {
+            registry: registry.clone(),
+            batches: registry.counter("runtime.pool.batches"),
+            items: registry.counter("runtime.pool.items"),
+            panics: registry.counter("runtime.pool.panics"),
+            bands: registry.histogram("runtime.pool.bands"),
+            worker_items: (0..workers)
+                .map(|w| registry.counter(&format!("runtime.pool.worker.{w}.items")))
+                .collect(),
+        }
+    }
 }
 
 impl ThreadPool {
@@ -113,6 +151,7 @@ impl ThreadPool {
     pub fn new(parallelism: Parallelism) -> Self {
         ThreadPool {
             threads: parallelism.effective().threads(),
+            obs: None,
         }
     }
 
@@ -121,6 +160,7 @@ impl ThreadPool {
     pub fn fixed(threads: usize) -> Self {
         ThreadPool {
             threads: threads.max(1),
+            obs: None,
         }
     }
 
@@ -132,6 +172,21 @@ impl ThreadPool {
     /// The resolved worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// This pool with scheduling metrics recorded into `registry`:
+    /// batches dispatched, items queued, items claimed per worker, band
+    /// counts per `scoped_run`, and a panic counter. Clones share the
+    /// attachment. Observation never changes scheduling or results.
+    pub fn observed(mut self, registry: &Registry) -> Self {
+        self.obs = Some(PoolObs::new(registry, self.threads));
+        self
+    }
+
+    /// The registry attached via [`ThreadPool::observed`], if any —
+    /// banded kernels use it to time themselves under the same roof.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.obs.as_ref().map(|o| &o.registry)
     }
 
     /// Applies `f` to every item and returns the results **in input
@@ -152,13 +207,30 @@ impl ThreadPool {
         F: Fn(usize, &T) -> R + Sync,
     {
         let workers = self.threads.min(items.len());
+        if let Some(obs) = &self.obs {
+            obs.batches.inc();
+            obs.items.add(items.len() as u64);
+        }
         if workers <= 1 {
             let mut out = Vec::with_capacity(items.len());
             for (i, item) in items.iter().enumerate() {
-                out.push(
-                    catch_unwind(AssertUnwindSafe(|| f(i, item)))
-                        .map_err(|p| RuntimeError::WorkerPanic(panic_message(p.as_ref())))?,
-                );
+                match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                    Ok(r) => out.push(r),
+                    Err(p) => {
+                        if let Some(obs) = &self.obs {
+                            obs.panics.inc();
+                            if let Some(c) = obs.worker_items.first() {
+                                c.add(out.len() as u64 + 1);
+                            }
+                        }
+                        return Err(RuntimeError::WorkerPanic(panic_message(p.as_ref())));
+                    }
+                }
+            }
+            if let Some(obs) = &self.obs {
+                if let Some(c) = obs.worker_items.first() {
+                    c.add(out.len() as u64);
+                }
             }
             return Ok(out);
         }
@@ -195,9 +267,14 @@ impl ThreadPool {
 
         let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
         let mut first_panic: Option<String> = None;
-        for worker in joined {
+        for (w, worker) in joined.into_iter().enumerate() {
             match worker {
                 Ok((local, panicked)) => {
+                    if let Some(obs) = &self.obs {
+                        if let Some(c) = obs.worker_items.get(w) {
+                            c.add(local.len() as u64 + u64::from(panicked.is_some()));
+                        }
+                    }
                     for (i, r) in local {
                         slots[i] = Some(r);
                     }
@@ -215,6 +292,9 @@ impl ThreadPool {
             }
         }
         if let Some(msg) = first_panic {
+            if let Some(obs) = &self.obs {
+                obs.panics.inc();
+            }
             return Err(RuntimeError::WorkerPanic(msg));
         }
         Ok(slots
@@ -256,13 +336,23 @@ impl ThreadPool {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        if let Some(obs) = &self.obs {
+            obs.batches.inc();
+            obs.items.add(tasks.len() as u64);
+            obs.bands.record(tasks.len() as u64);
+        }
         if self.threads <= 1 || tasks.len() <= 1 {
             let mut out = Vec::with_capacity(tasks.len());
             for (i, task) in tasks.into_iter().enumerate() {
-                out.push(
-                    catch_unwind(AssertUnwindSafe(|| f(i, task)))
-                        .map_err(|p| RuntimeError::WorkerPanic(panic_message(p.as_ref())))?,
-                );
+                match catch_unwind(AssertUnwindSafe(|| f(i, task))) {
+                    Ok(r) => out.push(r),
+                    Err(p) => {
+                        if let Some(obs) = &self.obs {
+                            obs.panics.inc();
+                        }
+                        return Err(RuntimeError::WorkerPanic(panic_message(p.as_ref())));
+                    }
+                }
             }
             return Ok(out);
         }
@@ -292,7 +382,12 @@ impl ThreadPool {
             }
         }
         match first_panic {
-            Some(msg) => Err(RuntimeError::WorkerPanic(msg)),
+            Some(msg) => {
+                if let Some(obs) = &self.obs {
+                    obs.panics.inc();
+                }
+                Err(RuntimeError::WorkerPanic(msg))
+            }
             None => Ok(out),
         }
     }
@@ -445,6 +540,48 @@ mod tests {
         assert_eq!(Parallelism::Fixed(0).threads(), 1);
         assert_eq!(Parallelism::Fixed(5).threads(), 5);
         assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn observed_pool_records_scheduling_metrics() {
+        let registry = Registry::new();
+        let pool = ThreadPool::fixed(3).observed(&registry);
+        assert!(pool.registry().is_some());
+
+        let items: Vec<u64> = (0..40).collect();
+        let out = pool.scoped_map(&items, |_, &x| x * 2).unwrap();
+        assert_eq!(out.len(), 40);
+        pool.scoped_run(vec![0usize, 1, 2], |_, t| t).unwrap();
+
+        assert_eq!(registry.counter("runtime.pool.batches").get(), 2);
+        assert_eq!(registry.counter("runtime.pool.items").get(), 43);
+        assert_eq!(registry.counter("runtime.pool.panics").get(), 0);
+        assert_eq!(registry.histogram("runtime.pool.bands").count(), 1);
+        assert_eq!(registry.gauge("runtime.pool.threads").get(), 3);
+        let claimed: u64 = (0..3)
+            .map(|w| {
+                registry
+                    .counter(&format!("runtime.pool.worker.{w}.items"))
+                    .get()
+            })
+            .sum();
+        assert_eq!(claimed, 40, "every map item credited to one worker");
+
+        let err = pool
+            .scoped_map(&items, |_, &x| {
+                if x == 7 {
+                    panic!("boom");
+                }
+                x
+            })
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::WorkerPanic(_)));
+        assert_eq!(registry.counter("runtime.pool.panics").get(), 1);
+
+        // An unobserved pool records nothing and still works.
+        let plain = ThreadPool::fixed(2);
+        assert!(plain.registry().is_none());
+        assert_eq!(plain.scoped_map(&items, |_, &x| x).unwrap(), items);
     }
 
     #[test]

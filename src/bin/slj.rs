@@ -8,11 +8,14 @@
 //! slj coach --model jump.model --data data/      # standards assessment
 //! slj stream --model jump.model --clip data/clip_000 --timings
 //!                                                # online, frame-by-frame
+//! slj trace --model jump.model --data data/ --out trace.jsonl
+//!                                                # per-frame decision traces
 //! ```
 //!
 //! Clips are directories of PPM frames plus a `labels.tsv` manifest (see
 //! `slj_sim::io`); models use the versioned text format of
-//! `slj_core::model_io`.
+//! `slj_core::model_io`. `eval`, `stream`, `bench` and `trace` accept
+//! `--metrics FILE` to dump an `slj_obs` registry snapshot as JSON.
 
 use slj_repro::core::config::PipelineConfig;
 use slj_repro::core::engine::JumpSession;
@@ -20,6 +23,7 @@ use slj_repro::core::model::PoseModel;
 use slj_repro::core::model_io;
 use slj_repro::core::scoring::assess_pose_sequence;
 use slj_repro::core::training::Trainer;
+use slj_repro::obs::Registry;
 use slj_repro::sim::io::{load_clip, save_clip, StoredClip};
 use slj_repro::sim::{ClipSpec, JumpFault, JumpSimulator, NoiseConfig};
 use std::path::{Path, PathBuf};
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
         Some("eval") => cmd_eval(&args[1..]),
         Some("coach") => cmd_coach(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -59,16 +64,24 @@ fn print_usage() {
          \x20          faults: no-arm-swing no-crouch no-tuck stiff-landing overbalance\n\
          \x20 train    --data DIR [--model FILE]\n\
          \x20          train on every clip_* directory under DIR, save the model\n\
-         \x20 eval     --model FILE --data DIR\n\
+         \x20 eval     --model FILE --data DIR [--metrics FILE]\n\
          \x20          classify every clip under DIR, report per-frame accuracy\n\
          \x20 coach    --model FILE --data DIR\n\
          \x20          assess each clip against the standing-long-jump standard\n\
-         \x20 stream   --model FILE --clip DIR [--timings]\n\
+         \x20 stream   --model FILE --clip DIR [--timings] [--metrics FILE]\n\
          \x20          feed one clip frame-by-frame, printing each committed pose\n\
          \x20          as it is decided; --timings adds per-stage wall-clock cost\n\
+         \x20 trace    --model FILE --data DIR [--out FILE] [--metrics FILE]\n\
+         \x20          stream every clip, emitting one JSONL decision record per\n\
+         \x20          frame: stage timings, posterior, Th_Pose margin, Unknown/\n\
+         \x20          carry-forward flags and the jumping stage\n\
          \x20 bench    [--quick] [--clips N] [--frames N] [--seed S] [--out FILE]\n\
+         \x20          [--metrics FILE]\n\
          \x20          time the serial vs parallel execution paths on synthetic\n\
-         \x20          clips, verify bit-identical outputs, emit a JSON baseline"
+         \x20          clips, verify bit-identical outputs, emit a JSON baseline\n\
+         \n\
+         --metrics FILE writes an slj_obs registry snapshot (counters, gauges,\n\
+         histograms with p50/p95/p99) as JSON when the command finishes."
     );
 }
 
@@ -199,12 +212,31 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes a registry snapshot to `path` when `--metrics` was given.
+fn write_metrics(flags: &Flags, registry: &Registry) -> Result<(), String> {
+    if let Some(path) = flags.get("metrics") {
+        std::fs::write(path, registry.snapshot_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
+}
+
+/// Parses `--metrics` into the registry every session of the command
+/// will record into (`None` when the flag is absent — observation off).
+fn metrics_registry(flags: &Flags) -> Option<Registry> {
+    flags.get("metrics").map(|_| Registry::new())
+}
+
 fn classify_stored(
     model: &PoseModel,
     clip: &StoredClip,
+    registry: Option<&Registry>,
 ) -> Result<Vec<Option<slj_repro::sim::PoseClass>>, String> {
     let mut session =
         JumpSession::new(model, clip.background.clone()).map_err(|e| e.to_string())?;
+    if let Some(registry) = registry {
+        session.attach_metrics(registry);
+    }
     clip.frames
         .iter()
         .map(|frame| Ok(session.push_frame(frame).map_err(|e| e.to_string())?.pose))
@@ -216,10 +248,11 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     let model = model_io::load(flags.require("model")?).map_err(|e| e.to_string())?;
     let data = PathBuf::from(flags.require("data")?);
     let clips = load_clips(&data)?;
+    let registry = metrics_registry(&flags);
     let mut total = 0usize;
     let mut correct = 0usize;
     for (i, clip) in clips.iter().enumerate() {
-        let predicted = classify_stored(&model, clip)?;
+        let predicted = classify_stored(&model, clip, registry.as_ref())?;
         let ok = predicted
             .iter()
             .zip(&clip.labels)
@@ -237,6 +270,9 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         "overall: {correct}/{total} correct ({:.1}%)",
         100.0 * correct as f64 / total as f64
     );
+    if let Some(registry) = &registry {
+        write_metrics(&flags, registry)?;
+    }
     Ok(())
 }
 
@@ -247,12 +283,16 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["timings"])?;
     let model = model_io::load(flags.require("model")?).map_err(|e| e.to_string())?;
     let dir = PathBuf::from(flags.require("clip")?);
+    let registry = metrics_registry(&flags);
     let open_ppm = |path: PathBuf| -> Result<slj_repro::imaging::image::RgbImage, String> {
         let file = std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         slj_repro::imaging::io::read_ppm(file).map_err(|e| format!("{}: {e}", path.display()))
     };
     let background = open_ppm(dir.join("background.ppm"))?;
     let mut session = JumpSession::new(&model, background).map_err(|e| e.to_string())?;
+    if let Some(registry) = &registry {
+        session.attach_metrics(registry);
+    }
     loop {
         let path = dir.join(format!("frame_{:03}.ppm", session.frames_processed()));
         if !path.exists() {
@@ -286,15 +326,72 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         return Err(format!("no frame_*.ppm files under {}", dir.display()));
     }
     println!("streamed {} frames", session.frames_processed());
+    if let Some(registry) = &registry {
+        write_metrics(&flags, registry)?;
+    }
+    Ok(())
+}
+
+/// Streams every clip under `--data` through a [`JumpSession`] with
+/// tracing on, writing one JSONL decision record per frame: stage
+/// timings, the full pose posterior, the `Th_Pose` margin, Unknown and
+/// carry-forward flags, and the jumping stage. Records go to `--out`
+/// (default stdout); `--metrics` additionally snapshots the registry.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use std::io::Write;
+
+    let flags = Flags::parse(args, &[])?;
+    let model = model_io::load(flags.require("model")?).map_err(|e| e.to_string())?;
+    let data = PathBuf::from(flags.require("data")?);
+    let clips = load_clips(&data)?;
+    let registry = metrics_registry(&flags);
+    let mut out: Box<dyn Write> = match flags.get("out") {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut frames = 0usize;
+    for (clip_index, clip) in clips.iter().enumerate() {
+        let mut session =
+            JumpSession::new(&model, clip.background.clone()).map_err(|e| e.to_string())?;
+        if let Some(registry) = &registry {
+            session.attach_metrics(registry);
+        }
+        for frame in &clip.frames {
+            let estimate = session.push_frame(frame).map_err(|e| e.to_string())?;
+            let mut record = session.frame_record(&estimate);
+            record.clip = Some(clip_index as u64);
+            writeln!(out, "{}", record.to_json()).map_err(|e| e.to_string())?;
+            frames += 1;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("out") {
+        eprintln!(
+            "traced {frames} frames across {} clips to {path}",
+            clips.len()
+        );
+    }
+    if let Some(registry) = &registry {
+        write_metrics(&flags, registry)?;
+    }
     Ok(())
 }
 
 /// Times the serial vs parallel execution paths on synthetic clips,
 /// verifies the deterministic-parity contract, and emits a JSON baseline
-/// (schema `slj-bench v1`) — independent of `cargo bench`, so CI and the
-/// BENCH_*.json records at the repo root need only the `slj` binary.
+/// — independent of `cargo bench`, so CI and the BENCH_*.json records at
+/// the repo root need only the `slj` binary.
+///
+/// The output is versioned (`"schema": 3`) and every key is always
+/// present, so downstream consumers can diff records across hosts
+/// without probing for optional fields. Schema 3 adds the traced
+/// steady-state streaming cost (`push_frame_traced_ns`,
+/// `trace_overhead_pct`) next to the untraced one.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     use slj_repro::core::evaluation::{evaluate_with, EvalReport};
+    use slj_repro::obs::{JsonWriter, Tracer};
     use slj_repro::runtime::{Parallelism, ThreadPool};
     use std::time::Instant;
 
@@ -328,11 +425,19 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .and_then(|t| t.train(&clips[..clips_n.min(4)]))
         .map_err(|e| e.to_string())?;
 
-    // Steady-state per-frame streaming cost (always single-session).
-    let push_frame_ns = {
+    // Steady-state per-frame streaming cost (always single-session),
+    // measured untraced and with tracing + metrics enabled, to keep the
+    // observability layer honest about its overhead.
+    let measure_push_frame = |traced: bool| -> Result<f64, String> {
         let clip = &clips[0];
         let mut session =
             JumpSession::new(&model, clip.background.clone()).map_err(|e| e.to_string())?;
+        let registry = Registry::new();
+        if traced {
+            session.attach_metrics(&registry);
+            let (tracer, _ring) = Tracer::ring(1024);
+            session.set_tracer(tracer);
+        }
         let warmup = clip.frames.len().min(8);
         for frame in &clip.frames[..warmup] {
             session.push_frame(frame).map_err(|e| e.to_string())?;
@@ -343,9 +448,15 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             let frame = &clip.frames[warmup + i % (clip.frames.len() - warmup)];
             session.push_frame(frame).map_err(|e| e.to_string())?;
         }
-        start.elapsed().as_nanos() as f64 / iters as f64
+        Ok(start.elapsed().as_nanos() as f64 / iters as f64)
     };
-    eprintln!("  streaming push_frame steady state: {push_frame_ns:.0} ns/frame");
+    let push_frame_ns = measure_push_frame(false)?;
+    let push_frame_traced_ns = measure_push_frame(true)?;
+    let trace_overhead_pct = 100.0 * (push_frame_traced_ns - push_frame_ns) / push_frame_ns;
+    eprintln!(
+        "  streaming push_frame steady state: {push_frame_ns:.0} ns/frame \
+         ({push_frame_traced_ns:.0} ns traced, {trace_overhead_pct:+.1}% overhead)"
+    );
 
     // Clip-set evaluation at several pool sizes; best-of-reps wall time.
     let reports_equal = |a: &EvalReport, b: &EvalReport| -> bool {
@@ -359,14 +470,19 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                     && x.truth == y.truth
             })
     };
+    let registry = metrics_registry(&flags);
+    let observe = |pool: ThreadPool| match &registry {
+        Some(r) => pool.observed(r),
+        None => pool,
+    };
     let mut baseline: Option<EvalReport> = None;
     let mut serial_ms = 0.0f64;
     let mut parity_checked = true;
-    let mut eval_rows = Vec::new();
+    let mut eval_rows: Vec<(&str, usize, f64, f64)> = Vec::new();
     let pools = [
-        ("1", ThreadPool::serial()),
-        ("2", ThreadPool::fixed(2)),
-        ("auto", ThreadPool::new(Parallelism::Auto)),
+        ("1", observe(ThreadPool::serial())),
+        ("2", observe(ThreadPool::fixed(2))),
+        ("auto", observe(ThreadPool::new(Parallelism::Auto))),
     ];
     for (label, pool) in &pools {
         let mut best_ms = f64::INFINITY;
@@ -390,30 +506,63 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "  evaluate threads={label} ({} workers): {best_ms:.1} ms (speedup x{speedup:.2})",
             pool.threads()
         );
-        eval_rows.push(format!(
-            "    {{\"threads\": \"{label}\", \"workers\": {}, \"wall_ms\": {best_ms:.3}, \
-             \"speedup_vs_serial\": {speedup:.3}}}",
-            pool.threads()
-        ));
+        eval_rows.push((label, pool.threads(), best_ms, speedup));
     }
     if !parity_checked {
         return Err("parity check failed: parallel evaluation diverged from serial".into());
     }
     eprintln!("  parity: parallel reports bit-identical to serial");
 
-    let json = format!(
-        "{{\n  \"schema\": \"slj-bench v1\",\n  \"quick\": {quick},\n  \"seed\": {seed},\n  \
-         \"host_cores\": {host_cores},\n  \"clips\": {clips_n},\n  \"frames_per_clip\": {frames_n},\n  \
-         \"push_frame_ns\": {push_frame_ns:.0},\n  \"evaluate\": [\n{}\n  ],\n  \
-         \"parity_checked\": {parity_checked}\n}}\n",
-        eval_rows.join(",\n")
-    );
+    // Schema 3: every key below is always present, in this order.
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.u64(3);
+    w.key("quick");
+    w.bool(quick);
+    w.key("seed");
+    w.u64(seed);
+    w.key("host_cores");
+    w.u64(host_cores as u64);
+    w.key("clips");
+    w.u64(clips_n as u64);
+    w.key("frames_per_clip");
+    w.u64(frames_n as u64);
+    w.key("push_frame_ns");
+    w.f64(push_frame_ns);
+    w.key("push_frame_traced_ns");
+    w.f64(push_frame_traced_ns);
+    w.key("trace_overhead_pct");
+    w.f64(trace_overhead_pct);
+    w.key("evaluate");
+    w.begin_array();
+    for (label, workers, wall_ms, speedup) in &eval_rows {
+        w.begin_object();
+        w.key("threads");
+        w.string(label);
+        w.key("workers");
+        w.u64(*workers as u64);
+        w.key("wall_ms");
+        w.f64(*wall_ms);
+        w.key("speedup_vs_serial");
+        w.f64(*speedup);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("parity_checked");
+    w.bool(parity_checked);
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
     match flags.get("out") {
         Some(path) => {
             std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
             eprintln!("baseline written to {path}");
         }
         None => print!("{json}"),
+    }
+    if let Some(registry) = &registry {
+        write_metrics(&flags, registry)?;
     }
     Ok(())
 }
@@ -424,7 +573,7 @@ fn cmd_coach(args: &[String]) -> Result<(), String> {
     let data = PathBuf::from(flags.require("data")?);
     let clips = load_clips(&data)?;
     for (i, clip) in clips.iter().enumerate() {
-        let predicted = classify_stored(&model, clip)?;
+        let predicted = classify_stored(&model, clip, None)?;
         let findings = assess_pose_sequence(&predicted);
         println!("clip {i:3}:");
         if findings.is_empty() {

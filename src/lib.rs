@@ -18,6 +18,9 @@
 //!   evaluator and standards-based fault scorer.
 //! - [`runtime`] — the multi-core execution layer: a scoped worker pool
 //!   with a deterministic-parity guarantee (`SLJ_THREADS` overridable).
+//! - [`obs`] — dependency-free observability: span/event tracing,
+//!   counters/gauges/histograms, and a hand-rolled JSON writer behind
+//!   `slj trace` and the `--metrics` flags.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@ pub use slj_bayes as bayes;
 pub use slj_core as core;
 pub use slj_ga as ga;
 pub use slj_imaging as imaging;
+pub use slj_obs as obs;
 pub use slj_runtime as runtime;
 pub use slj_sim as sim;
 pub use slj_skeleton as skeleton;

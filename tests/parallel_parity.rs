@@ -185,6 +185,55 @@ fn pose_scoring_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Observability must never perturb results: with metrics attached to
+/// the pool and the session, and a ring tracer emitting one decision
+/// event per frame, every estimate is bit-identical to the unobserved
+/// run — at one worker and at eight.
+#[test]
+fn tracing_enabled_is_bit_identical_to_disabled() {
+    use slj_repro::core::engine::JumpSession;
+    use slj_repro::obs::{Registry, Tracer, Value};
+
+    let sim = JumpSimulator::new(909);
+    let model = trained_model(&sim);
+    let clips = test_clips(&sim);
+    let plain = evaluate_with(&model, &clips, &ThreadPool::serial()).expect("plain");
+    for threads in [1usize, 8] {
+        let registry = Registry::new();
+        let pool = ThreadPool::fixed(threads).observed(&registry);
+        let observed = evaluate_with(&model, &clips, &pool).expect("observed");
+        assert_eq!(observed.confusion, plain.confusion, "x{threads}: confusion");
+        for (i, (o, p)) in observed.clips.iter().zip(&plain.clips).enumerate() {
+            assert_eq!(
+                o.estimates, p.estimates,
+                "x{threads} clip {i}: observed evaluation diverges"
+            );
+        }
+        assert!(!registry.is_empty(), "pool metrics recorded nothing");
+    }
+    // Streaming sessions: tracer + metrics on vs everything off.
+    for (i, clip) in clips.iter().enumerate() {
+        let registry = Registry::new();
+        let (tracer, ring) = Tracer::ring(4 * clip.len());
+        let mut traced = JumpSession::new(&model, clip.background.clone()).expect("traced");
+        traced.attach_metrics(&registry);
+        traced.set_tracer(tracer);
+        let mut untraced = JumpSession::new(&model, clip.background.clone()).expect("untraced");
+        for (t, frame) in clip.frames.iter().enumerate() {
+            let a = traced.push_frame(frame).expect("traced push");
+            let b = untraced.push_frame(frame).expect("untraced push");
+            assert_eq!(a, b, "clip {i}: traced session diverges at frame {t}");
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), clip.len(), "clip {i}: one event per frame");
+        assert_eq!(ring.dropped(), 0);
+        for (t, event) in events.iter().enumerate() {
+            assert_eq!(event.name, "frame.decision");
+            assert_eq!(event.field("frame"), Some(Value::U64(t as u64)));
+        }
+    }
+}
+
 #[test]
 fn imaging_kernels_are_bit_identical_across_thread_counts() {
     let sim = JumpSimulator::new(909);

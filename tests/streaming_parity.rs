@@ -111,5 +111,7 @@ fn session_reports_timings_for_every_stage() {
     let mut session = JumpSession::new(&model, clip.background.clone()).expect("session");
     session.push_frame(&clip.frames[0]).expect("push");
     let names: Vec<_> = session.last_timings().iter().map(|(n, _)| n).collect();
-    assert_eq!(names, STAGE_NAMES.to_vec());
+    let mut expected = STAGE_NAMES.to_vec();
+    expected.push(slj_repro::core::engine::DBN_STAGE);
+    assert_eq!(names, expected);
 }

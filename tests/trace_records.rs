@@ -1,0 +1,126 @@
+//! The Unknown-frame carry-forward rule, pinned down through the trace
+//! layer: streaming a fault-injected clip with a ring tracer attached
+//! must produce `frame.decision` events and [`FrameRecord`]s whose
+//! `carry_forward` flags match the decoded pose sequence exactly —
+//! `true` precisely on the Unknown frames (when the rule is enabled),
+//! with the committed pose holding the last recognised one.
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::engine::JumpSession;
+use slj_repro::core::model::PoseModel;
+use slj_repro::core::trace::FrameRecord;
+use slj_repro::core::training::Trainer;
+use slj_repro::obs::{Tracer, Value};
+use slj_repro::sim::{ClipSpec, JumpFault, JumpSimulator, LabeledClip, NoiseConfig};
+
+fn trained_model(sim: &JumpSimulator) -> PoseModel {
+    let train: Vec<_> = (0..4)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 36,
+                seed: i,
+                noise: NoiseConfig::default(),
+                rare_poses: i % 2 == 1,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    // A strict Th_Pose guarantees the noisy fixture clip actually has
+    // sub-threshold (Unknown) frames for the carry-forward rule to act on.
+    let config = PipelineConfig {
+        th_pose: 0.6,
+        ..PipelineConfig::default()
+    };
+    Trainer::new(config)
+        .expect("config")
+        .train(&train)
+        .expect("train")
+}
+
+/// A clip with an injected standards fault and heavier noise, so the
+/// classifier actually sees sub-threshold (Unknown) frames.
+fn faulty_clip(sim: &JumpSimulator) -> LabeledClip {
+    let noise = NoiseConfig {
+        speckle_prob: 0.006,
+        edge_dropout_prob: 0.35,
+        hole_prob: 0.03,
+        ..NoiseConfig::default()
+    };
+    sim.generate_clip(&ClipSpec {
+        total_frames: 44,
+        seed: 777,
+        noise,
+        fault: Some(JumpFault::NoCrouch),
+        ..ClipSpec::default()
+    })
+}
+
+#[test]
+fn carry_forward_flags_match_decoded_sequence_exactly() {
+    let sim = JumpSimulator::new(909);
+    let model = trained_model(&sim);
+    let clip = faulty_clip(&sim);
+    let carry_enabled = model.config().carry_forward;
+
+    let (tracer, ring) = Tracer::ring(4 * clip.len());
+    let mut session = JumpSession::new(&model, clip.background.clone()).expect("session");
+    session.set_tracer(tracer);
+
+    let mut records: Vec<FrameRecord> = Vec::new();
+    let mut estimates = Vec::new();
+    let mut last_committed = None;
+    for frame in &clip.frames {
+        let est = session.push_frame(frame).expect("push");
+        records.push(session.frame_record(&est));
+        estimates.push(est);
+    }
+    let events = ring.drain();
+    assert_eq!(events.len(), clip.len(), "one decision event per frame");
+    assert_eq!(records.len(), clip.len());
+
+    let mut unknown_frames = 0usize;
+    for (t, ((est, record), event)) in estimates.iter().zip(&records).zip(&events).enumerate() {
+        // The trace layer's flag must equal the decoded sequence's:
+        // carry-forward fires exactly on Unknown frames when enabled.
+        let expected_carry = est.pose.is_none() && carry_enabled;
+        assert_eq!(
+            record.carry_forward, expected_carry,
+            "frame {t}: record flag disagrees with decoded sequence"
+        );
+        assert_eq!(
+            event.field("carry_forward"),
+            Some(Value::Bool(expected_carry)),
+            "frame {t}: event flag disagrees with decoded sequence"
+        );
+        assert_eq!(record.frame, t as u64);
+        assert_eq!(event.field("frame"), Some(Value::U64(t as u64)));
+        match est.pose {
+            Some(pose) => {
+                assert!(record.accepted, "frame {t}: decided pose but not accepted");
+                assert_eq!(record.unknown_reason, None);
+                assert_eq!(record.pose.as_deref(), Some(format!("{pose:?}").as_str()));
+                assert_eq!(est.committed_pose, pose, "frame {t}: committed != decided");
+            }
+            None => {
+                unknown_frames += 1;
+                assert!(!record.accepted);
+                assert_eq!(record.unknown_reason, Some("below_th_pose"));
+                assert!(record.th_margin < 0.0, "frame {t}: Unknown above threshold");
+                if expected_carry {
+                    // The committed pose must hold the last recognised one.
+                    if let Some(prev) = last_committed {
+                        assert_eq!(
+                            est.committed_pose, prev,
+                            "frame {t}: carry-forward broke the committed chain"
+                        );
+                    }
+                }
+            }
+        }
+        last_committed = Some(est.committed_pose);
+    }
+    assert!(
+        unknown_frames > 0,
+        "fixture produced no Unknown frames; the carry-forward rule was never exercised"
+    );
+}

@@ -1,0 +1,160 @@
+//! Schema check for `slj trace` JSONL output, driving the released
+//! binary the way CI's trace-smoke job does: generate a clip set, train
+//! a model, trace it, and validate every emitted line — one JSON object
+//! per frame, versioned (`"schema":1`), with every required key always
+//! present.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn slj_binary() -> PathBuf {
+    // Integration tests live next to the binary in target/<profile>/.
+    let mut path = std::env::current_exe().expect("test executable path");
+    path.pop(); // deps/
+    path.pop(); // <profile>/
+    path.push(format!("slj{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(slj_binary())
+        .args(args)
+        .output()
+        .expect("spawn slj binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+/// Keys every trace record must carry, in emission order.
+const REQUIRED_KEYS: [&str; 15] = [
+    "schema",
+    "clip",
+    "frame",
+    "stage_ns",
+    "pose",
+    "committed",
+    "posterior",
+    "best_prob",
+    "th_margin",
+    "accepted",
+    "majority_exempt",
+    "unknown_reason",
+    "carry_forward",
+    "stage",
+    "stage_posterior",
+];
+
+/// Stage keys every record's `stage_ns` object must contain.
+const STAGE_KEYS: [&str; 8] = [
+    "background_subtraction",
+    "median_filter",
+    "largest_component",
+    "thinning",
+    "graph_cleanup",
+    "keypoints",
+    "features",
+    "dbn_step",
+];
+
+#[test]
+fn trace_jsonl_has_one_schema_stable_record_per_frame() {
+    if !slj_binary().exists() {
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "--bin", "slj"])
+            .status()
+            .expect("cargo build --bin slj");
+        assert!(status.success(), "failed to build the slj binary");
+    }
+    let dir = std::env::temp_dir().join("slj_trace_smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let data = dir.join("data");
+    let model = dir.join("jump.model");
+    let trace = dir.join("trace.jsonl");
+    let metrics = dir.join("metrics.json");
+
+    let clips = 2usize;
+    let frames = 30usize;
+    let (ok, out) = run(&[
+        "generate",
+        "--out",
+        data.to_str().unwrap(),
+        "--clips",
+        &clips.to_string(),
+        "--frames",
+        &frames.to_string(),
+        "--seed",
+        "11",
+    ]);
+    assert!(ok, "generate failed: {out}");
+    let (ok, out) = run(&[
+        "train",
+        "--data",
+        data.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+    ]);
+    assert!(ok, "train failed: {out}");
+    let (ok, out) = run(&[
+        "trace",
+        "--model",
+        model.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        trace.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "trace failed: {out}");
+
+    let jsonl = std::fs::read_to_string(&trace).expect("read trace.jsonl");
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), clips * frames, "expected one record per frame");
+    for (n, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with("{\"schema\":1,") && line.ends_with('}'),
+            "line {n}: not a versioned JSON object: {line}"
+        );
+        for key in REQUIRED_KEYS {
+            assert!(
+                line.contains(&format!("\"{key}\":")),
+                "line {n}: missing key {key:?}: {line}"
+            );
+        }
+        for stage in STAGE_KEYS {
+            assert!(
+                line.contains(&format!("\"{stage}\":")),
+                "line {n}: stage_ns missing {stage:?}: {line}"
+            );
+        }
+        // clip/frame indices follow emission order.
+        let clip_idx = n / frames;
+        let frame_idx = n % frames;
+        assert!(
+            line.contains(&format!("\"clip\":{clip_idx},\"frame\":{frame_idx},")),
+            "line {n}: wrong clip/frame indices: {line}"
+        );
+    }
+
+    // The metrics snapshot rides along and is itself versioned.
+    let snapshot = std::fs::read_to_string(&metrics).expect("read metrics.json");
+    assert!(snapshot.starts_with("{\"schema\":1,\"metrics\":{"));
+    for metric in [
+        "engine.frames",
+        "engine.frame.total_ns",
+        "engine.stage.dbn_step.ns",
+        "bayes.filter.step_ns",
+        "bayes.filter.factor_cells",
+    ] {
+        assert!(
+            snapshot.contains(&format!("\"{metric}\":")),
+            "metrics snapshot missing {metric:?}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
