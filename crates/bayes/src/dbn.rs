@@ -17,9 +17,9 @@ use crate::factor::Factor;
 use crate::inference::Evidence;
 use crate::network::{BayesNetBuilder, DiscreteBayesNet};
 use crate::variable::{Variable, VariablePool};
+use slj_obs::Stopwatch;
 use slj_obs::{Histogram, Registry};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 /// Metric handles for DBN inference, recorded into an observability
 /// registry (see [`ForwardFilter::set_metrics`],
@@ -141,12 +141,16 @@ impl TwoSliceDbnBuilder {
     /// propagate as-is.
     pub fn build(self) -> Result<TwoSliceDbn, BayesError> {
         let prev_ids: HashSet<usize> = self.interface.iter().map(|p| p.prev.id()).collect();
-        let cur_ids: HashSet<usize> = self
+        // Declaration-order id list: the membership set below must never
+        // be iterated (hash order would make which validation error
+        // surfaces first nondeterministic).
+        let ordered_cur_ids: Vec<usize> = self
             .interface
             .iter()
             .map(|p| p.cur.id())
             .chain(self.slice_vars.iter().map(|v| v.id()))
             .collect();
+        let cur_ids: HashSet<usize> = ordered_cur_ids.iter().copied().collect();
         // Every current variable needs both CPDs; previous handles need
         // none and may not be children.
         for (cpds, label) in [(&self.prior, "prior"), (&self.transition, "transition")] {
@@ -178,7 +182,7 @@ impl TwoSliceDbnBuilder {
                     }
                 }
             }
-            for &id in &cur_ids {
+            for &id in &ordered_cur_ids {
                 if !cpds.iter().any(|c| c.child().id() == id) {
                     return Err(BayesError::InvalidTemporalStructure(format!(
                         "variable {id} lacks a {label} CPD"
@@ -396,7 +400,7 @@ impl<'a> ForwardFilter<'a> {
         evidence: &Evidence,
         likelihood: Option<&Factor>,
     ) -> Result<Factor, BayesError> {
-        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let started = self.metrics.as_ref().map(|_| Stopwatch::start());
         let first = self.steps == 0;
         let template = if first {
             &self.dbn.prior
@@ -510,7 +514,7 @@ impl<'a> SmoothingPass<'a> {
     /// input and [`BayesError::ZeroProbabilityEvidence`] for impossible
     /// evidence; factor errors propagate.
     pub fn smooth(&self, steps: &[StepInput]) -> Result<Vec<Factor>, BayesError> {
-        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let started = self.metrics.as_ref().map(|_| Stopwatch::start());
         let result = self.smooth_inner(steps);
         if let (Some(metrics), Some(started)) = (&self.metrics, started) {
             metrics.smooth_ns.record_duration(started.elapsed());
@@ -619,7 +623,7 @@ impl<'a> ViterbiDecoder<'a> {
     /// input and [`BayesError::ZeroProbabilityEvidence`] when no
     /// sequence has positive probability; factor errors propagate.
     pub fn decode(&self, steps: &[StepInput]) -> Result<Vec<HashMap<usize, usize>>, BayesError> {
-        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let started = self.metrics.as_ref().map(|_| Stopwatch::start());
         let result = self.decode_inner(steps);
         if let (Some(metrics), Some(started)) = (&self.metrics, started) {
             metrics.decode_ns.record_duration(started.elapsed());

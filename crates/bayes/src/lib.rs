@@ -50,6 +50,11 @@
 //! # Ok::<(), slj_bayes::BayesError>(())
 //! ```
 
+// Grandfathered: this crate predates the unwrap_used/expect_used policy.
+// Its findings are baselined in check-baseline.json (see `slj check`);
+// new code should return SljError and shrink the ratchet instead.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod assignment;
 pub mod cpd;
 pub mod dbn;

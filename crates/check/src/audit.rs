@@ -1,0 +1,609 @@
+//! The model-artifact auditor: static validation of trained artifacts.
+//!
+//! A trained `slj-pose-model v1` file is the paper's learned parameter
+//! set — per-pose CPTs flattened into transition tables plus the
+//! pipeline configuration — and it is served untrusted: training runs
+//! elsewhere, the file travels, and a corrupt or hand-edited artifact
+//! must be rejected *before* inference, not mid-stream. The auditor
+//! re-reads the text format independently of `slj-core`'s loader
+//! (which bails on the first structural error) so that one corruption
+//! does not mask the rest: every table is still shape-checked, every
+//! row still summed.
+//!
+//! Checks, as rule ids:
+//!
+//! - `model/format` — magic header, config line, table headers parse;
+//! - `model/shape` — table dimensions match the paper's model (4 jumping
+//!   stages, 22 poses, 5 body parts);
+//! - `model/negative-entry` — probabilities are finite and non-negative;
+//! - `model/cpt-row-sum` — every CPT row sums to 1 within `1e-9`
+//!   (row-stochastic transition matrices included);
+//! - `model/area-code-range` — `part_given_pose` columns cover exactly
+//!   area codes `0..=partitions` (the paper's 8 waist-centred areas);
+//! - `model/threshold-range` — `Th_Object` in `0..=255`, `Th_Pose` in
+//!   `[0, 1]`;
+//! - `model/config-range` — remaining configuration scalars in range;
+//! - `model/unreachable-pose` — all 22 poses are reachable from the
+//!   marginal or some transition row, and the Unknown fallback is
+//!   reachable (`Th_Pose > 0`).
+
+use crate::report::Finding;
+use crate::CheckError;
+use std::path::Path;
+
+/// Pose classes in the paper's model (22 + Unknown fallback).
+pub const POSES: usize = 22;
+/// Jumping stages (§4 of the paper).
+pub const STAGES: usize = 4;
+/// Skeleton body parts observed per frame.
+pub const PARTS: usize = 5;
+/// CPT row-sum tolerance.
+pub const EPS: f64 = 1e-9;
+
+const MAGIC: &str = "slj-pose-model v1";
+
+/// One parsed table: header line number, per-row line numbers, values.
+struct Table {
+    header_line: u32,
+    declared_rows: usize,
+    declared_cols: usize,
+    rows: Vec<(u32, Vec<f64>)>,
+}
+
+fn err(rule: &str, artifact: &str, line: u32, message: String) -> Finding {
+    Finding::error(rule, artifact, line, message)
+}
+
+/// Audits a model artifact given as text.
+///
+/// `artifact` is the path used in findings. With `config_only` set, only
+/// the configuration line is validated (the `--config` mode); the file
+/// may then be either a full model or a bare `config ...` line.
+pub fn audit_model_text(artifact: &str, text: &str, config_only: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Locate the config line: line 2 of a full model, or the first line
+    // starting with `config ` in a bare config file.
+    let mut config_line: Option<(u32, &str)> = None;
+    let full_model = lines.first().map(|l| l.trim()) == Some(MAGIC);
+    if full_model {
+        match lines.get(1) {
+            Some(l) if l.trim_start().starts_with("config ") => {
+                config_line = Some((2, l));
+            }
+            _ => findings.push(err(
+                "model/format",
+                artifact,
+                2,
+                "missing `config ...` line after the magic header".into(),
+            )),
+        }
+    } else if config_only {
+        for (i, l) in lines.iter().enumerate() {
+            if l.trim_start().starts_with("config ") {
+                config_line = Some((i as u32 + 1, l));
+                break;
+            }
+        }
+        if config_line.is_none() {
+            findings.push(err(
+                "model/format",
+                artifact,
+                1,
+                "no `config ...` line found".into(),
+            ));
+        }
+    } else {
+        findings.push(err(
+            "model/format",
+            artifact,
+            1,
+            format!("missing magic header {MAGIC:?}"),
+        ));
+        return findings;
+    }
+
+    // Validate the configuration scalars.
+    let mut partitions: usize = 8;
+    let mut th_pose: f64 = f64::NAN;
+    if let Some((cfg_line_no, cfg)) = config_line {
+        let audit = audit_config_tokens(artifact, cfg_line_no, cfg, &mut partitions, &mut th_pose);
+        findings.extend(audit);
+    }
+    if config_only {
+        return findings;
+    }
+
+    // Parse tables tolerantly: resynchronise on every `table` header so
+    // one bad table cannot hide the rest.
+    let mut tables: Vec<(String, Table)> = Vec::new();
+    let mut i = 2usize; // 0-based index: tables start after magic+config
+    while i < lines.len() {
+        let line = lines[i].trim();
+        if !line.starts_with("table ") {
+            if !line.is_empty() {
+                findings.push(err(
+                    "model/format",
+                    artifact,
+                    i as u32 + 1,
+                    "unexpected text outside a table".into(),
+                ));
+            }
+            i += 1;
+            continue;
+        }
+        let header_line = i as u32 + 1;
+        let mut parts = line.split_whitespace();
+        let _table_kw = parts.next();
+        let name = parts.next().unwrap_or("").to_string();
+        let dim = |tok: Option<&str>, key: &str| -> Option<usize> {
+            let (k, v) = tok?.split_once('=')?;
+            if k != key {
+                return None;
+            }
+            v.parse::<usize>().ok()
+        };
+        let declared_rows = dim(parts.next(), "rows");
+        let declared_cols = dim(parts.next(), "cols");
+        let (Some(declared_rows), Some(declared_cols)) = (declared_rows, declared_cols) else {
+            findings.push(err(
+                "model/format",
+                artifact,
+                header_line,
+                format!(
+                    "malformed table header for {name:?}; expected `table <name> rows=R cols=C`"
+                ),
+            ));
+            i += 1;
+            continue;
+        };
+        let mut rows: Vec<(u32, Vec<f64>)> = Vec::new();
+        i += 1;
+        while i < lines.len() && !lines[i].trim().starts_with("table ") {
+            let row_line = lines[i].trim();
+            if !row_line.is_empty() {
+                let mut vals = Vec::new();
+                let mut bad = false;
+                for tok in row_line.split_whitespace() {
+                    match tok.parse::<f64>() {
+                        Ok(v) => vals.push(v),
+                        Err(_) => {
+                            findings.push(err(
+                                "model/format",
+                                artifact,
+                                i as u32 + 1,
+                                format!("table {name}: unparseable value {tok:?}"),
+                            ));
+                            bad = true;
+                            break;
+                        }
+                    }
+                }
+                if !bad {
+                    rows.push((i as u32 + 1, vals));
+                }
+            }
+            i += 1;
+        }
+        tables.push((
+            name,
+            Table {
+                header_line,
+                declared_rows,
+                declared_cols,
+                rows,
+            },
+        ));
+    }
+
+    // Expected shapes given the paper's constants and `partitions`.
+    let expected: &[(&str, usize, usize)] = &[
+        ("stage_transition", STAGES, STAGES),
+        ("pose_transition", POSES * STAGES, POSES),
+        ("pose_transition_nostage", POSES, POSES),
+        ("pose_marginal", 1, POSES),
+        ("part_given_pose", PARTS * POSES, partitions + 1),
+    ];
+    for (name, want_rows, want_cols) in expected {
+        let Some((_, table)) = tables.iter().find(|(n, _)| n == name) else {
+            findings.push(err(
+                "model/format",
+                artifact,
+                lines.len() as u32,
+                format!("missing table {name}"),
+            ));
+            continue;
+        };
+        let shape_rule = if *name == "part_given_pose" {
+            // A column-count mismatch here means area codes outside
+            // `0..=partitions`.
+            "model/area-code-range"
+        } else {
+            "model/shape"
+        };
+        if table.declared_rows != *want_rows || table.rows.len() != *want_rows {
+            findings.push(err(
+                "model/shape",
+                artifact,
+                table.header_line,
+                format!(
+                    "table {name}: expected {want_rows} rows, header declares {} and {} are present",
+                    table.declared_rows,
+                    table.rows.len()
+                ),
+            ));
+        }
+        let cols_bad = table.declared_cols != *want_cols
+            || table.rows.iter().any(|(_, r)| r.len() != *want_cols);
+        if cols_bad {
+            findings.push(err(
+                shape_rule,
+                artifact,
+                table.header_line,
+                format!(
+                    "table {name}: expected {want_cols} cols (area codes 0..={} for part_given_pose), header declares {}",
+                    partitions, table.declared_cols
+                ),
+            ));
+        }
+        // Entry and row-sum checks on whatever rows are present.
+        for (row_idx, (line_no, row)) in table.rows.iter().enumerate() {
+            let mut sum = 0.0f64;
+            let mut row_ok = true;
+            for (col, v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    findings.push(err(
+                        "model/negative-entry",
+                        artifact,
+                        *line_no,
+                        format!("table {name} row {row_idx} col {col}: non-finite entry {v}"),
+                    ));
+                    row_ok = false;
+                } else if *v < 0.0 {
+                    findings.push(err(
+                        "model/negative-entry",
+                        artifact,
+                        *line_no,
+                        format!("table {name} row {row_idx} col {col}: negative probability {v}"),
+                    ));
+                    row_ok = false;
+                }
+                sum += *v;
+            }
+            if row_ok && !row.is_empty() && (sum - 1.0).abs() > EPS {
+                findings.push(err(
+                    "model/cpt-row-sum",
+                    artifact,
+                    *line_no,
+                    format!(
+                        "table {name} row {row_idx}: sums to {sum:.12}, expected 1 within {EPS:e}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Reachability: pose j must have positive mass somewhere.
+    let col_positive = |name: &str, j: usize| -> bool {
+        tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .is_some_and(|(_, t)| {
+                t.rows
+                    .iter()
+                    .any(|(_, r)| r.get(j).copied().unwrap_or(0.0) > 0.0)
+            })
+    };
+    let have_pose_tables = [
+        "pose_marginal",
+        "pose_transition",
+        "pose_transition_nostage",
+    ]
+    .iter()
+    .all(|n| tables.iter().any(|(name, _)| name == n));
+    if have_pose_tables {
+        for j in 0..POSES {
+            let reachable = col_positive("pose_marginal", j)
+                || col_positive("pose_transition", j)
+                || col_positive("pose_transition_nostage", j);
+            if !reachable {
+                findings.push(err(
+                    "model/unreachable-pose",
+                    artifact,
+                    1,
+                    format!(
+                        "pose {j} has zero probability in the marginal and every transition row; \
+                         it can never be recognised"
+                    ),
+                ));
+            }
+        }
+    }
+    // The Unknown fallback is reached only when the best pose likelihood
+    // falls below Th_Pose; Th_Pose = 0 accepts every frame.
+    if th_pose.is_finite() && th_pose <= 0.0 {
+        findings.push(err(
+            "model/unreachable-pose",
+            artifact,
+            2,
+            "Th_Pose = 0: the Unknown fallback is unreachable, every frame is force-classified"
+                .into(),
+        ));
+    }
+
+    findings
+}
+
+/// Validates one `config k=v ...` line; extracts `partitions`/`th_pose`.
+fn audit_config_tokens(
+    artifact: &str,
+    line_no: u32,
+    cfg: &str,
+    partitions: &mut usize,
+    th_pose: &mut f64,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |rule: &str, msg: String| {
+        findings.push(err(rule, artifact, line_no, msg));
+    };
+    for token in cfg.split_whitespace().skip(1) {
+        let Some((k, v)) = token.split_once('=') else {
+            push("model/format", format!("bad config token {token:?}"));
+            continue;
+        };
+        let int = || v.parse::<i64>().ok();
+        let num = || v.parse::<f64>().ok();
+        let boolean = || matches!(v, "true" | "false");
+        match k {
+            "window" => match int() {
+                Some(w) if w >= 1 => {}
+                _ => push(
+                    "model/config-range",
+                    format!("window={v}: expected an integer >= 1"),
+                ),
+            },
+            "th_object" => match int() {
+                Some(t) if (0..=255).contains(&t) => {}
+                _ => push(
+                    "model/threshold-range",
+                    format!("th_object={v}: expected an integer in 0..=255"),
+                ),
+            },
+            "th_pose" => match num() {
+                Some(t) if (0.0..=1.0).contains(&t) => *th_pose = t,
+                _ => push(
+                    "model/threshold-range",
+                    format!("th_pose={v}: expected a probability in [0, 1]"),
+                ),
+            },
+            "partitions" => match int() {
+                Some(p) if (1..=64).contains(&p) => *partitions = p as usize,
+                _ => push(
+                    "model/config-range",
+                    format!("partitions={v}: expected an integer in 1..=64"),
+                ),
+            },
+            "alpha" => match num() {
+                Some(a) if a.is_finite() && a >= 0.0 => {}
+                _ => push(
+                    "model/config-range",
+                    format!("alpha={v}: expected a finite value >= 0"),
+                ),
+            },
+            "activation" | "leak" => match num() {
+                Some(x) if (0.0..=1.0).contains(&x) => {}
+                _ => push(
+                    "model/config-range",
+                    format!("{k}={v}: expected a probability in [0, 1]"),
+                ),
+            },
+            "median" => match int() {
+                Some(m) if m >= 1 && m % 2 == 1 => {}
+                _ => push(
+                    "model/config-range",
+                    format!("median={v}: expected an odd integer >= 1"),
+                ),
+            },
+            "min_branch" => match int() {
+                Some(m) if m >= 0 => {}
+                _ => push(
+                    "model/config-range",
+                    format!("min_branch={v}: expected an integer >= 0"),
+                ),
+            },
+            "auto_threshold" | "cut_loops" | "prune" | "hard_commit" | "carry_forward" => {
+                if !boolean() {
+                    push(
+                        "model/config-range",
+                        format!("{k}={v}: expected true/false"),
+                    );
+                }
+            }
+            "algorithm" => {
+                if !matches!(v, "zhang-suen" | "guo-hall") {
+                    push(
+                        "model/config-range",
+                        format!("algorithm={v}: expected zhang-suen or guo-hall"),
+                    );
+                }
+            }
+            "temporal" => {
+                if !matches!(v, "static" | "prev-pose" | "full") {
+                    push(
+                        "model/config-range",
+                        format!("temporal={v}: expected static, prev-pose or full"),
+                    );
+                }
+            }
+            "observation" => {
+                if !matches!(v, "parts" | "areas") {
+                    push(
+                        "model/config-range",
+                        format!("observation={v}: expected parts or areas"),
+                    );
+                }
+            }
+            other => push("model/format", format!("unknown config key {other:?}")),
+        }
+    }
+    findings
+}
+
+/// Audits a model (or config) file on disk.
+pub fn audit_model_file(path: &Path, config_only: bool) -> Result<Vec<Finding>, CheckError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CheckError::Io(format!("read {}: {e}", path.display())))?;
+    let artifact = path.to_string_lossy().replace('\\', "/");
+    Ok(audit_model_text(&artifact, &text, config_only))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write as _;
+
+    /// Builds a well-formed synthetic model with uniform rows.
+    fn good_model(partitions: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC}");
+        let _ = writeln!(
+            out,
+            "config window=3 th_object=67 auto_threshold=false median=3 min_branch=6 \
+             cut_loops=true prune=true algorithm=zhang-suen partitions={partitions} th_pose=0.02 \
+             alpha=1 activation=0.85 leak=0.02 temporal=full observation=areas \
+             hard_commit=false carry_forward=true"
+        );
+        let mut table = |name: &str, rows: usize, cols: usize| {
+            let _ = writeln!(out, "table {name} rows={rows} cols={cols}");
+            let v = 1.0 / cols as f64;
+            for _ in 0..rows {
+                let row: Vec<String> = (0..cols).map(|_| format!("{v:e}")).collect();
+                let _ = writeln!(out, "{}", row.join(" "));
+            }
+        };
+        table("stage_transition", STAGES, STAGES);
+        table("pose_transition", POSES * STAGES, POSES);
+        table("pose_transition_nostage", POSES, POSES);
+        table("pose_marginal", 1, POSES);
+        table("part_given_pose", PARTS * POSES, partitions + 1);
+        out
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_model_passes() {
+        let f = audit_model_text("m.model", &good_model(8), false);
+        assert!(f.is_empty(), "unexpected findings: {:?}", rules(&f));
+    }
+
+    #[test]
+    fn non_stochastic_row_rejected() {
+        let text = good_model(8).replacen("2.5e-1", "3.5e-1", 1);
+        let f = audit_model_text("m.model", &text, false);
+        assert!(rules(&f).contains(&"model/cpt-row-sum"));
+    }
+
+    #[test]
+    fn negative_entry_rejected() {
+        let text = good_model(8).replacen("2.5e-1", "-2.5e-1", 1);
+        let f = audit_model_text("m.model", &text, false);
+        assert!(rules(&f).contains(&"model/negative-entry"));
+    }
+
+    #[test]
+    fn area_code_out_of_range_rejected() {
+        // Model claims partitions=8 but part_given_pose has 12 columns:
+        // area codes 9..=11 are outside the configured partition count.
+        let mut text = good_model(8);
+        let wide_cols = 12usize;
+        let from = format!("table part_given_pose rows={} cols=9", PARTS * POSES);
+        let to = format!(
+            "table part_given_pose rows={} cols={wide_cols}",
+            PARTS * POSES
+        );
+        text = text.replace(&from, &to);
+        let f = audit_model_text("m.model", &text, false);
+        assert!(rules(&f).contains(&"model/area-code-range"));
+    }
+
+    #[test]
+    fn threshold_ranges_checked() {
+        let text = good_model(8)
+            .replace("th_object=67", "th_object=300")
+            .replace("th_pose=0.02", "th_pose=1.5");
+        let f = audit_model_text("m.model", &text, false);
+        let r = rules(&f);
+        assert_eq!(
+            r.iter().filter(|s| **s == "model/threshold-range").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unreachable_pose_detected() {
+        // Zero out pose 0 everywhere: marginal and all transition columns.
+        let mut text = String::new();
+        let _ = writeln!(text, "{MAGIC}");
+        let _ = writeln!(
+            text,
+            "config window=3 th_object=67 auto_threshold=false median=3 min_branch=6 \
+             cut_loops=true prune=true algorithm=zhang-suen partitions=8 th_pose=0.02 \
+             alpha=1 activation=0.85 leak=0.02 temporal=full observation=areas \
+             hard_commit=false carry_forward=true"
+        );
+        let table = |out: &mut String, name: &str, rows: usize, cols: usize, zero_col0: bool| {
+            let _ = writeln!(out, "table {name} rows={rows} cols={cols}");
+            for _ in 0..rows {
+                let row: Vec<String> = (0..cols)
+                    .map(|c| {
+                        if zero_col0 {
+                            if c == 0 {
+                                "0".to_string()
+                            } else {
+                                format!("{:e}", 1.0 / (cols - 1) as f64)
+                            }
+                        } else {
+                            format!("{:e}", 1.0 / cols as f64)
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(out, "{}", row.join(" "));
+            }
+        };
+        table(&mut text, "stage_transition", STAGES, STAGES, false);
+        table(&mut text, "pose_transition", POSES * STAGES, POSES, true);
+        table(&mut text, "pose_transition_nostage", POSES, POSES, true);
+        table(&mut text, "pose_marginal", 1, POSES, true);
+        table(&mut text, "part_given_pose", PARTS * POSES, 9, false);
+        let f = audit_model_text("m.model", &text, false);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "model/unreachable-pose" && f.message.contains("pose 0")));
+    }
+
+    #[test]
+    fn th_pose_zero_kills_unknown_fallback() {
+        let text = good_model(8).replace("th_pose=0.02", "th_pose=0");
+        let f = audit_model_text("m.model", &text, false);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "model/unreachable-pose" && f.message.contains("Unknown")));
+    }
+
+    #[test]
+    fn missing_magic_is_fatal_format_error() {
+        let f = audit_model_text("m.model", "not a model\n", false);
+        assert_eq!(rules(&f), vec!["model/format"]);
+    }
+
+    #[test]
+    fn config_only_mode_checks_just_the_config() {
+        let cfg = "config window=0 th_object=67 th_pose=0.5 partitions=8";
+        let f = audit_model_text("c.cfg", cfg, true);
+        assert_eq!(rules(&f), vec!["model/config-range"]); // window=0
+    }
+}

@@ -1,0 +1,379 @@
+//! The ratchet: grandfathered finding counts that may only decrease.
+//!
+//! `check-baseline.json` commits the current number of active findings
+//! **per rule, per file**. Per-file granularity matters: with a single
+//! per-rule total, a new `unwrap()` in one file could hide behind an
+//! unrelated cleanup in another and the gate would still pass. With
+//! per-file counts, any file that gets *worse* fails CI regardless of
+//! improvements elsewhere.
+//!
+//! Schema (written with [`slj_obs::JsonWriter`], parsed by the tiny
+//! reader below — the workspace has no serde):
+//!
+//! ```json
+//! {"schema":1,"rules":{"robustness/no-panic-in-lib":{"crates/core/src/model.rs":12}}}
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use slj_obs::JsonWriter;
+
+use crate::report::Finding;
+use crate::CheckError;
+
+/// Per-rule, per-file active finding counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// rule id → (file → active finding count).
+    pub rules: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+/// One (rule, file) cell where current differs from the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetDelta {
+    /// Rule id.
+    pub rule: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// Count recorded in the baseline (0 when the cell is new).
+    pub baseline: u64,
+    /// Count observed now.
+    pub current: u64,
+}
+
+/// Outcome of comparing current findings against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RatchetReport {
+    /// Cells that got worse — these fail the gate.
+    pub regressions: Vec<RatchetDelta>,
+    /// Cells that improved — the baseline should be regenerated.
+    pub improvements: Vec<RatchetDelta>,
+}
+
+impl Baseline {
+    /// Builds a baseline from the active (unsuppressed error) findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut rules: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for f in findings.iter().filter(|f| f.is_active()) {
+            *rules
+                .entry(f.rule.clone())
+                .or_default()
+                .entry(f.file.clone())
+                .or_insert(0) += 1;
+        }
+        Baseline { rules }
+    }
+
+    /// Serialises the baseline (`"schema":1`, keys sorted).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.u64(1);
+        w.key("rules");
+        w.begin_object();
+        for (rule, files) in &self.rules {
+            w.key(rule);
+            w.begin_object();
+            for (file, count) in files {
+                w.key(file);
+                w.u64(*count);
+            }
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parses baseline JSON produced by [`Baseline::to_json`].
+    pub fn parse(text: &str) -> Result<Baseline, CheckError> {
+        let mut p = Parser::new(text);
+        p.skip_ws();
+        p.eat('{')?;
+        let mut baseline = Baseline::default();
+        let mut first = true;
+        loop {
+            p.skip_ws();
+            if p.peek() == Some('}') {
+                p.next();
+                break;
+            }
+            if !first {
+                p.eat(',')?;
+                p.skip_ws();
+            }
+            first = false;
+            let key = p.string()?;
+            p.skip_ws();
+            p.eat(':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "schema" => {
+                    let v = p.number()?;
+                    if v != 1 {
+                        return Err(CheckError::Parse(format!(
+                            "unsupported baseline schema {v}; expected 1"
+                        )));
+                    }
+                }
+                "rules" => {
+                    baseline.rules = p.rule_map()?;
+                }
+                other => {
+                    return Err(CheckError::Parse(format!(
+                        "unexpected baseline key {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(baseline)
+    }
+
+    /// Loads and parses a baseline file.
+    pub fn load(path: &Path) -> Result<Baseline, CheckError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CheckError::Io(format!("read {}: {e}", path.display())))?;
+        Baseline::parse(&text)
+    }
+
+    /// Compares `current` against this baseline.
+    pub fn compare(&self, current: &Baseline) -> RatchetReport {
+        let mut report = RatchetReport::default();
+        // Union of (rule, file) cells on either side, in sorted order.
+        let mut cells: Vec<(&str, &str)> = Vec::new();
+        for (rule, files) in self.rules.iter().chain(current.rules.iter()) {
+            for file in files.keys() {
+                cells.push((rule.as_str(), file.as_str()));
+            }
+        }
+        cells.sort_unstable();
+        cells.dedup();
+        for (rule, file) in cells {
+            let base = self
+                .rules
+                .get(rule)
+                .and_then(|f| f.get(file))
+                .copied()
+                .unwrap_or(0);
+            let now = current
+                .rules
+                .get(rule)
+                .and_then(|f| f.get(file))
+                .copied()
+                .unwrap_or(0);
+            let delta = RatchetDelta {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                baseline: base,
+                current: now,
+            };
+            if now > base {
+                report.regressions.push(delta);
+            } else if now < base {
+                report.improvements.push(delta);
+            }
+        }
+        report
+    }
+}
+
+/// Minimal recursive-descent reader for the baseline's JSON subset:
+/// objects, strings with `\"`/`\\` escapes, and unsigned integers.
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    _text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+            _text: text,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, ch: char) -> Result<(), CheckError> {
+        self.skip_ws();
+        match self.next() {
+            Some(c) if c == ch => Ok(()),
+            other => Err(CheckError::Parse(format!(
+                "baseline JSON: expected {ch:?} at position {}, found {other:?}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, CheckError> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(c) => out.push(c),
+                    None => {
+                        return Err(CheckError::Parse(
+                            "baseline JSON: unterminated escape".into(),
+                        ))
+                    }
+                },
+                Some(c) => out.push(c),
+                None => {
+                    return Err(CheckError::Parse(
+                        "baseline JSON: unterminated string".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, CheckError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(CheckError::Parse(format!(
+                "baseline JSON: expected a number at position {start}"
+            )));
+        }
+        let digits: String = self.chars[start..self.pos].iter().collect();
+        digits
+            .parse::<u64>()
+            .map_err(|e| CheckError::Parse(format!("baseline JSON: bad number {digits:?}: {e}")))
+    }
+
+    /// Parses `{"rule":{"file":count,...},...}`.
+    fn rule_map(&mut self) -> Result<BTreeMap<String, BTreeMap<String, u64>>, CheckError> {
+        self.eat('{')?;
+        let mut rules = BTreeMap::new();
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('}') {
+                self.next();
+                return Ok(rules);
+            }
+            if !first {
+                self.eat(',')?;
+                self.skip_ws();
+            }
+            first = false;
+            let rule = self.string()?;
+            self.eat(':')?;
+            self.eat('{')?;
+            let mut files = BTreeMap::new();
+            let mut file_first = true;
+            loop {
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.next();
+                    break;
+                }
+                if !file_first {
+                    self.eat(',')?;
+                    self.skip_ws();
+                }
+                file_first = false;
+                let file = self.string()?;
+                self.eat(':')?;
+                let count = self.number()?;
+                files.insert(file, count);
+            }
+            rules.insert(rule, files);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str) -> Finding {
+        Finding::error(rule, file, 1, "x".into())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let findings = vec![
+            finding("robustness/no-panic-in-lib", "crates/a/src/lib.rs"),
+            finding("robustness/no-panic-in-lib", "crates/a/src/lib.rs"),
+            finding("obs/no-print", "crates/b/src/lib.rs"),
+        ];
+        let b = Baseline::from_findings(&findings);
+        let json = b.to_json();
+        assert!(json.starts_with("{\"schema\":1"));
+        let parsed = Baseline::parse(&json).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.rules["robustness/no-panic-in-lib"]["crates/a/src/lib.rs"],
+            2
+        );
+    }
+
+    #[test]
+    fn suppressed_findings_not_counted() {
+        let mut f = finding("obs/no-print", "crates/b/src/lib.rs");
+        f.allowed = Some("reason".into());
+        let b = Baseline::from_findings(&[f]);
+        assert!(b.rules.is_empty());
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_improvements() {
+        let base = Baseline::parse(r#"{"schema":1,"rules":{"r":{"a.rs":2,"b.rs":1}}}"#).unwrap();
+        let current =
+            Baseline::parse(r#"{"schema":1,"rules":{"r":{"a.rs":3},"s":{"c.rs":1}}}"#).unwrap();
+        let report = base.compare(&current);
+        assert_eq!(report.regressions.len(), 2); // a.rs 2→3, c.rs 0→1
+        assert_eq!(report.improvements.len(), 1); // b.rs 1→0
+        assert!(report
+            .regressions
+            .iter()
+            .any(|d| d.file == "a.rs" && d.baseline == 2 && d.current == 3));
+    }
+
+    #[test]
+    fn per_file_counts_prevent_cross_file_masking() {
+        // One file gets worse, another improves by the same amount: the
+        // rule-level total is unchanged but the gate must still fail.
+        let base = Baseline::parse(r#"{"schema":1,"rules":{"r":{"a.rs":1,"b.rs":1}}}"#).unwrap();
+        let current = Baseline::parse(r#"{"schema":1,"rules":{"r":{"a.rs":2}}}"#).unwrap();
+        let report = base.compare(&current);
+        assert_eq!(report.regressions.len(), 1);
+    }
+
+    #[test]
+    fn bad_schema_rejected() {
+        assert!(Baseline::parse(r#"{"schema":2,"rules":{}}"#).is_err());
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse(r#"{"schema":1"#).is_err());
+    }
+}

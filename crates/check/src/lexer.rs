@@ -1,0 +1,348 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! `slj-check` deliberately avoids `syn` (the workspace has no external
+//! dependencies), so the linter works on a flat token stream rather than
+//! a syntax tree. The scanner understands exactly as much Rust as the
+//! rules need to avoid false positives from non-code text:
+//!
+//! - line comments (kept — they carry `slj-check: allow(...)` directives)
+//!   and nested block comments (skipped);
+//! - string literals, raw strings (`r#"..."#`), byte strings, and char
+//!   literals vs lifetimes — all skipped as opaque atoms, so a banned
+//!   token inside a string or a doc example never fires a rule;
+//! - identifiers, numbers, and single-character punctuation.
+//!
+//! Every token carries its 1-based source line for findings.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (text in [`Tok::text`]).
+    Ident,
+    /// A single punctuation character (text is that character).
+    Punct,
+    /// A line comment, `//` included (text is the whole comment).
+    Comment,
+    /// A string/char/byte-string literal (text dropped).
+    Literal,
+    /// A numeric literal (text dropped).
+    Number,
+    /// A lifetime such as `'a` (text dropped).
+    Lifetime,
+}
+
+/// One scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text for idents, puncts and comments; empty otherwise.
+    pub text: String,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// Scans `source` into a token stream.
+///
+/// The scanner never fails: unrecognised bytes become [`TokKind::Punct`]
+/// tokens, and an unterminated literal simply consumes the rest of the
+/// file (the linter is a reporting tool, not a compiler).
+pub fn lex(source: &str) -> Vec<Tok> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            match chars[i + 1] {
+                '/' => {
+                    let start = i;
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Comment,
+                        text: chars[start..i].iter().collect(),
+                    });
+                    continue;
+                }
+                '*' => {
+                    i += 2;
+                    let mut depth = 1usize;
+                    while i < chars.len() && depth > 0 {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        } else if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                            depth += 1;
+                            i += 1;
+                        } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                            depth -= 1;
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Tok {
+                line: tok_line,
+                kind: TokKind::Literal,
+                text: String::new(),
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char_lit = match next {
+                Some('\\') => true,
+                Some(n) if is_ident_cont(n) => after == Some('\''),
+                Some(_) => true, // e.g. '(' — punctuation char literal
+                None => false,
+            };
+            if is_char_lit {
+                let tok_line = line;
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                });
+            } else {
+                // Lifetime: consume the ident part.
+                i += 1;
+                while i < chars.len() && is_ident_cont(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Lifetime,
+                    text: String::new(),
+                });
+            }
+            continue;
+        }
+        // Identifier (and raw/byte string prefixes).
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_cont(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            // Raw / byte string? (r"...", r#"..."#, b"...", br#"..."#)
+            if matches!(text.as_str(), "r" | "b" | "br" | "rb") {
+                let mut j = i;
+                let mut hashes = 0usize;
+                while j < chars.len() && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < chars.len() && chars[j] == '"' && (hashes > 0 || text != "r" || true) {
+                    // Only treat as a string when a quote actually follows.
+                    let tok_line = line;
+                    i = j + 1;
+                    // Find closing quote followed by `hashes` hash marks.
+                    'scan: while i < chars.len() {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        // Plain b"..." honours escapes; raw forms do not.
+                        if hashes == 0 && !text.starts_with('r') && chars[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        line: tok_line,
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                    });
+                    continue;
+                }
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Ident,
+                text,
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < chars.len() {
+                let n = chars[i];
+                if is_ident_cont(n) {
+                    i += 1;
+                } else if n == '.'
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                    && chars
+                        .get(i.wrapping_sub(1))
+                        .is_some_and(|d| d.is_ascii_digit())
+                {
+                    // `1.5` continues the number; `0..10` does not.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Number,
+                text: String::new(),
+            });
+            continue;
+        }
+        // Everything else: one punctuation character.
+        toks.push(Tok {
+            line,
+            kind: TokKind::Punct,
+            text: c.to_string(),
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(toks: &[Tok]) -> Vec<&str> {
+        toks.iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let toks = lex("let x = 1;\nfoo.bar();\n");
+        assert_eq!(idents(&toks), vec!["let", "x", "foo", "bar"]);
+        let foo = toks.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!(foo.line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = "let s = \"panic! unwrap()\"; // trailing panic!\n/* unwrap() */ call();";
+        let toks = lex(src);
+        assert!(!idents(&toks).contains(&"panic"));
+        assert!(!idents(&toks).contains(&"unwrap"));
+        assert!(idents(&toks).contains(&"call"));
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("trailing"));
+    }
+
+    #[test]
+    fn raw_strings_skipped() {
+        let src = "let s = r#\"has \"unwrap()\" inside\"#; next()";
+        let toks = lex(src);
+        assert!(!idents(&toks).contains(&"unwrap"));
+        assert!(idents(&toks).contains(&"next"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ real()");
+        assert_eq!(idents(&toks), vec!["real"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 { x(1.5); }");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "0..10 keeps both dots");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Number).count(), 3);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = lex("let s = \"a\nb\";\nafter()");
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

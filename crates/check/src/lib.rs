@@ -1,0 +1,68 @@
+//! `slj-check` — project-invariant static analysis for the standing-
+//! long-jump workspace.
+//!
+//! Earlier PRs established contracts that ordinary tests only sample:
+//! parallel execution is bit-identical to serial, steady-state streaming
+//! allocates nothing, tracing never changes results. This crate checks
+//! the *source* and the *artifacts* against those contracts mechanically,
+//! with zero external dependencies (no `syn`, no serde — the scanner in
+//! [`lexer`] and the JSON reader in [`baseline`] are hand-rolled, and all
+//! JSON output goes through `slj_obs::JsonWriter`).
+//!
+//! Two analyzers:
+//!
+//! - [`lint::lint_workspace`] / [`lint::lint_source`] — the source
+//!   linter: five named rules (`determinism/no-hash-iteration`,
+//!   `determinism/no-wall-clock`, `perf/no-hot-path-alloc`,
+//!   `robustness/no-panic-in-lib`, `obs/no-print`) with a
+//!   reason-mandatory `// slj-check: allow(<rule>) — <reason>` escape
+//!   hatch;
+//! - [`audit::audit_model_file`] — the model-artifact auditor: CPT rows
+//!   row-stochastic within `1e-9`, no negative entries, area codes
+//!   within `partitions`, thresholds in range, all 22 poses plus the
+//!   Unknown fallback reachable.
+//!
+//! Grandfathering is handled by [`baseline::Baseline`]: committed
+//! per-rule per-file counts that may only decrease (the ratchet). The
+//! CLI front end is `slj check`.
+//!
+//! # Examples
+//!
+//! ```
+//! use slj_check::lint::lint_source;
+//!
+//! let findings = lint_source(
+//!     "crates/bayes/src/dbn.rs",
+//!     "fn tick() { let t = Instant::now(); }",
+//! );
+//! assert_eq!(findings[0].rule, "determinism/no-wall-clock");
+//! ```
+
+pub mod audit;
+pub mod baseline;
+pub mod lexer;
+pub mod lint;
+pub mod report;
+
+/// Errors from workspace walking, artifact reading, or baseline parsing.
+///
+/// Analyzer *findings* are data ([`report::Finding`]), not errors; this
+/// type covers only the cases where the checker itself cannot proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// Filesystem error (path in the message).
+    Io(String),
+    /// Malformed input the checker cannot recover from.
+    Parse(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Io(msg) => write!(f, "io error: {msg}"),
+            CheckError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}

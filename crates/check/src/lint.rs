@@ -1,0 +1,774 @@
+//! The source linter: project-invariant rules over a flat token stream.
+//!
+//! Five named rules encode the contracts earlier PRs established:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `determinism/no-hash-iteration` | parallel results are bit-identical to serial, so nothing order-sensitive may iterate a `HashMap`/`HashSet` in `slj-runtime`, `slj-bayes`, `slj-core`'s engine, or `_par` imaging kernels |
+//! | `determinism/no-wall-clock` | results never depend on timing: `Instant::now`/`SystemTime` only inside `slj-obs` (the `Stopwatch`) and the CLI |
+//! | `perf/no-hot-path-alloc` | steady-state streaming is allocation-free: no `Vec::new`/`vec!`/`to_vec`/`.clone()`/`String::from`/`format!` inside `_into`/`_par` kernels and the frame-engine hot path |
+//! | `robustness/no-panic-in-lib` | library code returns `SljError`, it does not `unwrap`/`expect`/`panic!`/`unreachable!` (existing findings are grandfathered in `check-baseline.json`) |
+//! | `obs/no-print` | libraries report through `slj-obs`, not stdout: `println!`/`eprintln!` only in the CLI |
+//!
+//! Escape hatch: `// slj-check: allow(<rule>) — <reason>` on the same or
+//! the preceding line suppresses one rule there, but the reason is
+//! mandatory — a bare `allow(...)` emits `check/allow-missing-reason`
+//! and suppresses nothing.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::report::Finding;
+use crate::CheckError;
+
+/// `determinism/no-hash-iteration` rule id.
+pub const RULE_HASH_ITER: &str = "determinism/no-hash-iteration";
+/// `determinism/no-wall-clock` rule id.
+pub const RULE_WALL_CLOCK: &str = "determinism/no-wall-clock";
+/// `perf/no-hot-path-alloc` rule id.
+pub const RULE_HOT_ALLOC: &str = "perf/no-hot-path-alloc";
+/// `robustness/no-panic-in-lib` rule id.
+pub const RULE_LIB_PANIC: &str = "robustness/no-panic-in-lib";
+/// `obs/no-print` rule id.
+pub const RULE_NO_PRINT: &str = "obs/no-print";
+/// Emitted when an allow directive omits its mandatory reason.
+pub const RULE_ALLOW_REASON: &str = "check/allow-missing-reason";
+
+/// All lint rule ids with one-line descriptions (for `--list-rules`).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        RULE_HASH_ITER,
+        "no HashMap/HashSet iteration where ordering feeds results",
+    ),
+    (
+        RULE_WALL_CLOCK,
+        "no Instant::now/SystemTime outside slj-obs and the CLI",
+    ),
+    (
+        RULE_HOT_ALLOC,
+        "no allocation inside _into/_par kernels and the frame-engine hot path",
+    ),
+    (
+        RULE_LIB_PANIC,
+        "no unwrap/expect/panic!/unreachable! in non-test library code",
+    ),
+    (RULE_NO_PRINT, "no println!/eprintln! outside the CLI"),
+    (
+        RULE_ALLOW_REASON,
+        "slj-check: allow(...) directives must carry a reason",
+    ),
+];
+
+/// Where `determinism/no-hash-iteration` applies inside a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HashScope {
+    /// Rule off for this file.
+    Off,
+    /// Rule applies to every function.
+    Everywhere,
+    /// Rule applies only inside `*_par*` functions (imaging kernels).
+    ParOnly,
+}
+
+/// Per-file rule configuration, derived from the repo-relative path.
+#[derive(Debug, Clone, Copy)]
+struct RuleScope {
+    hash: HashScope,
+    wall_clock: bool,
+    hot_alloc: bool,
+    lib_panic: bool,
+    no_print: bool,
+}
+
+/// Functions that make up the frame-engine hot path (reachable from
+/// `JumpSession::push_frame` every frame), in addition to the name-based
+/// `*_into` / `*_par` convention.
+const HOT_FN_NAMES: &[&str] = &[
+    "push_frame",
+    "push_silhouette",
+    "finish_frame",
+    "run_range",
+    "process_frame",
+    "process_silhouette",
+];
+
+/// Decides which rules apply to a repo-relative path (`/`-separated).
+///
+/// Returns `None` when the file is outside the lint set entirely
+/// (tests, benches, binaries, examples, generated code).
+fn scope_for(path: &str) -> Option<RuleScope> {
+    let in_crates = path.starts_with("crates/") && path.contains("/src/");
+    let is_umbrella = path == "src/lib.rs";
+    if !path.ends_with(".rs") || (!in_crates && !is_umbrella) {
+        return None;
+    }
+    // The CLI and per-crate binaries may print, time, and unwrap freely.
+    if path.contains("/src/bin/") {
+        return None;
+    }
+    let in_obs = path.starts_with("crates/obs/");
+    let in_bench = path.starts_with("crates/bench/");
+    let in_check = path.starts_with("crates/check/");
+    let hash = if path.starts_with("crates/runtime/")
+        || path.starts_with("crates/bayes/")
+        || path == "crates/core/src/engine.rs"
+    {
+        HashScope::Everywhere
+    } else if path.starts_with("crates/imaging/") {
+        HashScope::ParOnly
+    } else {
+        HashScope::Off
+    };
+    Some(RuleScope {
+        hash,
+        // slj-obs owns the Stopwatch; slj-bench measures by design.
+        wall_clock: !in_obs && !in_bench,
+        hot_alloc: true,
+        lib_panic: true,
+        // slj-bench's harness reports to stdout by design; everything
+        // else goes through slj-obs. The checker itself returns strings.
+        no_print: !in_bench && !in_check,
+    })
+}
+
+/// An `// slj-check: allow(rule) — reason` directive.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    rule: String,
+    reason: Option<String>,
+}
+
+/// Parses an allow directive out of a line comment, if present.
+fn parse_allow(comment: &Tok) -> Option<Allow> {
+    let text = &comment.text;
+    let at = text.find("slj-check:")?;
+    let rest = text[at + "slj-check:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let mut reason = rest[close + 1..].trim();
+    // The reason is conventionally set off with a dash; accept em dash,
+    // en dash, `--`, `-`, or `:`.
+    for prefix in ["—", "–", "--", "-", ":"] {
+        if let Some(stripped) = reason.strip_prefix(prefix) {
+            reason = stripped.trim();
+            break;
+        }
+    }
+    Some(Allow {
+        line: comment.line,
+        rule,
+        reason: if reason.is_empty() {
+            None
+        } else {
+            Some(reason.to_string())
+        },
+    })
+}
+
+/// Per-token context derived from a single forward pass.
+struct Context {
+    /// Index into the code-token vector → enclosing function name ("" at
+    /// file/impl level).
+    fn_name: Vec<String>,
+    /// Token is inside `#[cfg(test)]` / `#[test]` code.
+    in_test: Vec<bool>,
+}
+
+/// Annotates each code token with its enclosing function and test-ness.
+///
+/// Test regions are detected from attributes whose token stream contains
+/// the identifier `test` but not `not` (covers `#[test]`, `#[cfg(test)]`,
+/// `#[tokio::test]`-style attributes) — the region is the brace-block the
+/// attribute decorates.
+fn annotate(code: &[&Tok]) -> Context {
+    let mut fn_name = Vec::with_capacity(code.len());
+    let mut in_test = Vec::with_capacity(code.len());
+
+    let mut depth = 0usize;
+    // (name, depth of the body's opening brace)
+    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+    let mut test_stack: Vec<usize> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut awaiting_fn_name = false;
+    let mut pending_test = false;
+
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+
+        // Attribute: scan its bracket group for test markers.
+        if t.is_punct('#') && code.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            // Record context for the `#` and `[` tokens, then the body.
+            let current_fn = fn_stack.last().map(|(n, _)| n.clone()).unwrap_or_default();
+            let currently_test = !test_stack.is_empty();
+            let mut j = i + 1;
+            let mut bracket_depth = 0usize;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < code.len() {
+                let a = code[j];
+                if a.is_punct('[') {
+                    bracket_depth += 1;
+                } else if a.is_punct(']') {
+                    bracket_depth -= 1;
+                    if bracket_depth == 0 {
+                        break;
+                    }
+                } else if a.kind == TokKind::Ident {
+                    if a.text == "test" || a.text == "bench" {
+                        saw_test = true;
+                    } else if a.text == "not" {
+                        saw_not = true;
+                    }
+                }
+                j += 1;
+            }
+            if saw_test && !saw_not {
+                pending_test = true;
+            }
+            // Annotate the attribute's own tokens and skip past them.
+            for _ in i..=j.min(code.len().saturating_sub(1)) {
+                fn_name.push(current_fn.clone());
+                in_test.push(currently_test);
+            }
+            i = j + 1;
+            continue;
+        }
+
+        // Track `fn <name>`.
+        if t.is_ident("fn") {
+            awaiting_fn_name = true;
+        } else if awaiting_fn_name && t.kind == TokKind::Ident {
+            pending_fn = Some(t.text.clone());
+            awaiting_fn_name = false;
+        } else if awaiting_fn_name && t.is_punct('(') {
+            // `fn(u32) -> u32` function-pointer type: no name follows.
+            awaiting_fn_name = false;
+        } else if t.is_punct(';') {
+            // Trait method declaration without a body, or a braceless
+            // item after an attribute (`#[cfg(test)] use ...;`): drop
+            // whatever was pending.
+            pending_fn = None;
+            pending_test = false;
+        } else if t.is_punct('{') {
+            depth += 1;
+            if pending_test {
+                test_stack.push(depth);
+                pending_test = false;
+            }
+            if let Some(name) = pending_fn.take() {
+                fn_stack.push((name, depth));
+            }
+        }
+
+        // Signature tokens (between `fn name` and the body's `{`) belong
+        // to the pending function so parameter bindings are recorded
+        // under the right name.
+        let current_fn = pending_fn
+            .clone()
+            .or_else(|| fn_stack.last().map(|(n, _)| n.clone()))
+            .unwrap_or_default();
+        fn_name.push(current_fn);
+        in_test.push(!test_stack.is_empty());
+
+        if t.is_punct('}') {
+            if fn_stack.last().is_some_and(|(_, d)| *d == depth) {
+                fn_stack.pop();
+            }
+            if test_stack.last().is_some_and(|d| *d == depth) {
+                test_stack.pop();
+            }
+            depth = depth.saturating_sub(1);
+        }
+        i += 1;
+    }
+
+    Context { fn_name, in_test }
+}
+
+/// Whether a function name marks a steady-state hot path.
+fn is_hot_fn(name: &str) -> bool {
+    name.ends_with("_into")
+        || name.ends_with("_par")
+        || name.contains("_par_")
+        || HOT_FN_NAMES.contains(&name)
+}
+
+/// Whether a function name marks a `_par` parallel kernel.
+fn is_par_fn(name: &str) -> bool {
+    name.ends_with("_par") || name.contains("_par_")
+}
+
+/// Lints one source file given as text.
+///
+/// `path` is the repo-relative `/`-separated path; it selects which rules
+/// apply. Returns every finding, including suppressed ones (with
+/// [`Finding::allowed`] set), so callers can render the full picture.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let Some(scope) = scope_for(path) else {
+        return Vec::new();
+    };
+    let toks = lex(source);
+
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for t in &toks {
+        if t.kind == TokKind::Comment {
+            if let Some(allow) = parse_allow(t) {
+                if allow.reason.is_none() {
+                    findings.push(Finding::error(
+                        RULE_ALLOW_REASON,
+                        path,
+                        allow.line,
+                        format!(
+                            "allow({}) without a reason; write `// slj-check: allow({}) — <why>`",
+                            allow.rule, allow.rule
+                        ),
+                    ));
+                }
+                allows.push(allow);
+            }
+        }
+    }
+
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let ctx = annotate(&code);
+
+    let id = |i: usize, name: &str| code.get(i).is_some_and(|t| t.is_ident(name));
+    let p = |i: usize, ch: char| code.get(i).is_some_and(|t| t.is_punct(ch));
+    let any_id = |i: usize, names: &[&str]| {
+        code.get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && names.contains(&t.text.as_str()))
+    };
+
+    // Pass A for the hash rule: collect identifiers bound to hash
+    // containers, keyed by enclosing function.
+    let mut hash_bound: BTreeSet<(String, String)> = BTreeSet::new();
+    if scope.hash != HashScope::Off {
+        for i in 0..code.len() {
+            if !(id(i, "HashMap") || id(i, "HashSet")) {
+                continue;
+            }
+            // Walk backwards to the start of the statement looking for a
+            // `let` binding or a `name: [&]Hash...` parameter/field.
+            let mut j = i;
+            let mut steps = 0usize;
+            while j > 0 && steps < 48 {
+                j -= 1;
+                steps += 1;
+                let t = code[j];
+                if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                    break;
+                }
+                if t.is_ident("let") {
+                    // `let [mut] name ... = ... HashMap ...`
+                    let mut k = j + 1;
+                    if id(k, "mut") {
+                        k += 1;
+                    }
+                    if let Some(name_tok) = code.get(k) {
+                        if name_tok.kind == TokKind::Ident {
+                            hash_bound.insert((
+                                ctx.fn_name.get(i).cloned().unwrap_or_default(),
+                                name_tok.text.clone(),
+                            ));
+                        }
+                    }
+                    break;
+                }
+            }
+            // Parameter style: `name: &HashMap<..>` — the colon directly
+            // (modulo `&`/`mut`) precedes the type.
+            let mut k = i;
+            while k > 0
+                && (p(k - 1, '&') || id(k - 1, "mut") || code[k - 1].kind == TokKind::Lifetime)
+            {
+                k -= 1;
+            }
+            if k >= 2 && p(k - 1, ':') && !p(k - 2, ':') {
+                if let Some(name_tok) = code.get(k.wrapping_sub(2)) {
+                    if name_tok.kind == TokKind::Ident {
+                        hash_bound.insert((
+                            ctx.fn_name.get(i).cloned().unwrap_or_default(),
+                            name_tok.text.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    const ITER_METHODS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "into_iter",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+        "retain",
+    ];
+
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident && t.kind != TokKind::Punct {
+            continue;
+        }
+        let in_test = ctx.in_test.get(i).copied().unwrap_or(false);
+        if in_test {
+            continue;
+        }
+        let fn_here = ctx.fn_name.get(i).map(String::as_str).unwrap_or("");
+
+        // determinism/no-wall-clock
+        if scope.wall_clock {
+            if id(i, "Instant") && p(i + 1, ':') && p(i + 2, ':') && id(i + 3, "now") {
+                findings.push(Finding::error(
+                    RULE_WALL_CLOCK,
+                    path,
+                    t.line,
+                    "Instant::now() outside slj-obs; time through slj_obs::Stopwatch".into(),
+                ));
+            }
+            if id(i, "SystemTime") {
+                findings.push(Finding::error(
+                    RULE_WALL_CLOCK,
+                    path,
+                    t.line,
+                    "SystemTime outside slj-obs; results must not depend on wall-clock time".into(),
+                ));
+            }
+        }
+
+        // obs/no-print
+        if scope.no_print
+            && any_id(i, &["println", "eprintln", "print", "eprint", "dbg"])
+            && p(i + 1, '!')
+        {
+            findings.push(Finding::error(
+                RULE_NO_PRINT,
+                path,
+                t.line,
+                format!(
+                    "{}! in library code; report through slj-obs or return data to the CLI",
+                    t.text
+                ),
+            ));
+        }
+
+        // robustness/no-panic-in-lib
+        if scope.lib_panic {
+            if p(i, '.') && any_id(i + 1, &["unwrap", "expect"]) && p(i + 2, '(') {
+                let line = code.get(i + 1).map_or(t.line, |n| n.line);
+                let what = code.get(i + 1).map(|n| n.text.clone()).unwrap_or_default();
+                findings.push(Finding::error(
+                    RULE_LIB_PANIC,
+                    path,
+                    line,
+                    format!(".{what}() in library code; return SljError instead"),
+                ));
+            }
+            if any_id(i, &["panic", "unreachable", "todo", "unimplemented"]) && p(i + 1, '!') {
+                findings.push(Finding::error(
+                    RULE_LIB_PANIC,
+                    path,
+                    t.line,
+                    format!("{}! in library code; return SljError instead", t.text),
+                ));
+            }
+        }
+
+        // perf/no-hot-path-alloc
+        if scope.hot_alloc && is_hot_fn(fn_here) {
+            let mut hit: Option<&str> = None;
+            if id(i, "Vec") && p(i + 1, ':') && p(i + 2, ':') && id(i + 3, "new") {
+                hit = Some("Vec::new()");
+            } else if id(i, "vec") && p(i + 1, '!') {
+                hit = Some("vec!");
+            } else if p(i, '.') && id(i + 1, "to_vec") && p(i + 2, '(') {
+                hit = Some(".to_vec()");
+            } else if p(i, '.') && id(i + 1, "clone") && p(i + 2, '(') {
+                hit = Some(".clone()");
+            } else if id(i, "String") && p(i + 1, ':') && p(i + 2, ':') && id(i + 3, "from") {
+                hit = Some("String::from");
+            } else if id(i, "format") && p(i + 1, '!') {
+                hit = Some("format!");
+            } else if p(i, '.') && any_id(i + 1, &["to_string", "to_owned"]) && p(i + 2, '(') {
+                hit = Some(".to_string()/.to_owned()");
+            } else if id(i, "Box") && p(i + 1, ':') && p(i + 2, ':') && id(i + 3, "new") {
+                hit = Some("Box::new()");
+            }
+            if let Some(what) = hit {
+                let line = if p(i, '.') {
+                    code.get(i + 1).map_or(t.line, |n| n.line)
+                } else {
+                    t.line
+                };
+                findings.push(Finding::error(
+                    RULE_HOT_ALLOC,
+                    path,
+                    line,
+                    format!("{what} inside hot function `{fn_here}`; reuse scratch buffers"),
+                ));
+            }
+        }
+
+        // determinism/no-hash-iteration
+        let hash_applies = match scope.hash {
+            HashScope::Off => false,
+            HashScope::Everywhere => true,
+            HashScope::ParOnly => is_par_fn(fn_here),
+        };
+        if hash_applies {
+            // `recv.iter()` style on a known hash binding.
+            if p(i, '.')
+                && code.get(i + 1).is_some_and(|n| {
+                    n.kind == TokKind::Ident && ITER_METHODS.contains(&n.text.as_str())
+                })
+                && p(i + 2, '(')
+            {
+                if i > 0 && code[i - 1].kind == TokKind::Ident {
+                    let recv = &code[i - 1].text;
+                    if hash_bound.contains(&(fn_here.to_string(), recv.clone())) {
+                        let line = code.get(i + 1).map_or(t.line, |n| n.line);
+                        findings.push(Finding::error(
+                            RULE_HASH_ITER,
+                            path,
+                            line,
+                            format!(
+                                "iteration over hash container `{recv}` (`.{}`): hash order is \
+                                 nondeterministic; use a sorted Vec or BTreeMap",
+                                code[i + 1].text
+                            ),
+                        ));
+                    }
+                }
+            }
+            // `for x in map`-style loops over a known hash binding.
+            if id(i, "for") {
+                let mut j = i + 1;
+                let mut guard = 0usize;
+                while j < code.len() && guard < 24 && !code[j].is_ident("in") {
+                    j += 1;
+                    guard += 1;
+                }
+                if j < code.len() && code[j].is_ident("in") {
+                    let mut k = j + 1;
+                    let mut guard2 = 0usize;
+                    while k < code.len() && guard2 < 16 && !code[k].is_punct('{') {
+                        if code[k].kind == TokKind::Ident
+                            && hash_bound.contains(&(fn_here.to_string(), code[k].text.clone()))
+                        {
+                            findings.push(Finding::error(
+                                RULE_HASH_ITER,
+                                path,
+                                code[k].line,
+                                format!(
+                                    "for-loop over hash container `{}`: hash order is \
+                                     nondeterministic; use a sorted Vec or BTreeMap",
+                                    code[k].text
+                                ),
+                            ));
+                            break;
+                        }
+                        k += 1;
+                        guard2 += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // One construct can trip overlapping detectors (`for k in m.keys()`
+    // matches both the receiver and the for-loop pattern): collapse to
+    // one finding per (rule, line).
+    findings.sort_by(|a, b| (a.line, a.rule.clone()).cmp(&(b.line, b.rule.clone())));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+
+    // Apply allow directives: same line or the line above, matching rule,
+    // with a reason.
+    for f in &mut findings {
+        if f.rule == RULE_ALLOW_REASON {
+            continue;
+        }
+        for a in &allows {
+            if a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line) {
+                if let Some(reason) = &a.reason {
+                    f.allowed = Some(reason.clone());
+                }
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule.clone()).cmp(&(b.line, b.rule.clone())));
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir` into `acc`.
+fn collect_rs(dir: &Path, acc: &mut Vec<PathBuf>) -> Result<(), CheckError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CheckError::Io(format!("read_dir {}: {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| CheckError::Io(format!("read_dir {}: {e}", dir.display())))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&p, acc)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            acc.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every in-scope `.rs` file under the workspace root.
+///
+/// The scan set is `crates/*/src/**` plus the umbrella `src/lib.rs`;
+/// files the per-path scope excludes (tests, benches, `src/bin`) are
+/// skipped inside [`lint_source`]. Paths in findings are repo-relative
+/// with `/` separators, sorted, so output is stable across platforms.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        collect_rs(&crates_dir, &mut files)?;
+    }
+    let umbrella = root.join("src").join("lib.rs");
+    if umbrella.is_file() {
+        files.push(umbrella);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel: String = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        if scope_for(&rel).is_none() {
+            continue;
+        }
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| CheckError::Io(format!("read {}: {e}", file.display())))?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/core/src/engine.rs";
+
+    #[test]
+    fn wall_clock_flagged() {
+        let src = "fn tick() { let t = Instant::now(); }";
+        let f = lint_source(LIB, src);
+        assert!(f.iter().any(|f| f.rule == RULE_WALL_CLOCK && f.line == 1));
+    }
+
+    #[test]
+    fn wall_clock_ok_in_obs_and_bin() {
+        let src = "fn tick() { let t = Instant::now(); }";
+        assert!(lint_source("crates/obs/src/clock.rs", src).is_empty());
+        assert!(lint_source("src/bin/slj.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_flagged_outside_cli() {
+        let src = "fn report() { println!(\"x\"); }";
+        let f = lint_source("crates/sim/src/lib.rs", src);
+        assert!(f.iter().any(|f| f.rule == RULE_NO_PRINT));
+    }
+
+    #[test]
+    fn panic_flagged_but_not_in_tests() {
+        let src = "fn a(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests {\n fn b(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        let f = lint_source("crates/sim/src/lib.rs", src);
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == RULE_LIB_PANIC).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn hot_alloc_only_in_hot_fns() {
+        let src = "fn cold() { let v = Vec::new(); }\n\
+                   fn warm_into(out: &mut Vec<u8>) { let v = Vec::new(); }\n";
+        let f = lint_source("crates/imaging/src/filter.rs", src);
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == RULE_HOT_ALLOC).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn hash_iteration_flagged_in_bayes() {
+        let src = "fn walk() {\n let m: HashMap<u32, u32> = HashMap::new();\n \
+                   for (k, v) in m.iter() { use_it(k, v); }\n}\n";
+        let f = lint_source("crates/bayes/src/dbn.rs", src);
+        assert!(f.iter().any(|f| f.rule == RULE_HASH_ITER && f.line == 3));
+    }
+
+    #[test]
+    fn hash_membership_not_flagged() {
+        let src = "fn member() {\n let m: HashSet<u32> = HashSet::new();\n \
+                   if m.contains(&3) { hit(); }\n}\n";
+        let f = lint_source("crates/runtime/src/pool.rs", src);
+        assert!(f.iter().all(|f| f.rule != RULE_HASH_ITER));
+    }
+
+    #[test]
+    fn hash_par_only_in_imaging() {
+        let src = "fn plain(m: &HashMap<u32, u32>) { for k in m.keys() { go(k); } }\n\
+                   fn blur_par(m: &HashMap<u32, u32>) { for k in m.keys() { go(k); } }\n";
+        let f = lint_source("crates/imaging/src/filter.rs", src);
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == RULE_HASH_ITER).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "// slj-check: allow(determinism/no-wall-clock) — boot-time banner only\n\
+                   fn tick() { let t = Instant::now(); }";
+        let f = lint_source(LIB, src);
+        let hit = f.iter().find(|f| f.rule == RULE_WALL_CLOCK);
+        assert!(hit.is_some_and(|f| f.allowed.as_deref() == Some("boot-time banner only")));
+        assert!(f.iter().all(|f| f.rule != RULE_ALLOW_REASON));
+    }
+
+    #[test]
+    fn allow_without_reason_fails() {
+        let src =
+            "fn tick() { let t = Instant::now(); } // slj-check: allow(determinism/no-wall-clock)";
+        let f = lint_source(LIB, src);
+        assert!(f.iter().any(|f| f.rule == RULE_ALLOW_REASON));
+        // The original finding is NOT suppressed.
+        let hit = f.iter().find(|f| f.rule == RULE_WALL_CLOCK);
+        assert!(hit.is_some_and(|f| f.allowed.is_none()));
+    }
+
+    #[test]
+    fn out_of_scope_files_skipped() {
+        let src = "fn t() { x.unwrap(); println!(\"y\"); }";
+        assert!(lint_source("crates/core/tests/streaming.rs", src).is_empty());
+        assert!(lint_source("src/bin/slj.rs", src).is_empty());
+        assert!(lint_source("crates/core/benches/engine.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Findings and their rendering.
+//!
+//! Both analyzers (the source linter and the model auditor) produce the
+//! same [`Finding`] shape, so the CLI, the baseline ratchet, and the CI
+//! job share one output path: a human-readable line per finding, and a
+//! JSON document (`"schema": 1`) written with [`slj_obs::JsonWriter`].
+
+use slj_obs::JsonWriter;
+
+use crate::baseline::RatchetDelta;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Violation of a hard invariant: fails the gate unless baselined.
+    Error,
+    /// Advisory: reported but never fails the gate.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier, e.g. `determinism/no-hash-iteration`.
+    pub rule: String,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Repo-relative source path or artifact path.
+    pub file: String,
+    /// 1-based line number (0 when the finding is file-scoped).
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `Some(reason)` when suppressed by `// slj-check: allow(rule) — reason`.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    /// Builds an active (unsuppressed) error finding.
+    pub fn error(rule: &str, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message,
+            allowed: None,
+        }
+    }
+
+    /// Whether the finding counts against the gate (error and not allowed).
+    pub fn is_active(&self) -> bool {
+        self.severity == Severity::Error && self.allowed.is_none()
+    }
+}
+
+/// Renders findings one per line, `file:line: severity[rule] message`.
+///
+/// Suppressed findings are shown with their allow reason so reviewers can
+/// audit the escape hatches without reading every file.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.file);
+        if f.line > 0 {
+            out.push(':');
+            out.push_str(&f.line.to_string());
+        }
+        out.push_str(": ");
+        out.push_str(f.severity.label());
+        out.push('[');
+        out.push_str(&f.rule);
+        out.push_str("] ");
+        out.push_str(&f.message);
+        if let Some(reason) = &f.allowed {
+            out.push_str(" (allowed: ");
+            out.push_str(reason);
+            out.push(')');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises a findings report as JSON (`"schema": 1`).
+///
+/// Layout:
+///
+/// ```json
+/// {
+///   "schema": 1,
+///   "tool": "slj-check",
+///   "ok": false,
+///   "findings": [
+///     {"rule": "...", "severity": "error", "file": "...", "line": 7,
+///      "message": "...", "allowed": null}
+///   ],
+///   "ratchet": {"regressions": [{"rule": "...", "file": "...",
+///                                "baseline": 3, "current": 4}],
+///               "improvements": []}
+/// }
+/// ```
+///
+/// The `ratchet` key is present only when a baseline comparison ran.
+pub fn render_json(
+    findings: &[Finding],
+    ratchet: Option<(&[RatchetDelta], &[RatchetDelta])>,
+    ok: bool,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.u64(1);
+    w.key("tool");
+    w.string("slj-check");
+    w.key("ok");
+    w.bool(ok);
+    w.key("findings");
+    w.begin_array();
+    for f in findings {
+        w.begin_object();
+        w.key("rule");
+        w.string(&f.rule);
+        w.key("severity");
+        w.string(f.severity.label());
+        w.key("file");
+        w.string(&f.file);
+        w.key("line");
+        w.u64(u64::from(f.line));
+        w.key("message");
+        w.string(&f.message);
+        w.key("allowed");
+        match &f.allowed {
+            Some(reason) => w.string(reason),
+            None => w.null(),
+        }
+        w.end_object();
+    }
+    w.end_array();
+    if let Some((regressions, improvements)) = ratchet {
+        w.key("ratchet");
+        w.begin_object();
+        w.key("regressions");
+        write_deltas(&mut w, regressions);
+        w.key("improvements");
+        write_deltas(&mut w, improvements);
+        w.end_object();
+    }
+    w.end_object();
+    w.finish()
+}
+
+fn write_deltas(w: &mut JsonWriter, deltas: &[RatchetDelta]) {
+    w.begin_array();
+    for d in deltas {
+        w.begin_object();
+        w.key("rule");
+        w.string(&d.rule);
+        w.key("file");
+        w.string(&d.file);
+        w.key("baseline");
+        w.u64(d.baseline);
+        w.key("current");
+        w.u64(d.current);
+        w.end_object();
+    }
+    w.end_array();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rendering_includes_rule_and_reason() {
+        let mut f = Finding::error(
+            "obs/no-print",
+            "crates/x/src/lib.rs",
+            9,
+            "println! used".into(),
+        );
+        f.allowed = Some("demo binary".into());
+        let text = render_human(&[f]);
+        assert!(text.contains("crates/x/src/lib.rs:9"));
+        assert!(text.contains("error[obs/no-print]"));
+        assert!(text.contains("(allowed: demo binary)"));
+    }
+
+    #[test]
+    fn json_has_schema_and_findings() {
+        let f = Finding::error(
+            "determinism/no-wall-clock",
+            "a.rs",
+            3,
+            "Instant::now".into(),
+        );
+        let json = render_json(&[f], None, false);
+        assert!(json.contains("\"schema\":1"));
+        assert!(json.contains("\"rule\":\"determinism/no-wall-clock\""));
+        assert!(json.contains("\"line\":3"));
+        assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\"allowed\":null"));
+        assert!(!json.contains("\"ratchet\""));
+    }
+
+    #[test]
+    fn json_ratchet_section() {
+        let reg = RatchetDelta {
+            rule: "robustness/no-panic-in-lib".into(),
+            file: "crates/core/src/model.rs".into(),
+            baseline: 2,
+            current: 3,
+        };
+        let json = render_json(&[], Some((std::slice::from_ref(&reg), &[])), false);
+        assert!(json.contains("\"ratchet\""));
+        assert!(json.contains("\"baseline\":2"));
+        assert!(json.contains("\"current\":3"));
+    }
+}

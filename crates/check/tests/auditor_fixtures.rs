@@ -1,0 +1,129 @@
+//! Fixture tests for the model-artifact auditor: a hand-corrupted model
+//! exercising each check the paper's learned tables must satisfy.
+
+use std::fmt::Write as _;
+
+use slj_check::audit::{audit_model_text, PARTS, POSES, STAGES};
+
+/// Renders a structurally valid model with uniform CPT rows.
+fn valid_model(partitions: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "slj-pose-model v1");
+    let _ = writeln!(
+        out,
+        "config window=3 th_object=67 auto_threshold=false median=3 min_branch=6 \
+         cut_loops=true prune=true algorithm=zhang-suen partitions={partitions} th_pose=0.02 \
+         alpha=1 activation=0.85 leak=0.02 temporal=full observation=areas \
+         hard_commit=false carry_forward=true"
+    );
+    let table = |out: &mut String, name: &str, rows: usize, cols: usize| {
+        let _ = writeln!(out, "table {name} rows={rows} cols={cols}");
+        let v = 1.0 / cols as f64;
+        for _ in 0..rows {
+            let row: Vec<String> = (0..cols).map(|_| format!("{v:e}")).collect();
+            let _ = writeln!(out, "{}", row.join(" "));
+        }
+    };
+    table(&mut out, "stage_transition", STAGES, STAGES);
+    table(&mut out, "pose_transition", POSES * STAGES, POSES);
+    table(&mut out, "pose_transition_nostage", POSES, POSES);
+    table(&mut out, "pose_marginal", 1, POSES);
+    table(&mut out, "part_given_pose", PARTS * POSES, partitions + 1);
+    out
+}
+
+fn rule_set(text: &str) -> Vec<String> {
+    audit_model_text("fixture.model", text, false)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn valid_model_audits_clean() {
+    assert!(rule_set(&valid_model(8)).is_empty());
+}
+
+#[test]
+fn non_stochastic_cpt_row_fires() {
+    // stage_transition rows are four entries of 2.5e-1; bump one.
+    let text = valid_model(8).replacen("2.5e-1", "6e-1", 1);
+    let rules = rule_set(&text);
+    assert!(
+        rules.contains(&"model/cpt-row-sum".to_string()),
+        "{rules:?}"
+    );
+}
+
+#[test]
+fn negative_probability_fires() {
+    let text = valid_model(8).replacen("2.5e-1", "-2.5e-1", 1);
+    let rules = rule_set(&text);
+    assert!(rules.contains(&"model/negative-entry".to_string()));
+}
+
+#[test]
+fn out_of_range_area_code_fires() {
+    // partitions=8 allows area codes 0..=8 (9 columns); a table claiming
+    // 13 columns encodes area codes beyond the configured partitions.
+    let text = valid_model(8).replace(
+        &format!("table part_given_pose rows={} cols=9", PARTS * POSES),
+        &format!("table part_given_pose rows={} cols=13", PARTS * POSES),
+    );
+    let rules = rule_set(&text);
+    assert!(
+        rules.contains(&"model/area-code-range".to_string()),
+        "{rules:?}"
+    );
+}
+
+#[test]
+fn threshold_out_of_range_fires() {
+    let text = valid_model(8).replace("th_object=67", "th_object=999");
+    assert!(rule_set(&text).contains(&"model/threshold-range".to_string()));
+    let text = valid_model(8).replace("th_pose=0.02", "th_pose=-0.5");
+    assert!(rule_set(&text).contains(&"model/threshold-range".to_string()));
+}
+
+#[test]
+fn truncated_table_fires_shape() {
+    // Drop the last line (a part_given_pose row).
+    let full = valid_model(8);
+    let cut = full
+        .trim_end()
+        .rsplit_once('\n')
+        .map(|(head, _)| head)
+        .unwrap_or("");
+    let rules = rule_set(&format!("{cut}\n"));
+    assert!(rules.contains(&"model/shape".to_string()), "{rules:?}");
+}
+
+#[test]
+fn corrupt_table_does_not_mask_later_checks() {
+    // Break stage_transition's header AND zero th_pose: both findings
+    // must surface in one pass (the auditor resynchronises).
+    let text = valid_model(8)
+        .replace(
+            "table stage_transition rows=4 cols=4",
+            "table stage_transition rows=oops",
+        )
+        .replace("th_pose=0.02", "th_pose=0");
+    let rules = rule_set(&text);
+    assert!(rules.contains(&"model/format".to_string()));
+    assert!(rules.contains(&"model/unreachable-pose".to_string()));
+}
+
+#[test]
+fn findings_carry_artifact_path_and_line() {
+    let text = valid_model(8).replacen("2.5e-1", "6e-1", 1);
+    let findings = audit_model_text("models/bad.model", &text, false);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "model/cpt-row-sum")
+        .expect("row-sum finding");
+    assert_eq!(f.file, "models/bad.model");
+    assert!(
+        f.line >= 3,
+        "finding should point at the corrupted row line"
+    );
+}

@@ -1,0 +1,147 @@
+//! Fixture tests for the source linter: one seeded violation per rule,
+//! the allow escape hatch (with and without its mandatory reason), the
+//! ratchet, and the JSON rendering CI consumes.
+
+use slj_check::baseline::Baseline;
+use slj_check::lint::{
+    lint_source, RULE_ALLOW_REASON, RULE_HASH_ITER, RULE_HOT_ALLOC, RULE_LIB_PANIC, RULE_NO_PRINT,
+    RULE_WALL_CLOCK,
+};
+use slj_check::report::{render_json, Finding};
+
+/// Each fixture seeds exactly one violation of one rule at a known line
+/// in a file where the rule is in scope.
+fn fixtures() -> Vec<(&'static str, &'static str, &'static str, u32)> {
+    vec![
+        (
+            RULE_HASH_ITER,
+            "crates/runtime/src/pool.rs",
+            "fn fan_out() {\n    let seen: HashMap<usize, u64> = HashMap::new();\n    for (k, v) in seen.iter() {\n        touch(k, v);\n    }\n}\n",
+            3,
+        ),
+        (
+            RULE_WALL_CLOCK,
+            "crates/bayes/src/dbn.rs",
+            "fn step() {\n    let t0 = Instant::now();\n    infer(t0);\n}\n",
+            2,
+        ),
+        (
+            RULE_HOT_ALLOC,
+            "crates/imaging/src/filter.rs",
+            "fn median_filter_par(src: &[u8]) {\n    let scratch = Vec::new();\n    fill(scratch, src);\n}\n",
+            2,
+        ),
+        (
+            RULE_LIB_PANIC,
+            "crates/core/src/model_io.rs",
+            "fn parse(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+            2,
+        ),
+        (
+            RULE_NO_PRINT,
+            "crates/skeleton/src/graph.rs",
+            "fn report(n: usize) {\n    println!(\"{n} branches\");\n}\n",
+            2,
+        ),
+    ]
+}
+
+#[test]
+fn each_rule_fires_on_its_seeded_fixture() {
+    for (rule, path, src, line) in fixtures() {
+        let findings = lint_source(path, src);
+        let active: Vec<&Finding> = findings.iter().filter(|f| f.is_active()).collect();
+        assert_eq!(
+            active.len(),
+            1,
+            "{rule}: expected exactly one active finding in {path}, got {findings:?}"
+        );
+        assert_eq!(active[0].rule, rule, "wrong rule for fixture in {path}");
+        assert_eq!(active[0].file, path);
+        assert_eq!(active[0].line, line, "{rule}: wrong line");
+    }
+}
+
+#[test]
+fn json_output_names_rule_and_file_line() {
+    let (rule, path, src, line) = fixtures().remove(0);
+    let findings = lint_source(path, src);
+    let json = render_json(&findings, None, false);
+    assert!(json.contains("\"schema\":1"));
+    assert!(json.contains(&format!("\"rule\":\"{rule}\"")));
+    assert!(json.contains(&format!("\"file\":\"{path}\"")));
+    assert!(json.contains(&format!("\"line\":{line}")));
+}
+
+#[test]
+fn allow_with_reason_suppresses_only_that_finding() {
+    let src = "// slj-check: allow(perf/no-hot-path-alloc) — warm-up path, runs once per session\n\
+               fn warm_par() {\n    let v = Vec::new();\n    seed(v);\n}\n";
+    // The directive sits on the line before the `fn`, not the violation:
+    // it must NOT suppress a finding two lines away.
+    let findings = lint_source("crates/imaging/src/filter.rs", src);
+    assert!(findings.iter().any(|f| f.is_active()));
+
+    let src = "fn warm_par() {\n    // slj-check: allow(perf/no-hot-path-alloc) — warm-up path, runs once\n    let v = Vec::new();\n    seed(v);\n}\n";
+    let findings = lint_source("crates/imaging/src/filter.rs", src);
+    let hit = findings.iter().find(|f| f.rule == RULE_HOT_ALLOC);
+    assert!(
+        hit.is_some_and(|f| f.allowed.as_deref() == Some("warm-up path, runs once")),
+        "directive on the preceding line must suppress with its reason: {findings:?}"
+    );
+    assert!(findings.iter().all(|f| !f.is_active()));
+}
+
+#[test]
+fn allow_without_reason_is_itself_a_finding() {
+    let src = "fn warm_par() {\n    let v = Vec::new(); // slj-check: allow(perf/no-hot-path-alloc)\n    seed(v);\n}\n";
+    let findings = lint_source("crates/imaging/src/filter.rs", src);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == RULE_ALLOW_REASON && f.is_active()),
+        "bare allow must emit check/allow-missing-reason"
+    );
+    let hot = findings.iter().find(|f| f.rule == RULE_HOT_ALLOC);
+    assert!(
+        hot.is_some_and(|f| f.is_active()),
+        "bare allow must not suppress the underlying finding"
+    );
+}
+
+#[test]
+fn ratchet_regression_detected() {
+    let baseline = Baseline::parse(
+        r#"{"schema":1,"rules":{"robustness/no-panic-in-lib":{"crates/core/src/model_io.rs":1}}}"#,
+    )
+    .expect("baseline parses");
+    // Two unwraps now where the baseline allows one.
+    let src =
+        "fn a(v: Option<u8>) -> u8 { v.unwrap() }\nfn b(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let findings = lint_source("crates/core/src/model_io.rs", src);
+    let current = Baseline::from_findings(&findings);
+    let report = baseline.compare(&current);
+    assert_eq!(report.regressions.len(), 1);
+    assert_eq!(report.regressions[0].baseline, 1);
+    assert_eq!(report.regressions[0].current, 2);
+
+    // And the ratchet tightening direction: one unwrap is fine.
+    let src = "fn a(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let current = Baseline::from_findings(&lint_source("crates/core/src/model_io.rs", src));
+    let report = baseline.compare(&current);
+    assert!(report.regressions.is_empty());
+}
+
+#[test]
+fn improvements_reported_for_baseline_refresh() {
+    let baseline = Baseline::parse(
+        r#"{"schema":1,"rules":{"robustness/no-panic-in-lib":{"crates/core/src/model_io.rs":3}}}"#,
+    )
+    .expect("baseline parses");
+    let src = "fn a(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let current = Baseline::from_findings(&lint_source("crates/core/src/model_io.rs", src));
+    let report = baseline.compare(&current);
+    assert!(report.regressions.is_empty());
+    assert_eq!(report.improvements.len(), 1);
+    assert_eq!(report.improvements[0].current, 1);
+}

@@ -59,7 +59,7 @@ use slj_imaging::filter::{median_filter_binary_into, FilterScratch};
 use slj_imaging::image::RgbImage;
 use slj_imaging::morphology::Connectivity;
 use slj_imaging::region::{largest_component_into, LabelScratch};
-use slj_obs::{Counter, Histogram, Registry, Tracer, Value};
+use slj_obs::{Counter, Histogram, Registry, Stopwatch, Tracer, Value};
 use slj_skeleton::features::FeatureCodec;
 use slj_skeleton::graph::GraphScratch;
 use slj_skeleton::keypoints::KeypointExtractor;
@@ -67,7 +67,7 @@ use slj_skeleton::pipeline::{SkeletonConfig, SkeletonResult, StageStats};
 use slj_skeleton::thinning::{ThinningAlgorithm, ThinningScratch};
 use slj_skeleton::PixelGraph;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Names of the standard seven stages, in execution order.
 pub const STAGE_NAMES: [&str; 7] = [
@@ -513,7 +513,7 @@ impl FrontEnd {
             self.timings.push(stage.name(), Duration::ZERO);
         }
         for stage in &self.stages[start..] {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             stage.run(frame, &mut self.slots)?;
             self.timings.push(stage.name(), t0.elapsed());
         }
@@ -557,7 +557,7 @@ impl FrontEnd {
     pub fn extract_silhouette(&mut self, frame: &RgbImage) -> Result<&BinaryImage, SljError> {
         self.timings.clear();
         for stage in &self.stages[..self.silhouette_start] {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             stage.run(Some(frame), &mut self.slots)?;
             self.timings.push(stage.name(), t0.elapsed());
         }
@@ -667,7 +667,7 @@ impl<'m> JumpSession<'m> {
     /// push paths.
     fn finish_frame(&mut self) -> Result<PoseEstimate, SljError> {
         self.frames_processed += 1;
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let estimate = self.classifier.step(&self.front_end.slots().features)?;
         let dbn_elapsed = t0.elapsed();
         self.timings.clear();

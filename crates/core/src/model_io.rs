@@ -58,12 +58,8 @@ pub fn to_string(model: &PoseModel) -> String {
         c.carry_forward,
     );
     let write_rows = |out: &mut String, name: &str, rows: Vec<&[f64]>| {
-        let _ = writeln!(
-            out,
-            "table {name} rows={} cols={}",
-            rows.len(),
-            rows[0].len()
-        );
+        let cols = rows.first().map_or(0, |r| r.len());
+        let _ = writeln!(out, "table {name} rows={} cols={cols}", rows.len());
         for row in rows {
             // `{:e}` prints the shortest scientific form that round-trips
             // exactly back to the same f64.

@@ -37,6 +37,11 @@
 //! assert!(result.best_fitness > 0.2);
 //! ```
 
+// Grandfathered: this crate predates the unwrap_used/expect_used policy.
+// Its findings are baselined in check-baseline.json (see `slj check`);
+// new code should return SljError and shrink the ratchet instead.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod chromosome;
 pub mod fitness;
 pub mod ga;

@@ -222,7 +222,7 @@ impl BackgroundSubtractor {
                 right: frame.dimensions(),
             });
         }
-        let started = pool.registry().map(|_| std::time::Instant::now());
+        let started = pool.registry().map(|_| slj_obs::Stopwatch::start());
         let frame_integrals = match scratch.frame_integrals.as_mut() {
             Some(integrals) => {
                 for (k, ii) in integrals.iter_mut().enumerate() {

@@ -17,9 +17,9 @@ use crate::binary::BinaryImage;
 use crate::error::ImagingError;
 use crate::image::GrayImage;
 use crate::integral::IntegralImage;
+use slj_obs::Stopwatch;
 use slj_runtime::{band_ranges, ThreadPool};
 use std::ops::Range;
-use std::time::Instant;
 
 /// Splits `data` (a row-major buffer with rows of `row_width` elements)
 /// into one mutable chunk per band, tagged with the band's first row.
@@ -94,7 +94,7 @@ pub fn median_filter_gray_par_into(
     pool: &ThreadPool,
 ) -> Result<(), ImagingError> {
     check_window(window)?;
-    let started = pool.registry().map(|_| Instant::now());
+    let started = pool.registry().map(|_| Stopwatch::start());
     out.reset(img.width(), img.height());
     let bands = band_ranges(img.height(), pool.threads());
     let chunks = split_row_bands(out.as_mut_slice(), img.width(), &bands);
@@ -231,7 +231,7 @@ pub fn median_filter_binary_par_into(
     pool: &ThreadPool,
 ) -> Result<(), ImagingError> {
     check_window(window)?;
-    let started = pool.registry().map(|_| Instant::now());
+    let started = pool.registry().map(|_| Stopwatch::start());
     let r = (window / 2) as isize;
     let ii =
         match scratch.integral.as_mut() {
@@ -312,7 +312,7 @@ pub fn box_filter_gray_par(
     pool: &ThreadPool,
 ) -> Result<GrayImage, ImagingError> {
     check_window(window)?;
-    let started = pool.registry().map(|_| Instant::now());
+    let started = pool.registry().map(|_| Stopwatch::start());
     let ii = IntegralImage::from_gray(img);
     let mut out = GrayImage::new(img.width(), img.height());
     let bands = band_ranges(img.height(), pool.threads());

@@ -32,6 +32,11 @@
 //! assert!(mask.count_ones() > 250);
 //! ```
 
+// Grandfathered: this crate predates the unwrap_used/expect_used policy.
+// Its findings are baselined in check-baseline.json (see `slj check`);
+// new code should return SljError and shrink the ratchet instead.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod background;
 pub mod binary;
 pub mod distance;

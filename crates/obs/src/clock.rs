@@ -1,0 +1,72 @@
+//! Monotonic time measurement — the one place the workspace reads a
+//! wall clock.
+//!
+//! The repo's determinism contract says results must never depend on
+//! timing, and the `determinism/no-wall-clock` rule of `slj-check`
+//! enforces it mechanically: `Instant::now`/`SystemTime` are banned
+//! outside this crate and the CLI. Instrumented layers (the engine's
+//! stage timings, the DBN filter's inference metrics, the banded imaging
+//! kernels) therefore time themselves through [`Stopwatch`], keeping
+//! every clock read behind an interface the auditor can see.
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic timer.
+///
+/// # Examples
+///
+/// ```
+/// use slj_obs::Stopwatch;
+///
+/// let watch = Stopwatch::start();
+/// let elapsed = watch.elapsed();
+/// assert!(watch.elapsed_ns() >= elapsed.as_nanos() as u64);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Reads the monotonic clock and starts timing.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (584 years).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let watch = Stopwatch::start();
+        let a = watch.elapsed();
+        let b = watch.elapsed();
+        assert!(b >= a);
+        assert!(watch.elapsed_ns() >= b.as_nanos() as u64);
+    }
+
+    #[test]
+    fn stopwatch_is_copy_and_debug() {
+        let watch = Stopwatch::start();
+        let copy = watch;
+        assert!(format!("{copy:?}").contains("Stopwatch"));
+        assert!(watch.elapsed() <= copy.elapsed().max(watch.elapsed()));
+    }
+}

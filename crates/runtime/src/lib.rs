@@ -30,6 +30,11 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+// Grandfathered: this crate predates the unwrap_used/expect_used policy.
+// Its findings are baselined in check-baseline.json (see `slj check`);
+// new code should return SljError and shrink the ratchet instead.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 mod error;
 mod pool;
 

@@ -33,6 +33,11 @@
 //! assert!(clip.frames.len() >= 40, "a jump is roughly 40+ frames");
 //! ```
 
+// Grandfathered: this crate predates the unwrap_used/expect_used policy.
+// Its findings are baselined in check-baseline.json (see `slj check`);
+// new code should return SljError and shrink the ratchet instead.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod body;
 pub mod dataset;
 pub mod faults;

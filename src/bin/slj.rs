@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         Some("stream") => cmd_stream(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -79,6 +80,12 @@ fn print_usage() {
          \x20          [--metrics FILE]\n\
          \x20          time the serial vs parallel execution paths on synthetic\n\
          \x20          clips, verify bit-identical outputs, emit a JSON baseline\n\
+         \x20 check    [--workspace] [--root DIR] [--baseline FILE]\n\
+         \x20          [--write-baseline] [--model FILE] [--config FILE] [--json]\n\
+         \x20          [--list-rules]\n\
+         \x20          static analysis: lint workspace sources against the\n\
+         \x20          determinism/perf/robustness rules (ratcheted by the\n\
+         \x20          committed baseline) and/or audit a trained model artifact\n\
          \n\
          --metrics FILE writes an slj_obs registry snapshot (counters, gauges,\n\
          histograms with p50/p95/p99) as JSON when the command finishes."
@@ -493,7 +500,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
             report = Some(r);
         }
-        let report = report.expect("at least one rep");
+        let Some(report) = report else {
+            return Err("bench: --reps must be at least 1".into());
+        };
         match &baseline {
             None => {
                 serial_ms = best_ms;
@@ -585,4 +594,110 @@ fn cmd_coach(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    use slj_repro::check::audit::audit_model_file;
+    use slj_repro::check::baseline::Baseline;
+    use slj_repro::check::lint::{lint_workspace, RULES};
+    use slj_repro::check::report::{render_human, render_json, Finding};
+
+    let flags = Flags::parse(args, &["workspace", "write-baseline", "json", "list-rules"])?;
+    if flags.switch("list-rules") {
+        println!("slj-check rules:");
+        for (rule, desc) in RULES {
+            println!("  {rule:<34} {desc}");
+        }
+        println!("\nsuppress one finding with: // slj-check: allow(<rule>) — <reason>");
+        return Ok(());
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut ratchet = None;
+    let mut ran_anything = false;
+
+    // Artifact audits.
+    for (key, config_only) in [("model", false), ("config", true)] {
+        if let Some(path) = flags.get(key) {
+            ran_anything = true;
+            let audit =
+                audit_model_file(Path::new(path), config_only).map_err(|e| e.to_string())?;
+            let bad = audit.iter().filter(|f| f.is_active()).count();
+            if bad > 0 {
+                failures.push(format!("{path}: {bad} artifact finding(s)"));
+            } else {
+                eprintln!("check: {path}: artifact OK");
+            }
+            findings.extend(audit);
+        }
+    }
+
+    // Source lint.
+    if flags.switch("workspace") || !ran_anything {
+        let root = PathBuf::from(flags.get("root").unwrap_or("."));
+        let lint = lint_workspace(&root).map_err(|e| e.to_string())?;
+        let current = Baseline::from_findings(&lint);
+        let active = lint.iter().filter(|f| f.is_active()).count();
+        let allowed = lint.iter().filter(|f| f.allowed.is_some()).count();
+        if flags.switch("write-baseline") {
+            let path = flags.get("baseline").unwrap_or("check-baseline.json");
+            std::fs::write(root.join(path), current.to_json() + "\n")
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("check: wrote {path} ({active} grandfathered finding(s), {allowed} allowed)");
+        } else if let Some(bp) = flags.get("baseline") {
+            let base = Baseline::load(&root.join(bp)).map_err(|e| e.to_string())?;
+            let report = base.compare(&current);
+            if report.regressions.is_empty() {
+                eprintln!(
+                    "check: workspace OK against {bp} ({active} baselined finding(s), \
+                     {allowed} allowed; {} cell(s) improved)",
+                    report.improvements.len()
+                );
+                if !report.improvements.is_empty() {
+                    eprintln!(
+                        "check: ratchet can tighten — rerun with --write-baseline to commit \
+                         the lower counts"
+                    );
+                }
+            } else {
+                for d in &report.regressions {
+                    eprintln!(
+                        "check: REGRESSION {} in {}: baseline {}, now {}",
+                        d.rule, d.file, d.baseline, d.current
+                    );
+                }
+                failures.push(format!(
+                    "{} ratchet regression(s) against {bp}",
+                    report.regressions.len()
+                ));
+            }
+            ratchet = Some(report);
+        } else if active > 0 {
+            failures.push(format!(
+                "{active} active lint finding(s) (no baseline given)"
+            ));
+        }
+        findings.extend(lint);
+    }
+
+    let ok = failures.is_empty();
+    if flags.switch("json") {
+        let deltas = ratchet
+            .as_ref()
+            .map(|r| (r.regressions.as_slice(), r.improvements.as_slice()));
+        println!("{}", render_json(&findings, deltas, ok));
+    } else if !ok {
+        // Without --json, print the findings that caused the failure:
+        // everything active when no baseline is in play, otherwise the
+        // regressions were already listed above.
+        if ratchet.is_none() {
+            print!("{}", render_human(&findings));
+        }
+    }
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("check failed: {}", failures.join("; ")))
+    }
 }

@@ -21,6 +21,9 @@
 //! - [`obs`] — dependency-free observability: span/event tracing,
 //!   counters/gauges/histograms, and a hand-rolled JSON writer behind
 //!   `slj trace` and the `--metrics` flags.
+//! - [`check`] — project-invariant static analysis: the `slj check`
+//!   source linter (determinism/perf/robustness rules with a ratcheted
+//!   baseline) and the trained-model artifact auditor.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 //! ```
 
 pub use slj_bayes as bayes;
+pub use slj_check as check;
 pub use slj_core as core;
 pub use slj_ga as ga;
 pub use slj_imaging as imaging;

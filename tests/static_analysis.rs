@@ -1,0 +1,70 @@
+//! The static-analysis gate, enforced by `cargo test`.
+//!
+//! Lints the real workspace sources against the committed
+//! `check-baseline.json` ratchet: any (rule, file) cell that got worse
+//! fails this test with the same message `slj check --workspace
+//! --baseline check-baseline.json` would print in CI. Cells that
+//! improved are reported as a reminder to tighten the baseline, but do
+//! not fail.
+
+use std::path::Path;
+
+use slj_repro::check::baseline::Baseline;
+use slj_repro::check::lint::lint_workspace;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_lint_respects_the_ratchet() {
+    let root = repo_root();
+    let findings = lint_workspace(root).expect("workspace walk succeeds");
+    let current = Baseline::from_findings(&findings);
+    let committed =
+        Baseline::load(&root.join("check-baseline.json")).expect("committed baseline parses");
+    let report = committed.compare(&current);
+    assert!(
+        report.regressions.is_empty(),
+        "slj-check ratchet regressions (fix them or justify with \
+         `// slj-check: allow(<rule>) — <reason>`):\n{:#?}",
+        report.regressions
+    );
+    if !report.improvements.is_empty() {
+        eprintln!(
+            "note: {} baseline cell(s) improved — run `slj check --workspace --write-baseline` \
+             and commit the tighter counts",
+            report.improvements.len()
+        );
+    }
+}
+
+#[test]
+fn allow_directives_all_carry_reasons() {
+    // check/allow-missing-reason findings are never baselined; any one
+    // of them is an error regardless of the ratchet.
+    let findings = lint_workspace(repo_root()).expect("workspace walk succeeds");
+    let bare: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "check/allow-missing-reason")
+        .collect();
+    assert!(
+        bare.is_empty(),
+        "allow directives without reasons: {bare:?}"
+    );
+}
+
+#[test]
+fn determinism_and_hot_path_rules_are_clean() {
+    // The grandfathered baseline covers robustness/no-panic-in-lib only;
+    // the determinism, perf, and obs rules must stay at zero outright.
+    let findings = lint_workspace(repo_root()).expect("workspace walk succeeds");
+    let hard: Vec<_> = findings
+        .iter()
+        .filter(|f| f.is_active() && !f.rule.starts_with("robustness/"))
+        .collect();
+    assert!(
+        hard.is_empty(),
+        "determinism/perf/obs rules must have zero unsuppressed findings: {hard:?}"
+    );
+}
