@@ -146,7 +146,11 @@ impl FrameSlots {
 ///
 /// The standard bank is built by [`FrontEnd::new`]; ablations can swap
 /// individual stages via [`FrontEnd::from_stages`].
-pub trait FrameStage: fmt::Debug {
+///
+/// `Send` so a [`JumpSession`] holding a stage bank can migrate across
+/// worker threads — the serving layer checks sessions in and out of a
+/// shared table from whichever worker picks up the request.
+pub trait FrameStage: fmt::Debug + Send {
     /// Stable stage name (one of [`STAGE_NAMES`] for the standard bank).
     fn name(&self) -> &'static str;
 
@@ -760,6 +764,13 @@ impl<'m> JumpSession<'m> {
     /// The most recently recognised (non-Unknown) pose.
     pub fn last_recognized(&self) -> slj_sim::pose::PoseClass {
         self.classifier.last_recognized()
+    }
+
+    /// The decision internals of the most recent frame, or `None`
+    /// before the first push. The serving layer pairs this with the
+    /// estimate to build its wire decision records.
+    pub fn last_decision(&self) -> Option<crate::model::Decision> {
+        self.classifier.last_decision()
     }
 }
 

@@ -75,21 +75,21 @@ pub fn save_mask_pgm(path: impl AsRef<Path>, mask: &BinaryImage) -> Result<(), I
 pub fn read_pgm<R: Read>(mut r: R) -> Result<GrayImage, ImagingError> {
     let mut bytes = Vec::new();
     r.read_to_end(&mut bytes)?;
-    let (magic, rest) = parse_header(&bytes)?;
+    let (magic, width, height, offset) = parse_header(&bytes)?;
     if magic != "P5" {
         return Err(ImagingError::MalformedPnm(format!(
             "expected P5 magic, got {magic}"
         )));
     }
-    let (width, height, data) = rest;
-    if data.len() < width * height {
+    let need = checked_payload_len(width, height, 1)?;
+    let data = &bytes[offset..];
+    if data.len() < need {
         return Err(ImagingError::MalformedPnm(format!(
-            "pixel payload truncated: need {} bytes, have {}",
-            width * height,
+            "pixel payload truncated: need {need} bytes, have {}",
             data.len()
         )));
     }
-    GrayImage::from_vec(width, height, data[..width * height].to_vec())
+    GrayImage::from_vec(width, height, data[..need].to_vec())
 }
 
 /// Reads a binary PPM (P6, maxval 255) image.
@@ -101,14 +101,45 @@ pub fn read_pgm<R: Read>(mut r: R) -> Result<GrayImage, ImagingError> {
 pub fn read_ppm<R: Read>(mut r: R) -> Result<RgbImage, ImagingError> {
     let mut bytes = Vec::new();
     r.read_to_end(&mut bytes)?;
-    let (magic, rest) = parse_header(&bytes)?;
+    let (img, _consumed) = read_ppm_prefix(&bytes)?;
+    Ok(img)
+}
+
+/// Parses the P6 header at the start of `bytes` without touching the
+/// pixel payload.
+///
+/// Returns `(width, height, payload_offset)`. Callers that receive
+/// untrusted bytes (the serving layer) use this to validate dimensions
+/// *before* any pixel allocation happens.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::MalformedPnm`] on a bad or non-P6 header.
+pub fn ppm_header(bytes: &[u8]) -> Result<(usize, usize, usize), ImagingError> {
+    let (magic, width, height, offset) = parse_header(bytes)?;
     if magic != "P6" {
         return Err(ImagingError::MalformedPnm(format!(
             "expected P6 magic, got {magic}"
         )));
     }
-    let (width, height, data) = rest;
-    let need = width * height * 3;
+    Ok((width, height, offset))
+}
+
+/// Reads one binary PPM (P6, maxval 255) from the start of `bytes` and
+/// returns the image plus the number of bytes consumed.
+///
+/// P6 is self-delimiting (the header fixes the payload length), so
+/// concatenated PPM streams — the serving layer's clip wire format —
+/// split cleanly by calling this in a loop and advancing by `consumed`.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::MalformedPnm`] on a bad header or truncated
+/// payload.
+pub fn read_ppm_prefix(bytes: &[u8]) -> Result<(RgbImage, usize), ImagingError> {
+    let (width, height, offset) = ppm_header(bytes)?;
+    let need = checked_payload_len(width, height, 3)?;
+    let data = &bytes[offset..];
     if data.len() < need {
         return Err(ImagingError::MalformedPnm(format!(
             "pixel payload truncated: need {need} bytes, have {}",
@@ -119,12 +150,26 @@ pub fn read_ppm<R: Read>(mut r: R) -> Result<RgbImage, ImagingError> {
         .chunks_exact(3)
         .map(|c| Rgb::new(c[0], c[1], c[2]))
         .collect();
-    RgbImage::from_vec(width, height, pixels)
+    let img = RgbImage::from_vec(width, height, pixels)?;
+    Ok((img, offset + need))
 }
 
-/// Parses `magic, width, height, maxval` and returns the remaining payload.
-#[allow(clippy::type_complexity)]
-fn parse_header(bytes: &[u8]) -> Result<(String, (usize, usize, Vec<u8>)), ImagingError> {
+/// `width * height * channels` with overflow reported as a malformed
+/// header instead of a wrap-around (headers can be adversarial).
+fn checked_payload_len(
+    width: usize,
+    height: usize,
+    channels: usize,
+) -> Result<usize, ImagingError> {
+    width
+        .checked_mul(height)
+        .and_then(|px| px.checked_mul(channels))
+        .ok_or_else(|| ImagingError::MalformedPnm(format!("dimensions {width}x{height} overflow")))
+}
+
+/// Parses `magic, width, height, maxval`; returns the magic, dimensions,
+/// and the byte offset where the pixel payload starts.
+fn parse_header(bytes: &[u8]) -> Result<(String, usize, usize, usize), ImagingError> {
     let mut pos = 0usize;
     let mut tokens = Vec::new();
     // Read 4 whitespace-separated tokens, skipping '#' comments.
@@ -170,7 +215,7 @@ fn parse_header(bytes: &[u8]) -> Result<(String, (usize, usize, Vec<u8>)), Imagi
             "only maxval 255 supported, got {maxval}"
         )));
     }
-    Ok((magic, (width, height, bytes[pos..].to_vec())))
+    Ok((magic, width, height, pos))
 }
 
 #[cfg(test)]
@@ -227,6 +272,44 @@ mod tests {
     fn unsupported_maxval_rejected() {
         let buf: Vec<u8> = b"P5\n1 1\n65535\n\x00\x00".to_vec();
         assert!(read_pgm(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn concatenated_ppms_split_by_prefix_reads() {
+        let a = RgbImage::from_fn(3, 2, |x, y| Rgb::new(x as u8, y as u8, 1));
+        let b = RgbImage::from_fn(2, 2, |x, y| Rgb::new(x as u8, y as u8, 2));
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, &a).unwrap();
+        write_ppm(&mut buf, &b).unwrap();
+        let (first, used) = read_ppm_prefix(&buf).unwrap();
+        assert_eq!(first, a);
+        let (second, used2) = read_ppm_prefix(&buf[used..]).unwrap();
+        assert_eq!(second, b);
+        assert_eq!(used + used2, buf.len());
+        assert!(matches!(
+            read_ppm_prefix(&buf[used + used2..]),
+            Err(ImagingError::MalformedPnm(_))
+        ));
+    }
+
+    #[test]
+    fn ppm_header_reports_dims_without_reading_pixels() {
+        // Header claims a huge payload that is not actually present:
+        // header parsing alone must still succeed.
+        let buf: Vec<u8> = b"P6\n4096 4096\n255\n".to_vec();
+        let (w, h, off) = ppm_header(&buf).unwrap();
+        assert_eq!((w, h), (4096, 4096));
+        assert_eq!(off, buf.len());
+        assert!(read_ppm_prefix(&buf).is_err());
+    }
+
+    #[test]
+    fn overflowing_dimensions_rejected_not_wrapped() {
+        let huge = format!("P6\n{} {}\n255\n", usize::MAX, 3);
+        assert!(matches!(
+            read_ppm_prefix(huge.as_bytes()),
+            Err(ImagingError::MalformedPnm(_))
+        ));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! kernels) therefore time themselves through [`Stopwatch`], keeping
 //! every clock read behind an interface the auditor can see.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A started monotonic timer.
@@ -49,6 +51,91 @@ impl Stopwatch {
     }
 }
 
+/// An injectable nanosecond clock.
+///
+/// Production code holds a [`Clock::monotonic`] (backed by [`Instant`],
+/// the only wall-clock read point the `determinism/no-wall-clock` rule
+/// permits); tests hold a [`Clock::manual`] and step time forward
+/// explicitly, so time-dependent behaviour — idle-session reaping,
+/// deadline expiry — is unit-testable without sleeping.
+///
+/// Cloning a manual clock shares its counter: advancing any clone
+/// advances them all.
+///
+/// # Examples
+///
+/// ```
+/// use slj_obs::Clock;
+///
+/// let clock = Clock::manual();
+/// assert_eq!(clock.now_ns(), 0);
+/// clock.advance(1_500);
+/// assert_eq!(clock.now_ns(), 1_500);
+///
+/// let wall = Clock::monotonic();
+/// assert!(wall.now_ns() <= wall.now_ns());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Clock {
+    inner: ClockInner,
+}
+
+#[derive(Debug, Clone)]
+enum ClockInner {
+    Monotonic(Instant),
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A real clock: nanoseconds since this call, monotonic.
+    #[must_use]
+    pub fn monotonic() -> Self {
+        Clock {
+            inner: ClockInner::Monotonic(Instant::now()),
+        }
+    }
+
+    /// A test clock that starts at zero and only moves via [`Clock::advance`].
+    #[must_use]
+    pub fn manual() -> Self {
+        Clock {
+            inner: ClockInner::Manual(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// Nanoseconds since the clock's epoch (construction for monotonic
+    /// clocks, zero for manual ones).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            ClockInner::Monotonic(epoch) => {
+                u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            ClockInner::Manual(ns) => ns.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Steps a manual clock forward by `ns`. No-op on a monotonic clock
+    /// (real time cannot be steered).
+    pub fn advance(&self, ns: u64) {
+        if let ClockInner::Manual(counter) = &self.inner {
+            counter.fetch_add(ns, Ordering::SeqCst);
+        }
+    }
+
+    /// `true` for clocks created with [`Clock::manual`].
+    #[must_use]
+    pub fn is_manual(&self) -> bool {
+        matches!(self.inner, ClockInner::Manual(_))
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::monotonic()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +155,29 @@ mod tests {
         let copy = watch;
         assert!(format!("{copy:?}").contains("Stopwatch"));
         assert!(watch.elapsed() <= copy.elapsed().max(watch.elapsed()));
+    }
+
+    #[test]
+    fn manual_clock_clones_share_the_counter() {
+        let clock = Clock::manual();
+        let clone = clock.clone();
+        clock.advance(10);
+        clone.advance(5);
+        assert_eq!(clock.now_ns(), 15);
+        assert_eq!(clone.now_ns(), 15);
+        assert!(clock.is_manual());
+    }
+
+    #[test]
+    fn monotonic_clock_ignores_advance_and_moves_forward() {
+        let clock = Clock::monotonic();
+        let before = clock.now_ns();
+        clock.advance(1_000_000_000);
+        let after = clock.now_ns();
+        // `advance` must not have jumped us a second into the future.
+        assert!(after < before + 1_000_000_000);
+        assert!(after >= before);
+        assert!(!clock.is_manual());
+        assert!(!Clock::default().is_manual());
     }
 }

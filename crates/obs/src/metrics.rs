@@ -7,6 +7,7 @@
 //! sorted by name) through the crate's [`JsonWriter`].
 
 use crate::json::JsonWriter;
+use crate::lock_unpoisoned;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -263,7 +264,7 @@ impl Registry {
 
     /// The counter registered under `name` (created on first use).
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.inner.lock().expect("registry poisoned");
+        let mut map = lock_unpoisoned(&self.inner);
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Counter::new()))
@@ -275,7 +276,7 @@ impl Registry {
 
     /// The gauge registered under `name` (created on first use).
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.inner.lock().expect("registry poisoned");
+        let mut map = lock_unpoisoned(&self.inner);
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Gauge::new()))
@@ -287,7 +288,7 @@ impl Registry {
 
     /// The histogram registered under `name` (created on first use).
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.inner.lock().expect("registry poisoned");
+        let mut map = lock_unpoisoned(&self.inner);
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Histogram::new()))
@@ -299,7 +300,7 @@ impl Registry {
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry poisoned").len()
+        lock_unpoisoned(&self.inner).len()
     }
 
     /// Whether no metric has been registered.
@@ -313,7 +314,7 @@ impl Registry {
     /// {"schema": 1, "metrics": {"name": {"type": "counter", "value": 3}, ...}}
     /// ```
     pub fn snapshot_json(&self) -> String {
-        let map = self.inner.lock().expect("registry poisoned").clone();
+        let map = lock_unpoisoned(&self.inner).clone();
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("schema");

@@ -7,6 +7,7 @@
 //! implementing [`TraceSink`]) every event carries a monotonic nanosecond
 //! timestamp relative to the tracer's epoch.
 
+use crate::lock_unpoisoned;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -110,16 +111,12 @@ impl RingSink {
 
     /// Removes and returns all buffered events, oldest first.
     pub fn drain(&self) -> Vec<Event> {
-        self.events
-            .lock()
-            .expect("ring poisoned")
-            .drain(..)
-            .collect()
+        lock_unpoisoned(&self.events).drain(..).collect()
     }
 
     /// Number of currently buffered events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("ring poisoned").len()
+        lock_unpoisoned(&self.events).len()
     }
 
     /// Whether the ring is empty.
@@ -135,7 +132,7 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn record(&self, event: Event) {
-        let mut events = self.events.lock().expect("ring poisoned");
+        let mut events = lock_unpoisoned(&self.events);
         if events.len() == self.capacity {
             events.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,129 @@
+//! A minimal blocking HTTP/1.1 client — enough for the load generator,
+//! the integration tests, and `slj loadgen` to talk to the server
+//! without external dependencies. One request per connection
+//! (the server answers `connection: close`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (`200`, `429`, ...).
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy — responses from this server are
+    /// always UTF-8 JSON).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Any socket-level failure (connect, timeout, short read) surfaces as
+/// `io::Error`; HTTP error statuses are *not* errors — callers inspect
+/// [`HttpResponse::status`].
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    timeout_ms: u64,
+) -> std::io::Result<HttpResponse> {
+    let timeout = Duration::from_millis(timeout_ms.max(1));
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    // A server may reject from the headers alone and close its read
+    // side while we are still uploading; keep going and read whatever
+    // response made it back instead of failing on the broken pipe.
+    let _ = stream.write_all(body).and_then(|()| stream.flush());
+
+    // The server closes after one response, so read to EOF.
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let bad = |msg: &str| std::io::Error::other(msg.to_string());
+    let split = find_head_end(raw).ok_or_else(|| bad("response head never terminated"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an HTTP/1.x response"));
+    }
+    let status: u16 = parts
+        .next()
+        .unwrap_or_default()
+        .parse()
+        .map_err(|_| bad("bad status code"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: raw[split + 4..].to_vec(),
+    })
+}
+
+fn find_head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\ncontent-type: application/json\r\nretry-after: 1\r\n\r\n{\"e\":1}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("Retry-After"), Some("1"));
+        assert_eq!(resp.text(), "{\"e\":1}");
+    }
+
+    #[test]
+    fn truncated_head_is_an_error() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\ncontent-le").is_err());
+        assert!(parse_response(b"SMTP/1.0 200\r\n\r\n").is_err());
+    }
+}

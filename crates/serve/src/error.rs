@@ -1,0 +1,187 @@
+//! Error types: structured wire errors ([`ApiError`]) and server-side
+//! failures ([`ServeError`]).
+
+use slj_core::error::SljError;
+use slj_imaging::ImagingError;
+use slj_obs::JsonWriter;
+use std::fmt;
+
+/// A structured HTTP error: status code, stable machine-readable code,
+/// human-readable message.
+///
+/// Every 4xx/5xx the server emits goes through this type, so clients
+/// always receive `{"error":{"code":...,"status":...,"message":...}}`
+/// instead of a dropped connection or an unstructured body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code (400, 404, 413, 429, 503, ...).
+    pub status: u16,
+    /// Stable snake_case error code for programmatic handling.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Builds an error with the given status/code/message.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// `400 bad_request` with a detail message.
+    pub fn bad_request(code: &'static str, message: impl Into<String>) -> Self {
+        ApiError::new(400, code, message)
+    }
+
+    /// `404 not_found` for an unknown route.
+    pub fn not_found(path: &str) -> Self {
+        ApiError::new(404, "not_found", format!("no route for {path}"))
+    }
+
+    /// `429` backpressure rejection (queue or session table full).
+    pub fn too_many(code: &'static str, message: impl Into<String>) -> Self {
+        ApiError::new(429, code, message)
+    }
+
+    /// `503 deadline_exceeded` for requests that expired before or
+    /// during processing.
+    pub fn deadline_exceeded(elapsed_ms: u64, deadline_ms: u64) -> Self {
+        ApiError::new(
+            503,
+            "deadline_exceeded",
+            format!("request exceeded its {deadline_ms} ms deadline after {elapsed_ms} ms"),
+        )
+    }
+
+    /// Renders the structured JSON body.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("error");
+        w.begin_object();
+        w.key("code");
+        w.string(self.code);
+        w.key("status");
+        w.u64(u64::from(self.status));
+        w.key("message");
+        w.string(&self.message);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.status, self.code, self.message)
+    }
+}
+
+impl From<SljError> for ApiError {
+    /// Maps pipeline failures to statuses: imaging errors are the
+    /// client's fault (bad frame bytes or mismatched dimensions → 400),
+    /// everything else is a server-side 500.
+    fn from(e: SljError) -> Self {
+        match e {
+            SljError::Imaging(img) => ApiError::from(img),
+            SljError::ConfigMismatch(msg) => ApiError::new(409, "config_mismatch", msg),
+            other => ApiError::new(500, "pipeline_error", other.to_string()),
+        }
+    }
+}
+
+impl From<ImagingError> for ApiError {
+    fn from(e: ImagingError) -> Self {
+        match e {
+            ImagingError::MalformedPnm(msg) => {
+                ApiError::bad_request("bad_frame", format!("malformed PPM frame: {msg}"))
+            }
+            other => ApiError::bad_request("bad_frame", other.to_string()),
+        }
+    }
+}
+
+/// Server lifecycle failures: bind/accept errors and worker-pool
+/// failures. Per-request problems never surface here — they become
+/// [`ApiError`] responses instead.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, local_addr, client connect).
+    Io(std::io::Error),
+    /// The worker pool failed (a worker panicked).
+    Runtime(slj_runtime::RuntimeError),
+    /// Invalid server or loadgen configuration.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServeError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Runtime(e) => Some(e),
+            ServeError::Config(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<slj_runtime::RuntimeError> for ServeError {
+    fn from(e: slj_runtime::RuntimeError) -> Self {
+        ServeError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_error_renders_structured_json() {
+        let e = ApiError::bad_request("json_invalid", "unexpected token");
+        let json = e.to_json();
+        assert_eq!(
+            json,
+            "{\"error\":{\"code\":\"json_invalid\",\"status\":400,\
+             \"message\":\"unexpected token\"}}"
+        );
+        assert!(e.to_string().contains("400 json_invalid"));
+    }
+
+    #[test]
+    fn slj_errors_map_to_client_or_server_status() {
+        let imaging = SljError::Imaging(ImagingError::MalformedPnm("bad magic".into()));
+        assert_eq!(ApiError::from(imaging).status, 400);
+        let runtime = SljError::Runtime("worker died".into());
+        assert_eq!(ApiError::from(runtime).status, 500);
+        let mismatch = SljError::ConfigMismatch("partitions".into());
+        assert_eq!(ApiError::from(mismatch).status, 409);
+    }
+
+    #[test]
+    fn serve_error_display_and_source() {
+        use std::error::Error;
+        let e = ServeError::from(std::io::Error::other("x"));
+        assert!(e.to_string().contains("io error"));
+        assert!(e.source().is_some());
+        assert!(ServeError::Config("bad".into()).source().is_none());
+    }
+}

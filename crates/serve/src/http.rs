@@ -1,0 +1,381 @@
+//! Minimal HTTP/1.1 on raw [`TcpStream`]s: request reading with hard
+//! limits, response writing with `Connection: close`.
+//!
+//! This is deliberately a subset — one request per connection, explicit
+//! `Content-Length` framing, no chunked encoding, no keep-alive. The
+//! serving layer's clients (recording stations, the load generator)
+//! open a connection per clip or frame batch, so the subset keeps the
+//! parser small enough to audit while every limit stays enforceable:
+//! header block and body sizes are capped before any allocation is
+//! sized by attacker-controlled numbers.
+
+use crate::error::ApiError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Parsing limits for one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes for the request line + headers.
+    pub max_head: usize,
+    /// Maximum bytes for the body (`Content-Length` above this is 413).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: 8 * 1024,
+            max_body: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Request target as sent (no query parsing — the API doesn't use
+    /// query strings).
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the (lower-case) header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from `stream`, enforcing `limits`.
+///
+/// # Errors
+///
+/// Every failure is an [`ApiError`] ready to be written back: `400`
+/// for malformed syntax or truncated bodies, `408` for read timeouts,
+/// `413` when the declared body exceeds the limit, `501` for chunked
+/// encoding. A request without `Content-Length` (and without
+/// `Transfer-Encoding`) has no body, per RFC 7230 — so a bare
+/// `curl -X POST` works for body-less endpoints like `/admin/shutdown`.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ApiError> {
+    let (head, mut body) = read_head(stream, limits)?;
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| ApiError::bad_request("bad_request", "request head is not valid UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ApiError::bad_request("bad_request", "empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ApiError::bad_request("bad_request", "missing method"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| ApiError::bad_request("bad_request", "missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ApiError::bad_request("bad_request", "missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ApiError::bad_request(
+            "bad_request",
+            format!("unsupported protocol {version:?}"),
+        ));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            ApiError::bad_request("bad_request", format!("malformed header line {line:?}"))
+        })?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ApiError::new(
+            501,
+            "unsupported_encoding",
+            "chunked transfer encoding is not supported; send Content-Length",
+        ));
+    }
+
+    let content_length = match request.header("content-length") {
+        Some(v) => v.trim().parse::<usize>().map_err(|_| {
+            ApiError::bad_request("bad_request", format!("unparseable Content-Length {v:?}"))
+        })?,
+        None => 0,
+    };
+    if content_length > limits.max_body {
+        // Drain a bounded slice of the unread body so a client mid-way
+        // through its upload gets this response instead of a connection
+        // reset. The cap keeps a hostile Content-Length from turning
+        // the courtesy into a resource sink.
+        const DRAIN_CAP: usize = 4 << 20;
+        drain(
+            stream,
+            content_length.saturating_sub(body.len()).min(DRAIN_CAP),
+        );
+        return Err(ApiError::new(
+            413,
+            "body_too_large",
+            format!(
+                "declared body of {content_length} bytes exceeds the {} byte limit",
+                limits.max_body
+            ),
+        ));
+    }
+
+    // `read_head` may have buffered the start of the body already.
+    if body.len() > content_length {
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let mut chunk = [0u8; 16 * 1024];
+        let want = (content_length - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(ApiError::bad_request(
+                    "body_truncated",
+                    format!(
+                        "connection closed after {} of {content_length} body bytes",
+                        body.len()
+                    ),
+                ));
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                return Err(ApiError::new(
+                    408,
+                    "body_timeout",
+                    format!(
+                        "timed out after {} of {content_length} body bytes",
+                        body.len()
+                    ),
+                ));
+            }
+            Err(e) => {
+                return Err(ApiError::bad_request(
+                    "body_truncated",
+                    format!("read failed: {e}"),
+                ));
+            }
+        }
+    }
+
+    Ok(Request { body, ..request })
+}
+
+/// Reads until the `\r\n\r\n` head/body separator; returns the head and
+/// any body bytes that arrived in the same reads.
+fn read_head(stream: &mut TcpStream, limits: &Limits) -> Result<(Vec<u8>, Vec<u8>), ApiError> {
+    let mut buf = Vec::with_capacity(1024);
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let body = buf.split_off(end + 4);
+            buf.truncate(end);
+            return Ok((buf, body));
+        }
+        if buf.len() > limits.max_head {
+            return Err(ApiError::new(
+                431,
+                "head_too_large",
+                format!("request head exceeds {} bytes", limits.max_head),
+            ));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(ApiError::bad_request(
+                    "bad_request",
+                    "connection closed before the request head completed",
+                ));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                return Err(ApiError::new(
+                    408,
+                    "head_timeout",
+                    "timed out reading the request head",
+                ));
+            }
+            Err(e) => {
+                return Err(ApiError::bad_request(
+                    "bad_request",
+                    format!("read failed: {e}"),
+                ));
+            }
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads and discards up to `n` bytes; stops early on EOF, timeout, or
+/// any other error (the connection is about to be closed anyway).
+fn drain(stream: &mut TcpStream, n: usize) {
+    let mut remaining = n;
+    let mut chunk = [0u8; 16 * 1024];
+    while remaining > 0 {
+        let want = remaining.min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) | Err(_) => break,
+            Ok(read) => remaining -= read,
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// One response, always `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` seconds (backpressure responses).
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// The structured-JSON rendering of an [`ApiError`]; 429s carry
+    /// `Retry-After: 1`.
+    pub fn from_error(err: &ApiError) -> Self {
+        Response {
+            status: err.status,
+            content_type: "application/json",
+            body: err.to_json().into_bytes(),
+            retry_after: (err.status == 429).then_some(1),
+        }
+    }
+
+    /// Serialises status line, headers and body into one buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+                self.status,
+                status_text(self.status),
+                self.content_type,
+                self.body.len()
+            )
+            .as_bytes(),
+        );
+        if let Some(secs) = self.retry_after {
+            out.extend_from_slice(format!("retry-after: {secs}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"connection: close\r\n\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response and flushes. Write failures are reported so
+    /// the caller can count them, but the connection is closed either
+    /// way.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reason phrases for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_is_found_across_chunks() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn response_bytes_carry_length_and_close() {
+        let resp = Response::json(200, "{\"ok\":true}".to_string());
+        let text = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn backpressure_response_carries_retry_after() {
+        let resp = Response::from_error(&ApiError::too_many("queue_full", "try later"));
+        let text = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("\"code\":\"queue_full\""));
+    }
+
+    #[test]
+    fn status_texts_cover_the_emitted_codes() {
+        for code in [
+            200, 201, 400, 404, 405, 408, 409, 411, 413, 422, 429, 431, 500, 501, 503,
+        ] {
+            assert_ne!(status_text(code), "Unknown", "missing text for {code}");
+        }
+        assert_eq!(status_text(599), "Unknown");
+    }
+}

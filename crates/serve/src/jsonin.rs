@@ -1,0 +1,227 @@
+//! Minimal JSON *input* parsing for the one endpoint that accepts JSON.
+//!
+//! `POST /v1/sessions` takes an optional flat configuration object —
+//! integer-valued keys like `{"ttl_ms": 30000, "poses": 22}`. The
+//! workspace is dependency-free, so this module hand-rolls exactly that
+//! subset: one object, string keys, integer values, `null` ignored.
+//! Anything else (nested objects, arrays, strings, floats) is rejected
+//! with a structured error — the API surface stays small on purpose.
+
+use crate::error::ApiError;
+
+/// Parses an optional flat JSON object of integer fields.
+///
+/// An empty or whitespace-only body parses as the empty map (all
+/// defaults). Duplicate keys keep the last value, matching common JSON
+/// parser behaviour.
+///
+/// # Errors
+///
+/// `400 json_invalid` for anything that is not a flat object of
+/// integers (including non-UTF-8 bytes).
+pub fn parse_flat_object(body: &[u8]) -> Result<Vec<(String, i64)>, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("json_invalid", "body is not valid UTF-8"))?;
+    let mut chars = Cursor::new(text);
+    chars.skip_ws();
+    if chars.done() {
+        return Ok(Vec::new());
+    }
+    chars.consume('{')?;
+    let mut fields = Vec::new();
+    chars.skip_ws();
+    if chars.peek() == Some('}') {
+        chars.next_char();
+    } else {
+        loop {
+            chars.skip_ws();
+            let key = chars.string()?;
+            chars.skip_ws();
+            chars.consume(':')?;
+            chars.skip_ws();
+            if chars.keyword("null") {
+                // tolerated and ignored: "use the default"
+            } else {
+                let value = chars.integer()?;
+                fields.push((key, value));
+            }
+            chars.skip_ws();
+            match chars.next_char() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => {
+                    return Err(ApiError::bad_request(
+                        "json_invalid",
+                        format!("expected ',' or '}}', got {other:?}"),
+                    ));
+                }
+            }
+        }
+    }
+    chars.skip_ws();
+    if !chars.done() {
+        return Err(ApiError::bad_request(
+            "json_invalid",
+            "trailing bytes after the JSON object",
+        ));
+    }
+    Ok(fields)
+}
+
+/// Looks up `key` in parsed fields.
+pub fn field(fields: &[(String, i64)], key: &str) -> Option<i64> {
+    fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+struct Cursor<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor { rest: text }
+    }
+
+    fn done(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest.chars().next()
+    }
+
+    fn next_char(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.rest = &self.rest[c.len_utf8()..];
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn consume(&mut self, want: char) -> Result<(), ApiError> {
+        match self.next_char() {
+            Some(c) if c == want => Ok(()),
+            other => Err(ApiError::bad_request(
+                "json_invalid",
+                format!("expected {want:?}, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Consumes `word` if it is next; returns whether it was.
+    fn keyword(&mut self, word: &str) -> bool {
+        if let Some(rest) = self.rest.strip_prefix(word) {
+            self.rest = rest;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A JSON string without escape support (config keys are plain
+    /// identifiers; an escape is a parse error, not a silent mangle).
+    fn string(&mut self) -> Result<String, ApiError> {
+        self.consume('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_char() {
+                Some('"') => return Ok(out),
+                Some('\\') => {
+                    return Err(ApiError::bad_request(
+                        "json_invalid",
+                        "escape sequences are not supported in config keys",
+                    ));
+                }
+                Some(c) => out.push(c),
+                None => {
+                    return Err(ApiError::bad_request("json_invalid", "unterminated string"));
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, ApiError> {
+        let digits: String = {
+            let mut s = String::new();
+            if self.peek() == Some('-') {
+                s.push('-');
+                self.next_char();
+            }
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    s.push(c);
+                    self.next_char();
+                } else {
+                    break;
+                }
+            }
+            s
+        };
+        if matches!(self.peek(), Some('.') | Some('e') | Some('E')) {
+            return Err(ApiError::bad_request(
+                "json_invalid",
+                "only integer values are accepted",
+            ));
+        }
+        digits
+            .parse::<i64>()
+            .map_err(|_| ApiError::bad_request("json_invalid", format!("bad integer {digits:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_bare_object_parse_to_no_fields() {
+        assert!(parse_flat_object(b"").unwrap().is_empty());
+        assert!(parse_flat_object(b"  \n ").unwrap().is_empty());
+        assert!(parse_flat_object(b"{}").unwrap().is_empty());
+        assert!(parse_flat_object(b" { } ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn integer_fields_parse_in_order() {
+        let fields = parse_flat_object(b"{\"ttl_ms\": 30000, \"poses\": 22}").unwrap();
+        assert_eq!(field(&fields, "ttl_ms"), Some(30_000));
+        assert_eq!(field(&fields, "poses"), Some(22));
+        assert_eq!(field(&fields, "missing"), None);
+    }
+
+    #[test]
+    fn null_values_mean_use_the_default() {
+        let fields = parse_flat_object(b"{\"ttl_ms\": null, \"poses\": 22}").unwrap();
+        assert_eq!(field(&fields, "ttl_ms"), None);
+        assert_eq!(field(&fields, "poses"), Some(22));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_value() {
+        let fields = parse_flat_object(b"{\"n\": 1, \"n\": 2}").unwrap();
+        assert_eq!(field(&fields, "n"), Some(2));
+    }
+
+    #[test]
+    fn malformed_inputs_are_structured_errors() {
+        for bad in [
+            &b"{"[..],
+            b"{\"a\"}",
+            b"{\"a\": }",
+            b"{\"a\": 1.5}",
+            b"{\"a\": \"text\"}",
+            b"{\"a\": [1]}",
+            b"{\"a\": 1} trailing",
+            b"[1, 2]",
+            b"{\"a\\n\": 1}",
+            b"{\"unterminated: 1}",
+            b"\xff\xfe not utf8",
+        ] {
+            let err = parse_flat_object(bad).unwrap_err();
+            assert_eq!(err.status, 400, "input {bad:?}");
+            assert_eq!(err.code, "json_invalid", "input {bad:?}");
+        }
+    }
+}

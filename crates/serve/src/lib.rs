@@ -1,0 +1,78 @@
+//! Network serving layer for the standing-long-jump pipeline.
+//!
+//! The ROADMAP's deployment shape is many short clips arriving
+//! concurrently from many recording stations — a multi-session server,
+//! not a batch CLI. This crate puts [`slj_core::engine::JumpSession`]
+//! behind a socket with **zero external dependencies**: a hand-rolled
+//! HTTP/1.1 server on [`std::net::TcpListener`], worker threads hosted
+//! by [`slj_runtime::ThreadPool`], and every request traced and counted
+//! through [`slj_obs`].
+//!
+//! # Endpoints
+//!
+//! | Method + path                  | Body in                | Out |
+//! |--------------------------------|------------------------|-----|
+//! | `POST /v1/evaluate`            | background + frame PPMs | scored result: per-frame decisions + standards faults |
+//! | `POST /v1/sessions`            | optional JSON config   | session id |
+//! | `POST /v1/sessions/{id}/frames`| one or more frame PPMs | per-frame [`slj_core::model::Decision`] records |
+//! | `DELETE /v1/sessions/{id}`     | —                      | final standards assessment |
+//! | `GET /healthz`                 | —                      | liveness + session count |
+//! | `GET /metrics`                 | —                      | [`slj_obs::Registry`] snapshot |
+//! | `POST /admin/shutdown`         | —                      | acknowledges, then drains |
+//!
+//! Clip payloads are concatenated binary PPMs (P6 is self-delimiting,
+//! so a byte stream splits into frames without any framing protocol);
+//! responses are JSON rendered by [`slj_obs::JsonWriter`]. The decision
+//! records on the wire are **bit-identical** to what an in-process
+//! session produces — `tests/serve_http.rs` at the repository root
+//! extends the determinism contract across the socket.
+//!
+//! # Admission control
+//!
+//! Accepted connections enter a bounded queue ([`ServerConfig::queue_depth`]).
+//! When the queue is full the acceptor answers `429 Too Many Requests`
+//! with a `Retry-After` header instead of queueing — backpressure is
+//! explicit, never an unbounded buffer. Each request carries a deadline
+//! from the moment it was accepted; requests that expire in the queue or
+//! mid-clip get `503`. Malformed input (truncated bodies, bad PPM
+//! headers, oversized frames, invalid JSON) yields a structured JSON
+//! error with a 4xx status — never a panic, never a dropped connection.
+//!
+//! Graceful shutdown (`POST /admin/shutdown`, or [`ShutdownHandle`])
+//! stops the acceptor, drains queued and in-flight requests, and then
+//! returns from [`Server::run`]. The workspace bans `unsafe`, so POSIX
+//! signal handlers are out of reach; process supervisors should send the
+//! shutdown request instead of relying on `SIGTERM`.
+//!
+//! # Load generation
+//!
+//! [`loadgen`] is the closed-loop counterpart: it synthesizes a clip
+//! with [`slj_sim`], fires N concurrent clients at a target server, and
+//! reports throughput plus p50/p95/p99 latency through the same
+//! [`slj_obs::Histogram`] machinery the engine uses (`slj loadgen` on
+//! the CLI).
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod jsonin;
+pub mod loadgen;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use error::{ApiError, ServeError};
+pub use http::{Limits, Request, Response};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use server::{Server, ServerConfig, ServerHandle, ServerReport, ShutdownHandle};
+pub use session::SessionTable;
+
+/// Locks `mutex`, recovering the data if a panicking thread poisoned
+/// it. Every guarded structure in this crate (connection queue, session
+/// table) stays well-formed mid-update, and a serving loop must outlive
+/// any single worker's panic.
+pub(crate) fn lock_unpoisoned<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

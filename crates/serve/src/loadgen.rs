@@ -1,0 +1,256 @@
+//! Closed-loop load generator driven by the simulator.
+//!
+//! Synthesises one clip with [`slj_sim::JumpSimulator`], encodes it
+//! once, and then has N concurrent clients POST it to `/v1/evaluate`
+//! back-to-back until the shared request budget runs out (closed-loop:
+//! each client waits for its response before sending the next request,
+//! so offered load tracks server capacity instead of overrunning it).
+//! Latency quantiles come from the same [`slj_obs::Histogram`] the rest
+//! of the workspace benchmarks with.
+
+use crate::client;
+use crate::error::ServeError;
+use crate::wire;
+use slj_obs::{Registry, Stopwatch};
+use slj_runtime::ThreadPool;
+use slj_sim::{ClipSpec, JumpSimulator};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Load-generator configuration; each knob has a `slj loadgen` flag.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Concurrent closed-loop clients.
+    pub concurrency: usize,
+    /// Frames per synthesized clip (besides the background).
+    pub frames: usize,
+    /// Simulator seed — same seed, same clip, same byte stream.
+    pub seed: u64,
+    /// Per-request socket timeout in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            requests: 100,
+            concurrency: 4,
+            frames: 24,
+            seed: 7,
+            timeout_ms: 30_000,
+        }
+    }
+}
+
+/// Aggregated result of one load-generator run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// Concurrent clients used.
+    pub concurrency: usize,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: u64,
+    /// Completed requests per second over the wall clock.
+    pub requests_per_s: f64,
+    /// Latency quantiles in milliseconds (successful round trips).
+    pub p50_ms: f64,
+    /// 95th percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Responses with a 2xx status.
+    pub status_2xx: u64,
+    /// Responses rejected with `429` (admission control).
+    pub status_429: u64,
+    /// Responses with `503` (deadline/draining).
+    pub status_503: u64,
+    /// Any other HTTP status.
+    pub status_other: u64,
+    /// Socket-level failures (connect refused, timeout, short read).
+    pub errors: u64,
+}
+
+impl LoadgenReport {
+    /// Serialises the report (`BENCH_PR5.json`, schema 4).
+    pub fn report_json(&self) -> String {
+        let mut w = slj_obs::JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.u64(4);
+        w.key("bench");
+        w.string("serve.loadgen");
+        w.key("requests");
+        w.u64(self.requests as u64);
+        w.key("concurrency");
+        w.u64(self.concurrency as u64);
+        w.key("wall_ms");
+        w.u64(self.wall_ms);
+        w.key("requests_per_s");
+        w.f64(self.requests_per_s);
+        w.key("p50_ms");
+        w.f64(self.p50_ms);
+        w.key("p95_ms");
+        w.f64(self.p95_ms);
+        w.key("p99_ms");
+        w.f64(self.p99_ms);
+        w.key("status_2xx");
+        w.u64(self.status_2xx);
+        w.key("status_429");
+        w.u64(self.status_429);
+        w.key("status_503");
+        w.u64(self.status_503);
+        w.key("status_other");
+        w.u64(self.status_other);
+        w.key("errors");
+        w.u64(self.errors);
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Builds the request body the generator sends: background first, then
+/// every frame of a deterministic simulated jump.
+pub fn synthesize_body(frames: usize, seed: u64) -> Vec<u8> {
+    let sim = JumpSimulator::new(seed);
+    let clip = sim.generate_clip(&ClipSpec {
+        total_frames: frames,
+        seed,
+        ..ClipSpec::default()
+    });
+    let mut refs: Vec<&slj_imaging::RgbImage> = vec![&clip.background];
+    refs.extend(clip.frames.iter());
+    wire::encode_frames(&refs)
+}
+
+/// Runs the closed loop and aggregates the outcome.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] for a zero request count or concurrency;
+/// individual request failures are *counted*, not propagated — a
+/// saturated server answering `429` is a result, not an error.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
+    if config.requests == 0 || config.concurrency == 0 {
+        return Err(ServeError::Config(
+            "loadgen needs at least 1 request and 1 client".into(),
+        ));
+    }
+    let body = synthesize_body(config.frames.max(1), config.seed);
+
+    let registry = Registry::new();
+    let latency = registry.histogram("loadgen.request.ns");
+    let remaining = AtomicUsize::new(config.requests);
+    let s2xx = AtomicU64::new(0);
+    let s429 = AtomicU64::new(0);
+    let s503 = AtomicU64::new(0);
+    let other = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+
+    let wall = Stopwatch::start();
+    let pool = ThreadPool::fixed(config.concurrency);
+    let clients: Vec<usize> = (0..config.concurrency).collect();
+    pool.scoped_run(clients, |_, _client| loop {
+        // Claim one unit of budget; stop when the shared pool is dry.
+        if remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_err()
+        {
+            break;
+        }
+        let attempt = Stopwatch::start();
+        match client::request(
+            &config.addr,
+            "POST",
+            "/v1/evaluate",
+            "application/octet-stream",
+            &body,
+            config.timeout_ms,
+        ) {
+            Ok(resp) => {
+                latency.record(attempt.elapsed_ns());
+                match resp.status {
+                    200..=299 => s2xx.fetch_add(1, Ordering::Relaxed),
+                    429 => s429.fetch_add(1, Ordering::Relaxed),
+                    503 => s503.fetch_add(1, Ordering::Relaxed),
+                    _ => other.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+            Err(_) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    })?;
+    let wall_ns = wall.elapsed_ns().max(1);
+
+    let completed = s2xx.load(Ordering::SeqCst)
+        + s429.load(Ordering::SeqCst)
+        + s503.load(Ordering::SeqCst)
+        + other.load(Ordering::SeqCst);
+    Ok(LoadgenReport {
+        requests: config.requests,
+        concurrency: config.concurrency,
+        wall_ms: wall_ns / 1_000_000,
+        requests_per_s: completed as f64 / (wall_ns as f64 / 1e9),
+        p50_ms: latency.quantile(0.50) / 1e6,
+        p95_ms: latency.quantile(0.95) / 1e6,
+        p99_ms: latency.quantile(0.99) / 1e6,
+        status_2xx: s2xx.load(Ordering::SeqCst),
+        status_429: s429.load(Ordering::SeqCst),
+        status_503: s503.load(Ordering::SeqCst),
+        status_other: other.load(Ordering::SeqCst),
+        errors: errors.load(Ordering::SeqCst),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesized_bodies_are_deterministic_and_framed() {
+        let a = synthesize_body(24, 7);
+        let b = synthesize_body(24, 7);
+        assert_eq!(a, b, "same seed, same bytes");
+        let frames = wire::split_frames(&a).unwrap();
+        assert_eq!(frames.len(), 25, "background + 24 frames");
+        assert_ne!(synthesize_body(24, 8), a, "seed changes the clip");
+    }
+
+    #[test]
+    fn report_json_is_schema_4() {
+        let report = LoadgenReport {
+            requests: 10,
+            concurrency: 2,
+            wall_ms: 100,
+            requests_per_s: 100.0,
+            p50_ms: 5.0,
+            p95_ms: 9.0,
+            p99_ms: 9.9,
+            status_2xx: 9,
+            status_429: 1,
+            status_503: 0,
+            status_other: 0,
+            errors: 0,
+        };
+        let json = report.report_json();
+        assert!(json.starts_with("{\"schema\":4,"));
+        assert!(json.contains("\"status_429\":1"));
+    }
+
+    #[test]
+    fn zero_budget_or_clients_is_a_config_error() {
+        let mut config = LoadgenConfig {
+            requests: 0,
+            ..LoadgenConfig::default()
+        };
+        assert!(run(&config).is_err());
+        config.requests = 1;
+        config.concurrency = 0;
+        assert!(run(&config).is_err());
+    }
+}

@@ -1,0 +1,784 @@
+//! The server: acceptor + bounded queue + worker pool + router.
+//!
+//! One acceptor thread and N workers share a [`slj_runtime::ThreadPool`]
+//! scope. The acceptor admits connections into a bounded queue (or
+//! answers `429` on the spot — backpressure is explicit); workers pop,
+//! parse, route, and respond. Every request is timed from the moment
+//! it was accepted, so deadline expiry covers queueing time too.
+//!
+//! Shutdown is cooperative: `POST /admin/shutdown` (or a
+//! [`ShutdownHandle`]) flips a flag; the acceptor stops admitting,
+//! workers drain the queue and finish in-flight requests, and
+//! [`Server::run`] returns a [`ServerReport`].
+
+use crate::error::{ApiError, ServeError};
+use crate::http::{read_request, Limits, Request, Response};
+use crate::jsonin;
+use crate::lock_unpoisoned;
+use crate::session::{SessionError, SessionTable};
+use crate::wire;
+use slj_core::engine::JumpSession;
+use slj_core::model::PoseModel;
+use slj_core::scoring::assess_pose_sequence;
+use slj_obs::{Clock, Counter, Gauge, Histogram, Registry, Stopwatch};
+use slj_runtime::ThreadPool;
+use slj_sim::pose::PoseClass;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server configuration; every knob has a production-ish default and a
+/// matching `slj serve` flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (0 = one per available core, minus the acceptor).
+    pub threads: usize,
+    /// Bounded accept queue depth; connections beyond it get `429`.
+    pub queue_depth: usize,
+    /// Maximum live streaming sessions; creates beyond it get `429`.
+    pub max_sessions: usize,
+    /// Per-request deadline in milliseconds, measured from accept;
+    /// requests that expire queued or mid-clip get `503`.
+    pub deadline_ms: u64,
+    /// Idle-session TTL in milliseconds (the reaper's default).
+    pub session_ttl_ms: u64,
+    /// Socket read/write timeout in milliseconds.
+    pub io_timeout_ms: u64,
+    /// Request size limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            queue_depth: 64,
+            max_sessions: 64,
+            deadline_ms: 10_000,
+            session_ttl_ms: 60_000,
+            io_timeout_ms: 5_000,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Counts extracted from the registry when the server drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Requests handled by workers (any status).
+    pub requests: u64,
+    /// Connections rejected with `429` at the accept queue.
+    pub rejected_429: u64,
+    /// Requests answered `503` after deadline expiry.
+    pub deadline_503: u64,
+    /// Sessions evicted by the idle reaper.
+    pub sessions_reaped: u64,
+}
+
+/// Flips the server into draining mode from another thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests a graceful drain (idempotent).
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound server, ready to [`Server::run`] or [`Server::spawn`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServerConfig,
+    model: &'static PoseModel,
+    registry: Registry,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and takes ownership of the model.
+    ///
+    /// The model is intentionally leaked: streaming sessions borrow it
+    /// for `'static` across worker threads, and one model per server
+    /// lifetime (typically the process lifetime) is a bounded cost.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound and
+    /// [`ServeError::Config`] for a zero queue depth.
+    pub fn bind(config: ServerConfig, model: PoseModel) -> Result<Self, ServeError> {
+        if config.queue_depth == 0 {
+            return Err(ServeError::Config("queue_depth must be at least 1".into()));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        // Non-blocking so the accept loop can poll the shutdown flag.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            config,
+            model: Box::leak(Box::new(model)),
+            registry: Registry::new(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the ephemeral port when `addr` ended in `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The metrics registry the server records into (shared handle).
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
+    }
+
+    /// A handle that triggers graceful shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Runs the accept/worker loops until shutdown, then drains and
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Runtime`] when the worker pool fails.
+    pub fn run(self) -> Result<ServerReport, ServeError> {
+        let worker_count = if self.config.threads == 0 {
+            ThreadPool::new(slj_runtime::Parallelism::Auto)
+                .threads()
+                .saturating_sub(1)
+                .max(1)
+        } else {
+            self.config.threads
+        };
+        let state = State::new(
+            self.model,
+            &self.config,
+            self.registry.clone(),
+            Arc::clone(&self.shutdown),
+        );
+
+        // Task 0 is the acceptor, tasks 1..=N are workers: one thread
+        // each, joined when all loops exit after the drain.
+        let pool = ThreadPool::fixed(worker_count + 1);
+        let mut tasks = vec![Role::Acceptor];
+        tasks.extend(std::iter::repeat_n(Role::Worker, worker_count));
+        pool.scoped_run(tasks, |_, role| match role {
+            Role::Acceptor => accept_loop(&self.listener, &state),
+            Role::Worker => worker_loop(&state),
+        })?;
+
+        Ok(ServerReport {
+            requests: state.metrics.requests.get(),
+            rejected_429: state.metrics.rejected_429.get(),
+            deadline_503: state.metrics.deadline_503.get(),
+            sessions_reaped: self.registry.counter("serve.sessions.reaped").get(),
+        })
+    }
+
+    /// Runs the server on a background thread; the handle stops and
+    /// joins it. This is how the tests and the load-generator harness
+    /// host a server in-process.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` keeps room for spawn-time checks.
+    pub fn spawn(self) -> Result<ServerHandle, ServeError> {
+        let addr = self.addr;
+        let shutdown = self.shutdown_handle();
+        let registry = self.registry();
+        let join = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            registry,
+            join,
+        })
+    }
+}
+
+/// A running background server (see [`Server::spawn`]).
+#[derive(Debug)]
+pub struct ServerHandle {
+    /// The bound address.
+    pub addr: SocketAddr,
+    /// Triggers graceful drain.
+    pub shutdown: ShutdownHandle,
+    /// The server's metrics registry.
+    pub registry: Registry,
+    join: std::thread::JoinHandle<Result<ServerReport, ServeError>>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown and waits for the drain to finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's exit error; a panicked server thread
+    /// surfaces as [`ServeError::Runtime`].
+    pub fn stop(self) -> Result<ServerReport, ServeError> {
+        self.shutdown.trigger();
+        self.join.join().map_err(|_| {
+            ServeError::Runtime(slj_runtime::RuntimeError::WorkerPanic(
+                "server thread panicked".into(),
+            ))
+        })?
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Role {
+    Acceptor,
+    Worker,
+}
+
+/// A connection admitted to the work queue; the stopwatch started at
+/// accept so the deadline covers queueing.
+#[derive(Debug)]
+struct Pending {
+    stream: TcpStream,
+    accepted: Stopwatch,
+}
+
+/// Metric handles pre-created once so the hot path never touches the
+/// registry's name map.
+#[derive(Debug)]
+struct Metrics {
+    requests: Counter,
+    responses_2xx: Counter,
+    responses_4xx: Counter,
+    responses_5xx: Counter,
+    rejected_429: Counter,
+    deadline_503: Counter,
+    request_ns: Histogram,
+    queue_depth: Gauge,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    frames: Counter,
+    sessions_created: Counter,
+    sessions_closed: Counter,
+    write_errors: Counter,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Self {
+        Metrics {
+            requests: registry.counter("serve.requests"),
+            responses_2xx: registry.counter("serve.responses.2xx"),
+            responses_4xx: registry.counter("serve.responses.4xx"),
+            responses_5xx: registry.counter("serve.responses.5xx"),
+            rejected_429: registry.counter("serve.rejected.429"),
+            deadline_503: registry.counter("serve.deadline.503"),
+            request_ns: registry.histogram("serve.request.ns"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            bytes_in: registry.counter("serve.bytes_in"),
+            bytes_out: registry.counter("serve.bytes_out"),
+            frames: registry.counter("serve.frames"),
+            sessions_created: registry.counter("serve.sessions.created"),
+            sessions_closed: registry.counter("serve.sessions.closed"),
+            write_errors: registry.counter("serve.write_errors"),
+        }
+    }
+}
+
+/// Everything the acceptor and workers share, borrowed inside the pool
+/// scope — no `Arc` plumbing needed beyond the shutdown flag.
+struct State<'cfg> {
+    model: &'static PoseModel,
+    config: &'cfg ServerConfig,
+    registry: Registry,
+    metrics: Metrics,
+    sessions: SessionTable<SessionState>,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_cv: Condvar,
+    shutdown: Arc<AtomicBool>,
+    clock: Clock,
+}
+
+impl<'cfg> State<'cfg> {
+    fn new(
+        model: &'static PoseModel,
+        config: &'cfg ServerConfig,
+        registry: Registry,
+        shutdown: Arc<AtomicBool>,
+    ) -> Self {
+        let clock = Clock::monotonic();
+        let metrics = Metrics::new(&registry);
+        let sessions = SessionTable::new(
+            clock.clone(),
+            config.session_ttl_ms.saturating_mul(1_000_000),
+            config.max_sessions,
+            registry.counter("serve.sessions.reaped"),
+            registry.gauge("serve.sessions.active"),
+        );
+        State {
+            model,
+            config,
+            registry,
+            metrics,
+            sessions,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown,
+            clock,
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// One streaming session's state: the engine (created when the first
+/// request delivers the background frame) plus the recognised pose
+/// history for the final standards assessment.
+struct SessionState {
+    engine: Option<JumpSession<'static>>,
+    poses: Vec<Option<PoseClass>>,
+}
+
+impl SessionState {
+    fn new() -> Self {
+        SessionState {
+            engine: None,
+            poses: Vec::new(),
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &State<'_>) {
+    while !state.draining() {
+        state.sessions.reap();
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(stream, state),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE): back off.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    // Wake every worker so they can observe the flag and drain.
+    state.queue_cv.notify_all();
+}
+
+fn admit(stream: TcpStream, state: &State<'_>) {
+    let timeout = Duration::from_millis(state.config.io_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+
+    let mut queue = lock_unpoisoned(&state.queue);
+    if queue.len() >= state.config.queue_depth {
+        drop(queue);
+        state.metrics.rejected_429.inc();
+        state.metrics.responses_4xx.inc();
+        let err = ApiError::too_many(
+            "queue_full",
+            format!(
+                "work queue is at its depth of {}; retry shortly",
+                state.config.queue_depth
+            ),
+        );
+        respond(stream, &Response::from_error(&err), state);
+        return;
+    }
+    queue.push_back(Pending {
+        stream,
+        accepted: Stopwatch::start(),
+    });
+    state.metrics.queue_depth.set(queue.len() as i64);
+    drop(queue);
+    state.queue_cv.notify_one();
+}
+
+fn worker_loop(state: &State<'_>) {
+    loop {
+        let pending = {
+            let mut queue = lock_unpoisoned(&state.queue);
+            loop {
+                if let Some(p) = queue.pop_front() {
+                    state.metrics.queue_depth.set(queue.len() as i64);
+                    break Some(p);
+                }
+                if state.draining() {
+                    break None;
+                }
+                let (guard, _timed_out) = state
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(|p| p.into_inner());
+                queue = guard;
+            }
+        };
+        match pending {
+            Some(p) => handle_connection(p, state),
+            None => break,
+        }
+    }
+}
+
+fn handle_connection(pending: Pending, state: &State<'_>) {
+    let Pending {
+        mut stream,
+        accepted,
+    } = pending;
+    state.metrics.requests.inc();
+
+    // The request is read *before* the deadline check so an expired
+    // request gets its 503 on a fully-drained socket — responding while
+    // the client is still uploading would close with unread data and
+    // reset the connection out from under the response.
+    let response = match read_request(&mut stream, &state.config.limits) {
+        Ok(request) => {
+            state.metrics.bytes_in.add(request.body.len() as u64);
+            match check_deadline(&accepted, state) {
+                Ok(()) => route(&request, &accepted, state),
+                Err(err) => Response::from_error(&err),
+            }
+        }
+        Err(err) => Response::from_error(&err),
+    };
+    match response.status {
+        200..=299 => state.metrics.responses_2xx.inc(),
+        400..=499 => state.metrics.responses_4xx.inc(),
+        _ => state.metrics.responses_5xx.inc(),
+    }
+    if response.status == 503 {
+        state.metrics.deadline_503.inc();
+    }
+    state.metrics.request_ns.record(accepted.elapsed_ns());
+    respond(stream, &response, state);
+}
+
+/// Writes the response, then performs a *lingering close*: half-close
+/// the write side and drain what the peer is still sending until it
+/// sees our FIN and closes. Closing a socket with unread received data
+/// makes the kernel send RST, which can destroy the response before
+/// the client reads it — exactly the rejected-request paths (429, 413,
+/// 431) where the client is usually mid-upload.
+fn respond(mut stream: TcpStream, response: &Response, state: &State<'_>) {
+    use std::io::Read;
+
+    state.metrics.bytes_out.add(response.body.len() as u64);
+    if response.write_to(&mut stream).is_err() {
+        state.metrics.write_errors.inc();
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Bounded in both time and bytes so a trickling client cannot pin
+    // the thread: local well-behaved peers hit EOF in one or two reads.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 16 * 1024];
+    let mut budget: usize = 4 << 20;
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                budget = budget.saturating_sub(n);
+                if budget == 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Routes one parsed request. Known paths with the wrong method get
+/// `405`; everything else structured `404`.
+fn route(request: &Request, accepted: &Stopwatch, state: &State<'_>) -> Response {
+    let segments: Vec<&str> = request
+        .path
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    let method = request.method.as_str();
+    let result = match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok(handle_healthz(state)),
+        ("GET", ["metrics"]) => Ok(Response::json(200, state.registry.snapshot_json())),
+        ("POST", ["admin", "shutdown"]) => Ok(handle_shutdown(state)),
+        ("POST", ["v1", "evaluate"]) => handle_evaluate(&request.body, accepted, state),
+        ("POST", ["v1", "sessions"]) => handle_create_session(&request.body, state),
+        ("POST", ["v1", "sessions", id, "frames"]) => {
+            handle_session_frames(id, &request.body, accepted, state)
+        }
+        ("DELETE", ["v1", "sessions", id]) => handle_delete_session(id, state),
+        (_, ["healthz" | "metrics"])
+        | (_, ["admin", "shutdown"])
+        | (_, ["v1", "evaluate"])
+        | (_, ["v1", "sessions"])
+        | (_, ["v1", "sessions", _, "frames"])
+        | (_, ["v1", "sessions", _]) => Err(ApiError::new(
+            405,
+            "method_not_allowed",
+            format!("{method} is not supported on {}", request.path),
+        )),
+        _ => Err(ApiError::not_found(&request.path)),
+    };
+    match result {
+        Ok(response) => response,
+        Err(err) => Response::from_error(&err),
+    }
+}
+
+fn handle_healthz(state: &State<'_>) -> Response {
+    let mut w = slj_obs::JsonWriter::new();
+    w.begin_object();
+    w.key("ok");
+    w.bool(true);
+    w.key("draining");
+    w.bool(state.draining());
+    w.key("sessions");
+    w.u64(state.sessions.len() as u64);
+    w.key("uptime_ms");
+    w.u64(state.clock.now_ns() / 1_000_000);
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn handle_shutdown(state: &State<'_>) -> Response {
+    state.shutdown.store(true, Ordering::SeqCst);
+    state.queue_cv.notify_all();
+    Response::json(200, "{\"ok\":true,\"draining\":true}".to_string())
+}
+
+/// Checks the request deadline; used between frames so a slow clip
+/// cannot hold a worker past its budget.
+fn check_deadline(accepted: &Stopwatch, state: &State<'_>) -> Result<(), ApiError> {
+    let deadline_ns = state.config.deadline_ms.saturating_mul(1_000_000);
+    if accepted.elapsed_ns() >= deadline_ns {
+        Err(ApiError::deadline_exceeded(
+            accepted.elapsed_ns() / 1_000_000,
+            state.config.deadline_ms,
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn handle_evaluate(
+    body: &[u8],
+    accepted: &Stopwatch,
+    state: &State<'_>,
+) -> Result<Response, ApiError> {
+    let images = wire::split_frames(body)?;
+    if images.len() < 2 {
+        return Err(ApiError::bad_request(
+            "no_frames",
+            "body must contain the background PPM followed by at least one frame",
+        ));
+    }
+    let mut frames_iter = images.into_iter();
+    let background = frames_iter
+        .next()
+        .ok_or_else(|| ApiError::bad_request("no_frames", "missing background frame"))?;
+    let mut session = JumpSession::new(state.model, background).map_err(ApiError::from)?;
+    session.attach_metrics(&state.registry);
+
+    let mut decisions = Vec::new();
+    let mut poses = Vec::new();
+    for (index, frame) in frames_iter.enumerate() {
+        check_deadline(accepted, state)?;
+        let estimate = session.push_frame(&frame).map_err(ApiError::from)?;
+        state.metrics.frames.inc();
+        if let Some(decision) = session.last_decision() {
+            decisions.push(wire::decision_json(index as u64, &estimate, &decision));
+        }
+        poses.push(estimate.pose);
+    }
+    let faults = assess_pose_sequence(&poses);
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"schema\":1,\"frames\":{},\"decisions\":[{}],\"faults\":{}}}",
+            decisions.len(),
+            decisions.join(","),
+            wire::faults_json(&faults)
+        ),
+    ))
+}
+
+fn handle_create_session(body: &[u8], state: &State<'_>) -> Result<Response, ApiError> {
+    if state.draining() {
+        return Err(ApiError::new(
+            503,
+            "draining",
+            "server is draining; no new sessions",
+        ));
+    }
+    let fields = jsonin::parse_flat_object(body)?;
+    for (key, _) in &fields {
+        if key != "poses" && key != "ttl_ms" {
+            return Err(ApiError::new(
+                422,
+                "unknown_field",
+                format!("unknown session config field {key:?}"),
+            ));
+        }
+    }
+    if let Some(poses) = jsonin::field(&fields, "poses") {
+        if poses != PoseClass::COUNT as i64 {
+            return Err(ApiError::new(
+                422,
+                "pose_count_mismatch",
+                format!(
+                    "client expects {poses} poses; this model recognises {}",
+                    PoseClass::COUNT
+                ),
+            ));
+        }
+    }
+    let default_ttl_ms = state.config.session_ttl_ms;
+    let ttl_ms = match jsonin::field(&fields, "ttl_ms") {
+        Some(ms) if ms >= 1 && ms <= 3_600_000 => ms as u64,
+        Some(ms) => {
+            return Err(ApiError::new(
+                422,
+                "bad_field",
+                format!("ttl_ms must be in 1..=3600000, got {ms}"),
+            ));
+        }
+        None => default_ttl_ms,
+    };
+    let id = state
+        .sessions
+        .create_with_ttl(SessionState::new(), ttl_ms.saturating_mul(1_000_000))
+        .map_err(|_| {
+            ApiError::too_many(
+                "session_limit",
+                format!(
+                    "session table is at its capacity of {}; retry shortly",
+                    state.config.max_sessions
+                ),
+            )
+        })?;
+    state.metrics.sessions_created.inc();
+    Ok(Response::json(
+        201,
+        format!(
+            "{{\"session\":{id},\"poses\":{},\"ttl_ms\":{ttl_ms}}}",
+            PoseClass::COUNT
+        ),
+    ))
+}
+
+fn parse_session_id(raw: &str) -> Result<u64, ApiError> {
+    raw.parse::<u64>()
+        .map_err(|_| ApiError::new(404, "session_not_found", format!("no session {raw:?}")))
+}
+
+fn session_error(id: u64, err: SessionError) -> ApiError {
+    match err {
+        SessionError::NotFound => ApiError::new(
+            404,
+            "session_not_found",
+            format!("no session {id} (expired, deleted, or never created)"),
+        ),
+        SessionError::Busy => ApiError::new(
+            409,
+            "session_busy",
+            format!("session {id} is processing another request"),
+        ),
+        SessionError::TableFull => ApiError::too_many("session_limit", "session table is full"),
+    }
+}
+
+fn handle_session_frames(
+    raw_id: &str,
+    body: &[u8],
+    accepted: &Stopwatch,
+    state: &State<'_>,
+) -> Result<Response, ApiError> {
+    let id = parse_session_id(raw_id)?;
+    // Session existence is checked before the body is parsed: frames
+    // for a session that expired or never existed are 404, whatever
+    // their bytes look like.
+    let mut session = state
+        .sessions
+        .checkout(id)
+        .map_err(|e| session_error(id, e))?;
+    // From here every path must check the session back in.
+    let result = wire::split_frames(body)
+        .and_then(|images| advance_session(&mut session, images, accepted, state));
+    let frames_processed = session.poses.len() as u64;
+    state.sessions.checkin(id, session);
+    let decisions = result?;
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"session\":{id},\"decisions\":[{}],\"frames_processed\":{frames_processed}}}",
+            decisions.join(",")
+        ),
+    ))
+}
+
+/// Feeds `images` into the session: the first image becomes the
+/// background when the engine is not initialised yet, the rest are
+/// frames. Returns the new decision records.
+fn advance_session(
+    session: &mut SessionState,
+    images: Vec<slj_imaging::RgbImage>,
+    accepted: &Stopwatch,
+    state: &State<'_>,
+) -> Result<Vec<String>, ApiError> {
+    let mut frames_iter = images.into_iter();
+    if session.engine.is_none() {
+        let background = frames_iter
+            .next()
+            .ok_or_else(|| ApiError::bad_request("no_frames", "missing background frame"))?;
+        let mut engine = JumpSession::new(state.model, background).map_err(ApiError::from)?;
+        engine.attach_metrics(&state.registry);
+        session.engine = Some(engine);
+    }
+    let engine = session
+        .engine
+        .as_mut()
+        .ok_or_else(|| ApiError::new(500, "pipeline_error", "session engine missing after init"))?;
+    let mut decisions = Vec::new();
+    for frame in frames_iter {
+        check_deadline(accepted, state)?;
+        let frame_index = session.poses.len() as u64;
+        let estimate = engine.push_frame(&frame).map_err(ApiError::from)?;
+        state.metrics.frames.inc();
+        if let Some(decision) = engine.last_decision() {
+            decisions.push(wire::decision_json(frame_index, &estimate, &decision));
+        }
+        session.poses.push(estimate.pose);
+    }
+    Ok(decisions)
+}
+
+fn handle_delete_session(raw_id: &str, state: &State<'_>) -> Result<Response, ApiError> {
+    let id = parse_session_id(raw_id)?;
+    let session = state
+        .sessions
+        .remove(id)
+        .map_err(|e| session_error(id, e))?;
+    state.metrics.sessions_closed.inc();
+    let faults = assess_pose_sequence(&session.poses);
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"session\":{id},\"frames_processed\":{},\"faults\":{}}}",
+            session.poses.len(),
+            wire::faults_json(&faults)
+        ),
+    ))
+}

@@ -1,0 +1,304 @@
+//! The session table: bounded, idle-reaped, checkout/checkin
+//! concurrency.
+//!
+//! Streaming sessions are stateful — a `JumpSession` carries the DBN
+//! filter's posterior between frame batches — so the table hands a
+//! session *out* to exactly one worker at a time (checkout), and
+//! concurrent requests for the same session get `409` instead of a
+//! lock held across a multi-millisecond pipeline run.
+//!
+//! Clients that never `DELETE` would leak sessions; the reaper removes
+//! entries idle past the TTL, counts them in `serve.sessions.reaped`,
+//! and runs opportunistically on every table operation. Time comes from
+//! an injected [`Clock`], so the unit tests drive the TTL with a manual
+//! clock instead of sleeping.
+//!
+//! The table is generic over the session payload: the server stores its
+//! session state, the unit tests store `()` — reaping logic needs no
+//! trained model.
+
+use crate::lock_unpoisoned;
+use slj_obs::{Clock, Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Why a session operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// No session with that id (never created, deleted, or reaped).
+    NotFound,
+    /// Another request holds the session right now.
+    Busy,
+    /// The table is at its configured capacity.
+    TableFull,
+}
+
+#[derive(Debug)]
+struct Entry<S> {
+    /// `None` while a worker holds the session (checked out).
+    value: Option<S>,
+    last_touch_ns: u64,
+    /// Per-session idle TTL (the table default unless overridden at
+    /// create time).
+    ttl_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct TableInner<S> {
+    entries: BTreeMap<u64, Entry<S>>,
+    next_id: u64,
+}
+
+/// A bounded map of live sessions with idle-reaping.
+#[derive(Debug)]
+pub struct SessionTable<S> {
+    inner: Mutex<TableInner<S>>,
+    clock: Clock,
+    ttl_ns: u64,
+    capacity: usize,
+    reaped: Counter,
+    active: Gauge,
+}
+
+impl<S> SessionTable<S> {
+    /// Creates a table reading time from `clock`, evicting sessions
+    /// idle longer than `ttl_ns`, holding at most `capacity` entries.
+    /// `reaped` and `active` are the metric handles the table keeps
+    /// up to date (`serve.sessions.reaped` / `serve.sessions.active`).
+    pub fn new(clock: Clock, ttl_ns: u64, capacity: usize, reaped: Counter, active: Gauge) -> Self {
+        SessionTable {
+            inner: Mutex::new(TableInner {
+                entries: BTreeMap::new(),
+                next_id: 1,
+            }),
+            clock,
+            ttl_ns,
+            capacity,
+            reaped,
+            active,
+        }
+    }
+
+    /// Inserts a session and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::TableFull`] at capacity (after reaping idle
+    /// entries — a full table of *stale* sessions still admits).
+    pub fn create(&self, value: S) -> Result<u64, SessionError> {
+        self.create_with_ttl(value, self.ttl_ns)
+    }
+
+    /// [`SessionTable::create`] with a per-session idle TTL override.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::TableFull`] at capacity.
+    pub fn create_with_ttl(&self, value: S, ttl_ns: u64) -> Result<u64, SessionError> {
+        let now = self.clock.now_ns();
+        let mut inner = lock_unpoisoned(&self.inner);
+        self.reap_locked(&mut inner, now);
+        if inner.entries.len() >= self.capacity {
+            return Err(SessionError::TableFull);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.entries.insert(
+            id,
+            Entry {
+                value: Some(value),
+                last_touch_ns: now,
+                ttl_ns,
+            },
+        );
+        self.active.set(inner.entries.len() as i64);
+        Ok(id)
+    }
+
+    /// Takes exclusive ownership of session `id` for processing; pair
+    /// with [`SessionTable::checkin`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotFound`] for unknown/expired ids,
+    /// [`SessionError::Busy`] when another worker holds it.
+    pub fn checkout(&self, id: u64) -> Result<S, SessionError> {
+        let now = self.clock.now_ns();
+        let mut inner = lock_unpoisoned(&self.inner);
+        self.reap_locked(&mut inner, now);
+        let entry = inner.entries.get_mut(&id).ok_or(SessionError::NotFound)?;
+        entry.value.take().ok_or(SessionError::Busy)
+    }
+
+    /// Returns a checked-out session, refreshing its idle timer.
+    pub fn checkin(&self, id: u64, value: S) {
+        let now = self.clock.now_ns();
+        let mut inner = lock_unpoisoned(&self.inner);
+        // A checked-out entry is never reaped, so the slot still exists;
+        // updating in place preserves a per-session TTL override.
+        match inner.entries.get_mut(&id) {
+            Some(entry) => {
+                entry.value = Some(value);
+                entry.last_touch_ns = now;
+            }
+            None => {
+                inner.entries.insert(
+                    id,
+                    Entry {
+                        value: Some(value),
+                        last_touch_ns: now,
+                        ttl_ns: self.ttl_ns,
+                    },
+                );
+            }
+        }
+        self.active.set(inner.entries.len() as i64);
+    }
+
+    /// Removes session `id` and returns its payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotFound`] for unknown ids, [`SessionError::Busy`]
+    /// when a worker holds it (delete again after it finishes).
+    pub fn remove(&self, id: u64) -> Result<S, SessionError> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let entry = inner.entries.get_mut(&id).ok_or(SessionError::NotFound)?;
+        let value = entry.value.take().ok_or(SessionError::Busy)?;
+        inner.entries.remove(&id);
+        self.active.set(inner.entries.len() as i64);
+        Ok(value)
+    }
+
+    /// Evicts idle sessions now; returns how many were reaped. Called
+    /// internally by every operation, and by the server's accept loop
+    /// so an idle server still reaps.
+    pub fn reap(&self) -> usize {
+        let now = self.clock.now_ns();
+        let mut inner = lock_unpoisoned(&self.inner);
+        self.reap_locked(&mut inner, now)
+    }
+
+    /// Number of live sessions (including checked-out ones).
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).entries.len()
+    }
+
+    /// Whether the table holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn reap_locked(&self, inner: &mut TableInner<S>, now_ns: u64) -> usize {
+        let before = inner.entries.len();
+        // Checked-out entries (value == None) are in use: never reaped.
+        inner.entries.retain(|_, entry| {
+            entry.value.is_none() || now_ns.saturating_sub(entry.last_touch_ns) <= entry.ttl_ns
+        });
+        let evicted = before - inner.entries.len();
+        if evicted > 0 {
+            self.reaped.add(evicted as u64);
+            self.active.set(inner.entries.len() as i64);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_obs::Registry;
+
+    fn table(ttl_ns: u64, capacity: usize) -> (SessionTable<u32>, Clock, Registry) {
+        let clock = Clock::manual();
+        let registry = Registry::new();
+        let table = SessionTable::new(
+            clock.clone(),
+            ttl_ns,
+            capacity,
+            registry.counter("serve.sessions.reaped"),
+            registry.gauge("serve.sessions.active"),
+        );
+        (table, clock, registry)
+    }
+
+    #[test]
+    fn idle_sessions_reap_after_ttl_and_are_counted() {
+        let (table, clock, registry) = table(1_000, 8);
+        let a = table.create(1).unwrap();
+        clock.advance(600);
+        let b = table.create(2).unwrap();
+        assert_eq!(table.len(), 2);
+
+        // a is 1001ns idle, b only 401ns: exactly one eviction.
+        clock.advance(401);
+        assert_eq!(table.reap(), 1);
+        assert_eq!(table.checkout(a).unwrap_err(), SessionError::NotFound);
+        assert_eq!(table.checkout(b).unwrap(), 2);
+        table.checkin(b, 2);
+        assert_eq!(registry.counter("serve.sessions.reaped").get(), 1);
+        assert_eq!(registry.gauge("serve.sessions.active").get(), 1);
+    }
+
+    #[test]
+    fn touching_a_session_resets_its_idle_timer() {
+        let (table, clock, _registry) = table(1_000, 8);
+        let id = table.create(7).unwrap();
+        clock.advance(900);
+        let v = table.checkout(id).unwrap();
+        table.checkin(id, v); // refreshes last_touch
+        clock.advance(900);
+        assert_eq!(table.reap(), 0, "900ns since checkin is within TTL");
+        clock.advance(101);
+        assert_eq!(table.reap(), 1);
+    }
+
+    #[test]
+    fn checked_out_sessions_are_never_reaped() {
+        let (table, clock, _registry) = table(1_000, 8);
+        let id = table.create(3).unwrap();
+        let v = table.checkout(id).unwrap();
+        clock.advance(10_000);
+        assert_eq!(table.reap(), 0, "in-flight session survives its TTL");
+        assert_eq!(table.checkout(id).unwrap_err(), SessionError::Busy);
+        assert_eq!(table.remove(id).unwrap_err(), SessionError::Busy);
+        table.checkin(id, v);
+        assert_eq!(table.remove(id).unwrap(), 3);
+    }
+
+    #[test]
+    fn capacity_is_enforced_after_reaping() {
+        let (table, clock, _registry) = table(1_000, 2);
+        table.create(1).unwrap();
+        table.create(2).unwrap();
+        assert_eq!(table.create(3).unwrap_err(), SessionError::TableFull);
+        // Stale entries make room for new sessions.
+        clock.advance(2_000);
+        assert!(table.create(4).is_ok());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn per_session_ttl_override_outlives_the_default() {
+        let (table, clock, _registry) = table(1_000, 8);
+        let short = table.create(1).unwrap();
+        let long = table.create_with_ttl(2, 10_000).unwrap();
+        clock.advance(5_000);
+        assert_eq!(table.reap(), 1);
+        assert_eq!(table.checkout(short).unwrap_err(), SessionError::NotFound);
+        assert_eq!(table.checkout(long).unwrap(), 2);
+        table.checkin(long, 2);
+        clock.advance(10_001);
+        assert_eq!(table.reap(), 1, "override survives checkin");
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let (table, _clock, _registry) = table(1_000, 2);
+        let a = table.create(1).unwrap();
+        table.remove(a).unwrap();
+        let b = table.create(2).unwrap();
+        assert_ne!(a, b);
+        assert!(table.is_empty() || table.len() == 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! The clip wire format and the canonical decision-record JSON.
+//!
+//! Requests carry frames as **concatenated binary PPMs**: P6 headers
+//! fix each payload length, so a byte stream splits into frames with
+//! [`slj_imaging::io::read_ppm_prefix`] and no extra framing protocol.
+//! Responses carry per-frame decision records whose serialisation is
+//! defined *here*, in one place, so the integration tests can assert
+//! the wire bytes are bit-identical to an in-process session's output
+//! (the determinism contract, extended across the socket).
+
+use crate::error::ApiError;
+use slj_core::model::{Decision, PoseEstimate};
+use slj_core::scoring::DetectedFault;
+use slj_imaging::io::{ppm_header, read_ppm_prefix, write_ppm};
+use slj_imaging::RgbImage;
+use slj_obs::JsonWriter;
+
+/// Upper bound on a single frame's pixel count (width × height). At 4
+/// megapixels a P6 frame is ~12 MiB — far beyond the 64×64 frames the
+/// simulator renders, but small enough that a hostile header cannot
+/// make the server allocate gigabytes.
+pub const MAX_FRAME_PIXELS: usize = 1 << 22;
+
+/// Splits a body of concatenated PPMs into frames.
+///
+/// # Errors
+///
+/// `400 bad_frame` for malformed or truncated PPM bytes, `400
+/// empty_body` when no frame is present, and `413 frame_too_large`
+/// when a header declares more than [`MAX_FRAME_PIXELS`] pixels —
+/// checked *before* the pixel payload is touched.
+pub fn split_frames(body: &[u8]) -> Result<Vec<RgbImage>, ApiError> {
+    let mut frames = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (width, height, _offset) = ppm_header(rest).map_err(ApiError::from)?;
+        if width.saturating_mul(height) > MAX_FRAME_PIXELS {
+            return Err(ApiError::new(
+                413,
+                "frame_too_large",
+                format!(
+                    "frame {} declares {width}x{height} pixels; limit is {MAX_FRAME_PIXELS}",
+                    frames.len()
+                ),
+            ));
+        }
+        let (frame, consumed) = read_ppm_prefix(rest).map_err(ApiError::from)?;
+        frames.push(frame);
+        rest = &rest[consumed..];
+    }
+    if frames.is_empty() {
+        return Err(ApiError::bad_request(
+            "empty_body",
+            "expected at least one PPM frame",
+        ));
+    }
+    Ok(frames)
+}
+
+/// Concatenates `frames` into one request body (the client-side inverse
+/// of [`split_frames`]).
+pub fn encode_frames(frames: &[&RgbImage]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for frame in frames {
+        // Writing into a Vec cannot fail.
+        let _ = write_ppm(&mut out, frame);
+    }
+    out
+}
+
+/// Serialises one frame's decision — the exact field set of the JSONL
+/// trace records (`slj trace`) minus the timing fields, which are the
+/// one non-deterministic part. Both the server handlers and the
+/// bit-identical wire tests call this.
+pub fn decision_json(frame: u64, estimate: &PoseEstimate, decision: &Decision) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("frame");
+    w.u64(frame);
+    w.key("pose");
+    match estimate.pose {
+        Some(pose) => w.string(&format!("{pose:?}")),
+        None => w.null(),
+    }
+    w.key("committed");
+    w.string(&format!("{:?}", estimate.committed_pose));
+    w.key("posterior");
+    w.begin_array();
+    for p in &estimate.posterior {
+        w.f64(*p);
+    }
+    w.end_array();
+    w.key("best_prob");
+    w.f64(decision.best_prob);
+    w.key("th_margin");
+    w.f64(decision.th_margin);
+    w.key("accepted");
+    w.bool(decision.accepted);
+    w.key("majority_exempt");
+    w.bool(decision.majority_exempt);
+    w.key("unknown_reason");
+    if decision.accepted {
+        w.null();
+    } else {
+        w.string("below_th_pose");
+    }
+    w.key("carry_forward");
+    w.bool(decision.carry_forward);
+    w.key("stage");
+    w.string(&format!("{:?}", estimate.stage));
+    w.key("stage_posterior");
+    w.begin_array();
+    for p in &estimate.stage_posterior {
+        w.f64(*p);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Serialises a standards assessment as a JSON array of fault objects.
+pub fn faults_json(faults: &[DetectedFault]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_array();
+    for fault in faults {
+        w.begin_object();
+        w.key("fault");
+        w.string(&fault.fault.to_string());
+        w.key("stage");
+        w.string(&format!("{:?}", fault.stage));
+        w.key("advice");
+        w.string(&fault.advice);
+        w.end_object();
+    }
+    w.end_array();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imaging::Rgb;
+
+    fn frame(w: usize, h: usize, tint: u8) -> RgbImage {
+        RgbImage::from_fn(w, h, |x, y| Rgb::new(x as u8, y as u8, tint))
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_wire_format() {
+        let a = frame(6, 4, 1);
+        let b = frame(6, 4, 2);
+        let body = encode_frames(&[&a, &b]);
+        let back = split_frames(&body).unwrap();
+        assert_eq!(back, vec![a, b]);
+    }
+
+    #[test]
+    fn empty_and_garbage_bodies_are_client_errors() {
+        assert_eq!(split_frames(b"").unwrap_err().code, "empty_body");
+        let err = split_frames(b"not a ppm at all").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.code, "bad_frame");
+    }
+
+    #[test]
+    fn trailing_garbage_after_a_valid_frame_is_rejected() {
+        let mut body = encode_frames(&[&frame(3, 3, 0)]);
+        body.extend_from_slice(b"trailing junk");
+        assert_eq!(split_frames(&body).unwrap_err().code, "bad_frame");
+    }
+
+    #[test]
+    fn oversized_frame_header_is_413_without_payload_allocation() {
+        // Header only — no payload follows, which is the point: the
+        // limit check must fire before the payload is needed.
+        let body = format!("P6\n{} {}\n255\n", 1 << 12, 1 << 12);
+        let err = split_frames(body.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 413);
+        assert_eq!(err.code, "frame_too_large");
+    }
+}

@@ -1,0 +1,295 @@
+//! Table-driven malformed-input fixtures: every hostile request must
+//! come back as a structured JSON error with the right status and
+//! code — never a panic, never a dropped connection.
+
+use slj_core::config::PipelineConfig;
+use slj_core::training::Trainer;
+use slj_serve::client::{request, HttpResponse};
+use slj_serve::http::Limits;
+use slj_serve::{Server, ServerConfig, ServerHandle};
+use slj_sim::{ClipSpec, JumpSimulator};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn spawn_server() -> ServerHandle {
+    let sim = JumpSimulator::new(23);
+    let clips: Vec<_> = (0..2)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 24,
+                seed: 23 + i,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    let model = Trainer::new(PipelineConfig::default())
+        .expect("config")
+        .train(&clips)
+        .expect("train");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        limits: Limits {
+            max_body: 1 << 20, // 1 MiB, so an oversized body is cheap to test
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    };
+    Server::bind(config, model)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+/// One malformed-request fixture.
+struct Fixture {
+    name: &'static str,
+    method: &'static str,
+    path: &'static str,
+    body: Vec<u8>,
+    want_status: u16,
+    want_code: &'static str,
+}
+
+fn assert_structured_error(name: &str, resp: &HttpResponse, status: u16, code: &'static str) {
+    assert_eq!(resp.status, status, "{name}: body {}", resp.text());
+    let text = resp.text();
+    assert!(
+        text.starts_with("{\"error\":{\"code\":"),
+        "{name}: not a structured error: {text}"
+    );
+    assert!(
+        text.contains(&format!("\"code\":\"{code}\"")),
+        "{name}: expected code {code}, got {text}"
+    );
+    assert_eq!(
+        resp.header("content-type"),
+        Some("application/json"),
+        "{name}"
+    );
+}
+
+/// A PPM with a valid header whose payload is cut off mid-pixel.
+fn truncated_ppm() -> Vec<u8> {
+    let mut bytes = b"P6\n8 8\n255\n".to_vec();
+    bytes.extend(std::iter::repeat_n(0u8, 50)); // needs 192 payload bytes
+    bytes
+}
+
+/// A PPM header declaring more pixels than the per-frame limit.
+fn huge_frame_header() -> Vec<u8> {
+    format!("P6\n{} {}\n255\n", 1 << 12, 1 << 12).into_bytes()
+}
+
+#[test]
+fn malformed_requests_get_structured_errors() {
+    let handle = spawn_server();
+    let addr = handle.addr.to_string();
+
+    let fixtures = vec![
+        Fixture {
+            name: "unknown path",
+            method: "GET",
+            path: "/nope",
+            body: Vec::new(),
+            want_status: 404,
+            want_code: "not_found",
+        },
+        Fixture {
+            name: "wrong method on evaluate",
+            method: "GET",
+            path: "/v1/evaluate",
+            body: Vec::new(),
+            want_status: 405,
+            want_code: "method_not_allowed",
+        },
+        Fixture {
+            name: "wrong method on metrics",
+            method: "DELETE",
+            path: "/metrics",
+            body: Vec::new(),
+            want_status: 405,
+            want_code: "method_not_allowed",
+        },
+        Fixture {
+            name: "empty evaluate body",
+            method: "POST",
+            path: "/v1/evaluate",
+            body: Vec::new(),
+            want_status: 400,
+            want_code: "empty_body",
+        },
+        Fixture {
+            name: "garbage frame bytes",
+            method: "POST",
+            path: "/v1/evaluate",
+            body: b"these bytes are not a PPM".to_vec(),
+            want_status: 400,
+            want_code: "bad_frame",
+        },
+        Fixture {
+            name: "truncated frame payload",
+            method: "POST",
+            path: "/v1/evaluate",
+            body: truncated_ppm(),
+            want_status: 400,
+            want_code: "bad_frame",
+        },
+        Fixture {
+            name: "oversized frame dimensions",
+            method: "POST",
+            path: "/v1/evaluate",
+            body: huge_frame_header(),
+            want_status: 413,
+            want_code: "frame_too_large",
+        },
+        Fixture {
+            name: "body over the configured limit",
+            method: "POST",
+            path: "/v1/evaluate",
+            body: vec![0u8; (1 << 20) + 1],
+            want_status: 413,
+            want_code: "body_too_large",
+        },
+        Fixture {
+            name: "invalid UTF-8 session config",
+            method: "POST",
+            path: "/v1/sessions",
+            body: vec![0xff, 0xfe, 0x80],
+            want_status: 400,
+            want_code: "json_invalid",
+        },
+        Fixture {
+            name: "malformed session JSON",
+            method: "POST",
+            path: "/v1/sessions",
+            body: b"{\"poses\":}".to_vec(),
+            want_status: 400,
+            want_code: "json_invalid",
+        },
+        Fixture {
+            name: "unknown pose count",
+            method: "POST",
+            path: "/v1/sessions",
+            body: b"{\"poses\":7}".to_vec(),
+            want_status: 422,
+            want_code: "pose_count_mismatch",
+        },
+        Fixture {
+            name: "unknown config field",
+            method: "POST",
+            path: "/v1/sessions",
+            body: b"{\"retries\":3}".to_vec(),
+            want_status: 422,
+            want_code: "unknown_field",
+        },
+        Fixture {
+            name: "out-of-range ttl",
+            method: "POST",
+            path: "/v1/sessions",
+            body: b"{\"ttl_ms\":0}".to_vec(),
+            want_status: 422,
+            want_code: "bad_field",
+        },
+        Fixture {
+            name: "frames for an unknown session",
+            method: "POST",
+            path: "/v1/sessions/999999/frames",
+            body: truncated_ppm(),
+            want_status: 404,
+            want_code: "session_not_found",
+        },
+        Fixture {
+            name: "non-numeric session id",
+            method: "DELETE",
+            path: "/v1/sessions/abc",
+            body: Vec::new(),
+            want_status: 404,
+            want_code: "session_not_found",
+        },
+        Fixture {
+            name: "delete of an unknown session",
+            method: "DELETE",
+            path: "/v1/sessions/424242",
+            body: Vec::new(),
+            want_status: 404,
+            want_code: "session_not_found",
+        },
+    ];
+
+    for fixture in fixtures {
+        let resp = request(
+            &addr,
+            fixture.method,
+            fixture.path,
+            "application/octet-stream",
+            &fixture.body,
+            30_000,
+        )
+        .unwrap_or_else(|e| panic!("{}: connection failed: {e}", fixture.name));
+        assert_structured_error(fixture.name, &resp, fixture.want_status, fixture.want_code);
+    }
+    handle.stop().expect("stop");
+}
+
+/// Raw-socket fixtures for failures below the HTTP client's level.
+#[test]
+fn wire_level_garbage_is_rejected_not_crashed() {
+    let handle = spawn_server();
+    let addr = handle.addr;
+
+    // Not HTTP at all.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"THIS IS NOT HTTP\r\n\r\n")
+        .expect("write");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    assert!(reply.starts_with("HTTP/1.1 400 "), "got: {reply}");
+    assert!(reply.contains("\"code\":\"bad_request\""));
+
+    // Declares 100 body bytes, sends 10, then closes the write side.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 100\r\n\r\n0123456789")
+        .expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("shutdown write");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    assert!(reply.starts_with("HTTP/1.1 400 "), "got: {reply}");
+    assert!(reply.contains("\"code\":\"body_truncated\""));
+
+    // Chunked transfer encoding is declared unsupported, not mangled.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /v1/evaluate HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n")
+        .expect("write");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    assert!(reply.starts_with("HTTP/1.1 501 "), "got: {reply}");
+    assert!(reply.contains("\"code\":\"unsupported_encoding\""));
+
+    // An oversized request head is bounded, not buffered forever.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut huge_head = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    huge_head.extend(std::iter::repeat_n(b'x', 9000)); // default head limit is 8 KiB
+    stream.write_all(&huge_head).expect("write");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    assert!(reply.starts_with("HTTP/1.1 431 "), "got: {reply}");
+
+    // After all that abuse the server still answers cleanly.
+    let health = request(
+        &addr.to_string(),
+        "GET",
+        "/healthz",
+        "application/json",
+        b"",
+        30_000,
+    )
+    .expect("healthz");
+    assert_eq!(health.status, 200);
+    handle.stop().expect("stop");
+}

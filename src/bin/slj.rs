@@ -40,6 +40,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -86,6 +88,16 @@ fn print_usage() {
          \x20          static analysis: lint workspace sources against the\n\
          \x20          determinism/perf/robustness rules (ratcheted by the\n\
          \x20          committed baseline) and/or audit a trained model artifact\n\
+         \x20 serve    [--model FILE] [--addr HOST:PORT] [--threads N]\n\
+         \x20          [--max-sessions N] [--queue-depth N] [--deadline-ms MS]\n\
+         \x20          [--session-ttl-ms MS] [--max-body-mb MB] [--seed S]\n\
+         \x20          serve the pipeline over HTTP (POST /v1/evaluate, streaming\n\
+         \x20          /v1/sessions, GET /healthz, GET /metrics); without --model\n\
+         \x20          a demo model is trained on synthetic clips at startup\n\
+         \x20 loadgen  [--addr HOST:PORT] [--requests N] [--concurrency N]\n\
+         \x20          [--frames N] [--seed S] [--timeout-ms MS] [--out FILE]\n\
+         \x20          closed-loop load generator: POST a simulator-synthesized\n\
+         \x20          clip repeatedly, report throughput and p50/p95/p99 latency\n\
          \n\
          --metrics FILE writes an slj_obs registry snapshot (counters, gauges,\n\
          histograms with p50/p95/p99) as JSON when the command finishes."
@@ -700,4 +712,87 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("check failed: {}", failures.join("; ")))
     }
+}
+
+/// Trains a small demo model on synthetic clips so `slj serve` can run
+/// without a model file (smoke tests, demos).
+fn demo_model(seed: u64) -> Result<PoseModel, String> {
+    let sim = JumpSimulator::new(seed);
+    let clips: Vec<_> = (0..4)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 24,
+                seed: seed.wrapping_add(i),
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    Trainer::new(PipelineConfig::default())
+        .and_then(|t| t.train(&clips))
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use slj_repro::serve::{Server, ServerConfig};
+
+    let flags = Flags::parse(args, &[])?;
+    let model = match flags.get("model") {
+        Some(path) => model_io::load(path).map_err(|e| e.to_string())?,
+        None => {
+            eprintln!("serve: no --model given; training a demo model on synthetic clips");
+            demo_model(flags.parse_or("seed", 7u64)?)?
+        }
+    };
+    let mut config = ServerConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        threads: flags.parse_or("threads", 0usize)?,
+        queue_depth: flags.parse_or("queue-depth", 64usize)?,
+        max_sessions: flags.parse_or("max-sessions", 64usize)?,
+        deadline_ms: flags.parse_or("deadline-ms", 10_000u64)?,
+        session_ttl_ms: flags.parse_or("session-ttl-ms", 60_000u64)?,
+        ..ServerConfig::default()
+    };
+    config.limits.max_body = flags
+        .parse_or("max-body-mb", 64usize)?
+        .saturating_mul(1 << 20);
+
+    let server = Server::bind(config, model).map_err(|e| e.to_string())?;
+    println!("serving on http://{}", server.local_addr());
+    println!(
+        "stop with: curl -X POST http://{}/admin/shutdown",
+        server.local_addr()
+    );
+    let report = server.run().map_err(|e| e.to_string())?;
+    println!(
+        "drained: {} request(s) handled, {} rejected with 429, {} deadline 503(s), \
+         {} session(s) reaped",
+        report.requests, report.rejected_429, report.deadline_503, report.sessions_reaped
+    );
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use slj_repro::serve::{loadgen, LoadgenConfig};
+
+    let flags = Flags::parse(args, &[])?;
+    let config = LoadgenConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        requests: flags.parse_or("requests", 100usize)?,
+        concurrency: flags.parse_or("concurrency", 4usize)?,
+        frames: flags.parse_or("frames", 24usize)?,
+        seed: flags.parse_or("seed", 7u64)?,
+        timeout_ms: flags.parse_or("timeout-ms", 30_000u64)?,
+    };
+    eprintln!(
+        "loadgen: {} request(s), {} client(s) against {}",
+        config.requests, config.concurrency, config.addr
+    );
+    let report = loadgen::run(&config).map_err(|e| e.to_string())?;
+    let json = report.report_json();
+    println!("{json}");
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("loadgen: report written to {path}");
+    }
+    Ok(())
 }

@@ -24,6 +24,10 @@
 //! - [`check`] — project-invariant static analysis: the `slj check`
 //!   source linter (determinism/perf/robustness rules with a ratcheted
 //!   baseline) and the trained-model artifact auditor.
+//! - [`serve`] — dependency-free HTTP serving layer: `slj serve` exposes
+//!   the pipeline over `/v1/evaluate` and streaming session endpoints
+//!   with admission control, and `slj loadgen` drives it closed-loop
+//!   with simulator-synthesized clips.
 //!
 //! # Examples
 //!
@@ -41,5 +45,6 @@ pub use slj_ga as ga;
 pub use slj_imaging as imaging;
 pub use slj_obs as obs;
 pub use slj_runtime as runtime;
+pub use slj_serve as serve;
 pub use slj_sim as sim;
 pub use slj_skeleton as skeleton;

@@ -1,0 +1,342 @@
+//! End-to-end tests for the serving layer: a real server on an
+//! ephemeral loopback port, exercised through real sockets.
+//!
+//! The central assertion is the *bit-identical wire contract*: the
+//! decision records `/v1/evaluate` and the streaming session endpoints
+//! send over HTTP are byte-for-byte what an in-process [`JumpSession`]
+//! produces for the same clip and model.
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::engine::JumpSession;
+use slj_repro::core::model::PoseModel;
+use slj_repro::core::scoring::assess_pose_sequence;
+use slj_repro::core::training::Trainer;
+use slj_repro::serve::client::request;
+use slj_repro::serve::loadgen::{self, synthesize_body};
+use slj_repro::serve::{wire, LoadgenConfig, Server, ServerConfig};
+use slj_repro::sim::{ClipSpec, JumpSimulator, LabeledClip};
+
+fn trained_model() -> PoseModel {
+    let sim = JumpSimulator::new(41);
+    let clips: Vec<LabeledClip> = (0..3)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 24,
+                seed: 100 + i,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    Trainer::new(PipelineConfig::default())
+        .expect("config")
+        .train(&clips)
+        .expect("train")
+}
+
+fn test_clip() -> LabeledClip {
+    JumpSimulator::new(41).generate_clip(&ClipSpec {
+        total_frames: 24,
+        seed: 500,
+        ..ClipSpec::default()
+    })
+}
+
+fn clip_body(clip: &LabeledClip) -> Vec<u8> {
+    let mut refs = vec![&clip.background];
+    refs.extend(clip.frames.iter());
+    wire::encode_frames(&refs)
+}
+
+/// The decision records an in-process session emits for `clip` —
+/// serialised through the same `wire::decision_json` the server uses —
+/// plus the recognised pose sequence for the fault assessment.
+fn expected_decisions(
+    model: &PoseModel,
+    clip: &LabeledClip,
+) -> (Vec<String>, Vec<Option<slj_repro::sim::PoseClass>>) {
+    let mut session = JumpSession::new(model, clip.background.clone()).expect("session");
+    let mut decisions = Vec::new();
+    let mut poses = Vec::new();
+    for (i, frame) in clip.frames.iter().enumerate() {
+        let estimate = session.push_frame(frame).expect("push");
+        let decision = session.last_decision().expect("decision");
+        decisions.push(wire::decision_json(i as u64, &estimate, &decision));
+        poses.push(estimate.pose);
+    }
+    (decisions, poses)
+}
+
+fn spawn_server(config: ServerConfig, model: PoseModel) -> slj_repro::serve::ServerHandle {
+    Server::bind(config, model)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+fn quiet_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn evaluate_responses_are_bit_identical_to_in_process_sessions() {
+    let model = trained_model();
+    let clip = test_clip();
+    let (expected, poses) = expected_decisions(&model, &clip);
+
+    let handle = spawn_server(quiet_config(), model);
+    let addr = handle.addr.to_string();
+    let resp = request(
+        &addr,
+        "POST",
+        "/v1/evaluate",
+        "application/octet-stream",
+        &clip_body(&clip),
+        30_000,
+    )
+    .expect("evaluate request");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+
+    let text = resp.text();
+    let wire_decisions = format!("\"decisions\":[{}]", expected.join(","));
+    assert!(
+        text.contains(&wire_decisions),
+        "server decisions are not bit-identical to the in-process session:\n{text}"
+    );
+    let faults = wire::faults_json(&assess_pose_sequence(&poses));
+    assert!(
+        text.contains(&format!("\"faults\":{faults}")),
+        "fault assessment differs:\n{text}"
+    );
+    handle.stop().expect("stop");
+}
+
+#[test]
+fn streaming_sessions_match_whole_clip_evaluation() {
+    let model = trained_model();
+    let clip = test_clip();
+    let (expected, _poses) = expected_decisions(&model, &clip);
+
+    let handle = spawn_server(quiet_config(), model);
+    let addr = handle.addr.to_string();
+
+    let create = request(
+        &addr,
+        "POST",
+        "/v1/sessions",
+        "application/json",
+        b"{}",
+        30_000,
+    )
+    .expect("create");
+    assert_eq!(create.status, 201, "body: {}", create.text());
+    let created = create.text();
+    let id: u64 = created
+        .trim_start_matches("{\"session\":")
+        .split(',')
+        .next()
+        .and_then(|s| s.parse().ok())
+        .expect("session id");
+
+    // Feed the clip in two batches: background + first half, then the
+    // rest — the session must carry the DBN posterior across requests.
+    let split = clip.frames.len() / 2;
+    let mut first: Vec<&slj_repro::imaging::image::RgbImage> = vec![&clip.background];
+    first.extend(clip.frames[..split].iter());
+    let second: Vec<&slj_repro::imaging::image::RgbImage> = clip.frames[split..].iter().collect();
+
+    let mut streamed = Vec::new();
+    for batch in [wire::encode_frames(&first), wire::encode_frames(&second)] {
+        let resp = request(
+            &addr,
+            "POST",
+            &format!("/v1/sessions/{id}/frames"),
+            "application/octet-stream",
+            &batch,
+            30_000,
+        )
+        .expect("frames");
+        assert_eq!(resp.status, 200, "body: {}", resp.text());
+        streamed.push(resp.text());
+    }
+
+    // Concatenate the decision arrays from both batches and compare
+    // against the single-shot expectation, byte for byte.
+    let all_streamed: String = streamed
+        .iter()
+        .map(|body| {
+            let start = body.find("\"decisions\":[").expect("decisions") + "\"decisions\":[".len();
+            let end = body
+                .rfind("],\"frames_processed\"")
+                .expect("frames_processed");
+            body[start..end].to_string()
+        })
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join(",");
+    assert_eq!(
+        all_streamed,
+        expected.join(","),
+        "streamed decisions diverge from the in-process session"
+    );
+
+    let delete = request(
+        &addr,
+        "DELETE",
+        &format!("/v1/sessions/{id}"),
+        "application/json",
+        b"",
+        30_000,
+    )
+    .expect("delete");
+    assert_eq!(delete.status, 200, "body: {}", delete.text());
+    assert!(delete.text().contains("\"frames_processed\":24"));
+
+    // The session is gone now.
+    let gone = request(
+        &addr,
+        "DELETE",
+        &format!("/v1/sessions/{id}"),
+        "application/json",
+        b"",
+        30_000,
+    )
+    .expect("second delete");
+    assert_eq!(gone.status, 404);
+    handle.stop().expect("stop");
+}
+
+#[test]
+fn saturation_answers_429_without_dropping_connections() {
+    let model = trained_model();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server(config, model);
+    let addr = handle.addr.to_string();
+    let body = synthesize_body(24, 41);
+
+    let clients = 8;
+    let results: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let body = &body;
+                scope.spawn(move || {
+                    request(
+                        &addr,
+                        "POST",
+                        "/v1/evaluate",
+                        "application/octet-stream",
+                        body,
+                        60_000,
+                    )
+                    .expect("no dropped connections under saturation")
+                    .status
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    assert_eq!(results.len(), clients);
+    for status in &results {
+        assert!(
+            *status == 200 || *status == 429,
+            "unexpected status under saturation: {status}"
+        );
+    }
+    let ok = results.iter().filter(|s| **s == 200).count();
+    let rejected = results.iter().filter(|s| **s == 429).count();
+    assert!(ok >= 1, "at least the first request must be served");
+    assert!(
+        rejected >= 1,
+        "8 simultaneous clients against 1 worker + depth-1 queue must shed load"
+    );
+    let report = handle.stop().expect("stop");
+    assert_eq!(report.rejected_429, rejected as u64);
+}
+
+#[test]
+fn expired_deadlines_are_503() {
+    let model = trained_model();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        deadline_ms: 0, // every request is already late
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server(config, model);
+    let addr = handle.addr.to_string();
+    let resp = request(&addr, "GET", "/healthz", "application/json", b"", 30_000).expect("healthz");
+    assert_eq!(resp.status, 503);
+    assert!(resp.text().contains("deadline_exceeded"));
+    let report = handle.stop().expect("stop");
+    assert!(report.deadline_503 >= 1);
+}
+
+#[test]
+fn health_metrics_and_drain_report() {
+    let model = trained_model();
+    let handle = spawn_server(quiet_config(), model);
+    let addr = handle.addr.to_string();
+
+    let health =
+        request(&addr, "GET", "/healthz", "application/json", b"", 30_000).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.text().starts_with("{\"ok\":true,\"draining\":false"));
+
+    let metrics =
+        request(&addr, "GET", "/metrics", "application/json", b"", 30_000).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.text().starts_with("{\"schema\":1,\"metrics\":"));
+    assert!(metrics.text().contains("\"serve.requests\""));
+
+    let shutdown = request(
+        &addr,
+        "POST",
+        "/admin/shutdown",
+        "application/json",
+        b"",
+        30_000,
+    )
+    .expect("shutdown");
+    assert_eq!(shutdown.status, 200);
+    assert!(shutdown.text().contains("\"draining\":true"));
+
+    let report = handle.stop().expect("stop");
+    assert!(report.requests >= 3);
+    assert_eq!(report.rejected_429, 0);
+}
+
+#[test]
+fn loadgen_loopback_run_is_clean_below_the_queue_limit() {
+    let model = trained_model();
+    let handle = spawn_server(quiet_config(), model);
+    let config = LoadgenConfig {
+        addr: handle.addr.to_string(),
+        requests: 10,
+        concurrency: 2,
+        frames: 24,
+        seed: 41,
+        timeout_ms: 60_000,
+    };
+    let report = loadgen::run(&config).expect("loadgen");
+    assert_eq!(report.status_2xx, 10, "report: {}", report.report_json());
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.status_429, 0);
+    assert!(report.requests_per_s > 0.0);
+    assert!(report.p50_ms > 0.0 && report.p50_ms <= report.p99_ms);
+    let json = report.report_json();
+    assert!(json.starts_with("{\"schema\":4,\"bench\":\"serve.loadgen\""));
+    handle.stop().expect("stop");
+}
