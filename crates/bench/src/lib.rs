@@ -46,9 +46,7 @@ pub fn run_headline(
 ) -> Result<HeadlineResult, SljError> {
     let sim = JumpSimulator::new(seed);
     let data = sim.paper_dataset(noise);
-    let model = Trainer::new(config.clone())
-        .expect("config")
-        .train(&data.train)?;
+    let model = Trainer::new(config.clone())?.train(&data.train)?;
     let report = evaluate(&model, &data.test)?;
     Ok(HeadlineResult {
         per_clip: report.per_clip_accuracy(),

@@ -23,19 +23,29 @@
 //! - `model/threshold-range` — `Th_Object` in `0..=255`, `Th_Pose` in
 //!   `[0, 1]`;
 //! - `model/config-range` — remaining configuration scalars in range;
-//! - `model/unreachable-pose` — all 22 poses are reachable from the
+//! - `model/unreachable-pose` — every pose is reachable from the
 //!   marginal or some transition row, and the Unknown fallback is
 //!   reachable (`Th_Pose > 0`).
+//!
+//! Model files carry an embedded taxonomy block; its pose/stage/part
+//! counts drive the shape checks, so an artifact for a different
+//! exercise audits against *its own* vocabulary. Files without the
+//! block (written before taxonomies were data) audit against the
+//! paper's 22/4/5 defaults. Standalone taxonomy artifacts
+//! (`slj-taxonomy v1`) are audited too — structural problems surface
+//! as `taxonomy/format`, `taxonomy/partition`, `taxonomy/row-sum` or
+//! `taxonomy/unknown-pose` findings.
 
 use crate::report::Finding;
 use crate::CheckError;
 use std::path::Path;
 
-/// Pose classes in the paper's model (22 + Unknown fallback).
+/// Pose classes in the paper's model (22 + Unknown fallback); the
+/// fallback shape when a model file carries no taxonomy block.
 pub const POSES: usize = 22;
-/// Jumping stages (§4 of the paper).
+/// Jumping stages (§4 of the paper); taxonomy-block fallback.
 pub const STAGES: usize = 4;
-/// Skeleton body parts observed per frame.
+/// Skeleton body parts observed per frame; taxonomy-block fallback.
 pub const PARTS: usize = 5;
 /// CPT row-sum tolerance.
 pub const EPS: f64 = 1e-9;
@@ -60,6 +70,11 @@ fn err(rule: &str, artifact: &str, line: u32, message: String) -> Finding {
 /// the configuration line is validated (the `--config` mode); the file
 /// may then be either a full model or a bare `config ...` line.
 pub fn audit_model_text(artifact: &str, text: &str, config_only: bool) -> Vec<Finding> {
+    // A standalone taxonomy artifact is a valid audit target for the
+    // same flag: dispatch on its magic.
+    if text.lines().next().map(str::trim) == Some(slj_taxonomy::MAGIC) {
+        return audit_taxonomy_text(artifact, text);
+    }
     let mut findings = Vec::new();
     let lines: Vec<&str> = text.lines().collect();
 
@@ -115,10 +130,54 @@ pub fn audit_model_text(artifact: &str, text: &str, config_only: bool) -> Vec<Fi
         return findings;
     }
 
+    // Optional embedded taxonomy block: shape expectations come from it
+    // when present, from the paper's constants when not.
+    let mut poses = POSES;
+    let mut stages = STAGES;
+    let mut n_parts = PARTS;
+    let mut i = 2usize; // 0-based index: blocks start after magic+config
+    if let Some(header) = lines.get(i).map(|l| l.trim()) {
+        if header.starts_with("taxonomy ") {
+            let header_line = i as u32 + 1;
+            let declared = header
+                .split_whitespace()
+                .nth(1)
+                .and_then(|t| t.strip_prefix("lines="))
+                .and_then(|v| v.parse::<usize>().ok());
+            match declared {
+                Some(count) if i + 1 + count <= lines.len() => {
+                    let block = lines[i + 1..i + 1 + count].join("\n");
+                    match slj_taxonomy::Taxonomy::from_artifact_str(&block) {
+                        Ok(taxonomy) => {
+                            poses = taxonomy.pose_count();
+                            stages = taxonomy.stage_count();
+                            n_parts = taxonomy.parts();
+                        }
+                        Err(e) => findings.push(err(
+                            e.code,
+                            artifact,
+                            header_line,
+                            format!("embedded taxonomy: {}", e.message),
+                        )),
+                    }
+                    i += 1 + count;
+                }
+                _ => {
+                    findings.push(err(
+                        "model/format",
+                        artifact,
+                        header_line,
+                        format!("malformed or truncated taxonomy block header {header:?}"),
+                    ));
+                    i += 1;
+                }
+            }
+        }
+    }
+
     // Parse tables tolerantly: resynchronise on every `table` header so
     // one bad table cannot hide the rest.
     let mut tables: Vec<(String, Table)> = Vec::new();
-    let mut i = 2usize; // 0-based index: tables start after magic+config
     while i < lines.len() {
         let line = lines[i].trim();
         if !line.starts_with("table ") {
@@ -197,13 +256,13 @@ pub fn audit_model_text(artifact: &str, text: &str, config_only: bool) -> Vec<Fi
         ));
     }
 
-    // Expected shapes given the paper's constants and `partitions`.
+    // Expected shapes given the taxonomy counts and `partitions`.
     let expected: &[(&str, usize, usize)] = &[
-        ("stage_transition", STAGES, STAGES),
-        ("pose_transition", POSES * STAGES, POSES),
-        ("pose_transition_nostage", POSES, POSES),
-        ("pose_marginal", 1, POSES),
-        ("part_given_pose", PARTS * POSES, partitions + 1),
+        ("stage_transition", stages, stages),
+        ("pose_transition", poses * stages, poses),
+        ("pose_transition_nostage", poses, poses),
+        ("pose_marginal", 1, poses),
+        ("part_given_pose", n_parts * poses, partitions + 1),
     ];
     for (name, want_rows, want_cols) in expected {
         let Some((_, table)) = tables.iter().find(|(n, _)| n == name) else {
@@ -303,7 +362,7 @@ pub fn audit_model_text(artifact: &str, text: &str, config_only: bool) -> Vec<Fi
     .iter()
     .all(|n| tables.iter().any(|(name, _)| name == n));
     if have_pose_tables {
-        for j in 0..POSES {
+        for j in 0..poses {
             let reachable = col_positive("pose_marginal", j)
                 || col_positive("pose_transition", j)
                 || col_positive("pose_transition_nostage", j);
@@ -450,6 +509,17 @@ fn audit_config_tokens(
     findings
 }
 
+/// Audits a standalone taxonomy artifact given as text: structural
+/// parse/validation problems become findings under the
+/// `taxonomy/format`, `taxonomy/partition`, `taxonomy/row-sum` and
+/// `taxonomy/unknown-pose` rules.
+pub fn audit_taxonomy_text(artifact: &str, text: &str) -> Vec<Finding> {
+    match slj_taxonomy::Taxonomy::from_artifact_str(text) {
+        Ok(_) => Vec::new(),
+        Err(e) => vec![err(e.code, artifact, 0, e.message)],
+    }
+}
+
 /// Audits a model (or config) file on disk.
 pub fn audit_model_file(path: &Path, config_only: bool) -> Result<Vec<Finding>, CheckError> {
     let text = std::fs::read_to_string(path)
@@ -492,6 +562,93 @@ mod tests {
 
     fn rules(findings: &[Finding]) -> Vec<&str> {
         findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    fn toy_taxonomy() -> slj_taxonomy::Taxonomy {
+        use slj_taxonomy::{FaultRule, Polarity, PoseInfo, StageInfo, Taxonomy};
+        Taxonomy::new(
+            "toy-squat",
+            5,
+            vec![
+                StageInfo {
+                    ident: "Standing".into(),
+                    display: "standing".into(),
+                },
+                StageInfo {
+                    ident: "Squatting".into(),
+                    display: "squatting".into(),
+                },
+            ],
+            vec![
+                PoseInfo {
+                    ident: "Upright".into(),
+                    display: "upright".into(),
+                    stage: 0,
+                },
+                PoseInfo {
+                    ident: "HalfSquat".into(),
+                    display: "half squat".into(),
+                    stage: 1,
+                },
+                PoseInfo {
+                    ident: "DeepSquat".into(),
+                    display: "deep squat".into(),
+                    stage: 1,
+                },
+            ],
+            0,
+            None,
+            vec![vec![0.5, 0.5], vec![0.0, 1.0]],
+            vec![FaultRule {
+                ident: "NoDepth".into(),
+                display: "squat never reaches depth".into(),
+                stage: 1,
+                polarity: Polarity::Require,
+                poses: vec![2],
+                min_frames: 2,
+                advice: "sink the hips lower".into(),
+            }],
+        )
+        .expect("toy taxonomy is valid")
+    }
+
+    /// A well-formed model whose shapes come from `taxonomy`, with the
+    /// artifact embedded the way `model_io` writes it.
+    fn model_with_taxonomy(taxonomy: &slj_taxonomy::Taxonomy, partitions: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC}");
+        let _ = writeln!(
+            out,
+            "config window=3 th_object=67 auto_threshold=false median=3 min_branch=6 \
+             cut_loops=true prune=true algorithm=zhang-suen partitions={partitions} th_pose=0.02 \
+             alpha=1 activation=0.85 leak=0.02 temporal=full observation=areas \
+             hard_commit=false carry_forward=true"
+        );
+        let artifact = taxonomy.to_artifact_string();
+        let block: Vec<&str> = artifact.lines().collect();
+        let _ = writeln!(out, "taxonomy lines={}", block.len());
+        for line in &block {
+            let _ = writeln!(out, "{line}");
+        }
+        let (p, st, parts) = (
+            taxonomy.pose_count(),
+            taxonomy.stage_count(),
+            taxonomy.parts(),
+        );
+        let mut table = |name: &str, rows: usize, cols: usize| {
+            let _ = writeln!(out, "table {name} rows={rows} cols={cols}");
+            let v = 1.0 / cols as f64;
+            for _ in 0..rows {
+                let row: Vec<String> = (0..cols).map(|_| format!("{v:e}")).collect();
+                let _ = writeln!(out, "{}", row.join(" "));
+            }
+        };
+        table("stage_transition", st, st);
+        table("pose_transition", p * st, p);
+        table("pose_transition_nostage", p, p);
+        table("pose_marginal", 1, p);
+        table("part_given_pose", parts * p, partitions + 1);
+        out
     }
 
     #[test]
@@ -605,5 +762,46 @@ mod tests {
         let cfg = "config window=0 th_object=67 th_pose=0.5 partitions=8";
         let f = audit_model_text("c.cfg", cfg, true);
         assert_eq!(rules(&f), vec!["model/config-range"]); // window=0
+    }
+
+    #[test]
+    fn embedded_taxonomy_drives_the_shape_checks() {
+        // 3 poses / 2 stages, nothing like the paper's 22/4: with the
+        // block present the audit must accept taxonomy-sized tables...
+        let taxonomy = toy_taxonomy();
+        let f = audit_model_text("toy.model", &model_with_taxonomy(&taxonomy, 8), false);
+        assert!(f.is_empty(), "unexpected findings: {:?}", rules(&f));
+        // ...and still catch a non-stochastic row inside them. The
+        // corrupted cell is a pose_transition entry (1/3), which only
+        // occurs in the model tables, not in the embedded block.
+        let text = model_with_taxonomy(&taxonomy, 8).replacen("3.33", "4.33", 1);
+        let f = audit_model_text("toy.model", &text, false);
+        assert!(rules(&f).contains(&"model/cpt-row-sum"));
+    }
+
+    #[test]
+    fn corrupted_embedded_taxonomy_is_reported() {
+        let taxonomy = toy_taxonomy();
+        let good = model_with_taxonomy(&taxonomy, 8);
+        // Point a pose at a stage ident that is not declared.
+        let text = good.replacen("|Squatting", "|Nowhere", 1);
+        let f = audit_model_text("toy.model", &text, false);
+        assert!(
+            f.iter().any(|f| f.rule.starts_with("taxonomy/")),
+            "expected a taxonomy/* finding, got {:?}",
+            rules(&f)
+        );
+    }
+
+    #[test]
+    fn standalone_taxonomy_artifact_dispatches_on_magic() {
+        let taxonomy = toy_taxonomy();
+        let artifact = taxonomy.to_artifact_string();
+        assert!(audit_model_text("toy.taxonomy", &artifact, false).is_empty());
+
+        // A stage-prior row that does not sum to 1 is a row-sum finding.
+        let broken = artifact.replacen("5e-1", "7e-1", 1);
+        let f = audit_model_text("toy.taxonomy", &broken, false);
+        assert_eq!(rules(&f), vec!["taxonomy/row-sum"]);
     }
 }

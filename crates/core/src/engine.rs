@@ -70,7 +70,7 @@ use std::fmt;
 use std::time::Duration;
 
 /// Names of the standard seven stages, in execution order.
-pub const STAGE_NAMES: [&str; 7] = [
+pub const PIPELINE_STAGE_NAMES: [&str; 7] = [
     "background_subtraction",
     "median_filter",
     "largest_component",
@@ -151,7 +151,7 @@ impl FrameSlots {
 /// worker threads — the serving layer checks sessions in and out of a
 /// shared table from whichever worker picks up the request.
 pub trait FrameStage: fmt::Debug + Send {
-    /// Stable stage name (one of [`STAGE_NAMES`] for the standard bank).
+    /// Stable stage name (one of [`PIPELINE_STAGE_NAMES`] for the standard bank).
     fn name(&self) -> &'static str;
 
     /// Runs the stage. `frame` is the input video frame, or `None` when
@@ -189,7 +189,7 @@ impl BackgroundSubtractionStage {
 
 impl FrameStage for BackgroundSubtractionStage {
     fn name(&self) -> &'static str {
-        STAGE_NAMES[0]
+        PIPELINE_STAGE_NAMES[0]
     }
 
     fn run(&self, frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
@@ -221,7 +221,7 @@ impl MedianFilterStage {
 
 impl FrameStage for MedianFilterStage {
     fn name(&self) -> &'static str {
-        STAGE_NAMES[1]
+        PIPELINE_STAGE_NAMES[1]
     }
 
     fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
@@ -245,7 +245,7 @@ pub struct LargestComponentStage;
 
 impl FrameStage for LargestComponentStage {
     fn name(&self) -> &'static str {
-        STAGE_NAMES[2]
+        PIPELINE_STAGE_NAMES[2]
     }
 
     fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
@@ -278,7 +278,7 @@ impl ThinningStage {
 
 impl FrameStage for ThinningStage {
     fn name(&self) -> &'static str {
-        STAGE_NAMES[3]
+        PIPELINE_STAGE_NAMES[3]
     }
 
     fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
@@ -315,7 +315,7 @@ impl GraphCleanupStage {
 
 impl FrameStage for GraphCleanupStage {
     fn name(&self) -> &'static str {
-        STAGE_NAMES[4]
+        PIPELINE_STAGE_NAMES[4]
     }
 
     fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
@@ -362,7 +362,7 @@ pub struct KeypointStage;
 
 impl FrameStage for KeypointStage {
     fn name(&self) -> &'static str {
-        STAGE_NAMES[5]
+        PIPELINE_STAGE_NAMES[5]
     }
 
     fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
@@ -391,7 +391,7 @@ impl FeatureStage {
 
 impl FrameStage for FeatureStage {
     fn name(&self) -> &'static str {
-        STAGE_NAMES[6]
+        PIPELINE_STAGE_NAMES[6]
     }
 
     fn run(&self, _frame: Option<&RgbImage>, slots: &mut FrameSlots) -> Result<(), SljError> {
@@ -431,8 +431,8 @@ struct EngineMetrics {
     frames: Counter,
     /// `engine.frame.total_ns` — whole-pass wall time.
     total_ns: Histogram,
-    /// `engine.stage.<name>.ns`, parallel to the stage bank.
-    stage_ns: Vec<Histogram>,
+    /// `engine.pipeline.<name>.ns`, parallel to the stage bank.
+    pipeline_ns: Vec<Histogram>,
 }
 
 impl FrontEnd {
@@ -481,18 +481,18 @@ impl FrontEnd {
     }
 
     /// Records per-stage and per-frame timing histograms into `registry`
-    /// from now on (`engine.stage.<name>.ns`, `engine.frame.total_ns`,
+    /// from now on (`engine.pipeline.<name>.ns`, `engine.frame.total_ns`,
     /// `engine.frames`). Observation never changes outputs.
     pub fn attach_metrics(&mut self, registry: &Registry) {
-        let stage_ns = self
+        let pipeline_ns = self
             .stages
             .iter()
-            .map(|s| registry.histogram(&format!("engine.stage.{}.ns", s.name())))
+            .map(|s| registry.histogram(&format!("engine.pipeline.{}.ns", s.name())))
             .collect();
         self.metrics = Some(EngineMetrics {
             frames: registry.counter("engine.frames"),
             total_ns: registry.histogram("engine.frame.total_ns"),
-            stage_ns,
+            pipeline_ns,
         });
     }
 
@@ -524,7 +524,7 @@ impl FrontEnd {
         if let Some(metrics) = &self.metrics {
             metrics.frames.inc();
             metrics.total_ns.record_duration(self.timings.total());
-            for ((_, elapsed), hist) in self.timings.iter().zip(&metrics.stage_ns) {
+            for ((_, elapsed), hist) in self.timings.iter().zip(&metrics.pipeline_ns) {
                 hist.record_duration(elapsed);
             }
         }
@@ -636,7 +636,7 @@ impl<'m> JumpSession<'m> {
     pub fn attach_metrics(&mut self, registry: &Registry) {
         self.front_end.attach_metrics(registry);
         self.classifier.attach_metrics(registry);
-        self.dbn_ns = Some(registry.histogram(&format!("engine.stage.{DBN_STAGE}.ns")));
+        self.dbn_ns = Some(registry.histogram(&format!("engine.pipeline.{DBN_STAGE}.ns")));
     }
 
     /// Emits one `frame.decision` trace event per frame into `tracer`
@@ -691,15 +691,12 @@ impl<'m> JumpSession<'m> {
                         (
                             "pose",
                             match estimate.pose {
-                                Some(p) => Value::I64(p.index() as i64),
+                                Some(p) => Value::I64(p as i64),
                                 None => Value::I64(-1),
                             },
                         ),
-                        (
-                            "committed",
-                            Value::U64(estimate.committed_pose.index() as u64),
-                        ),
-                        ("stage", Value::U64(estimate.stage.index() as u64)),
+                        ("committed", Value::U64(estimate.committed_pose as u64)),
+                        ("stage", Value::U64(estimate.stage as u64)),
                         ("best_prob", Value::F64(d.best_prob)),
                         ("th_margin", Value::F64(d.th_margin)),
                         ("accepted", Value::Bool(d.accepted)),
@@ -735,6 +732,7 @@ impl<'m> JumpSession<'m> {
             &self.timings,
             estimate,
             &decision,
+            self.classifier.taxonomy(),
         )
     }
 
@@ -761,9 +759,15 @@ impl<'m> JumpSession<'m> {
         self.frames_processed
     }
 
-    /// The most recently recognised (non-Unknown) pose.
-    pub fn last_recognized(&self) -> slj_sim::pose::PoseClass {
+    /// The most recently recognised (non-Unknown) pose index.
+    pub fn last_recognized(&self) -> usize {
         self.classifier.last_recognized()
+    }
+
+    /// The taxonomy of the session's model (resolves the indices in the
+    /// estimates this session returns).
+    pub fn taxonomy(&self) -> &slj_taxonomy::Taxonomy {
+        self.classifier.taxonomy()
     }
 
     /// The decision internals of the most recent frame, or `None`
@@ -812,9 +816,9 @@ mod tests {
         let mut fe = FrontEnd::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
         fe.process_frame(&clip.frames[0]).unwrap();
         let names: Vec<_> = fe.timings().iter().map(|(n, _)| n).collect();
-        assert_eq!(names, STAGE_NAMES.to_vec());
+        assert_eq!(names, PIPELINE_STAGE_NAMES.to_vec());
         assert!(fe.timings().total() > Duration::ZERO);
-        for name in STAGE_NAMES {
+        for name in PIPELINE_STAGE_NAMES {
             assert!(fe.timings().get(name).is_some(), "missing stage {name}");
         }
     }
@@ -824,7 +828,7 @@ mod tests {
         let clip = clip();
         let mut fe = FrontEnd::new(clip.background.clone(), &PipelineConfig::default()).unwrap();
         fe.process_silhouette(&clip.truth[5].silhouette).unwrap();
-        assert_eq!(fe.timings().len(), STAGE_NAMES.len());
+        assert_eq!(fe.timings().len(), PIPELINE_STAGE_NAMES.len());
         assert_eq!(
             fe.timings().get("background_subtraction"),
             Some(Duration::ZERO)
@@ -864,7 +868,7 @@ mod tests {
         }
         assert_eq!(session.frames_processed(), 25);
         assert_eq!(estimates.len(), 25);
-        assert_eq!(session.last_timings().len(), STAGE_NAMES.len() + 1);
+        assert_eq!(session.last_timings().len(), PIPELINE_STAGE_NAMES.len() + 1);
         assert!(session.last_timings().get(DBN_STAGE).is_some());
         // The session's estimates must be byte-for-byte the batch path's.
         let mut proc = FrameProcessor::new(test.background.clone(), model.config()).unwrap();

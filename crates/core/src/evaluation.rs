@@ -6,9 +6,7 @@ use crate::error::SljError;
 use crate::model::{PoseEstimate, PoseModel};
 use slj_runtime::{Parallelism, ThreadPool};
 use slj_sim::dataset::LabeledClip;
-use slj_sim::pose::PoseClass;
-
-const P: usize = PoseClass::COUNT;
+use slj_taxonomy::Taxonomy;
 
 /// Results on one clip.
 #[derive(Debug, Clone)]
@@ -23,8 +21,9 @@ pub struct ClipReport {
     pub unknown: usize,
     /// Per-frame estimates.
     pub estimates: Vec<PoseEstimate>,
-    /// Ground-truth poses, aligned with `estimates`.
-    pub truth: Vec<PoseClass>,
+    /// Ground-truth pose indices (taxonomy-relative), aligned with
+    /// `estimates`.
+    pub truth: Vec<usize>,
 }
 
 impl ClipReport {
@@ -63,9 +62,12 @@ impl ClipReport {
 pub struct EvalReport {
     /// Per-clip reports.
     pub clips: Vec<ClipReport>,
-    /// Confusion matrix: `confusion[truth][predicted]`, with column `22`
-    /// for Unknown.
+    /// Confusion matrix: `confusion[truth][predicted]`, with the final
+    /// extra column (index `pose_count`) for Unknown.
     pub confusion: Vec<Vec<u32>>,
+    /// The taxonomy of the evaluated model — resolves every index in
+    /// this report.
+    pub taxonomy: Taxonomy,
 }
 
 impl EvalReport {
@@ -109,27 +111,31 @@ impl EvalReport {
         self.clips.iter().map(|c| c.unknown).sum()
     }
 
-    /// Frame accuracy per ground-truth jump stage, in stage order.
-    /// Stages with no frames report `None`.
-    pub fn per_stage_accuracy(&self) -> [Option<f64>; 4] {
-        let mut correct = [0usize; 4];
-        let mut total = [0usize; 4];
+    /// Frame accuracy per ground-truth jump stage, in stage order
+    /// (one entry per taxonomy stage). Stages with no frames report
+    /// `None`.
+    pub fn per_stage_accuracy(&self) -> Vec<Option<f64>> {
+        let s_count = self.taxonomy.stage_count();
+        let mut correct = vec![0usize; s_count];
+        let mut total = vec![0usize; s_count];
         for clip in &self.clips {
             for (est, &truth) in clip.estimates.iter().zip(&clip.truth) {
-                let s = truth.stage().index();
+                let s = self.taxonomy.stage_of_pose(truth);
                 total[s] += 1;
                 if est.pose == Some(truth) {
                     correct[s] += 1;
                 }
             }
         }
-        std::array::from_fn(|s| {
-            if total[s] == 0 {
-                None
-            } else {
-                Some(correct[s] as f64 / total[s] as f64)
-            }
-        })
+        (0..s_count)
+            .map(|s| {
+                if total[s] == 0 {
+                    None
+                } else {
+                    Some(correct[s] as f64 / total[s] as f64)
+                }
+            })
+            .collect()
     }
 
     /// Renders the non-trivial confusion-matrix entries as a text table:
@@ -149,14 +155,14 @@ impl EvalReport {
         let mut out = String::new();
         out.push_str("count  truth -> predicted\n");
         for (c, t, p) in entries {
-            let predicted = if p == P {
-                "UNKNOWN".to_string()
+            let predicted = if p == self.taxonomy.pose_count() {
+                "UNKNOWN"
             } else {
-                PoseClass::from_index(p).to_string()
+                self.taxonomy.pose_display(p)
             };
             out.push_str(&format!(
                 "{c:5}  {} -> {}\n",
-                PoseClass::from_index(t),
+                self.taxonomy.pose_display(t),
                 predicted
             ));
         }
@@ -193,10 +199,12 @@ pub fn evaluate_clip(model: &PoseModel, clip: &LabeledClip) -> Result<ClipReport
     let mut estimates = Vec::with_capacity(clip.len());
     let mut correct = 0usize;
     let mut unknown = 0usize;
+    // Simulator ground truth is labelled with the canonical enums, whose
+    // declaration indices ARE the default taxonomy's pose indices.
     for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
         let est = session.push_frame(frame)?;
         match est.pose {
-            Some(p) if p == truth.pose => correct += 1,
+            Some(p) if p == truth.pose.index() => correct += 1,
             None => unknown += 1,
             _ => {}
         }
@@ -208,7 +216,7 @@ pub fn evaluate_clip(model: &PoseModel, clip: &LabeledClip) -> Result<ClipReport
         total: clip.len(),
         unknown,
         estimates,
-        truth: clip.pose_sequence(),
+        truth: clip.pose_sequence().iter().map(|p| p.index()).collect(),
     })
 }
 
@@ -245,16 +253,18 @@ pub fn evaluate_with(
         .scoped_map(clips, |_, clip| evaluate_clip(model, clip))?
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
-    let mut confusion = vec![vec![0u32; P + 1]; P];
+    let p_count = model.taxonomy().pose_count();
+    let mut confusion = vec![vec![0u32; p_count + 1]; p_count];
     for report in &reports {
         for (est, &truth) in report.estimates.iter().zip(&report.truth) {
-            let col = est.pose.map(|p| p.index()).unwrap_or(P);
-            confusion[truth.index()][col] += 1;
+            let col = est.pose.unwrap_or(p_count);
+            confusion[truth][col] += 1;
         }
     }
     Ok(EvalReport {
         clips: reports,
         confusion,
+        taxonomy: model.taxonomy().clone(),
     })
 }
 
@@ -263,7 +273,10 @@ mod tests {
     use super::*;
     use crate::config::PipelineConfig;
     use crate::training::Trainer;
+    use slj_sim::pose::PoseClass;
     use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+    const P: usize = PoseClass::COUNT;
 
     fn tiny_world() -> (PoseModel, Vec<LabeledClip>) {
         let sim = JumpSimulator::new(55);
@@ -363,7 +376,7 @@ mod tests {
             let frames: usize = report.clips[0]
                 .truth
                 .iter()
-                .filter(|p| p.stage().index() == s)
+                .filter(|&&p| report.taxonomy.stage_of_pose(p) == s)
                 .count();
             correct += acc.unwrap() * frames as f64;
             total += frames as f64;
@@ -394,13 +407,13 @@ mod tests {
     fn burst_fraction_on_synthetic_report() {
         // Hand-build a report to pin the burst maths.
         let mk_est = |pose: Option<PoseClass>| PoseEstimate {
-            pose,
+            pose: pose.map(|p| p.index()),
             posterior: vec![0.0; P],
-            stage: slj_sim::stage::JumpStage::BeforeJumping,
+            stage: slj_sim::stage::JumpStage::BeforeJumping.index(),
             stage_posterior: vec![0.25; 4],
-            committed_pose: PoseClass::initial(),
+            committed_pose: PoseClass::initial().index(),
         };
-        let truth = vec![PoseClass::initial(); 6];
+        let truth = vec![PoseClass::initial().index(); 6];
         // Pattern: wrong, wrong, right, wrong, right, right.
         let estimates = vec![
             mk_est(None),
@@ -422,6 +435,7 @@ mod tests {
         let report = EvalReport {
             clips: vec![clip],
             confusion: vec![vec![0; P + 1]; P],
+            taxonomy: slj_sim::default_taxonomy(),
         };
         // 2 of 3 errors sit in a burst >= 2.
         assert!((report.burst_error_fraction(2) - 2.0 / 3.0).abs() < 1e-12);

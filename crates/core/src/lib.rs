@@ -61,12 +61,12 @@ pub mod training;
 
 pub use config::{PipelineConfig, TemporalMode};
 pub use engine::{
-    FrameSlots, FrameStage, FrontEnd, JumpSession, StageTimings, DBN_STAGE, STAGE_NAMES,
+    FrameSlots, FrameStage, FrontEnd, JumpSession, StageTimings, DBN_STAGE, PIPELINE_STAGE_NAMES,
 };
 pub use error::SljError;
 pub use evaluation::{evaluate, ClipReport, EvalReport};
 pub use model::{Decision, PoseEstimate, PoseModel, SequenceClassifier};
 pub use pipeline::{FrameProcessor, ProcessedFrame};
-pub use scoring::{assess_pose_sequence, DetectedFault};
+pub use scoring::{assess_pose_sequence, assess_with_taxonomy, AssessedFault, DetectedFault};
 pub use trace::FrameRecord;
 pub use training::Trainer;

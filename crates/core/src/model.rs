@@ -2,9 +2,11 @@
 //!
 //! Structure, exactly as the paper draws it:
 //!
-//! - a root **Pose** node (22 states) whose parents are the **previous
-//!   pose** and the current **jumping stage** (4 states, a left-to-right
-//!   chain on its own previous value);
+//! - a root **Pose** node (one state per taxonomy pose; 22 in the
+//!   shipped standing-long-jump artifact) whose parents are the
+//!   **previous pose** and the current **jumping stage** (4 states in
+//!   the default artifact, a left-to-right chain on its own previous
+//!   value);
 //! - five hidden **body-part** nodes (Head, Chest, Hand, Knee, Foot),
 //!   each `P(part-location | pose)` with domain {area 1..N, absent};
 //! - N observed binary **Area** nodes with noisy-OR CPDs over the five
@@ -30,16 +32,8 @@ use slj_bayes::noisy_or::NoisyOrBank;
 use slj_bayes::variable::Variable;
 use slj_obs::Registry;
 use slj_runtime::ThreadPool;
-use slj_sim::pose::PoseClass;
-use slj_sim::stage::JumpStage;
-use slj_skeleton::features::FeatureVector;
-
-/// Number of poses.
-const P: usize = PoseClass::COUNT;
-/// Number of stages.
-const S: usize = JumpStage::COUNT;
-/// Number of body parts.
-const PARTS: usize = 5;
+use slj_skeleton::features::{BodyPart, FeatureVector};
+use slj_taxonomy::Taxonomy;
 
 /// The learned conditional tables, before model assembly.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +64,7 @@ enum FrameEvidence {
 #[derive(Debug, Clone)]
 pub struct PoseModel {
     config: PipelineConfig,
+    taxonomy: Taxonomy,
     tables: LearnedTables,
     dbn: TwoSliceDbn,
     stage_var: Variable,
@@ -78,19 +73,22 @@ pub struct PoseModel {
 }
 
 /// The classifier's verdict on one frame.
+///
+/// Poses and stages are **taxonomy-relative indices** — resolve names
+/// through [`PoseModel::taxonomy`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoseEstimate {
-    /// The decided pose, or `None` for an Unknown frame.
-    pub pose: Option<PoseClass>,
-    /// Posterior over all 22 poses (after temporal filtering).
+    /// The decided pose index, or `None` for an Unknown frame.
+    pub pose: Option<usize>,
+    /// Posterior over all poses (after temporal filtering).
     pub posterior: Vec<f64>,
-    /// Most probable jumping stage.
-    pub stage: JumpStage,
-    /// Posterior over the four stages.
+    /// Most probable stage index.
+    pub stage: usize,
+    /// Posterior over the stages.
     pub stage_posterior: Vec<f64>,
     /// The pose used as "previous pose" for the next frame (the decided
     /// pose, or the most recently recognised one on Unknown frames).
-    pub committed_pose: PoseClass,
+    pub committed_pose: usize,
 }
 
 /// The internals of one frame's `Th_Pose` decision, kept by the
@@ -101,8 +99,8 @@ pub struct PoseEstimate {
 /// whether the carry-forward rule replaced an Unknown frame's pose.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Decision {
-    /// Argmax pose of the filtered posterior.
-    pub best_pose: PoseClass,
+    /// Argmax pose index of the filtered posterior.
+    pub best_pose: usize,
     /// Its posterior probability.
     pub best_prob: f64,
     /// Whether the frame was accepted (false → Unknown).
@@ -118,30 +116,61 @@ pub struct Decision {
 }
 
 impl PoseModel {
-    /// Assembles a model from learned tables.
+    /// Assembles a model from learned tables against the default
+    /// standing-long-jump taxonomy.
+    ///
+    /// # Errors
+    ///
+    /// As [`PoseModel::from_tables_with`].
+    pub fn from_tables(config: PipelineConfig, tables: LearnedTables) -> Result<Self, SljError> {
+        Self::from_tables_with(config, slj_sim::taxonomy::default_taxonomy(), tables)
+    }
+
+    /// Assembles a model from learned tables: the taxonomy sizes every
+    /// node of the DBN (pose and stage cardinality, initial pose,
+    /// majority exemption), the tables fill the CPDs.
     ///
     /// # Errors
     ///
     /// Propagates CPD/DBN validation errors (e.g. rows not summing to 1)
-    /// and [`SljError::ConfigMismatch`] on shape problems.
-    pub fn from_tables(config: PipelineConfig, tables: LearnedTables) -> Result<Self, SljError> {
+    /// and [`SljError::ConfigMismatch`] on shape problems or an invalid
+    /// taxonomy.
+    pub fn from_tables_with(
+        config: PipelineConfig,
+        taxonomy: Taxonomy,
+        tables: LearnedTables,
+    ) -> Result<Self, SljError> {
         config.validate()?;
+        taxonomy
+            .validate()
+            .map_err(|e| SljError::ConfigMismatch(e.to_string()))?;
         let n = config.partitions as usize;
+        let p = taxonomy.pose_count();
+        let s = taxonomy.stage_count();
+        // The skeleton front end always encodes the five canonical body
+        // parts; a taxonomy cannot redefine the feature vector.
+        if taxonomy.parts() != BodyPart::ALL.len() {
+            return Err(SljError::ConfigMismatch(format!(
+                "taxonomy declares {} body parts; the feature vector carries {}",
+                taxonomy.parts(),
+                BodyPart::ALL.len()
+            )));
+        }
         // Shape checks.
-        if tables.stage_transition.len() != S
-            || tables.pose_transition.len() != P
-            || tables.pose_transition_nostage.len() != P
-            || tables.pose_marginal.len() != P
-            || tables.part_given_pose.len() != PARTS
+        if tables.stage_transition.len() != s
+            || tables.pose_transition.len() != p
+            || tables.pose_transition_nostage.len() != p
+            || tables.pose_marginal.len() != p
+            || tables.part_given_pose.len() != taxonomy.parts()
         {
             return Err(SljError::ConfigMismatch(
                 "learned tables have wrong outer dimensions".into(),
             ));
         }
         for per_pose in &tables.part_given_pose {
-            if per_pose.len() != P || per_pose.iter().any(|row| row.len() != n + 1) {
+            if per_pose.len() != p || per_pose.iter().any(|row| row.len() != n + 1) {
                 return Err(SljError::ConfigMismatch(format!(
-                    "part tables must be {P} poses x {} states",
+                    "part tables must be {p} poses x {} states",
                     n + 1
                 )));
             }
@@ -149,37 +178,37 @@ impl PoseModel {
 
         // Temporal chain (interface: stage, pose).
         let mut b = TwoSliceDbnBuilder::new();
-        let (stage_var, stage_prev) = b.interface_variable("stage", S);
-        let (pose_var, pose_prev) = b.interface_variable("pose", P);
+        let (stage_var, stage_prev) = b.interface_variable("stage", s);
+        let (pose_var, pose_prev) = b.interface_variable("pose", p);
         match config.temporal {
             TemporalMode::Full => {
-                // Slice 0: the paper's reset — previous stage is "before
-                // jumping", previous pose is "standing & hand overlap".
-                let init_stage_row =
-                    tables.stage_transition[JumpStage::BeforeJumping.index()].clone();
+                // Slice 0: the paper's reset — previous stage is the
+                // taxonomy's first stage ("before jumping"), previous
+                // pose its declared initial pose.
+                let init_stage_row = tables.stage_transition[0].clone();
                 b.prior_cpd(
                     TableCpd::new(stage_var, vec![], init_stage_row).map_err(SljError::from)?,
                 );
-                let init_pose = PoseClass::initial().index();
-                let mut pose0 = Vec::with_capacity(S * P);
-                for s in 0..S {
-                    pose0.extend(&tables.pose_transition[init_pose][s]);
+                let init_pose = taxonomy.initial_pose();
+                let mut pose0 = Vec::with_capacity(s * p);
+                for stage in 0..s {
+                    pose0.extend(&tables.pose_transition[init_pose][stage]);
                 }
                 b.prior_cpd(
                     TableCpd::new(pose_var, vec![stage_var], pose0).map_err(SljError::from)?,
                 );
                 // Transitions.
-                let mut stage_t = Vec::with_capacity(S * S);
+                let mut stage_t = Vec::with_capacity(s * s);
                 for row in &tables.stage_transition {
                     stage_t.extend(row);
                 }
                 b.transition_cpd(
                     TableCpd::new(stage_var, vec![stage_prev], stage_t).map_err(SljError::from)?,
                 );
-                let mut pose_t = Vec::with_capacity(P * S * P);
-                for prev in 0..P {
-                    for s in 0..S {
-                        pose_t.extend(&tables.pose_transition[prev][s]);
+                let mut pose_t = Vec::with_capacity(p * s * p);
+                for prev in 0..p {
+                    for stage in 0..s {
+                        pose_t.extend(&tables.pose_transition[prev][stage]);
                     }
                 }
                 b.transition_cpd(
@@ -192,7 +221,7 @@ impl PoseModel {
                 // the previous pose.
                 b.prior_cpd(TableCpd::uniform(stage_var, vec![]));
                 b.transition_cpd(TableCpd::uniform(stage_var, vec![]));
-                let init_pose = PoseClass::initial().index();
+                let init_pose = taxonomy.initial_pose();
                 b.prior_cpd(
                     TableCpd::new(
                         pose_var,
@@ -201,8 +230,8 @@ impl PoseModel {
                     )
                     .map_err(SljError::from)?,
                 );
-                let mut pose_t = Vec::with_capacity(P * P);
-                for prev in 0..P {
+                let mut pose_t = Vec::with_capacity(p * p);
+                for prev in 0..p {
                     pose_t.extend(&tables.pose_transition_nostage[prev]);
                 }
                 b.transition_cpd(
@@ -227,11 +256,12 @@ impl PoseModel {
         let dbn = b.build().map_err(SljError::from)?;
 
         // The noisy-OR observation bank: five part parents, N area nodes.
-        let parts: Vec<Variable> = (0..PARTS).map(|p| Variable::new(p, n + 1)).collect();
+        let n_parts = taxonomy.parts();
+        let parts: Vec<Variable> = (0..n_parts).map(|i| Variable::new(i, n + 1)).collect();
         let mut areas = Vec::with_capacity(n);
         for k in 0..n {
-            let child = Variable::new(PARTS + k, 2);
-            let activation: Vec<Vec<f64>> = (0..PARTS)
+            let child = Variable::new(n_parts + k, 2);
+            let activation: Vec<Vec<f64>> = (0..n_parts)
                 .map(|_| {
                     (0..=n)
                         .map(|s| if s == k { config.part_activation } else { 0.0 })
@@ -247,6 +277,7 @@ impl PoseModel {
 
         Ok(PoseModel {
             config,
+            taxonomy,
             tables,
             dbn,
             stage_var,
@@ -258,6 +289,12 @@ impl PoseModel {
     /// The configuration the model was trained with.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The taxonomy the model classifies against: resolves every pose,
+    /// stage and fault index this crate reports into names and advice.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
     }
 
     /// The learned tables.
@@ -280,12 +317,12 @@ impl PoseModel {
     /// encoded with a different partition count.
     pub fn observation_likelihood(&self, features: &FeatureVector) -> Result<Vec<f64>, SljError> {
         let evidence = self.frame_evidence(features)?;
-        (0..P)
+        (0..self.taxonomy.pose_count())
             .map(|pose| self.pose_likelihood(&evidence, pose))
             .collect()
     }
 
-    /// [`PoseModel::observation_likelihood`] with the 22 per-pose BN
+    /// [`PoseModel::observation_likelihood`] with the per-pose BN
     /// evaluations fanned out across `pool`. Each pose's likelihood is
     /// computed by exactly one worker with the same arithmetic as the
     /// serial path, and the vector is assembled in pose order, so the
@@ -302,13 +339,15 @@ impl PoseModel {
         pool: &ThreadPool,
     ) -> Result<Vec<f64>, SljError> {
         let evidence = self.frame_evidence(features)?;
-        pool.scoped_map_n(P, |pose| self.pose_likelihood(&evidence, pose))?
-            .into_iter()
-            .collect()
+        pool.scoped_map_n(self.taxonomy.pose_count(), |pose| {
+            self.pose_likelihood(&evidence, pose)
+        })?
+        .into_iter()
+        .collect()
     }
 
     /// Validates the feature shape and captures the per-frame evidence
-    /// shared by all 22 per-pose evaluations.
+    /// shared by every per-pose evaluation.
     fn frame_evidence(&self, features: &FeatureVector) -> Result<FrameEvidence, SljError> {
         let n = self.config.partitions as usize;
         if features.partitions() as usize != n {
@@ -319,7 +358,6 @@ impl PoseModel {
         }
         Ok(match self.config.observation {
             ObservationMode::PartAssignment => {
-                use slj_skeleton::features::BodyPart;
                 // State per part: its area index, or N for absent.
                 FrameEvidence::PartStates(
                     BodyPart::ALL
@@ -349,8 +387,11 @@ impl PoseModel {
                 Ok(lik.max(1e-12))
             }
             FrameEvidence::Occupancy(occupied) => {
-                let dists: Vec<Vec<f64>> = (0..PARTS)
-                    .map(|p| self.tables.part_given_pose[p][pose].clone())
+                let dists: Vec<Vec<f64>> = self
+                    .tables
+                    .part_given_pose
+                    .iter()
+                    .map(|per_pose| per_pose[pose].clone())
                     .collect();
                 let lik = self
                     .bank
@@ -369,14 +410,15 @@ impl PoseModel {
         SequenceClassifier {
             model: self,
             filter: ForwardFilter::new(&self.dbn),
-            last_recognized: PoseClass::initial(),
+            last_recognized: self.taxonomy.initial_pose(),
             last_decision: None,
         }
     }
 
     /// Offline smoothing of a whole clip: per-frame posterior marginals
     /// `P(stage_t, pose_t | all frames)` by forward–backward, with the
-    /// frame's pose decided as the marginal argmax.
+    /// frame's pose decided as the marginal argmax. Returns
+    /// `(stage index, pose index)` per frame, taxonomy-relative.
     ///
     /// Sits between the paper's online filter (no hindsight) and
     /// [`PoseModel::decode_clip`] (jointly most probable sequence):
@@ -386,10 +428,7 @@ impl PoseModel {
     ///
     /// Propagates feature-shape mismatches and inference errors; an
     /// empty clip yields [`SljError::ConfigMismatch`].
-    pub fn smooth_clip(
-        &self,
-        features: &[FeatureVector],
-    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+    pub fn smooth_clip(&self, features: &[FeatureVector]) -> Result<Vec<(usize, usize)>, SljError> {
         let steps = self.likelihood_steps(features, None)?;
         self.smooth_steps(&steps, None)
     }
@@ -404,7 +443,7 @@ impl PoseModel {
         &self,
         features: &[FeatureVector],
         registry: &Registry,
-    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+    ) -> Result<Vec<(usize, usize)>, SljError> {
         let steps = self.likelihood_steps(features, None)?;
         self.smooth_steps(&steps, Some(InferenceMetrics::new(registry)))
     }
@@ -422,7 +461,7 @@ impl PoseModel {
         &self,
         features: &[FeatureVector],
         pool: &ThreadPool,
-    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+    ) -> Result<Vec<(usize, usize)>, SljError> {
         let steps = self.likelihood_steps(features, Some(pool))?;
         self.smooth_steps(&steps, None)
     }
@@ -457,7 +496,7 @@ impl PoseModel {
         &self,
         steps: &[slj_bayes::dbn::StepInput],
         metrics: Option<InferenceMetrics>,
-    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+    ) -> Result<Vec<(usize, usize)>, SljError> {
         use slj_bayes::dbn::SmoothingPass;
         let mut pass = SmoothingPass::new(&self.dbn);
         if let Some(metrics) = metrics {
@@ -481,10 +520,7 @@ impl PoseModel {
                         })
                         .0
                 };
-                Ok((
-                    JumpStage::from_index(argmax(&stage_marg)),
-                    PoseClass::from_index(argmax(&pose_marg)),
-                ))
+                Ok((argmax(&stage_marg), argmax(&pose_marg)))
             })
             .collect()
     }
@@ -498,16 +534,14 @@ impl PoseModel {
     /// of a recorded clip — the teacher watching afterwards — can use
     /// hindsight; Experiment E11 compares the two. `Th_Pose` and the
     /// Unknown state do not apply here: the decoder always commits to
-    /// the globally best sequence.
+    /// the globally best sequence. Returns `(stage index, pose index)`
+    /// per frame, taxonomy-relative.
     ///
     /// # Errors
     ///
     /// Propagates feature-shape mismatches and inference errors; an
     /// empty clip yields [`SljError::ConfigMismatch`].
-    pub fn decode_clip(
-        &self,
-        features: &[FeatureVector],
-    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+    pub fn decode_clip(&self, features: &[FeatureVector]) -> Result<Vec<(usize, usize)>, SljError> {
         let steps = self.likelihood_steps(features, None)?;
         self.decode_steps(&steps, None)
     }
@@ -522,7 +556,7 @@ impl PoseModel {
         &self,
         features: &[FeatureVector],
         registry: &Registry,
-    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+    ) -> Result<Vec<(usize, usize)>, SljError> {
         let steps = self.likelihood_steps(features, None)?;
         self.decode_steps(&steps, Some(InferenceMetrics::new(registry)))
     }
@@ -540,7 +574,7 @@ impl PoseModel {
         &self,
         features: &[FeatureVector],
         pool: &ThreadPool,
-    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+    ) -> Result<Vec<(usize, usize)>, SljError> {
         let steps = self.likelihood_steps(features, Some(pool))?;
         self.decode_steps(&steps, None)
     }
@@ -549,7 +583,7 @@ impl PoseModel {
         &self,
         steps: &[slj_bayes::dbn::StepInput],
         metrics: Option<InferenceMetrics>,
-    ) -> Result<Vec<(JumpStage, PoseClass)>, SljError> {
+    ) -> Result<Vec<(usize, usize)>, SljError> {
         use slj_bayes::dbn::ViterbiDecoder;
         let mut decoder = ViterbiDecoder::new(&self.dbn);
         if let Some(metrics) = metrics {
@@ -558,12 +592,7 @@ impl PoseModel {
         let path = decoder.decode(steps).map_err(SljError::from)?;
         Ok(path
             .into_iter()
-            .map(|m| {
-                (
-                    JumpStage::from_index(m[&self.stage_var.id()]),
-                    PoseClass::from_index(m[&self.pose_var.id()]),
-                )
-            })
+            .map(|m| (m[&self.stage_var.id()], m[&self.pose_var.id()]))
             .collect())
     }
 }
@@ -574,14 +603,14 @@ impl PoseModel {
 pub struct SequenceClassifier<'a> {
     model: &'a PoseModel,
     filter: ForwardFilter<'a>,
-    last_recognized: PoseClass,
+    last_recognized: usize,
     last_decision: Option<Decision>,
 }
 
 impl SequenceClassifier<'_> {
-    /// The most recently recognised pose (starts at the paper's initial
-    /// pose).
-    pub fn last_recognized(&self) -> PoseClass {
+    /// The most recently recognised pose index (starts at the
+    /// taxonomy's initial pose).
+    pub fn last_recognized(&self) -> usize {
         self.last_recognized
     }
 
@@ -589,6 +618,12 @@ impl SequenceClassifier<'_> {
     /// the first step).
     pub fn last_decision(&self) -> Option<Decision> {
         self.last_decision
+    }
+
+    /// The taxonomy of the model this classifier runs (resolves the
+    /// indices in its estimates).
+    pub fn taxonomy(&self) -> &Taxonomy {
+        self.model.taxonomy()
     }
 
     /// Records per-step DBN filter timing and factor sizes into
@@ -608,7 +643,7 @@ impl SequenceClassifier<'_> {
         self.step_with_values(lik_values)
     }
 
-    /// [`SequenceClassifier::step`] with the 22 per-pose BN evaluations
+    /// [`SequenceClassifier::step`] with the per-pose BN evaluations
     /// fanned out across `pool` (the temporal filter update stays
     /// serial). Bit-identical to the serial variant at every thread
     /// count.
@@ -654,10 +689,11 @@ impl SequenceClassifier<'_> {
                         (bi, bv)
                     }
                 });
-        let best_pose = PoseClass::from_index(best_idx);
+        let best_pose = best_idx;
         // Th_Pose rule: every pose except the majority pose must clear
         // the threshold.
-        let accepted = best_pose == PoseClass::majority() || best_prob >= self.model.config.th_pose;
+        let accepted = Some(best_pose) == self.model.taxonomy.majority_pose()
+            || best_prob >= self.model.config.th_pose;
         let decided = if accepted { Some(best_pose) } else { None };
         self.last_decision = Some(Decision {
             best_pose,
@@ -696,8 +732,8 @@ impl SequenceClassifier<'_> {
         if self.model.config.hard_commit {
             let stage_belief = Factor::new(vec![self.model.stage_var], stage_posterior.clone())
                 .map_err(SljError::from)?;
-            let pose_belief = Factor::indicator(self.model.pose_var, committed.index())
-                .map_err(SljError::from)?;
+            let pose_belief =
+                Factor::indicator(self.model.pose_var, committed).map_err(SljError::from)?;
             let belief = stage_belief.product(&pose_belief).map_err(SljError::from)?;
             self.filter.set_belief(belief).map_err(SljError::from)?;
         } else if decided.is_none() && self.model.config.carry_forward {
@@ -705,8 +741,8 @@ impl SequenceClassifier<'_> {
             // frames: mix the carried pose into the belief.
             let stage_belief = Factor::new(vec![self.model.stage_var], stage_posterior.clone())
                 .map_err(SljError::from)?;
-            let pose_belief = Factor::indicator(self.model.pose_var, committed.index())
-                .map_err(SljError::from)?;
+            let pose_belief =
+                Factor::indicator(self.model.pose_var, committed).map_err(SljError::from)?;
             let belief = stage_belief.product(&pose_belief).map_err(SljError::from)?;
             self.filter.set_belief(belief).map_err(SljError::from)?;
         }
@@ -714,7 +750,7 @@ impl SequenceClassifier<'_> {
         Ok(PoseEstimate {
             pose: decided,
             posterior,
-            stage: JumpStage::from_index(stage_idx),
+            stage: stage_idx,
             stage_posterior,
             committed_pose: committed,
         })
@@ -724,8 +760,14 @@ impl SequenceClassifier<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slj_sim::pose::PoseClass;
     use slj_skeleton::features::FeatureCodec;
     use slj_skeleton::keypoints::KeyPoints;
+
+    // Default-taxonomy dimensions, which the toy tables are built for.
+    const P: usize = 22;
+    const S: usize = 4;
+    const PARTS: usize = 5;
 
     /// A synthetic model whose tables make pose 1 follow pose 0 etc.,
     /// with parts deterministically placed per pose.
@@ -822,7 +864,7 @@ mod tests {
             assert!(est.posterior.len() == P);
         }
         let est = clf.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
-        assert_eq!(est.pose, Some(PoseClass::from_index(3)));
+        assert_eq!(est.pose, Some(3));
     }
 
     #[test]
@@ -869,12 +911,12 @@ mod tests {
         let est = clf.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
         if est.pose.is_none() {
             // Carry-forward: the committed pose is the initial pose.
-            assert_eq!(est.committed_pose, PoseClass::initial());
-            assert_eq!(clf.last_recognized(), PoseClass::initial());
+            assert_eq!(est.committed_pose, PoseClass::initial().index());
+            assert_eq!(clf.last_recognized(), PoseClass::initial().index());
         } else {
             // Only the majority pose can be accepted under this
             // threshold.
-            assert_eq!(est.pose, Some(PoseClass::majority()));
+            assert_eq!(est.pose, Some(PoseClass::majority().index()));
         }
     }
 
@@ -891,7 +933,7 @@ mod tests {
         let m = PoseClass::majority().index();
         let areas: Vec<u8> = (0..5).map(|p| ((m + p) % 8) as u8).collect();
         let est = clf.step(&features_for_areas(&areas)).unwrap();
-        assert_eq!(est.pose, Some(PoseClass::majority()));
+        assert_eq!(est.pose, Some(PoseClass::majority().index()));
     }
 
     #[test]
@@ -959,7 +1001,7 @@ mod tests {
         // (the toy tables are 8-periodic).
         for (t, (_, pose)) in path.iter().enumerate() {
             let expect = if t < 3 { 3 } else { 4 };
-            assert_eq!(pose.index() % 8, expect, "frame {t}: {pose}");
+            assert_eq!(pose % 8, expect, "frame {t}: pose {pose}");
         }
     }
 
@@ -979,7 +1021,7 @@ mod tests {
         let path = model.smooth_clip(&seq).unwrap();
         assert_eq!(path.len(), 5);
         for (t, (_, pose)) in path.iter().enumerate() {
-            assert_eq!(pose.index() % 8, 3, "frame {t}: {pose}");
+            assert_eq!(pose % 8, 3, "frame {t}: pose {pose}");
         }
     }
 
@@ -1068,13 +1110,10 @@ mod tests {
         for i in 0..12 {
             let est = clf.step(&features_for_areas(&[3, 4, 5, 6, 7])).unwrap();
             if i == 0 {
-                first_stage = est.stage.index();
+                first_stage = est.stage;
             }
             if i == 11 {
-                assert!(
-                    est.stage.index() >= first_stage,
-                    "stage should drift forward"
-                );
+                assert!(est.stage >= first_stage, "stage should drift forward");
                 assert!(
                     est.stage_posterior[3] > 0.5,
                     "after 12 frames mass reaches landing: {:?}",

@@ -1,19 +1,20 @@
 //! Saving and loading trained models.
 //!
 //! A [`PoseModel`] is persisted as a small versioned plain-text format
-//! (no external serialisation crates): the configuration scalars
-//! followed by each learned table as whitespace-separated rows. The
-//! format is line-oriented and diff-friendly, so trained models can be
-//! versioned next to the code.
+//! (no external serialisation crates): the configuration scalars, the
+//! embedded taxonomy artifact, then each learned table as
+//! whitespace-separated rows. The format is line-oriented and
+//! diff-friendly, so trained models can be versioned next to the code.
+//! Files written before the taxonomy block existed still load — they
+//! get the default standing-long-jump taxonomy.
 
 use crate::config::{ObservationMode, PipelineConfig, TemporalMode};
 use crate::error::SljError;
 use crate::model::{LearnedTables, PoseModel};
 use slj_imaging::background::ExtractionConfig;
-use slj_sim::pose::PoseClass;
-use slj_sim::stage::JumpStage;
 use slj_skeleton::pipeline::SkeletonConfig;
 use slj_skeleton::thinning::ThinningAlgorithm;
+use slj_taxonomy::Taxonomy;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -57,6 +58,14 @@ pub fn to_string(model: &PoseModel) -> String {
         c.hard_commit,
         c.carry_forward,
     );
+    // The taxonomy artifact, embedded verbatim so a model file is
+    // self-describing (pose/stage vocabulary, fault rules and all).
+    let artifact = model.taxonomy().to_artifact_string();
+    let artifact_lines: Vec<&str> = artifact.lines().collect();
+    let _ = writeln!(out, "taxonomy lines={}", artifact_lines.len());
+    for line in &artifact_lines {
+        let _ = writeln!(out, "{line}");
+    }
     let write_rows = |out: &mut String, name: &str, rows: Vec<&[f64]>| {
         let cols = rows.first().map_or(0, |r| r.len());
         let _ = writeln!(out, "table {name} rows={} cols={cols}", rows.len());
@@ -167,6 +176,32 @@ pub fn from_str(text: &str) -> Result<PoseModel, SljError> {
         carry_forward: get(&kv, "carry_forward")?,
     };
 
+    // Optional embedded taxonomy block (absent in legacy files, which
+    // predate data-driven taxonomies and always meant the default).
+    let mut lines = lines.peekable();
+    let taxonomy = match lines.peek() {
+        Some(line) if line.trim().starts_with("taxonomy ") => {
+            let header = lines.next().unwrap_or_default();
+            let count: usize = header
+                .split_whitespace()
+                .nth(1)
+                .and_then(|t| t.strip_prefix("lines="))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad(&format!("bad taxonomy header {header:?}")))?;
+            let mut artifact = String::new();
+            for _ in 0..count {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| bad("truncated taxonomy block"))?;
+                artifact.push_str(line);
+                artifact.push('\n');
+            }
+            Taxonomy::from_artifact_str(&artifact)
+                .map_err(|e| bad(&format!("embedded taxonomy: {e}")))?
+        }
+        _ => slj_sim::taxonomy::default_taxonomy(),
+    };
+
     // Tables.
     let mut read_table = |name: &str| -> Result<Vec<Vec<f64>>, SljError> {
         let header = lines
@@ -205,29 +240,30 @@ pub fn from_str(text: &str) -> Result<PoseModel, SljError> {
         Ok(out)
     };
 
-    const P: usize = PoseClass::COUNT;
-    const S: usize = JumpStage::COUNT;
+    let p = taxonomy.pose_count();
+    let s = taxonomy.stage_count();
     let stage_transition = read_table("stage_transition")?;
     let pose_flat = read_table("pose_transition")?;
-    if pose_flat.len() != P * S {
+    if pose_flat.len() != p * s {
         return Err(bad("pose_transition has wrong row count"));
     }
     let pose_transition: Vec<Vec<Vec<f64>>> =
-        pose_flat.chunks(S).map(|chunk| chunk.to_vec()).collect();
+        pose_flat.chunks(s).map(|chunk| chunk.to_vec()).collect();
     let pose_transition_nostage = read_table("pose_transition_nostage")?;
     let pose_marginal = read_table("pose_marginal")?
         .into_iter()
         .next()
         .ok_or_else(|| bad("empty pose_marginal"))?;
     let part_flat = read_table("part_given_pose")?;
-    if part_flat.len() != 5 * P {
+    if part_flat.len() != taxonomy.parts() * p {
         return Err(bad("part_given_pose has wrong row count"));
     }
     let part_given_pose: Vec<Vec<Vec<f64>>> =
-        part_flat.chunks(P).map(|chunk| chunk.to_vec()).collect();
+        part_flat.chunks(p).map(|chunk| chunk.to_vec()).collect();
 
-    PoseModel::from_tables(
+    PoseModel::from_tables_with(
         config,
+        taxonomy,
         LearnedTables {
             stage_transition,
             pose_transition,

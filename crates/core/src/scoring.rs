@@ -3,16 +3,26 @@
 //! "According to the standing long jump standards, incorrect movements at
 //! different stages of the jump can thus be identified" (abstract) and
 //! "advices to the jumper can be given" (conclusion). The paper defers
-//! rule details to its predecessor \[1\]; this module implements the rules
-//! implied by the taxonomy: each required movement maps to poses that
-//! must (or must not) appear in the recognised sequence.
+//! rule details to its predecessor \[1\]; this module *interprets* the
+//! declarative fault rules carried by a [`Taxonomy`] artifact: each rule
+//! names evidence poses that must ([`Polarity::Require`]) or must not
+//! ([`Polarity::Forbid`]) appear in the recognised sequence. The shipped
+//! standing-long-jump artifact encodes the five rules the legacy
+//! hard-coded scorer checked, so assessments are unchanged; a new
+//! exercise ships its rules as data.
+//!
+//! [`Polarity::Require`]: slj_taxonomy::Polarity::Require
+//! [`Polarity::Forbid`]: slj_taxonomy::Polarity::Forbid
 
 use slj_sim::faults::JumpFault;
 use slj_sim::pose::PoseClass;
 use slj_sim::stage::JumpStage;
+use slj_taxonomy::Taxonomy;
 use std::fmt;
 
-/// A standards violation detected in a recognised pose sequence.
+/// A standards violation detected in a recognised pose sequence
+/// (legacy enum-typed view; see [`AssessedFault`] for the
+/// taxonomy-relative form).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectedFault {
     /// The violated rule.
@@ -29,14 +39,62 @@ impl fmt::Display for DetectedFault {
     }
 }
 
-/// Minimum number of matching frames for a movement to count as
-/// performed (a single glitch frame should not satisfy a rule).
-const MIN_EVIDENCE_FRAMES: usize = 2;
+/// A fired fault rule with its names resolved through the taxonomy that
+/// defined it. Works for any artifact, not just the shipped
+/// standing-long-jump one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssessedFault {
+    /// Index of the rule in [`Taxonomy::faults`].
+    pub rule: usize,
+    /// The rule's machine name (e.g. `NoTuck`).
+    pub ident: String,
+    /// The rule's report name (e.g. "no knee tuck at the top of the
+    /// flight").
+    pub display: String,
+    /// Machine name of the stage the rule applies to (e.g. `InAir`).
+    pub stage_ident: String,
+    /// Report name of that stage (e.g. "in the air").
+    pub stage_display: String,
+    /// Human-readable advice for the jumper.
+    pub advice: String,
+}
+
+impl fmt::Display for AssessedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {}",
+            self.stage_display, self.display, self.advice
+        )
+    }
+}
+
+/// Interprets a taxonomy's fault rules over a recognised pose-index
+/// sequence. `None` entries (Unknown frames) are ignored. Fired rules
+/// come back in the artifact's declaration order.
+pub fn assess_with_taxonomy(taxonomy: &Taxonomy, poses: &[Option<usize>]) -> Vec<AssessedFault> {
+    taxonomy
+        .assess(poses)
+        .into_iter()
+        .map(|r| {
+            let rule = &taxonomy.faults()[r];
+            AssessedFault {
+                rule: r,
+                ident: rule.ident.clone(),
+                display: rule.display.clone(),
+                stage_ident: taxonomy.stage_ident(rule.stage).to_string(),
+                stage_display: taxonomy.stage_display(rule.stage).to_string(),
+                advice: rule.advice.clone(),
+            }
+        })
+        .collect()
+}
 
 /// Assesses a recognised pose sequence against the standing-long-jump
-/// standard. `None` entries (Unknown frames) are ignored.
+/// standard (the shipped default artifact). `None` entries (Unknown
+/// frames) are ignored.
 ///
-/// Rules:
+/// Rules (as data in [`slj_sim::default_taxonomy`]):
 /// 1. The arms must swing backward during the preparation.
 /// 2. The knees must bend (crouch) before take-off.
 /// 3. The knees must tuck during the flight.
@@ -53,69 +111,23 @@ const MIN_EVIDENCE_FRAMES: usize = 2;
 /// assert!(assess_pose_sequence(&perfect).is_empty());
 /// ```
 pub fn assess_pose_sequence(poses: &[Option<PoseClass>]) -> Vec<DetectedFault> {
-    let recognized: Vec<PoseClass> = poses.iter().flatten().copied().collect();
-    let count = |pred: &dyn Fn(PoseClass) -> bool| -> usize {
-        recognized.iter().filter(|&&p| pred(p)).count()
-    };
-    let mut faults = Vec::new();
-
-    let arm_swing = count(&|p| {
-        matches!(
-            p,
-            PoseClass::StandingHandsSwungBack
-                | PoseClass::KneesBentHandsBack
-                | PoseClass::WaistBentHandsBack
-        )
-    });
-    if arm_swing < MIN_EVIDENCE_FRAMES {
-        faults.push(DetectedFault {
-            fault: JumpFault::NoArmSwing,
-            stage: JumpStage::BeforeJumping,
-            advice: "swing the arms backward during the preparation to build momentum".into(),
-        });
-    }
-
-    let crouch = count(&|p| {
-        matches!(
-            p,
-            PoseClass::KneesBentHandsBack | PoseClass::KneesBentHandsForward
-        )
-    });
-    if crouch < MIN_EVIDENCE_FRAMES {
-        faults.push(DetectedFault {
-            fault: JumpFault::NoCrouch,
-            stage: JumpStage::BeforeJumping,
-            advice: "bend the knees deeply before take-off".into(),
-        });
-    }
-
-    let tuck = count(&|p| p == PoseClass::AirborneTuck);
-    if tuck < MIN_EVIDENCE_FRAMES {
-        faults.push(DetectedFault {
-            fault: JumpFault::NoTuck,
-            stage: JumpStage::InAir,
-            advice: "tuck the knees toward the chest at the top of the flight".into(),
-        });
-    }
-
-    let absorb = count(&|p| p == PoseClass::LandingAbsorb);
-    if absorb < MIN_EVIDENCE_FRAMES {
-        faults.push(DetectedFault {
-            fault: JumpFault::StiffLanding,
-            stage: JumpStage::Landing,
-            advice: "bend the knees on touch-down to absorb the impact".into(),
-        });
-    }
-
-    let overbalance = count(&|p| p == PoseClass::LandingOverbalanced);
-    if overbalance >= MIN_EVIDENCE_FRAMES {
-        faults.push(DetectedFault {
-            fault: JumpFault::Overbalance,
-            stage: JumpStage::Landing,
-            advice: "keep the torso over the feet after landing".into(),
-        });
-    }
-    faults
+    let taxonomy = slj_sim::default_taxonomy();
+    let indices: Vec<Option<usize>> = poses.iter().map(|p| p.map(PoseClass::index)).collect();
+    // The default artifact's rules are JumpFault::ALL in declaration
+    // order (asserted by slj_sim::taxonomy's tests), so a fired rule
+    // index maps straight back onto the legacy enum.
+    taxonomy
+        .assess(&indices)
+        .into_iter()
+        .map(|r| {
+            let rule = &taxonomy.faults()[r];
+            DetectedFault {
+                fault: JumpFault::ALL[r],
+                stage: JumpStage::from_index(rule.stage),
+                advice: rule.advice.clone(),
+            }
+        })
+        .collect()
 }
 
 /// Assesses a ground-truth (fully known) pose sequence.
@@ -210,5 +222,81 @@ mod tests {
         let s = faults[0].to_string();
         assert!(s.contains("before jumping"));
         assert!(s.contains("swing"));
+    }
+
+    #[test]
+    fn interpreter_matches_legacy_on_every_injected_fault() {
+        let taxonomy = slj_sim::default_taxonomy();
+        let mut scripts = vec![JumpScript::standard(), JumpScript::with_rare_poses()];
+        scripts.extend(
+            JumpFault::ALL
+                .iter()
+                .map(|f| f.apply(&JumpScript::standard())),
+        );
+        for script in &scripts {
+            let poses = poses_of(script);
+            let wrapped: Vec<Option<PoseClass>> = poses.iter().copied().map(Some).collect();
+            let legacy = assess_pose_sequence(&wrapped);
+            let indices: Vec<Option<usize>> = poses.iter().map(|p| Some(p.index())).collect();
+            let interpreted = assess_with_taxonomy(&taxonomy, &indices);
+            assert_eq!(legacy.len(), interpreted.len());
+            for (l, i) in legacy.iter().zip(&interpreted) {
+                assert_eq!(i.ident, format!("{:?}", l.fault));
+                assert_eq!(i.display, l.fault.to_string());
+                assert_eq!(i.stage_ident, format!("{:?}", l.stage));
+                assert_eq!(i.stage_display, l.stage.to_string());
+                assert_eq!(i.advice, l.advice);
+                // The rendered report lines are identical too.
+                assert_eq!(i.to_string(), l.to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence_via_interpreter() {
+        let taxonomy = slj_sim::default_taxonomy();
+        let faults = assess_with_taxonomy(&taxonomy, &[]);
+        assert_eq!(faults.len(), 4);
+        assert!(faults.iter().all(|d| d.ident != "Overbalance"));
+    }
+
+    #[test]
+    fn all_unknown_sequence_matches_empty() {
+        let unknowns = vec![None; 40];
+        assert_eq!(assess_pose_sequence(&unknowns), assess_pose_sequence(&[]));
+        let taxonomy = slj_sim::default_taxonomy();
+        assert_eq!(
+            assess_with_taxonomy(&taxonomy, &vec![None; 40]),
+            assess_with_taxonomy(&taxonomy, &[])
+        );
+    }
+
+    #[test]
+    fn fault_evidence_at_stage_boundary_still_counts() {
+        // Evidence frames for a rule count wherever they appear in the
+        // sequence — the interpreter tallies poses, not stage spans. Put
+        // the two tuck frames at the very edges of the in-air stretch
+        // (the boundary frames next to jumping and landing) and the
+        // NoTuck rule must stay satisfied.
+        let mut poses = poses_of(&JumpFault::NoTuck.apply(&JumpScript::standard()));
+        let first_air = poses
+            .iter()
+            .position(|p| p.stage() == JumpStage::InAir)
+            .unwrap();
+        let last_air = poses.len()
+            - 1
+            - poses
+                .iter()
+                .rev()
+                .position(|p| p.stage() == JumpStage::InAir)
+                .unwrap();
+        assert!(last_air > first_air);
+        poses[first_air] = PoseClass::AirborneTuck;
+        poses[last_air] = PoseClass::AirborneTuck;
+        let faults = assess_known_sequence(&poses);
+        assert!(
+            faults.iter().all(|d| d.fault != JumpFault::NoTuck),
+            "two boundary tuck frames satisfy the rule: {faults:?}"
+        );
     }
 }

@@ -8,17 +8,27 @@
 //! ([`crate::engine::JumpSession::frame_record`]) and serialised with
 //! the dependency-free [`JsonWriter`].
 //!
+//! Pose and jumping-stage names are resolved through the model's
+//! [`Taxonomy`] (the machine idents — for the shipped standing-long-jump
+//! artifact these match the legacy enum `Debug` names). The pipeline
+//! step timings live under `pipeline_ns`, keeping "stage" for the
+//! taxonomy's jumping stages.
+//!
 //! This path runs once per emitted frame, outside the steady-state
-//! pipeline loop, so it is allowed to allocate (`Debug`-formatted pose
-//! names, the posterior copy); the zero-alloc budget of the engine only
-//! covers the disabled-tracing path.
+//! pipeline loop, so it is allowed to allocate (resolved pose names, the
+//! posterior copy); the zero-alloc budget of the engine only covers the
+//! disabled-tracing path.
 
 use crate::engine::StageTimings;
 use crate::model::{Decision, PoseEstimate};
 use slj_obs::JsonWriter;
+use slj_taxonomy::Taxonomy;
 
 /// Schema version stamped into every record as `"schema"`.
-pub const TRACE_SCHEMA_VERSION: u64 = 1;
+///
+/// Version 2 renamed the pipeline timing key from `stage_ns` to
+/// `pipeline_ns` — `stage` now always means a taxonomy jumping stage.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// One frame's decision trace: timings, posterior and decision rule.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,14 +37,14 @@ pub struct FrameRecord {
     pub clip: Option<u64>,
     /// Zero-based frame index within the clip.
     pub frame: u64,
-    /// Per-stage nanoseconds, in execution order (seven front-end
-    /// stages plus [`crate::engine::DBN_STAGE`]).
-    pub stage_ns: Vec<(&'static str, u64)>,
-    /// Decided pose name (`Debug` form), or `None` for Unknown frames.
+    /// Per-pipeline-step nanoseconds, in execution order (seven
+    /// front-end steps plus [`crate::engine::DBN_STAGE`]).
+    pub pipeline_ns: Vec<(&'static str, u64)>,
+    /// Decided pose name (taxonomy ident), or `None` for Unknown frames.
     pub pose: Option<String>,
     /// The pose fed to the next frame as "previous pose".
     pub committed: String,
-    /// Posterior over all 22 poses after temporal filtering.
+    /// Posterior over all poses after temporal filtering.
     pub posterior: Vec<f64>,
     /// Posterior probability of the argmax pose.
     pub best_prob: f64,
@@ -48,32 +58,33 @@ pub struct FrameRecord {
     pub unknown_reason: Option<&'static str>,
     /// Whether the carry-forward rule replaced the Unknown pose.
     pub carry_forward: bool,
-    /// Most probable jumping stage name.
+    /// Most probable jumping stage name (taxonomy ident).
     pub stage: String,
-    /// Posterior over the four jumping stages.
+    /// Posterior over the jumping stages.
     pub stage_posterior: Vec<f64>,
 }
 
 impl FrameRecord {
     /// Assembles the record for one frame from the engine timings and
-    /// the classifier outputs.
+    /// the classifier outputs, resolving names through `taxonomy`.
     pub fn new(
         frame: u64,
         timings: &StageTimings,
         estimate: &PoseEstimate,
         decision: &Decision,
+        taxonomy: &Taxonomy,
     ) -> Self {
         FrameRecord {
             clip: None,
             frame,
-            stage_ns: timings
+            pipeline_ns: timings
                 .iter()
                 .map(|(name, elapsed)| {
                     (name, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX))
                 })
                 .collect(),
-            pose: estimate.pose.map(|p| format!("{p:?}")),
-            committed: format!("{:?}", estimate.committed_pose),
+            pose: estimate.pose.map(|p| taxonomy.pose_ident(p).to_string()),
+            committed: taxonomy.pose_ident(estimate.committed_pose).to_string(),
             posterior: estimate.posterior.clone(),
             best_prob: decision.best_prob,
             th_margin: decision.th_margin,
@@ -85,7 +96,7 @@ impl FrameRecord {
                 Some("below_th_pose")
             },
             carry_forward: decision.carry_forward,
-            stage: format!("{:?}", estimate.stage),
+            stage: taxonomy.stage_ident(estimate.stage).to_string(),
             stage_posterior: estimate.stage_posterior.clone(),
         }
     }
@@ -103,9 +114,9 @@ impl FrameRecord {
         }
         w.key("frame");
         w.u64(self.frame);
-        w.key("stage_ns");
+        w.key("pipeline_ns");
         w.begin_object();
-        for (name, ns) in &self.stage_ns {
+        for (name, ns) in &self.pipeline_ns {
             w.key(name);
             w.u64(*ns);
         }
@@ -157,25 +168,26 @@ mod tests {
     use std::time::Duration;
 
     fn sample_record() -> FrameRecord {
+        let taxonomy = slj_sim::default_taxonomy();
         let mut timings = StageTimings::default();
         timings.push("background_subtraction", Duration::from_nanos(1200));
         timings.push("dbn_step", Duration::from_nanos(800));
         let estimate = PoseEstimate {
             pose: None,
             posterior: vec![0.25, 0.75],
-            stage: slj_sim::JumpStage::Jumping,
+            stage: slj_sim::JumpStage::Jumping.index(),
             stage_posterior: vec![0.1, 0.6, 0.2, 0.1],
-            committed_pose: slj_sim::PoseClass::StandingHandsOverlap,
+            committed_pose: slj_sim::PoseClass::StandingHandsOverlap.index(),
         };
         let decision = Decision {
-            best_pose: slj_sim::PoseClass::StandingHandsOverlap,
+            best_pose: slj_sim::PoseClass::StandingHandsOverlap.index(),
             best_prob: 0.75,
             accepted: false,
             majority_exempt: false,
             th_margin: -0.05,
             carry_forward: true,
         };
-        FrameRecord::new(3, &timings, &estimate, &decision)
+        FrameRecord::new(3, &timings, &estimate, &decision, &taxonomy)
     }
 
     #[test]
@@ -185,8 +197,8 @@ mod tests {
         assert_eq!(record.pose, None);
         assert_eq!(record.unknown_reason, Some("below_th_pose"));
         assert!(record.carry_forward);
-        assert_eq!(record.stage_ns.len(), 2);
-        assert_eq!(record.stage_ns[1], ("dbn_step", 800));
+        assert_eq!(record.pipeline_ns.len(), 2);
+        assert_eq!(record.pipeline_ns[1], ("dbn_step", 800));
     }
 
     #[test]
@@ -196,10 +208,10 @@ mod tests {
         let json = record.to_json();
         assert!(!json.contains('\n'));
         for key in [
-            "\"schema\":1",
+            "\"schema\":2",
             "\"clip\":7",
             "\"frame\":3",
-            "\"stage_ns\":{\"background_subtraction\":1200,\"dbn_step\":800}",
+            "\"pipeline_ns\":{\"background_subtraction\":1200,\"dbn_step\":800}",
             "\"pose\":null",
             "\"committed\":\"StandingHandsOverlap\"",
             "\"unknown_reason\":\"below_th_pose\"",
@@ -212,24 +224,25 @@ mod tests {
 
     #[test]
     fn accepted_frame_has_no_unknown_reason() {
+        let taxonomy = slj_sim::default_taxonomy();
         let mut timings = StageTimings::default();
         timings.push("features", Duration::from_nanos(10));
         let estimate = PoseEstimate {
-            pose: Some(slj_sim::PoseClass::StandingHandsOverlap),
+            pose: Some(slj_sim::PoseClass::StandingHandsOverlap.index()),
             posterior: vec![1.0],
-            stage: slj_sim::JumpStage::BeforeJumping,
+            stage: slj_sim::JumpStage::BeforeJumping.index(),
             stage_posterior: vec![1.0, 0.0, 0.0, 0.0],
-            committed_pose: slj_sim::PoseClass::StandingHandsOverlap,
+            committed_pose: slj_sim::PoseClass::StandingHandsOverlap.index(),
         };
         let decision = Decision {
-            best_pose: slj_sim::PoseClass::StandingHandsOverlap,
+            best_pose: slj_sim::PoseClass::StandingHandsOverlap.index(),
             best_prob: 0.9,
             accepted: true,
             majority_exempt: false,
             th_margin: 0.2,
             carry_forward: false,
         };
-        let record = FrameRecord::new(0, &timings, &estimate, &decision);
+        let record = FrameRecord::new(0, &timings, &estimate, &decision, &taxonomy);
         assert_eq!(record.unknown_reason, None);
         assert!(record.to_json().contains("\"unknown_reason\":null"));
     }

@@ -15,13 +15,8 @@ use crate::error::SljError;
 use crate::model::{LearnedTables, PoseModel};
 use slj_runtime::{Parallelism, ThreadPool};
 use slj_sim::dataset::LabeledClip;
-use slj_sim::pose::PoseClass;
-use slj_sim::stage::JumpStage;
 use slj_skeleton::features::{BodyPart, FeatureVector};
-
-const P: usize = PoseClass::COUNT;
-const S: usize = JumpStage::COUNT;
-const PARTS: usize = 5;
+use slj_taxonomy::Taxonomy;
 
 /// Trains [`PoseModel`]s from labelled clips.
 ///
@@ -33,6 +28,7 @@ const PARTS: usize = 5;
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: PipelineConfig,
+    taxonomy: Taxonomy,
     parallelism: Parallelism,
 }
 
@@ -48,8 +44,24 @@ impl Trainer {
         config.validate()?;
         Ok(Trainer {
             config,
+            taxonomy: slj_sim::taxonomy::default_taxonomy(),
             parallelism: Parallelism::default(),
         })
+    }
+
+    /// Trains against a different taxonomy artifact: table shapes,
+    /// transition legality and in-stage smoothing all follow it, and the
+    /// trained model carries it. Training labels must be indices into
+    /// this taxonomy.
+    #[must_use]
+    pub fn with_taxonomy(mut self, taxonomy: Taxonomy) -> Self {
+        self.taxonomy = taxonomy;
+        self
+    }
+
+    /// The taxonomy this trainer trains against.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
     }
 
     /// Sets the execution policy for the clip fan-out. Output is
@@ -118,8 +130,8 @@ impl Trainer {
         for (frame, &(stage, pose)) in clip.frames.iter().zip(&clip.labels) {
             front_end.process_frame(frame)?;
             frames.push(TrainingFrame {
-                stage,
-                pose,
+                stage: stage.index(),
+                pose: pose.index(),
                 features: front_end.slots().features,
             });
         }
@@ -158,8 +170,8 @@ impl Trainer {
         for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
             front_end.process_frame(frame)?;
             frames.push(TrainingFrame {
-                stage: truth.stage,
-                pose: truth.pose,
+                stage: truth.stage.index(),
+                pose: truth.pose.index(),
                 features: front_end.slots().features,
             });
         }
@@ -182,23 +194,35 @@ impl Trainer {
         }
         let alpha = self.config.laplace_alpha;
         let n = self.config.partitions as usize;
-
-        // --- Stage transitions (structurally left-to-right). ---
-        let mut stage_counts = vec![vec![0.0f64; S]; S];
-        for seq in sequences {
-            for w in seq.frames.windows(2) {
-                stage_counts[w[0].stage.index()][w[1].stage.index()] += 1.0;
+        let p_count = self.taxonomy.pose_count();
+        let s_count = self.taxonomy.stage_count();
+        let n_parts = self.taxonomy.parts();
+        for (ci, seq) in sequences.iter().enumerate() {
+            for f in &seq.frames {
+                if f.pose >= p_count || f.stage >= s_count {
+                    return Err(SljError::InvalidTrainingSet(format!(
+                        "clip {ci}: label (stage {}, pose {}) outside taxonomy \
+                         ({s_count} stages, {p_count} poses)",
+                        f.stage, f.pose
+                    )));
+                }
             }
         }
-        let stage_transition: Vec<Vec<f64>> = (0..S)
+
+        // --- Stage transitions (legality from the taxonomy's prior). ---
+        let mut stage_counts = vec![vec![0.0f64; s_count]; s_count];
+        for seq in sequences {
+            for w in seq.frames.windows(2) {
+                stage_counts[w[0].stage][w[1].stage] += 1.0;
+            }
+        }
+        let stage_transition: Vec<Vec<f64>> = (0..s_count)
             .map(|i| {
-                let legal: Vec<usize> = (0..S)
-                    .filter(|&j| {
-                        JumpStage::from_index(i).can_transition_to(JumpStage::from_index(j))
-                    })
+                let legal: Vec<usize> = (0..s_count)
+                    .filter(|&j| self.taxonomy.can_transition(i, j))
                     .collect();
                 let total: f64 = legal.iter().map(|&j| stage_counts[i][j] + alpha).sum();
-                (0..S)
+                (0..s_count)
                     .map(|j| {
                         if legal.contains(&j) {
                             (stage_counts[i][j] + alpha) / total
@@ -214,29 +238,28 @@ impl Trainer {
         // Smoothing is restricted to poses of the conditioning stage
         // (the stage flag's whole point is to exclude cross-stage
         // confusions like "before jumping" → "landing").
-        let mut pose_counts = vec![vec![vec![0.0f64; P]; S]; P];
-        let mut pose_counts_nostage = vec![vec![0.0f64; P]; P];
-        let mut pose_freq = vec![0.0f64; P];
+        let mut pose_counts = vec![vec![vec![0.0f64; p_count]; s_count]; p_count];
+        let mut pose_counts_nostage = vec![vec![0.0f64; p_count]; p_count];
+        let mut pose_freq = vec![0.0f64; p_count];
         for seq in sequences {
             for f in &seq.frames {
-                pose_freq[f.pose.index()] += 1.0;
+                pose_freq[f.pose] += 1.0;
             }
             for w in seq.frames.windows(2) {
-                let prev = w[0].pose.index();
-                let cur = w[1].pose.index();
-                pose_counts[prev][w[1].stage.index()][cur] += 1.0;
+                let prev = w[0].pose;
+                let cur = w[1].pose;
+                pose_counts[prev][w[1].stage][cur] += 1.0;
                 pose_counts_nostage[prev][cur] += 1.0;
             }
         }
-        let pose_transition: Vec<Vec<Vec<f64>>> = (0..P)
+        let pose_transition: Vec<Vec<Vec<f64>>> = (0..p_count)
             .map(|prev| {
-                (0..S)
+                (0..s_count)
                     .map(|s| {
-                        let stage = JumpStage::from_index(s);
-                        let in_stage: Vec<usize> = (0..P)
-                            .filter(|&p| PoseClass::from_index(p).stage() == stage)
+                        let in_stage: Vec<usize> = (0..p_count)
+                            .filter(|&p| self.taxonomy.stage_of_pose(p) == s)
                             .collect();
-                        let total: f64 = (0..P)
+                        let total: f64 = (0..p_count)
                             .map(|p| {
                                 pose_counts[prev][s][p]
                                     + if in_stage.contains(&p) { alpha } else { 0.0 }
@@ -244,7 +267,7 @@ impl Trainer {
                             .sum();
                         if total <= 0.0 {
                             // Unseen row: uniform over the stage's poses.
-                            return (0..P)
+                            return (0..p_count)
                                 .map(|p| {
                                     if in_stage.contains(&p) {
                                         1.0 / in_stage.len() as f64
@@ -254,7 +277,7 @@ impl Trainer {
                                 })
                                 .collect();
                         }
-                        (0..P)
+                        (0..p_count)
                             .map(|p| {
                                 (pose_counts[prev][s][p]
                                     + if in_stage.contains(&p) { alpha } else { 0.0 })
@@ -265,10 +288,12 @@ impl Trainer {
                     .collect()
             })
             .collect();
-        let pose_transition_nostage: Vec<Vec<f64>> = (0..P)
+        let pose_transition_nostage: Vec<Vec<f64>> = (0..p_count)
             .map(|prev| {
-                let total: f64 = (0..P).map(|p| pose_counts_nostage[prev][p] + alpha).sum();
-                (0..P)
+                let total: f64 = (0..p_count)
+                    .map(|p| pose_counts_nostage[prev][p] + alpha)
+                    .sum();
+                (0..p_count)
                     .map(|p| (pose_counts_nostage[prev][p] + alpha) / total)
                     .collect()
             })
@@ -277,12 +302,12 @@ impl Trainer {
         let pose_marginal: Vec<f64> = pose_freq.iter().map(|c| (c + alpha) / freq_total).collect();
 
         // --- Part-location tables P(part area | pose). ---
-        let mut part_counts = vec![vec![vec![0.0f64; n + 1]; P]; PARTS];
+        let mut part_counts = vec![vec![vec![0.0f64; n + 1]; p_count]; n_parts];
         for seq in sequences {
             for f in &seq.frames {
                 for (pi, part) in BodyPart::ALL.iter().enumerate() {
                     let state = f.features.area(*part).map(|a| a as usize).unwrap_or(n); // absent
-                    part_counts[pi][f.pose.index()][state] += 1.0;
+                    part_counts[pi][f.pose][state] += 1.0;
                 }
             }
         }
@@ -299,8 +324,9 @@ impl Trainer {
             })
             .collect();
 
-        PoseModel::from_tables(
+        PoseModel::from_tables_with(
             self.config.clone(),
+            self.taxonomy.clone(),
             LearnedTables {
                 stage_transition,
                 pose_transition,
@@ -319,13 +345,13 @@ pub struct TrainingSequence {
     pub frames: Vec<TrainingFrame>,
 }
 
-/// One labelled training frame.
+/// One labelled training frame. Labels are taxonomy-relative indices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrainingFrame {
-    /// Ground-truth stage.
-    pub stage: JumpStage,
-    /// Ground-truth pose.
-    pub pose: PoseClass,
+    /// Ground-truth stage index.
+    pub stage: usize,
+    /// Ground-truth pose index.
+    pub pose: usize,
     /// Extracted feature vector.
     pub features: FeatureVector,
 }
@@ -333,7 +359,12 @@ pub struct TrainingFrame {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slj_sim::pose::PoseClass;
+    use slj_sim::stage::JumpStage;
     use slj_sim::{ClipSpec, JumpSimulator, NoiseConfig};
+
+    const P: usize = PoseClass::COUNT;
+    const S: usize = JumpStage::COUNT;
 
     fn small_clips(n: usize) -> Vec<LabeledClip> {
         let sim = JumpSimulator::new(33);
@@ -411,7 +442,7 @@ mod tests {
         for (frame, truth) in clip.frames.iter().zip(&clip.truth) {
             let processed = processor.process(frame).unwrap();
             let est = clf.step(&processed.features).unwrap();
-            if est.pose == Some(truth.pose) {
+            if est.pose == Some(truth.pose.index()) {
                 correct += 1;
             }
         }

@@ -297,10 +297,17 @@ impl ThreadPool {
             }
             return Err(RuntimeError::WorkerPanic(msg));
         }
-        Ok(slots
-            .into_iter()
-            .map(|s| s.expect("pool invariant: every index processed"))
-            .collect())
+        let expected = slots.len();
+        let out: Vec<R> = slots.into_iter().flatten().collect();
+        if out.len() != expected {
+            // A worker exited without either a result or a recorded
+            // panic for some index — surface it as an error instead of
+            // unwinding inside the pool.
+            return Err(RuntimeError::WorkerPanic(
+                "pool invariant violated: a worker dropped an index without panicking".to_string(),
+            ));
+        }
+        Ok(out)
     }
 
     /// [`ThreadPool::scoped_map`] over the index range `0..n`.

@@ -19,10 +19,9 @@ use crate::session::{SessionError, SessionTable};
 use crate::wire;
 use slj_core::engine::JumpSession;
 use slj_core::model::PoseModel;
-use slj_core::scoring::assess_pose_sequence;
+use slj_core::scoring::assess_with_taxonomy;
 use slj_obs::{Clock, Counter, Gauge, Histogram, Registry, Stopwatch};
 use slj_runtime::ThreadPool;
-use slj_sim::pose::PoseClass;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -349,7 +348,7 @@ impl<'cfg> State<'cfg> {
 /// history for the final standards assessment.
 struct SessionState {
     engine: Option<JumpSession<'static>>,
-    poses: Vec<Option<PoseClass>>,
+    poses: Vec<Option<usize>>,
 }
 
 impl SessionState {
@@ -599,11 +598,16 @@ fn handle_evaluate(
         let estimate = session.push_frame(&frame).map_err(ApiError::from)?;
         state.metrics.frames.inc();
         if let Some(decision) = session.last_decision() {
-            decisions.push(wire::decision_json(index as u64, &estimate, &decision));
+            decisions.push(wire::decision_json(
+                index as u64,
+                &estimate,
+                &decision,
+                state.model.taxonomy(),
+            ));
         }
         poses.push(estimate.pose);
     }
-    let faults = assess_pose_sequence(&poses);
+    let faults = assess_with_taxonomy(state.model.taxonomy(), &poses);
     Ok(Response::json(
         200,
         format!(
@@ -634,13 +638,13 @@ fn handle_create_session(body: &[u8], state: &State<'_>) -> Result<Response, Api
         }
     }
     if let Some(poses) = jsonin::field(&fields, "poses") {
-        if poses != PoseClass::COUNT as i64 {
+        if poses != state.model.taxonomy().pose_count() as i64 {
             return Err(ApiError::new(
                 422,
                 "pose_count_mismatch",
                 format!(
                     "client expects {poses} poses; this model recognises {}",
-                    PoseClass::COUNT
+                    state.model.taxonomy().pose_count()
                 ),
             ));
         }
@@ -674,7 +678,7 @@ fn handle_create_session(body: &[u8], state: &State<'_>) -> Result<Response, Api
         201,
         format!(
             "{{\"session\":{id},\"poses\":{},\"ttl_ms\":{ttl_ms}}}",
-            PoseClass::COUNT
+            state.model.taxonomy().pose_count()
         ),
     ))
 }
@@ -758,7 +762,12 @@ fn advance_session(
         let estimate = engine.push_frame(&frame).map_err(ApiError::from)?;
         state.metrics.frames.inc();
         if let Some(decision) = engine.last_decision() {
-            decisions.push(wire::decision_json(frame_index, &estimate, &decision));
+            decisions.push(wire::decision_json(
+                frame_index,
+                &estimate,
+                &decision,
+                state.model.taxonomy(),
+            ));
         }
         session.poses.push(estimate.pose);
     }
@@ -772,7 +781,7 @@ fn handle_delete_session(raw_id: &str, state: &State<'_>) -> Result<Response, Ap
         .remove(id)
         .map_err(|e| session_error(id, e))?;
     state.metrics.sessions_closed.inc();
-    let faults = assess_pose_sequence(&session.poses);
+    let faults = assess_with_taxonomy(state.model.taxonomy(), &session.poses);
     Ok(Response::json(
         200,
         format!(

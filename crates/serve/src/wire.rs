@@ -10,10 +10,11 @@
 
 use crate::error::ApiError;
 use slj_core::model::{Decision, PoseEstimate};
-use slj_core::scoring::DetectedFault;
+use slj_core::scoring::AssessedFault;
 use slj_imaging::io::{ppm_header, read_ppm_prefix, write_ppm};
 use slj_imaging::RgbImage;
 use slj_obs::JsonWriter;
+use slj_taxonomy::Taxonomy;
 
 /// Upper bound on a single frame's pixel count (width × height). At 4
 /// megapixels a P6 frame is ~12 MiB — far beyond the 64×64 frames the
@@ -71,19 +72,27 @@ pub fn encode_frames(frames: &[&RgbImage]) -> Vec<u8> {
 /// Serialises one frame's decision — the exact field set of the JSONL
 /// trace records (`slj trace`) minus the timing fields, which are the
 /// one non-deterministic part. Both the server handlers and the
-/// bit-identical wire tests call this.
-pub fn decision_json(frame: u64, estimate: &PoseEstimate, decision: &Decision) -> String {
+/// bit-identical wire tests call this. Pose and stage names are the
+/// model taxonomy's machine idents (for the shipped standing-long-jump
+/// artifact these are the legacy enum names, so the wire bytes are
+/// unchanged).
+pub fn decision_json(
+    frame: u64,
+    estimate: &PoseEstimate,
+    decision: &Decision,
+    taxonomy: &Taxonomy,
+) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("frame");
     w.u64(frame);
     w.key("pose");
     match estimate.pose {
-        Some(pose) => w.string(&format!("{pose:?}")),
+        Some(pose) => w.string(taxonomy.pose_ident(pose)),
         None => w.null(),
     }
     w.key("committed");
-    w.string(&format!("{:?}", estimate.committed_pose));
+    w.string(taxonomy.pose_ident(estimate.committed_pose));
     w.key("posterior");
     w.begin_array();
     for p in &estimate.posterior {
@@ -107,7 +116,7 @@ pub fn decision_json(frame: u64, estimate: &PoseEstimate, decision: &Decision) -
     w.key("carry_forward");
     w.bool(decision.carry_forward);
     w.key("stage");
-    w.string(&format!("{:?}", estimate.stage));
+    w.string(taxonomy.stage_ident(estimate.stage));
     w.key("stage_posterior");
     w.begin_array();
     for p in &estimate.stage_posterior {
@@ -119,15 +128,17 @@ pub fn decision_json(frame: u64, estimate: &PoseEstimate, decision: &Decision) -
 }
 
 /// Serialises a standards assessment as a JSON array of fault objects.
-pub fn faults_json(faults: &[DetectedFault]) -> String {
+/// `fault` carries the rule's report name and `stage` the stage's
+/// machine ident, matching the legacy enum-backed encoding exactly.
+pub fn faults_json(faults: &[AssessedFault]) -> String {
     let mut w = JsonWriter::new();
     w.begin_array();
     for fault in faults {
         w.begin_object();
         w.key("fault");
-        w.string(&fault.fault.to_string());
+        w.string(&fault.display);
         w.key("stage");
-        w.string(&format!("{:?}", fault.stage));
+        w.string(&fault.stage_ident);
         w.key("advice");
         w.string(&fault.advice);
         w.end_object();

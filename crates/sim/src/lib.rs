@@ -22,6 +22,8 @@
 //!   no tuck, stiff landing, overbalance) for the scoring experiments.
 //! - [`dataset`] — clip and dataset generation matching the paper's
 //!   12-clip/522-frame training and 3-clip/135-frame test sets.
+//! - [`taxonomy`] — derives the shipped `slj-taxonomy` artifact (pose
+//!   vocabulary, stage partition, fault rules) from these enums.
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@ pub mod pose;
 pub mod render;
 pub mod script;
 pub mod stage;
+pub mod taxonomy;
 
 pub use body::BodyModel;
 pub use dataset::{ClipSpec, Dataset, FrameTruth, JumpSimulator, LabeledClip};
@@ -55,3 +58,4 @@ pub use faults::JumpFault;
 pub use noise::NoiseConfig;
 pub use pose::PoseClass;
 pub use stage::JumpStage;
+pub use taxonomy::default_taxonomy;

@@ -76,10 +76,9 @@ impl PoseClass {
 
     /// Canonical index (0..22).
     pub fn index(self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|&p| p == self)
-            .expect("every pose is in ALL")
+        // Unit-only enum in declaration order: the discriminant IS the
+        // canonical index (asserted by `indices_round_trip`).
+        self as usize
     }
 
     /// Pose from its canonical index.

@@ -1,0 +1,192 @@
+//! The default standing-long-jump taxonomy artifact.
+//!
+//! [`PoseClass`]/[`JumpStage`]/[`JumpFault`] remain the *generators* of
+//! the shipped artifact: the enums carry the canonical joint-angle
+//! configurations the simulator renders, and this module derives the
+//! data-driven [`Taxonomy`] from them — machine names from the enum
+//! variants (`Debug`), report names from their `Display` impls, the
+//! stage partition from [`PoseClass::stage`], transition legality from
+//! [`JumpStage::can_transition_to`], and the five standards faults as
+//! declarative rules. Everything above the simulator consumes the
+//! artifact, never the enums, so a new exercise ships as a file.
+
+use crate::faults::JumpFault;
+use crate::pose::PoseClass;
+use crate::stage::JumpStage;
+use slj_taxonomy::{FaultRule, Polarity, PoseInfo, StageInfo, Taxonomy};
+
+/// Minimum number of matching frames for a movement to count as
+/// performed (a single glitch frame should not satisfy a rule).
+pub const MIN_EVIDENCE_FRAMES: usize = 2;
+
+/// Evidence poses, polarity and advice for one standards fault.
+///
+/// The scoring rules implied by the taxonomy, as data: a `Require`
+/// fault fires when its evidence poses appear on fewer than
+/// [`MIN_EVIDENCE_FRAMES`] frames; a `Forbid` fault fires when they
+/// reach it.
+pub fn fault_rule_of(fault: JumpFault) -> (Polarity, Vec<PoseClass>, JumpStage, &'static str) {
+    use PoseClass::*;
+    match fault {
+        JumpFault::NoArmSwing => (
+            Polarity::Require,
+            vec![
+                StandingHandsSwungBack,
+                KneesBentHandsBack,
+                WaistBentHandsBack,
+            ],
+            JumpStage::BeforeJumping,
+            "swing the arms backward during the preparation to build momentum",
+        ),
+        JumpFault::NoCrouch => (
+            Polarity::Require,
+            vec![KneesBentHandsBack, KneesBentHandsForward],
+            JumpStage::BeforeJumping,
+            "bend the knees deeply before take-off",
+        ),
+        JumpFault::NoTuck => (
+            Polarity::Require,
+            vec![AirborneTuck],
+            JumpStage::InAir,
+            "tuck the knees toward the chest at the top of the flight",
+        ),
+        JumpFault::StiffLanding => (
+            Polarity::Require,
+            vec![LandingAbsorb],
+            JumpStage::Landing,
+            "bend the knees on touch-down to absorb the impact",
+        ),
+        JumpFault::Overbalance => (
+            Polarity::Forbid,
+            vec![LandingOverbalanced],
+            JumpStage::Landing,
+            "keep the torso over the feet after landing",
+        ),
+    }
+}
+
+/// Builds the shipped standing-long-jump taxonomy.
+///
+/// The artifact reproduces the legacy hard-coded vocabulary exactly:
+/// pose index `i` is `PoseClass::from_index(i)`, stage index `s` is
+/// `JumpStage::from_index(s)`, and the fault rules fire on precisely
+/// the sequences the legacy scorer flagged.
+pub fn default_taxonomy() -> Taxonomy {
+    let stages: Vec<StageInfo> = JumpStage::ALL
+        .iter()
+        .map(|s| StageInfo {
+            ident: format!("{s:?}"),
+            display: s.to_string(),
+        })
+        .collect();
+    let poses: Vec<PoseInfo> = PoseClass::ALL
+        .iter()
+        .map(|p| PoseInfo {
+            ident: format!("{p:?}"),
+            display: p.to_string(),
+            stage: p.stage().index(),
+        })
+        .collect();
+    // Stay-or-advance chain prior; zero entries encode illegal
+    // transitions (what the trainer smooths over).
+    let stage_prior: Vec<Vec<f64>> = JumpStage::ALL
+        .iter()
+        .map(|&from| {
+            let legal: Vec<usize> = JumpStage::ALL
+                .iter()
+                .filter(|&&to| from.can_transition_to(to))
+                .map(|&to| to.index())
+                .collect();
+            let mut row = vec![0.0; JumpStage::COUNT];
+            for &to in &legal {
+                row[to] = 1.0 / legal.len() as f64;
+            }
+            row
+        })
+        .collect();
+    let faults: Vec<FaultRule> = JumpFault::ALL
+        .iter()
+        .map(|&fault| {
+            let (polarity, evidence, stage, advice) = fault_rule_of(fault);
+            FaultRule {
+                ident: format!("{fault:?}"),
+                display: fault.to_string(),
+                stage: stage.index(),
+                polarity,
+                poses: evidence.into_iter().map(|p| p.index()).collect(),
+                min_frames: MIN_EVIDENCE_FRAMES,
+                advice: advice.to_string(),
+            }
+        })
+        .collect();
+    Taxonomy::new(
+        "standing-long-jump",
+        5,
+        stages,
+        poses,
+        PoseClass::initial().index(),
+        Some(PoseClass::majority().index()),
+        stage_prior,
+        faults,
+    )
+    // slj-check: allow(robustness/no-panic-in-lib) — built from the statically-exhaustive enums; validity is pinned by this module's tests, so Err is unreachable
+    .unwrap_or_else(|e| unreachable!("default taxonomy is statically valid: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_enums() {
+        let t = default_taxonomy();
+        assert_eq!(t.name(), "standing-long-jump");
+        assert_eq!(t.pose_count(), PoseClass::COUNT);
+        assert_eq!(t.stage_count(), JumpStage::COUNT);
+        assert_eq!(t.parts(), 5);
+        for (i, &p) in PoseClass::ALL.iter().enumerate() {
+            assert_eq!(t.pose_ident(i), format!("{p:?}"));
+            assert_eq!(t.pose_display(i), p.to_string());
+            assert_eq!(t.stage_of_pose(i), p.stage().index());
+        }
+        for (s, &stage) in JumpStage::ALL.iter().enumerate() {
+            assert_eq!(t.stage_ident(s), format!("{stage:?}"));
+            assert_eq!(t.stage_display(s), stage.to_string());
+        }
+        assert_eq!(t.initial_pose(), PoseClass::initial().index());
+        assert_eq!(t.majority_pose(), Some(PoseClass::majority().index()));
+    }
+
+    #[test]
+    fn legality_matches_the_stage_chain() {
+        let t = default_taxonomy();
+        for &from in &JumpStage::ALL {
+            for &to in &JumpStage::ALL {
+                assert_eq!(
+                    t.can_transition(from.index(), to.index()),
+                    from.can_transition_to(to),
+                    "{from:?} -> {to:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rules_follow_jumpfault_order() {
+        let t = default_taxonomy();
+        assert_eq!(t.faults().len(), JumpFault::ALL.len());
+        for (rule, &fault) in t.faults().iter().zip(JumpFault::ALL.iter()) {
+            assert_eq!(rule.ident, format!("{fault:?}"));
+            assert_eq!(rule.display, fault.to_string());
+            assert_eq!(rule.min_frames, MIN_EVIDENCE_FRAMES);
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips() {
+        let t = default_taxonomy();
+        let back = slj_taxonomy::Taxonomy::from_artifact_str(&t.to_artifact_string())
+            .expect("default artifact parses");
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,915 @@
+//! Exercise taxonomy artifacts.
+//!
+//! The paper's vocabulary — 22 poses partitioned into 4 jumping stages,
+//! with 5 standards faults — started life baked into Rust enums. This
+//! crate lifts that vocabulary into a data artifact: a [`Taxonomy`]
+//! bundles the pose names and canonical indices, the stage partition,
+//! a row-stochastic stage-transition prior (whose zero entries encode
+//! transition legality), and declarative [`FaultRule`]s with advice
+//! strings. A new exercise is then a new artifact file, not a code
+//! change: every layer above — DBN sizing, training, evaluation,
+//! scoring, serving, auditing — reads counts and names from the
+//! taxonomy it was handed.
+//!
+//! Artifacts use a versioned line-oriented text format (magic
+//! `slj-taxonomy v1`) in the same hand-rolled style as the pose-model
+//! format, so they diff cleanly and need no serialisation dependency.
+//! Fields within a line are `|`-separated because pose display names
+//! contain spaces and `&`.
+
+use std::fmt;
+
+/// Magic first line of the artifact format.
+pub const MAGIC: &str = "slj-taxonomy v1";
+
+/// Tolerance for the stage-prior row-sum check (matches the model
+/// auditor's `EPS`).
+pub const ROW_SUM_EPS: f64 = 1e-9;
+
+/// One stage of the exercise (a contiguous phase such as "in the air").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageInfo {
+    /// Machine name, used in wire records and trace output
+    /// (e.g. `BeforeJumping`). No spaces, no `|`.
+    pub ident: String,
+    /// Human-readable name used in reports (e.g. "before jumping").
+    pub display: String,
+}
+
+/// One pose of the exercise vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoseInfo {
+    /// Machine name, used in wire records and trace output.
+    pub ident: String,
+    /// Human-readable name used in reports and confusion matrices.
+    pub display: String,
+    /// Index of the stage this pose belongs to.
+    pub stage: usize,
+}
+
+/// Whether a fault rule requires evidence of its poses or forbids it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// The fault fires when the pose evidence count is *below*
+    /// `min_frames` (a required movement was missing).
+    Require,
+    /// The fault fires when the pose evidence count *reaches*
+    /// `min_frames` (a forbidden movement was observed).
+    Forbid,
+}
+
+/// A declarative standards fault: fires on a pose-evidence count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Machine name (e.g. `NoArmSwing`).
+    pub ident: String,
+    /// Human-readable fault description.
+    pub display: String,
+    /// Stage the fault is attributed to.
+    pub stage: usize,
+    /// Require or forbid the listed poses.
+    pub polarity: Polarity,
+    /// Pose indices whose recognised frames count as evidence.
+    pub poses: Vec<usize>,
+    /// Evidence-count threshold.
+    pub min_frames: usize,
+    /// Corrective advice reported with the fault.
+    pub advice: String,
+}
+
+/// A validation or parse failure, tagged with the audit rule it
+/// violates (`taxonomy/format`, `taxonomy/partition`,
+/// `taxonomy/row-sum` or `taxonomy/unknown-pose`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyError {
+    /// Audit rule identifier.
+    pub code: &'static str,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl TaxonomyError {
+    fn format(message: impl Into<String>) -> Self {
+        TaxonomyError {
+            code: "taxonomy/format",
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for TaxonomyError {}
+
+/// The full vocabulary of one exercise.
+///
+/// Invariants (checked by [`Taxonomy::new`] and re-checked after
+/// parsing): at least one stage and one pose; every pose names an
+/// existing stage and every stage owns at least one pose; poses are
+/// grouped by stage in stage order (so "poses of stage s" is a
+/// contiguous index range, which the trainer's in-stage smoothing
+/// relies on); the stage prior is row-stochastic with non-negative
+/// entries; fault rules reference existing poses and stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Taxonomy {
+    name: String,
+    parts: usize,
+    stages: Vec<StageInfo>,
+    poses: Vec<PoseInfo>,
+    initial_pose: usize,
+    majority_pose: Option<usize>,
+    stage_prior: Vec<Vec<f64>>,
+    faults: Vec<FaultRule>,
+}
+
+impl Taxonomy {
+    /// Builds and validates a taxonomy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaxonomyError`] describing the first violated
+    /// invariant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        parts: usize,
+        stages: Vec<StageInfo>,
+        poses: Vec<PoseInfo>,
+        initial_pose: usize,
+        majority_pose: Option<usize>,
+        stage_prior: Vec<Vec<f64>>,
+        faults: Vec<FaultRule>,
+    ) -> Result<Self, TaxonomyError> {
+        let t = Taxonomy {
+            name: name.into(),
+            parts,
+            stages,
+            poses,
+            initial_pose,
+            majority_pose,
+            stage_prior,
+            faults,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Exercise name (e.g. `standing-long-jump`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of observed body parts the feature vector carries.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Number of poses in the vocabulary.
+    pub fn pose_count(&self) -> usize {
+        self.poses.len()
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Pose metadata by index.
+    pub fn pose(&self, index: usize) -> &PoseInfo {
+        &self.poses[index]
+    }
+
+    /// Stage metadata by index.
+    pub fn stage(&self, index: usize) -> &StageInfo {
+        &self.stages[index]
+    }
+
+    /// All poses in canonical order.
+    pub fn poses(&self) -> &[PoseInfo] {
+        &self.poses
+    }
+
+    /// All stages in canonical order.
+    pub fn stages(&self) -> &[StageInfo] {
+        &self.stages
+    }
+
+    /// Machine name of pose `index`.
+    pub fn pose_ident(&self, index: usize) -> &str {
+        &self.poses[index].ident
+    }
+
+    /// Human-readable name of pose `index`.
+    pub fn pose_display(&self, index: usize) -> &str {
+        &self.poses[index].display
+    }
+
+    /// Machine name of stage `index`.
+    pub fn stage_ident(&self, index: usize) -> &str {
+        &self.stages[index].ident
+    }
+
+    /// Human-readable name of stage `index`.
+    pub fn stage_display(&self, index: usize) -> &str {
+        &self.stages[index].display
+    }
+
+    /// Looks a pose up by machine name.
+    pub fn pose_index(&self, ident: &str) -> Option<usize> {
+        self.poses.iter().position(|p| p.ident == ident)
+    }
+
+    /// Looks a stage up by machine name.
+    pub fn stage_index(&self, ident: &str) -> Option<usize> {
+        self.stages.iter().position(|s| s.ident == ident)
+    }
+
+    /// Stage that pose `index` belongs to.
+    pub fn stage_of_pose(&self, index: usize) -> usize {
+        self.poses[index].stage
+    }
+
+    /// Indices of the poses belonging to stage `stage`.
+    pub fn poses_in_stage(&self, stage: usize) -> Vec<usize> {
+        (0..self.poses.len())
+            .filter(|&p| self.poses[p].stage == stage)
+            .collect()
+    }
+
+    /// The pose the subject starts in (slice-0 prior of the DBN).
+    pub fn initial_pose(&self) -> usize {
+        self.initial_pose
+    }
+
+    /// The high-frequency pose exempt from the decision threshold, if
+    /// the exercise declares one.
+    pub fn majority_pose(&self) -> Option<usize> {
+        self.majority_pose
+    }
+
+    /// Row-stochastic stage-transition prior. Zero entries are illegal
+    /// transitions.
+    pub fn stage_prior(&self) -> &[Vec<f64>] {
+        &self.stage_prior
+    }
+
+    /// Whether the stage transition `from -> to` is legal.
+    pub fn can_transition(&self, from: usize, to: usize) -> bool {
+        self.stage_prior[from][to] > 0.0
+    }
+
+    /// The declarative fault rules, in reporting order.
+    pub fn faults(&self) -> &[FaultRule] {
+        &self.faults
+    }
+
+    /// Runs the fault rules over a recognised pose sequence (`None` =
+    /// frame left Unknown) and returns the indices of the rules that
+    /// fired, in rule order.
+    pub fn assess(&self, poses: &[Option<usize>]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.poses.len()];
+        for pose in poses.iter().flatten() {
+            if let Some(c) = counts.get_mut(*pose) {
+                *c += 1;
+            }
+        }
+        self.faults
+            .iter()
+            .enumerate()
+            .filter(|(_, rule)| {
+                let evidence: usize = rule.poses.iter().map(|&p| counts[p]).sum();
+                match rule.polarity {
+                    Polarity::Require => evidence < rule.min_frames,
+                    Polarity::Forbid => evidence >= rule.min_frames,
+                }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Re-checks every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant, tagged with its audit
+    /// rule code.
+    pub fn validate(&self) -> Result<(), TaxonomyError> {
+        if self.name.is_empty()
+            || self.name.contains('|')
+            || self.name.contains(char::is_whitespace)
+        {
+            return Err(TaxonomyError::format(format!(
+                "name {:?} must be non-empty with no whitespace or '|'",
+                self.name
+            )));
+        }
+        if self.parts == 0 {
+            return Err(TaxonomyError::format("parts must be non-zero"));
+        }
+        if self.stages.is_empty() {
+            return Err(TaxonomyError::format("at least one stage required"));
+        }
+        if self.poses.is_empty() {
+            return Err(TaxonomyError::format("at least one pose required"));
+        }
+        for (names, kind) in [
+            (
+                self.stages.iter().map(|s| &s.ident).collect::<Vec<_>>(),
+                "stage",
+            ),
+            (
+                self.poses.iter().map(|p| &p.ident).collect::<Vec<_>>(),
+                "pose",
+            ),
+        ] {
+            for (i, name) in names.iter().enumerate() {
+                if name.is_empty() || name.contains('|') || name.contains(char::is_whitespace) {
+                    return Err(TaxonomyError::format(format!(
+                        "{kind} ident {name:?} must be non-empty with no whitespace or '|'"
+                    )));
+                }
+                if names[..i].contains(name) {
+                    return Err(TaxonomyError::format(format!(
+                        "duplicate {kind} ident {name:?}"
+                    )));
+                }
+            }
+        }
+        let display_fields = self
+            .stages
+            .iter()
+            .map(|s| &s.display)
+            .chain(self.poses.iter().map(|p| &p.display))
+            .chain(self.faults.iter().map(|f| &f.display));
+        for d in display_fields {
+            if d.contains('|') || d.contains('\n') {
+                return Err(TaxonomyError::format(format!(
+                    "display name {d:?} must not contain '|' or newlines"
+                )));
+            }
+        }
+        if self.faults.iter().any(|f| f.advice.contains('\n')) {
+            return Err(TaxonomyError::format("advice must not contain newlines"));
+        }
+        // Stage partition: every pose in a real stage, grouped in
+        // stage order, and no empty stage.
+        let mut prev_stage = 0usize;
+        for pose in &self.poses {
+            if pose.stage >= self.stages.len() {
+                return Err(TaxonomyError {
+                    code: "taxonomy/partition",
+                    message: format!(
+                        "pose {:?} references stage {} but only {} stages exist",
+                        pose.ident,
+                        pose.stage,
+                        self.stages.len()
+                    ),
+                });
+            }
+            if pose.stage < prev_stage {
+                return Err(TaxonomyError {
+                    code: "taxonomy/partition",
+                    message: format!(
+                        "pose {:?} (stage {}) breaks the stage-ordered pose grouping",
+                        pose.ident, pose.stage
+                    ),
+                });
+            }
+            prev_stage = pose.stage;
+        }
+        for s in 0..self.stages.len() {
+            if !self.poses.iter().any(|p| p.stage == s) {
+                return Err(TaxonomyError {
+                    code: "taxonomy/partition",
+                    message: format!("stage {:?} owns no poses", self.stages[s].ident),
+                });
+            }
+        }
+        if self.initial_pose >= self.poses.len() {
+            return Err(TaxonomyError {
+                code: "taxonomy/unknown-pose",
+                message: format!("initial pose index {} out of range", self.initial_pose),
+            });
+        }
+        if let Some(m) = self.majority_pose {
+            if m >= self.poses.len() {
+                return Err(TaxonomyError {
+                    code: "taxonomy/unknown-pose",
+                    message: format!("majority pose index {m} out of range"),
+                });
+            }
+        }
+        // Stage prior: square, non-negative, row-stochastic.
+        if self.stage_prior.len() != self.stages.len() {
+            return Err(TaxonomyError::format(format!(
+                "stage prior has {} rows; expected {}",
+                self.stage_prior.len(),
+                self.stages.len()
+            )));
+        }
+        for (s, row) in self.stage_prior.iter().enumerate() {
+            if row.len() != self.stages.len() {
+                return Err(TaxonomyError::format(format!(
+                    "stage prior row {s} has {} columns; expected {}",
+                    row.len(),
+                    self.stages.len()
+                )));
+            }
+            if row.iter().any(|&v| !v.is_finite() || v < 0.0) {
+                return Err(TaxonomyError {
+                    code: "taxonomy/row-sum",
+                    message: format!("stage prior row {s} has a negative or non-finite entry"),
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > ROW_SUM_EPS {
+                return Err(TaxonomyError {
+                    code: "taxonomy/row-sum",
+                    message: format!("stage prior row {s} sums to {sum:e}, expected 1"),
+                });
+            }
+        }
+        // Fault rules.
+        for rule in &self.faults {
+            if rule.ident.is_empty()
+                || rule.ident.contains('|')
+                || rule.ident.contains(char::is_whitespace)
+            {
+                return Err(TaxonomyError::format(format!(
+                    "fault ident {:?} must be non-empty with no whitespace or '|'",
+                    rule.ident
+                )));
+            }
+            if rule.stage >= self.stages.len() {
+                return Err(TaxonomyError {
+                    code: "taxonomy/partition",
+                    message: format!(
+                        "fault {:?} references stage {} but only {} stages exist",
+                        rule.ident,
+                        rule.stage,
+                        self.stages.len()
+                    ),
+                });
+            }
+            if rule.poses.is_empty() {
+                return Err(TaxonomyError::format(format!(
+                    "fault {:?} lists no evidence poses",
+                    rule.ident
+                )));
+            }
+            for &p in &rule.poses {
+                if p >= self.poses.len() {
+                    return Err(TaxonomyError {
+                        code: "taxonomy/unknown-pose",
+                        message: format!(
+                            "fault {:?} references pose index {p} but only {} poses exist",
+                            rule.ident,
+                            self.poses.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises to the versioned text artifact format.
+    pub fn to_artifact_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("name {}\n", self.name));
+        out.push_str(&format!("parts {}\n", self.parts));
+        out.push_str(&format!("stages {}\n", self.stages.len()));
+        for s in &self.stages {
+            out.push_str(&format!("stage {}|{}\n", s.ident, s.display));
+        }
+        out.push_str(&format!("poses {}\n", self.poses.len()));
+        for p in &self.poses {
+            out.push_str(&format!(
+                "pose {}|{}|{}\n",
+                p.ident, p.display, self.stages[p.stage].ident
+            ));
+        }
+        out.push_str(&format!(
+            "initial {}\n",
+            self.poses[self.initial_pose].ident
+        ));
+        if let Some(m) = self.majority_pose {
+            out.push_str(&format!("majority {}\n", self.poses[m].ident));
+        }
+        out.push_str(&format!(
+            "table stage_prior rows={} cols={}\n",
+            self.stages.len(),
+            self.stages.len()
+        ));
+        for row in &self.stage_prior {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:e}")).collect();
+            out.push_str(&cells.join(" "));
+            out.push('\n');
+        }
+        out.push_str(&format!("faults {}\n", self.faults.len()));
+        for rule in &self.faults {
+            let polarity = match rule.polarity {
+                Polarity::Require => "require",
+                Polarity::Forbid => "forbid",
+            };
+            let poses: Vec<&str> = rule
+                .poses
+                .iter()
+                .map(|&p| self.poses[p].ident.as_str())
+                .collect();
+            out.push_str(&format!(
+                "fault {}|{}|{}|{}|{}|{}|{}\n",
+                rule.ident,
+                polarity,
+                self.stages[rule.stage].ident,
+                rule.min_frames,
+                poses.join(","),
+                rule.display,
+                rule.advice
+            ));
+        }
+        out
+    }
+
+    /// Parses the versioned text artifact format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaxonomyError`] on malformed input or any violated
+    /// structural invariant.
+    pub fn from_artifact_str(text: &str) -> Result<Self, TaxonomyError> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        let magic = lines
+            .next()
+            .ok_or_else(|| TaxonomyError::format("empty artifact"))?;
+        if magic != MAGIC {
+            return Err(TaxonomyError::format(format!(
+                "bad magic {magic:?}; expected {MAGIC:?}"
+            )));
+        }
+        let mut next = |what: &str| -> Result<&str, TaxonomyError> {
+            lines.next().ok_or_else(|| {
+                TaxonomyError::format(format!("unexpected end of artifact: expected {what}"))
+            })
+        };
+        let keyword = |line: &str, kw: &str| -> Result<String, TaxonomyError> {
+            line.strip_prefix(kw)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| TaxonomyError::format(format!("expected `{kw} ...`, got {line:?}")))
+        };
+        let count = |line: &str, kw: &str| -> Result<usize, TaxonomyError> {
+            keyword(line, kw)?
+                .parse::<usize>()
+                .map_err(|_| TaxonomyError::format(format!("bad {kw} count in {line:?}")))
+        };
+
+        let name = keyword(next("name")?, "name")?;
+        let parts = count(next("parts")?, "parts")?;
+
+        let n_stages = count(next("stages")?, "stages")?;
+        let mut stages = Vec::with_capacity(n_stages);
+        for _ in 0..n_stages {
+            let body = keyword(next("stage")?, "stage")?;
+            let mut fields = body.split('|');
+            let (ident, display) = match (fields.next(), fields.next(), fields.next()) {
+                (Some(i), Some(d), None) => (i.to_string(), d.to_string()),
+                _ => {
+                    return Err(TaxonomyError::format(format!(
+                        "stage line needs `ident|display`, got {body:?}"
+                    )))
+                }
+            };
+            stages.push(StageInfo { ident, display });
+        }
+
+        let n_poses = count(next("poses")?, "poses")?;
+        let mut poses = Vec::with_capacity(n_poses);
+        for _ in 0..n_poses {
+            let body = keyword(next("pose")?, "pose")?;
+            let mut fields = body.split('|');
+            let (ident, display, stage_ident) =
+                match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                    (Some(i), Some(d), Some(s), None) => (i.to_string(), d.to_string(), s),
+                    _ => {
+                        return Err(TaxonomyError::format(format!(
+                            "pose line needs `ident|display|stage`, got {body:?}"
+                        )))
+                    }
+                };
+            let stage = stages
+                .iter()
+                .position(|s| s.ident == stage_ident)
+                .ok_or_else(|| TaxonomyError {
+                    code: "taxonomy/partition",
+                    message: format!("pose {ident:?} references undefined stage {stage_ident:?}"),
+                })?;
+            poses.push(PoseInfo {
+                ident,
+                display,
+                stage,
+            });
+        }
+
+        let pose_lookup = |ident: &str| -> Result<usize, TaxonomyError> {
+            poses
+                .iter()
+                .position(|p| p.ident == ident)
+                .ok_or_else(|| TaxonomyError {
+                    code: "taxonomy/unknown-pose",
+                    message: format!("reference to undefined pose {ident:?}"),
+                })
+        };
+
+        let initial_pose = pose_lookup(&keyword(next("initial")?, "initial")?)?;
+        let mut line = next("majority or stage_prior table")?.to_string();
+        let majority_pose = if let Ok(ident) = keyword(&line, "majority") {
+            let m = pose_lookup(&ident)?;
+            line = next("stage_prior table")?.to_string();
+            Some(m)
+        } else {
+            None
+        };
+
+        let header = keyword(&line, "table stage_prior")?;
+        let expected = format!("rows={n} cols={n}", n = stages.len());
+        if header != expected {
+            return Err(TaxonomyError::format(format!(
+                "stage_prior header {header:?}; expected {expected:?}"
+            )));
+        }
+        let mut stage_prior = Vec::with_capacity(stages.len());
+        for _ in 0..stages.len() {
+            let row_line = next("stage_prior row")?;
+            let row: Result<Vec<f64>, TaxonomyError> = row_line
+                .split_whitespace()
+                .map(|tok| {
+                    tok.parse::<f64>().map_err(|_| {
+                        TaxonomyError::format(format!("bad number {tok:?} in stage_prior"))
+                    })
+                })
+                .collect();
+            stage_prior.push(row?);
+        }
+
+        let n_faults = count(next("faults")?, "faults")?;
+        let mut faults = Vec::with_capacity(n_faults);
+        for _ in 0..n_faults {
+            let body = keyword(next("fault")?, "fault")?;
+            let fields: Vec<&str> = body.splitn(7, '|').collect();
+            let [ident, polarity, stage_ident, min_frames, pose_list, display, advice] = fields[..]
+            else {
+                return Err(TaxonomyError::format(format!(
+                    "fault line needs 7 `|`-separated fields, got {body:?}"
+                )));
+            };
+            let polarity = match polarity {
+                "require" => Polarity::Require,
+                "forbid" => Polarity::Forbid,
+                other => {
+                    return Err(TaxonomyError::format(format!(
+                        "fault polarity must be require|forbid, got {other:?}"
+                    )))
+                }
+            };
+            let stage = stages
+                .iter()
+                .position(|s| s.ident == stage_ident)
+                .ok_or_else(|| TaxonomyError {
+                    code: "taxonomy/partition",
+                    message: format!("fault {ident:?} references undefined stage {stage_ident:?}"),
+                })?;
+            let min_frames = min_frames.parse::<usize>().map_err(|_| {
+                TaxonomyError::format(format!("bad min_frames {min_frames:?} in fault {ident:?}"))
+            })?;
+            let rule_poses: Result<Vec<usize>, TaxonomyError> = pose_list
+                .split(',')
+                .map(|p| pose_lookup(p.trim()))
+                .collect();
+            faults.push(FaultRule {
+                ident: ident.to_string(),
+                display: display.to_string(),
+                stage,
+                polarity,
+                poses: rule_poses?,
+                min_frames,
+                advice: advice.to_string(),
+            });
+        }
+        if let Some(extra) = lines.next() {
+            return Err(TaxonomyError::format(format!(
+                "trailing content after faults: {extra:?}"
+            )));
+        }
+
+        Taxonomy::new(
+            name,
+            parts,
+            stages,
+            poses,
+            initial_pose,
+            majority_pose,
+            stage_prior,
+            faults,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Taxonomy {
+        Taxonomy::new(
+            "toy-squat",
+            5,
+            vec![
+                StageInfo {
+                    ident: "Standing".into(),
+                    display: "standing tall".into(),
+                },
+                StageInfo {
+                    ident: "Squatting".into(),
+                    display: "in the squat".into(),
+                },
+            ],
+            vec![
+                PoseInfo {
+                    ident: "Upright".into(),
+                    display: "upright & arms down".into(),
+                    stage: 0,
+                },
+                PoseInfo {
+                    ident: "ArmsForward".into(),
+                    display: "upright & arms forward".into(),
+                    stage: 0,
+                },
+                PoseInfo {
+                    ident: "HalfSquat".into(),
+                    display: "half squat".into(),
+                    stage: 1,
+                },
+                PoseInfo {
+                    ident: "DeepSquat".into(),
+                    display: "deep squat".into(),
+                    stage: 1,
+                },
+            ],
+            0,
+            Some(1),
+            vec![vec![0.5, 0.5], vec![0.0, 1.0]],
+            vec![
+                FaultRule {
+                    ident: "NoDepth".into(),
+                    display: "squat never reaches depth".into(),
+                    stage: 1,
+                    polarity: Polarity::Require,
+                    poses: vec![3],
+                    min_frames: 2,
+                    advice: "sink the hips below parallel".into(),
+                },
+                FaultRule {
+                    ident: "ArmsDrop".into(),
+                    display: "arms drop mid-rep".into(),
+                    stage: 0,
+                    polarity: Polarity::Forbid,
+                    poses: vec![0],
+                    min_frames: 4,
+                    advice: "keep the arms raised throughout".into(),
+                },
+            ],
+        )
+        .expect("toy taxonomy is valid")
+    }
+
+    #[test]
+    fn accessors_and_partition() {
+        let t = toy();
+        assert_eq!(t.pose_count(), 4);
+        assert_eq!(t.stage_count(), 2);
+        assert_eq!(t.pose_ident(3), "DeepSquat");
+        assert_eq!(t.pose_display(1), "upright & arms forward");
+        assert_eq!(t.pose_index("HalfSquat"), Some(2));
+        assert_eq!(t.pose_index("Nope"), None);
+        assert_eq!(t.stage_of_pose(2), 1);
+        assert_eq!(t.poses_in_stage(0), vec![0, 1]);
+        assert!(t.can_transition(0, 1));
+        assert!(!t.can_transition(1, 0));
+        assert_eq!(t.initial_pose(), 0);
+        assert_eq!(t.majority_pose(), Some(1));
+    }
+
+    #[test]
+    fn assess_require_and_forbid_polarity() {
+        let t = toy();
+        // No DeepSquat evidence: rule 0 fires. Only 3 Upright frames:
+        // rule 1 (forbid at 4) stays quiet.
+        let seq = vec![Some(0), Some(0), Some(0), Some(2), None];
+        assert_eq!(t.assess(&seq), vec![0]);
+        // Two DeepSquat frames satisfy rule 0 exactly at min_frames;
+        // four Upright frames trip the forbid rule exactly at its
+        // threshold.
+        let seq = vec![Some(0), Some(0), Some(0), Some(0), Some(3), Some(3)];
+        assert_eq!(t.assess(&seq), vec![1]);
+        // Empty and all-Unknown sequences fire every require rule and
+        // no forbid rule.
+        assert_eq!(t.assess(&[]), vec![0]);
+        assert_eq!(t.assess(&[None, None, None]), vec![0]);
+    }
+
+    #[test]
+    fn artifact_round_trip() {
+        let t = toy();
+        let text = t.to_artifact_string();
+        assert!(text.starts_with(MAGIC));
+        let back = Taxonomy::from_artifact_str(&text).expect("round trip parses");
+        assert_eq!(back, t);
+        assert_eq!(back.to_artifact_string(), text);
+    }
+
+    #[test]
+    fn majority_line_is_optional() {
+        let mut t = toy();
+        t.majority_pose = None;
+        let text = t.to_artifact_string();
+        assert!(!text.contains("majority"));
+        let back = Taxonomy::from_artifact_str(&text).expect("parses without majority");
+        assert_eq!(back.majority_pose(), None);
+    }
+
+    #[test]
+    fn bad_partition_is_rejected() {
+        let text = toy().to_artifact_string().replace(
+            "pose HalfSquat|half squat|Squatting",
+            "pose HalfSquat|half squat|Flying",
+        );
+        let err = Taxonomy::from_artifact_str(&text).unwrap_err();
+        assert_eq!(err.code, "taxonomy/partition");
+
+        // An interleaved partition (pose of an earlier stage after a
+        // later stage's pose) is structurally invalid too.
+        let t = toy();
+        let mut shuffled = t.clone();
+        shuffled.poses.swap(1, 2);
+        assert_eq!(shuffled.validate().unwrap_err().code, "taxonomy/partition");
+    }
+
+    #[test]
+    fn bad_row_sum_is_rejected() {
+        let text = toy().to_artifact_string().replace("0e0 1e0", "1e-1 1e0");
+        let err = Taxonomy::from_artifact_str(&text).unwrap_err();
+        assert_eq!(err.code, "taxonomy/row-sum");
+    }
+
+    #[test]
+    fn unknown_fault_pose_is_rejected() {
+        let text = toy()
+            .to_artifact_string()
+            .replace("|DeepSquat|", "|BackFlip|");
+        let err = Taxonomy::from_artifact_str(&text).unwrap_err();
+        assert_eq!(err.code, "taxonomy/unknown-pose");
+    }
+
+    #[test]
+    fn format_errors_are_reported() {
+        assert_eq!(
+            Taxonomy::from_artifact_str("").unwrap_err().code,
+            "taxonomy/format"
+        );
+        assert_eq!(
+            Taxonomy::from_artifact_str("slj-pose-model v1")
+                .unwrap_err()
+                .code,
+            "taxonomy/format"
+        );
+        let truncated: String = toy()
+            .to_artifact_string()
+            .lines()
+            .take(5)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(
+            Taxonomy::from_artifact_str(&truncated).unwrap_err().code,
+            "taxonomy/format"
+        );
+    }
+
+    #[test]
+    fn empty_stage_is_rejected() {
+        let t = toy();
+        let mut bad = t.clone();
+        bad.poses.retain(|p| p.stage == 0);
+        // Re-point the dangling references before validating the
+        // partition itself.
+        bad.initial_pose = 0;
+        bad.majority_pose = None;
+        bad.faults.clear();
+        assert_eq!(bad.validate().unwrap_err().code, "taxonomy/partition");
+    }
+}

@@ -10,7 +10,7 @@
 
 use slj_repro::core::config::PipelineConfig;
 use slj_repro::core::evaluation::evaluate_clip;
-use slj_repro::core::scoring::assess_pose_sequence;
+use slj_repro::core::scoring::assess_with_taxonomy;
 use slj_repro::core::training::Trainer;
 use slj_repro::sim::{ClipSpec, JumpFault, JumpSimulator, NoiseConfig};
 use std::collections::HashMap;
@@ -50,9 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             });
             let report = evaluate_clip(&model, &clip)?;
             let predicted: Vec<_> = report.estimates.iter().map(|e| e.pose).collect();
-            for finding in assess_pose_sequence(&predicted) {
+            for finding in assess_with_taxonomy(model.taxonomy(), &predicted) {
                 let entry = counts
-                    .entry(finding.fault.to_string())
+                    .entry(finding.display.clone())
                     .or_insert_with(|| (0, finding.to_string()));
                 entry.0 += 1;
             }

@@ -44,26 +44,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("frame  truth                                online          offline");
     println!("-----  -----------------------------------  --------------  --------------");
+    let taxonomy = model.taxonomy();
     let mut on_ok = 0;
     let mut off_ok = 0;
     for (t, truth) in clip.truth.iter().enumerate() {
         let on = online[t];
         let off = offline[t].1;
-        if on == Some(truth.pose) {
+        let truth_pose = truth.pose.index();
+        if on == Some(truth_pose) {
             on_ok += 1;
         }
-        if off == truth.pose {
+        if off == truth_pose {
             off_ok += 1;
         }
         let mark = |good: bool| if good { ' ' } else { '*' };
         println!(
             "{t:4}   {:<35}  {}{:<14}  {}{:<14}",
             truth.pose.to_string().chars().take(35).collect::<String>(),
-            mark(on == Some(truth.pose)),
-            on.map(|p| short(&p.to_string()))
+            mark(on == Some(truth_pose)),
+            on.map(|p| short(taxonomy.pose_display(p)))
                 .unwrap_or_else(|| "unknown".into()),
-            mark(off == truth.pose),
-            short(&off.to_string()),
+            mark(off == truth_pose),
+            short(taxonomy.pose_display(off)),
         );
     }
     println!(

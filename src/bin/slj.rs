@@ -21,7 +21,7 @@ use slj_repro::core::config::PipelineConfig;
 use slj_repro::core::engine::JumpSession;
 use slj_repro::core::model::PoseModel;
 use slj_repro::core::model_io;
-use slj_repro::core::scoring::assess_pose_sequence;
+use slj_repro::core::scoring::assess_with_taxonomy;
 use slj_repro::core::training::Trainer;
 use slj_repro::obs::Registry;
 use slj_repro::sim::io::{load_clip, save_clip, StoredClip};
@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("taxonomy") => cmd_taxonomy(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -98,6 +99,11 @@ fn print_usage() {
          \x20          [--frames N] [--seed S] [--timeout-ms MS] [--out FILE]\n\
          \x20          closed-loop load generator: POST a simulator-synthesized\n\
          \x20          clip repeatedly, report throughput and p50/p95/p99 latency\n\
+         \x20 taxonomy export [--out FILE] [--model FILE] [--artifact FILE]\n\
+         \x20 taxonomy describe [--model FILE] [--artifact FILE]\n\
+         \x20          export the pose/stage/fault vocabulary as a versioned\n\
+         \x20          text artifact, or print a human-readable summary; the\n\
+         \x20          default is the shipped standing-long-jump taxonomy\n\
          \n\
          --metrics FILE writes an slj_obs registry snapshot (counters, gauges,\n\
          histograms with p50/p95/p99) as JSON when the command finishes."
@@ -250,7 +256,7 @@ fn classify_stored(
     model: &PoseModel,
     clip: &StoredClip,
     registry: Option<&Registry>,
-) -> Result<Vec<Option<slj_repro::sim::PoseClass>>, String> {
+) -> Result<Vec<Option<usize>>, String> {
     let mut session =
         JumpSession::new(model, clip.background.clone()).map_err(|e| e.to_string())?;
     if let Some(registry) = registry {
@@ -275,7 +281,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         let ok = predicted
             .iter()
             .zip(&clip.labels)
-            .filter(|(p, (_, truth))| **p == Some(*truth))
+            .filter(|(p, (_, truth))| **p == Some(truth.index()))
             .count();
         println!(
             "clip {i:3}: {ok}/{} correct ({:.1}%)",
@@ -319,14 +325,15 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         }
         let frame = open_ppm(path)?;
         let est = session.push_frame(&frame).map_err(|e| e.to_string())?;
+        let taxonomy = session.taxonomy();
         let pose = est
             .pose
-            .map(|p| p.to_string())
+            .map(|p| taxonomy.pose_display(p).to_string())
             .unwrap_or_else(|| "UNKNOWN".to_string());
         println!(
-            "frame {:3}: {pose} (stage {:?})",
+            "frame {:3}: {pose} (stage {})",
             session.frames_processed() - 1,
-            est.stage
+            taxonomy.stage_ident(est.stage)
         );
         if flags.switch("timings") {
             let timings = session.last_timings();
@@ -595,7 +602,7 @@ fn cmd_coach(args: &[String]) -> Result<(), String> {
     let clips = load_clips(&data)?;
     for (i, clip) in clips.iter().enumerate() {
         let predicted = classify_stored(&model, clip, None)?;
-        let findings = assess_pose_sequence(&predicted);
+        let findings = assess_with_taxonomy(model.taxonomy(), &predicted);
         println!("clip {i:3}:");
         if findings.is_empty() {
             println!("  meets the standing-long-jump standard");
@@ -606,6 +613,103 @@ fn cmd_coach(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Resolves which taxonomy a `taxonomy` subcommand operates on:
+/// `--artifact FILE` parses a standalone artifact, `--model FILE` uses
+/// the taxonomy embedded in a trained model, and with neither the
+/// shipped standing-long-jump default is used.
+fn resolve_taxonomy(flags: &Flags) -> Result<slj_repro::taxonomy::Taxonomy, String> {
+    if let Some(path) = flags.get("artifact") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return slj_repro::taxonomy::Taxonomy::from_artifact_str(&text)
+            .map_err(|e| format!("{path}: {e}"));
+    }
+    if let Some(path) = flags.get("model") {
+        let model = model_io::load(path).map_err(|e| e.to_string())?;
+        return Ok(model.taxonomy().clone());
+    }
+    Ok(slj_repro::sim::default_taxonomy())
+}
+
+fn cmd_taxonomy(args: &[String]) -> Result<(), String> {
+    let verb = args
+        .first()
+        .map(String::as_str)
+        .ok_or("taxonomy needs a verb: export or describe")?;
+    let flags = Flags::parse(&args[1..], &[])?;
+    let taxonomy = resolve_taxonomy(&flags)?;
+    match verb {
+        "export" => {
+            let artifact = taxonomy.to_artifact_string();
+            match flags.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &artifact).map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!("taxonomy written to {path}");
+                }
+                None => print!("{artifact}"),
+            }
+            Ok(())
+        }
+        "describe" => {
+            println!(
+                "taxonomy {:?}: {} poses, {} stages, {} body parts, {} fault rules",
+                taxonomy.name(),
+                taxonomy.pose_count(),
+                taxonomy.stage_count(),
+                taxonomy.parts(),
+                taxonomy.faults().len()
+            );
+            for stage_idx in 0..taxonomy.stage_count() {
+                println!(
+                    "stage {stage_idx} {} ({}):",
+                    taxonomy.stage_ident(stage_idx),
+                    taxonomy.stage_display(stage_idx)
+                );
+                for pose in taxonomy.poses_in_stage(stage_idx) {
+                    let mut tags = Vec::new();
+                    if pose == taxonomy.initial_pose() {
+                        tags.push("initial");
+                    }
+                    if Some(pose) == taxonomy.majority_pose() {
+                        tags.push("majority");
+                    }
+                    let tags = if tags.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  [{}]", tags.join(", "))
+                    };
+                    println!(
+                        "  {pose:3}  {:<28} {}{tags}",
+                        taxonomy.pose_ident(pose),
+                        taxonomy.pose_display(pose)
+                    );
+                }
+            }
+            println!("fault rules:");
+            for rule in taxonomy.faults() {
+                let poses = rule
+                    .poses
+                    .iter()
+                    .map(|&p| taxonomy.pose_ident(p))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let polarity = match rule.polarity {
+                    slj_repro::taxonomy::Polarity::Require => "require",
+                    slj_repro::taxonomy::Polarity::Forbid => "forbid",
+                };
+                println!(
+                    "  {:<16} [{}] {polarity} >= {} frame(s) of {{{poses}}}",
+                    rule.ident,
+                    taxonomy.stage_ident(rule.stage),
+                    rule.min_frames
+                );
+                println!("      {}: {}", rule.display, rule.advice);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown taxonomy verb {other:?} (export|describe)")),
+    }
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {

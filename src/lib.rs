@@ -28,6 +28,9 @@
 //!   the pipeline over `/v1/evaluate` and streaming session endpoints
 //!   with admission control, and `slj loadgen` drives it closed-loop
 //!   with simulator-synthesized clips.
+//! - [`taxonomy`] — the data-driven exercise vocabulary: pose/stage
+//!   names, stage partition, transition priors and declarative fault
+//!   rules, loadable from a versioned text artifact (`slj taxonomy`).
 //!
 //! # Examples
 //!
@@ -48,3 +51,4 @@ pub use slj_runtime as runtime;
 pub use slj_serve as serve;
 pub use slj_sim as sim;
 pub use slj_skeleton as skeleton;
+pub use slj_taxonomy as taxonomy;

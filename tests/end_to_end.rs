@@ -90,7 +90,7 @@ fn predicted_stages_are_monotone_in_time() {
     // spike should cost one, not taint every following frame.
     let mut down_moves = 0usize;
     for w in report.estimates.windows(2) {
-        if w[1].stage.index() < w[0].stage.index() {
+        if w[1].stage < w[0].stage {
             down_moves += 1;
         }
     }

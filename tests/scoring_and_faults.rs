@@ -3,7 +3,7 @@
 
 use slj_repro::core::config::PipelineConfig;
 use slj_repro::core::evaluation::evaluate_clip;
-use slj_repro::core::scoring::{assess_known_sequence, assess_pose_sequence};
+use slj_repro::core::scoring::{assess_known_sequence, assess_with_taxonomy};
 use slj_repro::core::training::Trainer;
 use slj_repro::sim::script::JumpScript;
 use slj_repro::sim::{ClipSpec, JumpFault, JumpSimulator, NoiseConfig};
@@ -53,9 +53,9 @@ fn predicted_sequences_detect_injected_faults() {
             });
             let report = evaluate_clip(&model, &clip).unwrap();
             let predicted: Vec<_> = report.estimates.iter().map(|e| e.pose).collect();
-            if assess_pose_sequence(&predicted)
+            if assess_with_taxonomy(model.taxonomy(), &predicted)
                 .iter()
-                .any(|d| d.fault == fault)
+                .any(|d| d.ident == format!("{fault:?}"))
             {
                 detections += 1;
             }
@@ -95,7 +95,7 @@ fn clean_jumps_rarely_raise_alarms() {
         });
         let report = evaluate_clip(&model, &clip).unwrap();
         let predicted: Vec<_> = report.estimates.iter().map(|e| e.pose).collect();
-        false_alarms += assess_pose_sequence(&predicted).len();
+        false_alarms += assess_with_taxonomy(model.taxonomy(), &predicted).len();
     }
     assert!(
         false_alarms <= CLIPS,

@@ -9,7 +9,7 @@
 use slj_repro::core::config::PipelineConfig;
 use slj_repro::core::engine::JumpSession;
 use slj_repro::core::model::PoseModel;
-use slj_repro::core::scoring::assess_pose_sequence;
+use slj_repro::core::scoring::assess_with_taxonomy;
 use slj_repro::core::training::Trainer;
 use slj_repro::serve::client::request;
 use slj_repro::serve::loadgen::{self, synthesize_body};
@@ -50,17 +50,19 @@ fn clip_body(clip: &LabeledClip) -> Vec<u8> {
 /// The decision records an in-process session emits for `clip` —
 /// serialised through the same `wire::decision_json` the server uses —
 /// plus the recognised pose sequence for the fault assessment.
-fn expected_decisions(
-    model: &PoseModel,
-    clip: &LabeledClip,
-) -> (Vec<String>, Vec<Option<slj_repro::sim::PoseClass>>) {
+fn expected_decisions(model: &PoseModel, clip: &LabeledClip) -> (Vec<String>, Vec<Option<usize>>) {
     let mut session = JumpSession::new(model, clip.background.clone()).expect("session");
     let mut decisions = Vec::new();
     let mut poses = Vec::new();
     for (i, frame) in clip.frames.iter().enumerate() {
         let estimate = session.push_frame(frame).expect("push");
         let decision = session.last_decision().expect("decision");
-        decisions.push(wire::decision_json(i as u64, &estimate, &decision));
+        decisions.push(wire::decision_json(
+            i as u64,
+            &estimate,
+            &decision,
+            model.taxonomy(),
+        ));
         poses.push(estimate.pose);
     }
     (decisions, poses)
@@ -106,7 +108,10 @@ fn evaluate_responses_are_bit_identical_to_in_process_sessions() {
         text.contains(&wire_decisions),
         "server decisions are not bit-identical to the in-process session:\n{text}"
     );
-    let faults = wire::faults_json(&assess_pose_sequence(&poses));
+    let faults = wire::faults_json(&assess_with_taxonomy(
+        &slj_repro::sim::default_taxonomy(),
+        &poses,
+    ));
     assert!(
         text.contains(&format!("\"faults\":{faults}")),
         "fault assessment differs:\n{text}"

@@ -4,7 +4,7 @@
 //! comparable.
 
 use slj_repro::core::config::PipelineConfig;
-use slj_repro::core::engine::{JumpSession, STAGE_NAMES};
+use slj_repro::core::engine::{JumpSession, PIPELINE_STAGE_NAMES};
 use slj_repro::core::model::{PoseEstimate, PoseModel};
 use slj_repro::core::pipeline::FrameProcessor;
 use slj_repro::core::training::Trainer;
@@ -111,7 +111,7 @@ fn session_reports_timings_for_every_stage() {
     let mut session = JumpSession::new(&model, clip.background.clone()).expect("session");
     session.push_frame(&clip.frames[0]).expect("push");
     let names: Vec<_> = session.last_timings().iter().map(|(n, _)| n).collect();
-    let mut expected = STAGE_NAMES.to_vec();
+    let mut expected = PIPELINE_STAGE_NAMES.to_vec();
     expected.push(slj_repro::core::engine::DBN_STAGE);
     assert_eq!(names, expected);
 }

@@ -1,0 +1,239 @@
+//! A new exercise is pure data: the toy squat taxonomy fixture goes
+//! train → classify → score → save/load → serve → check without a
+//! single code change outside its artifact file.
+//!
+//! The fixture (`tests/fixtures/taxonomy/toy.taxonomy`) defines a
+//! 4-pose / 2-stage squat vocabulary with its own fault rules; nothing
+//! in the workspace names those poses. The corrupted sibling fixtures
+//! pin the artifact auditor's rejection codes.
+
+use slj_repro::check::audit::{audit_model_text, audit_taxonomy_text};
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::model_io;
+use slj_repro::core::scoring::assess_with_taxonomy;
+use slj_repro::core::training::{Trainer, TrainingFrame, TrainingSequence};
+use slj_repro::serve::client::request;
+use slj_repro::serve::{Server, ServerConfig};
+use slj_repro::skeleton::features::{FeatureCodec, FeatureVector};
+use slj_repro::skeleton::keypoints::KeyPoints;
+use slj_repro::taxonomy::Taxonomy;
+
+const TOY: &str = include_str!("fixtures/taxonomy/toy.taxonomy");
+const BAD_PARTITION: &str = include_str!("fixtures/taxonomy/bad-partition.taxonomy");
+const BAD_ROW_SUM: &str = include_str!("fixtures/taxonomy/bad-row-sum.taxonomy");
+const BAD_FAULT_POSE: &str = include_str!("fixtures/taxonomy/bad-fault-pose.taxonomy");
+
+fn toy_taxonomy() -> Taxonomy {
+    Taxonomy::from_artifact_str(TOY).expect("toy fixture parses")
+}
+
+/// Synthetic observation for toy pose `p`: all five body parts land in
+/// areas that shift with the pose, so poses are cleanly separable.
+fn features_for(pose: usize) -> FeatureVector {
+    let n = 8usize;
+    let point_in_area = |a: usize| -> (f64, f64) {
+        let angle = (a as f64 + 0.5) * std::f64::consts::TAU / n as f64;
+        (angle.cos() * 10.0, -angle.sin() * 10.0)
+    };
+    let kp = KeyPoints {
+        waist: Some((0.0, 0.0)),
+        head: Some(point_in_area(pose % n)),
+        chest: Some(point_in_area((pose + 1) % n)),
+        hand: Some(point_in_area((pose + 2) % n)),
+        knee: Some(point_in_area((pose + 3) % n)),
+        foot: Some(point_in_area((pose + 4) % n)),
+    };
+    FeatureCodec::new(8).encode(&kp)
+}
+
+/// A full labelled squat rep: both standing poses, then both squat
+/// poses, with the stage partition the taxonomy declares.
+fn good_rep(taxonomy: &Taxonomy) -> TrainingSequence {
+    let poses = [0usize, 0, 1, 1, 2, 2, 3, 3, 3, 2];
+    TrainingSequence {
+        frames: poses
+            .into_iter()
+            .map(|pose| TrainingFrame {
+                stage: taxonomy.stage_of_pose(pose),
+                pose,
+                features: features_for(pose),
+            })
+            .collect(),
+    }
+}
+
+fn toy_model() -> slj_repro::core::model::PoseModel {
+    let taxonomy = toy_taxonomy();
+    let config = PipelineConfig {
+        th_pose: 0.05,
+        ..PipelineConfig::default()
+    };
+    Trainer::new(config)
+        .expect("config")
+        .with_taxonomy(taxonomy.clone())
+        .train_from_sequences(&[good_rep(&taxonomy), good_rep(&taxonomy)])
+        .expect("train on toy vocabulary")
+}
+
+#[test]
+fn toy_taxonomy_trains_classifies_and_scores() {
+    let taxonomy = toy_taxonomy();
+    assert_eq!(taxonomy.name(), "toy-squat");
+    assert_eq!(taxonomy.pose_count(), 4);
+    assert_eq!(taxonomy.stage_count(), 2);
+
+    let model = toy_model();
+    assert_eq!(model.taxonomy().name(), "toy-squat");
+    assert_eq!(model.taxonomy().pose_count(), 4);
+
+    // Classify a rep frame-by-frame; the estimates are toy pose indices.
+    let mut clf = model.start_clip();
+    let mut recognised = Vec::new();
+    for frame in &good_rep(&taxonomy).frames {
+        let est = clf.step(&frame.features).expect("step");
+        assert!(est.stage < 2, "stage index outside the toy taxonomy");
+        if let Some(p) = est.pose {
+            assert!(p < 4, "pose index outside the toy taxonomy");
+        }
+        recognised.push(est.pose);
+    }
+    // A full rep reaches depth: the NoDepth rule must not fire. The
+    // fault names resolve through the toy artifact, not the SLJ enums.
+    let deep = taxonomy.pose_index("DeepSquat").expect("toy pose");
+    assert!(
+        recognised.iter().filter(|p| **p == Some(deep)).count() >= 2,
+        "classifier never recognised the deep squat: {recognised:?}"
+    );
+    let faults = assess_with_taxonomy(&taxonomy, &recognised);
+    assert!(
+        faults.iter().all(|f| f.ident != "NoDepth"),
+        "full-depth rep flagged NoDepth: {faults:?}"
+    );
+
+    // A shallow rep (never deeper than HalfSquat) fires NoDepth with the
+    // artifact's advice string.
+    let shallow: Vec<Option<usize>> = [0usize, 0, 1, 1, 2, 2, 2, 2]
+        .into_iter()
+        .map(Some)
+        .collect();
+    let faults = assess_with_taxonomy(&taxonomy, &shallow);
+    assert_eq!(faults.len(), 1, "expected exactly NoDepth: {faults:?}");
+    assert_eq!(faults[0].ident, "NoDepth");
+    assert_eq!(faults[0].stage_display, "in the squat");
+    assert_eq!(faults[0].advice, "sink the hips below parallel");
+}
+
+#[test]
+fn toy_model_round_trips_with_its_taxonomy_embedded() {
+    let model = toy_model();
+    let text = model_io::to_string(&model);
+    assert!(
+        text.contains("name toy-squat"),
+        "taxonomy block missing from the model file"
+    );
+    let reloaded = model_io::from_str(&text).expect("reload");
+    assert_eq!(reloaded.taxonomy().name(), "toy-squat");
+    assert_eq!(reloaded.taxonomy().pose_count(), 4);
+    assert_eq!(model_io::to_string(&reloaded), text, "round-trip drifted");
+
+    // The classifier reloads to the same decisions.
+    let taxonomy = toy_taxonomy();
+    let (mut a, mut b) = (model.start_clip(), reloaded.start_clip());
+    for frame in &good_rep(&taxonomy).frames {
+        let ea = a.step(&frame.features).expect("step");
+        let eb = b.step(&frame.features).expect("step");
+        assert_eq!(ea.pose, eb.pose);
+        assert_eq!(ea.posterior, eb.posterior);
+    }
+
+    // The auditor shape-checks the file against the embedded taxonomy.
+    let findings = audit_model_text("toy.model", &text, false);
+    assert!(findings.is_empty(), "audit findings: {findings:?}");
+}
+
+#[test]
+fn serve_reads_counts_and_fault_names_from_the_toy_taxonomy() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(config, toy_model())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr.to_string();
+
+    // Session creation advertises the toy pose count and rejects a
+    // client expecting the SLJ vocabulary.
+    let resp = request(
+        &addr,
+        "POST",
+        "/v1/sessions",
+        "application/json",
+        b"{}",
+        10_000,
+    )
+    .expect("create session");
+    assert_eq!(resp.status, 201, "body: {}", resp.text());
+    assert!(resp.text().contains("\"poses\":4"), "body: {}", resp.text());
+
+    let mismatch = request(
+        &addr,
+        "POST",
+        "/v1/sessions",
+        "application/json",
+        b"{\"poses\":22}",
+        10_000,
+    )
+    .expect("mismatched create");
+    assert_eq!(mismatch.status, 422, "body: {}", mismatch.text());
+    assert!(mismatch.text().contains("pose_count_mismatch"));
+
+    // Closing the (empty) session assesses with the toy fault rules:
+    // zero frames of DeepSquat evidence fires NoDepth, in toy terms.
+    let session_id: u64 = resp
+        .text()
+        .split("\"session\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("session id");
+    let closed = request(
+        &addr,
+        "DELETE",
+        &format!("/v1/sessions/{session_id}"),
+        "application/json",
+        b"",
+        10_000,
+    )
+    .expect("delete session");
+    assert_eq!(closed.status, 200, "body: {}", closed.text());
+    let body = closed.text();
+    assert!(
+        body.contains("squat never reaches depth") && body.contains("sink the hips below parallel"),
+        "toy fault rule missing from assessment: {body}"
+    );
+
+    handle.stop().expect("stop");
+}
+
+#[test]
+fn corrupted_taxonomy_fixtures_are_rejected_with_their_rule_codes() {
+    for (text, rule) in [
+        (BAD_PARTITION, "taxonomy/partition"),
+        (BAD_ROW_SUM, "taxonomy/row-sum"),
+        (BAD_FAULT_POSE, "taxonomy/unknown-pose"),
+    ] {
+        assert!(
+            Taxonomy::from_artifact_str(text).is_err(),
+            "corrupted fixture parsed"
+        );
+        let findings = audit_taxonomy_text("fixture.taxonomy", text);
+        assert_eq!(findings.len(), 1, "findings for {rule}: {findings:?}");
+        assert_eq!(findings[0].rule, rule);
+        // `slj check --model` dispatches on the taxonomy magic too.
+        let via_model = audit_model_text("fixture.taxonomy", text, false);
+        assert_eq!(via_model[0].rule, rule);
+    }
+}

@@ -98,7 +98,10 @@ fn carry_forward_flags_match_decoded_sequence_exactly() {
             Some(pose) => {
                 assert!(record.accepted, "frame {t}: decided pose but not accepted");
                 assert_eq!(record.unknown_reason, None);
-                assert_eq!(record.pose.as_deref(), Some(format!("{pose:?}").as_str()));
+                assert_eq!(
+                    record.pose.as_deref(),
+                    Some(model.taxonomy().pose_ident(pose))
+                );
                 assert_eq!(est.committed_pose, pose, "frame {t}: committed != decided");
             }
             None => {

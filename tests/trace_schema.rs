@@ -1,7 +1,7 @@
 //! Schema check for `slj trace` JSONL output, driving the released
 //! binary the way CI's trace-smoke job does: generate a clip set, train
 //! a model, trace it, and validate every emitted line — one JSON object
-//! per frame, versioned (`"schema":1`), with every required key always
+//! per frame, versioned (`"schema":2`), with every required key always
 //! present.
 
 use std::path::PathBuf;
@@ -34,7 +34,7 @@ const REQUIRED_KEYS: [&str; 15] = [
     "schema",
     "clip",
     "frame",
-    "stage_ns",
+    "pipeline_ns",
     "pose",
     "committed",
     "posterior",
@@ -48,7 +48,7 @@ const REQUIRED_KEYS: [&str; 15] = [
     "stage_posterior",
 ];
 
-/// Stage keys every record's `stage_ns` object must contain.
+/// Pipeline-step keys every record's `pipeline_ns` object must contain.
 const STAGE_KEYS: [&str; 8] = [
     "background_subtraction",
     "median_filter",
@@ -116,7 +116,7 @@ fn trace_jsonl_has_one_schema_stable_record_per_frame() {
     assert_eq!(lines.len(), clips * frames, "expected one record per frame");
     for (n, line) in lines.iter().enumerate() {
         assert!(
-            line.starts_with("{\"schema\":1,") && line.ends_with('}'),
+            line.starts_with("{\"schema\":2,") && line.ends_with('}'),
             "line {n}: not a versioned JSON object: {line}"
         );
         for key in REQUIRED_KEYS {
@@ -128,7 +128,7 @@ fn trace_jsonl_has_one_schema_stable_record_per_frame() {
         for stage in STAGE_KEYS {
             assert!(
                 line.contains(&format!("\"{stage}\":")),
-                "line {n}: stage_ns missing {stage:?}: {line}"
+                "line {n}: pipeline_ns missing {stage:?}: {line}"
             );
         }
         // clip/frame indices follow emission order.
@@ -146,7 +146,7 @@ fn trace_jsonl_has_one_schema_stable_record_per_frame() {
     for metric in [
         "engine.frames",
         "engine.frame.total_ns",
-        "engine.stage.dbn_step.ns",
+        "engine.pipeline.dbn_step.ns",
         "bayes.filter.step_ns",
         "bayes.filter.factor_cells",
     ] {
