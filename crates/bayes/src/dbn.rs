@@ -190,12 +190,22 @@ impl TwoSliceDbnBuilder {
                 }
             }
         }
+        // Convert the CPD templates to factors once: every filtering
+        // step used to redo this table-by-table, which dominated the
+        // per-frame step cost (cloning a cached factor is a flat copy).
+        let prior_factors: Vec<Factor> = self.prior.iter().map(|c| c.to_factor()).collect();
+        let transition_factors: Vec<Factor> =
+            self.transition.iter().map(|c| c.to_factor()).collect();
+        let interface_ids: HashSet<usize> = self.interface.iter().map(|p| p.cur.id()).collect();
         Ok(TwoSliceDbn {
             pool: self.pool,
             interface: self.interface,
             slice_vars: self.slice_vars,
             prior: self.prior,
             transition: self.transition,
+            prior_factors,
+            transition_factors,
+            interface_ids,
         })
     }
 }
@@ -208,6 +218,14 @@ pub struct TwoSliceDbn {
     slice_vars: Vec<Variable>,
     prior: Vec<Cpd>,
     transition: Vec<Cpd>,
+    /// `prior` converted to factors at build time (never mutated; used
+    /// as the per-step elimination working set via clone).
+    prior_factors: Vec<Factor>,
+    /// `transition` converted to factors at build time.
+    transition_factors: Vec<Factor>,
+    /// Current-slice interface ids — the keep-set of every filtering
+    /// step (membership queries only, never iterated).
+    interface_ids: HashSet<usize>,
 }
 
 impl TwoSliceDbn {
@@ -403,11 +421,12 @@ impl<'a> ForwardFilter<'a> {
         let started = self.metrics.as_ref().map(|_| Stopwatch::start());
         let first = self.steps == 0;
         let template = if first {
-            &self.dbn.prior
+            &self.dbn.prior_factors
         } else {
-            &self.dbn.transition
+            &self.dbn.transition_factors
         };
-        let mut factors: Vec<Factor> = template.iter().map(|c| c.to_factor()).collect();
+        let mut factors: Vec<Factor> = Vec::with_capacity(template.len() + 2);
+        factors.extend(template.iter().cloned());
         if !first {
             // Attach the previous belief on the prev-slice handles.
             let mut prior = self
@@ -426,9 +445,11 @@ impl<'a> ForwardFilter<'a> {
             let cells: usize = factors.iter().map(|f| f.values().len()).sum();
             metrics.factor_cells.record(cells as u64);
         }
-        let keep: HashSet<usize> = self.dbn.interface_vars().iter().map(|v| v.id()).collect();
-        let result =
-            crate::inference::elimination_internal::eliminate_all(factors, evidence, &keep)?;
+        let result = crate::inference::elimination_internal::eliminate_all(
+            factors,
+            evidence,
+            &self.dbn.interface_ids,
+        )?;
         let belief = result.normalized()?;
         self.belief = Some(belief.clone());
         self.steps += 1;

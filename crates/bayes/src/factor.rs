@@ -1,9 +1,22 @@
 //! Dense table factors over discrete variables.
 
-use crate::assignment::{assignment_to_index, index_to_assignment, AssignmentIter};
+use crate::assignment::{assignment_to_index, index_to_assignment};
 use crate::error::BayesError;
 use crate::variable::Variable;
 use std::collections::HashMap;
+
+/// Row-major strides of a scope: `strides[i]` is how far the linear
+/// index moves when variable `i` advances one state (last variable has
+/// stride 1, matching [`assignment_to_index`]).
+fn scope_strides(scope: &[Variable]) -> Vec<usize> {
+    let mut strides = vec![0usize; scope.len()];
+    let mut acc = 1usize;
+    for i in (0..scope.len()).rev() {
+        strides[i] = acc;
+        acc *= scope[i].cardinality();
+    }
+    strides
+}
 
 /// A non-negative function over the joint states of a variable scope,
 /// stored as a dense row-major table (last scope variable fastest).
@@ -175,23 +188,43 @@ impl Factor {
         }
         let size: usize = scope.iter().map(|v| v.cardinality()).product();
         let mut values = Vec::with_capacity(size);
-        // Positions of each operand's scope within the union scope.
-        let pos_self: Vec<usize> = self
-            .scope
-            .iter()
-            .map(|v| scope.iter().position(|u| u.id() == v.id()).unwrap())
-            .collect();
-        let pos_other: Vec<usize> = other
-            .scope
-            .iter()
-            .map(|v| scope.iter().position(|u| u.id() == v.id()).unwrap())
-            .collect();
-        for joint in AssignmentIter::new(&scope) {
-            let idx_self: Vec<usize> = pos_self.iter().map(|&p| joint[p]).collect();
-            let idx_other: Vec<usize> = pos_other.iter().map(|&p| joint[p]).collect();
-            let a = self.values[assignment_to_index(&self.scope, &idx_self)];
-            let b = other.values[assignment_to_index(&other.scope, &idx_other)];
-            values.push(a * b);
+        // Strides of each union-scope position within each operand's
+        // table (0 when the operand lacks the variable): both source
+        // indices then advance with a single odometer over the union
+        // scope, visiting output cells in the same row-major order as
+        // before with no per-cell allocation or index recomputation.
+        let self_strides = scope_strides(&self.scope);
+        let other_strides = scope_strides(&other.scope);
+        let mut stride_a = vec![0usize; scope.len()];
+        let mut stride_b = vec![0usize; scope.len()];
+        let mut cards = vec![0usize; scope.len()];
+        for (p, u) in scope.iter().enumerate() {
+            cards[p] = u.cardinality();
+            if let Some(i) = self.scope.iter().position(|v| v.id() == u.id()) {
+                stride_a[p] = self_strides[i];
+            }
+            if let Some(i) = other.scope.iter().position(|v| v.id() == u.id()) {
+                stride_b[p] = other_strides[i];
+            }
+        }
+        let mut digits = vec![0usize; scope.len()];
+        let mut ia = 0usize;
+        let mut ib = 0usize;
+        for _ in 0..size {
+            values.push(self.values[ia] * other.values[ib]);
+            let mut p = scope.len();
+            while p > 0 {
+                p -= 1;
+                digits[p] += 1;
+                ia += stride_a[p];
+                ib += stride_b[p];
+                if digits[p] < cards[p] {
+                    break;
+                }
+                digits[p] = 0;
+                ia -= stride_a[p] * cards[p];
+                ib -= stride_b[p] * cards[p];
+            }
         }
         Ok(Factor { scope, values })
     }
@@ -216,20 +249,51 @@ impl Factor {
             .collect();
         let size: usize = new_scope.iter().map(|v| v.cardinality()).product();
         let mut values = vec![0.0; size.max(1)];
-        for (i, &x) in self.values.iter().enumerate() {
-            let joint = index_to_assignment(&self.scope, i);
-            let reduced: Vec<usize> = joint
-                .iter()
-                .enumerate()
-                .filter(|&(k, _)| k != pos)
-                .map(|(_, &s)| s)
-                .collect();
-            values[assignment_to_index(&new_scope, &reduced)] += x;
+        // Walk the input table in ascending index order while tracking
+        // the output index incrementally (the summed-out position gets
+        // stride 0), so each slot accumulates in exactly the order the
+        // per-cell index recomputation used to produce.
+        let (out_stride, cards) = self.drop_position_strides(pos, &new_scope);
+        let mut digits = vec![0usize; self.scope.len()];
+        let mut oi = 0usize;
+        for &x in &self.values {
+            values[oi] += x;
+            let mut p = cards.len();
+            while p > 0 {
+                p -= 1;
+                digits[p] += 1;
+                oi += out_stride[p];
+                if digits[p] < cards[p] {
+                    break;
+                }
+                digits[p] = 0;
+                oi -= out_stride[p] * cards[p];
+            }
         }
         Ok(Factor {
             scope: new_scope,
             values,
         })
+    }
+
+    /// Per-position output strides (and cardinalities) for iterating this
+    /// factor's table while projecting away the variable at `pos`.
+    fn drop_position_strides(
+        &self,
+        pos: usize,
+        new_scope: &[Variable],
+    ) -> (Vec<usize>, Vec<usize>) {
+        let new_strides = scope_strides(new_scope);
+        let mut out_stride = vec![0usize; self.scope.len()];
+        let mut j = 0;
+        for (i, s) in out_stride.iter_mut().enumerate() {
+            if i != pos {
+                *s = new_strides[j];
+                j += 1;
+            }
+        }
+        let cards: Vec<usize> = self.scope.iter().map(|v| v.cardinality()).collect();
+        (out_stride, cards)
     }
 
     /// Restricts the factor to `var = state`, removing `var` from the
@@ -261,10 +325,29 @@ impl Factor {
             .collect();
         let size: usize = new_scope.iter().map(|v| v.cardinality()).product();
         let mut values = Vec::with_capacity(size.max(1));
-        for reduced in AssignmentIter::new(&new_scope) {
-            let mut joint = reduced.clone();
-            joint.insert(pos, state);
-            values.push(self.values[assignment_to_index(&self.scope, &joint)]);
+        // Source indices of the selected slice, visited in the output's
+        // row-major order via an odometer over the remaining variables.
+        let old_strides = scope_strides(&self.scope);
+        let src_stride: Vec<usize> = (0..self.scope.len())
+            .filter(|&i| i != pos)
+            .map(|i| old_strides[i])
+            .collect();
+        let cards: Vec<usize> = new_scope.iter().map(|v| v.cardinality()).collect();
+        let mut digits = vec![0usize; new_scope.len()];
+        let mut si = state * old_strides[pos];
+        for _ in 0..size.max(1) {
+            values.push(self.values[si]);
+            let mut p = cards.len();
+            while p > 0 {
+                p -= 1;
+                digits[p] += 1;
+                si += src_stride[p];
+                if digits[p] < cards[p] {
+                    break;
+                }
+                digits[p] = 0;
+                si -= src_stride[p] * cards[p];
+            }
         }
         Ok(Factor {
             scope: new_scope,
@@ -322,17 +405,24 @@ impl Factor {
             .collect();
         let size: usize = new_scope.iter().map(|v| v.cardinality()).product();
         let mut values = vec![f64::NEG_INFINITY; size.max(1)];
-        for (i, &x) in self.values.iter().enumerate() {
-            let joint = index_to_assignment(&self.scope, i);
-            let reduced: Vec<usize> = joint
-                .iter()
-                .enumerate()
-                .filter(|&(k, _)| k != pos)
-                .map(|(_, &s)| s)
-                .collect();
-            let slot = &mut values[assignment_to_index(&new_scope, &reduced)];
+        let (out_stride, cards) = self.drop_position_strides(pos, &new_scope);
+        let mut digits = vec![0usize; self.scope.len()];
+        let mut oi = 0usize;
+        for &x in &self.values {
+            let slot = &mut values[oi];
             if x > *slot {
                 *slot = x;
+            }
+            let mut p = cards.len();
+            while p > 0 {
+                p -= 1;
+                digits[p] += 1;
+                oi += out_stride[p];
+                if digits[p] < cards[p] {
+                    break;
+                }
+                digits[p] = 0;
+                oi -= out_stride[p] * cards[p];
             }
         }
         Ok(Factor {

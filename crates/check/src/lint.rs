@@ -91,6 +91,11 @@ const HOT_FN_NAMES: &[&str] = &[
     "run_range",
     "process_frame",
     "process_silhouette",
+    // PR7 kernel-overhaul entry points that do not follow the `_into` /
+    // `_par` naming convention (the `_reference` oracles deliberately
+    // stay outside the hot set).
+    "compute_diff",
+    "gray_median_rows",
 ];
 
 /// Decides which rules apply to a repo-relative path (`/`-separated).

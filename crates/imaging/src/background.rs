@@ -71,6 +71,11 @@ pub struct BackgroundSubtractor {
     height: usize,
     /// Per-channel integral images of the background.
     bg_integrals: [IntegralImage; 3],
+    /// Smoothed background means cached at construction, interleaved
+    /// `[r, g, b]` per pixel in row-major order. The background never
+    /// changes, so the per-frame hot path looks these up instead of
+    /// recomputing `window_mean` for every pixel of every frame.
+    bg_means: Vec<f64>,
 }
 
 impl BackgroundSubtractor {
@@ -94,11 +99,21 @@ impl BackgroundSubtractor {
             });
         }
         let bg_integrals = channel_integrals(&background);
+        let (w, h) = (background.width(), background.height());
+        let mut bg_means = Vec::with_capacity(w * h * 3);
+        for y in 0..h {
+            for x in 0..w {
+                for ii in &bg_integrals {
+                    bg_means.push(ii.window_mean(x, y, config.window));
+                }
+            }
+        }
         Ok(BackgroundSubtractor {
             config,
-            width: background.width(),
-            height: background.height(),
+            width: w,
+            height: h,
             bg_integrals,
+            bg_means,
         })
     }
 
@@ -141,43 +156,7 @@ impl BackgroundSubtractor {
         out: &mut GrayImage,
         scratch: &mut ExtractScratch,
     ) -> Result<(), ImagingError> {
-        if frame.dimensions() != (self.width, self.height) {
-            return Err(ImagingError::DimensionMismatch {
-                left: (self.width, self.height),
-                right: frame.dimensions(),
-            });
-        }
-        let frame_integrals = match scratch.frame_integrals.as_mut() {
-            Some(integrals) => {
-                for (k, ii) in integrals.iter_mut().enumerate() {
-                    ii.rebuild_from_fn(self.width, self.height, |x, y| {
-                        frame.get(x, y).channel(k) as u64
-                    });
-                }
-                &*integrals
-            }
-            None => &*scratch.frame_integrals.insert(channel_integrals(frame)),
-        };
-        let n = self.config.window;
-
-        // Steps i-iv: D(i,j) = sum_k |A_ave(i,j,k) - B_ave(i,j,k)|.
-        scratch.diff.clear();
-        scratch.diff.resize(self.width * self.height, 0.0);
-        let mut max_d = 0.0f64;
-        for y in 0..self.height {
-            for x in 0..self.width {
-                let mut sum = 0.0;
-                for k in 0..3 {
-                    let a = frame_integrals[k].window_mean(x, y, n);
-                    let b = self.bg_integrals[k].window_mean(x, y, n);
-                    sum += (a - b).abs();
-                }
-                if sum > max_d {
-                    max_d = sum;
-                }
-                scratch.diff[y * self.width + x] = sum;
-            }
-        }
+        let max_d = self.compute_diff(frame, scratch)?;
 
         // Steps v-vii: shift so max(D) = 255, clamp negatives to zero.
         // When the frame equals the background (max_d == 0) there is no
@@ -192,6 +171,108 @@ impl BackgroundSubtractor {
             }
         }
         Ok(())
+    }
+
+    /// Steps i-iv: fills `scratch.diff` with `D(i,j) = sum_k
+    /// |A_ave(i,j,k) - B_ave(i,j,k)|` and returns `max(D)`.
+    ///
+    /// The frame-side window means come from sliding per-channel column
+    /// sums: exact integer sums over the same clamped rectangle the
+    /// integral image would produce, divided by the same pixel count, so
+    /// every quotient is the bit-identical `f64` that
+    /// [`IntegralImage::window_mean`] returns. The background-side means
+    /// come from the table cached at construction.
+    fn compute_diff(
+        &self,
+        frame: &RgbImage,
+        scratch: &mut ExtractScratch,
+    ) -> Result<f64, ImagingError> {
+        if frame.dimensions() != (self.width, self.height) {
+            return Err(ImagingError::DimensionMismatch {
+                left: (self.width, self.height),
+                right: frame.dimensions(),
+            });
+        }
+        let (w, h) = (self.width, self.height);
+        let r = self.config.window / 2;
+        scratch.diff.clear();
+        scratch.diff.resize(w * h, 0.0);
+        scratch.col_sums.resize(3 * w, 0);
+        let col = &mut scratch.col_sums;
+        col.fill(0);
+
+        let pixels = frame.as_slice();
+        let add_row = |col: &mut [u32], row: usize| {
+            for (x, px) in pixels[row * w..(row + 1) * w].iter().enumerate() {
+                for k in 0..3 {
+                    col[3 * x + k] += px.channel(k) as u32;
+                }
+            }
+        };
+        let sub_row = |col: &mut [u32], row: usize| {
+            for (x, px) in pixels[row * w..(row + 1) * w].iter().enumerate() {
+                for k in 0..3 {
+                    col[3 * x + k] -= px.channel(k) as u32;
+                }
+            }
+        };
+
+        // Per-channel column sums over the clamped row window of y = 0.
+        for row in 0..=r.min(h - 1) {
+            add_row(col, row);
+        }
+
+        let mut max_d = 0.0f64;
+        for y in 0..h {
+            if y > 0 {
+                // Slide the column sums down one row.
+                if y + r < h {
+                    add_row(col, y + r);
+                }
+                if y > r {
+                    sub_row(col, y - r - 1);
+                }
+            }
+            let y0 = y.saturating_sub(r);
+            let y1 = (y + r).min(h - 1);
+
+            // Running window sums across the row, clamped at the edges.
+            let mut s = [0u32; 3];
+            for x in 0..=r.min(w - 1) {
+                for k in 0..3 {
+                    s[k] += col[3 * x + k];
+                }
+            }
+            let row_base = y * w;
+            for x in 0..w {
+                if x > 0 {
+                    if x + r < w {
+                        for k in 0..3 {
+                            s[k] += col[3 * (x + r) + k];
+                        }
+                    }
+                    if x > r {
+                        for k in 0..3 {
+                            s[k] -= col[3 * (x - r - 1) + k];
+                        }
+                    }
+                }
+                let x0 = x.saturating_sub(r);
+                let x1 = (x + r).min(w - 1);
+                let count = ((x1 - x0 + 1) * (y1 - y0 + 1)) as f64;
+                let bg = &self.bg_means[(row_base + x) * 3..];
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    let a = s[k] as f64 / count;
+                    sum += (a - bg[k]).abs();
+                }
+                if sum > max_d {
+                    max_d = sum;
+                }
+                scratch.diff[row_base + x] = sum;
+            }
+        }
+        Ok(max_d)
     }
 
     /// Row-parallel variant of
@@ -299,7 +380,15 @@ impl BackgroundSubtractor {
 
     /// In-place variant of [`BackgroundSubtractor::extract`]: writes the
     /// silhouette into `out` (resized as needed), reusing all intermediate
-    /// buffers held in `scratch`. Bit-identical to the allocating version.
+    /// buffers held in `scratch`. Bit-identical to the allocating version
+    /// and to [`BackgroundSubtractor::extract_reference_into`].
+    ///
+    /// Subtraction, normalisation, thresholding, and bit-packing are fused:
+    /// the normalised foreground matrix `R` is never materialised as a
+    /// [`GrayImage`]. The fixed-threshold path normalises and compares in
+    /// one pass straight into the mask words; the Otsu path normalises
+    /// once into a byte buffer while histogramming, picks the threshold
+    /// from the histogram, then packs.
     ///
     /// # Errors
     ///
@@ -311,27 +400,135 @@ impl BackgroundSubtractor {
         out: &mut BinaryImage,
         scratch: &mut ExtractScratch,
     ) -> Result<(), ImagingError> {
+        let max_d = self.compute_diff(frame, scratch)?;
+        out.reset(self.width, self.height);
+        if max_d == 0.0 {
+            // No moving object: R stays all-zero, and zero never exceeds
+            // any threshold (fixed, or Otsu's degenerate 0), so the mask
+            // is empty — exactly what the unfused path produces.
+            return Ok(());
+        }
+        let shift = max_d - 255.0;
+        let total = self.width * self.height;
+        let diff = &scratch.diff;
+        if self.config.auto_threshold {
+            scratch.norm.resize(total, 0);
+            let norm = &mut scratch.norm;
+            let mut bins = [0u32; 256];
+            for (nv, &v) in norm.iter_mut().zip(diff.iter()) {
+                let b = (v - shift).clamp(0.0, 255.0).round() as u8;
+                *nv = b;
+                bins[b as usize] += 1;
+            }
+            let threshold = crate::threshold::otsu_from_histogram(
+                &crate::threshold::Histogram::from_bins(bins),
+            );
+            for (wi, word) in out.words_mut().iter_mut().enumerate() {
+                let base = wi * 64;
+                let mut bits = 0u64;
+                for b in 0..64.min(total - base) {
+                    if norm[base + b] > threshold {
+                        bits |= 1u64 << b;
+                    }
+                }
+                *word = bits;
+            }
+        } else {
+            let threshold = self.config.th_object;
+            for (wi, word) in out.words_mut().iter_mut().enumerate() {
+                let base = wi * 64;
+                let mut bits = 0u64;
+                for b in 0..64.min(total - base) {
+                    let v = (diff[base + b] - shift).clamp(0.0, 255.0).round() as u8;
+                    if v > threshold {
+                        bits |= 1u64 << b;
+                    }
+                }
+                *word = bits;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference extraction: the pre-fusion pipeline — per-frame integral
+    /// images, per-pixel `window_mean` calls against the background
+    /// integrals, a materialised normalised matrix, and a scalar
+    /// set-per-pixel threshold scan. Kept as the oracle
+    /// [`BackgroundSubtractor::extract_into`] is tested against and as the
+    /// "before" timing for the per-kernel section of `slj bench`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when `frame` does not
+    /// match the background's shape.
+    pub fn extract_reference_into(
+        &self,
+        frame: &RgbImage,
+        out: &mut BinaryImage,
+        scratch: &mut ExtractScratch,
+    ) -> Result<(), ImagingError> {
+        if frame.dimensions() != (self.width, self.height) {
+            return Err(ImagingError::DimensionMismatch {
+                left: (self.width, self.height),
+                right: frame.dimensions(),
+            });
+        }
+        let frame_integrals = match scratch.frame_integrals.as_mut() {
+            Some(integrals) => {
+                for (k, ii) in integrals.iter_mut().enumerate() {
+                    ii.rebuild_from_fn(self.width, self.height, |x, y| {
+                        frame.get(x, y).channel(k) as u64
+                    });
+                }
+                &*integrals
+            }
+            None => &*scratch.frame_integrals.insert(channel_integrals(frame)),
+        };
+        let n = self.config.window;
+
+        scratch.diff.clear();
+        scratch.diff.resize(self.width * self.height, 0.0);
+        let mut max_d = 0.0f64;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    let a = frame_integrals[k].window_mean(x, y, n);
+                    let b = self.bg_integrals[k].window_mean(x, y, n);
+                    sum += (a - b).abs();
+                }
+                if sum > max_d {
+                    max_d = sum;
+                }
+                scratch.diff[y * self.width + x] = sum;
+            }
+        }
+
         let mut matrix = scratch
             .matrix
             .take()
             .unwrap_or_else(|| GrayImage::new(1, 1));
-        let result = (|| {
-            self.foreground_matrix_into(frame, &mut matrix, scratch)?;
-            let threshold = if self.config.auto_threshold {
-                crate::threshold::otsu_threshold(&matrix)
-            } else {
-                self.config.th_object
-            };
-            out.reset(self.width, self.height);
-            for (x, y, v) in matrix.enumerate_pixels() {
-                if v > threshold {
-                    out.set(x, y, true);
-                }
+        matrix.reset(self.width, self.height);
+        if max_d != 0.0 {
+            let shift = max_d - 255.0;
+            let pixels = matrix.as_mut_slice();
+            for (i, &v) in scratch.diff.iter().enumerate() {
+                pixels[i] = (v - shift).clamp(0.0, 255.0).round() as u8;
             }
-            Ok(())
-        })();
+        }
+        let threshold = if self.config.auto_threshold {
+            crate::threshold::otsu_threshold(&matrix)
+        } else {
+            self.config.th_object
+        };
+        out.reset(self.width, self.height);
+        for (x, y, v) in matrix.enumerate_pixels() {
+            if v > threshold {
+                out.set(x, y, true);
+            }
+        }
         scratch.matrix = Some(matrix);
-        result
+        Ok(())
     }
 }
 
@@ -343,9 +540,16 @@ impl BackgroundSubtractor {
 /// buffer allocation in steady state.
 #[derive(Debug, Clone, Default)]
 pub struct ExtractScratch {
+    /// Per-frame channel integral images (parallel and reference paths;
+    /// the fused serial path uses `col_sums` instead).
     frame_integrals: Option<[IntegralImage; 3]>,
     diff: Vec<f64>,
+    /// Normalised matrix buffer for the reference path.
     matrix: Option<GrayImage>,
+    /// Interleaved per-channel sliding column sums of the fused path.
+    col_sums: Vec<u32>,
+    /// Normalised bytes of the fused Otsu path.
+    norm: Vec<u8>,
 }
 
 impl ExtractScratch {
@@ -521,6 +725,95 @@ mod tests {
         // Scratch must still be usable after an error.
         sub.extract_into(&frame, &mut mask, &mut scratch).unwrap();
         assert_eq!(mask, sub.extract(&frame).unwrap());
+    }
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn fused_extract_matches_reference_on_random_frames() {
+        let mut state = 0xB0A1_2026_0808u64;
+        for (w, h) in [
+            (1usize, 1usize),
+            (5, 1),
+            (1, 9),
+            (20, 20),
+            (67, 13),
+            (64, 9),
+        ] {
+            let bg = RgbImage::from_fn(w, h, |x, y| {
+                let _ = (x, y);
+                let v = lcg(&mut state);
+                Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+            });
+            for window in [1usize, 3, 5] {
+                if window > w.min(h) {
+                    continue;
+                }
+                for auto_threshold in [false, true] {
+                    let sub = BackgroundSubtractor::new(
+                        bg.clone(),
+                        ExtractionConfig {
+                            window,
+                            th_object: 20,
+                            auto_threshold,
+                        },
+                    )
+                    .unwrap();
+                    let mut scratch = ExtractScratch::new();
+                    let mut fused = BinaryImage::new(1, 1);
+                    let mut reference = BinaryImage::new(1, 1);
+                    for _ in 0..3 {
+                        let frame = RgbImage::from_fn(w, h, |x, y| {
+                            let _ = (x, y);
+                            let v = lcg(&mut state);
+                            Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+                        });
+                        sub.extract_into(&frame, &mut fused, &mut scratch).unwrap();
+                        sub.extract_reference_into(&frame, &mut reference, &mut scratch)
+                            .unwrap();
+                        assert_eq!(
+                            fused, reference,
+                            "{w}x{h} window {window} auto {auto_threshold}"
+                        );
+                    }
+                    // The identical frame must also agree (max_d == 0 path).
+                    sub.extract_into(&bg, &mut fused, &mut scratch).unwrap();
+                    sub.extract_reference_into(&bg, &mut reference, &mut scratch)
+                        .unwrap();
+                    assert_eq!(fused, reference);
+                    assert!(fused.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_extract_matches_reference_on_scene() {
+        let (bg, frame) = scene();
+        for auto_threshold in [false, true] {
+            let sub = BackgroundSubtractor::new(
+                bg.clone(),
+                ExtractionConfig {
+                    window: 3,
+                    th_object: 20,
+                    auto_threshold,
+                },
+            )
+            .unwrap();
+            let mut scratch = ExtractScratch::new();
+            let mut fused = BinaryImage::new(1, 1);
+            let mut reference = BinaryImage::new(1, 1);
+            sub.extract_into(&frame, &mut fused, &mut scratch).unwrap();
+            sub.extract_reference_into(&frame, &mut reference, &mut scratch)
+                .unwrap();
+            assert_eq!(fused, reference, "auto {auto_threshold}");
+            assert!(!fused.is_empty());
+        }
     }
 
     #[test]

@@ -180,10 +180,19 @@ impl BinaryImage {
     /// The backing 64-bit words in row-major bit order
     /// (`bit i = y * width + x`, bit `i % 64` of word `i / 64`).
     ///
-    /// Exposed crate-internally for the band-parallel kernels, which
-    /// split the output at word boundaries so concurrent bands never
-    /// touch the same word.
-    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+    /// Exposed for the word-level kernels (band-parallel filters, the
+    /// bit-parallel thinner) that read or repack whole words at a time.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable view of the backing words (layout as in
+    /// [`BinaryImage::words`]).
+    ///
+    /// Callers must keep the padding bits beyond `width * height` clear:
+    /// [`BinaryImage::count_ones`] and the word-wise logical operations
+    /// rely on them never being set.
+    pub fn words_mut(&mut self) -> &mut [u64] {
         &mut self.words
     }
 

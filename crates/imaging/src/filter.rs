@@ -111,17 +111,89 @@ pub fn median_filter_gray_par_into(
 
 /// Median-filters rows `first_row ..` of `img` into `out_rows` (a
 /// row-major slice holding exactly the destination rows).
+///
+/// Huang's sliding-histogram algorithm: one 256-bin histogram per row
+/// slides right by removing the departing window column and adding the
+/// arriving one (O(window) per pixel instead of O(window²) plus a full
+/// histogram rebuild and rescan). The median is maintained incrementally
+/// via `lt` — the count of samples strictly below `med` — restoring the
+/// invariant `lt <= half < lt + hist[med]`, which selects exactly the
+/// value the cumulative rescan (`first v with acc > half`) would.
 fn gray_median_rows(img: &GrayImage, window: usize, first_row: usize, out_rows: &mut [u8]) {
     let r = (window / 2) as isize;
     let half = (window * window) as u32 / 2;
     let mut hist = [0u32; 256];
     for (dy, row) in out_rows.chunks_mut(img.width()).enumerate() {
-        let y = first_row + dy;
+        let yi = (first_row + dy) as isize;
+        hist.fill(0);
+        for wy in -r..=r {
+            for wx in -r..=r {
+                hist[img.get_clamped(wx, yi + wy) as usize] += 1;
+            }
+        }
+        let mut acc = 0u32;
+        let mut med = 0usize;
+        for (v, &c) in hist.iter().enumerate() {
+            acc += c;
+            if acc > half {
+                med = v;
+                break;
+            }
+        }
+        let mut lt: u32 = hist[..med].iter().sum();
         for (x, px) in row.iter_mut().enumerate() {
+            if x > 0 {
+                let xo = x as isize - 1 - r;
+                let xn = x as isize + r;
+                for wy in -r..=r {
+                    let o = img.get_clamped(xo, yi + wy) as usize;
+                    hist[o] -= 1;
+                    if o < med {
+                        lt -= 1;
+                    }
+                    let n = img.get_clamped(xn, yi + wy) as usize;
+                    hist[n] += 1;
+                    if n < med {
+                        lt += 1;
+                    }
+                }
+                while lt > half {
+                    med -= 1;
+                    lt -= hist[med];
+                }
+                while lt + hist[med] <= half {
+                    lt += hist[med];
+                    med += 1;
+                }
+            }
+            *px = med as u8;
+        }
+    }
+}
+
+/// Reference grayscale median: per-pixel window histogram rebuild and
+/// cumulative rescan. The oracle the sliding-histogram fast path in
+/// [`median_filter_gray_into`] is property-tested against, and the
+/// "before" timing in `slj bench`'s per-kernel section.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero.
+pub fn median_filter_gray_reference(
+    img: &GrayImage,
+    window: usize,
+) -> Result<GrayImage, ImagingError> {
+    check_window(window)?;
+    let mut out = GrayImage::new(img.width(), img.height());
+    let r = (window / 2) as isize;
+    let half = (window * window) as u32 / 2;
+    let mut hist = [0u32; 256];
+    for y in 0..img.height() {
+        for x in 0..img.width() {
             hist.fill(0);
-            for dy in -r..=r {
-                for dx in -r..=r {
-                    let v = img.get_clamped(x as isize + dx, y as isize + dy);
+            for wy in -r..=r {
+                for wx in -r..=r {
+                    let v = img.get_clamped(x as isize + wx, y as isize + wy);
                     hist[v as usize] += 1;
                 }
             }
@@ -134,9 +206,10 @@ fn gray_median_rows(img: &GrayImage, window: usize, first_row: usize, out_rows: 
                     break;
                 }
             }
-            *px = med;
+            out.set(x, y, med);
         }
     }
+    Ok(out)
 }
 
 /// Reusable working storage for [`median_filter_binary_into`].
@@ -146,6 +219,9 @@ fn gray_median_rows(img: &GrayImage, window: usize, first_row: usize, out_rows: 
 #[derive(Debug, Clone, Default)]
 pub struct FilterScratch {
     integral: Option<IntegralImage>,
+    /// Per-column set-pixel counts over the current window's row range
+    /// (the sliding state of [`median_filter_binary_into`]).
+    col_ones: Vec<u32>,
 }
 
 impl FilterScratch {
@@ -184,20 +260,74 @@ pub fn median_filter_binary_into(
     scratch: &mut FilterScratch,
 ) -> Result<(), ImagingError> {
     check_window(window)?;
-    let r = (window / 2) as isize;
-    let ii =
-        match scratch.integral.as_mut() {
-            Some(ii) => {
-                ii.rebuild_from_fn(img.width(), img.height(), |x, y| img.get(x, y) as u64);
-                ii
+    let (w, h) = (img.width(), img.height());
+    out.reset(w, h);
+    // Sliding column counts instead of a full integral-image rebuild:
+    // `col_ones[x]` holds the set pixels of column x within the window's
+    // clipped row range, updated by one added/removed row per scanline;
+    // the window sum then slides across x the same way. The counts are
+    // exact integers over the same clipped rectangle the integral image
+    // summed, so the majority votes are identical.
+    let r = window / 2;
+    let half = (window * window) as u64 / 2;
+    scratch.col_ones.resize(w, 0);
+    let col_ones = &mut scratch.col_ones;
+    col_ones.fill(0);
+    let y_top = r.min(h - 1);
+    for row in 0..=y_top {
+        for (x, c) in col_ones.iter_mut().enumerate() {
+            *c += img.get(x, row) as u32;
+        }
+    }
+    for y in 0..h {
+        if y > 0 {
+            if y + r < h {
+                let row = y + r;
+                for (x, c) in col_ones.iter_mut().enumerate() {
+                    *c += img.get(x, row) as u32;
+                }
             }
-            None => scratch.integral.insert(IntegralImage::from_fn(
-                img.width(),
-                img.height(),
-                |x, y| img.get(x, y) as u64,
-            )),
-        };
-    out.reset(img.width(), img.height());
+            if y > r {
+                let row = y - r - 1;
+                for (x, c) in col_ones.iter_mut().enumerate() {
+                    *c -= img.get(x, row) as u32;
+                }
+            }
+        }
+        let mut ones: u64 = col_ones[..=r.min(w - 1)].iter().map(|&c| c as u64).sum();
+        for x in 0..w {
+            if x > 0 {
+                if x + r < w {
+                    ones += col_ones[x + r] as u64;
+                }
+                if x > r {
+                    ones -= col_ones[x - r - 1] as u64;
+                }
+            }
+            if ones > half {
+                out.set(x, y, true);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reference binary median: integral-image rebuild plus a per-pixel
+/// `rect_sum` majority vote. The oracle the sliding-count fast path in
+/// [`median_filter_binary_into`] is property-tested against, and the
+/// "before" timing in `slj bench`'s per-kernel section.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero.
+pub fn median_filter_binary_reference(
+    img: &BinaryImage,
+    window: usize,
+) -> Result<BinaryImage, ImagingError> {
+    check_window(window)?;
+    let r = (window / 2) as isize;
+    let ii = IntegralImage::from_fn(img.width(), img.height(), |x, y| img.get(x, y) as u64);
+    let mut out = BinaryImage::new(img.width(), img.height());
     let half = (window * window) as u64 / 2;
     for y in 0..img.height() {
         for x in 0..img.width() {
@@ -208,7 +338,7 @@ pub fn median_filter_binary_into(
             }
         }
     }
-    Ok(())
+    Ok(out)
 }
 
 /// Row-parallel variant of [`median_filter_binary_into`].
@@ -512,6 +642,59 @@ mod tests {
                 let expected = median_filter_binary(&img, window).unwrap();
                 median_filter_binary_par_into(&img, window, &mut out, &mut scratch, &pool).unwrap();
                 assert_eq!(out, expected, "threads {threads} window {window}");
+            }
+        }
+    }
+
+    /// Deterministic LCG for randomized equivalence tests.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn gray_median_matches_reference_on_random_images() {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for (w, h) in [(1, 1), (5, 1), (1, 7), (8, 8), (13, 11), (31, 17)] {
+            let img = GrayImage::from_fn(w, h, |_, _| lcg(&mut state) as u8);
+            let mut out = GrayImage::new(1, 1);
+            for window in [1, 3, 5, 9] {
+                let expected = median_filter_gray_reference(&img, window).unwrap();
+                median_filter_gray_into(&img, window, &mut out).unwrap();
+                assert_eq!(out, expected, "{w}x{h} window {window}");
+                for threads in [1, 8] {
+                    let pool = ThreadPool::fixed(threads);
+                    median_filter_gray_par_into(&img, window, &mut out, &pool).unwrap();
+                    assert_eq!(out, expected, "{w}x{h} window {window} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_median_matches_reference_on_random_masks() {
+        let mut state = 0x1319_8A2E_0370_7344u64;
+        for (w, h) in [(1, 1), (9, 1), (1, 9), (17, 9), (64, 3), (67, 13)] {
+            let mut img = BinaryImage::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    img.set(x, y, lcg(&mut state) % 3 == 0);
+                }
+            }
+            let mut out = BinaryImage::new(1, 1);
+            let mut scratch = FilterScratch::new();
+            for window in [1, 3, 5, 9] {
+                let expected = median_filter_binary_reference(&img, window).unwrap();
+                median_filter_binary_into(&img, window, &mut out, &mut scratch).unwrap();
+                assert_eq!(out, expected, "{w}x{h} window {window}");
+                for threads in [1, 8] {
+                    let pool = ThreadPool::fixed(threads);
+                    median_filter_binary_par_into(&img, window, &mut out, &mut scratch, &pool)
+                        .unwrap();
+                    assert_eq!(out, expected, "{w}x{h} window {window} threads {threads}");
+                }
             }
         }
     }

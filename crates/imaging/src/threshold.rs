@@ -27,6 +27,15 @@ impl Histogram {
         }
     }
 
+    /// Builds a histogram from raw bin counts (total = sum of bins).
+    ///
+    /// Lets fused pipelines histogram values as they produce them instead
+    /// of materialising an intermediate image just to rescan it.
+    pub fn from_bins(bins: [u32; 256]) -> Self {
+        let total = bins.iter().sum();
+        Histogram { bins, total }
+    }
+
     /// Count in bin `v`.
     pub fn count(&self, v: u8) -> u32 {
         self.bins[v as usize]
@@ -55,7 +64,15 @@ impl Histogram {
 /// assert!(t >= 10 && t < 200);
 /// ```
 pub fn otsu_threshold(img: &GrayImage) -> u8 {
-    let hist = Histogram::of(img);
+    otsu_from_histogram(&Histogram::of(img))
+}
+
+/// Computes Otsu's threshold directly from a histogram.
+///
+/// `otsu_threshold` is this plus a `Histogram::of` pass; callers that
+/// already hold the histogram (e.g. the fused background-subtraction
+/// path) skip the image scan.
+pub fn otsu_from_histogram(hist: &Histogram) -> u8 {
     let total = hist.total() as f64;
     let global_sum: f64 = (0..256)
         .map(|v| v as f64 * hist.count(v as u8) as f64)
@@ -124,6 +141,18 @@ mod tests {
         let mask =
             crate::binary::BinaryImage::from_gray_threshold(&img.map(|v| v), t.saturating_add(1));
         assert_eq!(mask.count_ones(), 6 * 12);
+    }
+
+    #[test]
+    fn histogram_route_matches_image_route() {
+        let img = GrayImage::from_fn(33, 21, |x, y| ((x * 31 + y * 57 + x * y) % 256) as u8);
+        let mut bins = [0u32; 256];
+        for &v in img.iter() {
+            bins[v as usize] += 1;
+        }
+        let hist = Histogram::from_bins(bins);
+        assert_eq!(hist, Histogram::of(&img));
+        assert_eq!(otsu_from_histogram(&hist), otsu_threshold(&img));
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub struct ThinningOutcome {
 }
 
 /// Reusable working storage for the `_into` thinning variants: the
-/// deletion list shared by both sub-iterations.
+/// deletion list shared by both Guo-Hall sub-iterations plus the
+/// row-aligned word buffers of the bit-parallel Zhang-Suen path.
 ///
 /// Holding one of these across frames means per-frame thinning does no
 /// buffer allocation in steady state (the skeleton is written into a
@@ -33,6 +34,11 @@ pub struct ThinningOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct ThinningScratch {
     to_remove: Vec<(usize, usize)>,
+    /// Row-aligned packed image: `ceil(width/64)` words per row, tail
+    /// bits beyond `width` kept clear.
+    rows: Vec<u64>,
+    /// Per-sub-iteration deletion mask, same layout as `rows`.
+    del: Vec<u64>,
 }
 
 impl ThinningScratch {
@@ -66,24 +72,221 @@ pub fn zhang_suen_with_stats(mask: &BinaryImage) -> ThinningOutcome {
     }
 }
 
+/// Zhang-Suen deletion lookup table: bit `k` of the index is neighbour
+/// `P(2+k)` in the order N, NE, E, SE, S, SW, W, NW (= P2..P9). Entry
+/// bit 0 marks the neighbourhood deletable in sub-iteration 0, bit 1 in
+/// sub-iteration 1 — the `B(P1)`, `A(P1)`, and directional conditions
+/// evaluated once per possible neighbourhood instead of per pixel.
+const fn zs_deletion_lut() -> [u8; 256] {
+    let mut lut = [0u8; 256];
+    let mut code = 0usize;
+    while code < 256 {
+        let b = (code as u32).count_ones();
+        // A(P1): 0→1 transitions in the circular sequence P2..P9,P2.
+        let mut a = 0u32;
+        let mut k = 0usize;
+        while k < 8 {
+            if (code >> k) & 1 == 0 && (code >> ((k + 1) % 8)) & 1 == 1 {
+                a += 1;
+            }
+            k += 1;
+        }
+        if b >= 2 && b <= 6 && a == 1 {
+            let p2 = code & 0b0000_0001 != 0;
+            let p4 = code & 0b0000_0100 != 0;
+            let p6 = code & 0b0001_0000 != 0;
+            let p8 = code & 0b0100_0000 != 0;
+            // Sub 0: P2*P4*P6 == 0 and P4*P6*P8 == 0.
+            if !(p2 && p4 && p6) && !(p4 && p6 && p8) {
+                lut[code] |= 1;
+            }
+            // Sub 1: P2*P4*P8 == 0 and P2*P6*P8 == 0.
+            if !(p2 && p4 && p8) && !(p2 && p6 && p8) {
+                lut[code] |= 2;
+            }
+        }
+        code += 1;
+    }
+    lut
+}
+
+static ZS_LUT: [u8; 256] = zs_deletion_lut();
+
 /// In-place variant of [`zhang_suen_with_stats`]: copies `mask` into `out`
-/// and thins it there, reusing the deletion list in `scratch`. Returns
-/// `(passes, removed)`. Bit-identical to the allocating version.
+/// and thins it there, reusing the word buffers in `scratch`. Returns
+/// `(passes, removed)`. Bit-identical to the allocating version and to
+/// the scalar reference [`zhang_suen_reference`].
+///
+/// Bit-parallel implementation: the mask is repacked into row-aligned
+/// u64 words, each pixel's eight neighbours come from shifted word loads
+/// of the adjacent rows, and deletability is a [`ZS_LUT`] lookup on the
+/// packed 8-bit neighbourhood. Whole background words are skipped, so a
+/// sub-iteration costs O(words) plus O(set pixels) — the per-pass
+/// collect-then-apply semantics and the `(passes, removed)` statistics
+/// are exactly those of the scalar algorithm.
 pub fn zhang_suen_into(
     mask: &BinaryImage,
     out: &mut BinaryImage,
     scratch: &mut ThinningScratch,
 ) -> (usize, usize) {
     out.copy_from(mask);
-    let img = out;
-    let (w, h) = img.dimensions();
+    let (w, h) = out.dimensions();
+    let wpr = w.div_ceil(64);
+    let nwords = wpr * h;
+    scratch.rows.resize(nwords, 0);
+    scratch.del.resize(nwords, 0);
+    let rows = &mut scratch.rows;
+    let del = &mut scratch.del;
+    // Repack the continuous bit layout (bit i = y*w + x) into row-aligned
+    // words, clearing the tail bits beyond `w` so shifted loads read the
+    // out-of-bounds border as background.
+    let src = out.words();
+    let tail_mask = if w % 64 == 0 {
+        !0u64
+    } else {
+        (1u64 << (w % 64)) - 1
+    };
+    for y in 0..h {
+        for j in 0..wpr {
+            let bit = y * w + j * 64;
+            let (k, s) = (bit / 64, bit % 64);
+            let mut v = src[k] >> s;
+            if s != 0 && k + 1 < src.len() {
+                v |= src[k + 1] << (64 - s);
+            }
+            if j == wpr - 1 {
+                v &= tail_mask;
+            }
+            rows[y * wpr + j] = v;
+        }
+    }
     let mut passes = 0usize;
     let mut removed_total = 0usize;
-    let to_remove = &mut scratch.to_remove;
     loop {
         let mut changed = false;
         // Two sub-iterations per pass; they differ only in the pair of
         // "directional" conditions, which alternate the peeling side.
+        for sub in 0..2 {
+            let want = 1u8 << sub;
+            for y in 0..h {
+                let base = y * wpr;
+                for j in 0..wpr {
+                    let cur = rows[base + j];
+                    if cur == 0 {
+                        del[base + j] = 0;
+                        continue;
+                    }
+                    let has_up = y > 0;
+                    let has_dn = y + 1 < h;
+                    let has_l = j > 0;
+                    let has_r = j + 1 < wpr;
+                    let u_c = if has_up { rows[base - wpr + j] } else { 0 };
+                    let u_l = if has_up && has_l {
+                        rows[base - wpr + j - 1]
+                    } else {
+                        0
+                    };
+                    let u_r = if has_up && has_r {
+                        rows[base - wpr + j + 1]
+                    } else {
+                        0
+                    };
+                    let c_l = if has_l { rows[base + j - 1] } else { 0 };
+                    let c_r = if has_r { rows[base + j + 1] } else { 0 };
+                    let d_c = if has_dn { rows[base + wpr + j] } else { 0 };
+                    let d_l = if has_dn && has_l {
+                        rows[base + wpr + j - 1]
+                    } else {
+                        0
+                    };
+                    let d_r = if has_dn && has_r {
+                        rows[base + wpr + j + 1]
+                    } else {
+                        0
+                    };
+                    // Neighbour planes: bit b of each word is that
+                    // neighbour of pixel (j*64 + b, y).
+                    let n_ = u_c;
+                    let s_ = d_c;
+                    let w_ = (cur << 1) | (c_l >> 63);
+                    let e_ = (cur >> 1) | (c_r << 63);
+                    let nw = (u_c << 1) | (u_l >> 63);
+                    let ne = (u_c >> 1) | (u_r << 63);
+                    let sw = (d_c << 1) | (d_l >> 63);
+                    let se = (d_c >> 1) | (d_r << 63);
+                    let mut dword = 0u64;
+                    let mut rem = cur;
+                    while rem != 0 {
+                        let b = rem.trailing_zeros();
+                        rem &= rem - 1;
+                        let code = ((n_ >> b) & 1)
+                            | (((ne >> b) & 1) << 1)
+                            | (((e_ >> b) & 1) << 2)
+                            | (((se >> b) & 1) << 3)
+                            | (((s_ >> b) & 1) << 4)
+                            | (((sw >> b) & 1) << 5)
+                            | (((w_ >> b) & 1) << 6)
+                            | (((nw >> b) & 1) << 7);
+                        if ZS_LUT[code as usize] & want != 0 {
+                            dword |= 1u64 << b;
+                        }
+                    }
+                    del[base + j] = dword;
+                }
+            }
+            // Apply the full deletion mask after the scan, exactly like
+            // the scalar collect-then-apply pass.
+            let mut sub_removed = 0usize;
+            for (a, d) in rows.iter_mut().zip(del.iter()) {
+                if *d != 0 {
+                    *a &= !*d;
+                    sub_removed += d.count_ones() as usize;
+                }
+            }
+            if sub_removed > 0 {
+                changed = true;
+                removed_total += sub_removed;
+            }
+        }
+        passes += 1;
+        if !changed {
+            break;
+        }
+    }
+    // Repack row-aligned words back into the continuous layout.
+    let dst = out.words_mut();
+    for wd in dst.iter_mut() {
+        *wd = 0;
+    }
+    for y in 0..h {
+        for j in 0..wpr {
+            let v = rows[y * wpr + j];
+            if v == 0 {
+                continue;
+            }
+            let bit = y * w + j * 64;
+            let (k, s) = (bit / 64, bit % 64);
+            dst[k] |= v << s;
+            if s > 0 && k + 1 < dst.len() {
+                dst[k + 1] |= v >> (64 - s);
+            }
+        }
+    }
+    (passes, removed_total)
+}
+
+/// Reference scalar Zhang-Suen: per-pixel neighbour gathering and
+/// condition evaluation. The oracle the bit-parallel [`zhang_suen_into`]
+/// is property-tested against, and the "before" timing in `slj bench`'s
+/// per-kernel section.
+pub fn zhang_suen_reference(mask: &BinaryImage) -> ThinningOutcome {
+    let mut img = mask.clone();
+    let (w, h) = img.dimensions();
+    let mut passes = 0usize;
+    let mut removed_total = 0usize;
+    let mut to_remove: Vec<(usize, usize)> = Vec::new();
+    loop {
+        let mut changed = false;
         for sub in 0..2 {
             to_remove.clear();
             for y in 0..h {
@@ -127,7 +330,11 @@ pub fn zhang_suen_into(
             break;
         }
     }
-    (passes, removed_total)
+    ThinningOutcome {
+        skeleton: img,
+        passes,
+        removed: removed_total,
+    }
 }
 
 /// Thins `mask` with the Zhang-Suen algorithm until convergence.
@@ -517,6 +724,48 @@ mod tests {
             }
         }
         assert_eq!(zhang_suen(&odd).count_ones(), 1);
+    }
+
+    #[test]
+    fn bit_parallel_matches_scalar_reference_on_random_masks() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for (w, h) in [(1, 1), (3, 3), (64, 5), (65, 7), (40, 40), (130, 9)] {
+            for density in [2u64, 3, 5] {
+                let mut img = BinaryImage::new(w, h);
+                for y in 0..h {
+                    for x in 0..w {
+                        img.set(x, y, lcg() % density != 0);
+                    }
+                }
+                let expected = zhang_suen_reference(&img);
+                let got = zhang_suen_with_stats(&img);
+                assert_eq!(got.skeleton, expected.skeleton, "{w}x{h} d{density}");
+                assert_eq!(got.passes, expected.passes, "{w}x{h} d{density} passes");
+                assert_eq!(got.removed, expected.removed, "{w}x{h} d{density} removed");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_parallel_matches_scalar_reference_on_blobs() {
+        // Shapes with known skeleton structure, spanning word boundaries.
+        let mut img = filled_rect(150, 40, 10, 5, 140, 35);
+        for t in 0..60 {
+            img.set(20 + t, 8 + t / 4, true);
+        }
+        let expected = zhang_suen_reference(&img);
+        let got = zhang_suen_with_stats(&img);
+        assert_eq!(got.skeleton, expected.skeleton);
+        assert_eq!(
+            (got.passes, got.removed),
+            (expected.passes, expected.removed)
+        );
     }
 
     #[test]

@@ -410,11 +410,15 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 /// — independent of `cargo bench`, so CI and the BENCH_*.json records at
 /// the repo root need only the `slj` binary.
 ///
-/// The output is versioned (`"schema": 3`) and every key is always
+/// The output is versioned (`"schema": 5`) and every key is always
 /// present, so downstream consumers can diff records across hosts
-/// without probing for optional fields. Schema 3 adds the traced
+/// without probing for optional fields. Schema 3 added the traced
 /// steady-state streaming cost (`push_frame_traced_ns`,
-/// `trace_overhead_pct`) next to the untraced one.
+/// `trace_overhead_pct`) next to the untraced one; schema 5 adds the
+/// per-kernel before/after attribution (`kernels`: each rewritten
+/// hot-path kernel timed against its retained `_reference`
+/// implementation) and measures `push_frame_ns` as a median of repeated
+/// timing windows instead of one window.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     use slj_repro::core::evaluation::{evaluate_with, EvalReport};
     use slj_repro::obs::{JsonWriter, Tracer};
@@ -468,13 +472,22 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         for frame in &clip.frames[..warmup] {
             session.push_frame(frame).map_err(|e| e.to_string())?;
         }
-        let iters = if quick { 20 } else { 200 };
-        let start = Instant::now();
-        for i in 0..iters {
-            let frame = &clip.frames[warmup + i % (clip.frames.len() - warmup)];
-            session.push_frame(frame).map_err(|e| e.to_string())?;
+        // Median of several timing windows: one long window is at the
+        // mercy of a single scheduler hiccup, which showed up as a
+        // spurious negative "trace overhead" in earlier records.
+        let iters = if quick { 20 } else { 100 };
+        let repeats = if quick { 3 } else { 5 };
+        let mut samples = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let start = Instant::now();
+            for i in 0..iters {
+                let frame = &clip.frames[warmup + i % (clip.frames.len() - warmup)];
+                session.push_frame(frame).map_err(|e| e.to_string())?;
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
         }
-        Ok(start.elapsed().as_nanos() as f64 / iters as f64)
+        samples.sort_by(f64::total_cmp);
+        Ok(samples[repeats / 2])
     };
     let push_frame_ns = measure_push_frame(false)?;
     let push_frame_traced_ns = measure_push_frame(true)?;
@@ -483,6 +496,96 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         "  streaming push_frame steady state: {push_frame_ns:.0} ns/frame \
          ({push_frame_traced_ns:.0} ns traced, {trace_overhead_pct:+.1}% overhead)"
     );
+
+    // Per-kernel before/after attribution: each rewritten hot-path kernel
+    // timed against its retained `_reference` implementation on the same
+    // simulated fixture, median of repeated windows.
+    let kernel_rows: Vec<(&str, f64, f64)> = {
+        use slj_repro::imaging::background::{
+            BackgroundSubtractor, ExtractScratch, ExtractionConfig,
+        };
+        use slj_repro::imaging::binary::BinaryImage;
+        use slj_repro::imaging::filter::{
+            median_filter_binary_into, median_filter_binary_reference, median_filter_gray_into,
+            median_filter_gray_reference, FilterScratch,
+        };
+        use slj_repro::imaging::image::GrayImage;
+        use slj_repro::skeleton::thinning::{
+            zhang_suen_into, zhang_suen_reference, ThinningScratch,
+        };
+
+        let clip = &clips[0];
+        let frame = &clip.frames[clip.frames.len() / 2];
+        let sub = BackgroundSubtractor::new(clip.background.clone(), ExtractionConfig::default())
+            .map_err(|e| e.to_string())?;
+        let gray = sub.foreground_matrix(frame).map_err(|e| e.to_string())?;
+        let mask = sub.extract(frame).map_err(|e| e.to_string())?;
+        let window = 3usize;
+        let mut time_kernel = |f: &mut dyn FnMut()| -> f64 {
+            let (repeats, iters) = if quick { (3, 2) } else { (5, 8) };
+            f(); // warm caches and grow scratch buffers
+            let mut samples = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+            }
+            samples.sort_by(f64::total_cmp);
+            samples[repeats / 2]
+        };
+
+        let mut extract_scratch = ExtractScratch::new();
+        let mut bin_out = BinaryImage::new(1, 1);
+        let extract_old = time_kernel(&mut || {
+            sub.extract_reference_into(frame, &mut bin_out, &mut extract_scratch)
+                .unwrap();
+        });
+        let extract_new = time_kernel(&mut || {
+            sub.extract_into(frame, &mut bin_out, &mut extract_scratch)
+                .unwrap();
+        });
+
+        let mut gray_out = GrayImage::new(1, 1);
+        let gray_old = time_kernel(&mut || {
+            median_filter_gray_reference(&gray, window).unwrap();
+        });
+        let gray_new = time_kernel(&mut || {
+            median_filter_gray_into(&gray, window, &mut gray_out).unwrap();
+        });
+
+        let mut filter_scratch = FilterScratch::new();
+        let binary_old = time_kernel(&mut || {
+            median_filter_binary_reference(&mask, window).unwrap();
+        });
+        let binary_new = time_kernel(&mut || {
+            median_filter_binary_into(&mask, window, &mut bin_out, &mut filter_scratch).unwrap();
+        });
+
+        let smoothed = median_filter_binary_reference(&mask, window).map_err(|e| e.to_string())?;
+        let mut thin_scratch = ThinningScratch::new();
+        let mut thin_out = BinaryImage::new(1, 1);
+        let thin_old = time_kernel(&mut || {
+            zhang_suen_reference(&smoothed);
+        });
+        let thin_new = time_kernel(&mut || {
+            zhang_suen_into(&smoothed, &mut thin_out, &mut thin_scratch);
+        });
+
+        vec![
+            ("bg_extract", extract_old, extract_new),
+            ("median_gray", gray_old, gray_new),
+            ("median_binary", binary_old, binary_new),
+            ("thinning", thin_old, thin_new),
+        ]
+    };
+    for (name, old_ns, new_ns) in &kernel_rows {
+        eprintln!(
+            "  kernel {name}: {old_ns:.0} ns -> {new_ns:.0} ns (x{:.2})",
+            old_ns / new_ns
+        );
+    }
 
     // Clip-set evaluation at several pool sizes; best-of-reps wall time.
     let reports_equal = |a: &EvalReport, b: &EvalReport| -> bool {
@@ -541,11 +644,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     eprintln!("  parity: parallel reports bit-identical to serial");
 
-    // Schema 3: every key below is always present, in this order.
+    // Schema 5: every key below is always present, in this order.
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.u64(3);
+    w.u64(5);
     w.key("quick");
     w.bool(quick);
     w.key("seed");
@@ -562,6 +665,21 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     w.f64(push_frame_traced_ns);
     w.key("trace_overhead_pct");
     w.f64(trace_overhead_pct);
+    w.key("kernels");
+    w.begin_array();
+    for (name, old_ns, new_ns) in &kernel_rows {
+        w.begin_object();
+        w.key("name");
+        w.string(name);
+        w.key("old_ns");
+        w.f64(*old_ns);
+        w.key("new_ns");
+        w.f64(*new_ns);
+        w.key("speedup");
+        w.f64(old_ns / new_ns);
+        w.end_object();
+    }
+    w.end_array();
     w.key("evaluate");
     w.begin_array();
     for (label, workers, wall_ms, speedup) in &eval_rows {

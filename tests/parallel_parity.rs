@@ -234,6 +234,70 @@ fn tracing_enabled_is_bit_identical_to_disabled() {
     }
 }
 
+/// The rewritten hot-path kernels (sliding-histogram medians,
+/// bit-parallel thinning, fused extraction) against the retained
+/// `_reference` implementations on real simulator fixtures — the
+/// integration-level half of the kernel parity claim (the in-crate unit
+/// tests cover randomized inputs).
+#[test]
+fn rewritten_kernels_match_reference_implementations() {
+    use slj_repro::imaging::filter::{
+        median_filter_binary_into, median_filter_binary_reference, median_filter_gray_reference,
+    };
+    use slj_repro::skeleton::thinning::{zhang_suen_into, zhang_suen_reference, ThinningScratch};
+
+    let sim = JumpSimulator::new(909);
+    let clips = test_clips(&sim);
+    for (i, clip) in clips.iter().enumerate() {
+        let mask = clip.truth[clip.len() / 2].silhouette.clone();
+        let gray = mask.to_gray();
+        let frame = &clip.frames[clip.len() / 2];
+        let sub = BackgroundSubtractor::new(
+            clip.background.clone(),
+            PipelineConfig::default().extraction,
+        )
+        .expect("subtractor");
+        let mut fscratch = FilterScratch::new();
+        let mut escratch = ExtractScratch::new();
+        let mut tscratch = ThinningScratch::new();
+        let mut bin_out = BinaryImage::new(1, 1);
+
+        for window in [3usize, 5] {
+            // Gray median: sliding histogram vs per-pixel rebuild.
+            assert_eq!(
+                median_filter_gray(&gray, window).expect("gray median"),
+                median_filter_gray_reference(&gray, window).expect("gray reference"),
+                "clip {i} window {window}: gray median"
+            );
+            // Binary median: sliding counts vs integral image.
+            median_filter_binary_into(&mask, window, &mut bin_out, &mut fscratch)
+                .expect("binary median");
+            assert_eq!(
+                bin_out,
+                median_filter_binary_reference(&mask, window).expect("binary reference"),
+                "clip {i} window {window}: binary median"
+            );
+        }
+
+        // Thinning: bit-parallel vs scalar, including pass/removal stats.
+        let smoothed = median_filter_binary(&mask, 3).expect("median");
+        let reference = zhang_suen_reference(&smoothed);
+        let mut thin_out = BinaryImage::new(1, 1);
+        let (passes, removed) = zhang_suen_into(&smoothed, &mut thin_out, &mut tscratch);
+        assert_eq!(thin_out, reference.skeleton, "clip {i}: thinning skeleton");
+        assert_eq!(passes, reference.passes, "clip {i}: thinning passes");
+        assert_eq!(removed, reference.removed, "clip {i}: thinning removals");
+
+        // Fused extraction vs the unfused reference pipeline.
+        sub.extract_into(frame, &mut bin_out, &mut escratch)
+            .expect("extract");
+        let mut reference_mask = BinaryImage::new(1, 1);
+        sub.extract_reference_into(frame, &mut reference_mask, &mut escratch)
+            .expect("extract reference");
+        assert_eq!(bin_out, reference_mask, "clip {i}: fused extraction");
+    }
+}
+
 #[test]
 fn imaging_kernels_are_bit_identical_across_thread_counts() {
     let sim = JumpSimulator::new(909);
