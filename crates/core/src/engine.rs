@@ -60,6 +60,7 @@ use slj_imaging::image::RgbImage;
 use slj_imaging::morphology::Connectivity;
 use slj_imaging::region::{largest_component_into, LabelScratch};
 use slj_obs::{Counter, Histogram, Registry, Stopwatch, Tracer, Value};
+use slj_quality::{ClipAnalyzer, PartLayout, QualityConfig, QualityReport};
 use slj_skeleton::features::FeatureCodec;
 use slj_skeleton::graph::GraphScratch;
 use slj_skeleton::keypoints::KeypointExtractor;
@@ -418,6 +419,8 @@ pub struct FrontEnd {
     slots: FrameSlots,
     timings: StageTimings,
     metrics: Option<EngineMetrics>,
+    quality: Option<ClipAnalyzer>,
+    last_quality: u32,
 }
 
 /// Metric handles for one front end (see [`FrontEnd::attach_metrics`]).
@@ -477,6 +480,8 @@ impl FrontEnd {
             slots: FrameSlots::new(),
             timings: StageTimings::default(),
             metrics: None,
+            quality: None,
+            last_quality: 0,
         }
     }
 
@@ -494,6 +499,28 @@ impl FrontEnd {
             total_ns: registry.histogram("engine.frame.total_ns"),
             pipeline_ns,
         });
+    }
+
+    /// Scores every subsequent pass with the quality analyzer: the
+    /// silhouette-health and key-point signals of [`slj_quality`]
+    /// (a bare front end has no classifier, so decision signals stay
+    /// unset). Like [`FrontEnd::attach_metrics`], observation never
+    /// changes outputs. See [`FrontEnd::quality_report`].
+    pub fn attach_quality(&mut self, config: QualityConfig) {
+        self.quality = Some(ClipAnalyzer::new(config, PartLayout::canonical_five()));
+        self.last_quality = 0;
+    }
+
+    /// The quality flag mask of the most recent pass, or `None` when no
+    /// analyzer is attached.
+    pub fn last_quality_flags(&self) -> Option<u32> {
+        self.quality.as_ref().map(|_| self.last_quality)
+    }
+
+    /// The clip-so-far quality report, or `None` when no analyzer is
+    /// attached.
+    pub fn quality_report(&self) -> Option<QualityReport> {
+        self.quality.as_ref().map(ClipAnalyzer::report)
     }
 
     /// Stage names in execution order.
@@ -527,6 +554,10 @@ impl FrontEnd {
             for ((_, elapsed), hist) in self.timings.iter().zip(&metrics.pipeline_ns) {
                 hist.record_duration(elapsed);
             }
+        }
+        if let Some(analyzer) = &mut self.quality {
+            let signals = crate::quality::frame_signals(&self.slots, None);
+            self.last_quality = analyzer.observe(&signals);
         }
         Ok(())
     }
@@ -602,6 +633,8 @@ pub struct JumpSession<'m> {
     timings: StageTimings,
     tracer: Tracer,
     dbn_ns: Option<Histogram>,
+    quality: Option<ClipAnalyzer>,
+    last_quality: u32,
 }
 
 impl<'m> JumpSession<'m> {
@@ -627,6 +660,8 @@ impl<'m> JumpSession<'m> {
             timings: StageTimings::default(),
             tracer: Tracer::disabled(),
             dbn_ns: None,
+            quality: None,
+            last_quality: 0,
         }
     }
 
@@ -637,6 +672,32 @@ impl<'m> JumpSession<'m> {
         self.front_end.attach_metrics(registry);
         self.classifier.attach_metrics(registry);
         self.dbn_ns = Some(registry.histogram(&format!("engine.pipeline.{DBN_STAGE}.ns")));
+    }
+
+    /// Scores every subsequent frame with the quality analyzer — the
+    /// full signal set: `Th_Pose` margin runs and carry-forward streaks
+    /// from the decision records, silhouette health, and key-point
+    /// constraints resolved through the model taxonomy's part layout.
+    /// Like [`JumpSession::attach_metrics`], observation never changes
+    /// estimates. Read back per frame via
+    /// [`JumpSession::last_quality_flags`] and per clip via
+    /// [`JumpSession::quality_report`].
+    pub fn attach_quality(&mut self, config: QualityConfig) {
+        let layout = crate::quality::part_layout(self.taxonomy());
+        self.quality = Some(ClipAnalyzer::new(config, layout));
+        self.last_quality = 0;
+    }
+
+    /// The quality flag mask of the most recent frame (bits per
+    /// [`slj_quality::Reason`]), or `None` when no analyzer is attached.
+    pub fn last_quality_flags(&self) -> Option<u32> {
+        self.quality.as_ref().map(|_| self.last_quality)
+    }
+
+    /// The clip-so-far quality report, or `None` when no analyzer is
+    /// attached.
+    pub fn quality_report(&self) -> Option<QualityReport> {
+        self.quality.as_ref().map(ClipAnalyzer::report)
     }
 
     /// Emits one `frame.decision` trace event per frame into `tracer`
@@ -681,6 +742,11 @@ impl<'m> JumpSession<'m> {
         self.timings.push(DBN_STAGE, dbn_elapsed);
         if let Some(hist) = &self.dbn_ns {
             hist.record_duration(dbn_elapsed);
+        }
+        if let Some(analyzer) = &mut self.quality {
+            let decision = self.classifier.last_decision();
+            let signals = crate::quality::frame_signals(self.front_end.slots(), decision.as_ref());
+            self.last_quality = analyzer.observe(&signals);
         }
         if self.tracer.enabled() {
             if let Some(d) = self.classifier.last_decision() {
@@ -727,13 +793,16 @@ impl<'m> JumpSession<'m> {
             .classifier
             .last_decision()
             .expect("frames_processed > 0 implies a decision");
-        crate::trace::FrameRecord::new(
+        let mut record = crate::trace::FrameRecord::new(
             self.frames_processed as u64 - 1,
             &self.timings,
             estimate,
             &decision,
             self.classifier.taxonomy(),
-        )
+        );
+        record.foreground_px = Some(self.front_end.slots().silhouette.count_ones() as u64);
+        record.quality_flags = self.last_quality_flags();
+        record
     }
 
     /// Per-stage timings of the most recent frame: the front-end stages

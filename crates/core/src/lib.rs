@@ -55,6 +55,7 @@ pub mod evaluation;
 pub mod model;
 pub mod model_io;
 pub mod pipeline;
+pub mod quality;
 pub mod scoring;
 pub mod trace;
 pub mod training;

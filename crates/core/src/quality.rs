@@ -1,0 +1,102 @@
+//! Glue between the engine and the `slj-quality` diagnostics crate:
+//! adapts the artifacts a pass already produces ([`FrameSlots`],
+//! [`Decision`]) into the plain [`FrameSignals`] the analyzer consumes,
+//! and resolves the taxonomy's part layout.
+//!
+//! Lives here rather than in `slj-quality` so the diagnostics crate
+//! stays free of pipeline types — it sees numbers, the engine decides
+//! where the numbers come from.
+
+use crate::engine::FrameSlots;
+use crate::model::Decision;
+use slj_quality::{DecisionSignals, FrameSignals, PartLayout, SilhouetteSignals, MAX_PARTS};
+use slj_taxonomy::Taxonomy;
+
+/// Resolves the part layout the analyzer's skeleton constraints run
+/// over. The engine's key-point extractor fills
+/// [`FrameSignals::parts`] in the paper's canonical order (head, chest,
+/// hand, knee, foot), so a five-part taxonomy gets the vertical-order
+/// anchors; any other part count keeps the generic constraints only.
+pub fn part_layout(taxonomy: &Taxonomy) -> PartLayout {
+    if taxonomy.parts() == 5 {
+        PartLayout::canonical_five()
+    } else {
+        PartLayout::anonymous(taxonomy.parts())
+    }
+}
+
+/// Builds one frame's quality signals from the engine's slots and the
+/// classifier decision (when the DBN ran). Allocation-free.
+pub fn frame_signals(slots: &FrameSlots, decision: Option<&Decision>) -> FrameSignals {
+    let (width, height) = slots.silhouette.dimensions();
+    let mut parts = [None; MAX_PARTS];
+    let kp = &slots.keypoints;
+    parts[0] = kp.head;
+    parts[1] = kp.chest;
+    parts[2] = kp.hand;
+    parts[3] = kp.knee;
+    parts[4] = kp.foot;
+    FrameSignals {
+        decision: decision.map(|d| DecisionSignals {
+            best_prob: d.best_prob,
+            th_margin: d.th_margin,
+            accepted: d.accepted,
+            carry_forward: d.carry_forward,
+        }),
+        silhouette: Some(SilhouetteSignals {
+            foreground: slots.silhouette.count_ones() as u64,
+            width: width as u32,
+            height: height as u32,
+        }),
+        parts,
+        ensemble: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_imaging::binary::BinaryImage;
+
+    #[test]
+    fn default_taxonomy_gets_the_canonical_layout() {
+        let taxonomy = slj_sim::default_taxonomy();
+        let layout = part_layout(&taxonomy);
+        assert_eq!(layout, PartLayout::canonical_five());
+    }
+
+    #[test]
+    fn signals_capture_silhouette_and_keypoints() {
+        let mut slots = FrameSlots::new();
+        slots.silhouette = BinaryImage::from_ascii("##\n#.\n");
+        slots.keypoints.head = Some((1.0, 0.0));
+        slots.keypoints.foot = Some((0.0, 1.0));
+        let signals = frame_signals(&slots, None);
+        let sil = signals.silhouette.expect("silhouette");
+        assert_eq!(sil.foreground, 3);
+        assert_eq!((sil.width, sil.height), (2, 2));
+        assert_eq!(signals.parts[0], Some((1.0, 0.0)));
+        assert_eq!(signals.parts[4], Some((0.0, 1.0)));
+        assert_eq!(signals.parts[1], None);
+        assert!(signals.decision.is_none());
+    }
+
+    #[test]
+    fn decision_fields_map_across() {
+        let slots = FrameSlots::new();
+        let decision = Decision {
+            best_pose: 3,
+            best_prob: 0.7,
+            accepted: false,
+            majority_exempt: false,
+            th_margin: -0.1,
+            carry_forward: true,
+        };
+        let signals = frame_signals(&slots, Some(&decision));
+        let d = signals.decision.expect("decision");
+        assert_eq!(d.best_prob, 0.7);
+        assert_eq!(d.th_margin, -0.1);
+        assert!(!d.accepted);
+        assert!(d.carry_forward);
+    }
+}

@@ -28,7 +28,12 @@ use slj_taxonomy::Taxonomy;
 ///
 /// Version 2 renamed the pipeline timing key from `stage_ns` to
 /// `pipeline_ns` — `stage` now always means a taxonomy jumping stage.
-pub const TRACE_SCHEMA_VERSION: u64 = 2;
+/// Version 3 added the quality fields: `foreground_px` (silhouette
+/// foreground pixel count, `null` when the record was built without an
+/// engine pass) and `quality_flags` (the frame's quality reason codes,
+/// `null` when no analyzer was attached — distinct from `[]`, a scored
+/// clean frame).
+pub const TRACE_SCHEMA_VERSION: u64 = 3;
 
 /// One frame's decision trace: timings, posterior and decision rule.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +67,11 @@ pub struct FrameRecord {
     pub stage: String,
     /// Posterior over the jumping stages.
     pub stage_posterior: Vec<f64>,
+    /// Foreground pixels in the frame's cleaned silhouette, when known.
+    pub foreground_px: Option<u64>,
+    /// Quality flag mask of the frame (bits per
+    /// [`slj_quality::Reason`]), or `None` when no analyzer scored it.
+    pub quality_flags: Option<u32>,
 }
 
 impl FrameRecord {
@@ -98,6 +108,8 @@ impl FrameRecord {
             carry_forward: decision.carry_forward,
             stage: taxonomy.stage_ident(estimate.stage).to_string(),
             stage_posterior: estimate.stage_posterior.clone(),
+            foreground_px: None,
+            quality_flags: None,
         }
     }
 
@@ -157,6 +169,22 @@ impl FrameRecord {
             w.f64(*p);
         }
         w.end_array();
+        w.key("foreground_px");
+        match self.foreground_px {
+            Some(px) => w.u64(px),
+            None => w.null(),
+        }
+        w.key("quality_flags");
+        match self.quality_flags {
+            Some(mask) => {
+                w.begin_array();
+                for reason in slj_quality::Reason::decode(mask) {
+                    w.string(reason.code());
+                }
+                w.end_array();
+            }
+            None => w.null(),
+        }
         w.end_object();
         w.finish()
     }
@@ -208,7 +236,7 @@ mod tests {
         let json = record.to_json();
         assert!(!json.contains('\n'));
         for key in [
-            "\"schema\":2",
+            "\"schema\":3",
             "\"clip\":7",
             "\"frame\":3",
             "\"pipeline_ns\":{\"background_subtraction\":1200,\"dbn_step\":800}",
@@ -217,9 +245,29 @@ mod tests {
             "\"unknown_reason\":\"below_th_pose\"",
             "\"carry_forward\":true",
             "\"stage\":\"Jumping\"",
+            "\"foreground_px\":null",
+            "\"quality_flags\":null",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn quality_fields_serialise_when_present() {
+        let mut record = sample_record();
+        record.foreground_px = Some(420);
+        record.quality_flags = Some(
+            slj_quality::Reason::TemporalJump.bit() | slj_quality::Reason::SilhouetteSpike.bit(),
+        );
+        let json = record.to_json();
+        assert!(json.contains("\"foreground_px\":420"), "{json}");
+        assert!(
+            json.contains("\"quality_flags\":[\"temporal_jump\",\"silhouette_spike\"]"),
+            "{json}"
+        );
+        // A scored clean frame is [], not null.
+        record.quality_flags = Some(0);
+        assert!(record.to_json().contains("\"quality_flags\":[]"));
     }
 
     #[test]

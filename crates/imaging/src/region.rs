@@ -116,8 +116,10 @@ pub fn largest_component_or_empty(img: &BinaryImage, conn: Connectivity) -> Bina
     largest_component(img, conn).unwrap_or_else(|| BinaryImage::new(img.width(), img.height()))
 }
 
-/// Reusable working storage for [`largest_component_into`]: the label map,
-/// the BFS queue and the per-component area table.
+/// Reusable working storage for [`largest_component_into`]: the row-bit
+/// buffer, run table and union-find forest of the run-based labeller,
+/// plus the label map, BFS queue and area table of the retained
+/// pixel-BFS reference.
 ///
 /// Holding one of these across frames means per-frame component labelling
 /// does no buffer allocation in steady state.
@@ -126,6 +128,9 @@ pub struct LabelScratch {
     labels: Vec<u32>,
     queue: VecDeque<usize>,
     areas: Vec<usize>,
+    row: Vec<u64>,
+    runs: Vec<(u32, u32, u32)>,
+    parent: Vec<u32>,
 }
 
 impl LabelScratch {
@@ -135,12 +140,184 @@ impl LabelScratch {
     }
 }
 
+/// Union-find root lookup with path halving.
+fn find(parent: &mut [u32], mut i: u32) -> u32 {
+    while parent[i as usize] != i {
+        parent[i as usize] = parent[parent[i as usize] as usize];
+        i = parent[i as usize];
+    }
+    i
+}
+
+/// Unites two run labels, keeping the smaller root. Roots therefore stay
+/// the minimum label of their component, which is what preserves the
+/// reference's earlier-component-wins tie-break (labels are assigned in
+/// row-major run order, so a component's minimum label orders exactly
+/// like its first pixel in a row-major scan).
+fn union(parent: &mut [u32], a: u32, b: u32) {
+    let ra = find(parent, a);
+    let rb = find(parent, b);
+    if ra != rb {
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        parent[hi as usize] = lo;
+    }
+}
+
 /// In-place variant of [`largest_component_or_empty`]: writes the largest
 /// component (or an all-clear mask when there is none) into `out`, reusing
 /// the labelling storage in `scratch`. Returns `true` when a component was
 /// found. Bit-identical to the allocating version, including the
 /// earlier-component tie-break.
+///
+/// Runs a run-based union-find labeller over the mask's backing words
+/// instead of a per-pixel BFS: each row is decoded into maximal
+/// horizontal runs with word-level bit scans, runs are united with the
+/// overlapping runs of the previous row, and the winning component is
+/// written back with word-level fills. The retained pixel-BFS oracle is
+/// [`largest_component_into_reference`].
 pub fn largest_component_into(
+    img: &BinaryImage,
+    conn: Connectivity,
+    out: &mut BinaryImage,
+    scratch: &mut LabelScratch,
+) -> bool {
+    let eight = matches!(conn, Connectivity::Eight);
+    let (w, h) = img.dimensions();
+    let words = img.words();
+    let row_words = w.div_ceil(64);
+    scratch.row.clear();
+    scratch.row.resize(row_words, 0);
+    scratch.runs.clear();
+    scratch.parent.clear();
+
+    // Pass 1: decode rows into runs, uniting each run with the runs it
+    // touches in the previous row. `pad` widens the overlap test by one
+    // pixel for diagonal (8-connected) adjacency.
+    let pad = u32::from(eight);
+    let (mut prev_lo, mut prev_hi) = (0usize, 0usize);
+    for y in 0..h {
+        let start_bit = y * w;
+        for (k, slot) in scratch.row.iter_mut().enumerate() {
+            // Rows are not word-aligned (bit i = y*w + x in one stream),
+            // so each row word is stitched from up to two backing words.
+            let bit = start_bit + k * 64;
+            let (wi, sh) = (bit / 64, bit % 64);
+            let mut v = words[wi] >> sh;
+            if sh != 0 && wi + 1 < words.len() {
+                v |= words[wi + 1] << (64 - sh);
+            }
+            *slot = v;
+        }
+        let used = w - (row_words - 1) * 64;
+        if used < 64 {
+            scratch.row[row_words - 1] &= u64::MAX >> (64 - used);
+        }
+
+        let row_lo = scratch.runs.len();
+        let mut x = 0usize;
+        while x < w {
+            let (wi, sh) = (x / 64, x % 64);
+            let v = scratch.row[wi] >> sh;
+            if v == 0 {
+                x = (wi + 1) * 64;
+                continue;
+            }
+            x += v.trailing_zeros() as usize;
+            let start = x;
+            loop {
+                let (wi, sh) = (x / 64, x % 64);
+                let inv = !(scratch.row[wi] >> sh);
+                if inv == 0 {
+                    // Run continues to the end of this row word.
+                    x = (wi + 1) * 64;
+                    if x >= w {
+                        x = w;
+                        break;
+                    }
+                    continue;
+                }
+                x += inv.trailing_zeros() as usize;
+                if x >= (wi + 1) * 64 && x < w {
+                    // The shift fills the top with zeros, so hitting the
+                    // word boundary only means "check the next word".
+                    continue;
+                }
+                x = x.min(w);
+                break;
+            }
+            let label = scratch.parent.len() as u32;
+            scratch.parent.push(label);
+            scratch.runs.push((start as u32, x as u32, y as u32));
+        }
+        let row_hi = scratch.runs.len();
+
+        let mut pi = prev_lo;
+        for ci in row_lo..row_hi {
+            let (s, e, _) = scratch.runs[ci];
+            // Runs in a row are disjoint and sorted, so a previous-row run
+            // ending before this run can never touch a later one either.
+            while pi < prev_hi && scratch.runs[pi].1 + pad <= s {
+                pi += 1;
+            }
+            let mut pj = pi;
+            while pj < prev_hi && scratch.runs[pj].0 < e + pad {
+                union(&mut scratch.parent, ci as u32, pj as u32);
+                pj += 1;
+            }
+        }
+        (prev_lo, prev_hi) = (row_lo, row_hi);
+    }
+
+    // Component areas accumulate at each root; the strictly-greater scan
+    // over increasing root labels keeps the earliest component on ties.
+    scratch.areas.clear();
+    scratch.areas.resize(scratch.parent.len(), 0);
+    for i in 0..scratch.runs.len() {
+        let (s, e, _) = scratch.runs[i];
+        let root = find(&mut scratch.parent, i as u32);
+        scratch.areas[root as usize] += (e - s) as usize;
+    }
+    out.reset(w, h);
+    let mut best: Option<(usize, u32)> = None;
+    for (r, &area) in scratch.areas.iter().enumerate() {
+        if scratch.parent[r] == r as u32 && best.is_none_or(|(best_area, _)| area > best_area) {
+            best = Some((area, r as u32));
+        }
+    }
+    let Some((_, best_root)) = best else {
+        return false;
+    };
+
+    // Pass 2: word-level fill of the winning component's runs.
+    let out_words = out.words_mut();
+    for i in 0..scratch.runs.len() {
+        if find(&mut scratch.parent, i as u32) != best_root {
+            continue;
+        }
+        let (s, e, y) = scratch.runs[i];
+        let lo = y as usize * w + s as usize;
+        let hi = y as usize * w + e as usize;
+        let (w0, b0) = (lo / 64, lo % 64);
+        let (w1, b1) = (hi / 64, hi % 64);
+        if w0 == w1 {
+            out_words[w0] |= ((1u64 << (b1 - b0)) - 1) << b0;
+        } else {
+            out_words[w0] |= u64::MAX << b0;
+            for word in &mut out_words[w0 + 1..w1] {
+                *word = u64::MAX;
+            }
+            if b1 > 0 {
+                out_words[w1] |= u64::MAX >> (64 - b1);
+            }
+        }
+    }
+    true
+}
+
+/// Retained pixel-BFS oracle for [`largest_component_into`]: labels every
+/// pixel with a breadth-first flood fill and renders the largest
+/// component. Kept as the parity reference for the run-based rewrite.
+pub fn largest_component_into_reference(
     img: &BinaryImage,
     conn: Connectivity,
     out: &mut BinaryImage,
@@ -313,6 +490,49 @@ mod tests {
                 let found = largest_component_into(img, conn, &mut out, &mut scratch);
                 assert_eq!(out, expected, "{conn:?}\n{}", img.to_ascii());
                 assert_eq!(found, largest_component(img, conn).is_some());
+                let found_ref = largest_component_into_reference(img, conn, &mut out, &mut scratch);
+                assert_eq!(out, expected, "reference {conn:?}\n{}", img.to_ascii());
+                assert_eq!(found_ref, found);
+            }
+        }
+    }
+
+    /// Deterministic LCG for randomized equivalence tests.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn run_labelling_matches_reference_on_random_masks() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut out = BinaryImage::new(1, 1);
+        let mut out_ref = BinaryImage::new(1, 1);
+        let mut scratch = LabelScratch::new();
+        for (w, h) in [(1, 1), (64, 1), (65, 3), (17, 9), (130, 2), (40, 30)] {
+            // Sparse masks exercise many small components and area ties;
+            // dense ones exercise runs that span word boundaries.
+            for density in [2u64, 4, 7] {
+                let mut img = BinaryImage::new(w, h);
+                for y in 0..h {
+                    for x in 0..w {
+                        img.set(x, y, lcg(&mut state) % 8 < density);
+                    }
+                }
+                for conn in [Connectivity::Four, Connectivity::Eight] {
+                    let found = largest_component_into(&img, conn, &mut out, &mut scratch);
+                    let found_ref =
+                        largest_component_into_reference(&img, conn, &mut out_ref, &mut scratch);
+                    assert_eq!(found, found_ref, "{w}x{h} density {density} {conn:?}");
+                    assert_eq!(
+                        out,
+                        out_ref,
+                        "{w}x{h} density {density} {conn:?}\n{}",
+                        img.to_ascii()
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,358 @@
+//! The versioned `slj-quality v1` threshold artifact.
+//!
+//! Quality thresholds are deployment policy, not code: how many
+//! below-threshold frames constitute a "run", how much frame-to-frame
+//! motion is plausible, how hard each reason penalises the clip score.
+//! Like the `slj-taxonomy` artifact, the config is a line-oriented text
+//! file with a magic first line, so it diffs cleanly, round-trips
+//! exactly, and can be audited by eye:
+//!
+//! ```text
+//! slj-quality v1
+//! profile default
+//! margin_floor 0
+//! low_run 4
+//! ...
+//! weight temporal_jump 2
+//! ```
+//!
+//! [`QualityConfig::parse`] validates every field (runs are at least 1,
+//! fractions sit in range, weights are non-negative) so a bad artifact is
+//! rejected at load time, not discovered as a nonsense score later.
+
+use crate::{QualityError, Reason};
+
+/// Magic first line of the artifact.
+pub const QUALITY_MAGIC: &str = "slj-quality v1";
+
+/// Thresholds and score weights for the quality analyzer.
+///
+/// `Default` is the shipped profile, tuned so clean simulator clips
+/// carry zero flags (the CI gate depends on that).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityConfig {
+    /// Profile name, for provenance in reports.
+    pub profile: String,
+    /// A frame is low-confidence when its `Th_Pose` margin
+    /// (`best_prob - threshold`) is below this floor.
+    pub margin_floor: f64,
+    /// Consecutive low-confidence frames before the run is flagged.
+    pub low_run: usize,
+    /// Consecutive carry-forward frames before the run is flagged.
+    pub carry_run: usize,
+    /// Consecutive empty silhouettes before the run is flagged.
+    pub empty_run: usize,
+    /// Max plausible per-frame key-point-centroid motion, as a fraction
+    /// of the frame diagonal.
+    pub max_centroid_jump: f64,
+    /// Max plausible per-frame motion of any single key point, as a
+    /// fraction of the frame diagonal.
+    pub max_part_jump: f64,
+    /// Foreground fraction above this is a silhouette spike (lighting
+    /// drift bleeding the background into the foreground).
+    pub max_foreground: f64,
+    /// Frame-over-frame foreground growth (or shrinkage, reciprocal)
+    /// beyond this ratio is a spike.
+    pub spike_ratio: f64,
+    /// Max plausible distance between any two key points, as a fraction
+    /// of the frame diagonal.
+    pub max_part_span: f64,
+    /// Head may sit below the foot by at most this fraction of the frame
+    /// diagonal before it counts as a skeleton inversion.
+    pub max_inversion: f64,
+    /// Posterior spread across the model ensemble above this flags the
+    /// frame.
+    pub ensemble_divergence: f64,
+    /// Per-reason score penalty weights, indexed by [`Reason`] order.
+    /// The clip score is `1 - Σ weight(r) · flagged_frames(r)/frames`,
+    /// clamped to `[0, 1]`.
+    pub weights: [f64; Reason::ALL.len()],
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        QualityConfig {
+            profile: "default".to_string(),
+            margin_floor: 0.0,
+            low_run: 4,
+            carry_run: 4,
+            empty_run: 2,
+            max_centroid_jump: 0.2,
+            max_part_jump: 0.35,
+            max_foreground: 0.4,
+            spike_ratio: 2.0,
+            max_part_span: 0.95,
+            max_inversion: 0.02,
+            ensemble_divergence: 0.35,
+            weights: [2.0; Reason::ALL.len()],
+        }
+    }
+}
+
+impl QualityConfig {
+    /// Weight applied to `reason` in the clip score.
+    pub fn weight(&self, reason: Reason) -> f64 {
+        self.weights[reason as usize]
+    }
+
+    /// Serialises the config as an `slj-quality v1` artifact. Exact
+    /// round trip: `parse(serialize(c)) == c`.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(QUALITY_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("profile {}\n", self.profile));
+        out.push_str(&format!("margin_floor {}\n", self.margin_floor));
+        out.push_str(&format!("low_run {}\n", self.low_run));
+        out.push_str(&format!("carry_run {}\n", self.carry_run));
+        out.push_str(&format!("empty_run {}\n", self.empty_run));
+        out.push_str(&format!("max_centroid_jump {}\n", self.max_centroid_jump));
+        out.push_str(&format!("max_part_jump {}\n", self.max_part_jump));
+        out.push_str(&format!("max_foreground {}\n", self.max_foreground));
+        out.push_str(&format!("spike_ratio {}\n", self.spike_ratio));
+        out.push_str(&format!("max_part_span {}\n", self.max_part_span));
+        out.push_str(&format!("max_inversion {}\n", self.max_inversion));
+        out.push_str(&format!(
+            "ensemble_divergence {}\n",
+            self.ensemble_divergence
+        ));
+        for reason in Reason::ALL {
+            out.push_str(&format!(
+                "weight {} {}\n",
+                reason.code(),
+                self.weight(reason)
+            ));
+        }
+        out
+    }
+
+    /// Parses and validates an `slj-quality v1` artifact.
+    pub fn parse(text: &str) -> Result<QualityConfig, QualityError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim() == QUALITY_MAGIC => {}
+            Some((_, first)) => {
+                return Err(QualityError::Format {
+                    line: 1,
+                    message: format!("expected magic '{QUALITY_MAGIC}', found '{first}'"),
+                })
+            }
+            None => {
+                return Err(QualityError::Format {
+                    line: 0,
+                    message: "empty artifact".to_string(),
+                })
+            }
+        }
+
+        let mut config = QualityConfig::default();
+        let mut seen: Vec<String> = Vec::new();
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts.next().unwrap_or_default();
+            let err = |message: String| QualityError::Format {
+                line: line_no,
+                message,
+            };
+            let mut value = || -> Result<&str, QualityError> {
+                parts
+                    .next()
+                    .ok_or_else(|| err(format!("'{key}' is missing a value")))
+            };
+            match key {
+                "profile" => {
+                    config.profile = value()?.to_string();
+                    seen.push(key.to_string());
+                }
+                "weight" => {
+                    let code = value()?;
+                    let reason = Reason::from_code(code)
+                        .ok_or_else(|| err(format!("unknown reason code '{code}'")))?;
+                    config.weights[reason as usize] = parse_f64(key, value()?, line_no)?;
+                    seen.push(format!("weight {code}"));
+                }
+                "low_run" | "carry_run" | "empty_run" => {
+                    let v = parse_usize(key, value()?, line_no)?;
+                    match key {
+                        "low_run" => config.low_run = v,
+                        "carry_run" => config.carry_run = v,
+                        _ => config.empty_run = v,
+                    }
+                    seen.push(key.to_string());
+                }
+                "margin_floor"
+                | "max_centroid_jump"
+                | "max_part_jump"
+                | "max_foreground"
+                | "spike_ratio"
+                | "max_part_span"
+                | "max_inversion"
+                | "ensemble_divergence" => {
+                    let v = parse_f64(key, value()?, line_no)?;
+                    match key {
+                        "margin_floor" => config.margin_floor = v,
+                        "max_centroid_jump" => config.max_centroid_jump = v,
+                        "max_part_jump" => config.max_part_jump = v,
+                        "max_foreground" => config.max_foreground = v,
+                        "spike_ratio" => config.spike_ratio = v,
+                        "max_part_span" => config.max_part_span = v,
+                        "max_inversion" => config.max_inversion = v,
+                        _ => config.ensemble_divergence = v,
+                    }
+                    seen.push(key.to_string());
+                }
+                other => return Err(err(format!("unknown key '{other}'"))),
+            }
+            if parts.next().is_some() {
+                return Err(QualityError::Format {
+                    line: line_no,
+                    message: format!("trailing tokens after '{key}'"),
+                });
+            }
+        }
+
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != seen.len() {
+            return Err(QualityError::Format {
+                line: 0,
+                message: "duplicate key".to_string(),
+            });
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Range checks shared by [`QualityConfig::parse`] and direct
+    /// construction.
+    pub fn validate(&self) -> Result<(), QualityError> {
+        let fail = |message: String| Err(QualityError::Format { line: 0, message });
+        if self.low_run == 0 || self.carry_run == 0 || self.empty_run == 0 {
+            return fail("run lengths must be at least 1".to_string());
+        }
+        for (name, v) in [
+            ("max_centroid_jump", self.max_centroid_jump),
+            ("max_part_jump", self.max_part_jump),
+            ("max_foreground", self.max_foreground),
+            ("max_part_span", self.max_part_span),
+            ("max_inversion", self.max_inversion),
+            ("ensemble_divergence", self.ensemble_divergence),
+        ] {
+            if !(v > 0.0 && v <= 1.0) {
+                return fail(format!("{name} must be in (0, 1], found {v}"));
+            }
+        }
+        if !(self.spike_ratio > 1.0) {
+            return fail(format!(
+                "spike_ratio must be greater than 1, found {}",
+                self.spike_ratio
+            ));
+        }
+        if !self.margin_floor.is_finite() {
+            return fail("margin_floor must be finite".to_string());
+        }
+        for (reason, w) in Reason::ALL.iter().zip(self.weights) {
+            if !(w.is_finite() && w >= 0.0) {
+                return fail(format!("weight {} must be non-negative, found {w}", reason));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_f64(key: &str, value: &str, line: usize) -> Result<f64, QualityError> {
+    value.parse::<f64>().map_err(|_| QualityError::Format {
+        line,
+        message: format!("'{key}' expects a number, found '{value}'"),
+    })
+}
+
+fn parse_usize(key: &str, value: &str, line: usize) -> Result<usize, QualityError> {
+    value.parse::<usize>().map_err(|_| QualityError::Format {
+        line,
+        message: format!("'{key}' expects a non-negative integer, found '{value}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trips() {
+        let config = QualityConfig::default();
+        let text = config.serialize();
+        assert!(text.starts_with("slj-quality v1\n"));
+        let back = QualityConfig::parse(&text).expect("parse");
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn custom_values_round_trip() {
+        let mut config = QualityConfig {
+            profile: "strict".to_string(),
+            margin_floor: 0.015,
+            low_run: 2,
+            max_centroid_jump: 0.125,
+            ..QualityConfig::default()
+        };
+        config.weights[Reason::TemporalJump as usize] = 3.5;
+        let back = QualityConfig::parse(&config.serialize()).expect("parse");
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = QualityConfig::parse("slj-quality v9\n").expect_err("magic");
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_unknown_key() {
+        let text = format!("{QUALITY_MAGIC}\nbogus 1\n");
+        let err = QualityConfig::parse(&text).expect_err("unknown key");
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_unknown_reason_code() {
+        let text = format!("{QUALITY_MAGIC}\nweight nope 2\n");
+        let err = QualityConfig::parse(&text).expect_err("unknown reason");
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        for bad in [
+            "low_run 0",
+            "max_foreground 1.5",
+            "spike_ratio 0.9",
+            "weight temporal_jump -1",
+            "max_centroid_jump 0",
+        ] {
+            let text = format!("{QUALITY_MAGIC}\n{bad}\n");
+            assert!(QualityConfig::parse(&text).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicates_and_trailing_tokens() {
+        let text = format!("{QUALITY_MAGIC}\nlow_run 2\nlow_run 3\n");
+        assert!(QualityConfig::parse(&text).is_err());
+        let text = format!("{QUALITY_MAGIC}\nlow_run 2 3\n");
+        assert!(QualityConfig::parse(&text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("{QUALITY_MAGIC}\n\n# tuned for lab captures\nlow_run 2\n");
+        let config = QualityConfig::parse(&text).expect("parse");
+        assert_eq!(config.low_run, 2);
+    }
+}

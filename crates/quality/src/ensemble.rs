@@ -1,0 +1,72 @@
+//! Ensemble variance: disagreement across independently trained models.
+//!
+//! When several model files are supplied, each one filters the same clip
+//! and produces a per-frame posterior over poses. Frames where the
+//! ensemble agrees are trustworthy even if any single posterior is
+//! modest; frames where the models *diverge* are exactly where a single
+//! model's confidence is least meaningful. The spread statistic here is
+//! the largest per-pose disagreement — `max_i (max_k p_k[i] − min_k
+//! p_k[i])` over poses `i` and models `k` — which is `0` for perfect
+//! agreement and approaches `1` when two models put full mass on
+//! different poses.
+
+/// Posterior spread across an ensemble of per-model posteriors for one
+/// frame.
+///
+/// Rows of different lengths are truncated to the shortest (a defensive
+/// guard; callers feed same-taxonomy models). Fewer than two posteriors
+/// have no disagreement to measure: the spread is `0`.
+pub fn posterior_spread(posteriors: &[&[f64]]) -> f64 {
+    if posteriors.len() < 2 {
+        return 0.0;
+    }
+    let poses = posteriors.iter().map(|p| p.len()).min().unwrap_or(0);
+    let mut spread = 0.0f64;
+    for i in 0..poses {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in posteriors {
+            let v = p[i];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        spread = spread.max(hi - lo);
+    }
+    spread
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_has_zero_spread() {
+        let a = [0.7, 0.2, 0.1];
+        let b = [0.7, 0.2, 0.1];
+        assert_eq!(posterior_spread(&[&a, &b]), 0.0);
+    }
+
+    #[test]
+    fn single_model_has_zero_spread() {
+        let a = [0.7, 0.2, 0.1];
+        assert_eq!(posterior_spread(&[&a]), 0.0);
+        assert_eq!(posterior_spread(&[]), 0.0);
+    }
+
+    #[test]
+    fn disagreement_measures_largest_gap() {
+        let a = [0.9, 0.1, 0.0];
+        let b = [0.1, 0.9, 0.0];
+        let c = [0.5, 0.5, 0.0];
+        let spread = posterior_spread(&[&a, &b, &c]);
+        assert!((spread - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_use_common_prefix() {
+        let a = [0.5, 0.5];
+        let b = [0.5, 0.1, 0.4];
+        let spread = posterior_spread(&[&a, &b]);
+        assert!((spread - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Pose-quality diagnostics over the artifacts the pipeline already
+//! produces.
+//!
+//! The paper's DBN emits a posterior over poses every frame, but the
+//! posterior alone does not say whether it is *trustworthy*: a clean
+//! studio clip and a garbage upload both come back as a confident-looking
+//! pose sequence. This crate computes per-frame quality signals from the
+//! decision records, silhouettes and key points the engine produces
+//! anyway, and aggregates them into a deterministic per-clip
+//! [`QualityReport`]:
+//!
+//! - **Below-threshold likelihood runs** — consecutive frames whose
+//!   `Th_Pose` margin sits under the configured floor
+//!   ([`Reason::LowLikelihoodRun`]).
+//! - **Carry-forward runs** — consecutive frames where the classifier
+//!   reused the previous pose because the frame was Unknown
+//!   ([`Reason::CarryForwardRun`]).
+//! - **Temporal jumps** — implausible frame-to-frame key-point or
+//!   centroid motion ([`Reason::TemporalJump`]).
+//! - **Skeleton violations** — part-distance constraints over the
+//!   taxonomy's part layout, e.g. the head ending up below the foot
+//!   ([`Reason::SkeletonViolation`]).
+//! - **Silhouette health** — foreground-pixel-count spikes
+//!   ([`Reason::SilhouetteSpike`]) and empty-silhouette streaks
+//!   ([`Reason::EmptySilhouetteRun`]).
+//! - **Ensemble variance** — posterior spread across multiple trained
+//!   models, when supplied ([`Reason::EnsembleDivergence`]).
+//!
+//! All thresholds live in a versioned `slj-quality v1` text artifact
+//! ([`QualityConfig`]), so deployments can tune the gate without a
+//! rebuild. Everything here is deterministic: the same signal stream
+//! produces the same flags and the same `clip_score`, bit for bit,
+//! regardless of thread count — which is what makes the report usable as
+//! a CI statistical regression gate.
+
+pub mod config;
+pub mod ensemble;
+pub mod report;
+pub mod signals;
+
+pub use config::{QualityConfig, QUALITY_MAGIC};
+pub use ensemble::posterior_spread;
+pub use report::QualityReport;
+pub use signals::{
+    ClipAnalyzer, DecisionSignals, FrameSignals, PartLayout, SilhouetteSignals, MAX_PARTS,
+};
+
+use std::fmt;
+
+/// Why a frame was flagged. Each reason owns one bit in the per-frame
+/// flag mask; [`Reason::ALL`] fixes the canonical order used everywhere
+/// (bit positions, report JSON, config weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Reason {
+    /// `Th_Pose` margin below the floor for `low_run`+ consecutive frames.
+    LowLikelihoodRun = 0,
+    /// Carry-forward (Unknown frame) for `carry_run`+ consecutive frames.
+    CarryForwardRun = 1,
+    /// Key-point/centroid delta above the per-frame motion budget.
+    TemporalJump = 2,
+    /// Part-distance constraint violated (inversion or over-span).
+    SkeletonViolation = 3,
+    /// Foreground pixel count spiked frame-over-frame or exceeded the
+    /// plausible fraction of the frame.
+    SilhouetteSpike = 4,
+    /// Empty silhouette for `empty_run`+ consecutive frames.
+    EmptySilhouetteRun = 5,
+    /// Posterior spread across the model ensemble above the threshold.
+    EnsembleDivergence = 6,
+}
+
+impl Reason {
+    /// Every reason, in canonical (bit) order.
+    pub const ALL: [Reason; 7] = [
+        Reason::LowLikelihoodRun,
+        Reason::CarryForwardRun,
+        Reason::TemporalJump,
+        Reason::SkeletonViolation,
+        Reason::SilhouetteSpike,
+        Reason::EmptySilhouetteRun,
+        Reason::EnsembleDivergence,
+    ];
+
+    /// Stable snake_case code used in JSON output and the config artifact.
+    pub fn code(self) -> &'static str {
+        match self {
+            Reason::LowLikelihoodRun => "low_likelihood_run",
+            Reason::CarryForwardRun => "carry_forward_run",
+            Reason::TemporalJump => "temporal_jump",
+            Reason::SkeletonViolation => "skeleton_violation",
+            Reason::SilhouetteSpike => "silhouette_spike",
+            Reason::EmptySilhouetteRun => "empty_silhouette_run",
+            Reason::EnsembleDivergence => "ensemble_divergence",
+        }
+    }
+
+    /// Parses a reason code written by [`Reason::code`].
+    pub fn from_code(code: &str) -> Option<Reason> {
+        Reason::ALL.iter().copied().find(|r| r.code() == code)
+    }
+
+    /// The bit this reason occupies in a frame-flag mask.
+    pub fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// Decodes a frame-flag mask into reasons, canonical order.
+    pub fn decode(mask: u32) -> impl Iterator<Item = Reason> {
+        Reason::ALL.into_iter().filter(move |r| mask & r.bit() != 0)
+    }
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Errors from parsing or validating an `slj-quality` artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QualityError {
+    /// The artifact text is malformed or fails validation.
+    Format {
+        /// 1-based line number (0 when the problem is file-wide).
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for QualityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QualityError::Format { line, message } if *line > 0 => {
+                write!(f, "quality config line {line}: {message}")
+            }
+            QualityError::Format { message, .. } => {
+                write!(f, "quality config: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QualityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_bits_are_distinct_and_ordered() {
+        let mut seen = 0u32;
+        for (i, r) in Reason::ALL.iter().enumerate() {
+            assert_eq!(r.bit(), 1 << i, "{r}");
+            assert_eq!(seen & r.bit(), 0);
+            seen |= r.bit();
+        }
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for r in Reason::ALL {
+            assert_eq!(Reason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(Reason::from_code("nope"), None);
+    }
+
+    #[test]
+    fn decode_lists_set_bits_in_order() {
+        let mask = Reason::TemporalJump.bit() | Reason::EmptySilhouetteRun.bit();
+        let got: Vec<Reason> = Reason::decode(mask).collect();
+        assert_eq!(got, vec![Reason::TemporalJump, Reason::EmptySilhouetteRun]);
+    }
+}

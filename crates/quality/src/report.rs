@@ -1,0 +1,210 @@
+//! The deterministic per-clip [`QualityReport`] and its JSON forms.
+
+use crate::config::QualityConfig;
+use crate::Reason;
+use slj_obs::JsonWriter;
+
+/// Aggregate quality verdict for one clip.
+///
+/// Built by [`crate::ClipAnalyzer::report`]; everything is a pure
+/// function of the observed signal stream and the config, so two runs
+/// over the same clip produce byte-identical JSON regardless of thread
+/// count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Frames observed.
+    pub frames: u32,
+    /// Frames carrying at least one flag.
+    pub flagged_frames: u32,
+    /// Overall confidence in `[0, 1]`: `1` is pristine, `0` is garbage.
+    /// Computed as `1 - Σ weight(r) · reason_frames(r)/frames`, clamped.
+    pub clip_score: f64,
+    /// Per-frame flag masks (bits per [`Reason`]), in frame order.
+    pub frame_flags: Vec<u32>,
+    /// Frames flagged per reason, indexed by [`Reason`] order.
+    pub reason_frames: [u32; Reason::ALL.len()],
+}
+
+impl QualityReport {
+    /// Builds the report from an analyzer's accumulated state.
+    pub(crate) fn from_analysis(
+        config: &QualityConfig,
+        flags: &[u32],
+        reason_frames: [u32; Reason::ALL.len()],
+    ) -> QualityReport {
+        let frames = flags.len() as u32;
+        let flagged_frames = flags.iter().filter(|&&f| f != 0).count() as u32;
+        let clip_score = if frames == 0 {
+            1.0
+        } else {
+            let mut penalty = 0.0f64;
+            for reason in Reason::ALL {
+                penalty +=
+                    config.weight(reason) * reason_frames[reason as usize] as f64 / frames as f64;
+            }
+            (1.0 - penalty).clamp(0.0, 1.0)
+        };
+        QualityReport {
+            frames,
+            flagged_frames,
+            clip_score,
+            frame_flags: flags.to_vec(),
+            reason_frames,
+        }
+    }
+
+    /// Reasons with at least one flagged frame, canonical order.
+    pub fn reasons(&self) -> impl Iterator<Item = (Reason, u32)> + '_ {
+        Reason::ALL
+            .into_iter()
+            .map(|r| (r, self.reason_frames[r as usize]))
+            .filter(|&(_, n)| n > 0)
+    }
+
+    /// Whether no frame carried any flag.
+    pub fn is_clean(&self) -> bool {
+        self.flagged_frames == 0
+    }
+
+    /// Serialises the report body (score, counts, reasons; no per-frame
+    /// flags) into `w` as one JSON object.
+    pub fn write_summary(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("score");
+        w.f64(self.clip_score);
+        w.key("frames");
+        w.u64(self.frames as u64);
+        w.key("flagged_frames");
+        w.u64(self.flagged_frames as u64);
+        w.key("reasons");
+        w.begin_array();
+        for (reason, frames) in self.reasons() {
+            w.begin_object();
+            w.key("code");
+            w.string(reason.code());
+            w.key("frames");
+            w.u64(frames as u64);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// The summary as a standalone JSON string.
+    pub fn summary_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_summary(&mut w);
+        w.finish()
+    }
+
+    /// Full report JSON: the summary plus per-frame reason codes.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("score");
+        w.f64(self.clip_score);
+        w.key("frames");
+        w.u64(self.frames as u64);
+        w.key("flagged_frames");
+        w.u64(self.flagged_frames as u64);
+        w.key("reasons");
+        w.begin_array();
+        for (reason, frames) in self.reasons() {
+            w.begin_object();
+            w.key("code");
+            w.string(reason.code());
+            w.key("frames");
+            w.u64(frames as u64);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("frame_flags");
+        w.begin_array();
+        for &mask in &self.frame_flags {
+            w.begin_array();
+            for reason in Reason::decode(mask) {
+                w.string(reason.code());
+            }
+            w.end_array();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::{ClipAnalyzer, DecisionSignals, FrameSignals, PartLayout};
+
+    fn scored(frames: usize, low_frames: usize) -> QualityReport {
+        let mut a = ClipAnalyzer::new(QualityConfig::default(), PartLayout::anonymous(0));
+        for i in 0..frames {
+            let margin = if i < low_frames { -0.2 } else { 0.3 };
+            a.observe(&FrameSignals {
+                decision: Some(DecisionSignals {
+                    best_prob: 0.5,
+                    th_margin: margin,
+                    accepted: margin > 0.0,
+                    carry_forward: false,
+                }),
+                ..FrameSignals::default()
+            });
+        }
+        a.report()
+    }
+
+    #[test]
+    fn empty_clip_is_pristine() {
+        let report = scored(0, 0);
+        assert_eq!(report.frames, 0);
+        assert!((report.clip_score - 1.0).abs() < 1e-12);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn score_decreases_with_flagged_fraction() {
+        let clean = scored(20, 0);
+        let some = scored(20, 8);
+        let many = scored(20, 16);
+        assert!(clean.clip_score > some.clip_score);
+        assert!(some.clip_score > many.clip_score);
+        assert!(many.clip_score >= 0.0);
+    }
+
+    #[test]
+    fn score_formula_matches_weights() {
+        // 20 frames, 8 low: run=4 so frames 4..=8 of the run are
+        // flagged → 5 flagged frames at weight 2: 1 - 2·5/20 = 0.5.
+        let report = scored(20, 8);
+        assert_eq!(report.flagged_frames, 5);
+        assert!((report.clip_score - 0.5).abs() < 1e-12, "{report:?}");
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let report = scored(20, 8);
+        let json = report.summary_json();
+        assert!(json.starts_with("{\"score\":0.5,\"frames\":20,\"flagged_frames\":5"));
+        assert!(json.contains("{\"code\":\"low_likelihood_run\",\"frames\":5}"));
+        assert!(!json.contains("frame_flags"));
+    }
+
+    #[test]
+    fn full_json_carries_per_frame_codes() {
+        let report = scored(6, 6);
+        let json = report.to_json();
+        // low_run=4: frames 0..3 clean, 3..6 flagged.
+        assert!(json.contains("\"frame_flags\":[[],[],[],[\"low_likelihood_run\"]"));
+    }
+
+    #[test]
+    fn clean_summary_has_empty_reasons() {
+        let report = scored(10, 0);
+        assert_eq!(
+            report.summary_json(),
+            "{\"score\":1,\"frames\":10,\"flagged_frames\":0,\"reasons\":[]}"
+        );
+    }
+}

@@ -1,0 +1,530 @@
+//! Per-frame signal extraction: the streaming [`ClipAnalyzer`].
+//!
+//! The analyzer consumes one [`FrameSignals`] per frame — plain data the
+//! engine already has in hand (decision record, foreground pixel count,
+//! key-point positions) — and returns the frame's flag mask immediately,
+//! so streaming callers (trace records, session responses) can surface
+//! quality at frame time without waiting for the clip to end.
+//!
+//! Run-based reasons (likelihood, carry-forward, empty silhouette) flag
+//! the frame at which the streak *reaches* the configured length and
+//! every frame after it while the streak holds: the first `run - 1`
+//! frames of a run are not flagged. That keeps the analyzer causal — a
+//! flag never depends on future frames — which is what makes per-frame
+//! output well-defined for streaming.
+//!
+//! The analyzer holds no heap-growing state besides the per-frame flag
+//! log, so feeding it from the engine's hot path costs a few dozen
+//! arithmetic ops per frame.
+
+use crate::config::QualityConfig;
+use crate::report::QualityReport;
+use crate::Reason;
+
+/// Upper bound on taxonomy part counts the analyzer supports; the fixed
+/// array keeps [`FrameSignals`] allocation-free on the hot path.
+pub const MAX_PARTS: usize = 8;
+
+/// The classifier outputs a quality-relevant slice of each `Decision`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DecisionSignals {
+    /// Winning pose posterior.
+    pub best_prob: f64,
+    /// `best_prob - Th_Pose` (negative means below threshold).
+    pub th_margin: f64,
+    /// Whether the threshold rule accepted the frame.
+    pub accepted: bool,
+    /// Whether the pose was carried forward from the previous frame.
+    pub carry_forward: bool,
+}
+
+/// Silhouette-stage health inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SilhouetteSignals {
+    /// Foreground pixels in the cleaned silhouette.
+    pub foreground: u64,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+}
+
+/// Everything the analyzer sees for one frame. Fields the caller cannot
+/// supply (e.g. no ensemble loaded) stay `None` and their signals are
+/// simply skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameSignals {
+    /// Classifier decision, when the DBN ran for this frame.
+    pub decision: Option<DecisionSignals>,
+    /// Silhouette-stage health, when the front end ran.
+    pub silhouette: Option<SilhouetteSignals>,
+    /// Key-point positions in taxonomy part order (x right, y down);
+    /// undetected parts are `None`. Slots past the taxonomy's part count
+    /// are ignored.
+    pub parts: [Option<(f64, f64)>; MAX_PARTS],
+    /// Posterior spread across the model ensemble, when one is loaded
+    /// (see [`crate::ensemble::posterior_spread`]).
+    pub ensemble: Option<f64>,
+}
+
+/// How the taxonomy's part vocabulary maps onto [`FrameSignals::parts`].
+///
+/// The part list itself lives in the taxonomy artifact; the analyzer
+/// only needs its size and which slots anchor the vertical-order
+/// constraint (head must not sink below foot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartLayout {
+    /// Number of parts the taxonomy declares (capped at [`MAX_PARTS`]).
+    pub count: usize,
+    /// Index of the head part, when the layout has one.
+    pub head: Option<usize>,
+    /// Index of the foot part, when the layout has one.
+    pub foot: Option<usize>,
+}
+
+impl PartLayout {
+    /// Layout with `count` parts and no vertical-order anchors.
+    pub fn anonymous(count: usize) -> Self {
+        PartLayout {
+            count: count.min(MAX_PARTS),
+            head: None,
+            foot: None,
+        }
+    }
+
+    /// The paper's canonical five-part layout
+    /// (head, chest, hand, knee, foot).
+    pub fn canonical_five() -> Self {
+        PartLayout {
+            count: 5,
+            head: Some(0),
+            foot: Some(4),
+        }
+    }
+}
+
+/// Streaming per-clip analyzer: feed frames with
+/// [`ClipAnalyzer::observe`], read the aggregate with
+/// [`ClipAnalyzer::report`].
+#[derive(Debug, Clone)]
+pub struct ClipAnalyzer {
+    config: QualityConfig,
+    layout: PartLayout,
+    flags: Vec<u32>,
+    reason_frames: [u32; Reason::ALL.len()],
+    low_streak: usize,
+    carry_streak: usize,
+    empty_streak: usize,
+    prev_foreground: Option<u64>,
+    prev_parts: [Option<(f64, f64)>; MAX_PARTS],
+    prev_centroid: Option<(f64, f64)>,
+}
+
+impl ClipAnalyzer {
+    /// Creates an analyzer for one clip.
+    pub fn new(config: QualityConfig, layout: PartLayout) -> Self {
+        ClipAnalyzer {
+            config,
+            layout,
+            flags: Vec::new(),
+            reason_frames: [0; Reason::ALL.len()],
+            low_streak: 0,
+            carry_streak: 0,
+            empty_streak: 0,
+            prev_foreground: None,
+            prev_parts: [None; MAX_PARTS],
+            prev_centroid: None,
+        }
+    }
+
+    /// The config this analyzer runs with.
+    pub fn config(&self) -> &QualityConfig {
+        &self.config
+    }
+
+    /// Clears all per-clip state so the analyzer can score another clip.
+    pub fn reset(&mut self) {
+        self.flags.clear();
+        self.reason_frames = [0; Reason::ALL.len()];
+        self.low_streak = 0;
+        self.carry_streak = 0;
+        self.empty_streak = 0;
+        self.prev_foreground = None;
+        self.prev_parts = [None; MAX_PARTS];
+        self.prev_centroid = None;
+    }
+
+    /// Consumes one frame's signals; returns the frame's flag mask.
+    pub fn observe(&mut self, signals: &FrameSignals) -> u32 {
+        let mut flags = 0u32;
+
+        if let Some(d) = &signals.decision {
+            if d.th_margin < self.config.margin_floor {
+                self.low_streak += 1;
+            } else {
+                self.low_streak = 0;
+            }
+            if self.low_streak >= self.config.low_run {
+                flags |= Reason::LowLikelihoodRun.bit();
+            }
+            if d.carry_forward {
+                self.carry_streak += 1;
+            } else {
+                self.carry_streak = 0;
+            }
+            if self.carry_streak >= self.config.carry_run {
+                flags |= Reason::CarryForwardRun.bit();
+            }
+        }
+
+        let mut diag = 0.0f64;
+        let mut silhouette_empty = false;
+        if let Some(s) = &signals.silhouette {
+            let w = s.width as f64;
+            let h = s.height as f64;
+            diag = (w * w + h * h).sqrt();
+            // Zero when the caller knows only the pixel count (e.g.
+            // scoring a trace that records `foreground_px` but not the
+            // frame dimensions) — the fraction check is skipped then.
+            let area = w * h;
+            silhouette_empty = s.foreground == 0;
+            if silhouette_empty {
+                self.empty_streak += 1;
+            } else {
+                self.empty_streak = 0;
+            }
+            if self.empty_streak >= self.config.empty_run {
+                flags |= Reason::EmptySilhouetteRun.bit();
+            }
+            if let Some(prev) = self.prev_foreground {
+                if prev > 0 && s.foreground > 0 {
+                    let ratio = s.foreground as f64 / prev as f64;
+                    if ratio > self.config.spike_ratio || ratio < 1.0 / self.config.spike_ratio {
+                        flags |= Reason::SilhouetteSpike.bit();
+                    }
+                }
+            }
+            if area > 0.0 && s.foreground as f64 / area > self.config.max_foreground {
+                flags |= Reason::SilhouetteSpike.bit();
+            }
+            self.prev_foreground = Some(s.foreground);
+        }
+
+        // Key-point constraints need a length scale; without a
+        // silhouette (diag unknown) they are skipped.
+        if diag > 0.0 {
+            flags |= self.part_flags(signals, diag, silhouette_empty);
+        }
+
+        if let Some(spread) = signals.ensemble {
+            if spread > self.config.ensemble_divergence {
+                flags |= Reason::EnsembleDivergence.bit();
+            }
+        }
+
+        for reason in Reason::ALL {
+            if flags & reason.bit() != 0 {
+                self.reason_frames[reason as usize] += 1;
+            }
+        }
+        self.flags.push(flags);
+        flags
+    }
+
+    fn part_flags(&mut self, signals: &FrameSignals, diag: f64, silhouette_empty: bool) -> u32 {
+        let mut flags = 0u32;
+        let n = self.layout.count.min(MAX_PARTS);
+        let parts = &signals.parts;
+
+        // Skeleton violations are intra-frame: vertical inversion and
+        // implausible part spans.
+        if let (Some(hi), Some(fi)) = (self.layout.head, self.layout.foot) {
+            if let (Some(head), Some(foot)) = (
+                parts.get(hi).copied().flatten(),
+                parts.get(fi).copied().flatten(),
+            ) {
+                // y grows downward: the head sitting *below* the foot by
+                // more than the tolerance is an inversion.
+                if head.1 - foot.1 > self.config.max_inversion * diag {
+                    flags |= Reason::SkeletonViolation.bit();
+                }
+            }
+        }
+        for i in 0..n {
+            let Some(a) = parts.get(i).copied().flatten() else {
+                continue;
+            };
+            for j in (i + 1)..n {
+                let Some(b) = parts.get(j).copied().flatten() else {
+                    continue;
+                };
+                if dist(a, b) > self.config.max_part_span * diag {
+                    flags |= Reason::SkeletonViolation.bit();
+                }
+            }
+        }
+
+        // Temporal deltas compare against the previous frame that had a
+        // jumper in view; an empty silhouette breaks the chain (nothing
+        // plausible to measure motion against).
+        if silhouette_empty {
+            self.prev_parts = [None; MAX_PARTS];
+            self.prev_centroid = None;
+            return flags;
+        }
+
+        let mut sum = (0.0f64, 0.0f64);
+        let mut detected = 0usize;
+        for part in parts.iter().take(n).flatten() {
+            sum.0 += part.0;
+            sum.1 += part.1;
+            detected += 1;
+        }
+        let centroid = (detected > 0).then(|| (sum.0 / detected as f64, sum.1 / detected as f64));
+
+        if let (Some(c), Some(p)) = (centroid, self.prev_centroid) {
+            if dist(c, p) > self.config.max_centroid_jump * diag {
+                flags |= Reason::TemporalJump.bit();
+            }
+        }
+        for i in 0..n {
+            if let (Some(a), Some(b)) = (
+                parts.get(i).copied().flatten(),
+                self.prev_parts.get(i).copied().flatten(),
+            ) {
+                if dist(a, b) > self.config.max_part_jump * diag {
+                    flags |= Reason::TemporalJump.bit();
+                }
+            }
+        }
+        self.prev_parts = *parts;
+        self.prev_centroid = centroid;
+        flags
+    }
+
+    /// Frames observed so far.
+    pub fn frames(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Per-frame flag masks, in frame order.
+    pub fn frame_flags(&self) -> &[u32] {
+        &self.flags
+    }
+
+    /// Aggregates everything observed so far into a report.
+    pub fn report(&self) -> QualityReport {
+        QualityReport::from_analysis(&self.config, &self.flags, self.reason_frames)
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer() -> ClipAnalyzer {
+        ClipAnalyzer::new(QualityConfig::default(), PartLayout::canonical_five())
+    }
+
+    fn good_frame() -> FrameSignals {
+        FrameSignals {
+            decision: Some(DecisionSignals {
+                best_prob: 0.9,
+                th_margin: 0.4,
+                accepted: true,
+                carry_forward: false,
+            }),
+            silhouette: Some(SilhouetteSignals {
+                foreground: 500,
+                width: 120,
+                height: 90,
+            }),
+            parts: [
+                Some((60.0, 20.0)), // head
+                Some((60.0, 35.0)), // chest
+                Some((70.0, 40.0)), // hand
+                Some((60.0, 60.0)), // knee
+                Some((60.0, 80.0)), // foot
+                None,
+                None,
+                None,
+            ],
+            ensemble: None,
+        }
+    }
+
+    #[test]
+    fn clean_stream_has_no_flags() {
+        let mut a = analyzer();
+        for _ in 0..30 {
+            assert_eq!(a.observe(&good_frame()), 0);
+        }
+        let report = a.report();
+        assert_eq!(report.flagged_frames, 0);
+        assert!((report.clip_score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_margin_run_flags_at_threshold() {
+        let mut a = analyzer();
+        let mut low = good_frame();
+        if let Some(d) = low.decision.as_mut() {
+            d.th_margin = -0.1;
+        }
+        let run = a.config().low_run;
+        for i in 1..=run + 2 {
+            let flags = a.observe(&low);
+            if i < run {
+                assert_eq!(flags & Reason::LowLikelihoodRun.bit(), 0, "frame {i}");
+            } else {
+                assert_ne!(flags & Reason::LowLikelihoodRun.bit(), 0, "frame {i}");
+            }
+        }
+        // A good frame resets the streak.
+        assert_eq!(a.observe(&good_frame()), 0);
+        assert_eq!(a.observe(&low) & Reason::LowLikelihoodRun.bit(), 0);
+    }
+
+    #[test]
+    fn carry_forward_run_flags() {
+        let mut a = analyzer();
+        let mut frame = good_frame();
+        if let Some(d) = frame.decision.as_mut() {
+            d.carry_forward = true;
+        }
+        let mut flagged = false;
+        for _ in 0..a.config().carry_run + 1 {
+            flagged = a.observe(&frame) & Reason::CarryForwardRun.bit() != 0;
+        }
+        assert!(flagged);
+    }
+
+    #[test]
+    fn empty_silhouette_run_flags_and_breaks_temporal_chain() {
+        let mut a = analyzer();
+        a.observe(&good_frame());
+        let mut empty = good_frame();
+        empty.silhouette = Some(SilhouetteSignals {
+            foreground: 0,
+            width: 120,
+            height: 90,
+        });
+        empty.parts = [None; MAX_PARTS];
+        let mut saw_empty = 0u32;
+        for _ in 0..a.config().empty_run {
+            saw_empty = a.observe(&empty) & Reason::EmptySilhouetteRun.bit();
+        }
+        assert_ne!(saw_empty, 0);
+        // Jumper reappears far away: not a temporal jump (chain broken),
+        // but foreground reappearing is not a spike either (prev was 0).
+        let mut moved = good_frame();
+        for p in moved.parts.iter_mut().flatten() {
+            p.0 += 50.0;
+        }
+        let flags = a.observe(&moved);
+        assert_eq!(flags & Reason::TemporalJump.bit(), 0);
+    }
+
+    #[test]
+    fn foreground_spike_flags() {
+        let mut a = analyzer();
+        a.observe(&good_frame());
+        let mut spiked = good_frame();
+        spiked.silhouette = Some(SilhouetteSignals {
+            foreground: 2000,
+            width: 120,
+            height: 90,
+        });
+        assert_ne!(a.observe(&spiked) & Reason::SilhouetteSpike.bit(), 0);
+    }
+
+    #[test]
+    fn saturated_foreground_flags_without_history() {
+        let mut a = analyzer();
+        let mut flooded = good_frame();
+        flooded.silhouette = Some(SilhouetteSignals {
+            foreground: 120 * 90,
+            width: 120,
+            height: 90,
+        });
+        assert_ne!(a.observe(&flooded) & Reason::SilhouetteSpike.bit(), 0);
+    }
+
+    #[test]
+    fn centroid_and_part_jumps_flag() {
+        let mut a = analyzer();
+        a.observe(&good_frame());
+        let mut jumped = good_frame();
+        for p in jumped.parts.iter_mut().flatten() {
+            p.0 += 80.0;
+        }
+        assert_ne!(a.observe(&jumped) & Reason::TemporalJump.bit(), 0);
+
+        let mut a = analyzer();
+        a.observe(&good_frame());
+        let mut one_part = good_frame();
+        one_part.parts[2] = Some((10.0, 85.0)); // hand teleports
+        assert_ne!(a.observe(&one_part) & Reason::TemporalJump.bit(), 0);
+    }
+
+    #[test]
+    fn inverted_skeleton_flags() {
+        let mut a = analyzer();
+        let mut inverted = good_frame();
+        inverted.parts[0] = Some((60.0, 80.0)); // head at the bottom
+        inverted.parts[4] = Some((60.0, 20.0)); // foot at the top
+        assert_ne!(a.observe(&inverted) & Reason::SkeletonViolation.bit(), 0);
+    }
+
+    #[test]
+    fn over_span_skeleton_flags() {
+        let mut a = analyzer();
+        let mut stretched = good_frame();
+        stretched.parts[0] = Some((0.0, 0.0));
+        stretched.parts[4] = Some((119.0, 89.0));
+        assert_ne!(a.observe(&stretched) & Reason::SkeletonViolation.bit(), 0);
+    }
+
+    #[test]
+    fn ensemble_divergence_flags() {
+        let mut a = analyzer();
+        let mut diverged = good_frame();
+        diverged.ensemble = Some(0.9);
+        assert_ne!(a.observe(&diverged) & Reason::EnsembleDivergence.bit(), 0);
+        let mut agreed = good_frame();
+        agreed.ensemble = Some(0.01);
+        assert_eq!(a.observe(&agreed), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut a = analyzer();
+        let mut low = good_frame();
+        if let Some(d) = low.decision.as_mut() {
+            d.th_margin = -0.5;
+        }
+        for _ in 0..a.config().low_run {
+            a.observe(&low);
+        }
+        assert!(a.report().flagged_frames > 0);
+        a.reset();
+        assert_eq!(a.frames(), 0);
+        assert_eq!(a.observe(&low) & Reason::LowLikelihoodRun.bit(), 0);
+    }
+
+    #[test]
+    fn missing_signal_groups_are_skipped() {
+        let mut a = ClipAnalyzer::new(QualityConfig::default(), PartLayout::anonymous(0));
+        let signals = FrameSignals::default();
+        for _ in 0..10 {
+            assert_eq!(a.observe(&signals), 0);
+        }
+        assert!((a.report().clip_score - 1.0).abs() < 1e-12);
+    }
+}

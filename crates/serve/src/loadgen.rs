@@ -73,15 +73,24 @@ pub struct LoadgenReport {
     pub status_other: u64,
     /// Socket-level failures (connect refused, timeout, short read).
     pub errors: u64,
+    /// 2xx responses that carried a quality `confidence` score.
+    pub scored: u64,
+    /// Median per-request clip quality score in `[0, 1]` (0 when the
+    /// server ran with quality diagnostics disabled).
+    pub clip_score_p50: f64,
+    /// 95th-percentile (from the top) clip quality score: the p05 of
+    /// the score distribution, since *low* scores are the bad tail.
+    pub clip_score_p95: f64,
 }
 
 impl LoadgenReport {
-    /// Serialises the report (`BENCH_PR5.json`, schema 4).
+    /// Serialises the report (`BENCH_PR8.json`, schema 5 — adds the
+    /// clip-score distribution of the quality diagnostics layer).
     pub fn report_json(&self) -> String {
         let mut w = slj_obs::JsonWriter::new();
         w.begin_object();
         w.key("schema");
-        w.u64(4);
+        w.u64(5);
         w.key("bench");
         w.string("serve.loadgen");
         w.key("requests");
@@ -108,9 +117,24 @@ impl LoadgenReport {
         w.u64(self.status_other);
         w.key("errors");
         w.u64(self.errors);
+        w.key("scored");
+        w.u64(self.scored);
+        w.key("clip_score_p50");
+        w.f64(self.clip_score_p50);
+        w.key("clip_score_p95");
+        w.f64(self.clip_score_p95);
         w.end_object();
         w.finish()
     }
+}
+
+/// Extracts the quality `confidence` score from a response body, when
+/// the server appended one (absent when diagnostics are disabled).
+fn parse_confidence(body: &str) -> Option<f64> {
+    let start = body.find("\"confidence\":")? + "\"confidence\":".len();
+    let rest = &body[start..];
+    let end = rest.find(|c| c == ',' || c == '}')?;
+    rest[..end].parse().ok()
 }
 
 /// Builds the request body the generator sends: background first, then
@@ -144,6 +168,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
 
     let registry = Registry::new();
     let latency = registry.histogram("loadgen.request.ns");
+    // Scores are recorded in millionths so the integer histogram
+    // resolves the [0, 1] range; quantiles divide back out below.
+    let confidence = registry.histogram("loadgen.confidence.micro");
     let remaining = AtomicUsize::new(config.requests);
     let s2xx = AtomicU64::new(0);
     let s429 = AtomicU64::new(0);
@@ -174,10 +201,22 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
             Ok(resp) => {
                 latency.record(attempt.elapsed_ns());
                 match resp.status {
-                    200..=299 => s2xx.fetch_add(1, Ordering::Relaxed),
-                    429 => s429.fetch_add(1, Ordering::Relaxed),
-                    503 => s503.fetch_add(1, Ordering::Relaxed),
-                    _ => other.fetch_add(1, Ordering::Relaxed),
+                    200..=299 => {
+                        s2xx.fetch_add(1, Ordering::Relaxed);
+                        if let Some(score) = parse_confidence(&resp.text()) {
+                            let micro = (score.clamp(0.0, 1.0) * 1e6).round();
+                            confidence.record(micro as u64);
+                        }
+                    }
+                    429 => {
+                        s429.fetch_add(1, Ordering::Relaxed);
+                    }
+                    503 => {
+                        s503.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        other.fetch_add(1, Ordering::Relaxed);
+                    }
                 };
             }
             Err(_) => {
@@ -204,6 +243,11 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         status_503: s503.load(Ordering::SeqCst),
         status_other: other.load(Ordering::SeqCst),
         errors: errors.load(Ordering::SeqCst),
+        scored: confidence.count(),
+        clip_score_p50: confidence.quantile(0.50) / 1e6,
+        // Low scores are the bad tail, so the p95 headline is the 5th
+        // percentile of the distribution.
+        clip_score_p95: confidence.quantile(0.05) / 1e6,
     })
 }
 
@@ -222,7 +266,7 @@ mod tests {
     }
 
     #[test]
-    fn report_json_is_schema_4() {
+    fn report_json_is_schema_5_with_clip_scores() {
         let report = LoadgenReport {
             requests: 10,
             concurrency: 2,
@@ -236,10 +280,26 @@ mod tests {
             status_503: 0,
             status_other: 0,
             errors: 0,
+            scored: 9,
+            clip_score_p50: 1.0,
+            clip_score_p95: 0.875,
         };
         let json = report.report_json();
-        assert!(json.starts_with("{\"schema\":4,"));
+        assert!(json.starts_with("{\"schema\":5,"));
         assert!(json.contains("\"status_429\":1"));
+        assert!(json.contains("\"scored\":9"));
+        assert!(json.contains("\"clip_score_p50\":1"));
+        assert!(json.contains("\"clip_score_p95\":0.875"));
+    }
+
+    #[test]
+    fn confidence_parses_from_response_bodies() {
+        assert_eq!(
+            parse_confidence("{\"faults\":[],\"confidence\":0.75,\"quality\":{}}"),
+            Some(0.75)
+        );
+        assert_eq!(parse_confidence("{\"confidence\":1}"), Some(1.0));
+        assert_eq!(parse_confidence("{\"faults\":[]}"), None);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use slj_core::engine::JumpSession;
 use slj_core::model::PoseModel;
 use slj_core::scoring::assess_with_taxonomy;
 use slj_obs::{Clock, Counter, Gauge, Histogram, Registry, Stopwatch};
+use slj_quality::{QualityConfig, QualityReport, Reason};
 use slj_runtime::ThreadPool;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -49,6 +50,13 @@ pub struct ServerConfig {
     pub io_timeout_ms: u64,
     /// Request size limits.
     pub limits: Limits,
+    /// Pose-quality diagnostics. `Some` attaches a
+    /// [`slj_quality::ClipAnalyzer`] to every evaluation and streaming
+    /// session, appends `confidence`/`quality` fields to their
+    /// responses, and records `serve.quality.*` metrics. `None` disables
+    /// all of it — response bodies are then **byte-identical** to the
+    /// pre-diagnostics wire contract.
+    pub quality: Option<QualityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +70,7 @@ impl Default for ServerConfig {
             session_ttl_ms: 60_000,
             io_timeout_ms: 5_000,
             limits: Limits::default(),
+            quality: Some(QualityConfig::default()),
         }
     }
 }
@@ -272,6 +281,17 @@ struct Metrics {
     sessions_created: Counter,
     sessions_closed: Counter,
     write_errors: Counter,
+    /// Clips scored by the quality analyzer (one per `/v1/evaluate`
+    /// body or closed streaming session).
+    quality_clips: Counter,
+    /// Frames carrying at least one quality flag, across scored clips.
+    quality_flagged: Counter,
+    /// Clip scores in thousandths (a score of 0.87 records 870), so the
+    /// fixed histogram buckets resolve the `[0,1]` range.
+    quality_score_milli: Histogram,
+    /// Per-reason flagged-frame counters, indexed like
+    /// [`Reason::ALL`] (`serve.quality.reason.<code>`).
+    quality_reasons: [Counter; Reason::ALL.len()],
 }
 
 impl Metrics {
@@ -291,6 +311,26 @@ impl Metrics {
             sessions_created: registry.counter("serve.sessions.created"),
             sessions_closed: registry.counter("serve.sessions.closed"),
             write_errors: registry.counter("serve.write_errors"),
+            quality_clips: registry.counter("serve.quality.clips"),
+            quality_flagged: registry.counter("serve.quality.flagged_frames"),
+            quality_score_milli: registry.histogram("serve.quality.score.milli"),
+            quality_reasons: Reason::ALL
+                .map(|reason| registry.counter(&format!("serve.quality.reason.{}", reason.code()))),
+        }
+    }
+
+    /// Folds one finished clip's quality report into the
+    /// `serve.quality.*` family.
+    fn record_quality(&self, report: &QualityReport) {
+        self.quality_clips.inc();
+        self.quality_flagged.add(u64::from(report.flagged_frames));
+        let milli = (report.clip_score * 1000.0).round().clamp(0.0, 1000.0);
+        self.quality_score_milli.record(milli as u64);
+        for (slot, reason) in Reason::ALL.iter().enumerate() {
+            let frames = report.reason_frames[*reason as usize];
+            if frames > 0 {
+                self.quality_reasons[slot].add(u64::from(frames));
+            }
         }
     }
 }
@@ -590,6 +630,9 @@ fn handle_evaluate(
         .ok_or_else(|| ApiError::bad_request("no_frames", "missing background frame"))?;
     let mut session = JumpSession::new(state.model, background).map_err(ApiError::from)?;
     session.attach_metrics(&state.registry);
+    if let Some(quality) = &state.config.quality {
+        session.attach_quality(quality.clone());
+    }
 
     let mut decisions = Vec::new();
     let mut poses = Vec::new();
@@ -608,13 +651,18 @@ fn handle_evaluate(
         poses.push(estimate.pose);
     }
     let faults = assess_with_taxonomy(state.model.taxonomy(), &poses);
+    let quality = session.quality_report();
+    if let Some(report) = &quality {
+        state.metrics.record_quality(report);
+    }
     Ok(Response::json(
         200,
         format!(
-            "{{\"schema\":1,\"frames\":{},\"decisions\":[{}],\"faults\":{}}}",
+            "{{\"schema\":1,\"frames\":{},\"decisions\":[{}],\"faults\":{}{}}}",
             decisions.len(),
             decisions.join(","),
-            wire::faults_json(&faults)
+            wire::faults_json(&faults),
+            wire::quality_suffix(quality.as_ref())
         ),
     ))
 }
@@ -722,13 +770,20 @@ fn handle_session_frames(
     let result = wire::split_frames(body)
         .and_then(|images| advance_session(&mut session, images, accepted, state));
     let frames_processed = session.poses.len() as u64;
+    // The clip-so-far report: streaming clients see their confidence
+    // degrade live instead of only at delete time.
+    let quality = session
+        .engine
+        .as_ref()
+        .and_then(|engine| engine.quality_report());
     state.sessions.checkin(id, session);
     let decisions = result?;
     Ok(Response::json(
         200,
         format!(
-            "{{\"session\":{id},\"decisions\":[{}],\"frames_processed\":{frames_processed}}}",
-            decisions.join(",")
+            "{{\"session\":{id},\"decisions\":[{}],\"frames_processed\":{frames_processed}{}}}",
+            decisions.join(","),
+            wire::quality_suffix(quality.as_ref())
         ),
     ))
 }
@@ -749,6 +804,9 @@ fn advance_session(
             .ok_or_else(|| ApiError::bad_request("no_frames", "missing background frame"))?;
         let mut engine = JumpSession::new(state.model, background).map_err(ApiError::from)?;
         engine.attach_metrics(&state.registry);
+        if let Some(quality) = &state.config.quality {
+            engine.attach_quality(quality.clone());
+        }
         session.engine = Some(engine);
     }
     let engine = session
@@ -782,12 +840,22 @@ fn handle_delete_session(raw_id: &str, state: &State<'_>) -> Result<Response, Ap
         .map_err(|e| session_error(id, e))?;
     state.metrics.sessions_closed.inc();
     let faults = assess_with_taxonomy(state.model.taxonomy(), &session.poses);
+    // A closed streaming session is one finished clip: fold its final
+    // report into serve.quality.* exactly once, here.
+    let quality = session
+        .engine
+        .as_ref()
+        .and_then(|engine| engine.quality_report());
+    if let Some(report) = &quality {
+        state.metrics.record_quality(report);
+    }
     Ok(Response::json(
         200,
         format!(
-            "{{\"session\":{id},\"frames_processed\":{},\"faults\":{}}}",
+            "{{\"session\":{id},\"frames_processed\":{},\"faults\":{}{}}}",
             session.poses.len(),
-            wire::faults_json(&faults)
+            wire::faults_json(&faults),
+            wire::quality_suffix(quality.as_ref())
         ),
     ))
 }

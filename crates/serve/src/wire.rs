@@ -127,6 +127,30 @@ pub fn decision_json(
     w.finish()
 }
 
+/// Serialises one `f64` exactly as [`JsonWriter`] would embed it
+/// (`1.0` → `1`, non-finite → `null`), so hand-assembled response
+/// bodies keep the workspace's single number-formatting rule.
+pub fn f64_json(value: f64) -> String {
+    let mut w = JsonWriter::new();
+    w.f64(value);
+    w.finish()
+}
+
+/// The `,"confidence":S,"quality":{...}` suffix appended to scored
+/// responses, or the empty string when no analyzer produced a report —
+/// the disabled path contributes zero bytes, keeping the legacy wire
+/// contract bit-identical.
+pub fn quality_suffix(report: Option<&slj_quality::QualityReport>) -> String {
+    match report {
+        Some(report) => format!(
+            ",\"confidence\":{},\"quality\":{}",
+            f64_json(report.clip_score),
+            report.summary_json()
+        ),
+        None => String::new(),
+    }
+}
+
 /// Serialises a standards assessment as a JSON array of fault objects.
 /// `fault` carries the rule's report name and `stage` the stage's
 /// machine ident, matching the legacy enum-backed encoding exactly.

@@ -14,6 +14,9 @@
 use slj_imaging::binary::BinaryImage;
 use std::collections::HashMap;
 
+/// Sentinel in the dense pixel-to-vertex index for "no vertex here".
+const NO_VERTEX: u32 = u32::MAX;
+
 /// Adjacency graph over the set pixels of a skeleton mask.
 ///
 /// Orthogonal neighbours are always connected; diagonal neighbours are
@@ -25,7 +28,10 @@ pub struct PixelGraph {
     width: usize,
     height: usize,
     positions: Vec<(usize, usize)>,
-    index: HashMap<(usize, usize), usize>,
+    /// Dense row-major pixel→vertex table (`NO_VERTEX` = background).
+    /// Replaces a per-rebuild `HashMap` so the per-frame hot path does
+    /// flat stores and O(1) unhashed neighbour lookups.
+    index: Vec<u32>,
     adj: Vec<Vec<usize>>,
 }
 
@@ -48,8 +54,9 @@ impl PixelGraph {
         self.positions.clear();
         self.positions.extend(mask.iter_ones());
         self.index.clear();
-        for (i, &p) in self.positions.iter().enumerate() {
-            self.index.insert(p, i);
+        self.index.resize(self.width * self.height, NO_VERTEX);
+        for (i, &(x, y)) in self.positions.iter().enumerate() {
+            self.index[y * self.width + x] = i as u32;
         }
         let n = self.positions.len();
         self.adj.truncate(n);
@@ -74,7 +81,7 @@ impl PixelGraph {
                         continue;
                     }
                 }
-                let j = self.index[&(nx as usize, ny as usize)];
+                let j = self.index[ny as usize * self.width + nx as usize] as usize;
                 self.adj[i].push(j);
                 self.adj[j].push(i);
             }
@@ -103,7 +110,14 @@ impl PixelGraph {
 
     /// Vertex index of the pixel at `pos`, if set.
     pub fn vertex_at(&self, pos: (usize, usize)) -> Option<usize> {
-        self.index.get(&pos).copied()
+        let (x, y) = pos;
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        match self.index[y * self.width + x] {
+            NO_VERTEX => None,
+            i => Some(i as usize),
+        }
     }
 
     /// Degree of vertex `i`.
@@ -770,6 +784,74 @@ mod tests {
              ...#...\n\
              ...#...\n",
         )
+    }
+
+    /// Hash-indexed oracle for [`PixelGraph::rebuild`]: the pre-rewrite
+    /// builder, with a `HashMap` pixel index instead of the dense table.
+    fn rebuild_hash_reference(mask: &BinaryImage) -> (Vec<(usize, usize)>, Vec<Vec<usize>>) {
+        let positions: Vec<(usize, usize)> = mask.iter_ones().collect();
+        let index: std::collections::HashMap<(usize, usize), usize> =
+            positions.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); positions.len()];
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            let (xi, yi) = (x as isize, y as isize);
+            for (dx, dy) in [(1isize, 0isize), (0, 1), (1, 1), (1, -1)] {
+                let (nx, ny) = (xi + dx, yi + dy);
+                if !mask.get_or_false(nx, ny) {
+                    continue;
+                }
+                if dx != 0
+                    && dy != 0
+                    && (mask.get_or_false(xi + dx, yi) || mask.get_or_false(xi, yi + dy))
+                {
+                    continue;
+                }
+                let j = index[&(nx as usize, ny as usize)];
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+        (positions, adj)
+    }
+
+    /// Deterministic LCG for randomized equivalence tests.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn dense_index_matches_scalar_reference_on_random_masks() {
+        let mut state = 0x4528_21E6_38D0_1377u64;
+        let mut pg = PixelGraph::default();
+        for (w, h) in [(1, 1), (7, 7), (64, 2), (65, 3), (33, 21)] {
+            for density in [2u64, 5] {
+                let mut mask = BinaryImage::new(w, h);
+                for y in 0..h {
+                    for x in 0..w {
+                        mask.set(x, y, lcg(&mut state) % 8 < density);
+                    }
+                }
+                let (positions, adj) = rebuild_hash_reference(&mask);
+                pg.rebuild(&mask); // reuse across iterations: no stale state
+                assert_eq!(pg.len(), positions.len(), "{w}x{h} density {density}");
+                for i in 0..pg.len() {
+                    assert_eq!(pg.position(i), positions[i]);
+                    assert_eq!(pg.neighbors(i), &adj[i][..], "vertex {i} {w}x{h}");
+                    assert_eq!(pg.vertex_at(positions[i]), Some(i));
+                }
+                for y in 0..h {
+                    for x in 0..w {
+                        if !mask.get(x, y) {
+                            assert_eq!(pg.vertex_at((x, y)), None);
+                        }
+                    }
+                }
+                assert_eq!(pg.vertex_at((w, 0)), None, "out of bounds is None");
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         Some("coach") => cmd_coach(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("quality") => cmd_quality(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -76,9 +77,18 @@ fn print_usage() {
          \x20          feed one clip frame-by-frame, printing each committed pose\n\
          \x20          as it is decided; --timings adds per-stage wall-clock cost\n\
          \x20 trace    --model FILE --data DIR [--out FILE] [--metrics FILE]\n\
+         \x20          [--no-quality] [--quality-config FILE]\n\
          \x20          stream every clip, emitting one JSONL decision record per\n\
          \x20          frame: stage timings, posterior, Th_Pose margin, Unknown/\n\
-         \x20          carry-forward flags and the jumping stage\n\
+         \x20          carry-forward flags, the jumping stage, and (schema 3)\n\
+         \x20          the silhouette foreground count plus quality flags\n\
+         \x20 quality  --model FILE --data DIR | --trace FILE\n\
+         \x20          [--ensemble FILE[,FILE...]] [--config FILE] [--threads N]\n\
+         \x20          [--gate FILE] [--out FILE]\n\
+         \x20          score stored clips (or an slj-trace JSONL) with the\n\
+         \x20          pose-quality diagnostics: per-clip confidence in [0,1]\n\
+         \x20          with reason codes; --gate fails when any clip drops\n\
+         \x20          below the committed floor (CI regression gate)\n\
          \x20 bench    [--quick] [--clips N] [--frames N] [--seed S] [--out FILE]\n\
          \x20          [--metrics FILE]\n\
          \x20          time the serial vs parallel execution paths on synthetic\n\
@@ -92,6 +102,7 @@ fn print_usage() {
          \x20 serve    [--model FILE] [--addr HOST:PORT] [--threads N]\n\
          \x20          [--max-sessions N] [--queue-depth N] [--deadline-ms MS]\n\
          \x20          [--session-ttl-ms MS] [--max-body-mb MB] [--seed S]\n\
+         \x20          [--no-quality] [--quality-config FILE]\n\
          \x20          serve the pipeline over HTTP (POST /v1/evaluate, streaming\n\
          \x20          /v1/sessions, GET /healthz, GET /metrics); without --model\n\
          \x20          a demo model is trained on synthetic clips at startup\n\
@@ -366,10 +377,15 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     use std::io::Write;
 
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["no-quality"])?;
     let model = model_io::load(flags.require("model")?).map_err(|e| e.to_string())?;
     let data = PathBuf::from(flags.require("data")?);
     let clips = load_clips(&data)?;
+    let quality = if flags.switch("no-quality") {
+        None
+    } else {
+        Some(load_quality_config(&flags, "quality-config")?)
+    };
     let registry = metrics_registry(&flags);
     let mut out: Box<dyn Write> = match flags.get("out") {
         Some(path) => Box::new(std::io::BufWriter::new(
@@ -383,6 +399,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             JumpSession::new(&model, clip.background.clone()).map_err(|e| e.to_string())?;
         if let Some(registry) = &registry {
             session.attach_metrics(registry);
+        }
+        if let Some(config) = &quality {
+            session.attach_quality(config.clone());
         }
         for frame in &clip.frames {
             let estimate = session.push_frame(frame).map_err(|e| e.to_string())?;
@@ -401,6 +420,249 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     }
     if let Some(registry) = &registry {
         write_metrics(&flags, registry)?;
+    }
+    Ok(())
+}
+
+/// Loads the quality-config artifact named by `--{flag}`, or the
+/// defaults when the flag is absent.
+fn load_quality_config(
+    flags: &Flags,
+    flag: &str,
+) -> Result<slj_repro::quality::QualityConfig, String> {
+    match flags.get(flag) {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            slj_repro::quality::QualityConfig::parse(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        None => Ok(slj_repro::quality::QualityConfig::default()),
+    }
+}
+
+/// Extracts the raw text of `"key":<scalar>` from JSON, or `None` when
+/// the key is absent. Good enough for the flat scalar fields this CLI
+/// reads back out of its own JSONL records and gate files.
+fn json_scalar<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    json_scalar(text, key)?.parse().ok()
+}
+
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    json_scalar(text, key)?.parse().ok()
+}
+
+fn json_bool(text: &str, key: &str) -> Option<bool> {
+    json_scalar(text, key)?.parse().ok()
+}
+
+/// Scores one stored clip: every model in `models` filters the clip in
+/// lockstep; the primary model supplies decisions, silhouettes and key
+/// points, and with two or more models the per-frame posterior spread
+/// feeds the ensemble-divergence signal.
+fn score_stored_clip(
+    models: &[PoseModel],
+    clip: &StoredClip,
+    config: &slj_repro::quality::QualityConfig,
+) -> Result<slj_repro::quality::QualityReport, String> {
+    use slj_repro::core::quality::{frame_signals, part_layout};
+    use slj_repro::quality::{posterior_spread, ClipAnalyzer};
+
+    let primary = models.first().ok_or("no model loaded")?;
+    let mut sessions = models
+        .iter()
+        .map(|m| JumpSession::new(m, clip.background.clone()).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, String>>()?;
+    let mut analyzer = ClipAnalyzer::new(config.clone(), part_layout(primary.taxonomy()));
+    for frame in &clip.frames {
+        let mut posteriors: Vec<Vec<f64>> = Vec::with_capacity(sessions.len());
+        for session in sessions.iter_mut() {
+            let estimate = session.push_frame(frame).map_err(|e| e.to_string())?;
+            posteriors.push(estimate.posterior);
+        }
+        let decision = sessions[0].last_decision();
+        let mut signals = frame_signals(sessions[0].slots(), decision.as_ref());
+        if posteriors.len() > 1 {
+            let rows: Vec<&[f64]> = posteriors.iter().map(Vec::as_slice).collect();
+            signals.ensemble = Some(posterior_spread(&rows));
+        }
+        analyzer.observe(&signals);
+    }
+    Ok(analyzer.report())
+}
+
+/// Re-scores an `slj trace` JSONL stream offline: decision fields and
+/// the schema-3 `foreground_px` column are enough for the likelihood,
+/// carry-forward, empty-silhouette and spike signals (key-point
+/// constraints need the frames themselves and are skipped).
+fn score_trace(
+    path: &str,
+    config: &slj_repro::quality::QualityConfig,
+) -> Result<Vec<slj_repro::quality::QualityReport>, String> {
+    use slj_repro::quality::{
+        ClipAnalyzer, DecisionSignals, FrameSignals, PartLayout, SilhouetteSignals, MAX_PARTS,
+    };
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut reports = Vec::new();
+    let mut analyzer = ClipAnalyzer::new(config.clone(), PartLayout::anonymous(0));
+    let mut current_clip: Option<u64> = None;
+    let mut any = false;
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let clip = json_u64(line, "clip");
+        if any && clip != current_clip {
+            reports.push(analyzer.report());
+            analyzer.reset();
+        }
+        current_clip = clip;
+        any = true;
+        let th_margin = json_f64(line, "th_margin")
+            .ok_or_else(|| format!("{path}:{}: record has no th_margin", index + 1))?;
+        let signals = FrameSignals {
+            decision: Some(DecisionSignals {
+                best_prob: json_f64(line, "best_prob").unwrap_or(0.0),
+                th_margin,
+                accepted: json_bool(line, "accepted").unwrap_or(false),
+                carry_forward: json_bool(line, "carry_forward").unwrap_or(false),
+            }),
+            // Dimensions are not recorded, so the analyzer applies only
+            // the area-free silhouette signals (empty runs, spikes).
+            silhouette: json_u64(line, "foreground_px").map(|px| SilhouetteSignals {
+                foreground: px,
+                width: 0,
+                height: 0,
+            }),
+            parts: [None; MAX_PARTS],
+            ensemble: None,
+        };
+        analyzer.observe(&signals);
+    }
+    if !any {
+        return Err(format!("{path}: no trace records"));
+    }
+    reports.push(analyzer.report());
+    Ok(reports)
+}
+
+/// Scores stored clips (or an existing trace) with the pose-quality
+/// diagnostics and emits a JSON summary; `--gate FILE` turns the run
+/// into a CI regression gate that fails when any clip's score drops
+/// below the committed floor.
+fn cmd_quality(args: &[String]) -> Result<(), String> {
+    use slj_repro::obs::JsonWriter;
+    use slj_repro::runtime::{Parallelism, ThreadPool};
+
+    let flags = Flags::parse(args, &[])?;
+    let config = load_quality_config(&flags, "config")?;
+
+    let reports = match flags.get("trace") {
+        Some(trace_path) => score_trace(trace_path, &config)?,
+        None => {
+            let data = PathBuf::from(flags.require("data")?);
+            let mut models =
+                vec![model_io::load(flags.require("model")?).map_err(|e| e.to_string())?];
+            if let Some(extra) = flags.get("ensemble") {
+                for path in extra.split(',').filter(|p| !p.is_empty()) {
+                    models.push(model_io::load(path).map_err(|e| e.to_string())?);
+                }
+            }
+            let clips = load_clips(&data)?;
+            let threads: usize = flags.parse_or("threads", 1)?;
+            let pool = if threads == 0 {
+                ThreadPool::new(Parallelism::Auto)
+            } else {
+                ThreadPool::fixed(threads)
+            };
+            pool.scoped_map(&clips, |_, clip| score_stored_clip(&models, clip, &config))
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .collect::<Result<Vec<_>, String>>()?
+        }
+    };
+
+    let min_score = reports
+        .iter()
+        .map(|r| r.clip_score)
+        .fold(f64::INFINITY, f64::min);
+    let mean_score =
+        reports.iter().map(|r| r.clip_score).sum::<f64>() / reports.len().max(1) as f64;
+    let flagged_clips = reports.iter().filter(|r| !r.is_clean()).count();
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.u64(1);
+    w.key("tool");
+    w.string("slj.quality");
+    w.key("profile");
+    w.string(&config.profile);
+    w.key("clips");
+    w.u64(reports.len() as u64);
+    w.key("min_score");
+    w.f64(min_score);
+    w.key("mean_score");
+    w.f64(mean_score);
+    w.key("flagged_clips");
+    w.u64(flagged_clips as u64);
+    w.key("reports");
+    w.begin_array();
+    for report in &reports {
+        report.write_summary(&mut w);
+    }
+    w.end_array();
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("quality: summary written to {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(gate_path) = flags.get("gate") {
+        let gate = std::fs::read_to_string(gate_path).map_err(|e| format!("{gate_path}: {e}"))?;
+        let floor = json_f64(&gate, "min_clip_score")
+            .ok_or_else(|| format!("{gate_path}: no min_clip_score field"))?;
+        let max_flagged = json_u64(&gate, "max_flagged_frames");
+        let mut violations = Vec::new();
+        for (i, report) in reports.iter().enumerate() {
+            if report.clip_score < floor {
+                violations.push(format!(
+                    "clip {i}: score {} below the floor {floor}",
+                    report.clip_score
+                ));
+            }
+            if let Some(limit) = max_flagged {
+                if u64::from(report.flagged_frames) > limit {
+                    violations.push(format!(
+                        "clip {i}: {} flagged frame(s), limit {limit}",
+                        report.flagged_frames
+                    ));
+                }
+            }
+        }
+        if !violations.is_empty() {
+            return Err(format!(
+                "quality gate {gate_path} failed: {}",
+                violations.join("; ")
+            ));
+        }
+        eprintln!(
+            "quality: gate {gate_path} passed ({} clip(s), min score {min_score} >= {floor})",
+            reports.len()
+        );
     }
     Ok(())
 }
@@ -957,13 +1219,18 @@ fn demo_model(seed: u64) -> Result<PoseModel, String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use slj_repro::serve::{Server, ServerConfig};
 
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["no-quality"])?;
     let model = match flags.get("model") {
         Some(path) => model_io::load(path).map_err(|e| e.to_string())?,
         None => {
             eprintln!("serve: no --model given; training a demo model on synthetic clips");
             demo_model(flags.parse_or("seed", 7u64)?)?
         }
+    };
+    let quality = if flags.switch("no-quality") {
+        None
+    } else {
+        Some(load_quality_config(&flags, "quality-config")?)
     };
     let mut config = ServerConfig {
         addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
@@ -972,6 +1239,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_sessions: flags.parse_or("max-sessions", 64usize)?,
         deadline_ms: flags.parse_or("deadline-ms", 10_000u64)?,
         session_ttl_ms: flags.parse_or("session-ttl-ms", 60_000u64)?,
+        quality,
         ..ServerConfig::default()
     };
     config.limits.max_body = flags

@@ -31,6 +31,10 @@
 //! - [`taxonomy`] — the data-driven exercise vocabulary: pose/stage
 //!   names, stage partition, transition priors and declarative fault
 //!   rules, loadable from a versioned text artifact (`slj taxonomy`).
+//! - [`quality`] — pose-quality diagnostics: per-frame confidence
+//!   signals (likelihood runs, temporal jumps, skeleton violations,
+//!   silhouette health, ensemble divergence) aggregated into a
+//!   deterministic clip score (`slj quality`, `serve.quality.*`).
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ pub use slj_core as core;
 pub use slj_ga as ga;
 pub use slj_imaging as imaging;
 pub use slj_obs as obs;
+pub use slj_quality as quality;
 pub use slj_runtime as runtime;
 pub use slj_serve as serve;
 pub use slj_sim as sim;

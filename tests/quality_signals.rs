@@ -1,0 +1,187 @@
+//! Fault-injection tests for the pose-quality diagnostics layer.
+//!
+//! Clean simulated clips must come through with a high clip score and
+//! **zero** frame flags (the false-positive budget of the CI gate), and
+//! each injected corruption — lighting drift, dropped frames, swapped
+//! frames — must be flagged with the expected reason code. Reports are
+//! bit-identical across thread counts, extending the workspace's
+//! determinism contract to the diagnostics.
+
+use slj_repro::core::config::PipelineConfig;
+use slj_repro::core::engine::JumpSession;
+use slj_repro::core::model::PoseModel;
+use slj_repro::core::training::Trainer;
+use slj_repro::imaging::image::RgbImage;
+use slj_repro::imaging::Rgb;
+use slj_repro::quality::{QualityConfig, QualityReport, Reason};
+use slj_repro::runtime::ThreadPool;
+use slj_repro::sim::{ClipSpec, JumpSimulator, LabeledClip, NoiseConfig};
+
+fn trained_model() -> PoseModel {
+    let sim = JumpSimulator::new(29);
+    let clips: Vec<LabeledClip> = (0..4)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 30,
+                seed: 200 + i,
+                rare_poses: i % 2 == 1,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    Trainer::new(PipelineConfig::default())
+        .expect("config")
+        .train(&clips)
+        .expect("train")
+}
+
+fn clean_clip(seed: u64) -> LabeledClip {
+    JumpSimulator::new(29).generate_clip(&ClipSpec {
+        total_frames: 30,
+        seed,
+        noise: NoiseConfig::default(),
+        ..ClipSpec::default()
+    })
+}
+
+/// Scores `frames` against `background` through the public session API.
+fn score(model: &PoseModel, background: &RgbImage, frames: &[RgbImage]) -> QualityReport {
+    let mut session = JumpSession::new(model, background.clone()).expect("session");
+    session.attach_quality(QualityConfig::default());
+    for frame in frames {
+        session.push_frame(frame).expect("push");
+    }
+    session.quality_report().expect("report")
+}
+
+fn reason_frames(report: &QualityReport, reason: Reason) -> u32 {
+    report.reason_frames[reason as usize]
+}
+
+#[test]
+fn clean_clips_score_high_with_zero_flags() {
+    let model = trained_model();
+    for seed in [600, 601, 602] {
+        let clip = clean_clip(seed);
+        let report = score(&model, &clip.background, &clip.frames);
+        assert_eq!(
+            report.flagged_frames,
+            0,
+            "clean clip {seed} flagged: {}",
+            report.to_json()
+        );
+        assert!(
+            report.clip_score >= 0.9,
+            "clean clip {seed} scored {}",
+            report.clip_score
+        );
+    }
+}
+
+#[test]
+fn lighting_drift_is_flagged_as_silhouette_spike() {
+    let model = trained_model();
+    let clip = clean_clip(700);
+    // Global illumination saturates mid-clip (a severe exposure blow-out).
+    // The extractor's diff normalization absorbs mild uniform drift, but
+    // once most pixels clip to near-white the subtraction floods and the
+    // foreground count spikes.
+    let drift = Rgb::new(200, 200, 200);
+    let frames: Vec<RgbImage> = clip
+        .frames
+        .iter()
+        .enumerate()
+        .map(|(i, frame)| {
+            if i >= clip.frames.len() / 2 {
+                frame.map(|p| p.saturating_add(drift))
+            } else {
+                frame.clone()
+            }
+        })
+        .collect();
+    let report = score(&model, &clip.background, &frames);
+    assert!(
+        reason_frames(&report, Reason::SilhouetteSpike) > 0,
+        "no silhouette_spike in {}",
+        report.to_json()
+    );
+    assert!(report.clip_score < 1.0);
+}
+
+#[test]
+fn dropped_frames_are_flagged_as_empty_silhouette_run() {
+    let model = trained_model();
+    let clip = clean_clip(701);
+    // Six consecutive frames come back as the bare background — a
+    // camera dropout with the jumper out of view.
+    let frames: Vec<RgbImage> = clip
+        .frames
+        .iter()
+        .enumerate()
+        .map(|(i, frame)| {
+            if (10..16).contains(&i) {
+                clip.background.clone()
+            } else {
+                frame.clone()
+            }
+        })
+        .collect();
+    let report = score(&model, &clip.background, &frames);
+    assert!(
+        reason_frames(&report, Reason::EmptySilhouetteRun) > 0,
+        "no empty_silhouette_run in {}",
+        report.to_json()
+    );
+}
+
+#[test]
+fn swapped_frames_are_flagged_as_temporal_jump() {
+    let model = trained_model();
+    let clip = clean_clip(702);
+    // Every other frame is vertically flipped from mid-clip on — the
+    // silhouette teleports between the true and mirrored positions.
+    let frames: Vec<RgbImage> = clip
+        .frames
+        .iter()
+        .enumerate()
+        .map(|(i, frame)| {
+            if i >= clip.frames.len() / 2 && i % 2 == 1 {
+                let (w, h) = (frame.width(), frame.height());
+                RgbImage::from_fn(w, h, |x, y| frame.get(x, h - 1 - y))
+            } else {
+                frame.clone()
+            }
+        })
+        .collect();
+    let report = score(&model, &clip.background, &frames);
+    assert!(
+        reason_frames(&report, Reason::TemporalJump) > 0,
+        "no temporal_jump in {}",
+        report.to_json()
+    );
+}
+
+#[test]
+fn reports_are_bit_identical_across_thread_counts() {
+    let model = trained_model();
+    let mut clips: Vec<LabeledClip> = (0..4).map(|i| clean_clip(800 + i)).collect();
+    // Mix in a corrupted clip so determinism covers flagged paths too.
+    let dropout = clips[1].background.clone();
+    for frame in clips[1].frames.iter_mut().skip(12).take(4) {
+        *frame = dropout.clone();
+    }
+    let run = |threads: usize| -> Vec<QualityReport> {
+        ThreadPool::fixed(threads)
+            .scoped_map(&clips, |_, clip| {
+                score(&model, &clip.background, &clip.frames)
+            })
+            .expect("scoped_map")
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial, parallel, "reports diverge across thread counts");
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.to_json(), b.to_json(), "serialised reports diverge");
+    }
+    assert!(serial.iter().any(|r| r.flagged_frames > 0));
+}

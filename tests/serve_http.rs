@@ -341,7 +341,142 @@ fn loadgen_loopback_run_is_clean_below_the_queue_limit() {
     assert_eq!(report.status_429, 0);
     assert!(report.requests_per_s > 0.0);
     assert!(report.p50_ms > 0.0 && report.p50_ms <= report.p99_ms);
+    // Every 2xx response carries a confidence score (quality is on by
+    // default) and the distribution lands inside [0, 1].
+    assert_eq!(report.scored, 10, "report: {}", report.report_json());
+    assert!(report.clip_score_p50 > 0.0 && report.clip_score_p50 <= 1.0);
+    assert!(report.clip_score_p95 <= report.clip_score_p50 + 1e-9);
     let json = report.report_json();
-    assert!(json.starts_with("{\"schema\":4,\"bench\":\"serve.loadgen\""));
+    assert!(json.starts_with("{\"schema\":5,\"bench\":\"serve.loadgen\""));
+    assert!(json.contains("\"clip_score_p50\":"));
+    handle.stop().expect("stop");
+}
+
+#[test]
+fn quality_fields_ride_along_and_metrics_appear() {
+    let model = trained_model();
+    let clip = test_clip();
+    let handle = spawn_server(quiet_config(), model);
+    let addr = handle.addr.to_string();
+
+    let resp = request(
+        &addr,
+        "POST",
+        "/v1/evaluate",
+        "application/octet-stream",
+        &clip_body(&clip),
+        30_000,
+    )
+    .expect("evaluate");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let text = resp.text();
+    assert!(text.contains(",\"confidence\":"), "{text}");
+    assert!(text.contains(",\"quality\":{\"score\":"), "{text}");
+
+    let metrics =
+        request(&addr, "GET", "/metrics", "application/json", b"", 30_000).expect("metrics");
+    let snapshot = metrics.text();
+    assert!(snapshot.contains("\"serve.quality.clips\""), "{snapshot}");
+    assert!(
+        snapshot.contains("\"serve.quality.score.milli\""),
+        "{snapshot}"
+    );
+    assert!(
+        snapshot.contains("\"serve.quality.reason.temporal_jump\""),
+        "{snapshot}"
+    );
+    handle.stop().expect("stop");
+}
+
+#[test]
+fn disabling_quality_restores_the_legacy_wire_bytes() {
+    let model = trained_model();
+    let clip = test_clip();
+    let (expected, poses) = expected_decisions(&model, &clip);
+
+    let config = ServerConfig {
+        quality: None,
+        ..quiet_config()
+    };
+    let handle = spawn_server(config, model);
+    let addr = handle.addr.to_string();
+    let resp = request(
+        &addr,
+        "POST",
+        "/v1/evaluate",
+        "application/octet-stream",
+        &clip_body(&clip),
+        30_000,
+    )
+    .expect("evaluate");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+
+    // With diagnostics off the body is *exactly* the legacy contract —
+    // byte-identical, not merely missing the new fields.
+    let faults = wire::faults_json(&assess_with_taxonomy(
+        &slj_repro::sim::default_taxonomy(),
+        &poses,
+    ));
+    let legacy = format!(
+        "{{\"schema\":1,\"frames\":{},\"decisions\":[{}],\"faults\":{}}}",
+        expected.len(),
+        expected.join(","),
+        faults
+    );
+    assert_eq!(resp.text(), legacy);
+    handle.stop().expect("stop");
+}
+
+#[test]
+fn sessions_active_gauge_tracks_live_sessions() {
+    let model = trained_model();
+    let handle = spawn_server(quiet_config(), model);
+    let addr = handle.addr.to_string();
+
+    let gauge_value = |snapshot: &str| -> i64 {
+        let key = "\"serve.sessions.active\":{\"type\":\"gauge\",\"value\":";
+        let start = snapshot.find(key).expect("gauge present") + key.len();
+        snapshot[start..]
+            .split('}')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .expect("gauge value")
+    };
+
+    let create = request(
+        &addr,
+        "POST",
+        "/v1/sessions",
+        "application/json",
+        b"{}",
+        30_000,
+    )
+    .expect("create");
+    assert_eq!(create.status, 201);
+    let id: u64 = create
+        .text()
+        .trim_start_matches("{\"session\":")
+        .split(',')
+        .next()
+        .and_then(|s| s.parse().ok())
+        .expect("session id");
+
+    let live = request(&addr, "GET", "/metrics", "application/json", b"", 30_000).expect("metrics");
+    assert_eq!(gauge_value(&live.text()), 1, "one live session");
+
+    let delete = request(
+        &addr,
+        "DELETE",
+        &format!("/v1/sessions/{id}"),
+        "application/json",
+        b"",
+        30_000,
+    )
+    .expect("delete");
+    assert_eq!(delete.status, 200);
+
+    let drained =
+        request(&addr, "GET", "/metrics", "application/json", b"", 30_000).expect("metrics");
+    assert_eq!(gauge_value(&drained.text()), 0, "session closed");
     handle.stop().expect("stop");
 }

@@ -1,7 +1,7 @@
 //! Schema check for `slj trace` JSONL output, driving the released
 //! binary the way CI's trace-smoke job does: generate a clip set, train
 //! a model, trace it, and validate every emitted line — one JSON object
-//! per frame, versioned (`"schema":2`), with every required key always
+//! per frame, versioned (`"schema":3`), with every required key always
 //! present.
 
 use std::path::PathBuf;
@@ -30,7 +30,7 @@ fn run(args: &[&str]) -> (bool, String) {
 }
 
 /// Keys every trace record must carry, in emission order.
-const REQUIRED_KEYS: [&str; 15] = [
+const REQUIRED_KEYS: [&str; 17] = [
     "schema",
     "clip",
     "frame",
@@ -46,6 +46,8 @@ const REQUIRED_KEYS: [&str; 15] = [
     "carry_forward",
     "stage",
     "stage_posterior",
+    "foreground_px",
+    "quality_flags",
 ];
 
 /// Pipeline-step keys every record's `pipeline_ns` object must contain.
@@ -116,8 +118,18 @@ fn trace_jsonl_has_one_schema_stable_record_per_frame() {
     assert_eq!(lines.len(), clips * frames, "expected one record per frame");
     for (n, line) in lines.iter().enumerate() {
         assert!(
-            line.starts_with("{\"schema\":2,") && line.ends_with('}'),
+            line.starts_with("{\"schema\":3,") && line.ends_with('}'),
             "line {n}: not a versioned JSON object: {line}"
+        );
+        // `slj trace` attaches the quality analyzer by default, so both
+        // schema-3 fields must carry values, not nulls.
+        assert!(
+            line.contains("\"quality_flags\":["),
+            "line {n}: quality_flags not scored: {line}"
+        );
+        assert!(
+            !line.contains("\"foreground_px\":null"),
+            "line {n}: foreground_px missing: {line}"
         );
         for key in REQUIRED_KEYS {
             assert!(
