@@ -294,7 +294,7 @@ impl TwoSliceDbn {
                 &self.transition
             };
             for cpd in cpds {
-                b.attach(remap_cpd(cpd, &map))?;
+                b.attach(remap_cpd(cpd, &map)?)?;
             }
             step_maps.push(map);
         }
@@ -303,26 +303,29 @@ impl TwoSliceDbn {
 }
 
 /// Rewrites a CPD onto new variable handles with identical cardinalities.
-fn remap_cpd(cpd: &Cpd, map: &HashMap<usize, Variable>) -> Cpd {
+///
+/// Remapping preserves every cardinality, so reconstruction can only fail
+/// if an unrolled network was built against mismatched handles — surfaced
+/// as an error rather than a panic.
+fn remap_cpd(cpd: &Cpd, map: &HashMap<usize, Variable>) -> Result<Cpd, BayesError> {
     let remap = |v: Variable| -> Variable { map.get(&v.id()).copied().unwrap_or(v) };
-    match cpd {
+    Ok(match cpd {
         Cpd::Table(t) => {
             let child = remap(t.child());
             let parents: Vec<Variable> = t.parents().iter().map(|&p| remap(p)).collect();
-            Cpd::Table(
-                TableCpd::new(child, parents, t.table().to_vec())
-                    .expect("remapped CPD preserves shape"),
-            )
+            Cpd::Table(TableCpd::new(child, parents, t.table().to_vec())?)
         }
         Cpd::NoisyOr(n) => {
             let child = remap(n.child());
             let parents: Vec<Variable> = n.parents().iter().map(|&p| remap(p)).collect();
-            Cpd::NoisyOr(
-                NoisyOrCpd::new(child, parents, n.activation().to_vec(), n.leak())
-                    .expect("remapped CPD preserves shape"),
-            )
+            Cpd::NoisyOr(NoisyOrCpd::new(
+                child,
+                parents,
+                n.activation().to_vec(),
+                n.leak(),
+            )?)
         }
-    }
+    })
 }
 
 /// Recursive (filtering) state estimation over a [`TwoSliceDbn`].
@@ -429,10 +432,11 @@ impl<'a> ForwardFilter<'a> {
         factors.extend(template.iter().cloned());
         if !first {
             // Attach the previous belief on the prev-slice handles.
-            let mut prior = self
-                .belief
-                .clone()
-                .expect("steps > 0 implies belief is set");
+            let Some(mut prior) = self.belief.clone() else {
+                return Err(BayesError::InvalidTemporalStructure(
+                    "filter stepped past t=0 with no belief set".into(),
+                ));
+            };
             for pair in &self.dbn.interface {
                 prior = prior.rename(pair.cur, pair.prev)?;
             }
@@ -553,8 +557,14 @@ impl<'a> SmoothingPass<'a> {
         let keep_cur: HashSet<usize> = iface.iter().map(|v| v.id()).collect();
         let prev_vars: Vec<Variable> = iface
             .iter()
-            .map(|&v| self.dbn.previous_of(v).expect("interface var has prev"))
-            .collect();
+            .map(|&v| {
+                self.dbn.previous_of(v).ok_or_else(|| {
+                    BayesError::InvalidTemporalStructure(
+                        "interface variable lacks a previous-slice handle".into(),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let mut keep_both = keep_cur.clone();
         keep_both.extend(prev_vars.iter().map(|v| v.id()));
         let decoder = ViterbiDecoder::new(self.dbn);
@@ -570,7 +580,12 @@ impl<'a> SmoothingPass<'a> {
         let mut kernels: Vec<Factor> = Vec::with_capacity(steps.len().saturating_sub(1));
         for step in &steps[1..] {
             let kernel = decoder.slice_potential(&self.dbn.transition, step, &keep_both, None)?;
-            let mut prior = alphas.last().expect("non-empty").clone();
+            let mut prior = alphas
+                .last()
+                .ok_or_else(|| {
+                    BayesError::InvalidTemporalStructure("forward pass produced no messages".into())
+                })?
+                .clone();
             for (cur, prev) in iface.iter().zip(&prev_vars) {
                 prior = prior.rename(*cur, *prev)?;
             }
@@ -681,8 +696,14 @@ impl<'a> ViterbiDecoder<'a> {
         // Steps 1..T: transition kernel over prev ∪ cur interface.
         let prev_vars: Vec<Variable> = iface
             .iter()
-            .map(|&v| self.dbn.previous_of(v).expect("interface var has prev"))
-            .collect();
+            .map(|&v| {
+                self.dbn.previous_of(v).ok_or_else(|| {
+                    BayesError::InvalidTemporalStructure(
+                        "interface variable lacks a previous-slice handle".into(),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let mut keep_both = keep_cur.clone();
         keep_both.extend(prev_vars.iter().map(|v| v.id()));
         for step in &steps[1..] {

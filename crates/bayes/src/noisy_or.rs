@@ -102,16 +102,18 @@ impl NoisyOrBank {
     ///
     /// `parent_dists[p][s]` is the probability of parent `p` being in
     /// state `s` (e.g. `P(part | pose)`); `evidence[k]` is the observed
-    /// value of area `k`.
+    /// value of area `k`. Rows are borrowed (`&[Vec<f64>]` and
+    /// `&[&[f64]]` both work), so per-frame callers can pass views into
+    /// their CPTs without copying them.
     ///
     /// # Errors
     ///
     /// Returns [`BayesError::WrongTableSize`] when the shapes do not
     /// match the bank and [`BayesError::InvalidProbability`] on negative
     /// or non-finite entries.
-    pub fn evidence_likelihood(
+    pub fn evidence_likelihood<D: AsRef<[f64]>>(
         &self,
-        parent_dists: &[Vec<f64>],
+        parent_dists: &[D],
         evidence: &[bool],
     ) -> Result<f64, BayesError> {
         if evidence.len() != self.areas.len() {
@@ -127,6 +129,7 @@ impl NoisyOrBank {
             });
         }
         for (dist, &card) in parent_dists.iter().zip(&self.parent_cards) {
+            let dist = dist.as_ref();
             if dist.len() != card {
                 return Err(BayesError::WrongTableSize {
                     expected: card,
@@ -142,6 +145,9 @@ impl NoisyOrBank {
         let negative: Vec<usize> = (0..self.areas.len()).filter(|&k| !evidence[k]).collect();
         let positive: Vec<usize> = (0..self.areas.len()).filter(|&k| evidence[k]).collect();
         let mut total = 0.0f64;
+        // One scratch buffer for the active set, reused across all 2^|P|
+        // subsets instead of cloning `negative` per iteration.
+        let mut active: Vec<usize> = Vec::with_capacity(self.areas.len());
         // Iterate subsets S of the positive findings.
         for subset in 0u64..(1u64 << positive.len()) {
             let sign = if subset.count_ones() % 2 == 0 {
@@ -149,7 +155,8 @@ impl NoisyOrBank {
             } else {
                 -1.0
             };
-            let mut active: Vec<usize> = negative.clone();
+            active.clear();
+            active.extend_from_slice(&negative);
             for (bit, &k) in positive.iter().enumerate() {
                 if subset >> bit & 1 == 1 {
                     active.push(k);
@@ -160,7 +167,7 @@ impl NoisyOrBank {
             // Per-parent expectation of the joint off-probabilities.
             for (p, dist) in parent_dists.iter().enumerate() {
                 let mut expect = 0.0f64;
-                for (s, &pi) in dist.iter().enumerate() {
+                for (s, &pi) in dist.as_ref().iter().enumerate() {
                     if pi == 0.0 {
                         continue;
                     }

@@ -11,8 +11,14 @@
 //! reader below — the workspace has no serde):
 //!
 //! ```json
-//! {"schema":1,"rules":{"robustness/no-panic-in-lib":{"crates/core/src/model.rs":12}}}
+//! {"schema":2,"rules":{"robustness/no-panic-in-lib":{"crates/core/src/model.rs":12}}}
 //! ```
+//!
+//! Schema 2 is byte-compatible with schema 1; the bump marks the point
+//! where the interprocedural rules (`robustness/panic-reachable-from-api`
+//! and friends) started feeding the same ratchet. v1 files still load —
+//! the parser accepts both versions — so pre-PR-9 baselines migrate by
+//! simply being rewritten with `--write-baseline`.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -21,6 +27,12 @@ use slj_obs::JsonWriter;
 
 use crate::report::Finding;
 use crate::CheckError;
+
+/// Baseline file schema version (`"schema"` key in `check-baseline.json`).
+///
+/// v2 = same layout as v1, with the interprocedural rules included in
+/// the counts. [`Baseline::parse`] accepts v1 and v2.
+pub const BASELINE_SCHEMA_VERSION: u64 = 2;
 
 /// Per-rule, per-file active finding counts.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -65,12 +77,12 @@ impl Baseline {
         Baseline { rules }
     }
 
-    /// Serialises the baseline (`"schema":1`, keys sorted).
+    /// Serialises the baseline (`"schema":2`, keys sorted).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("schema");
-        w.u64(1);
+        w.u64(BASELINE_SCHEMA_VERSION);
         w.key("rules");
         w.begin_object();
         for (rule, files) in &self.rules {
@@ -112,9 +124,11 @@ impl Baseline {
             match key.as_str() {
                 "schema" => {
                     let v = p.number()?;
-                    if v != 1 {
+                    // v1 (pre-interprocedural) files still load: the
+                    // layout never changed, only what feeds the counts.
+                    if v != 1 && v != BASELINE_SCHEMA_VERSION {
                         return Err(CheckError::Parse(format!(
-                            "unsupported baseline schema {v}; expected 1"
+                            "unsupported baseline schema {v}; expected 1 or {BASELINE_SCHEMA_VERSION}"
                         )));
                     }
                 }
@@ -329,7 +343,7 @@ mod tests {
         ];
         let b = Baseline::from_findings(&findings);
         let json = b.to_json();
-        assert!(json.starts_with("{\"schema\":1"));
+        assert!(json.starts_with("{\"schema\":2"));
         let parsed = Baseline::parse(&json).unwrap();
         assert_eq!(parsed, b);
         assert_eq!(
@@ -371,8 +385,22 @@ mod tests {
     }
 
     #[test]
+    fn v1_baselines_still_load() {
+        let b = Baseline::parse(
+            r#"{"schema":1,"rules":{"robustness/no-panic-in-lib":{"crates/a/src/lib.rs":4}}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            b.rules["robustness/no-panic-in-lib"]["crates/a/src/lib.rs"],
+            4
+        );
+        // Rewriting migrates to the current version.
+        assert!(b.to_json().starts_with("{\"schema\":2"));
+    }
+
+    #[test]
     fn bad_schema_rejected() {
-        assert!(Baseline::parse(r#"{"schema":2,"rules":{}}"#).is_err());
+        assert!(Baseline::parse(r#"{"schema":3,"rules":{}}"#).is_err());
         assert!(Baseline::parse("not json").is_err());
         assert!(Baseline::parse(r#"{"schema":1"#).is_err());
     }

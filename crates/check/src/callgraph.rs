@@ -1,0 +1,874 @@
+//! The over-approximate call graph and per-function effect sets.
+//!
+//! Calls are recovered from the flat token stream with three patterns:
+//!
+//! - `name(...)` — a free-function call; resolves to every free function
+//!   with that name that the caller could actually reach (same crate, or
+//!   `pub`);
+//! - `.name(...)` — a method call; resolves to every method with that
+//!   name (a documented over-approximation — receivers are untyped). A
+//!   stoplist of ubiquitous `std` method names keeps `.clone()`-style
+//!   calls from fanning out to unrelated impls. `self.name(...)` resolves
+//!   precisely when the enclosing impl defines the method;
+//! - `Type::name(...)` / `Self::name(...)` — a qualified call; resolves
+//!   to methods of that impl type (lowercase first segments are treated
+//!   as module paths and resolve like free functions).
+//!
+//! Known under-approximations (accepted; the direct PR 4 rules still
+//! cover their effects at the definition site): turbofish calls
+//! (`f::<T>(…)`), function pointers/closures passed as values, trait
+//! objects dispatched through a stoplisted name, and macro bodies.
+//!
+//! Alongside edges, each function gets an effect set: panic sites,
+//! allocation sites (with a cold-path heuristic: allocations in
+//! error-construction statements do not count), wall-clock reads, hash
+//! iterations, and — in `crates/serve` + `crates/runtime` — lock
+//! acquisitions with a coarse guard-liveness range for the lock-order
+//! analysis.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+use crate::symbols::SymbolTable;
+
+/// One effect occurrence inside a function.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// 1-based source line.
+    pub line: u32,
+    /// What was found (`".unwrap()"`, `"format!"`, …).
+    pub what: String,
+}
+
+/// One lock acquisition inside a function.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Token position in the file (orders acquisitions and call sites).
+    pub pos: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// Lock identity, e.g. `SessionTable.inner` (leading `self` is
+    /// replaced by the impl type so the same field matches across
+    /// methods).
+    pub id: String,
+    /// Token position the guard is live until: the end of the statement
+    /// for a temporary, the end of the file's tokens for a `let`-bound
+    /// guard (approximates "until end of function").
+    pub live_end: usize,
+}
+
+/// Everything a single function does that the reachability rules track.
+#[derive(Debug, Clone, Default)]
+pub struct Effects {
+    /// `unwrap`/`expect`/`panic!`-family sites.
+    pub panics: Vec<Site>,
+    /// Allocation sites (cold error paths already excluded).
+    pub allocs: Vec<Site>,
+    /// `Instant::now`/`SystemTime` sites.
+    pub wall: Vec<Site>,
+    /// Hash-container iteration sites.
+    pub hash: Vec<Site>,
+    /// Lock acquisitions, in source order.
+    pub locks: Vec<LockSite>,
+}
+
+/// The workspace call graph: per-symbol callees, ordered call sites, and
+/// effect sets.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Per sym: resolved callee syms.
+    pub callees: Vec<BTreeSet<usize>>,
+    /// Per sym: `(token position, callee)` pairs in source order.
+    pub call_sites: Vec<Vec<(usize, usize)>>,
+    /// Per sym: its effect set.
+    pub effects: Vec<Effects>,
+}
+
+/// Method names so common on `std` types that an untyped `.name(` call
+/// would connect unrelated code; these never produce method edges (a
+/// documented under-approximation).
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_modify",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "bytes",
+    "ceil",
+    "chain",
+    "chars",
+    "checked_add",
+    "checked_mul",
+    "checked_sub",
+    "chunks",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "default",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "min",
+    "min_by",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_else",
+    "or_insert",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "push_str",
+    "read",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "send",
+    "skip",
+    "skip_while",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "splitn",
+    "sqrt",
+    "starts_with",
+    "strip_prefix",
+    "strip_suffix",
+    "sum",
+    "swap",
+    "take",
+    "take_while",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "with_capacity",
+    "write",
+    "zip",
+];
+
+/// Keywords that look like `name(` but are never calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "as", "in", "move", "ref", "else", "break",
+    "continue", "where", "unsafe", "let", "pub", "impl", "self", "super", "crate", "fn", "use",
+    "mod", "dyn",
+];
+
+/// Hash-container iteration methods (mirrors the direct PR 4 rule).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+fn lowercase_start(name: &str) -> bool {
+    name.chars()
+        .next()
+        .is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+impl CallGraph {
+    /// Builds the graph over every function in `table`.
+    pub fn build(table: &SymbolTable) -> CallGraph {
+        let n = table.syms.len();
+        let mut graph = CallGraph {
+            callees: vec![BTreeSet::new(); n],
+            call_sites: vec![Vec::new(); n],
+            effects: vec![Effects::default(); n],
+        };
+        for file_idx in 0..table.files.len() {
+            scan_file(table, file_idx, &mut graph);
+        }
+        graph
+    }
+}
+
+/// Resolution filter: a callee is reachable from `caller` when it lives
+/// in the same crate or is `pub`.
+fn visible(table: &SymbolTable, caller: usize, callee: usize) -> bool {
+    let a = &table.syms[caller];
+    let b = &table.syms[callee];
+    b.is_pub || a.crate_name == b.crate_name
+}
+
+fn scan_file(table: &SymbolTable, file_idx: usize, graph: &mut CallGraph) {
+    let file = &table.files[file_idx];
+    let code = &file.code;
+    let in_lock_scope =
+        file.path.starts_with("crates/serve/") || file.path.starts_with("crates/runtime/");
+
+    let id = |i: usize, name: &str| code.get(i).is_some_and(|t| t.is_ident(name));
+    let p = |i: usize, ch: char| code.get(i).is_some_and(|t| t.is_punct(ch));
+    let any_id = |i: usize, names: &[&str]| {
+        code.get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && names.contains(&t.text.as_str()))
+    };
+    let sym_at = |i: usize| -> Option<usize> {
+        file.owner
+            .get(i)
+            .copied()
+            .flatten()
+            .map(|local| table.global_of[file_idx][local])
+            .filter(|&s| !table.syms[s].is_test)
+    };
+
+    // Pass A (hash rule): identifiers bound to hash containers, keyed by
+    // owning sym.
+    let mut hash_bound: BTreeSet<(usize, String)> = BTreeSet::new();
+    for i in 0..code.len() {
+        if !(id(i, "HashMap") || id(i, "HashSet")) {
+            continue;
+        }
+        let Some(owner) = sym_at(i) else { continue };
+        // `let [mut] name ... = ... HashMap ...` within the statement.
+        let mut j = i;
+        let mut steps = 0usize;
+        while j > 0 && steps < 48 {
+            j -= 1;
+            steps += 1;
+            let t = &code[j];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            if t.is_ident("let") {
+                let mut k = j + 1;
+                if id(k, "mut") {
+                    k += 1;
+                }
+                if let Some(name_tok) = code.get(k) {
+                    if name_tok.kind == TokKind::Ident {
+                        hash_bound.insert((owner, name_tok.text.clone()));
+                    }
+                }
+                break;
+            }
+        }
+        // Parameter style: `name: &HashMap<..>`.
+        let mut k = i;
+        while k > 0 && (p(k - 1, '&') || id(k - 1, "mut") || code[k - 1].kind == TokKind::Lifetime)
+        {
+            k -= 1;
+        }
+        if k >= 2 && p(k - 1, ':') && !p(k - 2, ':') {
+            if let Some(name_tok) = code.get(k.wrapping_sub(2)) {
+                if name_tok.kind == TokKind::Ident {
+                    hash_bound.insert((owner, name_tok.text.clone()));
+                }
+            }
+        }
+    }
+
+    for i in 0..code.len() {
+        let Some(caller) = sym_at(i) else { continue };
+        let t = &code[i];
+
+        // ---- call edges ----
+        if t.kind == TokKind::Ident && lowercase_start(&t.text) {
+            let prev_dot = i > 0 && code[i - 1].is_punct('.');
+            let prev_colon = i > 0 && code[i - 1].is_punct(':');
+            // Qualified call `Seg::name(` — detected at the *name*, so a
+            // bare-call match below cannot double-fire.
+            if prev_colon && i >= 2 && p(i - 2, ':') && p(i + 1, '(') {
+                if let Some(seg) = code.get(i.wrapping_sub(3)) {
+                    if seg.kind == TokKind::Ident {
+                        let targets = resolve_qualified(table, caller, &seg.text, &t.text);
+                        add_calls(graph, caller, i, &targets);
+                    }
+                }
+            } else if prev_dot && p(i + 1, '(') {
+                let recv_self = i >= 2 && code[i - 2].is_ident("self");
+                let targets = resolve_method(table, caller, &t.text, recv_self);
+                add_calls(graph, caller, i, &targets);
+            } else if !prev_dot
+                && !prev_colon
+                && p(i + 1, '(')
+                && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                && !(i > 0 && code[i - 1].is_ident("fn"))
+            {
+                let targets: Vec<usize> = table
+                    .by_name
+                    .get(&t.text)
+                    .map(|cands| {
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&s| {
+                                table.syms[s].self_type.is_none()
+                                    && !table.syms[s].is_test
+                                    && visible(table, caller, s)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                add_calls(graph, caller, i, &targets);
+            }
+        }
+
+        // ---- effects ----
+        let eff = &mut graph.effects[caller];
+
+        // Panics (mirrors `robustness/no-panic-in-lib`).
+        if p(i, '.') && any_id(i + 1, &["unwrap", "expect"]) && p(i + 2, '(') {
+            let line = code.get(i + 1).map_or(t.line, |n| n.line);
+            let what = code.get(i + 1).map(|n| n.text.clone()).unwrap_or_default();
+            eff.panics.push(Site {
+                line,
+                what: format!(".{what}()"),
+            });
+        }
+        if any_id(i, &["panic", "unreachable", "todo", "unimplemented"]) && p(i + 1, '!') {
+            eff.panics.push(Site {
+                line: t.line,
+                what: format!("{}!", t.text),
+            });
+        }
+
+        // Allocations (mirrors `perf/no-hot-path-alloc`), unless the
+        // statement is building an error (cold path by construction).
+        let alloc_hit: Option<&str> =
+            if id(i, "Vec") && p(i + 1, ':') && p(i + 2, ':') && id(i + 3, "new") {
+                Some("Vec::new()")
+            } else if id(i, "vec") && p(i + 1, '!') {
+                Some("vec!")
+            } else if p(i, '.') && id(i + 1, "to_vec") && p(i + 2, '(') {
+                Some(".to_vec()")
+            } else if p(i, '.') && id(i + 1, "clone") && p(i + 2, '(') {
+                Some(".clone()")
+            } else if id(i, "String") && p(i + 1, ':') && p(i + 2, ':') && id(i + 3, "from") {
+                Some("String::from")
+            } else if id(i, "format") && p(i + 1, '!') {
+                Some("format!")
+            } else if p(i, '.') && any_id(i + 1, &["to_string", "to_owned"]) && p(i + 2, '(') {
+                Some(".to_string()/.to_owned()")
+            } else if id(i, "Box") && p(i + 1, ':') && p(i + 2, ':') && id(i + 3, "new") {
+                Some("Box::new()")
+            } else {
+                None
+            };
+        if let Some(what) = alloc_hit {
+            if !cold_statement(code, i) {
+                let line = if p(i, '.') {
+                    code.get(i + 1).map_or(t.line, |n| n.line)
+                } else {
+                    t.line
+                };
+                eff.allocs.push(Site {
+                    line,
+                    what: what.to_string(),
+                });
+            }
+        }
+
+        // Wall clock (mirrors `determinism/no-wall-clock`, but collected
+        // in every crate — obs included — so timing helpers show up in
+        // chains and must be allowed explicitly at the site).
+        if id(i, "Instant") && p(i + 1, ':') && p(i + 2, ':') && id(i + 3, "now") {
+            eff.wall.push(Site {
+                line: t.line,
+                what: "Instant::now()".to_string(),
+            });
+        }
+        if id(i, "SystemTime") {
+            eff.wall.push(Site {
+                line: t.line,
+                what: "SystemTime".to_string(),
+            });
+        }
+
+        // Hash iteration (mirrors `determinism/no-hash-iteration`).
+        if p(i, '.')
+            && code.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident && ITER_METHODS.contains(&n.text.as_str())
+            })
+            && p(i + 2, '(')
+            && i > 0
+            && code[i - 1].kind == TokKind::Ident
+            && hash_bound.contains(&(caller, code[i - 1].text.clone()))
+        {
+            let line = code.get(i + 1).map_or(t.line, |n| n.line);
+            eff.hash.push(Site {
+                line,
+                what: format!("{}.{}()", code[i - 1].text, code[i + 1].text),
+            });
+        }
+        if id(i, "for") {
+            let mut j = i + 1;
+            let mut guard = 0usize;
+            while j < code.len() && guard < 24 && !code[j].is_ident("in") {
+                j += 1;
+                guard += 1;
+            }
+            if j < code.len() && code[j].is_ident("in") {
+                let mut k = j + 1;
+                let mut guard2 = 0usize;
+                while k < code.len() && guard2 < 16 && !code[k].is_punct('{') {
+                    if code[k].kind == TokKind::Ident
+                        && hash_bound.contains(&(caller, code[k].text.clone()))
+                    {
+                        eff.hash.push(Site {
+                            line: code[k].line,
+                            what: format!("for … in {}", code[k].text),
+                        });
+                        break;
+                    }
+                    k += 1;
+                    guard2 += 1;
+                }
+            }
+        }
+
+        // Lock acquisitions (serve + runtime only).
+        if in_lock_scope {
+            if id(i, "lock_unpoisoned") && p(i + 1, '(') {
+                if let Some(lock_id) = lock_arg_id(table, caller, code, i + 2) {
+                    eff.locks.push(lock_site(code, i, t.line, lock_id));
+                }
+            }
+            if p(i, '.')
+                && any_id(i + 1, &["lock", "read", "write"])
+                && p(i + 2, '(')
+                && p(i + 3, ')')
+            {
+                if let Some(lock_id) = receiver_path(table, caller, code, i) {
+                    let line = code.get(i + 1).map_or(t.line, |n| n.line);
+                    eff.locks.push(lock_site(code, i, line, lock_id));
+                }
+            }
+        }
+    }
+
+    // Dedup panic/alloc/wall/hash sites per (line, what): one construct
+    // can trip overlapping detectors.
+    for local in 0..file.fns.len() {
+        let sym = table.global_of[file_idx][local];
+        let eff = &mut graph.effects[sym];
+        for list in [
+            &mut eff.panics,
+            &mut eff.allocs,
+            &mut eff.wall,
+            &mut eff.hash,
+        ] {
+            list.sort_by(|a, b| (a.line, a.what.clone()).cmp(&(b.line, b.what.clone())));
+            list.dedup_by(|a, b| a.line == b.line && a.what == b.what);
+        }
+    }
+}
+
+fn add_calls(graph: &mut CallGraph, caller: usize, pos: usize, targets: &[usize]) {
+    for &t in targets {
+        graph.callees[caller].insert(t);
+        graph.call_sites[caller].push((pos, t));
+    }
+}
+
+/// `Type::name(` / `module::name(` / `Self::name(` resolution.
+fn resolve_qualified(table: &SymbolTable, caller: usize, seg: &str, name: &str) -> Vec<usize> {
+    let ty: Option<String> = if seg == "Self" {
+        table.syms[caller].self_type.clone()
+    } else if !lowercase_start(seg) {
+        Some(seg.to_string())
+    } else {
+        None
+    };
+    let Some(cands) = table.by_name.get(name) else {
+        return Vec::new();
+    };
+    match ty {
+        Some(ty) => cands
+            .iter()
+            .copied()
+            .filter(|&s| {
+                table.syms[s].self_type.as_deref() == Some(ty.as_str())
+                    && !table.syms[s].is_test
+                    && visible(table, caller, s)
+            })
+            .collect(),
+        // Module path: behaves like a free-function call.
+        None => cands
+            .iter()
+            .copied()
+            .filter(|&s| {
+                table.syms[s].self_type.is_none()
+                    && !table.syms[s].is_test
+                    && visible(table, caller, s)
+            })
+            .collect(),
+    }
+}
+
+/// `.name(` resolution: all methods with that name, stoplisted; a
+/// `self.name(` receiver resolves precisely within the enclosing impl.
+fn resolve_method(table: &SymbolTable, caller: usize, name: &str, recv_self: bool) -> Vec<usize> {
+    let Some(cands) = table.by_name.get(name) else {
+        return Vec::new();
+    };
+    if recv_self {
+        if let Some(ty) = table.syms[caller].self_type.as_deref() {
+            let own: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    table.syms[s].self_type.as_deref() == Some(ty) && !table.syms[s].is_test
+                })
+                .collect();
+            if !own.is_empty() {
+                return own;
+            }
+        }
+    }
+    if STD_METHODS.contains(&name) {
+        return Vec::new();
+    }
+    cands
+        .iter()
+        .copied()
+        .filter(|&s| {
+            table.syms[s].self_type.is_some() && !table.syms[s].is_test && visible(table, caller, s)
+        })
+        .collect()
+}
+
+/// Whether the statement containing token `i` is constructing an error
+/// (allocations there are cold by definition: they run once on failure).
+fn cold_statement(code: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    let mut steps = 0usize;
+    while j > 0 && steps < 40 {
+        j -= 1;
+        steps += 1;
+        let t = &code[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "Err" | "map_err" | "ok_or" | "ok_or_else")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Identity of the lock in `lock_unpoisoned(&self.inner)`-style calls:
+/// the ident path inside the parens, `self` replaced by the impl type.
+fn lock_arg_id(table: &SymbolTable, caller: usize, code: &[Tok], start: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = start;
+    let mut guard = 0usize;
+    while j < code.len() && guard < 12 && !code[j].is_punct(')') {
+        if code[j].kind == TokKind::Ident {
+            parts.push(code[j].text.clone());
+        }
+        j += 1;
+        guard += 1;
+    }
+    canonical_lock_id(table, caller, parts)
+}
+
+/// Identity of the receiver in `self.inner.lock()`-style calls: walk the
+/// `ident . ident . …` chain left of the dot at `dot`.
+fn receiver_path(table: &SymbolTable, caller: usize, code: &[Tok], dot: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = dot; // points at the `.` before lock/read/write
+    while j >= 1 && code[j - 1].kind == TokKind::Ident {
+        parts.push(code[j - 1].text.clone());
+        if j >= 2 && code[j - 2].is_punct('.') {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    parts.reverse();
+    canonical_lock_id(table, caller, parts)
+}
+
+fn canonical_lock_id(table: &SymbolTable, caller: usize, mut parts: Vec<String>) -> Option<String> {
+    if parts.is_empty() {
+        return None;
+    }
+    if parts[0] == "self" {
+        if let Some(ty) = table.syms[caller].self_type.as_deref() {
+            parts[0] = ty.to_string();
+        }
+    }
+    Some(parts.join("."))
+}
+
+fn lock_site(code: &[Tok], pos: usize, line: u32, id: String) -> LockSite {
+    // Statement start: is it a `let` binding (guard lives on) or a
+    // temporary (guard dies at the `;`)?
+    let mut k = pos;
+    let mut steps = 0usize;
+    while k > 0 && steps < 64 {
+        let t = &code[k - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        k -= 1;
+        steps += 1;
+    }
+    let is_let = code.get(k).is_some_and(|t| t.is_ident("let"));
+    let live_end = if is_let {
+        usize::MAX
+    } else {
+        let mut e = pos;
+        while e < code.len() && !code[e].is_punct(';') {
+            e += 1;
+        }
+        e
+    };
+    LockSite {
+        pos,
+        line,
+        id,
+        live_end,
+    }
+}
+
+/// Fixpoint of "locks this function may eventually acquire, transitively
+/// through calls" — the interprocedural half of the lock-order analysis.
+pub fn locks_eventually(table: &SymbolTable, graph: &CallGraph) -> Vec<BTreeSet<String>> {
+    let n = table.syms.len();
+    let mut out: Vec<BTreeSet<String>> = (0..n)
+        .map(|s| {
+            graph.effects[s]
+                .locks
+                .iter()
+                .map(|l| l.id.clone())
+                .collect()
+        })
+        .collect();
+    // Iterate to fixpoint; lock sets are tiny, the graph is acyclic-ish.
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed && rounds < 64 {
+        changed = false;
+        rounds += 1;
+        for caller in 0..n {
+            let mut add: Vec<String> = Vec::new();
+            for &callee in &graph.callees[caller] {
+                for id in &out[callee] {
+                    if !out[caller].contains(id) {
+                        add.push(id.clone());
+                    }
+                }
+            }
+            if !add.is_empty() {
+                changed = true;
+                out[caller].extend(add);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(files: &[(&str, &str)]) -> SymbolTable {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        SymbolTable::build(&sources)
+    }
+
+    fn sym(table: &SymbolTable, name: &str) -> usize {
+        table.by_name[name][0]
+    }
+
+    #[test]
+    fn free_fn_calls_resolve_cross_crate_when_pub() {
+        let t = table(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn api() { helper(); }\nfn helper() {}",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn caller() { api(); helper(); }",
+            ),
+        ]);
+        let g = CallGraph::build(&t);
+        let caller = sym(&t, "caller");
+        assert!(g.callees[caller].contains(&sym(&t, "api")));
+        // `helper` is private to crate a: not visible from crate b.
+        assert!(!g.callees[caller].contains(&sym(&t, "helper")));
+        // Within crate a the private call resolves.
+        assert!(g.callees[sym(&t, "api")].contains(&sym(&t, "helper")));
+    }
+
+    #[test]
+    fn self_method_calls_resolve_to_own_impl() {
+        let t = table(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { pub fn go(&self) { self.work(); } fn work(&self) {} }\n\
+             impl B { fn work(&self) {} }",
+        )]);
+        let g = CallGraph::build(&t);
+        let go = sym(&t, "go");
+        let works = &t.by_name["work"];
+        let a_work = works
+            .iter()
+            .copied()
+            .find(|&s| t.syms[s].self_type.as_deref() == Some("A"))
+            .unwrap();
+        let b_work = works
+            .iter()
+            .copied()
+            .find(|&s| t.syms[s].self_type.as_deref() == Some("B"))
+            .unwrap();
+        assert!(g.callees[go].contains(&a_work));
+        assert!(!g.callees[go].contains(&b_work));
+    }
+
+    #[test]
+    fn qualified_and_stoplisted_calls() {
+        let t = table(&[(
+            "crates/a/src/lib.rs",
+            "struct W;\n\
+             impl W { pub fn new() -> W { W } pub fn clone_into_scratch(&self) {} }\n\
+             pub fn build() { let w = W::new(); let c = w.clone(); }",
+        )]);
+        let g = CallGraph::build(&t);
+        let build = sym(&t, "build");
+        assert!(g.callees[build].contains(&sym(&t, "new")));
+        // `.clone()` is stoplisted: no edge even though nothing matches.
+        assert_eq!(g.callees[build].len(), 1);
+    }
+
+    #[test]
+    fn effects_collected_per_fn() {
+        let t = table(&[(
+            "crates/a/src/lib.rs",
+            "fn panicky(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             fn allocy() { let v = Vec::new(); touch(v); }\n\
+             fn cold_ok() -> Result<(), String> { Err(format!(\"x\")) }\n\
+             fn timed() { let t = Instant::now(); use_it(t); }",
+        )]);
+        let g = CallGraph::build(&t);
+        assert_eq!(g.effects[sym(&t, "panicky")].panics.len(), 1);
+        assert_eq!(g.effects[sym(&t, "allocy")].allocs.len(), 1);
+        // The `format!` inside `Err(...)` is a cold error path.
+        assert!(g.effects[sym(&t, "cold_ok")].allocs.is_empty());
+        assert_eq!(g.effects[sym(&t, "timed")].wall.len(), 1);
+    }
+
+    #[test]
+    fn lock_sites_and_liveness() {
+        let t = table(&[(
+            "crates/serve/src/session.rs",
+            "struct Table;\n\
+             impl Table {\n\
+               fn checkout(&self) { let g = lock_unpoisoned(&self.inner); hold(g); other(); }\n\
+               fn quick(&self) { lock_unpoisoned(&self.inner).touch(); after(); }\n\
+             }",
+        )]);
+        let g = CallGraph::build(&t);
+        let checkout = sym(&t, "checkout");
+        let quick = sym(&t, "quick");
+        assert_eq!(g.effects[checkout].locks.len(), 1);
+        assert_eq!(g.effects[checkout].locks[0].id, "Table.inner");
+        assert_eq!(g.effects[checkout].locks[0].live_end, usize::MAX);
+        // Temporary guard: dies at the end of its statement.
+        assert_ne!(g.effects[quick].locks[0].live_end, usize::MAX);
+    }
+
+    #[test]
+    fn locks_eventually_is_transitive() {
+        let t = table(&[(
+            "crates/serve/src/server.rs",
+            "struct S;\n\
+             impl S {\n\
+               fn outer(&self) { self.mid(); }\n\
+               fn mid(&self) { self.leaf(); }\n\
+               fn leaf(&self) { let q = lock_unpoisoned(&self.queue); use_it(q); }\n\
+             }",
+        )]);
+        let g = CallGraph::build(&t);
+        let ev = locks_eventually(&t, &g);
+        assert!(ev[sym(&t, "outer")].contains("S.queue"));
+    }
+}

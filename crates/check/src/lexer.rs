@@ -25,7 +25,8 @@ pub enum TokKind {
     Comment,
     /// A string/char/byte-string literal (text dropped).
     Literal,
-    /// A numeric literal (text dropped).
+    /// A numeric literal (text is the literal as written, e.g. `1_000u64`
+    /// — kept so the schema-drift check can read constant values).
     Number,
     /// A lifetime such as `'a` (text dropped).
     Lifetime,
@@ -38,7 +39,8 @@ pub struct Tok {
     pub line: u32,
     /// Token class.
     pub kind: TokKind,
-    /// Token text for idents, puncts and comments; empty otherwise.
+    /// Token text for idents, puncts, comments and numbers; empty
+    /// otherwise.
     pub text: String,
 }
 
@@ -188,6 +190,26 @@ pub fn lex(source: &str) -> Vec<Tok> {
                 i += 1;
             }
             let text: String = chars[start..i].iter().collect();
+            // Raw identifier? (`r#fn` is the identifier `fn`, not the
+            // keyword). Kept as one Ident with the `r#` prefix so keyword
+            // checks like `is_ident("fn")` never match it.
+            if text == "r"
+                && chars.get(i) == Some(&'#')
+                && chars.get(i + 1).copied().is_some_and(is_ident_start)
+            {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_cont(chars[j]) {
+                    j += 1;
+                }
+                let raw: String = chars[start..j].iter().collect();
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident,
+                    text: raw,
+                });
+                i = j;
+                continue;
+            }
             // Raw / byte string? (r"...", r#"..."#, b"...", br#"..."#)
             if matches!(text.as_str(), "r" | "b" | "br" | "rb") {
                 let mut j = i;
@@ -196,8 +218,8 @@ pub fn lex(source: &str) -> Vec<Tok> {
                     hashes += 1;
                     j += 1;
                 }
-                if j < chars.len() && chars[j] == '"' && (hashes > 0 || text != "r" || true) {
-                    // Only treat as a string when a quote actually follows.
+                // Only treat as a string when a quote actually follows.
+                if j < chars.len() && chars[j] == '"' {
                     let tok_line = line;
                     i = j + 1;
                     // Find closing quote followed by `hashes` hash marks.
@@ -238,6 +260,7 @@ pub fn lex(source: &str) -> Vec<Tok> {
         }
         // Number.
         if c.is_ascii_digit() {
+            let start = i;
             i += 1;
             while i < chars.len() {
                 let n = chars[i];
@@ -258,7 +281,7 @@ pub fn lex(source: &str) -> Vec<Tok> {
             toks.push(Tok {
                 line,
                 kind: TokKind::Number,
-                text: String::new(),
+                text: chars[start..i].iter().collect(),
             });
             continue;
         }
@@ -337,6 +360,33 @@ mod tests {
         let dots = toks.iter().filter(|t| t.is_punct('.')).count();
         assert_eq!(dots, 2, "0..10 keeps both dots");
         assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Number).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_match_keywords() {
+        // `r#fn` is the identifier `fn`, not the keyword: it must come
+        // out as ONE ident whose text never equals "fn".
+        let toks = lex("let r#fn = 3; call(r#type);");
+        assert!(toks.iter().all(|t| !t.is_ident("fn")));
+        assert!(toks.iter().any(|t| t.is_ident("r#fn")));
+        assert!(toks.iter().any(|t| t.is_ident("r#type")));
+        // ... while `r#"..."#` stays a raw string, not a raw identifier.
+        let toks = lex("let s = r#\"text\"#;");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn numbers_keep_their_text() {
+        let toks = lex("const V: u64 = 5; let x = 1_000u32; let h = 0x1F;");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["5", "1_000u32", "0x1F"]);
     }
 
     #[test]

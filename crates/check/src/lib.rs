@@ -9,14 +9,25 @@
 //! [`lexer`] and the JSON reader in [`baseline`] are hand-rolled, and all
 //! JSON output goes through `slj_obs::JsonWriter`).
 //!
-//! Two analyzers:
+//! Four analyzers:
 //!
 //! - [`lint::lint_workspace`] / [`lint::lint_source`] — the source
-//!   linter: five named rules (`determinism/no-hash-iteration`,
+//!   linter: five named direct rules (`determinism/no-hash-iteration`,
 //!   `determinism/no-wall-clock`, `perf/no-hot-path-alloc`,
 //!   `robustness/no-panic-in-lib`, `obs/no-print`) with a
 //!   reason-mandatory `// slj-check: allow(<rule>) — <reason>` escape
 //!   hatch;
+//! - [`reach::analyze_workspace`] — the interprocedural analyzer: an
+//!   item-level parser ([`parse`]), a workspace symbol table
+//!   ([`symbols`]) and an over-approximate call graph ([`callgraph`])
+//!   feed reachability rules (`robustness/panic-reachable-from-api`,
+//!   `perf/transitive-hot-path-alloc`,
+//!   `determinism/wall-clock-reachable`,
+//!   `determinism/hash-iteration-reachable`) and the
+//!   `concurrency/lock-order` cycle detector; findings carry witness
+//!   call chains;
+//! - [`schemas::check_schemas`] — the schema-drift check: hard-coded
+//!   `"schema": N` constants cross-verified against committed fixtures;
 //! - [`audit::audit_model_file`] — the model-artifact auditor: CPT rows
 //!   row-stochastic within `1e-9`, no negative entries, area codes
 //!   within `partitions`, thresholds in range, all 22 poses plus the
@@ -40,9 +51,14 @@
 
 pub mod audit;
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod lint;
+pub mod parse;
+pub mod reach;
 pub mod report;
+pub mod schemas;
+pub mod symbols;
 
 /// Errors from workspace walking, artifact reading, or baseline parsing.
 ///

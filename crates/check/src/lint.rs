@@ -62,7 +62,7 @@ pub const RULES: &[(&str, &str)] = &[
 
 /// Where `determinism/no-hash-iteration` applies inside a file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum HashScope {
+pub(crate) enum HashScope {
     /// Rule off for this file.
     Off,
     /// Rule applies to every function.
@@ -73,12 +73,12 @@ enum HashScope {
 
 /// Per-file rule configuration, derived from the repo-relative path.
 #[derive(Debug, Clone, Copy)]
-struct RuleScope {
-    hash: HashScope,
-    wall_clock: bool,
-    hot_alloc: bool,
-    lib_panic: bool,
-    no_print: bool,
+pub(crate) struct RuleScope {
+    pub(crate) hash: HashScope,
+    pub(crate) wall_clock: bool,
+    pub(crate) hot_alloc: bool,
+    pub(crate) lib_panic: bool,
+    pub(crate) no_print: bool,
 }
 
 /// Functions that make up the frame-engine hot path (reachable from
@@ -102,7 +102,7 @@ const HOT_FN_NAMES: &[&str] = &[
 ///
 /// Returns `None` when the file is outside the lint set entirely
 /// (tests, benches, binaries, examples, generated code).
-fn scope_for(path: &str) -> Option<RuleScope> {
+pub(crate) fn scope_for(path: &str) -> Option<RuleScope> {
     let in_crates = path.starts_with("crates/") && path.contains("/src/");
     let is_umbrella = path == "src/lib.rs";
     if !path.ends_with(".rs") || (!in_crates && !is_umbrella) {
@@ -139,14 +139,18 @@ fn scope_for(path: &str) -> Option<RuleScope> {
 
 /// An `// slj-check: allow(rule) — reason` directive.
 #[derive(Debug)]
-struct Allow {
-    line: u32,
-    rule: String,
-    reason: Option<String>,
+pub struct Allow {
+    /// 1-based line the directive sits on.
+    pub line: u32,
+    /// Rule id being allowed.
+    pub rule: String,
+    /// The mandatory reason (`None` means the directive is invalid and
+    /// suppresses nothing).
+    pub reason: Option<String>,
 }
 
 /// Parses an allow directive out of a line comment, if present.
-fn parse_allow(comment: &Tok) -> Option<Allow> {
+pub(crate) fn parse_allow(comment: &Tok) -> Option<Allow> {
     let text = &comment.text;
     let at = text.find("slj-check:")?;
     let rest = text[at + "slj-check:".len()..].trim_start();
@@ -296,7 +300,7 @@ fn annotate(code: &[&Tok]) -> Context {
 }
 
 /// Whether a function name marks a steady-state hot path.
-fn is_hot_fn(name: &str) -> bool {
+pub(crate) fn is_hot_fn(name: &str) -> bool {
     name.ends_with("_into")
         || name.ends_with("_par")
         || name.contains("_par_")
@@ -614,7 +618,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
 }
 
 /// Recursively collects `.rs` files under `dir` into `acc`.
-fn collect_rs(dir: &Path, acc: &mut Vec<PathBuf>) -> Result<(), CheckError> {
+pub(crate) fn collect_rs(dir: &Path, acc: &mut Vec<PathBuf>) -> Result<(), CheckError> {
     let entries = std::fs::read_dir(dir)
         .map_err(|e| CheckError::Io(format!("read_dir {}: {e}", dir.display())))?;
     let mut paths: Vec<PathBuf> = Vec::new();

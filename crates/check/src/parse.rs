@@ -1,0 +1,347 @@
+//! Item-level parsing on top of the flat token stream.
+//!
+//! The interprocedural rules need to know *which function* each token
+//! belongs to, which `impl` block owns it, whether it is `pub`, and
+//! whether it is test code. This module derives all of that in a single
+//! forward pass over the lexer's output — no `syn`, no AST. The output
+//! is deliberately minimal:
+//!
+//! - [`FnDecl`] — one function/method item: name, enclosing impl type,
+//!   visibility, test-ness, and the line it is declared on;
+//! - [`ParsedFile`] — the comment-free token stream plus a parallel
+//!   `owner` vector mapping every token to its *innermost* enclosing
+//!   function (tokens at file or impl level own nothing).
+//!
+//! Known approximations (all conservative for the rules built on top):
+//! trait-method declarations without bodies are kept as functions with no
+//! tokens; `impl Trait for Type` resolves to `Type`; visibility is `pub`
+//! only for bare `pub` (restricted `pub(crate)`/`pub(super)` does not
+//! count as API surface).
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::lint::{parse_allow, Allow};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Function name as written.
+    pub name: String,
+    /// Enclosing `impl` type (`None` for free functions).
+    pub self_type: Option<String>,
+    /// Declared with bare `pub` (restricted visibilities excluded).
+    pub is_pub: bool,
+    /// Inside `#[test]` / `#[cfg(test)]` code.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Repo-relative `/`-separated path.
+    pub path: String,
+    /// Comment-free token stream.
+    pub code: Vec<Tok>,
+    /// Functions declared in the file, in source order.
+    pub fns: Vec<FnDecl>,
+    /// Per-token index into [`ParsedFile::fns`] of the innermost
+    /// enclosing function (`None` at file/impl level).
+    pub owner: Vec<Option<usize>>,
+    /// `// slj-check: allow(...)` directives found in the file.
+    pub allows: Vec<Allow>,
+}
+
+/// Lexes and parses one source file.
+pub fn parse_file(path: &str, source: &str) -> ParsedFile {
+    let toks = lex(source);
+    let mut allows = Vec::new();
+    for t in &toks {
+        if t.kind == TokKind::Comment {
+            if let Some(a) = parse_allow(t) {
+                allows.push(a);
+            }
+        }
+    }
+    let code: Vec<Tok> = toks
+        .into_iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect();
+    let (fns, owner) = scan_items(&code);
+    ParsedFile {
+        path: path.to_string(),
+        code,
+        fns,
+        owner,
+        allows,
+    }
+}
+
+/// Reads the self type out of an `impl` header starting after the `impl`
+/// keyword: skips generic parameters, and for `impl Trait for Type` takes
+/// the type after `for`. Returns the last path segment before any generic
+/// arguments (`imaging::Mask<'a>` → `Mask`).
+fn impl_self_type(code: &[Tok], mut i: usize) -> Option<String> {
+    // Skip `<...>` generic parameters (watching for `->` inside bounds).
+    if code.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0usize;
+        while i < code.len() {
+            let t = &code[i];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !(i > 0 && code[i - 1].is_punct('-')) {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    let mut last: Option<String> = None;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('{') || t.is_ident("where") {
+            break;
+        }
+        if t.is_ident("for") {
+            // `impl Trait for Type`: what came before was the trait.
+            last = None;
+        } else if t.is_punct('<') {
+            // Generic arguments of the type we already captured.
+            let mut depth = 0usize;
+            while i < code.len() {
+                let t = &code[i];
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') && !(i > 0 && code[i - 1].is_punct('-')) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        } else if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut" | "const") {
+            last = Some(t.text.clone());
+        }
+        i += 1;
+    }
+    last
+}
+
+/// The single forward pass: function items + per-token ownership.
+fn scan_items(code: &[Tok]) -> (Vec<FnDecl>, Vec<Option<usize>>) {
+    let mut fns: Vec<FnDecl> = Vec::new();
+    let mut owner: Vec<Option<usize>> = Vec::with_capacity(code.len());
+
+    let mut depth = 0usize;
+    // (fn index, depth of its body's opening brace)
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+    // (self type, depth of the impl body's opening brace)
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    let mut test_stack: Vec<usize> = Vec::new();
+    // fn declared, body brace not yet seen.
+    let mut pending_fn: Option<usize> = None;
+    let mut awaiting_fn_name = false;
+    let mut pending_test = false;
+    let mut pending_impl: Option<String> = None;
+    // Paren/bracket nesting, to tell a trait-decl-terminating `;` from
+    // one inside a signature type like `[u8; 16]`.
+    let mut group_depth = 0usize;
+
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = &code[i];
+
+        // Attribute: scan its bracket group for test markers (`#[test]`,
+        // `#[cfg(test)]`, but not `#[cfg(not(test))]`), then skip it.
+        if t.is_punct('#') && code.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            let current = pending_fn.or_else(|| fn_stack.last().map(|&(f, _)| f));
+            let mut j = i + 1;
+            let mut bracket_depth = 0usize;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < code.len() {
+                let a = &code[j];
+                if a.is_punct('[') {
+                    bracket_depth += 1;
+                } else if a.is_punct(']') {
+                    bracket_depth -= 1;
+                    if bracket_depth == 0 {
+                        break;
+                    }
+                } else if a.kind == TokKind::Ident {
+                    if a.text == "test" || a.text == "bench" {
+                        saw_test = true;
+                    } else if a.text == "not" {
+                        saw_not = true;
+                    }
+                }
+                j += 1;
+            }
+            if saw_test && !saw_not {
+                pending_test = true;
+            }
+            for _ in i..=j.min(code.len().saturating_sub(1)) {
+                owner.push(current);
+            }
+            i = j + 1;
+            continue;
+        }
+
+        if t.is_ident("impl") {
+            pending_impl = impl_self_type(code, i + 1);
+        } else if t.is_ident("fn") {
+            awaiting_fn_name = true;
+        } else if awaiting_fn_name && t.kind == TokKind::Ident {
+            awaiting_fn_name = false;
+            let is_pub = {
+                // Walk back over qualifiers (`const unsafe extern "C"`)
+                // to find a bare `pub`; `pub(crate)` leaves a `)` here
+                // and correctly does not count.
+                let mut j = i - 1; // the `fn` keyword
+                let qualifier = |t: &Tok| {
+                    t.kind == TokKind::Literal
+                        || ["const", "unsafe", "async", "extern"]
+                            .iter()
+                            .any(|q| t.is_ident(q))
+                };
+                while j > 0 && qualifier(&code[j - 1]) {
+                    j -= 1;
+                }
+                j > 0 && code[j - 1].is_ident("pub")
+            };
+            let self_type = impl_stack.last().map(|(ty, _)| ty.clone());
+            fns.push(FnDecl {
+                name: t.text.clone(),
+                self_type,
+                is_pub,
+                is_test: pending_test || !test_stack.is_empty(),
+                line: t.line,
+            });
+            pending_fn = Some(fns.len() - 1);
+        } else if awaiting_fn_name && t.is_punct('(') {
+            // `fn(u32) -> u32` function-pointer type: no name follows.
+            awaiting_fn_name = false;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            group_depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            group_depth = group_depth.saturating_sub(1);
+        } else if t.is_punct(';') && group_depth == 0 {
+            // Trait method declaration without a body, or a braceless
+            // item after an attribute: drop whatever was pending.
+            pending_fn = None;
+            pending_test = false;
+            pending_impl = None;
+        } else if t.is_punct('{') {
+            depth += 1;
+            if pending_test {
+                test_stack.push(depth);
+                pending_test = false;
+            }
+            if let Some(f) = pending_fn.take() {
+                fn_stack.push((f, depth));
+            } else if let Some(ty) = pending_impl.take() {
+                impl_stack.push((ty, depth));
+            }
+        }
+
+        owner.push(pending_fn.or_else(|| fn_stack.last().map(|&(f, _)| f)));
+
+        if t.is_punct('}') {
+            if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                fn_stack.pop();
+            }
+            if impl_stack.last().is_some_and(|(_, d)| *d == depth) {
+                impl_stack.pop();
+            }
+            if test_stack.last().is_some_and(|&d| d == depth) {
+                test_stack.pop();
+            }
+            depth = depth.saturating_sub(1);
+        }
+        i += 1;
+    }
+    (fns, owner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse_file("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn free_and_method_fns() {
+        let f = parsed(
+            "pub fn free() {}\n\
+             struct S;\n\
+             impl S { fn method(&self) {} pub fn api(&self) {} }\n\
+             impl std::fmt::Display for S { fn fmt(&self) {} }\n",
+        );
+        let names: Vec<(&str, Option<&str>, bool)> = f
+            .fns
+            .iter()
+            .map(|d| (d.name.as_str(), d.self_type.as_deref(), d.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, true),
+                ("method", Some("S"), false),
+                ("api", Some("S"), true),
+                ("fmt", Some("S"), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn restricted_pub_is_not_api() {
+        let f = parsed("pub(crate) fn internal() {}\npub const fn fast() -> u32 { 1 }\n");
+        assert!(!f.fns[0].is_pub);
+        assert!(f.fns[1].is_pub);
+    }
+
+    #[test]
+    fn generic_impl_headers() {
+        let f = parsed(
+            "impl<'a, T: Fn() -> u32> Holder<'a, T> { fn get(&self) {} }\n\
+             impl<T> From<T> for Wrapper<T> where T: Clone { fn from(t: T) -> Self { todo() } }\n",
+        );
+        assert_eq!(f.fns[0].self_type.as_deref(), Some("Holder"));
+        assert_eq!(f.fns[1].self_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn owner_is_innermost_fn() {
+        let f = parsed("fn outer() { fn inner() { leaf(); } body(); }\n");
+        let leaf_idx = f.code.iter().position(|t| t.is_ident("leaf")).unwrap();
+        let body_idx = f.code.iter().position(|t| t.is_ident("body")).unwrap();
+        assert_eq!(f.fns[f.owner[leaf_idx].unwrap()].name, "inner");
+        assert_eq!(f.fns[f.owner[body_idx].unwrap()].name, "outer");
+    }
+
+    #[test]
+    fn test_regions_marked() {
+        let f = parsed(
+            "fn real() {}\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn check() {}\n    fn helper() {}\n}\n",
+        );
+        let by_name: std::collections::BTreeMap<&str, bool> =
+            f.fns.iter().map(|d| (d.name.as_str(), d.is_test)).collect();
+        assert_eq!(by_name["real"], false);
+        assert_eq!(by_name["check"], true);
+        assert_eq!(by_name["helper"], true);
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_claim_no_tokens() {
+        let f = parsed("trait T { fn sig(&self); }\nfn after() { work(); }\n");
+        let work_idx = f.code.iter().position(|t| t.is_ident("work")).unwrap();
+        assert_eq!(f.fns[f.owner[work_idx].unwrap()].name, "after");
+    }
+}

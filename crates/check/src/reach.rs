@@ -1,0 +1,641 @@
+//! The interprocedural rules: reachability over the call graph.
+//!
+//! Four transitive-closure rules lift the PR 4 direct rules to call
+//! chains, plus a lock-ordering analysis:
+//!
+//! | rule | roots | effect looked for |
+//! |---|---|---|
+//! | `robustness/panic-reachable-from-api` | every bare-`pub` library fn | `unwrap`/`expect`/`panic!`-family |
+//! | `perf/transitive-hot-path-alloc` | the `HOT_FN_NAMES` / `_into` / `_par` kernels | allocation (cold error paths excluded) |
+//! | `determinism/wall-clock-reachable` | streaming/inference entry points | `Instant::now`/`SystemTime` |
+//! | `determinism/hash-iteration-reachable` | streaming/inference entry points | hash-container iteration |
+//! | `concurrency/lock-order` | — | a cycle in the lock-acquisition-order graph |
+//!
+//! Every reachability finding requires **at least one call hop**: a
+//! function's *direct* effects are already covered (and ratcheted) by the
+//! direct rules, so the transitive rules only report what those cannot
+//! see. Each finding carries the shortest witness chain, printable via
+//! `slj check --why`.
+//!
+//! Allows apply at two points: at the **root** (the finding's own line,
+//! using the transitive rule id) and at the **effect site** (using either
+//! the direct rule id — one annotation serves both analyses — or the
+//! transitive rule id). Effect-site allows, like all allows, must carry a
+//! reason to count.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::Path;
+
+use crate::callgraph::{locks_eventually, CallGraph, Site};
+use crate::lint::{
+    collect_rs, is_hot_fn, scope_for, RULE_HASH_ITER, RULE_HOT_ALLOC, RULE_LIB_PANIC,
+    RULE_WALL_CLOCK,
+};
+use crate::report::{Finding, Hop};
+use crate::symbols::SymbolTable;
+use crate::CheckError;
+
+/// `robustness/panic-reachable-from-api` rule id.
+pub const RULE_PANIC_REACH: &str = "robustness/panic-reachable-from-api";
+/// `perf/transitive-hot-path-alloc` rule id.
+pub const RULE_ALLOC_REACH: &str = "perf/transitive-hot-path-alloc";
+/// `determinism/wall-clock-reachable` rule id.
+pub const RULE_WALL_REACH: &str = "determinism/wall-clock-reachable";
+/// `determinism/hash-iteration-reachable` rule id.
+pub const RULE_HASH_REACH: &str = "determinism/hash-iteration-reachable";
+/// `concurrency/lock-order` rule id.
+pub const RULE_LOCK_ORDER: &str = "concurrency/lock-order";
+
+/// Interprocedural rule ids with one-line descriptions (`--list-rules`).
+pub const REACH_RULES: &[(&str, &str)] = &[
+    (
+        RULE_PANIC_REACH,
+        "no panic/unwrap transitively reachable from a pub library fn",
+    ),
+    (
+        RULE_ALLOC_REACH,
+        "no allocation transitively reachable from a hot-path kernel",
+    ),
+    (
+        RULE_WALL_REACH,
+        "no wall-clock read transitively reachable from push_frame/inference entry points",
+    ),
+    (
+        RULE_HASH_REACH,
+        "no hash iteration transitively reachable from push_frame/inference entry points",
+    ),
+    (
+        RULE_LOCK_ORDER,
+        "no cycles in the Mutex/RwLock acquisition-order graph (serve + runtime)",
+    ),
+];
+
+/// Determinism entry points, matched by name: the streaming frame entry
+/// and the inference-layer entry points whose outputs must be
+/// bit-reproducible.
+const ENTRY_FN_NAMES: &[&str] = &[
+    "push_frame",
+    "step",
+    "step_with_likelihood",
+    "smooth",
+    "decode",
+];
+
+/// Which effect kind a reachability rule looks for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Effect {
+    Panic,
+    Alloc,
+    Wall,
+    Hash,
+}
+
+impl Effect {
+    /// The direct-rule id whose site allow also suppresses this effect.
+    fn direct_rule(self) -> &'static str {
+        match self {
+            Effect::Panic => RULE_LIB_PANIC,
+            Effect::Alloc => RULE_HOT_ALLOC,
+            Effect::Wall => RULE_WALL_CLOCK,
+            Effect::Hash => RULE_HASH_ITER,
+        }
+    }
+
+    fn reach_rule(self) -> &'static str {
+        match self {
+            Effect::Panic => RULE_PANIC_REACH,
+            Effect::Alloc => RULE_ALLOC_REACH,
+            Effect::Wall => RULE_WALL_REACH,
+            Effect::Hash => RULE_HASH_REACH,
+        }
+    }
+}
+
+/// Runs every interprocedural rule over in-memory `(path, source)` pairs.
+///
+/// Findings are positioned at the root function (or the first lock site
+/// of a cycle) and carry the witness chain. Suppressed findings are
+/// returned with [`Finding::allowed`] set, mirroring the direct linter.
+pub fn analyze_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let table = SymbolTable::build(sources);
+    let graph = CallGraph::build(&table);
+    let mut findings = Vec::new();
+    reach_findings(&table, &graph, &mut findings);
+    lock_order_findings(&table, &graph, &mut findings);
+    apply_root_allows(&table, &mut findings);
+    findings.sort_by(|a, b| {
+        (a.file.clone(), a.line, a.rule.clone()).cmp(&(b.file.clone(), b.line, b.rule.clone()))
+    });
+    findings
+}
+
+/// Runs the interprocedural rules over the workspace's lint set (the same
+/// file set as [`lint::lint_workspace`]).
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
+    Ok(analyze_sources(&workspace_sources(root)?))
+}
+
+/// Collects `(repo-relative path, source)` for every lint-set file.
+pub fn workspace_sources(root: &Path) -> Result<Vec<(String, String)>, CheckError> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        collect_rs(&crates_dir, &mut files)?;
+    }
+    let umbrella = root.join("src").join("lib.rs");
+    if umbrella.is_file() {
+        files.push(umbrella);
+    }
+    files.sort();
+    let mut sources = Vec::new();
+    for file in &files {
+        let rel: String = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        if scope_for(&rel).is_none() {
+            continue;
+        }
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| CheckError::Io(format!("read {}: {e}", file.display())))?;
+        sources.push((rel, source));
+    }
+    Ok(sources)
+}
+
+/// Whether an effect at `line` of `file_idx` is suppressed by a
+/// reasoned allow for the direct or transitive rule.
+fn site_allowed(table: &SymbolTable, file_idx: usize, line: u32, eff: Effect) -> bool {
+    table.files[file_idx].allows.iter().any(|a| {
+        a.reason.is_some()
+            && (a.rule == eff.direct_rule() || a.rule == eff.reach_rule())
+            && (a.line == line || a.line + 1 == line)
+    })
+}
+
+/// First unsuppressed effect site of `kind` in `sym`, if any.
+fn effect_site<'g>(
+    table: &SymbolTable,
+    graph: &'g CallGraph,
+    sym: usize,
+    kind: Effect,
+) -> Option<&'g Site> {
+    let list = match kind {
+        Effect::Panic => &graph.effects[sym].panics,
+        Effect::Alloc => &graph.effects[sym].allocs,
+        Effect::Wall => &graph.effects[sym].wall,
+        Effect::Hash => &graph.effects[sym].hash,
+    };
+    let file_idx = table.syms[sym].file;
+    list.iter()
+        .find(|s| !site_allowed(table, file_idx, s.line, kind))
+}
+
+/// The four reachability rules: per root, BFS the call graph once and
+/// report the shortest ≥1-hop chain to each effect kind the root's rules
+/// care about.
+fn reach_findings(table: &SymbolTable, graph: &CallGraph, findings: &mut Vec<Finding>) {
+    for root in 0..table.syms.len() {
+        let s = &table.syms[root];
+        if s.is_test {
+            continue;
+        }
+        let mut kinds: Vec<Effect> = Vec::new();
+        if s.is_pub {
+            kinds.push(Effect::Panic);
+        }
+        if is_hot_fn(&s.name) {
+            kinds.push(Effect::Alloc);
+        }
+        if ENTRY_FN_NAMES.contains(&s.name.as_str()) {
+            kinds.push(Effect::Wall);
+            kinds.push(Effect::Hash);
+        }
+        if kinds.is_empty() {
+            continue;
+        }
+
+        // BFS from the root; parent pointers give the shortest chain.
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut order: Vec<usize> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        parent.insert(root, root);
+        queue.push_back(root);
+        while let Some(cur) = queue.pop_front() {
+            for &next in &graph.callees[cur] {
+                if !parent.contains_key(&next) {
+                    parent.insert(next, cur);
+                    order.push(next);
+                    queue.push_back(next);
+                }
+            }
+        }
+
+        for kind in kinds {
+            // `order` is BFS order, so the first hit has the shortest
+            // chain; the root itself is excluded (direct rules own it).
+            let hit = order
+                .iter()
+                .copied()
+                .find_map(|sym| effect_site(table, graph, sym, kind).map(|site| (sym, site)));
+            let Some((target, site)) = hit else { continue };
+
+            let mut chain_syms = vec![target];
+            let mut cur = target;
+            while cur != root {
+                cur = parent[&cur];
+                chain_syms.push(cur);
+            }
+            chain_syms.reverse();
+
+            let labels: Vec<String> = chain_syms.iter().map(|&s| table.label(s)).collect();
+            let mut chain: Vec<Hop> = chain_syms
+                .iter()
+                .map(|&s| Hop {
+                    name: table.label(s),
+                    file: table.path_of(s).to_string(),
+                    line: table.syms[s].line,
+                })
+                .collect();
+            let site_file = table.path_of(target).to_string();
+            chain.push(Hop {
+                name: site.what.clone(),
+                file: site_file.clone(),
+                line: site.line,
+            });
+
+            let what = &site.what;
+            let message = match kind {
+                Effect::Panic => format!(
+                    "pub fn `{}` can reach {what} ({site_file}:{}) via {}",
+                    table.label(root),
+                    site.line,
+                    labels.join(" → "),
+                ),
+                Effect::Alloc => format!(
+                    "hot fn `{}` can reach allocation {what} ({site_file}:{}) via {}",
+                    table.label(root),
+                    site.line,
+                    labels.join(" → "),
+                ),
+                Effect::Wall => format!(
+                    "entry point `{}` can reach {what} ({site_file}:{}) via {}",
+                    table.label(root),
+                    site.line,
+                    labels.join(" → "),
+                ),
+                Effect::Hash => format!(
+                    "entry point `{}` can reach hash iteration {what} ({site_file}:{}) via {}",
+                    table.label(root),
+                    site.line,
+                    labels.join(" → "),
+                ),
+            };
+            let mut f = Finding::error(
+                kind.reach_rule(),
+                table.path_of(root),
+                table.syms[root].line,
+                message,
+            );
+            f.chain = chain;
+            findings.push(f);
+        }
+    }
+}
+
+/// One witnessed acquisition-order edge `from → to`.
+struct LockEdge {
+    /// Sym holding `from` when `to` is (possibly transitively) acquired.
+    sym: usize,
+    /// Line where `from` is acquired.
+    from_line: u32,
+    /// Line where `to` is acquired (or where the call that eventually
+    /// acquires it is made).
+    to_line: u32,
+}
+
+/// `concurrency/lock-order`: build the acquisition-order graph over lock
+/// ids and report each cycle once, at its lexicographically-first edge.
+fn lock_order_findings(table: &SymbolTable, graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let ev = locks_eventually(table, graph);
+    let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+
+    for sym in 0..table.syms.len() {
+        if table.syms[sym].is_test {
+            continue;
+        }
+        let locks = &graph.effects[sym].locks;
+        // Intra-function: lock B acquired while guard A is live.
+        for a in locks {
+            for b in locks {
+                if b.pos > a.pos && b.pos <= a.live_end && b.id != a.id {
+                    edges
+                        .entry((a.id.clone(), b.id.clone()))
+                        .or_insert(LockEdge {
+                            sym,
+                            from_line: a.line,
+                            to_line: b.line,
+                        });
+                }
+            }
+            // Interprocedural: a call made while guard A is live, where
+            // the callee eventually acquires other locks.
+            for &(pos, callee) in &graph.call_sites[sym] {
+                if pos > a.pos && pos <= a.live_end {
+                    let call_line = table.files[table.syms[sym].file].code[pos].line;
+                    for id in &ev[callee] {
+                        if *id != a.id {
+                            edges.entry((a.id.clone(), id.clone())).or_insert(LockEdge {
+                                sym,
+                                from_line: a.line,
+                                to_line: call_line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the lock-id digraph (tiny): DFS with an
+    // on-path stack; each cycle reported once, keyed by its id set.
+    let mut succ: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        succ.entry(from).or_default().push(to);
+    }
+    let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = succ.keys().copied().collect();
+    for &start in &nodes {
+        let mut path: Vec<&str> = vec![start];
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)]; // (path idx, next succ idx)
+        loop {
+            let Some(&(pi, si)) = stack.last() else { break };
+            let node = path[pi];
+            let nexts: &[&str] = succ.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if si >= nexts.len() {
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            if let Some(top) = stack.last_mut() {
+                top.1 += 1;
+            }
+            let next = nexts[si];
+            if let Some(at) = path.iter().position(|&n| n == next) {
+                let cycle: Vec<&str> = path[at..].to_vec();
+                let key: BTreeSet<String> = cycle.iter().map(|s| s.to_string()).collect();
+                if reported.insert(key) {
+                    findings.push(cycle_finding(table, &edges, &cycle));
+                }
+            } else if path.len() < 16 {
+                path.push(next);
+                stack.push((path.len() - 1, 0));
+            }
+        }
+    }
+}
+
+/// Builds the finding for one lock cycle: placed at the witness of its
+/// first edge, chain hops naming every `A then B` acquisition.
+fn cycle_finding(
+    table: &SymbolTable,
+    edges: &BTreeMap<(String, String), LockEdge>,
+    cycle: &[&str],
+) -> Finding {
+    let mut chain: Vec<Hop> = Vec::new();
+    let mut parts: Vec<String> = Vec::new();
+    for k in 0..cycle.len() {
+        let from = cycle[k];
+        let to = cycle[(k + 1) % cycle.len()];
+        let e = &edges[&(from.to_string(), to.to_string())];
+        let file = table.path_of(e.sym).to_string();
+        parts.push(format!(
+            "`{}` acquires {from} then {to} ({file}:{})",
+            table.label(e.sym),
+            e.to_line
+        ));
+        chain.push(Hop {
+            name: format!("{}: {from} → {to}", table.label(e.sym)),
+            file,
+            line: e.to_line,
+        });
+    }
+    let first = &edges[&(cycle[0].to_string(), cycle[1 % cycle.len()].to_string())];
+    let mut f = Finding::error(
+        RULE_LOCK_ORDER,
+        table.path_of(first.sym),
+        first.from_line,
+        format!(
+            "lock-order cycle {} → {}: {}",
+            cycle.join(" → "),
+            cycle[0],
+            parts.join("; ")
+        ),
+    );
+    f.chain = chain;
+    f
+}
+
+/// Applies root-level allows: a reasoned allow for the finding's own rule
+/// on the finding's line (or the line above) suppresses it.
+fn apply_root_allows(table: &SymbolTable, findings: &mut Vec<Finding>) {
+    let by_path: BTreeMap<&str, usize> = table
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    for f in findings {
+        let Some(&file_idx) = by_path.get(f.file.as_str()) else {
+            continue;
+        };
+        for a in &table.files[file_idx].allows {
+            if a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line) {
+                if let Some(reason) = &a.reason {
+                    f.allowed = Some(reason.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Renders the full call graph, one line per function with outgoing
+/// edges, for `slj check --call-graph`.
+pub fn render_call_graph(sources: &[(String, String)]) -> String {
+    let table = SymbolTable::build(sources);
+    let graph = CallGraph::build(&table);
+    let mut out = String::new();
+    for sym in 0..table.syms.len() {
+        if table.syms[sym].is_test || graph.callees[sym].is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "{} ({}:{})\n",
+            table.label(sym),
+            table.path_of(sym),
+            table.syms[sym].line
+        ));
+        for &callee in &graph.callees[sym] {
+            out.push_str(&format!(
+                "  -> {} ({}:{})\n",
+                table.label(callee),
+                table.path_of(callee),
+                table.syms[callee].line
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        analyze_sources(&sources)
+    }
+
+    #[test]
+    fn transitive_panic_found_with_chain() {
+        let f = analyze(&[(
+            "crates/a/src/lib.rs",
+            "pub fn api(x: Option<u8>) -> u8 { helper(x) }\n\
+             fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )]);
+        let hit = f.iter().find(|f| f.rule == RULE_PANIC_REACH).unwrap();
+        assert_eq!(hit.line, 1);
+        assert!(hit.message.contains("api → helper"), "{}", hit.message);
+        assert_eq!(hit.chain.len(), 3); // api, helper, .unwrap()
+        assert_eq!(hit.chain[2].line, 2);
+    }
+
+    #[test]
+    fn direct_effects_are_not_reach_findings() {
+        // Direct unwrap in the root: the direct rule's territory.
+        let f = analyze(&[(
+            "crates/a/src/lib.rs",
+            "pub fn api(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )]);
+        assert!(f.iter().all(|f| f.rule != RULE_PANIC_REACH));
+    }
+
+    #[test]
+    fn two_hop_hot_alloc_found() {
+        let f = analyze(&[(
+            "crates/a/src/lib.rs",
+            "pub fn push_frame() { mid(); }\n\
+             fn mid() { leaf(); }\n\
+             fn leaf() { let v = Vec::new(); sink(v); }\n",
+        )]);
+        let hit = f.iter().find(|f| f.rule == RULE_ALLOC_REACH).unwrap();
+        assert!(
+            hit.message.contains("push_frame → mid → leaf"),
+            "{}",
+            hit.message
+        );
+    }
+
+    #[test]
+    fn wall_clock_behind_helper_found_and_site_allow_suppresses() {
+        let src_bad =
+            "pub fn step() { now_ms(); }\nfn now_ms() { let t = Instant::now(); sink(t); }\n";
+        let f = analyze(&[("crates/a/src/lib.rs", src_bad)]);
+        assert!(f.iter().any(|f| f.rule == RULE_WALL_REACH));
+
+        let src_allowed = "pub fn step() { now_ms(); }\n\
+             // slj-check: allow(determinism/wall-clock-reachable) — metrics only\n\
+             fn now_ms() { let t = Instant::now(); sink(t); }\n";
+        let f = analyze(&[("crates/a/src/lib.rs", src_allowed)]);
+        // Allow sits the line above the effect: the site is suppressed
+        // and no finding is emitted at all.
+        assert!(f.iter().all(|f| f.rule != RULE_WALL_REACH));
+    }
+
+    #[test]
+    fn root_allow_marks_finding_allowed() {
+        let src = "// slj-check: allow(robustness/panic-reachable-from-api) — demo api\n\
+                   pub fn api(x: Option<u8>) -> u8 { helper(x) }\n\
+                   fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let f = analyze(&[("crates/a/src/lib.rs", src)]);
+        let hit = f.iter().find(|f| f.rule == RULE_PANIC_REACH).unwrap();
+        assert_eq!(hit.allowed.as_deref(), Some("demo api"));
+    }
+
+    #[test]
+    fn ab_ba_lock_cycle_found() {
+        let f = analyze(&[(
+            "crates/serve/src/server.rs",
+            "struct S;\n\
+             impl S {\n\
+               fn ab(&self) { let a = lock_unpoisoned(&self.alpha); let b = lock_unpoisoned(&self.beta); use2(a, b); }\n\
+               fn ba(&self) { let b = lock_unpoisoned(&self.beta); let a = lock_unpoisoned(&self.alpha); use2(a, b); }\n\
+             }",
+        )]);
+        let hit = f.iter().find(|f| f.rule == RULE_LOCK_ORDER).unwrap();
+        assert!(hit.message.contains("lock-order cycle"), "{}", hit.message);
+        assert!(hit.message.contains("S.alpha"), "{}", hit.message);
+        assert!(hit.message.contains("S.beta"), "{}", hit.message);
+        assert_eq!(hit.chain.len(), 2);
+    }
+
+    #[test]
+    fn interprocedural_lock_cycle_found() {
+        // `ab` holds alpha and calls a helper that takes beta; `ba` does
+        // the reverse directly.
+        let f = analyze(&[(
+            "crates/serve/src/server.rs",
+            "struct S;\n\
+             impl S {\n\
+               fn ab(&self) { let a = lock_unpoisoned(&self.alpha); self.take_beta(); use_it(a); }\n\
+               fn take_beta(&self) { let b = lock_unpoisoned(&self.beta); use_it(b); }\n\
+               fn ba(&self) { let b = lock_unpoisoned(&self.beta); let a = lock_unpoisoned(&self.alpha); use2(a, b); }\n\
+             }",
+        )]);
+        assert!(f.iter().any(|f| f.rule == RULE_LOCK_ORDER));
+    }
+
+    #[test]
+    fn nested_same_order_locks_are_clean() {
+        let f = analyze(&[(
+            "crates/serve/src/server.rs",
+            "struct S;\n\
+             impl S {\n\
+               fn ab1(&self) { let a = lock_unpoisoned(&self.alpha); let b = lock_unpoisoned(&self.beta); use2(a, b); }\n\
+               fn ab2(&self) { let a = lock_unpoisoned(&self.alpha); let b = lock_unpoisoned(&self.beta); use2(b, a); }\n\
+             }",
+        )]);
+        assert!(f.iter().all(|f| f.rule != RULE_LOCK_ORDER));
+    }
+
+    #[test]
+    fn temporary_guard_does_not_order_later_locks() {
+        // The first guard is a temporary dropped at its `;`; the second
+        // acquisition happens after it is gone — no edge, no cycle.
+        let f = analyze(&[(
+            "crates/serve/src/server.rs",
+            "struct S;\n\
+             impl S {\n\
+               fn ab(&self) { lock_unpoisoned(&self.alpha).touch(); let b = lock_unpoisoned(&self.beta); use_it(b); }\n\
+               fn ba(&self) { lock_unpoisoned(&self.beta).touch(); let a = lock_unpoisoned(&self.alpha); use_it(a); }\n\
+             }",
+        )]);
+        assert!(f.iter().all(|f| f.rule != RULE_LOCK_ORDER));
+    }
+
+    #[test]
+    fn clean_sources_have_no_findings() {
+        let f = analyze(&[(
+            "crates/a/src/lib.rs",
+            "pub fn api(x: Option<u8>) -> Option<u8> { helper(x) }\n\
+             fn helper(x: Option<u8>) -> Option<u8> { x }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -9,6 +9,24 @@ use slj_obs::JsonWriter;
 
 use crate::baseline::RatchetDelta;
 
+/// Report JSON schema version (`"schema"` key in [`render_json`]).
+///
+/// v2 added the optional per-finding `"chain"` array produced by the
+/// interprocedural rules.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
+
+/// One step of the call chain behind an interprocedural finding.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// Function label (`Type::name` or `name`), or the effect text for
+    /// the final hop (`".unwrap()"`, `"Instant::now()"`, …).
+    pub name: String,
+    /// Repo-relative file the hop lives in.
+    pub file: String,
+    /// 1-based line (fn declaration, or the effect site for the last hop).
+    pub line: u32,
+}
+
 /// How serious a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Severity {
@@ -43,6 +61,9 @@ pub struct Finding {
     pub message: String,
     /// `Some(reason)` when suppressed by `// slj-check: allow(rule) — reason`.
     pub allowed: Option<String>,
+    /// Call chain for interprocedural findings (empty for direct rules):
+    /// first hop is the root function, last hop the offending effect.
+    pub chain: Vec<Hop>,
 }
 
 impl Finding {
@@ -55,6 +76,7 @@ impl Finding {
             line,
             message,
             allowed: None,
+            chain: Vec::new(),
         }
     }
 
@@ -88,22 +110,33 @@ pub fn render_human(findings: &[Finding]) -> String {
             out.push(')');
         }
         out.push('\n');
+        for hop in &f.chain {
+            out.push_str("    via ");
+            out.push_str(&hop.name);
+            out.push_str(" (");
+            out.push_str(&hop.file);
+            out.push(':');
+            out.push_str(&hop.line.to_string());
+            out.push_str(")\n");
+        }
     }
     out
 }
 
-/// Serialises a findings report as JSON (`"schema": 1`).
+/// Serialises a findings report as JSON
+/// (`"schema": `[`REPORT_SCHEMA_VERSION`]).
 ///
 /// Layout:
 ///
 /// ```json
 /// {
-///   "schema": 1,
+///   "schema": 2,
 ///   "tool": "slj-check",
 ///   "ok": false,
 ///   "findings": [
 ///     {"rule": "...", "severity": "error", "file": "...", "line": 7,
-///      "message": "...", "allowed": null}
+///      "message": "...", "allowed": null,
+///      "chain": [{"fn": "push_frame", "file": "...", "line": 715}]}
 ///   ],
 ///   "ratchet": {"regressions": [{"rule": "...", "file": "...",
 ///                                "baseline": 3, "current": 4}],
@@ -111,7 +144,8 @@ pub fn render_human(findings: &[Finding]) -> String {
 /// }
 /// ```
 ///
-/// The `ratchet` key is present only when a baseline comparison ran.
+/// The `chain` key is present only on interprocedural findings; the
+/// `ratchet` key is present only when a baseline comparison ran.
 pub fn render_json(
     findings: &[Finding],
     ratchet: Option<(&[RatchetDelta], &[RatchetDelta])>,
@@ -120,7 +154,7 @@ pub fn render_json(
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.u64(1);
+    w.u64(REPORT_SCHEMA_VERSION);
     w.key("tool");
     w.string("slj-check");
     w.key("ok");
@@ -143,6 +177,21 @@ pub fn render_json(
         match &f.allowed {
             Some(reason) => w.string(reason),
             None => w.null(),
+        }
+        if !f.chain.is_empty() {
+            w.key("chain");
+            w.begin_array();
+            for hop in &f.chain {
+                w.begin_object();
+                w.key("fn");
+                w.string(&hop.name);
+                w.key("file");
+                w.string(&hop.file);
+                w.key("line");
+                w.u64(u64::from(hop.line));
+                w.end_object();
+            }
+            w.end_array();
         }
         w.end_object();
     }
@@ -205,12 +254,41 @@ mod tests {
             "Instant::now".into(),
         );
         let json = render_json(&[f], None, false);
-        assert!(json.contains("\"schema\":1"));
+        assert!(json.contains(&format!("\"schema\":{REPORT_SCHEMA_VERSION}")));
         assert!(json.contains("\"rule\":\"determinism/no-wall-clock\""));
         assert!(json.contains("\"line\":3"));
         assert!(json.contains("\"ok\":false"));
         assert!(json.contains("\"allowed\":null"));
         assert!(!json.contains("\"ratchet\""));
+        assert!(!json.contains("\"chain\""));
+    }
+
+    #[test]
+    fn chain_rendered_in_both_formats() {
+        let mut f = Finding::error(
+            "robustness/panic-reachable-from-api",
+            "crates/a/src/lib.rs",
+            4,
+            "pub fn `api` can reach .unwrap()".into(),
+        );
+        f.chain = vec![
+            Hop {
+                name: "api".into(),
+                file: "crates/a/src/lib.rs".into(),
+                line: 4,
+            },
+            Hop {
+                name: ".unwrap()".into(),
+                file: "crates/a/src/util.rs".into(),
+                line: 9,
+            },
+        ];
+        let json = render_json(std::slice::from_ref(&f), None, false);
+        assert!(json.contains("\"chain\":[{\"fn\":\"api\""));
+        assert!(json.contains("\"fn\":\".unwrap()\""));
+        let human = render_human(&[f]);
+        assert!(human.contains("via api (crates/a/src/lib.rs:4)"));
+        assert!(human.contains("via .unwrap() (crates/a/src/util.rs:9)"));
     }
 
     #[test]

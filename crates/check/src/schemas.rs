@@ -1,0 +1,255 @@
+//! The schema-drift check (`slj check --schemas`).
+//!
+//! Every persisted artifact in the workspace carries a `"schema": N`
+//! version, and each layer hard-codes its `N` in a named constant. This
+//! check cross-verifies those constants against committed fixture files,
+//! so bumping a writer without regenerating (or deliberately versioning)
+//! the committed artifact fails fast instead of silently desyncing CI
+//! baselines from the code.
+//!
+//! | layer | constant | committed fixture |
+//! |---|---|---|
+//! | trace | `TRACE_SCHEMA_VERSION` (`crates/core/src/trace.rs`) | `tests/fixtures/schemas/trace.jsonl` |
+//! | bench | `BENCH_SCHEMA_VERSION` (`src/bin/slj.rs`) | `BENCH_PR7.json` |
+//! | loadgen | `LOADGEN_SCHEMA_VERSION` (`crates/serve/src/loadgen.rs`) | `BENCH_PR8.json` |
+//! | metrics | `METRICS_SCHEMA_VERSION` (`crates/obs/src/metrics.rs`) | `tests/fixtures/schemas/metrics.json` |
+//! | check-report | `REPORT_SCHEMA_VERSION` (`crates/check/src/report.rs`) | `tests/fixtures/schemas/check-report.json` |
+//! | check-baseline | `BASELINE_SCHEMA_VERSION` (`crates/check/src/baseline.rs`) | `check-baseline.json` |
+//!
+//! The HTTP wire format is deliberately absent: it has no `"schema"`
+//! marker — `crates/serve/tests/protocol.rs` pins it at the byte level.
+//!
+//! Constants are read straight out of the source with the crate's own
+//! lexer (`const NAME: u64 = <number>`), fixture versions with a text
+//! scan for the first `"schema": N` — no build step, no macro tricks.
+
+use std::path::Path;
+
+use crate::lexer::{lex, TokKind};
+use crate::report::Finding;
+use crate::CheckError;
+
+/// Emitted when a constant and its fixture disagree.
+pub const RULE_SCHEMA_DRIFT: &str = "schema/drift";
+/// Emitted when a source file no longer defines its schema constant.
+pub const RULE_SCHEMA_CONST: &str = "schema/missing-const";
+/// Emitted when a committed fixture is missing or carries no version.
+pub const RULE_SCHEMA_FIXTURE: &str = "schema/missing-fixture";
+
+/// Schema-check rule ids with one-line descriptions (`--list-rules`).
+pub const SCHEMA_RULES: &[(&str, &str)] = &[
+    (
+        RULE_SCHEMA_DRIFT,
+        "hard-coded schema constants must match committed fixtures",
+    ),
+    (
+        RULE_SCHEMA_CONST,
+        "each versioned layer must define its *_SCHEMA_VERSION constant",
+    ),
+    (
+        RULE_SCHEMA_FIXTURE,
+        "each versioned layer must have a committed fixture with a schema marker",
+    ),
+];
+
+/// One cross-verified layer.
+struct Layer {
+    name: &'static str,
+    src: &'static str,
+    const_name: &'static str,
+    fixture: &'static str,
+}
+
+const LAYERS: &[Layer] = &[
+    Layer {
+        name: "trace",
+        src: "crates/core/src/trace.rs",
+        const_name: "TRACE_SCHEMA_VERSION",
+        fixture: "tests/fixtures/schemas/trace.jsonl",
+    },
+    Layer {
+        name: "bench",
+        src: "src/bin/slj.rs",
+        const_name: "BENCH_SCHEMA_VERSION",
+        fixture: "BENCH_PR7.json",
+    },
+    Layer {
+        name: "loadgen",
+        src: "crates/serve/src/loadgen.rs",
+        const_name: "LOADGEN_SCHEMA_VERSION",
+        fixture: "BENCH_PR8.json",
+    },
+    Layer {
+        name: "metrics",
+        src: "crates/obs/src/metrics.rs",
+        const_name: "METRICS_SCHEMA_VERSION",
+        fixture: "tests/fixtures/schemas/metrics.json",
+    },
+    Layer {
+        name: "check-report",
+        src: "crates/check/src/report.rs",
+        const_name: "REPORT_SCHEMA_VERSION",
+        fixture: "tests/fixtures/schemas/check-report.json",
+    },
+    Layer {
+        name: "check-baseline",
+        src: "crates/check/src/baseline.rs",
+        const_name: "BASELINE_SCHEMA_VERSION",
+        fixture: "check-baseline.json",
+    },
+];
+
+/// Finds `const NAME ... = <number>` in source text; returns the value
+/// and the line it is declared on.
+fn const_value(source: &str, name: &str) -> Option<(u64, u32)> {
+    let toks = lex(source);
+    let code: Vec<_> = toks
+        .into_iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect();
+    for i in 0..code.len() {
+        if !code[i].is_ident("const") || !code.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            continue;
+        }
+        let line = code[i].line;
+        // Walk to the `=` then the first number before the `;`.
+        let mut j = i + 2;
+        while j < code.len() && !code[j].is_punct('=') && !code[j].is_punct(';') {
+            j += 1;
+        }
+        while j < code.len() && !code[j].is_punct(';') {
+            if code[j].kind == TokKind::Number {
+                let digits: String = code[j]
+                    .text
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
+                if let Ok(v) = digits.parse::<u64>() {
+                    return Some((v, line));
+                }
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// Finds the first `"schema": N` in fixture text (JSON or JSONL).
+fn fixture_version(text: &str) -> Option<u64> {
+    let at = text.find("\"schema\"")?;
+    let rest = text[at + "\"schema\"".len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse::<u64>().ok()
+}
+
+/// Cross-verifies every layer's schema constant against its fixture.
+///
+/// Findings use the usual [`Finding`] shape so `--json` output, allow
+/// handling, and CI wiring are shared with the other analyzers.
+pub fn check_schemas(root: &Path) -> Result<Vec<Finding>, CheckError> {
+    let mut findings = Vec::new();
+    for layer in LAYERS {
+        let src_path = root.join(layer.src);
+        // An unreadable source file reports as a missing constant — the
+        // layer's version can no longer be verified either way.
+        let declared = std::fs::read_to_string(&src_path)
+            .ok()
+            .and_then(|source| const_value(&source, layer.const_name));
+
+        let Some((const_v, const_line)) = declared else {
+            findings.push(Finding::error(
+                RULE_SCHEMA_CONST,
+                layer.src,
+                0,
+                format!(
+                    "layer `{}`: constant `{}` not found in {}",
+                    layer.name, layer.const_name, layer.src
+                ),
+            ));
+            continue;
+        };
+
+        let fixture_path = root.join(layer.fixture);
+        let fixture_v = std::fs::read_to_string(&fixture_path)
+            .ok()
+            .and_then(|text| fixture_version(&text));
+        let Some(fixture_v) = fixture_v else {
+            findings.push(Finding::error(
+                RULE_SCHEMA_FIXTURE,
+                layer.fixture,
+                0,
+                format!(
+                    "layer `{}`: fixture {} is missing or has no \"schema\" marker",
+                    layer.name, layer.fixture
+                ),
+            ));
+            continue;
+        };
+
+        if const_v != fixture_v {
+            findings.push(Finding::error(
+                RULE_SCHEMA_DRIFT,
+                layer.src,
+                const_line,
+                format!(
+                    "layer `{}`: {} = {const_v} but committed fixture {} says \
+                     \"schema\": {fixture_v}; regenerate the fixture or revert the bump",
+                    layer.name, layer.const_name, layer.fixture
+                ),
+            ));
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_extraction() {
+        let src = "/// docs\npub const TRACE_SCHEMA_VERSION: u64 = 3;\nconst OTHER: u64 = 9;\n";
+        assert_eq!(const_value(src, "TRACE_SCHEMA_VERSION"), Some((3, 2)));
+        assert_eq!(const_value(src, "OTHER"), Some((9, 3)));
+        assert_eq!(const_value(src, "MISSING"), None);
+        // A mention in a comment or string is not a declaration.
+        let decoy = "// const FAKE_SCHEMA_VERSION: u64 = 7;\nlet s = \"const X = 1\";\n";
+        assert_eq!(const_value(decoy, "FAKE_SCHEMA_VERSION"), None);
+    }
+
+    #[test]
+    fn fixture_scanning() {
+        assert_eq!(fixture_version("{\"schema\":5,\"quick\":false}"), Some(5));
+        assert_eq!(fixture_version("{ \"schema\" : 12 , \"x\": 1}"), Some(12));
+        assert_eq!(fixture_version("{\"no_version\":true}"), None);
+    }
+
+    #[test]
+    fn drift_detected_on_synthetic_tree() {
+        let dir = std::env::temp_dir().join("slj-check-schemas-test");
+        let src_dir = dir.join("crates/core/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("trace.rs"),
+            "pub const TRACE_SCHEMA_VERSION: u64 = 4;\n",
+        )
+        .unwrap();
+        let fx_dir = dir.join("tests/fixtures/schemas");
+        std::fs::create_dir_all(&fx_dir).unwrap();
+        std::fs::write(fx_dir.join("trace.jsonl"), "{\"schema\":3,\"frame\":0}\n").unwrap();
+
+        let findings = check_schemas(&dir).unwrap();
+        let trace = findings
+            .iter()
+            .find(|f| f.rule == RULE_SCHEMA_DRIFT && f.file == "crates/core/src/trace.rs")
+            .unwrap();
+        assert!(trace.message.contains("= 4"), "{}", trace.message);
+        assert!(trace.message.contains("\"schema\": 3"), "{}", trace.message);
+        // The other layers are simply missing in this synthetic tree.
+        assert!(findings
+            .iter()
+            .all(|f| f.rule != RULE_SCHEMA_CONST || f.file != "crates/core/src/trace.rs"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,125 @@
+//! The per-workspace symbol table: every function the parser found,
+//! indexed by name for call resolution.
+
+use std::collections::BTreeMap;
+
+use crate::parse::{parse_file, ParsedFile};
+
+/// One function in the workspace-wide table.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index into [`SymbolTable::files`].
+    pub file: usize,
+    /// Index into that file's [`ParsedFile::fns`].
+    pub local: usize,
+    /// Crate the file belongs to (`crates/<name>/…` → `<name>`, the
+    /// umbrella `src/lib.rs` → `slj`).
+    pub crate_name: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type for methods.
+    pub self_type: Option<String>,
+    /// Bare-`pub` visibility.
+    pub is_pub: bool,
+    /// Inside test code.
+    pub is_test: bool,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// Parsed files plus the function index built over them.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All parsed files, in the order given.
+    pub files: Vec<ParsedFile>,
+    /// All functions across all files.
+    pub syms: Vec<FnSym>,
+    /// name → indices into [`SymbolTable::syms`].
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Per file, per local fn index → global sym index.
+    pub global_of: Vec<Vec<usize>>,
+}
+
+/// Crate name for a repo-relative path.
+pub fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("slj")
+        .to_string()
+}
+
+impl SymbolTable {
+    /// Parses `(path, source)` pairs and builds the table.
+    pub fn build(sources: &[(String, String)]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (path, source) in sources {
+            let parsed = parse_file(path, source);
+            let file_idx = table.files.len();
+            let crate_name = crate_of(path);
+            let mut locals = Vec::with_capacity(parsed.fns.len());
+            for (local, decl) in parsed.fns.iter().enumerate() {
+                let sym = table.syms.len();
+                table.syms.push(FnSym {
+                    file: file_idx,
+                    local,
+                    crate_name: crate_name.clone(),
+                    name: decl.name.clone(),
+                    self_type: decl.self_type.clone(),
+                    is_pub: decl.is_pub,
+                    is_test: decl.is_test,
+                    line: decl.line,
+                });
+                table
+                    .by_name
+                    .entry(decl.name.clone())
+                    .or_default()
+                    .push(sym);
+                locals.push(sym);
+            }
+            table.global_of.push(locals);
+            table.files.push(parsed);
+        }
+        table
+    }
+
+    /// Repo-relative path of the file a symbol lives in.
+    pub fn path_of(&self, sym: usize) -> &str {
+        &self.files[self.syms[sym].file].path
+    }
+
+    /// `Type::name` or plain `name` label for display.
+    pub fn label(&self, sym: usize) -> String {
+        let s = &self.syms[sym];
+        match &s.self_type {
+            Some(ty) => format!("{ty}::{}", s.name),
+            None => s.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_of("crates/serve/src/server.rs"), "serve");
+        assert_eq!(crate_of("src/lib.rs"), "slj");
+    }
+
+    #[test]
+    fn build_indexes_by_name() {
+        let sources = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "pub fn go() {}\nimpl S { fn go(&self) {} }".to_string(),
+            ),
+            ("crates/b/src/lib.rs".to_string(), "fn go() {}".to_string()),
+        ];
+        let table = SymbolTable::build(&sources);
+        assert_eq!(table.syms.len(), 3);
+        assert_eq!(table.by_name["go"].len(), 3);
+        assert_eq!(table.label(1), "S::go");
+        assert_eq!(table.path_of(2), "crates/b/src/lib.rs");
+    }
+}

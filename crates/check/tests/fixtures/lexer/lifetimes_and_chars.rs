@@ -1,0 +1,22 @@
+//! Lexer fixture: lifetimes vs char literals vs labeled loops, plus a
+//! raw identifier sharing a keyword's spelling.
+
+pub struct Holder<'a> {
+    slice: &'a [u8],
+}
+
+impl<'a> Holder<'a> {
+    pub fn r#match(&self) -> usize {
+        let quote = '\'';
+        let newline = '\n';
+        let alpha = 'a';
+        let mut n = 0usize;
+        'outer: for &b in self.slice {
+            if b == quote as u8 || b == newline as u8 || b == alpha as u8 {
+                n += 1_000usize / 1_000;
+                break 'outer;
+            }
+        }
+        n
+    }
+}

@@ -1,0 +1,10 @@
+//! Lexer fixture: raw strings and nested block comments that would
+//! derail a naive scanner.
+
+/* outer /* nested block comment */ still the same comment */
+pub fn emit() -> (&'static str, &'static str) {
+    let doc = r#"not code: // slj-check: allow(fake/rule) — from inside a raw string"#;
+    let tricky = r##"contains "# and */ and 'a lifetimes"##;
+    (doc, tricky)
+}
+// trailing line comment after the raw strings

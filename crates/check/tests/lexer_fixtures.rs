@@ -1,0 +1,99 @@
+//! Regression tests for the hand-rolled lexer over committed fixture
+//! files — real `.rs` sources on disk rather than inline strings, so
+//! the cases stay readable and editors keep them valid Rust.
+
+use slj_check::lexer::{lex, TokKind};
+
+const RAW_AND_NESTED: &str = include_str!("fixtures/lexer/raw_and_nested.rs");
+const LIFETIMES_AND_CHARS: &str = include_str!("fixtures/lexer/lifetimes_and_chars.rs");
+
+/// 1-based line of the first fixture line containing `needle`.
+fn line_of(source: &str, needle: &str) -> u32 {
+    source
+        .lines()
+        .position(|l| l.contains(needle))
+        .map(|i| i as u32 + 1)
+        .expect("needle present in fixture")
+}
+
+#[test]
+fn raw_strings_swallow_directives_and_comment_markers() {
+    let toks = lex(RAW_AND_NESTED);
+    // The fake allow directive lives inside a raw string: no token of
+    // any kind may surface it to the directive parser.
+    assert!(
+        toks.iter().all(|t| !t.text.contains("fake/rule")),
+        "directive text leaked out of a raw string"
+    );
+    // The `*/` and `"#` inside `r##"..."##` must not terminate
+    // anything early: the identifiers around the literals still lex.
+    for ident in ["emit", "doc", "tricky"] {
+        assert!(
+            toks.iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == ident),
+            "identifier {ident} lost"
+        );
+    }
+}
+
+#[test]
+fn nested_block_comments_do_not_eat_code() {
+    let toks = lex(RAW_AND_NESTED);
+    // The nested block comment is skipped whole: its words never become
+    // identifiers, and the code after it survives.
+    assert!(
+        !toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "nested"),
+        "block-comment text lexed as code"
+    );
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "emit"));
+}
+
+#[test]
+fn line_comments_keep_their_text_and_line() {
+    let toks = lex(RAW_AND_NESTED);
+    let trailing = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Comment && t.text.contains("trailing line comment"))
+        .expect("trailing comment survives as a Comment token");
+    assert_eq!(
+        trailing.line,
+        line_of(RAW_AND_NESTED, "trailing line comment"),
+        "comment line numbers must stay exact — allow directives bind by line"
+    );
+}
+
+#[test]
+fn lifetimes_and_char_literals_are_distinguished() {
+    let toks = lex(LIFETIMES_AND_CHARS);
+    let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+    let literals = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+    // `'a` ×4 (struct, impl, field, nothing spurious) and `'outer` ×2.
+    assert!(
+        lifetimes >= 5,
+        "expected the 'a and 'outer lifetimes, got {lifetimes}"
+    );
+    // `'\''`, `'\n'`, `'a'` are char literals, not lifetimes.
+    assert!(
+        literals >= 3,
+        "expected three char literals, got {literals}"
+    );
+}
+
+#[test]
+fn raw_identifiers_and_numeric_suffixes_lex_whole() {
+    let toks = lex(LIFETIMES_AND_CHARS);
+    assert!(
+        toks.iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.contains("match")),
+        "r#match must lex as a single identifier"
+    );
+    assert!(
+        toks.iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "1_000usize"),
+        "numeric literals keep their text for the schema-drift check"
+    );
+}

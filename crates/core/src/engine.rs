@@ -538,6 +538,7 @@ impl FrontEnd {
         &self.timings
     }
 
+    // slj-check: allow(perf/transitive-hot-path-alloc) — `stage.run` dispatches through the Stage trait; the over-approximate graph also matches unrelated pub `run` methods (Server::run), whose allocations are server startup, not frame work
     fn run_range(&mut self, frame: Option<&RgbImage>, start: usize) -> Result<(), SljError> {
         self.timings.clear();
         for stage in &self.stages[..start] {
@@ -568,6 +569,7 @@ impl FrontEnd {
     ///
     /// Propagates stage errors (e.g. frame/background dimension
     /// mismatches).
+    // slj-check: allow(perf/transitive-hot-path-alloc) — `stage.run` dispatches through the Stage trait; the over-approximate graph also matches unrelated pub `run` methods (Server::run), whose allocations are server startup, not frame work
     pub fn process_frame(&mut self, frame: &RgbImage) -> Result<(), SljError> {
         self.run_range(Some(frame), 0)
     }
@@ -579,6 +581,7 @@ impl FrontEnd {
     /// # Errors
     ///
     /// Propagates stage errors.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — `stage.run` dispatches through the Stage trait; the over-approximate graph also matches unrelated pub `run` methods (Server::run), whose allocations are server startup, not frame work
     pub fn process_silhouette(&mut self, silhouette: &BinaryImage) -> Result<(), SljError> {
         self.slots.silhouette.copy_from(silhouette);
         self.run_range(None, self.silhouette_start)
@@ -712,6 +715,7 @@ impl<'m> JumpSession<'m> {
     /// # Errors
     ///
     /// Propagates front-end and inference errors.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — Tracer::event copies its field slice only when a sink is attached; production streaming runs with tracing disabled
     pub fn push_frame(&mut self, frame: &RgbImage) -> Result<PoseEstimate, SljError> {
         self.front_end.process_frame(frame)?;
         self.finish_frame()
@@ -723,6 +727,7 @@ impl<'m> JumpSession<'m> {
     /// # Errors
     ///
     /// Propagates front-end and inference errors.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — Tracer::event copies its field slice only when a sink is attached; production streaming runs with tracing disabled
     pub fn push_silhouette(&mut self, silhouette: &BinaryImage) -> Result<PoseEstimate, SljError> {
         self.front_end.process_silhouette(silhouette)?;
         self.finish_frame()
@@ -730,6 +735,7 @@ impl<'m> JumpSession<'m> {
 
     /// The classifier step plus timing/trace bookkeeping shared by both
     /// push paths.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — Tracer::event copies its field slice only when a sink is attached; production streaming runs with tracing disabled
     fn finish_frame(&mut self) -> Result<PoseEstimate, SljError> {
         self.frames_processed += 1;
         let t0 = Stopwatch::start();

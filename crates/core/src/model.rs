@@ -333,6 +333,7 @@ impl PoseModel {
     ///
     /// As [`PoseModel::observation_likelihood`], plus
     /// [`SljError::Runtime`] on a worker panic.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — pool fan-out: the over-approximate graph routes scoped_map through unrelated pub methods (Server::spawn); the likelihood math itself borrows its CPT rows
     pub fn observation_likelihood_par(
         &self,
         features: &FeatureVector,
@@ -387,11 +388,13 @@ impl PoseModel {
                 Ok(lik.max(1e-12))
             }
             FrameEvidence::Occupancy(occupied) => {
-                let dists: Vec<Vec<f64>> = self
+                // Borrowed views into the CPT rows — `evidence_likelihood`
+                // never needs owned copies, and this runs per frame.
+                let dists: Vec<&[f64]> = self
                     .tables
                     .part_given_pose
                     .iter()
-                    .map(|per_pose| per_pose[pose].clone())
+                    .map(|per_pose| per_pose[pose].as_slice())
                     .collect();
                 let lik = self
                     .bank
@@ -457,6 +460,7 @@ impl PoseModel {
     ///
     /// As [`PoseModel::smooth_clip`], plus [`SljError::Runtime`] on a
     /// worker panic.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — one single-variable scope Vec per step builds the likelihood Factor; negligible next to the CPT math it feeds
     pub fn smooth_clip_par(
         &self,
         features: &[FeatureVector],
@@ -570,6 +574,7 @@ impl PoseModel {
     ///
     /// As [`PoseModel::decode_clip`], plus [`SljError::Runtime`] on a
     /// worker panic.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — one single-variable scope Vec per step builds the likelihood Factor; negligible next to the CPT math it feeds
     pub fn decode_clip_par(
         &self,
         features: &[FeatureVector],
@@ -652,6 +657,7 @@ impl SequenceClassifier<'_> {
     ///
     /// As [`SequenceClassifier::step`], plus [`SljError::Runtime`] on a
     /// worker panic.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — one single-variable scope Vec per step builds the likelihood Factor; negligible next to the CPT math it feeds
     pub fn step_par(
         &mut self,
         features: &FeatureVector,

@@ -88,6 +88,7 @@ impl FrameProcessor {
     ///
     /// Does not panic; the post-extraction stages are infallible on any
     /// silhouette.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — ProcessedFrame is the owning batch-API view by contract; zero-copy callers read the FrontEnd slots directly
     pub fn process_silhouette(&mut self, silhouette: &BinaryImage) -> ProcessedFrame {
         self.front_end
             .process_silhouette(silhouette)

@@ -290,6 +290,7 @@ impl BackgroundSubtractor {
     /// Returns [`ImagingError::DimensionMismatch`] when `frame` does not
     /// match the background's shape and [`ImagingError::Runtime`] when a
     /// worker panics.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — Registry::histogram allocates the metric-name key once per call, outside the pixel loops
     pub fn foreground_matrix_par_into(
         &self,
         frame: &RgbImage,

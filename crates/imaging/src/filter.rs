@@ -87,6 +87,7 @@ pub fn median_filter_gray_into(
 ///
 /// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero
 /// and [`ImagingError::Runtime`] when a worker panics.
+// slj-check: allow(perf/transitive-hot-path-alloc) — Registry::histogram allocates the metric-name key once per call, outside the pixel loops
 pub fn median_filter_gray_par_into(
     img: &GrayImage,
     window: usize,
@@ -353,6 +354,7 @@ pub fn median_filter_binary_reference(
 ///
 /// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero
 /// and [`ImagingError::Runtime`] when a worker panics.
+// slj-check: allow(perf/transitive-hot-path-alloc) — Registry::histogram allocates the metric-name key once per call, outside the pixel loops
 pub fn median_filter_binary_par_into(
     img: &BinaryImage,
     window: usize,
@@ -436,6 +438,7 @@ pub fn box_filter_gray(img: &GrayImage, window: usize) -> Result<GrayImage, Imag
 ///
 /// Returns [`ImagingError::InvalidWindow`] when `window` is even or zero
 /// and [`ImagingError::Runtime`] when a worker panics.
+// slj-check: allow(perf/transitive-hot-path-alloc) — Registry::histogram allocates the metric-name key once per call, outside the pixel loops
 pub fn box_filter_gray_par(
     img: &GrayImage,
     window: usize,

@@ -34,6 +34,7 @@ impl Stopwatch {
     #[must_use]
     pub fn start() -> Self {
         Stopwatch {
+            // slj-check: allow(determinism/wall-clock-reachable) — Stopwatch timings feed metrics and stage timings only, never model results
             started: Instant::now(),
         }
     }
@@ -91,6 +92,7 @@ impl Clock {
     #[must_use]
     pub fn monotonic() -> Self {
         Clock {
+            // slj-check: allow(determinism/wall-clock-reachable) — observability clock; timestamps feed traces and metrics only, never model results
             inner: ClockInner::Monotonic(Instant::now()),
         }
     }

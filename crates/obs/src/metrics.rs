@@ -13,6 +13,10 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// Schema version of the registry's JSON snapshot (`"schema"` key in
+/// [`Registry::snapshot_json`]).
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
 /// A monotonically increasing counter.
 #[derive(Debug, Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);
@@ -318,7 +322,7 @@ impl Registry {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("schema");
-        w.u64(1);
+        w.u64(METRICS_SCHEMA_VERSION);
         w.key("metrics");
         w.begin_object();
         for (name, metric) in &map {

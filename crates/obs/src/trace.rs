@@ -161,6 +161,7 @@ impl Tracer {
     pub fn disabled() -> Self {
         Tracer {
             sink: None,
+            // slj-check: allow(determinism/wall-clock-reachable) — trace timestamps are diagnostics only, never model results
             epoch: Instant::now(),
         }
     }
@@ -169,6 +170,7 @@ impl Tracer {
     pub fn with_sink(sink: Arc<dyn TraceSink>) -> Self {
         Tracer {
             sink: Some(sink),
+            // slj-check: allow(determinism/wall-clock-reachable) — trace timestamps are diagnostics only, never model results
             epoch: Instant::now(),
         }
     }
@@ -212,6 +214,7 @@ impl Tracer {
             tracer: if self.enabled() { Some(self) } else { None },
             name,
             start: if self.enabled() {
+                // slj-check: allow(determinism/wall-clock-reachable) — trace timestamps are diagnostics only, never model results
                 Some(Instant::now())
             } else {
                 None

@@ -320,7 +320,9 @@ impl ThreadPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        // A unit-slice of length n: the items carry no data, only indices.
+        // A unit-slice of length n: the items carry no data, only
+        // indices. A Vec of unit ZSTs never touches the heap.
+        // slj-check: allow(perf/transitive-hot-path-alloc) — vec![(); n] is a zero-sized-type Vec; no heap allocation happens
         let units = vec![(); n];
         self.scoped_map(&units, |i, _| f(i))
     }

@@ -83,14 +83,20 @@ pub struct LoadgenReport {
     pub clip_score_p95: f64,
 }
 
+/// Schema version of the loadgen report (`BENCH_PR8.json`).
+///
+/// Version 5 added the clip-score distribution of the quality
+/// diagnostics layer.
+pub const LOADGEN_SCHEMA_VERSION: u64 = 5;
+
 impl LoadgenReport {
-    /// Serialises the report (`BENCH_PR8.json`, schema 5 — adds the
-    /// clip-score distribution of the quality diagnostics layer).
+    /// Serialises the report (`BENCH_PR8.json`, schema
+    /// [`LOADGEN_SCHEMA_VERSION`]).
     pub fn report_json(&self) -> String {
         let mut w = slj_obs::JsonWriter::new();
         w.begin_object();
         w.key("schema");
-        w.u64(5);
+        w.u64(LOADGEN_SCHEMA_VERSION);
         w.key("bench");
         w.string("serve.loadgen");
         w.key("requests");

@@ -69,16 +69,15 @@ impl KeypointExtractor {
         }
 
         // Foot: the lowest node (max y, then min x for determinism).
-        let foot_node = *nodes
-            .iter()
-            .max_by(|&&a, &&b| {
-                let pa = graph.node(a).pos;
-                let pb = graph.node(b).pos;
-                pa.1.partial_cmp(&pb.1)
-                    .unwrap()
-                    .then(pb.0.partial_cmp(&pa.0).unwrap())
-            })
-            .unwrap();
+        // Coordinates come from usize pixel indices, so `total_cmp` and
+        // `partial_cmp` agree — but `total_cmp` needs no unwrap.
+        let Some(foot_node) = nodes.iter().copied().max_by(|&a, &b| {
+            let pa = graph.node(a).pos;
+            let pb = graph.node(b).pos;
+            pa.1.total_cmp(&pb.1).then(pb.0.total_cmp(&pa.0))
+        }) else {
+            return kp;
+        };
         kp.foot = Some(graph.node(foot_node).pos);
 
         // Head: the highest end vertex; fall back to the highest node of
@@ -90,9 +89,7 @@ impl KeypointExtractor {
             .min_by(|&a, &b| {
                 let pa = graph.node(a).pos;
                 let pb = graph.node(b).pos;
-                pa.1.partial_cmp(&pb.1)
-                    .unwrap()
-                    .then(pa.0.partial_cmp(&pb.0).unwrap())
+                pa.1.total_cmp(&pb.1).then(pa.0.total_cmp(&pb.0))
             })
             .or_else(|| {
                 nodes
@@ -102,9 +99,7 @@ impl KeypointExtractor {
                     .min_by(|&a, &b| {
                         let pa = graph.node(a).pos;
                         let pb = graph.node(b).pos;
-                        pa.1.partial_cmp(&pb.1)
-                            .unwrap()
-                            .then(pa.0.partial_cmp(&pb.0).unwrap())
+                        pa.1.total_cmp(&pb.1).then(pa.0.total_cmp(&pb.0))
                     })
             });
         let Some(head_node) = head_node else {
@@ -146,7 +141,7 @@ impl KeypointExtractor {
                     .max_by(|&a, &b| {
                         let da = dist2(graph.node(a).pos, waist);
                         let db = dist2(graph.node(b).pos, waist);
-                        da.partial_cmp(&db).unwrap()
+                        da.total_cmp(&db)
                     })
                     .map(|v| graph.node(v).pos)
             };

@@ -141,6 +141,7 @@ impl SkeletonPipeline {
     /// In-place variant of [`SkeletonPipeline::run`]: writes into `out`,
     /// reusing its buffers and the working storage in `scratch`.
     /// Bit-identical to the allocating version.
+    // slj-check: allow(perf/transitive-hot-path-alloc) — PixelGraph::rebuild reuses adjacency storage across frames; Vec::new only fills newly grown slots
     pub fn run_into(
         &self,
         silhouette: &BinaryImage,

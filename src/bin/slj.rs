@@ -95,10 +95,13 @@ fn print_usage() {
          \x20          clips, verify bit-identical outputs, emit a JSON baseline\n\
          \x20 check    [--workspace] [--root DIR] [--baseline FILE]\n\
          \x20          [--write-baseline] [--model FILE] [--config FILE] [--json]\n\
-         \x20          [--list-rules]\n\
+         \x20          [--list-rules] [--schemas] [--call-graph] [--why QUERY]\n\
          \x20          static analysis: lint workspace sources against the\n\
-         \x20          determinism/perf/robustness rules (ratcheted by the\n\
-         \x20          committed baseline) and/or audit a trained model artifact\n\
+         \x20          direct + interprocedural determinism/perf/robustness/\n\
+         \x20          concurrency rules (ratcheted by the committed baseline),\n\
+         \x20          cross-check schema constants against fixtures, dump the\n\
+         \x20          call graph, explain findings with their call chains,\n\
+         \x20          and/or audit a trained model artifact\n\
          \x20 serve    [--model FILE] [--addr HOST:PORT] [--threads N]\n\
          \x20          [--max-sessions N] [--queue-depth N] [--deadline-ms MS]\n\
          \x20          [--session-ttl-ms MS] [--max-body-mb MB] [--seed S]\n\
@@ -672,15 +675,18 @@ fn cmd_quality(args: &[String]) -> Result<(), String> {
 /// — independent of `cargo bench`, so CI and the BENCH_*.json records at
 /// the repo root need only the `slj` binary.
 ///
-/// The output is versioned (`"schema": 5`) and every key is always
-/// present, so downstream consumers can diff records across hosts
-/// without probing for optional fields. Schema 3 added the traced
-/// steady-state streaming cost (`push_frame_traced_ns`,
+/// The output is versioned (`"schema": `[`BENCH_SCHEMA_VERSION`]) and
+/// every key is always present, so downstream consumers can diff records
+/// across hosts without probing for optional fields. Schema 3 added the
+/// traced steady-state streaming cost (`push_frame_traced_ns`,
 /// `trace_overhead_pct`) next to the untraced one; schema 5 adds the
 /// per-kernel before/after attribution (`kernels`: each rewritten
 /// hot-path kernel timed against its retained `_reference`
 /// implementation) and measures `push_frame_ns` as a median of repeated
 /// timing windows instead of one window.
+/// Schema version of the `slj bench` JSON record (`BENCH_PR*.json`).
+const BENCH_SCHEMA_VERSION: u64 = 5;
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     use slj_repro::core::evaluation::{evaluate_with, EvalReport};
     use slj_repro::obs::{JsonWriter, Tracer};
@@ -906,11 +912,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     eprintln!("  parity: parallel reports bit-identical to serial");
 
-    // Schema 5: every key below is always present, in this order.
+    // Every key below is always present, in this order.
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.u64(5);
+    w.u64(BENCH_SCHEMA_VERSION);
     w.key("quick");
     w.bool(quick);
     w.key("seed");
@@ -1096,15 +1102,63 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     use slj_repro::check::audit::audit_model_file;
     use slj_repro::check::baseline::Baseline;
     use slj_repro::check::lint::{lint_workspace, RULES};
+    use slj_repro::check::reach::{
+        analyze_workspace, render_call_graph, workspace_sources, REACH_RULES,
+    };
     use slj_repro::check::report::{render_human, render_json, Finding};
+    use slj_repro::check::schemas::{check_schemas, SCHEMA_RULES};
 
-    let flags = Flags::parse(args, &["workspace", "write-baseline", "json", "list-rules"])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "workspace",
+            "write-baseline",
+            "json",
+            "list-rules",
+            "schemas",
+            "call-graph",
+        ],
+    )?;
     if flags.switch("list-rules") {
         println!("slj-check rules:");
         for (rule, desc) in RULES {
-            println!("  {rule:<34} {desc}");
+            println!("  {rule:<38} {desc}");
+        }
+        println!("\ninterprocedural rules (call-graph reachability; findings carry chains):");
+        for (rule, desc) in REACH_RULES {
+            println!("  {rule:<38} {desc}");
+        }
+        println!("\nschema-drift rules (--schemas):");
+        for (rule, desc) in SCHEMA_RULES {
+            println!("  {rule:<38} {desc}");
         }
         println!("\nsuppress one finding with: // slj-check: allow(<rule>) — <reason>");
+        return Ok(());
+    }
+
+    let root = PathBuf::from(flags.get("root").unwrap_or("."));
+
+    // Explainers: dump the call graph, or print the chains behind
+    // findings matching a query. Both are informational (exit 0).
+    if flags.switch("call-graph") {
+        let sources = workspace_sources(&root).map_err(|e| e.to_string())?;
+        print!("{}", render_call_graph(&sources));
+        return Ok(());
+    }
+    if let Some(query) = flags.get("why") {
+        let mut all = lint_workspace(&root).map_err(|e| e.to_string())?;
+        all.extend(analyze_workspace(&root).map_err(|e| e.to_string())?);
+        let matching: Vec<Finding> = all
+            .into_iter()
+            .filter(|f| {
+                f.rule.contains(query) || f.file.contains(query) || f.message.contains(query)
+            })
+            .collect();
+        if matching.is_empty() {
+            eprintln!("check: no finding matches {query:?}");
+        } else {
+            print!("{}", render_human(&matching));
+        }
         return Ok(());
     }
 
@@ -1129,10 +1183,24 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         }
     }
 
-    // Source lint.
+    // Schema-drift check.
+    if flags.switch("schemas") {
+        ran_anything = true;
+        let schema_findings = check_schemas(&root).map_err(|e| e.to_string())?;
+        let bad = schema_findings.iter().filter(|f| f.is_active()).count();
+        if bad > 0 {
+            failures.push(format!("{bad} schema-drift finding(s)"));
+        } else {
+            eprintln!("check: schema constants match committed fixtures");
+        }
+        findings.extend(schema_findings);
+    }
+
+    // Source lint: direct rules + interprocedural reachability, one
+    // combined finding set feeding one ratchet.
     if flags.switch("workspace") || !ran_anything {
-        let root = PathBuf::from(flags.get("root").unwrap_or("."));
-        let lint = lint_workspace(&root).map_err(|e| e.to_string())?;
+        let mut lint = lint_workspace(&root).map_err(|e| e.to_string())?;
+        lint.extend(analyze_workspace(&root).map_err(|e| e.to_string())?);
         let current = Baseline::from_findings(&lint);
         let active = lint.iter().filter(|f| f.is_active()).count();
         let allowed = lint.iter().filter(|f| f.allowed.is_some()).count();

@@ -1,0 +1,19 @@
+//! Clean fixture: Result/Option-returning helpers, no panics, no clock
+//! reads, no allocations behind hot entry points, no lock cycles. Every
+//! interprocedural rule must stay silent here.
+
+/// Scores a clip without any flagged effect.
+pub fn evaluate_clip(samples: &[f64]) -> Option<f64> {
+    mean(samples)
+}
+
+fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut total = 0.0;
+    for s in samples {
+        total += s;
+    }
+    Some(total / samples.len() as f64)
+}

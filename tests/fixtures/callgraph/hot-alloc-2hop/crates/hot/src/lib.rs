@@ -1,0 +1,16 @@
+//! Seeded violation for `perf/transitive-hot-path-alloc`: a hot `_into`
+//! kernel reaches `vec!` two calls down.
+
+/// The hot kernel: allocation-free at its own site.
+pub fn blur_rows_into(src: &[u8], out: &mut Vec<u8>) {
+    staging_pass(src, out);
+}
+
+fn staging_pass(src: &[u8], out: &mut Vec<u8>) {
+    let scratch = scratch_rows(src.len());
+    out.extend_from_slice(&scratch);
+}
+
+fn scratch_rows(n: usize) -> Vec<u8> {
+    vec![0u8; n]
+}

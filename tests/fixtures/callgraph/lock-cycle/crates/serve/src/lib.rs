@@ -1,0 +1,29 @@
+//! Seeded violation for `concurrency/lock-order`: `publish` and
+//! `reclaim` acquire the same two mutexes in opposite orders (AB/BA),
+//! the classic deadlock shape.
+
+use std::sync::Mutex;
+
+/// Two queues guarded by separate locks.
+pub struct Queues {
+    intake: Mutex<Vec<u64>>,
+    results: Mutex<Vec<u64>>,
+}
+
+impl Queues {
+    /// Acquires intake, then results.
+    pub fn publish(&self) {
+        let intake = self.intake.lock();
+        let results = self.results.lock();
+        drop(results);
+        drop(intake);
+    }
+
+    /// Acquires results, then intake — the reversed order.
+    pub fn reclaim(&self) {
+        let results = self.results.lock();
+        let intake = self.intake.lock();
+        drop(intake);
+        drop(results);
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded violation for `robustness/panic-reachable-from-api`: the pub
+//! API panics two frames down, not at its own site, so only the
+//! interprocedural rule can see it from the API surface.
+
+/// Scores a clip; panics on an empty slice — but only transitively.
+pub fn evaluate_clip(samples: &[f64]) -> f64 {
+    best_sample(samples)
+}
+
+fn best_sample(samples: &[f64]) -> f64 {
+    *samples.first().unwrap()
+}

@@ -1,0 +1,22 @@
+//! Seeded violation for `determinism/wall-clock-reachable`: the
+//! streaming entry point reads the wall clock behind a helper.
+
+use std::time::Instant;
+
+/// A streaming session whose entry point is clock-dependent.
+pub struct Session {
+    frames: u64,
+}
+
+impl Session {
+    /// The streaming entry point (matched by name).
+    pub fn push_frame(&mut self) -> u64 {
+        self.frames += 1;
+        stamp_ns()
+    }
+}
+
+fn stamp_ns() -> u64 {
+    let t = Instant::now();
+    t.elapsed().subsec_nanos() as u64
+}

@@ -1,25 +1,48 @@
 //! The static-analysis gate, enforced by `cargo test`.
 //!
-//! Lints the real workspace sources against the committed
-//! `check-baseline.json` ratchet: any (rule, file) cell that got worse
-//! fails this test with the same message `slj check --workspace
-//! --baseline check-baseline.json` would print in CI. Cells that
-//! improved are reported as a reminder to tighten the baseline, but do
-//! not fail.
+//! Runs the full checker — direct lint rules plus the interprocedural
+//! reachability rules — over the real workspace sources against the
+//! committed `check-baseline.json` ratchet: any (rule, file) cell that
+//! got worse fails this test with the same message `slj check
+//! --workspace --baseline check-baseline.json` would print in CI. Cells
+//! that improved are reported as a reminder to tighten the baseline,
+//! but do not fail.
+//!
+//! The seeded-violation fixtures under `tests/fixtures/callgraph/` pin
+//! each interprocedural rule end-to-end: a known-bad source tree must
+//! produce the expected finding *with its witness call chain*, and the
+//! clean tree must stay silent.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use slj_repro::check::baseline::Baseline;
 use slj_repro::check::lint::lint_workspace;
+use slj_repro::check::reach::{
+    analyze_workspace, RULE_ALLOC_REACH, RULE_LOCK_ORDER, RULE_PANIC_REACH, RULE_WALL_REACH,
+};
+use slj_repro::check::report::Finding;
+use slj_repro::check::schemas::check_schemas;
 
 fn repo_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
 }
 
+/// What `slj check --workspace` runs: direct lint plus reachability,
+/// one combined finding set feeding one ratchet.
+fn combined_findings(root: &Path) -> Vec<Finding> {
+    let mut findings = lint_workspace(root).expect("workspace walk succeeds");
+    findings.extend(analyze_workspace(root).expect("reach analysis succeeds"));
+    findings
+}
+
+fn fixture_root(name: &str) -> PathBuf {
+    repo_root().join("tests/fixtures/callgraph").join(name)
+}
+
 #[test]
-fn workspace_lint_respects_the_ratchet() {
+fn workspace_check_respects_the_ratchet() {
     let root = repo_root();
-    let findings = lint_workspace(root).expect("workspace walk succeeds");
+    let findings = combined_findings(root);
     let current = Baseline::from_findings(&findings);
     let committed =
         Baseline::load(&root.join("check-baseline.json")).expect("committed baseline parses");
@@ -43,7 +66,7 @@ fn workspace_lint_respects_the_ratchet() {
 fn allow_directives_all_carry_reasons() {
     // check/allow-missing-reason findings are never baselined; any one
     // of them is an error regardless of the ratchet.
-    let findings = lint_workspace(repo_root()).expect("workspace walk succeeds");
+    let findings = combined_findings(repo_root());
     let bare: Vec<_> = findings
         .iter()
         .filter(|f| f.rule == "check/allow-missing-reason")
@@ -56,15 +79,126 @@ fn allow_directives_all_carry_reasons() {
 
 #[test]
 fn determinism_and_hot_path_rules_are_clean() {
-    // The grandfathered baseline covers robustness/no-panic-in-lib only;
-    // the determinism, perf, and obs rules must stay at zero outright.
-    let findings = lint_workspace(repo_root()).expect("workspace walk succeeds");
+    // The grandfathered baseline covers robustness/* only; the
+    // determinism, perf, concurrency, and obs rules — direct and
+    // transitive alike — must stay at zero outright.
+    let findings = combined_findings(repo_root());
     let hard: Vec<_> = findings
         .iter()
         .filter(|f| f.is_active() && !f.rule.starts_with("robustness/"))
         .collect();
     assert!(
         hard.is_empty(),
-        "determinism/perf/obs rules must have zero unsuppressed findings: {hard:?}"
+        "determinism/perf/concurrency/obs rules must have zero unsuppressed findings: {hard:?}"
     );
+}
+
+#[test]
+fn seeded_transitive_panic_is_caught_with_chain() {
+    let findings = analyze_workspace(&fixture_root("transitive-panic")).unwrap();
+    let f = findings
+        .iter()
+        .find(|f| f.rule == RULE_PANIC_REACH)
+        .expect("seeded transitive panic must be found");
+    assert!(f.is_active());
+    assert!(
+        f.message.contains("evaluate_clip → best_sample"),
+        "message names the call chain: {}",
+        f.message
+    );
+    let hops: Vec<&str> = f.chain.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(hops, ["evaluate_clip", "best_sample", ".unwrap()"]);
+}
+
+#[test]
+fn seeded_two_hop_alloc_is_caught_with_chain() {
+    let findings = analyze_workspace(&fixture_root("hot-alloc-2hop")).unwrap();
+    let f = findings
+        .iter()
+        .find(|f| f.rule == RULE_ALLOC_REACH)
+        .expect("seeded 2-hop hot-path allocation must be found");
+    assert!(f.is_active());
+    assert!(
+        f.message
+            .contains("blur_rows_into → staging_pass → scratch_rows"),
+        "message names the 2-hop chain: {}",
+        f.message
+    );
+    assert_eq!(f.chain.len(), 4, "root, two hops, effect: {:?}", f.chain);
+}
+
+#[test]
+fn seeded_wall_clock_behind_helper_is_caught() {
+    let findings = analyze_workspace(&fixture_root("wall-clock-helper")).unwrap();
+    let f = findings
+        .iter()
+        .find(|f| f.rule == RULE_WALL_REACH)
+        .expect("seeded wall-clock read behind a helper must be found");
+    assert!(f.is_active());
+    assert!(
+        f.message.contains("Session::push_frame") && f.message.contains("stamp_ns"),
+        "message names entry point and helper: {}",
+        f.message
+    );
+    assert_eq!(
+        f.chain.last().map(|h| h.name.as_str()),
+        Some("Instant::now()")
+    );
+}
+
+#[test]
+fn seeded_lock_order_cycle_is_caught() {
+    let findings = analyze_workspace(&fixture_root("lock-cycle")).unwrap();
+    let f = findings
+        .iter()
+        .find(|f| f.rule == RULE_LOCK_ORDER)
+        .expect("seeded AB/BA lock cycle must be found");
+    assert!(f.is_active());
+    for needle in ["Queues.intake", "Queues.results", "publish", "reclaim"] {
+        assert!(
+            f.message.contains(needle),
+            "cycle message names both locks and both witnesses ({needle}): {}",
+            f.message
+        );
+    }
+    assert_eq!(f.chain.len(), 2, "one hop per cycle edge: {:?}", f.chain);
+}
+
+#[test]
+fn clean_fixture_stays_silent() {
+    let findings = analyze_workspace(&fixture_root("clean")).unwrap();
+    assert!(
+        findings.is_empty(),
+        "clean fixture must produce no interprocedural findings: {findings:?}"
+    );
+}
+
+#[test]
+fn schema_constants_match_committed_fixtures() {
+    let findings = check_schemas(repo_root()).expect("schema check runs");
+    let active: Vec<_> = findings.iter().filter(|f| f.is_active()).collect();
+    assert!(
+        active.is_empty(),
+        "schema constants drifted from committed fixtures: {active:?}"
+    );
+}
+
+#[test]
+fn v1_baselines_still_load_and_migrate() {
+    // Baselines written before the reach rules existed are schema 1;
+    // loading one must succeed and re-serialise as schema 2.
+    let dir = std::env::temp_dir().join("slj-static-analysis-v1-migration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("check-baseline.json");
+    std::fs::write(
+        &path,
+        "{\"schema\":1,\"rules\":{\"robustness/no-panic-in-lib\":{\"crates/x/src/lib.rs\":2}}}\n",
+    )
+    .unwrap();
+    let base = Baseline::load(&path).expect("v1 baseline loads");
+    assert!(
+        base.to_json().starts_with("{\"schema\":2"),
+        "v1 input migrates to the current schema on write"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
