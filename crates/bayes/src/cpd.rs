@@ -90,11 +90,14 @@ impl TableCpd {
     ///   `child_card × Π parent_card`.
     /// - [`BayesError::InvalidProbability`] on negative/non-finite values.
     /// - [`BayesError::UnnormalizedRow`] when a row does not sum to 1.
+    /// - [`BayesError::DuplicateCpd`] when a variable appears twice in
+    ///   `parents ++ [child]` (the scope of the factor expansion).
     pub fn new(
         child: Variable,
         parents: Vec<Variable>,
         table: Vec<f64>,
     ) -> Result<Self, BayesError> {
+        validate_unique_scope(child, &parents)?;
         let rows: usize = parents.iter().map(|p| p.cardinality()).product();
         let expected = rows * child.cardinality();
         if table.len() != expected {
@@ -186,9 +189,23 @@ impl TableCpd {
         let mut scope = self.parents.clone();
         scope.push(self.child);
         // The table layout (parents row-major, child fastest) is exactly
-        // the factor layout for this scope order.
-        Factor::new(scope, self.table.clone()).expect("validated CPD is a valid factor")
+        // the factor layout for this scope order, and construction
+        // validated size, values, and scope uniqueness.
+        Factor::from_validated(scope, self.table.clone())
     }
+}
+
+/// Rejects a CPD whose factor scope (`parents ++ [child]`) would repeat
+/// a variable — such a CPD can never expand to a well-formed factor.
+fn validate_unique_scope(child: Variable, parents: &[Variable]) -> Result<(), BayesError> {
+    let mut seen = std::collections::HashSet::with_capacity(parents.len() + 1);
+    seen.insert(child.id());
+    for p in parents {
+        if !seen.insert(p.id()) {
+            return Err(BayesError::DuplicateCpd(p.id()));
+        }
+    }
+    Ok(())
 }
 
 /// A noisy-OR CPD for a binary child with discrete parents.
@@ -237,12 +254,15 @@ impl NoisyOrCpd {
     /// - [`BayesError::WrongTableSize`] when `activation` does not match
     ///   the parents' shapes.
     /// - [`BayesError::CardinalityMismatch`] when the child is not binary.
+    /// - [`BayesError::DuplicateCpd`] when a variable appears twice in
+    ///   `parents ++ [child]`.
     pub fn new(
         child: Variable,
         parents: Vec<Variable>,
         activation: Vec<Vec<f64>>,
         leak: f64,
     ) -> Result<Self, BayesError> {
+        validate_unique_scope(child, &parents)?;
         if child.cardinality() != 2 {
             return Err(BayesError::CardinalityMismatch {
                 variable: child.id(),
@@ -319,7 +339,9 @@ impl NoisyOrCpd {
             values.push(off);
             values.push(1.0 - off);
         }
-        Factor::new(scope, values).expect("noisy-OR expansion is a valid factor")
+        // Scope uniqueness and activation ranges were validated at
+        // construction; the iteration order matches the factor layout.
+        Factor::from_validated(scope, values)
     }
 }
 

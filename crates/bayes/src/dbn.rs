@@ -218,8 +218,8 @@ pub struct TwoSliceDbn {
     slice_vars: Vec<Variable>,
     prior: Vec<Cpd>,
     transition: Vec<Cpd>,
-    /// `prior` converted to factors at build time (never mutated; used
-    /// as the per-step elimination working set via clone).
+    /// `prior` converted to factors at build time (never mutated; lent
+    /// borrowed into each step's clone-on-write elimination working set).
     prior_factors: Vec<Factor>,
     /// `transition` converted to factors at build time.
     transition_factors: Vec<Factor>,
@@ -428,10 +428,68 @@ impl<'a> ForwardFilter<'a> {
         } else {
             &self.dbn.transition_factors
         };
+        // The cached templates enter the elimination working set
+        // borrowed: only factors touched by evidence are ever copied.
+        let mut factors: Vec<std::borrow::Cow<'_, Factor>> =
+            Vec::with_capacity(template.len() + 2);
+        factors.extend(template.iter().map(std::borrow::Cow::Borrowed));
+        if !first {
+            // Attach the previous belief on the prev-slice handles.
+            let Some(mut prior) = self.belief.clone() else {
+                return Err(BayesError::InvalidTemporalStructure(
+                    "filter stepped past t=0 with no belief set".into(),
+                ));
+            };
+            for pair in &self.dbn.interface {
+                prior = prior.rename(pair.cur, pair.prev)?;
+            }
+            factors.push(std::borrow::Cow::Owned(prior));
+        }
+        if let Some(lik) = likelihood {
+            factors.push(std::borrow::Cow::Borrowed(lik));
+        }
+        if let Some(metrics) = &self.metrics {
+            let cells: usize = factors.iter().map(|f| f.values().len()).sum();
+            metrics.factor_cells.record(cells as u64);
+        }
+        let result = crate::inference::elimination_internal::eliminate_all_cow(
+            factors,
+            evidence,
+            &self.dbn.interface_ids,
+        )?;
+        let belief = result.normalized()?;
+        self.belief = Some(belief.clone());
+        self.steps += 1;
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            metrics.step_ns.record_duration(started.elapsed());
+        }
+        Ok(belief)
+    }
+
+    /// Reference implementation of
+    /// [`ForwardFilter::step_with_likelihood`]: clones the cached factor
+    /// templates into an owned working set exactly as the pre-Cow step
+    /// did. Kept as the bit-exactness oracle for the borrow-based
+    /// production step (parity tests here, delta shown in the
+    /// `slj bench` kernels group).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ForwardFilter::step`].
+    pub fn step_with_likelihood_reference(
+        &mut self,
+        evidence: &Evidence,
+        likelihood: Option<&Factor>,
+    ) -> Result<Factor, BayesError> {
+        let first = self.steps == 0;
+        let template = if first {
+            &self.dbn.prior_factors
+        } else {
+            &self.dbn.transition_factors
+        };
         let mut factors: Vec<Factor> = Vec::with_capacity(template.len() + 2);
         factors.extend(template.iter().cloned());
         if !first {
-            // Attach the previous belief on the prev-slice handles.
             let Some(mut prior) = self.belief.clone() else {
                 return Err(BayesError::InvalidTemporalStructure(
                     "filter stepped past t=0 with no belief set".into(),
@@ -445,11 +503,7 @@ impl<'a> ForwardFilter<'a> {
         if let Some(lik) = likelihood {
             factors.push(lik.clone());
         }
-        if let Some(metrics) = &self.metrics {
-            let cells: usize = factors.iter().map(|f| f.values().len()).sum();
-            metrics.factor_cells.record(cells as u64);
-        }
-        let result = crate::inference::elimination_internal::eliminate_all(
+        let result = crate::inference::elimination_internal::eliminate_all_reference(
             factors,
             evidence,
             &self.dbn.interface_ids,
@@ -457,9 +511,6 @@ impl<'a> ForwardFilter<'a> {
         let belief = result.normalized()?;
         self.belief = Some(belief.clone());
         self.steps += 1;
-        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
-            metrics.step_ns.record_duration(started.elapsed());
-        }
         Ok(belief)
     }
 
@@ -573,13 +624,13 @@ impl<'a> SmoothingPass<'a> {
         // rescaled per step for stability).
         let mut alphas: Vec<Factor> = Vec::with_capacity(steps.len());
         let alpha0 = decoder
-            .slice_potential(&self.dbn.prior, &steps[0], &keep_cur, None)?
+            .slice_potential(&self.dbn.prior_factors, &steps[0], &keep_cur, None)?
             .normalized()?;
         alphas.push(alpha0);
         // Transition kernels per step (cached for the backward pass).
         let mut kernels: Vec<Factor> = Vec::with_capacity(steps.len().saturating_sub(1));
         for step in &steps[1..] {
-            let kernel = decoder.slice_potential(&self.dbn.transition, step, &keep_both, None)?;
+            let kernel = decoder.slice_potential(&self.dbn.transition_factors, step, &keep_both, None)?;
             let mut prior = alphas
                 .last()
                 .ok_or_else(|| {
@@ -683,7 +734,7 @@ impl<'a> ViterbiDecoder<'a> {
         let mut backpointers: Vec<Vec<usize>> = Vec::with_capacity(steps.len());
 
         // Step 0: prior network reduced by evidence, nuisance summed out.
-        let alpha0 = self.slice_potential(&self.dbn.prior, &steps[0], &keep_cur, None)?;
+        let alpha0 = self.slice_potential(&self.dbn.prior_factors, &steps[0], &keep_cur, None)?;
         for (x, slot) in delta.iter_mut().enumerate() {
             let asn = crate::assignment::index_to_assignment(&iface, x);
             let pairs: Vec<(Variable, usize)> =
@@ -707,7 +758,7 @@ impl<'a> ViterbiDecoder<'a> {
         let mut keep_both = keep_cur.clone();
         keep_both.extend(prev_vars.iter().map(|v| v.id()));
         for step in &steps[1..] {
-            let kernel = self.slice_potential(&self.dbn.transition, step, &keep_both, None)?;
+            let kernel = self.slice_potential(&self.dbn.transition_factors, step, &keep_both, None)?;
             let mut next = vec![f64::NEG_INFINITY; joint_states];
             let mut back = vec![usize::MAX; joint_states];
             for x in 0..joint_states {
@@ -770,23 +821,30 @@ impl<'a> ViterbiDecoder<'a> {
             .collect())
     }
 
-    /// Product of a slice's CPD factors with evidence absorbed and every
-    /// variable outside `keep` summed out.
+    /// Product of a slice's factor templates with evidence absorbed and
+    /// every variable outside `keep` summed out.
+    ///
+    /// Takes the DBN's cached prior/transition factors borrowed — the
+    /// per-step `Cpd::to_factor` re-expansion (a full table rebuild per
+    /// CPD per frame) and the template clone are both gone; batch decode
+    /// and smoothing only copy factors that evidence actually touches.
     fn slice_potential(
         &self,
-        template: &[Cpd],
+        template: &[Factor],
         step: &StepInput,
         keep: &HashSet<usize>,
         extra: Option<&Factor>,
     ) -> Result<Factor, BayesError> {
-        let mut factors: Vec<Factor> = template.iter().map(|c| c.to_factor()).collect();
+        let mut factors: Vec<std::borrow::Cow<'_, Factor>> =
+            Vec::with_capacity(template.len() + 2);
+        factors.extend(template.iter().map(std::borrow::Cow::Borrowed));
         if let Some(lik) = &step.likelihood {
-            factors.push(lik.clone());
+            factors.push(std::borrow::Cow::Borrowed(lik));
         }
         if let Some(f) = extra {
-            factors.push(f.clone());
+            factors.push(std::borrow::Cow::Borrowed(f));
         }
-        crate::inference::elimination_internal::eliminate_all(factors, &step.evidence, keep)
+        crate::inference::elimination_internal::eliminate_all_cow(factors, &step.evidence, keep)
     }
 }
 
@@ -893,6 +951,27 @@ mod tests {
         // Note: the umbrella variable also gets marginalised in the
         // likelihood variant, contributing a constant 1 per state.
         assert!((a[1] - b[1]).abs() < 1e-12, "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn step_is_bit_identical_to_reference() {
+        let (dbn, _, _, umbrella) = umbrella_dbn();
+        let mut fast = ForwardFilter::new(&dbn);
+        let mut reference = ForwardFilter::new(&dbn);
+        let lik = Factor::new(vec![umbrella], vec![0.3, 0.7]).unwrap();
+        for (t, &o) in [1usize, 1, 0, 1, 0, 0, 1].iter().enumerate() {
+            let likelihood = (t % 2 == 0).then_some(&lik);
+            let a = fast
+                .step_with_likelihood(&[(umbrella, o)], likelihood)
+                .unwrap();
+            let b = reference
+                .step_with_likelihood_reference(&[(umbrella, o)], likelihood)
+                .unwrap();
+            assert_eq!(a.scope(), b.scope(), "t={t}");
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "t={t}: {a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]

@@ -81,6 +81,14 @@ impl Factor {
         Ok(Factor { scope, values })
     }
 
+    /// Crate-internal constructor for tables whose invariants were
+    /// already established elsewhere (a validated CPD's expansion is a
+    /// well-formed factor by construction): skips re-validation so
+    /// conversion sites need no panic or error path.
+    pub(crate) fn from_validated(scope: Vec<Variable>, values: Vec<f64>) -> Self {
+        Factor { scope, values }
+    }
+
     /// The constant factor 1 over the empty scope.
     pub fn unit() -> Self {
         Factor {

@@ -5,6 +5,7 @@ use crate::factor::Factor;
 use crate::inference::Evidence;
 use crate::network::DiscreteBayesNet;
 use crate::variable::Variable;
+use std::borrow::Cow;
 use std::collections::HashSet;
 
 /// Variable elimination with a min-fill/min-degree style greedy ordering.
@@ -69,12 +70,28 @@ impl<'a> VariableElimination<'a> {
 /// Reduces evidence into `factors`, then greedily eliminates every
 /// variable not in `keep`, returning the product of what remains
 /// (unnormalised).
+///
 pub(crate) fn eliminate_all(
+    factors: Vec<Factor>,
+    evidence: &Evidence,
+    keep: &HashSet<usize>,
+) -> Result<Factor, BayesError> {
+    eliminate_all_cow(
+        factors.into_iter().map(Cow::Owned).collect(),
+        evidence,
+        keep,
+    )
+}
+
+/// The pre-Cow owned-working-set implementation, kept verbatim as the
+/// bit-exactness oracle for [`eliminate_all_cow`]: both perform the same
+/// factor operations in the same order, so results must agree to the
+/// bit (enforced by parity tests here and in `dbn.rs`).
+pub(crate) fn eliminate_all_reference(
     mut factors: Vec<Factor>,
     evidence: &Evidence,
     keep: &HashSet<usize>,
 ) -> Result<Factor, BayesError> {
-    // 1. Absorb evidence.
     for &(var, state) in evidence {
         for f in &mut factors {
             if f.contains(var) {
@@ -82,7 +99,6 @@ pub(crate) fn eliminate_all(
             }
         }
     }
-    // 2. Collect the variables still present that must be eliminated.
     let mut to_eliminate: Vec<Variable> = Vec::new();
     let mut seen: HashSet<usize> = HashSet::new();
     for f in &factors {
@@ -92,10 +108,8 @@ pub(crate) fn eliminate_all(
             }
         }
     }
-    // 3. Greedy elimination: repeatedly pick the variable whose
-    //    elimination produces the smallest intermediate factor.
-    while !to_eliminate.is_empty() {
-        let (pick_idx, _) = to_eliminate
+    loop {
+        let pick = to_eliminate
             .iter()
             .enumerate()
             .map(|(i, &v)| {
@@ -112,10 +126,9 @@ pub(crate) fn eliminate_all(
                 }
                 (i, size)
             })
-            .min_by_key(|&(i, size)| (size, i))
-            .expect("non-empty elimination set");
+            .min_by_key(|&(i, size)| (size, i));
+        let Some((pick_idx, _)) = pick else { break };
         let var = to_eliminate.swap_remove(pick_idx);
-        // Multiply all factors mentioning `var`, then sum it out.
         let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
             factors.into_iter().partition(|f| f.contains(var));
         let mut product = Factor::unit();
@@ -125,6 +138,76 @@ pub(crate) fn eliminate_all(
         let summed = product.sum_out(var)?;
         factors = rest;
         factors.push(summed);
+    }
+    let mut result = Factor::unit();
+    for f in &factors {
+        result = result.product(f)?;
+    }
+    Ok(result)
+}
+
+/// [`eliminate_all`] over a clone-on-write working set: callers with
+/// long-lived factor templates (the DBN filter's cached prior/transition
+/// factors) lend them borrowed, and a factor is only materialised when
+/// evidence reduction rewrites it or elimination consumes it — the flat
+/// per-step template clone the filter used to pay is gone entirely.
+pub(crate) fn eliminate_all_cow(
+    mut factors: Vec<Cow<'_, Factor>>,
+    evidence: &Evidence,
+    keep: &HashSet<usize>,
+) -> Result<Factor, BayesError> {
+    // 1. Absorb evidence (reduction builds a fresh smaller table, so a
+    //    borrowed template is never copied wholesale here either).
+    for &(var, state) in evidence {
+        for f in &mut factors {
+            if f.contains(var) {
+                *f = Cow::Owned(f.reduce(var, state)?);
+            }
+        }
+    }
+    // 2. Collect the variables still present that must be eliminated.
+    let mut to_eliminate: Vec<Variable> = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    for f in &factors {
+        for &v in f.scope() {
+            if !keep.contains(&v.id()) && seen.insert(v.id()) {
+                to_eliminate.push(v);
+            }
+        }
+    }
+    // 3. Greedy elimination: repeatedly pick the variable whose
+    //    elimination produces the smallest intermediate factor.
+    loop {
+        let pick = to_eliminate
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut size = 1usize;
+                let mut scope_ids: HashSet<usize> = HashSet::new();
+                for f in &factors {
+                    if f.contains(v) {
+                        for &u in f.scope() {
+                            if scope_ids.insert(u.id()) {
+                                size = size.saturating_mul(u.cardinality());
+                            }
+                        }
+                    }
+                }
+                (i, size)
+            })
+            .min_by_key(|&(i, size)| (size, i));
+        let Some((pick_idx, _)) = pick else { break };
+        let var = to_eliminate.swap_remove(pick_idx);
+        // Multiply all factors mentioning `var`, then sum it out.
+        let (mentioning, rest): (Vec<Cow<'_, Factor>>, Vec<Cow<'_, Factor>>) =
+            factors.into_iter().partition(|f| f.contains(var));
+        let mut product = Factor::unit();
+        for f in &mentioning {
+            product = product.product(f)?;
+        }
+        let summed = product.sum_out(var)?;
+        factors = rest;
+        factors.push(Cow::Owned(summed));
     }
     // 4. Multiply the survivors.
     let mut result = Factor::unit();
@@ -261,6 +344,31 @@ mod tests {
             VariableElimination::new(&net).posterior(a, &[(c, 1)]),
             Err(BayesError::ZeroProbabilityEvidence)
         ));
+    }
+
+    #[test]
+    fn cow_elimination_is_bit_identical_to_reference() {
+        let (net, rain, sprinkler, wet) = sprinkler();
+        for (keep, evidence) in [
+            (vec![rain.id()], vec![(wet, 1)]),
+            (vec![rain.id(), sprinkler.id()], vec![(wet, 0)]),
+            (vec![], vec![(wet, 1), (sprinkler, 0)]),
+            (vec![wet.id()], vec![]),
+        ] {
+            let keep: HashSet<usize> = keep.into_iter().collect();
+            let reference = eliminate_all_reference(net.factors(), &evidence, &keep).unwrap();
+            let templates = net.factors();
+            let cow = eliminate_all_cow(
+                templates.iter().map(Cow::Borrowed).collect(),
+                &evidence,
+                &keep,
+            )
+            .unwrap();
+            assert_eq!(reference.scope(), cow.scope());
+            for (a, b) in reference.values().iter().zip(cow.values()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{reference:?} vs {cow:?}");
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub use gibbs::GibbsSampler;
 pub use sampling::LikelihoodWeighting;
 
 pub(crate) mod elimination_internal {
-    pub(crate) use super::elimination::eliminate_all;
+    pub(crate) use super::elimination::{eliminate_all_cow, eliminate_all_reference};
 }
 
 use crate::variable::Variable;

@@ -15,6 +15,12 @@
 //! | metrics | `METRICS_SCHEMA_VERSION` (`crates/obs/src/metrics.rs`) | `tests/fixtures/schemas/metrics.json` |
 //! | check-report | `REPORT_SCHEMA_VERSION` (`crates/check/src/report.rs`) | `tests/fixtures/schemas/check-report.json` |
 //! | check-baseline | `BASELINE_SCHEMA_VERSION` (`crates/check/src/baseline.rs`) | `check-baseline.json` |
+//! | corpus-trace-bridge | `BRIDGE_TRACE_SCHEMA` (`crates/corpus/src/ingest.rs`) | `tests/fixtures/schemas/trace.jsonl` |
+//! | corpus-bench | `CORPUS_BENCH_SCHEMA_VERSION` (`src/bin/slj.rs`) | `BENCH_PR10.json` |
+//!
+//! The corpus trace bridge deliberately shares the trace layer's
+//! fixture: it *consumes* `slj trace` JSONL, so a trace-schema bump
+//! that forgets to update the bridge shows up as drift here.
 //!
 //! The HTTP wire format is deliberately absent: it has no `"schema"`
 //! marker — `crates/serve/tests/protocol.rs` pins it at the byte level.
@@ -96,6 +102,18 @@ const LAYERS: &[Layer] = &[
         src: "crates/check/src/baseline.rs",
         const_name: "BASELINE_SCHEMA_VERSION",
         fixture: "check-baseline.json",
+    },
+    Layer {
+        name: "corpus-trace-bridge",
+        src: "crates/corpus/src/ingest.rs",
+        const_name: "BRIDGE_TRACE_SCHEMA",
+        fixture: "tests/fixtures/schemas/trace.jsonl",
+    },
+    Layer {
+        name: "corpus-bench",
+        src: "src/bin/slj.rs",
+        const_name: "CORPUS_BENCH_SCHEMA_VERSION",
+        fixture: "BENCH_PR10.json",
     },
 ];
 

@@ -1,0 +1,636 @@
+//! The versioned `slj-corpus v1` archive text format.
+//!
+//! Line-oriented like the workspace's other persisted artifacts
+//! (`slj-taxonomy v1`, model files): a magic first line, the owning
+//! taxonomy embedded verbatim, one block per clip with five
+//! delta/bit-packed columns ([`crate::encode`]) plus the fault table,
+//! and a trailing footer index recording every clip's header line — a
+//! reader can seek the index without decoding any column, and a
+//! truncated file can never pass as complete.
+//!
+//! ```text
+//! slj-corpus v1
+//! meta clips=2 frames=88
+//! taxonomy lines=31
+//! slj-taxonomy v1
+//! ...30 more embedded lines...
+//! clip id=0 source=clip_000 seed=0 frames=44 score_micro=987500
+//! column pose n=44 first=0 bits=2
+//! data 0123456789abcdef ...
+//! column stage ...
+//! column online ...
+//! column margin ...
+//! column flags ...
+//! faults fired=1,3 spans=2
+//! span rule=1 start=10 end=17
+//! span rule=3 start=40 end=43
+//! end clip
+//! ...
+//! footer clips=2 frames=88
+//! index id=0 line=35 frames=44
+//! index id=1 line=47 frames=44
+//! end slj-corpus
+//! ```
+//!
+//! Parsing is strict: every deviation is rejected with a `corpus/*`
+//! rule code (`corpus/magic` for the first line, `corpus/column` for
+//! data blocks, `corpus/footer` for index disagreements,
+//! `corpus/taxonomy` for vocabulary violations, `corpus/format` for
+//! everything structural). Round trips are bit-exact:
+//! `parse(write(c)) == c` and `write(parse(s)) == s` for canonical `s`.
+
+use crate::encode::{decode_column, encode_column, hex_to_words, words_to_hex, EncodedColumn};
+use crate::record::{ClipRecord, Corpus, FaultSpan};
+use crate::{CorpusError, RULE_FOOTER, RULE_FORMAT, RULE_MAGIC, RULE_TAXONOMY};
+use slj_taxonomy::Taxonomy;
+use std::fmt::Write as _;
+
+/// Magic first line of every archive.
+pub const MAGIC: &str = "slj-corpus v1";
+
+/// The five per-frame columns, in on-disk order.
+const COLUMNS: [&str; 5] = ["pose", "stage", "online", "margin", "flags"];
+
+fn format_err(line: usize, message: impl Into<String>) -> CorpusError {
+    CorpusError::new(RULE_FORMAT, format!("line {line}: {}", message.into()))
+}
+
+/// Splits `key=value` with an expected key, rejecting anything else.
+fn kv<'a>(token: Option<&'a str>, key: &str, line: usize) -> Result<&'a str, CorpusError> {
+    let token = token.ok_or_else(|| format_err(line, format!("missing field {key}=")))?;
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| format_err(line, format!("expected {key}=..., got {token:?}")))
+}
+
+fn kv_num<T: std::str::FromStr>(
+    token: Option<&str>,
+    key: &str,
+    line: usize,
+) -> Result<T, CorpusError> {
+    let raw = kv(token, key, line)?;
+    raw.parse()
+        .map_err(|_| format_err(line, format!("bad number for {key}: {raw:?}")))
+}
+
+impl Corpus {
+    /// Serialises the corpus in canonical archive form.
+    pub fn to_archive_string(&self) -> String {
+        let mut out = String::new();
+        let mut line = 0usize;
+        let mut push = |out: &mut String, text: &str| {
+            out.push_str(text);
+            out.push('\n');
+            line += 1;
+            line
+        };
+        push(&mut out, MAGIC);
+        push(
+            &mut out,
+            &format!(
+                "meta clips={} frames={}",
+                self.clips.len(),
+                self.total_frames()
+            ),
+        );
+        let taxonomy_text = self.taxonomy.to_artifact_string();
+        let taxonomy_lines: Vec<&str> = taxonomy_text.lines().collect();
+        push(
+            &mut out,
+            &format!("taxonomy lines={}", taxonomy_lines.len()),
+        );
+        for tline in &taxonomy_lines {
+            push(&mut out, tline);
+        }
+        let mut index: Vec<(u64, usize, usize)> = Vec::with_capacity(self.clips.len());
+        for clip in &self.clips {
+            let header_line = push(
+                &mut out,
+                &format!(
+                    "clip id={} source={} seed={} frames={} score_micro={}",
+                    clip.id,
+                    clip.source,
+                    clip.seed,
+                    clip.frames(),
+                    clip.score_micro
+                ),
+            );
+            index.push((clip.id, header_line, clip.frames()));
+            for (name, values) in COLUMNS.iter().zip([
+                &clip.pose,
+                &clip.stage,
+                &clip.online,
+                &clip.margin,
+                &clip.flags,
+            ]) {
+                let encoded = encode_column(values);
+                push(
+                    &mut out,
+                    &format!(
+                        "column {name} n={} first={} bits={}",
+                        encoded.len, encoded.first, encoded.bits
+                    ),
+                );
+                if !encoded.words.is_empty() {
+                    push(&mut out, &format!("data {}", words_to_hex(&encoded.words)));
+                }
+            }
+            let fired = if clip.fired.is_empty() {
+                "-".to_string()
+            } else {
+                clip.fired
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            push(
+                &mut out,
+                &format!("faults fired={fired} spans={}", clip.spans.len()),
+            );
+            for span in &clip.spans {
+                push(
+                    &mut out,
+                    &format!(
+                        "span rule={} start={} end={}",
+                        span.rule, span.start, span.end
+                    ),
+                );
+            }
+            push(&mut out, "end clip");
+        }
+        push(
+            &mut out,
+            &format!(
+                "footer clips={} frames={}",
+                self.clips.len(),
+                self.total_frames()
+            ),
+        );
+        for (id, header_line, frames) in &index {
+            push(
+                &mut out,
+                &format!("index id={id} line={header_line} frames={frames}"),
+            );
+        }
+        push(&mut out, "end slj-corpus");
+        out
+    }
+
+    /// Parses an archive, validating structure, footer index and every
+    /// index against the embedded taxonomy.
+    ///
+    /// # Errors
+    ///
+    /// `corpus/magic`, `corpus/format`, `corpus/column`,
+    /// `corpus/footer` or `corpus/taxonomy`, each with the 1-based line
+    /// number of the violation.
+    pub fn from_archive_str(text: &str) -> Result<Self, CorpusError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut cursor = Cursor {
+            lines: &lines,
+            at: 0,
+        };
+
+        let magic = cursor.next_any()?;
+        if magic != MAGIC {
+            return Err(CorpusError::new(
+                RULE_MAGIC,
+                format!("line 1: expected {MAGIC:?}, got {magic:?}"),
+            ));
+        }
+        let meta = cursor.next_tagged("meta")?;
+        let meta_clips: usize = kv_num(meta.tokens.first().copied(), "clips", meta.line)?;
+        let meta_frames: u64 = kv_num(meta.tokens.get(1).copied(), "frames", meta.line)?;
+
+        let tax_header = cursor.next_tagged("taxonomy")?;
+        let tax_lines: usize =
+            kv_num(tax_header.tokens.first().copied(), "lines", tax_header.line)?;
+        let mut taxonomy_text = String::new();
+        for _ in 0..tax_lines {
+            let _ = writeln!(taxonomy_text, "{}", cursor.next_any()?);
+        }
+        let taxonomy = Taxonomy::from_artifact_str(&taxonomy_text).map_err(|e| {
+            CorpusError::new(
+                RULE_TAXONOMY,
+                format!("embedded taxonomy rejected: {} ({})", e.message, e.code),
+            )
+        })?;
+
+        let mut clips = Vec::with_capacity(meta_clips);
+        let mut index_expect: Vec<(u64, usize, usize)> = Vec::with_capacity(meta_clips);
+        loop {
+            let row = cursor.next_any_line()?;
+            if row.text.starts_with("footer ") {
+                cursor.back();
+                break;
+            }
+            if !row.text.starts_with("clip ") {
+                return Err(format_err(
+                    row.line,
+                    format!("expected a clip or footer line, got {:?}", row.text),
+                ));
+            }
+            let tokens: Vec<&str> = row.text["clip ".len()..].split(' ').collect();
+            let id: u64 = kv_num(tokens.first().copied(), "id", row.line)?;
+            let source = kv(tokens.get(1).copied(), "source", row.line)?.to_string();
+            let seed: u64 = kv_num(tokens.get(2).copied(), "seed", row.line)?;
+            let frames: usize = kv_num(tokens.get(3).copied(), "frames", row.line)?;
+            let score_micro: i64 = kv_num(tokens.get(4).copied(), "score_micro", row.line)?;
+            index_expect.push((id, row.line, frames));
+
+            let mut columns: Vec<Vec<i64>> = Vec::with_capacity(COLUMNS.len());
+            for expected_name in COLUMNS {
+                let header = cursor.next_tagged("column")?;
+                let name = *header
+                    .tokens
+                    .first()
+                    .ok_or_else(|| format_err(header.line, "column line is missing its name"))?;
+                if name != expected_name {
+                    return Err(format_err(
+                        header.line,
+                        format!("expected column {expected_name:?}, got {name:?}"),
+                    ));
+                }
+                let len: usize = kv_num(header.tokens.get(1).copied(), "n", header.line)?;
+                let first: i64 = kv_num(header.tokens.get(2).copied(), "first", header.line)?;
+                let bits: u32 = kv_num(header.tokens.get(3).copied(), "bits", header.line)?;
+                if len != frames {
+                    return Err(CorpusError::new(
+                        crate::RULE_COLUMN,
+                        format!(
+                            "line {}: column {name} has n={len}, clip {id} declares \
+                             {frames} frame(s)",
+                            header.line
+                        ),
+                    ));
+                }
+                let words = if bits > 0 && len > 1 {
+                    let data = cursor.next_any_line()?;
+                    let payload = data.text.strip_prefix("data ").ok_or_else(|| {
+                        CorpusError::new(
+                            crate::RULE_COLUMN,
+                            format!(
+                                "line {}: column {name} (bits={bits}) has no data line",
+                                data.line
+                            ),
+                        )
+                    })?;
+                    hex_to_words(payload).map_err(|e| {
+                        CorpusError::new(e.code, format!("line {}: {}", data.line, e.message))
+                    })?
+                } else {
+                    Vec::new()
+                };
+                let encoded = EncodedColumn {
+                    len,
+                    first,
+                    bits,
+                    words,
+                };
+                let values = decode_column(&encoded).map_err(|e| {
+                    CorpusError::new(
+                        e.code,
+                        format!("line {}: column {name}: {}", header.line, e.message),
+                    )
+                })?;
+                columns.push(values);
+            }
+
+            let faults = cursor.next_tagged("faults")?;
+            let fired_raw = kv(faults.tokens.first().copied(), "fired", faults.line)?;
+            let fired: Vec<u32> = if fired_raw == "-" {
+                Vec::new()
+            } else {
+                fired_raw
+                    .split(',')
+                    .map(|t| {
+                        t.parse().map_err(|_| {
+                            format_err(faults.line, format!("bad fired rule index {t:?}"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            let span_count: usize = kv_num(faults.tokens.get(1).copied(), "spans", faults.line)?;
+            let mut spans = Vec::with_capacity(span_count);
+            for _ in 0..span_count {
+                let span = cursor.next_tagged("span")?;
+                spans.push(FaultSpan {
+                    rule: kv_num(span.tokens.first().copied(), "rule", span.line)?,
+                    start: kv_num(span.tokens.get(1).copied(), "start", span.line)?,
+                    end: kv_num(span.tokens.get(2).copied(), "end", span.line)?,
+                });
+            }
+            let terminator = cursor.next_any_line()?;
+            if terminator.text != "end clip" {
+                return Err(format_err(
+                    terminator.line,
+                    format!("expected \"end clip\", got {:?}", terminator.text),
+                ));
+            }
+
+            let mut columns = columns.into_iter();
+            let record = ClipRecord {
+                id,
+                source,
+                seed,
+                score_micro,
+                pose: columns.next().unwrap_or_default(),
+                stage: columns.next().unwrap_or_default(),
+                online: columns.next().unwrap_or_default(),
+                margin: columns.next().unwrap_or_default(),
+                flags: columns.next().unwrap_or_default(),
+                fired,
+                spans,
+            };
+            record.validate(&taxonomy)?;
+            clips.push(record);
+        }
+
+        let footer = cursor.next_tagged("footer")?;
+        let footer_clips: usize = kv_num(footer.tokens.first().copied(), "clips", footer.line)?;
+        let footer_frames: u64 = kv_num(footer.tokens.get(1).copied(), "frames", footer.line)?;
+        let body_frames: u64 = clips.iter().map(|c| c.frames() as u64).sum();
+        if footer_clips != clips.len() || footer_frames != body_frames {
+            return Err(CorpusError::new(
+                RULE_FOOTER,
+                format!(
+                    "line {}: footer declares {footer_clips} clip(s) / {footer_frames} \
+                     frame(s), body has {} / {body_frames}",
+                    footer.line,
+                    clips.len()
+                ),
+            ));
+        }
+        if meta_clips != clips.len() || meta_frames != body_frames {
+            return Err(CorpusError::new(
+                RULE_FOOTER,
+                format!(
+                    "meta declares {meta_clips} clip(s) / {meta_frames} frame(s), \
+                     body has {} / {body_frames}",
+                    clips.len()
+                ),
+            ));
+        }
+        for expected in &index_expect {
+            let row = cursor.next_tagged("index")?;
+            let id: u64 = kv_num(row.tokens.first().copied(), "id", row.line)?;
+            let line_no: usize = kv_num(row.tokens.get(1).copied(), "line", row.line)?;
+            let frames: usize = kv_num(row.tokens.get(2).copied(), "frames", row.line)?;
+            if (id, line_no, frames) != *expected {
+                return Err(CorpusError::new(
+                    RULE_FOOTER,
+                    format!(
+                        "line {}: index row (id={id} line={line_no} frames={frames}) \
+                         disagrees with clip {} at line {} ({} frame(s))",
+                        row.line, expected.0, expected.1, expected.2
+                    ),
+                ));
+            }
+        }
+        let tail = cursor.next_any_line()?;
+        if tail.text != "end slj-corpus" {
+            return Err(CorpusError::new(
+                RULE_FOOTER,
+                format!(
+                    "line {}: expected \"end slj-corpus\", got {:?}",
+                    tail.line, tail.text
+                ),
+            ));
+        }
+        if let Some(extra) = cursor.peek() {
+            return Err(format_err(
+                cursor.at + 1,
+                format!("trailing content after the terminator: {extra:?}"),
+            ));
+        }
+        Ok(Corpus { taxonomy, clips })
+    }
+}
+
+/// One consumed line with its 1-based number.
+struct Row<'a> {
+    text: &'a str,
+    line: usize,
+}
+
+/// A tagged line split into its `key=value` tokens.
+struct Tagged<'a> {
+    tokens: Vec<&'a str>,
+    line: usize,
+}
+
+struct Cursor<'a> {
+    lines: &'a [&'a str],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next_any_line(&mut self) -> Result<Row<'a>, CorpusError> {
+        let text = self
+            .lines
+            .get(self.at)
+            .copied()
+            .ok_or_else(|| format_err(self.at + 1, "unexpected end of archive"))?;
+        self.at += 1;
+        Ok(Row {
+            text,
+            line: self.at,
+        })
+    }
+
+    fn next_any(&mut self) -> Result<&'a str, CorpusError> {
+        Ok(self.next_any_line()?.text)
+    }
+
+    fn next_tagged(&mut self, tag: &str) -> Result<Tagged<'a>, CorpusError> {
+        let row = self.next_any_line()?;
+        let rest = row.text.strip_prefix(tag).and_then(|r| r.strip_prefix(' '));
+        match rest {
+            Some(rest) => Ok(Tagged {
+                tokens: rest.split(' ').collect(),
+                line: row.line,
+            }),
+            None => Err(format_err(
+                row.line,
+                format!("expected a {tag:?} line, got {:?}", row.text),
+            )),
+        }
+    }
+
+    fn back(&mut self) {
+        self.at = self.at.saturating_sub(1);
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.get(self.at).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::UNKNOWN;
+
+    fn sample_corpus() -> Corpus {
+        let taxonomy = slj_sim::default_taxonomy();
+        let clip = |id: u64, n: usize| {
+            let pose: Vec<i64> = (0..n).map(|f| (f % 4) as i64).collect();
+            let stage: Vec<i64> = pose.iter().map(|_| 0i64).collect();
+            let online: Vec<i64> = pose
+                .iter()
+                .map(|&p| if p == 3 { UNKNOWN } else { p })
+                .collect();
+            let margin: Vec<i64> = (0..n).map(|f| 120_000 - 7_000 * f as i64).collect();
+            let flags: Vec<i64> = (0..n).map(|f| if f % 5 == 0 { 1 } else { 0 }).collect();
+            let (fired, spans) = crate::record::assess_spans(&taxonomy, &stage, &pose);
+            ClipRecord {
+                id,
+                source: format!("clip_{id:03}"),
+                seed: id,
+                score_micro: 900_000 + id as i64,
+                pose,
+                stage,
+                online,
+                margin,
+                flags,
+                fired,
+                spans,
+            }
+        };
+        Corpus {
+            clips: vec![clip(0, 9), clip(1, 13)],
+            taxonomy,
+        }
+    }
+
+    #[test]
+    fn archive_round_trip_is_bit_exact() {
+        let corpus = sample_corpus();
+        let text = corpus.to_archive_string();
+        assert!(text.starts_with("slj-corpus v1\n"));
+        let parsed = Corpus::from_archive_str(&text).unwrap();
+        assert_eq!(parsed, corpus);
+        assert_eq!(parsed.to_archive_string(), text, "canonical re-serialise");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let text = sample_corpus()
+            .to_archive_string()
+            .replace("slj-corpus v1", "slj-corpus v9");
+        let err = Corpus::from_archive_str(&text).unwrap_err();
+        assert_eq!(err.code, crate::RULE_MAGIC);
+    }
+
+    #[test]
+    fn truncated_column_data_is_rejected() {
+        let corpus = sample_corpus();
+        let text = corpus.to_archive_string();
+        // Drop the last word of the first data line.
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let data_at = lines
+            .iter()
+            .position(|l| l.starts_with("data "))
+            .expect("a data line");
+        let shortened = lines[data_at]
+            .rsplit_once(' ')
+            .map(|(head, _)| head.to_string())
+            .expect("multi-token data line");
+        lines[data_at] = shortened;
+        let err = Corpus::from_archive_str(&(lines.join("\n") + "\n")).unwrap_err();
+        assert_eq!(err.code, crate::RULE_COLUMN, "{err}");
+    }
+
+    #[test]
+    fn footer_count_mismatch_is_rejected() {
+        let corpus = sample_corpus();
+        let text = corpus
+            .to_archive_string()
+            .replace("footer clips=2", "footer clips=3");
+        let err = Corpus::from_archive_str(&text).unwrap_err();
+        assert_eq!(err.code, crate::RULE_FOOTER);
+    }
+
+    #[test]
+    fn index_line_drift_is_rejected() {
+        let corpus = sample_corpus();
+        let text = corpus.to_archive_string();
+        let drifted: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("index id=1 ") {
+                    "index id=1 line=9999 frames=13".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let err = Corpus::from_archive_str(&drifted).unwrap_err();
+        assert_eq!(err.code, crate::RULE_FOOTER);
+    }
+
+    #[test]
+    fn out_of_range_pose_is_a_taxonomy_error() {
+        let mut corpus = sample_corpus();
+        corpus.clips[0].pose[0] = 999;
+        let text = corpus.to_archive_string();
+        let err = Corpus::from_archive_str(&text).unwrap_err();
+        assert_eq!(err.code, crate::RULE_TAXONOMY);
+    }
+
+    #[test]
+    fn truncated_archive_is_rejected() {
+        let corpus = sample_corpus();
+        let text = corpus.to_archive_string();
+        let cut: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
+        let err = Corpus::from_archive_str(&cut).unwrap_err();
+        assert!(
+            err.code == crate::RULE_FORMAT || err.code == crate::RULE_TAXONOMY,
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn pseudo_random_corpora_round_trip() {
+        let taxonomy = slj_sim::default_taxonomy();
+        let poses = taxonomy.pose_count() as i64;
+        let stages = taxonomy.stage_count() as i64;
+        let mut state = 7u64;
+        let mut next = move |modulus: i64| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) as i64).rem_euclid(modulus)
+        };
+        for id in 0..20u64 {
+            let n = 1 + next(60) as usize;
+            let pose: Vec<i64> = (0..n).map(|_| next(poses + 1) - 1).collect();
+            let stage: Vec<i64> = (0..n).map(|_| next(stages)).collect();
+            let (fired, spans) = crate::record::assess_spans(&taxonomy, &stage, &pose);
+            let corpus = Corpus {
+                taxonomy: taxonomy.clone(),
+                clips: vec![ClipRecord {
+                    id,
+                    source: format!("rand_{id}"),
+                    seed: id * 31,
+                    score_micro: next(2_000_001) - 1_000_000,
+                    online: pose.clone(),
+                    margin: (0..n).map(|_| next(4_000_001) - 2_000_000).collect(),
+                    flags: (0..n).map(|_| next(129) - 1).collect(),
+                    pose,
+                    stage,
+                    fired,
+                    spans,
+                }],
+            };
+            let text = corpus.to_archive_string();
+            let parsed = Corpus::from_archive_str(&text).unwrap();
+            assert_eq!(parsed, corpus, "corpus {id}");
+            assert_eq!(parsed.to_archive_string(), text, "corpus {id}");
+        }
+    }
+}

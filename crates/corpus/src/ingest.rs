@@ -1,0 +1,419 @@
+//! Batch ingestion: stored clips (or a recorded trace) → [`Corpus`].
+//!
+//! The clip path replays each stored clip through a streaming
+//! [`JumpSession`] — exactly the engine a live server runs — collecting
+//! the online decisions, per-frame quality flags and the encoded
+//! feature sequence, then re-decodes the features offline with the
+//! model's Viterbi decoder for the hindsight `pose`/`stage` columns.
+//! Clips fan out over the [`ThreadPool`]; results return in input
+//! order, so the produced corpus is bit-identical at every thread
+//! count.
+//!
+//! The trace bridge accepts an `slj trace` JSONL stream (schema
+//! [`BRIDGE_TRACE_SCHEMA`]) instead, so production traces are minable
+//! without re-running the pipeline; there the online columns double as
+//! the decoded ones (no features are recorded to re-decode) and the
+//! quality score is left unset.
+
+use crate::record::{assess_spans, to_micro, ClipRecord, Corpus, UNKNOWN};
+use crate::{CorpusError, RULE_INGEST};
+use slj_core::engine::JumpSession;
+use slj_core::model::PoseModel;
+use slj_obs::{Registry, Stopwatch};
+use slj_quality::{QualityConfig, Reason};
+use slj_runtime::ThreadPool;
+use slj_sim::io::StoredClip;
+use slj_taxonomy::Taxonomy;
+
+/// The `slj trace` JSONL schema the bridge understands. Checked against
+/// every record; `slj check --schemas` cross-verifies this constant
+/// against the committed trace fixture, so a trace-schema bump that
+/// forgets the bridge fails fast.
+pub const BRIDGE_TRACE_SCHEMA: u64 = 3;
+
+/// One ingestion work item: a stored clip plus its identity.
+#[derive(Debug, Clone)]
+pub struct IngestClip {
+    /// Source label written into the archive (e.g. the `clip_*`
+    /// directory name). Must be whitespace-free.
+    pub source: String,
+    /// Seed recorded for replay body re-synthesis.
+    pub seed: u64,
+    /// The clip itself.
+    pub clip: StoredClip,
+}
+
+/// Ingestion knobs.
+#[derive(Debug, Clone, Default)]
+pub struct IngestOptions {
+    /// Quality diagnostics to attach per session; `None` leaves the
+    /// score and flag columns unset ([`UNKNOWN`]).
+    pub quality: Option<QualityConfig>,
+}
+
+fn ingest_err(context: &str, e: impl std::fmt::Display) -> CorpusError {
+    CorpusError::new(RULE_INGEST, format!("{context}: {e}"))
+}
+
+/// Runs one clip through the engine and the offline decoder.
+fn ingest_one(
+    model: &PoseModel,
+    id: u64,
+    item: &IngestClip,
+    options: &IngestOptions,
+) -> Result<ClipRecord, CorpusError> {
+    if item.clip.frames.is_empty() {
+        return Err(CorpusError::new(
+            RULE_INGEST,
+            format!("{}: clip has no frames", item.source),
+        ));
+    }
+    if item.source.is_empty() || item.source.contains(char::is_whitespace) {
+        return Err(CorpusError::new(
+            RULE_INGEST,
+            format!(
+                "source label {:?} must be non-empty without whitespace",
+                item.source
+            ),
+        ));
+    }
+    let mut session = JumpSession::new(model, item.clip.background.clone())
+        .map_err(|e| ingest_err(&item.source, e))?;
+    if let Some(config) = &options.quality {
+        session.attach_quality(config.clone());
+    }
+    let n = item.clip.frames.len();
+    let mut features = Vec::with_capacity(n);
+    let mut online = Vec::with_capacity(n);
+    let mut margin = Vec::with_capacity(n);
+    let mut flags = Vec::with_capacity(n);
+    for frame in &item.clip.frames {
+        let estimate = session
+            .push_frame(frame)
+            .map_err(|e| ingest_err(&item.source, e))?;
+        features.push(session.slots().features);
+        online.push(estimate.pose.map_or(UNKNOWN, |p| p as i64));
+        margin.push(to_micro(
+            session.last_decision().map_or(0.0, |d| d.th_margin),
+        ));
+        flags.push(session.last_quality_flags().map_or(UNKNOWN, i64::from));
+    }
+    let decoded = model
+        .decode_clip(&features)
+        .map_err(|e| ingest_err(&item.source, e))?;
+    let stage: Vec<i64> = decoded.iter().map(|&(s, _)| s as i64).collect();
+    let pose: Vec<i64> = decoded.iter().map(|&(_, p)| p as i64).collect();
+    let score_micro = session
+        .quality_report()
+        .map_or(UNKNOWN, |r| to_micro(r.clip_score));
+    let (fired, spans) = assess_spans(model.taxonomy(), &stage, &pose);
+    Ok(ClipRecord {
+        id,
+        source: item.source.clone(),
+        seed: item.seed,
+        score_micro,
+        pose,
+        stage,
+        online,
+        margin,
+        flags,
+        fired,
+        spans,
+    })
+}
+
+/// Batch-ingests stored clips into a corpus, clip-parallel over `pool`.
+///
+/// When `registry` is given, records `corpus.ingest.clips`,
+/// `corpus.ingest.frames` and the per-clip `corpus.ingest.clip_ns`
+/// histogram. Observation never changes the produced corpus.
+///
+/// # Errors
+///
+/// `corpus/ingest` on any pipeline failure, empty clip, bad source
+/// label, or a worker-pool fault.
+pub fn ingest_stored_clips(
+    model: &PoseModel,
+    items: &[IngestClip],
+    options: &IngestOptions,
+    pool: &ThreadPool,
+    registry: Option<&Registry>,
+) -> Result<Corpus, CorpusError> {
+    let clip_ns = registry.map(|r| r.histogram("corpus.ingest.clip_ns"));
+    let results = pool
+        .scoped_map(items, |index, item| {
+            let watch = Stopwatch::start();
+            let record = ingest_one(model, index as u64, item, options);
+            if let Some(h) = &clip_ns {
+                h.record(watch.elapsed_ns());
+            }
+            record
+        })
+        .map_err(|e| ingest_err("worker pool", e))?;
+    let clips = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    if let Some(registry) = registry {
+        registry
+            .counter("corpus.ingest.clips")
+            .add(clips.len() as u64);
+        registry
+            .counter("corpus.ingest.frames")
+            .add(clips.iter().map(|c| c.frames() as u64).sum());
+    }
+    Ok(Corpus {
+        taxonomy: model.taxonomy().clone(),
+        clips,
+    })
+}
+
+/// Extracts the raw text of `"key":<scalar>` from a flat JSON line.
+fn json_scalar<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    json_scalar(text, key)?.parse().ok()
+}
+
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    json_scalar(text, key)?.parse().ok()
+}
+
+/// Reads `"key":"value"` as a string, `None` on `null` or absence.
+fn json_string<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    json_scalar(text, key)?
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+}
+
+/// Reads the `"quality_flags"` reason-code array back into a mask;
+/// `None` when the field is `null` or absent.
+fn json_flags(text: &str, line: usize) -> Result<Option<u32>, CorpusError> {
+    let needle = "\"quality_flags\":";
+    let Some(start) = text.find(needle) else {
+        return Ok(None);
+    };
+    let rest = text[start + needle.len()..].trim_start();
+    if !rest.starts_with('[') {
+        return Ok(None); // null (or a non-array: tolerated as unscored)
+    }
+    let Some(end) = rest.find(']') else {
+        return Err(CorpusError::new(
+            RULE_INGEST,
+            format!("record {line}: unterminated quality_flags array"),
+        ));
+    };
+    let mut mask = 0u32;
+    for code in rest[1..end].split(',') {
+        let code = code.trim().trim_matches('"');
+        if code.is_empty() {
+            continue;
+        }
+        let reason = Reason::from_code(code).ok_or_else(|| {
+            CorpusError::new(
+                RULE_INGEST,
+                format!("record {line}: unknown quality reason code {code:?}"),
+            )
+        })?;
+        mask |= reason.bit();
+    }
+    Ok(Some(mask))
+}
+
+/// Accumulates one trace clip's columns before sealing a record.
+#[derive(Default)]
+struct TraceClip {
+    clip_id: Option<u64>,
+    pose: Vec<i64>,
+    margin: Vec<i64>,
+    flags: Vec<i64>,
+    stage: Vec<i64>,
+}
+
+impl TraceClip {
+    fn seal(self, id: u64, taxonomy: &Taxonomy) -> ClipRecord {
+        let source_id = self.clip_id.unwrap_or(id);
+        let (fired, spans) = assess_spans(taxonomy, &self.stage, &self.pose);
+        ClipRecord {
+            id,
+            source: format!("trace_{source_id}"),
+            seed: source_id,
+            score_micro: UNKNOWN,
+            online: self.pose.clone(),
+            pose: self.pose,
+            stage: self.stage,
+            margin: self.margin,
+            flags: self.flags,
+            fired,
+            spans,
+        }
+    }
+}
+
+/// Bridges a recorded `slj trace` JSONL stream (schema
+/// [`BRIDGE_TRACE_SCHEMA`]) into a corpus without re-decoding: the
+/// recorded online decisions stand in for the offline columns, and the
+/// clip score stays unset.
+///
+/// # Errors
+///
+/// `corpus/ingest` on an empty stream, a schema mismatch, or a record
+/// whose pose/stage name the taxonomy does not know.
+pub fn ingest_trace(text: &str, taxonomy: &Taxonomy) -> Result<Corpus, CorpusError> {
+    let mut clips: Vec<ClipRecord> = Vec::new();
+    let mut current = TraceClip::default();
+    let mut any = false;
+    for (index, line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let schema = json_u64(line, "schema").ok_or_else(|| {
+            CorpusError::new(
+                RULE_INGEST,
+                format!("record {line_no}: no \"schema\" field"),
+            )
+        })?;
+        if schema != BRIDGE_TRACE_SCHEMA {
+            return Err(CorpusError::new(
+                RULE_INGEST,
+                format!(
+                    "record {line_no}: trace schema {schema}, bridge expects \
+                     {BRIDGE_TRACE_SCHEMA}"
+                ),
+            ));
+        }
+        let clip_id = json_u64(line, "clip");
+        if any && clip_id != current.clip_id {
+            let sealed = std::mem::take(&mut current);
+            clips.push(sealed.seal(clips.len() as u64, taxonomy));
+        }
+        current.clip_id = clip_id;
+        any = true;
+        let pose = match json_string(line, "pose") {
+            None => UNKNOWN,
+            Some(name) => taxonomy.pose_index(name).map(|p| p as i64).ok_or_else(|| {
+                CorpusError::new(
+                    RULE_INGEST,
+                    format!("record {line_no}: unknown pose {name:?}"),
+                )
+            })?,
+        };
+        let stage_name = json_string(line, "stage").ok_or_else(|| {
+            CorpusError::new(RULE_INGEST, format!("record {line_no}: no \"stage\" field"))
+        })?;
+        let stage = taxonomy
+            .stage_index(stage_name)
+            .map(|s| s as i64)
+            .ok_or_else(|| {
+                CorpusError::new(
+                    RULE_INGEST,
+                    format!("record {line_no}: unknown stage {stage_name:?}"),
+                )
+            })?;
+        let th_margin = json_f64(line, "th_margin").ok_or_else(|| {
+            CorpusError::new(
+                RULE_INGEST,
+                format!("record {line_no}: no \"th_margin\" field"),
+            )
+        })?;
+        current.pose.push(pose);
+        current.stage.push(stage);
+        current.margin.push(to_micro(th_margin));
+        current
+            .flags
+            .push(json_flags(line, line_no)?.map_or(UNKNOWN, i64::from));
+    }
+    if !any {
+        return Err(CorpusError::new(RULE_INGEST, "trace has no records"));
+    }
+    clips.push(current.seal(clips.len() as u64, taxonomy));
+    Ok(Corpus {
+        taxonomy: taxonomy.clone(),
+        clips,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_line(clip: u64, frame: u64, pose: Option<&str>, flags: Option<&str>) -> String {
+        let taxonomy = slj_sim::default_taxonomy();
+        let stage = taxonomy.stage_ident(0);
+        let pose_json = pose.map_or("null".to_string(), |p| format!("\"{p}\""));
+        let flags_json = flags.map_or("null".to_string(), |f| f.to_string());
+        format!(
+            "{{\"schema\":3,\"clip\":{clip},\"frame\":{frame},\"pose\":{pose_json},\
+             \"best_prob\":0.9,\"th_margin\":0.125,\"accepted\":true,\
+             \"carry_forward\":false,\"stage\":\"{stage}\",\"foreground_px\":100,\
+             \"quality_flags\":{flags_json}}}"
+        )
+    }
+
+    #[test]
+    fn trace_bridge_builds_columns() {
+        let taxonomy = slj_sim::default_taxonomy();
+        let pose0 = taxonomy.pose_ident(0).to_string();
+        let text = [
+            trace_line(0, 0, Some(&pose0), Some("[]")),
+            trace_line(0, 1, None, Some("[\"temporal_jump\"]")),
+            trace_line(1, 0, Some(&pose0), None),
+        ]
+        .join("\n");
+        let corpus = ingest_trace(&text, &taxonomy).unwrap();
+        assert_eq!(corpus.clips.len(), 2);
+        let first = &corpus.clips[0];
+        assert_eq!(first.source, "trace_0");
+        assert_eq!(first.pose, vec![0, UNKNOWN]);
+        assert_eq!(first.online, first.pose);
+        assert_eq!(first.margin, vec![125_000, 125_000]);
+        assert_eq!(first.flags, vec![0, i64::from(Reason::TemporalJump.bit())]);
+        let second = &corpus.clips[1];
+        assert_eq!(second.id, 1);
+        assert_eq!(second.flags, vec![UNKNOWN]);
+        // The bridged corpus serialises like any other.
+        let round = Corpus::from_archive_str(&corpus.to_archive_string()).unwrap();
+        assert_eq!(round, corpus);
+    }
+
+    #[test]
+    fn trace_bridge_rejects_schema_drift() {
+        let taxonomy = slj_sim::default_taxonomy();
+        let text = trace_line(0, 0, None, None).replace("\"schema\":3", "\"schema\":4");
+        let err = ingest_trace(&text, &taxonomy).unwrap_err();
+        assert_eq!(err.code, RULE_INGEST);
+        assert!(err.message.contains("schema 4"), "{err}");
+    }
+
+    #[test]
+    fn trace_bridge_rejects_unknown_names_and_empty_streams() {
+        let taxonomy = slj_sim::default_taxonomy();
+        assert_eq!(ingest_trace("", &taxonomy).unwrap_err().code, RULE_INGEST);
+        let bad_pose = trace_line(0, 0, Some("NotAPose"), None);
+        assert!(ingest_trace(&bad_pose, &taxonomy)
+            .unwrap_err()
+            .message
+            .contains("unknown pose"));
+        let bad_flag = trace_line(0, 0, None, Some("[\"not_a_reason\"]"));
+        assert!(ingest_trace(&bad_flag, &taxonomy)
+            .unwrap_err()
+            .message
+            .contains("unknown quality reason"));
+    }
+
+    #[test]
+    fn json_helpers_parse_flat_records() {
+        let line = "{\"a\":3,\"b\":\"x\",\"c\":null,\"d\":0.5}";
+        assert_eq!(json_u64(line, "a"), Some(3));
+        assert_eq!(json_string(line, "b"), Some("x"));
+        assert_eq!(json_string(line, "c"), None);
+        assert_eq!(json_f64(line, "d"), Some(0.5));
+        assert_eq!(json_flags("{\"quality_flags\":null}", 1).unwrap(), None);
+        assert_eq!(json_flags("{\"quality_flags\":[]}", 1).unwrap(), Some(0));
+    }
+}

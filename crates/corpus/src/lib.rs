@@ -1,0 +1,100 @@
+//! Columnar decision-record archives for batch mining and replay.
+//!
+//! The online pipeline answers one clip at a time; evaluating a *season*
+//! of recordings needs the opposite shape — run every stored clip
+//! through the pipeline once, keep the per-frame decisions in a compact
+//! queryable form, and mine them later without re-decoding video. This
+//! crate provides that layer in four pieces:
+//!
+//! - [`ingest`] — batch-runs stored clip directories through the
+//!   [`slj_runtime::ThreadPool`], replaying each clip through a
+//!   [`slj_core::engine::JumpSession`] for the online decisions and
+//!   quality score, then re-decoding the collected feature sequence
+//!   offline with the model's Viterbi decoder
+//!   ([`slj_core::model::PoseModel::decode_clip`]). A recorded
+//!   `slj trace` JSONL stream (schema 3) is accepted as an alternative
+//!   source, so production traces are minable without the frames.
+//! - [`archive`] — the versioned `slj-corpus v1` text format: one
+//!   delta/bit-packed column block per per-frame series (decoded pose
+//!   and stage, online pose, `Th_Pose` margin, quality flags), a
+//!   per-clip fault-span table, the owning [`slj_taxonomy::Taxonomy`]
+//!   embedded verbatim, and a trailing footer index over the clips.
+//!   Parsing is strict: every failure carries a `corpus/*` rule code.
+//! - [`query`] — a small predicate language
+//!   (`fault=knee_bend min_run=5 clip_score<0.8`) evaluated clip-parallel
+//!   over an archive with bit-identical results at every thread count,
+//!   plus whole-archive stats aggregation.
+//! - [`record`] — the in-memory row model shared by all of the above.
+//!
+//! Everything is dependency-free and deterministic: the same archive
+//! bytes parse to the same records, and the same query over the same
+//! archive renders the same report at 1 thread or 8.
+
+pub mod archive;
+pub mod encode;
+pub mod ingest;
+pub mod query;
+pub mod record;
+
+pub use archive::MAGIC;
+pub use ingest::{
+    ingest_stored_clips, ingest_trace, IngestClip, IngestOptions, BRIDGE_TRACE_SCHEMA,
+};
+pub use query::{ArchiveStats, Query, QueryReport};
+pub use record::{ClipRecord, Corpus, FaultSpan};
+
+use std::fmt;
+
+/// Error codes, mirroring the `taxonomy/*` artifact style: every way an
+/// archive or query can be rejected has a stable `corpus/*` rule code.
+pub const RULE_MAGIC: &str = "corpus/magic";
+/// Structural errors: unknown/missing lines, bad key=value fields.
+pub const RULE_FORMAT: &str = "corpus/format";
+/// Column-block errors: bad width, word-count mismatch, non-hex data.
+pub const RULE_COLUMN: &str = "corpus/column";
+/// Footer errors: clip/frame counts or index lines disagreeing with the body.
+pub const RULE_FOOTER: &str = "corpus/footer";
+/// Embedded-taxonomy errors, including out-of-range pose/stage/rule indices.
+pub const RULE_TAXONOMY: &str = "corpus/taxonomy";
+/// Query-language parse errors.
+pub const RULE_QUERY: &str = "corpus/query";
+/// Ingestion-source errors (pipeline failures, bad trace records).
+pub const RULE_INGEST: &str = "corpus/ingest";
+
+/// An error from the corpus layer, tagged with its `corpus/*` rule code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusError {
+    /// Stable rule code (`corpus/magic`, `corpus/column`, ...).
+    pub code: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl CorpusError {
+    /// Builds an error with the given rule code.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        CorpusError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_includes_rule_code() {
+        let err = CorpusError::new(RULE_MAGIC, "not an archive");
+        assert_eq!(err.to_string(), "corpus/magic: not an archive");
+    }
+}

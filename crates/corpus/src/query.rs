@@ -1,0 +1,859 @@
+//! Batch mining over a parsed [`Corpus`]: a small predicate language,
+//! clip-parallel evaluation, and whole-archive statistics.
+//!
+//! A query is a whitespace-separated conjunction of predicates, e.g.
+//!
+//! ```text
+//! fault=knee_bend stage=landing min_run=5
+//! clip_score<0.8 flag=temporal_jump
+//! ```
+//!
+//! Keys and operators:
+//!
+//! | key          | ops              | matches clips where…                        |
+//! |--------------|------------------|---------------------------------------------|
+//! | `fault`      | `=`              | the named fault rule fired                  |
+//! | `stage`      | `=`              | some decoded frame is in the named stage    |
+//! | `pose`       | `=`              | some decoded frame shows the named pose     |
+//! | `flag`       | `=`              | some frame raised the named quality reason  |
+//! | `min_run`    | `=`              | a fault span (of a `fault=` rule if given)  |
+//! |              |                  | lasts at least N frames                     |
+//! | `clip_score` | `=` `<` `<=` `>` `>=` | the clip quality score compares so    |
+//! | `margin`     | `=` `<` `<=` `>` `>=` | the clip's minimum `Th_Pose` margin   |
+//! |              |                  | compares so                                 |
+//!
+//! Numeric comparisons happen in micro-units on both sides, so they are
+//! exact; evaluation fans clips out over the [`ThreadPool`] and merges
+//! in input order, so reports are bit-identical at every thread count.
+
+use crate::record::{ClipRecord, Corpus, MICRO, UNKNOWN};
+use crate::{CorpusError, RULE_QUERY};
+use slj_obs::{JsonWriter, Registry, Stopwatch};
+use slj_quality::Reason;
+use slj_runtime::ThreadPool;
+use slj_taxonomy::Taxonomy;
+
+/// Report schema version for `QueryReport::to_json` / `ArchiveStats::to_json`.
+pub const QUERY_SCHEMA_VERSION: u64 = 1;
+
+/// Comparison operator of a numeric predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Eq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Op {
+    fn apply(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Op::Eq => lhs == rhs,
+            Op::Lt => lhs < rhs,
+            Op::Le => lhs <= rhs,
+            Op::Gt => lhs > rhs,
+            Op::Ge => lhs >= rhs,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+}
+
+/// One parsed predicate; idents stay unresolved until evaluation binds
+/// them against the archive's taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+enum Predicate {
+    Fault(String),
+    Stage(String),
+    Pose(String),
+    Flag(String),
+    MinRun(u32),
+    ClipScore(Op, i64),
+    Margin(Op, i64),
+}
+
+/// A parsed conjunction of predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    predicates: Vec<Predicate>,
+    text: String,
+}
+
+fn query_err(message: impl Into<String>) -> CorpusError {
+    CorpusError::new(RULE_QUERY, message)
+}
+
+fn split_token(token: &str) -> Result<(&str, Op, &str), CorpusError> {
+    for (symbol, op) in [
+        ("<=", Op::Le),
+        (">=", Op::Ge),
+        ("<", Op::Lt),
+        (">", Op::Gt),
+        ("=", Op::Eq),
+    ] {
+        if let Some(at) = token.find(symbol) {
+            let (key, rest) = token.split_at(at);
+            let value = &rest[symbol.len()..];
+            if key.is_empty() || value.is_empty() {
+                return Err(query_err(format!(
+                    "predicate {token:?} needs both a key and a value"
+                )));
+            }
+            return Ok((key, op, value));
+        }
+    }
+    Err(query_err(format!(
+        "predicate {token:?} has no operator (=, <, <=, >, >=)"
+    )))
+}
+
+fn parse_micro(key: &str, value: &str) -> Result<i64, CorpusError> {
+    let v: f64 = value
+        .parse()
+        .map_err(|_| query_err(format!("{key} value {value:?} is not a number")))?;
+    if !v.is_finite() {
+        return Err(query_err(format!("{key} value {value:?} is not finite")));
+    }
+    Ok((v * MICRO).round() as i64)
+}
+
+fn require_eq(key: &str, op: Op) -> Result<(), CorpusError> {
+    if op == Op::Eq {
+        Ok(())
+    } else {
+        Err(query_err(format!(
+            "{key} only supports '=', not {:?}",
+            op.symbol()
+        )))
+    }
+}
+
+impl Query {
+    /// Parses a whitespace-separated predicate conjunction.
+    ///
+    /// # Errors
+    ///
+    /// `corpus/query` on an empty query, an unknown key, an operator a
+    /// key does not support, or a malformed numeric value.
+    pub fn parse(text: &str) -> Result<Query, CorpusError> {
+        let mut predicates = Vec::new();
+        for token in text.split_whitespace() {
+            let (key, op, value) = split_token(token)?;
+            let predicate = match key {
+                "fault" => {
+                    require_eq(key, op)?;
+                    Predicate::Fault(value.to_string())
+                }
+                "stage" => {
+                    require_eq(key, op)?;
+                    Predicate::Stage(value.to_string())
+                }
+                "pose" => {
+                    require_eq(key, op)?;
+                    Predicate::Pose(value.to_string())
+                }
+                "flag" => {
+                    require_eq(key, op)?;
+                    Predicate::Flag(value.to_string())
+                }
+                "min_run" => {
+                    require_eq(key, op)?;
+                    let n: u32 = value.parse().map_err(|_| {
+                        query_err(format!("min_run value {value:?} is not a frame count"))
+                    })?;
+                    if n == 0 {
+                        return Err(query_err("min_run must be at least 1"));
+                    }
+                    Predicate::MinRun(n)
+                }
+                "clip_score" => Predicate::ClipScore(op, parse_micro(key, value)?),
+                "margin" => Predicate::Margin(op, parse_micro(key, value)?),
+                _ => {
+                    return Err(query_err(format!(
+                        "unknown key {key:?} (expected fault, stage, pose, flag, \
+                         min_run, clip_score or margin)"
+                    )))
+                }
+            };
+            predicates.push(predicate);
+        }
+        if predicates.is_empty() {
+            return Err(query_err("query has no predicates"));
+        }
+        Ok(Query {
+            predicates,
+            text: text.split_whitespace().collect::<Vec<_>>().join(" "),
+        })
+    }
+
+    /// The normalized query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Resolves idents against `taxonomy`, producing the matcher.
+    fn bind(&self, taxonomy: &Taxonomy) -> Result<Bound, CorpusError> {
+        let mut bound = Bound::default();
+        for predicate in &self.predicates {
+            match predicate {
+                Predicate::Fault(ident) => {
+                    let rule = taxonomy
+                        .faults()
+                        .iter()
+                        .position(|r| r.ident == *ident)
+                        .ok_or_else(|| {
+                            query_err(format!("taxonomy has no fault rule {ident:?}"))
+                        })?;
+                    bound.faults.push(rule as u32);
+                }
+                Predicate::Stage(ident) => {
+                    let stage = taxonomy
+                        .stage_index(ident)
+                        .ok_or_else(|| query_err(format!("taxonomy has no stage {ident:?}")))?;
+                    bound.stages.push(stage as i64);
+                }
+                Predicate::Pose(ident) => {
+                    let pose = taxonomy
+                        .pose_index(ident)
+                        .ok_or_else(|| query_err(format!("taxonomy has no pose {ident:?}")))?;
+                    bound.poses.push(pose as i64);
+                }
+                Predicate::Flag(code) => {
+                    let reason = Reason::from_code(code).ok_or_else(|| {
+                        query_err(format!("unknown quality reason code {code:?}"))
+                    })?;
+                    bound.flag_bits.push(reason.bit());
+                }
+                Predicate::MinRun(n) => {
+                    bound.min_run = Some(bound.min_run.map_or(*n, |m: u32| m.max(*n)));
+                }
+                Predicate::ClipScore(op, micro) => bound.scores.push((*op, *micro)),
+                Predicate::Margin(op, micro) => bound.margins.push((*op, *micro)),
+            }
+        }
+        Ok(bound)
+    }
+
+    /// Evaluates the query clip-parallel over `pool`.
+    ///
+    /// When `registry` is given, records `corpus.query.clips`,
+    /// `corpus.query.matched` and `corpus.query.eval_ns`.
+    ///
+    /// # Errors
+    ///
+    /// `corpus/query` when an ident does not resolve in the archive's
+    /// taxonomy, or on a worker-pool fault.
+    pub fn evaluate(
+        &self,
+        corpus: &Corpus,
+        pool: &ThreadPool,
+        registry: Option<&Registry>,
+    ) -> Result<QueryReport, CorpusError> {
+        let watch = Stopwatch::start();
+        let bound = self.bind(&corpus.taxonomy)?;
+        let verdicts = pool
+            .scoped_map(&corpus.clips, |_, clip| bound.matches(clip))
+            .map_err(|e| query_err(format!("worker pool: {e}")))?;
+        let mut matches = Vec::new();
+        let mut cohorts: Vec<Cohort> = corpus
+            .taxonomy
+            .faults()
+            .iter()
+            .map(|r| Cohort {
+                ident: r.ident.clone(),
+                clips: 0,
+                scored: 0,
+                score_micro_sum: 0,
+            })
+            .collect();
+        for (clip, hit) in corpus.clips.iter().zip(&verdicts) {
+            if !hit {
+                continue;
+            }
+            for &rule in &clip.fired {
+                let cohort = &mut cohorts[rule as usize];
+                cohort.clips += 1;
+                if clip.score_micro >= 0 {
+                    cohort.scored += 1;
+                    cohort.score_micro_sum += i128::from(clip.score_micro);
+                }
+            }
+            matches.push(MatchedClip {
+                id: clip.id,
+                source: clip.source.clone(),
+                seed: clip.seed,
+                frames: clip.frames() as u64,
+                score_micro: clip.score_micro,
+                faults: clip
+                    .fired
+                    .iter()
+                    .map(|&r| corpus.taxonomy.faults()[r as usize].ident.clone())
+                    .collect(),
+            });
+        }
+        if let Some(registry) = registry {
+            registry
+                .counter("corpus.query.clips")
+                .add(corpus.clips.len() as u64);
+            registry
+                .counter("corpus.query.matched")
+                .add(matches.len() as u64);
+            registry
+                .histogram("corpus.query.eval_ns")
+                .record(watch.elapsed_ns());
+        }
+        Ok(QueryReport {
+            query: self.text.clone(),
+            clips_scanned: corpus.clips.len() as u64,
+            matches,
+            cohorts,
+        })
+    }
+}
+
+/// The ident-resolved matcher.
+#[derive(Debug, Default)]
+struct Bound {
+    faults: Vec<u32>,
+    stages: Vec<i64>,
+    poses: Vec<i64>,
+    flag_bits: Vec<u32>,
+    min_run: Option<u32>,
+    scores: Vec<(Op, i64)>,
+    margins: Vec<(Op, i64)>,
+}
+
+impl Bound {
+    fn matches(&self, clip: &ClipRecord) -> bool {
+        for &rule in &self.faults {
+            if !clip.fired.contains(&rule) {
+                return false;
+            }
+            if let Some(n) = self.min_run {
+                let long_enough = clip.spans.iter().any(|s| s.rule == rule && s.len() >= n);
+                if !long_enough {
+                    return false;
+                }
+            }
+        }
+        if self.faults.is_empty() {
+            if let Some(n) = self.min_run {
+                if !clip.spans.iter().any(|s| s.len() >= n) {
+                    return false;
+                }
+            }
+        }
+        if !self
+            .stages
+            .iter()
+            .all(|s| clip.stage.iter().any(|f| f == s))
+        {
+            return false;
+        }
+        if !self.poses.iter().all(|p| clip.pose.iter().any(|f| f == p)) {
+            return false;
+        }
+        let flag_hit = |bit: u32| {
+            clip.flags
+                .iter()
+                .any(|&m| m != UNKNOWN && (m as u64) & u64::from(bit) != 0)
+        };
+        if !self.flag_bits.iter().all(|&b| flag_hit(b)) {
+            return false;
+        }
+        for &(op, micro) in &self.scores {
+            if clip.score_micro < 0 || !op.apply(clip.score_micro, micro) {
+                return false;
+            }
+        }
+        if !self.margins.is_empty() {
+            let Some(&min_margin) = clip.margin.iter().min() else {
+                return false;
+            };
+            if !self.margins.iter().all(|&(op, m)| op.apply(min_margin, m)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One matched clip in a [`QueryReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchedClip {
+    /// Archive clip id.
+    pub id: u64,
+    /// Source label.
+    pub source: String,
+    /// Replay seed.
+    pub seed: u64,
+    /// Frame count.
+    pub frames: u64,
+    /// Quality score in micro-units, [`UNKNOWN`] when unscored.
+    pub score_micro: i64,
+    /// Idents of the fault rules the clip fired.
+    pub faults: Vec<String>,
+}
+
+/// Per-fault-rule aggregate over the matched clips.
+#[derive(Debug, Clone, PartialEq)]
+struct Cohort {
+    ident: String,
+    clips: u64,
+    scored: u64,
+    score_micro_sum: i128,
+}
+
+/// The result of evaluating a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReport {
+    /// Normalized query text.
+    pub query: String,
+    /// Total clips examined.
+    pub clips_scanned: u64,
+    /// Matched clips, in archive order.
+    pub matches: Vec<MatchedClip>,
+    cohorts: Vec<Cohort>,
+}
+
+impl QueryReport {
+    /// Number of matched clips.
+    pub fn matched(&self) -> u64 {
+        self.matches.len() as u64
+    }
+
+    /// Renders the report as deterministic JSON, listing at most
+    /// `limit` matched clips (aggregates always cover every match).
+    pub fn to_json(&self, limit: usize) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.u64(QUERY_SCHEMA_VERSION);
+        w.key("query");
+        w.string(&self.query);
+        w.key("clips_scanned");
+        w.u64(self.clips_scanned);
+        w.key("clips_matched");
+        w.u64(self.matched());
+        w.key("listed");
+        w.u64(self.matches.len().min(limit) as u64);
+        w.key("matches");
+        w.begin_array();
+        for clip in self.matches.iter().take(limit) {
+            w.begin_object();
+            w.key("id");
+            w.u64(clip.id);
+            w.key("source");
+            w.string(&clip.source);
+            w.key("seed");
+            w.u64(clip.seed);
+            w.key("frames");
+            w.u64(clip.frames);
+            w.key("score");
+            if clip.score_micro >= 0 {
+                w.f64(clip.score_micro as f64 / MICRO);
+            } else {
+                w.null();
+            }
+            w.key("faults");
+            w.begin_array();
+            for ident in &clip.faults {
+                w.string(ident);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("cohorts");
+        w.begin_object();
+        for cohort in &self.cohorts {
+            if cohort.clips == 0 {
+                continue;
+            }
+            w.key(&cohort.ident);
+            w.begin_object();
+            w.key("clips");
+            w.u64(cohort.clips);
+            w.key("mean_score");
+            if cohort.scored > 0 {
+                let mean = cohort.score_micro_sum as f64 / cohort.scored as f64 / MICRO;
+                w.f64(mean);
+            } else {
+                w.null();
+            }
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Whole-archive aggregates, computed clip-parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveStats {
+    /// Clip count.
+    pub clips: u64,
+    /// Total frames.
+    pub frames: u64,
+    /// Clips carrying a quality score.
+    pub scored_clips: u64,
+    /// Mean quality score over scored clips, micro-units.
+    pub mean_score_micro: i64,
+    /// Frames whose decoded pose is [`UNKNOWN`].
+    pub unknown_pose_frames: u64,
+    /// Frames with at least one quality flag raised.
+    pub flagged_frames: u64,
+    /// Decoded frames per stage, indexed like the taxonomy's stages.
+    pub stage_frames: Vec<u64>,
+    /// Decoded frames per pose, indexed like the taxonomy's poses.
+    pub pose_frames: Vec<u64>,
+    /// Clips firing each fault rule, indexed like `taxonomy.faults()`.
+    pub fault_clips: Vec<u64>,
+    /// Idents for the rows above, copied from the taxonomy.
+    pub stage_idents: Vec<String>,
+    /// Pose idents, copied from the taxonomy.
+    pub pose_idents: Vec<String>,
+    /// Fault idents, copied from the taxonomy.
+    pub fault_idents: Vec<String>,
+}
+
+#[derive(Default)]
+struct StatsPartial {
+    frames: u64,
+    scored: u64,
+    score_micro_sum: i128,
+    unknown_pose: u64,
+    flagged: u64,
+    stage_frames: Vec<u64>,
+    pose_frames: Vec<u64>,
+    fault_clips: Vec<u64>,
+}
+
+impl ArchiveStats {
+    /// Scans the archive, fanning clips out over `pool`. The merge is
+    /// sequential in clip order, so results are thread-count-invariant.
+    ///
+    /// # Errors
+    ///
+    /// `corpus/query` on a worker-pool fault.
+    pub fn compute(corpus: &Corpus, pool: &ThreadPool) -> Result<ArchiveStats, CorpusError> {
+        let stages = corpus.taxonomy.stage_count();
+        let poses = corpus.taxonomy.pose_count();
+        let rules = corpus.taxonomy.faults().len();
+        let partials = pool
+            .scoped_map(&corpus.clips, |_, clip| {
+                let mut p = StatsPartial {
+                    stage_frames: vec![0; stages],
+                    pose_frames: vec![0; poses],
+                    fault_clips: vec![0; rules],
+                    ..StatsPartial::default()
+                };
+                p.frames = clip.frames() as u64;
+                if clip.score_micro >= 0 {
+                    p.scored = 1;
+                    p.score_micro_sum = i128::from(clip.score_micro);
+                }
+                for &v in &clip.pose {
+                    match usize::try_from(v) {
+                        Ok(pose) => p.pose_frames[pose] += 1,
+                        Err(_) => p.unknown_pose += 1,
+                    }
+                }
+                for &v in &clip.stage {
+                    if let Ok(stage) = usize::try_from(v) {
+                        p.stage_frames[stage] += 1;
+                    }
+                }
+                p.flagged = clip.flags.iter().filter(|&&m| m > 0).count() as u64;
+                for &rule in &clip.fired {
+                    p.fault_clips[rule as usize] += 1;
+                }
+                p
+            })
+            .map_err(|e| query_err(format!("worker pool: {e}")))?;
+        let mut stats = ArchiveStats {
+            clips: corpus.clips.len() as u64,
+            frames: 0,
+            scored_clips: 0,
+            mean_score_micro: 0,
+            unknown_pose_frames: 0,
+            flagged_frames: 0,
+            stage_frames: vec![0; stages],
+            pose_frames: vec![0; poses],
+            fault_clips: vec![0; rules],
+            stage_idents: (0..stages)
+                .map(|s| corpus.taxonomy.stage_ident(s).to_string())
+                .collect(),
+            pose_idents: (0..poses)
+                .map(|p| corpus.taxonomy.pose_ident(p).to_string())
+                .collect(),
+            fault_idents: corpus
+                .taxonomy
+                .faults()
+                .iter()
+                .map(|r| r.ident.clone())
+                .collect(),
+        };
+        let mut score_sum: i128 = 0;
+        for p in &partials {
+            stats.frames += p.frames;
+            stats.scored_clips += p.scored;
+            score_sum += p.score_micro_sum;
+            stats.unknown_pose_frames += p.unknown_pose;
+            stats.flagged_frames += p.flagged;
+            for (acc, v) in stats.stage_frames.iter_mut().zip(&p.stage_frames) {
+                *acc += v;
+            }
+            for (acc, v) in stats.pose_frames.iter_mut().zip(&p.pose_frames) {
+                *acc += v;
+            }
+            for (acc, v) in stats.fault_clips.iter_mut().zip(&p.fault_clips) {
+                *acc += v;
+            }
+        }
+        if stats.scored_clips > 0 {
+            stats.mean_score_micro = (score_sum / i128::from(stats.scored_clips)) as i64;
+        }
+        Ok(stats)
+    }
+
+    /// Renders the stats as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.u64(QUERY_SCHEMA_VERSION);
+        w.key("clips");
+        w.u64(self.clips);
+        w.key("frames");
+        w.u64(self.frames);
+        w.key("scored_clips");
+        w.u64(self.scored_clips);
+        w.key("mean_score");
+        if self.scored_clips > 0 {
+            w.f64(self.mean_score_micro as f64 / MICRO);
+        } else {
+            w.null();
+        }
+        w.key("unknown_pose_frames");
+        w.u64(self.unknown_pose_frames);
+        w.key("flagged_frames");
+        w.u64(self.flagged_frames);
+        for (key, idents, rows) in [
+            ("stages", &self.stage_idents, &self.stage_frames),
+            ("poses", &self.pose_idents, &self.pose_frames),
+            ("faults", &self.fault_idents, &self.fault_clips),
+        ] {
+            w.key(key);
+            w.begin_object();
+            for (ident, count) in idents.iter().zip(rows) {
+                w.key(ident);
+                w.u64(*count);
+            }
+            w.end_object();
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FaultSpan;
+
+    fn sample_corpus() -> Corpus {
+        let taxonomy = slj_sim::default_taxonomy();
+        let rules = taxonomy.faults().len() as u32;
+        assert!(rules >= 1, "default taxonomy must define fault rules");
+        let clip = |id: u64, score: i64, fired: Vec<u32>, spans: Vec<FaultSpan>| ClipRecord {
+            id,
+            source: format!("clip_{id:03}"),
+            seed: id,
+            score_micro: score,
+            pose: vec![0, 0, UNKNOWN, 1],
+            stage: vec![0, 0, 0, 0],
+            online: vec![0, UNKNOWN, UNKNOWN, 1],
+            margin: vec![200_000, -5_000, 1_000, 90_000],
+            flags: vec![0, 2, UNKNOWN, 0],
+            fired,
+            spans,
+        };
+        Corpus {
+            taxonomy,
+            clips: vec![
+                clip(0, 950_000, vec![], vec![]),
+                clip(
+                    1,
+                    600_000,
+                    vec![0],
+                    vec![FaultSpan {
+                        rule: 0,
+                        start: 0,
+                        end: 2,
+                    }],
+                ),
+                clip(
+                    2,
+                    UNKNOWN,
+                    vec![0],
+                    vec![FaultSpan {
+                        rule: 0,
+                        start: 1,
+                        end: 1,
+                    }],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_language() {
+        let q = Query::parse("  fault=knee_bend   stage=landing min_run=5 ").unwrap();
+        assert_eq!(q.text(), "fault=knee_bend stage=landing min_run=5");
+        Query::parse("clip_score<0.8").unwrap();
+        Query::parse("clip_score>=0.25 margin>0").unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_malformed_queries() {
+        for bad in [
+            "",
+            "   ",
+            "fault",
+            "fault=",
+            "=x",
+            "weirdkey=3",
+            "fault<knee_bend",
+            "min_run=0",
+            "min_run=abc",
+            "clip_score<abc",
+            "clip_score<inf",
+        ] {
+            let err = Query::parse(bad).unwrap_err();
+            assert_eq!(err.code, RULE_QUERY, "query {bad:?}");
+        }
+    }
+
+    #[test]
+    fn evaluate_filters_by_fault_and_span_length() {
+        let corpus = sample_corpus();
+        let pool = ThreadPool::fixed(2);
+        let fault = corpus.taxonomy.faults()[0].ident.clone();
+        let q = Query::parse(&format!("fault={fault}")).unwrap();
+        let report = q.evaluate(&corpus, &pool, None).unwrap();
+        assert_eq!(report.matched(), 2);
+        assert_eq!(report.matches[0].id, 1);
+        let q = Query::parse(&format!("fault={fault} min_run=3")).unwrap();
+        let report = q.evaluate(&corpus, &pool, None).unwrap();
+        assert_eq!(report.matched(), 1);
+        assert_eq!(report.matches[0].id, 1);
+    }
+
+    #[test]
+    fn evaluate_filters_by_score_flags_and_margin() {
+        let corpus = sample_corpus();
+        let pool = ThreadPool::fixed(1);
+        let report = Query::parse("clip_score<0.8")
+            .unwrap()
+            .evaluate(&corpus, &pool, None)
+            .unwrap();
+        // Clip 2 is unscored, so only clip 1 qualifies.
+        assert_eq!(report.matched(), 1);
+        assert_eq!(report.matches[0].id, 1);
+        let code = Reason::ALL[1].code();
+        let report = Query::parse(&format!("flag={code}"))
+            .unwrap()
+            .evaluate(&corpus, &pool, None)
+            .unwrap();
+        assert_eq!(report.matched(), 3, "all clips raise flag bit 2");
+        let report = Query::parse("margin>=0")
+            .unwrap()
+            .evaluate(&corpus, &pool, None)
+            .unwrap();
+        assert_eq!(report.matched(), 0, "every clip has a negative min margin");
+        let report = Query::parse("margin>=-0.005")
+            .unwrap()
+            .evaluate(&corpus, &pool, None)
+            .unwrap();
+        assert_eq!(report.matched(), 3);
+    }
+
+    #[test]
+    fn evaluate_rejects_unknown_idents() {
+        let corpus = sample_corpus();
+        let pool = ThreadPool::fixed(1);
+        for bad in ["fault=nope", "stage=nope", "pose=nope", "flag=nope"] {
+            let err = Query::parse(bad)
+                .unwrap()
+                .evaluate(&corpus, &pool, None)
+                .unwrap_err();
+            assert_eq!(err.code, RULE_QUERY, "query {bad:?}");
+        }
+    }
+
+    #[test]
+    fn reports_are_thread_count_invariant() {
+        let corpus = sample_corpus();
+        let fault = corpus.taxonomy.faults()[0].ident.clone();
+        let q = Query::parse(&format!("fault={fault} clip_score<=1.0")).unwrap();
+        let one = q
+            .evaluate(&corpus, &ThreadPool::fixed(1), None)
+            .unwrap()
+            .to_json(usize::MAX);
+        let eight = q
+            .evaluate(&corpus, &ThreadPool::fixed(8), None)
+            .unwrap()
+            .to_json(usize::MAX);
+        assert_eq!(one, eight);
+        let s1 = ArchiveStats::compute(&corpus, &ThreadPool::fixed(1)).unwrap();
+        let s8 = ArchiveStats::compute(&corpus, &ThreadPool::fixed(8)).unwrap();
+        assert_eq!(s1.to_json(), s8.to_json());
+    }
+
+    #[test]
+    fn stats_aggregate_the_archive() {
+        let corpus = sample_corpus();
+        let stats = ArchiveStats::compute(&corpus, &ThreadPool::fixed(2)).unwrap();
+        assert_eq!(stats.clips, 3);
+        assert_eq!(stats.frames, 12);
+        assert_eq!(stats.scored_clips, 2);
+        assert_eq!(stats.mean_score_micro, 775_000);
+        assert_eq!(stats.unknown_pose_frames, 3);
+        assert_eq!(stats.flagged_frames, 3);
+        assert_eq!(stats.fault_clips[0], 2);
+        let json = stats.to_json();
+        assert!(json.starts_with("{\"schema\":1,\"clips\":3,"), "{json}");
+        assert!(json.contains("\"mean_score\":0.775"), "{json}");
+    }
+
+    #[test]
+    fn query_report_json_lists_and_truncates() {
+        let corpus = sample_corpus();
+        let pool = ThreadPool::fixed(1);
+        let fault = corpus.taxonomy.faults()[0].ident.clone();
+        let report = Query::parse(&format!("fault={fault}"))
+            .unwrap()
+            .evaluate(&corpus, &pool, None)
+            .unwrap();
+        let full = report.to_json(usize::MAX);
+        assert!(full.contains("\"clips_matched\":2"), "{full}");
+        assert!(
+            full.contains(&format!("\"cohorts\":{{\"{fault}\":{{\"clips\":2")),
+            "{full}"
+        );
+        let truncated = report.to_json(1);
+        assert!(truncated.contains("\"listed\":1"), "{truncated}");
+        assert!(truncated.contains("\"clips_matched\":2"), "{truncated}");
+    }
+}

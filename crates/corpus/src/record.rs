@@ -1,0 +1,376 @@
+//! The in-memory row model behind `slj-corpus` archives.
+//!
+//! One [`ClipRecord`] per stored clip: five per-frame columns (decoded
+//! pose/stage from the offline Viterbi pass, online committed pose,
+//! quantized `Th_Pose` margin, quality-flag mask), the clip-level
+//! quality score, the fault rules that fired, and the frame spans where
+//! they manifested. Scores and margins are quantized to millionths
+//! (`*_micro`) so columns stay integers and round-trip bit-exactly.
+
+use crate::{CorpusError, RULE_TAXONOMY};
+use slj_taxonomy::{Polarity, Taxonomy};
+
+/// Sentinel for "no value": an Unknown pose, an unscored flag column,
+/// or a clip ingested without quality diagnostics.
+pub const UNKNOWN: i64 = -1;
+
+/// Scale of the `*_micro` fixed-point fields (1.0 → 1_000_000).
+pub const MICRO: f64 = 1e6;
+
+/// A maximal run of frames where a fired fault rule manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpan {
+    /// Index into [`Taxonomy::faults`].
+    pub rule: u32,
+    /// First frame of the run (0-based).
+    pub start: u32,
+    /// Last frame of the run, inclusive.
+    pub end: u32,
+}
+
+impl FaultSpan {
+    /// Number of frames the span covers.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start) + 1
+    }
+
+    /// Whether the span is degenerate (never true for computed spans).
+    pub fn is_empty(&self) -> bool {
+        self.end < self.start
+    }
+}
+
+/// Per-frame decision columns and clip-level outcomes for one clip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClipRecord {
+    /// Archive-unique clip id (dense, in ingestion order).
+    pub id: u64,
+    /// Source label: the `clip_*` directory name or trace clip id.
+    /// Whitespace-free by construction.
+    pub source: String,
+    /// Simulator seed that re-synthesizes an equivalent request body
+    /// (`slj loadgen --replay`).
+    pub seed: u64,
+    /// Clip quality score in micro-units, or [`UNKNOWN`] when the clip
+    /// was ingested without quality diagnostics.
+    pub score_micro: i64,
+    /// Offline-decoded pose per frame ([`UNKNOWN`] = no decode, e.g. a
+    /// trace-sourced clip's sub-threshold frame).
+    pub pose: Vec<i64>,
+    /// Offline-decoded jumping stage per frame.
+    pub stage: Vec<i64>,
+    /// Online committed pose per frame ([`UNKNOWN`] = frame left Unknown).
+    pub online: Vec<i64>,
+    /// `Th_Pose` margin per frame, in micro-units (may be negative).
+    pub margin: Vec<i64>,
+    /// Quality-flag mask per frame ([`UNKNOWN`] = frame not scored).
+    pub flags: Vec<i64>,
+    /// Indices of the fault rules that fired on the decoded sequence.
+    pub fired: Vec<u32>,
+    /// Frame spans where fired rules manifest, in (rule, start) order.
+    pub spans: Vec<FaultSpan>,
+}
+
+impl ClipRecord {
+    /// Number of frames in the clip.
+    pub fn frames(&self) -> usize {
+        self.pose.len()
+    }
+
+    /// Clip quality score in `[0, 1]`, or `None` when unscored.
+    pub fn score(&self) -> Option<f64> {
+        (self.score_micro >= 0).then(|| self.score_micro as f64 / MICRO)
+    }
+
+    /// Validates internal consistency against `taxonomy`: equal column
+    /// lengths and in-range pose/stage/rule indices.
+    ///
+    /// # Errors
+    ///
+    /// `corpus/taxonomy` on any out-of-range index; `corpus/format` is
+    /// never produced here — length mismatches are reported as
+    /// `corpus/taxonomy` too since they make index checks meaningless.
+    pub fn validate(&self, taxonomy: &Taxonomy) -> Result<(), CorpusError> {
+        let n = self.pose.len();
+        let bad_len = [&self.stage, &self.online, &self.margin, &self.flags]
+            .iter()
+            .any(|c| c.len() != n);
+        if bad_len {
+            return Err(CorpusError::new(
+                RULE_TAXONOMY,
+                format!("clip {}: column lengths disagree", self.id),
+            ));
+        }
+        let poses = taxonomy.pose_count() as i64;
+        let stages = taxonomy.stage_count() as i64;
+        let rules = taxonomy.faults().len() as u32;
+        for (name, column, limit) in [
+            ("pose", &self.pose, poses),
+            ("stage", &self.stage, stages),
+            ("online", &self.online, poses),
+        ] {
+            if let Some(v) = column.iter().find(|&&v| v < UNKNOWN || v >= limit) {
+                return Err(CorpusError::new(
+                    RULE_TAXONOMY,
+                    format!(
+                        "clip {}: {name} index {v} outside the taxonomy's range \
+                         [-1, {limit})",
+                        self.id
+                    ),
+                ));
+            }
+        }
+        for rule in self.fired.iter().chain(self.spans.iter().map(|s| &s.rule)) {
+            if *rule >= rules {
+                return Err(CorpusError::new(
+                    RULE_TAXONOMY,
+                    format!(
+                        "clip {}: fault rule {rule} outside the taxonomy's {rules} rule(s)",
+                        self.id
+                    ),
+                ));
+            }
+        }
+        if let Some(span) = self.spans.iter().find(|s| s.end as usize >= n.max(1)) {
+            return Err(CorpusError::new(
+                RULE_TAXONOMY,
+                format!(
+                    "clip {}: span [{}, {}] exceeds the clip's {n} frame(s)",
+                    self.id, span.start, span.end
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A full archive: the owning taxonomy plus every clip record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    /// The vocabulary all pose/stage/rule indices resolve through.
+    pub taxonomy: Taxonomy,
+    /// Clip records, ordered by id.
+    pub clips: Vec<ClipRecord>,
+}
+
+impl Corpus {
+    /// Total frames across all clips.
+    pub fn total_frames(&self) -> u64 {
+        self.clips.iter().map(|c| c.frames() as u64).sum()
+    }
+}
+
+/// Runs the taxonomy's fault rules over a decoded `(stage, pose)`
+/// sequence and localizes each fired rule to frame spans.
+///
+/// The fired set is exactly [`Taxonomy::assess`] over the pose column.
+/// Spans are maximal runs of *evidence* frames: for a `Forbid` rule the
+/// frames showing a forbidden pose; for a `Require` rule the frames
+/// spent in the rule's stage without one of the required poses (the
+/// region where the missing pose should have appeared). A fired rule
+/// whose stage never occurs contributes no span — `fired` still records
+/// it, so count-style queries see it.
+pub fn assess_spans(
+    taxonomy: &Taxonomy,
+    stage: &[i64],
+    pose: &[i64],
+) -> (Vec<u32>, Vec<FaultSpan>) {
+    let as_options: Vec<Option<usize>> = pose.iter().map(|&p| usize::try_from(p).ok()).collect();
+    let fired: Vec<u32> = taxonomy
+        .assess(&as_options)
+        .into_iter()
+        .map(|r| r as u32)
+        .collect();
+    let mut spans = Vec::new();
+    for &rule_idx in &fired {
+        let rule = &taxonomy.faults()[rule_idx as usize];
+        let evidence = |f: usize| -> bool {
+            let in_rule_pose = as_options[f].is_some_and(|p| rule.poses.contains(&p));
+            match rule.polarity {
+                Polarity::Forbid => in_rule_pose,
+                Polarity::Require => stage[f] == rule.stage as i64 && !in_rule_pose,
+            }
+        };
+        let mut f = 0;
+        while f < pose.len() {
+            if evidence(f) {
+                let start = f;
+                while f < pose.len() && evidence(f) {
+                    f += 1;
+                }
+                spans.push(FaultSpan {
+                    rule: rule_idx,
+                    start: start as u32,
+                    end: (f - 1) as u32,
+                });
+            } else {
+                f += 1;
+            }
+        }
+    }
+    spans.sort_by_key(|s| (s.rule, s.start));
+    (fired, spans)
+}
+
+/// Quantizes a score or margin to micro-units.
+pub fn to_micro(v: f64) -> i64 {
+    (v * MICRO).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slj_taxonomy::{FaultRule, PoseInfo, StageInfo};
+
+    /// Two stages, three poses: pose 0|1 in stage 0, pose 2 in stage 1.
+    /// Rule 0 requires pose 1 in stage 0; rule 1 forbids pose 2.
+    fn toy_taxonomy() -> Taxonomy {
+        Taxonomy::new(
+            "toy",
+            2,
+            vec![
+                StageInfo {
+                    ident: "prep".into(),
+                    display: "Prep".into(),
+                },
+                StageInfo {
+                    ident: "fly".into(),
+                    display: "Fly".into(),
+                },
+            ],
+            vec![
+                PoseInfo {
+                    ident: "stand".into(),
+                    display: "Stand".into(),
+                    stage: 0,
+                },
+                PoseInfo {
+                    ident: "crouch".into(),
+                    display: "Crouch".into(),
+                    stage: 0,
+                },
+                PoseInfo {
+                    ident: "tuck".into(),
+                    display: "Tuck".into(),
+                    stage: 1,
+                },
+            ],
+            0,
+            None,
+            vec![vec![0.5, 0.5], vec![0.0, 1.0]],
+            vec![
+                FaultRule {
+                    ident: "no_crouch".into(),
+                    display: "No crouch".into(),
+                    stage: 0,
+                    polarity: Polarity::Require,
+                    poses: vec![1],
+                    min_frames: 2,
+                    advice: "crouch first".into(),
+                },
+                FaultRule {
+                    ident: "no_tuck_allowed".into(),
+                    display: "Tuck forbidden".into(),
+                    stage: 1,
+                    polarity: Polarity::Forbid,
+                    poses: vec![2],
+                    min_frames: 2,
+                    advice: "keep straight".into(),
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spans_localize_fired_rules() {
+        let taxonomy = toy_taxonomy();
+        // Stage 0 without any crouch (rule 0 fires), then two tuck
+        // frames in stage 1 (rule 1 fires).
+        let stage = vec![0, 0, 0, 1, 1, 1];
+        let pose = vec![0, 0, 0, 2, 2, 0];
+        let (fired, spans) = assess_spans(&taxonomy, &stage, &pose);
+        assert_eq!(fired, vec![0, 1]);
+        assert_eq!(
+            spans,
+            vec![
+                FaultSpan {
+                    rule: 0,
+                    start: 0,
+                    end: 2
+                },
+                FaultSpan {
+                    rule: 1,
+                    start: 3,
+                    end: 4
+                },
+            ]
+        );
+        assert_eq!(spans[0].len(), 3);
+    }
+
+    #[test]
+    fn satisfied_rules_produce_no_spans() {
+        let taxonomy = toy_taxonomy();
+        let stage = vec![0, 0, 0, 1];
+        let pose = vec![0, 1, 1, 0];
+        let (fired, spans) = assess_spans(&taxonomy, &stage, &pose);
+        assert!(fired.is_empty(), "{fired:?}");
+        assert!(spans.is_empty(), "{spans:?}");
+    }
+
+    #[test]
+    fn unknown_frames_count_as_missing_required_evidence() {
+        let taxonomy = toy_taxonomy();
+        let stage = vec![0, 0, 0];
+        let pose = vec![UNKNOWN, UNKNOWN, UNKNOWN];
+        let (fired, spans) = assess_spans(&taxonomy, &stage, &pose);
+        assert_eq!(fired, vec![0]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (0, 2));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_indices() {
+        let taxonomy = toy_taxonomy();
+        let mut record = ClipRecord {
+            id: 0,
+            source: "clip_000".into(),
+            seed: 0,
+            score_micro: 990_000,
+            pose: vec![0, 1],
+            stage: vec![0, 0],
+            online: vec![0, UNKNOWN],
+            margin: vec![120_000, -3_000],
+            flags: vec![0, 0],
+            fired: vec![],
+            spans: vec![],
+        };
+        assert!(record.validate(&taxonomy).is_ok());
+        record.pose[1] = 3;
+        assert_eq!(record.validate(&taxonomy).unwrap_err().code, RULE_TAXONOMY);
+        record.pose[1] = 1;
+        record.fired = vec![9];
+        assert_eq!(record.validate(&taxonomy).unwrap_err().code, RULE_TAXONOMY);
+    }
+
+    #[test]
+    fn micro_quantization_is_symmetric_enough() {
+        assert_eq!(to_micro(0.5), 500_000);
+        assert_eq!(to_micro(-0.051), -51_000);
+        let record = ClipRecord {
+            id: 1,
+            source: "s".into(),
+            seed: 2,
+            score_micro: to_micro(0.875),
+            pose: vec![0],
+            stage: vec![0],
+            online: vec![0],
+            margin: vec![0],
+            flags: vec![0],
+            fired: vec![],
+            spans: vec![],
+        };
+        assert_eq!(record.score(), Some(0.875));
+    }
+}

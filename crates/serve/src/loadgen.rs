@@ -7,6 +7,13 @@
 //! so offered load tracks server capacity instead of overrunning it).
 //! Latency quantiles come from the same [`slj_obs::Histogram`] the rest
 //! of the workspace benchmarks with.
+//!
+//! With `--replay ARCHIVE` the single synthetic clip is replaced by the
+//! request stream an `slj-corpus v1` archive records: each clip's
+//! `(seed, frames)` pair re-synthesises the byte-identical body the
+//! original ingestion saw, and clients walk the clip set round-robin —
+//! a recorded mix of long/short/faulty clips instead of one homogeneous
+//! body.
 
 use crate::client;
 use crate::error::ServeError;
@@ -31,6 +38,9 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Per-request socket timeout in milliseconds.
     pub timeout_ms: u64,
+    /// Path to an `slj-corpus v1` archive whose recorded clips drive
+    /// the request stream instead of the single synthetic clip.
+    pub replay: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -42,6 +52,7 @@ impl Default for LoadgenConfig {
             frames: 24,
             seed: 7,
             timeout_ms: 30_000,
+            replay: None,
         }
     }
 }
@@ -81,13 +92,21 @@ pub struct LoadgenReport {
     /// 95th-percentile (from the top) clip quality score: the p05 of
     /// the score distribution, since *low* scores are the bad tail.
     pub clip_score_p95: f64,
+    /// Distinct recorded clips driving the run (0 = synthetic mode).
+    pub replay_clips: u64,
 }
 
 /// Schema version of the loadgen report (`BENCH_PR8.json`).
 ///
 /// Version 5 added the clip-score distribution of the quality
-/// diagnostics layer.
-pub const LOADGEN_SCHEMA_VERSION: u64 = 5;
+/// diagnostics layer; version 6 added `replay_clips` for archive-driven
+/// replay runs.
+pub const LOADGEN_SCHEMA_VERSION: u64 = 6;
+
+/// Upper bound on distinct replay bodies held in memory at once; a
+/// thousand-clip archive replays its first 64 clips round-robin rather
+/// than materialising a thousand encoded videos.
+pub const MAX_REPLAY_BODIES: usize = 64;
 
 impl LoadgenReport {
     /// Serialises the report (`BENCH_PR8.json`, schema
@@ -129,6 +148,8 @@ impl LoadgenReport {
         w.f64(self.clip_score_p50);
         w.key("clip_score_p95");
         w.f64(self.clip_score_p95);
+        w.key("replay_clips");
+        w.u64(self.replay_clips);
         w.end_object();
         w.finish()
     }
@@ -157,20 +178,54 @@ pub fn synthesize_body(frames: usize, seed: u64) -> Vec<u8> {
     wire::encode_frames(&refs)
 }
 
+/// Re-synthesises the request bodies an archive's clips record, capped
+/// at `min(limit, MAX_REPLAY_BODIES)` distinct bodies.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] when the archive does not parse or holds no
+/// clips.
+pub fn replay_bodies(archive_text: &str, limit: usize) -> Result<Vec<Vec<u8>>, ServeError> {
+    let corpus = slj_corpus::Corpus::from_archive_str(archive_text)
+        .map_err(|e| ServeError::Config(format!("replay archive: {e}")))?;
+    if corpus.clips.is_empty() {
+        return Err(ServeError::Config("replay archive has no clips".into()));
+    }
+    let take = corpus.clips.len().min(limit.max(1)).min(MAX_REPLAY_BODIES);
+    Ok(corpus.clips[..take]
+        .iter()
+        .map(|clip| synthesize_body(clip.frames().max(1), clip.seed))
+        .collect())
+}
+
 /// Runs the closed loop and aggregates the outcome.
 ///
 /// # Errors
 ///
-/// [`ServeError::Config`] for a zero request count or concurrency;
-/// individual request failures are *counted*, not propagated — a
-/// saturated server answering `429` is a result, not an error.
+/// [`ServeError::Config`] for a zero request count or concurrency, or
+/// an unreadable `--replay` archive; individual request failures are
+/// *counted*, not propagated — a saturated server answering `429` is a
+/// result, not an error.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     if config.requests == 0 || config.concurrency == 0 {
         return Err(ServeError::Config(
             "loadgen needs at least 1 request and 1 client".into(),
         ));
     }
-    let body = synthesize_body(config.frames.max(1), config.seed);
+    let bodies: Vec<Vec<u8>> = match &config.replay {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ServeError::Config(format!("replay archive {path}: {e}")))?;
+            replay_bodies(&text, config.requests)?
+        }
+        None => vec![synthesize_body(config.frames.max(1), config.seed)],
+    };
+    let replay_clips = if config.replay.is_some() {
+        bodies.len() as u64
+    } else {
+        0
+    };
+    let next_body = AtomicUsize::new(0);
 
     let registry = Registry::new();
     let latency = registry.histogram("loadgen.request.ns");
@@ -195,13 +250,17 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         {
             break;
         }
+        // Round-robin over the body set (a single element in synthetic
+        // mode); the atomic keeps the stream deterministic in *content
+        // mix* even though per-client interleaving varies.
+        let body = &bodies[next_body.fetch_add(1, Ordering::Relaxed) % bodies.len()];
         let attempt = Stopwatch::start();
         match client::request(
             &config.addr,
             "POST",
             "/v1/evaluate",
             "application/octet-stream",
-            &body,
+            body,
             config.timeout_ms,
         ) {
             Ok(resp) => {
@@ -254,6 +313,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         // Low scores are the bad tail, so the p95 headline is the 5th
         // percentile of the distribution.
         clip_score_p95: confidence.quantile(0.05) / 1e6,
+        replay_clips,
     })
 }
 
@@ -272,7 +332,7 @@ mod tests {
     }
 
     #[test]
-    fn report_json_is_schema_5_with_clip_scores() {
+    fn report_json_is_schema_6_with_clip_scores_and_replay() {
         let report = LoadgenReport {
             requests: 10,
             concurrency: 2,
@@ -289,13 +349,46 @@ mod tests {
             scored: 9,
             clip_score_p50: 1.0,
             clip_score_p95: 0.875,
+            replay_clips: 3,
         };
         let json = report.report_json();
-        assert!(json.starts_with("{\"schema\":5,"));
+        assert!(json.starts_with("{\"schema\":6,"));
         assert!(json.contains("\"status_429\":1"));
         assert!(json.contains("\"scored\":9"));
         assert!(json.contains("\"clip_score_p50\":1"));
         assert!(json.contains("\"clip_score_p95\":0.875"));
+        assert!(json.contains("\"replay_clips\":3"));
+    }
+
+    #[test]
+    fn replay_bodies_reconstruct_the_recorded_stream() {
+        let taxonomy = slj_sim::default_taxonomy();
+        let clip = |id: u64, seed: u64, frames: usize| slj_corpus::ClipRecord {
+            id,
+            source: format!("clip_{id:03}"),
+            seed,
+            score_micro: -1,
+            pose: vec![0; frames],
+            stage: vec![0; frames],
+            online: vec![0; frames],
+            margin: vec![0; frames],
+            flags: vec![-1; frames],
+            fired: vec![],
+            spans: vec![],
+        };
+        let corpus = slj_corpus::Corpus {
+            taxonomy,
+            // The standard jump script needs >= 20 frames per clip.
+            clips: vec![clip(0, 11, 24), clip(1, 12, 30)],
+        };
+        let text = corpus.to_archive_string();
+        let bodies = replay_bodies(&text, 100).unwrap();
+        assert_eq!(bodies.len(), 2);
+        assert_eq!(bodies[0], synthesize_body(24, 11));
+        assert_eq!(bodies[1], synthesize_body(30, 12));
+        // The request budget caps the distinct body count.
+        assert_eq!(replay_bodies(&text, 1).unwrap().len(), 1);
+        assert!(replay_bodies("not an archive", 4).is_err());
     }
 
     #[test]

@@ -274,23 +274,29 @@ impl JumpScript {
             self.segments.len()
         );
         while self.total_frames() < total {
-            let idx = self
+            // An empty script has zero frames; with nothing to pad,
+            // stretching is impossible, so stop rather than spin.
+            let Some(idx) = self
                 .segments
                 .iter()
                 .enumerate()
                 .min_by_key(|(i, s)| (s.frames, *i))
                 .map(|(i, _)| i)
-                .expect("non-empty script");
+            else {
+                break;
+            };
             self.segments[idx].frames += 1;
         }
         while self.total_frames() > total {
-            let idx = self
+            let Some(idx) = self
                 .segments
                 .iter()
                 .enumerate()
                 .max_by_key(|(i, s)| (s.frames, usize::MAX - *i))
                 .map(|(i, _)| i)
-                .expect("non-empty script");
+            else {
+                break;
+            };
             assert!(
                 self.segments[idx].frames > 1,
                 "cannot shrink below one frame"

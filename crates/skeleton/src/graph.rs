@@ -427,12 +427,12 @@ impl SkeletonGraph {
             while cur != i {
                 path.push(pg.position(cur));
                 pixel_in_edge[cur] = true;
-                let next = pg
-                    .neighbors(cur)
-                    .iter()
-                    .copied()
-                    .find(|&w| w != prev)
-                    .expect("cycle pixel must have two neighbours");
+                // Every cycle pixel has exactly two neighbours; if the
+                // graph invariant is ever violated, close the loop early
+                // instead of taking the whole pipeline down.
+                let Some(next) = pg.neighbors(cur).iter().copied().find(|&w| w != prev) else {
+                    break;
+                };
                 prev = cur;
                 cur = next;
             }
@@ -533,7 +533,9 @@ impl SkeletonGraph {
             }
             let mut comp = Vec::new();
             let mut stack = vec![start];
-            *seen.get_mut(&start).unwrap() = true;
+            if let Some(s) = seen.get_mut(&start) {
+                *s = true;
+            }
             while let Some(v) = stack.pop() {
                 comp.push(v);
                 for e in self.incident_edges(v) {
@@ -604,8 +606,7 @@ impl SkeletonGraph {
         let first_half: Vec<_> = edge.path[..mid].to_vec();
         let second_half: Vec<_> = edge.path[mid + 1..].to_vec();
         self.edge_alive[edge_id] = false;
-        if !first_half.is_empty() {
-            let tip = *first_half.last().unwrap();
+        if let Some(&tip) = first_half.last() {
             let tip_node = self.push_node(tip);
             self.push_edge(Edge {
                 a: edge.a,

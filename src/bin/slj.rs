@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
         Some("taxonomy") => cmd_taxonomy(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -111,8 +112,24 @@ fn print_usage() {
          \x20          a demo model is trained on synthetic clips at startup\n\
          \x20 loadgen  [--addr HOST:PORT] [--requests N] [--concurrency N]\n\
          \x20          [--frames N] [--seed S] [--timeout-ms MS] [--out FILE]\n\
+         \x20          [--replay ARCHIVE]\n\
          \x20          closed-loop load generator: POST a simulator-synthesized\n\
-         \x20          clip repeatedly, report throughput and p50/p95/p99 latency\n\
+         \x20          clip repeatedly, report throughput and p50/p95/p99 latency;\n\
+         \x20          --replay re-synthesises the request stream an slj-corpus\n\
+         \x20          archive recorded (per-clip seeds and frame counts)\n\
+         \x20 corpus   ingest --out FILE (--data DIR | --sim N | --trace FILE)\n\
+         \x20          [--model FILE] [--frames N] [--seed S] [--threads N]\n\
+         \x20          [--no-quality] [--quality-config FILE] [--metrics FILE]\n\
+         \x20 corpus   stats --archive FILE [--threads N] [--out FILE]\n\
+         \x20 corpus   query --archive FILE --where EXPR [--limit N]\n\
+         \x20          [--threads N] [--out FILE] [--metrics FILE]\n\
+         \x20 corpus   bench [--clips N] [--frames N] [--seed S] [--threads N]\n\
+         \x20          [--out FILE]\n\
+         \x20          columnar decision-record archives: batch-run stored clip\n\
+         \x20          directories (or N simulated clips, or a recorded slj-trace\n\
+         \x20          JSONL) through the pipeline into a versioned slj-corpus v1\n\
+         \x20          archive, aggregate stats, and mine it with predicates like\n\
+         \x20          'fault=no_tuck_fault stage=landing min_run=5 clip_score<0.8'\n\
          \x20 taxonomy export [--out FILE] [--model FILE] [--artifact FILE]\n\
          \x20 taxonomy describe [--model FILE] [--artifact FILE]\n\
          \x20          export the pose/stage/fault vocabulary as a versioned\n\
@@ -683,7 +700,10 @@ fn cmd_quality(args: &[String]) -> Result<(), String> {
 /// per-kernel before/after attribution (`kernels`: each rewritten
 /// hot-path kernel timed against its retained `_reference`
 /// implementation) and measures `push_frame_ns` as a median of repeated
-/// timing windows instead of one window.
+/// timing windows instead of one window. The kernel table later gained
+/// a `dbn_step` row (forward-filter step, Cow-based elimination vs the
+/// clone-everything reference) without a schema bump — `kernels` is an
+/// open-ended array.
 /// Schema version of the `slj bench` JSON record (`BENCH_PR*.json`).
 const BENCH_SCHEMA_VERSION: u64 = 5;
 
@@ -789,7 +809,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let gray = sub.foreground_matrix(frame).map_err(|e| e.to_string())?;
         let mask = sub.extract(frame).map_err(|e| e.to_string())?;
         let window = 3usize;
-        let mut time_kernel = |f: &mut dyn FnMut()| -> f64 {
+        let time_kernel = |f: &mut dyn FnMut()| -> f64 {
             let (repeats, iters) = if quick { (3, 2) } else { (5, 8) };
             f(); // warm caches and grow scratch buffers
             let mut samples = Vec::with_capacity(repeats);
@@ -841,11 +861,47 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             zhang_suen_into(&smoothed, &mut thin_out, &mut thin_scratch);
         });
 
+        // DBN forward-filter step: the borrow-templates-by-default
+        // elimination working set against the retained clone-everything
+        // reference, on the textbook umbrella fixture.
+        use slj_repro::bayes::{ForwardFilter, TableCpd, TwoSliceDbnBuilder};
+        let (dbn, umbrella) = {
+            let mut b = TwoSliceDbnBuilder::new();
+            let (rain, rain_prev) = b.interface_variable("rain", 2);
+            let umbrella = b.slice_variable("umbrella", 2);
+            b.prior_cpd(TableCpd::new(rain, vec![], vec![0.5, 0.5]).map_err(|e| e.to_string())?);
+            b.transition_cpd(
+                TableCpd::new(rain, vec![rain_prev], vec![0.7, 0.3, 0.3, 0.7])
+                    .map_err(|e| e.to_string())?,
+            );
+            b.shared_cpd(
+                TableCpd::new(umbrella, vec![rain], vec![0.8, 0.2, 0.1, 0.9])
+                    .map_err(|e| e.to_string())?,
+            );
+            (b.build().map_err(|e| e.to_string())?, umbrella)
+        };
+        let mut ref_filter = ForwardFilter::new(&dbn);
+        let mut cow_filter = ForwardFilter::new(&dbn);
+        let mut flip = 0usize;
+        let dbn_old = time_kernel(&mut || {
+            flip += 1;
+            ref_filter
+                .step_with_likelihood_reference(&[(umbrella, flip % 2)], None)
+                .unwrap();
+        });
+        let dbn_new = time_kernel(&mut || {
+            flip += 1;
+            cow_filter
+                .step_with_likelihood(&[(umbrella, flip % 2)], None)
+                .unwrap();
+        });
+
         vec![
             ("bg_extract", extract_old, extract_new),
             ("median_gray", gray_old, gray_new),
             ("median_binary", binary_old, binary_new),
             ("thinning", thin_old, thin_new),
+            ("dbn_step", dbn_old, dbn_new),
         ]
     };
     for (name, old_ns, new_ns) in &kernel_rows {
@@ -1340,10 +1396,18 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         frames: flags.parse_or("frames", 24usize)?,
         seed: flags.parse_or("seed", 7u64)?,
         timeout_ms: flags.parse_or("timeout-ms", 30_000u64)?,
+        replay: flags.get("replay").map(String::from),
     };
     eprintln!(
-        "loadgen: {} request(s), {} client(s) against {}",
-        config.requests, config.concurrency, config.addr
+        "loadgen: {} request(s), {} client(s) against {}{}",
+        config.requests,
+        config.concurrency,
+        config.addr,
+        config
+            .replay
+            .as_deref()
+            .map(|p| format!(", replaying {p}"))
+            .unwrap_or_default()
     );
     let report = loadgen::run(&config).map_err(|e| e.to_string())?;
     let json = report.report_json();
@@ -1353,4 +1417,367 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         eprintln!("loadgen: report written to {path}");
     }
     Ok(())
+}
+
+/// Shared `--threads` handling for the corpus subcommands: 0 = auto.
+fn corpus_pool(flags: &Flags) -> Result<slj_repro::runtime::ThreadPool, String> {
+    use slj_repro::runtime::{Parallelism, ThreadPool};
+    let threads: usize = flags.parse_or("threads", 0)?;
+    Ok(if threads == 0 {
+        ThreadPool::new(Parallelism::Auto)
+    } else {
+        ThreadPool::fixed(threads)
+    })
+}
+
+/// Reads and parses an `slj-corpus v1` archive named by `--archive`.
+fn read_archive(flags: &Flags) -> Result<slj_repro::corpus::Corpus, String> {
+    let path = flags.require("archive")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    slj_repro::corpus::Corpus::from_archive_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Writes `json` (newline-terminated) to `--out`, or stdout without it.
+fn emit_json(flags: &Flags, what: &str, mut json: String) -> Result<(), String> {
+    json.push('\n');
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("corpus: {what} written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+/// Builds the ingestion work list from the selected source: stored
+/// `clip_*` directories, or `--sim N` freshly simulated clips. The seed
+/// recorded per clip follows the `slj generate` convention (clip index),
+/// so `slj loadgen --replay` can re-synthesise equivalent bodies.
+fn corpus_work_list(flags: &Flags) -> Result<Vec<slj_repro::corpus::IngestClip>, String> {
+    use slj_repro::corpus::IngestClip;
+    if let Some(data) = flags.get("data") {
+        let dirs = clip_dirs(Path::new(data))?;
+        return dirs
+            .iter()
+            .map(|dir| {
+                let source = dir
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("clip_unnamed")
+                    .to_string();
+                // clip_NNN directories carry their generation seed in
+                // the name; anything else falls back to seed 0.
+                let seed = source
+                    .rsplit('_')
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or(0);
+                let clip = load_clip(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                Ok(IngestClip { source, seed, clip })
+            })
+            .collect();
+    }
+    let count: usize = flags.parse_or("sim", 0)?;
+    if count == 0 {
+        return Err("corpus ingest needs --data DIR, --sim N or --trace FILE".into());
+    }
+    let frames: usize = flags.parse_or("frames", 24)?;
+    let base_seed: u64 = flags.parse_or("seed", 7)?;
+    let sim = JumpSimulator::new(base_seed);
+    Ok((0..count)
+        .map(|i| {
+            let clip = sim.generate_clip(&ClipSpec {
+                total_frames: frames,
+                seed: i as u64,
+                noise: NoiseConfig::default(),
+                rare_poses: i % 3 == 2,
+                ..ClipSpec::default()
+            });
+            IngestClip {
+                source: format!("sim_{i:06}"),
+                seed: i as u64,
+                clip: StoredClip {
+                    labels: clip.truth.iter().map(|t| (t.stage, t.pose)).collect(),
+                    frames: clip.frames,
+                    background: clip.background,
+                },
+            }
+        })
+        .collect())
+}
+
+fn cmd_corpus_ingest(flags: &Flags) -> Result<(), String> {
+    use slj_repro::corpus::{ingest_stored_clips, ingest_trace, IngestOptions};
+    use std::time::Instant;
+
+    let out = flags.require("out")?.to_string();
+    let registry = metrics_registry(flags);
+
+    let corpus = if let Some(trace_path) = flags.get("trace") {
+        // Trace bridge: mine a recorded `slj trace` JSONL stream without
+        // re-running the pipeline. The taxonomy comes from --model when
+        // given (matching whatever produced the trace), else the shipped
+        // standing-long-jump vocabulary.
+        let taxonomy = match flags.get("model") {
+            Some(path) => model_io::load(path)
+                .map_err(|e| e.to_string())?
+                .taxonomy()
+                .clone(),
+            None => slj_repro::sim::default_taxonomy(),
+        };
+        let text = std::fs::read_to_string(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+        ingest_trace(&text, &taxonomy).map_err(|e| format!("{trace_path}: {e}"))?
+    } else {
+        let model = match flags.get("model") {
+            Some(path) => model_io::load(path).map_err(|e| e.to_string())?,
+            None => {
+                eprintln!("corpus: no --model given; training a demo model");
+                demo_model(flags.parse_or("seed", 7u64)?)?
+            }
+        };
+        let items = corpus_work_list(flags)?;
+        let options = IngestOptions {
+            quality: if flags.switch("no-quality") {
+                None
+            } else {
+                Some(load_quality_config(flags, "quality-config")?)
+            },
+        };
+        let pool = corpus_pool(flags)?;
+        eprintln!(
+            "corpus: ingesting {} clip(s) over {} worker(s)...",
+            items.len(),
+            pool.threads()
+        );
+        let start = Instant::now();
+        let corpus = ingest_stored_clips(&model, &items, &options, &pool, registry.as_ref())
+            .map_err(|e| e.to_string())?;
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!(
+            "corpus: {} frame(s) in {wall:.2}s ({:.0} frames/s)",
+            corpus.total_frames(),
+            corpus.total_frames() as f64 / wall.max(1e-9)
+        );
+        corpus
+    };
+
+    let archive = corpus.to_archive_string();
+    std::fs::write(&out, &archive).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "corpus: {} clip(s), {} frame(s), {} byte(s) -> {out}",
+        corpus.clips.len(),
+        corpus.total_frames(),
+        archive.len()
+    );
+    if let Some(registry) = &registry {
+        write_metrics(flags, registry)?;
+    }
+    Ok(())
+}
+
+fn cmd_corpus_stats(flags: &Flags) -> Result<(), String> {
+    use slj_repro::corpus::ArchiveStats;
+    let corpus = read_archive(flags)?;
+    let pool = corpus_pool(flags)?;
+    let stats = ArchiveStats::compute(&corpus, &pool).map_err(|e| e.to_string())?;
+    emit_json(flags, "stats", stats.to_json())
+}
+
+fn cmd_corpus_query(flags: &Flags) -> Result<(), String> {
+    use slj_repro::corpus::Query;
+    let expr = flags.require("where")?;
+    let query = Query::parse(expr).map_err(|e| e.to_string())?;
+    let corpus = read_archive(flags)?;
+    let pool = corpus_pool(flags)?;
+    let limit: usize = flags.parse_or("limit", 20)?;
+    let registry = metrics_registry(flags);
+    let report = query
+        .evaluate(&corpus, &pool, registry.as_ref())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "corpus: {} of {} clip(s) match '{}'",
+        report.matched(),
+        report.clips_scanned,
+        query.text()
+    );
+    emit_json(flags, "query report", report.to_json(limit))?;
+    if let Some(registry) = &registry {
+        write_metrics(flags, registry)?;
+    }
+    Ok(())
+}
+
+/// End-to-end corpus benchmark: simulate, ingest, archive, parse and
+/// query a clip set, reporting wall times and the archive's size
+/// against an equivalent per-frame JSONL encoding (`BENCH_PR10.json`).
+const CORPUS_BENCH_SCHEMA_VERSION: u64 = 1;
+
+fn cmd_corpus_bench(flags: &Flags) -> Result<(), String> {
+    use slj_repro::corpus::{ingest_stored_clips, ArchiveStats, Corpus, IngestOptions, Query};
+    use slj_repro::obs::JsonWriter;
+    use slj_repro::runtime::ThreadPool;
+    use std::time::Instant;
+
+    let clips_n: usize = flags.parse_or("clips", 64)?;
+    let frames_n: usize = flags.parse_or("frames", 24)?;
+    let seed: u64 = flags.parse_or("seed", 7)?;
+    let model = demo_model(seed)?;
+    let pool = corpus_pool(flags)?;
+    eprintln!(
+        "corpus bench: {clips_n} clip(s) x {frames_n} frame(s), {} worker(s)",
+        pool.threads()
+    );
+
+    let sim = JumpSimulator::new(seed);
+    let items: Vec<slj_repro::corpus::IngestClip> = (0..clips_n)
+        .map(|i| {
+            let clip = sim.generate_clip(&ClipSpec {
+                total_frames: frames_n,
+                seed: i as u64,
+                noise: NoiseConfig::default(),
+                rare_poses: i % 3 == 2,
+                ..ClipSpec::default()
+            });
+            slj_repro::corpus::IngestClip {
+                source: format!("sim_{i:06}"),
+                seed: i as u64,
+                clip: StoredClip {
+                    labels: clip.truth.iter().map(|t| (t.stage, t.pose)).collect(),
+                    frames: clip.frames,
+                    background: clip.background,
+                },
+            }
+        })
+        .collect();
+
+    let options = IngestOptions {
+        quality: Some(slj_repro::quality::QualityConfig::default()),
+    };
+    let start = Instant::now();
+    let corpus =
+        ingest_stored_clips(&model, &items, &options, &pool, None).map_err(|e| e.to_string())?;
+    let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
+    let frames = corpus.total_frames();
+    eprintln!(
+        "  ingest: {frames} frame(s) in {ingest_ms:.0} ms ({:.0} frames/s)",
+        frames as f64 / (ingest_ms / 1e3).max(1e-9)
+    );
+
+    let start = Instant::now();
+    let archive = corpus.to_archive_string();
+    let write_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let reparsed = Corpus::from_archive_str(&archive).map_err(|e| e.to_string())?;
+    let parse_ms = start.elapsed().as_secs_f64() * 1e3;
+    if reparsed != corpus {
+        return Err("corpus bench: archive round trip was not bit-exact".into());
+    }
+
+    // The honest size baseline: the same columns, one flat JSON record
+    // per frame (what `slj trace`-style storage would cost).
+    let mut jsonl_bytes = 0usize;
+    for clip in &corpus.clips {
+        for f in 0..clip.frames() {
+            jsonl_bytes += format!(
+                "{{\"clip\":{},\"frame\":{f},\"pose\":{},\"stage\":{},\"online\":{},\
+                 \"margin\":{},\"flags\":{}}}\n",
+                clip.id, clip.pose[f], clip.stage[f], clip.online[f], clip.margin[f], clip.flags[f]
+            )
+            .len();
+        }
+    }
+    eprintln!(
+        "  archive: {} byte(s) vs {jsonl_bytes} JSONL byte(s) (x{:.2} smaller), \
+         write {write_ms:.0} ms, parse {parse_ms:.0} ms",
+        archive.len(),
+        jsonl_bytes as f64 / archive.len().max(1) as f64
+    );
+
+    // Query across thread counts must be bit-identical.
+    let fault = corpus
+        .taxonomy
+        .faults()
+        .first()
+        .map(|r| r.ident.clone())
+        .ok_or("corpus bench: taxonomy has no fault rules")?;
+    let query = Query::parse(&format!("fault={fault} min_run=2")).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    let report = query
+        .evaluate(&corpus, &pool, None)
+        .map_err(|e| e.to_string())?;
+    let query_ms = start.elapsed().as_secs_f64() * 1e3;
+    let serial = query
+        .evaluate(&corpus, &ThreadPool::fixed(1), None)
+        .map_err(|e| e.to_string())?;
+    let parity = report.to_json(usize::MAX) == serial.to_json(usize::MAX)
+        && ArchiveStats::compute(&corpus, &pool)
+            .map_err(|e| e.to_string())?
+            .to_json()
+            == ArchiveStats::compute(&corpus, &ThreadPool::fixed(1))
+                .map_err(|e| e.to_string())?
+                .to_json();
+    if !parity {
+        return Err("corpus bench: parallel query diverged from serial".into());
+    }
+    eprintln!(
+        "  query '{}': {} match(es) in {query_ms:.2} ms, parallel == serial",
+        query.text(),
+        report.matched()
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.u64(CORPUS_BENCH_SCHEMA_VERSION);
+    w.key("bench");
+    w.string("corpus");
+    w.key("seed");
+    w.u64(seed);
+    w.key("workers");
+    w.u64(pool.threads() as u64);
+    w.key("clips");
+    w.u64(corpus.clips.len() as u64);
+    w.key("frames");
+    w.u64(frames);
+    w.key("ingest_ms");
+    w.f64(ingest_ms);
+    w.key("ingest_frames_per_s");
+    w.f64(frames as f64 / (ingest_ms / 1e3).max(1e-9));
+    w.key("archive_bytes");
+    w.u64(archive.len() as u64);
+    w.key("jsonl_bytes");
+    w.u64(jsonl_bytes as u64);
+    w.key("size_ratio");
+    w.f64(jsonl_bytes as f64 / archive.len().max(1) as f64);
+    w.key("write_ms");
+    w.f64(write_ms);
+    w.key("parse_ms");
+    w.f64(parse_ms);
+    w.key("query_ms");
+    w.f64(query_ms);
+    w.key("query_matched");
+    w.u64(report.matched());
+    w.key("round_trip_exact");
+    w.bool(true);
+    w.key("threads_parity");
+    w.bool(parity);
+    w.end_object();
+    emit_json(flags, "bench record", w.finish())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    let (sub, rest) = args
+        .split_first()
+        .ok_or("corpus needs a subcommand: ingest, stats, query or bench")?;
+    let flags = Flags::parse(rest, &["no-quality"])?;
+    match sub.as_str() {
+        "ingest" => cmd_corpus_ingest(&flags),
+        "stats" => cmd_corpus_stats(&flags),
+        "query" => cmd_corpus_query(&flags),
+        "bench" => cmd_corpus_bench(&flags),
+        other => Err(format!(
+            "unknown corpus subcommand {other:?} (try ingest, stats, query or bench)"
+        )),
+    }
 }

@@ -35,6 +35,11 @@
 //!   signals (likelihood runs, temporal jumps, skeleton violations,
 //!   silhouette health, ensemble divergence) aggregated into a
 //!   deterministic clip score (`slj quality`, `serve.quality.*`).
+//! - [`corpus`] — columnar decision-record archives: batch ingestion of
+//!   stored clips through the runtime pool with offline Viterbi
+//!   decoding, the versioned `slj-corpus v1` archive format, a
+//!   predicate-based batch mining query engine, and the replay source
+//!   behind `slj loadgen --replay`.
 //!
 //! # Examples
 //!
@@ -48,6 +53,7 @@
 pub use slj_bayes as bayes;
 pub use slj_check as check;
 pub use slj_core as core;
+pub use slj_corpus as corpus;
 pub use slj_ga as ga;
 pub use slj_imaging as imaging;
 pub use slj_obs as obs;

@@ -1,0 +1,231 @@
+//! Corpus subsystem integration: end-to-end ingestion through a trained
+//! model, archive round-trips (including a property-style randomized
+//! sweep), committed corrupted fixtures with their expected `corpus/*`
+//! rule codes, query thread-count parity, and the trace bridge.
+
+use slj_repro::corpus::{
+    ingest_stored_clips, ingest_trace, ArchiveStats, Corpus, IngestClip, IngestOptions, Query,
+    MAGIC,
+};
+use slj_repro::quality::QualityConfig;
+use slj_repro::runtime::ThreadPool;
+use slj_repro::sim::io::StoredClip;
+use slj_repro::sim::{default_taxonomy, ClipSpec, JumpSimulator, NoiseConfig};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/corpus")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Simulated clips shaped like `slj generate` output (seed = index).
+fn sim_clips(count: usize, frames: usize) -> Vec<IngestClip> {
+    let sim = JumpSimulator::new(404);
+    (0..count)
+        .map(|i| {
+            let clip = sim.generate_clip(&ClipSpec {
+                total_frames: frames,
+                seed: i as u64,
+                noise: NoiseConfig::default(),
+                rare_poses: i % 3 == 2,
+                ..ClipSpec::default()
+            });
+            IngestClip {
+                source: format!("clip_{i:03}"),
+                seed: i as u64,
+                clip: StoredClip {
+                    labels: clip.truth.iter().map(|t| (t.stage, t.pose)).collect(),
+                    frames: clip.frames,
+                    background: clip.background,
+                },
+            }
+        })
+        .collect()
+}
+
+fn demo_model() -> slj_repro::core::model::PoseModel {
+    use slj_repro::core::config::PipelineConfig;
+    use slj_repro::core::training::Trainer;
+    let sim = JumpSimulator::new(404);
+    let clips: Vec<_> = (0..4)
+        .map(|i| {
+            sim.generate_clip(&ClipSpec {
+                total_frames: 24,
+                seed: i,
+                ..ClipSpec::default()
+            })
+        })
+        .collect();
+    Trainer::new(PipelineConfig::default())
+        .and_then(|t| t.train(&clips))
+        .expect("demo model trains")
+}
+
+#[test]
+fn ingest_archive_query_round_trip_is_bit_exact_and_thread_invariant() {
+    let model = demo_model();
+    let items = sim_clips(6, 24);
+    let options = IngestOptions {
+        quality: Some(QualityConfig::default()),
+    };
+
+    // Ingestion itself must be thread-count-invariant.
+    let serial = ingest_stored_clips(&model, &items, &options, &ThreadPool::fixed(1), None)
+        .expect("serial ingest");
+    let parallel = ingest_stored_clips(&model, &items, &options, &ThreadPool::fixed(8), None)
+        .expect("parallel ingest");
+    assert_eq!(serial, parallel, "ingestion is deterministic across pools");
+
+    // Archive round trip: corpus -> text -> corpus -> identical text.
+    let text = serial.to_archive_string();
+    assert!(text.starts_with(MAGIC), "archive leads with the magic line");
+    let reparsed = Corpus::from_archive_str(&text).expect("own archive parses");
+    assert_eq!(reparsed, serial, "parse inverts render");
+    assert_eq!(
+        reparsed.to_archive_string(),
+        text,
+        "render is a fixed point"
+    );
+
+    // Queries and stats agree bit-for-bit at 1 and 8 threads.
+    let fault = serial.taxonomy.faults()[0].ident.clone();
+    for expr in [
+        format!("fault={fault}"),
+        format!("fault={fault} min_run=2"),
+        "clip_score>=0 stage=Landing".to_string(),
+        "margin>=-1.0".to_string(),
+    ] {
+        let query = Query::parse(&expr).expect("query parses");
+        let one = query
+            .evaluate(&serial, &ThreadPool::fixed(1), None)
+            .expect("eval t1")
+            .to_json(usize::MAX);
+        let eight = query
+            .evaluate(&serial, &ThreadPool::fixed(8), None)
+            .expect("eval t8")
+            .to_json(usize::MAX);
+        assert_eq!(one, eight, "query {expr:?} is thread-count-invariant");
+    }
+    let s1 = ArchiveStats::compute(&serial, &ThreadPool::fixed(1)).expect("stats t1");
+    let s8 = ArchiveStats::compute(&serial, &ThreadPool::fixed(8)).expect("stats t8");
+    assert_eq!(
+        s1.to_json(),
+        s8.to_json(),
+        "stats are thread-count-invariant"
+    );
+    assert_eq!(s1.clips, 6);
+    assert_eq!(s1.frames, serial.total_frames());
+}
+
+#[test]
+fn randomized_corpora_round_trip_bit_exact() {
+    // Property-style sweep: pseudo-random (but deterministic) column
+    // contents across lengths, magnitudes and span shapes.
+    let taxonomy = default_taxonomy();
+    let poses = taxonomy.pose_count() as i64;
+    let stages = taxonomy.stage_count() as i64;
+    let rules = taxonomy.faults().len() as u32;
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for case in 0..25u64 {
+        let clips = (next() % 4 + 1) as usize;
+        let mut records = Vec::new();
+        for id in 0..clips {
+            let frames = (next() % 40 + 1) as usize;
+            let column = |limit: i64, next: &mut dyn FnMut() -> u64| -> Vec<i64> {
+                (0..frames)
+                    .map(|_| (next() % (limit + 1) as u64) as i64 - 1)
+                    .collect()
+            };
+            let pose = column(poses, &mut next);
+            let stage: Vec<i64> = (0..frames)
+                .map(|_| (next() % stages as u64) as i64)
+                .collect();
+            let spans = if rules > 0 && frames >= 2 {
+                vec![slj_repro::corpus::FaultSpan {
+                    rule: (next() % u64::from(rules)) as u32,
+                    start: 0,
+                    end: (next() % frames as u64) as u32,
+                }]
+            } else {
+                Vec::new()
+            };
+            records.push(slj_repro::corpus::ClipRecord {
+                id: id as u64,
+                source: format!("case{case}_clip{id}"),
+                seed: next(),
+                score_micro: (next() % 2_000_000) as i64 - 1,
+                online: pose.clone(),
+                pose,
+                stage,
+                margin: (0..frames).map(|_| (next() as i64) >> 40).collect(),
+                flags: (0..frames).map(|_| (next() % 129) as i64 - 1).collect(),
+                fired: spans.iter().map(|s| s.rule).collect(),
+                spans,
+            });
+        }
+        let corpus = Corpus {
+            taxonomy: taxonomy.clone(),
+            clips: records,
+        };
+        let text = corpus.to_archive_string();
+        let reparsed = Corpus::from_archive_str(&text)
+            .unwrap_or_else(|e| panic!("case {case} failed to parse: {e}"));
+        assert_eq!(reparsed, corpus, "case {case} round trip");
+    }
+}
+
+#[test]
+fn committed_corrupted_fixtures_fail_with_their_rule_codes() {
+    // The valid sibling parses...
+    Corpus::from_archive_str(&fixture("valid-small.corpus")).expect("valid fixture parses");
+    // ...and each corruption is caught under its dedicated rule code.
+    for (name, code) in [
+        ("bad-magic.corpus", "corpus/magic"),
+        ("truncated-column.corpus", "corpus/column"),
+        ("footer-mismatch.corpus", "corpus/footer"),
+        ("index-drift.corpus", "corpus/footer"),
+    ] {
+        let err = Corpus::from_archive_str(&fixture(name))
+            .expect_err(&format!("{name} must be rejected"));
+        assert_eq!(err.code, code, "{name}: {err}");
+    }
+}
+
+#[test]
+fn trace_bridge_round_trips_through_the_archive() {
+    let taxonomy = default_taxonomy();
+    let stage = taxonomy.stage_ident(0);
+    let pose = taxonomy.pose_ident(0);
+    let line = |clip: u64, pose_json: &str| {
+        format!(
+            "{{\"schema\":3,\"clip\":{clip},\"frame\":0,\"pose\":{pose_json},\
+             \"best_prob\":0.9,\"th_margin\":0.25,\"accepted\":true,\
+             \"carry_forward\":false,\"stage\":\"{stage}\",\"quality_flags\":null}}"
+        )
+    };
+    let text = [
+        line(0, &format!("\"{pose}\"")),
+        line(0, "null"),
+        line(1, &format!("\"{pose}\"")),
+    ]
+    .join("\n");
+    let corpus = ingest_trace(&text, &taxonomy).expect("bridge ingests");
+    assert_eq!(corpus.clips.len(), 2);
+    assert_eq!(corpus.clips[0].margin, vec![250_000, 250_000]);
+    let round =
+        Corpus::from_archive_str(&corpus.to_archive_string()).expect("bridged archive parses");
+    assert_eq!(round, corpus);
+
+    // Schema drift in the source stream is an ingestion error.
+    let drifted = text.replace("\"schema\":3", "\"schema\":7");
+    let err = ingest_trace(&drifted, &taxonomy).expect_err("schema drift rejected");
+    assert_eq!(err.code, "corpus/ingest");
+}

@@ -334,6 +334,7 @@ fn loadgen_loopback_run_is_clean_below_the_queue_limit() {
         frames: 24,
         seed: 41,
         timeout_ms: 60_000,
+        replay: None,
     };
     let report = loadgen::run(&config).expect("loadgen");
     assert_eq!(report.status_2xx, 10, "report: {}", report.report_json());
@@ -347,8 +348,9 @@ fn loadgen_loopback_run_is_clean_below_the_queue_limit() {
     assert!(report.clip_score_p50 > 0.0 && report.clip_score_p50 <= 1.0);
     assert!(report.clip_score_p95 <= report.clip_score_p50 + 1e-9);
     let json = report.report_json();
-    assert!(json.starts_with("{\"schema\":5,\"bench\":\"serve.loadgen\""));
+    assert!(json.starts_with("{\"schema\":6,\"bench\":\"serve.loadgen\""));
     assert!(json.contains("\"clip_score_p50\":"));
+    assert!(json.contains("\"replay_clips\":0"));
     handle.stop().expect("stop");
 }
 
